@@ -1,0 +1,85 @@
+// Ablation: the adaptive strategy's LUT update period f (Section 4.2.2) on
+// the GMM 3cluster workload — quality/energy as the update frequency drops
+// from every iteration (f=1, greedy) to rare refreshes — plus the
+// worst-case-vs-mean error constraint variant.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+
+int run() {
+  std::printf("=== bench_ablation_fstep: adaptive f-step ablation ===\n\n");
+
+  const workloads::GmmDataset ds =
+      workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster);
+  arith::QcsAlu alu;
+
+  apps::GmmEm char_method(ds);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_method, alu);
+
+  apps::GmmEm truth_method(ds);
+  const core::RunReport truth =
+      bench::run_truth(truth_method, alu, characterization);
+  const std::vector<int> truth_assign = truth_method.assignments();
+
+  util::Table table("Adaptive strategy: LUT update period sweep (3cluster)");
+  table.set_header({"Variant", "Iterations", "LUT updates", "QEM", "Energy",
+                    "Converged"});
+  table.set_align(0, util::Align::kLeft);
+
+  for (std::size_t f : {1u, 2u, 5u, 10u, 25u, 100u}) {
+    core::AdaptiveOptions options;
+    options.update_period = f;
+    apps::GmmEm method(ds);
+    core::AdaptiveAngleStrategy strategy(options);
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    table.add_row(
+        {strategy.name(), std::to_string(report.iterations),
+         std::to_string(strategy.lut_updates()),
+         std::to_string(
+             apps::hamming_distance(truth_assign, method.assignments())),
+         util::format_sig(bench::relative_energy(report, truth), 3),
+         report.converged ? "yes" : "MAX_ITER"});
+  }
+
+  {
+    core::AdaptiveOptions options;
+    options.use_worst_case_error = true;
+    apps::GmmEm method(ds);
+    core::AdaptiveAngleStrategy strategy(options);
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    table.add_row(
+        {"f=1, worst-case eps", std::to_string(report.iterations),
+         std::to_string(strategy.lut_updates()),
+         std::to_string(
+             apps::hamming_distance(truth_assign, method.assignments())),
+         util::format_sig(bench::relative_energy(report, truth), 3),
+         report.converged ? "yes" : "MAX_ITER"});
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nf=1 keeps the LUT greedy-fresh; growing f leaves increasingly "
+      "stale budgets (energy\ncreeps up through f=25). Very large f "
+      "effectively freezes the offline LUT — the quality\nguard still "
+      "protects correctness, and on this workload the frozen LUT happens to "
+      "be cheap.\nThe worst-case-eps variant is the conservative reading "
+      "of Equation 5's constraint.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

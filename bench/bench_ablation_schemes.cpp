@@ -1,0 +1,93 @@
+// Ablation: the incremental strategy with individual schemes disabled,
+// on the GMM 3cluster workload. Shows what each scheme contributes to the
+// quality guarantee (DESIGN.md, experiment index).
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+
+int run() {
+  std::printf("=== bench_ablation_schemes: incremental-scheme ablation ===\n\n");
+
+  struct Variant {
+    const char* label;
+    core::IncrementalOptions options;
+  };
+  const Variant variants[] = {
+      {"all schemes (paper)", {}},
+      {"no gradient scheme",
+       {.gradient_scheme = false, .quality_scheme = true,
+        .function_scheme = true}},
+      {"no quality scheme",
+       {.gradient_scheme = true, .quality_scheme = false,
+        .function_scheme = true}},
+      {"no function scheme",
+       {.gradient_scheme = true, .quality_scheme = true,
+        .function_scheme = false}},
+      {"gradient only",
+       {.gradient_scheme = true, .quality_scheme = false,
+        .function_scheme = false}},
+      {"no schemes at all",
+       {.gradient_scheme = false, .quality_scheme = false,
+        .function_scheme = false}},
+  };
+
+  util::Table table("Incremental strategy scheme ablation (GMM)");
+  table.set_header({"Dataset", "Variant", "Iterations", "G/Q/F fires",
+                    "Rollbacks", "QEM", "Energy", "Converged"});
+  table.set_align(1, util::Align::kLeft);
+
+  for (workloads::GmmDatasetId id :
+       {workloads::GmmDatasetId::k3cluster, workloads::GmmDatasetId::k4cluster}) {
+    const workloads::GmmDataset ds = workloads::make_gmm_dataset(id);
+    arith::QcsAlu alu;
+
+    apps::GmmEm char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::GmmEm truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+    const std::vector<int> truth_assign = truth_method.assignments();
+
+    for (const Variant& variant : variants) {
+      apps::GmmEm method(ds);
+      core::IncrementalStrategy strategy(variant.options);
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      table.add_row(
+          {ds.name, variant.label, std::to_string(report.iterations),
+           std::to_string(strategy.gradient_triggers()) + "/" +
+               std::to_string(strategy.quality_triggers()) + "/" +
+               std::to_string(strategy.function_triggers()),
+           std::to_string(report.rollbacks),
+           std::to_string(
+               apps::hamming_distance(truth_assign, method.assignments())),
+           util::format_sig(bench::relative_energy(report, truth), 3),
+           report.converged ? "yes" : "MAX_ITER"});
+    }
+    table.add_separator();
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nWith every scheme disabled the strategy degenerates to a level1 "
+      "single-mode run\n(false stop); the quality scheme drives the "
+      "escalation, the function scheme recovers\nfrom objective increases, "
+      "the gradient scheme catches corrupted directions.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,110 @@
+// Regenerates the Section 3.1 offline-characterization evidence:
+//  (1) low-level adder metrics (ER/ME/MED/MRED/WCE) for every QCS accuracy
+//      level and several published approximate-adder families;
+//  (2) the iteration-level quality errors (Definition 1) of the same QCS
+//      levels on both applications — demonstrating the paper's point that
+//      low-level metrics alone cannot predict application quality.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "arith/approx_adders.h"
+#include "arith/energy.h"
+#include "arith/error_metrics.h"
+#include "core/characterization.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+using arith::ApproxMode;
+
+constexpr std::size_t kSamples = 50000;
+constexpr std::uint64_t kSeed = 2014;
+
+void add_adder_row(util::Table& table, const arith::Adder& adder) {
+  const arith::ErrorStats stats =
+      arith::characterize_adder(adder, kSamples, kSeed);
+  table.add_row({adder.name(), util::format_sig(stats.error_rate, 3),
+                 util::format_sig(stats.mean_error, 3),
+                 util::format_sig(stats.mean_error_distance, 3),
+                 util::format_sig(stats.mean_relative_error, 3),
+                 util::format_sig(stats.worst_case_error, 3),
+                 util::format_sig(arith::adder_energy(adder), 4)});
+}
+
+void print_low_level_metrics() {
+  util::Table table(
+      "Low-level adder metrics (32-bit, uniform operands, 50k samples)");
+  table.set_header({"Adder", "ER", "ME", "MED", "MRED", "WCE", "Energy/op"});
+
+  const arith::QcsConfig config;  // the GMM QCS
+  for (unsigned k : config.level_approx_bits) {
+    add_adder_row(table, arith::GdaAdder(32, k));
+  }
+  add_adder_row(table, arith::GdaAdder(32, 0));  // accurate configuration
+  table.add_separator();
+  add_adder_row(table, arith::LowerOrAdder(32, 12));
+  add_adder_row(table, arith::EtaIAdder(32, 12));
+  add_adder_row(table, arith::EtaIIAdder(32, 8));
+  add_adder_row(table, arith::AcaAdder(32, 12));
+  add_adder_row(table, arith::GearAdder(32, 4, 8));
+  add_adder_row(table, arith::TruncatedAdder(32, 12));
+  add_adder_row(table, arith::QcsConfigurableAdder(32, 12));
+  std::cout << table << "\n";
+}
+
+void print_iteration_level_quality() {
+  util::Table table(
+      "Iteration-level quality error (Definition 1) per mode and "
+      "application");
+  table.set_header({"Application", "eps(l1)", "eps(l2)", "eps(l3)", "eps(l4)",
+                    "state-eps(l1)", "state-eps(l4)", "E = f(x0)-f(x1)"});
+
+  {
+    const auto ds = workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster);
+    arith::QcsAlu alu;
+    apps::GmmEm method(ds);
+    const core::ModeCharacterization c = core::characterize(method, alu);
+    table.add_row({"GMM (3cluster)",
+                   util::format_sig(c.quality_error[0], 3),
+                   util::format_sig(c.quality_error[1], 3),
+                   util::format_sig(c.quality_error[2], 3),
+                   util::format_sig(c.quality_error[3], 3),
+                   util::format_sig(c.state_error[0], 3),
+                   util::format_sig(c.state_error[3], 3),
+                   util::format_sig(c.initial_improvement, 3)});
+  }
+  {
+    const auto ds =
+        workloads::make_series_dataset(workloads::SeriesId::kHangSeng);
+    arith::QcsAlu alu(apps::ar_qcs_config());
+    apps::AutoRegression method(ds);
+    const core::ModeCharacterization c = core::characterize(method, alu);
+    table.add_row({"AR (HangSeng)",
+                   util::format_sig(c.quality_error[0], 3),
+                   util::format_sig(c.quality_error[1], 3),
+                   util::format_sig(c.quality_error[2], 3),
+                   util::format_sig(c.quality_error[3], 3),
+                   util::format_sig(c.state_error[0], 3),
+                   util::format_sig(c.state_error[3], 3),
+                   util::format_sig(c.initial_improvement, 3)});
+  }
+  std::cout << table;
+  std::printf(
+      "\nThe same hardware levels produce application-dependent quality "
+      "errors — the reason\nApproxIt characterizes at iteration level "
+      "instead of trusting ER/MED alone.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench_adder_characterization: Section 3.1 ===\n\n");
+  print_low_level_metrics();
+  print_iteration_level_quality();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: swap the QCS's adder family (the paper notes the framework "is
+// also applicable to other approximate component designs"). Each family
+// provides a 4-level bank over the same Q16.16 datapath; GMM 3cluster runs
+// under the incremental strategy.
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "apps/gmm.h"
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+#include "bench/common.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+using arith::AdderPtr;
+
+std::array<AdderPtr, arith::kNumModes> make_bank(const std::string& family) {
+  auto accurate = std::make_shared<arith::RippleCarryAdder>(32);
+  if (family == "gda") {
+    return {std::make_shared<arith::GdaAdder>(32, 13),
+            std::make_shared<arith::GdaAdder>(32, 11),
+            std::make_shared<arith::GdaAdder>(32, 9),
+            std::make_shared<arith::GdaAdder>(32, 7), accurate};
+  }
+  // Each family's accuracy ladder is part of the OFFLINE design: the
+  // parameters below were chosen (like the GDA defaults) so that level1 is
+  // aggressive but per-iteration damage stays within what the schemes can
+  // catch. ETA-I saturates (positive bias) and truncation drops both low
+  // addends (negative bias), so their ladders sit a few bits lower.
+  if (family == "loa") {
+    return {std::make_shared<arith::LowerOrAdder>(32, 13),
+            std::make_shared<arith::LowerOrAdder>(32, 11),
+            std::make_shared<arith::LowerOrAdder>(32, 9),
+            std::make_shared<arith::LowerOrAdder>(32, 7), accurate};
+  }
+  if (family == "etai") {
+    return {std::make_shared<arith::EtaIAdder>(32, 6),
+            std::make_shared<arith::EtaIAdder>(32, 4),
+            std::make_shared<arith::EtaIAdder>(32, 3),
+            std::make_shared<arith::EtaIAdder>(32, 2), accurate};
+  }
+  if (family == "trunc") {
+    return {std::make_shared<arith::TruncatedAdder>(32, 6),
+            std::make_shared<arith::TruncatedAdder>(32, 4),
+            std::make_shared<arith::TruncatedAdder>(32, 3),
+            std::make_shared<arith::TruncatedAdder>(32, 2), accurate};
+  }
+  if (family == "windowed") {
+    // The windowed design shares one physical structure across all
+    // configurations, so its accurate mode is the full-chain configuration
+    // of the SAME adder (not the plain ripple design).
+    return {std::make_shared<arith::QcsConfigurableAdder>(32, 16),
+            std::make_shared<arith::QcsConfigurableAdder>(32, 20),
+            std::make_shared<arith::QcsConfigurableAdder>(32, 24),
+            std::make_shared<arith::QcsConfigurableAdder>(32, 28),
+            std::make_shared<arith::QcsConfigurableAdder>(32, 32)};
+  }
+  throw std::invalid_argument("unknown family " + family);
+}
+
+int run() {
+  std::printf("=== bench_adder_family: QCS adder-family ablation ===\n\n");
+
+  const workloads::GmmDataset ds =
+      workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster);
+
+  util::Table table(
+      "Adder families under the incremental strategy (GMM, 3cluster)");
+  table.set_header({"Family", "Truth iters", "Strategy iters", "QEM",
+                    "Energy", "Converged"});
+  table.set_align(0, util::Align::kLeft);
+
+  for (const char* family : {"gda", "loa", "etai", "trunc", "windowed"}) {
+    arith::QcsAlu alu(arith::QFormat{32, 16}, make_bank(family));
+
+    apps::GmmEm char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::GmmEm truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+    const std::vector<int> truth_assign = truth_method.assignments();
+
+    apps::GmmEm method(ds);
+    core::IncrementalStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+
+    table.add_row(
+        {family, std::to_string(truth.iterations),
+         std::to_string(report.iterations),
+         std::to_string(
+             apps::hamming_distance(truth_assign, method.assignments())),
+         util::format_sig(bench::relative_energy(report, truth), 3),
+         report.converged ? "yes" : "MAX_ITER"});
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nThe framework is adder-family agnostic, but each family's accuracy "
+      "LADDER must be\ncalibrated offline: error STRUCTURE matters as much "
+      "as magnitude (ETA-I's saturation\nand truncation's negative bias "
+      "corrupt basin selection at parameter settings where\nthe bounded "
+      "GDA/LOA errors are still safe), so their ladders sit several bits "
+      "lower.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

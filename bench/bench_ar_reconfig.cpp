@@ -1,0 +1,85 @@
+// Regenerates Table 4(b): AutoRegression online reconfiguration results —
+// per-mode step counts, total iterations and final error (coefficient l2
+// distance vs. Truth) for the incremental and adaptive (f=1) strategies.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/autoregression.h"
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+
+void append_cells(std::vector<std::string>& cells,
+                  const core::RunReport& report, double qem) {
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    cells.push_back(std::to_string(report.steps(mode)));
+  }
+  cells.push_back(std::to_string(report.iterations));
+  cells.push_back(util::format_sig(qem, 3));
+}
+
+int run() {
+  std::printf("=== bench_ar_reconfig: Table 4(b) ===\n\n");
+
+  util::Table table("Table 4(b): AutoRegression Online Reconfiguration");
+  table.set_header({"Dataset", "I:l1", "I:l2", "I:l3", "I:l4", "I:acc",
+                    "I:Total", "I:Error", "A:l1", "A:l2", "A:l3", "A:l4",
+                    "A:acc", "A:Total", "A:Error"});
+
+  for (workloads::SeriesId id : workloads::all_series_datasets()) {
+    const workloads::TimeSeriesDataset ds = workloads::make_series_dataset(id);
+    arith::QcsAlu alu(apps::ar_qcs_config());
+
+    apps::AutoRegression char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::AutoRegression truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+    const std::vector<double> w_truth(truth_method.coefficients().begin(),
+                                      truth_method.coefficients().end());
+
+    std::vector<std::string> cells = {ds.name};
+    {
+      apps::AutoRegression method(ds);
+      core::IncrementalStrategy strategy;
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      append_cells(
+          cells, report,
+          apps::coefficient_l2_error(method.coefficients(), w_truth));
+      std::printf("  %-18s incremental: energy=%.3f of Truth\n",
+                  ds.name.c_str(), bench::relative_energy(report, truth));
+    }
+    {
+      apps::AutoRegression method(ds);
+      core::AdaptiveAngleStrategy strategy;  // f = 1
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      append_cells(
+          cells, report,
+          apps::coefficient_l2_error(method.coefficients(), w_truth));
+      std::printf("  %-18s adaptive(f=1): energy=%.3f of Truth\n",
+                  ds.name.c_str(), bench::relative_energy(report, truth));
+    }
+    table.add_row(cells);
+  }
+
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nColumns: I = Incremental, A = Adaptive (f=1); Error = l2 distance "
+      "between fitted\nand Truth coefficients (the AR QEM).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,94 @@
+// Regenerates Table 4(a): AutoRegression single-mode results — iterations,
+// QEM (l2 distance between fitted and Truth coefficients) and normalized
+// power/energy per accuracy level, on the three index-series surrogates.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "apps/autoregression.h"
+#include "bench/common.h"
+#include "core/characterization.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+using arith::ApproxMode;
+
+struct Row {
+  std::string iterations;
+  double qem = 0.0;
+  double power = 0.0;
+};
+
+int run() {
+  std::printf("=== bench_ar_single: Table 4(a) ===\n\n");
+
+  util::Table table("Table 4(a): AutoRegression Single Mode Results");
+  std::vector<std::string> header = {"Configurations"};
+  for (workloads::SeriesId id : workloads::all_series_datasets()) {
+    const auto name = workloads::make_series_dataset(id).name;
+    header.push_back(name + " Iter");
+    header.push_back(name + " QEM");
+    header.push_back(name + " Power");
+  }
+  table.set_header(header);
+
+  std::map<ApproxMode, std::vector<Row>> rows;
+  std::vector<std::string> truth_cells = {"Truth"};
+
+  for (workloads::SeriesId id : workloads::all_series_datasets()) {
+    const workloads::TimeSeriesDataset ds = workloads::make_series_dataset(id);
+    arith::QcsAlu alu(apps::ar_qcs_config());
+
+    apps::AutoRegression char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::AutoRegression truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+    const std::vector<double> w_truth(truth_method.coefficients().begin(),
+                                      truth_method.coefficients().end());
+    truth_cells.push_back(bench::iteration_cell(truth));
+    truth_cells.push_back("0");
+    truth_cells.push_back("1");
+
+    for (ApproxMode mode : {ApproxMode::kLevel1, ApproxMode::kLevel2,
+                            ApproxMode::kLevel3, ApproxMode::kLevel4}) {
+      apps::AutoRegression method(ds);
+      core::StaticStrategy strategy(mode);
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      Row row;
+      row.iterations = bench::iteration_cell(report);
+      row.qem = apps::coefficient_l2_error(method.coefficients(), w_truth);
+      row.power = bench::relative_energy(report, truth);
+      rows[mode].push_back(row);
+      std::printf("  %-18s %-7s iters=%-9s QEM=%-10s power=%s\n",
+                  ds.name.c_str(), arith::mode_name(mode).data(),
+                  row.iterations.c_str(), util::format_sig(row.qem, 4).c_str(),
+                  util::format_sig(row.power, 3).c_str());
+    }
+  }
+
+  for (ApproxMode mode : {ApproxMode::kLevel1, ApproxMode::kLevel2,
+                          ApproxMode::kLevel3, ApproxMode::kLevel4}) {
+    std::vector<std::string> cells = {std::string(arith::mode_name(mode))};
+    for (const Row& row : rows[mode]) {
+      cells.push_back(row.iterations);
+      cells.push_back(util::format_sig(row.qem, 4));
+      cells.push_back(util::format_sig(row.power, 3));
+    }
+    table.add_row(cells);
+  }
+  table.add_row(truth_cells);
+
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

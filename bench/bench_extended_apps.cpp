@@ -1,0 +1,166 @@
+// Extension bench: the framework on two further RMS-class applications —
+// PageRank (graph mining by power iteration) and logistic-regression
+// training (classification by gradient descent). Shows that the quality
+// guarantee and savings transfer beyond the paper's two benchmarks.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/pagerank.h"
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "opt/gradient_descent.h"
+#include "opt/logistic.h"
+#include "util/table.h"
+#include "workloads/graphs.h"
+
+namespace {
+
+using namespace approxit;
+
+void pagerank_section(util::Table& table) {
+  const workloads::WebGraph graph = workloads::make_web_graph(3000, 5, 2014);
+  arith::QcsAlu alu(apps::pagerank_qcs_config());
+
+  apps::PageRank char_method(graph);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_method, alu);
+
+  apps::PageRank truth_method(graph);
+  const core::RunReport truth =
+      bench::run_truth(truth_method, alu, characterization);
+  const std::vector<double> truth_ranks(truth_method.ranks().begin(),
+                                        truth_method.ranks().end());
+  const auto truth_top = truth_method.top_pages(20);
+
+  auto add_row = [&](const char* label, apps::PageRank& method,
+                     const core::RunReport& report) {
+    table.add_row(
+        {std::string("pagerank / ") + label, bench::iteration_cell(report),
+         util::format_sig(apps::rank_l1_distance(truth_ranks, method.ranks()),
+                          3),
+         std::to_string(apps::top_k_overlap(truth_top,
+                                            method.top_pages(20))) + "/20",
+         util::format_sig(bench::relative_energy(report, truth), 3)});
+  };
+
+  {
+    apps::PageRank method(graph);
+    core::StaticStrategy strategy(arith::ApproxMode::kLevel1);
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    add_row("level1", method, report);
+  }
+  {
+    apps::PageRank method(graph);
+    core::IncrementalStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    add_row("incremental", method, report);
+  }
+  {
+    apps::PageRank method(graph);
+    core::AdaptiveAngleStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    add_row("adaptive", method, report);
+  }
+}
+
+void logistic_section(util::Table& table) {
+  const workloads::ClassificationDataset ds =
+      workloads::make_classification(4000, 8, 3.0, 77, 0.05);
+  la::Matrix x(ds.size(), ds.dim);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t d = 0; d < ds.dim; ++d) {
+      x(i, d) = ds.features[i * ds.dim + d];
+    }
+  }
+  opt::LogisticProblem problem(std::move(x), ds.labels, 1e-3);
+  const opt::GdConfig config{.step_size = 1.0,
+                             .momentum = 0.0,
+                             .max_iter = 3000,
+                             .tolerance = 1e-12};
+  // Gradient terms are O(1e-4): a deep-fraction datapath with a matched
+  // ladder (offline Q-format selection, as for the AR application).
+  arith::QcsConfig qcs;
+  qcs.format = arith::QFormat{32, 24};
+  qcs.level_approx_bits = {9, 7, 5, 3};
+  arith::QcsAlu alu(qcs);
+
+  opt::GradientDescentSolver char_solver(
+      problem, std::vector<double>(problem.dimension(), 0.0), config);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_solver, alu);
+
+  opt::GradientDescentSolver truth_solver(
+      problem, std::vector<double>(problem.dimension(), 0.0), config);
+  const core::RunReport truth =
+      bench::run_truth(truth_solver, alu, characterization);
+  const double truth_accuracy = problem.accuracy(truth_solver.x());
+
+  auto add_row = [&](const char* label,
+                     const opt::GradientDescentSolver& solver,
+                     const core::RunReport& report) {
+    const double accuracy = problem.accuracy(solver.x());
+    table.add_row(
+        {std::string("logistic / ") + label, bench::iteration_cell(report),
+         util::format_sig(std::abs(accuracy - truth_accuracy), 3),
+         util::format_percent(accuracy, 1),
+         util::format_sig(bench::relative_energy(report, truth), 3)});
+  };
+
+  {
+    opt::GradientDescentSolver solver(
+        problem, std::vector<double>(problem.dimension(), 0.0), config);
+    core::StaticStrategy strategy(arith::ApproxMode::kLevel1);
+    const core::RunReport report =
+        bench::run_once(solver, strategy, alu, characterization);
+    add_row("level1", solver, report);
+  }
+  {
+    opt::GradientDescentSolver solver(
+        problem, std::vector<double>(problem.dimension(), 0.0), config);
+    core::IncrementalStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(solver, strategy, alu, characterization);
+    add_row("incremental", solver, report);
+  }
+  {
+    opt::GradientDescentSolver solver(
+        problem, std::vector<double>(problem.dimension(), 0.0), config);
+    core::AdaptiveAngleStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(solver, strategy, alu, characterization);
+    add_row("adaptive", solver, report);
+  }
+}
+
+int run() {
+  std::printf("=== bench_extended_apps: PageRank + logistic regression ===\n\n");
+  util::Table table("Framework generality: further RMS applications");
+  table.set_header({"App / run", "Iterations", "QEM", "Quality detail",
+                    "Energy vs Truth"});
+  table.set_align(0, util::Align::kLeft);
+  pagerank_section(table);
+  table.add_separator();
+  logistic_section(table);
+  std::cout << table;
+  std::printf(
+      "\nPageRank QEM = rank-vector L1 distance vs Truth (quality detail: "
+      "top-20 overlap);\nlogistic QEM = |accuracy - Truth accuracy| "
+      "(quality detail: absolute accuracy).\n\nNote the PageRank rows: the "
+      "quality guarantee transfers (full top-20 agreement,\nnegligible rank "
+      "distance) but energy is NOT saved — power iteration contracts at a\n"
+      "fixed linear rate, so iterations spent at a mode's error floor make "
+      "no progress and\nthe accurate tail must still run its full length. "
+      "Approximation pays on methods whose\nearly iterations do "
+      "transferable work (EM, least squares), not on pure linear-rate\n"
+      "fixed-point iterations driven to tight tolerances.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,79 @@
+// Regenerates Table 3(b): GMM online reconfiguration results — per-mode
+// step counts, total iterations and final error (Hamming distance vs.
+// Truth) for the incremental and the adaptive (f=1) strategies.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+
+void append_cells(std::vector<std::string>& cells,
+                  const core::RunReport& report, std::size_t qem) {
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    cells.push_back(std::to_string(report.steps(mode)));
+  }
+  cells.push_back(std::to_string(report.iterations));
+  cells.push_back(std::to_string(qem));
+}
+
+int run() {
+  std::printf("=== bench_gmm_reconfig: Table 3(b) ===\n\n");
+
+  util::Table table("Table 3(b): GMM Online Reconfiguration Results");
+  table.set_header({"Dataset", "I:l1", "I:l2", "I:l3", "I:l4", "I:acc",
+                    "I:Total", "I:Error", "A:l1", "A:l2", "A:l3", "A:l4",
+                    "A:acc", "A:Total", "A:Error"});
+
+  for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
+    const workloads::GmmDataset ds = workloads::make_gmm_dataset(id);
+    arith::QcsAlu alu;
+
+    apps::GmmEm char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::GmmEm truth_method(ds);
+    (void)bench::run_truth(truth_method, alu, characterization);
+    const std::vector<int> truth_assign = truth_method.assignments();
+
+    std::vector<std::string> cells = {ds.name};
+
+    {
+      apps::GmmEm method(ds);
+      core::IncrementalStrategy strategy;
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      append_cells(cells, report,
+                   apps::hamming_distance(truth_assign, method.assignments()));
+    }
+    {
+      apps::GmmEm method(ds);
+      core::AdaptiveAngleStrategy strategy;  // f = 1
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      append_cells(cells, report,
+                   apps::hamming_distance(truth_assign, method.assignments()));
+    }
+    table.add_row(cells);
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nColumns: I = Incremental Reconfiguration, A = Adaptive "
+      "Reconfiguration (f=1);\nl1..l4/acc = steps executed per accuracy "
+      "level; Error = Hamming distance vs Truth.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

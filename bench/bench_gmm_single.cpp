@@ -1,0 +1,138 @@
+// Regenerates Table 3(a): GMM single-mode results — iterations, QEM
+// (Hamming distance vs. Truth) and normalized energy per accuracy level —
+// and Figure 3: the clustering visualization on 3cluster, emitted both as a
+// per-level cluster summary and as CSV scatter dumps
+// (gmm_fig3_<config>.csv) for plotting.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/characterization.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+using arith::ApproxMode;
+
+struct SingleModeRow {
+  std::string iterations;
+  std::size_t qem = 0;
+  double energy = 0.0;
+};
+
+void dump_figure3_csv(const workloads::GmmDataset& ds,
+                      const std::vector<int>& assignments,
+                      const std::string& config) {
+  const std::string path = "gmm_fig3_" + config + ".csv";
+  util::CsvWriter csv(path);
+  csv.write_row({"x", "y", "cluster"});
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    csv.write_row({std::to_string(ds.points[i * ds.dim]),
+                   std::to_string(ds.points[i * ds.dim + 1]),
+                   std::to_string(assignments[i])});
+  }
+  std::printf("  [fig3] wrote %s (%zu points)\n", path.c_str(), ds.size());
+}
+
+void cluster_summary(const workloads::GmmDataset& ds, const apps::GmmEm& m,
+                     const std::vector<int>& assignments,
+                     const std::string& config) {
+  std::map<int, std::size_t> counts;
+  for (int a : assignments) ++counts[a];
+  std::size_t populated = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > ds.size() / 100) ++populated;
+  }
+  std::printf("  [fig3] %s: %zu visible clusters (", config.c_str(),
+              populated);
+  bool first = true;
+  for (const auto& [label, count] : counts) {
+    std::printf("%s%d:%zu", first ? "" : ", ", label, count);
+    first = false;
+  }
+  std::printf(")\n");
+  (void)m;
+}
+
+int run() {
+  std::printf("=== bench_gmm_single: Table 3(a) + Figure 3 ===\n\n");
+
+  util::Table table("Table 3(a): GMM Single Mode Results");
+  std::vector<std::string> header = {"Configurations"};
+  for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
+    const auto name = workloads::make_gmm_dataset(id).name;
+    header.push_back(name + " Iter");
+    header.push_back(name + " QEM");
+    header.push_back(name + " Energy");
+  }
+  table.set_header(header);
+
+  std::map<ApproxMode, std::vector<SingleModeRow>> rows;
+  std::vector<std::string> truth_cells = {"Truth"};
+
+  for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
+    const workloads::GmmDataset ds = workloads::make_gmm_dataset(id);
+    arith::QcsAlu alu;
+
+    apps::GmmEm char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::GmmEm truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+    const std::vector<int> truth_assign = truth_method.assignments();
+    truth_cells.push_back(bench::iteration_cell(truth));
+    truth_cells.push_back("0");
+    truth_cells.push_back("1");
+
+    const bool is_3cluster = id == workloads::GmmDatasetId::k3cluster;
+    if (is_3cluster) {
+      dump_figure3_csv(ds, truth_assign, "truth");
+    }
+
+    for (ApproxMode mode : {ApproxMode::kLevel1, ApproxMode::kLevel2,
+                            ApproxMode::kLevel3, ApproxMode::kLevel4}) {
+      apps::GmmEm method(ds);
+      core::StaticStrategy strategy(mode);
+      const core::RunReport report =
+          bench::run_once(method, strategy, alu, characterization);
+      SingleModeRow row;
+      row.iterations = bench::iteration_cell(report);
+      row.qem = apps::hamming_distance(truth_assign, method.assignments());
+      row.energy = bench::relative_energy(report, truth);
+      rows[mode].push_back(row);
+
+      if (is_3cluster) {
+        dump_figure3_csv(ds, method.assignments(),
+                         std::string(arith::mode_name(mode)));
+        cluster_summary(ds, method, method.assignments(),
+                        std::string(arith::mode_name(mode)));
+      }
+    }
+  }
+
+  for (ApproxMode mode : {ApproxMode::kLevel1, ApproxMode::kLevel2,
+                          ApproxMode::kLevel3, ApproxMode::kLevel4}) {
+    std::vector<std::string> cells = {std::string(arith::mode_name(mode))};
+    for (const SingleModeRow& row : rows[mode]) {
+      cells.push_back(row.iterations);
+      cells.push_back(std::to_string(row.qem));
+      cells.push_back(util::format_sig(row.energy, 3));
+    }
+    table.add_row(cells);
+  }
+  table.add_row(truth_cells);
+
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark): throughput of the bit-accurate adder
+// models, the fixed-point layer and the QCS ALU — the simulation substrate
+// everything else pays for.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arith/alu.h"
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+#include "arith/fixed_point.h"
+#include "arith/multipliers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace approxit;
+using arith::Word;
+
+std::vector<std::pair<Word, Word>> operand_pairs(unsigned width,
+                                                 std::size_t n) {
+  util::Rng rng(0xBE7C4);
+  std::vector<std::pair<Word, Word>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.next_u64() & arith::word_mask(width),
+                     rng.next_u64() & arith::word_mask(width));
+  }
+  return out;
+}
+
+template <typename AdderT, typename... Args>
+void bench_adder(benchmark::State& state, Args... args) {
+  const AdderT adder(args...);
+  const auto pairs = operand_pairs(adder.width(), 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(adder.add(a, b, false));
+  }
+}
+
+void BM_RippleCarry32(benchmark::State& state) {
+  bench_adder<arith::RippleCarryAdder>(state, 32u);
+}
+void BM_KoggeStone32(benchmark::State& state) {
+  bench_adder<arith::KoggeStoneAdder>(state, 32u);
+}
+void BM_Gda32(benchmark::State& state) {
+  bench_adder<arith::GdaAdder>(state, 32u, 13u);
+}
+void BM_EtaII32(benchmark::State& state) {
+  bench_adder<arith::EtaIIAdder>(state, 32u, 8u);
+}
+void BM_Aca32(benchmark::State& state) {
+  bench_adder<arith::AcaAdder>(state, 32u, 12u);
+}
+void BM_Gda48(benchmark::State& state) {
+  bench_adder<arith::GdaAdder>(state, 48u, 22u);
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const arith::QFormat format{32, 16};
+  util::Rng rng(5);
+  std::vector<double> values(1024);
+  for (double& v : values) v = rng.uniform(-30000.0, 30000.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arith::quantize(values[i++ & 1023], format));
+  }
+}
+
+void BM_AluAdd(benchmark::State& state) {
+  arith::QcsAlu alu;
+  alu.set_mode(arith::mode_from_index(static_cast<std::size_t>(state.range(0))));
+  util::Rng rng(6);
+  std::vector<double> values(1024);
+  for (double& v : values) v = rng.uniform(-10000.0, 10000.0);
+  std::size_t i = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc = alu.add(acc, values[i++ & 1023]);
+    if (acc > 20000.0 || acc < -20000.0) acc = 0.0;  // avoid saturation
+  }
+  benchmark::DoNotOptimize(acc);
+}
+
+void BM_ArrayMultiplier16(benchmark::State& state) {
+  const arith::ArrayMultiplier mul(
+      16, std::make_shared<arith::RippleCarryAdder>(32));
+  const auto pairs = operand_pairs(16, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(mul.multiply(a, b));
+  }
+}
+
+BENCHMARK(BM_RippleCarry32);
+BENCHMARK(BM_KoggeStone32);
+BENCHMARK(BM_Gda32);
+BENCHMARK(BM_EtaII32);
+BENCHMARK(BM_Aca32);
+BENCHMARK(BM_Gda48);
+BENCHMARK(BM_Quantize);
+BENCHMARK(BM_AluAdd)->DenseRange(0, 4)->ArgName("mode");
+BENCHMARK(BM_ArrayMultiplier16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Headroom bench: the oracle lower bound (cheapest admissible mode per
+// iteration of the accurate trajectory, with free lookahead) against the
+// causal strategies on the GMM workloads. The gap oracle <-> strategy is
+// the price of causality; the gap strategy <-> Truth is the realized
+// saving.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/oracle.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+
+int run() {
+  std::printf("=== bench_oracle: savings headroom (GMM) ===\n\n");
+
+  util::Table table("Energy vs Truth: oracle bound and causal strategies");
+  table.set_header({"Dataset", "Oracle", "Incremental", "Adaptive",
+                    "Oracle mode split l1..l4/acc"});
+
+  for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
+    const workloads::GmmDataset ds = workloads::make_gmm_dataset(id);
+    arith::QcsAlu alu;
+
+    apps::GmmEm char_method(ds);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+
+    apps::GmmEm truth_method(ds);
+    const core::RunReport truth =
+        bench::run_truth(truth_method, alu, characterization);
+
+    apps::GmmEm oracle_method(ds);
+    const core::RunReport oracle = core::run_oracle(oracle_method, alu);
+
+    apps::GmmEm incr_method(ds);
+    core::IncrementalStrategy incr_strategy;
+    const core::RunReport incr =
+        bench::run_once(incr_method, incr_strategy, alu, characterization);
+
+    apps::GmmEm adapt_method(ds);
+    core::AdaptiveAngleStrategy adapt_strategy;
+    const core::RunReport adapt =
+        bench::run_once(adapt_method, adapt_strategy, alu, characterization);
+
+    std::string split;
+    for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+      if (i > 0) split += "/";
+      split += std::to_string(oracle.steps_per_mode[i]);
+    }
+    table.add_row({ds.name,
+                   util::format_sig(bench::relative_energy(oracle, truth), 3),
+                   util::format_sig(bench::relative_energy(incr, truth), 3),
+                   util::format_sig(bench::relative_energy(adapt, truth), 3),
+                   split});
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nThe oracle advances along the exact trajectory and accounts each "
+      "iteration at the\ncheapest mode satisfying the update-error "
+      "criterion: the mode-selection headroom at\nzero per-iteration "
+      "deviation. A causal strategy can still undercut it in TOTAL energy\n"
+      "by converging in fewer iterations on its own approximate trajectory "
+      "(4cluster's\nincremental row) — the two effects compose.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

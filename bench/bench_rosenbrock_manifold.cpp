@@ -1,0 +1,101 @@
+// Regenerates the Figure 2 motivation: on a non-convex parameter manifold
+// (Rosenbrock valley) the error-tolerance of the application is NOT
+// monotonically decreasing — the iterate leaves steep walls, crosses the
+// flat valley floor, and the one-directional incremental strategy cannot
+// re-cheapen, while the angle-based adaptive strategy can.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace approxit;
+
+int run() {
+  std::printf("=== bench_rosenbrock_manifold: Figure 2 motivation ===\n\n");
+
+  opt::RosenbrockProblem problem(2);
+  const std::vector<double> x0 = {-1.2, 1.0};
+  const opt::GdConfig config{.step_size = 1.5e-3,
+                             .momentum = 0.0,
+                             .max_iter = 20000,
+                             .tolerance = 1e-13};
+  arith::QcsAlu alu;
+
+  opt::GradientDescentSolver char_solver(problem, x0, config);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_solver, alu);
+
+  opt::GradientDescentSolver truth_solver(problem, x0, config);
+  const core::RunReport truth =
+      bench::run_truth(truth_solver, alu, characterization);
+
+  util::Table table("Rosenbrock valley under ApproxIt strategies");
+  table.set_header({"Strategy", "Iterations", "Final f", "Reconfigs",
+                    "Downgrades", "Cheap-mode steps", "Energy vs Truth"});
+  table.set_align(0, util::Align::kLeft);
+  table.add_row({"Truth", bench::iteration_cell(truth),
+                 util::format_sig(truth.final_objective, 3), "0", "0", "0",
+                 "1"});
+
+  // Downgrades = reconfigurations toward LOWER accuracy; only the adaptive
+  // strategy can produce them.
+  const auto count_downgrades = [](const core::RunReport& report) {
+    std::size_t downs = 0;
+    for (std::size_t i = 1; i < report.trace.size(); ++i) {
+      if (arith::mode_index(report.trace[i].mode) <
+          arith::mode_index(report.trace[i - 1].mode)) {
+        ++downs;
+      }
+    }
+    return downs;
+  };
+
+  {
+    opt::GradientDescentSolver solver(problem, x0, config);
+    core::IncrementalStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(solver, strategy, alu, characterization);
+    table.add_row(
+        {"incremental", bench::iteration_cell(report),
+         util::format_sig(report.final_objective, 3),
+         std::to_string(report.reconfigurations),
+         std::to_string(count_downgrades(report)),
+         std::to_string(report.steps(arith::ApproxMode::kLevel1) +
+                        report.steps(arith::ApproxMode::kLevel2)),
+         util::format_sig(bench::relative_energy(report, truth), 3)});
+  }
+  {
+    opt::GradientDescentSolver solver(problem, x0, config);
+    core::AdaptiveAngleStrategy strategy;
+    const core::RunReport report =
+        bench::run_once(solver, strategy, alu, characterization);
+    table.add_row(
+        {"adaptive(f=1)", bench::iteration_cell(report),
+         util::format_sig(report.final_objective, 3),
+         std::to_string(report.reconfigurations),
+         std::to_string(count_downgrades(report)),
+         std::to_string(report.steps(arith::ApproxMode::kLevel1) +
+                        report.steps(arith::ApproxMode::kLevel2)),
+         util::format_sig(bench::relative_energy(report, truth), 3)});
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nOn a non-convex manifold the adaptive strategy keeps reselecting "
+      "cheap modes whenever\nthe local steepness allows it (reconfigs in "
+      "BOTH directions); the incremental strategy\nratchets to high "
+      "accuracy after the first flat stretch and stays there.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

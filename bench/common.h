@@ -1,0 +1,51 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Each binary regenerates one table or figure of the paper; these helpers
+// cover the common pipeline: characterize once per workload, run Truth,
+// then run single-mode configurations and reconfiguration strategies
+// against the same characterization.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "arith/alu.h"
+#include "core/characterization.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "opt/iterative_method.h"
+#include "util/table.h"
+
+namespace approxit::bench {
+
+/// Runs one session with a shared characterization.
+inline core::RunReport run_once(opt::IterativeMethod& method,
+                                core::Strategy& strategy, arith::QcsAlu& alu,
+                                const core::ModeCharacterization& c) {
+  core::ApproxItSession session(method, strategy, alu);
+  session.set_characterization(c);
+  return session.run();
+}
+
+/// Truth = fully accurate static run.
+inline core::RunReport run_truth(opt::IterativeMethod& method,
+                                 arith::QcsAlu& alu,
+                                 const core::ModeCharacterization& c) {
+  core::StaticStrategy strategy(arith::ApproxMode::kAccurate);
+  return run_once(method, strategy, alu, c);
+}
+
+/// Iteration cell: the paper prints "MAX_ITER" for non-converged runs.
+inline std::string iteration_cell(const core::RunReport& report) {
+  return report.converged ? std::to_string(report.iterations) : "MAX_ITER";
+}
+
+/// Normalized energy against the Truth run of the same workload.
+inline double relative_energy(const core::RunReport& report,
+                              const core::RunReport& truth) {
+  return truth.total_energy > 0.0 ? report.total_energy / truth.total_energy
+                                  : 0.0;
+}
+
+}  // namespace approxit::bench

@@ -1,0 +1,124 @@
+// Custom-solver example: plugging a user-defined iterative method into
+// ApproxIt. The method here is Jacobi iteration on a 1-D Poisson system
+// (the classic finite-difference substrate the paper's introduction
+// motivates) — the library's StationarySolver does the heavy lifting; the
+// point is that ANY IterativeMethod works with any Strategy.
+//
+//   build/examples/custom_solver --size=64 --omega=1.0
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "arith/alu.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "la/vector_ops.h"
+#include "opt/linear_stationary.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace approxit;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Poisson solve (Jacobi/SOR) under ApproxIt");
+  cli.add_flag("size", "64", "grid points");
+  cli.add_flag("omega", "1.0", "SOR relaxation (1.0 = Gauss-Seidel)");
+  cli.add_flag("tol", "1e-6", "residual tolerance");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("size"));
+
+  // -u'' = f on (0,1), u(0)=u(1)=0, discretized and scaled by h^2 so the
+  // datapath sees O(1) values: tridiag(-1, 2, -1) u = h^2 f.
+  const double h = 1.0 / static_cast<double>(n + 1);
+  la::Matrix a(n, n, 0.0);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+    if (i + 1 < n) a(i, i + 1) = -1.0;
+    const double x = static_cast<double>(i + 1) * h;
+    b[i] = h * h * std::sin(std::numbers::pi * x) * std::numbers::pi *
+           std::numbers::pi;
+  }
+
+  opt::StationaryConfig config;
+  config.scheme = cli.get_double("omega") == 1.0
+                      ? opt::StationaryScheme::kGaussSeidel
+                      : opt::StationaryScheme::kSor;
+  config.relaxation = cli.get_double("omega");
+  config.tolerance = cli.get_double("tol");
+  config.max_iter = 20000;
+
+  // O(1) values, but convergence demands fine granularity: a deep-fraction
+  // datapath with a correspondingly lowered approximate-bits ladder
+  // (matching the Q format to the kernel is part of offline design).
+  arith::QcsConfig qcs;
+  qcs.format = arith::QFormat{48, 36};
+  qcs.level_approx_bits = {26, 23, 20, 17};
+  arith::QcsAlu alu(qcs);
+
+  opt::StationarySolver char_solver(a, b, std::vector<double>(n, 0.0), config);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_solver, alu);
+
+  util::Table table("1-D Poisson relaxation under ApproxIt");
+  table.set_header({"Run", "Iterations", "Residual", "Max error vs sin(pi x)",
+                    "Energy vs Truth"});
+  table.set_align(0, util::Align::kLeft);
+
+  auto max_error = [&](const opt::StationarySolver& solver) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i + 1) * h;
+      worst = std::max(worst,
+                       std::abs(solver.x()[i] - std::sin(std::numbers::pi * x)));
+    }
+    return worst;
+  };
+
+  opt::StationarySolver truth_solver(a, b, std::vector<double>(n, 0.0),
+                                     config);
+  core::StaticStrategy truth_strategy(arith::ApproxMode::kAccurate);
+  core::ApproxItSession truth_session(truth_solver, truth_strategy, alu);
+  truth_session.set_characterization(characterization);
+  const core::RunReport truth = truth_session.run();
+  table.add_row({"Truth", std::to_string(truth.iterations),
+                 util::format_sig(truth_solver.residual_norm(), 3),
+                 util::format_sig(max_error(truth_solver), 3), "1"});
+
+  opt::StationarySolver incr_solver(a, b, std::vector<double>(n, 0.0),
+                                    config);
+  core::IncrementalStrategy incremental;
+  core::ApproxItSession incr_session(incr_solver, incremental, alu);
+  incr_session.set_characterization(characterization);
+  const core::RunReport incr = incr_session.run();
+  table.add_row({"incremental", std::to_string(incr.iterations),
+                 util::format_sig(incr_solver.residual_norm(), 3),
+                 util::format_sig(max_error(incr_solver), 3),
+                 util::format_sig(incr.total_energy / truth.total_energy,
+                                  3)});
+
+  opt::StationarySolver adapt_solver(a, b, std::vector<double>(n, 0.0),
+                                     config);
+  core::AdaptiveAngleStrategy adaptive;
+  core::ApproxItSession adapt_session(adapt_solver, adaptive, alu);
+  adapt_session.set_characterization(characterization);
+  const core::RunReport adapt = adapt_session.run();
+  table.add_row({"adaptive(f=1)", std::to_string(adapt.iterations),
+                 util::format_sig(adapt_solver.residual_norm(), 3),
+                 util::format_sig(max_error(adapt_solver), 3),
+                 util::format_sig(adapt.total_energy / truth.total_energy,
+                                  3)});
+
+  std::cout << table;
+  std::printf(
+      "\nBoth strategies drive the discretized Poisson solve to the same "
+      "solution as the\naccurate run; the discretization error vs sin(pi x) "
+      "is O(h^2) and identical across runs.\n");
+  return 0;
+}

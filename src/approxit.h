@@ -1,0 +1,80 @@
+// Umbrella header: the ApproxIt public API in one include.
+//
+//   #include "approxit.h"
+//
+// Layering (each header is independently includable):
+//
+//   util/       deterministic RNG, stats, tables, CSV, CLI, logging
+//   arith/      the quality-configurable hardware substrate:
+//                 - mode.h            the five approximation modes
+//                 - adder.h + exact_adders.h + approx_adders.h
+//                                     bit-accurate adder models
+//                 - multipliers.h     adder-composed multiplier models
+//                 - fixed_point.h     Q-format quantization layer
+//                 - context.h         ArithContext seam (exact | approximate)
+//                 - alu.h             QcsAlu: mode-switchable datapath
+//                 - error_metrics.h   ER/ME/MED/MRED/WCE characterization
+//                 - wce_analysis.h    analytic worst-case error bounds
+//                 - energy.h          structural + toggle energy models
+//   la/         dense linear algebra (exact + context-routed kernels)
+//   opt/        IterativeMethod interface, problems and solvers
+//   core/       ApproxIt itself: characterization, strategies, session,
+//               guarantees, oracle, sweep/Pareto analysis, report export
+//   workloads/  seeded synthetic datasets, graphs, series, classification
+//   apps/       GMM-EM, AutoRegression, K-means, PageRank
+//
+// Minimal usage:
+//
+//   arith::QcsAlu alu;                        // 4 approx levels + accurate
+//   MyMethod method(...);                     // an opt::IterativeMethod
+//   core::IncrementalStrategy strategy;       // or AdaptiveAngleStrategy
+//   core::ApproxItSession session(method, strategy, alu);
+//   core::RunReport report = session.run();   // characterize + reconfigure
+#pragma once
+
+#include "arith/alu.h"
+#include "arith/approx_adders.h"
+#include "arith/context.h"
+#include "arith/energy.h"
+#include "arith/error_metrics.h"
+#include "arith/exact_adders.h"
+#include "arith/fixed_point.h"
+#include "arith/mode.h"
+#include "arith/multipliers.h"
+#include "arith/wce_analysis.h"
+
+#include "la/decomp.h"
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+
+#include "opt/conjugate_gradient.h"
+#include "opt/gradient_descent.h"
+#include "opt/iterative_method.h"
+#include "opt/line_search.h"
+#include "opt/linear_stationary.h"
+#include "opt/logistic.h"
+#include "opt/newton.h"
+#include "opt/nonlinear_cg.h"
+#include "opt/problem.h"
+
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/guarantees.h"
+#include "core/incremental_strategy.h"
+#include "core/mode_mix.h"
+#include "core/oracle.h"
+#include "core/pareto.h"
+#include "core/pid_strategy.h"
+#include "core/quality.h"
+#include "core/report_io.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "core/sweep.h"
+
+#include "workloads/datasets.h"
+#include "workloads/graphs.h"
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"

@@ -1,0 +1,213 @@
+#include "apps/autoregression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::apps {
+
+arith::QcsConfig ar_qcs_config() {
+  arith::QcsConfig config;
+  config.format = arith::QFormat{48, 32};
+  config.level_approx_bits = {26, 22, 19, 16};
+  return config;
+}
+
+AutoRegression::AutoRegression(const workloads::TimeSeriesDataset& dataset,
+                               ArOptions options)
+    : max_iter_(options.max_iter > 0 ? options.max_iter : dataset.max_iter),
+      tolerance_(options.tolerance > 0.0 ? options.tolerance
+                                         : dataset.convergence_tol),
+      resilient_fraction_(options.resilient_fraction) {
+  const std::size_t p = options.order > 0 ? options.order : dataset.ar_order;
+  if (dataset.values.size() <= p + 1) {
+    throw std::invalid_argument("AutoRegression: series shorter than order");
+  }
+  if (resilient_fraction_ < 0.0 || resilient_fraction_ > 1.0) {
+    throw std::invalid_argument(
+        "AutoRegression: resilient_fraction must be in [0, 1]");
+  }
+
+  // Log-returns, then z-normalization: the standard stationarizing
+  // preprocessing for index-level series ("for scaled data", Section 3.2).
+  const std::size_t len = dataset.values.size() - 1;
+  std::vector<double> returns(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    returns[i] = std::log(dataset.values[i + 1] / dataset.values[i]);
+  }
+  double mean = 0.0;
+  for (double v : returns) mean += v;
+  mean /= static_cast<double>(len);
+  double var = 0.0;
+  for (double v : returns) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(len);
+  const double stddev = var > 0.0 ? std::sqrt(var) : 1.0;
+
+  std::vector<double> z(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    z[i] = (returns[i] - mean) / stddev;
+  }
+
+  const std::size_t m = len - p;
+  design_ = la::Matrix(m, p, 0.0);
+  targets_.resize(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    for (std::size_t j = 0; j < p; ++j) {
+      design_(t, j) = z[t + p - 1 - j];  // lag j+1
+    }
+    targets_[t] = z[t + p];
+  }
+
+  // Auto step size 1/L with L = lambda_max(X^T X / m) by power iteration.
+  if (options.step_size > 0.0) {
+    step_ = options.step_size;
+  } else {
+    std::vector<double> v(p, 1.0 / std::sqrt(static_cast<double>(p)));
+    double lambda = 1.0;
+    for (int it = 0; it < 60; ++it) {
+      const std::vector<double> xv = design_.matvec(v);
+      std::vector<double> xtxv = design_.matvec_transposed(xv);
+      for (double& e : xtxv) e /= static_cast<double>(m);
+      lambda = la::norm2(xtxv);
+      if (lambda <= 0.0) break;
+      for (std::size_t i = 0; i < p; ++i) xtxv[i] /= lambda;
+      v = std::move(xtxv);
+    }
+    step_ = lambda > 0.0 ? 1.0 / lambda : 1.0;
+  }
+
+  coefficients_.assign(p, 0.0);
+  reset();
+}
+
+void AutoRegression::reset() {
+  std::fill(coefficients_.begin(), coefficients_.end(), 0.0);
+  current_objective_ = objective_at(coefficients_);
+  iteration_ = 0;
+}
+
+double AutoRegression::objective_at(std::span<const double> w) const {
+  const std::vector<double> pred = design_.matvec(w);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred[i] - targets_[i];
+    s += r * r;
+  }
+  return 0.5 * s / static_cast<double>(targets_.size());
+}
+
+double AutoRegression::mean_squared_error() const {
+  return 2.0 * current_objective_;
+}
+
+std::vector<double> AutoRegression::exact_gradient(
+    std::span<const double> w) const {
+  const std::size_t m = targets_.size();
+  const std::size_t p = coefficients_.size();
+  std::vector<double> pred = design_.matvec(w);
+  for (std::size_t i = 0; i < m; ++i) pred[i] -= targets_[i];
+  std::vector<double> grad = design_.matvec_transposed(pred);
+  for (std::size_t j = 0; j < p; ++j) grad[j] /= static_cast<double>(m);
+  return grad;
+}
+
+opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
+  const std::size_t m = targets_.size();
+  const std::size_t p = coefficients_.size();
+  const std::vector<double> w_prev = coefficients_;
+  const double f_prev = current_objective_;
+
+  // Exact monitor gradient (framework part).
+  const std::vector<double> monitor_grad = exact_gradient(w_prev);
+
+  // Residuals through the context for resilient samples; the per-iteration
+  // 80% confidence threshold comes from the exact residual magnitudes.
+  std::vector<double> exact_resid = design_.matvec(w_prev);
+  for (std::size_t i = 0; i < m; ++i) exact_resid[i] -= targets_[i];
+  std::vector<double> abs_resid(m);
+  for (std::size_t i = 0; i < m; ++i) abs_resid[i] = std::abs(exact_resid[i]);
+  double threshold = -1.0;  // resilient_fraction == 0: nothing qualifies
+  if (resilient_fraction_ > 0.0) {
+    std::vector<double> sorted = abs_resid;
+    const std::size_t cut = std::min(
+        m - 1, static_cast<std::size_t>(resilient_fraction_ *
+                                        static_cast<double>(m)));
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(cut),
+                     sorted.end());
+    threshold = sorted[cut];
+  }
+
+  // Gradient: context-routed for in-confidence samples, exact for tails.
+  std::vector<double> grad(p, 0.0);
+  std::vector<double> resid(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (abs_resid[i] <= threshold) {
+      resid[i] = ctx.sub(ctx.dot(design_.row(i), coefficients_), targets_[i]);
+    } else {
+      resid[i] = exact_resid[i];
+    }
+  }
+  // Raw terms accumulate through the context (the AR benches configure a
+  // wide Q16.32 datapath whose range covers the random-walk growth of these
+  // sums); the final 1/m normalization is an exact scalar divide.
+  for (std::size_t j = 0; j < p; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double term = design_(i, j) * resid[i];
+      if (abs_resid[i] <= threshold) {
+        acc = ctx.add(acc, term);
+      } else {
+        acc += term;
+      }
+    }
+    grad[j] = acc / static_cast<double>(m);
+  }
+
+  // Update through the context: w <- w - step * grad.
+  for (std::size_t j = 0; j < p; ++j) {
+    coefficients_[j] = ctx.sub(coefficients_[j], step_ * grad[j]);
+  }
+
+  current_objective_ = objective_at(coefficients_);
+  ++iteration_;
+
+  opt::IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(coefficients_, w_prev);
+  stats.state_norm = la::norm2(coefficients_);
+  const std::vector<double> step_vec = la::subtract(coefficients_, w_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step_vec);
+  stats.grad_norm = la::norm2(monitor_grad);
+  // Signed convergence check (see gmm.cpp): approximation noise can trip
+  // this early — the paper's false stops.
+  stats.converged =
+      stats.improvement() < tolerance_ || stats.step_norm == 0.0;
+  return stats;
+}
+
+void AutoRegression::restore(const std::vector<double>& snapshot) {
+  if (snapshot.size() != coefficients_.size()) {
+    throw std::invalid_argument("AutoRegression::restore: bad snapshot size");
+  }
+  coefficients_ = snapshot;
+  current_objective_ = objective_at(coefficients_);
+}
+
+double coefficient_l2_error(std::span<const double> fitted,
+                            std::span<const double> truth) {
+  if (fitted.size() != truth.size()) {
+    throw std::invalid_argument("coefficient_l2_error: size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < fitted.size(); ++i) {
+    const double d = fitted[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace approxit::apps

@@ -1,0 +1,96 @@
+// AutoRegression AR(p) fitting by iterative least squares (gradient
+// descent), the paper's second benchmark application.
+//
+// The series is z-normalized ("for scaled data", Section 3.2) and an AR
+// design matrix X (rows [z_{t-1} .. z_{t-p}], target z_t) is built once.
+//
+// Resilience partitioning (Table 2, "Adder Impact: 80% Confidence Space"):
+// per-sample gradient contributions whose residual lies inside the central
+// 80% of the residual distribution accumulate through the ArithContext;
+// tail samples (outliers, which single-handedly steer the fit) accumulate
+// exactly. Objective and monitor quantities are exact.
+//
+// Quality evaluation metric: least-square error with l2 norm — the l2
+// distance between the fitted coefficient vector and the Truth run's
+// coefficients (Table 1).
+#pragma once
+
+#include <vector>
+
+#include "arith/alu.h"
+#include "la/matrix.h"
+#include "opt/iterative_method.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+
+/// QCS configuration matched to the AR kernels' dynamic range: a wide
+/// Q16.32 datapath (gradient partial sums random-walk into the hundreds
+/// while z-normalized samples need ~2^-32 granularity) with a deeper
+/// approximate-bits ladder. Selecting the Q format per application is part
+/// of the offline characterization stage.
+arith::QcsConfig ar_qcs_config();
+
+/// Options for AutoRegression.
+struct ArOptions {
+  std::size_t order = 0;     ///< AR order p; 0 takes the dataset's (10).
+  std::size_t max_iter = 0;  ///< 0 takes the dataset's (1000).
+  double tolerance = 0.0;    ///< 0 takes the dataset's (1e-13).
+  /// Gradient step; 0 selects 1/L with L = lambda_max(X^T X / m) estimated
+  /// by power iteration at construction.
+  double step_size = 0.0;
+  /// Fraction of samples (by central residual magnitude) treated as
+  /// error-resilient (the paper's 80% confidence space).
+  double resilient_fraction = 0.8;
+};
+
+/// Iterative least-squares AR(p) fit.
+class AutoRegression final : public opt::IterativeMethod {
+ public:
+  /// The dataset must outlive the method.
+  explicit AutoRegression(const workloads::TimeSeriesDataset& dataset,
+                          ArOptions options = {});
+
+  std::string name() const override { return "autoregression"; }
+  std::size_t dimension() const override { return coefficients_.size(); }
+  void reset() override;
+  opt::IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override { return coefficients_; }
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return max_iter_; }
+  double tolerance() const override { return tolerance_; }
+
+  /// Fitted AR coefficients (on the normalized series).
+  std::span<const double> coefficients() const { return coefficients_; }
+
+  /// Exact mean squared residual of the current fit.
+  double mean_squared_error() const;
+
+  /// Number of design rows m.
+  std::size_t samples() const { return targets_.size(); }
+
+  /// The step size in use (after auto-selection).
+  double step_size() const { return step_; }
+
+ private:
+  double objective_at(std::span<const double> w) const;
+  std::vector<double> exact_gradient(std::span<const double> w) const;
+
+  la::Matrix design_;             ///< m x p normalized lag matrix.
+  std::vector<double> targets_;   ///< m normalized targets.
+  std::size_t max_iter_;
+  double tolerance_;
+  double step_ = 0.0;
+  double resilient_fraction_;
+
+  std::vector<double> coefficients_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+/// The paper's AR QEM: l2 distance between two coefficient vectors.
+double coefficient_l2_error(std::span<const double> fitted,
+                            std::span<const double> truth);
+
+}  // namespace approxit::apps

@@ -1,0 +1,412 @@
+#include "apps/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/decomp.h"
+#include "la/vector_ops.h"
+
+namespace approxit::apps {
+namespace {
+
+/// Precomputed per-component Gaussian evaluation data (exact path).
+struct GaussianCache {
+  la::Matrix inverse;
+  double log_norm = 0.0;  ///< -0.5 (d log 2pi + log det)
+  bool valid = false;
+};
+
+GaussianCache make_cache(const la::Matrix& covariance) {
+  GaussianCache cache;
+  const auto inv = la::inverse(covariance);
+  const double det = la::determinant(covariance);
+  if (!inv || det <= 0.0) {
+    return cache;
+  }
+  cache.inverse = *inv;
+  cache.log_norm = -0.5 * (static_cast<double>(covariance.rows()) *
+                               std::log(2.0 * std::numbers::pi) +
+                           std::log(det));
+  cache.valid = true;
+  return cache;
+}
+
+/// log N(x | mean, cache) for one sample.
+double log_gaussian(std::span<const double> x, std::span<const double> mean,
+                    const GaussianCache& cache) {
+  const std::size_t d = x.size();
+  double quad = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      acc += cache.inverse(r, c) * (x[c] - mean[c]);
+    }
+    quad += (x[r] - mean[r]) * acc;
+  }
+  return cache.log_norm - 0.5 * quad;
+}
+
+}  // namespace
+
+GmmEm::GmmEm(const workloads::GmmDataset& dataset, GmmOptions options)
+    : dataset_(dataset),
+      options_(options),
+      max_iter_(options.max_iter > 0 ? options.max_iter : dataset.max_iter),
+      tolerance_(options.tolerance > 0.0 ? options.tolerance
+                                         : dataset.convergence_tol) {
+  if (dataset_.size() == 0 || dataset_.dim == 0 ||
+      dataset_.num_clusters == 0) {
+    throw std::invalid_argument("GmmEm: empty dataset");
+  }
+  reset();
+}
+
+std::size_t GmmEm::dimension() const {
+  return dataset_.num_clusters * dataset_.dim;
+}
+
+void GmmEm::initialize_model() {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+
+  model_.dim = d;
+  model_.weights.assign(k, 1.0 / static_cast<double>(k));
+  model_.means.assign(k * d, 0.0);
+  model_.covariances.assign(k, la::Matrix::identity(d));
+
+  // Deterministic initialization: place the k initial means on evenly
+  // spaced data points of the coordinate-wise sorted order, so every run
+  // (every mode, every strategy) starts identically.
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], dataset_.points[i * d + j]);
+      hi[j] = std::max(hi[j], dataset_.points[i * d + j]);
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const double t = (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    for (std::size_t j = 0; j < d; ++j) {
+      model_.means[c * d + j] = lo[j] + t * (hi[j] - lo[j]);
+    }
+    // Spread of the data as the initial covariance scale.
+    la::Matrix cov = la::Matrix::identity(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double range = hi[j] - lo[j];
+      cov(j, j) = std::max(1.0, range * range / 16.0);
+    }
+    model_.covariances[c] = cov;
+  }
+}
+
+void GmmEm::reset() {
+  initialize_model();
+  responsibilities_.assign(dataset_.size() * dataset_.num_clusters, 0.0);
+  e_step();
+  current_objective_ = average_negative_log_likelihood();
+  iteration_ = 0;
+}
+
+void GmmEm::e_step() {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+
+  std::vector<GaussianCache> caches(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    caches[c] = make_cache(model_.covariances[c]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> x(dataset_.points.data() + i * d, d);
+    // Log-sum-exp over components for numerical stability.
+    std::vector<double> logp(k, -std::numeric_limits<double>::infinity());
+    double max_logp = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!caches[c].valid || model_.weights[c] <= 0.0) continue;
+      const std::span<const double> mean(model_.means.data() + c * d, d);
+      logp[c] = std::log(model_.weights[c]) + log_gaussian(x, mean, caches[c]);
+      max_logp = std::max(max_logp, logp[c]);
+    }
+    if (!std::isfinite(max_logp)) {
+      // All components degenerate: fall back to uniform responsibilities.
+      for (std::size_t c = 0; c < k; ++c) {
+        responsibilities_[i * k + c] = 1.0 / static_cast<double>(k);
+      }
+      continue;
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      denom += std::exp(logp[c] - max_logp);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      responsibilities_[i * k + c] = std::exp(logp[c] - max_logp) / denom;
+    }
+  }
+}
+
+void GmmEm::m_step(arith::ArithContext& ctx) {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    // Responsibility mass and mean numerators accumulate through the
+    // context — THE error-resilient kernel of this application.
+    double mass = 0.0;
+    std::vector<double> numer(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = responsibilities_[i * k + c];
+      mass = ctx.add(mass, g);
+      for (std::size_t j = 0; j < d; ++j) {
+        numer[j] = ctx.add(numer[j], g * dataset_.points[i * d + j]);
+      }
+    }
+
+    if (mass <= 1e-8) {
+      // Degenerate (empty) component: keep its previous parameters.
+      continue;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      model_.means[c * d + j] = numer[j] / mass;
+    }
+
+    // Weights and covariances are error-sensitive: exact arithmetic.
+    double exact_mass = 0.0;
+    la::Matrix cov(d, d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = responsibilities_[i * k + c];
+      exact_mass += g;
+      for (std::size_t r = 0; r < d; ++r) {
+        const double dr =
+            dataset_.points[i * d + r] - model_.means[c * d + r];
+        for (std::size_t q = 0; q <= r; ++q) {
+          const double dq =
+              dataset_.points[i * d + q] - model_.means[c * d + q];
+          cov(r, q) += g * dr * dq;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t q = 0; q <= r; ++q) {
+        cov(r, q) /= exact_mass;
+        cov(q, r) = cov(r, q);
+      }
+      cov(r, r) += options_.covariance_ridge;
+    }
+    model_.covariances[c] = cov;
+    model_.weights[c] = exact_mass / static_cast<double>(n);
+  }
+
+  // Renormalize weights (they are exact but guard against drift).
+  double wsum = 0.0;
+  for (double w : model_.weights) wsum += w;
+  if (wsum > 0.0) {
+    for (double& w : model_.weights) w /= wsum;
+  }
+}
+
+double GmmEm::average_negative_log_likelihood() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+
+  std::vector<GaussianCache> caches(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    caches[c] = make_cache(model_.covariances[c]);
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> x(dataset_.points.data() + i * d, d);
+    double max_logp = -std::numeric_limits<double>::infinity();
+    std::vector<double> logp(k, -std::numeric_limits<double>::infinity());
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!caches[c].valid || model_.weights[c] <= 0.0) continue;
+      const std::span<const double> mean(model_.means.data() + c * d, d);
+      logp[c] = std::log(model_.weights[c]) + log_gaussian(x, mean, caches[c]);
+      max_logp = std::max(max_logp, logp[c]);
+    }
+    if (!std::isfinite(max_logp)) {
+      // Degenerate model: clamp the sample's log-likelihood instead of
+      // letting the objective become non-finite.
+      total += -690.0;  // ~ log(1e-300)
+      continue;
+    }
+    double s = 0.0;
+    for (std::size_t c = 0; c < k; ++c) s += std::exp(logp[c] - max_logp);
+    total += max_logp + std::log(s);
+  }
+  return -total / static_cast<double>(n);
+}
+
+std::vector<double> GmmEm::mean_gradient() const {
+  // d/d mu_c of the average negative log-likelihood:
+  //   -(1/n) sum_i gamma_ic Sigma_c^{-1} (x_i - mu_c).
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  std::vector<double> grad(k * d, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto inv = la::inverse(model_.covariances[c]);
+    if (!inv) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = responsibilities_[i * k + c];
+      if (g == 0.0) continue;
+      for (std::size_t r = 0; r < d; ++r) {
+        double acc = 0.0;
+        for (std::size_t q = 0; q < d; ++q) {
+          acc += (*inv)(r, q) *
+                 (dataset_.points[i * d + q] - model_.means[c * d + q]);
+        }
+        grad[c * d + r] -= g * acc;
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& v : grad) v *= inv_n;
+  return grad;
+}
+
+opt::IterationStats GmmEm::iterate(arith::ArithContext& ctx) {
+  const double f_prev = current_objective_;
+  const std::vector<double> means_prev = model_.means;
+  // Monitor gradient at the pre-step state (responsibilities_ is fresh
+  // from the previous e_step).
+  const std::vector<double> monitor_grad = mean_gradient();
+
+  m_step(ctx);
+  e_step();
+  current_objective_ = average_negative_log_likelihood();
+  ++iteration_;
+
+  opt::IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(model_.means, means_prev);
+  stats.state_norm = la::norm2(model_.means);
+  const std::vector<double> step = la::subtract(model_.means, means_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step);
+  stats.grad_norm = la::norm2(monitor_grad);
+  // Signed convergence check, as in typical EM implementations: stop when
+  // the objective no longer decreases. Under approximation the noisy
+  // objective can tick upward early, producing the paper's FALSE STOPS;
+  // the reconfiguration schemes exist to veto exactly those.
+  stats.converged =
+      stats.improvement() < tolerance_ || stats.step_norm == 0.0;
+  return stats;
+}
+
+std::vector<double> GmmEm::state() const {
+  // Layout: [weights | means | covariances (row-major each)].
+  std::vector<double> snapshot = model_.weights;
+  snapshot.insert(snapshot.end(), model_.means.begin(), model_.means.end());
+  for (const la::Matrix& cov : model_.covariances) {
+    snapshot.insert(snapshot.end(), cov.data().begin(), cov.data().end());
+  }
+  return snapshot;
+}
+
+void GmmEm::restore(const std::vector<double>& snapshot) {
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  const std::size_t expected = k + k * d + k * d * d;
+  if (snapshot.size() != expected) {
+    throw std::invalid_argument("GmmEm::restore: bad snapshot size");
+  }
+  auto it = snapshot.begin();
+  model_.weights.assign(it, it + static_cast<long>(k));
+  it += static_cast<long>(k);
+  model_.means.assign(it, it + static_cast<long>(k * d));
+  it += static_cast<long>(k * d);
+  for (std::size_t c = 0; c < k; ++c) {
+    la::Matrix cov(d, d);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t q = 0; q < d; ++q) {
+        cov(r, q) = *it++;
+      }
+    }
+    model_.covariances[c] = cov;
+  }
+  e_step();
+  current_objective_ = average_negative_log_likelihood();
+}
+
+std::vector<int> GmmEm::assignments() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t k = dataset_.num_clusters;
+  std::vector<int> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    int best = 0;
+    double best_g = responsibilities_[i * k];
+    for (std::size_t c = 1; c < k; ++c) {
+      if (responsibilities_[i * k + c] > best_g) {
+        best_g = responsibilities_[i * k + c];
+        best = static_cast<int>(c);
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+double GmmEm::mean_centroid_distance() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::vector<int> assign = assignments();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(assign[i]);
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = dataset_.points[i * d + j] - model_.means[c * d + j];
+      s += diff * diff;
+    }
+    total += std::sqrt(s);
+  }
+  return total / static_cast<double>(n);
+}
+
+std::size_t hamming_distance(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  }
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+std::size_t permuted_hamming_distance(const std::vector<int>& a,
+                                      const std::vector<int>& b,
+                                      std::size_t num_labels) {
+  if (num_labels == 0 || num_labels > 8) {
+    throw std::invalid_argument(
+        "permuted_hamming_distance: num_labels must be in [1, 8]");
+  }
+  std::vector<int> perm(num_labels);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  do {
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const int mapped = b[i] >= 0 && static_cast<std::size_t>(b[i]) <
+                                          num_labels
+                             ? perm[static_cast<std::size_t>(b[i])]
+                             : b[i];
+      if (a[i] != mapped) ++d;
+    }
+    best = std::min(best, d);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace approxit::apps

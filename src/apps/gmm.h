@@ -1,0 +1,105 @@
+// Gaussian Mixture Model clustering via Expectation-Maximization, exposed
+// as an IterativeMethod (the paper's first benchmark application).
+//
+// Resilience partitioning (Table 2, "Adder Impact: Mean Value"): only the
+// M-step's mean accumulations run through the ArithContext; the E-step
+// (responsibilities: exp, covariance inverses), the weight/covariance
+// updates and the log-likelihood evaluation are error-sensitive and exact.
+//
+// Objective: average negative log-likelihood (minimized).
+// Quality evaluation metric: Hamming distance between the hard cluster
+// assignments of an approximate run and the Truth run (Table 1).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "opt/iterative_method.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+
+/// Full mixture-model state.
+struct GmmModel {
+  std::size_t dim = 0;
+  std::vector<double> weights;       ///< k mixing weights.
+  std::vector<double> means;         ///< Row-major k x dim.
+  std::vector<la::Matrix> covariances;  ///< k SPD dim x dim matrices.
+
+  std::size_t components() const { return weights.size(); }
+};
+
+/// Options for GmmEm.
+struct GmmOptions {
+  /// Ridge added to covariance diagonals after each M-step.
+  double covariance_ridge = 1e-6;
+  /// Iteration budget / convergence tolerance; 0 values take the dataset's.
+  std::size_t max_iter = 0;
+  double tolerance = 0.0;
+};
+
+/// EM for GMMs over a fixed dataset.
+class GmmEm final : public opt::IterativeMethod {
+ public:
+  /// The dataset must outlive the method. Initialization is deterministic
+  /// (identical across modes/datasets runs, as the paper requires): means
+  /// are spread over the data's bounding box diagonal, weights uniform,
+  /// covariances identity-scaled.
+  explicit GmmEm(const workloads::GmmDataset& dataset, GmmOptions options = {});
+
+  std::string name() const override { return "gmm_em"; }
+  std::size_t dimension() const override;
+  void reset() override;
+  opt::IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override;
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return max_iter_; }
+  double tolerance() const override { return tolerance_; }
+
+  /// Current model.
+  const GmmModel& model() const { return model_; }
+
+  /// Hard cluster assignment (argmax responsibility) of every sample under
+  /// the CURRENT model. Exact computation.
+  std::vector<int> assignments() const;
+
+  /// Mean distance of samples to their assigned cluster mean — the MCD
+  /// sensor of Chippa et al.'s K-means case study (used by the PID
+  /// motivation bench).
+  double mean_centroid_distance() const;
+
+ private:
+  void initialize_model();
+  double average_negative_log_likelihood() const;
+  /// E-step: fills responsibilities_ (n x k, row-major); exact.
+  void e_step();
+  /// M-step: weights/covariances exact, mean accumulations through ctx.
+  void m_step(arith::ArithContext& ctx);
+  /// Exact gradient of the objective w.r.t. the means (monitor quantity).
+  std::vector<double> mean_gradient() const;
+
+  const workloads::GmmDataset& dataset_;
+  GmmOptions options_;
+  std::size_t max_iter_;
+  double tolerance_;
+
+  GmmModel model_;
+  std::vector<double> responsibilities_;  ///< n x k, refreshed by e_step().
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+/// Hamming distance between two assignment vectors (must be equal length):
+/// the number of positions with differing labels — the paper's GMM QEM.
+std::size_t hamming_distance(const std::vector<int>& a,
+                             const std::vector<int>& b);
+
+/// Label-permutation-invariant Hamming distance: minimum over all
+/// permutations of the labels in `b` (k <= 8). Useful when comparing runs
+/// whose component indices swapped.
+std::size_t permuted_hamming_distance(const std::vector<int>& a,
+                                      const std::vector<int>& b,
+                                      std::size_t num_labels);
+
+}  // namespace approxit::apps

@@ -1,0 +1,194 @@
+#include "apps/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::apps {
+
+KMeans::KMeans(const workloads::GmmDataset& dataset, KMeansOptions options)
+    : dataset_(dataset),
+      max_iter_(options.max_iter > 0 ? options.max_iter : dataset.max_iter),
+      tolerance_(options.tolerance > 0.0 ? options.tolerance
+                                         : dataset.convergence_tol) {
+  if (dataset_.size() == 0 || dataset_.dim == 0 ||
+      dataset_.num_clusters == 0) {
+    throw std::invalid_argument("KMeans: empty dataset");
+  }
+  reset();
+}
+
+std::size_t KMeans::dimension() const {
+  return dataset_.num_clusters * dataset_.dim;
+}
+
+void KMeans::initialize_centroids() {
+  // Deterministic: same bounding-box diagonal placement as GmmEm, so both
+  // clustering applications start identically on a given dataset.
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], dataset_.points[i * d + j]);
+      hi[j] = std::max(hi[j], dataset_.points[i * d + j]);
+    }
+  }
+  centroids_.assign(k * d, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double t = (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids_[c * d + j] = lo[j] + t * (hi[j] - lo[j]);
+    }
+  }
+}
+
+void KMeans::reset() {
+  initialize_centroids();
+  current_objective_ = sse_at(centroids_);
+  iteration_ = 0;
+}
+
+std::vector<int> KMeans::assignments() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  std::vector<int> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff =
+            dataset_.points[i * d + j] - centroids_[c * d + j];
+        s += diff * diff;
+      }
+      if (s < best) {
+        best = s;
+        best_c = static_cast<int>(c);
+      }
+    }
+    out[i] = best_c;
+  }
+  return out;
+}
+
+double KMeans::sse_at(std::span<const double> centroids) const {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = dataset_.points[i * d + j] - centroids[c * d + j];
+        s += diff * diff;
+      }
+      best = std::min(best, s);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(n);
+}
+
+double KMeans::mean_centroid_distance() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::vector<int> assign = assignments();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(assign[i]);
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = dataset_.points[i * d + j] - centroids_[c * d + j];
+      s += diff * diff;
+    }
+    total += std::sqrt(s);
+  }
+  return total / static_cast<double>(n);
+}
+
+opt::IterationStats KMeans::iterate(arith::ArithContext& ctx) {
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  const std::vector<double> prev = centroids_;
+  const double f_prev = current_objective_;
+
+  // Assignment step: exact (error-sensitive control flow).
+  const std::vector<int> assign = assignments();
+
+  // Update step: per-cluster accumulations through the context.
+  for (std::size_t c = 0; c < k; ++c) {
+    double count = 0.0;
+    std::vector<double> numer(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(assign[i]) != c) continue;
+      count = ctx.add(count, 1.0);
+      for (std::size_t j = 0; j < d; ++j) {
+        numer[j] = ctx.add(numer[j], dataset_.points[i * d + j]);
+      }
+    }
+    if (count <= 0.5) continue;  // empty cluster: keep previous centroid
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids_[c * d + j] = numer[j] / count;
+    }
+  }
+
+  current_objective_ = sse_at(centroids_);
+  ++iteration_;
+
+  opt::IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(centroids_, prev);
+  stats.state_norm = la::norm2(centroids_);
+  // Monitor gradient of the SSE objective w.r.t. centroids at the previous
+  // position: (2/n) * count_c * (mu_c - sample_mean_c); computed exactly.
+  std::vector<double> grad(k * d, 0.0);
+  {
+    std::vector<double> counts(k, 0.0);
+    std::vector<double> sums(k * d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(assign[i]);
+      counts[c] += 1.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        sums[c * d + j] += dataset_.points[i * d + j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t j = 0; j < d; ++j) {
+        grad[c * d + j] =
+            2.0 * (counts[c] * prev[c * d + j] - sums[c * d + j]) /
+            static_cast<double>(n);
+      }
+    }
+  }
+  const std::vector<double> step = la::subtract(centroids_, prev);
+  stats.grad_dot_step = la::dot(grad, step);
+  stats.grad_norm = la::norm2(grad);
+  // Signed convergence check (see gmm.cpp): false stops under noise are
+  // intentional single-mode behaviour.
+  stats.converged =
+      stats.improvement() < tolerance_ || stats.step_norm == 0.0;
+  return stats;
+}
+
+void KMeans::restore(const std::vector<double>& snapshot) {
+  if (snapshot.size() != centroids_.size()) {
+    throw std::invalid_argument("KMeans::restore: bad snapshot size");
+  }
+  centroids_ = snapshot;
+  current_objective_ = sse_at(centroids_);
+}
+
+}  // namespace approxit::apps

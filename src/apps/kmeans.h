@@ -1,0 +1,62 @@
+// K-means clustering (Lloyd's algorithm) as an IterativeMethod — the case
+// study of Chippa et al.'s PID-controlled DES framework that Section 2.3
+// uses to motivate ApproxIt.
+//
+// Resilient region: the centroid accumulations of the update step. The
+// assignment step and the objective (within-cluster SSE) are exact. The
+// mean-centroid-distance (MCD) quality sensor of [3] is exposed for the
+// PID baseline strategy.
+#pragma once
+
+#include <vector>
+
+#include "opt/iterative_method.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+
+/// Options for KMeans.
+struct KMeansOptions {
+  std::size_t max_iter = 0;  ///< 0 takes the dataset's.
+  double tolerance = 0.0;    ///< 0 takes the dataset's.
+};
+
+/// Lloyd's algorithm over a GmmDataset (shared with the GMM benchmarks).
+class KMeans final : public opt::IterativeMethod {
+ public:
+  explicit KMeans(const workloads::GmmDataset& dataset,
+                  KMeansOptions options = {});
+
+  std::string name() const override { return "kmeans"; }
+  std::size_t dimension() const override;
+  void reset() override;
+  opt::IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override { return centroids_; }
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return max_iter_; }
+  double tolerance() const override { return tolerance_; }
+
+  /// Current centroids (row-major k x dim).
+  std::span<const double> centroids() const { return centroids_; }
+
+  /// Hard assignment of every sample to its nearest centroid (exact).
+  std::vector<int> assignments() const;
+
+  /// Mean centroid distance — the algorithm-level quality sensor of [3].
+  double mean_centroid_distance() const;
+
+ private:
+  void initialize_centroids();
+  double sse_at(std::span<const double> centroids) const;
+
+  const workloads::GmmDataset& dataset_;
+  std::size_t max_iter_;
+  double tolerance_;
+
+  std::vector<double> centroids_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace approxit::apps

@@ -1,0 +1,74 @@
+// PageRank by power iteration, exposed as an IterativeMethod — a third
+// application class (graph mining) under the ApproxIt framework.
+//
+// Resilience partitioning: the per-edge rank accumulation (the bulk of the
+// work) runs through the ArithContext; damping/teleport assembly and the
+// residual objective are exact.
+//
+// Objective: the exact L1 one-step residual ||P x - x||_1 (zero exactly at
+// the stationary distribution). QEM: L1 distance between rank vectors, plus
+// a top-k overlap helper (ranking quality, the metric that matters for
+// retrieval).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arith/alu.h"
+#include "opt/iterative_method.h"
+#include "workloads/graphs.h"
+
+namespace approxit::apps {
+
+/// QCS configuration matched to rank-vector magnitudes (O(1/n) entries).
+arith::QcsConfig pagerank_qcs_config();
+
+/// Options for PageRank.
+struct PageRankOptions {
+  double damping = 0.85;      ///< Teleport damping factor d.
+  std::size_t max_iter = 300;
+  double tolerance = 1e-12;   ///< On the improvement of the L1 residual.
+};
+
+/// Damped power iteration over a WebGraph.
+class PageRank final : public opt::IterativeMethod {
+ public:
+  /// The graph must outlive the method.
+  explicit PageRank(const workloads::WebGraph& graph,
+                    PageRankOptions options = {});
+
+  std::string name() const override { return "pagerank"; }
+  std::size_t dimension() const override { return ranks_.size(); }
+  void reset() override;
+  opt::IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override { return ranks_; }
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return options_.max_iter; }
+  double tolerance() const override { return options_.tolerance; }
+
+  /// Current rank vector (sums to ~1).
+  std::span<const double> ranks() const { return ranks_; }
+
+  /// Indices of the k highest-ranked nodes, in rank order.
+  std::vector<std::size_t> top_pages(std::size_t k) const;
+
+ private:
+  std::vector<double> exact_step(const std::vector<double>& x) const;
+  double residual_l1(const std::vector<double>& x) const;
+
+  const workloads::WebGraph& graph_;
+  PageRankOptions options_;
+  std::vector<double> ranks_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+/// L1 distance between two rank vectors (the PageRank QEM).
+double rank_l1_distance(std::span<const double> a, std::span<const double> b);
+
+/// Number of common entries between two top-k lists.
+std::size_t top_k_overlap(const std::vector<std::size_t>& a,
+                          const std::vector<std::size_t>& b);
+
+}  // namespace approxit::apps

@@ -1,0 +1,46 @@
+#include "arith/adder.h"
+
+#include <stdexcept>
+
+namespace approxit::arith {
+
+Adder::Adder(unsigned width) : width_(width), mask_(word_mask(width)) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("Adder width must be in [1, 64]");
+  }
+}
+
+AddResult Adder::subtract(Word a, Word b) const {
+  return add(a & mask_, ~b & mask_, /*carry_in=*/true);
+}
+
+AddResult exact_add(unsigned width, Word a, Word b, bool carry_in) {
+  const Word mask = word_mask(width);
+  a &= mask;
+  b &= mask;
+  const Word cin = carry_in ? 1 : 0;
+  if (width < 64) {
+    const Word full = a + b + cin;
+    return AddResult{full & mask, ((full >> width) & 1) != 0};
+  }
+  // 64-bit: detect carry without a wider type.
+  const Word partial = a + b;
+  const bool carry1 = partial < a;
+  const Word sum = partial + cin;
+  const bool carry2 = sum < partial;
+  return AddResult{sum, carry1 || carry2};
+}
+
+AddResult add_bit_range(Word a, Word b, bool carry_in, unsigned lo,
+                        unsigned hi) {
+  if (lo >= hi) {
+    return AddResult{0, carry_in};
+  }
+  const unsigned span = hi - lo;
+  const Word va = (a >> lo) & word_mask(span);
+  const Word vb = (b >> lo) & word_mask(span);
+  const AddResult r = exact_add(span, va, vb, carry_in);
+  return AddResult{r.sum << lo, r.carry_out};
+}
+
+}  // namespace approxit::arith

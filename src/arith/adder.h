@@ -1,0 +1,89 @@
+// Abstract interface for bit-accurate adder models.
+//
+// Every adder operates on unsigned words of a fixed bit width (<= 64); the
+// fixed-point layer (fixed_point.h) maps signed quantities onto these words
+// in two's complement, so subtraction is addition of the complemented
+// operand — exactly as in the modeled hardware.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arith/gates.h"
+
+namespace approxit::arith {
+
+/// Machine word carrying an addend or sum; only the low `width()` bits are
+/// meaningful.
+using Word = std::uint64_t;
+
+/// Mask with the low `width` bits set; width must be in [1, 64].
+constexpr Word word_mask(unsigned width) {
+  return width >= 64 ? ~Word{0} : ((Word{1} << width) - 1);
+}
+
+/// Result of one addition: the (masked) sum and the carry out of the MSB.
+struct AddResult {
+  Word sum = 0;
+  bool carry_out = false;
+
+  bool operator==(const AddResult&) const = default;
+};
+
+/// Base class for all adder models (exact and approximate).
+///
+/// Implementations must be stateless and thread-compatible: add() is const
+/// and may be called concurrently on the same object.
+class Adder {
+ public:
+  explicit Adder(unsigned width);
+  virtual ~Adder() = default;
+
+  Adder(const Adder&) = delete;
+  Adder& operator=(const Adder&) = delete;
+
+  /// Adds two words (low width() bits significant) with a carry-in.
+  virtual AddResult add(Word a, Word b, bool carry_in = false) const = 0;
+
+  /// Short architecture name, e.g. "ripple", "loa16", "etaii(8)".
+  virtual std::string name() const = 0;
+
+  /// Structural gate counts for the energy/area model.
+  virtual GateInventory gates() const = 0;
+
+  /// True for adders whose add() equals exact two's-complement addition for
+  /// all operands (used by tests and by the accurate mode).
+  virtual bool is_exact() const { return false; }
+
+  /// Operand width in bits, in [1, 64].
+  unsigned width() const { return width_; }
+
+  /// Mask with the low width() bits set.
+  Word mask() const { return mask_; }
+
+  /// Two's-complement subtraction a - b routed through this adder:
+  /// a + ~b + 1, as the hardware would compute it. The approximate error
+  /// behaviour of add() therefore carries over to subtraction.
+  AddResult subtract(Word a, Word b) const;
+
+ private:
+  unsigned width_;
+  Word mask_;
+};
+
+/// Reference exact addition used in tests and error characterization.
+AddResult exact_add(unsigned width, Word a, Word b, bool carry_in = false);
+
+/// Exact addition of the bit range [lo, hi) of a and b with a carry into
+/// bit `lo`; the sum bits are returned at their original positions and
+/// carry_out is the carry out of bit hi-1. This is the building block the
+/// adder models compose (a ripple/lookahead/prefix chain over a bit range
+/// computes exactly this function; only how ranges are CONNECTED differs
+/// between architectures).
+AddResult add_bit_range(Word a, Word b, bool carry_in, unsigned lo,
+                        unsigned hi);
+
+using AdderPtr = std::shared_ptr<const Adder>;
+
+}  // namespace approxit::arith

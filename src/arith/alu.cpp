@@ -1,0 +1,123 @@
+#include "arith/alu.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "arith/approx_adders.h"
+
+namespace approxit::arith {
+
+void QcsConfig::validate() const {
+  format.validate();
+  for (std::size_t i = 0; i < level_approx_bits.size(); ++i) {
+    if (level_approx_bits[i] == 0 ||
+        level_approx_bits[i] >= format.total_bits) {
+      throw std::invalid_argument(
+          "QcsConfig: approx bits must be in (0, total_bits)");
+    }
+    if (i > 0 && level_approx_bits[i] >= level_approx_bits[i - 1]) {
+      throw std::invalid_argument(
+          "QcsConfig: approx bits must strictly decrease with accuracy level");
+    }
+  }
+}
+
+QcsAlu::QcsAlu(const QcsConfig& config) : format_(config.format) {
+  config.validate();
+  const unsigned width = format_.total_bits;
+  for (std::size_t i = 0; i < 4; ++i) {
+    adders_[i] =
+        std::make_shared<GdaAdder>(width, config.level_approx_bits[i]);
+  }
+  adders_[mode_index(ApproxMode::kAccurate)] =
+      std::make_shared<GdaAdder>(width, 0);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    energy_per_add_[i] = adder_energy(*adders_[i], config.energy);
+    toggle_models_[i].emplace(adders_[i]->gates(), format_.total_bits,
+                              config.energy);
+  }
+}
+
+QcsAlu::QcsAlu(const QFormat& format, std::array<AdderPtr, kNumModes> adders,
+               const EnergyParams& energy)
+    : format_(format), adders_(std::move(adders)) {
+  format_.validate();
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!adders_[i]) {
+      throw std::invalid_argument("QcsAlu: null adder in bank");
+    }
+    if (adders_[i]->width() != format_.total_bits) {
+      throw std::invalid_argument(
+          "QcsAlu: adder width does not match format");
+    }
+    energy_per_add_[i] = adder_energy(*adders_[i], energy);
+    toggle_models_[i].emplace(adders_[i]->gates(), format_.total_bits,
+                              energy);
+  }
+  if (!adders_[mode_index(ApproxMode::kAccurate)]->is_exact()) {
+    throw std::invalid_argument(
+        "QcsAlu: the kAccurate slot must hold an exact adder");
+  }
+}
+
+double QcsAlu::route_add(double a, double b, bool subtract) {
+  const std::size_t idx = mode_index(mode_);
+  const Adder& active = *adders_[idx];
+  const Word wa = quantize(a, format_);
+  const Word wb = quantize(b, format_);
+  // Subtraction feeds the complemented operand into the adder array; the
+  // energy model sees the bits the hardware sees.
+  const Word wb_effective = subtract ? (~wb & active.mask()) : wb;
+  const AddResult result =
+      subtract ? active.subtract(wa, wb) : active.add(wa, wb, false);
+  const double energy = dynamic_energy_
+                            ? toggle_models_[idx]->operation_energy(
+                                  wa, wb_effective)
+                            : energy_per_add_[idx];
+  ledger_.record(mode_, energy);
+  return dequantize(result.sum, format_);
+}
+
+void QcsAlu::set_dynamic_energy(bool enabled) {
+  dynamic_energy_ = enabled;
+  for (auto& model : toggle_models_) {
+    if (model) model->reset();
+  }
+}
+
+double QcsAlu::add(double a, double b) { return route_add(a, b, false); }
+
+double QcsAlu::sub(double a, double b) { return route_add(a, b, true); }
+
+double QcsAlu::accumulate(std::span<const double> values) {
+  double acc = 0.0;
+  for (double v : values) {
+    acc = add(acc, v);
+  }
+  return acc;
+}
+
+double QcsAlu::dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("QcsAlu::dot: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc = add(acc, x[i] * y[i]);
+  }
+  return acc;
+}
+
+std::string QcsAlu::describe() const {
+  std::ostringstream os;
+  os << "QcsAlu format=" << format_.to_string() << "\n";
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    const ApproxMode m = mode_from_index(i);
+    os << "  " << mode_name(m) << ": " << adders_[i]->name()
+       << " energy/add=" << energy_per_add_[i]
+       << (adders_[i]->is_exact() ? " (exact)" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,125 @@
+// The quality-configurable ALU (QCS datapath model).
+//
+// A QcsAlu owns one adder per approximation mode (level1..level4 + accurate)
+// over a common fixed-point format. Application code inside an error-
+// resilient region performs its additions through the ALU: operands are
+// quantized, added bit-accurately on the active mode's adder, dequantized,
+// and the operation's energy is recorded in the ledger.
+//
+// Error-sensitive computations (control flow, convergence checks, objective
+// evaluation) stay in exact floating point outside the ALU — mirroring the
+// paper's offline resilience partitioning (Table 2's "Adder Impact" column
+// names the resilient kernel of each application).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "arith/adder.h"
+#include "arith/context.h"
+#include "arith/energy.h"
+#include "arith/fixed_point.h"
+#include "arith/mode.h"
+
+namespace approxit::arith {
+
+/// Construction parameters for the default QCS: a gracefully-degrading
+/// accuracy-configurable adder bank (GdaAdder) with four lower-part
+/// approximation widths plus the fully accurate configuration.
+struct QcsConfig {
+  /// Fixed-point format of the resilient datapath.
+  QFormat format{32, 16};
+  /// Approximate (carry-free) low bits for level1..level4; must strictly
+  /// decrease — fewer approximate bits means higher accuracy. The accurate
+  /// mode uses 0. With the default Q16.16 format the per-add error scale is
+  /// ~2^(bits-17) in value terms: 0.06, 0.016, 0.004, 0.001 for the defaults —
+  /// a ladder calibrated so that level1 visibly corrupts accumulation-heavy
+  /// kernels while level4 is near-exact (the paper's Table 3(a) spread).
+  std::array<unsigned, 4> level_approx_bits{13, 11, 9, 7};
+  /// Gate energy parameters.
+  EnergyParams energy = EnergyParams::defaults();
+
+  void validate() const;
+};
+
+/// Mode-switchable approximate ALU with energy accounting.
+///
+/// Thread-compatible: concurrent use requires external synchronization
+/// (the ledger and mode are mutable state).
+class QcsAlu final : public ArithContext {
+ public:
+  /// Builds the default QCS (QcsConfigurableAdder bank) per `config`.
+  explicit QcsAlu(const QcsConfig& config = QcsConfig{});
+
+  /// Builds a QCS from a custom adder bank; all five adders must share the
+  /// format's total width, and the kAccurate entry must be exact.
+  QcsAlu(const QFormat& format, std::array<AdderPtr, kNumModes> adders,
+         const EnergyParams& energy = EnergyParams::defaults());
+
+  /// Selects the active approximation mode.
+  void set_mode(ApproxMode mode) { mode_ = mode; }
+
+  /// Currently active mode.
+  ApproxMode mode() const { return mode_; }
+
+  /// a + b through the active adder (quantize, add, dequantize); records
+  /// one operation in the ledger.
+  double add(double a, double b) override;
+
+  /// a - b through the active adder (two's-complement subtraction).
+  double sub(double a, double b) override;
+
+  /// Sequential accumulation of `values` through the active adder;
+  /// records values.size() operations. Returns 0 for an empty span.
+  double accumulate(std::span<const double> values) override;
+
+  /// Dot product: multiplications exact (the QCS approximates adders only,
+  /// as in the paper), accumulation through the active adder.
+  double dot(std::span<const double> x, std::span<const double> y) override;
+
+  /// Per-operation energy of a mode's adder (normalized units, static
+  /// average model).
+  double energy_per_add(ApproxMode mode) const {
+    return energy_per_add_[mode_index(mode)];
+  }
+
+  /// Switches between the static average energy model (default) and the
+  /// data-dependent toggle/carry-chain model. Enabling resets the toggle
+  /// state of every mode.
+  void set_dynamic_energy(bool enabled);
+
+  /// True when the data-dependent model is active.
+  bool dynamic_energy() const { return dynamic_energy_; }
+
+  /// The adder backing a mode.
+  const Adder& adder(ApproxMode mode) const {
+    return *adders_[mode_index(mode)];
+  }
+
+  /// Fixed-point format of the datapath.
+  const QFormat& format() const { return format_; }
+
+  /// Energy/op ledger accumulated since construction or reset_ledger().
+  const EnergyLedger& ledger() const { return ledger_; }
+
+  /// Clears the ledger (mode is preserved).
+  void reset_ledger() { ledger_.reset(); }
+
+  /// Descriptive multi-line summary of the adder bank (names, energies).
+  std::string describe() const;
+
+ private:
+  double route_add(double a, double b, bool subtract);
+
+  QFormat format_;
+  std::array<AdderPtr, kNumModes> adders_;
+  std::array<double, kNumModes> energy_per_add_{};
+  std::array<std::optional<ToggleEnergyModel>, kNumModes> toggle_models_;
+  bool dynamic_energy_ = false;
+  ApproxMode mode_ = ApproxMode::kAccurate;
+  EnergyLedger ledger_;
+};
+
+}  // namespace approxit::arith

@@ -1,0 +1,365 @@
+#include "arith/approx_adders.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace approxit::arith {
+namespace {
+
+unsigned clamp_bits(unsigned bits, unsigned width) {
+  return std::min(bits, width);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LowerOrAdder
+// ---------------------------------------------------------------------------
+
+LowerOrAdder::LowerOrAdder(unsigned width, unsigned approx_bits)
+    : Adder(width), approx_bits_(clamp_bits(approx_bits, width)) {}
+
+AddResult LowerOrAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  const unsigned k = approx_bits_;
+  if (k == 0) {
+    return add_bit_range(a, b, carry_in, 0, width());
+  }
+  const Word low_mask = word_mask(k);
+  const Word low = (a | b) & low_mask;
+  // Carry into the exact part: AND of the top approximate bit pair.
+  const bool bridge_carry =
+      (((a >> (k - 1)) & 1) != 0) && (((b >> (k - 1)) & 1) != 0);
+  if (k >= width()) {
+    return AddResult{low, bridge_carry};
+  }
+  const AddResult upper = add_bit_range(a, b, bridge_carry, k, width());
+  return AddResult{(low | upper.sum) & mask(), upper.carry_out};
+}
+
+std::string LowerOrAdder::name() const {
+  return "loa" + std::to_string(width()) + "k" + std::to_string(approx_bits_);
+}
+
+GateInventory LowerOrAdder::gates() const {
+  GateInventory inv;
+  inv.or2 = approx_bits_;
+  inv.and2 = approx_bits_ > 0 ? 1 : 0;
+  inv.full_adders = width() - approx_bits_;
+  inv.carry_depth = width() - approx_bits_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedAdder
+// ---------------------------------------------------------------------------
+
+TruncatedAdder::TruncatedAdder(unsigned width, unsigned truncated_bits)
+    : Adder(width), truncated_bits_(clamp_bits(truncated_bits, width)) {}
+
+AddResult TruncatedAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  const unsigned k = truncated_bits_;
+  if (k >= width()) {
+    return AddResult{0, false};
+  }
+  // Low k result bits forced to zero; no carry generated from them; the
+  // external carry-in is likewise dropped (it enters below the cut).
+  const AddResult upper =
+      add_bit_range(a, b, k == 0 ? carry_in : false, k, width());
+  return AddResult{upper.sum & mask(), upper.carry_out};
+}
+
+std::string TruncatedAdder::name() const {
+  return "trunc" + std::to_string(width()) + "k" +
+         std::to_string(truncated_bits_);
+}
+
+GateInventory TruncatedAdder::gates() const {
+  GateInventory inv;
+  inv.full_adders = width() - truncated_bits_;
+  inv.carry_depth = width() - truncated_bits_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// EtaIAdder
+// ---------------------------------------------------------------------------
+
+EtaIAdder::EtaIAdder(unsigned width, unsigned approx_bits)
+    : Adder(width), approx_bits_(clamp_bits(approx_bits, width)) {}
+
+AddResult EtaIAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  const unsigned k = approx_bits_;
+  Word low = 0;
+  if (k > 0) {
+    bool saturate = false;
+    for (unsigned i = k; i-- > 0;) {
+      const bool ai = (a >> i) & 1;
+      const bool bi = (b >> i) & 1;
+      if (saturate) {
+        low |= Word{1} << i;
+        continue;
+      }
+      if (ai && bi) {
+        // First 1+1 pair seen from the top: this bit and all lower bits
+        // saturate to 1 (ETA-I's control signal).
+        saturate = true;
+        low |= word_mask(i + 1);
+      } else if (ai ^ bi) {
+        low |= Word{1} << i;
+      }
+    }
+  }
+  if (k >= width()) {
+    return AddResult{low, false};
+  }
+  // Upper part exact; no carry crosses the cut (ETA-I splits the operands).
+  const AddResult upper =
+      add_bit_range(a, b, k == 0 ? carry_in : false, k, width());
+  return AddResult{(low | upper.sum) & mask(), upper.carry_out};
+}
+
+std::string EtaIAdder::name() const {
+  return "etai" + std::to_string(width()) + "k" + std::to_string(approx_bits_);
+}
+
+GateInventory EtaIAdder::gates() const {
+  GateInventory inv;
+  // Lower part: XOR per bit plus the carry-free control chain (AND + OR).
+  inv.xor2 = approx_bits_;
+  inv.and2 = approx_bits_;
+  inv.or2 = approx_bits_;
+  inv.full_adders = width() - approx_bits_;
+  inv.carry_depth = width() - approx_bits_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// EtaIIAdder
+// ---------------------------------------------------------------------------
+
+EtaIIAdder::EtaIIAdder(unsigned width, unsigned segment)
+    : Adder(width), segment_(segment) {
+  if (segment_ == 0) {
+    throw std::invalid_argument("EtaIIAdder: segment must be positive");
+  }
+}
+
+AddResult EtaIIAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  Word sum = 0;
+  bool speculated = carry_in;  // carry into segment 0 is the true carry-in
+  bool last_carry = false;
+  for (unsigned base = 0; base < width(); base += segment_) {
+    const unsigned end = std::min(width(), base + segment_);
+    const AddResult seg = add_bit_range(a, b, speculated, base, end);
+    sum |= seg.sum;
+    last_carry = seg.carry_out;
+    // Carry speculated for the NEXT segment: generated by this segment with
+    // carry-in 0 (the speculation path ignores the incoming carry).
+    speculated = add_bit_range(a, b, false, base, end).carry_out;
+  }
+  return AddResult{sum & mask(), last_carry};
+}
+
+std::string EtaIIAdder::name() const {
+  return "etaii" + std::to_string(width()) + "s" + std::to_string(segment_);
+}
+
+GateInventory EtaIIAdder::gates() const {
+  GateInventory inv;
+  const unsigned segments = (width() + segment_ - 1) / segment_;
+  // Each segment: a sum chain plus a dedicated carry-speculation chain.
+  inv.full_adders = width() + (segments > 1 ? width() - segment_ : 0) / 2;
+  inv.carry_depth = 2 * segment_;  // speculation chain + sum chain
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// AcaAdder
+// ---------------------------------------------------------------------------
+
+AcaAdder::AcaAdder(unsigned width, unsigned window)
+    : Adder(width), window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("AcaAdder: window must be positive");
+  }
+}
+
+AddResult AcaAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  Word sum = 0;
+  bool msb_carry = false;
+  for (unsigned i = 0; i < width(); ++i) {
+    // Carry into bit i from a ripple over the previous `window_` bits; the
+    // true carry-in participates only if the window reaches bit 0.
+    const unsigned lo = i >= window_ ? i - window_ : 0;
+    const bool cin = (lo == 0) ? carry_in : false;
+    const bool carry_i = add_bit_range(a, b, cin, lo, i).carry_out;
+    const bool ai = (a >> i) & 1;
+    const bool bi = (b >> i) & 1;
+    if (ai ^ bi ^ carry_i) sum |= Word{1} << i;
+    if (i + 1 == width()) {
+      msb_carry = (ai && bi) || (ai && carry_i) || (bi && carry_i);
+    }
+  }
+  return AddResult{sum & mask(), msb_carry};
+}
+
+std::string AcaAdder::name() const {
+  return "aca" + std::to_string(width()) + "w" + std::to_string(window_);
+}
+
+GateInventory AcaAdder::gates() const {
+  GateInventory inv;
+  // One window-length sub-chain per bit (heavily shared in real designs;
+  // we model the published ~2x FA overhead for window ~ width/4).
+  inv.full_adders = std::min<std::size_t>(width() * 2,
+                                          std::size_t{width()} * window_ / 2 +
+                                              width());
+  inv.carry_depth = window_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// GearAdder
+// ---------------------------------------------------------------------------
+
+GearAdder::GearAdder(unsigned width, unsigned result_bits,
+                     unsigned prediction_bits)
+    : Adder(width), r_(result_bits), p_(prediction_bits) {
+  if (r_ == 0) {
+    throw std::invalid_argument("GearAdder: result_bits must be positive");
+  }
+}
+
+AddResult GearAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  Word sum = 0;
+  bool msb_carry = false;
+  for (unsigned base = 0; base < width(); base += r_) {
+    const unsigned end = std::min(width(), base + r_);
+    const unsigned lo = base >= p_ ? base - p_ : 0;
+    const bool cin = (lo == 0) ? carry_in : false;
+    // Sub-adder spans [lo, end); carry into `base` comes from its low part.
+    const bool carry_into_block = add_bit_range(a, b, cin, lo, base).carry_out;
+    const AddResult block = add_bit_range(a, b, carry_into_block, base, end);
+    sum |= block.sum;
+    if (end == width()) msb_carry = block.carry_out;
+  }
+  return AddResult{sum & mask(), msb_carry};
+}
+
+std::string GearAdder::name() const {
+  return "gear" + std::to_string(width()) + "r" + std::to_string(r_) + "p" +
+         std::to_string(p_);
+}
+
+GateInventory GearAdder::gates() const {
+  GateInventory inv;
+  const unsigned blocks = (width() + r_ - 1) / r_;
+  inv.full_adders = blocks * (r_ + p_);
+  inv.carry_depth = r_ + p_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// GdaAdder
+// ---------------------------------------------------------------------------
+
+GdaAdder::GdaAdder(unsigned width, unsigned approx_bits)
+    : Adder(width), approx_bits_(clamp_bits(approx_bits, width - 1)) {}
+
+AddResult GdaAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  const unsigned k = approx_bits_;
+  if (k == 0) {
+    return add_bit_range(a, b, carry_in, 0, width());
+  }
+  const Word low = (a | b) & word_mask(k);
+  // The carry bridged into the exact upper part is the AND of the topmost
+  // approximate bit pair (LOA-style carry prediction).
+  const bool bridge_carry =
+      (((a >> (k - 1)) & 1) != 0) && (((b >> (k - 1)) & 1) != 0);
+  const AddResult upper = add_bit_range(a, b, bridge_carry, k, width());
+  return AddResult{(low | upper.sum) & mask(), upper.carry_out};
+}
+
+std::string GdaAdder::name() const {
+  return "gda" + std::to_string(width()) + "k" + std::to_string(approx_bits_);
+}
+
+GateInventory GdaAdder::gates() const {
+  GateInventory inv;
+  // Active lower region: OR gates; active upper region: FA chain. The
+  // boundary muxes switch in every configuration.
+  inv.or2 = approx_bits_;
+  inv.and2 = approx_bits_ > 0 ? 1 : 0;
+  inv.full_adders = width() - approx_bits_;
+  inv.mux2 = width();
+  inv.carry_depth = width() - approx_bits_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// QcsConfigurableAdder
+// ---------------------------------------------------------------------------
+
+QcsConfigurableAdder::QcsConfigurableAdder(unsigned width, unsigned chain_bits)
+    : Adder(width), chain_bits_(chain_bits) {
+  if (chain_bits_ == 0) {
+    throw std::invalid_argument(
+        "QcsConfigurableAdder: chain_bits must be positive");
+  }
+}
+
+AddResult QcsConfigurableAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  if (chain_bits_ >= width()) {
+    return add_bit_range(a, b, carry_in, 0, width());
+  }
+  // Windowed carry: identical error semantics to ACA with window chain_bits;
+  // the configuration muxes select how far each carry may propagate.
+  Word sum = 0;
+  bool msb_carry = false;
+  for (unsigned i = 0; i < width(); ++i) {
+    const unsigned lo = i >= chain_bits_ ? i - chain_bits_ : 0;
+    const bool cin = (lo == 0) ? carry_in : false;
+    const bool carry_i = add_bit_range(a, b, cin, lo, i).carry_out;
+    const bool ai = (a >> i) & 1;
+    const bool bi = (b >> i) & 1;
+    if (ai ^ bi ^ carry_i) sum |= Word{1} << i;
+    if (i + 1 == width()) {
+      msb_carry = (ai && bi) || (ai && carry_i) || (bi && carry_i);
+    }
+  }
+  return AddResult{sum & mask(), msb_carry};
+}
+
+std::string QcsConfigurableAdder::name() const {
+  return "qcs" + std::to_string(width()) + "c" + std::to_string(chain_bits_);
+}
+
+GateInventory QcsConfigurableAdder::gates() const {
+  GateInventory inv;
+  // The physical structure is shared across accuracy configurations: a full
+  // FA chain plus segment-boundary speculation chains and config muxes.
+  inv.full_adders = width() + width() / 2;
+  inv.mux2 = width() / 2;
+  // The ACTIVE carry depth depends on the configured chain length; this is
+  // what differentiates switched energy across accuracy levels.
+  inv.carry_depth = std::min(chain_bits_, width());
+  return inv;
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,165 @@
+// Approximate adder architectures from the literature.
+//
+// These are bit-accurate software models: for every operand pair they produce
+// exactly the sum the modeled hardware would produce, so the error statistics
+// (error rate, mean error distance, worst-case error) that drive ApproxIt's
+// offline characterization are faithful.
+//
+// References (paper numbering):
+//  - LOA: Mahdiani et al., lower-part OR adder.
+//  - ETA-I / ETA-II: Zhu et al. [14], error-tolerant adders.
+//  - ACA: Verma et al., almost correct adder (windowed carry).
+//  - GeAr: Shafique et al., generic accuracy-configurable adder;
+//    generalizes ACA (R=1) and ETA-II (R=P).
+//  - Truncated: low bits forced to zero (classic precision scaling).
+#pragma once
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Lower-part OR adder: the low `approx_bits` result bits are a|b (no carry
+/// chain); one AND gate feeds the carry into the exact upper part.
+class LowerOrAdder final : public Adder {
+ public:
+  LowerOrAdder(unsigned width, unsigned approx_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned approx_bits() const { return approx_bits_; }
+
+ private:
+  unsigned approx_bits_;
+};
+
+/// Truncated adder: the low `truncated_bits` result bits are zero and no
+/// carry is produced from them; the upper part is exact.
+class TruncatedAdder final : public Adder {
+ public:
+  TruncatedAdder(unsigned width, unsigned truncated_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned truncated_bits() const { return truncated_bits_; }
+
+ private:
+  unsigned truncated_bits_;
+};
+
+/// Error-tolerant adder type I: exact upper part; the lower part is scanned
+/// from its MSB downward — bits XOR until the first position where both
+/// operand bits are 1, from which point all lower result bits saturate to 1.
+class EtaIAdder final : public Adder {
+ public:
+  EtaIAdder(unsigned width, unsigned approx_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned approx_bits() const { return approx_bits_; }
+
+ private:
+  unsigned approx_bits_;
+};
+
+/// Error-tolerant adder type II: the carry chain is cut into `segment`-bit
+/// blocks; the carry into block i is speculated from block i-1 alone
+/// (carry-in 0 at block i-1's input).
+class EtaIIAdder final : public Adder {
+ public:
+  EtaIIAdder(unsigned width, unsigned segment);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned segment() const { return segment_; }
+
+ private:
+  unsigned segment_;
+};
+
+/// Almost correct adder: the carry into bit i is computed from a ripple over
+/// the previous `window` bits only.
+class AcaAdder final : public Adder {
+ public:
+  AcaAdder(unsigned width, unsigned window);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned window() const { return window_; }
+
+ private:
+  unsigned window_;
+};
+
+/// Generic accuracy-configurable adder GeAr(width, R, P): result bits are
+/// produced in blocks of R; block b is computed by a sub-adder spanning bits
+/// [b*R - P, (b+1)*R) with carry-in 0, keeping its top R sum bits.
+/// R = 1 reduces to ACA(window = P + 1); R = P reduces to ETA-II.
+class GearAdder final : public Adder {
+ public:
+  GearAdder(unsigned width, unsigned result_bits, unsigned prediction_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned result_bits() const { return r_; }
+  unsigned prediction_bits() const { return p_; }
+
+ private:
+  unsigned r_;
+  unsigned p_;
+};
+
+/// Gracefully-degrading accuracy-configurable adder (GDA), the default QCS
+/// level implementation: the low `approx_bits` result bits are computed
+/// carry-free (bitwise OR, as in LOA) while the upper part stays exact, and
+/// configuration muxes move the boundary at runtime. Error is strictly
+/// bounded by 2^approx_bits, so accuracy is monotone in the configuration —
+/// for any operand signs, including cancellation-heavy workloads — which is
+/// the property ApproxIt's accuracy levels rely on.
+///
+/// approx_bits = 0 gives exact addition (the QCS's accurate mode); the mux
+/// inventory is shared across configurations, only the active carry chain
+/// and the OR region change.
+class GdaAdder final : public Adder {
+ public:
+  GdaAdder(unsigned width, unsigned approx_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return approx_bits_ == 0; }
+
+  unsigned approx_bits() const { return approx_bits_; }
+
+ private:
+  unsigned approx_bits_;
+};
+
+/// Reconfiguration-oriented accuracy-configurable adder modeling the QCS
+/// hardware of Ye et al. [5]: a segmented carry chain whose segment
+/// boundaries can be bridged by configuration muxes. `chain_bits` is the
+/// effective carry-propagation window per result bit (wider = more accurate);
+/// chain_bits >= width gives exact addition.
+///
+/// The gate inventory includes the configuration muxes, so all accuracy
+/// levels of one QCS share area but differ in switched energy (shorter
+/// active carry chains glitch less).
+class QcsConfigurableAdder final : public Adder {
+ public:
+  QcsConfigurableAdder(unsigned width, unsigned chain_bits);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return chain_bits_ >= width(); }
+
+  unsigned chain_bits() const { return chain_bits_; }
+
+ private:
+  unsigned chain_bits_;
+};
+
+}  // namespace approxit::arith

@@ -1,0 +1,55 @@
+// ArithContext: the seam between algorithm code and the (possibly
+// approximate) datapath.
+//
+// Error-resilient kernels take an ArithContext& and perform their additions
+// through it. Passing an ExactContext runs them in plain floating point
+// (zero-overhead reference); passing a QcsAlu routes them through the
+// configured approximate adder with energy accounting.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+namespace approxit::arith {
+
+/// Abstract arithmetic context for error-resilient computations.
+class ArithContext {
+ public:
+  virtual ~ArithContext() = default;
+
+  /// a + b.
+  virtual double add(double a, double b) = 0;
+
+  /// a - b.
+  virtual double sub(double a, double b) = 0;
+
+  /// Left-fold sum of `values` (0 when empty).
+  virtual double accumulate(std::span<const double> values) = 0;
+
+  /// Dot product; multiplications are exact, accumulation context-routed.
+  virtual double dot(std::span<const double> x,
+                     std::span<const double> y) = 0;
+};
+
+/// Pure floating-point context: the "no approximation" reference with no
+/// energy accounting. Used for error-sensitive code paths and unit tests.
+class ExactContext final : public ArithContext {
+ public:
+  double add(double a, double b) override { return a + b; }
+  double sub(double a, double b) override { return a - b; }
+  double accumulate(std::span<const double> values) override {
+    double acc = 0.0;
+    for (double v : values) acc += v;
+    return acc;
+  }
+  double dot(std::span<const double> x, std::span<const double> y) override {
+    if (x.size() != y.size()) {
+      throw std::invalid_argument("ExactContext::dot: size mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+    return acc;
+  }
+};
+
+}  // namespace approxit::arith

@@ -1,0 +1,136 @@
+#include "arith/energy.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace approxit::arith {
+
+double operation_energy(const GateInventory& inv, const EnergyParams& p) {
+  const double gate_energy =
+      static_cast<double>(inv.full_adders) * p.full_adder +
+      static_cast<double>(inv.half_adders) * p.half_adder +
+      static_cast<double>(inv.and2) * p.and2 +
+      static_cast<double>(inv.or2) * p.or2 +
+      static_cast<double>(inv.xor2) * p.xor2 +
+      static_cast<double>(inv.mux2) * p.mux2 +
+      static_cast<double>(inv.inverters) * p.inverter;
+  const double glitch =
+      1.0 + p.glitch_per_depth * static_cast<double>(inv.carry_depth);
+  return gate_energy * p.activity * glitch;
+}
+
+double adder_energy(const Adder& adder, const EnergyParams& params) {
+  return operation_energy(adder.gates(), params);
+}
+
+unsigned longest_carry_chain(Word a, Word b, unsigned width, bool carry_in) {
+  a &= word_mask(width);
+  b &= word_mask(width);
+  const Word generate = a & b;
+  const Word propagate = a ^ b;
+  unsigned longest = 0;
+  unsigned run = carry_in ? 1 : 0;  // virtual generate below bit 0
+  for (unsigned i = 0; i < width; ++i) {
+    const bool g = (generate >> i) & 1;
+    const bool p = (propagate >> i) & 1;
+    if (run > 0 && p) {
+      // An active carry keeps propagating through this stage.
+      ++run;
+    } else if (g) {
+      // A fresh carry starts here (any incoming one is absorbed).
+      run = 1;
+    } else {
+      run = 0;
+    }
+    longest = std::max(longest, run);
+  }
+  return longest;
+}
+
+ToggleEnergyModel::ToggleEnergyModel(const GateInventory& inventory,
+                                     unsigned width,
+                                     const EnergyParams& params)
+    : width_(width == 0 ? 1 : width),
+      glitch_per_depth_(params.glitch_per_depth),
+      structural_depth_(inventory.carry_depth) {
+  EnergyParams unit = params;
+  // Collect the raw gate energy (activity/glitch applied per operation).
+  unit.activity = 1.0;
+  unit.glitch_per_depth = 0.0;
+  GateInventory flat = inventory;
+  flat.carry_depth = 0;
+  gate_energy_ = approxit::arith::operation_energy(flat, unit);
+  static_energy_ = approxit::arith::operation_energy(inventory, params);
+}
+
+void ToggleEnergyModel::reset() { has_prev_ = false; }
+
+double ToggleEnergyModel::operation_energy(Word a, Word b) {
+  // Toggle activity: fraction of input bits that changed since the last
+  // operation (first operation charges full switching).
+  double activity = 1.0;
+  if (has_prev_) {
+    const unsigned toggles =
+        static_cast<unsigned>(std::popcount((a ^ prev_a_) & word_mask(width_)) +
+                              std::popcount((b ^ prev_b_) & word_mask(width_)));
+    // A small floor models clocking/leakage-equivalent switching.
+    activity = std::max(0.1, static_cast<double>(toggles) /
+                                 (2.0 * static_cast<double>(width_)));
+  }
+  prev_a_ = a;
+  prev_b_ = b;
+  has_prev_ = true;
+
+  // Glitch term from the ACTUAL resolved carry chain, capped by the
+  // component's structural depth (carries cannot propagate further than
+  // the wiring allows).
+  const unsigned chain =
+      std::min<unsigned>(longest_carry_chain(a, b, width_),
+                         static_cast<unsigned>(structural_depth_));
+  const double glitch = 1.0 + glitch_per_depth_ * static_cast<double>(chain);
+  return gate_energy_ * activity * glitch;
+}
+
+void EnergyLedger::record(ApproxMode mode, double energy_per_op,
+                          std::size_t count) {
+  energy_[mode_index(mode)] += energy_per_op * static_cast<double>(count);
+  ops_[mode_index(mode)] += count;
+}
+
+double EnergyLedger::total_energy() const {
+  double total = 0.0;
+  for (double e : energy_) total += e;
+  return total;
+}
+
+std::size_t EnergyLedger::total_ops() const {
+  std::size_t total = 0;
+  for (std::size_t n : ops_) total += n;
+  return total;
+}
+
+void EnergyLedger::reset() {
+  energy_.fill(0.0);
+  ops_.fill(0);
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    energy_[i] += other.energy_[i];
+    ops_[i] += other.ops_[i];
+  }
+}
+
+std::string EnergyLedger::summary() const {
+  std::ostringstream os;
+  os << "energy=" << total_energy() << " ops=" << total_ops() << " [";
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (i > 0) os << ", ";
+    os << mode_name(mode_from_index(i)) << ":" << ops_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace approxit::arith

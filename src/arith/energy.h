@@ -1,0 +1,132 @@
+// Structural per-operation energy model and the session-wide energy ledger.
+//
+// Following the capacitance-proportional switching-energy treatment in
+// Weste & Harris, "CMOS VLSI Design" (the paper's energy reference [22]),
+// each gate type is assigned a normalized switching energy; one addition's
+// energy is the gate-inventory dot product scaled by an activity factor,
+// plus a glitch term that grows with carry-chain depth (long ripple chains
+// re-evaluate downstream bits several times before settling).
+//
+// All energies are normalized units; the benchmark harness reports energy
+// ratios against the fully-accurate run, exactly as the paper does.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "arith/adder.h"
+#include "arith/gates.h"
+#include "arith/mode.h"
+
+namespace approxit::arith {
+
+/// Per-gate-type normalized switching energies plus activity/glitch factors.
+struct EnergyParams {
+  double full_adder = 13.0;  ///< mirror FA: ~2 XOR + 2 AND + OR worth
+  double half_adder = 5.0;
+  double and2 = 2.0;
+  double or2 = 2.0;
+  double xor2 = 3.0;
+  double mux2 = 3.5;
+  double inverter = 1.0;
+  /// Fraction of gates that switch on an average operand pair.
+  double activity = 0.5;
+  /// Extra switching per unit of carry-chain depth relative to component
+  /// width (glitch propagation along the active carry chain).
+  double glitch_per_depth = 0.08;
+
+  /// Default parameters used throughout the reproduction.
+  static EnergyParams defaults() { return EnergyParams{}; }
+};
+
+/// Computes the normalized energy of one operation on a component with the
+/// given gate inventory.
+double operation_energy(const GateInventory& inventory,
+                        const EnergyParams& params = EnergyParams::defaults());
+
+/// Length of the longest resolved carry-propagation chain when adding the
+/// low `width` bits of a and b: the longest run of propagate bits (a^b)
+/// fed by a generate bit (a&b) or the carry-in. This is the number of
+/// full-adder stages that actually re-evaluate before the sum settles —
+/// the dominant dynamic-energy term of ripple-class adders.
+unsigned longest_carry_chain(Word a, Word b, unsigned width,
+                             bool carry_in = false);
+
+/// Data-dependent per-operation energy: instead of the static average
+/// (activity x glitch-at-structural-depth), charges each operation by the
+/// INPUT TOGGLE activity against the previous operand pair and by the
+/// ACTUAL resolved carry-chain length of the operands. Stateful per
+/// component instance, like the hardware it models.
+class ToggleEnergyModel {
+ public:
+  /// `inventory`/`width` describe the component; `params` supplies gate
+  /// energies and the glitch coefficient.
+  ToggleEnergyModel(const GateInventory& inventory, unsigned width,
+                    const EnergyParams& params = EnergyParams::defaults());
+
+  /// Energy of adding (a, b) given the previously applied operands;
+  /// updates the internal previous-operand state.
+  double operation_energy(Word a, Word b);
+
+  /// Resets the previous-operand state (as after power gating).
+  void reset();
+
+  /// The data-independent energy this model averages around (for
+  /// comparison against the static model).
+  double static_energy() const { return static_energy_; }
+
+ private:
+  unsigned width_;
+  double gate_energy_;       ///< Summed gate switching energy (no factors).
+  double glitch_per_depth_;
+  double static_energy_;
+  std::size_t structural_depth_;
+  Word prev_a_ = 0;
+  Word prev_b_ = 0;
+  bool has_prev_ = false;
+};
+
+/// Energy of one add on the given adder (operation_energy of its gates()).
+double adder_energy(const Adder& adder,
+                    const EnergyParams& params = EnergyParams::defaults());
+
+/// Accumulates per-mode operation counts and energy for one run.
+///
+/// The ALU records every routed operation here; the harness then normalizes
+/// total energy against the fully-accurate ("Truth") run of the same
+/// workload to reproduce the paper's Energy/Power columns.
+class EnergyLedger {
+ public:
+  /// Records `count` operations in `mode`, each costing `energy_per_op`.
+  void record(ApproxMode mode, double energy_per_op, std::size_t count = 1);
+
+  /// Total accumulated energy across all modes (normalized units).
+  double total_energy() const;
+
+  /// Energy accumulated in one mode.
+  double energy(ApproxMode mode) const {
+    return energy_[mode_index(mode)];
+  }
+
+  /// Operation count in one mode.
+  std::size_t ops(ApproxMode mode) const { return ops_[mode_index(mode)]; }
+
+  /// Total operation count across all modes.
+  std::size_t total_ops() const;
+
+  /// Resets all counters to zero.
+  void reset();
+
+  /// Merges another ledger's counts into this one.
+  void merge(const EnergyLedger& other);
+
+  /// One-line human-readable summary for logs.
+  std::string summary() const;
+
+ private:
+  std::array<double, kNumModes> energy_{};
+  std::array<std::size_t, kNumModes> ops_{};
+};
+
+}  // namespace approxit::arith

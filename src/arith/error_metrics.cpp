@@ -1,0 +1,144 @@
+#include "arith/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+/// Incremental collector for ErrorStats.
+class Collector {
+ public:
+  explicit Collector(unsigned width) : width_(width) {}
+
+  void observe(double exact, double approx) {
+    ++samples_;
+    const double err = approx - exact;
+    const double abs_err = std::abs(err);
+    if (abs_err > 0.0) ++errors_;
+    sum_err_ += err;
+    sum_abs_err_ += abs_err;
+    sum_rel_err_ += abs_err / std::max(1.0, std::abs(exact));
+    worst_ = std::max(worst_, abs_err);
+  }
+
+  ErrorStats finish() const {
+    ErrorStats stats;
+    stats.samples = samples_;
+    if (samples_ == 0) return stats;
+    const double n = static_cast<double>(samples_);
+    stats.error_rate = static_cast<double>(errors_) / n;
+    stats.mean_error = sum_err_ / n;
+    stats.mean_error_distance = sum_abs_err_ / n;
+    stats.mean_relative_error = sum_rel_err_ / n;
+    stats.worst_case_error = worst_;
+    const double range =
+        std::ldexp(1.0, static_cast<int>(width_)) - 1.0;
+    stats.normalized_med = stats.mean_error_distance / range;
+    return stats;
+  }
+
+ private:
+  unsigned width_;
+  std::size_t samples_ = 0;
+  std::size_t errors_ = 0;
+  double sum_err_ = 0.0;
+  double sum_abs_err_ = 0.0;
+  double sum_rel_err_ = 0.0;
+  double worst_ = 0.0;
+};
+
+Word draw_operand(util::Rng& rng, unsigned width, OperandDist dist) {
+  const Word mask = word_mask(width);
+  switch (dist) {
+    case OperandDist::kUniform:
+      return rng.next_u64() & mask;
+    case OperandDist::kGaussian: {
+      const double mid = std::ldexp(1.0, static_cast<int>(width) - 1);
+      const double v = rng.gaussian(mid, mid / 4.0);
+      const double clamped =
+          std::clamp(v, 0.0, std::ldexp(1.0, static_cast<int>(width)) - 1.0);
+      return static_cast<Word>(clamped) & mask;
+    }
+    case OperandDist::kSmallMagnitude: {
+      const unsigned half = width / 2 == 0 ? 1 : width / 2;
+      return rng.next_u64() & word_mask(half);
+    }
+  }
+  return rng.next_u64() & mask;
+}
+
+double total_value(const AddResult& r, unsigned width) {
+  return static_cast<double>(r.sum) +
+         (r.carry_out ? std::ldexp(1.0, static_cast<int>(width)) : 0.0);
+}
+
+}  // namespace
+
+std::string ErrorStats::to_string() const {
+  std::ostringstream os;
+  os << "ER=" << error_rate << " ME=" << mean_error
+     << " MED=" << mean_error_distance << " MRED=" << mean_relative_error
+     << " WCE=" << worst_case_error << " NMED=" << normalized_med
+     << " n=" << samples;
+  return os.str();
+}
+
+ErrorStats characterize_adder(const Adder& adder, std::size_t samples,
+                              std::uint64_t seed, OperandDist dist) {
+  util::Rng rng(seed);
+  Collector collector(adder.width());
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Word a = draw_operand(rng, adder.width(), dist);
+    const Word b = draw_operand(rng, adder.width(), dist);
+    const bool cin = (rng.next_u64() & 1) != 0;
+    const AddResult approx = adder.add(a, b, cin);
+    const AddResult exact = exact_add(adder.width(), a, b, cin);
+    collector.observe(total_value(exact, adder.width()),
+                      total_value(approx, adder.width()));
+  }
+  return collector.finish();
+}
+
+ErrorStats characterize_adder_exhaustive(const Adder& adder) {
+  const unsigned width = adder.width();
+  if (width > 10) {
+    throw std::invalid_argument(
+        "characterize_adder_exhaustive: width must be <= 10");
+  }
+  const Word limit = Word{1} << width;
+  Collector collector(width);
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = 0; b < limit; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const AddResult approx = adder.add(a, b, cin != 0);
+        const AddResult exact = exact_add(width, a, b, cin != 0);
+        collector.observe(total_value(exact, width),
+                          total_value(approx, width));
+      }
+    }
+  }
+  return collector.finish();
+}
+
+ErrorStats characterize_multiplier(const Multiplier& multiplier,
+                                   std::size_t samples, std::uint64_t seed,
+                                   OperandDist dist) {
+  util::Rng rng(seed);
+  Collector collector(2 * multiplier.width());
+  const unsigned w = multiplier.width();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Word a = draw_operand(rng, w, dist);
+    const Word b = draw_operand(rng, w, dist);
+    const Word approx = multiplier.multiply(a, b);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    collector.observe(exact, static_cast<double>(approx));
+  }
+  return collector.finish();
+}
+
+}  // namespace approxit::arith

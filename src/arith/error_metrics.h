@@ -1,0 +1,60 @@
+// Low-level error characterization of approximate components.
+//
+// Implements the standard metrics the paper lists in Section 3.1 — worst-
+// case error (WCE), error rate (ER), mean error (ME) — plus the mean error
+// distance family (MED, MRED, NMED) of Liang/Han/Lombardi [18]. These feed
+// the offline characterization stage; the paper's point is that they CANNOT
+// directly predict application quality, which the iteration-level quality
+// error (core/quality.h) fixes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "arith/adder.h"
+#include "arith/multipliers.h"
+
+namespace approxit::arith {
+
+/// Operand distribution used during Monte Carlo characterization.
+enum class OperandDist {
+  kUniform,        ///< Uniform over all width-bit words.
+  kGaussian,       ///< Gaussian magnitudes centered mid-range (datapath-like).
+  kSmallMagnitude  ///< Uniform over the low half of the bit range (typical of
+                   ///< fixed-point residuals late in an iterative solve).
+};
+
+/// Aggregate error statistics of an approximate component against the exact
+/// reference, over some operand distribution. Errors are measured on the
+/// (width+1)-bit unsigned result (sum plus carry-out).
+struct ErrorStats {
+  double error_rate = 0.0;        ///< ER: fraction of erroneous results.
+  double mean_error = 0.0;        ///< ME: signed mean of (approx - exact).
+  double mean_error_distance = 0.0;  ///< MED: mean |approx - exact|.
+  double mean_relative_error = 0.0;  ///< MRED: mean |err| / max(1, exact).
+  double worst_case_error = 0.0;  ///< WCE: max |approx - exact|.
+  double normalized_med = 0.0;    ///< NMED: MED / (2^width - 1).
+  std::size_t samples = 0;        ///< Operand pairs evaluated.
+
+  /// One-line report ("ER=0.12 ME=-3.5 MED=12.1 ...").
+  std::string to_string() const;
+};
+
+/// Monte Carlo characterization of an adder over `samples` operand pairs
+/// drawn from `dist` (seeded, deterministic). Carry-in is exercised
+/// uniformly.
+ErrorStats characterize_adder(const Adder& adder, std::size_t samples,
+                              std::uint64_t seed,
+                              OperandDist dist = OperandDist::kUniform);
+
+/// Exhaustive characterization over all operand pairs and both carry-ins;
+/// requires width <= 10 (2^21 cases at width 10). Throws otherwise.
+ErrorStats characterize_adder_exhaustive(const Adder& adder);
+
+/// Monte Carlo characterization of a multiplier (unsigned operands).
+ErrorStats characterize_multiplier(const Multiplier& multiplier,
+                                   std::size_t samples, std::uint64_t seed,
+                                   OperandDist dist = OperandDist::kUniform);
+
+}  // namespace approxit::arith

@@ -1,0 +1,160 @@
+#include "arith/exact_adders.h"
+
+#include <bit>
+#include <cmath>
+
+namespace approxit::arith {
+namespace {
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RippleCarryAdder
+// ---------------------------------------------------------------------------
+
+RippleCarryAdder::RippleCarryAdder(unsigned width) : Adder(width) {}
+
+AddResult RippleCarryAdder::add(Word a, Word b, bool carry_in) const {
+  return add_bit_range(a & mask(), b & mask(), carry_in, 0, width());
+}
+
+std::string RippleCarryAdder::name() const {
+  return "rca" + std::to_string(width());
+}
+
+GateInventory RippleCarryAdder::gates() const {
+  GateInventory inv;
+  inv.full_adders = width();
+  inv.carry_depth = width();
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// CarryLookaheadAdder
+// ---------------------------------------------------------------------------
+
+CarryLookaheadAdder::CarryLookaheadAdder(unsigned width, unsigned block)
+    : Adder(width), block_(block == 0 ? 4 : block) {}
+
+AddResult CarryLookaheadAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  // Generate/propagate per bit; carries computed with block lookahead.
+  Word sum = 0;
+  bool carry = carry_in;
+  for (unsigned base = 0; base < width(); base += block_) {
+    const unsigned end = std::min(width(), base + block_);
+    // Within a block the lookahead network produces the same carries as a
+    // ripple chain would (it is exact); reuse ripple semantics.
+    const AddResult blockResult = add_bit_range(a, b, carry, base, end);
+    sum |= blockResult.sum;
+    carry = blockResult.carry_out;
+  }
+  return AddResult{sum, carry};
+}
+
+std::string CarryLookaheadAdder::name() const {
+  return "cla" + std::to_string(width()) + "b" + std::to_string(block_);
+}
+
+GateInventory CarryLookaheadAdder::gates() const {
+  GateInventory inv;
+  // Per bit: P = a^b (XOR), G = a&b (AND), sum = P^c (XOR).
+  inv.xor2 = 2 * width();
+  inv.and2 = width();
+  // Lookahead logic per block of size k: carries c1..ck need
+  // ~k(k+1)/2 AND terms and k OR gates.
+  const unsigned blocks = (width() + block_ - 1) / block_;
+  inv.and2 += blocks * (block_ * (block_ + 1)) / 2;
+  inv.or2 += blocks * block_;
+  inv.carry_depth = 2 * blocks;  // two logic levels per block group
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// CarrySelectAdder
+// ---------------------------------------------------------------------------
+
+CarrySelectAdder::CarrySelectAdder(unsigned width, unsigned block)
+    : Adder(width), block_(block == 0 ? 4 : block) {}
+
+AddResult CarrySelectAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  Word sum = 0;
+  bool carry = carry_in;
+  for (unsigned base = 0; base < width(); base += block_) {
+    const unsigned end = std::min(width(), base + block_);
+    // Hardware computes both hypotheses; the selected one equals ripple with
+    // the actual carry-in.
+    const AddResult sel = add_bit_range(a, b, carry, base, end);
+    sum |= sel.sum;
+    carry = sel.carry_out;
+  }
+  return AddResult{sum, carry};
+}
+
+std::string CarrySelectAdder::name() const {
+  return "csel" + std::to_string(width()) + "b" + std::to_string(block_);
+}
+
+GateInventory CarrySelectAdder::gates() const {
+  GateInventory inv;
+  const unsigned blocks = (width() + block_ - 1) / block_;
+  // First block single ripple chain; every later block is duplicated
+  // (carry-in 0 and 1) plus sum/carry muxes.
+  inv.full_adders = block_ + (blocks > 1 ? (blocks - 1) * 2 * block_ : 0);
+  inv.mux2 = blocks > 1 ? (blocks - 1) * (block_ + 1) : 0;
+  inv.carry_depth = block_ + blocks;  // first ripple + mux chain
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// KoggeStoneAdder
+// ---------------------------------------------------------------------------
+
+KoggeStoneAdder::KoggeStoneAdder(unsigned width) : Adder(width) {}
+
+AddResult KoggeStoneAdder::add(Word a, Word b, bool carry_in) const {
+  a &= mask();
+  b &= mask();
+  // Parallel-prefix over (G, P) pairs; bitwise formulation.
+  const Word g = a & b;
+  const Word p = a ^ b;
+  // Fold the carry-in into bit 0's generate: g0' = g0 | (p0 & cin).
+  Word gk = carry_in ? (g | (p & 1)) : g;
+  Word pk = p;
+  for (unsigned shift = 1; shift < width(); shift <<= 1) {
+    const Word gPrev = gk << shift;
+    const Word pPrev = pk << shift;
+    gk = gk | (pk & gPrev);
+    pk = pk & pPrev;
+  }
+  // Carry into bit i is the prefix generate of bits [0, i); c0 = cin.
+  const Word carries = (gk << 1) | (carry_in ? 1 : 0);
+  const Word sum = (p ^ carries) & mask();
+  const bool carry_out =
+      width() >= 64 ? ((gk >> 63) & 1) != 0 : ((gk >> (width() - 1)) & 1) != 0;
+  return AddResult{sum, carry_out};
+}
+
+std::string KoggeStoneAdder::name() const {
+  return "ks" + std::to_string(width());
+}
+
+GateInventory KoggeStoneAdder::gates() const {
+  GateInventory inv;
+  const unsigned levels =
+      width() <= 1 ? 1 : static_cast<unsigned>(std::ceil(std::log2(width())));
+  inv.xor2 = 2 * width();          // preprocessing P + postprocessing sum
+  inv.and2 = width() + levels * width() * 2;  // G preprocess + prefix cells
+  inv.or2 = levels * width();
+  inv.carry_depth = levels + 2;
+  return inv;
+}
+
+AdderPtr make_default_exact_adder(unsigned width) {
+  return std::make_shared<RippleCarryAdder>(width);
+}
+
+}  // namespace approxit::arith

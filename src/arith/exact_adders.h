@@ -1,0 +1,67 @@
+// Exact adder architectures.
+//
+// All of these compute exact two's-complement addition; they differ only in
+// structure (gate counts, carry depth) and therefore in modeled energy and
+// area. The fully-accurate mode of the QCS uses one of these.
+#pragma once
+
+#include <memory>
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Ripple-carry adder: a chain of `width` full adders. Smallest area,
+/// longest carry chain.
+class RippleCarryAdder final : public Adder {
+ public:
+  explicit RippleCarryAdder(unsigned width);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return true; }
+};
+
+/// Carry-lookahead adder built from `block` wide lookahead groups
+/// (default 4) rippling between groups.
+class CarryLookaheadAdder final : public Adder {
+ public:
+  explicit CarryLookaheadAdder(unsigned width, unsigned block = 4);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return true; }
+
+ private:
+  unsigned block_;
+};
+
+/// Carry-select adder: each `block`-wide segment computes both carry-in
+/// hypotheses and a mux picks the real one.
+class CarrySelectAdder final : public Adder {
+ public:
+  explicit CarrySelectAdder(unsigned width, unsigned block = 4);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return true; }
+
+ private:
+  unsigned block_;
+};
+
+/// Kogge-Stone parallel-prefix adder: log-depth carry tree, largest area.
+class KoggeStoneAdder final : public Adder {
+ public:
+  explicit KoggeStoneAdder(unsigned width);
+  AddResult add(Word a, Word b, bool carry_in) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+  bool is_exact() const override { return true; }
+};
+
+/// Convenience factory for the default exact adder used by the accurate
+/// mode (ripple-carry, matching the paper's baseline energy normalization).
+AdderPtr make_default_exact_adder(unsigned width);
+
+}  // namespace approxit::arith

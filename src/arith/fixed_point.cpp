@@ -1,0 +1,74 @@
+#include "arith/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxit::arith {
+
+void QFormat::validate() const {
+  if (total_bits < 2 || total_bits > 64) {
+    throw std::invalid_argument("QFormat: total_bits must be in [2, 64]");
+  }
+  if (frac_bits >= total_bits) {
+    throw std::invalid_argument("QFormat: frac_bits must be < total_bits");
+  }
+}
+
+double QFormat::ulp() const { return std::ldexp(1.0, -static_cast<int>(frac_bits)); }
+
+double QFormat::max_value() const {
+  const double max_int = std::ldexp(1.0, static_cast<int>(total_bits) - 1) - 1.0;
+  return max_int * ulp();
+}
+
+double QFormat::min_value() const {
+  return -std::ldexp(1.0, static_cast<int>(total_bits) - 1) * ulp();
+}
+
+std::string QFormat::to_string() const {
+  return "Q" + std::to_string(total_bits - frac_bits) + "." +
+         std::to_string(frac_bits);
+}
+
+Word quantize(double value, const QFormat& format) {
+  if (std::isnan(value)) {
+    return 0;
+  }
+  const double scaled = std::nearbyint(std::ldexp(value, static_cast<int>(format.frac_bits)));
+  const double max_int =
+      std::ldexp(1.0, static_cast<int>(format.total_bits) - 1) - 1.0;
+  const double min_int =
+      -std::ldexp(1.0, static_cast<int>(format.total_bits) - 1);
+  double clamped = scaled;
+  if (clamped > max_int) clamped = max_int;
+  if (clamped < min_int) clamped = min_int;
+  return from_signed(static_cast<std::int64_t>(clamped), format.total_bits);
+}
+
+double dequantize(Word word, const QFormat& format) {
+  const std::int64_t raw = to_signed(word, format.total_bits);
+  return std::ldexp(static_cast<double>(raw),
+                    -static_cast<int>(format.frac_bits));
+}
+
+std::int64_t to_signed(Word word, unsigned width) {
+  word &= word_mask(width);
+  if (width >= 64) {
+    return static_cast<std::int64_t>(word);
+  }
+  const Word sign_bit = Word{1} << (width - 1);
+  if (word & sign_bit) {
+    return static_cast<std::int64_t>(word | ~word_mask(width));
+  }
+  return static_cast<std::int64_t>(word);
+}
+
+Word from_signed(std::int64_t value, unsigned width) {
+  return static_cast<Word>(value) & word_mask(width);
+}
+
+double quantization_roundtrip(double value, const QFormat& format) {
+  return dequantize(quantize(value, format), format);
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,63 @@
+// Fixed-point quantization layer between the floating-point application
+// domain and the bit-level adder models.
+//
+// A QFormat describes a signed two's-complement fixed-point format
+// Q(total_bits, frac_bits). Values inside an error-resilient region are
+// quantized into this format, pushed through the configured (possibly
+// approximate) adder, and dequantized back — mirroring a datapath whose
+// resilient kernels run on approximate fixed-point hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Signed two's-complement fixed-point format descriptor.
+///
+/// `total_bits` in [2, 64]; `frac_bits` < total_bits. The representable
+/// range is [-2^(i-1), 2^(i-1) - ulp] with i = total_bits - frac_bits
+/// integer bits (sign included) and ulp = 2^-frac_bits.
+struct QFormat {
+  unsigned total_bits = 32;
+  unsigned frac_bits = 16;
+
+  /// Validates the invariants above; throws std::invalid_argument.
+  void validate() const;
+
+  /// Value of one least-significant bit.
+  double ulp() const;
+
+  /// Largest representable value.
+  double max_value() const;
+
+  /// Smallest (most negative) representable value.
+  double min_value() const;
+
+  /// Human-readable "Q32.16" style label.
+  std::string to_string() const;
+
+  bool operator==(const QFormat&) const = default;
+};
+
+/// Quantizes `value` to the format with round-to-nearest and saturation;
+/// returns the two's-complement word (low total_bits significant).
+/// NaN quantizes to zero.
+Word quantize(double value, const QFormat& format);
+
+/// Dequantizes a two's-complement word back to double.
+double dequantize(Word word, const QFormat& format);
+
+/// Sign-extends the low `width` bits of `word` into a signed 64-bit value.
+std::int64_t to_signed(Word word, unsigned width);
+
+/// Truncates a signed value into a `width`-bit two's-complement word.
+Word from_signed(std::int64_t value, unsigned width);
+
+/// Round-trips `value` through the format (quantize then dequantize);
+/// useful for measuring pure quantization error.
+double quantization_roundtrip(double value, const QFormat& format);
+
+}  // namespace approxit::arith

@@ -1,0 +1,54 @@
+// Gate inventory: a structural description of a combinational datapath
+// component in terms of standard-cell counts plus carry-chain depth.
+//
+// The energy model (energy.h) turns an inventory into a normalized per-
+// operation switching energy following the capacitance-proportional gate
+// energies of Weste & Harris, "CMOS VLSI Design" (the paper's energy model
+// reference [22]).
+#pragma once
+
+#include <cstddef>
+
+namespace approxit::arith {
+
+/// Standard-cell counts of one combinational component.
+///
+/// `carry_depth` is the longest carry-propagation path measured in full-adder
+/// stages; it drives the glitch-energy term in the energy model (longer
+/// chains re-evaluate more often before settling).
+struct GateInventory {
+  std::size_t full_adders = 0;
+  std::size_t half_adders = 0;
+  std::size_t and2 = 0;
+  std::size_t or2 = 0;
+  std::size_t xor2 = 0;
+  std::size_t mux2 = 0;
+  std::size_t inverters = 0;
+  std::size_t carry_depth = 0;
+
+  /// Component-wise sum of two inventories; carry_depth takes the max.
+  GateInventory operator+(const GateInventory& other) const {
+    GateInventory out = *this;
+    out.full_adders += other.full_adders;
+    out.half_adders += other.half_adders;
+    out.and2 += other.and2;
+    out.or2 += other.or2;
+    out.xor2 += other.xor2;
+    out.mux2 += other.mux2;
+    out.inverters += other.inverters;
+    out.carry_depth =
+        carry_depth > other.carry_depth ? carry_depth : other.carry_depth;
+    return out;
+  }
+
+  /// Total two-input-gate-equivalent count (FA = 5 gates, HA = 2, MUX = 3),
+  /// a rough area proxy used in reports.
+  std::size_t gate_equivalents() const {
+    return full_adders * 5 + half_adders * 2 + and2 + or2 + xor2 + mux2 * 3 +
+           inverters;
+  }
+
+  bool operator==(const GateInventory&) const = default;
+};
+
+}  // namespace approxit::arith

@@ -1,0 +1,15 @@
+#include "arith/mode.h"
+
+namespace approxit::arith {
+
+std::optional<ApproxMode> parse_mode(std::string_view name) {
+  for (ApproxMode mode : kAllModes) {
+    if (name == mode_name(mode)) return mode;
+  }
+  if (name == "accurate" || name == "truth" || name == "Truth") {
+    return ApproxMode::kAccurate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,76 @@
+// Approximation modes of the quality-configurable system (QCS).
+//
+// The paper's hardware platform exposes four approximate-adder accuracy
+// levels (level1 = least accurate .. level4 = most accurate) plus the fully
+// accurate mode. Strategies reconfigure among these five modes at runtime.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace approxit::arith {
+
+/// One operating mode of the quality-configurable ALU.
+enum class ApproxMode : int {
+  kLevel1 = 0,  ///< Least accurate, cheapest.
+  kLevel2 = 1,
+  kLevel3 = 2,
+  kLevel4 = 3,  ///< Most accurate approximate mode.
+  kAccurate = 4,  ///< Fully accurate ("acc" in the paper's tables).
+};
+
+/// Number of modes in the QCS (4 approximate levels + accurate).
+inline constexpr std::size_t kNumModes = 5;
+
+/// All modes ordered from least to most accurate.
+inline constexpr std::array<ApproxMode, kNumModes> kAllModes = {
+    ApproxMode::kLevel1, ApproxMode::kLevel2, ApproxMode::kLevel3,
+    ApproxMode::kLevel4, ApproxMode::kAccurate};
+
+/// Zero-based index of a mode (kLevel1 -> 0 .. kAccurate -> 4).
+constexpr std::size_t mode_index(ApproxMode mode) {
+  return static_cast<std::size_t>(mode);
+}
+
+/// Inverse of mode_index(); index must be < kNumModes.
+constexpr ApproxMode mode_from_index(std::size_t index) {
+  return static_cast<ApproxMode>(static_cast<int>(index));
+}
+
+/// Table label used in the paper ("level1" .. "level4", "acc").
+constexpr std::string_view mode_name(ApproxMode mode) {
+  switch (mode) {
+    case ApproxMode::kLevel1:
+      return "level1";
+    case ApproxMode::kLevel2:
+      return "level2";
+    case ApproxMode::kLevel3:
+      return "level3";
+    case ApproxMode::kLevel4:
+      return "level4";
+    case ApproxMode::kAccurate:
+      return "acc";
+  }
+  return "?";
+}
+
+/// Parses a mode label as produced by mode_name(); also accepts "accurate"
+/// and "truth" for kAccurate. Returns nullopt on unknown input.
+std::optional<ApproxMode> parse_mode(std::string_view name);
+
+/// The next more-accurate mode, or kAccurate if already there (used by the
+/// incremental strategy, which only ever steps upward).
+constexpr ApproxMode next_more_accurate(ApproxMode mode) {
+  return mode == ApproxMode::kAccurate
+             ? ApproxMode::kAccurate
+             : mode_from_index(mode_index(mode) + 1);
+}
+
+/// True if `a` is strictly less accurate than `b`.
+constexpr bool less_accurate(ApproxMode a, ApproxMode b) {
+  return mode_index(a) < mode_index(b);
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,279 @@
+#include "arith/multipliers.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "arith/fixed_point.h"
+
+namespace approxit::arith {
+namespace {
+
+void check_adder(const AdderPtr& adder, unsigned width, const char* who) {
+  if (!adder) {
+    throw std::invalid_argument(std::string(who) + ": null sum adder");
+  }
+  if (adder->width() != 2 * width) {
+    throw std::invalid_argument(std::string(who) +
+                                ": sum adder must be 2x operand width");
+  }
+}
+
+}  // namespace
+
+Multiplier::Multiplier(unsigned width) : width_(width) {
+  if (width == 0 || width > 32) {
+    throw std::invalid_argument("Multiplier width must be in [1, 32]");
+  }
+}
+
+Word Multiplier::multiply_signed(Word a, Word b) const {
+  const unsigned w = width();
+  const std::int64_t sa = to_signed(a, w);
+  const std::int64_t sb = to_signed(b, w);
+  const bool negative = (sa < 0) != (sb < 0);
+  const Word mag_a = static_cast<Word>(sa < 0 ? -sa : sa) & word_mask(w);
+  const Word mag_b = static_cast<Word>(sb < 0 ? -sb : sb) & word_mask(w);
+  const Word product = multiply(mag_a, mag_b);
+  if (!negative) {
+    return product & word_mask(2 * w);
+  }
+  return (~product + 1) & word_mask(2 * w);
+}
+
+// ---------------------------------------------------------------------------
+// ArrayMultiplier
+// ---------------------------------------------------------------------------
+
+ArrayMultiplier::ArrayMultiplier(unsigned width, AdderPtr sum_adder)
+    : Multiplier(width), sum_adder_(std::move(sum_adder)) {
+  check_adder(sum_adder_, width, "ArrayMultiplier");
+}
+
+Word ArrayMultiplier::multiply(Word a, Word b) const {
+  const unsigned w = width();
+  a &= word_mask(w);
+  b &= word_mask(w);
+  Word acc = 0;
+  for (unsigned i = 0; i < w; ++i) {
+    if ((b >> i) & 1) {
+      acc = sum_adder_->add(acc, a << i, false).sum;
+    }
+  }
+  return acc & word_mask(2 * w);
+}
+
+std::string ArrayMultiplier::name() const {
+  return "arraymul" + std::to_string(width()) + "[" + sum_adder_->name() + "]";
+}
+
+GateInventory ArrayMultiplier::gates() const {
+  GateInventory inv;
+  inv.and2 = width() * width();  // partial-product generation
+  const GateInventory row = sum_adder_->gates();
+  // One 2w-bit adder row per operand bit.
+  for (unsigned i = 0; i < width(); ++i) {
+    inv.full_adders += row.full_adders;
+    inv.half_adders += row.half_adders;
+    inv.and2 += row.and2;
+    inv.or2 += row.or2;
+    inv.xor2 += row.xor2;
+    inv.mux2 += row.mux2;
+    inv.inverters += row.inverters;
+  }
+  inv.carry_depth = row.carry_depth + width();
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// BoothMultiplier
+// ---------------------------------------------------------------------------
+
+BoothMultiplier::BoothMultiplier(unsigned width, AdderPtr sum_adder)
+    : Multiplier(width), sum_adder_(std::move(sum_adder)) {
+  check_adder(sum_adder_, width, "BoothMultiplier");
+}
+
+Word BoothMultiplier::multiply(Word a, Word b) const {
+  const unsigned w = width();
+  const unsigned pw = 2 * w;
+  const Word pmask = word_mask(pw);
+  a &= word_mask(w);
+  b &= word_mask(w);
+  Word acc = 0;
+  // Radix-4 Booth recoding of the (unsigned) multiplier b, scanning digit
+  // pairs with an extension bit. Digits in {-2,-1,0,1,2}.
+  bool prev = false;
+  for (unsigned i = 0; i < w + 1; i += 2) {
+    const bool b0 = i < w ? ((b >> i) & 1) != 0 : false;
+    const bool b1 = i + 1 < w ? ((b >> (i + 1)) & 1) != 0 : false;
+    const int digit = (b1 ? -2 : 0) + (b0 ? 1 : 0) + (prev ? 1 : 0);
+    prev = b1;
+    if (digit == 0) continue;
+    Word pp = 0;
+    switch (digit) {
+      case 1:
+        pp = (a << i) & pmask;
+        break;
+      case 2:
+        pp = (a << (i + 1)) & pmask;
+        break;
+      case -1:
+        pp = (~(a << i) + 1) & pmask;
+        break;
+      case -2:
+        pp = (~(a << (i + 1)) + 1) & pmask;
+        break;
+      default:
+        break;
+    }
+    acc = sum_adder_->add(acc, pp, false).sum;
+  }
+  return acc & pmask;
+}
+
+std::string BoothMultiplier::name() const {
+  return "booth" + std::to_string(width()) + "[" + sum_adder_->name() + "]";
+}
+
+GateInventory BoothMultiplier::gates() const {
+  GateInventory inv;
+  const GateInventory row = sum_adder_->gates();
+  const unsigned rows = width() / 2 + 1;
+  inv.mux2 = rows * 2 * width();  // Booth selectors
+  for (unsigned i = 0; i < rows; ++i) {
+    inv.full_adders += row.full_adders;
+    inv.half_adders += row.half_adders;
+    inv.and2 += row.and2;
+    inv.or2 += row.or2;
+    inv.xor2 += row.xor2;
+    inv.mux2 += row.mux2;
+    inv.inverters += row.inverters;
+  }
+  inv.carry_depth = row.carry_depth + rows;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedMultiplier
+// ---------------------------------------------------------------------------
+
+TruncatedMultiplier::TruncatedMultiplier(unsigned width,
+                                         unsigned truncated_bits,
+                                         AdderPtr sum_adder)
+    : Multiplier(width),
+      truncated_bits_(truncated_bits),
+      sum_adder_(std::move(sum_adder)) {
+  check_adder(sum_adder_, width, "TruncatedMultiplier");
+  if (truncated_bits_ > 2 * width) {
+    throw std::invalid_argument(
+        "TruncatedMultiplier: cannot truncate more than product width");
+  }
+}
+
+Word TruncatedMultiplier::multiply(Word a, Word b) const {
+  const unsigned w = width();
+  a &= word_mask(w);
+  b &= word_mask(w);
+  const Word keep_mask = word_mask(2 * w) & ~word_mask(truncated_bits_);
+  Word acc = 0;
+  for (unsigned i = 0; i < w; ++i) {
+    if ((b >> i) & 1) {
+      // Partial-product bits below the truncation line are never formed.
+      const Word pp = (a << i) & keep_mask;
+      if (pp != 0) {
+        acc = sum_adder_->add(acc, pp, false).sum;
+      }
+    }
+  }
+  return acc & word_mask(2 * w);
+}
+
+std::string TruncatedMultiplier::name() const {
+  return "truncmul" + std::to_string(width()) + "t" +
+         std::to_string(truncated_bits_);
+}
+
+GateInventory TruncatedMultiplier::gates() const {
+  GateInventory inv;
+  const unsigned w = width();
+  // Roughly half the partial-product cells fall below a diagonal truncation
+  // line of `truncated_bits_`; keep the proportional remainder.
+  const std::size_t total_cells = std::size_t{w} * w;
+  const std::size_t removed =
+      std::min<std::size_t>(total_cells,
+                            std::size_t{truncated_bits_} * truncated_bits_ / 2);
+  inv.and2 = total_cells - removed;
+  inv.full_adders = (total_cells - removed);
+  inv.carry_depth = 2 * w - truncated_bits_;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// KulkarniMultiplier
+// ---------------------------------------------------------------------------
+
+KulkarniMultiplier::KulkarniMultiplier(unsigned width) : Multiplier(width) {
+  if (!std::has_single_bit(width)) {
+    throw std::invalid_argument("KulkarniMultiplier: width must be 2^k");
+  }
+}
+
+namespace {
+
+/// The approximate 2x2 block: exact except 3 x 3 = 7 (0b111 instead of
+/// 0b1001), saving the MSB partial-product cell.
+Word kulkarni2x2(Word a, Word b) {
+  a &= 3;
+  b &= 3;
+  if (a == 3 && b == 3) {
+    return 7;
+  }
+  return a * b;
+}
+
+/// Recursive composition from four half-width blocks; the partial results
+/// are summed exactly (errors originate in the 2x2 blocks only).
+Word kulkarni_recursive(Word a, Word b, unsigned w) {
+  if (w == 1) {
+    return a & b & 1;
+  }
+  if (w == 2) {
+    return kulkarni2x2(a, b);
+  }
+  const unsigned h = w / 2;
+  const Word mask = word_mask(h);
+  const Word al = a & mask, ah = (a >> h) & mask;
+  const Word bl = b & mask, bh = (b >> h) & mask;
+  const Word ll = kulkarni_recursive(al, bl, h);
+  const Word lh = kulkarni_recursive(al, bh, h);
+  const Word hl = kulkarni_recursive(ah, bl, h);
+  const Word hh = kulkarni_recursive(ah, bh, h);
+  return ll + ((lh + hl) << h) + (hh << w);
+}
+
+}  // namespace
+
+Word KulkarniMultiplier::multiply(Word a, Word b) const {
+  const unsigned w = width();
+  return kulkarni_recursive(a & word_mask(w), b & word_mask(w), w) &
+         word_mask(2 * w);
+}
+
+std::string KulkarniMultiplier::name() const {
+  return "kulkarni" + std::to_string(width());
+}
+
+GateInventory KulkarniMultiplier::gates() const {
+  GateInventory inv;
+  const unsigned w = width();
+  // (w/2)^2 approximate 2x2 blocks (~3 AND + 2 half-adder cells each, one
+  // cell saved vs exact), plus the exact summation tree.
+  const std::size_t blocks = (std::size_t{w} / 2) * (w / 2);
+  inv.and2 = blocks * 3;
+  inv.half_adders = blocks * 2;
+  inv.full_adders = std::size_t{2} * w * (w > 2 ? w / 2 : 1);
+  inv.carry_depth = 2 * w;
+  return inv;
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,105 @@
+// Bit-accurate multiplier models built from adder components.
+//
+// Multipliers are part of the approximate-arithmetic substrate (the paper's
+// related work covers underdesigned multipliers, e.g. Kulkarni et al. [13]);
+// the ApproxIt QCS itself only approximates adders, so the ALU routes
+// multiplications exactly — these models back the characterization bench and
+// the adder-family ablation.
+//
+// Operand width w must satisfy 2w <= 64 (products are returned in one Word).
+#pragma once
+
+#include <memory>
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Base class for w x w -> 2w multipliers.
+class Multiplier {
+ public:
+  explicit Multiplier(unsigned width);
+  virtual ~Multiplier() = default;
+
+  Multiplier(const Multiplier&) = delete;
+  Multiplier& operator=(const Multiplier&) = delete;
+
+  /// Unsigned multiply of the low width() bits of a and b; full 2w-bit
+  /// product.
+  virtual Word multiply(Word a, Word b) const = 0;
+
+  /// Architecture name for reports.
+  virtual std::string name() const = 0;
+
+  /// Structural gate counts (partial products + reduction + final adder).
+  virtual GateInventory gates() const = 0;
+
+  /// Signed (two's complement) multiply: sign-magnitude wrapper around
+  /// multiply(); result is a 2w-bit two's-complement product.
+  Word multiply_signed(Word a, Word b) const;
+
+  /// Operand width in bits.
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+};
+
+/// Carry-save array multiplier: w partial products accumulated through the
+/// supplied 2w-bit adder (pass an approximate adder to model an approximate
+/// multiplier array).
+class ArrayMultiplier final : public Multiplier {
+ public:
+  /// `sum_adder` must have width 2 * width.
+  ArrayMultiplier(unsigned width, AdderPtr sum_adder);
+  Word multiply(Word a, Word b) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+ private:
+  AdderPtr sum_adder_;
+};
+
+/// Radix-4 Booth multiplier: ~w/2 partial products through the supplied
+/// 2w-bit adder.
+class BoothMultiplier final : public Multiplier {
+ public:
+  BoothMultiplier(unsigned width, AdderPtr sum_adder);
+  Word multiply(Word a, Word b) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+ private:
+  AdderPtr sum_adder_;
+};
+
+/// Truncated array multiplier: partial-product bits below `truncated_bits`
+/// of the final product are never formed (classic fixed-width truncation).
+class TruncatedMultiplier final : public Multiplier {
+ public:
+  TruncatedMultiplier(unsigned width, unsigned truncated_bits,
+                      AdderPtr sum_adder);
+  Word multiply(Word a, Word b) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+
+  unsigned truncated_bits() const { return truncated_bits_; }
+
+ private:
+  unsigned truncated_bits_;
+  AdderPtr sum_adder_;
+};
+
+/// Kulkarni-style underdesigned multiplier: the 2x2 building block computes
+/// 3 x 3 = 7 (instead of 9); larger multipliers are composed recursively
+/// from four half-width blocks whose partial results are summed exactly.
+/// Width must be a power of two.
+class KulkarniMultiplier final : public Multiplier {
+ public:
+  explicit KulkarniMultiplier(unsigned width);
+  Word multiply(Word a, Word b) const override;
+  std::string name() const override;
+  GateInventory gates() const override;
+};
+
+}  // namespace approxit::arith

@@ -1,0 +1,268 @@
+#include "arith/wce_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace approxit::arith {
+namespace {
+
+/// Per-bit operand symbol: kill (a=b=0), propagate (a^b=1), generate
+/// (a=b=1). The error behaviour of every adder here depends on operands
+/// only through this symbol string, which is what makes exact dynamic
+/// programming possible.
+enum class Symbol : int { kKill = 0, kPropagate = 1, kGenerate = 2 };
+
+constexpr Symbol kSymbols[] = {Symbol::kKill, Symbol::kPropagate,
+                               Symbol::kGenerate};
+
+/// Carry automaton: next carry after adding one bit pair with symbol s.
+constexpr bool next_carry(Symbol s, bool carry) {
+  switch (s) {
+    case Symbol::kKill:
+      return false;
+    case Symbol::kPropagate:
+      return carry;
+    case Symbol::kGenerate:
+      return true;
+  }
+  return false;
+}
+
+/// Sum bit produced by symbol s with incoming carry.
+constexpr bool sum_bit(Symbol s, bool carry) {
+  return (s == Symbol::kPropagate) != carry;
+}
+
+double pow2(unsigned e) { return std::ldexp(1.0, static_cast<int>(e)); }
+
+std::uint64_t to_u64(double v) {
+  return static_cast<std::uint64_t>(v + 0.5);
+}
+
+}  // namespace
+
+std::uint64_t loa_worst_case_error(unsigned width, unsigned approx_bits) {
+  const unsigned k = std::min(approx_bits, width);
+  if (k == 0) return 0;
+  // err = c_bridge * 2^k - (a_low & b_low) - cin.
+  //  - positive branch: both (k-1) bits set forces a&b >= 2^(k-1);
+  //    the minimum overlap gives +2^(k-1).
+  //  - negative branch: a&b can reach 2^(k-1) - 1 without the bridge, plus
+  //    the dropped carry-in: 2^(k-1) in magnitude.
+  return to_u64(pow2(k - 1));
+}
+
+std::uint64_t gda_worst_case_error(unsigned width, unsigned approx_bits) {
+  // GdaAdder clamps its approximate region to width - 1 bits.
+  return loa_worst_case_error(width, std::min(approx_bits, width - 1));
+}
+
+std::uint64_t trunc_worst_case_error(unsigned width,
+                                     unsigned truncated_bits) {
+  const unsigned k = std::min(truncated_bits, width);
+  if (k == 0) return 0;
+  // Both low addends and the carry-in are discarded: 2 (2^k - 1) + 1.
+  return to_u64(2.0 * (pow2(k) - 1.0) + 1.0);
+}
+
+std::uint64_t etai_worst_case_error(unsigned width, unsigned approx_bits) {
+  const unsigned k = std::min(approx_bits, width);
+  if (k == 0) return 0;
+  // Worst case: generate pair at the top approximate bit (j = k-1),
+  // all lower bits of both operands set, carry-in 1:
+  //   |err| = 1 + 2 (2^(k-1) - 1) + 1 = 2^k.
+  return to_u64(pow2(k));
+}
+
+std::uint64_t etaii_worst_case_error(unsigned width, unsigned segment) {
+  if (segment == 0) {
+    throw std::invalid_argument("etaii_worst_case_error: segment must be > 0");
+  }
+  if (segment >= width) return 0;
+  if (width > 52) {
+    throw std::invalid_argument(
+        "etaii_worst_case_error: width too large for exact double "
+        "accumulation");
+  }
+  // Exact DP over bit symbols. State: (true carry, approx carry within the
+  // current segment, speculative carry accumulated for the NEXT segment).
+  // Value: extreme achievable signed error of the processed prefix.
+  struct Extremes {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+  };
+  const auto index = [](bool t, bool a, bool s) {
+    return (t ? 4 : 0) | (a ? 2 : 0) | (s ? 1 : 0);
+  };
+
+  Extremes best;
+  for (int cin = 0; cin < 2; ++cin) {
+    std::vector<Extremes> state(8);
+    state[index(cin != 0, cin != 0, false)] = Extremes{0.0, 0.0};
+    for (unsigned i = 0; i < width; ++i) {
+      std::vector<Extremes> next(8);
+      const bool boundary_next = ((i + 1) % segment) == 0 && (i + 1) < width;
+      for (int idx = 0; idx < 8; ++idx) {
+        const Extremes& cur = state[static_cast<std::size_t>(idx)];
+        if (cur.lo > cur.hi) continue;  // unreachable
+        const bool t = (idx & 4) != 0;
+        const bool a = (idx & 2) != 0;
+        const bool s = (idx & 1) != 0;
+        for (Symbol sym : kSymbols) {
+          const double delta =
+              (sum_bit(sym, a) ? pow2(i) : 0.0) -
+              (sum_bit(sym, t) ? pow2(i) : 0.0);
+          bool t2 = next_carry(sym, t);
+          bool a2 = next_carry(sym, a);
+          bool s2 = next_carry(sym, s);
+          if (boundary_next) {
+            // The next segment's approx chain is seeded by the speculative
+            // carry; a fresh speculation chain starts at 0.
+            a2 = s2;
+            s2 = false;
+          }
+          Extremes& slot = next[static_cast<std::size_t>(index(t2, a2, s2))];
+          slot.lo = std::min(slot.lo, cur.lo + delta);
+          slot.hi = std::max(slot.hi, cur.hi + delta);
+        }
+      }
+      state = std::move(next);
+    }
+    for (int idx = 0; idx < 8; ++idx) {
+      const Extremes& cur = state[static_cast<std::size_t>(idx)];
+      if (cur.lo > cur.hi) continue;
+      const bool t = (idx & 4) != 0;
+      const bool a = (idx & 2) != 0;
+      const double carry_term =
+          ((a ? 1.0 : 0.0) - (t ? 1.0 : 0.0)) * pow2(width);
+      best.lo = std::min(best.lo, cur.lo + carry_term);
+      best.hi = std::max(best.hi, cur.hi + carry_term);
+    }
+  }
+  return to_u64(std::max(std::abs(best.lo), std::abs(best.hi)));
+}
+
+std::uint64_t windowed_worst_case_error(unsigned width, unsigned window) {
+  if (window == 0) {
+    throw std::invalid_argument(
+        "windowed_worst_case_error: window must be > 0");
+  }
+  if (window >= width) return 0;
+  if (window > 10) {
+    throw std::invalid_argument(
+        "windowed_worst_case_error: window > 10 not supported by the DP");
+  }
+  if (width > 52) {
+    throw std::invalid_argument(
+        "windowed_worst_case_error: width too large for exact double "
+        "accumulation");
+  }
+
+  // DP state: (true carry, base-3 encoding of the last `window` symbols).
+  // The approximate carry into bit i is recomputed from the buffered
+  // symbols (plus the global carry-in while the window still reaches bit
+  // 0), exactly as the hardware's per-bit speculative chain does.
+  std::uint64_t pow3 = 1;
+  for (unsigned j = 0; j < window; ++j) pow3 *= 3;
+
+  struct Extremes {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+  };
+  const auto approx_carry_from =
+      [&](std::uint64_t buffer, unsigned filled, bool cin,
+          bool window_reaches_zero) {
+        // Buffer stores symbols oldest..newest in base-3 digits
+        // (oldest = most significant digit among `filled`).
+        bool carry = window_reaches_zero ? cin : false;
+        std::vector<Symbol> symbols(filled);
+        std::uint64_t b = buffer;
+        for (unsigned j = filled; j-- > 0;) {
+          symbols[j] = static_cast<Symbol>(b % 3);
+          b /= 3;
+        }
+        for (unsigned j = 0; j < filled; ++j) {
+          carry = next_carry(symbols[j], carry);
+        }
+        return carry;
+      };
+
+  Extremes best;
+  for (int cin = 0; cin < 2; ++cin) {
+    // state key: true_carry * pow3 + buffer; buffer has min(i, window)
+    // symbols at step i.
+    std::unordered_map<std::uint64_t, Extremes> state;
+    state[(cin ? pow3 : 0)] = Extremes{0.0, 0.0};
+    for (unsigned i = 0; i < width; ++i) {
+      const unsigned filled = std::min(i, window);
+      std::unordered_map<std::uint64_t, Extremes> next;
+      for (const auto& [key, cur] : state) {
+        const bool t = key >= pow3;
+        const std::uint64_t buffer = key % pow3;
+        const bool window_reaches_zero = i <= window;
+        const bool a_carry =
+            approx_carry_from(buffer, filled, cin != 0, window_reaches_zero);
+        for (Symbol sym : kSymbols) {
+          double delta = (sum_bit(sym, a_carry) ? pow2(i) : 0.0) -
+                         (sum_bit(sym, t) ? pow2(i) : 0.0);
+          const bool t2 = next_carry(sym, t);
+          if (i + 1 == width) {
+            // The hardware's carry-out is the windowed carry into the MSB
+            // pushed through the MSB cell; account for it here where both
+            // the incoming approximate carry and the symbol are known.
+            const bool a_out = next_carry(sym, a_carry);
+            delta += ((a_out ? 1.0 : 0.0) - (t2 ? 1.0 : 0.0)) * pow2(width);
+          }
+          // Append symbol to the buffer, dropping the oldest if full.
+          std::uint64_t buffer2 = buffer * 3 + static_cast<std::uint64_t>(sym);
+          if (filled == window) {
+            buffer2 %= pow3;
+          }
+          const std::uint64_t key2 = (t2 ? pow3 : 0) + buffer2;
+          Extremes& slot = next[key2];
+          slot.lo = std::min(slot.lo, cur.lo + delta);
+          slot.hi = std::max(slot.hi, cur.hi + delta);
+        }
+      }
+      state = std::move(next);
+    }
+    for (const auto& [key, cur] : state) {
+      (void)key;
+      best.lo = std::min(best.lo, cur.lo);
+      best.hi = std::max(best.hi, cur.hi);
+    }
+  }
+  return to_u64(std::max(std::abs(best.lo), std::abs(best.hi)));
+}
+
+std::uint64_t exhaustive_worst_case_error(const Adder& adder) {
+  const unsigned width = adder.width();
+  if (width > 12) {
+    throw std::invalid_argument(
+        "exhaustive_worst_case_error: width must be <= 12");
+  }
+  const Word limit = Word{1} << width;
+  double worst = 0.0;
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = 0; b < limit; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const AddResult approx = adder.add(a, b, cin != 0);
+        const AddResult exact = exact_add(width, a, b, cin != 0);
+        const double approx_total =
+            static_cast<double>(approx.sum) +
+            (approx.carry_out ? pow2(width) : 0.0);
+        const double exact_total = static_cast<double>(exact.sum) +
+                                   (exact.carry_out ? pow2(width) : 0.0);
+        worst = std::max(worst, std::abs(approx_total - exact_total));
+      }
+    }
+  }
+  return to_u64(worst);
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,45 @@
+// Analytic worst-case error (WCE) analysis of the approximate adder
+// families.
+//
+// Monte Carlo characterization (error_metrics.h) estimates error
+// statistics; for WORST-case guarantees a designer needs exact bounds.
+// For the lower-part families these have closed forms; for the windowed
+// (carry-speculation) families the exact WCE is computed by a dynamic
+// program over bit positions that tracks the achievable (true carry,
+// speculative carry) divergence — exact for any width, no enumeration.
+// Every result is validated against exhaustive search at small widths in
+// the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Exact worst-case |approx - exact| of LowerOrAdder(width, k) over all
+/// operand pairs and carry-ins, in ulps of the result.
+std::uint64_t loa_worst_case_error(unsigned width, unsigned approx_bits);
+
+/// Exact WCE of GdaAdder(width, k) (identical structure to LOA).
+std::uint64_t gda_worst_case_error(unsigned width, unsigned approx_bits);
+
+/// Exact WCE of TruncatedAdder(width, k).
+std::uint64_t trunc_worst_case_error(unsigned width, unsigned truncated_bits);
+
+/// Exact WCE of EtaIAdder(width, k).
+std::uint64_t etai_worst_case_error(unsigned width, unsigned approx_bits);
+
+/// Exact WCE of EtaIIAdder(width, segment) via dynamic programming over the
+/// segment chain.
+std::uint64_t etaii_worst_case_error(unsigned width, unsigned segment);
+
+/// Exact WCE of the windowed-carry QcsConfigurableAdder(width, chain) /
+/// AcaAdder(width, window) family via dynamic programming.
+std::uint64_t windowed_worst_case_error(unsigned width, unsigned window);
+
+/// Exhaustive reference (all operand pairs, both carry-ins); width <= 12.
+/// Used to validate the analytic results.
+std::uint64_t exhaustive_worst_case_error(const Adder& adder);
+
+}  // namespace approxit::arith

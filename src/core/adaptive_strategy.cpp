@@ -1,0 +1,161 @@
+#include "core/adaptive_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace approxit::core {
+namespace {
+
+/// Linear-interpolated quantile of a sorted sample set; p in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    // No characterization data: fall back to a uniform split of [0, pi/2).
+    return p * std::numbers::pi / 2.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+AdaptiveAngleStrategy::AdaptiveAngleStrategy(AdaptiveOptions options)
+    : options_(options) {
+  if (options_.update_period == 0) {
+    options_.update_period = 1;
+  }
+}
+
+std::string AdaptiveAngleStrategy::name() const {
+  return "adaptive(f=" + std::to_string(options_.update_period) + ")";
+}
+
+void AdaptiveAngleStrategy::reset(
+    const ModeCharacterization& characterization) {
+  characterization_ = characterization;
+  recent_improvements_.clear();
+  objective_scale_ = 0.0;
+  steps_since_update_ = 0;
+  lut_updates_ = 0;
+  // Offline initialization: E = f(x^1) - f(x^0) from characterization.
+  rebuild_lut(characterization_.initial_improvement);
+  // Before the first iteration the steepest observed angle is the best
+  // prior (iterative methods start far from the optimum).
+  last_angle_ = characterization_.angle_samples.empty()
+                    ? std::numbers::pi / 2.0 * 0.9
+                    : characterization_.angle_samples.back();
+}
+
+void AdaptiveAngleStrategy::rebuild_lut(double budget) {
+  const double floor_budget = options_.min_budget_fraction *
+                              std::abs(characterization_.initial_improvement);
+  budget = std::max(budget, floor_budget);
+  const auto& errors = options_.use_worst_case_error
+                           ? characterization_.worst_quality_error
+                           : characterization_.quality_error;
+  // Equation 5's mode mix, kept for observability and the ablation bench.
+  mix_ = solve_mode_mix(characterization_.energy_per_op, errors, budget,
+                        options_.weight_floor);
+
+  // Threshold placement: a mode is admissible at steepness alpha when its
+  // characterized error fits the budget scaled by the LOCAL slope,
+  //   eps_i <= E * tan(alpha) / tan(alpha_ref),
+  // with alpha_ref the median characterized steepness (at median steepness
+  // the admissible error is exactly E). Solving for alpha gives the mode's
+  // minimum angle; each angle then selects the cheapest admissible mode —
+  // the pointwise-constrained version of Equation 5, which keeps all
+  // accuracy levels in play as the budget decays.
+  const double ref_angle = quantile_sorted(characterization_.angle_samples,
+                                           options_.reference_quantile);
+  const double ref_tan = std::max(std::tan(ref_angle), 1e-9);
+  for (std::size_t level = 0; level < thresholds_.size(); ++level) {
+    // thresholds_[0] -> level1 (least accurate) ... thresholds_[3] -> level4.
+    const double eps = errors[level];
+    thresholds_[level] =
+        budget > 0.0 ? std::atan(ref_tan * eps / budget)
+                     : std::numbers::pi / 2.0;
+  }
+  ++lut_updates_;
+}
+
+arith::ApproxMode AdaptiveAngleStrategy::mode_for_angle(double alpha) const {
+  if (alpha >= thresholds_[0]) return arith::ApproxMode::kLevel1;
+  if (alpha >= thresholds_[1]) return arith::ApproxMode::kLevel2;
+  if (alpha >= thresholds_[2]) return arith::ApproxMode::kLevel3;
+  if (alpha >= thresholds_[3]) return arith::ApproxMode::kLevel4;
+  return arith::ApproxMode::kAccurate;
+}
+
+arith::ApproxMode AdaptiveAngleStrategy::initial_mode() const {
+  return mode_for_angle(last_angle_);
+}
+
+Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
+                                        const opt::IterationStats& stats) {
+  last_angle_ = steepness_angle(stats.grad_norm);
+
+  // Budget memory: the usable error budget is the MINIMUM relative
+  // improvement over the recent window, so one large repair step after a
+  // damaging low-accuracy iteration cannot immediately re-license low
+  // accuracy. Improvements are normalized by the INITIAL objective scale:
+  // normalizing by the current objective would blow the budget up exactly
+  // when the objective approaches zero (residual-type objectives), leaving
+  // cheap modes licensed forever at their noise floor.
+  if (objective_scale_ == 0.0) {
+    objective_scale_ = characterization_.objective_scale > 0.0
+                           ? characterization_.objective_scale
+                           : std::max(std::abs(stats.objective_before), 1e-12);
+  }
+  recent_improvements_.push_back(stats.improvement() / objective_scale_);
+  if (recent_improvements_.size() > options_.budget_window) {
+    recent_improvements_.erase(recent_improvements_.begin());
+  }
+  double budget = recent_improvements_.front();
+  for (double v : recent_improvements_) budget = std::min(budget, v);
+
+  // Online f-step fixed update: refresh the LUT from the freshest budget
+  // E = f(x^{k-1}) - f(x^k) (window-filtered).
+  if (++steps_since_update_ >= options_.update_period) {
+    steps_since_update_ = 0;
+    rebuild_lut(budget);
+  }
+
+  arith::ApproxMode next = mode_for_angle(last_angle_);
+
+  // Recovery guard: an objective INCREASE is an error that already
+  // happened — escalate accuracy regardless of the angle.
+  if (mode != arith::ApproxMode::kAccurate && stats.improvement() < 0.0) {
+    const arith::ApproxMode escalated = arith::next_more_accurate(mode);
+    if (arith::less_accurate(next, escalated)) {
+      next = escalated;
+    }
+    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true};
+  }
+
+  // Quality guard — the update-error criterion: once the mode's estimated
+  // state error dominates the realized step, escalate accuracy instead of
+  // trusting (possibly false) convergence. This is what keeps the adaptive
+  // strategy's final error at zero.
+  const double estimated_error =
+      characterization_.estimated_state_error(mode, stats.state_norm);
+  const bool suspicious_stall =
+      mode != arith::ApproxMode::kAccurate &&
+      stats.step_norm < estimated_error;
+  if (suspicious_stall) {
+    const arith::ApproxMode escalated = arith::next_more_accurate(mode);
+    if (arith::less_accurate(next, escalated)) {
+      next = escalated;
+    }
+    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true};
+  }
+  return Decision{next, /*rollback=*/false, /*veto_convergence=*/false};
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,92 @@
+// The adaptive angle-based reconfiguration strategy (Section 4.2).
+//
+// The manifold steepness angle alpha = atan(||grad f||) measures how much
+// freedom the current iterate has: steep regions tolerate approximation
+// error (any roughly-downhill move makes progress), flat regions near
+// convergence do not. A lookup table maps alpha ranges to approximation
+// modes; the range widths Omega come from the energy-minimization problem
+// (Equation 5), solved offline against E = f(x^1) - f(x^0) and re-solved
+// online every f steps against E = f(x^{k-1}) - f(x^k).
+//
+// LUT boundaries are placed at empirical quantiles of the steepness
+// distribution observed along the characterization trajectory, so the
+// mapping is scale-free across applications.
+#pragma once
+
+#include <array>
+
+#include "core/mode_mix.h"
+#include "core/strategy.h"
+
+namespace approxit::core {
+
+/// Options for AdaptiveAngleStrategy.
+struct AdaptiveOptions {
+  /// LUT update period in iterations (the paper's f); f = 1 re-solves the
+  /// optimization every iteration (greedy), larger f trades adaptivity for
+  /// update cost.
+  std::size_t update_period = 1;
+  /// Strict-positivity floor for the mode weights (omega_i > 0).
+  double weight_floor = 0.01;
+  /// Guard against degenerate budgets: E is clamped below by this fraction
+  /// of the offline initial improvement.
+  double min_budget_fraction = 1e-6;
+  /// The online budget is the MINIMUM improvement over this many recent
+  /// iterations. A single large repair step (after a low-accuracy mode
+  /// damaged the state) must not re-license low accuracy — without this
+  /// memory the strategy can oscillate damage/repair forever.
+  std::size_t budget_window = 3;
+  /// Constrain the mode mix with the WORST characterized quality error of
+  /// each mode rather than the mean. The mean is the default: premature
+  /// stops are already vetoed by the update-error guard, and the worst-case
+  /// reading (dominated by early-phase iterations) forces long fully-
+  /// accurate tails. Enable for the conservative variant in the ablation
+  /// bench.
+  bool use_worst_case_error = false;
+  /// Quantile of the characterized steepness distribution used as the
+  /// reference slope: at this steepness the admissible error equals the
+  /// budget exactly. Lower values make the strategy more aggressive
+  /// (cheaper modes over wider angle ranges).
+  double reference_quantile = 0.25;
+};
+
+/// Angle-LUT strategy with offline initialization and online f-step update.
+class AdaptiveAngleStrategy final : public Strategy {
+ public:
+  explicit AdaptiveAngleStrategy(AdaptiveOptions options = {});
+
+  std::string name() const override;
+  void reset(const ModeCharacterization& characterization) override;
+  arith::ApproxMode initial_mode() const override;
+  Decision observe(arith::ApproxMode mode,
+                   const opt::IterationStats& stats) override;
+
+  /// Current LUT: angle thresholds t[0] >= t[1] >= ... >= t[3] (radians);
+  /// alpha >= t[0] selects level1, alpha >= t[1] level2, ..., otherwise
+  /// accurate.
+  const std::array<double, arith::kNumModes - 1>& thresholds() const {
+    return thresholds_;
+  }
+
+  /// The most recent mode-mix solution (for tracing/tests).
+  const ModeMix& current_mix() const { return mix_; }
+
+  /// Number of LUT updates performed so far in this run.
+  std::size_t lut_updates() const { return lut_updates_; }
+
+ private:
+  void rebuild_lut(double budget);
+  arith::ApproxMode mode_for_angle(double alpha) const;
+
+  AdaptiveOptions options_;
+  ModeCharacterization characterization_;
+  ModeMix mix_;
+  std::array<double, arith::kNumModes - 1> thresholds_{};
+  std::vector<double> recent_improvements_;
+  double objective_scale_ = 0.0;
+  std::size_t steps_since_update_ = 0;
+  std::size_t lut_updates_ = 0;
+  double last_angle_ = 0.0;
+};
+
+}  // namespace approxit::core

@@ -1,0 +1,176 @@
+#include "core/characterization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace approxit::core {
+
+ModeCharacterization characterize(opt::IterativeMethod& method,
+                                  arith::QcsAlu& alu,
+                                  const CharacterizationOptions& options) {
+  ModeCharacterization out;
+  out.iterations_characterized = options.iterations;
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    out.energy_per_op[i] = alu.energy_per_add(arith::mode_from_index(i));
+  }
+
+  // The reference for Definition 1 is the fully accurate QCS mode (the
+  // paper's "Truth" hardware), so the measured epsilon isolates the
+  // approximation error and excludes the datapath's quantization.
+  const auto iterate_accurately = [&](opt::IterativeMethod& m) {
+    alu.set_mode(arith::ApproxMode::kAccurate);
+    return m.iterate(alu);
+  };
+
+  // Pass 1: accurate reference trajectory -> angle samples, the objective
+  // scale |f(x^0)| and the initial budget E.
+  method.reset();
+  out.objective_scale = std::max(std::abs(method.objective()), 1e-12);
+  for (std::size_t k = 0; k < options.iterations; ++k) {
+    const opt::IterationStats stats = iterate_accurately(method);
+    out.angle_samples.push_back(steepness_angle(stats.grad_norm));
+    if (k == 0) {
+      out.initial_improvement = stats.improvement() / out.objective_scale;
+    }
+    if (stats.converged) break;
+  }
+  std::sort(out.angle_samples.begin(), out.angle_samples.end());
+
+  // Pass 2: per-mode quality errors. From each pre-iteration state, run the
+  // iteration exactly, then re-run it approximately from the same state, and
+  // compare the resulting objectives (Definition 1).
+  for (arith::ApproxMode mode :
+       {arith::ApproxMode::kLevel1, arith::ApproxMode::kLevel2,
+        arith::ApproxMode::kLevel3, arith::ApproxMode::kLevel4}) {
+    method.reset();
+    double sum_eps = 0.0;
+    double worst_eps = 0.0;
+    double sum_state_eps = 0.0;
+    double worst_state_eps = 0.0;
+    double sum_abs_state = 0.0;
+    std::size_t measured = 0;
+    for (std::size_t k = 0; k < options.iterations; ++k) {
+      const std::vector<double> snapshot = method.state();
+
+      const opt::IterationStats exact_stats = iterate_accurately(method);
+      const double f_exact = exact_stats.objective_after;
+      const std::vector<double> exact_state = method.state();
+
+      method.restore(snapshot);
+      alu.set_mode(mode);
+      const opt::IterationStats approx_stats = method.iterate(alu);
+      const double f_approx = approx_stats.objective_after;
+      const std::vector<double> approx_state = method.state();
+
+      // Definition 1's relative difference, normalized by the initial
+      // objective scale (see ModeCharacterization::objective_scale).
+      const double eps = std::abs(f_exact - f_approx) / out.objective_scale;
+      sum_eps += eps;
+      worst_eps = std::max(worst_eps, eps);
+
+      // One-step state deviation (relative): ||x'_a - x'_e|| / ||x'_e||.
+      double diff2 = 0.0;
+      double norm2 = 0.0;
+      const std::size_t len =
+          std::min(exact_state.size(), approx_state.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        const double d = approx_state[i] - exact_state[i];
+        diff2 += d * d;
+        norm2 += exact_state[i] * exact_state[i];
+      }
+      const double state_eps =
+          norm2 > 0.0 ? std::sqrt(diff2 / norm2) : std::sqrt(diff2);
+      sum_state_eps += state_eps;
+      worst_state_eps = std::max(worst_state_eps, state_eps);
+      sum_abs_state += std::sqrt(diff2);
+      ++measured;
+
+      if (options.resynchronize) {
+        method.restore(exact_state);
+      }
+      if (exact_stats.converged) break;
+    }
+    const std::size_t idx = arith::mode_index(mode);
+    out.quality_error[idx] =
+        measured > 0 ? sum_eps / static_cast<double>(measured) : 0.0;
+    out.worst_quality_error[idx] = worst_eps;
+    out.state_error[idx] =
+        measured > 0 ? sum_state_eps / static_cast<double>(measured) : 0.0;
+    out.worst_state_error[idx] = worst_state_eps;
+    out.abs_state_error[idx] =
+        measured > 0 ? sum_abs_state / static_cast<double>(measured) : 0.0;
+  }
+
+  // The accurate mode is error-free by construction.
+  const std::size_t acc = arith::mode_index(arith::ApproxMode::kAccurate);
+  out.quality_error[acc] = 0.0;
+  out.worst_quality_error[acc] = 0.0;
+  out.state_error[acc] = 0.0;
+  out.worst_state_error[acc] = 0.0;
+  out.abs_state_error[acc] = 0.0;
+
+  method.reset();
+  alu.set_mode(arith::ApproxMode::kAccurate);
+  alu.reset_ledger();
+
+  APPROXIT_LOG(util::LogLevel::kDebug, "characterize")
+      << method.name() << ": " << out.to_string();
+  return out;
+}
+
+ModeCharacterization merge_characterizations(
+    const std::vector<ModeCharacterization>& profiles) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("merge_characterizations: empty input");
+  }
+  ModeCharacterization out = profiles.front();
+  const double n = static_cast<double>(profiles.size());
+  for (std::size_t m = 0; m < arith::kNumModes; ++m) {
+    double sum_eps = 0.0;
+    double sum_state = 0.0;
+    double sum_abs = 0.0;
+    for (const ModeCharacterization& p : profiles) {
+      sum_eps += p.quality_error[m];
+      sum_state += p.state_error[m];
+      sum_abs += p.abs_state_error[m];
+      out.worst_quality_error[m] =
+          std::max(out.worst_quality_error[m], p.worst_quality_error[m]);
+      out.worst_state_error[m] =
+          std::max(out.worst_state_error[m], p.worst_state_error[m]);
+    }
+    out.quality_error[m] = sum_eps / n;
+    out.state_error[m] = sum_state / n;
+    out.abs_state_error[m] = sum_abs / n;
+  }
+  out.angle_samples.clear();
+  out.iterations_characterized = 0;
+  for (const ModeCharacterization& p : profiles) {
+    out.angle_samples.insert(out.angle_samples.end(),
+                             p.angle_samples.begin(), p.angle_samples.end());
+    out.initial_improvement =
+        std::min(out.initial_improvement, p.initial_improvement);
+    out.iterations_characterized =
+        std::max(out.iterations_characterized, p.iterations_characterized);
+  }
+  std::sort(out.angle_samples.begin(), out.angle_samples.end());
+  return out;
+}
+
+ModeCharacterization characterize_many(
+    const std::vector<opt::IterativeMethod*>& methods, arith::QcsAlu& alu,
+    const CharacterizationOptions& options) {
+  std::vector<ModeCharacterization> profiles;
+  profiles.reserve(methods.size());
+  for (opt::IterativeMethod* method : methods) {
+    if (method == nullptr) {
+      throw std::invalid_argument("characterize_many: null method");
+    }
+    profiles.push_back(characterize(*method, alu, options));
+  }
+  return merge_characterizations(profiles);
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,54 @@
+// Offline characterization stage (Section 3.1).
+//
+// For each approximation mode, a few iterations of the application are
+// simulated on a representative workload: from a common pre-iteration state
+// the iteration is executed once exactly and once approximately, and the
+// iteration-level quality error (Definition 1) is recorded. The exact
+// reference trajectory also yields the steepness-angle distribution and the
+// initial error budget E = f(x^1) - f(x^0) used by the adaptive strategy.
+#pragma once
+
+#include <cstddef>
+
+#include "arith/alu.h"
+#include "core/quality.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// Options for the offline characterization run.
+struct CharacterizationOptions {
+  /// Iterations simulated per mode (the paper: "several iterations on
+  /// representative workloads"). The exact pass also stops early on
+  /// convergence, so this is an upper bound.
+  std::size_t iterations = 24;
+  /// After the approximate probe, continue the trajectory from the exact
+  /// result (true, default: every probe starts from an on-trajectory state)
+  /// or from the approximate result (false: models free-running drift).
+  bool resynchronize = true;
+};
+
+/// Runs the offline characterization of `method` on `alu`.
+///
+/// The method is reset() before and after; the ALU's ledger is left reset.
+/// The returned structure is what the online strategies consume.
+ModeCharacterization characterize(opt::IterativeMethod& method,
+                                  arith::QcsAlu& alu,
+                                  const CharacterizationOptions& options = {});
+
+/// Merges the characterizations of SEVERAL representative workloads (the
+/// paper characterizes "on representative workloads", plural) into one
+/// conservative profile: mean errors are averaged, worst-case errors take
+/// the maximum, angle samples are pooled, and the error budget takes the
+/// smallest observed initial improvement. Energies are identical across
+/// workloads (they are a property of the ALU) and are taken from the first.
+/// Throws std::invalid_argument on an empty input.
+ModeCharacterization merge_characterizations(
+    const std::vector<ModeCharacterization>& profiles);
+
+/// Convenience: characterize every method and merge.
+ModeCharacterization characterize_many(
+    const std::vector<opt::IterativeMethod*>& methods, arith::QcsAlu& alu,
+    const CharacterizationOptions& options = {});
+
+}  // namespace approxit::core

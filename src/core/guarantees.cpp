@@ -1,0 +1,19 @@
+#include "core/guarantees.h"
+
+namespace approxit::core {
+
+bool direction_criterion_ok(const opt::IterationStats& stats) {
+  return stats.grad_dot_step < 0.0;
+}
+
+bool update_error_criterion_ok(double error_norm, double step_norm) {
+  return error_norm <= step_norm;
+}
+
+bool update_error_criterion_ok(const opt::IterationStats& stats,
+                               double mode_quality_error) {
+  return update_error_criterion_ok(stats.state_norm * mode_quality_error,
+                                   stats.step_norm);
+}
+
+}  // namespace approxit::core

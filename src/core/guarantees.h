@@ -1,0 +1,33 @@
+// Convergence-guarantee criteria (Section 3.2).
+//
+// These free functions encode the two theoretical conditions ApproxIt's
+// schemes enforce; they are exercised directly by the property tests and
+// referenced by the strategies:
+//
+//  1. Direction criterion (Proposition 1, after Boyd & Vandenberghe):
+//     a step direction d with grad f(x)^T d < 0 admits a step size that
+//     strictly decreases f — checking the realized step against the monitor
+//     gradient detects approximation-corrupted directions.
+//  2. Update-error criterion (after Luo & Tseng's error-bound analysis of
+//     feasible descent): the injected update error must satisfy
+//     ||eps^k|| <= ||x^k - x^{k+1}|| for the perturbed descent to converge.
+#pragma once
+
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// True when the realized step satisfies the direction criterion
+/// grad f(x^{k-1})^T (x^k - x^{k-1}) < 0 (strictly descent-aligned).
+bool direction_criterion_ok(const opt::IterationStats& stats);
+
+/// True when an (estimated) update-error magnitude is admissible for the
+/// observed step: ||eps|| <= ||x^k - x^{k-1}||.
+bool update_error_criterion_ok(double error_norm, double step_norm);
+
+/// Convenience: estimated mode error (||x^k|| * eps_mode, the quality
+/// scheme's estimate) checked against the observed step norm.
+bool update_error_criterion_ok(const opt::IterationStats& stats,
+                               double mode_quality_error);
+
+}  // namespace approxit::core

@@ -1,0 +1,67 @@
+#include "core/incremental_strategy.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace approxit::core {
+
+IncrementalStrategy::IncrementalStrategy(IncrementalOptions options)
+    : options_(options) {}
+
+void IncrementalStrategy::reset(
+    const ModeCharacterization& characterization) {
+  characterization_ = characterization;
+  last_trigger_ = "none";
+  gradient_triggers_ = 0;
+  quality_triggers_ = 0;
+  function_triggers_ = 0;
+}
+
+Decision IncrementalStrategy::observe(arith::ApproxMode mode,
+                                      const opt::IterationStats& stats) {
+  last_trigger_ = "none";
+
+  const bool at_accurate = mode == arith::ApproxMode::kAccurate;
+
+  // Function scheme first: an objective increase is an error that already
+  // happened — recover by rolling back and raising accuracy.
+  if (options_.function_scheme && !at_accurate) {
+    const double slack =
+        options_.function_slack * std::max(1.0, std::abs(stats.objective_before));
+    if (stats.objective_after > stats.objective_before + slack) {
+      last_trigger_ = "function";
+      ++function_triggers_;
+      return Decision{arith::next_more_accurate(mode), /*rollback=*/true,
+                      /*veto_convergence=*/true};
+    }
+  }
+
+  // Gradient scheme: the realized step and the (negative) monitor gradient
+  // make an obtuse angle — the approximate direction is taking us uphill.
+  if (options_.gradient_scheme && !at_accurate && stats.grad_dot_step > 0.0) {
+    last_trigger_ = "gradient";
+    ++gradient_triggers_;
+    return Decision{arith::next_more_accurate(mode), /*rollback=*/false,
+                    /*veto_convergence=*/true};
+  }
+
+  // Quality scheme — the update-error criterion of Section 3.2: the
+  // estimated per-iteration update error ||eps^k|| ~ ||x^k|| * eps_i must
+  // stay below the realized step ||x^k - x^{k-1}||; once the mode's error
+  // dominates the step, progress can no longer be trusted.
+  if (options_.quality_scheme && !at_accurate) {
+    const double estimated_error =
+        characterization_.estimated_state_error(mode, stats.state_norm);
+    if (stats.step_norm < estimated_error) {
+      last_trigger_ = "quality";
+      ++quality_triggers_;
+      return Decision{arith::next_more_accurate(mode), /*rollback=*/false,
+                      /*veto_convergence=*/true};
+    }
+  }
+
+  return Decision{mode, /*rollback=*/false, /*veto_convergence=*/false};
+}
+
+}  // namespace approxit::core

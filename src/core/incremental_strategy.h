@@ -1,0 +1,65 @@
+// The incremental reconfiguration strategy (Section 4.1).
+//
+// Starts at the lowest accuracy level and only ever steps to the adjacent
+// higher-accuracy mode. Three schemes trigger a reconfiguration:
+//
+//  - Gradient scheme (error prevention): fires when the realized step makes
+//    an obtuse angle with the negative monitor gradient,
+//      grad f(x^{k-1})^T (x^k - x^{k-1}) > 0.
+//  - Quality scheme (error prevention): fires when the estimated per-
+//    iteration error of the current mode dominates the observed progress,
+//      |f(x^k) - f(x^{k-1})| < ||x^k|| * eps_i.
+//  - Function scheme (error recovery): fires when the objective INCREASES,
+//      f(x^k) > f(x^{k-1}); the iteration is additionally rolled back.
+//
+// Each scheme can be disabled individually for the ablation benches.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace approxit::core {
+
+/// Scheme toggles (all enabled by default, as in the paper).
+struct IncrementalOptions {
+  bool gradient_scheme = true;
+  bool quality_scheme = true;
+  bool function_scheme = true;
+  /// Numerical slack on the function scheme: the objective must increase by
+  /// more than this relative amount before a rollback fires (guards against
+  /// benign floating-point jitter at convergence).
+  double function_slack = 1e-12;
+};
+
+/// One-directional (low accuracy -> high accuracy) reconfiguration with the
+/// gradient/quality/function schemes.
+class IncrementalStrategy final : public Strategy {
+ public:
+  explicit IncrementalStrategy(IncrementalOptions options = {});
+
+  std::string name() const override { return "incremental"; }
+  void reset(const ModeCharacterization& characterization) override;
+  arith::ApproxMode initial_mode() const override {
+    return arith::ApproxMode::kLevel1;
+  }
+  Decision observe(arith::ApproxMode mode,
+                   const opt::IterationStats& stats) override;
+
+  /// Which scheme fired on the last observe() (for tracing/tests):
+  /// "none", "gradient", "quality" or "function".
+  const std::string& last_trigger() const { return last_trigger_; }
+
+  /// Cumulative firing counts since reset() (for the ablation bench).
+  std::size_t gradient_triggers() const { return gradient_triggers_; }
+  std::size_t quality_triggers() const { return quality_triggers_; }
+  std::size_t function_triggers() const { return function_triggers_; }
+
+ private:
+  IncrementalOptions options_;
+  ModeCharacterization characterization_;
+  std::string last_trigger_ = "none";
+  std::size_t gradient_triggers_ = 0;
+  std::size_t quality_triggers_ = 0;
+  std::size_t function_triggers_ = 0;
+};
+
+}  // namespace approxit::core

@@ -1,0 +1,92 @@
+#include "core/mode_mix.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace approxit::core {
+
+ModeMix solve_mode_mix(const std::array<double, arith::kNumModes>& energies,
+                       const std::array<double, arith::kNumModes>& errors,
+                       double budget, double floor) {
+  constexpr std::size_t n = arith::kNumModes;
+  if (floor < 0.0 || floor * static_cast<double>(n) >= 1.0) {
+    throw std::invalid_argument("solve_mode_mix: floor must be in [0, 1/n)");
+  }
+  for (double e : errors) {
+    if (e < 0.0 || std::isnan(e)) {
+      throw std::invalid_argument("solve_mode_mix: errors must be >= 0");
+    }
+  }
+  const double E = std::max(0.0, budget);
+
+  // Substitute omega_i = floor + v_i with v_i >= 0:
+  //   sum v_i = V,  sum v_i eps_i <= E',  min sum v_i J_i.
+  const double V = 1.0 - floor * static_cast<double>(n);
+  double floor_error = 0.0;
+  double floor_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    floor_error += floor * errors[i];
+    floor_energy += floor * energies[i];
+  }
+  const double budget_v = E - floor_error;
+
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::array<double, n> best_v{};
+  bool found = false;
+
+  // Vertex type 1: all free mass on a single mode.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (V * errors[i] <= budget_v + 1e-15) {
+      const double energy = V * energies[i];
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_v.fill(0.0);
+        best_v[i] = V;
+        found = true;
+      }
+    }
+  }
+
+  // Vertex type 2: the error constraint is active between two modes.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || errors[i] == errors[j]) continue;
+      // v_i eps_i + v_j eps_j = budget_v, v_i + v_j = V.
+      const double vi = (budget_v - V * errors[j]) / (errors[i] - errors[j]);
+      const double vj = V - vi;
+      if (vi < -1e-12 || vj < -1e-12) continue;
+      const double energy = vi * energies[i] + vj * energies[j];
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_v.fill(0.0);
+        best_v[i] = std::max(0.0, vi);
+        best_v[j] = std::max(0.0, vj);
+        found = true;
+      }
+    }
+  }
+
+  ModeMix out;
+  if (!found) {
+    // Even the floors alone exceed the budget: fall back to the most
+    // accurate assignment and flag infeasibility.
+    best_v.fill(0.0);
+    best_v[arith::mode_index(arith::ApproxMode::kAccurate)] = V;
+    out.feasible = false;
+  }
+  out.energy = floor_energy;
+  out.expected_error = floor_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.weights[i] = floor + best_v[i];
+    out.energy += best_v[i] * energies[i];
+    out.expected_error += best_v[i] * errors[i];
+  }
+  if (!found) {
+    out.energy = floor_energy +
+                 V * energies[arith::mode_index(arith::ApproxMode::kAccurate)];
+  }
+  return out;
+}
+
+}  // namespace approxit::core

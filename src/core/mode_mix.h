@@ -1,0 +1,43 @@
+// Solver for the adaptive strategy's mode-mix optimization (Equation 5):
+//
+//   min  Omega^T J
+//   s.t. sum_i omega_i = 1,  omega_i > 0,  Omega^T eps <= E
+//
+// with J the per-mode energies, eps the per-mode quality errors and E the
+// error tolerable in the current iteration. The feasible set is a simplex
+// slice; the optimum of this tiny LP lies on a vertex spanned by at most two
+// modes, so we enumerate single modes and mode pairs exactly — equivalent
+// to the paper's Lagrange-multiplier solution, but with no iteration and no
+// tolerance knobs.
+#pragma once
+
+#include <array>
+
+#include "arith/mode.h"
+
+namespace approxit::core {
+
+/// Result of the mode-mix optimization.
+struct ModeMix {
+  /// Fraction of the angle range assigned to each mode; sums to 1.
+  std::array<double, arith::kNumModes> weights{};
+  /// Omega^T J of the solution.
+  double energy = 0.0;
+  /// Omega^T eps of the solution.
+  double expected_error = 0.0;
+  /// False when even the most accurate mix violates the budget (then the
+  /// returned mix is the all-accurate fallback).
+  bool feasible = true;
+};
+
+/// Solves Equation 5. `floor` is the strict-positivity floor substituted
+/// for "omega_i > 0" (every mode keeps at least this weight so each
+/// accuracy level stays reachable, as the 5x1 LUT in the paper does).
+///
+/// Preconditions: energies/errors are per-mode arrays indexed by
+/// mode_index(); errors[kAccurate] must be 0; budget E >= 0.
+ModeMix solve_mode_mix(const std::array<double, arith::kNumModes>& energies,
+                       const std::array<double, arith::kNumModes>& errors,
+                       double budget, double floor = 0.01);
+
+}  // namespace approxit::core

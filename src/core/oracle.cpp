@@ -1,0 +1,88 @@
+#include "core/oracle.h"
+
+#include <cmath>
+
+#include "la/vector_ops.h"
+
+namespace approxit::core {
+
+RunReport run_oracle(opt::IterativeMethod& method, arith::QcsAlu& alu,
+                     const OracleOptions& options) {
+  method.reset();
+  alu.reset_ledger();
+
+  RunReport report;
+  report.method_name = method.name();
+  report.strategy_name = "oracle";
+  const std::size_t budget = options.max_iterations > 0
+                                 ? options.max_iterations
+                                 : method.max_iterations();
+
+  double energy_accounted = 0.0;
+
+  while (report.iterations < budget) {
+    const std::vector<double> snapshot = method.state();
+
+    // Accurate reference step.
+    alu.set_mode(arith::ApproxMode::kAccurate);
+    const double acc_energy_before = alu.ledger().total_energy();
+    const opt::IterationStats acc_stats = method.iterate(alu);
+    const double acc_energy =
+        alu.ledger().total_energy() - acc_energy_before;
+    const std::vector<double> acc_state = method.state();
+    const double acc_step =
+        la::distance2(acc_state, snapshot);
+
+    // Cheapest admissible approximate mode (probe from the same snapshot;
+    // the state will advance by the ACCURATE step regardless, so the
+    // accounted energy is a true lower bound at zero quality loss).
+    arith::ApproxMode chosen = arith::ApproxMode::kAccurate;
+    double chosen_energy = acc_energy;
+    for (arith::ApproxMode mode :
+         {arith::ApproxMode::kLevel1, arith::ApproxMode::kLevel2,
+          arith::ApproxMode::kLevel3, arith::ApproxMode::kLevel4}) {
+      method.restore(snapshot);
+      alu.set_mode(mode);
+      const double before = alu.ledger().total_energy();
+      (void)method.iterate(alu);
+      const double energy = alu.ledger().total_energy() - before;
+      const std::vector<double> state = method.state();
+      const double deviation = la::distance2(state, acc_state);
+      if (deviation <= options.slack * acc_step) {
+        chosen = mode;
+        chosen_energy = energy;
+        break;  // modes are ordered cheapest-first
+      }
+    }
+
+    // Advance along the accurate trajectory.
+    method.restore(acc_state);
+
+    ++report.iterations;
+    ++report.steps_per_mode[arith::mode_index(chosen)];
+    energy_accounted += chosen_energy;
+
+    IterationRecord record;
+    record.index = report.iterations;
+    record.mode = chosen;
+    record.objective_after = acc_stats.objective_after;
+    record.energy = chosen_energy;
+    record.step_norm = acc_stats.step_norm;
+    record.grad_norm = acc_stats.grad_norm;
+    report.trace.push_back(record);
+
+    // Convergence is judged on the ACCURATE step (the oracle never false
+    // stops: it knows the true dynamics).
+    if (acc_stats.converged) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.total_energy = energy_accounted;
+  report.final_objective = method.objective();
+  report.final_state = method.state();
+  return report;
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,35 @@
+// Oracle mode selection: follows the ACCURATE trajectory and, at every
+// iteration, probes which is the cheapest mode whose one-step result would
+// have stayed within the update-error criterion of the accurate step. The
+// probes are free and the state always advances by the accurate step, so
+// the accounted energy is a clean lower bound on any mode SCHEDULE over
+// the exact trajectory at zero per-iteration deviation. Note that causal
+// strategies can still undercut it in total energy by CONVERGING EARLIER
+// on their own approximate trajectory (fewer iterations) — the oracle
+// isolates the mode-selection headroom from that trajectory effect.
+#pragma once
+
+#include "arith/alu.h"
+#include "core/characterization.h"
+#include "core/session.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// Options for the oracle run.
+struct OracleOptions {
+  /// Acceptance threshold: a mode is admissible when its one-step state
+  /// deviation from the accurate result is at most `slack` times the
+  /// accurate step length (slack = 1 is the update-error criterion).
+  double slack = 1.0;
+  /// Iteration cap; 0 uses the method's max_iterations().
+  std::size_t max_iterations = 0;
+};
+
+/// Runs `method` along the accurate trajectory, accounting each iteration
+/// at the cheapest admissible mode's energy (lookahead probes are free).
+/// The report's strategy name is "oracle".
+RunReport run_oracle(opt::IterativeMethod& method, arith::QcsAlu& alu,
+                     const OracleOptions& options = {});
+
+}  // namespace approxit::core

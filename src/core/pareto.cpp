@@ -1,0 +1,61 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace approxit::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.converged && !b.converged) return true;
+  if (!a.converged && b.converged) return false;
+  const bool no_worse =
+      a.energy <= b.energy && a.quality_error <= b.quality_error;
+  const bool strictly_better =
+      a.energy < b.energy || a.quality_error < b.quality_error;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> frontier;
+  for (const ParetoPoint& candidate : points) {
+    bool dominated = false;
+    for (const ParetoPoint& other : points) {
+      if (&other != &candidate && dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.energy != b.energy) return a.energy < b.energy;
+              return a.quality_error < b.quality_error;
+            });
+  return frontier;
+}
+
+std::string pareto_csv(const std::vector<ParetoPoint>& all_points) {
+  const std::vector<ParetoPoint> frontier = pareto_frontier(all_points);
+  auto on_frontier = [&frontier](const ParetoPoint& p) {
+    for (const ParetoPoint& f : frontier) {
+      if (f.label == p.label && f.energy == p.energy &&
+          f.quality_error == p.quality_error) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::ostringstream os;
+  os << "label,energy,quality_error,iterations,converged,on_frontier\n";
+  for (const ParetoPoint& p : all_points) {
+    os << util::csv_escape(p.label) << ',' << p.energy << ','
+       << p.quality_error << ',' << p.iterations << ','
+       << (p.converged ? 1 : 0) << ',' << (on_frontier(p) ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,36 @@
+// Quality-energy Pareto analysis over a set of runs.
+//
+// The evaluation's core tradeoff is two-dimensional (final quality error vs
+// normalized energy); this utility marks the non-dominated configurations
+// and orders them into a frontier for reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace approxit::core {
+
+/// One evaluated configuration.
+struct ParetoPoint {
+  std::string label;     ///< Configuration name ("level2", "adaptive", ...).
+  double energy = 0.0;   ///< Normalized energy (lower is better).
+  double quality_error = 0.0;  ///< QEM vs Truth (lower is better).
+  bool converged = true;
+  std::size_t iterations = 0;
+};
+
+/// True when `a` dominates `b`: no worse in both objectives and strictly
+/// better in at least one. Non-converged points are dominated by any
+/// converged point.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Returns the non-dominated subset, sorted by ascending energy (ties by
+/// ascending quality error). Labels of dominated points are dropped.
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points);
+
+/// Renders a frontier (or any point list) as CSV text with header
+/// `label,energy,quality_error,iterations,converged,on_frontier`, marking
+/// frontier membership against the given full set.
+std::string pareto_csv(const std::vector<ParetoPoint>& all_points);
+
+}  // namespace approxit::core

@@ -1,0 +1,46 @@
+#include "core/pid_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxit::core {
+
+double relative_improvement_sensor(const opt::IterationStats& stats) {
+  const double denom = std::max(std::abs(stats.objective_before), 1e-12);
+  return stats.improvement() / denom;
+}
+
+PidStrategy::PidStrategy(PidOptions options, QualitySensor sensor)
+    : options_(options), sensor_(std::move(sensor)) {}
+
+void PidStrategy::reset(const ModeCharacterization&) {
+  integral_ = 0.0;
+  previous_error_ = 0.0;
+  has_previous_ = false;
+  mode_changes_ = 0;
+}
+
+Decision PidStrategy::observe(arith::ApproxMode mode,
+                              const opt::IterationStats& stats) {
+  // Positive error = quality below target -> raise accuracy.
+  const double error = options_.setpoint - sensor_(stats);
+  integral_ = std::clamp(integral_ + error, -options_.integral_limit,
+                         options_.integral_limit);
+  const double derivative = has_previous_ ? error - previous_error_ : 0.0;
+  previous_error_ = error;
+  has_previous_ = true;
+
+  const double control = options_.kp * error + options_.ki * integral_ +
+                         options_.kd * derivative;
+
+  const double current = static_cast<double>(arith::mode_index(mode));
+  const double target = std::clamp(
+      current + control, 0.0, static_cast<double>(arith::kNumModes - 1));
+  const auto next = arith::mode_from_index(
+      static_cast<std::size_t>(std::lround(target)));
+  if (next != mode) ++mode_changes_;
+  // No veto, no rollback: the controller trusts the sensor entirely.
+  return Decision{next, /*rollback=*/false, /*veto_convergence=*/false};
+}
+
+}  // namespace approxit::core

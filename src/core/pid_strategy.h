@@ -1,0 +1,67 @@
+// PID-controlled dynamic effort scaling — the baseline ApproxIt argues
+// against (Chippa et al., "Managing the Quality vs. Efficiency Trade-off
+// Using Dynamic Effort Scaling", TECS'13; Section 2.3 of the paper).
+//
+// A sensor extracts a quality proxy from each iteration (by default the
+// relative objective improvement; the K-means motivation bench plugs in the
+// mean-centroid-distance sensor). A PID loop steers the accuracy level
+// toward a quality setpoint. The controller can move in BOTH directions and
+// has no convergence veto or rollback — which is precisely why it cannot
+// guarantee final quality.
+#pragma once
+
+#include <functional>
+
+#include "core/strategy.h"
+
+namespace approxit::core {
+
+/// Options for PidStrategy.
+struct PidOptions {
+  double kp = 8.0;   ///< Proportional gain.
+  double ki = 2.0;   ///< Integral gain.
+  double kd = 0.0;   ///< Derivative gain.
+  /// Quality setpoint: target sensor value per iteration.
+  double setpoint = 0.01;
+  /// Accuracy level used for the first iteration.
+  arith::ApproxMode initial_mode = arith::ApproxMode::kLevel2;
+  /// Anti-windup clamp on the integral term.
+  double integral_limit = 10.0;
+};
+
+/// Sensor signature: maps iteration statistics to a quality proxy (larger
+/// means better quality / more progress).
+using QualitySensor = std::function<double(const opt::IterationStats&)>;
+
+/// The default sensor: relative objective improvement
+/// (f_{k-1} - f_k) / max(|f_{k-1}|, 1e-12).
+double relative_improvement_sensor(const opt::IterationStats& stats);
+
+/// Sensor-driven PID effort controller.
+class PidStrategy final : public Strategy {
+ public:
+  explicit PidStrategy(PidOptions options = {},
+                       QualitySensor sensor = relative_improvement_sensor);
+
+  std::string name() const override { return "pid"; }
+  void reset(const ModeCharacterization& characterization) override;
+  arith::ApproxMode initial_mode() const override {
+    return options_.initial_mode;
+  }
+  Decision observe(arith::ApproxMode mode,
+                   const opt::IterationStats& stats) override;
+
+  /// Number of mode changes so far (instability indicator in the
+  /// motivation bench).
+  std::size_t mode_changes() const { return mode_changes_; }
+
+ private:
+  PidOptions options_;
+  QualitySensor sensor_;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  bool has_previous_ = false;
+  std::size_t mode_changes_ = 0;
+};
+
+}  // namespace approxit::core

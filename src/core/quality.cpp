@@ -1,0 +1,41 @@
+#include "core/quality.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace approxit::core {
+
+double quality_error(double accurate, double approximate) {
+  const double diff = std::abs(accurate - approximate);
+  const double denom = std::abs(accurate);
+  if (denom < 1e-300) {
+    return diff;
+  }
+  return diff / denom;
+}
+
+double steepness_angle(double grad_norm) {
+  if (grad_norm < 0.0 || std::isnan(grad_norm)) {
+    return 0.0;
+  }
+  return std::atan(grad_norm);
+}
+
+std::string ModeCharacterization::to_string() const {
+  std::ostringstream os;
+  os << "ModeCharacterization (" << iterations_characterized
+     << " iterations/mode)\n";
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    os << "  " << arith::mode_name(arith::mode_from_index(i))
+       << ": eps=" << quality_error[i]
+       << " worst_eps=" << worst_quality_error[i]
+       << " state_eps=" << state_error[i]
+       << " worst_state_eps=" << worst_state_error[i]
+       << " energy/op=" << energy_per_op[i] << "\n";
+  }
+  os << "  initial improvement E=" << initial_improvement << ", "
+     << angle_samples.size() << " angle samples\n";
+  return os.str();
+}
+
+}  // namespace approxit::core

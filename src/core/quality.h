@@ -1,0 +1,106 @@
+// The paper's iteration-level quality metric (Definition 1) and the
+// lightweight runtime quality estimator built on it.
+//
+// Low-level adder metrics (ER/ME/WCE) cannot predict application quality
+// because of error masking/accumulation; ApproxIt instead characterizes the
+// RELATIVE OBJECTIVE ERROR OF ONE ITERATION, which is directly comparable
+// across modes and across applications.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arith/mode.h"
+
+namespace approxit::core {
+
+/// Definition 1: quality error of one iteration,
+///   epsilon = |f(x) - f'(x)| / |f(x)|,
+/// where f(x) is the accurate result of the iteration and f'(x) the
+/// approximate one. Falls back to the absolute difference when |f(x)| is
+/// (near) zero.
+double quality_error(double accurate, double approximate);
+
+/// Per-mode offline characterization result: the pre-characterized quality
+/// error and per-operation energy of each approximation mode, plus the
+/// observed manifold-steepness distribution used by the adaptive strategy.
+struct ModeCharacterization {
+  /// Mean per-iteration quality error of each mode (kAccurate entry is 0).
+  std::array<double, arith::kNumModes> quality_error{};
+  /// Worst observed per-iteration quality error of each mode.
+  std::array<double, arith::kNumModes> worst_quality_error{};
+  /// Mean per-iteration STATE error of each mode: ||x'_approx - x'_exact||
+  /// / ||x'_exact|| after one iteration from a common state. This feeds the
+  /// update-error criterion ||eps^k|| <= ||x^k - x^{k-1}|| (quality scheme):
+  /// ||x^k|| * state_error[mode] estimates ||eps^k|| online.
+  std::array<double, arith::kNumModes> state_error{};
+  /// Worst observed per-iteration state error of each mode.
+  std::array<double, arith::kNumModes> worst_state_error{};
+  /// Mean ABSOLUTE one-step state deviation ||x'_approx - x'_exact|| of
+  /// each mode. Lower-part approximate adders inject value-INDEPENDENT
+  /// errors, so the absolute deviation is the better estimator when the
+  /// iterate itself is small (e.g. solvers started at x = 0, where the
+  /// relative estimate degenerates to zero and would miss false stops).
+  std::array<double, arith::kNumModes> abs_state_error{};
+  /// Per-operation energy of each mode (from the ALU's structural model).
+  std::array<double, arith::kNumModes> energy_per_op{};
+  /// Sorted steepness-angle samples (radians, in [0, pi/2)) observed along
+  /// the exact reference trajectory; empirical quantiles of this
+  /// distribution place the adaptive strategy's LUT boundaries.
+  std::vector<double> angle_samples;
+  /// RELATIVE objective improvement of the first exact iteration,
+  /// E = (f(x^0) - f(x^1)) / |f(x^0)| — the paper's initial error budget,
+  /// normalized so it is unit-compatible with the relative quality errors.
+  double initial_improvement = 0.0;
+  /// Iterations simulated per mode during characterization.
+  std::size_t iterations_characterized = 0;
+  /// |f(x^0)| of the reference trajectory: the objective scale all relative
+  /// quantities (quality errors, budgets) are normalized by. Definition 1's
+  /// per-iteration normalization by |f(x)| degenerates for residual-type
+  /// objectives that approach zero; normalizing by the initial scale keeps
+  /// epsilon and the error budget E in the same, well-behaved units.
+  double objective_scale = 1.0;
+
+  /// epsilon_i accessor by mode (objective-relative quality error).
+  double epsilon(arith::ApproxMode mode) const {
+    return quality_error[arith::mode_index(mode)];
+  }
+
+  /// State-relative per-iteration error accessor by mode.
+  double state_epsilon(arith::ApproxMode mode) const {
+    return state_error[arith::mode_index(mode)];
+  }
+
+  /// Absolute per-iteration state-deviation accessor by mode.
+  double abs_state_epsilon(arith::ApproxMode mode) const {
+    return abs_state_error[arith::mode_index(mode)];
+  }
+
+  /// The update-error estimate ||eps^k|| used by the quality scheme:
+  /// the larger of the relative and absolute characterized deviations
+  /// (conservative under both value-proportional and value-independent
+  /// adder error structures).
+  double estimated_state_error(arith::ApproxMode mode,
+                               double state_norm) const {
+    const double rel = state_norm * state_epsilon(mode);
+    const double abs = abs_state_epsilon(mode);
+    return rel > abs ? rel : abs;
+  }
+
+  /// Energy accessor by mode.
+  double energy(arith::ApproxMode mode) const {
+    return energy_per_op[arith::mode_index(mode)];
+  }
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Manifold steepness angle alpha = atan(||grad f||) in radians, in
+/// [0, pi/2). This is the angle between the tangent plane at the current
+/// point and the base plane perpendicular to the objective axis (Fig. 2).
+double steepness_angle(double grad_norm);
+
+}  // namespace approxit::core

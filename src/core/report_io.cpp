@@ -1,0 +1,93 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace approxit::core {
+
+void write_trace_csv(const RunReport& report, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.write_row({"iteration", "mode", "objective", "energy", "step_norm",
+                 "grad_norm", "rolled_back", "reconfigured"});
+  for (const IterationRecord& rec : report.trace) {
+    csv.write_row({std::to_string(rec.index),
+                   std::string(arith::mode_name(rec.mode)),
+                   std::to_string(rec.objective_after),
+                   std::to_string(rec.energy),
+                   std::to_string(rec.step_norm),
+                   std::to_string(rec.grad_norm),
+                   rec.rolled_back ? "1" : "0",
+                   rec.reconfigured ? "1" : "0"});
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string report_to_json(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{";
+  os << "\"method\":\"" << json_escape(report.method_name) << "\",";
+  os << "\"strategy\":\"" << json_escape(report.strategy_name) << "\",";
+  os << "\"iterations\":" << report.iterations << ",";
+  os << "\"steps_per_mode\":{";
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << arith::mode_name(arith::mode_from_index(i)) << "\":"
+       << report.steps_per_mode[i];
+  }
+  os << "},";
+  os << "\"rollbacks\":" << report.rollbacks << ",";
+  os << "\"reconfigurations\":" << report.reconfigurations << ",";
+  os << "\"total_energy\":" << report.total_energy << ",";
+  os << "\"final_objective\":" << report.final_objective << ",";
+  os << "\"converged\":" << (report.converged ? "true" : "false");
+  os << "}";
+  return os.str();
+}
+
+void write_report_json(const RunReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_report_json: cannot open " + path);
+  }
+  out << report_to_json(report) << '\n';
+}
+
+}  // namespace approxit::core

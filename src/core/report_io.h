@@ -1,0 +1,29 @@
+// Run-report serialization: CSV trace export and a JSON summary, so runs
+// can be archived, diffed and plotted outside the harness.
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+
+namespace approxit::core {
+
+/// Writes the per-iteration trace as CSV with header
+/// `iteration,mode,objective,energy,step_norm,grad_norm,rolled_back,
+/// reconfigured`. Throws std::runtime_error if the file cannot be opened.
+void write_trace_csv(const RunReport& report, const std::string& path);
+
+/// Serializes the report summary (no trace) as a JSON object string:
+/// method, strategy, iterations, per-mode steps, rollbacks,
+/// reconfigurations, energy, final objective, convergence flag.
+std::string report_to_json(const RunReport& report);
+
+/// Writes report_to_json() to a file. Throws std::runtime_error on I/O
+/// failure.
+void write_report_json(const RunReport& report, const std::string& path);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace approxit::core

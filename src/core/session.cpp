@@ -1,0 +1,113 @@
+#include "core/session.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace approxit::core {
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << method_name << " under " << strategy_name << ": "
+     << (converged ? "converged" : "MAX_ITER") << " after " << iterations
+     << " iterations, f=" << final_objective
+     << ", energy=" << total_energy << ", steps [";
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    if (i > 0) os << ", ";
+    os << arith::mode_name(arith::mode_from_index(i)) << ":"
+       << steps_per_mode[i];
+  }
+  os << "], rollbacks=" << rollbacks
+     << ", reconfigurations=" << reconfigurations;
+  return os.str();
+}
+
+ApproxItSession::ApproxItSession(opt::IterativeMethod& method,
+                                 Strategy& strategy, arith::QcsAlu& alu)
+    : method_(method), strategy_(strategy), alu_(alu) {}
+
+const ModeCharacterization& ApproxItSession::ensure_characterized(
+    const CharacterizationOptions& options) {
+  if (!characterized_) {
+    characterization_ = characterize(method_, alu_, options);
+    characterized_ = true;
+  }
+  return characterization_;
+}
+
+RunReport ApproxItSession::run(const SessionOptions& options) {
+  ensure_characterized();
+
+  method_.reset();
+  strategy_.reset(characterization_);
+  alu_.reset_ledger();
+
+  RunReport report;
+  report.method_name = method_.name();
+  report.strategy_name = strategy_.name();
+
+  const std::size_t budget = options.max_iterations > 0
+                                 ? options.max_iterations
+                                 : method_.max_iterations();
+
+  arith::ApproxMode mode = strategy_.initial_mode();
+  double energy_before = 0.0;
+
+  while (report.iterations < budget) {
+    alu_.set_mode(mode);
+    const std::vector<double> snapshot = method_.state();
+
+    const opt::IterationStats stats = method_.iterate(alu_);
+    ++report.iterations;
+    ++report.steps_per_mode[arith::mode_index(mode)];
+
+    const double energy_after = alu_.ledger().total_energy();
+    const double iteration_energy = energy_after - energy_before;
+    energy_before = energy_after;
+
+    const Decision decision = strategy_.observe(mode, stats);
+
+    if (decision.rollback) {
+      method_.restore(snapshot);
+      ++report.rollbacks;
+    }
+    const bool reconfigured = decision.mode != mode;
+    if (reconfigured) {
+      ++report.reconfigurations;
+      APPROXIT_LOG(util::LogLevel::kDebug, "session")
+          << "iter " << report.iterations << ": "
+          << arith::mode_name(mode) << " -> "
+          << arith::mode_name(decision.mode)
+          << (decision.rollback ? " (rollback)" : "");
+    }
+
+    if (options.keep_trace) {
+      IterationRecord record;
+      record.index = report.iterations;
+      record.mode = mode;
+      record.objective_after = stats.objective_after;
+      record.energy = iteration_energy;
+      record.step_norm = stats.step_norm;
+      record.grad_norm = stats.grad_norm;
+      record.rolled_back = decision.rollback;
+      record.reconfigured = reconfigured;
+      report.trace.push_back(record);
+    }
+
+    mode = decision.mode;
+
+    if (stats.converged && !decision.rollback && !decision.veto_convergence) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.total_energy = alu_.ledger().total_energy();
+  report.final_objective = method_.objective();
+  report.final_state = method_.state();
+
+  APPROXIT_LOG(util::LogLevel::kInfo, "session") << report.to_string();
+  return report;
+}
+
+}  // namespace approxit::core

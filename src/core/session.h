@@ -1,0 +1,97 @@
+// ApproxItSession: the online reconfiguration engine (Figure 1, right).
+//
+// Drives an IterativeMethod under a reconfiguration Strategy on a QcsAlu:
+// each iteration runs in the strategy-selected mode, monitor statistics are
+// fed back, rollbacks are applied, per-mode steps and energy are accounted,
+// and convergence is accepted only when the strategy does not veto it.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arith/alu.h"
+#include "core/characterization.h"
+#include "core/strategy.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// One executed iteration in the run trace.
+struct IterationRecord {
+  std::size_t index = 0;             ///< 1-based execution order.
+  arith::ApproxMode mode;            ///< Mode the iteration ran in.
+  double objective_after = 0.0;      ///< f(x^k) (before any rollback).
+  double energy = 0.0;               ///< Energy spent in this iteration.
+  double step_norm = 0.0;            ///< ||x^k - x^{k-1}||.
+  double grad_norm = 0.0;            ///< Monitor gradient norm.
+  bool rolled_back = false;          ///< Function-scheme rollback applied.
+  bool reconfigured = false;         ///< Next mode differs from this one.
+};
+
+/// Aggregate result of one session run.
+struct RunReport {
+  std::string method_name;
+  std::string strategy_name;
+  std::size_t iterations = 0;  ///< Executed iterations (rollbacks included).
+  std::array<std::size_t, arith::kNumModes> steps_per_mode{};
+  std::size_t rollbacks = 0;
+  std::size_t reconfigurations = 0;
+  double total_energy = 0.0;   ///< Normalized units (ledger total).
+  double final_objective = 0.0;
+  bool converged = false;      ///< True when the method converged in budget.
+  std::vector<double> final_state;
+  std::vector<IterationRecord> trace;
+
+  /// Steps executed in `mode`.
+  std::size_t steps(arith::ApproxMode mode) const {
+    return steps_per_mode[arith::mode_index(mode)];
+  }
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Options for ApproxItSession::run.
+struct SessionOptions {
+  /// Cap on executed iterations; 0 uses the method's max_iterations().
+  std::size_t max_iterations = 0;
+  /// Record the full per-iteration trace (cheap; on by default).
+  bool keep_trace = true;
+};
+
+/// Binds a method, a strategy and a QCS ALU for one or more runs.
+class ApproxItSession {
+ public:
+  /// All three references must outlive the session.
+  ApproxItSession(opt::IterativeMethod& method, Strategy& strategy,
+                  arith::QcsAlu& alu);
+
+  /// Runs the offline characterization (cached across runs). Called
+  /// automatically by run() when missing.
+  const ModeCharacterization& ensure_characterized(
+      const CharacterizationOptions& options = {});
+
+  /// Injects a precomputed characterization (e.g. shared across the many
+  /// sessions of a benchmark sweep over the same workload).
+  void set_characterization(const ModeCharacterization& characterization) {
+    characterization_ = characterization;
+    characterized_ = true;
+  }
+
+  /// Executes one full run: reset, iterate under the strategy until the
+  /// method converges (unvetoed) or the iteration budget is exhausted.
+  RunReport run(const SessionOptions& options = {});
+
+  /// The cached characterization (empty optional semantics via flag).
+  bool is_characterized() const { return characterized_; }
+
+ private:
+  opt::IterativeMethod& method_;
+  Strategy& strategy_;
+  arith::QcsAlu& alu_;
+  ModeCharacterization characterization_;
+  bool characterized_ = false;
+};
+
+}  // namespace approxit::core

@@ -1,0 +1,31 @@
+// Fixed single-mode "strategy" — the paper's single-mode configuration
+// experiments (Tables 3(a), 4(a)) and the Truth baseline.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace approxit::core {
+
+/// Runs the whole application in one fixed approximation mode. Never vetoes
+/// convergence, so over-approximation produces exactly the false-stop /
+/// non-convergence failures the single-mode tables demonstrate.
+class StaticStrategy final : public Strategy {
+ public:
+  explicit StaticStrategy(arith::ApproxMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    return std::string("static(") + std::string(arith::mode_name(mode_)) +
+           ")";
+  }
+  void reset(const ModeCharacterization&) override {}
+  arith::ApproxMode initial_mode() const override { return mode_; }
+  Decision observe(arith::ApproxMode,
+                   const opt::IterationStats&) override {
+    return Decision{mode_, /*rollback=*/false, /*veto_convergence=*/false};
+  }
+
+ private:
+  arith::ApproxMode mode_;
+};
+
+}  // namespace approxit::core

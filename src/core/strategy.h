@@ -1,0 +1,50 @@
+// Online reconfiguration strategy interface (Section 4).
+//
+// A strategy observes the per-iteration monitor statistics and decides the
+// approximation mode of the NEXT iteration, optionally requesting a
+// one-iteration rollback (the incremental strategy's function scheme).
+#pragma once
+
+#include <string>
+
+#include "arith/mode.h"
+#include "core/quality.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// Outcome of observing one iteration.
+struct Decision {
+  /// Mode to configure for the next iteration.
+  arith::ApproxMode mode = arith::ApproxMode::kAccurate;
+  /// Roll the just-completed iteration back before continuing.
+  bool rollback = false;
+  /// Suppress convergence-based termination for this iteration: the
+  /// strategy suspects the observed stall/convergence is approximation-
+  /// induced, not real (the mechanism behind the paper's "no false stops"
+  /// guarantee).
+  bool veto_convergence = false;
+};
+
+/// Base class for all reconfiguration strategies.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Strategy name for reports ("incremental", "adaptive(f=1)", ...).
+  virtual std::string name() const = 0;
+
+  /// (Re)initializes internal state from the offline characterization.
+  /// Called once per session run, before the first iteration.
+  virtual void reset(const ModeCharacterization& characterization) = 0;
+
+  /// Mode for the first iteration.
+  virtual arith::ApproxMode initial_mode() const = 0;
+
+  /// Observes the statistics of the iteration just executed in `mode` and
+  /// returns the decision for the next one.
+  virtual Decision observe(arith::ApproxMode mode,
+                           const opt::IterationStats& stats) = 0;
+};
+
+}  // namespace approxit::core

@@ -1,0 +1,78 @@
+#include "core/sweep.h"
+
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/oracle.h"
+#include "core/static_strategy.h"
+
+namespace approxit::core {
+
+SweepResult run_configuration_sweep(const MethodFactory& factory,
+                                    arith::QcsAlu& alu,
+                                    const QemEvaluator& qem,
+                                    const SweepOptions& options) {
+  SweepResult result;
+
+  const std::unique_ptr<opt::IterativeMethod> char_method = factory();
+  const ModeCharacterization characterization =
+      characterize(*char_method, alu, options.characterization);
+
+  const std::unique_ptr<opt::IterativeMethod> truth_method = factory();
+  {
+    StaticStrategy strategy(arith::ApproxMode::kAccurate);
+    ApproxItSession session(*truth_method, strategy, alu);
+    session.set_characterization(characterization);
+    result.truth = session.run();
+  }
+  const double truth_energy =
+      result.truth.total_energy > 0.0 ? result.truth.total_energy : 1.0;
+
+  const auto add_point = [&](const std::string& label,
+                             opt::IterativeMethod& method,
+                             const RunReport& report) {
+    ParetoPoint point;
+    point.label = label;
+    point.energy = report.total_energy / truth_energy;
+    point.quality_error = qem(*truth_method, method);
+    point.converged = report.converged;
+    point.iterations = report.iterations;
+    result.points.push_back(point);
+  };
+
+  add_point("truth", *truth_method, result.truth);
+
+  const auto run_strategy = [&](const std::string& label,
+                                Strategy& strategy) {
+    const std::unique_ptr<opt::IterativeMethod> method = factory();
+    ApproxItSession session(*method, strategy, alu);
+    session.set_characterization(characterization);
+    const RunReport report = session.run();
+    add_point(label, *method, report);
+  };
+
+  if (options.include_single_modes) {
+    for (arith::ApproxMode mode :
+         {arith::ApproxMode::kLevel1, arith::ApproxMode::kLevel2,
+          arith::ApproxMode::kLevel3, arith::ApproxMode::kLevel4}) {
+      StaticStrategy strategy(mode);
+      run_strategy(std::string(arith::mode_name(mode)), strategy);
+    }
+  }
+  if (options.include_incremental) {
+    IncrementalStrategy strategy;
+    run_strategy("incremental", strategy);
+  }
+  if (options.include_adaptive) {
+    AdaptiveAngleStrategy strategy;
+    run_strategy(strategy.name(), strategy);
+  }
+  if (options.include_oracle) {
+    const std::unique_ptr<opt::IterativeMethod> method = factory();
+    const RunReport report = run_oracle(*method, alu);
+    add_point("oracle", *method, report);
+  }
+  return result;
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,50 @@
+// Configuration sweep: runs a workload under Truth, every single mode, the
+// reconfiguration strategies and (optionally) the oracle bound, and returns
+// quality/energy points ready for Pareto analysis.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arith/alu.h"
+#include "core/pareto.h"
+#include "core/session.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// Creates a fresh method instance over the (captured) workload.
+using MethodFactory =
+    std::function<std::unique_ptr<opt::IterativeMethod>()>;
+
+/// Evaluates the application QEM of a finished candidate run against the
+/// finished Truth run (e.g. Hamming distance of assignments, coefficient
+/// l2 error).
+using QemEvaluator = std::function<double(opt::IterativeMethod& truth,
+                                          opt::IterativeMethod& candidate)>;
+
+/// Options for run_configuration_sweep.
+struct SweepOptions {
+  bool include_single_modes = true;
+  bool include_incremental = true;
+  bool include_adaptive = true;
+  bool include_oracle = false;  ///< Lookahead probes make this pricier.
+  CharacterizationOptions characterization{};
+};
+
+/// Result of a sweep: the Truth report plus one ParetoPoint per evaluated
+/// configuration (energies normalized to Truth).
+struct SweepResult {
+  RunReport truth;
+  std::vector<ParetoPoint> points;
+};
+
+/// Runs the sweep. The factory must produce identically initialized
+/// methods; the ALU is shared across runs (its ledger is reset per run).
+SweepResult run_configuration_sweep(const MethodFactory& factory,
+                                    arith::QcsAlu& alu,
+                                    const QemEvaluator& qem,
+                                    const SweepOptions& options = {});
+
+}  // namespace approxit::core

@@ -1,0 +1,193 @@
+#include "la/decomp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxit::la {
+namespace {
+
+constexpr double kSingularTolerance = 1e-12;
+
+void check_square(const Matrix& a, const char* who) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument(std::string(who) + ": matrix must be square");
+  }
+}
+
+}  // namespace
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  check_square(a, "cholesky");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        if (sum <= kSingularTolerance) {
+          return std::nullopt;  // not positive definite
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<std::vector<double>> cholesky_solve(const Matrix& a,
+                                                  std::span<const double> b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("cholesky_solve: dimension mismatch");
+  }
+  const auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  const std::size_t n = a.rows();
+  // Forward solve L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= (*l)(i, k) * y[k];
+    y[i] = sum / (*l)(i, i);
+  }
+  // Backward solve L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= (*l)(k, i) * x[k];
+    x[i] = sum / (*l)(i, i);
+  }
+  return x;
+}
+
+std::optional<LuDecomposition> lu_decompose(const Matrix& a) {
+  check_square(a, "lu_decompose");
+  const std::size_t n = a.rows();
+  LuDecomposition out;
+  out.lu = a;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(out.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(out.lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= kSingularTolerance) {
+      return std::nullopt;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(out.lu(pivot, c), out.lu(col, c));
+      }
+      std::swap(out.perm[pivot], out.perm[col]);
+      out.sign = -out.sign;
+    }
+    const double diag = out.lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = out.lu(r, col) / diag;
+      out.lu(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        out.lu(r, c) -= factor * out.lu(col, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuDecomposition::solve: dimension mismatch");
+  }
+  // Apply permutation, forward solve L y = Pb (unit diagonal).
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (std::size_t k = 0; k < i; ++k) sum -= lu(i, k) * y[k];
+    y[i] = sum;
+  }
+  // Backward solve U x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lu(i, k) * x[k];
+    x[i] = sum / lu(i, i);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = static_cast<double>(sign);
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+std::optional<std::vector<double>> lu_solve(const Matrix& a,
+                                            std::span<const double> b) {
+  const auto lu = lu_decompose(a);
+  if (!lu) return std::nullopt;
+  return lu->solve(b);
+}
+
+double determinant(const Matrix& a) {
+  const auto lu = lu_decompose(a);
+  return lu ? lu->determinant() : 0.0;
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+  const auto lu = lu_decompose(a);
+  if (!lu) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix inv(n, n, 0.0);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const std::vector<double> col = lu->solve(e);
+    e[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+Matrix covariance(std::span<const double> rows, std::size_t dim,
+                  std::span<const double> mean, double ridge) {
+  if (dim == 0 || rows.size() % dim != 0) {
+    throw std::invalid_argument("covariance: bad row layout");
+  }
+  if (mean.size() != dim) {
+    throw std::invalid_argument("covariance: mean dimension mismatch");
+  }
+  const std::size_t n = rows.size() / dim;
+  Matrix cov(dim, dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < dim; ++r) {
+      const double dr = rows[i * dim + r] - mean[r];
+      for (std::size_t c = 0; c <= r; ++c) {
+        const double dc = rows[i * dim + c] - mean[c];
+        cov(r, c) += dr * dc;
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      cov(r, c) /= denom;
+      cov(c, r) = cov(r, c);
+    }
+  }
+  for (std::size_t d = 0; d < dim; ++d) cov(d, d) += ridge;
+  return cov;
+}
+
+}  // namespace approxit::la

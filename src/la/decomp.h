@@ -1,0 +1,57 @@
+// Small dense decompositions and solves.
+//
+// These back the error-SENSITIVE parts of the applications (GMM covariance
+// inversion, Newton steps), so they are exact by design — approximating
+// them is exactly the kind of "fatal error" the paper's offline resilience
+// analysis excludes from approximation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace approxit::la {
+
+/// Cholesky factor L (lower-triangular, LL^T = A) of a symmetric positive
+/// definite matrix; nullopt when A is not SPD (within a small tolerance).
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky; nullopt when not SPD.
+std::optional<std::vector<double>> cholesky_solve(const Matrix& a,
+                                                  std::span<const double> b);
+
+/// LU decomposition with partial pivoting packed in-place.
+struct LuDecomposition {
+  Matrix lu;                      ///< combined L (unit diag) and U factors
+  std::vector<std::size_t> perm;  ///< row permutation
+  int sign = 1;                   ///< permutation parity (for determinant)
+
+  /// Back-substitution solve for one right-hand side.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Determinant of the original matrix.
+  double determinant() const;
+};
+
+/// Factors a square matrix; nullopt when singular (within tolerance).
+std::optional<LuDecomposition> lu_decompose(const Matrix& a);
+
+/// Solves A x = b via LU; nullopt when A is singular.
+std::optional<std::vector<double>> lu_solve(const Matrix& a,
+                                            std::span<const double> b);
+
+/// Determinant via LU; 0 for singular matrices.
+double determinant(const Matrix& a);
+
+/// Inverse via LU; nullopt when singular. Intended for the small (2x2/3x3)
+/// covariance matrices of the GMM application.
+std::optional<Matrix> inverse(const Matrix& a);
+
+/// Symmetric sample covariance of `n` observations of dimension `dim`
+/// stored row-major in `rows`, about the provided mean. Adds `ridge` to the
+/// diagonal (regularization against degenerate clusters).
+Matrix covariance(std::span<const double> rows, std::size_t dim,
+                  std::span<const double> mean, double ridge = 0.0);
+
+}  // namespace approxit::la

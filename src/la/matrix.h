@@ -1,0 +1,93 @@
+// Dense row-major matrix used by the solvers and applications.
+//
+// Deliberately small: the paper's workloads need dense matrices up to a few
+// hundred columns (AR design matrices, GMM covariances), not a full BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace approxit::la {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construction from nested initializer lists; all rows must have equal
+  /// length. Example: Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Unchecked element access.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Row r as a span of cols() doubles.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// Contiguous row-major storage.
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  /// y = this * x; x.size() must equal cols(). Returns a new vector.
+  std::vector<double> matvec(std::span<const double> x) const;
+
+  /// y = this^T * x; x.size() must equal rows().
+  std::vector<double> matvec_transposed(std::span<const double> x) const;
+
+  /// this * other; inner dimensions must agree.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Sum of diagonal entries (min(rows, cols) terms).
+  double trace() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Element-wise addition; shapes must match.
+  Matrix operator+(const Matrix& other) const;
+
+  /// Element-wise subtraction; shapes must match.
+  Matrix operator-(const Matrix& other) const;
+
+  /// Scalar multiple.
+  Matrix operator*(double s) const;
+
+  bool operator==(const Matrix&) const = default;
+
+  /// Multi-line debug rendering.
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace approxit::la

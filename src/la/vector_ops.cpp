@@ -1,0 +1,112 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxit::la {
+namespace {
+
+void check_sizes(std::span<const double> x, std::span<const double> y,
+                 const char* who) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  }
+}
+
+}  // namespace
+
+double norm2(std::span<const double> x) { return std::sqrt(norm2_squared(x)); }
+
+double norm2_squared(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double norm_inf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double distance2(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "distance2");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  check_sizes(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+std::vector<double> subtract(std::span<const double> x,
+                             std::span<const double> y) {
+  check_sizes(x, y, "subtract");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::vector<double> add(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "add");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+double dot(arith::ArithContext& ctx, std::span<const double> x,
+           std::span<const double> y) {
+  check_sizes(x, y, "dot(ctx)");
+  return ctx.dot(x, y);
+}
+
+double sum(arith::ArithContext& ctx, std::span<const double> x) {
+  return ctx.accumulate(x);
+}
+
+void axpy(arith::ArithContext& ctx, double alpha, std::span<const double> x,
+          std::span<double> y) {
+  check_sizes(x, y, "axpy(ctx)");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = ctx.add(y[i], alpha * x[i]);
+  }
+}
+
+std::vector<double> mean_rows(arith::ArithContext& ctx,
+                              std::span<const double> rows, std::size_t dim) {
+  if (dim == 0) {
+    throw std::invalid_argument("mean_rows: dim must be positive");
+  }
+  if (rows.size() % dim != 0) {
+    throw std::invalid_argument("mean_rows: size not divisible by dim");
+  }
+  const std::size_t n = rows.size() / dim;
+  std::vector<double> out(dim, 0.0);
+  if (n == 0) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      out[j] = ctx.add(out[j], rows[i * dim + j]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace approxit::la

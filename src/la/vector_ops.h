@@ -1,0 +1,61 @@
+// Vector kernels. Context-routed variants exist for the operations that sit
+// inside error-resilient regions (reductions, updates); norms and distances
+// used by convergence checks are exact-only by design.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arith/context.h"
+
+namespace approxit::la {
+
+/// Euclidean norm (exact; used by error-sensitive convergence logic).
+double norm2(std::span<const double> x);
+
+/// Squared Euclidean norm (exact).
+double norm2_squared(std::span<const double> x);
+
+/// Max-magnitude norm (exact).
+double norm_inf(std::span<const double> x);
+
+/// Euclidean distance between two equal-length vectors (exact).
+double distance2(std::span<const double> x, std::span<const double> y);
+
+/// Exact dot product.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x (exact, in place).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha (in place).
+void scale(double alpha, std::span<double> x);
+
+/// out = x - y element-wise.
+std::vector<double> subtract(std::span<const double> x,
+                             std::span<const double> y);
+
+/// out = x + y element-wise.
+std::vector<double> add(std::span<const double> x, std::span<const double> y);
+
+/// Context-routed dot product: multiplications exact, accumulation through
+/// `ctx` (resilient-region reduction).
+double dot(arith::ArithContext& ctx, std::span<const double> x,
+           std::span<const double> y);
+
+/// Context-routed sum of all elements.
+double sum(arith::ArithContext& ctx, std::span<const double> x);
+
+/// Context-routed in-place update y_i = y_i + alpha * x_i — the iterative
+/// method's position update x^{k+1} = x^k + alpha d^k, whose error is the
+/// paper's "update error".
+void axpy(arith::ArithContext& ctx, double alpha, std::span<const double> x,
+          std::span<double> y);
+
+/// Context-routed element-wise mean of rows: out_j = (sum_i m[i][j]) / n,
+/// accumulated through `ctx`. `rows` is a flattened row-major span with
+/// `dim` columns. Division stays exact (it is not an adder operation).
+std::vector<double> mean_rows(arith::ArithContext& ctx,
+                              std::span<const double> rows, std::size_t dim);
+
+}  // namespace approxit::la

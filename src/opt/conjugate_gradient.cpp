@@ -1,0 +1,121 @@
+#include "opt/conjugate_gradient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+ConjugateGradientSolver::ConjugateGradientSolver(la::Matrix a,
+                                                 std::vector<double> b,
+                                                 std::vector<double> x0,
+                                                 CgConfig config)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      x0_(std::move(x0)),
+      config_(config) {
+  if (a_.rows() != a_.cols() || a_.rows() != b_.size() ||
+      b_.size() != x0_.size()) {
+    throw std::invalid_argument("ConjugateGradientSolver: dimension mismatch");
+  }
+  reset();
+}
+
+void ConjugateGradientSolver::reset() {
+  x_ = x0_;
+  restart_direction();
+  current_objective_ = objective_at(x_);
+  iteration_ = 0;
+}
+
+void ConjugateGradientSolver::restart_direction() {
+  // r = b - A x (exact restart; recurrences drift under approximation).
+  r_ = a_.matvec(x_);
+  for (std::size_t i = 0; i < r_.size(); ++i) r_[i] = b_[i] - r_[i];
+  p_ = r_;
+}
+
+double ConjugateGradientSolver::objective_at(std::span<const double> x) const {
+  const std::vector<double> ax = a_.matvec(x);
+  double s = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = ax[i] - b_[i];
+    s += r * r;
+  }
+  return 0.5 * s;
+}
+
+double ConjugateGradientSolver::residual_norm() const {
+  return std::sqrt(2.0 * objective_at(x_));
+}
+
+IterationStats ConjugateGradientSolver::iterate(arith::ArithContext& ctx) {
+  const std::size_t n = x_.size();
+  const std::vector<double> x_prev = x_;
+  const double f_prev = current_objective_;
+
+  // Exact monitor gradient A^T(Ax - b) == A(Ax - b) for symmetric A.
+  std::vector<double> true_residual = a_.matvec(x_prev);
+  for (std::size_t i = 0; i < n; ++i) true_residual[i] -= b_[i];
+  const std::vector<double> monitor_grad = a_.matvec_transposed(true_residual);
+
+  // One CG step with context-routed reductions and updates.
+  const std::vector<double> ap = a_.matvec(p_);
+  const double rr = ctx.dot(r_, r_);
+  const double pap = ctx.dot(p_, ap);
+  if (pap <= 0.0 || rr == 0.0) {
+    // Approximation broke conjugacy (or we are converged): restart from the
+    // exact residual to keep the method well-defined.
+    restart_direction();
+  } else {
+    const double alpha = rr / pap;
+    la::axpy(ctx, alpha, p_, x_);
+    la::axpy(ctx, -alpha, ap, r_);
+    const double rr_new = ctx.dot(r_, r_);
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) {
+      p_[i] = ctx.add(r_[i], beta * p_[i]);
+    }
+  }
+
+  current_objective_ = objective_at(x_);
+  ++iteration_;
+
+  IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(x_, x_prev);
+  stats.state_norm = la::norm2(x_);
+  const std::vector<double> step = la::subtract(x_, x_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step);
+  stats.grad_norm = la::norm2(monitor_grad);
+  stats.converged = residual_norm() < config_.tolerance;
+  return stats;
+}
+
+std::vector<double> ConjugateGradientSolver::state() const {
+  // Layout: [x | r | p].
+  std::vector<double> snapshot = x_;
+  snapshot.insert(snapshot.end(), r_.begin(), r_.end());
+  snapshot.insert(snapshot.end(), p_.begin(), p_.end());
+  return snapshot;
+}
+
+void ConjugateGradientSolver::restore(const std::vector<double>& snapshot) {
+  const std::size_t n = x_.size();
+  if (snapshot.size() != 3 * n) {
+    throw std::invalid_argument(
+        "ConjugateGradientSolver::restore: bad snapshot size");
+  }
+  auto it = snapshot.begin();
+  x_.assign(it, it + static_cast<long>(n));
+  it += static_cast<long>(n);
+  r_.assign(it, it + static_cast<long>(n));
+  it += static_cast<long>(n);
+  p_.assign(it, it + static_cast<long>(n));
+  current_objective_ = objective_at(x_);
+}
+
+}  // namespace approxit::opt

@@ -1,0 +1,60 @@
+// Conjugate gradient for SPD linear systems A x = b.
+//
+// The alpha/beta reductions and the x/r/p updates run through the
+// ArithContext; CG's sensitivity to inexact arithmetic makes it a stress
+// case for the reconfiguration strategies (approximation perturbs the
+// conjugacy recurrences, so low-accuracy modes stall progress).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::opt {
+
+/// Configuration for ConjugateGradientSolver.
+struct CgConfig {
+  std::size_t max_iter = 1000;
+  double tolerance = 1e-10;  ///< Converged when ||A x - b||_2 < tolerance.
+};
+
+/// CG over an SPD system, exposed as an IterativeMethod.
+class ConjugateGradientSolver final : public IterativeMethod {
+ public:
+  ConjugateGradientSolver(la::Matrix a, std::vector<double> b,
+                          std::vector<double> x0, CgConfig config);
+
+  std::string name() const override { return "conjugate_gradient"; }
+  std::size_t dimension() const override { return x_.size(); }
+  void reset() override;
+  IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override;
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return config_.max_iter; }
+  double tolerance() const override { return config_.tolerance; }
+
+  /// Current iterate.
+  std::span<const double> x() const { return x_; }
+
+  /// Exact current residual norm ||A x - b||_2.
+  double residual_norm() const;
+
+ private:
+  double objective_at(std::span<const double> x) const;
+  void restart_direction();
+
+  la::Matrix a_;
+  std::vector<double> b_;
+  std::vector<double> x0_;
+  CgConfig config_;
+
+  std::vector<double> x_;
+  std::vector<double> r_;  ///< recurrence residual (context-updated)
+  std::vector<double> p_;  ///< search direction
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace approxit::opt

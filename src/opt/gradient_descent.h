@@ -1,0 +1,56 @@
+// (Momentum) gradient descent over a Problem.
+//
+// Direction computation (the problem's gradient) and the position update
+// both run through the supplied ArithContext — the two approximate-error
+// sources the paper analyzes ("direction error" and "update error").
+// Monitor quantities are exact.
+#pragma once
+
+#include <vector>
+
+#include "opt/iterative_method.h"
+#include "opt/problem.h"
+
+namespace approxit::opt {
+
+/// Configuration for GradientDescentSolver.
+struct GdConfig {
+  double step_size = 0.01;   ///< Fixed step alpha.
+  double momentum = 0.0;     ///< Momentum coefficient beta (0 = plain GD).
+  std::size_t max_iter = 1000;
+  double tolerance = 1e-10;  ///< Converged when |f_k - f_{k-1}| < tolerance.
+};
+
+/// First-order iterative solver x <- x + beta v - alpha grad f(x).
+class GradientDescentSolver final : public IterativeMethod {
+ public:
+  /// The problem must outlive the solver. `x0` is copied and used by
+  /// reset().
+  GradientDescentSolver(const Problem& problem, std::vector<double> x0,
+                        GdConfig config);
+
+  std::string name() const override;
+  std::size_t dimension() const override { return x_.size(); }
+  void reset() override;
+  IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override;
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return config_.max_iter; }
+  double tolerance() const override { return config_.tolerance; }
+
+  /// Current iterate.
+  std::span<const double> x() const { return x_; }
+
+ private:
+  const Problem& problem_;
+  std::vector<double> x0_;
+  GdConfig config_;
+
+  std::vector<double> x_;
+  std::vector<double> velocity_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace approxit::opt

@@ -1,0 +1,79 @@
+// The iterative-method abstraction ApproxIt orchestrates.
+//
+// An IterativeMethod advances one iteration at a time through a supplied
+// ArithContext (the QCS ALU in approximate runs, ExactContext in reference
+// runs). Everything the online reconfiguration strategies need — objective
+// values, step/state norms, the gradient/step dot product, the manifold
+// steepness — is reported per iteration in IterationStats; these monitor
+// quantities are computed exactly (they belong to the framework's error-
+// sensitive part).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arith/context.h"
+
+namespace approxit::opt {
+
+/// Per-iteration monitor quantities consumed by the reconfiguration
+/// strategies (Section 4 of the paper).
+struct IterationStats {
+  std::size_t iteration = 0;      ///< 1-based index of the completed step.
+  double objective_before = 0.0;  ///< f(x^{k-1}).
+  double objective_after = 0.0;   ///< f(x^k).
+  double step_norm = 0.0;         ///< ||x^k - x^{k-1}||_2 ("update" size).
+  double state_norm = 0.0;        ///< ||x^k||_2.
+  double grad_dot_step = 0.0;     ///< grad f(x^{k-1})^T (x^k - x^{k-1}).
+  double grad_norm = 0.0;         ///< ||grad f(x^{k-1})||_2 (steepness).
+  bool converged = false;         ///< Method's own convergence test passed.
+
+  /// Objective improvement f(x^{k-1}) - f(x^k); positive means progress.
+  double improvement() const { return objective_before - objective_after; }
+};
+
+/// Interface implemented by every iterative method (generic solvers in
+/// opt/, applications in apps/).
+///
+/// Contract:
+///  - reset() returns to the initial iterate (deterministic).
+///  - iterate() performs exactly one iteration; resilient-region arithmetic
+///    goes through `ctx`; monitor quantities in the returned stats are
+///    exact.
+///  - state()/restore() snapshot and roll back the full mutable state
+///    (the function scheme's one-iteration rollback).
+class IterativeMethod {
+ public:
+  virtual ~IterativeMethod() = default;
+
+  /// Human-readable method name ("gradient_descent", "gmm_em", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of optimization variables (flattened state size may be larger).
+  virtual std::size_t dimension() const = 0;
+
+  /// Restores the initial iterate and clears the iteration counter.
+  virtual void reset() = 0;
+
+  /// Runs one iteration through `ctx` and reports monitor statistics.
+  virtual IterationStats iterate(arith::ArithContext& ctx) = 0;
+
+  /// Exact objective value at the current state.
+  virtual double objective() const = 0;
+
+  /// Flattened snapshot of the full mutable state (for rollback).
+  virtual std::vector<double> state() const = 0;
+
+  /// Restores a snapshot taken by state(). Must also rewind the objective
+  /// bookkeeping so that the next iterate() reports consistent stats.
+  virtual void restore(const std::vector<double>& snapshot) = 0;
+
+  /// Iteration budget (the paper's MAX_ITER).
+  virtual std::size_t max_iterations() const = 0;
+
+  /// Convergence threshold (the paper's Convergence column).
+  virtual double tolerance() const = 0;
+};
+
+}  // namespace approxit::opt

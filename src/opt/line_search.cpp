@@ -1,0 +1,51 @@
+#include "opt/line_search.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+LineSearchResult backtracking_line_search(const Problem& problem,
+                                          std::span<const double> x,
+                                          std::span<const double> direction,
+                                          std::span<const double> grad,
+                                          const LineSearchOptions& options) {
+  if (x.size() != direction.size() || x.size() != grad.size()) {
+    throw std::invalid_argument("backtracking_line_search: size mismatch");
+  }
+  if (options.initial_step <= 0.0 || options.shrink <= 0.0 ||
+      options.shrink >= 1.0) {
+    throw std::invalid_argument(
+        "backtracking_line_search: bad step/shrink parameters");
+  }
+
+  LineSearchResult result;
+  const double slope = la::dot(grad, direction);
+  if (slope >= 0.0) {
+    return result;  // not a descent direction
+  }
+  const double f0 = problem.value(x);
+  ++result.evaluations;
+
+  double step = options.initial_step;
+  std::vector<double> trial(x.begin(), x.end());
+  for (std::size_t k = 0; k < options.max_backtracks; ++k) {
+    for (std::size_t i = 0; i < trial.size(); ++i) {
+      trial[i] = x[i] + step * direction[i];
+    }
+    const double f = problem.value(trial);
+    ++result.evaluations;
+    if (f <= f0 + options.sufficient_decrease * step * slope) {
+      result.step = step;
+      result.objective = f;
+      result.success = true;
+      return result;
+    }
+    step *= options.shrink;
+  }
+  return result;
+}
+
+}  // namespace approxit::opt

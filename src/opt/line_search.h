@@ -1,0 +1,37 @@
+// Backtracking (Armijo) line search, shared by the nonlinear solvers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "opt/problem.h"
+
+namespace approxit::opt {
+
+/// Options for backtracking_line_search.
+struct LineSearchOptions {
+  double initial_step = 1.0;
+  double shrink = 0.5;        ///< Step multiplier per backtrack.
+  double sufficient_decrease = 1e-4;  ///< Armijo c1.
+  std::size_t max_backtracks = 40;
+};
+
+/// Result of a line search.
+struct LineSearchResult {
+  double step = 0.0;        ///< Accepted step size (0 when failed).
+  double objective = 0.0;   ///< f(x + step * d).
+  std::size_t evaluations = 0;  ///< Objective evaluations performed.
+  bool success = false;     ///< Armijo condition met.
+};
+
+/// Finds a step along `direction` from `x` satisfying the Armijo condition
+///   f(x + a d) <= f(x) + c1 * a * grad^T d.
+/// `grad` is the gradient at x; `direction` should be a descent direction
+/// (grad^T d < 0) — otherwise the search fails immediately.
+/// All evaluations are exact (line search is monitor-side logic).
+LineSearchResult backtracking_line_search(
+    const Problem& problem, std::span<const double> x,
+    std::span<const double> direction, std::span<const double> grad,
+    const LineSearchOptions& options = {});
+
+}  // namespace approxit::opt

@@ -1,0 +1,134 @@
+#include "opt/linear_stationary.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+std::string to_string(StationaryScheme scheme) {
+  switch (scheme) {
+    case StationaryScheme::kJacobi:
+      return "jacobi";
+    case StationaryScheme::kGaussSeidel:
+      return "gauss_seidel";
+    case StationaryScheme::kSor:
+      return "sor";
+  }
+  return "?";
+}
+
+StationarySolver::StationarySolver(la::Matrix a, std::vector<double> b,
+                                   std::vector<double> x0,
+                                   StationaryConfig config)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      x0_(std::move(x0)),
+      config_(config) {
+  if (a_.rows() != a_.cols() || a_.rows() != b_.size() ||
+      b_.size() != x0_.size()) {
+    throw std::invalid_argument("StationarySolver: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < a_.rows(); ++i) {
+    if (a_(i, i) == 0.0) {
+      throw std::invalid_argument("StationarySolver: zero diagonal entry");
+    }
+  }
+  if (config_.scheme == StationaryScheme::kSor &&
+      (config_.relaxation <= 0.0 || config_.relaxation >= 2.0)) {
+    throw std::invalid_argument("StationarySolver: omega must be in (0, 2)");
+  }
+  reset();
+}
+
+void StationarySolver::reset() {
+  x_ = x0_;
+  current_objective_ = objective_at(x_);
+  iteration_ = 0;
+}
+
+double StationarySolver::objective_at(std::span<const double> x) const {
+  const std::vector<double> ax = a_.matvec(x);
+  double s = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = ax[i] - b_[i];
+    s += r * r;
+  }
+  return 0.5 * s;
+}
+
+double StationarySolver::residual_norm() const {
+  return std::sqrt(2.0 * objective_at(x_));
+}
+
+IterationStats StationarySolver::iterate(arith::ArithContext& ctx) {
+  const std::size_t n = x_.size();
+  const std::vector<double> x_prev = x_;
+  const double f_prev = current_objective_;
+
+  // Exact monitor gradient A^T (A x - b) at x^{k-1}.
+  std::vector<double> residual = a_.matvec(x_prev);
+  for (std::size_t i = 0; i < n; ++i) residual[i] -= b_[i];
+  const std::vector<double> monitor_grad = a_.matvec_transposed(residual);
+
+  const double omega = config_.scheme == StationaryScheme::kSor
+                           ? config_.relaxation
+                           : 1.0;
+  switch (config_.scheme) {
+    case StationaryScheme::kJacobi: {
+      std::vector<double> next(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        // sum_{j != i} a_ij x_j through the context.
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          acc = ctx.add(acc, a_(i, j) * x_[j]);
+        }
+        next[i] = (b_[i] - acc) / a_(i, i);
+      }
+      x_ = std::move(next);
+      break;
+    }
+    case StationaryScheme::kGaussSeidel:
+    case StationaryScheme::kSor: {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          acc = ctx.add(acc, a_(i, j) * x_[j]);  // uses updated x_j for j < i
+        }
+        const double gs = (b_[i] - acc) / a_(i, i);
+        // Relaxed update through the context: x_i + omega (gs - x_i).
+        x_[i] = ctx.add(x_[i], omega * ctx.sub(gs, x_[i]));
+      }
+      break;
+    }
+  }
+
+  current_objective_ = objective_at(x_);
+  ++iteration_;
+
+  IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(x_, x_prev);
+  stats.state_norm = la::norm2(x_);
+  const std::vector<double> step = la::subtract(x_, x_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step);
+  stats.grad_norm = la::norm2(monitor_grad);
+  stats.converged = residual_norm() < config_.tolerance;
+  return stats;
+}
+
+void StationarySolver::restore(const std::vector<double>& snapshot) {
+  if (snapshot.size() != x_.size()) {
+    throw std::invalid_argument(
+        "StationarySolver::restore: bad snapshot size");
+  }
+  x_ = snapshot;
+  current_objective_ = objective_at(x_);
+}
+
+}  // namespace approxit::opt

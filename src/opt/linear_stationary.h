@@ -1,0 +1,69 @@
+// Stationary iterative solvers for linear systems A x = b:
+// Jacobi, Gauss-Seidel, and SOR.
+//
+// Implements IterativeMethod so ApproxIt can drive them: the per-row
+// relaxation sums run through the ArithContext (resilient region); the
+// residual-based objective f(x) = 0.5 ||Ax - b||^2 and its gradient
+// A^T(Ax - b) are exact monitor quantities.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "opt/iterative_method.h"
+
+namespace approxit::opt {
+
+/// Which stationary scheme to run.
+enum class StationaryScheme { kJacobi, kGaussSeidel, kSor };
+
+/// Returns "jacobi", "gauss_seidel" or "sor".
+std::string to_string(StationaryScheme scheme);
+
+/// Configuration for StationarySolver.
+struct StationaryConfig {
+  StationaryScheme scheme = StationaryScheme::kJacobi;
+  double relaxation = 1.0;  ///< SOR omega in (0, 2); ignored by the others.
+  std::size_t max_iter = 1000;
+  double tolerance = 1e-10;  ///< Converged when ||Ax - b||_2 < tolerance.
+};
+
+/// Stationary iterative linear solver. A must be square with a nonzero
+/// diagonal; convergence additionally requires the usual spectral
+/// conditions (e.g. diagonal dominance), which the caller is responsible
+/// for.
+class StationarySolver final : public IterativeMethod {
+ public:
+  StationarySolver(la::Matrix a, std::vector<double> b,
+                   std::vector<double> x0, StationaryConfig config);
+
+  std::string name() const override { return to_string(config_.scheme); }
+  std::size_t dimension() const override { return x_.size(); }
+  void reset() override;
+  IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override { return x_; }
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return config_.max_iter; }
+  double tolerance() const override { return config_.tolerance; }
+
+  /// Current iterate.
+  std::span<const double> x() const { return x_; }
+
+  /// Exact current residual norm ||A x - b||_2.
+  double residual_norm() const;
+
+ private:
+  double objective_at(std::span<const double> x) const;
+
+  la::Matrix a_;
+  std::vector<double> b_;
+  std::vector<double> x0_;
+  StationaryConfig config_;
+
+  std::vector<double> x_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace approxit::opt

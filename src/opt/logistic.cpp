@@ -1,0 +1,121 @@
+#include "opt/logistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxit::opt {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double log1p_exp(double z) {
+  if (z > 30.0) return z;            // exp overflow guard: log1p(e^z) ~ z
+  if (z < -30.0) return std::exp(z); // log1p(tiny) ~ tiny
+  return std::log1p(std::exp(z));
+}
+
+LogisticProblem::LogisticProblem(la::Matrix x, std::vector<int> y, double l2)
+    : x_(std::move(x)), y_(std::move(y)), l2_(l2) {
+  if (x_.rows() != y_.size() || x_.rows() == 0 || x_.cols() == 0) {
+    throw std::invalid_argument("LogisticProblem: shape mismatch");
+  }
+  if (l2_ < 0.0) {
+    throw std::invalid_argument("LogisticProblem: l2 must be >= 0");
+  }
+  for (int label : y_) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("LogisticProblem: labels must be 0/1");
+    }
+  }
+}
+
+double LogisticProblem::value(std::span<const double> w) const {
+  const std::size_t m = x_.rows();
+  const std::vector<double> logits = x_.matvec(w);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    loss += log1p_exp(logits[i]) -
+            (y_[i] == 1 ? logits[i] : 0.0);
+  }
+  loss /= static_cast<double>(m);
+  double reg = 0.0;
+  for (double wi : w) reg += wi * wi;
+  return loss + 0.5 * l2_ * reg;
+}
+
+void LogisticProblem::gradient(std::span<const double> w,
+                               std::span<double> out,
+                               arith::ArithContext& ctx) const {
+  const std::size_t m = x_.rows();
+  const std::size_t n = x_.cols();
+  if (w.size() != n || out.size() != n) {
+    throw std::invalid_argument("LogisticProblem::gradient: size mismatch");
+  }
+  // Logits via the (possibly approximate) context — direction error source.
+  std::vector<double> err(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double logit = ctx.dot(x_.row(i), w);
+    // The sigmoid itself is a small exact lookup-style unit.
+    err[i] = sigmoid(logit) - static_cast<double>(y_[i]);
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc = ctx.add(acc, x_(i, j) * err[i] * inv_m);
+    }
+    out[j] = acc + l2_ * w[j];
+  }
+}
+
+void LogisticProblem::hessian(std::span<const double> w,
+                              la::Matrix& out) const {
+  const std::size_t m = x_.rows();
+  const std::size_t n = x_.cols();
+  const std::vector<double> logits = x_.matvec(w);
+  out = la::Matrix(n, n, 0.0);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double p = sigmoid(logits[i]);
+    const double weight = p * (1.0 - p) * inv_m;
+    if (weight == 0.0) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double xr = x_(i, r);
+      if (xr == 0.0) continue;
+      for (std::size_t c = 0; c <= r; ++c) {
+        out(r, c) += weight * xr * x_(i, c);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      out(c, r) = out(r, c);
+    }
+    out(r, r) += l2_;
+  }
+}
+
+std::vector<double> LogisticProblem::probabilities(
+    std::span<const double> w) const {
+  const std::vector<double> logits = x_.matvec(w);
+  std::vector<double> p(logits.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = sigmoid(logits[i]);
+  return p;
+}
+
+double LogisticProblem::accuracy(std::span<const double> w) const {
+  const std::vector<double> p = probabilities(w);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const int predicted = p[i] >= 0.5 ? 1 : 0;
+    if (predicted == y_[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(p.size());
+}
+
+}  // namespace approxit::opt

@@ -1,0 +1,49 @@
+// Binary logistic regression as a Problem: smooth convex objective with a
+// context-routed gradient and an exact Hessian (Newton = IRLS).
+#pragma once
+
+#include <vector>
+
+#include "opt/problem.h"
+
+namespace approxit::opt {
+
+/// Mean cross-entropy loss of a linear logit model with optional L2
+/// regularization:
+///   f(w) = (1/m) sum_i [ log(1 + exp(x_i^T w)) - y_i x_i^T w ]
+///          + (lambda/2) ||w||^2,  y_i in {0, 1}.
+class LogisticProblem final : public Problem {
+ public:
+  /// `x` is the m x n feature matrix, `y` the 0/1 labels.
+  LogisticProblem(la::Matrix x, std::vector<int> y, double l2 = 0.0);
+
+  std::string name() const override { return "logistic"; }
+  std::size_t dimension() const override { return x_.cols(); }
+  double value(std::span<const double> w) const override;
+  void gradient(std::span<const double> w, std::span<double> out,
+                arith::ArithContext& ctx) const override;
+  bool has_hessian() const override { return true; }
+  void hessian(std::span<const double> w, la::Matrix& out) const override;
+
+  /// Predicted probabilities sigma(x_i^T w) (exact).
+  std::vector<double> probabilities(std::span<const double> w) const;
+
+  /// Classification accuracy of the 0.5-threshold classifier (exact).
+  double accuracy(std::span<const double> w) const;
+
+  const la::Matrix& features() const { return x_; }
+  std::span<const int> labels() const { return y_; }
+
+ private:
+  la::Matrix x_;
+  std::vector<int> y_;
+  double l2_;
+};
+
+/// Numerically stable sigmoid.
+double sigmoid(double z);
+
+/// Numerically stable log(1 + exp(z)).
+double log1p_exp(double z);
+
+}  // namespace approxit::opt

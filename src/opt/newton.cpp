@@ -1,0 +1,82 @@
+#include "opt/newton.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/decomp.h"
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+NewtonSolver::NewtonSolver(const Problem& problem, std::vector<double> x0,
+                           NewtonConfig config)
+    : problem_(problem), x0_(std::move(x0)), config_(config) {
+  if (!problem_.has_hessian()) {
+    throw std::invalid_argument("NewtonSolver: problem has no Hessian");
+  }
+  if (x0_.size() != problem_.dimension()) {
+    throw std::invalid_argument("NewtonSolver: x0 dimension mismatch");
+  }
+  if (config_.damping <= 0.0 || config_.damping > 1.0) {
+    throw std::invalid_argument("NewtonSolver: damping must be in (0, 1]");
+  }
+  reset();
+}
+
+void NewtonSolver::reset() {
+  x_ = x0_;
+  current_objective_ = problem_.value(x_);
+  iteration_ = 0;
+}
+
+IterationStats NewtonSolver::iterate(arith::ArithContext& ctx) {
+  const std::size_t n = x_.size();
+  const std::vector<double> x_prev = x_;
+  const double f_prev = current_objective_;
+
+  // Exact monitor gradient (framework part).
+  std::vector<double> monitor_grad(n);
+  arith::ExactContext exact;
+  problem_.gradient(x_prev, monitor_grad, exact);
+
+  // Resilient gradient through the context; exact Hessian factorization.
+  std::vector<double> grad(n);
+  problem_.gradient(x_, grad, ctx);
+  la::Matrix hessian;
+  problem_.hessian(x_, hessian);
+  for (std::size_t i = 0; i < n; ++i) hessian(i, i) += config_.ridge;
+
+  const auto direction = la::cholesky_solve(hessian, grad);
+  if (!direction) {
+    throw std::runtime_error(
+        "NewtonSolver: Hessian not positive definite at iterate");
+  }
+
+  // x <- x - damping * d through the context (update error source).
+  la::axpy(ctx, -config_.damping, *direction, x_);
+
+  current_objective_ = problem_.value(x_);
+  ++iteration_;
+
+  IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(x_, x_prev);
+  stats.state_norm = la::norm2(x_);
+  const std::vector<double> step = la::subtract(x_, x_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step);
+  stats.grad_norm = la::norm2(monitor_grad);
+  stats.converged = stats.improvement() < config_.tolerance;
+  return stats;
+}
+
+void NewtonSolver::restore(const std::vector<double>& snapshot) {
+  if (snapshot.size() != x_.size()) {
+    throw std::invalid_argument("NewtonSolver::restore: bad snapshot size");
+  }
+  x_ = snapshot;
+  current_objective_ = problem_.value(x_);
+}
+
+}  // namespace approxit::opt

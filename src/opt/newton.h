@@ -1,0 +1,54 @@
+// Newton's method over a Problem with an exact Hessian solve.
+//
+// The Newton direction d = -H^{-1} g uses a context-routed gradient (the
+// resilient direction computation) but an exact factorization — inverting a
+// wrong Hessian is the "fatal error" class the offline resilience analysis
+// keeps on exact hardware. The position update runs through the context.
+#pragma once
+
+#include <vector>
+
+#include "opt/iterative_method.h"
+#include "opt/problem.h"
+
+namespace approxit::opt {
+
+/// Configuration for NewtonSolver.
+struct NewtonConfig {
+  double damping = 1.0;  ///< Step scale in (0, 1]; 1 = full Newton step.
+  std::size_t max_iter = 100;
+  double tolerance = 1e-12;  ///< Converged when |f_k - f_{k-1}| < tolerance.
+  double ridge = 1e-9;       ///< Added to the Hessian diagonal for stability.
+};
+
+/// Second-order iterative solver x <- x - damping * H^{-1} grad f(x).
+class NewtonSolver final : public IterativeMethod {
+ public:
+  /// The problem must have a Hessian (Problem::has_hessian()).
+  NewtonSolver(const Problem& problem, std::vector<double> x0,
+               NewtonConfig config);
+
+  std::string name() const override { return "newton"; }
+  std::size_t dimension() const override { return x_.size(); }
+  void reset() override;
+  IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override { return x_; }
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return config_.max_iter; }
+  double tolerance() const override { return config_.tolerance; }
+
+  /// Current iterate.
+  std::span<const double> x() const { return x_; }
+
+ private:
+  const Problem& problem_;
+  std::vector<double> x0_;
+  NewtonConfig config_;
+
+  std::vector<double> x_;
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace approxit::opt

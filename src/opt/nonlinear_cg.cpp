@@ -1,0 +1,145 @@
+#include "opt/nonlinear_cg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+std::string to_string(CgBeta beta) {
+  switch (beta) {
+    case CgBeta::kFletcherReeves:
+      return "fletcher_reeves";
+    case CgBeta::kPolakRibierePlus:
+      return "polak_ribiere+";
+  }
+  return "?";
+}
+
+NonlinearCgSolver::NonlinearCgSolver(const Problem& problem,
+                                     std::vector<double> x0,
+                                     NonlinearCgConfig config)
+    : problem_(problem), x0_(std::move(x0)), config_(config) {
+  if (x0_.size() != problem_.dimension()) {
+    throw std::invalid_argument("NonlinearCgSolver: x0 dimension mismatch");
+  }
+  restart_period_ =
+      config_.restart_period > 0 ? config_.restart_period : x0_.size();
+  reset();
+}
+
+std::string NonlinearCgSolver::name() const {
+  return "nonlinear_cg(" + to_string(config_.beta) + ")";
+}
+
+void NonlinearCgSolver::restart_direction(arith::ArithContext& ctx) {
+  grad_.resize(x_.size());
+  problem_.gradient(x_, grad_, ctx);
+  direction_.assign(grad_.begin(), grad_.end());
+  for (double& d : direction_) d = -d;
+  since_restart_ = 0;
+}
+
+void NonlinearCgSolver::reset() {
+  x_ = x0_;
+  current_objective_ = problem_.value(x_);
+  iteration_ = 0;
+  arith::ExactContext exact;
+  restart_direction(exact);
+}
+
+IterationStats NonlinearCgSolver::iterate(arith::ArithContext& ctx) {
+  const std::size_t n = x_.size();
+  const std::vector<double> x_prev = x_;
+  const double f_prev = current_objective_;
+
+  // Exact monitor gradient at x^{k-1}.
+  std::vector<double> monitor_grad(n);
+  arith::ExactContext exact;
+  problem_.gradient(x_prev, monitor_grad, exact);
+
+  // Safeguard: if the (possibly approximation-corrupted) direction is not a
+  // descent direction w.r.t. the exact gradient, restart from steepest
+  // descent before stepping.
+  if (la::dot(monitor_grad, direction_) >= 0.0) {
+    restart_direction(ctx);
+  }
+
+  // Line search along d_k (exact objective evaluations).
+  const LineSearchResult search = backtracking_line_search(
+      problem_, x_, direction_, grad_, config_.line_search);
+  const double step = search.success ? search.step : 1e-12;
+
+  // Position update through the context (update error source).
+  la::axpy(ctx, step, direction_, x_);
+
+  // New gradient through the context (direction error source).
+  std::vector<double> grad_new(n);
+  problem_.gradient(x_, grad_new, ctx);
+
+  // Beta recurrence; the reductions run through the context too.
+  double beta = 0.0;
+  const double denom = ctx.dot(grad_, grad_);
+  if (denom > 0.0) {
+    if (config_.beta == CgBeta::kFletcherReeves) {
+      beta = ctx.dot(grad_new, grad_new) / denom;
+    } else {
+      // PR+: max(0, g_new^T (g_new - g_old) / g_old^T g_old).
+      std::vector<double> diff(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        diff[i] = ctx.sub(grad_new[i], grad_[i]);
+      }
+      beta = std::max(0.0, ctx.dot(grad_new, diff) / denom);
+    }
+  }
+
+  ++since_restart_;
+  if (since_restart_ >= restart_period_ || !search.success) {
+    beta = 0.0;
+    since_restart_ = 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    direction_[i] = ctx.sub(beta * direction_[i], grad_new[i]);
+  }
+  grad_ = std::move(grad_new);
+
+  current_objective_ = problem_.value(x_);
+  ++iteration_;
+
+  IterationStats stats;
+  stats.iteration = iteration_;
+  stats.objective_before = f_prev;
+  stats.objective_after = current_objective_;
+  stats.step_norm = la::distance2(x_, x_prev);
+  stats.state_norm = la::norm2(x_);
+  const std::vector<double> step_vec = la::subtract(x_, x_prev);
+  stats.grad_dot_step = la::dot(monitor_grad, step_vec);
+  stats.grad_norm = la::norm2(monitor_grad);
+  stats.converged = stats.improvement() < config_.tolerance;
+  return stats;
+}
+
+std::vector<double> NonlinearCgSolver::state() const {
+  // Layout: [x | grad | direction].
+  std::vector<double> snapshot = x_;
+  snapshot.insert(snapshot.end(), grad_.begin(), grad_.end());
+  snapshot.insert(snapshot.end(), direction_.begin(), direction_.end());
+  return snapshot;
+}
+
+void NonlinearCgSolver::restore(const std::vector<double>& snapshot) {
+  const std::size_t n = x_.size();
+  if (snapshot.size() != 3 * n) {
+    throw std::invalid_argument("NonlinearCgSolver::restore: bad snapshot");
+  }
+  auto it = snapshot.begin();
+  x_.assign(it, it + static_cast<long>(n));
+  it += static_cast<long>(n);
+  grad_.assign(it, it + static_cast<long>(n));
+  it += static_cast<long>(n);
+  direction_.assign(it, it + static_cast<long>(n));
+  current_objective_ = problem_.value(x_);
+}
+
+}  // namespace approxit::opt

@@ -1,0 +1,73 @@
+// Nonlinear conjugate gradient (Fletcher-Reeves / Polak-Ribiere+) with
+// backtracking line search, exposed as an IterativeMethod.
+//
+// Gradient evaluations route through the ArithContext (direction error);
+// the beta recurrence and the position update also run through the context
+// (update error); line-search objective evaluations are exact monitor-side
+// work, like every convergence check in this library.
+#pragma once
+
+#include <vector>
+
+#include "opt/iterative_method.h"
+#include "opt/line_search.h"
+#include "opt/problem.h"
+
+namespace approxit::opt {
+
+/// Beta formula selection.
+enum class CgBeta { kFletcherReeves, kPolakRibierePlus };
+
+/// Returns "fletcher_reeves" or "polak_ribiere+".
+std::string to_string(CgBeta beta);
+
+/// Configuration for NonlinearCgSolver.
+struct NonlinearCgConfig {
+  CgBeta beta = CgBeta::kPolakRibierePlus;
+  LineSearchOptions line_search{};
+  /// Restart to steepest descent every `restart_period` iterations
+  /// (0 = dimension-based default n).
+  std::size_t restart_period = 0;
+  std::size_t max_iter = 1000;
+  double tolerance = 1e-12;  ///< Converged when f stops decreasing by this.
+};
+
+/// Nonlinear CG over a Problem.
+class NonlinearCgSolver final : public IterativeMethod {
+ public:
+  NonlinearCgSolver(const Problem& problem, std::vector<double> x0,
+                    NonlinearCgConfig config = {});
+
+  std::string name() const override;
+  std::size_t dimension() const override { return x_.size(); }
+  void reset() override;
+  IterationStats iterate(arith::ArithContext& ctx) override;
+  double objective() const override { return current_objective_; }
+  std::vector<double> state() const override;
+  void restore(const std::vector<double>& snapshot) override;
+  std::size_t max_iterations() const override { return config_.max_iter; }
+  double tolerance() const override { return config_.tolerance; }
+
+  /// Current iterate.
+  std::span<const double> x() const { return x_; }
+
+  /// Iterations since the last steepest-descent restart.
+  std::size_t iterations_since_restart() const { return since_restart_; }
+
+ private:
+  void restart_direction(arith::ArithContext& ctx);
+
+  const Problem& problem_;
+  std::vector<double> x0_;
+  NonlinearCgConfig config_;
+  std::size_t restart_period_;
+
+  std::vector<double> x_;
+  std::vector<double> grad_;       ///< g_{k} (context-computed)
+  std::vector<double> direction_;  ///< d_{k}
+  double current_objective_ = 0.0;
+  std::size_t iteration_ = 0;
+  std::size_t since_restart_ = 0;
+};
+
+}  // namespace approxit::opt

@@ -1,0 +1,147 @@
+#include "opt/problem.h"
+
+#include <stdexcept>
+
+#include "la/vector_ops.h"
+
+namespace approxit::opt {
+
+void Problem::hessian(std::span<const double>, la::Matrix&) const {
+  throw std::logic_error("Problem::hessian: not implemented for " + name());
+}
+
+// ---------------------------------------------------------------------------
+// QuadraticProblem
+// ---------------------------------------------------------------------------
+
+QuadraticProblem::QuadraticProblem(la::Matrix a, std::vector<double> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (a_.rows() != a_.cols() || a_.rows() != b_.size()) {
+    throw std::invalid_argument("QuadraticProblem: dimension mismatch");
+  }
+}
+
+double QuadraticProblem::value(std::span<const double> x) const {
+  const std::vector<double> ax = a_.matvec(x);
+  return 0.5 * la::dot(ax, x) - la::dot(b_, x);
+}
+
+void QuadraticProblem::gradient(std::span<const double> x,
+                                std::span<double> out,
+                                arith::ArithContext& ctx) const {
+  if (x.size() != b_.size() || out.size() != b_.size()) {
+    throw std::invalid_argument("QuadraticProblem::gradient: size mismatch");
+  }
+  for (std::size_t r = 0; r < a_.rows(); ++r) {
+    // Row reduction through the (possibly approximate) context; the final
+    // "- b_r" is part of the same resilient region.
+    out[r] = ctx.sub(ctx.dot(a_.row(r), x), b_[r]);
+  }
+}
+
+void QuadraticProblem::hessian(std::span<const double>, la::Matrix& out) const {
+  out = a_;
+}
+
+// ---------------------------------------------------------------------------
+// LeastSquaresProblem
+// ---------------------------------------------------------------------------
+
+LeastSquaresProblem::LeastSquaresProblem(la::Matrix a, std::vector<double> y)
+    : a_(std::move(a)), y_(std::move(y)) {
+  if (a_.rows() != y_.size()) {
+    throw std::invalid_argument("LeastSquaresProblem: dimension mismatch");
+  }
+  if (a_.rows() == 0 || a_.cols() == 0) {
+    throw std::invalid_argument("LeastSquaresProblem: empty design matrix");
+  }
+}
+
+double LeastSquaresProblem::value(std::span<const double> x) const {
+  const std::vector<double> r = residual(x);
+  return 0.5 * la::norm2_squared(r) / static_cast<double>(a_.rows());
+}
+
+std::vector<double> LeastSquaresProblem::residual(
+    std::span<const double> x) const {
+  std::vector<double> r = a_.matvec(x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= y_[i];
+  return r;
+}
+
+void LeastSquaresProblem::gradient(std::span<const double> x,
+                                   std::span<double> out,
+                                   arith::ArithContext& ctx) const {
+  if (x.size() != a_.cols() || out.size() != a_.cols()) {
+    throw std::invalid_argument(
+        "LeastSquaresProblem::gradient: size mismatch");
+  }
+  const std::size_t m = a_.rows();
+  const double inv_m = 1.0 / static_cast<double>(m);
+  // Residuals: row dot products through the context (direction error source).
+  std::vector<double> r(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    r[i] = ctx.sub(ctx.dot(a_.row(i), x), y_[i]);
+  }
+  // out = (1/m) A^T r, column accumulations through the context.
+  for (std::size_t j = 0; j < a_.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc = ctx.add(acc, a_(i, j) * r[i]);
+    }
+    out[j] = acc * inv_m;
+  }
+}
+
+void LeastSquaresProblem::hessian(std::span<const double>,
+                                  la::Matrix& out) const {
+  const std::size_t n = a_.cols();
+  const double inv_m = 1.0 / static_cast<double>(a_.rows());
+  out = la::Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < a_.rows(); ++i) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double air = a_(i, r);
+      if (air == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        out(r, c) += air * a_(i, c) * inv_m;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RosenbrockProblem
+// ---------------------------------------------------------------------------
+
+RosenbrockProblem::RosenbrockProblem(std::size_t n) : n_(n) {
+  if (n_ < 2) {
+    throw std::invalid_argument("RosenbrockProblem: dimension must be >= 2");
+  }
+}
+
+double RosenbrockProblem::value(std::span<const double> x) const {
+  double f = 0.0;
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    const double t1 = x[i + 1] - x[i] * x[i];
+    const double t2 = 1.0 - x[i];
+    f += 100.0 * t1 * t1 + t2 * t2;
+  }
+  return f;
+}
+
+void RosenbrockProblem::gradient(std::span<const double> x,
+                                 std::span<double> out,
+                                 arith::ArithContext& ctx) const {
+  if (x.size() != n_ || out.size() != n_) {
+    throw std::invalid_argument("RosenbrockProblem::gradient: size mismatch");
+  }
+  for (std::size_t i = 0; i < n_; ++i) out[i] = 0.0;
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    const double t1 = x[i + 1] - x[i] * x[i];
+    // d/dx_i and d/dx_{i+1} contributions combined through the context.
+    out[i] = ctx.add(out[i], -400.0 * x[i] * t1 - 2.0 * (1.0 - x[i]));
+    out[i + 1] = ctx.add(out[i + 1], 200.0 * t1);
+  }
+}
+
+}  // namespace approxit::opt

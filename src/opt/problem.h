@@ -1,0 +1,111 @@
+// Differentiable optimization problems for the generic solvers.
+//
+// value() is exact (error-sensitive monitor path); gradient() is the
+// error-resilient direction computation and accumulates through the
+// supplied ArithContext — its error is the paper's "direction error".
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arith/context.h"
+#include "la/matrix.h"
+
+namespace approxit::opt {
+
+/// A smooth objective f: R^n -> R with context-routed gradient.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Problem name for reports.
+  virtual std::string name() const = 0;
+
+  /// Number of variables n.
+  virtual std::size_t dimension() const = 0;
+
+  /// Exact objective value.
+  virtual double value(std::span<const double> x) const = 0;
+
+  /// Gradient at x, written to `out` (size n); reductions through `ctx`.
+  virtual void gradient(std::span<const double> x, std::span<double> out,
+                        arith::ArithContext& ctx) const = 0;
+
+  /// True when hessian() is implemented (Newton's method support).
+  virtual bool has_hessian() const { return false; }
+
+  /// Hessian at x; only valid when has_hessian(). Exact (Newton's solve is
+  /// error-sensitive). Default throws std::logic_error.
+  virtual void hessian(std::span<const double> x, la::Matrix& out) const;
+};
+
+/// Convex quadratic f(x) = 0.5 x^T A x - b^T x with SPD A.
+/// Gradient A x - b; Hessian A. The canonical test problem: the unique
+/// minimizer solves A x = b.
+class QuadraticProblem final : public Problem {
+ public:
+  /// `a` must be square and is assumed SPD; `b` must match its size.
+  QuadraticProblem(la::Matrix a, std::vector<double> b);
+
+  std::string name() const override { return "quadratic"; }
+  std::size_t dimension() const override { return b_.size(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x, std::span<double> out,
+                arith::ArithContext& ctx) const override;
+  bool has_hessian() const override { return true; }
+  void hessian(std::span<const double> x, la::Matrix& out) const override;
+
+  const la::Matrix& a() const { return a_; }
+  std::span<const double> b() const { return b_; }
+
+ private:
+  la::Matrix a_;
+  std::vector<double> b_;
+};
+
+/// Linear least squares f(x) = (1/2m) ||A x - y||^2 over m observations.
+/// Gradient (1/m) A^T (A x - y); Hessian (1/m) A^T A.
+class LeastSquaresProblem final : public Problem {
+ public:
+  /// `a` is the m x n design matrix, `y` the m observations.
+  LeastSquaresProblem(la::Matrix a, std::vector<double> y);
+
+  std::string name() const override { return "least_squares"; }
+  std::size_t dimension() const override { return a_.cols(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x, std::span<double> out,
+                arith::ArithContext& ctx) const override;
+  bool has_hessian() const override { return true; }
+  void hessian(std::span<const double> x, la::Matrix& out) const override;
+
+  /// Residual vector A x - y (exact).
+  std::vector<double> residual(std::span<const double> x) const;
+
+  const la::Matrix& design() const { return a_; }
+  std::span<const double> observations() const { return y_; }
+
+ private:
+  la::Matrix a_;
+  std::vector<double> y_;
+};
+
+/// The n-dimensional Rosenbrock function (non-convex "banana" valley) —
+/// the kind of complex parameter manifold Figure 2 motivates the adaptive
+/// angle-based strategy with.
+///   f(x) = sum_{i<n-1} [ 100 (x_{i+1} - x_i^2)^2 + (1 - x_i)^2 ]
+class RosenbrockProblem final : public Problem {
+ public:
+  explicit RosenbrockProblem(std::size_t n);
+
+  std::string name() const override { return "rosenbrock"; }
+  std::size_t dimension() const override { return n_; }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x, std::span<double> out,
+                arith::ArithContext& ctx) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace approxit::opt

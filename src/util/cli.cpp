@@ -1,0 +1,121 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace approxit::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argc > 0 ? argv[0] : "prog");
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + name + "\n" +
+                                  usage(argc > 0 ? argv[0] : "prog"));
+    }
+    if (!has_value) {
+      // Boolean-style flag or space-separated value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: --" + name);
+  }
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  std::int64_t out = 0;
+  try {
+    out = std::stoll(v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  std::string v = find(name).value;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off" || v.empty()) {
+    return false;
+  }
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::string CliParser::usage(const std::string& program_name) const {
+  std::ostringstream os;
+  os << description_ << "\n\nUsage: " << program_name << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: "
+       << (flag.default_value.empty() ? "\"\"" : flag.default_value) << ")\n"
+       << "      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace approxit::util

@@ -1,0 +1,58 @@
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supported syntax: --name=value, --name value, and boolean --name.
+// Unknown flags raise an error listing the registered options, so every
+// bench binary gets a usable --help for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace approxit::util {
+
+/// Declarative flag set. Register flags with defaults, parse argv, and read
+/// values back with the typed getters.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a string flag with a default value.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was
+  /// requested; throws std::invalid_argument on unknown flags or missing
+  /// values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed getters; throw std::invalid_argument on conversion failure or
+  /// unregistered flag name.
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help string.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace approxit::util

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace approxit::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_join(fields) << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    fields.push_back(os.str());
+  }
+  write_row(fields);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+}  // namespace approxit::util

@@ -1,0 +1,41 @@
+// CSV emission for experiment artifacts (Figure 3 scatter dumps, Figure 4
+// energy series). Quoting follows RFC 4180: fields containing a comma, quote
+// or newline are quoted, with embedded quotes doubled.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace approxit::util {
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Joins fields into one CSV record (no trailing newline).
+std::string csv_join(const std::vector<std::string>& fields);
+
+/// Streaming CSV writer bound to a file. Throws std::runtime_error if the
+/// file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one record; fields are escaped automatically.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience overload converting doubles with max precision.
+  void write_row_numeric(const std::vector<double>& values);
+
+  /// Number of records written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Flushes and closes the file (also done by the destructor).
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace approxit::util

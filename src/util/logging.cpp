@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+namespace approxit::util {
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("APPROXIT_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+LogLevel log_level() { return level_storage(); }
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (level < log_level()) {
+    return;
+  }
+  std::cerr << "[" << to_string(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace approxit::util

@@ -1,0 +1,67 @@
+// Minimal leveled logger for the ApproxIt library.
+//
+// The library itself logs sparingly (characterization summaries, strategy
+// decisions at debug level); applications and benches control verbosity via
+// set_level() or the APPROXIT_LOG environment variable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace approxit::util {
+
+/// Severity levels, ordered. Messages below the active level are dropped.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the human-readable name of a level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level);
+
+/// Parses a level name (case-insensitive); returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view name);
+
+/// Sets the global log level. Thread-compatible (no concurrent set/log).
+void set_log_level(LogLevel level);
+
+/// Returns the current global log level. The initial value is taken from the
+/// APPROXIT_LOG environment variable if set, otherwise kWarn.
+LogLevel log_level();
+
+/// Emits one formatted log line to stderr if `level` passes the filter.
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+/// Stream-style log statement builder:
+///   LogStream(LogLevel::kInfo, "core") << "converged in " << n << " iters";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace approxit::util
+
+#define APPROXIT_LOG(level, component)                                \
+  if (::approxit::util::log_level() <= (level))                       \
+  ::approxit::util::LogStream((level), (component))

@@ -1,0 +1,71 @@
+// Summary statistics helpers shared by the error-metric characterization,
+// workload generators and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace approxit::util {
+
+/// Single-pass accumulator for mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a span; 0 when empty.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance; 0 with fewer than two values.
+double variance(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> values, double p);
+
+/// Median (percentile 50).
+double median(std::span<const double> values);
+
+/// Pearson correlation of two equal-length spans; 0 if degenerate.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace approxit::util

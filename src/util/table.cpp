@@ -1,0 +1,130 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace approxit::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  align_.resize(header_.size(), Align::kRight);
+  if (!align_.empty()) {
+    align_[0] = Align::kLeft;
+  }
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (align_.size() <= column) {
+    align_.resize(column + 1, Align::kRight);
+  }
+  align_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::size_t Table::row_count() const {
+  std::size_t n = 0;
+  for (const Row& row : rows_) {
+    if (!row.separator) ++n;
+  }
+  return n;
+}
+
+std::string Table::render() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  std::vector<std::size_t> width(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& text, std::size_t column) {
+    const std::size_t w = width[column];
+    const Align align =
+        column < align_.size() ? align_[column] : Align::kRight;
+    std::string out(w, ' ');
+    if (text.size() >= w) {
+      return text;
+    }
+    if (align == Align::kLeft) {
+      out.replace(0, text.size(), text);
+    } else {
+      out.replace(w - text.size(), text.size(), text);
+    }
+    return out;
+  };
+
+  std::size_t total = columns > 0 ? (columns - 1) * 3 : 0;
+  for (std::size_t w : width) total += w;
+
+  std::ostringstream os;
+  const std::string rule(total, '-');
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  os << rule << '\n';
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      if (c > 0) os << " | ";
+      os << pad(c < header_.size() ? header_[c] : "", c);
+    }
+    os << '\n' << rule << '\n';
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << rule << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < columns; ++c) {
+      if (c > 0) os << " | ";
+      os << pad(c < row.cells.size() ? row.cells[c] : "", c);
+    }
+    os << '\n';
+  }
+  os << rule << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.render();
+}
+
+std::string format_sig(double value, int digits) {
+  if (!std::isfinite(value)) {
+    return std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf");
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+std::string format_fixed(double value, int digits) {
+  if (!std::isfinite(value)) {
+    return std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf");
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_percent(double ratio, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, ratio * 100.0);
+  return buffer;
+}
+
+}  // namespace approxit::util

@@ -1,0 +1,72 @@
+// ASCII table rendering used by the benchmark harness to print the paper's
+// tables (Table 2, Table 3(a)/(b), Table 4(a)/(b)) in a readable layout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace approxit::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set a title and headers, append rows of strings, and
+/// render with column widths auto-fit to the content.
+///
+/// Rows shorter than the header are padded with empty cells; longer rows
+/// extend the column count.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the table title printed above the header rule.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Sets the header row and per-column default alignment (right for all
+  /// columns except the first, which is left-aligned).
+  void set_header(std::vector<std::string> header);
+
+  /// Overrides alignment for one column (0-based).
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator rule between data rows.
+  void add_separator();
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const;
+
+  /// Renders the table to a string, including a trailing newline.
+  std::string render() const;
+
+  /// Streams render() output.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+};
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("0.0513", "126", "4.43").
+std::string format_sig(double value, int digits = 3);
+
+/// Formats a double with fixed `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.524 -> "52.4%".
+std::string format_percent(double ratio, int digits = 1);
+
+}  // namespace approxit::util

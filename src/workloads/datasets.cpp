@@ -1,0 +1,199 @@
+#include "workloads/datasets.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace approxit::workloads {
+namespace {
+
+/// One Gaussian mixture component specification.
+struct Component {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // axis-aligned
+  double weight;
+};
+
+GmmDataset draw_mixture(std::string name, std::size_t dim,
+                        const std::vector<Component>& components,
+                        std::size_t total, std::uint64_t seed,
+                        std::size_t max_iter, double tol) {
+  GmmDataset out;
+  out.name = std::move(name);
+  out.dim = dim;
+  out.num_clusters = components.size();
+  out.max_iter = max_iter;
+  out.convergence_tol = tol;
+  out.points.reserve(total * dim);
+  out.labels.reserve(total);
+
+  util::Rng rng(seed);
+  // Cumulative weights for component selection.
+  std::vector<double> cumulative;
+  double acc = 0.0;
+  for (const Component& c : components) {
+    acc += c.weight;
+    cumulative.push_back(acc);
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    const double u = rng.uniform() * acc;
+    std::size_t k = 0;
+    while (k + 1 < cumulative.size() && u > cumulative[k]) ++k;
+    const Component& c = components[k];
+    for (std::size_t d = 0; d < dim; ++d) {
+      out.points.push_back(rng.gaussian(c.mean[d], c.stddev[d]));
+    }
+    out.labels.push_back(static_cast<int>(k));
+  }
+  return out;
+}
+
+}  // namespace
+
+GmmDataset make_gmm_dataset(GmmDatasetId id) {
+  switch (id) {
+    case GmmDatasetId::k3cluster:
+      // 1000 x 2, three well-separated clusters (paper: converges cleanly
+      // at level4, falsely stops at level1 with two visible clusters).
+      return draw_mixture(
+          "3cluster", 2,
+          {
+              {{0.0, 0.0}, {1.1, 1.2}, 0.34},
+              {{4.6, 1.2}, {1.3, 1.0}, 0.33},
+              {{1.9, 4.4}, {1.0, 1.3}, 0.33},
+          },
+          1000, /*seed=*/17u, /*max_iter=*/500, /*tol=*/1e-10);
+    case GmmDatasetId::k3d3cluster:
+      // 1900 x 3, three clusters with moderate overlap in 3-D.
+      return draw_mixture(
+          "3d3cluster", 3,
+          {
+              {{0.0, 0.0, 0.0}, {1.3, 1.1, 1.2}, 0.35},
+              {{2.9, 2.5, 0.3}, {1.1, 1.4, 1.0}, 0.35},
+              {{0.5, 3.1, 2.9}, {1.2, 1.0, 1.3}, 0.30},
+          },
+          1900, /*seed=*/3u, /*max_iter=*/500, /*tol=*/1e-6);
+    case GmmDatasetId::k4cluster:
+      // 2350 x 2, four clusters, two of them close together — the hardest
+      // case (paper: level1 cannot converge within MAX_ITER).
+      return draw_mixture(
+          "4cluster", 2,
+          {
+              {{0.0, 0.0}, {1.1, 1.1}, 0.25},
+              {{5.2, 0.4}, {1.1, 1.2}, 0.25},
+              {{4.8, 4.8}, {1.2, 1.0}, 0.25},
+              {{2.0, 4.0}, {1.1, 1.1}, 0.25},
+          },
+          2350, /*seed=*/1u, /*max_iter=*/500, /*tol=*/1e-6);
+  }
+  throw std::invalid_argument("make_gmm_dataset: unknown id");
+}
+
+TimeSeriesDataset make_series_dataset(SeriesId id) {
+  TimeSeriesDataset out;
+  switch (id) {
+    case SeriesId::kHangSeng:
+      out = make_financial_series(6694, 10000.0, 3.0e-4, 0.016, 0xA5EED001u,
+                                  /*return_autocorr=*/0.50);
+      out.name = "HangSeng INDEX";
+      break;
+    case SeriesId::kNasdaq:
+      out = make_financial_series(10799, 800.0, 3.5e-4, 0.014, 0xA5EED002u,
+                                  /*return_autocorr=*/0.78);
+      out.name = "NASDAQ Composite";
+      break;
+    case SeriesId::kSp500:
+      out = make_financial_series(16080, 100.0, 3.0e-4, 0.011, 0xA5EED003u,
+                                  /*return_autocorr=*/0.86);
+      out.name = "S&P 500";
+      break;
+    default:
+      throw std::invalid_argument("make_series_dataset: unknown id");
+  }
+  out.ar_order = 10;
+  out.max_iter = 1000;
+  out.convergence_tol = 1e-13;
+  return out;
+}
+
+std::vector<GmmDatasetId> all_gmm_datasets() {
+  return {GmmDatasetId::k3cluster, GmmDatasetId::k3d3cluster,
+          GmmDatasetId::k4cluster};
+}
+
+std::vector<SeriesId> all_series_datasets() {
+  return {SeriesId::kHangSeng, SeriesId::kNasdaq, SeriesId::kSp500};
+}
+
+GmmDataset make_gaussian_blobs(std::size_t k, std::size_t total,
+                               std::size_t dim, double separation,
+                               double spread, std::uint64_t seed) {
+  if (k == 0 || dim == 0) {
+    throw std::invalid_argument("make_gaussian_blobs: k and dim must be > 0");
+  }
+  util::Rng layout_rng(seed ^ 0xB10B5ULL);
+  std::vector<Component> components;
+  components.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Component comp;
+    comp.weight = 1.0;
+    comp.mean.resize(dim);
+    comp.stddev.resize(dim);
+    // Centers on a jittered ring/shell layout scaled by `separation`.
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double angle = 2.0 * std::numbers::pi *
+                           (static_cast<double>(c) / static_cast<double>(k)) +
+                           static_cast<double>(d);
+      comp.mean[d] = separation * std::cos(angle + 0.5 * d) +
+                     layout_rng.uniform(-0.3, 0.3) * separation * 0.1;
+      comp.stddev[d] = spread * layout_rng.uniform(0.5, 1.5);
+    }
+    components.push_back(std::move(comp));
+  }
+  GmmDataset out = draw_mixture("blobs", dim, components, total, seed,
+                                /*max_iter=*/500, /*tol=*/1e-8);
+  out.num_clusters = k;
+  return out;
+}
+
+TimeSeriesDataset make_financial_series(std::size_t length, double start,
+                                        double drift, double base_volatility,
+                                        std::uint64_t seed,
+                                        double return_autocorr) {
+  if (length == 0) {
+    throw std::invalid_argument("make_financial_series: length must be > 0");
+  }
+  TimeSeriesDataset out;
+  out.name = "synthetic";
+  out.values.reserve(length);
+  util::Rng rng(seed);
+  double level = start;
+  double prev_shock = 0.0;
+  // Two-regime Markov volatility: calm vs turbulent.
+  bool turbulent = false;
+  for (std::size_t t = 0; t < length; ++t) {
+    // Regime switching.
+    const double switch_p = turbulent ? 0.02 : 0.005;
+    if (rng.uniform() < switch_p) turbulent = !turbulent;
+    const double vol = base_volatility * (turbulent ? 2.8 : 1.0);
+    // AR(1) momentum in the shock process (return_autocorr), innovation
+    // variance scaled so the stationary shock variance stays ~ vol^2.
+    const double innovation_scale =
+        std::sqrt(std::max(0.0, 1.0 - return_autocorr * return_autocorr));
+    double shock =
+        return_autocorr * prev_shock + innovation_scale * vol * rng.gaussian();
+    prev_shock = shock;
+    double log_return = drift + shock;
+    // Rare jump events (crash/rally days).
+    if (rng.uniform() < 0.002) {
+      log_return += rng.gaussian(0.0, 6.0 * base_volatility);
+    }
+    level *= std::exp(log_return);
+    out.values.push_back(level);
+  }
+  return out;
+}
+
+}  // namespace approxit::workloads

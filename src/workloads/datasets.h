@@ -1,0 +1,78 @@
+// Synthetic workload generators reproducing the paper's Table 2 datasets.
+//
+// The paper's GMM datasets are Matlab-generated Gaussian mixtures; we
+// generate seeded mixtures with the same sample counts, dimensions and
+// cluster counts. The AutoRegression datasets are Yahoo! Finance index
+// histories (Hang Seng / NASDAQ Composite / S&P 500); offline we substitute
+// seeded geometric random walks with regime-switching volatility and the
+// same lengths and AR window. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace approxit::workloads {
+
+/// The three GMM datasets of Table 2.
+enum class GmmDatasetId { k3cluster, k3d3cluster, k4cluster };
+
+/// The three AutoRegression datasets of Table 2.
+enum class SeriesId { kHangSeng, kNasdaq, kSp500 };
+
+/// A labeled Gaussian-mixture clustering workload.
+struct GmmDataset {
+  std::string name;            ///< Table 2 dataset label.
+  std::size_t dim = 0;         ///< Point dimensionality.
+  std::size_t num_clusters = 0;
+  std::vector<double> points;  ///< Row-major samples (n x dim).
+  std::vector<int> labels;     ///< Ground-truth component of each sample.
+  std::size_t max_iter = 0;    ///< Table 2 MAX_ITER.
+  double convergence_tol = 0;  ///< Table 2 Convergence threshold.
+
+  std::size_t size() const { return dim == 0 ? 0 : points.size() / dim; }
+};
+
+/// A univariate time series workload for AR(p) fitting.
+struct TimeSeriesDataset {
+  std::string name;            ///< Table 2 dataset label.
+  std::vector<double> values;  ///< Raw series (index levels).
+  std::size_t ar_order = 10;   ///< Table 2 window (10).
+  std::size_t max_iter = 0;    ///< Table 2 MAX_ITER.
+  double convergence_tol = 0;  ///< Table 2 Convergence threshold.
+};
+
+/// Builds one of the paper's GMM datasets (deterministic; the seed is fixed
+/// per dataset so every run and every mode sees identical data).
+GmmDataset make_gmm_dataset(GmmDatasetId id);
+
+/// Builds one of the paper's AR datasets (deterministic surrogate series).
+TimeSeriesDataset make_series_dataset(SeriesId id);
+
+/// All GMM dataset ids in Table 2 order.
+std::vector<GmmDatasetId> all_gmm_datasets();
+
+/// All AR dataset ids in Table 2 order.
+std::vector<SeriesId> all_series_datasets();
+
+/// Generic generator: `total` points from `k` Gaussian blobs in `dim`
+/// dimensions. Cluster centers are placed on a scaled simplex-like layout
+/// with the given separation; per-cluster standard deviations in
+/// [0.5, 1.5] * spread.
+GmmDataset make_gaussian_blobs(std::size_t k, std::size_t total,
+                               std::size_t dim, double separation,
+                               double spread, std::uint64_t seed);
+
+/// Generic generator: geometric random walk of `length` steps starting at
+/// `start`, with per-step drift and regime-switching volatility (two
+/// regimes, Markov switching), plus rare jump events — the qualitative
+/// structure of financial index series.
+/// `return_autocorr` is the AR(1) coefficient of the log-return process
+/// (momentum); it controls the AR design matrix's conditioning and hence
+/// how many iterations the least-squares fit needs.
+TimeSeriesDataset make_financial_series(std::size_t length, double start,
+                                        double drift, double base_volatility,
+                                        std::uint64_t seed,
+                                        double return_autocorr = 0.0);
+
+}  // namespace approxit::workloads

@@ -1,0 +1,92 @@
+#include "workloads/graphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace approxit::workloads {
+
+WebGraph make_web_graph(std::size_t nodes, std::size_t links_per_node,
+                        std::uint64_t seed, double dangling_fraction) {
+  if (nodes < 2 || links_per_node == 0) {
+    throw std::invalid_argument(
+        "make_web_graph: need >= 2 nodes and >= 1 link per node");
+  }
+  if (dangling_fraction < 0.0 || dangling_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "make_web_graph: dangling_fraction must be in [0, 1)");
+  }
+  util::Rng rng(seed);
+  WebGraph graph;
+  graph.nodes = nodes;
+  graph.out_links.resize(nodes);
+
+  // Repeated-endpoint list for preferential attachment: each time a node
+  // receives an in-link, it is appended, so a uniform draw from the list is
+  // proportional to (in-degree + 1).
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(nodes * (links_per_node + 1));
+  endpoints.push_back(0);
+
+  for (std::size_t t = 1; t < nodes; ++t) {
+    const bool dangling = rng.uniform() < dangling_fraction;
+    if (!dangling) {
+      const std::size_t want = std::min(links_per_node, t);
+      std::vector<std::uint32_t>& links = graph.out_links[t];
+      while (links.size() < want) {
+        const std::uint32_t target =
+            endpoints[rng.uniform_u64(endpoints.size())];
+        if (std::find(links.begin(), links.end(), target) == links.end()) {
+          links.push_back(target);
+        }
+      }
+      std::sort(links.begin(), links.end());
+      for (std::uint32_t v : links) endpoints.push_back(v);
+    }
+    endpoints.push_back(static_cast<std::uint32_t>(t));
+  }
+  return graph;
+}
+
+ClassificationDataset make_classification(std::size_t total, std::size_t dim,
+                                          double separation,
+                                          std::uint64_t seed,
+                                          double noise_flip) {
+  if (total == 0 || dim == 0) {
+    throw std::invalid_argument("make_classification: empty shape");
+  }
+  if (noise_flip < 0.0 || noise_flip >= 0.5) {
+    throw std::invalid_argument(
+        "make_classification: noise_flip must be in [0, 0.5)");
+  }
+  util::Rng rng(seed);
+
+  // Random unit direction for the class separation axis.
+  std::vector<double> axis(dim);
+  double norm = 0.0;
+  for (double& a : axis) {
+    a = rng.gaussian();
+    norm += a * a;
+  }
+  norm = std::sqrt(norm);
+  for (double& a : axis) a /= norm > 0.0 ? norm : 1.0;
+
+  ClassificationDataset ds;
+  ds.dim = dim;
+  ds.features.reserve(total * dim);
+  ds.labels.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const int label = rng.uniform() < 0.5 ? 0 : 1;
+    const double sign = label == 0 ? -0.5 : 0.5;
+    for (std::size_t d = 0; d < dim; ++d) {
+      ds.features.push_back(sign * separation * axis[d] + rng.gaussian());
+    }
+    const bool flip = rng.uniform() < noise_flip;
+    ds.labels.push_back(flip ? 1 - label : label);
+  }
+  return ds;
+}
+
+}  // namespace approxit::workloads

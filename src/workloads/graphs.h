@@ -1,0 +1,52 @@
+// Synthetic graph and classification workload generators for the extended
+// applications (PageRank power iteration, logistic-regression training) —
+// the "Recognition, Mining and Synthesis" application classes the paper's
+// introduction motivates beyond its two benchmark programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace approxit::workloads {
+
+/// Directed graph in adjacency-list form (out-links per node).
+struct WebGraph {
+  std::size_t nodes = 0;
+  /// out_links[u] = sorted list of v with an edge u -> v.
+  std::vector<std::vector<std::uint32_t>> out_links;
+
+  /// Total edge count.
+  std::size_t edges() const {
+    std::size_t total = 0;
+    for (const auto& links : out_links) total += links.size();
+    return total;
+  }
+};
+
+/// Preferential-attachment web-graph generator: node t links to
+/// `links_per_node` distinct earlier nodes chosen proportionally to
+/// (in-degree + 1), yielding the heavy-tailed in-degree distribution of
+/// real link graphs. A small fraction of nodes is left dangling (no
+/// out-links) to exercise PageRank's dangling-mass handling.
+WebGraph make_web_graph(std::size_t nodes, std::size_t links_per_node,
+                        std::uint64_t seed, double dangling_fraction = 0.02);
+
+/// Binary classification workload: two Gaussian classes in `dim`
+/// dimensions.
+struct ClassificationDataset {
+  std::size_t dim = 0;
+  std::vector<double> features;  ///< Row-major n x dim.
+  std::vector<int> labels;       ///< 0/1 per sample.
+
+  std::size_t size() const { return dim == 0 ? 0 : features.size() / dim; }
+};
+
+/// Draws `total` points from two Gaussian classes whose means are
+/// `separation` apart along a random direction; `noise_flip` of the labels
+/// are flipped (irreducible error).
+ClassificationDataset make_classification(std::size_t total, std::size_t dim,
+                                          double separation,
+                                          std::uint64_t seed,
+                                          double noise_flip = 0.02);
+
+}  // namespace approxit::workloads

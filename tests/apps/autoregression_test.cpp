@@ -1,0 +1,154 @@
+#include "apps/autoregression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "la/decomp.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+namespace {
+
+workloads::TimeSeriesDataset small_series() {
+  auto ds = workloads::make_financial_series(800, 100.0, 2e-4, 0.01, 21,
+                                             /*return_autocorr=*/0.6);
+  ds.ar_order = 4;
+  ds.max_iter = 2000;
+  ds.convergence_tol = 1e-13;
+  return ds;
+}
+
+TEST(AutoRegression, RejectsShortSeries) {
+  workloads::TimeSeriesDataset tiny;
+  tiny.values = {1.0, 2.0, 3.0};
+  tiny.ar_order = 10;
+  EXPECT_THROW(AutoRegression m(tiny), std::invalid_argument);
+}
+
+TEST(AutoRegression, RejectsBadResilientFraction) {
+  const auto ds = small_series();
+  ArOptions options;
+  options.resilient_fraction = 1.5;
+  EXPECT_THROW(AutoRegression(ds, options), std::invalid_argument);
+}
+
+TEST(AutoRegression, DesignShapeAndDefaults) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  EXPECT_EQ(m.dimension(), 4u);
+  // Returns series has length-1 entries; design drops `order` more.
+  EXPECT_EQ(m.samples(), 800u - 1u - 4u);
+  EXPECT_GT(m.step_size(), 0.0);
+  EXPECT_EQ(m.name(), "autoregression");
+}
+
+TEST(AutoRegression, ObjectiveDecreasesExact) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  arith::ExactContext ctx;
+  double prev = m.objective();
+  for (int k = 0; k < 50; ++k) {
+    const opt::IterationStats stats = m.iterate(ctx);
+    EXPECT_LE(stats.objective_after, prev + 1e-12);
+    prev = stats.objective_after;
+  }
+}
+
+TEST(AutoRegression, ConvergesTowardNormalEquationSolution) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  arith::ExactContext ctx;
+  for (std::size_t k = 0; k < ds.max_iter; ++k) {
+    if (m.iterate(ctx).converged) break;
+  }
+  // Compare against the closed-form least-squares gradient: it must be
+  // (nearly) zero at the fitted coefficients.
+  const std::vector<double> w(m.coefficients().begin(),
+                              m.coefficients().end());
+  AutoRegression probe(ds);
+  probe.restore(w);
+  arith::ExactContext exact;
+  const opt::IterationStats stats = probe.iterate(exact);
+  EXPECT_LT(stats.grad_norm, 1e-4);
+}
+
+TEST(AutoRegression, RecoversGeneratorMomentum) {
+  // Returns follow AR(1) with rho = 0.6: the fitted first lag coefficient
+  // should be near 0.6 and dominate the others.
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  arith::ExactContext ctx;
+  for (std::size_t k = 0; k < ds.max_iter; ++k) {
+    if (m.iterate(ctx).converged) break;
+  }
+  EXPECT_NEAR(m.coefficients()[0], 0.6, 0.15);
+  EXPECT_GT(std::abs(m.coefficients()[0]), std::abs(m.coefficients()[2]));
+}
+
+TEST(AutoRegression, ResetClearsCoefficients) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  arith::ExactContext ctx;
+  m.iterate(ctx);
+  m.reset();
+  for (double w : m.coefficients()) {
+    EXPECT_DOUBLE_EQ(w, 0.0);
+  }
+}
+
+TEST(AutoRegression, SnapshotRestoreRoundTrip) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  arith::ExactContext ctx;
+  m.iterate(ctx);
+  const std::vector<double> snapshot = m.state();
+  const double f = m.objective();
+  m.iterate(ctx);
+  m.restore(snapshot);
+  EXPECT_DOUBLE_EQ(m.objective(), f);
+  EXPECT_THROW(m.restore({1.0}), std::invalid_argument);
+}
+
+TEST(AutoRegression, ApproximateModeRecordsOnlyResilientOps) {
+  const auto ds = small_series();
+  // With resilient_fraction 0 every sample is error-sensitive: no ALU ops.
+  ArOptions none;
+  none.resilient_fraction = 0.0;
+  AutoRegression m_none(ds, none);
+  arith::QcsAlu alu(ar_qcs_config());
+  alu.set_mode(arith::ApproxMode::kLevel2);
+  m_none.iterate(alu);
+  // Only the coefficient update (order ops/iteration) goes through the ALU.
+  EXPECT_LE(alu.ledger().total_ops(), 2u * m_none.dimension());
+
+  alu.reset_ledger();
+  AutoRegression m_all(ds, ArOptions{.resilient_fraction = 1.0});
+  m_all.iterate(alu);
+  EXPECT_GT(alu.ledger().total_ops(), m_all.samples());
+}
+
+TEST(AutoRegression, MeanSquaredErrorConsistentWithObjective) {
+  const auto ds = small_series();
+  AutoRegression m(ds);
+  EXPECT_DOUBLE_EQ(m.mean_squared_error(), 2.0 * m.objective());
+}
+
+TEST(CoefficientL2Error, ComputesDistance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(coefficient_l2_error(a, b), 5.0);
+  EXPECT_THROW(coefficient_l2_error(a, {{1.0}}), std::invalid_argument);
+}
+
+TEST(ArQcsConfig, WideFormatWithDeeperLadder) {
+  const arith::QcsConfig config = ar_qcs_config();
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.format.total_bits, 48u);
+  EXPECT_EQ(config.format.frac_bits, 32u);
+  EXPECT_NO_THROW(arith::QcsAlu alu(config));
+}
+
+}  // namespace
+}  // namespace approxit::apps

@@ -1,0 +1,173 @@
+// End-to-end reproduction properties on the paper's own datasets: these are
+// the claims the evaluation section rests on, asserted as tests.
+#include <gtest/gtest.h>
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+namespace {
+
+using arith::ApproxMode;
+
+/// Shared fixture: Truth run + characterization on 3cluster, computed once.
+class GmmEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workloads::GmmDataset(
+        workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster));
+    alu_ = new arith::QcsAlu;
+    GmmEm method(*dataset_);
+    characterization_ = new core::ModeCharacterization(
+        core::characterize(method, *alu_));
+
+    GmmEm truth_method(*dataset_);
+    core::StaticStrategy strategy(ApproxMode::kAccurate);
+    core::ApproxItSession session(truth_method, strategy, *alu_);
+    session.set_characterization(*characterization_);
+    truth_report_ = new core::RunReport(session.run());
+    truth_assignments_ = new std::vector<int>(truth_method.assignments());
+  }
+
+  static void TearDownTestSuite() {
+    delete truth_assignments_;
+    delete truth_report_;
+    delete characterization_;
+    delete alu_;
+    delete dataset_;
+  }
+
+  core::RunReport run_with(core::Strategy& strategy, GmmEm& method) {
+    core::ApproxItSession session(method, strategy, *alu_);
+    session.set_characterization(*characterization_);
+    return session.run();
+  }
+
+  static workloads::GmmDataset* dataset_;
+  static arith::QcsAlu* alu_;
+  static core::ModeCharacterization* characterization_;
+  static core::RunReport* truth_report_;
+  static std::vector<int>* truth_assignments_;
+};
+
+workloads::GmmDataset* GmmEndToEnd::dataset_ = nullptr;
+arith::QcsAlu* GmmEndToEnd::alu_ = nullptr;
+core::ModeCharacterization* GmmEndToEnd::characterization_ = nullptr;
+core::RunReport* GmmEndToEnd::truth_report_ = nullptr;
+std::vector<int>* GmmEndToEnd::truth_assignments_ = nullptr;
+
+TEST_F(GmmEndToEnd, TruthConvergesWithinBudget) {
+  EXPECT_TRUE(truth_report_->converged);
+  EXPECT_LT(truth_report_->iterations, dataset_->max_iter);
+  EXPECT_GT(truth_report_->iterations, 50u);  // nontrivial run
+}
+
+TEST_F(GmmEndToEnd, Level1FalselyStopsEarlyWithLargeQem) {
+  GmmEm method(*dataset_);
+  core::StaticStrategy strategy(ApproxMode::kLevel1);
+  const core::RunReport report = run_with(strategy, method);
+  // The paper's headline single-mode failure: level1 stops long before
+  // Truth and mislabels hundreds of samples.
+  EXPECT_LT(report.iterations, truth_report_->iterations / 3);
+  EXPECT_GT(hamming_distance(*truth_assignments_, method.assignments()),
+            100u);
+}
+
+TEST_F(GmmEndToEnd, SingleModeEnergyMonotoneInLevel) {
+  double previous = 0.0;
+  for (ApproxMode mode : {ApproxMode::kLevel2, ApproxMode::kLevel3,
+                          ApproxMode::kLevel4}) {
+    GmmEm method(*dataset_);
+    core::StaticStrategy strategy(mode);
+    const core::RunReport report = run_with(strategy, method);
+    const double relative = report.total_energy / truth_report_->total_energy;
+    EXPECT_GT(relative, previous) << arith::mode_name(mode);
+    EXPECT_LT(relative, 1.0) << arith::mode_name(mode);
+    previous = relative;
+  }
+}
+
+TEST_F(GmmEndToEnd, Level4MatchesTruthClustering) {
+  GmmEm method(*dataset_);
+  core::StaticStrategy strategy(ApproxMode::kLevel4);
+  (void)run_with(strategy, method);
+  EXPECT_EQ(hamming_distance(*truth_assignments_, method.assignments()), 0u);
+}
+
+TEST_F(GmmEndToEnd, IncrementalReachesZeroErrorWithEnergySavings) {
+  GmmEm method(*dataset_);
+  core::IncrementalStrategy strategy;
+  const core::RunReport report = run_with(strategy, method);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(hamming_distance(*truth_assignments_, method.assignments()), 0u);
+  EXPECT_LT(report.total_energy, truth_report_->total_energy);
+  // Starts at level1 and ramps monotonically upward.
+  ASSERT_FALSE(report.trace.empty());
+  EXPECT_EQ(report.trace.front().mode, ApproxMode::kLevel1);
+  std::size_t previous = 0;
+  for (const core::IterationRecord& rec : report.trace) {
+    EXPECT_GE(arith::mode_index(rec.mode), previous);
+    previous = arith::mode_index(rec.mode);
+  }
+}
+
+TEST_F(GmmEndToEnd, AdaptiveReachesZeroErrorWithEnergySavings) {
+  GmmEm method(*dataset_);
+  core::AdaptiveAngleStrategy strategy;
+  const core::RunReport report = run_with(strategy, method);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(hamming_distance(*truth_assignments_, method.assignments()), 0u);
+  EXPECT_LT(report.total_energy, truth_report_->total_energy);
+  // Unlike the incremental strategy, mode moves are not one-directional;
+  // at least the cheap levels must actually be used.
+  EXPECT_GT(report.steps(ApproxMode::kLevel1), 0u);
+}
+
+TEST(ArEndToEnd, HangSengPipelineShape) {
+  const auto ds = workloads::make_series_dataset(workloads::SeriesId::kHangSeng);
+  arith::QcsAlu alu(ar_qcs_config());
+
+  AutoRegression char_method(ds);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_method, alu);
+
+  AutoRegression truth_method(ds);
+  core::StaticStrategy truth_strategy(ApproxMode::kAccurate);
+  core::ApproxItSession truth_session(truth_method, truth_strategy, alu);
+  truth_session.set_characterization(characterization);
+  const core::RunReport truth = truth_session.run();
+  EXPECT_TRUE(truth.converged);
+  const std::vector<double> w_truth(truth_method.coefficients().begin(),
+                                    truth_method.coefficients().end());
+
+  // level1 falsely stops early and lands far from the Truth coefficients.
+  AutoRegression l1_method(ds);
+  core::StaticStrategy l1_strategy(ApproxMode::kLevel1);
+  core::ApproxItSession l1_session(l1_method, l1_strategy, alu);
+  l1_session.set_characterization(characterization);
+  const core::RunReport l1 = l1_session.run();
+  EXPECT_LT(l1.iterations, truth.iterations / 2);
+  const double l1_qem =
+      coefficient_l2_error(l1_method.coefficients(), w_truth);
+
+  // The incremental strategy recovers (orders of magnitude better QEM) at
+  // lower energy than Truth.
+  AutoRegression incr_method(ds);
+  core::IncrementalStrategy incr_strategy;
+  core::ApproxItSession incr_session(incr_method, incr_strategy, alu);
+  incr_session.set_characterization(characterization);
+  const core::RunReport incr = incr_session.run();
+  const double incr_qem =
+      coefficient_l2_error(incr_method.coefficients(), w_truth);
+  EXPECT_LT(incr_qem, l1_qem / 100.0);
+  EXPECT_LT(incr.total_energy, truth.total_energy);
+}
+
+}  // namespace
+}  // namespace approxit::apps

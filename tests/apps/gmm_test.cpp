@@ -1,0 +1,171 @@
+#include "apps/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+namespace {
+
+workloads::GmmDataset small_dataset() {
+  // 300 points, 3 well-separated blobs: fast EM for unit tests.
+  auto ds = workloads::make_gaussian_blobs(3, 300, 2, 8.0, 0.8, 7);
+  ds.max_iter = 200;
+  ds.convergence_tol = 1e-9;
+  return ds;
+}
+
+TEST(GmmEm, RejectsEmptyDataset) {
+  workloads::GmmDataset empty;
+  EXPECT_THROW(GmmEm m(empty), std::invalid_argument);
+}
+
+TEST(GmmEm, DimensionIsClustersTimesDim) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  EXPECT_EQ(m.dimension(), 3u * 2u);
+  EXPECT_EQ(m.name(), "gmm_em");
+  EXPECT_EQ(m.max_iterations(), 200u);
+  EXPECT_DOUBLE_EQ(m.tolerance(), 1e-9);
+}
+
+TEST(GmmEm, ObjectiveDecreasesMonotonicallyExact) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  double prev = m.objective();
+  for (int k = 0; k < 30; ++k) {
+    const opt::IterationStats stats = m.iterate(ctx);
+    // EM's ascent property: the (negative) log-likelihood never increases.
+    EXPECT_LE(stats.objective_after, prev + 1e-9) << "iteration " << k;
+    prev = stats.objective_after;
+  }
+}
+
+TEST(GmmEm, ConvergesAndRecoversClusters) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  bool converged = false;
+  for (std::size_t k = 0; k < ds.max_iter; ++k) {
+    if (m.iterate(ctx).converged) {
+      converged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(converged);
+  // Against ground-truth labels, allowing label permutation.
+  const std::size_t errors =
+      permuted_hamming_distance(ds.labels, m.assignments(), 3);
+  EXPECT_LT(errors, ds.size() / 20);  // <5% misclustered
+}
+
+TEST(GmmEm, ResetRestoresInitialObjective) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  const double f0 = m.objective();
+  m.iterate(ctx);
+  m.iterate(ctx);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.objective(), f0);
+}
+
+TEST(GmmEm, SnapshotRestoreRoundTrip) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  m.iterate(ctx);
+  const std::vector<double> snapshot = m.state();
+  const double f = m.objective();
+  m.iterate(ctx);
+  EXPECT_NE(m.objective(), f);
+  m.restore(snapshot);
+  EXPECT_DOUBLE_EQ(m.objective(), f);
+  EXPECT_EQ(m.state(), snapshot);
+}
+
+TEST(GmmEm, RestoreRejectsBadSize) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  EXPECT_THROW(m.restore({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(GmmEm, StateLayoutSizes) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  // weights (3) + means (3*2) + covariances (3*2*2).
+  EXPECT_EQ(m.state().size(), 3u + 6u + 12u);
+}
+
+TEST(GmmEm, ApproximateRunDivergesFromExact) {
+  const auto ds = small_dataset();
+  GmmEm exact_m(ds);
+  GmmEm approx_m(ds);
+  arith::ExactContext exact;
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel1);
+  for (int k = 0; k < 5; ++k) {
+    exact_m.iterate(exact);
+    approx_m.iterate(alu);
+  }
+  EXPECT_NE(exact_m.objective(), approx_m.objective());
+  EXPECT_GT(alu.ledger().total_ops(), 0u);
+}
+
+TEST(GmmEm, MonitorStatsPopulated) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  const opt::IterationStats stats = m.iterate(ctx);
+  EXPECT_GT(stats.step_norm, 0.0);
+  EXPECT_GT(stats.state_norm, 0.0);
+  EXPECT_GT(stats.grad_norm, 0.0);
+  // EM improves the objective, and the step correlates with -gradient.
+  EXPECT_GT(stats.improvement(), 0.0);
+  EXPECT_LT(stats.grad_dot_step, 0.0);
+}
+
+TEST(GmmEm, AssignmentsCoverAllSamples) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  const auto assign = m.assignments();
+  EXPECT_EQ(assign.size(), ds.size());
+  for (int a : assign) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(GmmEm, MeanCentroidDistancePositiveAndShrinks) {
+  const auto ds = small_dataset();
+  GmmEm m(ds);
+  arith::ExactContext ctx;
+  const double mcd0 = m.mean_centroid_distance();
+  for (int k = 0; k < 20; ++k) m.iterate(ctx);
+  EXPECT_GT(mcd0, 0.0);
+  EXPECT_LT(m.mean_centroid_distance(), mcd0);
+}
+
+TEST(HammingDistance, CountsMismatches) {
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {0, 1, 2}), 0u);
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {0, 2, 1}), 2u);
+  EXPECT_THROW(hamming_distance({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(PermutedHammingDistance, InvariantToRelabeling) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> swapped = {1, 1, 0, 0, 2, 2};
+  EXPECT_EQ(hamming_distance(a, swapped), 4u);
+  EXPECT_EQ(permuted_hamming_distance(a, swapped, 3), 0u);
+}
+
+TEST(PermutedHammingDistance, ValidatesLabelCount) {
+  EXPECT_THROW(permuted_hamming_distance({0}, {0}, 0), std::invalid_argument);
+  EXPECT_THROW(permuted_hamming_distance({0}, {0}, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::apps

@@ -1,0 +1,109 @@
+#include "apps/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/gmm.h"
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+namespace {
+
+workloads::GmmDataset small_dataset() {
+  auto ds = workloads::make_gaussian_blobs(3, 300, 2, 8.0, 0.8, 13);
+  ds.max_iter = 100;
+  ds.convergence_tol = 1e-9;
+  return ds;
+}
+
+TEST(KMeans, RejectsEmptyDataset) {
+  workloads::GmmDataset empty;
+  EXPECT_THROW(KMeans m(empty), std::invalid_argument);
+}
+
+TEST(KMeans, ObjectiveDecreasesExact) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::ExactContext ctx;
+  double prev = m.objective();
+  for (int k = 0; k < 20; ++k) {
+    const opt::IterationStats stats = m.iterate(ctx);
+    EXPECT_LE(stats.objective_after, prev + 1e-12);
+    prev = stats.objective_after;
+  }
+}
+
+TEST(KMeans, ConvergesToFixpointExact) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::ExactContext ctx;
+  bool converged = false;
+  for (std::size_t k = 0; k < ds.max_iter; ++k) {
+    if (m.iterate(ctx).converged) {
+      converged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(converged);
+  // Lloyd's algorithm reaches an exact fixpoint: one more iteration must
+  // not move the centroids.
+  const auto before = m.state();
+  m.iterate(ctx);
+  EXPECT_EQ(m.state(), before);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::ExactContext ctx;
+  for (std::size_t k = 0; k < ds.max_iter; ++k) {
+    if (m.iterate(ctx).converged) break;
+  }
+  const std::size_t errors =
+      permuted_hamming_distance(ds.labels, m.assignments(), 3);
+  EXPECT_LT(errors, ds.size() / 20);
+}
+
+TEST(KMeans, McdSensorPositiveAndImproving) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::ExactContext ctx;
+  const double mcd0 = m.mean_centroid_distance();
+  for (int k = 0; k < 15; ++k) m.iterate(ctx);
+  EXPECT_GT(mcd0, 0.0);
+  EXPECT_LT(m.mean_centroid_distance(), mcd0);
+}
+
+TEST(KMeans, SnapshotRestore) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::ExactContext ctx;
+  m.iterate(ctx);
+  const auto snapshot = m.state();
+  const double f = m.objective();
+  m.iterate(ctx);
+  m.restore(snapshot);
+  EXPECT_DOUBLE_EQ(m.objective(), f);
+  EXPECT_THROW(m.restore({1.0}), std::invalid_argument);
+}
+
+TEST(KMeans, ApproximateCentroidsRecordEnergy) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel2);
+  m.iterate(alu);
+  // Every sample contributes dim + 1 accumulations.
+  EXPECT_EQ(alu.ledger().total_ops(), ds.size() * (ds.dim + 1));
+}
+
+TEST(KMeans, StateIsCentroids) {
+  const auto ds = small_dataset();
+  KMeans m(ds);
+  EXPECT_EQ(m.state().size(), ds.num_clusters * ds.dim);
+  EXPECT_EQ(m.dimension(), ds.num_clusters * ds.dim);
+}
+
+}  // namespace
+}  // namespace approxit::apps

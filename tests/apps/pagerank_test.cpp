@@ -1,0 +1,140 @@
+#include "apps/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+
+namespace approxit::apps {
+namespace {
+
+workloads::WebGraph small_graph() {
+  return workloads::make_web_graph(400, 4, 31, 0.05);
+}
+
+TEST(PageRank, RejectsBadArguments) {
+  workloads::WebGraph empty;
+  EXPECT_THROW(PageRank p(empty), std::invalid_argument);
+  const auto g = small_graph();
+  PageRankOptions bad;
+  bad.damping = 1.0;
+  EXPECT_THROW(PageRank p(g, bad), std::invalid_argument);
+}
+
+TEST(PageRank, RanksStayNormalizedExact) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::ExactContext ctx;
+  for (int k = 0; k < 30; ++k) {
+    pr.iterate(ctx);
+    const double mass =
+        std::accumulate(pr.ranks().begin(), pr.ranks().end(), 0.0);
+    ASSERT_NEAR(mass, 1.0, 1e-9) << "iteration " << k;
+  }
+}
+
+TEST(PageRank, ResidualContractsExact) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::ExactContext ctx;
+  double prev = pr.objective();
+  for (int k = 0; k < 20; ++k) {
+    const opt::IterationStats stats = pr.iterate(ctx);
+    EXPECT_LT(stats.objective_after, prev) << "iteration " << k;
+    prev = stats.objective_after;
+  }
+}
+
+TEST(PageRank, ConvergesToStationaryDistribution) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::ExactContext ctx;
+  for (std::size_t k = 0; k < pr.max_iterations(); ++k) {
+    if (pr.iterate(ctx).converged) break;
+  }
+  // At the fixed point one more exact step barely moves the ranks.
+  const std::vector<double> before(pr.ranks().begin(), pr.ranks().end());
+  pr.iterate(ctx);
+  EXPECT_LT(rank_l1_distance(before, pr.ranks()), 1e-7);
+}
+
+TEST(PageRank, HubsOutrankLeaves) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::ExactContext ctx;
+  for (int k = 0; k < 100; ++k) {
+    if (pr.iterate(ctx).converged) break;
+  }
+  // In-degree and rank should correlate: the top page must have far more
+  // than the uniform share.
+  const auto top = pr.top_pages(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_GT(pr.ranks()[top[0]], 5.0 / static_cast<double>(g.nodes));
+}
+
+TEST(PageRank, SnapshotRestore) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::ExactContext ctx;
+  pr.iterate(ctx);
+  const auto snapshot = pr.state();
+  const double f = pr.objective();
+  pr.iterate(ctx);
+  pr.restore(snapshot);
+  EXPECT_DOUBLE_EQ(pr.objective(), f);
+  EXPECT_THROW(pr.restore({1.0}), std::invalid_argument);
+}
+
+TEST(PageRank, ApproximateRunRecordsEdgeOps) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  arith::QcsAlu alu(pagerank_qcs_config());
+  alu.set_mode(arith::ApproxMode::kLevel2);
+  pr.iterate(alu);
+  std::size_t dangling = 0;
+  for (const auto& links : g.out_links) {
+    if (links.empty()) ++dangling;
+  }
+  EXPECT_EQ(alu.ledger().total_ops(), g.edges() + dangling);
+}
+
+TEST(PageRank, UnderApproxItMatchesTruthRanking) {
+  const auto g = small_graph();
+  arith::QcsAlu alu(pagerank_qcs_config());
+
+  PageRank truth(g);
+  core::StaticStrategy truth_strategy(arith::ApproxMode::kAccurate);
+  core::ApproxItSession truth_session(truth, truth_strategy, alu);
+  const core::RunReport truth_report = truth_session.run();
+  EXPECT_TRUE(truth_report.converged);
+  const auto truth_top = truth.top_pages(10);
+  const std::vector<double> truth_ranks(truth.ranks().begin(),
+                                        truth.ranks().end());
+
+  PageRank method(g);
+  core::IncrementalStrategy strategy;
+  core::ApproxItSession session(method, strategy, alu);
+  const core::RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+  // The top-10 ranking must be fully preserved and ranks nearly identical.
+  EXPECT_EQ(top_k_overlap(truth_top, method.top_pages(10)), 10u);
+  EXPECT_LT(rank_l1_distance(truth_ranks, method.ranks()), 1e-4);
+}
+
+TEST(RankMetrics, Helpers) {
+  EXPECT_DOUBLE_EQ(rank_l1_distance(std::vector<double>{0.5, 0.5},
+                                    std::vector<double>{0.25, 0.75}),
+                   0.5);
+  EXPECT_THROW(rank_l1_distance(std::vector<double>{1.0},
+                                std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_EQ(top_k_overlap({1, 2, 3}, {3, 4, 1}), 2u);
+}
+
+}  // namespace
+}  // namespace approxit::apps

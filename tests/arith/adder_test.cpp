@@ -1,0 +1,128 @@
+#include "arith/adder.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/exact_adders.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+using AdderFactory = std::function<std::unique_ptr<Adder>(unsigned width)>;
+
+struct ExactAdderCase {
+  std::string label;
+  AdderFactory make;
+};
+
+class ExactAdderTest
+    : public ::testing::TestWithParam<std::tuple<ExactAdderCase, unsigned>> {
+ protected:
+  std::unique_ptr<Adder> make() const {
+    const auto& [c, width] = GetParam();
+    return c.make(width);
+  }
+  unsigned width() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ExactAdderTest, ReportsExact) { EXPECT_TRUE(make()->is_exact()); }
+
+TEST_P(ExactAdderTest, MatchesReferenceOnRandomOperands) {
+  const auto adder = make();
+  util::Rng rng(0xA11CE + width());
+  for (int i = 0; i < 2000; ++i) {
+    const Word a = rng.next_u64();
+    const Word b = rng.next_u64();
+    const bool cin = (rng.next_u64() & 1) != 0;
+    const AddResult expected = exact_add(width(), a, b, cin);
+    const AddResult actual = adder->add(a, b, cin);
+    ASSERT_EQ(actual, expected)
+        << adder->name() << " a=" << (a & adder->mask())
+        << " b=" << (b & adder->mask()) << " cin=" << cin;
+  }
+}
+
+TEST_P(ExactAdderTest, MatchesReferenceOnCornerOperands) {
+  const auto adder = make();
+  const Word mask = adder->mask();
+  const std::vector<Word> corners = {0,        1,        mask,
+                                     mask - 1, mask / 2, mask / 2 + 1};
+  for (Word a : corners) {
+    for (Word b : corners) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const AddResult expected = exact_add(width(), a, b, cin != 0);
+        const AddResult actual = adder->add(a, b, cin != 0);
+        ASSERT_EQ(actual, expected) << adder->name() << " a=" << a
+                                    << " b=" << b << " cin=" << cin;
+      }
+    }
+  }
+}
+
+TEST_P(ExactAdderTest, SubtractIsTwosComplement) {
+  const auto adder = make();
+  util::Rng rng(0xBEEF + width());
+  for (int i = 0; i < 500; ++i) {
+    const Word a = rng.next_u64() & adder->mask();
+    const Word b = rng.next_u64() & adder->mask();
+    const Word expected = (a - b) & adder->mask();
+    EXPECT_EQ(adder->subtract(a, b).sum, expected);
+  }
+}
+
+TEST_P(ExactAdderTest, GateInventoryNonEmpty) {
+  const auto adder = make();
+  EXPECT_GT(adder->gates().gate_equivalents(), 0u);
+  EXPECT_GT(adder->gates().carry_depth, 0u);
+}
+
+const ExactAdderCase kExactCases[] = {
+    {"ripple",
+     [](unsigned w) { return std::make_unique<RippleCarryAdder>(w); }},
+    {"cla",
+     [](unsigned w) { return std::make_unique<CarryLookaheadAdder>(w); }},
+    {"csel", [](unsigned w) { return std::make_unique<CarrySelectAdder>(w); }},
+    {"koggestone",
+     [](unsigned w) { return std::make_unique<KoggeStoneAdder>(w); }},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ExactAdderTest,
+    ::testing::Combine(::testing::ValuesIn(kExactCases),
+                       ::testing::Values(1u, 3u, 8u, 16u, 32u, 48u, 64u)),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ExactAddReference, SixtyFourBitCarryOut) {
+  const Word max64 = ~Word{0};
+  EXPECT_EQ(exact_add(64, max64, 1, false), (AddResult{0, true}));
+  EXPECT_EQ(exact_add(64, max64, 0, true), (AddResult{0, true}));
+  EXPECT_EQ(exact_add(64, max64, max64, true), (AddResult{max64, true}));
+  EXPECT_EQ(exact_add(64, 5, 7, false), (AddResult{12, false}));
+}
+
+TEST(ExactAddReference, MasksHighBits) {
+  // Operand bits above the width must be ignored.
+  EXPECT_EQ(exact_add(8, 0x1FF, 0x100, false), (AddResult{0xFF, false}));
+}
+
+TEST(AdderBase, RejectsInvalidWidth) {
+  EXPECT_THROW(RippleCarryAdder(0), std::invalid_argument);
+  EXPECT_THROW(RippleCarryAdder(65), std::invalid_argument);
+}
+
+TEST(AdderBase, WordMask) {
+  EXPECT_EQ(word_mask(1), Word{1});
+  EXPECT_EQ(word_mask(8), Word{0xFF});
+  EXPECT_EQ(word_mask(64), ~Word{0});
+}
+
+}  // namespace
+}  // namespace approxit::arith

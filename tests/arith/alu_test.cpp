@@ -1,0 +1,201 @@
+#include "arith/alu.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+TEST(QcsConfig, DefaultValidates) { EXPECT_NO_THROW(QcsConfig{}.validate()); }
+
+TEST(QcsConfig, RejectsNonDecreasingApproxBits) {
+  QcsConfig config;
+  config.level_approx_bits = {20, 20, 12, 8};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.level_approx_bits = {12, 16, 8, 4};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(QcsConfig, RejectsOutOfRangeApproxBits) {
+  QcsConfig config;
+  config.level_approx_bits = {32, 16, 12, 8};  // >= total_bits
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.level_approx_bits = {20, 16, 12, 0};  // level4 must approximate
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(QcsAlu, AccurateModeAddsExactly) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kAccurate);
+  util::Rng rng(50);
+  for (int i = 0; i < 500; ++i) {
+    const double a = std::floor(rng.uniform(-1000.0, 1000.0));
+    const double b = std::floor(rng.uniform(-1000.0, 1000.0));
+    // Integers are exactly representable in Q16.16.
+    EXPECT_DOUBLE_EQ(alu.add(a, b), a + b);
+    EXPECT_DOUBLE_EQ(alu.sub(a, b), a - b);
+  }
+}
+
+TEST(QcsAlu, DefaultModeIsAccurate) {
+  QcsAlu alu;
+  EXPECT_EQ(alu.mode(), ApproxMode::kAccurate);
+}
+
+TEST(QcsAlu, ApproximateModeIntroducesBoundedError) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel1);
+  util::Rng rng(51);
+  bool any_error = false;
+  for (int i = 0; i < 3000; ++i) {
+    const double a = rng.uniform(-10000.0, 10000.0);
+    const double b = rng.uniform(-10000.0, 10000.0);
+    const double approx = alu.add(a, b);
+    if (std::abs(approx - (a + b)) > alu.format().ulp()) {
+      any_error = true;
+    }
+  }
+  EXPECT_TRUE(any_error) << "level1 should err on wide operands";
+}
+
+TEST(QcsAlu, HigherLevelsReduceObservedError) {
+  util::Rng rng(52);
+  std::vector<std::pair<double, double>> operands;
+  for (int i = 0; i < 5000; ++i) {
+    operands.emplace_back(rng.uniform(-20000.0, 20000.0),
+                          rng.uniform(-20000.0, 20000.0));
+  }
+  double previous_mean_abs = std::numeric_limits<double>::infinity();
+  for (ApproxMode mode : {ApproxMode::kLevel1, ApproxMode::kLevel2,
+                          ApproxMode::kLevel3, ApproxMode::kLevel4}) {
+    QcsAlu alu;
+    alu.set_mode(mode);
+    double sum_abs = 0.0;
+    for (const auto& [a, b] : operands) {
+      sum_abs += std::abs(alu.add(a, b) - (a + b));
+    }
+    const double mean_abs = sum_abs / static_cast<double>(operands.size());
+    EXPECT_LT(mean_abs, previous_mean_abs) << mode_name(mode);
+    previous_mean_abs = mean_abs;
+  }
+}
+
+TEST(QcsAlu, LedgerCountsEveryOperation) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel2);
+  alu.add(1.0, 2.0);
+  alu.sub(1.0, 2.0);
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  alu.accumulate(values);
+  EXPECT_EQ(alu.ledger().ops(ApproxMode::kLevel2), 5u);
+  EXPECT_EQ(alu.ledger().total_ops(), 5u);
+  alu.set_mode(ApproxMode::kAccurate);
+  alu.add(0.0, 0.0);
+  EXPECT_EQ(alu.ledger().ops(ApproxMode::kAccurate), 1u);
+}
+
+TEST(QcsAlu, EnergyMonotoneAcrossModes) {
+  QcsAlu alu;
+  double previous = 0.0;
+  for (ApproxMode mode : kAllModes) {
+    const double e = alu.energy_per_add(mode);
+    EXPECT_GT(e, previous) << mode_name(mode);
+    previous = e;
+  }
+}
+
+TEST(QcsAlu, LedgerEnergyMatchesPerOpEnergy) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel3);
+  for (int i = 0; i < 10; ++i) alu.add(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(alu.ledger().total_energy(),
+                   10.0 * alu.energy_per_add(ApproxMode::kLevel3));
+}
+
+TEST(QcsAlu, ResetLedgerPreservesMode) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel1);
+  alu.add(1.0, 1.0);
+  alu.reset_ledger();
+  EXPECT_EQ(alu.ledger().total_ops(), 0u);
+  EXPECT_EQ(alu.mode(), ApproxMode::kLevel1);
+}
+
+TEST(QcsAlu, AccumulateEmptyIsZero) {
+  QcsAlu alu;
+  EXPECT_DOUBLE_EQ(alu.accumulate({}), 0.0);
+}
+
+TEST(QcsAlu, DotMatchesExactInAccurateMode) {
+  QcsAlu alu;
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_NEAR(alu.dot(x, y), 12.0, 3 * alu.format().ulp());
+}
+
+TEST(QcsAlu, DotSizeMismatchThrows) {
+  QcsAlu alu;
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(alu.dot(x, y), std::invalid_argument);
+}
+
+TEST(QcsAlu, CustomBankValidation) {
+  const QFormat format{16, 8};
+  std::array<AdderPtr, kNumModes> bank = {
+      std::make_shared<LowerOrAdder>(16, 12),
+      std::make_shared<LowerOrAdder>(16, 8),
+      std::make_shared<LowerOrAdder>(16, 4),
+      std::make_shared<LowerOrAdder>(16, 2),
+      std::make_shared<RippleCarryAdder>(16),
+  };
+  EXPECT_NO_THROW(QcsAlu(format, bank));
+
+  auto bad_width = bank;
+  bad_width[0] = std::make_shared<LowerOrAdder>(32, 12);
+  EXPECT_THROW(QcsAlu(format, bad_width), std::invalid_argument);
+
+  auto inexact_accurate = bank;
+  inexact_accurate[4] = std::make_shared<LowerOrAdder>(16, 4);
+  EXPECT_THROW(QcsAlu(format, inexact_accurate), std::invalid_argument);
+
+  auto null_slot = bank;
+  null_slot[2] = nullptr;
+  EXPECT_THROW(QcsAlu(format, null_slot), std::invalid_argument);
+}
+
+TEST(QcsAlu, CustomBankRoutesThroughChosenAdders) {
+  const QFormat format{16, 0};  // integer datapath for easy inspection
+  std::array<AdderPtr, kNumModes> bank = {
+      std::make_shared<TruncatedAdder>(16, 8),
+      std::make_shared<TruncatedAdder>(16, 6),
+      std::make_shared<TruncatedAdder>(16, 4),
+      std::make_shared<TruncatedAdder>(16, 2),
+      std::make_shared<RippleCarryAdder>(16),
+  };
+  QcsAlu alu(format, bank);
+  alu.set_mode(ApproxMode::kLevel1);
+  // The low 8 bits are cut: their carry is lost and their sum bits are zero.
+  EXPECT_DOUBLE_EQ(alu.add(255.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(alu.add(127.0, 1.0), 0.0);   // entirely below the cut
+  EXPECT_DOUBLE_EQ(alu.add(256.0, 256.0), 512.0);  // entirely above the cut
+}
+
+TEST(QcsAlu, DescribeListsAllModes) {
+  QcsAlu alu;
+  const std::string desc = alu.describe();
+  for (ApproxMode mode : kAllModes) {
+    EXPECT_NE(desc.find(mode_name(mode)), std::string::npos)
+        << mode_name(mode);
+  }
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -1,0 +1,116 @@
+#include "arith/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+
+namespace approxit::arith {
+namespace {
+
+TEST(OperationEnergy, LinearInGateCounts) {
+  EnergyParams p;
+  GateInventory one_fa;
+  one_fa.full_adders = 1;
+  GateInventory two_fa;
+  two_fa.full_adders = 2;
+  EXPECT_DOUBLE_EQ(operation_energy(two_fa, p),
+                   2.0 * operation_energy(one_fa, p));
+}
+
+TEST(OperationEnergy, GlitchTermGrowsWithDepth) {
+  EnergyParams p;
+  GateInventory shallow;
+  shallow.full_adders = 8;
+  shallow.carry_depth = 2;
+  GateInventory deep = shallow;
+  deep.carry_depth = 16;
+  EXPECT_GT(operation_energy(deep, p), operation_energy(shallow, p));
+}
+
+TEST(OperationEnergy, EmptyInventoryIsFree) {
+  EXPECT_DOUBLE_EQ(operation_energy(GateInventory{}), 0.0);
+}
+
+TEST(AdderEnergy, QcsLevelsMonotoneInChainBits) {
+  // The per-op energy ordering level1 < level2 < level3 < level4 < accurate
+  // is the foundation of the paper's energy-saving claims.
+  double previous = 0.0;
+  for (unsigned chain : {8u, 12u, 16u, 24u, 32u}) {
+    QcsConfigurableAdder adder(32, chain);
+    const double e = adder_energy(adder);
+    EXPECT_GT(e, previous) << "chain=" << chain;
+    previous = e;
+  }
+}
+
+TEST(AdderEnergy, ApproximateCheaperThanExactSameWidth) {
+  RippleCarryAdder exact(32);
+  LowerOrAdder loa(32, 16);
+  TruncatedAdder trunc(32, 16);
+  EXPECT_LT(adder_energy(loa), adder_energy(exact));
+  EXPECT_LT(adder_energy(trunc), adder_energy(exact));
+}
+
+TEST(GateInventory, SumTakesMaxDepth) {
+  GateInventory a;
+  a.full_adders = 2;
+  a.carry_depth = 5;
+  GateInventory b;
+  b.or2 = 3;
+  b.carry_depth = 9;
+  const GateInventory c = a + b;
+  EXPECT_EQ(c.full_adders, 2u);
+  EXPECT_EQ(c.or2, 3u);
+  EXPECT_EQ(c.carry_depth, 9u);
+}
+
+TEST(GateInventory, GateEquivalents) {
+  GateInventory inv;
+  inv.full_adders = 1;  // 5
+  inv.half_adders = 1;  // 2
+  inv.mux2 = 1;         // 3
+  inv.and2 = 1;         // 1
+  inv.inverters = 1;    // 1
+  EXPECT_EQ(inv.gate_equivalents(), 12u);
+}
+
+TEST(EnergyLedger, AccumulatesPerMode) {
+  EnergyLedger ledger;
+  ledger.record(ApproxMode::kLevel1, 2.0, 3);
+  ledger.record(ApproxMode::kAccurate, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.energy(ApproxMode::kLevel1), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.energy(ApproxMode::kAccurate), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.total_energy(), 16.0);
+  EXPECT_EQ(ledger.ops(ApproxMode::kLevel1), 3u);
+  EXPECT_EQ(ledger.total_ops(), 4u);
+}
+
+TEST(EnergyLedger, ResetClearsEverything) {
+  EnergyLedger ledger;
+  ledger.record(ApproxMode::kLevel2, 1.5, 10);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_energy(), 0.0);
+  EXPECT_EQ(ledger.total_ops(), 0u);
+}
+
+TEST(EnergyLedger, MergeAddsCounts) {
+  EnergyLedger a, b;
+  a.record(ApproxMode::kLevel1, 1.0, 2);
+  b.record(ApproxMode::kLevel1, 1.0, 3);
+  b.record(ApproxMode::kLevel3, 4.0, 1);
+  a.merge(b);
+  EXPECT_EQ(a.ops(ApproxMode::kLevel1), 5u);
+  EXPECT_EQ(a.ops(ApproxMode::kLevel3), 1u);
+  EXPECT_DOUBLE_EQ(a.total_energy(), 9.0);
+}
+
+TEST(EnergyLedger, SummaryMentionsModes) {
+  EnergyLedger ledger;
+  ledger.record(ApproxMode::kLevel4, 1.0, 7);
+  const std::string s = ledger.summary();
+  EXPECT_NE(s.find("level4:7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -1,0 +1,101 @@
+#include "arith/error_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+
+namespace approxit::arith {
+namespace {
+
+TEST(CharacterizeAdder, ExactAdderHasZeroError) {
+  RippleCarryAdder adder(16);
+  const ErrorStats stats = characterize_adder(adder, 5000, 1);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_error_distance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.worst_case_error, 0.0);
+  EXPECT_EQ(stats.samples, 5000u);
+}
+
+TEST(CharacterizeAdder, DeterministicForSeed) {
+  LowerOrAdder adder(16, 8);
+  const ErrorStats a = characterize_adder(adder, 2000, 42);
+  const ErrorStats b = characterize_adder(adder, 2000, 42);
+  EXPECT_DOUBLE_EQ(a.error_rate, b.error_rate);
+  EXPECT_DOUBLE_EQ(a.mean_error_distance, b.mean_error_distance);
+  EXPECT_DOUBLE_EQ(a.worst_case_error, b.worst_case_error);
+}
+
+TEST(CharacterizeAdder, ExhaustiveSmallWidthLoa) {
+  // LOA(4,2): exhaustive ground truth over 16*16*2 cases.
+  LowerOrAdder adder(4, 2);
+  const ErrorStats stats = characterize_adder_exhaustive(adder);
+  EXPECT_EQ(stats.samples, 16u * 16u * 2u);
+  EXPECT_GT(stats.error_rate, 0.0);
+  EXPECT_LT(stats.error_rate, 1.0);
+  // OR-based lower part both over- and under-estimates; WCE is bounded by
+  // the lower-part range plus one lost carry.
+  EXPECT_LE(stats.worst_case_error, 8.0);
+}
+
+TEST(CharacterizeAdder, ExhaustiveMatchesMonteCarloTrend) {
+  EtaIIAdder adder(8, 2);
+  const ErrorStats exhaustive = characterize_adder_exhaustive(adder);
+  const ErrorStats sampled = characterize_adder(adder, 50000, 7);
+  EXPECT_NEAR(sampled.error_rate, exhaustive.error_rate, 0.02);
+  EXPECT_NEAR(sampled.mean_error_distance, exhaustive.mean_error_distance,
+              exhaustive.mean_error_distance * 0.15 + 0.5);
+}
+
+TEST(CharacterizeAdder, ExhaustiveRejectsWideAdders) {
+  RippleCarryAdder adder(16);
+  EXPECT_THROW(characterize_adder_exhaustive(adder), std::invalid_argument);
+}
+
+TEST(CharacterizeAdder, DistributionsChangeStats) {
+  // Small-magnitude operands exercise short carry chains, so windowed-carry
+  // adders look much better under them than under uniform operands.
+  QcsConfigurableAdder adder(32, 8);
+  const ErrorStats uniform =
+      characterize_adder(adder, 20000, 5, OperandDist::kUniform);
+  const ErrorStats small =
+      characterize_adder(adder, 20000, 5, OperandDist::kSmallMagnitude);
+  EXPECT_LT(small.error_rate, uniform.error_rate);
+}
+
+TEST(CharacterizeAdder, MoreAccurateLevelsHaveLowerER) {
+  double previous_er = 1.1;
+  for (unsigned chain : {8u, 12u, 16u, 24u}) {
+    QcsConfigurableAdder adder(32, chain);
+    const ErrorStats stats = characterize_adder(adder, 30000, 11);
+    EXPECT_LT(stats.error_rate, previous_er) << "chain=" << chain;
+    previous_er = stats.error_rate;
+  }
+}
+
+TEST(CharacterizeMultiplier, ExactIsErrorFree) {
+  ArrayMultiplier mul(8, std::make_shared<RippleCarryAdder>(16));
+  const ErrorStats stats = characterize_multiplier(mul, 3000, 3);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+}
+
+TEST(CharacterizeMultiplier, KulkarniUnderestimates) {
+  KulkarniMultiplier mul(8);
+  const ErrorStats stats = characterize_multiplier(mul, 10000, 9);
+  EXPECT_GT(stats.error_rate, 0.0);
+  // Kulkarni blocks only ever drop the 3x3 MSB -> mean error is negative.
+  EXPECT_LT(stats.mean_error, 0.0);
+}
+
+TEST(ErrorStats, ToStringContainsMetrics) {
+  LowerOrAdder adder(8, 4);
+  const ErrorStats stats = characterize_adder(adder, 1000, 2);
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("ER="), std::string::npos);
+  EXPECT_NE(s.find("WCE="), std::string::npos);
+  EXPECT_NE(s.find("n=1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::arith

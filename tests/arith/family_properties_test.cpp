@@ -1,0 +1,149 @@
+// Cross-family property sweep: every approximate adder configuration must
+// (1) never exceed its analytic worst-case error, (2) have internally
+// consistent Monte Carlo statistics, and (3) behave deterministically.
+// Instantiated over a registry of (family, width, degree) configurations.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/energy.h"
+#include "arith/error_metrics.h"
+#include "arith/wce_analysis.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+struct FamilyCase {
+  std::string label;
+  std::function<std::unique_ptr<Adder>()> make;
+  /// Lazily evaluated analytic WCE (the windowed DP is nontrivial and the
+  /// test registry is constructed on every test-binary launch); returns 0
+  /// when no analytic result is available (fall back to the trivial cap).
+  std::function<std::uint64_t()> analytic_wce;
+};
+
+FamilyCase gda(unsigned w, unsigned k) {
+  return {"gda_w" + std::to_string(w) + "_k" + std::to_string(k),
+          [w, k] { return std::make_unique<GdaAdder>(w, k); },
+          [w, k] { return gda_worst_case_error(w, k); }};
+}
+FamilyCase loa(unsigned w, unsigned k) {
+  return {"loa_w" + std::to_string(w) + "_k" + std::to_string(k),
+          [w, k] { return std::make_unique<LowerOrAdder>(w, k); },
+          [w, k] { return loa_worst_case_error(w, k); }};
+}
+FamilyCase trunc(unsigned w, unsigned k) {
+  return {"trunc_w" + std::to_string(w) + "_k" + std::to_string(k),
+          [w, k] { return std::make_unique<TruncatedAdder>(w, k); },
+          [w, k] { return trunc_worst_case_error(w, k); }};
+}
+FamilyCase etai(unsigned w, unsigned k) {
+  return {"etai_w" + std::to_string(w) + "_k" + std::to_string(k),
+          [w, k] { return std::make_unique<EtaIAdder>(w, k); },
+          [w, k] { return etai_worst_case_error(w, k); }};
+}
+FamilyCase etaii(unsigned w, unsigned s) {
+  return {"etaii_w" + std::to_string(w) + "_s" + std::to_string(s),
+          [w, s] { return std::make_unique<EtaIIAdder>(w, s); },
+          [w, s] { return etaii_worst_case_error(w, s); }};
+}
+FamilyCase windowed(unsigned w, unsigned v) {
+  return {"windowed_w" + std::to_string(w) + "_v" + std::to_string(v),
+          [w, v] { return std::make_unique<QcsConfigurableAdder>(w, v); },
+          [w, v]() -> std::uint64_t {
+            return v <= 10 ? windowed_worst_case_error(w, v) : 0;
+          }};
+}
+
+std::vector<FamilyCase> registry() {
+  return {
+      gda(16, 4),      gda(16, 10),     gda(32, 7),     gda(32, 13),
+      loa(16, 6),      loa(32, 12),     trunc(16, 5),   trunc(32, 10),
+      etai(16, 6),     etai(32, 10),    etaii(16, 4),   etaii(32, 8),
+      windowed(16, 6), windowed(32, 8), windowed(32, 20),
+  };
+}
+
+class FamilyPropertyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyPropertyTest, NeverExceedsAnalyticWce) {
+  const FamilyCase& c = GetParam();
+  const auto adder = c.make();
+  util::Rng rng(0xFA111);
+  const std::uint64_t wce = c.analytic_wce();
+  const double cap =
+      wce > 0 ? static_cast<double>(wce)
+              : std::ldexp(1.0, static_cast<int>(adder->width()) + 1);
+  for (int i = 0; i < 20000; ++i) {
+    const Word a = rng.next_u64() & adder->mask();
+    const Word b = rng.next_u64() & adder->mask();
+    const bool cin = (rng.next_u64() & 1) != 0;
+    const AddResult approx = adder->add(a, b, cin);
+    const AddResult exact = exact_add(adder->width(), a, b, cin);
+    const double approx_total =
+        static_cast<double>(approx.sum) +
+        (approx.carry_out
+             ? std::ldexp(1.0, static_cast<int>(adder->width()))
+             : 0.0);
+    const double exact_total =
+        static_cast<double>(exact.sum) +
+        (exact.carry_out ? std::ldexp(1.0, static_cast<int>(adder->width()))
+                         : 0.0);
+    ASSERT_LE(std::abs(approx_total - exact_total), cap)
+        << c.label << " a=" << a << " b=" << b << " cin=" << cin;
+  }
+}
+
+TEST_P(FamilyPropertyTest, StatisticsInternallyConsistent) {
+  const FamilyCase& c = GetParam();
+  const auto adder = c.make();
+  const ErrorStats stats = characterize_adder(*adder, 20000, 0x57A75);
+  EXPECT_GE(stats.error_rate, 0.0);
+  EXPECT_LE(stats.error_rate, 1.0);
+  EXPECT_LE(std::abs(stats.mean_error), stats.mean_error_distance + 1e-12);
+  EXPECT_LE(stats.mean_error_distance, stats.worst_case_error + 1e-12);
+  if (const std::uint64_t wce = c.analytic_wce(); wce > 0) {
+    EXPECT_LE(stats.worst_case_error, static_cast<double>(wce) + 1e-9)
+        << c.label;
+  }
+  // Errors imply a positive MED; no errors imply zero MED.
+  if (stats.error_rate == 0.0) {
+    EXPECT_DOUBLE_EQ(stats.mean_error_distance, 0.0);
+  } else {
+    EXPECT_GT(stats.mean_error_distance, 0.0);
+  }
+}
+
+TEST_P(FamilyPropertyTest, DeterministicAndStateless) {
+  const FamilyCase& c = GetParam();
+  const auto adder = c.make();
+  util::Rng rng(0xD3);
+  for (int i = 0; i < 200; ++i) {
+    const Word a = rng.next_u64() & adder->mask();
+    const Word b = rng.next_u64() & adder->mask();
+    const AddResult first = adder->add(a, b, false);
+    // Interleave unrelated operations; results must not change.
+    (void)adder->add(~a & adder->mask(), b, true);
+    EXPECT_EQ(adder->add(a, b, false), first) << c.label;
+  }
+}
+
+TEST_P(FamilyPropertyTest, EnergyAndGatesPositive) {
+  const FamilyCase& c = GetParam();
+  const auto adder = c.make();
+  EXPECT_GT(adder_energy(*adder), 0.0) << c.label;
+  EXPECT_GT(adder->gates().gate_equivalents(), 0u) << c.label;
+  EXPECT_FALSE(adder->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyPropertyTest,
+                         ::testing::ValuesIn(registry()),
+                         [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace approxit::arith

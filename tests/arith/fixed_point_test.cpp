@@ -1,0 +1,95 @@
+#include "arith/fixed_point.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+TEST(QFormat, ValidateRejectsBadFormats) {
+  EXPECT_THROW((QFormat{1, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((QFormat{65, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((QFormat{16, 16}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((QFormat{16, 15}).validate());
+  EXPECT_NO_THROW((QFormat{64, 32}).validate());
+}
+
+TEST(QFormat, UlpAndRange) {
+  const QFormat q{16, 8};
+  EXPECT_DOUBLE_EQ(q.ulp(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(q.max_value(), (32767.0) / 256.0);
+  EXPECT_DOUBLE_EQ(q.min_value(), -128.0);
+  EXPECT_EQ(q.to_string(), "Q8.8");
+}
+
+TEST(Quantize, ExactlyRepresentableRoundTrips) {
+  const QFormat q{32, 16};
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 1024.0, -2048.75}) {
+    EXPECT_DOUBLE_EQ(quantization_roundtrip(v, q), v) << v;
+  }
+}
+
+TEST(Quantize, RoundsToNearest) {
+  const QFormat q{16, 8};
+  const double ulp = q.ulp();
+  EXPECT_DOUBLE_EQ(quantization_roundtrip(0.3 * ulp, q), 0.0);
+  EXPECT_DOUBLE_EQ(quantization_roundtrip(0.7 * ulp, q), ulp);
+  EXPECT_DOUBLE_EQ(quantization_roundtrip(-0.7 * ulp, q), -ulp);
+}
+
+TEST(Quantize, SaturatesAtRangeEnds) {
+  const QFormat q{16, 8};
+  EXPECT_DOUBLE_EQ(dequantize(quantize(1e9, q), q), q.max_value());
+  EXPECT_DOUBLE_EQ(dequantize(quantize(-1e9, q), q), q.min_value());
+  EXPECT_DOUBLE_EQ(
+      dequantize(quantize(std::numeric_limits<double>::infinity(), q), q),
+      q.max_value());
+}
+
+TEST(Quantize, NanBecomesZero) {
+  const QFormat q{32, 16};
+  EXPECT_EQ(quantize(std::numeric_limits<double>::quiet_NaN(), q), Word{0});
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfUlp) {
+  const QFormat q{32, 16};
+  util::Rng rng(44);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-30000.0, 30000.0);
+    const double rt = quantization_roundtrip(v, q);
+    EXPECT_LE(std::abs(rt - v), q.ulp() / 2.0 + 1e-15) << v;
+  }
+}
+
+TEST(SignedConversion, RoundTrips) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 127LL, -128LL, 100LL, -77LL}) {
+    EXPECT_EQ(to_signed(from_signed(v, 8), 8), v) << v;
+  }
+}
+
+TEST(SignedConversion, SignExtension) {
+  EXPECT_EQ(to_signed(0xFF, 8), -1);
+  EXPECT_EQ(to_signed(0x80, 8), -128);
+  EXPECT_EQ(to_signed(0x7F, 8), 127);
+  EXPECT_EQ(to_signed(~Word{0}, 64), -1);
+}
+
+TEST(SignedConversion, TruncatesHighBits) {
+  EXPECT_EQ(from_signed(-1, 8), Word{0xFF});
+  EXPECT_EQ(from_signed(256, 8), Word{0});
+}
+
+TEST(Quantize, NegativeValuesTwosComplement) {
+  const QFormat q{16, 8};
+  const Word w = quantize(-1.0, q);
+  // -1.0 * 256 = -256 -> 0xFF00 in 16-bit two's complement.
+  EXPECT_EQ(w, Word{0xFF00});
+  EXPECT_DOUBLE_EQ(dequantize(w, q), -1.0);
+}
+
+}  // namespace
+}  // namespace approxit::arith

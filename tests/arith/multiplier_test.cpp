@@ -1,0 +1,153 @@
+#include "arith/multipliers.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "arith/exact_adders.h"
+#include "arith/fixed_point.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+AdderPtr exact_sum_adder(unsigned operand_width) {
+  return std::make_shared<RippleCarryAdder>(2 * operand_width);
+}
+
+TEST(ArrayMultiplier, ExactWithExactAdder) {
+  for (unsigned w : {4u, 8u, 16u, 32u}) {
+    ArrayMultiplier mul(w, exact_sum_adder(w));
+    util::Rng rng(100 + w);
+    for (int i = 0; i < 500; ++i) {
+      const Word a = rng.next_u64() & word_mask(w);
+      const Word b = rng.next_u64() & word_mask(w);
+      // Exact product fits in 2w <= 64 bits.
+      const Word expected =
+          (w < 32) ? (a * b) & word_mask(2 * w) : a * b;
+      EXPECT_EQ(mul.multiply(a, b), expected) << "w=" << w;
+    }
+  }
+}
+
+TEST(BoothMultiplier, ExactWithExactAdder) {
+  for (unsigned w : {4u, 8u, 16u, 32u}) {
+    BoothMultiplier mul(w, exact_sum_adder(w));
+    util::Rng rng(200 + w);
+    for (int i = 0; i < 500; ++i) {
+      const Word a = rng.next_u64() & word_mask(w);
+      const Word b = rng.next_u64() & word_mask(w);
+      const Word expected =
+          (w < 32) ? (a * b) & word_mask(2 * w) : a * b;
+      EXPECT_EQ(mul.multiply(a, b), expected)
+          << "w=" << w << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(BoothMultiplier, CornerOperands) {
+  BoothMultiplier mul(8, exact_sum_adder(8));
+  for (Word a : {Word{0}, Word{1}, Word{0xFF}, Word{0x80}, Word{0x7F}}) {
+    for (Word b : {Word{0}, Word{1}, Word{0xFF}, Word{0x80}, Word{0x55}}) {
+      EXPECT_EQ(mul.multiply(a, b), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Multiplier, SignedMultiplyMatchesInteger) {
+  ArrayMultiplier mul(8, exact_sum_adder(8));
+  for (int a = -128; a < 128; a += 13) {
+    for (int b = -128; b < 128; b += 17) {
+      const Word wa = from_signed(a, 8);
+      const Word wb = from_signed(b, 8);
+      const Word product = mul.multiply_signed(wa, wb);
+      EXPECT_EQ(to_signed(product, 16), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(TruncatedMultiplier, ZeroTruncationIsExact) {
+  TruncatedMultiplier mul(8, 0, exact_sum_adder(8));
+  util::Rng rng(300);
+  for (int i = 0; i < 500; ++i) {
+    const Word a = rng.next_u64() & 0xFF;
+    const Word b = rng.next_u64() & 0xFF;
+    EXPECT_EQ(mul.multiply(a, b), a * b);
+  }
+}
+
+TEST(TruncatedMultiplier, ErrorBoundedAndNeverOvershoots) {
+  const unsigned t = 6;
+  TruncatedMultiplier mul(8, t, exact_sum_adder(8));
+  util::Rng rng(301);
+  for (int i = 0; i < 2000; ++i) {
+    const Word a = rng.next_u64() & 0xFF;
+    const Word b = rng.next_u64() & 0xFF;
+    const Word approx = mul.multiply(a, b);
+    const Word exact = a * b;
+    EXPECT_LE(approx, exact);
+    // Each of up to 8 partial products loses < 2^t below the cut.
+    EXPECT_LT(exact - approx, 8ull << t);
+  }
+}
+
+TEST(TruncatedMultiplier, RejectsOverTruncation) {
+  EXPECT_THROW(TruncatedMultiplier(8, 17, exact_sum_adder(8)),
+               std::invalid_argument);
+}
+
+TEST(KulkarniMultiplier, TwoByTwoTable) {
+  KulkarniMultiplier mul(2);
+  for (Word a = 0; a < 4; ++a) {
+    for (Word b = 0; b < 4; ++b) {
+      const Word expected = (a == 3 && b == 3) ? 7 : a * b;
+      EXPECT_EQ(mul.multiply(a, b), expected) << a << "*" << b;
+    }
+  }
+}
+
+TEST(KulkarniMultiplier, ExactUnlessBothOperandsContainThrees) {
+  KulkarniMultiplier mul(8);
+  // Operands whose 2-bit digit pairs never line up as 3x3 multiply exactly.
+  EXPECT_EQ(mul.multiply(0x12, 0x21), Word{0x12 * 0x21});
+  // 0xFF * 0xFF decomposes into 3x3 blocks -> must be underestimated.
+  EXPECT_LT(mul.multiply(0xFF, 0xFF), Word{0xFF * 0xFF});
+}
+
+TEST(KulkarniMultiplier, NeverOvershoots) {
+  KulkarniMultiplier mul(8);
+  util::Rng rng(302);
+  for (int i = 0; i < 4000; ++i) {
+    const Word a = rng.next_u64() & 0xFF;
+    const Word b = rng.next_u64() & 0xFF;
+    EXPECT_LE(mul.multiply(a, b), a * b);
+  }
+}
+
+TEST(KulkarniMultiplier, RejectsNonPowerOfTwoWidth) {
+  EXPECT_THROW(KulkarniMultiplier(6), std::invalid_argument);
+  EXPECT_THROW(KulkarniMultiplier(12), std::invalid_argument);
+}
+
+TEST(Multiplier, RejectsBadConstruction) {
+  EXPECT_THROW(ArrayMultiplier(8, nullptr), std::invalid_argument);
+  EXPECT_THROW(ArrayMultiplier(8, std::make_shared<RippleCarryAdder>(8)),
+               std::invalid_argument);  // must be 2x width
+  EXPECT_THROW(ArrayMultiplier(33, exact_sum_adder(33)),
+               std::invalid_argument);  // product would exceed 64 bits
+}
+
+TEST(Multiplier, GateInventoriesPopulated) {
+  ArrayMultiplier array(8, exact_sum_adder(8));
+  BoothMultiplier booth(8, exact_sum_adder(8));
+  KulkarniMultiplier kulkarni(8);
+  EXPECT_GT(array.gates().gate_equivalents(), 0u);
+  EXPECT_GT(booth.gates().gate_equivalents(), 0u);
+  EXPECT_GT(kulkarni.gates().gate_equivalents(), 0u);
+  // Booth halves the partial products; with the same row adder it should not
+  // need more FA rows than the array multiplier.
+  EXPECT_LE(booth.gates().full_adders, array.gates().full_adders);
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -1,0 +1,129 @@
+// Validates the analytic/DP worst-case-error results against exhaustive
+// search over all operand pairs at small widths.
+#include "arith/wce_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+
+namespace approxit::arith {
+namespace {
+
+TEST(WceAnalysis, LoaMatchesExhaustive) {
+  for (unsigned width : {6u, 8u, 10u}) {
+    for (unsigned k : {1u, 2u, 4u, 6u}) {
+      const LowerOrAdder adder(width, k);
+      EXPECT_EQ(loa_worst_case_error(width, k),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " k=" << k;
+    }
+  }
+}
+
+TEST(WceAnalysis, GdaMatchesExhaustive) {
+  for (unsigned width : {6u, 8u, 10u}) {
+    for (unsigned k : {1u, 3u, 5u}) {
+      const GdaAdder adder(width, k);
+      EXPECT_EQ(gda_worst_case_error(width, k),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " k=" << k;
+    }
+  }
+}
+
+TEST(WceAnalysis, TruncMatchesExhaustive) {
+  for (unsigned width : {6u, 8u, 10u}) {
+    for (unsigned k : {1u, 2u, 4u, 6u}) {
+      const TruncatedAdder adder(width, k);
+      EXPECT_EQ(trunc_worst_case_error(width, k),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " k=" << k;
+    }
+  }
+}
+
+TEST(WceAnalysis, EtaiMatchesExhaustive) {
+  for (unsigned width : {6u, 8u, 10u}) {
+    for (unsigned k : {1u, 2u, 4u, 6u}) {
+      const EtaIAdder adder(width, k);
+      EXPECT_EQ(etai_worst_case_error(width, k),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " k=" << k;
+    }
+  }
+}
+
+TEST(WceAnalysis, EtaiiDpMatchesExhaustive) {
+  for (unsigned width : {6u, 8u, 9u, 10u}) {
+    for (unsigned segment : {2u, 3u, 4u}) {
+      if (segment >= width) continue;
+      const EtaIIAdder adder(width, segment);
+      EXPECT_EQ(etaii_worst_case_error(width, segment),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " segment=" << segment;
+    }
+  }
+}
+
+TEST(WceAnalysis, WindowedDpMatchesExhaustiveAca) {
+  for (unsigned width : {6u, 8u, 10u}) {
+    for (unsigned window : {2u, 3u, 4u, 6u}) {
+      if (window >= width) continue;
+      const AcaAdder adder(width, window);
+      EXPECT_EQ(windowed_worst_case_error(width, window),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " window=" << window;
+    }
+  }
+}
+
+TEST(WceAnalysis, WindowedDpMatchesExhaustiveQcs) {
+  for (unsigned width : {8u, 10u}) {
+    for (unsigned window : {3u, 5u}) {
+      const QcsConfigurableAdder adder(width, window);
+      EXPECT_EQ(windowed_worst_case_error(width, window),
+                exhaustive_worst_case_error(adder))
+          << "width=" << width << " window=" << window;
+    }
+  }
+}
+
+TEST(WceAnalysis, ExactConfigurationsHaveZeroWce) {
+  EXPECT_EQ(loa_worst_case_error(16, 0), 0u);
+  EXPECT_EQ(trunc_worst_case_error(16, 0), 0u);
+  EXPECT_EQ(etai_worst_case_error(16, 0), 0u);
+  EXPECT_EQ(etaii_worst_case_error(16, 16), 0u);
+  EXPECT_EQ(windowed_worst_case_error(16, 16), 0u);
+}
+
+TEST(WceAnalysis, ScalesToFullWidthInstantly) {
+  // The analytic/DP results cover widths exhaustive search cannot.
+  EXPECT_EQ(gda_worst_case_error(32, 13), std::uint64_t{1} << 12);
+  EXPECT_EQ(etai_worst_case_error(32, 13), std::uint64_t{1} << 13);
+  EXPECT_EQ(trunc_worst_case_error(32, 13), (std::uint64_t{1} << 14) - 1);
+  EXPECT_GT(etaii_worst_case_error(48, 8), 0u);
+  EXPECT_GT(windowed_worst_case_error(48, 8), 0u);
+}
+
+TEST(WceAnalysis, WceMonotoneInApproximationDegree) {
+  for (unsigned k = 1; k < 10; ++k) {
+    EXPECT_LE(gda_worst_case_error(32, k), gda_worst_case_error(32, k + 1));
+    EXPECT_LE(trunc_worst_case_error(32, k),
+              trunc_worst_case_error(32, k + 1));
+  }
+  // Larger windows/segments mean fewer missed carries.
+  EXPECT_GE(windowed_worst_case_error(32, 4),
+            windowed_worst_case_error(32, 8));
+  EXPECT_GE(etaii_worst_case_error(32, 4), etaii_worst_case_error(32, 8));
+}
+
+TEST(WceAnalysis, Validation) {
+  EXPECT_THROW(etaii_worst_case_error(16, 0), std::invalid_argument);
+  EXPECT_THROW(windowed_worst_case_error(16, 0), std::invalid_argument);
+  EXPECT_THROW(windowed_worst_case_error(32, 11), std::invalid_argument);
+  const LowerOrAdder wide(16, 8);
+  EXPECT_THROW(exhaustive_worst_case_error(wide), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -1,0 +1,93 @@
+// Tests for multi-workload characterization merging, plus a compile check
+// of the umbrella header.
+#include "approxit.h"
+
+#include <gtest/gtest.h>
+
+namespace approxit::core {
+namespace {
+
+ModeCharacterization profile(double eps_scale, double worst_scale,
+                             double improvement,
+                             std::vector<double> angles) {
+  ModeCharacterization c;
+  for (std::size_t m = 0; m < 4; ++m) {
+    c.quality_error[m] = eps_scale * static_cast<double>(4 - m);
+    c.worst_quality_error[m] = worst_scale * static_cast<double>(4 - m);
+    c.state_error[m] = 0.1 * eps_scale * static_cast<double>(4 - m);
+    c.worst_state_error[m] = 0.1 * worst_scale * static_cast<double>(4 - m);
+    c.abs_state_error[m] = eps_scale;
+  }
+  c.energy_per_op = {1.0, 2.0, 3.0, 4.0, 10.0};
+  c.angle_samples = std::move(angles);
+  std::sort(c.angle_samples.begin(), c.angle_samples.end());
+  c.initial_improvement = improvement;
+  c.iterations_characterized = 8;
+  return c;
+}
+
+TEST(MergeCharacterizations, MeansAveragedWorstMaxed) {
+  const auto a = profile(0.1, 0.2, 0.5, {0.1, 0.3});
+  const auto b = profile(0.3, 0.8, 0.2, {0.2, 0.4});
+  const ModeCharacterization merged = merge_characterizations({a, b});
+
+  // level1 index 0: means (0.4 + 1.2)/2 = 0.8; worst max(0.8, 3.2) = 3.2.
+  EXPECT_NEAR(merged.quality_error[0], 0.8, 1e-12);
+  EXPECT_NEAR(merged.worst_quality_error[0], 3.2, 1e-12);
+  EXPECT_NEAR(merged.abs_state_error[0], 0.2, 1e-12);
+}
+
+TEST(MergeCharacterizations, AnglesPooledAndSorted) {
+  const auto a = profile(0.1, 0.2, 0.5, {0.3, 0.1});
+  const auto b = profile(0.1, 0.2, 0.5, {0.4, 0.2});
+  const ModeCharacterization merged = merge_characterizations({a, b});
+  ASSERT_EQ(merged.angle_samples.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(merged.angle_samples.begin(),
+                             merged.angle_samples.end()));
+}
+
+TEST(MergeCharacterizations, BudgetTakesMinimum) {
+  const auto a = profile(0.1, 0.2, 0.5, {0.1});
+  const auto b = profile(0.1, 0.2, 0.2, {0.1});
+  EXPECT_DOUBLE_EQ(merge_characterizations({a, b}).initial_improvement, 0.2);
+}
+
+TEST(MergeCharacterizations, SingleProfileIsIdentity) {
+  const auto a = profile(0.1, 0.2, 0.5, {0.1, 0.3});
+  const ModeCharacterization merged = merge_characterizations({a});
+  EXPECT_EQ(merged.quality_error, a.quality_error);
+  EXPECT_EQ(merged.worst_quality_error, a.worst_quality_error);
+  EXPECT_EQ(merged.angle_samples, a.angle_samples);
+}
+
+TEST(MergeCharacterizations, EmptyThrows) {
+  EXPECT_THROW(merge_characterizations({}), std::invalid_argument);
+}
+
+TEST(CharacterizeMany, MergesTwoWorkloads) {
+  const auto ds_a = workloads::make_gaussian_blobs(3, 200, 2, 8.0, 0.8, 5);
+  const auto ds_b = workloads::make_gaussian_blobs(3, 200, 2, 3.0, 1.2, 9);
+  apps::GmmEm method_a(ds_a);
+  apps::GmmEm method_b(ds_b);
+  arith::QcsAlu alu;
+  const ModeCharacterization merged =
+      characterize_many({&method_a, &method_b}, alu);
+  // Worst-case >= each single profile's means, monotone across levels.
+  EXPECT_GE(merged.worst_quality_error[0], merged.quality_error[0]);
+  EXPECT_GE(merged.quality_error[0], merged.quality_error[3]);
+  EXPECT_FALSE(merged.angle_samples.empty());
+  // A session accepts the merged profile directly.
+  core::IncrementalStrategy strategy;
+  core::ApproxItSession session(method_a, strategy, alu);
+  session.set_characterization(merged);
+  const RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(CharacterizeMany, RejectsNull) {
+  arith::QcsAlu alu;
+  EXPECT_THROW(characterize_many({nullptr}, alu), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::core

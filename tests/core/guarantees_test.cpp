@@ -1,0 +1,99 @@
+// Property tests for the convergence-guarantee criteria (Section 3.2):
+// perturbed gradient descent converges when the update-error criterion
+// holds, and the direction criterion separates descent from ascent steps.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "core/guarantees.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+#include "util/rng.h"
+
+namespace approxit::core {
+namespace {
+
+TEST(DirectionCriterion, DetectsDescentAlignment) {
+  opt::IterationStats stats;
+  stats.grad_dot_step = -0.5;
+  EXPECT_TRUE(direction_criterion_ok(stats));
+  stats.grad_dot_step = 0.5;
+  EXPECT_FALSE(direction_criterion_ok(stats));
+  stats.grad_dot_step = 0.0;  // orthogonal step: no guaranteed progress
+  EXPECT_FALSE(direction_criterion_ok(stats));
+}
+
+TEST(UpdateErrorCriterion, ComparesErrorToStep) {
+  EXPECT_TRUE(update_error_criterion_ok(0.1, 0.5));
+  EXPECT_TRUE(update_error_criterion_ok(0.5, 0.5));
+  EXPECT_FALSE(update_error_criterion_ok(0.6, 0.5));
+
+  opt::IterationStats stats;
+  stats.state_norm = 10.0;
+  stats.step_norm = 1.0;
+  EXPECT_TRUE(update_error_criterion_ok(stats, 0.05));   // est 0.5 <= 1
+  EXPECT_FALSE(update_error_criterion_ok(stats, 0.2));   // est 2.0 > 1
+}
+
+TEST(DirectionCriterion, HoldsAlongExactGradientDescent) {
+  // Proposition 1's premise: plain GD steps are always descent-aligned.
+  la::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  opt::QuadraticProblem problem(a, {1.0, 2.0});
+  opt::GradientDescentSolver solver(problem, {5.0, -4.0},
+                                    {.step_size = 0.2, .max_iter = 100});
+  arith::ExactContext ctx;
+  for (int k = 0; k < 30; ++k) {
+    const opt::IterationStats stats = solver.iterate(ctx);
+    ASSERT_TRUE(direction_criterion_ok(stats)) << "iteration " << k;
+  }
+}
+
+/// Gradient descent with a bounded injected update error (the epsilon^k of
+/// Equation 4). Converges to a neighborhood when the error respects the
+/// update-error criterion; diverges/stalls when it dominates the steps.
+double run_perturbed_descent(double error_scale, bool shrink_with_step) {
+  la::Matrix a{{2.0, 0.0}, {0.0, 1.0}};
+  opt::QuadraticProblem problem(a, {0.0, 0.0});  // minimizer at origin, f*=0
+  std::vector<double> x = {4.0, -3.0};
+  util::Rng rng(99);
+  arith::ExactContext ctx;
+  const double alpha = 0.2;
+  double step_norm = 1.0;
+  for (int k = 0; k < 400; ++k) {
+    std::vector<double> g(2);
+    problem.gradient(x, g, ctx);
+    std::vector<double> x_new = x;
+    la::axpy(-alpha, g, x_new);
+    // Inject epsilon^k with controllable norm.
+    const double target_norm =
+        shrink_with_step ? error_scale * step_norm : error_scale;
+    const double phase = rng.uniform(0.0, 2.0 * 3.14159265358979);
+    x_new[0] += target_norm * std::cos(phase);
+    x_new[1] += target_norm * std::sin(phase);
+    step_norm = la::distance2(x_new, x);
+    x = x_new;
+  }
+  return problem.value(x);
+}
+
+TEST(UpdateErrorCriterion, CompliantErrorsStillConverge) {
+  // ||eps^k|| = 0.5 ||x^k - x^{k+1}|| satisfies the criterion: the method
+  // reaches a small neighborhood of the optimum.
+  const double f_final = run_perturbed_descent(0.5, /*shrink_with_step=*/true);
+  EXPECT_LT(f_final, 1e-6);
+}
+
+TEST(UpdateErrorCriterion, ViolatingErrorsPreventConvergence) {
+  // Constant-norm errors violate the criterion near the optimum: the method
+  // stalls at a noise floor far above the compliant run.
+  const double compliant = run_perturbed_descent(0.5, true);
+  const double violating = run_perturbed_descent(0.5, false);
+  EXPECT_GT(violating, compliant * 1e3);
+  EXPECT_GT(violating, 1e-3);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,120 @@
+#include "core/mode_mix.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace approxit::core {
+namespace {
+
+// Representative per-mode values: energies increase with accuracy, errors
+// decrease; accurate mode is error-free.
+constexpr std::array<double, arith::kNumModes> kEnergies = {1.0, 2.0, 3.0,
+                                                            4.0, 10.0};
+constexpr std::array<double, arith::kNumModes> kErrors = {0.4, 0.1, 0.02,
+                                                          0.004, 0.0};
+
+double weight_sum(const ModeMix& mix) {
+  double s = 0.0;
+  for (double w : mix.weights) s += w;
+  return s;
+}
+
+TEST(ModeMix, WeightsFormDistribution) {
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 0.05);
+  EXPECT_NEAR(weight_sum(mix), 1.0, 1e-12);
+  for (double w : mix.weights) {
+    EXPECT_GT(w, 0.0);  // strict positivity (omega_i > 0)
+  }
+}
+
+TEST(ModeMix, GenerousBudgetPicksCheapestMode) {
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 10.0);
+  EXPECT_TRUE(mix.feasible);
+  // All free mass should land on level1 (cheapest).
+  EXPECT_GT(mix.weights[0], 0.9);
+}
+
+TEST(ModeMix, TightBudgetLeansAccurate) {
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 1e-6);
+  EXPECT_GT(mix.weights[4], 0.9);
+}
+
+TEST(ModeMix, ErrorConstraintRespected) {
+  for (double budget : {0.001, 0.01, 0.05, 0.2, 1.0}) {
+    const ModeMix mix = solve_mode_mix(kEnergies, kErrors, budget);
+    if (mix.feasible) {
+      EXPECT_LE(mix.expected_error, budget + 1e-9) << "budget=" << budget;
+    }
+  }
+}
+
+TEST(ModeMix, EnergyMonotoneInBudget) {
+  // A looser budget can never force a more expensive optimum.
+  double previous = std::numeric_limits<double>::infinity();
+  for (double budget : {0.0005, 0.005, 0.05, 0.5}) {
+    const ModeMix mix = solve_mode_mix(kEnergies, kErrors, budget);
+    EXPECT_LE(mix.energy, previous + 1e-9) << "budget=" << budget;
+    previous = mix.energy;
+  }
+}
+
+TEST(ModeMix, EnergyMatchesWeights) {
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 0.03);
+  double energy = 0.0;
+  double error = 0.0;
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    energy += mix.weights[i] * kEnergies[i];
+    error += mix.weights[i] * kErrors[i];
+  }
+  EXPECT_NEAR(mix.energy, energy, 1e-9);
+  EXPECT_NEAR(mix.expected_error, error, 1e-9);
+}
+
+TEST(ModeMix, InfeasibleFallsBackToAccurate) {
+  // With a large floor, the floors alone can exceed a zero budget.
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 0.0, 0.15);
+  EXPECT_FALSE(mix.feasible);
+  EXPECT_GT(mix.weights[4], 0.2);
+  EXPECT_NEAR(weight_sum(mix), 1.0, 1e-12);
+}
+
+TEST(ModeMix, NegativeBudgetTreatedAsZero) {
+  const ModeMix a = solve_mode_mix(kEnergies, kErrors, -5.0, 0.0);
+  const ModeMix b = solve_mode_mix(kEnergies, kErrors, 0.0, 0.0);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(ModeMix, ZeroFloorAllowsPureSolutions) {
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 10.0, 0.0);
+  EXPECT_NEAR(mix.weights[0], 1.0, 1e-12);
+  EXPECT_NEAR(mix.energy, kEnergies[0], 1e-9);
+}
+
+TEST(ModeMix, TwoModeBlendOnActiveConstraint) {
+  // Budget strictly between two single-mode errors with zero floor: the
+  // optimum blends the cheapest infeasible mode with a feasible one and
+  // sits exactly on the constraint.
+  const ModeMix mix = solve_mode_mix(kEnergies, kErrors, 0.2, 0.0);
+  EXPECT_TRUE(mix.feasible);
+  EXPECT_NEAR(mix.expected_error, 0.2, 1e-9);
+  int nonzero = 0;
+  for (double w : mix.weights) {
+    if (w > 1e-12) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(ModeMix, ValidatesArguments) {
+  EXPECT_THROW(solve_mode_mix(kEnergies, kErrors, 0.1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(solve_mode_mix(kEnergies, kErrors, 0.1, -0.1),
+               std::invalid_argument);
+  auto bad_errors = kErrors;
+  bad_errors[2] = -1.0;
+  EXPECT_THROW(solve_mode_mix(kEnergies, bad_errors, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,109 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/incremental_strategy.h"
+#include "core/static_strategy.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : problem_(la::Matrix{{4.0, 1.0}, {1.0, 3.0}},
+                 std::vector<double>{1.0, 2.0}),
+        solver_(problem_, {5.0, -4.0},
+                {.step_size = 0.2, .max_iter = 500, .tolerance = 1e-12}) {}
+
+  opt::QuadraticProblem problem_;
+  opt::GradientDescentSolver solver_;
+  arith::QcsAlu alu_;
+};
+
+TEST_F(OracleTest, ConvergesToTruthSolution) {
+  const RunReport report = run_oracle(solver_, alu_);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.strategy_name, "oracle");
+  EXPECT_NEAR(solver_.x()[0], 1.0 / 11.0, 1e-4);
+  EXPECT_NEAR(solver_.x()[1], 7.0 / 11.0, 1e-4);
+}
+
+TEST_F(OracleTest, EnergyIsLowerBoundForStrategies) {
+  const RunReport oracle = run_oracle(solver_, alu_);
+
+  StaticStrategy truth_strategy(arith::ApproxMode::kAccurate);
+  ApproxItSession truth_session(solver_, truth_strategy, alu_);
+  const RunReport truth = truth_session.run();
+
+  IncrementalStrategy incremental;
+  ApproxItSession session(solver_, incremental, alu_);
+  const RunReport incr = session.run();
+
+  // Oracle (free lookahead) must be at least as cheap as both the Truth run
+  // and the causal strategy, normalized per iteration.
+  const double oracle_per_iter =
+      oracle.total_energy / static_cast<double>(oracle.iterations);
+  const double truth_per_iter =
+      truth.total_energy / static_cast<double>(truth.iterations);
+  const double incr_per_iter =
+      incr.total_energy / static_cast<double>(incr.iterations);
+  EXPECT_LT(oracle_per_iter, truth_per_iter);
+  EXPECT_LE(oracle_per_iter, incr_per_iter * 1.0001);
+}
+
+TEST_F(OracleTest, UsesApproximateModesEarly) {
+  const RunReport report = run_oracle(solver_, alu_);
+  std::size_t approx_steps = 0;
+  for (arith::ApproxMode mode :
+       {arith::ApproxMode::kLevel1, arith::ApproxMode::kLevel2,
+        arith::ApproxMode::kLevel3, arith::ApproxMode::kLevel4}) {
+    approx_steps += report.steps(mode);
+  }
+  EXPECT_GT(approx_steps, 0u);
+  // Near convergence steps shrink and only accurate passes the criterion.
+  EXPECT_GT(report.steps(arith::ApproxMode::kAccurate), 0u);
+}
+
+TEST_F(OracleTest, StricterSlackForcesMoreAccuracy) {
+  OracleOptions loose;
+  loose.slack = 2.0;
+  const RunReport loose_report = run_oracle(solver_, alu_, loose);
+
+  OracleOptions strict;
+  strict.slack = 0.01;
+  const RunReport strict_report = run_oracle(solver_, alu_, strict);
+
+  EXPECT_GE(strict_report.steps(arith::ApproxMode::kAccurate),
+            loose_report.steps(arith::ApproxMode::kAccurate));
+  EXPECT_GE(strict_report.total_energy /
+                static_cast<double>(strict_report.iterations),
+            loose_report.total_energy /
+                static_cast<double>(loose_report.iterations));
+}
+
+TEST_F(OracleTest, RespectsIterationCap) {
+  OracleOptions options;
+  options.max_iterations = 3;
+  const RunReport report = run_oracle(solver_, alu_, options);
+  EXPECT_LE(report.iterations, 3u);
+  EXPECT_EQ(report.trace.size(), report.iterations);
+}
+
+TEST_F(OracleTest, StepAccountingConsistent) {
+  const RunReport report = run_oracle(solver_, alu_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    total += report.steps_per_mode[i];
+  }
+  EXPECT_EQ(total, report.iterations);
+  double energy = 0.0;
+  for (const IterationRecord& rec : report.trace) energy += rec.energy;
+  EXPECT_NEAR(energy, report.total_energy, 1e-9);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,56 @@
+#include "core/quality.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace approxit::core {
+namespace {
+
+TEST(QualityError, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(quality_error(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(quality_error(10.0, 11.0), 0.1);
+  EXPECT_DOUBLE_EQ(quality_error(10.0, 9.0), 0.1);
+  EXPECT_DOUBLE_EQ(quality_error(-4.0, -5.0), 0.25);
+}
+
+TEST(QualityError, NearZeroReferenceFallsBackToAbsolute) {
+  EXPECT_DOUBLE_EQ(quality_error(0.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(quality_error(1e-301, 2e-301), 1e-301);
+}
+
+TEST(SteepnessAngle, MonotoneAndBounded) {
+  EXPECT_DOUBLE_EQ(steepness_angle(0.0), 0.0);
+  EXPECT_NEAR(steepness_angle(1.0), std::numbers::pi / 4.0, 1e-12);
+  double prev = -1.0;
+  for (double g : {0.0, 0.1, 1.0, 10.0, 1e6}) {
+    const double a = steepness_angle(g);
+    EXPECT_GT(a, prev);
+    EXPECT_LT(a, std::numbers::pi / 2.0);
+    prev = a;
+  }
+}
+
+TEST(SteepnessAngle, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(steepness_angle(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(steepness_angle(std::nan("")), 0.0);
+}
+
+TEST(ModeCharacterization, AccessorsAndToString) {
+  ModeCharacterization c;
+  c.quality_error[0] = 0.5;
+  c.state_error[1] = 0.25;
+  c.energy_per_op[4] = 10.0;
+  c.iterations_characterized = 8;
+  EXPECT_DOUBLE_EQ(c.epsilon(arith::ApproxMode::kLevel1), 0.5);
+  EXPECT_DOUBLE_EQ(c.state_epsilon(arith::ApproxMode::kLevel2), 0.25);
+  EXPECT_DOUBLE_EQ(c.energy(arith::ApproxMode::kAccurate), 10.0);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("level1"), std::string::npos);
+  EXPECT_NE(s.find("acc"), std::string::npos);
+  EXPECT_NE(s.find("8 iterations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,137 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pareto.h"
+
+namespace approxit::core {
+namespace {
+
+RunReport sample_report() {
+  RunReport report;
+  report.method_name = "gmm_em";
+  report.strategy_name = "incremental";
+  report.iterations = 3;
+  report.steps_per_mode = {1, 1, 0, 0, 1};
+  report.rollbacks = 1;
+  report.reconfigurations = 2;
+  report.total_energy = 123.5;
+  report.final_objective = 4.25;
+  report.converged = true;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    IterationRecord rec;
+    rec.index = i;
+    rec.mode = arith::mode_from_index(i - 1);
+    rec.objective_after = 10.0 - static_cast<double>(i);
+    rec.energy = 40.0 + static_cast<double>(i);
+    rec.step_norm = 0.5;
+    rec.grad_norm = 0.25;
+    rec.rolled_back = i == 2;
+    rec.reconfigured = i != 3;
+    report.trace.push_back(rec);
+  }
+  return report;
+}
+
+TEST(ReportJson, ContainsAllSummaryFields) {
+  const std::string json = report_to_json(sample_report());
+  EXPECT_NE(json.find("\"method\":\"gmm_em\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\":\"incremental\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"level1\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"acc\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rollbacks\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_energy\":123.5"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+}
+
+TEST(ReportJson, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ReportJson, WritesToFile) {
+  const std::string path = ::testing::TempDir() + "/approxit_report.json";
+  write_report_json(sample_report(), path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"method\":\"gmm_em\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportJson, ThrowsOnBadPath) {
+  EXPECT_THROW(write_report_json(sample_report(), "/nonexistent_zzz/r.json"),
+               std::runtime_error);
+}
+
+TEST(TraceCsv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/approxit_trace.csv";
+  write_trace_csv(sample_report(), path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line,
+            "iteration,mode,objective,energy,step_norm,grad_norm,"
+            "rolled_back,reconfigured");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3u);
+  std::remove(path.c_str());
+}
+
+// --- Pareto -------------------------------------------------------------------
+
+TEST(Pareto, DominationRules) {
+  const ParetoPoint cheap_bad{"a", 0.2, 10.0, true, 10};
+  const ParetoPoint costly_good{"b", 0.9, 0.0, true, 10};
+  const ParetoPoint dominated{"c", 0.95, 5.0, true, 10};
+  const ParetoPoint failed{"d", 0.1, 0.0, false, 10};
+  EXPECT_FALSE(dominates(cheap_bad, costly_good));
+  EXPECT_FALSE(dominates(costly_good, cheap_bad));
+  EXPECT_TRUE(dominates(costly_good, dominated));
+  EXPECT_TRUE(dominates(cheap_bad, failed));    // converged beats failed
+  EXPECT_FALSE(dominates(failed, cheap_bad));
+  EXPECT_FALSE(dominates(cheap_bad, cheap_bad));  // never self-dominates
+}
+
+TEST(Pareto, FrontierSortedAndNonDominated) {
+  std::vector<ParetoPoint> points = {
+      {"level1", 0.1, 300.0, true, 10},
+      {"level4", 0.7, 1.0, true, 90},
+      {"truth", 1.0, 0.0, true, 100},
+      {"wasteful", 1.2, 0.5, true, 100},  // dominated by truth
+      {"incremental", 0.6, 0.0, true, 95},
+  };
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].label, "level1");
+  EXPECT_EQ(frontier[1].label, "incremental");
+  // "truth" and "level4" are dominated by "incremental" (cheaper, same or
+  // better quality); "wasteful" by "truth".
+}
+
+TEST(Pareto, CsvMarksFrontier) {
+  std::vector<ParetoPoint> points = {
+      {"good", 0.5, 0.0, true, 10},
+      {"bad", 0.9, 5.0, true, 10},
+  };
+  const std::string csv = pareto_csv(points);
+  EXPECT_NE(csv.find("good,0.5,0,10,1,1"), std::string::npos);
+  EXPECT_NE(csv.find("bad,0.9,5,10,1,0"), std::string::npos);
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+  EXPECT_EQ(pareto_csv({}),
+            "label,energy,quality_error,iterations,converged,on_frontier\n");
+}
+
+}  // namespace
+}  // namespace approxit::core

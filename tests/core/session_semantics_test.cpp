@@ -1,0 +1,230 @@
+// Session-engine semantics tests against a scripted IterativeMethod test
+// double: rollback restores state, vetoes suppress convergence, energy and
+// step accounting follow the executed modes exactly.
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/incremental_strategy.h"
+#include "core/pid_strategy.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+
+namespace approxit::core {
+namespace {
+
+using arith::ApproxMode;
+
+/// Scripted method: follows a pre-programmed objective trajectory; each
+/// iterate() advances a cursor and reports scripted stats. The "state" is
+/// the cursor position, so rollback visibly rewinds the trajectory.
+class ScriptedMethod final : public opt::IterativeMethod {
+ public:
+  struct Step {
+    double objective_after = 0.0;
+    double step_norm = 1.0;
+    double grad_dot_step = -1.0;
+    double grad_norm = 1.0;
+    bool converged = false;
+    /// Outcome when the step is RE-executed after a rollback (models a
+    /// higher-accuracy retry succeeding). NaN = same as first execution.
+    double objective_after_retry =
+        std::numeric_limits<double>::quiet_NaN();
+    bool converged_retry = false;
+  };
+
+  ScriptedMethod(double initial_objective, std::vector<Step> script)
+      : initial_objective_(initial_objective),
+        script_(std::move(script)),
+        visits_(script_.size(), 0) {}
+
+  std::string name() const override { return "scripted"; }
+  std::size_t dimension() const override { return 1; }
+  void reset() override {
+    cursor_ = 0;
+    std::fill(visits_.begin(), visits_.end(), 0);
+  }
+
+  opt::IterationStats iterate(arith::ArithContext& ctx) override {
+    // One routed op per iteration so the energy ledger sees the mode.
+    (void)ctx.add(1.0, 1.0);
+    const std::size_t pos = std::min(cursor_, script_.size() - 1);
+    const Step& step = script_[pos];
+    ++visits_[pos];
+    const bool retry = visits_[pos] > 1 &&
+                       !std::isnan(step.objective_after_retry);
+    opt::IterationStats stats;
+    stats.iteration = cursor_ + 1;
+    stats.objective_before = objective();
+    ++cursor_;
+    stats.objective_after =
+        retry ? step.objective_after_retry : step.objective_after;
+    objective_override_[cursor_] = stats.objective_after;
+    stats.step_norm = step.step_norm;
+    stats.state_norm = 10.0;
+    stats.grad_dot_step = step.grad_dot_step;
+    stats.grad_norm = step.grad_norm;
+    stats.converged = retry ? step.converged_retry : step.converged;
+    return stats;
+  }
+
+  double objective() const override {
+    if (cursor_ == 0) return initial_objective_;
+    const auto it = objective_override_.find(cursor_);
+    if (it != objective_override_.end()) return it->second;
+    return script_[std::min(cursor_ - 1, script_.size() - 1)].objective_after;
+  }
+  std::vector<double> state() const override {
+    return {static_cast<double>(cursor_)};
+  }
+  void restore(const std::vector<double>& snapshot) override {
+    cursor_ = static_cast<std::size_t>(snapshot.at(0));
+  }
+  std::size_t max_iterations() const override { return 50; }
+  double tolerance() const override { return 1e-9; }
+
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  double initial_objective_;
+  std::vector<Step> script_;
+  std::vector<int> visits_;
+  mutable std::map<std::size_t, double> objective_override_;
+  std::size_t cursor_ = 0;
+};
+
+ModeCharacterization flat_characterization() {
+  ModeCharacterization c;
+  c.quality_error = {0.1, 0.05, 0.02, 0.01, 0.0};
+  c.worst_quality_error = c.quality_error;
+  c.state_error = {0.01, 0.005, 0.002, 0.001, 0.0};
+  c.worst_state_error = c.state_error;
+  c.abs_state_error = {0.01, 0.005, 0.002, 0.001, 0.0};
+  c.energy_per_op = {1.0, 2.0, 3.0, 4.0, 10.0};
+  c.angle_samples = {0.2, 0.4, 0.6, 0.8};
+  c.initial_improvement = 0.5;
+  c.objective_scale = 10.0;
+  return c;
+}
+
+TEST(SessionSemantics, FunctionSchemeRollsBackAndReexecutes) {
+  // Step 1 improves, step 2 INCREASES the objective (triggers the function
+  // scheme), then improves again.
+  std::vector<ScriptedMethod::Step> script = {
+      {.objective_after = 9.0},
+      // Increase -> rollback; the higher-accuracy retry succeeds.
+      {.objective_after = 9.5, .objective_after_retry = 8.5},
+      {.objective_after = 8.0},
+      {.objective_after = 7.5, .converged = true},
+  };
+  ScriptedMethod method(10.0, script);
+  IncrementalStrategy strategy;
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  const RunReport report = session.run();
+
+  EXPECT_EQ(report.rollbacks, 1u);
+  // The rolled-back iteration was executed (counted) but its state undone:
+  // the script is consumed again from position 1.
+  ASSERT_GE(report.trace.size(), 2u);
+  EXPECT_TRUE(report.trace[1].rolled_back);
+  EXPECT_EQ(report.trace[1].mode, ApproxMode::kLevel1);
+  // After rollback the next iteration runs at level2.
+  EXPECT_EQ(report.trace[2].mode, ApproxMode::kLevel2);
+}
+
+TEST(SessionSemantics, VetoSuppressesConvergence) {
+  // The method claims convergence while the objective increased — a false
+  // stop. The function scheme must veto it and the run continues.
+  std::vector<ScriptedMethod::Step> script = {
+      // False stop attempt: the objective INCREASED yet the method claims
+      // convergence; the retry at higher accuracy makes real progress.
+      {.objective_after = 11.0, .converged = true,
+       .objective_after_retry = 9.0},
+      {.objective_after = 8.5},
+      {.objective_after = 8.499999999, .converged = true},  // genuine
+  };
+  ScriptedMethod method(10.0, script);
+  IncrementalStrategy strategy;
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  const RunReport report = session.run();
+  EXPECT_GT(report.iterations, 1u);
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(SessionSemantics, StaticStrategyAcceptsFalseStop) {
+  // Same script under a static strategy: no veto, the false stop sticks.
+  std::vector<ScriptedMethod::Step> script = {
+      {.objective_after = 11.0, .converged = true},
+      {.objective_after = 9.0},
+  };
+  ScriptedMethod method(10.0, script);
+  StaticStrategy strategy(ApproxMode::kLevel2);
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  const RunReport report = session.run();
+  EXPECT_EQ(report.iterations, 1u);
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(SessionSemantics, EnergyFollowsExecutedModes) {
+  std::vector<ScriptedMethod::Step> script(6, {.objective_after = 1.0});
+  script.back().converged = true;
+  // Decreasing objectives so no scheme fires.
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    script[i].objective_after = 9.0 - static_cast<double>(i);
+  }
+  script.back().converged = true;
+  ScriptedMethod method(10.0, script);
+  StaticStrategy strategy(ApproxMode::kLevel3);
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  const RunReport report = session.run();
+  EXPECT_EQ(report.steps(ApproxMode::kLevel3), report.iterations);
+  EXPECT_NEAR(report.total_energy,
+              static_cast<double>(report.iterations) *
+                  alu.energy_per_add(ApproxMode::kLevel3),
+              1e-9);
+}
+
+TEST(SessionSemantics, PidCanAcceptFalseStopUnderSession) {
+  // The §2.3 failure mode, isolated: PID never vetoes, so the scripted
+  // false stop terminates the run immediately.
+  std::vector<ScriptedMethod::Step> script = {
+      {.objective_after = 10.5, .converged = true},
+      {.objective_after = 5.0},
+  };
+  ScriptedMethod method(10.0, script);
+  PidStrategy strategy;
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  const RunReport report = session.run();
+  EXPECT_EQ(report.iterations, 1u);
+}
+
+TEST(SessionSemantics, BudgetExhaustionReportsNotConverged) {
+  std::vector<ScriptedMethod::Step> script = {
+      {.objective_after = 9.0},
+  };
+  ScriptedMethod method(10.0, script);
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  session.set_characterization(flat_characterization());
+  SessionOptions options;
+  options.max_iterations = 7;
+  const RunReport report = session.run(options);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.iterations, 7u);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,165 @@
+// Session + characterization integration tests on a small quadratic
+// problem driven by gradient descent.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_strategy.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+using arith::ApproxMode;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : problem_(la::Matrix{{4.0, 1.0}, {1.0, 3.0}},
+                 std::vector<double>{1.0, 2.0}),
+        solver_(problem_, {5.0, -4.0},
+                {.step_size = 0.2, .max_iter = 400, .tolerance = 1e-12}) {}
+
+  opt::QuadraticProblem problem_;
+  opt::GradientDescentSolver solver_;
+  arith::QcsAlu alu_;
+};
+
+TEST_F(SessionTest, CharacterizationPopulatesAllFields) {
+  const ModeCharacterization c = characterize(solver_, alu_);
+  // Monotone energies.
+  for (std::size_t i = 1; i < arith::kNumModes; ++i) {
+    EXPECT_GT(c.energy_per_op[i], c.energy_per_op[i - 1]);
+  }
+  // Errors decrease with accuracy; accurate mode error-free.
+  EXPECT_GT(c.quality_error[0], c.quality_error[3]);
+  EXPECT_DOUBLE_EQ(c.quality_error[4], 0.0);
+  EXPECT_DOUBLE_EQ(c.state_error[4], 0.0);
+  // Worst >= mean.
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    EXPECT_GE(c.worst_quality_error[i], c.quality_error[i]);
+    EXPECT_GE(c.worst_state_error[i], c.state_error[i]);
+  }
+  EXPECT_FALSE(c.angle_samples.empty());
+  EXPECT_TRUE(std::is_sorted(c.angle_samples.begin(), c.angle_samples.end()));
+  EXPECT_GT(c.initial_improvement, 0.0);
+}
+
+TEST_F(SessionTest, CharacterizationLeavesMethodReset) {
+  const double f0 = solver_.objective();
+  (void)characterize(solver_, alu_);
+  EXPECT_DOUBLE_EQ(solver_.objective(), f0);
+  EXPECT_EQ(alu_.ledger().total_ops(), 0u);  // ledger reset
+  EXPECT_EQ(alu_.mode(), ApproxMode::kAccurate);
+}
+
+TEST_F(SessionTest, TruthRunConvergesToMinimizer) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  const RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.steps(ApproxMode::kAccurate), report.iterations);
+  EXPECT_EQ(report.steps(ApproxMode::kLevel1), 0u);
+  EXPECT_NEAR(solver_.x()[0], 1.0 / 11.0, 1e-3);
+  EXPECT_GT(report.total_energy, 0.0);
+  EXPECT_EQ(report.rollbacks, 0u);
+}
+
+TEST_F(SessionTest, ReportAccountsEveryIteration) {
+  StaticStrategy strategy(ApproxMode::kLevel3);
+  ApproxItSession session(solver_, strategy, alu_);
+  const RunReport report = session.run();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    total += report.steps_per_mode[i];
+  }
+  EXPECT_EQ(total, report.iterations);
+  EXPECT_EQ(report.trace.size(), report.iterations);
+  // Trace energies sum to the total.
+  double energy = 0.0;
+  for (const IterationRecord& rec : report.trace) {
+    energy += rec.energy;
+    EXPECT_EQ(rec.mode, ApproxMode::kLevel3);
+  }
+  EXPECT_NEAR(energy, report.total_energy, 1e-9);
+}
+
+TEST_F(SessionTest, MaxIterationOverrideRespected) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  SessionOptions options;
+  options.max_iterations = 5;
+  const RunReport report = session.run(options);
+  EXPECT_LE(report.iterations, 5u);
+}
+
+TEST_F(SessionTest, TraceCanBeDisabled) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  SessionOptions options;
+  options.keep_trace = false;
+  const RunReport report = session.run(options);
+  EXPECT_TRUE(report.trace.empty());
+  EXPECT_GT(report.iterations, 0u);
+}
+
+TEST_F(SessionTest, IncrementalRunMatchesTruthResult) {
+  StaticStrategy truth_strategy(ApproxMode::kAccurate);
+  ApproxItSession truth_session(solver_, truth_strategy, alu_);
+  const RunReport truth = truth_session.run();
+  const std::vector<double> x_truth(solver_.x().begin(), solver_.x().end());
+
+  IncrementalStrategy strategy;
+  ApproxItSession session(solver_, strategy, alu_);
+  const RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+  // The reconfigured run must land at (essentially) the same minimizer.
+  EXPECT_NEAR(solver_.x()[0], x_truth[0], 1e-4);
+  EXPECT_NEAR(solver_.x()[1], x_truth[1], 1e-4);
+  // And it must start in level1.
+  ASSERT_FALSE(report.trace.empty());
+  EXPECT_EQ(report.trace.front().mode, ApproxMode::kLevel1);
+  (void)truth;
+}
+
+TEST_F(SessionTest, AdaptiveRunMatchesTruthResult) {
+  StaticStrategy truth_strategy(ApproxMode::kAccurate);
+  ApproxItSession truth_session(solver_, truth_strategy, alu_);
+  (void)truth_session.run();
+  const std::vector<double> x_truth(solver_.x().begin(), solver_.x().end());
+
+  AdaptiveAngleStrategy strategy;
+  ApproxItSession session(solver_, strategy, alu_);
+  const RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(solver_.x()[0], x_truth[0], 1e-4);
+  EXPECT_NEAR(solver_.x()[1], x_truth[1], 1e-4);
+  (void)report;
+}
+
+TEST_F(SessionTest, SharedCharacterizationSkipsRecompute) {
+  const ModeCharacterization c = characterize(solver_, alu_);
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  EXPECT_FALSE(session.is_characterized());
+  session.set_characterization(c);
+  EXPECT_TRUE(session.is_characterized());
+  const RunReport report = session.run();
+  EXPECT_TRUE(report.converged);
+}
+
+TEST_F(SessionTest, ReportToStringMentionsStrategyAndMethod) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  const RunReport report = session.run();
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("gradient_descent"), std::string::npos);
+  EXPECT_NE(s.find("static(acc)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,351 @@
+// Unit tests for the reconfiguration strategies against synthetic
+// IterationStats streams (no application in the loop).
+#include <gtest/gtest.h>
+
+#include "core/adaptive_strategy.h"
+#include "core/incremental_strategy.h"
+#include "core/pid_strategy.h"
+#include "core/static_strategy.h"
+
+namespace approxit::core {
+namespace {
+
+using arith::ApproxMode;
+
+ModeCharacterization make_characterization() {
+  ModeCharacterization c;
+  c.quality_error = {0.3, 0.08, 0.02, 0.005, 0.0};
+  c.worst_quality_error = {0.6, 0.16, 0.04, 0.01, 0.0};
+  c.state_error = {0.2, 0.05, 0.01, 0.002, 0.0};
+  c.worst_state_error = {0.4, 0.1, 0.02, 0.004, 0.0};
+  c.energy_per_op = {1.0, 2.0, 3.0, 4.0, 10.0};
+  c.angle_samples = {0.05, 0.1, 0.3, 0.5, 0.8, 1.0, 1.2, 1.3};
+  c.initial_improvement = 0.5;
+  c.iterations_characterized = 8;
+  return c;
+}
+
+opt::IterationStats healthy_stats() {
+  opt::IterationStats s;
+  s.iteration = 1;
+  s.objective_before = 10.0;
+  s.objective_after = 8.0;   // good progress
+  s.step_norm = 5.0;         // large step
+  s.state_norm = 10.0;
+  s.grad_dot_step = -1.0;    // descent-aligned
+  s.grad_norm = 2.0;
+  return s;
+}
+
+// --- StaticStrategy ---------------------------------------------------------
+
+TEST(StaticStrategy, NeverMoves) {
+  StaticStrategy strategy(ApproxMode::kLevel2);
+  strategy.reset(make_characterization());
+  EXPECT_EQ(strategy.initial_mode(), ApproxMode::kLevel2);
+  const Decision d = strategy.observe(ApproxMode::kLevel2, healthy_stats());
+  EXPECT_EQ(d.mode, ApproxMode::kLevel2);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_FALSE(d.veto_convergence);
+  EXPECT_EQ(strategy.name(), "static(level2)");
+}
+
+// --- IncrementalStrategy -----------------------------------------------------
+
+TEST(IncrementalStrategy, StartsAtLowestLevel) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  EXPECT_EQ(strategy.initial_mode(), ApproxMode::kLevel1);
+}
+
+TEST(IncrementalStrategy, HealthyIterationKeepsMode) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  const Decision d = strategy.observe(ApproxMode::kLevel1, healthy_stats());
+  EXPECT_EQ(d.mode, ApproxMode::kLevel1);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_EQ(strategy.last_trigger(), "none");
+}
+
+TEST(IncrementalStrategy, GradientSchemeFiresOnObtuseStep) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_dot_step = 0.5;  // step points uphill
+  const Decision d = strategy.observe(ApproxMode::kLevel2, s);
+  EXPECT_EQ(d.mode, ApproxMode::kLevel3);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_TRUE(d.veto_convergence);
+  EXPECT_EQ(strategy.last_trigger(), "gradient");
+}
+
+TEST(IncrementalStrategy, QualitySchemeFiresWhenErrorDominatesStep) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  // Estimated error = state_norm * state_eps(level1) = 10 * 0.2 = 2.0.
+  s.step_norm = 1.0;  // below the estimated error
+  const Decision d = strategy.observe(ApproxMode::kLevel1, s);
+  EXPECT_EQ(d.mode, ApproxMode::kLevel2);
+  EXPECT_TRUE(d.veto_convergence);
+  EXPECT_EQ(strategy.last_trigger(), "quality");
+}
+
+TEST(IncrementalStrategy, FunctionSchemeRollsBackOnIncrease) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_after = 11.0;  // objective went UP
+  const Decision d = strategy.observe(ApproxMode::kLevel3, s);
+  EXPECT_EQ(d.mode, ApproxMode::kLevel4);
+  EXPECT_TRUE(d.rollback);
+  EXPECT_TRUE(d.veto_convergence);
+  EXPECT_EQ(strategy.last_trigger(), "function");
+}
+
+TEST(IncrementalStrategy, OnlyEverStepsUpward) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_dot_step = 1.0;
+  ApproxMode mode = ApproxMode::kLevel1;
+  for (int k = 0; k < 10; ++k) {
+    const Decision d = strategy.observe(mode, s);
+    EXPECT_GE(arith::mode_index(d.mode), arith::mode_index(mode));
+    mode = d.mode;
+  }
+  EXPECT_EQ(mode, ApproxMode::kAccurate);
+}
+
+TEST(IncrementalStrategy, AccurateModeNeverReconfigures) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_dot_step = 1.0;     // would fire gradient scheme
+  s.objective_after = 20.0;  // would fire function scheme
+  const Decision d = strategy.observe(ApproxMode::kAccurate, s);
+  EXPECT_EQ(d.mode, ApproxMode::kAccurate);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_FALSE(d.veto_convergence);
+}
+
+TEST(IncrementalStrategy, SchemesCanBeDisabled) {
+  IncrementalOptions options;
+  options.gradient_scheme = false;
+  options.quality_scheme = false;
+  options.function_scheme = false;
+  IncrementalStrategy strategy(options);
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_dot_step = 1.0;
+  s.objective_after = 20.0;
+  s.step_norm = 1e-9;
+  const Decision d = strategy.observe(ApproxMode::kLevel1, s);
+  EXPECT_EQ(d.mode, ApproxMode::kLevel1);
+  EXPECT_EQ(strategy.last_trigger(), "none");
+}
+
+TEST(IncrementalStrategy, FunctionSlackToleratesJitter) {
+  IncrementalStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_before = 1.0;
+  s.objective_after = 1.0 + 1e-15;  // below the relative slack
+  const Decision d = strategy.observe(ApproxMode::kLevel4, s);
+  EXPECT_NE(strategy.last_trigger(), "function");
+  (void)d;
+}
+
+// --- AdaptiveAngleStrategy ----------------------------------------------------
+
+TEST(AdaptiveStrategy, NameEncodesUpdatePeriod) {
+  AdaptiveAngleStrategy f1;
+  AdaptiveOptions options;
+  options.update_period = 5;
+  AdaptiveAngleStrategy f5(options);
+  EXPECT_EQ(f1.name(), "adaptive(f=1)");
+  EXPECT_EQ(f5.name(), "adaptive(f=5)");
+}
+
+TEST(AdaptiveStrategy, InitialModeIsCheapWhenBudgetGenerous) {
+  AdaptiveAngleStrategy strategy;
+  ModeCharacterization c = make_characterization();
+  c.initial_improvement = 100.0;  // enormous budget
+  strategy.reset(c);
+  // With a generous budget and the steepest prior angle, the cheapest mode
+  // should be selected first.
+  EXPECT_EQ(strategy.initial_mode(), ApproxMode::kLevel1);
+}
+
+TEST(AdaptiveStrategy, TinyBudgetSelectsAccurate) {
+  AdaptiveOptions options;
+  options.min_budget_fraction = 1.0;  // clamp budget to |E0|
+  AdaptiveAngleStrategy strategy(options);
+  ModeCharacterization c = make_characterization();
+  c.initial_improvement = 1e-12;
+  strategy.reset(c);
+  EXPECT_EQ(strategy.initial_mode(), ApproxMode::kAccurate);
+}
+
+TEST(AdaptiveStrategy, ThresholdsMonotoneInModeError) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  const auto& t = strategy.thresholds();
+  // Lossier modes require steeper angles: t[level1] >= t[level2] >= ...
+  EXPECT_GE(t[0], t[1]);
+  EXPECT_GE(t[1], t[2]);
+  EXPECT_GE(t[2], t[3]);
+}
+
+TEST(AdaptiveStrategy, FlatAngleSelectsAccurate) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_norm = 1e-9;  // nearly flat manifold
+  s.objective_before = 1.0;
+  s.objective_after = 1.0 - 1e-9;  // nearly converged
+  Decision d{};
+  // Feed a few iterations so the budget window fills with tiny numbers.
+  for (int k = 0; k < 4; ++k) {
+    d = strategy.observe(ApproxMode::kAccurate, s);
+  }
+  EXPECT_EQ(d.mode, ApproxMode::kAccurate);
+}
+
+TEST(AdaptiveStrategy, SteepAngleWithBudgetSelectsCheap) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.grad_norm = 100.0;  // very steep
+  s.objective_before = 10.0;
+  s.objective_after = 5.0;  // big improvement = big budget
+  Decision d{};
+  for (int k = 0; k < 4; ++k) {
+    d = strategy.observe(ApproxMode::kLevel3, s);
+  }
+  EXPECT_TRUE(d.mode == ApproxMode::kLevel1 || d.mode == ApproxMode::kLevel2)
+      << arith::mode_name(d.mode);
+}
+
+TEST(AdaptiveStrategy, ObjectiveIncreaseEscalatesAndVetoes) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_after = 12.0;  // increase
+  const Decision d = strategy.observe(ApproxMode::kLevel2, s);
+  EXPECT_TRUE(d.veto_convergence);
+  EXPECT_GE(arith::mode_index(d.mode), arith::mode_index(ApproxMode::kLevel3));
+}
+
+TEST(AdaptiveStrategy, StallEscalatesAndVetoes) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  // Estimated state error of level1 = 10 * 0.2 = 2; step much smaller.
+  s.step_norm = 0.01;
+  const Decision d = strategy.observe(ApproxMode::kLevel1, s);
+  EXPECT_TRUE(d.veto_convergence);
+  EXPECT_GE(arith::mode_index(d.mode), arith::mode_index(ApproxMode::kLevel2));
+}
+
+TEST(AdaptiveStrategy, UpdatePeriodControlsLutRefresh) {
+  AdaptiveOptions options;
+  options.update_period = 3;
+  AdaptiveAngleStrategy strategy(options);
+  strategy.reset(make_characterization());
+  const std::size_t initial = strategy.lut_updates();
+  for (int k = 0; k < 6; ++k) {
+    strategy.observe(ApproxMode::kLevel4, healthy_stats());
+  }
+  EXPECT_EQ(strategy.lut_updates(), initial + 2);  // every 3 steps
+}
+
+TEST(AdaptiveStrategy, MixIsDistribution) {
+  AdaptiveAngleStrategy strategy;
+  strategy.reset(make_characterization());
+  double s = 0.0;
+  for (double w : strategy.current_mix().weights) s += w;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+// --- PidStrategy --------------------------------------------------------------
+
+TEST(PidStrategy, StartsAtConfiguredMode) {
+  PidOptions options;
+  options.initial_mode = ApproxMode::kLevel3;
+  PidStrategy strategy(options);
+  strategy.reset(make_characterization());
+  EXPECT_EQ(strategy.initial_mode(), ApproxMode::kLevel3);
+}
+
+TEST(PidStrategy, RaisesAccuracyWhenQualityBelowTarget) {
+  PidOptions options;
+  options.setpoint = 0.5;  // demand 50% relative improvement per iteration
+  PidStrategy strategy(options);
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_before = 10.0;
+  s.objective_after = 9.99;  // far below target
+  const Decision d = strategy.observe(ApproxMode::kLevel2, s);
+  EXPECT_GT(arith::mode_index(d.mode), arith::mode_index(ApproxMode::kLevel2));
+}
+
+TEST(PidStrategy, LowersAccuracyWhenQualityAboveTarget) {
+  PidOptions options;
+  options.setpoint = 0.001;
+  PidStrategy strategy(options);
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_before = 10.0;
+  s.objective_after = 5.0;  // improvement far above target
+  const Decision d = strategy.observe(ApproxMode::kLevel4, s);
+  EXPECT_LT(arith::mode_index(d.mode), arith::mode_index(ApproxMode::kLevel4));
+}
+
+TEST(PidStrategy, NeverVetoesOrRollsBack) {
+  PidStrategy strategy;
+  strategy.reset(make_characterization());
+  opt::IterationStats s = healthy_stats();
+  s.objective_after = 100.0;  // catastrophic increase
+  const Decision d = strategy.observe(ApproxMode::kLevel1, s);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_FALSE(d.veto_convergence);
+}
+
+TEST(PidStrategy, CountsModeChanges) {
+  PidOptions options;
+  options.kp = 50.0;  // overdriven controller oscillates
+  options.setpoint = 0.05;
+  PidStrategy strategy(options);
+  strategy.reset(make_characterization());
+  ApproxMode mode = ApproxMode::kLevel2;
+  opt::IterationStats good = healthy_stats();
+  opt::IterationStats bad = healthy_stats();
+  bad.objective_after = bad.objective_before;  // zero progress
+  for (int k = 0; k < 10; ++k) {
+    const Decision d = strategy.observe(mode, k % 2 == 0 ? good : bad);
+    mode = d.mode;
+  }
+  EXPECT_GT(strategy.mode_changes(), 2u);
+}
+
+TEST(PidStrategy, CustomSensor) {
+  int calls = 0;
+  PidStrategy strategy(PidOptions{}, [&calls](const opt::IterationStats&) {
+    ++calls;
+    return 1.0;
+  });
+  strategy.reset(make_characterization());
+  strategy.observe(ApproxMode::kLevel2, healthy_stats());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PidStrategy, DefaultSensorIsRelativeImprovement) {
+  opt::IterationStats s = healthy_stats();
+  s.objective_before = 10.0;
+  s.objective_after = 9.0;
+  EXPECT_NEAR(relative_improvement_sensor(s), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace approxit::core

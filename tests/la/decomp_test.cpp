@@ -1,0 +1,143 @@
+#include "la/decomp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace approxit::la {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  // A^T A + n*I is SPD.
+  Matrix spd = a.transposed().multiply(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a = random_spd(5, 1);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Matrix reconstructed = l->multiply(l->transposed());
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-10);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(m).has_value());
+}
+
+TEST(Cholesky, SolveMatchesKnownSolution) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x_true = {1.0, -2.0};
+  const auto b = a.matvec(x_true);
+  const auto x = cholesky_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], -2.0, 1e-12);
+}
+
+TEST(Cholesky, SolveRejectsBadDimensions) {
+  const Matrix a = Matrix::identity(3);
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(cholesky_solve(a, b), std::invalid_argument);
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolveRandomSystem) {
+  util::Rng rng(7);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a(r, c) = rng.uniform(-2.0, 2.0);
+    }
+    a(r, r) += 4.0;  // keep well-conditioned
+  }
+  std::vector<double> x_true = {1.0, 2.0, -1.0, 0.5};
+  const auto b = a.matvec(x_true);
+  const auto x = lu_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR((*x)[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> b = {2.0, 3.0};
+  const auto x = lu_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularReturnsNullopt) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(lu_decompose(a).has_value());
+  EXPECT_FALSE(lu_solve(a, std::vector<double>{1.0, 2.0}).has_value());
+  EXPECT_DOUBLE_EQ(determinant(a), 0.0);
+}
+
+TEST(Determinant, KnownValues) {
+  EXPECT_NEAR(determinant(Matrix{{2.0, 0.0}, {0.0, 3.0}}), 6.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::identity(5)), 1.0, 1e-12);
+}
+
+TEST(Inverse, MultipliesToIdentity) {
+  const Matrix a = random_spd(3, 9);
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix prod = a.multiply(*inv);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Inverse, SingularReturnsNullopt) {
+  EXPECT_FALSE(inverse(Matrix(2, 2, 1.0)).has_value());
+}
+
+TEST(Covariance, MatchesManualComputation) {
+  // Points (0,0), (2,0), (0,2), (2,2) about mean (1,1): var = 4/3 unbiased.
+  const std::vector<double> rows = {0.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0};
+  const std::vector<double> mean = {1.0, 1.0};
+  const Matrix cov = covariance(rows, 2, mean);
+  EXPECT_NEAR(cov(0, 0), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+}
+
+TEST(Covariance, RidgeAddsToDiagonal) {
+  const std::vector<double> rows = {1.0, 1.0};
+  const std::vector<double> mean = {1.0, 1.0};
+  const Matrix cov = covariance(rows, 2, mean, 0.5);
+  EXPECT_NEAR(cov(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 0.5, 1e-12);
+}
+
+TEST(Covariance, ValidatesLayout) {
+  const std::vector<double> rows = {1.0, 2.0, 3.0};
+  EXPECT_THROW(covariance(rows, 2, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(covariance(rows, 3, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::la

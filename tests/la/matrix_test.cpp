@@ -1,0 +1,135 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace approxit::la {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_THROW(m.row(5), std::out_of_range);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id.trace(), 3.0);
+}
+
+TEST(Matrix, MatvecMatchesManual) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x = {1.0, -1.0};
+  const auto y = m.matvec(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Matrix, MatvecTransposed) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const auto y = m.matvec_transposed(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(Matrix, MatvecDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW(m.matvec(bad), std::invalid_argument);
+  const std::vector<double> bad_t = {1.0, 2.0, 3.0};
+  EXPECT_THROW(m.matvec_transposed(bad_t), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyAgainstIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.multiply(Matrix::identity(2)), m);
+  EXPECT_EQ(Matrix::identity(2).multiply(m), m);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, ToStringContainsValues) {
+  Matrix m{{1.5, 2.5}};
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::la

@@ -1,0 +1,106 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+
+namespace approxit::la {
+namespace {
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm2_squared(v), 25.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+TEST(VectorOps, Distance) {
+  const std::vector<double> a = {1.0, 1.0};
+  const std::vector<double> b = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(distance2(a, b), 5.0);
+  EXPECT_THROW(distance2(a, {{1.0}}), std::invalid_argument);
+}
+
+TEST(VectorOps, Dot) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_THROW(dot(a, {{1.0}}), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyExact) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> x = {1.0, -2.0};
+  scale(-3.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(VectorOps, AddSubtract) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 5.0};
+  const auto s = add(a, b);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  const auto d = subtract(b, a);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(VectorOps, ContextRoutedMatchesExactWithExactContext) {
+  arith::ExactContext ctx;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(ctx, a, b), dot(a, b));
+  EXPECT_DOUBLE_EQ(sum(ctx, a), 6.0);
+}
+
+TEST(VectorOps, ContextRoutedAxpy) {
+  arith::ExactContext ctx;
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {0.0, 10.0};
+  axpy(ctx, 0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 10.5);
+}
+
+TEST(VectorOps, ContextRoutedAxpyRecordsEnergy) {
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel3);
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y = {0.0, 0.0, 0.0};
+  axpy(alu, 1.0, x, y);
+  EXPECT_EQ(alu.ledger().total_ops(), 3u);
+}
+
+TEST(VectorOps, MeanRows) {
+  arith::ExactContext ctx;
+  // Two rows of dimension 3.
+  const std::vector<double> rows = {1.0, 2.0, 3.0, 3.0, 4.0, 5.0};
+  const auto m = mean_rows(ctx, rows, 3);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+  EXPECT_DOUBLE_EQ(m[2], 4.0);
+}
+
+TEST(VectorOps, MeanRowsValidation) {
+  arith::ExactContext ctx;
+  EXPECT_THROW(mean_rows(ctx, {{1.0, 2.0, 3.0}}, 0), std::invalid_argument);
+  EXPECT_THROW(mean_rows(ctx, {{1.0, 2.0, 3.0}}, 2), std::invalid_argument);
+  const auto empty = mean_rows(ctx, {}, 4);
+  EXPECT_EQ(empty.size(), 4u);
+  EXPECT_DOUBLE_EQ(empty[0], 0.0);
+}
+
+}  // namespace
+}  // namespace approxit::la

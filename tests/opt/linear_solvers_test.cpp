@@ -1,0 +1,200 @@
+// Tests for the stationary (Jacobi/Gauss-Seidel/SOR) and conjugate-gradient
+// linear solvers.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "la/vector_ops.h"
+#include "opt/conjugate_gradient.h"
+#include "opt/linear_stationary.h"
+#include "util/rng.h"
+
+namespace approxit::opt {
+namespace {
+
+/// Diagonally dominant SPD system with a known solution.
+struct TestSystem {
+  la::Matrix a;
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+TestSystem make_system(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TestSystem sys;
+  sys.a = la::Matrix(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      sys.a(r, c) = v;
+      row_sum += std::abs(v);
+    }
+    sys.a(r, r) = row_sum + 1.0 + rng.uniform(0.0, 1.0);
+  }
+  // Symmetrize to make CG applicable; diagonal dominance is preserved.
+  sys.a = (sys.a + sys.a.transposed()) * 0.5;
+  sys.x_true.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sys.x_true[i] = rng.uniform(-2.0, 2.0);
+  sys.b = sys.a.matvec(sys.x_true);
+  return sys;
+}
+
+class StationarySchemeTest
+    : public ::testing::TestWithParam<StationaryScheme> {};
+
+TEST_P(StationarySchemeTest, ConvergesOnDominantSystem) {
+  const TestSystem sys = make_system(8, 42);
+  StationaryConfig config;
+  config.scheme = GetParam();
+  config.relaxation = 1.2;
+  config.tolerance = 1e-10;
+  config.max_iter = 2000;
+  StationarySolver solver(sys.a, sys.b, std::vector<double>(8, 0.0), config);
+  arith::ExactContext ctx;
+  IterationStats stats;
+  std::size_t iters = 0;
+  for (; iters < config.max_iter; ++iters) {
+    stats = solver.iterate(ctx);
+    if (stats.converged) break;
+  }
+  EXPECT_TRUE(stats.converged) << to_string(GetParam());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(solver.x()[i], sys.x_true[i], 1e-8);
+  }
+}
+
+TEST_P(StationarySchemeTest, ResidualDecreasesInitially) {
+  const TestSystem sys = make_system(6, 7);
+  StationaryConfig config;
+  config.scheme = GetParam();
+  StationarySolver solver(sys.a, sys.b, std::vector<double>(6, 0.0), config);
+  arith::ExactContext ctx;
+  const double r0 = solver.residual_norm();
+  solver.iterate(ctx);
+  EXPECT_LT(solver.residual_norm(), r0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, StationarySchemeTest,
+                         ::testing::Values(StationaryScheme::kJacobi,
+                                           StationaryScheme::kGaussSeidel,
+                                           StationaryScheme::kSor),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(StationarySolver, GaussSeidelFasterThanJacobi) {
+  const TestSystem sys = make_system(10, 9);
+  auto iterations_for = [&](StationaryScheme scheme) {
+    StationaryConfig config;
+    config.scheme = scheme;
+    config.tolerance = 1e-10;
+    config.max_iter = 5000;
+    StationarySolver solver(sys.a, sys.b, std::vector<double>(10, 0.0),
+                            config);
+    arith::ExactContext ctx;
+    std::size_t iters = 0;
+    for (; iters < config.max_iter; ++iters) {
+      if (solver.iterate(ctx).converged) break;
+    }
+    return iters;
+  };
+  EXPECT_LT(iterations_for(StationaryScheme::kGaussSeidel),
+            iterations_for(StationaryScheme::kJacobi));
+}
+
+TEST(StationarySolver, Validation) {
+  la::Matrix singular_diag{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(StationarySolver(singular_diag, {1.0, 1.0}, {0.0, 0.0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(StationarySolver(la::Matrix(2, 3), {1.0, 1.0}, {0.0, 0.0}, {}),
+               std::invalid_argument);
+  StationaryConfig bad_omega;
+  bad_omega.scheme = StationaryScheme::kSor;
+  bad_omega.relaxation = 2.5;
+  EXPECT_THROW(StationarySolver(la::Matrix::identity(2), {1.0, 1.0},
+                                {0.0, 0.0}, bad_omega),
+               std::invalid_argument);
+}
+
+TEST(StationarySolver, SnapshotRestore) {
+  const TestSystem sys = make_system(4, 3);
+  StationarySolver solver(sys.a, sys.b, std::vector<double>(4, 0.0), {});
+  arith::ExactContext ctx;
+  solver.iterate(ctx);
+  const auto snapshot = solver.state();
+  const double f = solver.objective();
+  solver.iterate(ctx);
+  solver.restore(snapshot);
+  EXPECT_DOUBLE_EQ(solver.objective(), f);
+  EXPECT_THROW(solver.restore({1.0}), std::invalid_argument);
+}
+
+TEST(StationarySolver, NameMatchesScheme) {
+  const TestSystem sys = make_system(3, 5);
+  StationaryConfig config;
+  config.scheme = StationaryScheme::kSor;
+  config.relaxation = 1.5;
+  StationarySolver solver(sys.a, sys.b, std::vector<double>(3, 0.0), config);
+  EXPECT_EQ(solver.name(), "sor");
+}
+
+// --- Conjugate gradient -----------------------------------------------------
+
+TEST(ConjugateGradient, ExactConvergenceWithinNIterations) {
+  const TestSystem sys = make_system(12, 21);
+  CgConfig config;
+  config.tolerance = 1e-9;
+  ConjugateGradientSolver solver(sys.a, sys.b, std::vector<double>(12, 0.0),
+                                 config);
+  arith::ExactContext ctx;
+  std::size_t iters = 0;
+  for (; iters < 50; ++iters) {
+    if (solver.iterate(ctx).converged) break;
+  }
+  // CG converges in at most n steps in exact arithmetic (plus slack for
+  // floating-point effects).
+  EXPECT_LE(iters, 14u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(solver.x()[i], sys.x_true[i], 1e-6);
+  }
+}
+
+TEST(ConjugateGradient, ObjectiveMonotoneExact) {
+  const TestSystem sys = make_system(10, 13);
+  ConjugateGradientSolver solver(sys.a, sys.b, std::vector<double>(10, 0.0),
+                                 {});
+  arith::ExactContext ctx;
+  double prev = solver.objective();
+  for (int k = 0; k < 10; ++k) {
+    const IterationStats stats = solver.iterate(ctx);
+    EXPECT_LE(stats.objective_after, prev + 1e-10);
+    prev = stats.objective_after;
+  }
+}
+
+TEST(ConjugateGradient, SnapshotIncludesRecurrences) {
+  const TestSystem sys = make_system(5, 17);
+  ConjugateGradientSolver solver(sys.a, sys.b, std::vector<double>(5, 0.0),
+                                 {});
+  arith::ExactContext ctx;
+  solver.iterate(ctx);
+  const auto snapshot = solver.state();
+  EXPECT_EQ(snapshot.size(), 15u);  // x | r | p
+  solver.iterate(ctx);
+  solver.restore(snapshot);
+  EXPECT_EQ(solver.state(), snapshot);
+  EXPECT_THROW(solver.restore({1.0}), std::invalid_argument);
+}
+
+TEST(ConjugateGradient, Validation) {
+  EXPECT_THROW(ConjugateGradientSolver(la::Matrix(2, 3), {1.0, 1.0},
+                                       {0.0, 0.0}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::opt

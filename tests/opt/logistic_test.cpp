@@ -1,0 +1,142 @@
+#include "opt/logistic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "la/decomp.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/newton.h"
+#include "workloads/graphs.h"
+
+namespace approxit::opt {
+namespace {
+
+LogisticProblem make_problem(double l2 = 0.0) {
+  const auto ds = workloads::make_classification(300, 3, 4.0, 41, 0.02);
+  la::Matrix x(ds.size(), ds.dim);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t d = 0; d < ds.dim; ++d) {
+      x(i, d) = ds.features[i * ds.dim + d];
+    }
+  }
+  return LogisticProblem(std::move(x), ds.labels, l2);
+}
+
+TEST(Sigmoid, StableAtExtremes) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(50.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-50.0), 0.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);  // no overflow
+  EXPECT_GT(sigmoid(1.0), sigmoid(-1.0));
+}
+
+TEST(Log1pExp, StableAndAccurate) {
+  EXPECT_NEAR(log1p_exp(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log1p_exp(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(log1p_exp(-100.0), 0.0, 1e-12);
+}
+
+TEST(LogisticProblem, Validation) {
+  EXPECT_THROW(LogisticProblem(la::Matrix(2, 2), {0}), std::invalid_argument);
+  EXPECT_THROW(LogisticProblem(la::Matrix(1, 1, 1.0), {2}),
+               std::invalid_argument);
+  EXPECT_THROW(LogisticProblem(la::Matrix(1, 1, 1.0), {0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(LogisticProblem, GradientMatchesFiniteDifferences) {
+  const LogisticProblem problem = make_problem(0.01);
+  arith::ExactContext ctx;
+  const std::vector<double> w = {0.2, -0.4, 0.1};
+  std::vector<double> analytic(3);
+  problem.gradient(w, analytic, ctx);
+  std::vector<double> wp = w;
+  const double h = 1e-6;
+  for (std::size_t j = 0; j < 3; ++j) {
+    wp[j] = w[j] + h;
+    const double fp = problem.value(wp);
+    wp[j] = w[j] - h;
+    const double fm = problem.value(wp);
+    wp[j] = w[j];
+    EXPECT_NEAR(analytic[j], (fp - fm) / (2.0 * h), 1e-5);
+  }
+}
+
+TEST(LogisticProblem, HessianIsSpdWithRegularization) {
+  const LogisticProblem problem = make_problem(0.01);
+  la::Matrix h;
+  problem.hessian(std::vector<double>{0.1, 0.1, 0.1}, h);
+  EXPECT_TRUE(la::cholesky(h).has_value());
+  // Symmetry.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(h(r, c), h(c, r));
+    }
+  }
+}
+
+TEST(LogisticProblem, GradientDescentLearnsSeparableData) {
+  const LogisticProblem problem = make_problem(0.01);
+  GradientDescentSolver solver(problem, std::vector<double>(3, 0.0),
+                               {.step_size = 0.5, .max_iter = 2000,
+                                .tolerance = 1e-12});
+  arith::ExactContext ctx;
+  for (int k = 0; k < 2000; ++k) {
+    if (solver.iterate(ctx).converged) break;
+  }
+  // ~2% label noise: accuracy should approach 1 - noise.
+  EXPECT_GT(problem.accuracy(solver.x()), 0.95);
+}
+
+TEST(LogisticProblem, NewtonConvergesFasterThanGd) {
+  const LogisticProblem problem = make_problem(0.05);
+  arith::ExactContext ctx;
+
+  NewtonSolver newton(problem, std::vector<double>(3, 0.0),
+                      {.damping = 1.0, .max_iter = 100, .tolerance = 1e-12});
+  std::size_t newton_iters = 0;
+  for (; newton_iters < 100; ++newton_iters) {
+    if (newton.iterate(ctx).converged) break;
+  }
+
+  GradientDescentSolver gd(problem, std::vector<double>(3, 0.0),
+                           {.step_size = 0.5, .max_iter = 5000,
+                            .tolerance = 1e-12});
+  std::size_t gd_iters = 0;
+  for (; gd_iters < 5000; ++gd_iters) {
+    if (gd.iterate(ctx).converged) break;
+  }
+  EXPECT_LT(newton_iters, gd_iters);
+  EXPECT_LT(newton_iters, 30u);  // IRLS is quadratic
+}
+
+TEST(LogisticProblem, RegularizationShrinksWeights) {
+  const LogisticProblem weak = make_problem(1e-4);
+  const LogisticProblem strong = make_problem(1.0);
+  arith::ExactContext ctx;
+  auto fit = [&ctx](const LogisticProblem& p) {
+    GradientDescentSolver solver(p, std::vector<double>(3, 0.0),
+                                 {.step_size = 0.5, .max_iter = 3000,
+                                  .tolerance = 1e-13});
+    for (int k = 0; k < 3000; ++k) {
+      if (solver.iterate(ctx).converged) break;
+    }
+    return la::norm2(solver.x());
+  };
+  EXPECT_GT(fit(weak), 2.0 * fit(strong));
+}
+
+TEST(LogisticProblem, ProbabilitiesInUnitInterval) {
+  const LogisticProblem problem = make_problem();
+  const auto p = problem.probabilities(std::vector<double>{1.0, -2.0, 0.5});
+  for (double pi : p) {
+    ASSERT_GE(pi, 0.0);
+    ASSERT_LE(pi, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace approxit::opt

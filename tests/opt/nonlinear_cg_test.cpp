@@ -1,0 +1,202 @@
+#include "opt/nonlinear_cg.h"
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/line_search.h"
+#include "opt/problem.h"
+
+namespace approxit::opt {
+namespace {
+
+// --- Line search -------------------------------------------------------------
+
+TEST(LineSearch, AcceptsFullStepWhenSufficient) {
+  la::Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  QuadraticProblem problem(a, {0.0, 0.0});
+  arith::ExactContext ctx;
+  const std::vector<double> x = {2.0, 0.0};
+  std::vector<double> g(2);
+  problem.gradient(x, g, ctx);
+  std::vector<double> d = {-g[0], -g[1]};
+  const LineSearchResult result =
+      backtracking_line_search(problem, x, d, g);
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.step, 0.0);
+  EXPECT_LT(result.objective, problem.value(x));
+}
+
+TEST(LineSearch, BacktracksOnOvershoot) {
+  la::Matrix a{{100.0, 0.0}, {0.0, 100.0}};  // steep bowl
+  QuadraticProblem problem(a, {0.0, 0.0});
+  arith::ExactContext ctx;
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> g(2);
+  problem.gradient(x, g, ctx);
+  std::vector<double> d = {-g[0], -g[1]};
+  LineSearchOptions options;
+  options.initial_step = 1.0;  // far too large for curvature 100
+  const LineSearchResult result =
+      backtracking_line_search(problem, x, d, g, options);
+  EXPECT_TRUE(result.success);
+  EXPECT_LT(result.step, 1.0);
+  EXPECT_GT(result.evaluations, 2u);
+}
+
+TEST(LineSearch, FailsOnAscentDirection) {
+  la::Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  QuadraticProblem problem(a, {0.0, 0.0});
+  arith::ExactContext ctx;
+  const std::vector<double> x = {1.0, 0.0};
+  std::vector<double> g(2);
+  problem.gradient(x, g, ctx);
+  const std::vector<double> uphill = {g[0], g[1]};
+  const LineSearchResult result =
+      backtracking_line_search(problem, x, uphill, g);
+  EXPECT_FALSE(result.success);
+  EXPECT_DOUBLE_EQ(result.step, 0.0);
+}
+
+TEST(LineSearch, ValidatesArguments) {
+  la::Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  QuadraticProblem problem(a, {0.0, 0.0});
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> short_vec = {1.0};
+  EXPECT_THROW(
+      backtracking_line_search(problem, x, short_vec, x),
+      std::invalid_argument);
+  LineSearchOptions bad;
+  bad.shrink = 1.5;
+  EXPECT_THROW(backtracking_line_search(problem, x, x, x, bad),
+               std::invalid_argument);
+}
+
+// --- Nonlinear CG ------------------------------------------------------------
+
+class NonlinearCgBetaTest : public ::testing::TestWithParam<CgBeta> {};
+
+TEST_P(NonlinearCgBetaTest, SolvesRosenbrock) {
+  RosenbrockProblem problem(2);
+  NonlinearCgConfig config;
+  config.beta = GetParam();
+  config.max_iter = 5000;
+  config.tolerance = 1e-14;
+  NonlinearCgSolver solver(problem, {-1.2, 1.0}, config);
+  arith::ExactContext ctx;
+  for (std::size_t k = 0; k < config.max_iter; ++k) {
+    if (solver.iterate(ctx).converged) break;
+  }
+  // The signed convergence check can trip on a line-search stall slightly
+  // before the exact optimum; require the valley-floor neighbourhood.
+  EXPECT_NEAR(solver.x()[0], 1.0, 0.05);
+  EXPECT_NEAR(solver.x()[1], 1.0, 0.05);
+  EXPECT_LT(problem.value(std::vector<double>(solver.x().begin(),
+                                              solver.x().end())),
+            1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Betas, NonlinearCgBetaTest,
+    ::testing::Values(CgBeta::kFletcherReeves, CgBeta::kPolakRibierePlus),
+    [](const auto& info) {
+      return info.param == CgBeta::kFletcherReeves ? "fletcher_reeves"
+                                                   : "polak_ribiere_plus";
+    });
+
+TEST(NonlinearCg, FasterThanPlainGdOnRosenbrock) {
+  RosenbrockProblem problem(2);
+  arith::ExactContext ctx;
+
+  NonlinearCgSolver cg(problem, {-1.2, 1.0},
+                       {.max_iter = 20000, .tolerance = 1e-13});
+  std::size_t cg_iters = 0;
+  for (; cg_iters < 20000; ++cg_iters) {
+    if (cg.iterate(ctx).converged) break;
+  }
+
+  GradientDescentSolver gd(problem, {-1.2, 1.0},
+                           {.step_size = 1.5e-3, .max_iter = 20000,
+                            .tolerance = 1e-13});
+  std::size_t gd_iters = 0;
+  for (; gd_iters < 20000; ++gd_iters) {
+    if (gd.iterate(ctx).converged) break;
+  }
+  EXPECT_LT(cg_iters, gd_iters / 4);
+}
+
+TEST(NonlinearCg, ObjectiveNonIncreasingExact) {
+  RosenbrockProblem problem(4);
+  NonlinearCgSolver solver(problem, {-1.0, 0.5, -0.5, 1.5}, {});
+  arith::ExactContext ctx;
+  double prev = solver.objective();
+  for (int k = 0; k < 100; ++k) {
+    const IterationStats stats = solver.iterate(ctx);
+    EXPECT_LE(stats.objective_after, prev + 1e-10) << "iteration " << k;
+    prev = stats.objective_after;
+  }
+}
+
+TEST(NonlinearCg, SnapshotRestoreRoundTrip) {
+  RosenbrockProblem problem(2);
+  NonlinearCgSolver solver(problem, {0.0, 0.0}, {});
+  arith::ExactContext ctx;
+  solver.iterate(ctx);
+  const auto snapshot = solver.state();
+  EXPECT_EQ(snapshot.size(), 6u);  // x | grad | direction
+  const double f = solver.objective();
+  solver.iterate(ctx);
+  solver.restore(snapshot);
+  EXPECT_DOUBLE_EQ(solver.objective(), f);
+  EXPECT_EQ(solver.state(), snapshot);
+  EXPECT_THROW(solver.restore({1.0}), std::invalid_argument);
+}
+
+TEST(NonlinearCg, PeriodicRestartResetsCounter) {
+  la::Matrix a{{2.0, 0.0}, {0.0, 1.0}};
+  QuadraticProblem problem(a, {1.0, 1.0});
+  NonlinearCgConfig config;
+  config.restart_period = 3;
+  NonlinearCgSolver solver(problem, {5.0, 5.0}, config);
+  arith::ExactContext ctx;
+  for (int k = 0; k < 3; ++k) solver.iterate(ctx);
+  EXPECT_EQ(solver.iterations_since_restart(), 0u);
+}
+
+TEST(NonlinearCg, WorksUnderApproximateContext) {
+  RosenbrockProblem problem(2);
+  NonlinearCgSolver solver(problem, {-1.2, 1.0},
+                           {.max_iter = 5000, .tolerance = 1e-13});
+  // CG's conjugacy recurrences are sensitive to arithmetic error; give the
+  // approximate run a fine-grained datapath (level4 error ~ 8e-6).
+  arith::QcsConfig qcs;
+  qcs.format = arith::QFormat{32, 24};
+  qcs.level_approx_bits = {14, 12, 10, 8};
+  arith::QcsAlu alu(qcs);
+  alu.set_mode(arith::ApproxMode::kLevel4);
+  for (int k = 0; k < 5000; ++k) {
+    if (solver.iterate(alu).converged) break;
+  }
+  // Level4 is near-exact at this format: CG still reaches the valley floor.
+  EXPECT_LT(solver.objective(), 1e-2);
+  EXPECT_GT(alu.ledger().total_ops(), 0u);
+}
+
+TEST(NonlinearCg, ValidatesDimension) {
+  RosenbrockProblem problem(3);
+  EXPECT_THROW(NonlinearCgSolver(problem, {0.0, 0.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(NonlinearCg, NameEncodesBeta) {
+  RosenbrockProblem problem(2);
+  NonlinearCgConfig fr;
+  fr.beta = CgBeta::kFletcherReeves;
+  EXPECT_EQ(NonlinearCgSolver(problem, {0.0, 0.0}, fr).name(),
+            "nonlinear_cg(fletcher_reeves)");
+}
+
+}  // namespace
+}  // namespace approxit::opt

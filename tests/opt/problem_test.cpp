@@ -1,0 +1,144 @@
+#include "opt/problem.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/context.h"
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace approxit::opt {
+namespace {
+
+/// Central-difference gradient check for any Problem.
+void check_gradient(const Problem& problem, std::span<const double> x,
+                    double tolerance) {
+  arith::ExactContext ctx;
+  const std::size_t n = problem.dimension();
+  std::vector<double> analytic(n);
+  problem.gradient(x, analytic, ctx);
+
+  std::vector<double> xp(x.begin(), x.end());
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    xp[i] = x[i] + h;
+    const double fp = problem.value(xp);
+    xp[i] = x[i] - h;
+    const double fm = problem.value(xp);
+    xp[i] = x[i];
+    const double numeric = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << problem.name() << " component " << i;
+  }
+}
+
+TEST(QuadraticProblem, ValueAndGradient) {
+  la::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  QuadraticProblem problem(a, {1.0, 2.0});
+  const std::vector<double> x = {0.5, -0.5};
+  // f = 0.5 x^T A x - b^T x.
+  const double expected = 0.5 * (4.0 * 0.25 + 2.0 * 0.5 * -0.5 * 1.0 +
+                                 3.0 * 0.25) - (0.5 - 1.0);
+  EXPECT_NEAR(problem.value(x), expected, 1e-12);
+  check_gradient(problem, x, 1e-5);
+}
+
+TEST(QuadraticProblem, MinimizerSolvesSystem) {
+  la::Matrix a{{2.0, 0.0}, {0.0, 8.0}};
+  QuadraticProblem problem(a, {4.0, 8.0});
+  // Gradient at x* = A^{-1} b must vanish.
+  const std::vector<double> x_star = {2.0, 1.0};
+  arith::ExactContext ctx;
+  std::vector<double> g(2);
+  problem.gradient(x_star, g, ctx);
+  EXPECT_NEAR(la::norm2(g), 0.0, 1e-12);
+}
+
+TEST(QuadraticProblem, HessianIsA) {
+  la::Matrix a{{2.0, 1.0}, {1.0, 5.0}};
+  QuadraticProblem problem(a, {0.0, 0.0});
+  EXPECT_TRUE(problem.has_hessian());
+  la::Matrix h;
+  problem.hessian(std::vector<double>{0.0, 0.0}, h);
+  EXPECT_EQ(h, a);
+}
+
+TEST(QuadraticProblem, RejectsDimensionMismatch) {
+  EXPECT_THROW(QuadraticProblem(la::Matrix(2, 3), {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(QuadraticProblem(la::Matrix(2, 2), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquaresProblem, GradientCheck) {
+  util::Rng rng(3);
+  la::Matrix a(20, 4);
+  std::vector<double> y(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    y[r] = rng.uniform(-1.0, 1.0);
+  }
+  LeastSquaresProblem problem(a, y);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.0};
+  check_gradient(problem, x, 1e-5);
+}
+
+TEST(LeastSquaresProblem, ZeroResidualAtExactSolution) {
+  la::Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> w = {2.0, 3.0};
+  const std::vector<double> y = a.matvec(w);
+  LeastSquaresProblem problem(a, y);
+  EXPECT_NEAR(problem.value(w), 0.0, 1e-14);
+  const auto r = problem.residual(w);
+  EXPECT_NEAR(la::norm2(r), 0.0, 1e-14);
+}
+
+TEST(LeastSquaresProblem, HessianMatchesNormalMatrix) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  LeastSquaresProblem problem(a, {0.0, 0.0});
+  la::Matrix h;
+  problem.hessian(std::vector<double>{0.0, 0.0}, h);
+  // (1/m) A^T A with m = 2.
+  EXPECT_NEAR(h(0, 0), (1.0 + 9.0) / 2.0, 1e-12);
+  EXPECT_NEAR(h(0, 1), (2.0 + 12.0) / 2.0, 1e-12);
+  EXPECT_NEAR(h(1, 1), (4.0 + 16.0) / 2.0, 1e-12);
+}
+
+TEST(LeastSquaresProblem, RejectsEmptyOrMismatched) {
+  EXPECT_THROW(LeastSquaresProblem(la::Matrix(0, 0), {}),
+               std::invalid_argument);
+  EXPECT_THROW(LeastSquaresProblem(la::Matrix(2, 2), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(RosenbrockProblem, KnownValues) {
+  RosenbrockProblem problem(2);
+  EXPECT_DOUBLE_EQ(problem.value(std::vector<double>{1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(problem.value(std::vector<double>{0.0, 0.0}), 1.0);
+  check_gradient(problem, std::vector<double>{-0.5, 0.7}, 1e-4);
+}
+
+TEST(RosenbrockProblem, HigherDimensionGradientCheck) {
+  RosenbrockProblem problem(5);
+  const std::vector<double> x = {0.2, -0.3, 0.5, 1.2, -0.8};
+  check_gradient(problem, x, 1e-3);
+  EXPECT_DOUBLE_EQ(
+      problem.value(std::vector<double>(5, 1.0)), 0.0);  // global minimum
+}
+
+TEST(RosenbrockProblem, RejectsTooSmallDimension) {
+  EXPECT_THROW(RosenbrockProblem(1), std::invalid_argument);
+}
+
+TEST(Problem, DefaultHessianThrows) {
+  RosenbrockProblem problem(2);
+  la::Matrix h;
+  EXPECT_FALSE(problem.has_hessian());
+  EXPECT_THROW(problem.hessian(std::vector<double>{0.0, 0.0}, h),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace approxit::opt

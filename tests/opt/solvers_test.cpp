@@ -1,0 +1,216 @@
+// Tests for the generic iterative solvers (gradient descent, Newton) as
+// IterativeMethod implementations.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "la/vector_ops.h"
+#include "opt/gradient_descent.h"
+#include "opt/newton.h"
+#include "opt/problem.h"
+
+namespace approxit::opt {
+namespace {
+
+QuadraticProblem make_quadratic() {
+  la::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  return QuadraticProblem(a, {1.0, 2.0});
+}
+
+TEST(GradientDescent, ConvergesOnQuadratic) {
+  const QuadraticProblem problem = make_quadratic();
+  GdConfig config;
+  config.step_size = 0.2;
+  config.tolerance = 1e-14;
+  config.max_iter = 5000;
+  GradientDescentSolver solver(problem, {0.0, 0.0}, config);
+  arith::ExactContext ctx;
+  IterationStats stats;
+  for (std::size_t k = 0; k < config.max_iter; ++k) {
+    stats = solver.iterate(ctx);
+    if (stats.converged) break;
+  }
+  EXPECT_TRUE(stats.converged);
+  // Minimizer solves A x = b: x = (1/11) * (1, 7).
+  EXPECT_NEAR(solver.x()[0], 1.0 / 11.0, 1e-5);
+  EXPECT_NEAR(solver.x()[1], 7.0 / 11.0, 1e-5);
+}
+
+TEST(GradientDescent, ObjectiveMonotoneWithSafeStep) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver solver(problem, {3.0, -2.0},
+                               {.step_size = 0.1, .max_iter = 100});
+  arith::ExactContext ctx;
+  double prev = solver.objective();
+  for (int k = 0; k < 50; ++k) {
+    const IterationStats stats = solver.iterate(ctx);
+    EXPECT_LE(stats.objective_after, prev + 1e-12);
+    prev = stats.objective_after;
+  }
+}
+
+TEST(GradientDescent, StatsAreConsistent) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver solver(problem, {1.0, 1.0},
+                               {.step_size = 0.05, .max_iter = 10});
+  arith::ExactContext ctx;
+  const double f0 = solver.objective();
+  const IterationStats stats = solver.iterate(ctx);
+  EXPECT_EQ(stats.iteration, 1u);
+  EXPECT_DOUBLE_EQ(stats.objective_before, f0);
+  EXPECT_DOUBLE_EQ(stats.objective_after, solver.objective());
+  EXPECT_GT(stats.step_norm, 0.0);
+  EXPECT_GT(stats.grad_norm, 0.0);
+  // Plain GD steps along the negative gradient: strictly descent-aligned.
+  EXPECT_LT(stats.grad_dot_step, 0.0);
+}
+
+TEST(GradientDescent, ResetRestoresInitialState) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver solver(problem, {2.0, 2.0},
+                               {.step_size = 0.1, .max_iter = 10});
+  arith::ExactContext ctx;
+  const double f0 = solver.objective();
+  solver.iterate(ctx);
+  solver.iterate(ctx);
+  solver.reset();
+  EXPECT_DOUBLE_EQ(solver.objective(), f0);
+  EXPECT_DOUBLE_EQ(solver.x()[0], 2.0);
+}
+
+TEST(GradientDescent, SnapshotRestoreRoundTrip) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver solver(problem, {2.0, 2.0},
+                               {.step_size = 0.1, .momentum = 0.5});
+  arith::ExactContext ctx;
+  solver.iterate(ctx);
+  const std::vector<double> snapshot = solver.state();
+  const double f_snap = solver.objective();
+  solver.iterate(ctx);
+  solver.restore(snapshot);
+  EXPECT_DOUBLE_EQ(solver.objective(), f_snap);
+  EXPECT_EQ(solver.state(), snapshot);
+}
+
+TEST(GradientDescent, RestoreRejectsBadSize) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver solver(problem, {0.0, 0.0}, {});
+  EXPECT_THROW(solver.restore({1.0}), std::invalid_argument);
+}
+
+TEST(GradientDescent, MomentumAcceleratesIllConditioned) {
+  la::Matrix a{{100.0, 0.0}, {0.0, 1.0}};
+  QuadraticProblem problem(a, {1.0, 1.0});
+  auto run = [&](double momentum) {
+    GradientDescentSolver solver(
+        problem, {0.0, 0.0},
+        {.step_size = 0.009, .momentum = momentum, .max_iter = 20000,
+         .tolerance = 1e-16});
+    arith::ExactContext ctx;
+    std::size_t iters = 0;
+    for (; iters < 20000; ++iters) {
+      if (solver.iterate(ctx).converged) break;
+    }
+    return iters;
+  };
+  EXPECT_LT(run(0.8), run(0.0));
+}
+
+TEST(GradientDescent, NamesReflectMomentum) {
+  const QuadraticProblem problem = make_quadratic();
+  GradientDescentSolver plain(problem, {0.0, 0.0}, {.momentum = 0.0});
+  GradientDescentSolver heavy(problem, {0.0, 0.0}, {.momentum = 0.5});
+  EXPECT_EQ(plain.name(), "gradient_descent");
+  EXPECT_EQ(heavy.name(), "momentum_gd");
+}
+
+TEST(GradientDescent, ValidatesConfig) {
+  const QuadraticProblem problem = make_quadratic();
+  EXPECT_THROW(
+      GradientDescentSolver(problem, {0.0}, {}),
+      std::invalid_argument);  // wrong dimension
+  EXPECT_THROW(GradientDescentSolver(problem, {0.0, 0.0}, {.step_size = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GradientDescentSolver(problem, {0.0, 0.0}, {.momentum = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(GradientDescent, ApproximateContextDegradesDirection) {
+  const QuadraticProblem problem = make_quadratic();
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel1);
+  GradientDescentSolver solver(problem, {3.0, 3.0},
+                               {.step_size = 0.1, .max_iter = 50});
+  double worst_gap = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    solver.iterate(alu);
+  }
+  // The approximate run should not reach the exact-run objective precision.
+  GradientDescentSolver exact_solver(problem, {3.0, 3.0},
+                                     {.step_size = 0.1, .max_iter = 50});
+  arith::ExactContext exact;
+  for (int k = 0; k < 20; ++k) {
+    exact_solver.iterate(exact);
+  }
+  worst_gap = std::abs(solver.objective() - exact_solver.objective());
+  EXPECT_GT(worst_gap, 1e-9);
+  EXPECT_GT(alu.ledger().total_ops(), 0u);
+}
+
+// --- Newton ----------------------------------------------------------------
+
+TEST(Newton, OneStepSolvesQuadratic) {
+  const QuadraticProblem problem = make_quadratic();
+  NewtonSolver solver(problem, {5.0, -3.0}, {.damping = 1.0, .ridge = 0.0});
+  arith::ExactContext ctx;
+  const IterationStats stats = solver.iterate(ctx);
+  // Newton on a quadratic converges in one full step.
+  EXPECT_NEAR(solver.x()[0], 1.0 / 11.0, 1e-9);
+  EXPECT_NEAR(solver.x()[1], 7.0 / 11.0, 1e-9);
+  EXPECT_LT(stats.objective_after, stats.objective_before);
+}
+
+TEST(Newton, DampedStepsConverge) {
+  const QuadraticProblem problem = make_quadratic();
+  NewtonSolver solver(problem, {5.0, -3.0},
+                      {.damping = 0.5, .max_iter = 100, .tolerance = 1e-14});
+  arith::ExactContext ctx;
+  IterationStats stats;
+  for (int k = 0; k < 100; ++k) {
+    stats = solver.iterate(ctx);
+    if (stats.converged) break;
+  }
+  EXPECT_NEAR(solver.x()[0], 1.0 / 11.0, 1e-5);
+}
+
+TEST(Newton, RequiresHessian) {
+  RosenbrockProblem rosenbrock(2);
+  EXPECT_THROW(NewtonSolver(rosenbrock, {0.0, 0.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Newton, ValidatesConfig) {
+  const QuadraticProblem problem = make_quadratic();
+  EXPECT_THROW(NewtonSolver(problem, {0.0, 0.0}, {.damping = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(NewtonSolver(problem, {0.0, 0.0}, {.damping = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(NewtonSolver(problem, {0.0}, {}), std::invalid_argument);
+}
+
+TEST(Newton, SnapshotRestore) {
+  const QuadraticProblem problem = make_quadratic();
+  NewtonSolver solver(problem, {1.0, 1.0}, {.damping = 0.5});
+  arith::ExactContext ctx;
+  const std::vector<double> snapshot = solver.state();
+  solver.iterate(ctx);
+  solver.restore(snapshot);
+  EXPECT_EQ(solver.state(), snapshot);
+  EXPECT_THROW(solver.restore({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::opt

@@ -1,0 +1,111 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace approxit::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("test program");
+  p.add_flag("name", "default", "a string flag");
+  p.add_flag("count", "10", "an integer flag");
+  p.add_flag("rate", "0.5", "a double flag");
+  p.add_flag("verbose", "false", "a boolean flag");
+  return p;
+}
+
+TEST(CliParser, DefaultsApply) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_EQ(p.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--name=abc", "--count=42", "--rate=1.25"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.get_string("name"), "abc");
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.25);
+}
+
+TEST(CliParser, SpaceSyntax) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--name", "xyz", "--count", "7"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_string("name"), "xyz");
+  EXPECT_EQ(p.get_int("count"), 7);
+}
+
+TEST(CliParser, BareBooleanFlag) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(CliParser, PositionalArguments) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "input.txt", "--count=3", "output.txt"};
+  ASSERT_TRUE(p.parse(4, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "output.txt");
+}
+
+TEST(CliParser, UnknownFlagThrows) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, BadIntThrows) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--count=abc"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_THROW(p.get_int("count"), std::invalid_argument);
+}
+
+TEST(CliParser, BadDoubleThrows) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--rate=1.5x"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_THROW(p.get_double("rate"), std::invalid_argument);
+}
+
+TEST(CliParser, BadBoolThrows) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_THROW(p.get_bool("verbose"), std::invalid_argument);
+}
+
+TEST(CliParser, UnregisteredGetterThrows) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.get_string("missing"), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(p.parse(2, argv));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--count"), std::string::npos);
+}
+
+TEST(CliParser, UsageListsFlagsAndDefaults) {
+  CliParser p = make_parser();
+  const std::string usage = p.usage("prog");
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::util

@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace approxit::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvJoin, JoinsWithCommas) {
+  EXPECT_EQ(csv_join({"a", "b,c", "d"}), "a,\"b,c\",d");
+  EXPECT_EQ(csv_join({}), "");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/approxit_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"x", "y"});
+    writer.write_row_numeric({1.5, -2.0});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x,y\n1.5,-2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace approxit::util

@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace approxit::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+  // Reference value from the public-domain splitmix64 implementation.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64BoundAndCoverage) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10);
+    ASSERT_LT(v, 10u);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int c : seen) {
+    EXPECT_GT(c, 800);  // near-uniform
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(rng.gaussian());
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, GaussianAffine) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(rng.gaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(21);
+  Rng f1 = parent.fork(0);
+  Rng f2 = parent.fork(0);
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+
+  Rng g1 = parent.fork(1);
+  EXPECT_NE(f1.next_u64(), g1.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(33), b(33);
+  (void)a.fork(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace approxit::util

@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxit::util {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double v : values) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // unbiased
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(static_cast<double>(i)) * 10.0;
+    (i < 20 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(Stats, MeanVariance) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(Stats, CorrelationPerfect) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  for (double& v : y) v = -v;
+  EXPECT_NEAR(correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationDegenerate) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(correlation(x, {}), 0.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const std::vector<double> v = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1 clamped into bin 0, plus 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.5, 0.9, and 2.0 clamped into bin 1
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, v.size());
+}
+
+TEST(Stats, HistogramEdgeCases) {
+  EXPECT_TRUE(histogram({}, 0.0, 1.0, 0).empty());
+  const auto h = histogram({{0.5}}, 1.0, 1.0, 4);  // empty range
+  EXPECT_EQ(h.size(), 4u);
+}
+
+}  // namespace
+}  // namespace approxit::util

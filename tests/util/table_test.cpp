@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace approxit::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW({ const auto s = t.render(); (void)s; });
+}
+
+TEST(Table, SeparatorNotCountedAsRow) {
+  Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, AlignmentRightPadsLeft) {
+  Table t;
+  t.set_header({"col", "num"});
+  t.add_row({"r", "7"});
+  const std::string out = t.render();
+  // "num" column is right-aligned: the 7 should appear at the column's right
+  // edge, i.e. preceded by spaces.
+  EXPECT_NE(out.find("  7"), std::string::npos);
+}
+
+TEST(FormatHelpers, Significant) {
+  EXPECT_EQ(format_sig(0.051341, 3), "0.0513");
+  EXPECT_EQ(format_sig(126.0, 3), "126");
+  EXPECT_EQ(format_sig(4.431, 3), "4.43");
+}
+
+TEST(FormatHelpers, Fixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(FormatHelpers, Percent) {
+  EXPECT_EQ(format_percent(0.524, 1), "52.4%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FormatHelpers, NonFinite) {
+  EXPECT_EQ(format_sig(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_sig(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_fixed(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+}  // namespace
+}  // namespace approxit::util

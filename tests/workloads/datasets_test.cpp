@@ -1,0 +1,140 @@
+#include "workloads/datasets.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace approxit::workloads {
+namespace {
+
+TEST(GmmDatasets, Table2SizesAndParameters) {
+  const GmmDataset c3 = make_gmm_dataset(GmmDatasetId::k3cluster);
+  EXPECT_EQ(c3.name, "3cluster");
+  EXPECT_EQ(c3.size(), 1000u);
+  EXPECT_EQ(c3.dim, 2u);
+  EXPECT_EQ(c3.num_clusters, 3u);
+  EXPECT_EQ(c3.max_iter, 500u);
+  EXPECT_DOUBLE_EQ(c3.convergence_tol, 1e-10);
+
+  const GmmDataset d3 = make_gmm_dataset(GmmDatasetId::k3d3cluster);
+  EXPECT_EQ(d3.size(), 1900u);
+  EXPECT_EQ(d3.dim, 3u);
+  EXPECT_EQ(d3.num_clusters, 3u);
+  EXPECT_DOUBLE_EQ(d3.convergence_tol, 1e-6);
+
+  const GmmDataset c4 = make_gmm_dataset(GmmDatasetId::k4cluster);
+  EXPECT_EQ(c4.size(), 2350u);
+  EXPECT_EQ(c4.dim, 2u);
+  EXPECT_EQ(c4.num_clusters, 4u);
+}
+
+TEST(GmmDatasets, Deterministic) {
+  const GmmDataset a = make_gmm_dataset(GmmDatasetId::k3cluster);
+  const GmmDataset b = make_gmm_dataset(GmmDatasetId::k3cluster);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(GmmDatasets, LabelsInRange) {
+  for (GmmDatasetId id : all_gmm_datasets()) {
+    const GmmDataset ds = make_gmm_dataset(id);
+    ASSERT_EQ(ds.labels.size(), ds.size());
+    for (int label : ds.labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, static_cast<int>(ds.num_clusters));
+    }
+  }
+}
+
+TEST(GmmDatasets, EveryClusterPopulated) {
+  for (GmmDatasetId id : all_gmm_datasets()) {
+    const GmmDataset ds = make_gmm_dataset(id);
+    std::vector<int> counts(ds.num_clusters, 0);
+    for (int label : ds.labels) ++counts[static_cast<std::size_t>(label)];
+    for (int c : counts) {
+      EXPECT_GT(c, static_cast<int>(ds.size() / 10));
+    }
+  }
+}
+
+TEST(SeriesDatasets, Table2SizesAndParameters) {
+  const TimeSeriesDataset hs = make_series_dataset(SeriesId::kHangSeng);
+  EXPECT_EQ(hs.values.size(), 6694u);
+  EXPECT_EQ(hs.ar_order, 10u);
+  EXPECT_EQ(hs.max_iter, 1000u);
+  EXPECT_DOUBLE_EQ(hs.convergence_tol, 1e-13);
+
+  EXPECT_EQ(make_series_dataset(SeriesId::kNasdaq).values.size(), 10799u);
+  EXPECT_EQ(make_series_dataset(SeriesId::kSp500).values.size(), 16080u);
+}
+
+TEST(SeriesDatasets, PositiveLevels) {
+  for (SeriesId id : all_series_datasets()) {
+    const TimeSeriesDataset ds = make_series_dataset(id);
+    for (double v : ds.values) {
+      ASSERT_GT(v, 0.0) << ds.name;
+    }
+  }
+}
+
+TEST(SeriesDatasets, Deterministic) {
+  const auto a = make_series_dataset(SeriesId::kSp500);
+  const auto b = make_series_dataset(SeriesId::kSp500);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(GaussianBlobs, RespectsParameters) {
+  const GmmDataset ds = make_gaussian_blobs(4, 800, 3, 6.0, 1.0, 42);
+  EXPECT_EQ(ds.size(), 800u);
+  EXPECT_EQ(ds.dim, 3u);
+  EXPECT_EQ(ds.num_clusters, 4u);
+  EXPECT_EQ(ds.points.size(), 800u * 3u);
+}
+
+TEST(GaussianBlobs, RejectsDegenerateArguments) {
+  EXPECT_THROW(make_gaussian_blobs(0, 10, 2, 1.0, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_gaussian_blobs(2, 10, 0, 1.0, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(FinancialSeries, LengthAndStart) {
+  const TimeSeriesDataset ds = make_financial_series(500, 100.0, 0.0, 0.01, 5);
+  EXPECT_EQ(ds.values.size(), 500u);
+  // First value is one step from the start (multiplicative shock).
+  EXPECT_NEAR(ds.values[0], 100.0, 20.0);
+}
+
+TEST(FinancialSeries, AutocorrelationKnobWorks) {
+  // Log-return lag-1 autocorrelation should track the requested value.
+  auto returns = [](const TimeSeriesDataset& ds) {
+    std::vector<double> r;
+    for (std::size_t i = 1; i < ds.values.size(); ++i) {
+      r.push_back(std::log(ds.values[i] / ds.values[i - 1]));
+    }
+    return r;
+  };
+  const auto uncorrelated =
+      returns(make_financial_series(8000, 100.0, 0.0, 0.01, 11, 0.0));
+  const auto correlated =
+      returns(make_financial_series(8000, 100.0, 0.0, 0.01, 11, 0.8));
+
+  auto lag1 = [](const std::vector<double>& r) {
+    std::vector<double> a(r.begin(), r.end() - 1);
+    std::vector<double> b(r.begin() + 1, r.end());
+    return util::correlation(a, b);
+  };
+  EXPECT_NEAR(lag1(uncorrelated), 0.0, 0.1);
+  EXPECT_NEAR(lag1(correlated), 0.8, 0.1);
+}
+
+TEST(FinancialSeries, RejectsZeroLength) {
+  EXPECT_THROW(make_financial_series(0, 1.0, 0.0, 0.01, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::workloads

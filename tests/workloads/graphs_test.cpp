@@ -1,0 +1,111 @@
+#include "workloads/graphs.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace approxit::workloads {
+namespace {
+
+TEST(WebGraph, RespectsShape) {
+  const WebGraph g = make_web_graph(500, 4, 7);
+  EXPECT_EQ(g.nodes, 500u);
+  EXPECT_EQ(g.out_links.size(), 500u);
+  EXPECT_GT(g.edges(), 500u);
+  // Node 0 never links (it is the seed node).
+  for (std::size_t u = 0; u < g.nodes; ++u) {
+    for (std::uint32_t v : g.out_links[u]) {
+      EXPECT_LT(v, u) << "links must point to earlier nodes";
+    }
+  }
+}
+
+TEST(WebGraph, Deterministic) {
+  const WebGraph a = make_web_graph(200, 3, 11);
+  const WebGraph b = make_web_graph(200, 3, 11);
+  ASSERT_EQ(a.nodes, b.nodes);
+  for (std::size_t u = 0; u < a.nodes; ++u) {
+    EXPECT_EQ(a.out_links[u], b.out_links[u]);
+  }
+}
+
+TEST(WebGraph, LinksAreDistinctAndSorted) {
+  const WebGraph g = make_web_graph(300, 5, 13);
+  for (const auto& links : g.out_links) {
+    EXPECT_TRUE(std::is_sorted(links.begin(), links.end()));
+    EXPECT_EQ(std::adjacent_find(links.begin(), links.end()), links.end());
+  }
+}
+
+TEST(WebGraph, DanglingFractionProducesDanglingNodes) {
+  const WebGraph g = make_web_graph(1000, 4, 17, 0.1);
+  std::size_t dangling = 0;
+  for (const auto& links : g.out_links) {
+    if (links.empty()) ++dangling;
+  }
+  EXPECT_GT(dangling, 50u);
+  EXPECT_LT(dangling, 200u);
+}
+
+TEST(WebGraph, PreferentialAttachmentSkewsInDegree) {
+  const WebGraph g = make_web_graph(2000, 4, 19, 0.0);
+  std::vector<std::size_t> in_degree(g.nodes, 0);
+  for (const auto& links : g.out_links) {
+    for (std::uint32_t v : links) ++in_degree[v];
+  }
+  const std::size_t max_in =
+      *std::max_element(in_degree.begin(), in_degree.end());
+  const double mean_in =
+      static_cast<double>(g.edges()) / static_cast<double>(g.nodes);
+  // Heavy tail: the hub's in-degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(max_in), 10.0 * mean_in);
+}
+
+TEST(WebGraph, Validation) {
+  EXPECT_THROW(make_web_graph(1, 2, 1), std::invalid_argument);
+  EXPECT_THROW(make_web_graph(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_web_graph(10, 2, 1, 1.5), std::invalid_argument);
+}
+
+TEST(Classification, ShapeAndLabels) {
+  const ClassificationDataset ds = make_classification(400, 5, 3.0, 23);
+  EXPECT_EQ(ds.size(), 400u);
+  EXPECT_EQ(ds.dim, 5u);
+  EXPECT_EQ(ds.features.size(), 400u * 5u);
+  int zeros = 0, ones = 0;
+  for (int label : ds.labels) {
+    ASSERT_TRUE(label == 0 || label == 1);
+    (label == 0 ? zeros : ones)++;
+  }
+  // Roughly balanced classes.
+  EXPECT_GT(zeros, 120);
+  EXPECT_GT(ones, 120);
+}
+
+TEST(Classification, SeparationMakesClassesSeparable) {
+  // With large separation and no label noise, the class means along any
+  // coordinate used by the axis should differ measurably.
+  const ClassificationDataset ds = make_classification(2000, 3, 8.0, 29, 0.0);
+  std::vector<double> mean0(3, 0.0), mean1(3, 0.0);
+  int n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    auto& m = ds.labels[i] == 0 ? mean0 : mean1;
+    (ds.labels[i] == 0 ? n0 : n1)++;
+    for (std::size_t d = 0; d < 3; ++d) m[d] += ds.features[i * 3 + d];
+  }
+  double gap = 0.0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    gap += std::abs(mean1[d] / n1 - mean0[d] / n0);
+  }
+  EXPECT_GT(gap, 2.0);
+}
+
+TEST(Classification, Validation) {
+  EXPECT_THROW(make_classification(0, 2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_classification(10, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_classification(10, 2, 1.0, 1, 0.7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxit::workloads
