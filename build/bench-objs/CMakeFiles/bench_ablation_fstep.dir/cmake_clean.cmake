@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fstep"
+  "../bench/bench_ablation_fstep.pdb"
+  "CMakeFiles/bench_ablation_fstep.dir/bench_ablation_fstep.cpp.o"
+  "CMakeFiles/bench_ablation_fstep.dir/bench_ablation_fstep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

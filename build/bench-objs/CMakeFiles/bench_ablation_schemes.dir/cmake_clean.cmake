@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_schemes"
+  "../bench/bench_ablation_schemes.pdb"
+  "CMakeFiles/bench_ablation_schemes.dir/bench_ablation_schemes.cpp.o"
+  "CMakeFiles/bench_ablation_schemes.dir/bench_ablation_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

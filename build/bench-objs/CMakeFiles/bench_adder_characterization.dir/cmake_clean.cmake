@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adder_characterization"
+  "../bench/bench_adder_characterization.pdb"
+  "CMakeFiles/bench_adder_characterization.dir/bench_adder_characterization.cpp.o"
+  "CMakeFiles/bench_adder_characterization.dir/bench_adder_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

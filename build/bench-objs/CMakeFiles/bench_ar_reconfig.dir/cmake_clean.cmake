@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ar_reconfig"
+  "../bench/bench_ar_reconfig.pdb"
+  "CMakeFiles/bench_ar_reconfig.dir/bench_ar_reconfig.cpp.o"
+  "CMakeFiles/bench_ar_reconfig.dir/bench_ar_reconfig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ar_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

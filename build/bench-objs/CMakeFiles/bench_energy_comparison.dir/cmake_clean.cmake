@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_energy_comparison"
+  "../bench/bench_energy_comparison.pdb"
+  "CMakeFiles/bench_energy_comparison.dir/bench_energy_comparison.cpp.o"
+  "CMakeFiles/bench_energy_comparison.dir/bench_energy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_energy_model"
+  "../bench/bench_energy_model.pdb"
+  "CMakeFiles/bench_energy_model.dir/bench_energy_model.cpp.o"
+  "CMakeFiles/bench_energy_model.dir/bench_energy_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extended_apps"
+  "../bench/bench_extended_apps.pdb"
+  "CMakeFiles/bench_extended_apps.dir/bench_extended_apps.cpp.o"
+  "CMakeFiles/bench_extended_apps.dir/bench_extended_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_extended_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gmm_reconfig"
+  "../bench/bench_gmm_reconfig.pdb"
+  "CMakeFiles/bench_gmm_reconfig.dir/bench_gmm_reconfig.cpp.o"
+  "CMakeFiles/bench_gmm_reconfig.dir/bench_gmm_reconfig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmm_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gmm_single"
+  "../bench/bench_gmm_single.pdb"
+  "CMakeFiles/bench_gmm_single.dir/bench_gmm_single.cpp.o"
+  "CMakeFiles/bench_gmm_single.dir/bench_gmm_single.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmm_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_arith"
+  "../bench/bench_micro_arith.pdb"
+  "CMakeFiles/bench_micro_arith.dir/bench_micro_arith.cpp.o"
+  "CMakeFiles/bench_micro_arith.dir/bench_micro_arith.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

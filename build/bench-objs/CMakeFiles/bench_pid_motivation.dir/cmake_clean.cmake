@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pid_motivation"
+  "../bench/bench_pid_motivation.pdb"
+  "CMakeFiles/bench_pid_motivation.dir/bench_pid_motivation.cpp.o"
+  "CMakeFiles/bench_pid_motivation.dir/bench_pid_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pid_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rosenbrock_manifold"
+  "../bench/bench_rosenbrock_manifold.pdb"
+  "CMakeFiles/bench_rosenbrock_manifold.dir/bench_rosenbrock_manifold.cpp.o"
+  "CMakeFiles/bench_rosenbrock_manifold.dir/bench_rosenbrock_manifold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rosenbrock_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

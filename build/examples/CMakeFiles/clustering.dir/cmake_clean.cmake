@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering.dir/clustering.cpp.o"
+  "CMakeFiles/clustering.dir/clustering.cpp.o.d"
+  "clustering"
+  "clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_solver.cpp" "examples/CMakeFiles/custom_solver.dir/custom_solver.cpp.o" "gcc" "examples/CMakeFiles/custom_solver.dir/custom_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approxit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/approxit_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approxit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/approxit_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_apps.dir/autoregression.cpp.o"
+  "CMakeFiles/approxit_apps.dir/autoregression.cpp.o.d"
+  "CMakeFiles/approxit_apps.dir/gmm.cpp.o"
+  "CMakeFiles/approxit_apps.dir/gmm.cpp.o.d"
+  "CMakeFiles/approxit_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/approxit_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/approxit_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/approxit_apps.dir/pagerank.cpp.o.d"
+  "libapproxit_apps.a"
+  "libapproxit_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for approxit_apps.
+# This may be replaced when dependencies are built.

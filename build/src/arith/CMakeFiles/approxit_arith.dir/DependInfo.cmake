@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/adder.cpp" "src/arith/CMakeFiles/approxit_arith.dir/adder.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/adder.cpp.o.d"
+  "/root/repo/src/arith/alu.cpp" "src/arith/CMakeFiles/approxit_arith.dir/alu.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/alu.cpp.o.d"
+  "/root/repo/src/arith/approx_adders.cpp" "src/arith/CMakeFiles/approxit_arith.dir/approx_adders.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/approx_adders.cpp.o.d"
+  "/root/repo/src/arith/energy.cpp" "src/arith/CMakeFiles/approxit_arith.dir/energy.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/energy.cpp.o.d"
+  "/root/repo/src/arith/error_metrics.cpp" "src/arith/CMakeFiles/approxit_arith.dir/error_metrics.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/arith/exact_adders.cpp" "src/arith/CMakeFiles/approxit_arith.dir/exact_adders.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/exact_adders.cpp.o.d"
+  "/root/repo/src/arith/fixed_point.cpp" "src/arith/CMakeFiles/approxit_arith.dir/fixed_point.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/arith/mode.cpp" "src/arith/CMakeFiles/approxit_arith.dir/mode.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/mode.cpp.o.d"
+  "/root/repo/src/arith/multipliers.cpp" "src/arith/CMakeFiles/approxit_arith.dir/multipliers.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/multipliers.cpp.o.d"
+  "/root/repo/src/arith/wce_analysis.cpp" "src/arith/CMakeFiles/approxit_arith.dir/wce_analysis.cpp.o" "gcc" "src/arith/CMakeFiles/approxit_arith.dir/wce_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

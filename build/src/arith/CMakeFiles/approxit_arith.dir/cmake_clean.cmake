@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_arith.dir/adder.cpp.o"
+  "CMakeFiles/approxit_arith.dir/adder.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/alu.cpp.o"
+  "CMakeFiles/approxit_arith.dir/alu.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/approx_adders.cpp.o"
+  "CMakeFiles/approxit_arith.dir/approx_adders.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/energy.cpp.o"
+  "CMakeFiles/approxit_arith.dir/energy.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/error_metrics.cpp.o"
+  "CMakeFiles/approxit_arith.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/exact_adders.cpp.o"
+  "CMakeFiles/approxit_arith.dir/exact_adders.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/fixed_point.cpp.o"
+  "CMakeFiles/approxit_arith.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/mode.cpp.o"
+  "CMakeFiles/approxit_arith.dir/mode.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/multipliers.cpp.o"
+  "CMakeFiles/approxit_arith.dir/multipliers.cpp.o.d"
+  "CMakeFiles/approxit_arith.dir/wce_analysis.cpp.o"
+  "CMakeFiles/approxit_arith.dir/wce_analysis.cpp.o.d"
+  "libapproxit_arith.a"
+  "libapproxit_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_strategy.cpp" "src/core/CMakeFiles/approxit_core.dir/adaptive_strategy.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/adaptive_strategy.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/approxit_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/guarantees.cpp" "src/core/CMakeFiles/approxit_core.dir/guarantees.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/guarantees.cpp.o.d"
+  "/root/repo/src/core/incremental_strategy.cpp" "src/core/CMakeFiles/approxit_core.dir/incremental_strategy.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/incremental_strategy.cpp.o.d"
+  "/root/repo/src/core/mode_mix.cpp" "src/core/CMakeFiles/approxit_core.dir/mode_mix.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/mode_mix.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/approxit_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/approxit_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/pid_strategy.cpp" "src/core/CMakeFiles/approxit_core.dir/pid_strategy.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/pid_strategy.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/approxit_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/approxit_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/approxit_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/approxit_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/approxit_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/approxit_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/approxit_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

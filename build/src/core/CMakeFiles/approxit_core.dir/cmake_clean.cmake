@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_core.dir/adaptive_strategy.cpp.o"
+  "CMakeFiles/approxit_core.dir/adaptive_strategy.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/characterization.cpp.o"
+  "CMakeFiles/approxit_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/guarantees.cpp.o"
+  "CMakeFiles/approxit_core.dir/guarantees.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/incremental_strategy.cpp.o"
+  "CMakeFiles/approxit_core.dir/incremental_strategy.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/mode_mix.cpp.o"
+  "CMakeFiles/approxit_core.dir/mode_mix.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/oracle.cpp.o"
+  "CMakeFiles/approxit_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/pareto.cpp.o"
+  "CMakeFiles/approxit_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/pid_strategy.cpp.o"
+  "CMakeFiles/approxit_core.dir/pid_strategy.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/quality.cpp.o"
+  "CMakeFiles/approxit_core.dir/quality.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/report_io.cpp.o"
+  "CMakeFiles/approxit_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/session.cpp.o"
+  "CMakeFiles/approxit_core.dir/session.cpp.o.d"
+  "CMakeFiles/approxit_core.dir/sweep.cpp.o"
+  "CMakeFiles/approxit_core.dir/sweep.cpp.o.d"
+  "libapproxit_core.a"
+  "libapproxit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

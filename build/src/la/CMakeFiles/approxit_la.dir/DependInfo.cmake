@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/decomp.cpp" "src/la/CMakeFiles/approxit_la.dir/decomp.cpp.o" "gcc" "src/la/CMakeFiles/approxit_la.dir/decomp.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/approxit_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/approxit_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/vector_ops.cpp" "src/la/CMakeFiles/approxit_la.dir/vector_ops.cpp.o" "gcc" "src/la/CMakeFiles/approxit_la.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_la.dir/decomp.cpp.o"
+  "CMakeFiles/approxit_la.dir/decomp.cpp.o.d"
+  "CMakeFiles/approxit_la.dir/matrix.cpp.o"
+  "CMakeFiles/approxit_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/approxit_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/approxit_la.dir/vector_ops.cpp.o.d"
+  "libapproxit_la.a"
+  "libapproxit_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/conjugate_gradient.cpp" "src/opt/CMakeFiles/approxit_opt.dir/conjugate_gradient.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/conjugate_gradient.cpp.o.d"
+  "/root/repo/src/opt/gradient_descent.cpp" "src/opt/CMakeFiles/approxit_opt.dir/gradient_descent.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/gradient_descent.cpp.o.d"
+  "/root/repo/src/opt/line_search.cpp" "src/opt/CMakeFiles/approxit_opt.dir/line_search.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/line_search.cpp.o.d"
+  "/root/repo/src/opt/linear_stationary.cpp" "src/opt/CMakeFiles/approxit_opt.dir/linear_stationary.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/linear_stationary.cpp.o.d"
+  "/root/repo/src/opt/logistic.cpp" "src/opt/CMakeFiles/approxit_opt.dir/logistic.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/logistic.cpp.o.d"
+  "/root/repo/src/opt/newton.cpp" "src/opt/CMakeFiles/approxit_opt.dir/newton.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/newton.cpp.o.d"
+  "/root/repo/src/opt/nonlinear_cg.cpp" "src/opt/CMakeFiles/approxit_opt.dir/nonlinear_cg.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/nonlinear_cg.cpp.o.d"
+  "/root/repo/src/opt/problem.cpp" "src/opt/CMakeFiles/approxit_opt.dir/problem.cpp.o" "gcc" "src/opt/CMakeFiles/approxit_opt.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/approxit_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

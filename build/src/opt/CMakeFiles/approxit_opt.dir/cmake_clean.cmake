@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_opt.dir/conjugate_gradient.cpp.o"
+  "CMakeFiles/approxit_opt.dir/conjugate_gradient.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/gradient_descent.cpp.o"
+  "CMakeFiles/approxit_opt.dir/gradient_descent.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/line_search.cpp.o"
+  "CMakeFiles/approxit_opt.dir/line_search.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/linear_stationary.cpp.o"
+  "CMakeFiles/approxit_opt.dir/linear_stationary.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/logistic.cpp.o"
+  "CMakeFiles/approxit_opt.dir/logistic.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/newton.cpp.o"
+  "CMakeFiles/approxit_opt.dir/newton.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/nonlinear_cg.cpp.o"
+  "CMakeFiles/approxit_opt.dir/nonlinear_cg.cpp.o.d"
+  "CMakeFiles/approxit_opt.dir/problem.cpp.o"
+  "CMakeFiles/approxit_opt.dir/problem.cpp.o.d"
+  "libapproxit_opt.a"
+  "libapproxit_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

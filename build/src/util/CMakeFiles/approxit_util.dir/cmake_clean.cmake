@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_util.dir/cli.cpp.o"
+  "CMakeFiles/approxit_util.dir/cli.cpp.o.d"
+  "CMakeFiles/approxit_util.dir/csv.cpp.o"
+  "CMakeFiles/approxit_util.dir/csv.cpp.o.d"
+  "CMakeFiles/approxit_util.dir/logging.cpp.o"
+  "CMakeFiles/approxit_util.dir/logging.cpp.o.d"
+  "CMakeFiles/approxit_util.dir/rng.cpp.o"
+  "CMakeFiles/approxit_util.dir/rng.cpp.o.d"
+  "CMakeFiles/approxit_util.dir/stats.cpp.o"
+  "CMakeFiles/approxit_util.dir/stats.cpp.o.d"
+  "CMakeFiles/approxit_util.dir/table.cpp.o"
+  "CMakeFiles/approxit_util.dir/table.cpp.o.d"
+  "libapproxit_util.a"
+  "libapproxit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

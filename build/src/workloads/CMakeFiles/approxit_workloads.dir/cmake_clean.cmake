@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxit_workloads.dir/datasets.cpp.o"
+  "CMakeFiles/approxit_workloads.dir/datasets.cpp.o.d"
+  "CMakeFiles/approxit_workloads.dir/graphs.cpp.o"
+  "CMakeFiles/approxit_workloads.dir/graphs.cpp.o.d"
+  "libapproxit_workloads.a"
+  "libapproxit_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxit_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

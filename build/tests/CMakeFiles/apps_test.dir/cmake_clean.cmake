@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_test.dir/apps/autoregression_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/autoregression_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/end_to_end_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/end_to_end_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/gmm_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/gmm_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/kmeans_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/kmeans_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/pagerank_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/pagerank_test.cpp.o.d"
+  "apps_test"
+  "apps_test.pdb"
+  "apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

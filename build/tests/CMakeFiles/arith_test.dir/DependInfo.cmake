@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arith/adder_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/adder_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/adder_test.cpp.o.d"
+  "/root/repo/tests/arith/alu_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/alu_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/alu_test.cpp.o.d"
+  "/root/repo/tests/arith/approx_adder_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/approx_adder_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/approx_adder_test.cpp.o.d"
+  "/root/repo/tests/arith/energy_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/energy_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/energy_test.cpp.o.d"
+  "/root/repo/tests/arith/error_metrics_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/error_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/error_metrics_test.cpp.o.d"
+  "/root/repo/tests/arith/family_properties_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/family_properties_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/family_properties_test.cpp.o.d"
+  "/root/repo/tests/arith/fixed_point_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/fixed_point_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/fixed_point_test.cpp.o.d"
+  "/root/repo/tests/arith/multiplier_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/multiplier_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/multiplier_test.cpp.o.d"
+  "/root/repo/tests/arith/toggle_energy_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/toggle_energy_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/toggle_energy_test.cpp.o.d"
+  "/root/repo/tests/arith/wce_analysis_test.cpp" "tests/CMakeFiles/arith_test.dir/arith/wce_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/arith_test.dir/arith/wce_analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approxit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/approxit_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approxit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/approxit_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

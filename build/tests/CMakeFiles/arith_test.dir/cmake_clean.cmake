@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_test.dir/arith/adder_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/adder_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/alu_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/alu_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/approx_adder_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/approx_adder_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/energy_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/energy_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/error_metrics_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/error_metrics_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/family_properties_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/family_properties_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/fixed_point_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/fixed_point_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/multiplier_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/multiplier_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/toggle_energy_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/toggle_energy_test.cpp.o.d"
+  "CMakeFiles/arith_test.dir/arith/wce_analysis_test.cpp.o"
+  "CMakeFiles/arith_test.dir/arith/wce_analysis_test.cpp.o.d"
+  "arith_test"
+  "arith_test.pdb"
+  "arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/characterize_many_test.cpp" "tests/CMakeFiles/core_test.dir/core/characterize_many_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/characterize_many_test.cpp.o.d"
+  "/root/repo/tests/core/guarantees_test.cpp" "tests/CMakeFiles/core_test.dir/core/guarantees_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/guarantees_test.cpp.o.d"
+  "/root/repo/tests/core/mode_mix_test.cpp" "tests/CMakeFiles/core_test.dir/core/mode_mix_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mode_mix_test.cpp.o.d"
+  "/root/repo/tests/core/oracle_test.cpp" "tests/CMakeFiles/core_test.dir/core/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/oracle_test.cpp.o.d"
+  "/root/repo/tests/core/quality_test.cpp" "tests/CMakeFiles/core_test.dir/core/quality_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/quality_test.cpp.o.d"
+  "/root/repo/tests/core/report_io_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_io_test.cpp.o.d"
+  "/root/repo/tests/core/session_semantics_test.cpp" "tests/CMakeFiles/core_test.dir/core/session_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/session_semantics_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/core/strategies_test.cpp" "tests/CMakeFiles/core_test.dir/core/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approxit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/approxit_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approxit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/approxit_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/approxit_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/approxit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/characterize_many_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/characterize_many_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/guarantees_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/guarantees_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/mode_mix_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/mode_mix_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/oracle_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/oracle_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/quality_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/quality_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/session_semantics_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/session_semantics_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/strategies_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/strategies_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test.dir/la/decomp_test.cpp.o"
+  "CMakeFiles/la_test.dir/la/decomp_test.cpp.o.d"
+  "CMakeFiles/la_test.dir/la/matrix_test.cpp.o"
+  "CMakeFiles/la_test.dir/la/matrix_test.cpp.o.d"
+  "CMakeFiles/la_test.dir/la/vector_ops_test.cpp.o"
+  "CMakeFiles/la_test.dir/la/vector_ops_test.cpp.o.d"
+  "la_test"
+  "la_test.pdb"
+  "la_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test.dir/workloads/datasets_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/datasets_test.cpp.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/graphs_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/graphs_test.cpp.o.d"
+  "workloads_test"
+  "workloads_test.pdb"
+  "workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
