@@ -27,7 +27,7 @@ int run() {
                     "Incr saving", "Adapt total", "Adapt/iter",
                     "Adapt saving"});
 
-  util::CsvWriter csv("gmm_fig4_energy.csv");
+  util::CsvWriter csv(bench::artifact_path("gmm_fig4_energy.csv"));
   csv.write_row({"dataset", "strategy", "iteration", "energy"});
 
   for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
@@ -87,7 +87,7 @@ int run() {
       "\n'total' columns are energies on the approximate parts normalized "
       "to the Truth run;\n'/iter' columns are mean per-iteration energies "
       "normalized to Truth's per-iteration energy.\nPer-iteration series "
-      "written to gmm_fig4_energy.csv.\n");
+      "written to bench_artifacts/gmm_fig4_energy.csv.\n");
   return 0;
 }
 

@@ -28,7 +28,8 @@ struct SingleModeRow {
 void dump_figure3_csv(const workloads::GmmDataset& ds,
                       const std::vector<int>& assignments,
                       const std::string& config) {
-  const std::string path = "gmm_fig3_" + config + ".csv";
+  const std::string path =
+      bench::artifact_path("gmm_fig3_" + config + ".csv");
   util::CsvWriter csv(path);
   csv.write_row({"x", "y", "cluster"});
   for (std::size_t i = 0; i < ds.size(); ++i) {

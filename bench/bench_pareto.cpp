@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "apps/gmm.h"
+#include "bench/common.h"
 #include "core/pareto.h"
 #include "core/sweep.h"
 #include "util/table.h"
@@ -56,7 +57,8 @@ int run() {
     }
     std::cout << table << "\n";
 
-    const std::string path = "gmm_pareto_" + ds.name + ".csv";
+    const std::string path =
+        bench::artifact_path("gmm_pareto_" + ds.name + ".csv");
     std::ofstream out(path);
     out << core::pareto_csv(sweep.points);
     std::printf("Wrote %s\n\n", path.c_str());

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -18,6 +19,15 @@
 #include "util/table.h"
 
 namespace approxit::bench {
+
+/// Returns "bench_artifacts/<filename>", creating the directory when
+/// missing — every benchmark CSV lands there instead of littering the
+/// working directory.
+inline std::string artifact_path(const std::string& filename) {
+  const std::filesystem::path dir("bench_artifacts");
+  std::filesystem::create_directories(dir);
+  return (dir / filename).string();
+}
 
 /// Runs one session with a shared characterization.
 inline core::RunReport run_once(opt::IterativeMethod& method,

@@ -5,6 +5,7 @@
 //
 //   build/examples/clustering --clusters=4 --points=1500 --separation=4.5
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "apps/gmm.h"
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
   cli.add_flag("separation", "4.5", "cluster center separation");
   cli.add_flag("spread", "1.1", "cluster standard-deviation scale");
   cli.add_flag("seed", "7", "dataset seed");
-  cli.add_flag("csv", "clustering_result.csv", "output CSV path");
+  cli.add_flag("csv", "bench_artifacts/clustering_result.csv",
+               "output CSV path");
   if (!cli.parse(argc, argv)) return 0;
 
   auto ds = workloads::make_gaussian_blobs(
@@ -80,8 +82,9 @@ int main(int argc, char** argv) {
   apps::GmmEm incr_method(ds);
   core::IncrementalStrategy incremental;
   const core::RunReport incr = run(incremental, incr_method);
-  core::write_trace_csv(incr, "clustering_trace.csv");
-  core::write_report_json(incr, "clustering_report.json");
+  std::filesystem::create_directories("bench_artifacts");
+  core::write_trace_csv(incr, "bench_artifacts/clustering_trace.csv");
+  core::write_report_json(incr, "bench_artifacts/clustering_report.json");
   table.add_row({"incremental", std::to_string(incr.iterations),
                  std::to_string(apps::hamming_distance(
                      truth_assign, incr_method.assignments())),
@@ -99,6 +102,10 @@ int main(int argc, char** argv) {
   std::cout << table;
 
   const std::string csv_path = cli.get_string("csv");
+  if (const auto parent = std::filesystem::path(csv_path).parent_path();
+      !parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
   util::CsvWriter csv(csv_path);
   csv.write_row({"x", "y", "truth_cluster", "incremental_cluster"});
   const std::vector<int> incr_assign = incr_method.assignments();
@@ -110,7 +117,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\nAssignments written to %s\n", csv_path.c_str());
   std::printf(
-      "Incremental run trace written to clustering_trace.csv, summary to "
+      "Incremental run trace written to bench_artifacts/"
+      "clustering_trace.csv, summary to bench_artifacts/"
       "clustering_report.json\n");
   return 0;
 }

@@ -16,10 +16,12 @@
 //                 - error_metrics.h   ER/ME/MED/MRED/WCE characterization
 //                 - wce_analysis.h    analytic worst-case error bounds
 //                 - energy.h          structural + toggle energy models
+//                 - fault_injector.h  FaultyQcsAlu: transient-fault model
 //   la/         dense linear algebra (exact + context-routed kernels)
 //   opt/        IterativeMethod interface, problems and solvers
 //   core/       ApproxIt itself: characterization, strategies, session,
-//               guarantees, oracle, sweep/Pareto analysis, report export
+//               guarantees, watchdog + checkpointed recovery, oracle,
+//               sweep/Pareto analysis, report export
 //   workloads/  seeded synthetic datasets, graphs, series, classification
 //   apps/       GMM-EM, AutoRegression, K-means, PageRank
 //
@@ -38,6 +40,7 @@
 #include "arith/energy.h"
 #include "arith/error_metrics.h"
 #include "arith/exact_adders.h"
+#include "arith/fault_injector.h"
 #include "arith/fixed_point.h"
 #include "arith/mode.h"
 #include "arith/multipliers.h"
@@ -70,6 +73,7 @@
 #include "core/session.h"
 #include "core/static_strategy.h"
 #include "core/sweep.h"
+#include "core/watchdog.h"
 
 #include "workloads/datasets.h"
 #include "workloads/graphs.h"

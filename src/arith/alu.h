@@ -48,7 +48,12 @@ struct QcsConfig {
 ///
 /// Thread-compatible: concurrent use requires external synchronization
 /// (the ledger and mode are mutable state).
-class QcsAlu final : public ArithContext {
+///
+/// Not final: FaultyQcsAlu (fault_injector.h) decorates the routed
+/// operations with transient-fault injection. accumulate()/dot() fold
+/// through the virtual add(), so overriding add()/sub() is sufficient to
+/// intercept every routed operation.
+class QcsAlu : public ArithContext {
  public:
   /// Builds the default QCS (QcsConfigurableAdder bank) per `config`.
   explicit QcsAlu(const QcsConfig& config = QcsConfig{});

@@ -1,0 +1,202 @@
+#include "arith/fault_injector.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "arith/fixed_point.h"
+
+namespace approxit::arith {
+
+void FaultConfig::validate() const {
+  double max_rate = 0.0;
+  for (double rate : rate_per_op) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument(
+          "FaultConfig: per-op fault rates must be in [0, 1]");
+    }
+    max_rate = rate > max_rate ? rate : max_rate;
+  }
+  if (bit_flip_weight < 0.0 || stuck_at_weight < 0.0 || burst_weight < 0.0) {
+    throw std::invalid_argument(
+        "FaultConfig: fault-kind weights must be non-negative");
+  }
+  const double total_weight =
+      bit_flip_weight + stuck_at_weight + burst_weight;
+  if (max_rate > 0.0 && total_weight <= 0.0) {
+    throw std::invalid_argument(
+        "FaultConfig: positive fault rate requires a positive kind weight");
+  }
+  if (burst_max_length == 0) {
+    throw std::invalid_argument(
+        "FaultConfig: burst_max_length must be positive");
+  }
+}
+
+FaultConfig FaultConfig::uniform_approximate(double rate,
+                                             std::uint64_t seed) {
+  FaultConfig config;
+  for (ApproxMode mode :
+       {ApproxMode::kLevel1, ApproxMode::kLevel2, ApproxMode::kLevel3,
+        ApproxMode::kLevel4}) {
+    config.rate_per_op[mode_index(mode)] = rate;
+  }
+  config.seed = seed;
+  return config;
+}
+
+FaultConfig FaultConfig::voltage_droop(double level1_rate,
+                                       std::uint64_t seed) {
+  FaultConfig config;
+  double rate = level1_rate;
+  for (ApproxMode mode :
+       {ApproxMode::kLevel1, ApproxMode::kLevel2, ApproxMode::kLevel3,
+        ApproxMode::kLevel4}) {
+    config.rate_per_op[mode_index(mode)] = rate;
+    rate *= 0.5;
+  }
+  config.bit_flip_weight = 0.7;
+  config.stuck_at_weight = 0.1;
+  config.burst_weight = 0.2;
+  config.seed = seed;
+  return config;
+}
+
+std::size_t FaultLedger::injected() const {
+  std::size_t total = 0;
+  for (std::size_t count : injected_per_mode) total += count;
+  return total;
+}
+
+void FaultLedger::reset() {
+  total_ops = 0;
+  injected_per_mode.fill(0);
+  injected_per_kind.fill(0);
+  bit_position_counts.assign(bit_position_counts.size(), 0);
+}
+
+std::string FaultLedger::summary() const {
+  std::ostringstream os;
+  os << "faults: " << injected() << "/" << total_ops << " ops [";
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (k > 0) os << ", ";
+    os << fault_kind_name(static_cast<FaultKind>(static_cast<int>(k)))
+       << ":" << injected_per_kind[k];
+  }
+  os << "], per mode [";
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (i > 0) os << ", ";
+    os << mode_name(mode_from_index(i)) << ":" << injected_per_mode[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+FaultyQcsAlu::FaultyQcsAlu(const FaultConfig& fault, const QcsConfig& config)
+    : QcsAlu(config), fault_(fault), rng_(fault.seed) {
+  fault_.validate();
+  if (fault_.stuck_at_bit >= format().total_bits) {
+    throw std::invalid_argument(
+        "FaultConfig: stuck_at_bit outside the datapath width");
+  }
+  fault_ledger_.bit_position_counts.assign(format().total_bits, 0);
+}
+
+FaultyQcsAlu::FaultyQcsAlu(const FaultConfig& fault, const QFormat& format,
+                           std::array<AdderPtr, kNumModes> adders,
+                           const EnergyParams& energy)
+    : QcsAlu(format, std::move(adders), energy),
+      fault_(fault),
+      rng_(fault.seed) {
+  fault_.validate();
+  if (fault_.stuck_at_bit >= this->format().total_bits) {
+    throw std::invalid_argument(
+        "FaultConfig: stuck_at_bit outside the datapath width");
+  }
+  fault_ledger_.bit_position_counts.assign(this->format().total_bits, 0);
+}
+
+double FaultyQcsAlu::add(double a, double b) {
+  return perturb(QcsAlu::add(a, b));
+}
+
+double FaultyQcsAlu::sub(double a, double b) {
+  return perturb(QcsAlu::sub(a, b));
+}
+
+void FaultyQcsAlu::reset_faults() {
+  rng_ = util::Rng(fault_.seed);
+  fault_ledger_.reset();
+  droop_remaining_ = 0;
+}
+
+FaultKind FaultyQcsAlu::draw_kind() {
+  const double total =
+      fault_.bit_flip_weight + fault_.stuck_at_weight + fault_.burst_weight;
+  const double pick = rng_.uniform(0.0, total);
+  if (pick < fault_.bit_flip_weight) return FaultKind::kBitFlip;
+  if (pick < fault_.bit_flip_weight + fault_.stuck_at_weight) {
+    return FaultKind::kStuckAt;
+  }
+  return FaultKind::kBurst;
+}
+
+Word FaultyQcsAlu::apply_fault(Word word, FaultKind kind) {
+  const unsigned width = format().total_bits;
+  const Word mask = word_mask(width);
+  switch (kind) {
+    case FaultKind::kBitFlip: {
+      const unsigned bit =
+          static_cast<unsigned>(rng_.uniform_u64(width));
+      ++fault_ledger_.bit_position_counts[bit];
+      return (word ^ (Word{1} << bit)) & mask;
+    }
+    case FaultKind::kStuckAt: {
+      const unsigned bit = fault_.stuck_at_bit;
+      ++fault_ledger_.bit_position_counts[bit];
+      const Word select = Word{1} << bit;
+      return (fault_.stuck_at_value ? (word | select) : (word & ~select)) &
+             mask;
+    }
+    case FaultKind::kBurst: {
+      const unsigned max_len =
+          fault_.burst_max_length < width ? fault_.burst_max_length : width;
+      const unsigned length =
+          1 + static_cast<unsigned>(rng_.uniform_u64(max_len));
+      const unsigned start = static_cast<unsigned>(
+          rng_.uniform_u64(width - length + 1));
+      for (unsigned bit = start; bit < start + length; ++bit) {
+        ++fault_ledger_.bit_position_counts[bit];
+      }
+      const Word burst_mask = word_mask(length) << start;
+      return (word ^ burst_mask) & mask;
+    }
+  }
+  return word & mask;
+}
+
+double FaultyQcsAlu::perturb(double value) {
+  ++fault_ledger_.total_ops;
+
+  const double rate = fault_.rate_per_op[mode_index(mode())];
+  FaultKind kind;
+  if (droop_remaining_ > 0) {
+    // The supply rail has not recovered from the last burst: this
+    // operation faults regardless of the per-op rate.
+    --droop_remaining_;
+    kind = FaultKind::kBurst;
+  } else if (rate > 0.0 && rng_.uniform() < rate) {
+    kind = draw_kind();
+    if (kind == FaultKind::kBurst) {
+      droop_remaining_ = fault_.droop_persistence;
+    }
+  } else {
+    return value;  // Clean pass-through (bit-identical to QcsAlu).
+  }
+
+  ++fault_ledger_.injected_per_mode[mode_index(mode())];
+  ++fault_ledger_.injected_per_kind[static_cast<std::size_t>(kind)];
+  const Word clean = quantize(value, format());
+  return dequantize(apply_fault(clean, kind), format());
+}
+
+}  // namespace approxit::arith

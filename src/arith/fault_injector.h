@@ -1,0 +1,172 @@
+// Transient-fault injection for the QCS datapath.
+//
+// ApproxIt's hardware platform is voltage-overscaled: the approximate
+// adder levels trade accuracy for energy by letting timing errors through.
+// The clean adder models in this repository capture the DETERMINISTIC
+// approximation error only; FaultyQcsAlu adds the misbehaving-hardware
+// part — stochastic transient faults in the adder outputs — so the online
+// schemes and the convergence watchdog can be exercised against the error
+// regime the paper's platform actually produces:
+//
+//  - Bit flips: a single uniformly chosen output bit inverts (particle
+//    strike / marginal timing on one sum bit).
+//  - Stuck-at faults: a configured bit position reads a constant
+//    (manufacturing defect or a latch stuck under drooped voltage).
+//  - Burst errors: a contiguous run of output bits inverts and the fault
+//    persists for a few subsequent operations (supply-voltage droop: once
+//    the rail sags, several back-to-back operations resolve late).
+//
+// Faults are driven by a seeded util::Rng with PER-MODE rates (overscaled
+// approximate levels fault; the nominal-voltage accurate mode typically
+// does not), and every injection is recorded in a FaultLedger. With all
+// rates zero the injector is a bit-identical pass-through of QcsAlu.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arith/alu.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+
+/// Kinds of injected transient faults.
+enum class FaultKind : int {
+  kBitFlip = 0,  ///< One uniformly chosen output bit inverts.
+  kStuckAt = 1,  ///< A configured bit position reads a constant.
+  kBurst = 2,    ///< A contiguous bit run inverts; persists across ops.
+};
+
+/// Number of fault kinds.
+inline constexpr std::size_t kNumFaultKinds = 3;
+
+/// Human-readable fault-kind label ("bit_flip", "stuck_at", "burst").
+constexpr std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kStuckAt:
+      return "stuck_at";
+    case FaultKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+/// Configuration of the fault process. Defaults are a zero-rate
+/// pass-through: no RNG draw, no perturbation, bit-identical to QcsAlu.
+struct FaultConfig {
+  /// Per-operation fault probability of each mode. Voltage overscaling
+  /// motivates a decreasing profile (level1 most overscaled, accurate at
+  /// nominal voltage fault-free), but any profile is accepted.
+  std::array<double, kNumModes> rate_per_op{};
+  /// Relative weights of the fault kinds when a fault fires. Kinds with
+  /// zero weight never fire; at least one weight must be positive whenever
+  /// any rate is positive.
+  double bit_flip_weight = 1.0;
+  double stuck_at_weight = 0.0;
+  double burst_weight = 0.0;
+  /// Stuck-at fault: bit position (must be < format total bits) and value.
+  unsigned stuck_at_bit = 0;
+  bool stuck_at_value = true;
+  /// Burst fault: maximum contiguous flipped-bit run (clamped to width).
+  unsigned burst_max_length = 6;
+  /// After a burst fires, this many FOLLOWING operations also take a burst
+  /// fault regardless of the rate (the droop has not recovered yet).
+  unsigned droop_persistence = 2;
+  /// RNG seed; the fault stream is a deterministic function of the seed
+  /// and the operation sequence.
+  std::uint64_t seed = 0x0fa417;
+
+  /// Throws std::invalid_argument on negative rates/weights, rates > 1,
+  /// or all-zero kind weights combined with a positive rate.
+  void validate() const;
+
+  /// Uniform rate across the four approximate levels; the accurate mode
+  /// stays fault-free (nominal voltage). Bit flips only.
+  static FaultConfig uniform_approximate(double rate,
+                                         std::uint64_t seed = 0x0fa417);
+
+  /// Voltage-droop profile: rate decays by half per accuracy level from
+  /// `level1_rate` (accurate mode fault-free), with bit-flip, stuck-at and
+  /// burst faults mixed 70/10/20.
+  static FaultConfig voltage_droop(double level1_rate,
+                                   std::uint64_t seed = 0x0fa417);
+};
+
+/// Injection statistics of one run.
+struct FaultLedger {
+  /// Operations routed through the injector (faulted or not).
+  std::size_t total_ops = 0;
+  /// Injections per mode / per kind.
+  std::array<std::size_t, kNumModes> injected_per_mode{};
+  std::array<std::size_t, kNumFaultKinds> injected_per_kind{};
+  /// Times each bit position was inverted or forced (index = bit).
+  std::vector<std::size_t> bit_position_counts;
+
+  /// Total injected faults across modes.
+  std::size_t injected() const;
+
+  /// Injections in one mode / of one kind.
+  std::size_t injected_in(ApproxMode mode) const {
+    return injected_per_mode[mode_index(mode)];
+  }
+  std::size_t injected_of(FaultKind kind) const {
+    return injected_per_kind[static_cast<std::size_t>(kind)];
+  }
+
+  /// Clears all counters.
+  void reset();
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+/// QcsAlu decorator injecting transient faults into routed adder outputs.
+///
+/// Every routed operation (add, sub, and each partial sum of accumulate/
+/// dot) first computes the clean mode result through QcsAlu, then — with
+/// the active mode's configured probability — perturbs the result word.
+/// Energy accounting is untouched: a faulty operation costs what the clean
+/// one does, as in hardware.
+class FaultyQcsAlu : public QcsAlu {
+ public:
+  /// Default GDA adder bank with fault injection per `fault`.
+  explicit FaultyQcsAlu(const FaultConfig& fault = FaultConfig{},
+                        const QcsConfig& config = QcsConfig{});
+
+  /// Custom adder bank with fault injection per `fault`.
+  FaultyQcsAlu(const FaultConfig& fault, const QFormat& format,
+               std::array<AdderPtr, kNumModes> adders,
+               const EnergyParams& energy = EnergyParams::defaults());
+
+  double add(double a, double b) override;
+  double sub(double a, double b) override;
+
+  /// Injection statistics since construction or reset_faults().
+  const FaultLedger& fault_ledger() const { return fault_ledger_; }
+
+  /// The active fault configuration.
+  const FaultConfig& fault_config() const { return fault_; }
+
+  /// Re-seeds the fault RNG, clears the fault ledger and any pending
+  /// droop state — the next run sees the identical fault stream.
+  void reset_faults();
+
+ private:
+  /// Applies the fault process to a clean result value.
+  double perturb(double value);
+  /// Perturbs the quantized result word with a fault of `kind`.
+  Word apply_fault(Word word, FaultKind kind);
+  /// Draws a fault kind according to the configured weights.
+  FaultKind draw_kind();
+
+  FaultConfig fault_;
+  util::Rng rng_;
+  FaultLedger fault_ledger_;
+  unsigned droop_remaining_ = 0;
+};
+
+}  // namespace approxit::arith

@@ -99,6 +99,14 @@ arith::ApproxMode AdaptiveAngleStrategy::initial_mode() const {
 
 Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
                                         const opt::IterationStats& stats) {
+  // Poisoned monitor statistics (transient-fault NaN/Inf): the angle, the
+  // budget window and both guards below are meaningless — escalate straight
+  // to accurate and veto, without contaminating the improvement window.
+  if (!stats.finite()) {
+    return Decision{arith::ApproxMode::kAccurate, /*rollback=*/false,
+                    /*veto_convergence=*/true};
+  }
+
   last_angle_ = steepness_angle(stats.grad_norm);
 
   // Budget memory: the usable error budget is the MINIMUM relative

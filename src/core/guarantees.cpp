@@ -1,12 +1,23 @@
 #include "core/guarantees.h"
 
+#include <cmath>
+
 namespace approxit::core {
 
 bool direction_criterion_ok(const opt::IterationStats& stats) {
-  return stats.grad_dot_step < 0.0;
+  // A NaN dot product would compare false anyway, but an explicit
+  // finiteness check keeps the criterion's contract unambiguous: corrupted
+  // monitor statistics never certify a descent direction.
+  return std::isfinite(stats.grad_dot_step) && stats.grad_dot_step < 0.0;
 }
 
 bool update_error_criterion_ok(double error_norm, double step_norm) {
+  // Non-finite inputs certify nothing, and a zero (or negative) step has
+  // no error budget at all: ||eps|| <= ||x^k - x^{k-1}|| = 0 would only
+  // hold for exactly zero error, which a stalled approximate iteration
+  // cannot demonstrate — reject instead of reporting a vacuous pass.
+  if (!std::isfinite(error_norm) || !std::isfinite(step_norm)) return false;
+  if (step_norm <= 0.0) return false;
   return error_norm <= step_norm;
 }
 

@@ -16,6 +16,7 @@ void IncrementalStrategy::reset(
   gradient_triggers_ = 0;
   quality_triggers_ = 0;
   function_triggers_ = 0;
+  nonfinite_triggers_ = 0;
 }
 
 Decision IncrementalStrategy::observe(arith::ApproxMode mode,
@@ -23,6 +24,16 @@ Decision IncrementalStrategy::observe(arith::ApproxMode mode,
   last_trigger_ = "none";
 
   const bool at_accurate = mode == arith::ApproxMode::kAccurate;
+
+  // Poisoned monitor statistics (transient-fault NaN/Inf): none of the
+  // schemes below can be evaluated — NaN comparisons are silently false —
+  // so recover like the function scheme: roll back, escalate, veto.
+  if (!stats.finite()) {
+    last_trigger_ = "non_finite";
+    ++nonfinite_triggers_;
+    return Decision{at_accurate ? mode : arith::next_more_accurate(mode),
+                    /*rollback=*/true, /*veto_convergence=*/true};
+  }
 
   // Function scheme first: an objective increase is an error that already
   // happened — recover by rolling back and raising accuracy.

@@ -45,13 +45,14 @@ class IncrementalStrategy final : public Strategy {
                    const opt::IterationStats& stats) override;
 
   /// Which scheme fired on the last observe() (for tracing/tests):
-  /// "none", "gradient", "quality" or "function".
+  /// "none", "gradient", "quality", "function" or "non_finite".
   const std::string& last_trigger() const { return last_trigger_; }
 
   /// Cumulative firing counts since reset() (for the ablation bench).
   std::size_t gradient_triggers() const { return gradient_triggers_; }
   std::size_t quality_triggers() const { return quality_triggers_; }
   std::size_t function_triggers() const { return function_triggers_; }
+  std::size_t nonfinite_triggers() const { return nonfinite_triggers_; }
 
  private:
   IncrementalOptions options_;
@@ -60,6 +61,7 @@ class IncrementalStrategy final : public Strategy {
   std::size_t gradient_triggers_ = 0;
   std::size_t quality_triggers_ = 0;
   std::size_t function_triggers_ = 0;
+  std::size_t nonfinite_triggers_ = 0;
 };
 
 }  // namespace approxit::core

@@ -22,8 +22,18 @@ void PidStrategy::reset(const ModeCharacterization&) {
 
 Decision PidStrategy::observe(arith::ApproxMode mode,
                               const opt::IterationStats& stats) {
+  const double reading = sensor_(stats);
+  // A non-finite sensor reading would poison the integral term and feed
+  // NaN into lround() below (UB). Treat it as maximal quality error: jump
+  // to accurate. (No veto — the controller stays the naive baseline.)
+  if (!stats.finite() || !std::isfinite(reading)) {
+    if (mode != arith::ApproxMode::kAccurate) ++mode_changes_;
+    return Decision{arith::ApproxMode::kAccurate, /*rollback=*/false,
+                    /*veto_convergence=*/false};
+  }
+
   // Positive error = quality below target -> raise accuracy.
-  const double error = options_.setpoint - sensor_(stats);
+  const double error = options_.setpoint - reading;
   integral_ = std::clamp(integral_ + error, -options_.integral_limit,
                          options_.integral_limit);
   const double derivative = has_previous_ ? error - previous_error_ : 0.0;

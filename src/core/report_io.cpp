@@ -12,7 +12,7 @@ namespace approxit::core {
 void write_trace_csv(const RunReport& report, const std::string& path) {
   util::CsvWriter csv(path);
   csv.write_row({"iteration", "mode", "objective", "energy", "step_norm",
-                 "grad_norm", "rolled_back", "reconfigured"});
+                 "grad_norm", "rolled_back", "reconfigured", "watchdog"});
   for (const IterationRecord& rec : report.trace) {
     csv.write_row({std::to_string(rec.index),
                    std::string(arith::mode_name(rec.mode)),
@@ -21,7 +21,8 @@ void write_trace_csv(const RunReport& report, const std::string& path) {
                    std::to_string(rec.step_norm),
                    std::to_string(rec.grad_norm),
                    rec.rolled_back ? "1" : "0",
-                   rec.reconfigured ? "1" : "0"});
+                   rec.reconfigured ? "1" : "0",
+                   std::string(watchdog_trigger_name(rec.trigger))});
   }
 }
 
@@ -77,8 +78,19 @@ std::string report_to_json(const RunReport& report) {
   os << "\"reconfigurations\":" << report.reconfigurations << ",";
   os << "\"total_energy\":" << report.total_energy << ",";
   os << "\"final_objective\":" << report.final_objective << ",";
-  os << "\"converged\":" << (report.converged ? "true" : "false");
-  os << "}";
+  os << "\"converged\":" << (report.converged ? "true" : "false") << ",";
+  os << "\"status\":\"" << run_status_name(report.status) << "\",";
+  os << "\"watchdog\":{";
+  os << "\"triggers\":" << report.watchdog.total() << ",";
+  for (std::size_t t = 1; t < kNumWatchdogTriggers; ++t) {
+    const auto trigger = static_cast<WatchdogTrigger>(static_cast<int>(t));
+    os << "\"" << watchdog_trigger_name(trigger)
+       << "\":" << report.watchdog.count(trigger) << ",";
+  }
+  os << "\"forced_escalations\":" << report.forced_escalations << ",";
+  os << "\"checkpoint_restores\":" << report.checkpoint_restores << ",";
+  os << "\"safe_mode\":" << (report.safe_mode ? "true" : "false");
+  os << "}}";
   return os.str();
 }
 

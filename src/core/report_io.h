@@ -10,12 +10,14 @@ namespace approxit::core {
 
 /// Writes the per-iteration trace as CSV with header
 /// `iteration,mode,objective,energy,step_norm,grad_norm,rolled_back,
-/// reconfigured`. Throws std::runtime_error if the file cannot be opened.
+/// reconfigured,watchdog`. Throws std::runtime_error if the file cannot be
+/// opened.
 void write_trace_csv(const RunReport& report, const std::string& path);
 
 /// Serializes the report summary (no trace) as a JSON object string:
 /// method, strategy, iterations, per-mode steps, rollbacks,
-/// reconfigurations, energy, final objective, convergence flag.
+/// reconfigurations, energy, final objective, convergence flag, run
+/// status, and the watchdog/recovery counters.
 std::string report_to_json(const RunReport& report);
 
 /// Writes report_to_json() to a file. Throws std::runtime_error on I/O

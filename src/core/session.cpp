@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/logging.h"
@@ -9,7 +10,7 @@ namespace approxit::core {
 std::string RunReport::to_string() const {
   std::ostringstream os;
   os << method_name << " under " << strategy_name << ": "
-     << (converged ? "converged" : "MAX_ITER") << " after " << iterations
+     << run_status_name(status) << " after " << iterations
      << " iterations, f=" << final_objective
      << ", energy=" << total_energy << ", steps [";
   for (std::size_t i = 0; i < arith::kNumModes; ++i) {
@@ -19,6 +20,12 @@ std::string RunReport::to_string() const {
   }
   os << "], rollbacks=" << rollbacks
      << ", reconfigurations=" << reconfigurations;
+  if (watchdog.total() > 0) {
+    os << ", watchdog_triggers=" << watchdog.total()
+       << ", forced_escalations=" << forced_escalations
+       << ", checkpoint_restores=" << checkpoint_restores
+       << (safe_mode ? ", safe_mode" : "");
+  }
   return os.str();
 }
 
@@ -50,10 +57,20 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
                                  ? options.max_iterations
                                  : method_.max_iterations();
 
+  const bool guarded = options.watchdog.enabled;
+  Watchdog watchdog(options.watchdog);
+  CheckpointRing checkpoints(options.watchdog.checkpoint_capacity);
+  watchdog.reset(method_.objective());
+
   arith::ApproxMode mode = strategy_.initial_mode();
   double energy_before = 0.0;
+  std::size_t recoveries = 0;
+  std::size_t iterations_since_checkpoint = 0;
+  bool aborted = false;
+  WatchdogTrigger abort_trigger = WatchdogTrigger::kNone;
 
   while (report.iterations < budget) {
+    if (report.safe_mode) mode = arith::ApproxMode::kAccurate;
     alu_.set_mode(mode);
     const std::vector<double> snapshot = method_.state();
 
@@ -65,19 +82,105 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
     const double iteration_energy = energy_after - energy_before;
     energy_before = energy_after;
 
+    const WatchdogTrigger trigger = watchdog.observe(stats);
+    report.watchdog = watchdog.counters();
+
+    if (trigger != WatchdogTrigger::kNone) {
+      // Recovery ladder: the iteration (or the state it started from) is
+      // corrupted — the strategy is not consulted on poisoned statistics.
+      ++recoveries;
+      if (options.keep_trace) {
+        IterationRecord record;
+        record.index = report.iterations;
+        record.mode = mode;
+        record.objective_after = stats.objective_after;
+        record.energy = iteration_energy;
+        record.step_norm = stats.step_norm;
+        record.grad_norm = stats.grad_norm;
+        record.rolled_back = true;
+        record.reconfigured = mode != arith::ApproxMode::kAccurate;
+        record.trigger = trigger;
+        report.trace.push_back(record);
+      }
+
+      const bool pre_state_healthy = std::isfinite(stats.objective_before);
+      bool restored = false;
+      bool rung1 = false;
+      if (mode != arith::ApproxMode::kAccurate && pre_state_healthy) {
+        // Rung 1: roll the corrupted iteration back and force the
+        // accurate mode — the cheap retry.
+        method_.restore(snapshot);
+        ++report.forced_escalations;
+        restored = true;
+        rung1 = true;
+      } else {
+        // Rung 2: the fault outran the one-iteration rollback (already
+        // accurate, or the pre-iteration state is itself poisoned) —
+        // rewind through the checkpoint ring to the newest snapshot
+        // whose objective was still finite.
+        while (auto checkpoint = checkpoints.pop()) {
+          if (!std::isfinite(checkpoint->objective)) continue;
+          method_.restore(checkpoint->state);
+          ++report.checkpoint_restores;
+          restored = true;
+          break;
+        }
+      }
+
+      if (restored && recoveries >= options.watchdog.safe_mode_after &&
+          !report.safe_mode) {
+        // Rung 3: repeated recoveries — latch safe mode, pinning the
+        // accurate (nominal-voltage) configuration to the end of the run.
+        report.safe_mode = true;
+        APPROXIT_LOG(util::LogLevel::kInfo, "session")
+            << "iter " << report.iterations
+            << ": watchdog latched safe mode after " << recoveries
+            << " recoveries";
+      }
+
+      if (!restored || recoveries > options.watchdog.max_recoveries) {
+        // Rung 4: nothing healthy left to restore (or the recovery budget
+        // is spent) — abort with a structured status instead of iterating
+        // on garbage.
+        aborted = true;
+        abort_trigger = trigger;
+        if (!restored && pre_state_healthy) method_.restore(snapshot);
+        break;
+      }
+
+      watchdog.notify_recovery(method_.objective());
+      APPROXIT_LOG(util::LogLevel::kInfo, "session")
+          << "iter " << report.iterations << ": watchdog "
+          << watchdog_trigger_name(trigger) << " -> "
+          << (rung1 ? "rollback + forced accurate" : "checkpoint restore");
+      mode = arith::ApproxMode::kAccurate;
+      continue;
+    }
+
+    // Healthy iteration: retain its pre-iteration state in the ring.
+    if (guarded && ++iterations_since_checkpoint >=
+                       options.watchdog.checkpoint_period) {
+      iterations_since_checkpoint = 0;
+      checkpoints.push(Checkpoint{report.iterations - 1,
+                                  stats.objective_before, snapshot});
+    }
+
     const Decision decision = strategy_.observe(mode, stats);
 
     if (decision.rollback) {
       method_.restore(snapshot);
       ++report.rollbacks;
     }
-    const bool reconfigured = decision.mode != mode;
+    // The safe-mode latch outranks the strategy's mode choice.
+    const arith::ApproxMode next_mode =
+        report.safe_mode ? arith::ApproxMode::kAccurate : decision.mode;
+    const bool reconfigured = next_mode != mode;
     if (reconfigured) {
       ++report.reconfigurations;
       APPROXIT_LOG(util::LogLevel::kDebug, "session")
           << "iter " << report.iterations << ": "
           << arith::mode_name(mode) << " -> "
-          << arith::mode_name(decision.mode)
+          << arith::mode_name(next_mode)
           << (decision.rollback ? " (rollback)" : "");
     }
 
@@ -94,12 +197,23 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
       report.trace.push_back(record);
     }
 
-    mode = decision.mode;
+    mode = next_mode;
 
     if (stats.converged && !decision.rollback && !decision.veto_convergence) {
       report.converged = true;
       break;
     }
+  }
+
+  if (report.converged) {
+    report.status =
+        recoveries > 0 ? RunStatus::kRecovered : RunStatus::kConverged;
+  } else if (aborted) {
+    report.status = abort_trigger == WatchdogTrigger::kNonFinite
+                        ? RunStatus::kNumericalFault
+                        : RunStatus::kDiverged;
+  } else {
+    report.status = RunStatus::kBudgetExhausted;
   }
 
   report.total_energy = alu_.ledger().total_energy();

@@ -4,6 +4,12 @@
 // each iteration runs in the strategy-selected mode, monitor statistics are
 // fed back, rollbacks are applied, per-mode steps and energy are accounted,
 // and convergence is accepted only when the strategy does not veto it.
+//
+// A convergence Watchdog (watchdog.h) guards every iteration against
+// transient-fault corruption: on a trigger the session escalates through
+// rollback + forced-accurate mode, checkpoint-ring restore, safe-mode
+// latching, and finally a structured abort — the outcome is always a
+// well-defined RunStatus, never silently corrupted state.
 #pragma once
 
 #include <array>
@@ -13,6 +19,7 @@
 #include "arith/alu.h"
 #include "core/characterization.h"
 #include "core/strategy.h"
+#include "core/watchdog.h"
 #include "opt/iterative_method.h"
 
 namespace approxit::core {
@@ -27,6 +34,8 @@ struct IterationRecord {
   double grad_norm = 0.0;            ///< Monitor gradient norm.
   bool rolled_back = false;          ///< Function-scheme rollback applied.
   bool reconfigured = false;         ///< Next mode differs from this one.
+  /// Watchdog verdict on this iteration (kNone on a healthy one).
+  WatchdogTrigger trigger = WatchdogTrigger::kNone;
 };
 
 /// Aggregate result of one session run.
@@ -40,6 +49,16 @@ struct RunReport {
   double total_energy = 0.0;   ///< Normalized units (ledger total).
   double final_objective = 0.0;
   bool converged = false;      ///< True when the method converged in budget.
+  /// Structured outcome (kConverged/kRecovered imply converged == true).
+  RunStatus status = RunStatus::kBudgetExhausted;
+  /// Watchdog trigger counts by kind (all zero on a healthy run).
+  WatchdogCounters watchdog;
+  /// Rung-1 recoveries: corrupted iteration rolled back, accurate forced.
+  std::size_t forced_escalations = 0;
+  /// Rung-2 recoveries: state restored from the checkpoint ring.
+  std::size_t checkpoint_restores = 0;
+  /// True when the safe-mode latch engaged (accurate pinned to the end).
+  bool safe_mode = false;
   std::vector<double> final_state;
   std::vector<IterationRecord> trace;
 
@@ -58,6 +77,10 @@ struct SessionOptions {
   std::size_t max_iterations = 0;
   /// Record the full per-iteration trace (cheap; on by default).
   bool keep_trace = true;
+  /// Convergence-watchdog and recovery-ladder configuration. The default
+  /// (non-finite + divergence detection only) never fires on a healthy
+  /// run, so clean results are identical with the watchdog on or off.
+  WatchdogConfig watchdog;
 };
 
 /// Binds a method, a strategy and a QCS ALU for one or more runs.

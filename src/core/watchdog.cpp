@@ -1,0 +1,168 @@
+#include "core/watchdog.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxit::core {
+
+std::string_view run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kConverged:
+      return "converged";
+    case RunStatus::kBudgetExhausted:
+      return "budget_exhausted";
+    case RunStatus::kDiverged:
+      return "diverged";
+    case RunStatus::kNumericalFault:
+      return "numerical_fault";
+    case RunStatus::kRecovered:
+      return "recovered";
+  }
+  return "?";
+}
+
+std::string_view watchdog_trigger_name(WatchdogTrigger trigger) {
+  switch (trigger) {
+    case WatchdogTrigger::kNone:
+      return "none";
+    case WatchdogTrigger::kNonFinite:
+      return "non_finite";
+    case WatchdogTrigger::kDivergence:
+      return "divergence";
+    case WatchdogTrigger::kStall:
+      return "stall";
+    case WatchdogTrigger::kOscillation:
+      return "oscillation";
+  }
+  return "?";
+}
+
+void WatchdogConfig::validate() const {
+  if (divergence_factor <= 0.0) {
+    throw std::invalid_argument(
+        "WatchdogConfig: divergence_factor must be positive");
+  }
+  if (checkpoint_capacity == 0) {
+    throw std::invalid_argument(
+        "WatchdogConfig: checkpoint_capacity must be >= 1");
+  }
+  if (checkpoint_period == 0) {
+    throw std::invalid_argument(
+        "WatchdogConfig: checkpoint_period must be >= 1");
+  }
+  if (max_recoveries < safe_mode_after) {
+    throw std::invalid_argument(
+        "WatchdogConfig: max_recoveries must be >= safe_mode_after");
+  }
+}
+
+CheckpointRing::CheckpointRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("CheckpointRing: capacity must be >= 1");
+  }
+}
+
+void CheckpointRing::push(Checkpoint checkpoint) {
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(checkpoint));
+}
+
+std::optional<Checkpoint> CheckpointRing::newest() const {
+  if (ring_.empty()) return std::nullopt;
+  return ring_.back();
+}
+
+std::optional<Checkpoint> CheckpointRing::pop() {
+  if (ring_.empty()) return std::nullopt;
+  Checkpoint checkpoint = std::move(ring_.back());
+  ring_.pop_back();
+  return checkpoint;
+}
+
+std::size_t WatchdogCounters::total() const {
+  std::size_t sum = 0;
+  for (std::size_t count : triggers) sum += count;
+  return sum;
+}
+
+Watchdog::Watchdog(const WatchdogConfig& config) : config_(config) {
+  config_.validate();
+}
+
+void Watchdog::reset(double initial_objective) {
+  counters_ = WatchdogCounters{};
+  initial_objective_ = initial_objective;
+  divergence_ceiling_ =
+      initial_objective +
+      config_.divergence_factor * std::max(std::abs(initial_objective), 1.0);
+  best_objective_ = initial_objective;
+  iterations_since_best_ = 0;
+  recent_improvements_.clear();
+}
+
+void Watchdog::notify_recovery(double objective) {
+  best_objective_ = objective;
+  iterations_since_best_ = 0;
+  recent_improvements_.clear();
+}
+
+WatchdogTrigger Watchdog::observe(const opt::IterationStats& stats) {
+  if (!config_.enabled) return WatchdogTrigger::kNone;
+
+  const auto fire = [this](WatchdogTrigger trigger) {
+    ++counters_.triggers[static_cast<std::size_t>(trigger)];
+    return trigger;
+  };
+
+  // Non-finite monitor statistics (or a non-finite starting objective —
+  // the run was corrupted before it began).
+  if (!stats.finite() || !std::isfinite(initial_objective_)) {
+    return fire(WatchdogTrigger::kNonFinite);
+  }
+
+  // Divergence: the objective left the basin it started in. Healthy
+  // descents only shrink the objective, so the ceiling is generous.
+  if (stats.objective_after > divergence_ceiling_) {
+    return fire(WatchdogTrigger::kDivergence);
+  }
+
+  // Stall: the best objective seen has not improved for a full window.
+  if (config_.stall_window > 0) {
+    if (stats.objective_after < best_objective_ - config_.stall_tolerance) {
+      best_objective_ = stats.objective_after;
+      iterations_since_best_ = 0;
+    } else if (++iterations_since_best_ >= config_.stall_window) {
+      iterations_since_best_ = 0;
+      return fire(WatchdogTrigger::kStall);
+    }
+  }
+
+  // Oscillation: improvements keep flipping sign with no net gain —
+  // the damage/repair cycle the adaptive budget window also guards
+  // against, detected here at the session level.
+  if (config_.oscillation_window > 1) {
+    recent_improvements_.push_back(stats.improvement());
+    if (recent_improvements_.size() > config_.oscillation_window) {
+      recent_improvements_.pop_front();
+    }
+    if (recent_improvements_.size() == config_.oscillation_window) {
+      std::size_t sign_flips = 0;
+      double net = 0.0;
+      for (std::size_t i = 0; i < recent_improvements_.size(); ++i) {
+        net += recent_improvements_[i];
+        if (i > 0 && (recent_improvements_[i] > 0.0) !=
+                         (recent_improvements_[i - 1] > 0.0)) {
+          ++sign_flips;
+        }
+      }
+      if (sign_flips >= config_.oscillation_window - 1 && net <= 0.0) {
+        recent_improvements_.clear();
+        return fire(WatchdogTrigger::kOscillation);
+      }
+    }
+  }
+
+  return WatchdogTrigger::kNone;
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,180 @@
+// Convergence watchdog and checkpointed safe-mode recovery.
+//
+// The reconfiguration schemes guarantee convergence under the BOUNDED
+// deterministic error of the approximate adders; they are defenseless
+// against unbounded transient corruption (voltage-droop bursts, particle
+// strikes — see arith/fault_injector.h): a NaN propagates silently into
+// the final state, and a burst-corrupted iterate can send the objective
+// diverging while every scheme keeps escalating one level at a time.
+//
+// The Watchdog is consulted by ApproxItSession::run after every iteration
+// and detects four pathologies in the (exact) monitor statistics:
+//
+//  - non-finite: any NaN/Inf monitor quantity,
+//  - divergence: the objective exceeds its starting value by a factor,
+//  - stall: no net improvement for a window of iterations (opt-in),
+//  - oscillation: alternating improve/regress with no net gain (opt-in).
+//
+// On a trigger the session escalates through a recovery ladder:
+//   1. roll back the corrupted iteration and force the ACCURATE mode,
+//   2. restore the newest healthy snapshot from the checkpoint ring — the
+//      K-deep generalization of the strategies' one-iteration rollback,
+//   3. after repeated triggers, latch SAFE MODE (pin accurate for the rest
+//      of the run), and finally abort with a structured RunStatus instead
+//      of returning garbage state.
+//
+// Stall/oscillation detection default OFF: a clean slow run must stay
+// bit-identical with the watchdog enabled (non-finite and 1000x divergence
+// cannot fire on a healthy descent).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "opt/iterative_method.h"
+
+namespace approxit::core {
+
+/// Structured outcome of a session run.
+enum class RunStatus : int {
+  kConverged = 0,        ///< Converged, no watchdog recovery needed.
+  kBudgetExhausted = 1,  ///< Iteration budget ran out (paper's MAX_ITER).
+  kDiverged = 2,         ///< Aborted: divergence/stall beyond recovery.
+  kNumericalFault = 3,   ///< Aborted: non-finite state beyond recovery.
+  kRecovered = 4,        ///< Converged after >= 1 watchdog recovery.
+};
+
+/// Status label ("converged", "budget_exhausted", "diverged",
+/// "numerical_fault", "recovered").
+std::string_view run_status_name(RunStatus status);
+
+/// What the watchdog detected on one iteration.
+enum class WatchdogTrigger : int {
+  kNone = 0,
+  kNonFinite = 1,    ///< NaN/Inf in the monitor statistics.
+  kDivergence = 2,   ///< Objective grew far beyond its starting value.
+  kStall = 3,        ///< No net improvement for a full window.
+  kOscillation = 4,  ///< Alternating improve/regress, no net gain.
+};
+
+/// Number of trigger kinds (including kNone).
+inline constexpr std::size_t kNumWatchdogTriggers = 5;
+
+/// Trigger label ("none", "non_finite", "divergence", "stall",
+/// "oscillation").
+std::string_view watchdog_trigger_name(WatchdogTrigger trigger);
+
+/// Watchdog and recovery-ladder configuration.
+struct WatchdogConfig {
+  /// Master switch. Disabled reproduces the pre-watchdog session exactly.
+  bool enabled = true;
+  /// Divergence: triggers when f(x^k) > f(x^0) + factor * max(|f(x^0)|, 1).
+  /// A healthy descent never fires this at the default factor.
+  double divergence_factor = 1e3;
+  /// Stall: triggers when the best objective seen does not improve by more
+  /// than stall_tolerance for this many consecutive iterations. 0 = off
+  /// (default: slow clean runs must not be disturbed).
+  std::size_t stall_window = 0;
+  double stall_tolerance = 0.0;
+  /// Oscillation: triggers when over the last `oscillation_window`
+  /// iterations the improvement sign alternated at least
+  /// window - 1 times with no net objective gain. 0 = off.
+  std::size_t oscillation_window = 0;
+  /// Checkpoint ring depth K (>= 1): healthy pre-iteration snapshots
+  /// retained for rung-2 recovery.
+  std::size_t checkpoint_capacity = 4;
+  /// A snapshot is pushed every `checkpoint_period` healthy iterations.
+  std::size_t checkpoint_period = 1;
+  /// Recoveries (rung 1 + rung 2) after which the session latches safe
+  /// mode: the accurate mode is pinned for the rest of the run.
+  std::size_t safe_mode_after = 3;
+  /// Total recoveries after which the run aborts with kDiverged /
+  /// kNumericalFault.
+  std::size_t max_recoveries = 12;
+
+  /// Throws std::invalid_argument on zero capacity/period or a
+  /// non-positive divergence factor.
+  void validate() const;
+};
+
+/// One retained snapshot: the full mutable method state plus the exact
+/// objective and iteration index it was taken at.
+struct Checkpoint {
+  std::size_t iteration = 0;
+  double objective = 0.0;
+  std::vector<double> state;
+};
+
+/// Fixed-capacity ring of the K most recent healthy checkpoints.
+class CheckpointRing {
+ public:
+  explicit CheckpointRing(std::size_t capacity);
+
+  /// Retains `checkpoint`, evicting the oldest entry when full.
+  void push(Checkpoint checkpoint);
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Newest retained checkpoint without removing it (nullopt when empty).
+  std::optional<Checkpoint> newest() const;
+
+  /// Removes and returns the newest checkpoint. Successive calls walk
+  /// back in time — each recovery restores an older snapshot than the
+  /// last, so a corrupted-but-finite checkpoint cannot be restored twice.
+  std::optional<Checkpoint> pop();
+
+  void clear() { ring_.clear(); }
+
+ private:
+  std::deque<Checkpoint> ring_;
+  std::size_t capacity_;
+};
+
+/// Per-kind trigger counters (kNone slot unused).
+struct WatchdogCounters {
+  std::size_t triggers[kNumWatchdogTriggers] = {};
+
+  std::size_t total() const;
+  std::size_t count(WatchdogTrigger trigger) const {
+    return triggers[static_cast<std::size_t>(trigger)];
+  }
+};
+
+/// Detects the four pathologies above from per-iteration monitor stats.
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& config = WatchdogConfig{});
+
+  /// Arms the watchdog for a fresh run starting at objective f(x^0).
+  /// A non-finite initial objective immediately reports kNonFinite from
+  /// the first observe().
+  void reset(double initial_objective);
+
+  /// Inspects one iteration's statistics; returns the highest-priority
+  /// trigger (non-finite > divergence > stall > oscillation) or kNone.
+  WatchdogTrigger observe(const opt::IterationStats& stats);
+
+  /// Informs the watchdog that the session recovered to `objective`
+  /// (rolls the stall/oscillation histories back to a clean slate so the
+  /// restored state is not immediately re-flagged).
+  void notify_recovery(double objective);
+
+  const WatchdogConfig& config() const { return config_; }
+  const WatchdogCounters& counters() const { return counters_; }
+
+ private:
+  WatchdogConfig config_;
+  WatchdogCounters counters_;
+  double initial_objective_ = 0.0;
+  double divergence_ceiling_ = 0.0;
+  double best_objective_ = 0.0;
+  std::size_t iterations_since_best_ = 0;
+  std::deque<double> recent_improvements_;
+};
+
+}  // namespace approxit::core

@@ -9,6 +9,7 @@
 // sensitive part).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -31,6 +32,17 @@ struct IterationStats {
 
   /// Objective improvement f(x^{k-1}) - f(x^k); positive means progress.
   double improvement() const { return objective_before - objective_after; }
+
+  /// True when every monitor quantity is finite. Transient hardware
+  /// faults (arith/fault_injector.h) can drive NaN/Inf into the iterate;
+  /// strategies and the convergence watchdog must not base decisions on
+  /// poisoned statistics (NaN comparisons are silently false).
+  bool finite() const {
+    return std::isfinite(objective_before) &&
+           std::isfinite(objective_after) && std::isfinite(step_norm) &&
+           std::isfinite(state_norm) && std::isfinite(grad_dot_step) &&
+           std::isfinite(grad_norm);
+  }
 };
 
 /// Interface implemented by every iterative method (generic solvers in

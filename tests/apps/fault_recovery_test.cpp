@@ -1,0 +1,92 @@
+// Acceptance test for the fault-injection + watchdog stack: under transient
+// faults in the approximate datapath, a GMM run guarded by the convergence
+// watchdog ends with strictly better clustering quality (Hamming QEM vs the
+// Truth run) than the same run with the watchdog disabled — and a run in
+// which the watchdog fired is never reported as a plain "converged".
+#include <gtest/gtest.h>
+
+#include "apps/gmm.h"
+#include "arith/fault_injector.h"
+#include "core/characterization.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+#include "workloads/datasets.h"
+
+namespace approxit::apps {
+namespace {
+
+using arith::ApproxMode;
+
+TEST(GmmFaultRecovery, WatchdogImprovesHammingQemUnderFaults) {
+  auto ds = workloads::make_gaussian_blobs(3, 300, 2, 8.0, 0.8, 7);
+  ds.max_iter = 200;
+  ds.convergence_tol = 1e-9;
+
+  // Truth baseline (accurate mode, clean hardware).
+  arith::QcsAlu clean_alu;
+  GmmEm truth_method(ds);
+  const core::ModeCharacterization characterization =
+      core::characterize(truth_method, clean_alu);
+  core::StaticStrategy truth_strategy(ApproxMode::kAccurate);
+  core::ApproxItSession truth_session(truth_method, truth_strategy,
+                                      clean_alu);
+  truth_session.set_characterization(characterization);
+  const core::RunReport truth = truth_session.run();
+  ASSERT_TRUE(truth.converged);
+  const std::vector<int> truth_assignments = truth_method.assignments();
+
+  // Moderate transient-fault rate on the approximate levels; the accurate
+  // mode (nominal voltage) stays fault-free, so watchdog recoveries can
+  // actually escape the fault process. Both runs see the same seeded
+  // fault stream from a fresh injector.
+  const arith::FaultConfig faults =
+      arith::FaultConfig::uniform_approximate(5e-3, /*seed=*/0xf00d);
+
+  const auto faulted_run = [&](GmmEm& method, bool watchdog_enabled) {
+    arith::FaultyQcsAlu alu(faults);
+    core::StaticStrategy strategy(ApproxMode::kLevel2);
+    core::ApproxItSession session(method, strategy, alu);
+    session.set_characterization(characterization);
+    core::SessionOptions options;
+    options.watchdog.enabled = watchdog_enabled;
+    options.watchdog.divergence_factor = 2.0;
+    // Faults freeze or regress the EM update (zero step / negative
+    // improvement), which GmmEm's own test reads as convergence — the
+    // paper's false stop. EM's ascent property makes every CLEAN iteration
+    // improve, so a one-iteration zero-tolerance stall window flags
+    // exactly the corrupted iterations before that false convergence is
+    // accepted.
+    options.watchdog.stall_window = 1;
+    options.watchdog.stall_tolerance = 0.0;
+    options.watchdog.safe_mode_after = 2;
+    options.watchdog.max_recoveries = 50;
+    return session.run(options);
+  };
+
+  GmmEm bare_method(ds);
+  const core::RunReport bare = faulted_run(bare_method, false);
+  const std::size_t bare_qem =
+      hamming_distance(truth_assignments, bare_method.assignments());
+
+  GmmEm guarded_method(ds);
+  const core::RunReport guarded = faulted_run(guarded_method, true);
+  const std::size_t guarded_qem =
+      hamming_distance(truth_assignments, guarded_method.assignments());
+
+  // The fault rate is high enough to corrupt the unguarded run...
+  EXPECT_EQ(bare.watchdog.total(), 0u);
+  EXPECT_GT(bare_qem, 0u);
+
+  // ...and the watchdog both noticed and recovered: triggers were counted,
+  // the safe-mode latch pinned the fault-free accurate mode, and the final
+  // quality is strictly better than the unguarded run's.
+  EXPECT_GT(guarded.watchdog.total(), 0u);
+  EXPECT_TRUE(guarded.safe_mode);
+  EXPECT_NE(guarded.status, core::RunStatus::kConverged)
+      << "a run with watchdog triggers must not be reported as a plain "
+         "converged";
+  EXPECT_LT(guarded_qem, bare_qem);
+}
+
+}  // namespace
+}  // namespace approxit::apps

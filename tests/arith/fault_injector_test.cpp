@@ -1,0 +1,177 @@
+// FaultyQcsAlu: zero-rate pass-through identity, per-kind injection
+// behaviour, droop persistence, per-mode rates, ledger accounting and
+// stream determinism.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/fault_injector.h"
+#include "arith/fixed_point.h"
+
+namespace approxit::arith {
+namespace {
+
+std::vector<double> drive(ArithContext& ctx, int ops, double scale = 1.0) {
+  std::vector<double> results;
+  results.reserve(ops);
+  double acc = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    acc = ctx.add(acc, scale * (0.25 + 0.125 * (i % 7)));
+    results.push_back(acc);
+  }
+  return results;
+}
+
+TEST(FaultConfig, ValidatesRatesAndWeights) {
+  FaultConfig bad_rate;
+  bad_rate.rate_per_op[0] = 1.5;
+  EXPECT_THROW(bad_rate.validate(), std::invalid_argument);
+
+  FaultConfig negative_weight;
+  negative_weight.burst_weight = -1.0;
+  EXPECT_THROW(negative_weight.validate(), std::invalid_argument);
+
+  FaultConfig no_kind = FaultConfig::uniform_approximate(0.5);
+  no_kind.bit_flip_weight = 0.0;
+  EXPECT_THROW(no_kind.validate(), std::invalid_argument);
+
+  FaultConfig stuck_outside;
+  stuck_outside.stuck_at_bit = 32;  // default format is Q32.16
+  EXPECT_THROW(FaultyQcsAlu{stuck_outside}, std::invalid_argument);
+
+  EXPECT_NO_THROW(FaultConfig{}.validate());
+  EXPECT_NO_THROW(FaultConfig::voltage_droop(0.01).validate());
+}
+
+TEST(FaultyQcsAlu, ZeroRateIsBitIdenticalPassThrough) {
+  QcsAlu clean;
+  FaultyQcsAlu faulty;  // default FaultConfig: all rates zero
+  for (ApproxMode mode : kAllModes) {
+    clean.set_mode(mode);
+    faulty.set_mode(mode);
+    const std::vector<double> expected = drive(clean, 200);
+    const std::vector<double> actual = drive(faulty, 200);
+    EXPECT_EQ(expected, actual) << mode_name(mode);
+  }
+  EXPECT_EQ(faulty.fault_ledger().injected(), 0u);
+  EXPECT_EQ(faulty.fault_ledger().total_ops, 5u * 200u);
+  // Energy accounting is inherited untouched.
+  EXPECT_EQ(clean.ledger().total_energy(), faulty.ledger().total_energy());
+}
+
+TEST(FaultyQcsAlu, RateOneInjectsEveryOperation) {
+  FaultConfig config = FaultConfig::uniform_approximate(1.0);
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel1);
+  drive(alu, 100);
+  const FaultLedger& ledger = alu.fault_ledger();
+  EXPECT_EQ(ledger.injected(), 100u);
+  EXPECT_EQ(ledger.injected_in(ApproxMode::kLevel1), 100u);
+  EXPECT_EQ(ledger.injected_of(FaultKind::kBitFlip), 100u);
+  std::size_t position_hits = 0;
+  for (std::size_t count : ledger.bit_position_counts) position_hits += count;
+  EXPECT_EQ(position_hits, 100u);  // one flipped bit per single-bit fault
+}
+
+TEST(FaultyQcsAlu, AccurateModeStaysFaultFree) {
+  FaultConfig config = FaultConfig::uniform_approximate(1.0);
+  FaultyQcsAlu alu(config);
+  QcsAlu clean;
+  alu.set_mode(ApproxMode::kAccurate);
+  clean.set_mode(ApproxMode::kAccurate);
+  EXPECT_EQ(drive(alu, 50), drive(clean, 50));
+  EXPECT_EQ(alu.fault_ledger().injected(), 0u);
+}
+
+TEST(FaultyQcsAlu, StuckAtForcesConfiguredBit) {
+  FaultConfig config = FaultConfig::uniform_approximate(1.0);
+  config.bit_flip_weight = 0.0;
+  config.stuck_at_weight = 1.0;
+  config.stuck_at_bit = 3;
+  config.stuck_at_value = true;
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel4);
+  for (int i = 0; i < 32; ++i) {
+    const double result = alu.add(0.125 * i, 0.0625);
+    const Word word = quantize(result, alu.format());
+    EXPECT_EQ((word >> 3) & 1u, 1u) << "op " << i;
+  }
+  EXPECT_EQ(alu.fault_ledger().injected_of(FaultKind::kStuckAt), 32u);
+}
+
+TEST(FaultyQcsAlu, BurstDroopPersistsAcrossOperations) {
+  // One burst in level1; the droop then corrupts the next two operations
+  // even though their mode (accurate) has a zero fault rate.
+  FaultConfig config;
+  config.rate_per_op[mode_index(ApproxMode::kLevel1)] = 1.0;
+  config.bit_flip_weight = 0.0;
+  config.burst_weight = 1.0;
+  config.droop_persistence = 2;
+  FaultyQcsAlu alu(config);
+
+  alu.set_mode(ApproxMode::kLevel1);
+  (void)alu.add(1.0, 1.0);  // burst fires, droop begins
+  EXPECT_EQ(alu.fault_ledger().injected(), 1u);
+
+  alu.set_mode(ApproxMode::kAccurate);
+  (void)alu.add(1.0, 1.0);
+  (void)alu.add(1.0, 1.0);
+  EXPECT_EQ(alu.fault_ledger().injected(), 3u);  // droop ops faulted
+  EXPECT_EQ(alu.fault_ledger().injected_of(FaultKind::kBurst), 3u);
+
+  const double clean = alu.add(1.0, 1.0);  // droop recovered
+  EXPECT_EQ(alu.fault_ledger().injected(), 3u);
+  EXPECT_DOUBLE_EQ(clean, 2.0);
+}
+
+TEST(FaultyQcsAlu, PerModeRatesAreHonoredStatistically) {
+  FaultConfig config = FaultConfig::uniform_approximate(0.1, /*seed=*/7);
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel2);
+  drive(alu, 20000, 1e-3);
+  const std::size_t injected = alu.fault_ledger().injected();
+  EXPECT_GT(injected, 1600u);  // ~2000 expected; generous 4-sigma bounds
+  EXPECT_LT(injected, 2400u);
+}
+
+TEST(FaultyQcsAlu, ResetFaultsReproducesIdenticalStream) {
+  FaultConfig config = FaultConfig::voltage_droop(0.2, /*seed=*/11);
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel1);
+  const std::vector<double> first = drive(alu, 500);
+  const std::size_t injected_first = alu.fault_ledger().injected();
+  alu.reset_faults();
+  alu.set_mode(ApproxMode::kLevel1);
+  const std::vector<double> second = drive(alu, 500);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(alu.fault_ledger().injected(), injected_first);
+  EXPECT_GT(injected_first, 0u);
+}
+
+TEST(FaultyQcsAlu, AccumulateAndDotRouteThroughInjector) {
+  // accumulate()/dot() fold through the virtual add(), so every partial
+  // sum is a fault site.
+  FaultConfig config = FaultConfig::uniform_approximate(1.0);
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel3);
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  (void)alu.accumulate(values);
+  EXPECT_EQ(alu.fault_ledger().injected(), values.size());
+  (void)alu.dot(values, values);
+  EXPECT_EQ(alu.fault_ledger().injected(), 2 * values.size());
+}
+
+TEST(FaultLedger, SummaryMentionsCountsAndKinds) {
+  FaultConfig config = FaultConfig::uniform_approximate(1.0);
+  FaultyQcsAlu alu(config);
+  alu.set_mode(ApproxMode::kLevel1);
+  drive(alu, 10);
+  const std::string summary = alu.fault_ledger().summary();
+  EXPECT_NE(summary.find("10/10 ops"), std::string::npos);
+  EXPECT_NE(summary.find("bit_flip:10"), std::string::npos);
+  EXPECT_NE(summary.find("level1:10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -38,6 +38,47 @@ TEST(UpdateErrorCriterion, ComparesErrorToStep) {
   EXPECT_FALSE(update_error_criterion_ok(stats, 0.2));   // est 2.0 > 1
 }
 
+TEST(DirectionCriterion, RejectsNonFiniteDotProduct) {
+  // Corrupted monitor statistics must never certify a descent direction.
+  opt::IterationStats stats;
+  for (double poisoned : {std::nan(""), HUGE_VAL, -HUGE_VAL}) {
+    stats.grad_dot_step = poisoned;
+    EXPECT_FALSE(direction_criterion_ok(stats)) << poisoned;
+  }
+}
+
+TEST(UpdateErrorCriterion, RejectsNonFiniteInputs) {
+  const double nan = std::nan("");
+  const double inf = HUGE_VAL;
+  EXPECT_FALSE(update_error_criterion_ok(nan, 0.5));
+  EXPECT_FALSE(update_error_criterion_ok(0.1, nan));
+  EXPECT_FALSE(update_error_criterion_ok(nan, nan));
+  EXPECT_FALSE(update_error_criterion_ok(inf, 1.0));
+  EXPECT_FALSE(update_error_criterion_ok(0.1, inf));
+  EXPECT_FALSE(update_error_criterion_ok(-inf, 1.0));
+
+  opt::IterationStats stats;
+  stats.state_norm = nan;
+  stats.step_norm = 1.0;
+  EXPECT_FALSE(update_error_criterion_ok(stats, 0.05));
+  stats.state_norm = 10.0;
+  stats.step_norm = inf;
+  EXPECT_FALSE(update_error_criterion_ok(stats, 0.05));
+}
+
+TEST(UpdateErrorCriterion, RejectsZeroStep) {
+  // A zero step has no error budget: even zero estimated error is not a
+  // meaningful pass (a fully stalled iteration proves nothing).
+  EXPECT_FALSE(update_error_criterion_ok(0.0, 0.0));
+  EXPECT_FALSE(update_error_criterion_ok(0.1, 0.0));
+  EXPECT_FALSE(update_error_criterion_ok(0.1, -1.0));
+
+  opt::IterationStats stats;
+  stats.state_norm = 0.0;  // estimated error 0 with a zero step
+  stats.step_norm = 0.0;
+  EXPECT_FALSE(update_error_criterion_ok(stats, 0.05));
+}
+
 TEST(DirectionCriterion, HoldsAlongExactGradientDescent) {
   // Proposition 1's premise: plain GD steps are always descent-aligned.
   la::Matrix a{{4.0, 1.0}, {1.0, 3.0}};

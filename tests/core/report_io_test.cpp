@@ -22,6 +22,7 @@ RunReport sample_report() {
   report.total_energy = 123.5;
   report.final_objective = 4.25;
   report.converged = true;
+  report.status = RunStatus::kConverged;
   for (std::size_t i = 1; i <= 3; ++i) {
     IterationRecord rec;
     rec.index = i;
@@ -47,6 +48,25 @@ TEST(ReportJson, ContainsAllSummaryFields) {
   EXPECT_NE(json.find("\"rollbacks\":1"), std::string::npos);
   EXPECT_NE(json.find("\"total_energy\":123.5"), std::string::npos);
   EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"converged\""), std::string::npos);
+  EXPECT_NE(json.find("\"forced_escalations\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"safe_mode\":false"), std::string::npos);
+}
+
+TEST(ReportJson, RecoveredRunSerializesWatchdogCounters) {
+  RunReport report = sample_report();
+  report.status = RunStatus::kRecovered;
+  report.watchdog.triggers[static_cast<std::size_t>(
+      WatchdogTrigger::kNonFinite)] = 2;
+  report.forced_escalations = 1;
+  report.checkpoint_restores = 1;
+  report.safe_mode = true;
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"status\":\"recovered\""), std::string::npos);
+  EXPECT_NE(json.find("\"triggers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"non_finite\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint_restores\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"safe_mode\":true"), std::string::npos);
 }
 
 TEST(ReportJson, EscapesSpecialCharacters) {
@@ -79,7 +99,7 @@ TEST(TraceCsv, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line,
             "iteration,mode,objective,energy,step_norm,grad_norm,"
-            "rolled_back,reconfigured");
+            "rolled_back,reconfigured,watchdog");
   std::size_t rows = 0;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 3u);

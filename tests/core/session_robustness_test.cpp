@@ -1,0 +1,289 @@
+// ApproxItSession recovery ladder end to end: rung-1 rollback + forced
+// accurate, rung-2 checkpoint restore, safe-mode latching, structured
+// aborts, and the budget-exhaustion path. Uses a scripted method whose
+// corruption schedule keys on PHYSICAL iterate() calls, so a poisoned
+// call is consumed exactly once regardless of rollbacks/restores.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "core/session.h"
+#include "core/static_strategy.h"
+
+namespace approxit::core {
+namespace {
+
+/// Deterministic 1-D method: f(x) = x, each clean iterate() decrements x
+/// by 1 from `initial`; converged when x <= converge_at. Calls listed in
+/// `poison_calls` (1-based, counted since reset) drive the state to NaN;
+/// with growth > 1 every clean call multiplies x instead (divergence).
+class ScriptedMethod : public opt::IterativeMethod {
+ public:
+  struct Options {
+    double initial = 10.0;
+    double converge_at = 0.5;
+    std::size_t budget = 60;
+    std::set<std::size_t> poison_calls;
+    std::size_t poison_from = 0;  ///< 0 = off; poisons every call >= this.
+    double growth = 0.0;          ///< > 1: x *= growth (diverging method).
+  };
+
+  explicit ScriptedMethod(Options options) : options_(options) { reset(); }
+
+  std::string name() const override { return "scripted"; }
+  std::size_t dimension() const override { return 1; }
+
+  void reset() override {
+    x_ = options_.initial;
+    calls_ = 0;
+  }
+
+  opt::IterationStats iterate(arith::ArithContext&) override {
+    ++calls_;
+    opt::IterationStats stats;
+    stats.iteration = calls_;
+    stats.objective_before = x_;
+    double next;
+    if (poisoned(calls_)) {
+      next = std::nan("");
+    } else if (options_.growth > 1.0) {
+      next = x_ * options_.growth;
+    } else {
+      next = x_ - 1.0;
+    }
+    stats.step_norm = std::abs(next - x_);  // NaN on a poisoned call
+    x_ = next;
+    stats.objective_after = x_;
+    stats.state_norm = std::abs(x_);
+    stats.grad_dot_step = -stats.step_norm;
+    stats.grad_norm = 1.0;
+    stats.converged = x_ <= options_.converge_at;  // false for NaN
+    return stats;
+  }
+
+  double objective() const override { return x_; }
+  std::vector<double> state() const override { return {x_}; }
+  void restore(const std::vector<double>& snapshot) override {
+    x_ = snapshot.at(0);
+  }
+  std::size_t max_iterations() const override { return options_.budget; }
+  double tolerance() const override { return options_.converge_at; }
+
+  std::size_t calls() const { return calls_; }
+
+ private:
+  bool poisoned(std::size_t call) const {
+    if (options_.poison_from > 0 && call >= options_.poison_from) return true;
+    return options_.poison_calls.count(call) > 0;
+  }
+
+  Options options_;
+  double x_ = 0.0;
+  std::size_t calls_ = 0;
+};
+
+RunReport run_scripted(ScriptedMethod& method, StaticStrategy& strategy,
+                       const SessionOptions& options = {}) {
+  arith::QcsAlu alu;
+  ApproxItSession session(method, strategy, alu);
+  // The scripted poison schedule must not be consumed by an offline
+  // characterization pass.
+  session.set_characterization(ModeCharacterization{});
+  return session.run(options);
+}
+
+TEST(SessionRobustness, CleanRunConvergesWithWatchdogQuiet) {
+  ScriptedMethod method({});
+  StaticStrategy strategy(arith::ApproxMode::kLevel2);
+  const RunReport report = run_scripted(method, strategy);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kConverged);
+  EXPECT_EQ(report.watchdog.total(), 0u);
+  EXPECT_EQ(report.forced_escalations, 0u);
+  EXPECT_EQ(report.checkpoint_restores, 0u);
+  EXPECT_FALSE(report.safe_mode);
+  EXPECT_EQ(report.iterations, 10u);  // 10.0 -> 0.0 by unit steps
+}
+
+TEST(SessionRobustness, WatchdogOnOffIdenticalOnCleanRun) {
+  SessionOptions with_watchdog;
+  SessionOptions without_watchdog;
+  without_watchdog.watchdog.enabled = false;
+
+  ScriptedMethod method_a({});
+  StaticStrategy strategy_a(arith::ApproxMode::kLevel3);
+  const RunReport guarded = run_scripted(method_a, strategy_a, with_watchdog);
+
+  ScriptedMethod method_b({});
+  StaticStrategy strategy_b(arith::ApproxMode::kLevel3);
+  const RunReport bare = run_scripted(method_b, strategy_b, without_watchdog);
+
+  EXPECT_EQ(guarded.iterations, bare.iterations);
+  EXPECT_EQ(guarded.final_objective, bare.final_objective);
+  EXPECT_EQ(guarded.final_state, bare.final_state);
+  EXPECT_EQ(guarded.converged, bare.converged);
+  EXPECT_EQ(guarded.status, bare.status);
+}
+
+TEST(SessionRobustness, TransientNanInApproximateModeRecoversViaRung1) {
+  ScriptedMethod method({.poison_calls = {3}});
+  StaticStrategy strategy(arith::ApproxMode::kLevel2);
+  const RunReport report = run_scripted(method, strategy);
+
+  // Never silently kConverged when the watchdog fired.
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kRecovered);
+  EXPECT_EQ(report.watchdog.count(WatchdogTrigger::kNonFinite), 1u);
+  EXPECT_EQ(report.forced_escalations, 1u);  // rollback + forced accurate
+  EXPECT_EQ(report.checkpoint_restores, 0u);
+  EXPECT_FALSE(report.safe_mode);
+  // The corrupted iteration was rolled back, not counted as progress:
+  // one accurate step replaces it.
+  EXPECT_GE(report.steps(arith::ApproxMode::kAccurate), 1u);
+  EXPECT_TRUE(std::isfinite(report.final_objective));
+  // The poisoned iteration is visible in the trace, flagged and rolled
+  // back.
+  bool flagged = false;
+  for (const IterationRecord& record : report.trace) {
+    if (record.trigger == WatchdogTrigger::kNonFinite) {
+      flagged = true;
+      EXPECT_TRUE(record.rolled_back);
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(SessionRobustness, NanInAccurateModeRecoversViaCheckpointRestore) {
+  // Already in the accurate mode: rung 1 (re-run accurately) cannot help,
+  // the session must rewind through the checkpoint ring instead.
+  ScriptedMethod method({.poison_calls = {3}});
+  StaticStrategy strategy(arith::ApproxMode::kAccurate);
+  const RunReport report = run_scripted(method, strategy);
+
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kRecovered);
+  EXPECT_EQ(report.forced_escalations, 0u);
+  EXPECT_EQ(report.checkpoint_restores, 1u);
+  EXPECT_TRUE(std::isfinite(report.final_objective));
+  EXPECT_LE(report.final_objective, method.tolerance());
+}
+
+TEST(SessionRobustness, RepeatedFaultsLatchSafeMode) {
+  ScriptedMethod method({.budget = 80, .poison_calls = {3, 6, 9}});
+  StaticStrategy strategy(arith::ApproxMode::kLevel1);
+  SessionOptions options;
+  options.watchdog.safe_mode_after = 2;
+  const RunReport report = run_scripted(method, strategy, options);
+
+  EXPECT_TRUE(report.safe_mode);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kRecovered);
+  EXPECT_EQ(report.watchdog.count(WatchdogTrigger::kNonFinite), 3u);
+  // Once latched, every subsequent iteration runs accurately: the level1
+  // static strategy is overridden to the end of the run.
+  bool past_latch = false;
+  std::size_t recoveries_seen = 0;
+  for (const IterationRecord& record : report.trace) {
+    if (record.trigger != WatchdogTrigger::kNone) {
+      ++recoveries_seen;
+      if (recoveries_seen >= 2) past_latch = true;
+      continue;
+    }
+    if (past_latch) {
+      EXPECT_EQ(record.mode, arith::ApproxMode::kAccurate)
+          << "iteration " << record.index;
+    }
+  }
+}
+
+TEST(SessionRobustness, PersistentPoisonAbortsWithNumericalFault) {
+  // Every call from 3 on is poisoned: rung 1, then the checkpoint ring
+  // drains, then nothing healthy is left — structured abort, never a
+  // garbage "converged" result.
+  ScriptedMethod::Options script;
+  script.poison_from = 3;
+  ScriptedMethod method(script);
+  StaticStrategy strategy(arith::ApproxMode::kLevel2);
+  SessionOptions options;
+  options.watchdog.safe_mode_after = 2;
+  options.watchdog.max_recoveries = 10;
+  const RunReport report = run_scripted(method, strategy, options);
+
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kNumericalFault);
+  EXPECT_GT(report.watchdog.count(WatchdogTrigger::kNonFinite), 0u);
+  EXPECT_GT(report.checkpoint_restores, 0u);
+  EXPECT_TRUE(std::isfinite(report.final_objective));  // restored, not NaN
+}
+
+TEST(SessionRobustness, ImmediateNanWithEmptyRingAborts) {
+  // Poisoned on the very first call in the accurate mode: no checkpoint
+  // was ever taken and rung 1 does not apply.
+  ScriptedMethod::Options script;
+  script.poison_from = 1;
+  ScriptedMethod method(script);
+  StaticStrategy strategy(arith::ApproxMode::kAccurate);
+  const RunReport report = run_scripted(method, strategy);
+
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kNumericalFault);
+  EXPECT_EQ(report.checkpoint_restores, 0u);
+  // The pre-iteration snapshot was restored on abort: the reported final
+  // state is the (finite) initial iterate, not NaN.
+  ASSERT_EQ(report.final_state.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.final_state[0], 10.0);
+}
+
+TEST(SessionRobustness, DivergingMethodAbortsWithDivergedStatus) {
+  ScriptedMethod::Options script;
+  script.growth = 8.0;
+  ScriptedMethod method(script);
+  StaticStrategy strategy(arith::ApproxMode::kLevel2);
+  SessionOptions options;
+  options.watchdog.divergence_factor = 2.0;  // ceiling = 10 + 2*10 = 30
+  const RunReport report = run_scripted(method, strategy, options);
+
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kDiverged);
+  EXPECT_GT(report.watchdog.count(WatchdogTrigger::kDivergence), 0u);
+  EXPECT_EQ(report.watchdog.count(WatchdogTrigger::kNonFinite), 0u);
+}
+
+TEST(SessionRobustness, ZeroMaxIterationsUsesMethodBudget) {
+  // Satellite: max_iterations = 0 with a never-converging method must
+  // terminate at the method's own budget with converged == false.
+  ScriptedMethod::Options script;
+  script.converge_at = -1e9;  // unreachable: never converges
+  script.budget = 25;
+  ScriptedMethod method(script);
+  StaticStrategy strategy(arith::ApproxMode::kLevel4);
+  SessionOptions options;
+  options.max_iterations = 0;
+  const RunReport report = run_scripted(method, strategy, options);
+
+  EXPECT_EQ(report.iterations, 25u);
+  EXPECT_EQ(method.calls(), 25u);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kBudgetExhausted);
+  EXPECT_EQ(report.watchdog.total(), 0u);
+}
+
+TEST(SessionRobustness, ExplicitBudgetOverridesMethodBudget) {
+  ScriptedMethod::Options script;
+  script.converge_at = -1e9;
+  script.budget = 25;
+  ScriptedMethod method(script);
+  StaticStrategy strategy(arith::ApproxMode::kLevel4);
+  SessionOptions options;
+  options.max_iterations = 7;
+  const RunReport report = run_scripted(method, strategy, options);
+
+  EXPECT_EQ(report.iterations, 7u);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.status, RunStatus::kBudgetExhausted);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,218 @@
+// Watchdog trigger detection (non-finite, divergence, stall, oscillation),
+// CheckpointRing semantics and WatchdogConfig validation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/watchdog.h"
+
+namespace approxit::core {
+namespace {
+
+opt::IterationStats healthy_step(double before, double after) {
+  opt::IterationStats stats;
+  stats.objective_before = before;
+  stats.objective_after = after;
+  stats.step_norm = 0.1;
+  stats.state_norm = 1.0;
+  stats.grad_dot_step = -0.01;
+  stats.grad_norm = 0.1;
+  return stats;
+}
+
+TEST(RunStatusNames, AreStable) {
+  EXPECT_EQ(run_status_name(RunStatus::kConverged), "converged");
+  EXPECT_EQ(run_status_name(RunStatus::kBudgetExhausted), "budget_exhausted");
+  EXPECT_EQ(run_status_name(RunStatus::kDiverged), "diverged");
+  EXPECT_EQ(run_status_name(RunStatus::kNumericalFault), "numerical_fault");
+  EXPECT_EQ(run_status_name(RunStatus::kRecovered), "recovered");
+}
+
+TEST(WatchdogTriggerNames, AreStable) {
+  EXPECT_EQ(watchdog_trigger_name(WatchdogTrigger::kNone), "none");
+  EXPECT_EQ(watchdog_trigger_name(WatchdogTrigger::kNonFinite), "non_finite");
+  EXPECT_EQ(watchdog_trigger_name(WatchdogTrigger::kDivergence), "divergence");
+  EXPECT_EQ(watchdog_trigger_name(WatchdogTrigger::kStall), "stall");
+  EXPECT_EQ(watchdog_trigger_name(WatchdogTrigger::kOscillation),
+            "oscillation");
+}
+
+TEST(WatchdogConfig, Validates) {
+  EXPECT_NO_THROW(WatchdogConfig{}.validate());
+
+  WatchdogConfig zero_capacity;
+  zero_capacity.checkpoint_capacity = 0;
+  EXPECT_THROW(zero_capacity.validate(), std::invalid_argument);
+
+  WatchdogConfig zero_period;
+  zero_period.checkpoint_period = 0;
+  EXPECT_THROW(zero_period.validate(), std::invalid_argument);
+
+  WatchdogConfig bad_factor;
+  bad_factor.divergence_factor = 0.0;
+  EXPECT_THROW(bad_factor.validate(), std::invalid_argument);
+
+  WatchdogConfig inverted_budget;
+  inverted_budget.safe_mode_after = 5;
+  inverted_budget.max_recoveries = 4;
+  EXPECT_THROW(inverted_budget.validate(), std::invalid_argument);
+}
+
+TEST(CheckpointRing, EvictsOldestAndPopsNewestFirst) {
+  CheckpointRing ring(3);
+  EXPECT_TRUE(ring.empty());
+  for (std::size_t i = 1; i <= 5; ++i) {
+    ring.push(Checkpoint{i, static_cast<double>(i), {static_cast<double>(i)}});
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  ASSERT_TRUE(ring.newest().has_value());
+  EXPECT_EQ(ring.newest()->iteration, 5u);
+
+  // Pops walk back in time: 5, 4, 3 (1 and 2 were evicted).
+  EXPECT_EQ(ring.pop()->iteration, 5u);
+  EXPECT_EQ(ring.pop()->iteration, 4u);
+  EXPECT_EQ(ring.pop()->iteration, 3u);
+  EXPECT_FALSE(ring.pop().has_value());
+  EXPECT_FALSE(ring.newest().has_value());
+}
+
+TEST(Watchdog, QuietOnHealthyDescent) {
+  Watchdog watchdog;
+  watchdog.reset(100.0);
+  double f = 100.0;
+  for (int k = 0; k < 50; ++k) {
+    const double next = f * 0.9;
+    EXPECT_EQ(watchdog.observe(healthy_step(f, next)), WatchdogTrigger::kNone);
+    f = next;
+  }
+  EXPECT_EQ(watchdog.counters().total(), 0u);
+}
+
+TEST(Watchdog, FlagsNonFiniteStatistics) {
+  Watchdog watchdog;
+  watchdog.reset(1.0);
+  opt::IterationStats nan_objective = healthy_step(1.0, std::nan(""));
+  EXPECT_EQ(watchdog.observe(nan_objective), WatchdogTrigger::kNonFinite);
+
+  opt::IterationStats inf_step = healthy_step(1.0, 0.9);
+  inf_step.step_norm = HUGE_VAL;
+  EXPECT_EQ(watchdog.observe(inf_step), WatchdogTrigger::kNonFinite);
+  EXPECT_EQ(watchdog.counters().count(WatchdogTrigger::kNonFinite), 2u);
+}
+
+TEST(Watchdog, FlagsNonFiniteInitialObjective) {
+  Watchdog watchdog;
+  watchdog.reset(std::nan(""));
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 0.9)),
+            WatchdogTrigger::kNonFinite);
+}
+
+TEST(Watchdog, FlagsDivergenceBeyondCeiling) {
+  WatchdogConfig config;
+  config.divergence_factor = 10.0;  // ceiling = 2 + 10 * max(|2|, 1) = 22
+  Watchdog watchdog(config);
+  watchdog.reset(2.0);
+  EXPECT_EQ(watchdog.observe(healthy_step(2.0, 21.0)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(21.0, 23.0)),
+            WatchdogTrigger::kDivergence);
+}
+
+TEST(Watchdog, FlagsStallAfterWindow) {
+  WatchdogConfig config;
+  config.stall_window = 5;
+  config.stall_tolerance = 1e-9;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  // No improvement beyond tolerance: the window must run out exactly once.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone)
+        << k;
+  }
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kStall);
+  EXPECT_EQ(watchdog.counters().count(WatchdogTrigger::kStall), 1u);
+}
+
+TEST(Watchdog, ImprovementResetsStallWindow) {
+  WatchdogConfig config;
+  config.stall_window = 3;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  // A real improvement rearms the window.
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 0.5)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(0.5, 0.5)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(0.5, 0.5)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(0.5, 0.5)), WatchdogTrigger::kStall);
+}
+
+TEST(Watchdog, FlagsOscillationWithoutNetGain) {
+  WatchdogConfig config;
+  config.oscillation_window = 4;
+  config.stall_window = 0;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  // Alternate improve/regress around f=1 with zero net progress.
+  double f = 1.0;
+  WatchdogTrigger last = WatchdogTrigger::kNone;
+  const double deltas[] = {-0.1, +0.1, -0.1, +0.1, -0.1, +0.1};
+  for (double delta : deltas) {
+    const double next = f + delta;
+    last = watchdog.observe(healthy_step(f, next));
+    if (last != WatchdogTrigger::kNone) break;
+    f = next;
+  }
+  EXPECT_EQ(last, WatchdogTrigger::kOscillation);
+}
+
+TEST(Watchdog, SteadyDescentIsNotOscillation) {
+  WatchdogConfig config;
+  config.oscillation_window = 4;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  double f = 1.0;
+  for (int k = 0; k < 20; ++k) {
+    const double next = f * 0.95;
+    EXPECT_EQ(watchdog.observe(healthy_step(f, next)), WatchdogTrigger::kNone)
+        << k;
+    f = next;
+  }
+}
+
+TEST(Watchdog, NotifyRecoveryClearsHistories) {
+  WatchdogConfig config;
+  config.stall_window = 3;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  watchdog.notify_recovery(1.0);
+  // The window restarts from scratch after a recovery.
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1.0)), WatchdogTrigger::kStall);
+}
+
+TEST(Watchdog, DisabledNeverTriggers) {
+  WatchdogConfig config;
+  config.enabled = false;
+  Watchdog watchdog(config);
+  watchdog.reset(1.0);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, std::nan(""))),
+            WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.observe(healthy_step(1.0, 1e9)), WatchdogTrigger::kNone);
+  EXPECT_EQ(watchdog.counters().total(), 0u);
+}
+
+TEST(WatchdogCounters, TotalSumsAllTriggerKinds) {
+  WatchdogCounters counters;
+  counters.triggers[static_cast<std::size_t>(WatchdogTrigger::kNonFinite)] = 2;
+  counters.triggers[static_cast<std::size_t>(WatchdogTrigger::kStall)] = 3;
+  EXPECT_EQ(counters.total(), 5u);
+  EXPECT_EQ(counters.count(WatchdogTrigger::kNonFinite), 2u);
+  EXPECT_EQ(counters.count(WatchdogTrigger::kOscillation), 0u);
+}
+
+}  // namespace
+}  // namespace approxit::core
