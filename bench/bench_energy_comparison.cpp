@@ -12,12 +12,46 @@
 #include "core/characterization.h"
 #include "core/incremental_strategy.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "workloads/datasets.h"
 
 namespace {
 
 using namespace approxit;
+
+/// Per-dataset runs; computed concurrently, emitted serially in dataset
+/// order so the table and CSV are identical to the serial bench.
+struct DatasetRuns {
+  workloads::GmmDataset dataset;
+  core::RunReport truth;
+  core::RunReport incremental;
+  core::RunReport adaptive;
+};
+
+DatasetRuns run_dataset(workloads::GmmDatasetId id) {
+  DatasetRuns out;
+  out.dataset = workloads::make_gmm_dataset(id);
+  arith::QcsAlu alu;
+
+  apps::GmmEm char_method(out.dataset);
+  const core::ModeCharacterization characterization =
+      core::characterize(char_method, alu);
+
+  apps::GmmEm truth_method(out.dataset);
+  out.truth = bench::run_truth(truth_method, alu, characterization);
+
+  apps::GmmEm incr_method(out.dataset);
+  core::IncrementalStrategy incr_strategy;
+  out.incremental =
+      bench::run_once(incr_method, incr_strategy, alu, characterization);
+
+  apps::GmmEm adapt_method(out.dataset);
+  core::AdaptiveAngleStrategy adapt_strategy;
+  out.adaptive =
+      bench::run_once(adapt_method, adapt_strategy, alu, characterization);
+  return out;
+}
 
 int run() {
   std::printf("=== bench_energy_comparison: Figure 4 ===\n\n");
@@ -30,17 +64,17 @@ int run() {
   util::CsvWriter csv(bench::artifact_path("gmm_fig4_energy.csv"));
   csv.write_row({"dataset", "strategy", "iteration", "energy"});
 
-  for (workloads::GmmDatasetId id : workloads::all_gmm_datasets()) {
-    const workloads::GmmDataset ds = workloads::make_gmm_dataset(id);
-    arith::QcsAlu alu;
+  const std::vector<workloads::GmmDatasetId> ids =
+      workloads::all_gmm_datasets();
+  std::vector<DatasetRuns> runs(ids.size());
+  util::parallel_for(ids.size(), util::default_thread_count(),
+                     [&](std::size_t i) { runs[i] = run_dataset(ids[i]); });
 
-    apps::GmmEm char_method(ds);
-    const core::ModeCharacterization characterization =
-        core::characterize(char_method, alu);
-
-    apps::GmmEm truth_method(ds);
-    const core::RunReport truth =
-        bench::run_truth(truth_method, alu, characterization);
+  for (const DatasetRuns& dataset_runs : runs) {
+    const workloads::GmmDataset& ds = dataset_runs.dataset;
+    const core::RunReport& truth = dataset_runs.truth;
+    const core::RunReport& incr = dataset_runs.incremental;
+    const core::RunReport& adapt = dataset_runs.adaptive;
     const double truth_per_iter =
         truth.total_energy / static_cast<double>(truth.iterations);
 
@@ -52,17 +86,7 @@ int run() {
       }
     };
     emit_series("truth", truth);
-
-    apps::GmmEm incr_method(ds);
-    core::IncrementalStrategy incr_strategy;
-    const core::RunReport incr =
-        bench::run_once(incr_method, incr_strategy, alu, characterization);
     emit_series("incremental", incr);
-
-    apps::GmmEm adapt_method(ds);
-    core::AdaptiveAngleStrategy adapt_strategy;
-    const core::RunReport adapt =
-        bench::run_once(adapt_method, adapt_strategy, alu, characterization);
     emit_series("adaptive", adapt);
 
     const double incr_rel = bench::relative_energy(incr, truth);

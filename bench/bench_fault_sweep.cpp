@@ -22,6 +22,7 @@
 #include "core/characterization.h"
 #include "core/static_strategy.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "workloads/datasets.h"
 
@@ -80,11 +81,24 @@ void sweep(const char* app, MakeMethod&& make_method, Qem&& qem_of,
   const core::RunReport truth =
       bench::run_truth(*truth_method, clean, characterization);
 
-  for (double rate : kRates) {
-    const ArmResult bare =
-        run_arm(make_method, qem_of, rate, false, qcs, characterization);
-    const ArmResult guarded =
-        run_arm(make_method, qem_of, rate, true, qcs, characterization);
+  // The rate x {bare, guarded} grid: every arm owns a fresh method and a
+  // fresh seeded injector, so the arms are independent and run
+  // concurrently; results are indexed by (rate, arm) and the table/CSV
+  // rows are emitted serially in grid order afterwards.
+  constexpr std::size_t kNumRates = std::size(kRates);
+  std::vector<ArmResult> results(kNumRates * 2);
+  util::parallel_for(
+      results.size(), util::default_thread_count(), [&](std::size_t i) {
+        const double rate = kRates[i / 2];
+        const bool watchdog_enabled = (i % 2) == 1;
+        results[i] = run_arm(make_method, qem_of, rate, watchdog_enabled,
+                             qcs, characterization);
+      });
+
+  for (std::size_t r = 0; r < kNumRates; ++r) {
+    const double rate = kRates[r];
+    const ArmResult& bare = results[r * 2];
+    const ArmResult& guarded = results[r * 2 + 1];
 
     table.add_row(
         {app, util::format_sig(rate, 2), util::format_sig(bare.qem, 3),

@@ -10,6 +10,7 @@
 #include "bench/common.h"
 #include "core/pareto.h"
 #include "core/sweep.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "workloads/datasets.h"
 
@@ -26,6 +27,9 @@ int run() {
 
     core::SweepOptions options;
     options.include_oracle = true;
+    // Arms run concurrently on per-arm ALU clones; the points come back in
+    // the fixed arm order, identical to the serial sweep.
+    options.threads = util::default_thread_count();
 
     const core::SweepResult sweep = core::run_configuration_sweep(
         [&ds]() { return std::make_unique<apps::GmmEm>(ds); }, alu,

@@ -1,0 +1,282 @@
+// Throughput bench: the repo's perf-trajectory anchor. Measures
+//   (1) adds/sec through QcsAlu::accumulate, scalar fold vs batched
+//       word-parallel kernels, per approximation mode;
+//   (2) end-to-end wall time of the GMM and AutoRegression sessions with
+//       batching off vs on;
+//   (3) the GMM configuration sweep, serial vs thread-pool parallel.
+// Every speed comparison also checks that the fast path reproduces the
+// slow path bit-for-bit — a perf number from a wrong answer is worthless.
+// Emits bench_artifacts/BENCH_throughput.json for CI archiving, so
+// regressions show up as artifact diffs across commits.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "bench/common.h"
+#include "core/static_strategy.h"
+#include "core/sweep.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+using namespace approxit;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ModeThroughput {
+  std::string mode;
+  double scalar_adds_per_sec = 0.0;
+  double batched_adds_per_sec = 0.0;
+  bool bit_identical = false;
+};
+
+/// Times accumulate() over `values` for `reps` repetitions and returns
+/// adds per second. `sink` defeats dead-code elimination.
+double adds_per_sec(arith::QcsAlu& alu, const std::vector<double>& values,
+                    std::size_t reps, double& sink) {
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    sink += alu.accumulate(values);
+  }
+  const double ms = elapsed_ms(start);
+  const double adds = static_cast<double>(reps * values.size());
+  return ms > 0.0 ? adds / (ms / 1e3) : 0.0;
+}
+
+ModeThroughput measure_mode(arith::ApproxMode mode,
+                            const std::vector<double>& values) {
+  arith::QcsAlu alu;
+  alu.set_mode(mode);
+  ModeThroughput out;
+  out.mode = std::string(arith::mode_name(mode));
+
+  // Identity first: the batched fold must reproduce the scalar fold
+  // bit-for-bit (and the ledger must count the same ops) before either
+  // path's speed means anything.
+  alu.set_batching(false);
+  const double scalar_value = alu.accumulate(values);
+  const std::size_t scalar_ops = alu.ledger().total_ops();
+  alu.reset_ledger();
+  alu.set_batching(true);
+  const double batched_value = alu.accumulate(values);
+  out.bit_identical = scalar_value == batched_value &&
+                      alu.ledger().total_ops() == scalar_ops;
+  alu.reset_ledger();
+
+  double sink = 0.0;
+  alu.set_batching(false);
+  out.scalar_adds_per_sec = adds_per_sec(alu, values, 24, sink);
+  alu.reset_ledger();
+  alu.set_batching(true);
+  out.batched_adds_per_sec = adds_per_sec(alu, values, 384, sink);
+  if (sink == 0.125) std::printf(" ");  // keep `sink` observable
+  return out;
+}
+
+struct EndToEnd {
+  std::string app;
+  double scalar_ms = 0.0;
+  double batched_ms = 0.0;
+  bool identical = false;
+};
+
+/// Times one level2 static session end-to-end with batching off vs on and
+/// checks the two runs leave the method in the same final state.
+template <typename MakeMethod>
+EndToEnd measure_app(const char* app, MakeMethod&& make_method,
+                     const arith::QcsConfig& qcs) {
+  arith::QcsAlu alu(qcs);
+  auto char_method = make_method();
+  const core::ModeCharacterization characterization =
+      core::characterize(*char_method, alu);
+
+  EndToEnd out;
+  out.app = app;
+  std::vector<double> final_states[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool batched = pass == 1;
+    alu.set_batching(batched);
+    auto method = make_method();
+    core::StaticStrategy strategy(arith::ApproxMode::kLevel2);
+    const auto start = Clock::now();
+    (void)bench::run_once(*method, strategy, alu, characterization);
+    (batched ? out.batched_ms : out.scalar_ms) = elapsed_ms(start);
+    final_states[pass] = method->state();
+  }
+  out.identical = final_states[0] == final_states[1];
+  alu.set_batching(true);
+  return out;
+}
+
+struct SweepTiming {
+  std::size_t threads = 1;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+SweepTiming measure_sweep() {
+  const workloads::GmmDataset ds =
+      workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster);
+  const core::MethodFactory factory = [&ds] {
+    return std::make_unique<apps::GmmEm>(ds);
+  };
+  const core::QemEvaluator qem = [](opt::IterativeMethod& truth,
+                                    opt::IterativeMethod& candidate) {
+    auto& truth_gmm = dynamic_cast<apps::GmmEm&>(truth);
+    auto& cand_gmm = dynamic_cast<apps::GmmEm&>(candidate);
+    return static_cast<double>(apps::hamming_distance(
+        truth_gmm.assignments(), cand_gmm.assignments()));
+  };
+
+  SweepTiming out;
+  out.threads = util::default_thread_count();
+  core::SweepOptions options;
+
+  arith::QcsAlu serial_alu;
+  options.threads = 1;
+  auto start = Clock::now();
+  const core::SweepResult serial =
+      core::run_configuration_sweep(factory, serial_alu, qem, options);
+  out.serial_ms = elapsed_ms(start);
+
+  arith::QcsAlu parallel_alu;
+  options.threads = out.threads;
+  start = Clock::now();
+  const core::SweepResult parallel =
+      core::run_configuration_sweep(factory, parallel_alu, qem, options);
+  out.parallel_ms = elapsed_ms(start);
+
+  out.identical = serial.points.size() == parallel.points.size();
+  for (std::size_t i = 0; out.identical && i < serial.points.size(); ++i) {
+    const core::ParetoPoint& a = serial.points[i];
+    const core::ParetoPoint& b = parallel.points[i];
+    out.identical = a.label == b.label && a.energy == b.energy &&
+                    a.quality_error == b.quality_error &&
+                    a.iterations == b.iterations &&
+                    a.converged == b.converged;
+  }
+  return out;
+}
+
+int run() {
+  std::printf("=== bench_throughput: batched datapath + parallel sweep ===\n\n");
+
+  // Mixed-sign, mixed-magnitude operands exercising the full carry
+  // behavior of the approximate adders; fixed seed for reproducibility.
+  util::Rng rng(0xbeefcafe);
+  std::vector<double> values(1 << 14);
+  for (double& v : values) v = rng.uniform(-4.0, 4.0);
+
+  util::Table mode_table("accumulate() throughput (adds/sec)");
+  mode_table.set_header(
+      {"Mode", "Scalar", "Batched", "Speedup", "Bit-identical"});
+  mode_table.set_align(0, util::Align::kLeft);
+  std::vector<ModeThroughput> modes;
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    modes.push_back(measure_mode(mode, values));
+    const ModeThroughput& m = modes.back();
+    mode_table.add_row(
+        {m.mode, util::format_sig(m.scalar_adds_per_sec, 3),
+         util::format_sig(m.batched_adds_per_sec, 3),
+         util::format_sig(m.batched_adds_per_sec / m.scalar_adds_per_sec, 3),
+         m.bit_identical ? "yes" : "NO"});
+  }
+  std::cout << mode_table << "\n";
+
+  util::Table app_table("End-to-end session wall time (level2 static)");
+  app_table.set_header(
+      {"App", "Scalar ms", "Batched ms", "Speedup", "Identical"});
+  app_table.set_align(0, util::Align::kLeft);
+  std::vector<EndToEnd> apps_timing;
+  {
+    const workloads::GmmDataset ds =
+        workloads::make_gmm_dataset(workloads::GmmDatasetId::k3cluster);
+    apps_timing.push_back(measure_app(
+        "gmm_3cluster", [&ds] { return std::make_unique<apps::GmmEm>(ds); },
+        arith::QcsConfig{}));
+  }
+  {
+    const auto ds =
+        workloads::make_series_dataset(workloads::SeriesId::kHangSeng);
+    apps_timing.push_back(measure_app(
+        "ar_hangseng",
+        [&ds] { return std::make_unique<apps::AutoRegression>(ds); },
+        apps::ar_qcs_config()));
+  }
+  for (const EndToEnd& a : apps_timing) {
+    app_table.add_row({a.app, util::format_sig(a.scalar_ms, 4),
+                       util::format_sig(a.batched_ms, 4),
+                       util::format_sig(a.scalar_ms / a.batched_ms, 3),
+                       a.identical ? "yes" : "NO"});
+  }
+  std::cout << app_table << "\n";
+
+  const SweepTiming sweep = measure_sweep();
+  util::Table sweep_table("GMM configuration sweep wall time");
+  sweep_table.set_header(
+      {"Threads", "Serial ms", "Parallel ms", "Speedup", "Identical"});
+  sweep_table.add_row(
+      {std::to_string(sweep.threads), util::format_sig(sweep.serial_ms, 4),
+       util::format_sig(sweep.parallel_ms, 4),
+       util::format_sig(sweep.serial_ms / sweep.parallel_ms, 3),
+       sweep.identical ? "yes" : "NO"});
+  std::cout << sweep_table << "\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"throughput\",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeThroughput& m = modes[i];
+    json << "    {\"mode\": \"" << m.mode << "\", \"scalar_adds_per_sec\": "
+         << m.scalar_adds_per_sec << ", \"batched_adds_per_sec\": "
+         << m.batched_adds_per_sec << ", \"speedup\": "
+         << m.batched_adds_per_sec / m.scalar_adds_per_sec
+         << ", \"bit_identical\": " << (m.bit_identical ? "true" : "false")
+         << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"end_to_end\": [\n";
+  for (std::size_t i = 0; i < apps_timing.size(); ++i) {
+    const EndToEnd& a = apps_timing[i];
+    json << "    {\"app\": \"" << a.app << "\", \"scalar_ms\": "
+         << a.scalar_ms << ", \"batched_ms\": " << a.batched_ms
+         << ", \"speedup\": " << a.scalar_ms / a.batched_ms
+         << ", \"identical\": " << (a.identical ? "true" : "false") << "}"
+         << (i + 1 < apps_timing.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"sweep\": {\"workload\": \"gmm_3cluster\", \"threads\": "
+       << sweep.threads << ", \"serial_ms\": " << sweep.serial_ms
+       << ", \"parallel_ms\": " << sweep.parallel_ms << ", \"speedup\": "
+       << sweep.serial_ms / sweep.parallel_ms << ", \"identical\": "
+       << (sweep.identical ? "true" : "false") << "}\n}\n";
+
+  const std::string path = bench::artifact_path("BENCH_throughput.json");
+  std::ofstream out(path);
+  out << json.str();
+  std::printf("Wrote %s\n", path.c_str());
+
+  bool ok = sweep.identical;
+  for (const ModeThroughput& m : modes) ok = ok && m.bit_identical;
+  for (const EndToEnd& a : apps_timing) ok = ok && a.identical;
+  if (!ok) {
+    std::printf("FAIL: fast path diverged from reference path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

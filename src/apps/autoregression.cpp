@@ -151,24 +151,41 @@ opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
   }
   // Raw terms accumulate through the context (the AR benches configure a
   // wide Q16.32 datapath whose range covers the random-walk growth of these
-  // sums); the final 1/m normalization is an exact scalar divide.
+  // sums); the final 1/m normalization is an exact scalar divide. The
+  // in-confidence terms are gathered (in sample order) into one batched
+  // reduction per coefficient; the exact tail is summed in plain floating
+  // point and joined with a single context add when both parts exist.
+  std::vector<double> resilient_terms;
+  resilient_terms.reserve(m);
   for (std::size_t j = 0; j < p; ++j) {
-    double acc = 0.0;
+    resilient_terms.clear();
+    double exact_tail = 0.0;
+    bool has_exact = false;
     for (std::size_t i = 0; i < m; ++i) {
       const double term = design_(i, j) * resid[i];
       if (abs_resid[i] <= threshold) {
-        acc = ctx.add(acc, term);
+        resilient_terms.push_back(term);
       } else {
-        acc += term;
+        exact_tail += term;
+        has_exact = true;
       }
+    }
+    double acc = 0.0;
+    if (resilient_terms.empty()) {
+      acc = exact_tail;
+    } else if (!has_exact) {
+      acc = ctx.accumulate(resilient_terms);
+    } else {
+      acc = ctx.add(ctx.accumulate(resilient_terms), exact_tail);
     }
     grad[j] = acc / static_cast<double>(m);
   }
 
-  // Update through the context: w <- w - step * grad.
-  for (std::size_t j = 0; j < p; ++j) {
-    coefficients_[j] = ctx.sub(coefficients_[j], step_ * grad[j]);
-  }
+  // Update through the context: w <- w - step * grad (elementwise batched
+  // subtraction, identical to per-coefficient ctx.sub).
+  std::vector<double> scaled_grad(p);
+  for (std::size_t j = 0; j < p; ++j) scaled_grad[j] = step_ * grad[j];
+  ctx.sub_vec(coefficients_, scaled_grad, coefficients_);
 
   current_objective_ = objective_at(coefficients_);
   ++iteration_;

@@ -156,17 +156,24 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
   const std::size_t d = dataset_.dim;
   const std::size_t k = dataset_.num_clusters;
 
+  std::vector<double> gathered(n);
   for (std::size_t c = 0; c < k; ++c) {
     // Responsibility mass and mean numerators accumulate through the
-    // context — THE error-resilient kernel of this application.
-    double mass = 0.0;
-    std::vector<double> numer(d, 0.0);
+    // context — THE error-resilient kernel of this application. Each
+    // reduction chain is gathered into a contiguous buffer so the context
+    // can run it as one batch; the per-chain fold order (samples in
+    // ascending i) is unchanged, so the results are too.
     for (std::size_t i = 0; i < n; ++i) {
-      const double g = responsibilities_[i * k + c];
-      mass = ctx.add(mass, g);
-      for (std::size_t j = 0; j < d; ++j) {
-        numer[j] = ctx.add(numer[j], g * dataset_.points[i * d + j]);
+      gathered[i] = responsibilities_[i * k + c];
+    }
+    const double mass = ctx.accumulate(gathered);
+    std::vector<double> numer(d, 0.0);
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        gathered[i] =
+            responsibilities_[i * k + c] * dataset_.points[i * d + j];
       }
+      numer[j] = ctx.accumulate(gathered);
     }
 
     if (mass <= 1e-8) {

@@ -126,20 +126,28 @@ opt::IterationStats KMeans::iterate(arith::ArithContext& ctx) {
   // Assignment step: exact (error-sensitive control flow).
   const std::vector<int> assign = assignments();
 
-  // Update step: per-cluster accumulations through the context.
+  // Update step: per-cluster accumulations through the context. Member
+  // values are gathered into contiguous buffers (in sample order, so each
+  // reduction chain folds exactly as the scalar loop did) and reduced as
+  // one batch per chain.
+  std::vector<std::size_t> members;
+  std::vector<double> gathered;
+  members.reserve(n);
+  gathered.reserve(n);
   for (std::size_t c = 0; c < k; ++c) {
-    double count = 0.0;
-    std::vector<double> numer(d, 0.0);
+    members.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (static_cast<std::size_t>(assign[i]) != c) continue;
-      count = ctx.add(count, 1.0);
-      for (std::size_t j = 0; j < d; ++j) {
-        numer[j] = ctx.add(numer[j], dataset_.points[i * d + j]);
-      }
+      if (static_cast<std::size_t>(assign[i]) == c) members.push_back(i);
     }
+    gathered.assign(members.size(), 1.0);
+    const double count = ctx.accumulate(gathered);
     if (count <= 0.5) continue;  // empty cluster: keep previous centroid
     for (std::size_t j = 0; j < d; ++j) {
-      centroids_[c * d + j] = numer[j] / count;
+      gathered.clear();
+      for (std::size_t i : members) {
+        gathered.push_back(dataset_.points[i * d + j]);
+      }
+      centroids_[c * d + j] = ctx.accumulate(gathered) / count;
     }
   }
 

@@ -84,18 +84,22 @@ opt::IterationStats PageRank::iterate(arith::ArithContext& ctx) {
   // context (one add per edge, plus the dangling-mass accumulation).
   const double teleport = (1.0 - options_.damping) / static_cast<double>(n);
   std::vector<double> next(n, 0.0);
-  double dangling_mass = 0.0;
+  std::vector<double> dangling_ranks;
   for (std::size_t u = 0; u < n; ++u) {
     const auto& links = graph_.out_links[u];
     if (links.empty()) {
-      dangling_mass = ctx.add(dangling_mass, ranks_[u]);
+      dangling_ranks.push_back(ranks_[u]);
       continue;
     }
     const double share = ranks_[u] / static_cast<double>(links.size());
+    // The edge scatter stays per-op: each target's chain interleaves with
+    // the others in edge-visit order, so there is no contiguous batch.
     for (std::uint32_t v : links) {
       next[v] = ctx.add(next[v], share);
     }
   }
+  // The dangling-mass reduction is contiguous in node order: one batch.
+  const double dangling_mass = ctx.accumulate(dangling_ranks);
   const double dangling_share =
       options_.damping * dangling_mass / static_cast<double>(n);
   // Scaling and teleport assembly are error-sensitive: exact.

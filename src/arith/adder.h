@@ -31,6 +31,28 @@ struct AddResult {
   bool operator==(const AddResult&) const = default;
 };
 
+/// Closed-form kernel family of an adder, used by the batched QCS datapath
+/// (alu.h) to evaluate a whole operand span without a virtual call per
+/// element. Families with an O(1)-per-element word formula advertise it
+/// here; everything else falls back to kGeneric (per-element add()).
+enum class AdderKernel : int {
+  kExact = 0,      ///< Plain two's-complement addition.
+  kLowerOr = 1,    ///< LOA/GDA: low k bits OR'd, AND-bridged exact upper.
+  kTruncated = 2,  ///< Low k result bits zero, exact upper part.
+  kEtaI = 3,       ///< ETA-I: XOR lower part saturating below first 1+1.
+  kEtaII = 4,      ///< Segmented carry chain with per-segment speculation.
+  kGeneric = 5,    ///< No closed form; batch via the virtual add().
+};
+
+/// Kernel family plus its parameter (approx bits / segment length; the
+/// value is already clamped the way the adder's constructor clamped it).
+struct KernelSpec {
+  AdderKernel kind = AdderKernel::kGeneric;
+  unsigned param = 0;
+
+  bool operator==(const KernelSpec&) const = default;
+};
+
 /// Base class for all adder models (exact and approximate).
 ///
 /// Implementations must be stateless and thread-compatible: add() is const
@@ -55,6 +77,16 @@ class Adder {
   /// True for adders whose add() equals exact two's-complement addition for
   /// all operands (used by tests and by the accurate mode).
   virtual bool is_exact() const { return false; }
+
+  /// Closed-form batched-kernel classification (batch_kernels.h evaluates
+  /// the advertised family word-parallel). The default maps exact adders to
+  /// kExact and everything else to kGeneric; approximate families with an
+  /// O(1) formula override. MUST describe add() bit-exactly — the batched
+  /// datapath is differentially tested against the per-op path.
+  virtual KernelSpec kernel_spec() const {
+    return is_exact() ? KernelSpec{AdderKernel::kExact, 0}
+                      : KernelSpec{AdderKernel::kGeneric, 0};
+  }
 
   /// Operand width in bits, in [1, 64].
   unsigned width() const { return width_; }

@@ -1,11 +1,55 @@
 #include "arith/alu.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "arith/approx_adders.h"
+#include "arith/batch_kernels.h"
 
 namespace approxit::arith {
+
+namespace {
+
+/// Invokes `fn` with a callable `(Word a, Word b, bool cin) -> Word`
+/// computing one addition of the closed-form family `spec` — the
+/// word-parallel equivalent of the active Adder::add(). Hoists the family
+/// switch out of the span kernels' element loops.
+template <typename Fn>
+void with_kernel(const KernelSpec& spec, unsigned width, Fn&& fn) {
+  switch (spec.kind) {
+    case AdderKernel::kExact:
+      fn([width](Word a, Word b, bool cin) {
+        return exact_word_add(width, a, b, cin);
+      });
+      return;
+    case AdderKernel::kLowerOr:
+      fn([width, k = spec.param](Word a, Word b, bool cin) {
+        return lower_or_word_add(width, k, a, b, cin);
+      });
+      return;
+    case AdderKernel::kTruncated:
+      fn([width, k = spec.param](Word a, Word b, bool cin) {
+        return truncated_word_add(width, k, a, b, cin);
+      });
+      return;
+    case AdderKernel::kEtaI:
+      fn([width, k = spec.param](Word a, Word b, bool cin) {
+        return etai_word_add(width, k, a, b, cin);
+      });
+      return;
+    case AdderKernel::kEtaII:
+      fn([width, seg = spec.param](Word a, Word b, bool cin) {
+        return etaii_word_add(width, seg, a, b, cin);
+      });
+      return;
+    case AdderKernel::kGeneric:
+      break;
+  }
+  throw std::logic_error("QcsAlu: no closed-form kernel for kGeneric");
+}
+
+}  // namespace
 
 void QcsConfig::validate() const {
   format.validate();
@@ -22,7 +66,8 @@ void QcsConfig::validate() const {
   }
 }
 
-QcsAlu::QcsAlu(const QcsConfig& config) : format_(config.format) {
+QcsAlu::QcsAlu(const QcsConfig& config)
+    : format_(config.format), energy_params_(config.energy) {
   config.validate();
   const unsigned width = format_.total_bits;
   for (std::size_t i = 0; i < 4; ++i) {
@@ -33,6 +78,7 @@ QcsAlu::QcsAlu(const QcsConfig& config) : format_(config.format) {
       std::make_shared<GdaAdder>(width, 0);
   for (std::size_t i = 0; i < kNumModes; ++i) {
     energy_per_add_[i] = adder_energy(*adders_[i], config.energy);
+    kernel_specs_[i] = adders_[i]->kernel_spec();
     toggle_models_[i].emplace(adders_[i]->gates(), format_.total_bits,
                               config.energy);
   }
@@ -40,7 +86,7 @@ QcsAlu::QcsAlu(const QcsConfig& config) : format_(config.format) {
 
 QcsAlu::QcsAlu(const QFormat& format, std::array<AdderPtr, kNumModes> adders,
                const EnergyParams& energy)
-    : format_(format), adders_(std::move(adders)) {
+    : format_(format), adders_(std::move(adders)), energy_params_(energy) {
   format_.validate();
   for (std::size_t i = 0; i < kNumModes; ++i) {
     if (!adders_[i]) {
@@ -51,6 +97,7 @@ QcsAlu::QcsAlu(const QFormat& format, std::array<AdderPtr, kNumModes> adders,
           "QcsAlu: adder width does not match format");
     }
     energy_per_add_[i] = adder_energy(*adders_[i], energy);
+    kernel_specs_[i] = adders_[i]->kernel_spec();
     toggle_models_[i].emplace(adders_[i]->gates(), format_.total_bits,
                               energy);
   }
@@ -89,23 +136,167 @@ double QcsAlu::add(double a, double b) { return route_add(a, b, false); }
 
 double QcsAlu::sub(double a, double b) { return route_add(a, b, true); }
 
-double QcsAlu::accumulate(std::span<const double> values) {
-  double acc = 0.0;
-  for (double v : values) {
-    acc = add(acc, v);
+bool QcsAlu::fast_path(const KernelSpec& spec) const {
+  // The word-domain fold never leaves the word domain between elements;
+  // it matches the scalar dequantize/requantize fold bit-for-bit only
+  // when every dequantized word is exactly representable in a double
+  // (total_bits <= 53), which makes quantize(dequantize(w)) == w.
+  return batching_ && batching_supported() &&
+         spec.kind != AdderKernel::kGeneric && format_.total_bits <= 53;
+}
+
+double QcsAlu::fold_chunk(double acc, const double* addends, std::size_t n) {
+  if (n == 0) return acc;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  if (!fast_path(spec)) {
+    // Differential reference / decorator path: the virtual scalar add().
+    for (std::size_t i = 0; i < n; ++i) acc = add(acc, addends[i]);
+    return acc;
   }
-  return acc;
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  double dynamic_total = 0.0;
+  Word wacc = quant_.quantize(acc);
+  with_kernel(spec, format_.total_bits, [&](auto kernel) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word w = quant_.quantize(addends[i]);
+      if (toggle) dynamic_total += toggle->operation_energy(wacc, w);
+      wacc = kernel(wacc, w, false);
+    }
+  });
+  if (toggle) {
+    ledger_.record_total(mode_, dynamic_total, n);
+  } else {
+    ledger_.record(mode_, energy_per_add_[idx], n);
+  }
+  return quant_.dequantize(wacc);
+}
+
+double QcsAlu::accumulate(std::span<const double> values) {
+  return fold_chunk(0.0, values.data(), values.size());
 }
 
 double QcsAlu::dot(std::span<const double> x, std::span<const double> y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("QcsAlu::dot: size mismatch");
   }
+  // Products are materialized chunkwise so the fold stays in the word
+  // domain; re-quantizing the accumulator at a chunk boundary is the
+  // identity (see fast_path), so chunking does not change the result.
+  constexpr std::size_t kChunk = 256;
+  std::array<double, kChunk> products;
   double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc = add(acc, x[i] * y[i]);
+  for (std::size_t i = 0; i < x.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, x.size() - i);
+    for (std::size_t j = 0; j < n; ++j) products[j] = x[i + j] * y[i + j];
+    acc = fold_chunk(acc, products.data(), n);
   }
   return acc;
+}
+
+void QcsAlu::axpy(double alpha, std::span<const double> x,
+                  std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("QcsAlu::axpy: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  if (!fast_path(spec)) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = add(y[i], alpha * x[i]);
+    return;
+  }
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  double dynamic_total = 0.0;
+  with_kernel(spec, format_.total_bits, [&](auto kernel) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word wa = quant_.quantize(y[i]);
+      const Word wb = quant_.quantize(alpha * x[i]);
+      if (toggle) dynamic_total += toggle->operation_energy(wa, wb);
+      y[i] = quant_.dequantize(kernel(wa, wb, false));
+    }
+  });
+  if (toggle) {
+    ledger_.record_total(mode_, dynamic_total, n);
+  } else {
+    ledger_.record(mode_, energy_per_add_[idx], n);
+  }
+}
+
+void QcsAlu::add_vec(std::span<const double> x, std::span<const double> y,
+                     std::span<double> out) {
+  if (x.size() != y.size() || x.size() != out.size()) {
+    throw std::invalid_argument("QcsAlu::add_vec: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  if (!fast_path(spec)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = add(x[i], y[i]);
+    return;
+  }
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  double dynamic_total = 0.0;
+  with_kernel(spec, format_.total_bits, [&](auto kernel) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word wa = quant_.quantize(x[i]);
+      const Word wb = quant_.quantize(y[i]);
+      if (toggle) dynamic_total += toggle->operation_energy(wa, wb);
+      out[i] = quant_.dequantize(kernel(wa, wb, false));
+    }
+  });
+  if (toggle) {
+    ledger_.record_total(mode_, dynamic_total, n);
+  } else {
+    ledger_.record(mode_, energy_per_add_[idx], n);
+  }
+}
+
+void QcsAlu::sub_vec(std::span<const double> x, std::span<const double> y,
+                     std::span<double> out) {
+  if (x.size() != y.size() || x.size() != out.size()) {
+    throw std::invalid_argument("QcsAlu::sub_vec: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  if (!fast_path(spec)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sub(x[i], y[i]);
+    return;
+  }
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  double dynamic_total = 0.0;
+  const Word mask = word_mask(format_.total_bits);
+  with_kernel(spec, format_.total_bits, [&](auto kernel) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word wa = quant_.quantize(x[i]);
+      // Two's-complement subtraction: a + ~b + 1, exactly as
+      // Adder::subtract feeds the hardware (and the toggle model).
+      const Word wb_effective = ~quant_.quantize(y[i]) & mask;
+      if (toggle) dynamic_total += toggle->operation_energy(wa, wb_effective);
+      out[i] = quant_.dequantize(kernel(wa, wb_effective, true));
+    }
+  });
+  if (toggle) {
+    ledger_.record_total(mode_, dynamic_total, n);
+  } else {
+    ledger_.record(mode_, energy_per_add_[idx], n);
+  }
+}
+
+std::unique_ptr<QcsAlu> QcsAlu::clone_fresh() const {
+  auto fresh = std::make_unique<QcsAlu>(format_, adders_, energy_params_);
+  fresh->set_mode(mode_);
+  fresh->set_dynamic_energy(dynamic_energy_);
+  fresh->set_batching(batching_);
+  return fresh;
 }
 
 std::string QcsAlu::describe() const {

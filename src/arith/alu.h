@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -47,12 +48,23 @@ struct QcsConfig {
 /// Mode-switchable approximate ALU with energy accounting.
 ///
 /// Thread-compatible: concurrent use requires external synchronization
-/// (the ledger and mode are mutable state).
+/// (the ledger and mode are mutable state). For parallel sweeps, give
+/// each worker its own clone_fresh() instance — the (stateless, const)
+/// adder bank is shared, the mutable ledger/mode/toggle state is not.
+///
+/// The span kernels (accumulate/dot/axpy/add_vec/sub_vec) run a batched
+/// datapath: operands are quantized in bulk, the active mode's adder is
+/// evaluated with the closed-form word-parallel kernel it advertises via
+/// Adder::kernel_spec() (batch_kernels.h), and energy is posted to the
+/// ledger once per batch. The batched path is bit-identical to folding
+/// through the scalar add()/sub(); set_batching(false) forces the scalar
+/// fold, which is used as the differential reference in tests.
 ///
 /// Not final: FaultyQcsAlu (fault_injector.h) decorates the routed
-/// operations with transient-fault injection. accumulate()/dot() fold
-/// through the virtual add(), so overriding add()/sub() is sufficient to
-/// intercept every routed operation.
+/// operations with transient-fault injection. Decorators that override
+/// add()/sub() must also override batching_supported() to return false so
+/// the span kernels fall back to folding through the virtual add()/sub()
+/// and every operation is intercepted.
 class QcsAlu : public ArithContext {
  public:
   /// Builds the default QCS (QcsConfigurableAdder bank) per `config`.
@@ -78,11 +90,26 @@ class QcsAlu : public ArithContext {
 
   /// Sequential accumulation of `values` through the active adder;
   /// records values.size() operations. Returns 0 for an empty span.
+  /// Batched: bit-identical to the scalar fold, one ledger post.
   double accumulate(std::span<const double> values) override;
 
   /// Dot product: multiplications exact (the QCS approximates adders only,
-  /// as in the paper), accumulation through the active adder.
+  /// as in the paper), accumulation through the active adder. Batched.
   double dot(std::span<const double> x, std::span<const double> y) override;
+
+  /// y[i] <- y[i] + alpha * x[i]; the scale is exact, each addition goes
+  /// through the active adder. Batched, one ledger post per call.
+  void axpy(double alpha, std::span<const double> x,
+            std::span<double> y) override;
+
+  /// out[i] <- x[i] + y[i] through the active adder. Batched.
+  void add_vec(std::span<const double> x, std::span<const double> y,
+               std::span<double> out) override;
+
+  /// out[i] <- x[i] - y[i] through the active adder (two's-complement
+  /// subtraction, like sub()). Batched.
+  void sub_vec(std::span<const double> x, std::span<const double> y,
+               std::span<double> out) override;
 
   /// Per-operation energy of a mode's adder (normalized units, static
   /// average model).
@@ -112,17 +139,63 @@ class QcsAlu : public ArithContext {
   /// Clears the ledger (mode is preserved).
   void reset_ledger() { ledger_.reset(); }
 
+  /// Merges another ledger's counts into this ALU's ledger (aggregation of
+  /// per-arm clone ledgers after a parallel sweep).
+  void merge_ledger(const EnergyLedger& other) { ledger_.merge(other); }
+
+  /// Enables/disables the batched word-parallel span kernels. Disabled,
+  /// every span operation folds through the virtual add()/sub() exactly as
+  /// the scalar path does — the differential reference for tests. The two
+  /// paths are bit-identical; only ledger posting granularity and speed
+  /// differ. Default: enabled.
+  void set_batching(bool enabled) { batching_ = enabled; }
+
+  /// True when the batched span kernels are enabled.
+  bool batching() const { return batching_; }
+
+  /// Whether this ALU may legally take the batched fast path. Decorators
+  /// that intercept add()/sub() per operation (fault injection) return
+  /// false so span kernels keep routing through the virtual scalar ops.
+  virtual bool batching_supported() const { return true; }
+
+  /// A fresh ALU sharing this one's (immutable) adder bank, format, energy
+  /// parameters, mode, and flags — with a zeroed ledger and toggle state.
+  /// This is what parallel sweep arms own: one clone per worker, merged
+  /// back via EnergyLedger::merge.
+  virtual std::unique_ptr<QcsAlu> clone_fresh() const;
+
   /// Descriptive multi-line summary of the adder bank (names, energies).
   std::string describe() const;
+
+ protected:
+  /// The full adder bank (shared, immutable); for decorator clone_fresh().
+  const std::array<AdderPtr, kNumModes>& adder_bank() const {
+    return adders_;
+  }
+
+  /// Energy parameters the bank was built with; for decorator clone_fresh().
+  const EnergyParams& energy_params() const { return energy_params_; }
 
  private:
   double route_add(double a, double b, bool subtract);
 
+  /// Folds `n` addends into `acc` through the active adder: the batched
+  /// word-domain loop when eligible, otherwise the virtual scalar add().
+  double fold_chunk(double acc, const double* addends, std::size_t n);
+
+  /// True when the active mode can run the word-parallel kernels and
+  /// produce bit-identical results to the scalar path.
+  bool fast_path(const KernelSpec& spec) const;
+
   QFormat format_;
+  QuantSpec quant_{format_};  ///< Inline conversions for the batch loops.
   std::array<AdderPtr, kNumModes> adders_;
   std::array<double, kNumModes> energy_per_add_{};
+  std::array<KernelSpec, kNumModes> kernel_specs_{};
   std::array<std::optional<ToggleEnergyModel>, kNumModes> toggle_models_;
+  EnergyParams energy_params_;
   bool dynamic_energy_ = false;
+  bool batching_ = true;
   ApproxMode mode_ = ApproxMode::kAccurate;
   EnergyLedger ledger_;
 };

@@ -26,6 +26,10 @@ class LowerOrAdder final : public Adder {
   AddResult add(Word a, Word b, bool carry_in) const override;
   std::string name() const override;
   GateInventory gates() const override;
+  KernelSpec kernel_spec() const override {
+    return approx_bits_ == 0 ? KernelSpec{AdderKernel::kExact, 0}
+                             : KernelSpec{AdderKernel::kLowerOr, approx_bits_};
+  }
 
   unsigned approx_bits() const { return approx_bits_; }
 
@@ -41,6 +45,11 @@ class TruncatedAdder final : public Adder {
   AddResult add(Word a, Word b, bool carry_in) const override;
   std::string name() const override;
   GateInventory gates() const override;
+  KernelSpec kernel_spec() const override {
+    return truncated_bits_ == 0
+               ? KernelSpec{AdderKernel::kExact, 0}
+               : KernelSpec{AdderKernel::kTruncated, truncated_bits_};
+  }
 
   unsigned truncated_bits() const { return truncated_bits_; }
 
@@ -57,6 +66,10 @@ class EtaIAdder final : public Adder {
   AddResult add(Word a, Word b, bool carry_in) const override;
   std::string name() const override;
   GateInventory gates() const override;
+  KernelSpec kernel_spec() const override {
+    return approx_bits_ == 0 ? KernelSpec{AdderKernel::kExact, 0}
+                             : KernelSpec{AdderKernel::kEtaI, approx_bits_};
+  }
 
   unsigned approx_bits() const { return approx_bits_; }
 
@@ -73,6 +86,10 @@ class EtaIIAdder final : public Adder {
   AddResult add(Word a, Word b, bool carry_in) const override;
   std::string name() const override;
   GateInventory gates() const override;
+  KernelSpec kernel_spec() const override {
+    return segment_ >= width() ? KernelSpec{AdderKernel::kExact, 0}
+                               : KernelSpec{AdderKernel::kEtaII, segment_};
+  }
 
   unsigned segment() const { return segment_; }
 
@@ -132,6 +149,10 @@ class GdaAdder final : public Adder {
   std::string name() const override;
   GateInventory gates() const override;
   bool is_exact() const override { return approx_bits_ == 0; }
+  KernelSpec kernel_spec() const override {
+    return approx_bits_ == 0 ? KernelSpec{AdderKernel::kExact, 0}
+                             : KernelSpec{AdderKernel::kLowerOr, approx_bits_};
+  }
 
   unsigned approx_bits() const { return approx_bits_; }
 

@@ -1,0 +1,135 @@
+// Closed-form word-parallel kernels for the batched QCS datapath.
+//
+// The adder models in approx_adders.cpp are written structurally — they
+// compose add_bit_range() the way the hardware composes carry chains —
+// which is ideal as a differential reference but costs a virtual call and
+// several sub-range additions per element. The LOA/GDA, truncated, ETA-I
+// and ETA-II families all admit an O(1)-per-element machine-word formula;
+// this header provides those formulas so QcsAlu's span kernels can run a
+// tight non-virtual loop per batch.
+//
+// Every function here MUST be bit-identical to the corresponding
+// Adder::add() for all operands and carry-ins; batch_kernels_test.cpp
+// checks this differentially against the structural models.
+#pragma once
+
+#include <bit>
+
+#include "arith/adder.h"
+
+namespace approxit::arith {
+
+/// Exact two's-complement addition of the low `width` bits (width < 64).
+inline Word exact_word_add(unsigned width, Word a, Word b, bool carry_in) {
+  return (a + b + (carry_in ? 1 : 0)) & word_mask(width);
+}
+
+/// LowerOrAdder / GdaAdder: the low k result bits are a|b (carry-free);
+/// the AND of the top approximate bit pair bridges into the exact upper
+/// part. The external carry-in is swallowed by the OR region (as in the
+/// structural model) whenever k > 0.
+inline Word lower_or_word_add(unsigned width, unsigned k, Word a, Word b,
+                              bool carry_in) {
+  const Word mask = word_mask(width);
+  a &= mask;
+  b &= mask;
+  if (k == 0) {
+    return exact_word_add(width, a, b, carry_in);
+  }
+  const Word low = (a | b) & word_mask(k);
+  if (k >= width) {
+    return low;
+  }
+  // Branchless: bit k-1 of both operands AND-ed into the upper carry-in.
+  // Random operands make this bit a coin flip, so a short-circuit form
+  // would mispredict half the time and dominate the loop.
+  const Word bridge = (a >> (k - 1)) & (b >> (k - 1)) & Word{1};
+  const Word upper = ((a >> k) + (b >> k) + bridge) << k;
+  return (low | upper) & mask;
+}
+
+/// TruncatedAdder: low k result bits zero, no carry out of them; the
+/// external carry-in enters below the cut and is dropped when k > 0.
+inline Word truncated_word_add(unsigned width, unsigned k, Word a, Word b,
+                               bool carry_in) {
+  const Word mask = word_mask(width);
+  a &= mask;
+  b &= mask;
+  if (k >= width) {
+    return 0;
+  }
+  const Word cin = (k == 0 && carry_in) ? 1 : 0;
+  return (((a >> k) + (b >> k) + cin) << k) & mask;
+}
+
+/// EtaIAdder: lower part XORs bit-wise from the top down until the first
+/// position where both operand bits are 1, from which point every lower
+/// result bit saturates to 1; the upper part is exact with no carry
+/// crossing the cut.
+inline Word etai_word_add(unsigned width, unsigned k, Word a, Word b,
+                          bool carry_in) {
+  const Word mask = word_mask(width);
+  a &= mask;
+  b &= mask;
+  if (k == 0) {
+    return exact_word_add(width, a, b, carry_in);
+  }
+  const Word low_mask = word_mask(k);
+  const Word generate = a & b & low_mask;
+  Word low = (a ^ b) & low_mask;
+  // Highest 1+1 pair at bit p: bits [0, p] saturate to 1. bit_width is
+  // p + 1 and 0 when there is no pair, so the mask is a no-op then —
+  // branchless on the (data-dependent) generate word.
+  low |= word_mask(static_cast<unsigned>(std::bit_width(generate)));
+  if (k >= width) {
+    return low;
+  }
+  const Word upper = ((a >> k) + (b >> k)) << k;
+  return (low | upper) & mask;
+}
+
+/// EtaIIAdder: `segment`-bit blocks; the carry into block i is speculated
+/// from block i-1 with carry-in 0 (the true carry-in feeds block 0 only).
+inline Word etaii_word_add(unsigned width, unsigned segment, Word a, Word b,
+                           bool carry_in) {
+  const Word mask = word_mask(width);
+  a &= mask;
+  b &= mask;
+  Word sum = 0;
+  Word speculated = carry_in ? 1 : 0;
+  for (unsigned base = 0; base < width; base += segment) {
+    const unsigned end = base + segment < width ? base + segment : width;
+    const unsigned span = end - base;
+    const Word span_mask = word_mask(span);
+    const Word va = (a >> base) & span_mask;
+    const Word vb = (b >> base) & span_mask;
+    sum |= ((va + vb + speculated) & span_mask) << base;
+    speculated = ((va + vb) >> span) & 1;
+  }
+  return sum & mask;
+}
+
+/// Dispatches one addition through the closed-form family `spec` (the
+/// word-level equivalent of Adder::add().sum). Callers on a hot path
+/// should instead switch on spec.kind OUTSIDE their element loop — this
+/// per-element dispatcher exists for tests and one-off evaluations.
+inline Word kernel_word_add(const KernelSpec& spec, unsigned width, Word a,
+                            Word b, bool carry_in) {
+  switch (spec.kind) {
+    case AdderKernel::kExact:
+      return exact_word_add(width, a, b, carry_in);
+    case AdderKernel::kLowerOr:
+      return lower_or_word_add(width, spec.param, a, b, carry_in);
+    case AdderKernel::kTruncated:
+      return truncated_word_add(width, spec.param, a, b, carry_in);
+    case AdderKernel::kEtaI:
+      return etai_word_add(width, spec.param, a, b, carry_in);
+    case AdderKernel::kEtaII:
+      return etaii_word_add(width, spec.param, a, b, carry_in);
+    case AdderKernel::kGeneric:
+      break;
+  }
+  return 0;  // kGeneric has no closed form; the caller must use add().
+}
+
+}  // namespace approxit::arith

@@ -29,6 +29,40 @@ class ArithContext {
   /// Dot product; multiplications are exact, accumulation context-routed.
   virtual double dot(std::span<const double> x,
                      std::span<const double> y) = 0;
+
+  /// y[i] <- y[i] + alpha * x[i]; the multiplication is exact, the
+  /// addition context-routed. Elementwise (no cross-element carries).
+  virtual void axpy(double alpha, std::span<const double> x,
+                    std::span<double> y) {
+    if (x.size() != y.size()) {
+      throw std::invalid_argument("ArithContext::axpy: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = add(y[i], alpha * x[i]);
+    }
+  }
+
+  /// out[i] <- x[i] + y[i], context-routed elementwise.
+  virtual void add_vec(std::span<const double> x, std::span<const double> y,
+                       std::span<double> out) {
+    if (x.size() != y.size() || x.size() != out.size()) {
+      throw std::invalid_argument("ArithContext::add_vec: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = add(x[i], y[i]);
+    }
+  }
+
+  /// out[i] <- x[i] - y[i], context-routed elementwise.
+  virtual void sub_vec(std::span<const double> x, std::span<const double> y,
+                       std::span<double> out) {
+    if (x.size() != y.size() || x.size() != out.size()) {
+      throw std::invalid_argument("ArithContext::sub_vec: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = sub(x[i], y[i]);
+    }
+  }
 };
 
 /// Pure floating-point context: the "no approximation" reference with no
@@ -49,6 +83,27 @@ class ExactContext final : public ArithContext {
     double acc = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
     return acc;
+  }
+  void axpy(double alpha, std::span<const double> x,
+            std::span<double> y) override {
+    if (x.size() != y.size()) {
+      throw std::invalid_argument("ExactContext::axpy: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  }
+  void add_vec(std::span<const double> x, std::span<const double> y,
+               std::span<double> out) override {
+    if (x.size() != y.size() || x.size() != out.size()) {
+      throw std::invalid_argument("ExactContext::add_vec: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  }
+  void sub_vec(std::span<const double> x, std::span<const double> y,
+               std::span<double> out) override {
+    if (x.size() != y.size() || x.size() != out.size()) {
+      throw std::invalid_argument("ExactContext::sub_vec: size mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
   }
 };
 

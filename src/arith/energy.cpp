@@ -98,6 +98,12 @@ void EnergyLedger::record(ApproxMode mode, double energy_per_op,
   ops_[mode_index(mode)] += count;
 }
 
+void EnergyLedger::record_total(ApproxMode mode, double total_energy,
+                                std::size_t count) {
+  energy_[mode_index(mode)] += total_energy;
+  ops_[mode_index(mode)] += count;
+}
+
 double EnergyLedger::total_energy() const {
   double total = 0.0;
   for (double e : energy_) total += e;

@@ -101,6 +101,10 @@ class EnergyLedger {
   /// Records `count` operations in `mode`, each costing `energy_per_op`.
   void record(ApproxMode mode, double energy_per_op, std::size_t count = 1);
 
+  /// Records `count` operations in `mode` whose summed energy is
+  /// `total_energy` (batched posting of data-dependent per-op energies).
+  void record_total(ApproxMode mode, double total_energy, std::size_t count);
+
   /// Total accumulated energy across all modes (normalized units).
   double total_energy() const;
 

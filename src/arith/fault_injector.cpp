@@ -115,6 +115,14 @@ FaultyQcsAlu::FaultyQcsAlu(const FaultConfig& fault, const QFormat& format,
   fault_ledger_.bit_position_counts.assign(this->format().total_bits, 0);
 }
 
+std::unique_ptr<QcsAlu> FaultyQcsAlu::clone_fresh() const {
+  auto fresh = std::make_unique<FaultyQcsAlu>(fault_, format(), adder_bank(),
+                                              energy_params());
+  fresh->set_mode(mode());
+  fresh->set_dynamic_energy(dynamic_energy());
+  return fresh;
+}
+
 double FaultyQcsAlu::add(double a, double b) {
   return perturb(QcsAlu::add(a, b));
 }

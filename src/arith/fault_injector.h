@@ -145,6 +145,16 @@ class FaultyQcsAlu : public QcsAlu {
   double add(double a, double b) override;
   double sub(double a, double b) override;
 
+  /// Fault injection is a per-operation process (each routed op draws from
+  /// the RNG stream in sequence), so the batched word-parallel span path
+  /// must not bypass add()/sub(): span kernels fall back to the scalar
+  /// fold, preserving the exact fault stream of the seed implementation.
+  bool batching_supported() const override { return false; }
+
+  /// Fresh injector sharing the adder bank, with the same fault config
+  /// (re-seeded RNG: the clone sees the identical fault stream from op 0).
+  std::unique_ptr<QcsAlu> clone_fresh() const override;
+
   /// Injection statistics since construction or reset_faults().
   const FaultLedger& fault_ledger() const { return fault_ledger_; }
 

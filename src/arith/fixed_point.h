@@ -8,6 +8,7 @@
 // resilient kernels run on approximate fixed-point hardware.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -59,5 +60,51 @@ Word from_signed(std::int64_t value, unsigned width);
 /// Round-trips `value` through the format (quantize then dequantize);
 /// useful for measuring pure quantization error.
 double quantization_roundtrip(double value, const QFormat& format);
+
+/// Precomputed quantization constants for one format, hoisting the scale
+/// and clamp setup of quantize()/dequantize() out of batch loops and
+/// letting the conversions inline. Bit-identical to the free functions:
+/// the scale factors are exact powers of two, so `value * scale_` is the
+/// same double as ldexp(value, frac_bits) (both overflow to inf together),
+/// and the rounding/clamp/cast sequence is unchanged.
+class QuantSpec {
+ public:
+  explicit QuantSpec(const QFormat& format)
+      : scale_(std::ldexp(1.0, static_cast<int>(format.frac_bits))),
+        inv_scale_(std::ldexp(1.0, -static_cast<int>(format.frac_bits))),
+        max_int_(std::ldexp(1.0, static_cast<int>(format.total_bits) - 1) -
+                 1.0),
+        min_int_(-std::ldexp(1.0, static_cast<int>(format.total_bits) - 1)),
+        mask_(word_mask(format.total_bits)),
+        sign_bit_(format.total_bits == 0
+                      ? 0
+                      : Word{1} << (format.total_bits - 1)) {}
+
+  /// Same result as quantize(value, format) for every input.
+  Word quantize(double value) const {
+    if (std::isnan(value)) return 0;
+    double scaled = std::nearbyint(value * scale_);
+    if (scaled > max_int_) scaled = max_int_;
+    if (scaled < min_int_) scaled = min_int_;
+    return static_cast<Word>(static_cast<std::int64_t>(scaled)) & mask_;
+  }
+
+  /// Same result as dequantize(word, format) for every input.
+  double dequantize(Word word) const {
+    word &= mask_;
+    const std::int64_t raw =
+        (word & sign_bit_) ? static_cast<std::int64_t>(word | ~mask_)
+                           : static_cast<std::int64_t>(word);
+    return static_cast<double>(raw) * inv_scale_;
+  }
+
+ private:
+  double scale_;
+  double inv_scale_;
+  double max_int_;
+  double min_int_;
+  Word mask_;
+  Word sign_bit_;
+};
 
 }  // namespace approxit::arith

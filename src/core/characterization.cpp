@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace approxit::core {
 
@@ -162,13 +164,27 @@ ModeCharacterization merge_characterizations(
 ModeCharacterization characterize_many(
     const std::vector<opt::IterativeMethod*>& methods, arith::QcsAlu& alu,
     const CharacterizationOptions& options) {
-  std::vector<ModeCharacterization> profiles;
-  profiles.reserve(methods.size());
   for (opt::IterativeMethod* method : methods) {
     if (method == nullptr) {
       throw std::invalid_argument("characterize_many: null method");
     }
-    profiles.push_back(characterize(*method, alu, options));
+  }
+  std::vector<ModeCharacterization> profiles(methods.size());
+  if (options.threads <= 1) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      profiles[i] = characterize(*methods[i], alu, options);
+    }
+  } else {
+    // Each workload probes on its own fresh ALU (thread-compatible, not
+    // thread-safe); profiles land in index order, so the merged result is
+    // identical to the serial run for any thread count.
+    std::vector<std::unique_ptr<arith::QcsAlu>> trial_alus(methods.size());
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      trial_alus[i] = alu.clone_fresh();
+    }
+    util::parallel_for(methods.size(), options.threads, [&](std::size_t i) {
+      profiles[i] = characterize(*methods[i], *trial_alus[i], options);
+    });
   }
   return merge_characterizations(profiles);
 }

@@ -26,6 +26,11 @@ struct CharacterizationOptions {
   /// result (true, default: every probe starts from an on-trajectory state)
   /// or from the approximate result (false: models free-running drift).
   bool resynchronize = true;
+  /// Worker threads for characterize_many: each workload is characterized
+  /// on its own QcsAlu::clone_fresh() instance and the profiles are merged
+  /// in workload order, so the result is identical for any thread count.
+  /// characterize() itself is always a single serial trajectory.
+  std::size_t threads = 1;
 };
 
 /// Runs the offline characterization of `method` on `alu`.

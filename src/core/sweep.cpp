@@ -5,8 +5,35 @@
 #include "core/incremental_strategy.h"
 #include "core/oracle.h"
 #include "core/static_strategy.h"
+#include "util/parallel.h"
 
 namespace approxit::core {
+
+namespace {
+
+/// One sweep arm: a label, a fresh method instance, and either a strategy
+/// (session run) or the oracle. Arms are fully independent — each runs on
+/// its own ALU when the sweep is parallel — and results are read back in
+/// arm-list order, so thread scheduling cannot reorder or change anything.
+struct SweepArm {
+  std::string label;
+  std::unique_ptr<opt::IterativeMethod> method;
+  std::unique_ptr<Strategy> strategy;  ///< Null for the oracle arm.
+  RunReport report;
+};
+
+void run_arm(SweepArm& arm, arith::QcsAlu& alu,
+             const ModeCharacterization& characterization) {
+  if (!arm.strategy) {
+    arm.report = run_oracle(*arm.method, alu);
+    return;
+  }
+  ApproxItSession session(*arm.method, *arm.strategy, alu);
+  session.set_characterization(characterization);
+  arm.report = session.run();
+}
+
+}  // namespace
 
 SweepResult run_configuration_sweep(const MethodFactory& factory,
                                     arith::QcsAlu& alu,
@@ -18,59 +45,78 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
   const ModeCharacterization characterization =
       characterize(*char_method, alu, options.characterization);
 
-  const std::unique_ptr<opt::IterativeMethod> truth_method = factory();
-  {
-    StaticStrategy strategy(arith::ApproxMode::kAccurate);
-    ApproxItSession session(*truth_method, strategy, alu);
-    session.set_characterization(characterization);
-    result.truth = session.run();
-  }
-  const double truth_energy =
-      result.truth.total_energy > 0.0 ? result.truth.total_energy : 1.0;
-
-  const auto add_point = [&](const std::string& label,
-                             opt::IterativeMethod& method,
-                             const RunReport& report) {
-    ParetoPoint point;
-    point.label = label;
-    point.energy = report.total_energy / truth_energy;
-    point.quality_error = qem(*truth_method, method);
-    point.converged = report.converged;
-    point.iterations = report.iterations;
-    result.points.push_back(point);
+  // Fixed arm order: truth, single modes, incremental, adaptive, oracle.
+  // The order is part of the contract — points come back in this order
+  // regardless of thread count.
+  std::vector<SweepArm> arms;
+  const auto add_arm = [&](std::string label,
+                           std::unique_ptr<Strategy> strategy) {
+    SweepArm arm;
+    arm.label = std::move(label);
+    arm.method = factory();
+    arm.strategy = std::move(strategy);
+    arms.push_back(std::move(arm));
   };
 
-  add_point("truth", *truth_method, result.truth);
-
-  const auto run_strategy = [&](const std::string& label,
-                                Strategy& strategy) {
-    const std::unique_ptr<opt::IterativeMethod> method = factory();
-    ApproxItSession session(*method, strategy, alu);
-    session.set_characterization(characterization);
-    const RunReport report = session.run();
-    add_point(label, *method, report);
-  };
-
+  add_arm("truth",
+          std::make_unique<StaticStrategy>(arith::ApproxMode::kAccurate));
   if (options.include_single_modes) {
     for (arith::ApproxMode mode :
          {arith::ApproxMode::kLevel1, arith::ApproxMode::kLevel2,
           arith::ApproxMode::kLevel3, arith::ApproxMode::kLevel4}) {
-      StaticStrategy strategy(mode);
-      run_strategy(std::string(arith::mode_name(mode)), strategy);
+      add_arm(std::string(arith::mode_name(mode)),
+              std::make_unique<StaticStrategy>(mode));
     }
   }
   if (options.include_incremental) {
-    IncrementalStrategy strategy;
-    run_strategy("incremental", strategy);
+    add_arm("incremental", std::make_unique<IncrementalStrategy>());
   }
   if (options.include_adaptive) {
-    AdaptiveAngleStrategy strategy;
-    run_strategy(strategy.name(), strategy);
+    auto strategy = std::make_unique<AdaptiveAngleStrategy>();
+    std::string label = strategy->name();
+    add_arm(std::move(label), std::move(strategy));
   }
   if (options.include_oracle) {
-    const std::unique_ptr<opt::IterativeMethod> method = factory();
-    const RunReport report = run_oracle(*method, alu);
-    add_point("oracle", *method, report);
+    add_arm("oracle", nullptr);
+  }
+
+  if (options.threads <= 1) {
+    // Serial path: every arm shares the caller's ALU (each session resets
+    // the ledger on entry), exactly as the original implementation did.
+    for (SweepArm& arm : arms) {
+      run_arm(arm, alu, characterization);
+    }
+  } else {
+    // Parallel path: one fresh ALU per arm (thread-compatible, not
+    // thread-safe), deterministic index-addressed results, and the arm
+    // ledgers merged into the caller's ALU after the join.
+    std::vector<std::unique_ptr<arith::QcsAlu>> arm_alus(arms.size());
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      arm_alus[i] = alu.clone_fresh();
+    }
+    util::parallel_for(arms.size(), options.threads, [&](std::size_t i) {
+      run_arm(arms[i], *arm_alus[i], characterization);
+    });
+    for (const std::unique_ptr<arith::QcsAlu>& arm_alu : arm_alus) {
+      alu.merge_ledger(arm_alu->ledger());
+    }
+  }
+
+  result.truth = arms.front().report;
+  const double truth_energy =
+      result.truth.total_energy > 0.0 ? result.truth.total_energy : 1.0;
+
+  // QEM evaluation is serial and in arm order: it compares against the
+  // finished truth method, after every arm has joined.
+  opt::IterativeMethod& truth_method = *arms.front().method;
+  for (SweepArm& arm : arms) {
+    ParetoPoint point;
+    point.label = arm.label;
+    point.energy = arm.report.total_energy / truth_energy;
+    point.quality_error = qem(truth_method, *arm.method);
+    point.converged = arm.report.converged;
+    point.iterations = arm.report.iterations;
+    result.points.push_back(point);
   }
   return result;
 }

@@ -31,6 +31,14 @@ struct SweepOptions {
   bool include_adaptive = true;
   bool include_oracle = false;  ///< Lookahead probes make this pricier.
   CharacterizationOptions characterization{};
+  /// Worker threads for the sweep arms. 1 (default) runs every arm
+  /// serially on the caller's ALU, exactly as before. > 1 gives each arm
+  /// its own QcsAlu::clone_fresh() instance (the ALU is thread-compatible,
+  /// not thread-safe) and runs arms concurrently; results are identical to
+  /// the serial run — ParetoPoints are assembled in the fixed arm order
+  /// and every arm's trajectory is independent of scheduling — and each
+  /// arm's ledger is merged into the caller's ALU afterwards.
+  std::size_t threads = 1;
 };
 
 /// Result of a sweep: the Truth report plus one ParetoPoint per evaluated

@@ -83,9 +83,7 @@ double sum(arith::ArithContext& ctx, std::span<const double> x) {
 void axpy(arith::ArithContext& ctx, double alpha, std::span<const double> x,
           std::span<double> y) {
   check_sizes(x, y, "axpy(ctx)");
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = ctx.add(y[i], alpha * x[i]);
-  }
+  ctx.axpy(alpha, x, y);
 }
 
 std::vector<double> mean_rows(arith::ArithContext& ctx,
@@ -99,13 +97,15 @@ std::vector<double> mean_rows(arith::ArithContext& ctx,
   const std::size_t n = rows.size() / dim;
   std::vector<double> out(dim, 0.0);
   if (n == 0) return out;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < dim; ++j) {
-      out[j] = ctx.add(out[j], rows[i * dim + j]);
-    }
-  }
+  // Column-major gather so each column is one batched reduction; the
+  // per-column fold (and hence the result) is identical to the row-major
+  // element loop, only the operation order across columns changes.
+  std::vector<double> column(n);
   const double inv = 1.0 / static_cast<double>(n);
-  for (double& v : out) v *= inv;
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t i = 0; i < n; ++i) column[i] = rows[i * dim + j];
+    out[j] = ctx.accumulate(column) * inv;
+  }
   return out;
 }
 

@@ -74,9 +74,10 @@ IterationStats ConjugateGradientSolver::iterate(arith::ArithContext& ctx) {
     la::axpy(ctx, -alpha, ap, r_);
     const double rr_new = ctx.dot(r_, r_);
     const double beta = rr_new / rr;
-    for (std::size_t i = 0; i < n; ++i) {
-      p_[i] = ctx.add(r_[i], beta * p_[i]);
-    }
+    // p <- r + beta p, batched (the scale is exact, the add routed).
+    std::vector<double> scaled_p(n);
+    for (std::size_t i = 0; i < n; ++i) scaled_p[i] = beta * p_[i];
+    ctx.add_vec(r_, scaled_p, p_);
   }
 
   current_objective_ = objective_at(x_);

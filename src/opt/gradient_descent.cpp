@@ -53,11 +53,16 @@ IterationStats GradientDescentSolver::iterate(arith::ArithContext& ctx) {
 
   // v <- beta v - alpha g  (combined through the context),
   // x <- x + v            (the paper's update step, through the context).
+  // Both are elementwise batched passes; per-element results match the
+  // fused scalar loop exactly (the chains are independent across i).
+  std::vector<double> momentum_terms(n);
+  std::vector<double> scaled_grad(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double momentum_term = config_.momentum * velocity_[i];
-    velocity_[i] = ctx.sub(momentum_term, config_.step_size * grad[i]);
-    x_[i] = ctx.add(x_[i], velocity_[i]);
+    momentum_terms[i] = config_.momentum * velocity_[i];
+    scaled_grad[i] = config_.step_size * grad[i];
   }
+  ctx.sub_vec(momentum_terms, scaled_grad, velocity_);
+  ctx.add_vec(x_, velocity_, x_);
 
   current_objective_ = problem_.value(x_);
   ++iteration_;

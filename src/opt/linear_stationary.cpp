@@ -78,13 +78,16 @@ IterationStats StationarySolver::iterate(arith::ArithContext& ctx) {
   switch (config_.scheme) {
     case StationaryScheme::kJacobi: {
       std::vector<double> next(n, 0.0);
+      std::vector<double> terms(n > 0 ? n - 1 : 0);
       for (std::size_t i = 0; i < n; ++i) {
-        // sum_{j != i} a_ij x_j through the context.
-        double acc = 0.0;
+        // sum_{j != i} a_ij x_j through the context, as one batched
+        // reduction per row (same fold order as the scalar loop).
+        std::size_t t = 0;
         for (std::size_t j = 0; j < n; ++j) {
           if (j == i) continue;
-          acc = ctx.add(acc, a_(i, j) * x_[j]);
+          terms[t++] = a_(i, j) * x_[j];
         }
+        const double acc = ctx.accumulate(terms);
         next[i] = (b_[i] - acc) / a_(i, i);
       }
       x_ = std::move(next);
@@ -92,12 +95,14 @@ IterationStats StationarySolver::iterate(arith::ArithContext& ctx) {
     }
     case StationaryScheme::kGaussSeidel:
     case StationaryScheme::kSor: {
+      std::vector<double> terms(n > 0 ? n - 1 : 0);
       for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
+        std::size_t t = 0;
         for (std::size_t j = 0; j < n; ++j) {
           if (j == i) continue;
-          acc = ctx.add(acc, a_(i, j) * x_[j]);  // uses updated x_j for j < i
+          terms[t++] = a_(i, j) * x_[j];  // uses updated x_j for j < i
         }
+        const double acc = ctx.accumulate(terms);
         const double gs = (b_[i] - acc) / a_(i, i);
         // Relaxed update through the context: x_i + omega (gs - x_i).
         x_[i] = ctx.add(x_[i], omega * ctx.sub(gs, x_[i]));

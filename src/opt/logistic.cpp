@@ -64,12 +64,14 @@ void LogisticProblem::gradient(std::span<const double> w,
     err[i] = sigmoid(logit) - static_cast<double>(y_[i]);
   }
   const double inv_m = 1.0 / static_cast<double>(m);
+  // One batched column reduction per coefficient (same fold order as the
+  // scalar loop).
+  std::vector<double> terms(m);
   for (std::size_t j = 0; j < n; ++j) {
-    double acc = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
-      acc = ctx.add(acc, x_(i, j) * err[i] * inv_m);
+      terms[i] = x_(i, j) * err[i] * inv_m;
     }
-    out[j] = acc + l2_ * w[j];
+    out[j] = ctx.accumulate(terms) + l2_ * w[j];
   }
 }
 

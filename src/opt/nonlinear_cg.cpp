@@ -87,9 +87,7 @@ IterationStats NonlinearCgSolver::iterate(arith::ArithContext& ctx) {
     } else {
       // PR+: max(0, g_new^T (g_new - g_old) / g_old^T g_old).
       std::vector<double> diff(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        diff[i] = ctx.sub(grad_new[i], grad_[i]);
-      }
+      ctx.sub_vec(grad_new, grad_, diff);
       beta = std::max(0.0, ctx.dot(grad_new, diff) / denom);
     }
   }
@@ -99,9 +97,12 @@ IterationStats NonlinearCgSolver::iterate(arith::ArithContext& ctx) {
     beta = 0.0;
     since_restart_ = 0;
   }
+  // d <- beta d - g_new, batched elementwise.
+  std::vector<double> scaled_direction(n);
   for (std::size_t i = 0; i < n; ++i) {
-    direction_[i] = ctx.sub(beta * direction_[i], grad_new[i]);
+    scaled_direction[i] = beta * direction_[i];
   }
+  ctx.sub_vec(scaled_direction, grad_new, direction_);
   grad_ = std::move(grad_new);
 
   current_objective_ = problem_.value(x_);

@@ -83,13 +83,13 @@ void LeastSquaresProblem::gradient(std::span<const double> x,
   for (std::size_t i = 0; i < m; ++i) {
     r[i] = ctx.sub(ctx.dot(a_.row(i), x), y_[i]);
   }
-  // out = (1/m) A^T r, column accumulations through the context.
+  // out = (1/m) A^T r, batched column accumulations through the context.
+  std::vector<double> terms(m);
   for (std::size_t j = 0; j < a_.cols(); ++j) {
-    double acc = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
-      acc = ctx.add(acc, a_(i, j) * r[i]);
+      terms[i] = a_(i, j) * r[i];
     }
-    out[j] = acc * inv_m;
+    out[j] = ctx.accumulate(terms) * inv_m;
   }
 }
 

@@ -1,0 +1,31 @@
+// Minimal work pool for coarse-grained parallelism (sweep arms,
+// characterization trials, bench repetitions).
+//
+// The unit of work is an INDEX: run(count, task) executes task(i) for every
+// i in [0, count) across the workers. Callers store results by index, so the
+// output is deterministic regardless of which worker ran which index or in
+// what order — the scheduling is the only nondeterministic part, and it is
+// invisible as long as tasks are independent (each sweep arm owns its own
+// ALU + method instance; see QcsAlu::clone_fresh).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace approxit::util {
+
+/// Worker count to use by default: the APPROXIT_THREADS environment
+/// variable when set (clamped to >= 1), otherwise the hardware concurrency
+/// (>= 1).
+std::size_t default_thread_count();
+
+/// Runs task(i) for i in [0, count) on up to `threads` workers and returns
+/// when all are done. threads <= 1 (or count <= 1) runs inline, in index
+/// order, with no thread machinery at all — byte-identical to a plain loop.
+/// Tasks must be independent; results must be written to index-addressed
+/// slots. If tasks throw, the exception of the lowest failing index is
+/// rethrown after all workers finish.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& task);
+
+}  // namespace approxit::util

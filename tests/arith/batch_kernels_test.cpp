@@ -1,0 +1,308 @@
+// Differential tests for the batched QCS datapath: the closed-form word
+// kernels must be bit-identical to the structural adder models, and every
+// QcsAlu span operation must produce the same bits with batching on as the
+// scalar route_add fold produces with batching off.
+#include "arith/batch_kernels.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+#include "arith/fault_injector.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+/// Checks kernel_word_add(adder.kernel_spec()) against the structural
+/// adder for random operands, both carry-ins, and the subtract feed
+/// (a + ~b + 1) — the exact word stream the span kernels produce.
+void expect_kernel_matches(const Adder& adder, util::Rng& rng) {
+  const KernelSpec spec = adder.kernel_spec();
+  ASSERT_NE(spec.kind, AdderKernel::kGeneric) << adder.name();
+  const unsigned width = adder.width();
+  const Word mask = adder.mask();
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word a = rng.next_u64() & mask;
+    const Word b = rng.next_u64() & mask;
+    for (bool cin : {false, true}) {
+      EXPECT_EQ(kernel_word_add(spec, width, a, b, cin),
+                adder.add(a, b, cin).sum)
+          << adder.name() << " a=" << a << " b=" << b << " cin=" << cin;
+    }
+    EXPECT_EQ(kernel_word_add(spec, width, a, ~b & mask, true),
+              adder.subtract(a, b).sum)
+        << adder.name() << " subtract a=" << a << " b=" << b;
+  }
+}
+
+TEST(BatchKernels, LowerOrFamilyMatchesStructural) {
+  util::Rng rng(0x10a);
+  for (unsigned width : {8u, 16u, 32u, 53u}) {
+    // k == width is the clamp corner: the whole result is the OR region.
+    for (unsigned k : {0u, 1u, 3u, width / 2, width - 1, width}) {
+      expect_kernel_matches(LowerOrAdder(width, k), rng);
+    }
+  }
+}
+
+TEST(BatchKernels, GdaMatchesStructural) {
+  util::Rng rng(0x6da);
+  for (unsigned width : {8u, 16u, 32u, 53u}) {
+    // The GDA clamps its OR region to width - 1.
+    for (unsigned k : {0u, 1u, width / 2, width - 1, width}) {
+      expect_kernel_matches(GdaAdder(width, k), rng);
+    }
+  }
+}
+
+TEST(BatchKernels, TruncatedMatchesStructural) {
+  util::Rng rng(0x77c);
+  for (unsigned width : {8u, 16u, 32u, 53u}) {
+    // k == width truncates every result bit to zero.
+    for (unsigned k : {0u, 1u, 3u, width / 2, width - 1, width}) {
+      expect_kernel_matches(TruncatedAdder(width, k), rng);
+    }
+  }
+}
+
+TEST(BatchKernels, EtaIMatchesStructural) {
+  util::Rng rng(0xe7a1);
+  for (unsigned width : {8u, 16u, 32u, 53u}) {
+    for (unsigned k : {0u, 1u, 3u, width / 2, width - 1, width}) {
+      expect_kernel_matches(EtaIAdder(width, k), rng);
+    }
+  }
+}
+
+TEST(BatchKernels, EtaIIMatchesStructural) {
+  util::Rng rng(0xe7a2);
+  for (unsigned width : {8u, 16u, 32u, 53u}) {
+    // segment >= width advertises kExact (a single block is an exact add).
+    for (unsigned segment : {1u, 3u, width / 2, width - 1, width, width + 5}) {
+      expect_kernel_matches(EtaIIAdder(width, segment), rng);
+    }
+  }
+}
+
+TEST(BatchKernels, GenericFamiliesAdvertiseNoKernel) {
+  EXPECT_EQ(AcaAdder(32, 8).kernel_spec().kind, AdderKernel::kGeneric);
+  EXPECT_EQ(GearAdder(32, 4, 4).kernel_spec().kind, AdderKernel::kGeneric);
+  // Exact adders fall back to the kExact closed form via the base default.
+  EXPECT_EQ(RippleCarryAdder(32).kernel_spec().kind, AdderKernel::kExact);
+}
+
+/// Runs every span operation twice — batching off (the scalar route_add
+/// fold) then batching on — and requires bit-identical values, equal
+/// ledger op counts, and equal (static) ledger energy.
+void expect_batched_matches_scalar(QcsAlu& alu, util::Rng& rng) {
+  std::vector<double> x(257), y(257);
+  for (double& v : x) v = rng.uniform(-40.0, 40.0);
+  for (double& v : y) v = rng.uniform(-40.0, 40.0);
+
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    alu.set_mode(mode_from_index(m));
+    SCOPED_TRACE(mode_name(alu.mode()));
+
+    struct Snapshot {
+      double acc, dot;
+      std::vector<double> axpy, add, sub;
+      double energy;
+      std::size_t ops;
+    };
+    const auto run = [&](bool batched) {
+      alu.set_batching(batched);
+      alu.reset_ledger();
+      Snapshot s;
+      s.acc = alu.accumulate(x);
+      s.dot = alu.dot(x, y);
+      s.axpy = y;
+      alu.axpy(0.5, x, s.axpy);
+      s.add.resize(x.size());
+      alu.add_vec(x, y, s.add);
+      s.sub.resize(x.size());
+      alu.sub_vec(x, y, s.sub);
+      s.energy = alu.ledger().total_energy();
+      s.ops = alu.ledger().total_ops();
+      return s;
+    };
+
+    const Snapshot scalar = run(false);
+    const Snapshot batched = run(true);
+    EXPECT_EQ(scalar.acc, batched.acc);
+    EXPECT_EQ(scalar.dot, batched.dot);
+    EXPECT_EQ(scalar.axpy, batched.axpy);
+    EXPECT_EQ(scalar.add, batched.add);
+    EXPECT_EQ(scalar.sub, batched.sub);
+    EXPECT_EQ(scalar.ops, batched.ops);
+    // The scalar path posts energy per op, the batched path once per
+    // batch (energy * n); the FP association differs, so the ledgers
+    // agree only to rounding.
+    EXPECT_NEAR(scalar.energy, batched.energy,
+                1e-9 * std::abs(scalar.energy));
+  }
+  alu.set_batching(true);
+}
+
+TEST(BatchedAlu, MatchesScalarDefaultBank) {
+  QcsAlu alu;
+  util::Rng rng(0xba7c);
+  expect_batched_matches_scalar(alu, rng);
+}
+
+QcsAlu make_custom_alu(std::array<AdderPtr, kNumModes> bank) {
+  return QcsAlu(QFormat{32, 16}, std::move(bank));
+}
+
+TEST(BatchedAlu, MatchesScalarTruncatedBank) {
+  QcsAlu alu = make_custom_alu({std::make_shared<TruncatedAdder>(32, 13),
+                                std::make_shared<TruncatedAdder>(32, 11),
+                                std::make_shared<TruncatedAdder>(32, 9),
+                                std::make_shared<TruncatedAdder>(32, 7),
+                                std::make_shared<RippleCarryAdder>(32)});
+  util::Rng rng(0xba7d);
+  expect_batched_matches_scalar(alu, rng);
+}
+
+TEST(BatchedAlu, MatchesScalarEtaBanks) {
+  QcsAlu eta1 = make_custom_alu({std::make_shared<EtaIAdder>(32, 13),
+                                 std::make_shared<EtaIAdder>(32, 11),
+                                 std::make_shared<EtaIAdder>(32, 9),
+                                 std::make_shared<EtaIAdder>(32, 7),
+                                 std::make_shared<RippleCarryAdder>(32)});
+  util::Rng rng(0xba7e);
+  expect_batched_matches_scalar(eta1, rng);
+
+  QcsAlu eta2 = make_custom_alu({std::make_shared<EtaIIAdder>(32, 4),
+                                 std::make_shared<EtaIIAdder>(32, 8),
+                                 std::make_shared<EtaIIAdder>(32, 12),
+                                 std::make_shared<EtaIIAdder>(32, 16),
+                                 std::make_shared<RippleCarryAdder>(32)});
+  expect_batched_matches_scalar(eta2, rng);
+}
+
+TEST(BatchedAlu, GenericBankFallsBackAndMatches) {
+  // ACA has no closed form; the span kernels must fold through the
+  // virtual add() even with batching enabled.
+  QcsAlu alu = make_custom_alu({std::make_shared<AcaAdder>(32, 6),
+                                std::make_shared<AcaAdder>(32, 10),
+                                std::make_shared<AcaAdder>(32, 14),
+                                std::make_shared<AcaAdder>(32, 18),
+                                std::make_shared<RippleCarryAdder>(32)});
+  util::Rng rng(0xba7f);
+  expect_batched_matches_scalar(alu, rng);
+}
+
+TEST(BatchedAlu, DynamicEnergyMatchesScalar) {
+  QcsAlu alu;
+  alu.set_dynamic_energy(true);
+  util::Rng rng(0xd1e);
+  std::vector<double> x(200);
+  for (double& v : x) v = rng.uniform(-20.0, 20.0);
+
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    alu.set_mode(mode_from_index(m));
+    SCOPED_TRACE(mode_name(alu.mode()));
+    // The toggle model is stateful (energy depends on the previous
+    // operand pair); re-enabling resets it so both runs start equal.
+    alu.set_dynamic_energy(true);
+    alu.set_batching(false);
+    alu.reset_ledger();
+    const double scalar_value = alu.accumulate(x);
+    const double scalar_energy = alu.ledger().total_energy();
+    const std::size_t scalar_ops = alu.ledger().total_ops();
+
+    alu.set_dynamic_energy(true);
+    alu.set_batching(true);
+    alu.reset_ledger();
+    const double batched_value = alu.accumulate(x);
+    EXPECT_EQ(scalar_value, batched_value);
+    EXPECT_EQ(scalar_ops, alu.ledger().total_ops());
+    // The batched path sums per-op toggle energies into one post; the
+    // association differs, so allow last-ulp float drift.
+    EXPECT_NEAR(scalar_energy, alu.ledger().total_energy(),
+                1e-9 * std::abs(scalar_energy));
+  }
+}
+
+TEST(BatchedAlu, EmptySpansAreNoOps) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel1);
+  EXPECT_EQ(alu.accumulate({}), 0.0);
+  EXPECT_EQ(alu.dot({}, {}), 0.0);
+  std::vector<double> empty;
+  alu.axpy(2.0, empty, empty);
+  EXPECT_EQ(alu.ledger().total_ops(), 0u);
+}
+
+TEST(BatchedAlu, SizeMismatchThrows) {
+  QcsAlu alu;
+  std::vector<double> a(3), b(4);
+  EXPECT_THROW(alu.dot(a, b), std::invalid_argument);
+  EXPECT_THROW(alu.axpy(1.0, a, b), std::invalid_argument);
+  EXPECT_THROW(alu.add_vec(a, b, a), std::invalid_argument);
+  EXPECT_THROW(alu.sub_vec(a, a, b), std::invalid_argument);
+}
+
+TEST(FaultyAlu, BatchingFallsBackToPerOpInjection) {
+  // Same seed, batching on vs off: the decorator must intercept every
+  // operation either way, so values AND the injected-fault count match.
+  const FaultConfig fault = FaultConfig::uniform_approximate(0.05, 0x5eed);
+  std::vector<double> x(300);
+  util::Rng rng(0xfa17);
+  for (double& v : x) v = rng.uniform(-10.0, 10.0);
+
+  FaultyQcsAlu scalar_alu(fault);
+  scalar_alu.set_mode(ApproxMode::kLevel2);
+  scalar_alu.set_batching(false);
+  const double scalar_value = scalar_alu.accumulate(x);
+
+  FaultyQcsAlu batched_alu(fault);
+  batched_alu.set_mode(ApproxMode::kLevel2);
+  ASSERT_TRUE(batched_alu.batching());
+  EXPECT_FALSE(batched_alu.batching_supported());
+  const double batched_value = batched_alu.accumulate(x);
+
+  EXPECT_EQ(scalar_value, batched_value);
+  EXPECT_EQ(scalar_alu.fault_ledger().injected(),
+            batched_alu.fault_ledger().injected());
+  EXPECT_GT(batched_alu.fault_ledger().injected(), 0u);
+}
+
+TEST(CloneFresh, CopiesConfigurationZeroesLedger) {
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel3);
+  alu.set_dynamic_energy(true);
+  (void)alu.add(1.0, 2.0);
+  ASSERT_GT(alu.ledger().total_ops(), 0u);
+
+  const std::unique_ptr<QcsAlu> clone = alu.clone_fresh();
+  EXPECT_EQ(clone->mode(), ApproxMode::kLevel3);
+  EXPECT_TRUE(clone->dynamic_energy());
+  EXPECT_EQ(clone->format(), alu.format());
+  EXPECT_EQ(clone->ledger().total_ops(), 0u);
+  // Same bank: identical arithmetic.
+  EXPECT_EQ(clone->add(0.75, -2.5), alu.add(0.75, -2.5));
+}
+
+TEST(CloneFresh, FaultyCloneReseedsTheFaultStream) {
+  const FaultConfig fault = FaultConfig::uniform_approximate(0.02, 0xabc);
+  FaultyQcsAlu alu(fault);
+  alu.set_mode(ApproxMode::kLevel1);
+  std::vector<double> x(200, 0.5);
+  const double original_first_run = alu.accumulate(x);
+
+  // The clone restarts the RNG stream from the config seed, so it
+  // reproduces the original ALU's FIRST run, not its current state.
+  const std::unique_ptr<QcsAlu> clone = alu.clone_fresh();
+  EXPECT_FALSE(clone->batching_supported());
+  EXPECT_EQ(clone->accumulate(x), original_first_run);
+}
+
+}  // namespace
+}  // namespace approxit::arith

@@ -1,0 +1,119 @@
+// Determinism of the parallel execution engine: a sweep or multi-workload
+// characterization must produce identical results for any thread count —
+// arms run on fresh per-arm ALU clones and results are read back in fixed
+// arm order, so scheduling cannot leak into the output.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "core/characterization.h"
+#include "core/sweep.h"
+#include "la/matrix.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+const opt::QuadraticProblem& quadratic() {
+  static const opt::QuadraticProblem problem(
+      la::Matrix{{4.0, 1.0}, {1.0, 3.0}}, {1.0, 2.0});
+  return problem;
+}
+
+MethodFactory quadratic_factory() {
+  return [] {
+    opt::GdConfig config;
+    config.step_size = 0.2;
+    config.tolerance = 1e-12;
+    config.max_iter = 400;
+    return std::make_unique<opt::GradientDescentSolver>(
+        quadratic(), std::vector<double>{0.0, 0.0}, config);
+  };
+}
+
+double state_l2_qem(opt::IterativeMethod& truth,
+                    opt::IterativeMethod& candidate) {
+  const std::vector<double> a = truth.state();
+  const std::vector<double> b = candidate.state();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return sum;
+}
+
+SweepResult sweep_with_threads(std::size_t threads) {
+  arith::QcsAlu alu;
+  SweepOptions options;
+  options.include_oracle = true;
+  options.threads = threads;
+  return run_configuration_sweep(quadratic_factory(), alu, state_l2_qem,
+                                 options);
+}
+
+TEST(ParallelSweep, IdenticalAcrossThreadCounts) {
+  const SweepResult serial = sweep_with_threads(1);
+  ASSERT_FALSE(serial.points.empty());
+
+  for (std::size_t threads : {2u, 8u}) {
+    const SweepResult parallel = sweep_with_threads(threads);
+    SCOPED_TRACE(threads);
+
+    EXPECT_EQ(parallel.truth.iterations, serial.truth.iterations);
+    EXPECT_EQ(parallel.truth.status, serial.truth.status);
+    EXPECT_EQ(parallel.truth.total_energy, serial.truth.total_energy);
+
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      const ParetoPoint& a = serial.points[i];
+      const ParetoPoint& b = parallel.points[i];
+      EXPECT_EQ(b.label, a.label) << i;
+      EXPECT_EQ(b.energy, a.energy) << a.label;
+      EXPECT_EQ(b.quality_error, a.quality_error) << a.label;
+      EXPECT_EQ(b.iterations, a.iterations) << a.label;
+      EXPECT_EQ(b.converged, a.converged) << a.label;
+    }
+  }
+}
+
+TEST(ParallelSweep, ArmLedgersMergeIntoCallerAlu) {
+  arith::QcsAlu alu;
+  SweepOptions options;
+  options.threads = 4;
+  const SweepResult result = run_configuration_sweep(
+      quadratic_factory(), alu, state_l2_qem, options);
+  ASSERT_FALSE(result.points.empty());
+  // Every arm ran on a clone; the caller's ledger holds their merged ops.
+  EXPECT_GT(alu.ledger().total_ops(), 0u);
+}
+
+TEST(ParallelCharacterization, IdenticalAcrossThreadCounts) {
+  const MethodFactory factory = quadratic_factory();
+  const auto characterize_with = [&](std::size_t threads) {
+    auto method_a = factory();
+    auto method_b = factory();
+    arith::QcsAlu alu;
+    CharacterizationOptions options;
+    options.threads = threads;
+    return characterize_many({method_a.get(), method_b.get()}, alu, options);
+  };
+
+  const ModeCharacterization serial = characterize_with(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const ModeCharacterization parallel = characterize_with(threads);
+    SCOPED_TRACE(threads);
+    EXPECT_EQ(parallel.quality_error, serial.quality_error);
+    EXPECT_EQ(parallel.worst_quality_error, serial.worst_quality_error);
+    EXPECT_EQ(parallel.state_error, serial.state_error);
+    EXPECT_EQ(parallel.abs_state_error, serial.abs_state_error);
+    EXPECT_EQ(parallel.angle_samples, serial.angle_samples);
+    EXPECT_EQ(parallel.initial_improvement, serial.initial_improvement);
+    EXPECT_EQ(parallel.energy_per_op, serial.energy_per_op);
+  }
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -1,0 +1,92 @@
+// Tests for the work-pool helper behind parallel sweeps: exact index
+// coverage at any thread count, serial inlining, exception propagation,
+// and the APPROXIT_THREADS override.
+#include "util/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxit::util {
+namespace {
+
+TEST(ParallelFor, EveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    for (std::size_t count : {0u, 1u, 7u, 100u}) {
+      std::vector<std::atomic<int>> hits(count);
+      parallel_for(count, threads, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, SerialRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  parallel_for(seen.size(), 1, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, CallingThreadParticipates) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_worked{false};
+  // Helper threads park on their first index until the caller has run one,
+  // so the caller cannot lose the race for the whole range. The deadline
+  // turns a regression (caller never enters the loop) into a failure
+  // instead of a hang.
+  parallel_for(64, 4, [&](std::size_t) {
+    if (std::this_thread::get_id() == caller) {
+      caller_worked = true;
+    } else {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!caller_worked.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_TRUE(caller_worked.load());
+}
+
+TEST(ParallelFor, LowestIndexExceptionWins) {
+  try {
+    parallel_for(50, 4, [](std::size_t i) {
+      if (i == 7 || i == 23) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ParallelFor, SerialExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(3, 1, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(DefaultThreadCount, RespectsEnvOverride) {
+  setenv("APPROXIT_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  setenv("APPROXIT_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  setenv("APPROXIT_THREADS", "garbage", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  unsetenv("APPROXIT_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace approxit::util
