@@ -5,6 +5,9 @@
 // Layering (each header is independently includable):
 //
 //   util/       deterministic RNG, stats, tables, CSV, CLI, logging
+//   obs/        observability: structured trace events + sinks (ring,
+//               JSONL, Chrome trace-event) and the mergeable metrics
+//               registry; free when disabled, never perturbs results
 //   arith/      the quality-configurable hardware substrate:
 //                 - mode.h            the five approximation modes
 //                 - adder.h + exact_adders.h + approx_adders.h
@@ -33,6 +36,9 @@
 //   core::ApproxItSession session(method, strategy, alu);
 //   core::RunReport report = session.run();   // characterize + reconfigure
 #pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "arith/alu.h"
 #include "arith/approx_adders.h"

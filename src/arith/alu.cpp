@@ -6,6 +6,7 @@
 
 #include "arith/approx_adders.h"
 #include "arith/batch_kernels.h"
+#include "obs/trace.h"
 
 namespace approxit::arith {
 
@@ -107,6 +108,34 @@ QcsAlu::QcsAlu(const QFormat& format, std::array<AdderPtr, kNumModes> adders,
   }
 }
 
+void QcsAlu::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    metric_ops_ = {};
+    metric_energy_ = {};
+    metric_batch_us_ = nullptr;
+    return;
+  }
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    const std::string mode(mode_name(mode_from_index(i)));
+    metric_ops_[i] = &registry->counter("alu.ops." + mode);
+    metric_energy_[i] = &registry->counter("alu.energy." + mode);
+  }
+  metric_batch_us_ = &registry->histogram("alu.batch_us", 0.0, 250.0, 50);
+}
+
+bool QcsAlu::span_sampled() {
+  if (!obs::trace_enabled()) return false;
+  return (span_sample_++ & 63u) == 0;
+}
+
+void QcsAlu::finish_span(const char* op, double start_us, std::size_t n) {
+  const double duration_us = obs::trace_now_us() - start_us;
+  obs::emit_span("alu", op, start_us,
+                 {obs::arg("mode", mode_name(mode_)), obs::arg("n", n)});
+  if (metric_batch_us_ != nullptr) metric_batch_us_->record(duration_us);
+}
+
 double QcsAlu::route_add(double a, double b, bool subtract) {
   const std::size_t idx = mode_index(mode_);
   const Adder& active = *adders_[idx];
@@ -122,6 +151,7 @@ double QcsAlu::route_add(double a, double b, bool subtract) {
                                   wa, wb_effective)
                             : energy_per_add_[idx];
   ledger_.record(mode_, energy);
+  post_metrics(idx, energy, 1);
   return dequantize(result.sum, format_);
 }
 
@@ -154,6 +184,8 @@ double QcsAlu::fold_chunk(double acc, const double* addends, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) acc = add(acc, addends[i]);
     return acc;
   }
+  const bool sampled = span_sampled();
+  const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
   double dynamic_total = 0.0;
@@ -167,9 +199,12 @@ double QcsAlu::fold_chunk(double acc, const double* addends, std::size_t n) {
   });
   if (toggle) {
     ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
   } else {
     ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
+  if (sampled) finish_span("fold", start_us, n);
   return quant_.dequantize(wacc);
 }
 
@@ -208,6 +243,8 @@ void QcsAlu::axpy(double alpha, std::span<const double> x,
     for (std::size_t i = 0; i < n; ++i) y[i] = add(y[i], alpha * x[i]);
     return;
   }
+  const bool sampled = span_sampled();
+  const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
   double dynamic_total = 0.0;
@@ -221,9 +258,12 @@ void QcsAlu::axpy(double alpha, std::span<const double> x,
   });
   if (toggle) {
     ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
   } else {
     ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
+  if (sampled) finish_span("axpy", start_us, n);
 }
 
 void QcsAlu::add_vec(std::span<const double> x, std::span<const double> y,
@@ -239,6 +279,8 @@ void QcsAlu::add_vec(std::span<const double> x, std::span<const double> y,
     for (std::size_t i = 0; i < n; ++i) out[i] = add(x[i], y[i]);
     return;
   }
+  const bool sampled = span_sampled();
+  const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
   double dynamic_total = 0.0;
@@ -252,9 +294,12 @@ void QcsAlu::add_vec(std::span<const double> x, std::span<const double> y,
   });
   if (toggle) {
     ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
   } else {
     ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
+  if (sampled) finish_span("add_vec", start_us, n);
 }
 
 void QcsAlu::sub_vec(std::span<const double> x, std::span<const double> y,
@@ -270,6 +315,8 @@ void QcsAlu::sub_vec(std::span<const double> x, std::span<const double> y,
     for (std::size_t i = 0; i < n; ++i) out[i] = sub(x[i], y[i]);
     return;
   }
+  const bool sampled = span_sampled();
+  const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
   double dynamic_total = 0.0;
@@ -286,9 +333,12 @@ void QcsAlu::sub_vec(std::span<const double> x, std::span<const double> y,
   });
   if (toggle) {
     ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
   } else {
     ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
+  if (sampled) finish_span("sub_vec", start_us, n);
 }
 
 std::unique_ptr<QcsAlu> QcsAlu::clone_fresh() const {

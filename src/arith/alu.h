@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -23,6 +24,7 @@
 #include "arith/energy.h"
 #include "arith/fixed_point.h"
 #include "arith/mode.h"
+#include "obs/metrics.h"
 
 namespace approxit::arith {
 
@@ -143,6 +145,19 @@ class QcsAlu : public ArithContext {
   /// per-arm clone ledgers after a parallel sweep).
   void merge_ledger(const EnergyLedger& other) { ledger_.merge(other); }
 
+  /// Attaches a metrics registry: every routed operation additionally
+  /// posts per-mode "alu.ops.<mode>" / "alu.energy.<mode>" counters
+  /// (batched ops post once per batch), and sampled batch spans record
+  /// their duration into the "alu.batch_us" histogram. nullptr (default)
+  /// detaches — the hot path then pays a single pointer test. Counter
+  /// handles are resolved here, not per operation. Not propagated by
+  /// clone_fresh(): parallel sweeps attach one registry per arm and merge
+  /// them in arm order (core/sweep.cpp), like the energy ledger.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// The attached registry (nullptr when detached).
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
+
   /// Enables/disables the batched word-parallel span kernels. Disabled,
   /// every span operation folds through the virtual add()/sub() exactly as
   /// the scalar path does — the differential reference for tests. The two
@@ -187,6 +202,23 @@ class QcsAlu : public ArithContext {
   /// produce bit-identical results to the scalar path.
   bool fast_path(const KernelSpec& spec) const;
 
+  /// Posts one batch's op/energy totals to the attached registry.
+  void post_metrics(std::size_t mode_idx, double total_energy,
+                    std::size_t ops) {
+    if (metrics_ == nullptr) return;
+    metric_ops_[mode_idx]->add(static_cast<double>(ops));
+    metric_energy_[mode_idx]->add(total_energy);
+  }
+
+  /// 1-in-64 sampling decision for batch-op trace spans; pure observation,
+  /// never taken when tracing is off.
+  bool span_sampled();
+
+  /// Emits the sampled span (started at `start_us`) and records its
+  /// duration into the "alu.batch_us" histogram when a registry is
+  /// attached.
+  void finish_span(const char* op, double start_us, std::size_t n);
+
   QFormat format_;
   QuantSpec quant_{format_};  ///< Inline conversions for the batch loops.
   std::array<AdderPtr, kNumModes> adders_;
@@ -198,6 +230,11 @@ class QcsAlu : public ArithContext {
   bool batching_ = true;
   ApproxMode mode_ = ApproxMode::kAccurate;
   EnergyLedger ledger_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::array<obs::Counter*, kNumModes> metric_ops_{};
+  std::array<obs::Counter*, kNumModes> metric_energy_{};
+  obs::Histogram* metric_batch_us_ = nullptr;
+  std::uint32_t span_sample_ = 0;
 };
 
 }  // namespace approxit::arith

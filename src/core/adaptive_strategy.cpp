@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace approxit::core {
@@ -83,6 +84,16 @@ void AdaptiveAngleStrategy::rebuild_lut(double budget) {
                      : std::numbers::pi / 2.0;
   }
   ++lut_updates_;
+  if (obs::trace_enabled()) {
+    obs::emit_instant("strategy", "lut_rebuild",
+                      {obs::arg("budget", budget),
+                       obs::arg("ref_angle", ref_angle),
+                       obs::arg("t_level1", thresholds_[0]),
+                       obs::arg("t_level2", thresholds_[1]),
+                       obs::arg("t_level3", thresholds_[2]),
+                       obs::arg("t_level4", thresholds_[3]),
+                       obs::arg("update", lut_updates_)});
+  }
 }
 
 arith::ApproxMode AdaptiveAngleStrategy::mode_for_angle(double alpha) const {
@@ -104,7 +115,7 @@ Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
   // to accurate and veto, without contaminating the improvement window.
   if (!stats.finite()) {
     return Decision{arith::ApproxMode::kAccurate, /*rollback=*/false,
-                    /*veto_convergence=*/true};
+                    /*veto_convergence=*/true, "non_finite"};
   }
 
   last_angle_ = steepness_angle(stats.grad_norm);
@@ -137,6 +148,23 @@ Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
 
   arith::ApproxMode next = mode_for_angle(last_angle_);
 
+  // Decision event: the angle, the LUT bin it selected and the operands of
+  // the guards below — only built when a trace sink is installed.
+  const double estimated_error =
+      characterization_.estimated_state_error(mode, stats.state_norm);
+  const auto trace_decision = [&](std::string_view scheme,
+                                  arith::ApproxMode chosen) {
+    if (!obs::trace_enabled()) return;
+    obs::emit_instant(
+        "strategy", "adaptive",
+        {obs::arg("scheme", scheme), obs::arg("mode", arith::mode_name(mode)),
+         obs::arg("next_mode", arith::mode_name(chosen)),
+         obs::arg("angle", last_angle_),
+         obs::arg("bin", arith::mode_index(chosen)),
+         obs::arg("budget", budget), obs::arg("step_norm", stats.step_norm),
+         obs::arg("eps_estimate", estimated_error)});
+  };
+
   // Recovery guard: an objective INCREASE is an error that already
   // happened — escalate accuracy regardless of the angle.
   if (mode != arith::ApproxMode::kAccurate && stats.improvement() < 0.0) {
@@ -144,15 +172,15 @@ Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
     if (arith::less_accurate(next, escalated)) {
       next = escalated;
     }
-    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true};
+    trace_decision("function", next);
+    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true,
+                    "function"};
   }
 
   // Quality guard — the update-error criterion: once the mode's estimated
   // state error dominates the realized step, escalate accuracy instead of
   // trusting (possibly false) convergence. This is what keeps the adaptive
   // strategy's final error at zero.
-  const double estimated_error =
-      characterization_.estimated_state_error(mode, stats.state_norm);
   const bool suspicious_stall =
       mode != arith::ApproxMode::kAccurate &&
       stats.step_norm < estimated_error;
@@ -161,8 +189,11 @@ Decision AdaptiveAngleStrategy::observe(arith::ApproxMode mode,
     if (arith::less_accurate(next, escalated)) {
       next = escalated;
     }
-    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true};
+    trace_decision("quality", next);
+    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true,
+                    "quality"};
   }
+  trace_decision("none", next);
   return Decision{next, /*rollback=*/false, /*veto_convergence=*/false};
 }
 

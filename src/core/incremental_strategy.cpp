@@ -2,9 +2,31 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace approxit::core {
+
+namespace {
+
+/// Decision event with the operands the scheme compared — only built when
+/// a trace sink is installed.
+void trace_decision(std::string_view scheme, arith::ApproxMode mode,
+                    arith::ApproxMode next, const opt::IterationStats& stats,
+                    double estimated_error) {
+  if (!obs::trace_enabled()) return;
+  obs::emit_instant(
+      "strategy", "incremental",
+      {obs::arg("scheme", scheme), obs::arg("mode", arith::mode_name(mode)),
+       obs::arg("next_mode", arith::mode_name(next)),
+       obs::arg("objective_before", stats.objective_before),
+       obs::arg("objective_after", stats.objective_after),
+       obs::arg("grad_dot_step", stats.grad_dot_step),
+       obs::arg("step_norm", stats.step_norm),
+       obs::arg("eps_estimate", estimated_error)});
+}
+
+}  // namespace
 
 IncrementalStrategy::IncrementalStrategy(IncrementalOptions options)
     : options_(options) {}
@@ -31,8 +53,11 @@ Decision IncrementalStrategy::observe(arith::ApproxMode mode,
   if (!stats.finite()) {
     last_trigger_ = "non_finite";
     ++nonfinite_triggers_;
-    return Decision{at_accurate ? mode : arith::next_more_accurate(mode),
-                    /*rollback=*/true, /*veto_convergence=*/true};
+    const arith::ApproxMode next =
+        at_accurate ? mode : arith::next_more_accurate(mode);
+    trace_decision("non_finite", mode, next, stats, 0.0);
+    return Decision{next, /*rollback=*/true, /*veto_convergence=*/true,
+                    "non_finite"};
   }
 
   // Function scheme first: an objective increase is an error that already
@@ -43,8 +68,10 @@ Decision IncrementalStrategy::observe(arith::ApproxMode mode,
     if (stats.objective_after > stats.objective_before + slack) {
       last_trigger_ = "function";
       ++function_triggers_;
-      return Decision{arith::next_more_accurate(mode), /*rollback=*/true,
-                      /*veto_convergence=*/true};
+      const arith::ApproxMode next = arith::next_more_accurate(mode);
+      trace_decision("function", mode, next, stats, 0.0);
+      return Decision{next, /*rollback=*/true, /*veto_convergence=*/true,
+                      "function"};
     }
   }
 
@@ -53,8 +80,10 @@ Decision IncrementalStrategy::observe(arith::ApproxMode mode,
   if (options_.gradient_scheme && !at_accurate && stats.grad_dot_step > 0.0) {
     last_trigger_ = "gradient";
     ++gradient_triggers_;
-    return Decision{arith::next_more_accurate(mode), /*rollback=*/false,
-                    /*veto_convergence=*/true};
+    const arith::ApproxMode next = arith::next_more_accurate(mode);
+    trace_decision("gradient", mode, next, stats, 0.0);
+    return Decision{next, /*rollback=*/false, /*veto_convergence=*/true,
+                    "gradient"};
   }
 
   // Quality scheme — the update-error criterion of Section 3.2: the
@@ -67,8 +96,10 @@ Decision IncrementalStrategy::observe(arith::ApproxMode mode,
     if (stats.step_norm < estimated_error) {
       last_trigger_ = "quality";
       ++quality_triggers_;
-      return Decision{arith::next_more_accurate(mode), /*rollback=*/false,
-                      /*veto_convergence=*/true};
+      const arith::ApproxMode next = arith::next_more_accurate(mode);
+      trace_decision("quality", mode, next, stats, estimated_error);
+      return Decision{next, /*rollback=*/false, /*veto_convergence=*/true,
+                      "quality"};
     }
   }
 

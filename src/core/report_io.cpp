@@ -1,7 +1,9 @@
 #include "core/report_io.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,21 +11,152 @@
 
 namespace approxit::core {
 
+namespace {
+
+/// Full-precision double formatting: std::to_string keeps only 6 digits,
+/// which breaks the read_trace_csv round-trip.
+std::string format_full(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Splits one CSV record per RFC 4180 (the dialect CsvWriter emits).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+WatchdogTrigger parse_watchdog_trigger(const std::string& name) {
+  for (std::size_t t = 0; t < kNumWatchdogTriggers; ++t) {
+    const auto trigger = static_cast<WatchdogTrigger>(static_cast<int>(t));
+    if (name == watchdog_trigger_name(trigger)) return trigger;
+  }
+  return WatchdogTrigger::kNone;
+}
+
+}  // namespace
+
 void write_trace_csv(const RunReport& report, const std::string& path) {
   util::CsvWriter csv(path);
   csv.write_row({"iteration", "mode", "objective", "energy", "step_norm",
-                 "grad_norm", "rolled_back", "reconfigured", "watchdog"});
+                 "grad_norm", "rolled_back", "reconfigured", "watchdog",
+                 "scheme", "eps_estimate", "recovery_rung"});
   for (const IterationRecord& rec : report.trace) {
     csv.write_row({std::to_string(rec.index),
                    std::string(arith::mode_name(rec.mode)),
-                   std::to_string(rec.objective_after),
-                   std::to_string(rec.energy),
-                   std::to_string(rec.step_norm),
-                   std::to_string(rec.grad_norm),
+                   format_full(rec.objective_after),
+                   format_full(rec.energy),
+                   format_full(rec.step_norm),
+                   format_full(rec.grad_norm),
                    rec.rolled_back ? "1" : "0",
                    rec.reconfigured ? "1" : "0",
-                   std::string(watchdog_trigger_name(rec.trigger))});
+                   std::string(watchdog_trigger_name(rec.trigger)),
+                   rec.scheme,
+                   format_full(rec.eps_estimate),
+                   std::to_string(rec.recovery_rung)});
   }
+}
+
+std::vector<IterationRecord> read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace_csv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("read_trace_csv: missing header in " + path);
+  }
+  // Column positions come from the header, so older files (fewer columns)
+  // and any future reordering both load correctly.
+  std::map<std::string, std::size_t> columns;
+  {
+    const std::vector<std::string> header = split_csv_line(line);
+    for (std::size_t i = 0; i < header.size(); ++i) columns[header[i]] = i;
+  }
+  const auto field = [&](const std::vector<std::string>& fields,
+                         const char* name) -> const std::string* {
+    const auto it = columns.find(name);
+    if (it == columns.end() || it->second >= fields.size()) return nullptr;
+    return &fields[it->second];
+  };
+
+  std::vector<IterationRecord> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    IterationRecord rec;
+    if (const std::string* v = field(fields, "iteration")) {
+      rec.index = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                         nullptr, 10));
+    }
+    if (const std::string* v = field(fields, "mode")) {
+      const std::optional<arith::ApproxMode> mode = arith::parse_mode(*v);
+      if (!mode) {
+        throw std::runtime_error("read_trace_csv: unknown mode '" + *v +
+                                 "' in " + path);
+      }
+      rec.mode = *mode;
+    }
+    if (const std::string* v = field(fields, "objective")) {
+      rec.objective_after = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = field(fields, "energy")) {
+      rec.energy = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = field(fields, "step_norm")) {
+      rec.step_norm = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = field(fields, "grad_norm")) {
+      rec.grad_norm = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = field(fields, "rolled_back")) {
+      rec.rolled_back = *v == "1";
+    }
+    if (const std::string* v = field(fields, "reconfigured")) {
+      rec.reconfigured = *v == "1";
+    }
+    if (const std::string* v = field(fields, "watchdog")) {
+      rec.trigger = parse_watchdog_trigger(*v);
+    }
+    if (const std::string* v = field(fields, "scheme")) {
+      rec.scheme = *v;
+    }
+    if (const std::string* v = field(fields, "eps_estimate")) {
+      rec.eps_estimate = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = field(fields, "recovery_rung")) {
+      rec.recovery_rung = static_cast<int>(std::strtol(v->c_str(),
+                                                       nullptr, 10));
+    }
+    trace.push_back(std::move(rec));
+  }
+  return trace;
 }
 
 std::string json_escape(const std::string& text) {

@@ -1,8 +1,9 @@
-// Run-report serialization: CSV trace export and a JSON summary, so runs
-// can be archived, diffed and plotted outside the harness.
+// Run-report serialization: CSV trace export/import and a JSON summary, so
+// runs can be archived, diffed and plotted outside the harness.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/session.h"
 
@@ -10,9 +11,17 @@ namespace approxit::core {
 
 /// Writes the per-iteration trace as CSV with header
 /// `iteration,mode,objective,energy,step_norm,grad_norm,rolled_back,
-/// reconfigured,watchdog`. Throws std::runtime_error if the file cannot be
-/// opened.
+/// reconfigured,watchdog,scheme,eps_estimate,recovery_rung`. Doubles are
+/// written with 17 significant digits so read_trace_csv round-trips them
+/// exactly. Throws std::runtime_error if the file cannot be opened.
 void write_trace_csv(const RunReport& report, const std::string& path);
+
+/// Reads a trace CSV back into IterationRecords. Columns are matched by
+/// header name, so files written before the scheme/eps_estimate/
+/// recovery_rung columns existed load fine — missing fields keep their
+/// defaults. Throws std::runtime_error on I/O failure, a missing header or
+/// an unknown mode label.
+std::vector<IterationRecord> read_trace_csv(const std::string& path);
 
 /// Serializes the report summary (no trace) as a JSON object string:
 /// method, strategy, iterations, per-mode steps, rollbacks,

@@ -3,9 +3,41 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace approxit::core {
+
+namespace {
+
+/// One structured event per executed iteration — the trace-side mirror of
+/// IterationRecord. `energy_total` is the CUMULATIVE ledger total so the
+/// last event reconciles exactly with RunReport::total_energy (per-
+/// iteration deltas do not telescope exactly in floating point).
+void trace_iteration(std::size_t iter, arith::ApproxMode mode,
+                     std::string_view scheme, const opt::IterationStats& stats,
+                     double eps_estimate, double energy, double energy_total,
+                     bool rolled_back, bool reconfigured,
+                     arith::ApproxMode next_mode, WatchdogTrigger trigger,
+                     int rung) {
+  if (!obs::trace_enabled()) return;
+  obs::emit_instant(
+      "session", "iteration",
+      {obs::arg("iter", iter), obs::arg("mode", arith::mode_name(mode)),
+       obs::arg("scheme", scheme),
+       obs::arg("objective", stats.objective_after),
+       obs::arg("eps_estimate", eps_estimate),
+       obs::arg("step_norm", stats.step_norm),
+       obs::arg("grad_norm", stats.grad_norm), obs::arg("energy", energy),
+       obs::arg("energy_total", energy_total),
+       obs::arg("rolled_back", rolled_back),
+       obs::arg("reconfigured", reconfigured),
+       obs::arg("next_mode", arith::mode_name(next_mode)),
+       obs::arg("watchdog", watchdog_trigger_name(trigger)),
+       obs::arg("rung", static_cast<std::size_t>(rung))});
+}
+
+}  // namespace
 
 std::string RunReport::to_string() const {
   std::ostringstream os;
@@ -53,6 +85,14 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   report.method_name = method_.name();
   report.strategy_name = strategy_.name();
 
+  // Observation plumbing: attach the caller's registry to the ALU for the
+  // duration of the run (restored on exit), and span the whole run.
+  obs::MetricsRegistry* const previous_metrics = alu_.metrics_registry();
+  if (options.metrics != nullptr) alu_.set_metrics(options.metrics);
+  obs::ScopedSpan run_span("session", "run",
+                           {obs::arg("method", report.method_name),
+                            obs::arg("strategy", report.strategy_name)});
+
   const std::size_t budget = options.max_iterations > 0
                                  ? options.max_iterations
                                  : method_.max_iterations();
@@ -85,10 +125,59 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
     const WatchdogTrigger trigger = watchdog.observe(stats);
     report.watchdog = watchdog.counters();
 
+    // The quantity the quality scheme compares against step_norm; recorded
+    // on every iteration so the trace shows the margin, not just the verdict.
+    const double eps_estimate =
+        characterization_.estimated_state_error(mode, stats.state_norm);
+
     if (trigger != WatchdogTrigger::kNone) {
       // Recovery ladder: the iteration (or the state it started from) is
       // corrupted — the strategy is not consulted on poisoned statistics.
       ++recoveries;
+
+      const bool pre_state_healthy = std::isfinite(stats.objective_before);
+      bool restored = false;
+      bool rung1 = false;
+      int rung = 0;
+      if (mode != arith::ApproxMode::kAccurate && pre_state_healthy) {
+        // Rung 1: roll the corrupted iteration back and force the
+        // accurate mode — the cheap retry.
+        method_.restore(snapshot);
+        ++report.forced_escalations;
+        restored = true;
+        rung1 = true;
+        rung = 1;
+      } else {
+        // Rung 2: the fault outran the one-iteration rollback (already
+        // accurate, or the pre-iteration state is itself poisoned) —
+        // rewind through the checkpoint ring to the newest snapshot
+        // whose objective was still finite.
+        while (auto checkpoint = checkpoints.pop()) {
+          if (!std::isfinite(checkpoint->objective)) continue;
+          method_.restore(checkpoint->state);
+          ++report.checkpoint_restores;
+          restored = true;
+          rung = 2;
+          break;
+        }
+      }
+
+      if (restored && recoveries >= options.watchdog.safe_mode_after &&
+          !report.safe_mode) {
+        // Rung 3: repeated recoveries — latch safe mode, pinning the
+        // accurate (nominal-voltage) configuration to the end of the run.
+        report.safe_mode = true;
+        rung = 3;
+        APPROXIT_LOG(util::LogLevel::kInfo, "session")
+            << "iter " << report.iterations
+            << ": watchdog latched safe mode after " << recoveries
+            << " recoveries";
+      }
+
+      const bool abort_now =
+          !restored || recoveries > options.watchdog.max_recoveries;
+      if (abort_now) rung = 4;
+
       if (options.keep_trace) {
         IterationRecord record;
         record.index = report.iterations;
@@ -100,45 +189,26 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
         record.rolled_back = true;
         record.reconfigured = mode != arith::ApproxMode::kAccurate;
         record.trigger = trigger;
+        record.scheme = "watchdog";
+        record.eps_estimate = eps_estimate;
+        record.recovery_rung = rung;
         report.trace.push_back(record);
       }
-
-      const bool pre_state_healthy = std::isfinite(stats.objective_before);
-      bool restored = false;
-      bool rung1 = false;
-      if (mode != arith::ApproxMode::kAccurate && pre_state_healthy) {
-        // Rung 1: roll the corrupted iteration back and force the
-        // accurate mode — the cheap retry.
-        method_.restore(snapshot);
-        ++report.forced_escalations;
-        restored = true;
-        rung1 = true;
-      } else {
-        // Rung 2: the fault outran the one-iteration rollback (already
-        // accurate, or the pre-iteration state is itself poisoned) —
-        // rewind through the checkpoint ring to the newest snapshot
-        // whose objective was still finite.
-        while (auto checkpoint = checkpoints.pop()) {
-          if (!std::isfinite(checkpoint->objective)) continue;
-          method_.restore(checkpoint->state);
-          ++report.checkpoint_restores;
-          restored = true;
-          break;
-        }
+      trace_iteration(report.iterations, mode, "watchdog", stats,
+                      eps_estimate, iteration_energy, energy_after,
+                      /*rolled_back=*/true,
+                      mode != arith::ApproxMode::kAccurate,
+                      arith::ApproxMode::kAccurate, trigger, rung);
+      if (obs::trace_enabled()) {
+        obs::emit_instant("watchdog", "recovery",
+                          {obs::arg("iter", report.iterations),
+                           obs::arg("rung", static_cast<std::size_t>(rung)),
+                           obs::arg("restored", restored),
+                           obs::arg("recoveries", recoveries),
+                           obs::arg("safe_mode", report.safe_mode)});
       }
 
-      if (restored && recoveries >= options.watchdog.safe_mode_after &&
-          !report.safe_mode) {
-        // Rung 3: repeated recoveries — latch safe mode, pinning the
-        // accurate (nominal-voltage) configuration to the end of the run.
-        report.safe_mode = true;
-        APPROXIT_LOG(util::LogLevel::kInfo, "session")
-            << "iter " << report.iterations
-            << ": watchdog latched safe mode after " << recoveries
-            << " recoveries";
-      }
-
-      if (!restored || recoveries > options.watchdog.max_recoveries) {
+      if (abort_now) {
         // Rung 4: nothing healthy left to restore (or the recovery budget
         // is spent) — abort with a structured status instead of iterating
         // on garbage.
@@ -194,8 +264,14 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
       record.grad_norm = stats.grad_norm;
       record.rolled_back = decision.rollback;
       record.reconfigured = reconfigured;
+      record.scheme = decision.scheme;
+      record.eps_estimate = eps_estimate;
       report.trace.push_back(record);
     }
+    trace_iteration(report.iterations, mode, decision.scheme, stats,
+                    eps_estimate, iteration_energy, energy_after,
+                    decision.rollback, reconfigured, next_mode,
+                    WatchdogTrigger::kNone, /*rung=*/0);
 
     mode = next_mode;
 
@@ -219,6 +295,32 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   report.total_energy = alu_.ledger().total_energy();
   report.final_objective = method_.objective();
   report.final_state = method_.state();
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options.metrics;
+    metrics.counter("session.runs").add(1.0);
+    metrics.counter("session.iterations")
+        .add(static_cast<double>(report.iterations));
+    metrics.counter("session.rollbacks")
+        .add(static_cast<double>(report.rollbacks));
+    metrics.counter("session.reconfigurations")
+        .add(static_cast<double>(report.reconfigurations));
+    metrics.counter("session.watchdog_triggers")
+        .add(static_cast<double>(report.watchdog.total()));
+    metrics.counter("session.energy").add(report.total_energy);
+    metrics.gauge("session.final_objective").set(report.final_objective);
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant("session", "run_complete",
+                      {obs::arg("method", report.method_name),
+                       obs::arg("strategy", report.strategy_name),
+                       obs::arg("status", run_status_name(report.status)),
+                       obs::arg("iterations", report.iterations),
+                       obs::arg("energy", report.total_energy),
+                       obs::arg("objective", report.final_objective),
+                       obs::arg("converged", report.converged)});
+  }
+  if (options.metrics != nullptr) alu_.set_metrics(previous_metrics);
 
   APPROXIT_LOG(util::LogLevel::kInfo, "session") << report.to_string();
   return report;

@@ -20,6 +20,7 @@
 #include "core/characterization.h"
 #include "core/strategy.h"
 #include "core/watchdog.h"
+#include "obs/metrics.h"
 #include "opt/iterative_method.h"
 
 namespace approxit::core {
@@ -27,7 +28,8 @@ namespace approxit::core {
 /// One executed iteration in the run trace.
 struct IterationRecord {
   std::size_t index = 0;             ///< 1-based execution order.
-  arith::ApproxMode mode;            ///< Mode the iteration ran in.
+  /// Mode the iteration ran in.
+  arith::ApproxMode mode = arith::ApproxMode::kAccurate;
   double objective_after = 0.0;      ///< f(x^k) (before any rollback).
   double energy = 0.0;               ///< Energy spent in this iteration.
   double step_norm = 0.0;            ///< ||x^k - x^{k-1}||.
@@ -36,6 +38,17 @@ struct IterationRecord {
   bool reconfigured = false;         ///< Next mode differs from this one.
   /// Watchdog verdict on this iteration (kNone on a healthy one).
   WatchdogTrigger trigger = WatchdogTrigger::kNone;
+  /// Strategy scheme / guard that fired ("none", "gradient", "quality",
+  /// "function", "non_finite", "watchdog").
+  std::string scheme = "none";
+  /// Estimated per-iteration state error ||x||*eps_i of the mode the
+  /// iteration ran in (the quantity the quality scheme compares against
+  /// step_norm).
+  double eps_estimate = 0.0;
+  /// Watchdog recovery rung taken on this iteration: 0 healthy, 1 rollback
+  /// + forced accurate, 2 checkpoint restore, 3 safe-mode latch engaged,
+  /// 4 structured abort.
+  int recovery_rung = 0;
 };
 
 /// Aggregate result of one session run.
@@ -81,6 +94,12 @@ struct SessionOptions {
   /// (non-finite + divergence detection only) never fires on a healthy
   /// run, so clean results are identical with the watchdog on or off.
   WatchdogConfig watchdog;
+  /// When set, the registry is attached to the ALU for the duration of
+  /// the run (the previous attachment is restored afterwards) and the
+  /// session posts its own end-of-run counters ("session.iterations",
+  /// "session.rollbacks", ...). Pure observation: results are identical
+  /// with or without a registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Binds a method, a strategy and a QCS ALU for one or more runs.

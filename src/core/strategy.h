@@ -24,6 +24,9 @@ struct Decision {
   /// induced, not real (the mechanism behind the paper's "no false stops"
   /// guarantee).
   bool veto_convergence = false;
+  /// Which scheme/guard produced this decision ("none" when nothing
+  /// fired); propagated into the iteration trace and the trace sink.
+  std::string scheme = "none";
 };
 
 /// Base class for all reconfiguration strategies.

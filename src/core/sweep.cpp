@@ -5,6 +5,7 @@
 #include "core/incremental_strategy.h"
 #include "core/oracle.h"
 #include "core/static_strategy.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace approxit::core {
@@ -22,15 +23,28 @@ struct SweepArm {
   RunReport report;
 };
 
-void run_arm(SweepArm& arm, arith::QcsAlu& alu,
-             const ModeCharacterization& characterization) {
+void run_arm(SweepArm& arm, std::size_t index, arith::QcsAlu& alu,
+             const ModeCharacterization& characterization,
+             obs::MetricsRegistry* metrics) {
+  // Lane 0 is the caller's thread; arms render as lanes 1..N in the trace
+  // viewer regardless of which worker thread executes them.
+  obs::LaneScope lane(static_cast<std::uint32_t>(index + 1),
+                      "arm:" + arm.label);
+  obs::ScopedSpan span("sweep", arm.label);
   if (!arm.strategy) {
+    // The oracle bypasses ApproxItSession; attach the arm registry to the
+    // ALU directly so its operations are still counted.
+    obs::MetricsRegistry* const previous = alu.metrics_registry();
+    if (metrics != nullptr) alu.set_metrics(metrics);
     arm.report = run_oracle(*arm.method, alu);
+    if (metrics != nullptr) alu.set_metrics(previous);
     return;
   }
   ApproxItSession session(*arm.method, *arm.strategy, alu);
   session.set_characterization(characterization);
-  arm.report = session.run();
+  SessionOptions session_options;
+  session_options.metrics = metrics;
+  arm.report = session.run(session_options);
 }
 
 }  // namespace
@@ -80,11 +94,26 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
     add_arm("oracle", nullptr);
   }
 
+  // One registry per arm on BOTH paths when metrics are requested: the
+  // arm registries are merged into options.metrics in fixed arm order, so
+  // the aggregate is bit-identical for any thread count (double additions
+  // do not commute).
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> arm_metrics;
+  if (options.metrics != nullptr) {
+    arm_metrics.resize(arms.size());
+    for (auto& registry : arm_metrics) {
+      registry = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
+  const auto arm_registry = [&](std::size_t i) -> obs::MetricsRegistry* {
+    return options.metrics != nullptr ? arm_metrics[i].get() : nullptr;
+  };
+
   if (options.threads <= 1) {
     // Serial path: every arm shares the caller's ALU (each session resets
     // the ledger on entry), exactly as the original implementation did.
-    for (SweepArm& arm : arms) {
-      run_arm(arm, alu, characterization);
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      run_arm(arms[i], i, alu, characterization, arm_registry(i));
     }
   } else {
     // Parallel path: one fresh ALU per arm (thread-compatible, not
@@ -95,10 +124,16 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
       arm_alus[i] = alu.clone_fresh();
     }
     util::parallel_for(arms.size(), options.threads, [&](std::size_t i) {
-      run_arm(arms[i], *arm_alus[i], characterization);
+      run_arm(arms[i], i, *arm_alus[i], characterization, arm_registry(i));
     });
     for (const std::unique_ptr<arith::QcsAlu>& arm_alu : arm_alus) {
       alu.merge_ledger(arm_alu->ledger());
+    }
+  }
+
+  if (options.metrics != nullptr) {
+    for (const auto& registry : arm_metrics) {
+      options.metrics->merge(*registry);
     }
   }
 

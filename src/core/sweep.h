@@ -10,6 +10,7 @@
 #include "arith/alu.h"
 #include "core/pareto.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "opt/iterative_method.h"
 
 namespace approxit::core {
@@ -39,6 +40,11 @@ struct SweepOptions {
   /// and every arm's trajectory is independent of scheduling — and each
   /// arm's ledger is merged into the caller's ALU afterwards.
   std::size_t threads = 1;
+  /// When set, every arm runs with its OWN MetricsRegistry (serial and
+  /// parallel paths alike) and the per-arm registries are merged into this
+  /// one in fixed arm order afterwards — the aggregate is bit-identical
+  /// for any thread count. nullptr (default) disables metrics collection.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a sweep: the Truth report plus one ParetoPoint per evaluated

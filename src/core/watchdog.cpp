@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace approxit::core {
 
 std::string_view run_status_name(RunStatus status) {
@@ -109,8 +111,16 @@ void Watchdog::notify_recovery(double objective) {
 WatchdogTrigger Watchdog::observe(const opt::IterationStats& stats) {
   if (!config_.enabled) return WatchdogTrigger::kNone;
 
-  const auto fire = [this](WatchdogTrigger trigger) {
+  const auto fire = [this, &stats](WatchdogTrigger trigger) {
     ++counters_.triggers[static_cast<std::size_t>(trigger)];
+    if (obs::trace_enabled()) {
+      obs::emit_instant(
+          "watchdog", "trigger",
+          {obs::arg("kind", watchdog_trigger_name(trigger)),
+           obs::arg("objective_after", stats.objective_after),
+           obs::arg("ceiling", divergence_ceiling_),
+           obs::arg("count", counters_.count(trigger))});
+    }
     return trigger;
   };
 

@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace approxit::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(lo, hi, bins))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot the other side first: merging a registry into itself or
+  // concurrent writers on `other` must not deadlock on ordered locks.
+  const std::map<std::string, double> other_counters =
+      other.counter_values();
+  const std::map<std::string, double> other_gauges = other.gauge_values();
+  std::map<std::string, bool> other_gauge_set;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto& [name, gauge] : other.gauges_) {
+      other_gauge_set[name] = gauge->has_value();
+    }
+  }
+  const std::map<std::string, util::BucketHistogram> other_histograms =
+      other.histogram_values();
+
+  for (const auto& [name, value] : other_counters) {
+    counter(name).add(value);
+  }
+  for (const auto& [name, value] : other_gauges) {
+    if (other_gauge_set[name]) gauge(name).set(value);
+  }
+  for (const auto& [name, sketch] : other_histograms) {
+    if (sketch.buckets().empty()) continue;
+    histogram(name, sketch.lo(), sketch.hi(), sketch.buckets().size())
+        .merge_sketch(sketch);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::map<std::string, double> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->value();
+  }
+  return out;
+}
+
+std::map<std::string, util::BucketHistogram>
+MetricsRegistry::histogram_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, util::BucketHistogram> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace(name, histogram->snapshot());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto counters = counter_values();
+  const auto gauges = gauge_values();
+  const auto histograms = histogram_values();
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, sketch] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << sketch.count()
+       << ",\"mean\":" << sketch.stats().mean()
+       << ",\"p50\":" << sketch.p50() << ",\"p90\":" << sketch.p90()
+       << ",\"p99\":" << sketch.p99() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace approxit::obs

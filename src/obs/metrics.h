@@ -1,0 +1,161 @@
+// Mergeable metrics registry: named counters, gauges and histograms.
+//
+// Instrumented code resolves a metric ONCE (registry lock, map lookup) and
+// keeps the returned handle; the hot path is then a single relaxed atomic
+// add (Counter/Gauge) or a short mutex-guarded bucket increment
+// (Histogram). Handles stay valid for the registry's lifetime — metrics
+// are never removed, only reset to zero.
+//
+// Like arith::EnergyLedger and arith::FaultLedger, a registry is a VALUE
+// that merges: parallel work-pool arms (util/parallel.h) each write into
+// their own registry, and the arms are merged in fixed arm order
+// afterwards, so the aggregate is bit-identical for any thread count
+// (core/sweep.cpp is the reference user).
+//
+// A process-global registry (global_metrics()) backs ad-hoc
+// instrumentation that has no session to hang a registry on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+
+namespace approxit::obs {
+
+/// Monotonic accumulator (operation counts, energy totals). Doubles keep
+/// integer counts exact up to 2^53 and cover energy sums with one type.
+class Counter {
+ public:
+  /// Adds `delta` (relaxed atomic; safe from any thread).
+  void add(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written value (final objective, active thread count, ...).
+class Gauge {
+ public:
+  void set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// False until the first set() — distinguishes "0" from "never written".
+  bool has_value() const { return set_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    value_.store(0.0, std::memory_order_relaxed);
+    set_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+/// Fixed-bucket histogram with exact side moments and p50/p90/p99
+/// extraction (util::BucketHistogram under a mutex; record() is short and
+/// cold relative to the spans being sampled into it).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : histogram_(lo, hi, bins) {}
+
+  void record(double x) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(x);
+  }
+
+  /// Consistent copy of the accumulated sketch.
+  util::BucketHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+
+  std::size_t count() const { return snapshot().count(); }
+  double quantile(double p) const { return snapshot().quantile(p); }
+
+  void merge(const Histogram& other) { merge_sketch(other.snapshot()); }
+
+  /// Merges an already-snapshotted sketch (layouts must match).
+  void merge_sketch(const util::BucketHistogram& other) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.merge(other);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_ = util::BucketHistogram(histogram_.lo(), histogram_.hi(),
+                                       histogram_.buckets().size());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  util::BucketHistogram histogram_;
+};
+
+/// Named metrics container. Lookup/creation is mutex-guarded; the returned
+/// references are stable until the registry is destroyed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named counter.
+  Counter& counter(std::string_view name);
+
+  /// Finds or creates the named gauge.
+  Gauge& gauge(std::string_view name);
+
+  /// Finds or creates the named histogram. The layout is fixed by the
+  /// FIRST creation; later calls with a different layout return the
+  /// existing histogram unchanged (merging requires stable layouts).
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t bins);
+
+  /// Merges another registry: counters add, histograms merge bucket-wise,
+  /// a gauge adopts the other's value when the other has been set (the
+  /// merged-in arm is the more recent writer). Metrics missing on either
+  /// side are created. Merging arms in a fixed order yields the same
+  /// result for any thread count.
+  void merge(const MetricsRegistry& other);
+
+  /// Zeroes every metric (handles stay valid).
+  void reset();
+
+  /// Snapshots for tests/export, keyed by name in sorted order.
+  std::map<std::string, double> counter_values() const;
+  std::map<std::string, double> gauge_values() const;
+  std::map<std::string, util::BucketHistogram> histogram_values() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count":..,"mean":..,"p50":..,"p90":..,"p99":..},...}}.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry (never destroyed before exit).
+MetricsRegistry& global_metrics();
+
+}  // namespace approxit::obs

@@ -1,0 +1,411 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace approxit::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// JSON string escaping (mirrors core/report_io's json_escape; duplicated
+/// here because obs sits below core in the layering).
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + escape(args[i].key) + "\":";
+    if (args[i].numeric) {
+      out += args[i].value;
+    } else {
+      out += "\"" + escape(args[i].value) + "\"";
+    }
+  }
+  out += "}";
+}
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<bool> g_enabled{false};
+
+/// Owns the sink installed from the APPROXIT_TRACE environment variable
+/// (kept alive to the end of the process so it flushes on exit).
+std::unique_ptr<TraceSink>& env_sink_storage() {
+  static std::unique_ptr<TraceSink> sink;
+  return sink;
+}
+
+void log_bridge(util::LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (!trace_enabled()) return;
+  emit_instant("log", util::to_string(level),
+               {arg("component", component), arg("message", message)});
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// One-time APPROXIT_TRACE bootstrap: runs before the first sink query.
+void ensure_env_init() {
+  static const bool initialized = [] {
+    (void)trace_epoch();  // pin the epoch before any event timestamps
+    if (const char* path = std::getenv("APPROXIT_TRACE")) {
+      if (path[0] != '\0') {
+        try {
+          std::unique_ptr<TraceSink> sink;
+          if (ends_with(path, ".json") || ends_with(path, ".trace")) {
+            sink = std::make_unique<ChromeTraceSink>(path);
+          } else {
+            sink = std::make_unique<JsonlSink>(path);
+          }
+          env_sink_storage() = std::move(sink);
+          set_trace_sink(env_sink_storage().get());
+        } catch (const std::exception& e) {
+          APPROXIT_LOG(util::LogLevel::kError, "obs")
+              << "APPROXIT_TRACE: cannot open '" << path << "': " << e.what();
+        }
+      }
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string_view value) {
+  return TraceArg{std::move(key), std::string(value), false};
+}
+
+TraceArg arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), std::string(value), false};
+}
+
+TraceArg arg(std::string key, double value) {
+  // NaN/Inf are not valid JSON numbers — encode them as strings so a
+  // poisoned statistic (fault injection) cannot corrupt the sink output.
+  const bool numeric = std::isfinite(value);
+  return TraceArg{std::move(key), format_double(value), numeric};
+}
+
+TraceArg arg(std::string key, std::size_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceArg arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false", true};
+}
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInstant:
+      return "instant";
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kCounter:
+      return "counter";
+    case EventKind::kMeta:
+      return "meta";
+  }
+  return "?";
+}
+
+// --- RingSink --------------------------------------------------------------
+
+RingSink::RingSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(event);
+}
+
+std::vector<TraceEvent> RingSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+std::size_t RingSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t RingSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RingSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+// --- JsonlSink -------------------------------------------------------------
+
+std::string event_to_jsonl(const TraceEvent& event) {
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts\":" + format_double(event.ts_us);
+  line += ",\"kind\":\"" + std::string(event_kind_name(event.kind)) + "\"";
+  line += ",\"cat\":\"" + escape(event.category) + "\"";
+  line += ",\"name\":\"" + escape(event.name) + "\"";
+  line += ",\"lane\":" + std::to_string(event.lane);
+  if (event.kind == EventKind::kSpan) {
+    line += ",\"dur\":" + format_double(event.dur_us);
+  }
+  line += ",\"args\":";
+  append_args(line, event.args);
+  line += "}";
+  return line;
+}
+
+JsonlSink::JsonlSink(const std::string& path) : out_(nullptr) {
+  file_.open(path);
+  if (!file_) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+  out_ = &file_;
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::emit(const TraceEvent& event) {
+  const std::string line = event_to_jsonl(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  ++events_;
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+std::size_t JsonlSink::events_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) {
+  file_.open(path);
+  if (!file_) {
+    throw std::runtime_error("ChromeTraceSink: cannot open " + path);
+  }
+  file_ << "{\"traceEvents\":[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::write_event_locked(const TraceEvent& event) {
+  const char* ph = "i";
+  switch (event.kind) {
+    case EventKind::kInstant:
+      ph = "i";
+      break;
+    case EventKind::kSpan:
+      ph = "X";
+      break;
+    case EventKind::kCounter:
+      ph = "C";
+      break;
+    case EventKind::kMeta:
+      ph = "M";
+      break;
+  }
+  std::string record;
+  record.reserve(160);
+  record += first_ ? "" : ",\n";
+  first_ = false;
+  record += "{\"name\":\"" + escape(event.name) + "\"";
+  record += ",\"cat\":\"" + escape(event.category) + "\"";
+  record += ",\"ph\":\"" + std::string(ph) + "\"";
+  record += ",\"ts\":" + format_double(event.ts_us);
+  if (event.kind == EventKind::kSpan) {
+    record += ",\"dur\":" + format_double(event.dur_us);
+  }
+  if (event.kind == EventKind::kInstant) {
+    record += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  record += ",\"pid\":1,\"tid\":" + std::to_string(event.lane);
+  record += ",\"args\":";
+  append_args(record, event.args);
+  record += "}";
+  file_ << record;
+}
+
+void ChromeTraceSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  write_event_locked(event);
+}
+
+void ChromeTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!closed_) {
+    file_ << "\n]}\n";
+    closed_ = true;
+  }
+  file_.flush();
+}
+
+// --- global trace state ----------------------------------------------------
+
+void set_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+  g_enabled.store(sink != nullptr, std::memory_order_release);
+  // Bridge warn+ log lines into the trace (idempotent; stays installed —
+  // the bridge itself checks trace_enabled()).
+  util::set_log_hook(&log_bridge);
+}
+
+TraceSink* trace_sink() {
+  ensure_env_init();
+  return g_sink.load(std::memory_order_acquire);
+}
+
+bool trace_enabled() {
+  ensure_env_init();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+namespace {
+thread_local std::uint32_t t_lane = 0;
+}  // namespace
+
+std::uint32_t current_lane() { return t_lane; }
+
+void emit_instant(std::string_view category, std::string_view name,
+                  std::vector<TraceArg> args) {
+  TraceSink* sink = trace_sink();
+  if (!sink) return;
+  TraceEvent event;
+  event.kind = EventKind::kInstant;
+  event.category = std::string(category);
+  event.name = std::string(name);
+  event.ts_us = trace_now_us();
+  event.lane = t_lane;
+  event.args = std::move(args);
+  sink->emit(event);
+}
+
+void emit_span(std::string_view category, std::string_view name,
+               double start_us, std::vector<TraceArg> args) {
+  TraceSink* sink = trace_sink();
+  if (!sink) return;
+  TraceEvent event;
+  event.kind = EventKind::kSpan;
+  event.category = std::string(category);
+  event.name = std::string(name);
+  event.ts_us = start_us;
+  event.dur_us = trace_now_us() - start_us;
+  event.lane = t_lane;
+  event.args = std::move(args);
+  sink->emit(event);
+}
+
+LaneScope::LaneScope(std::uint32_t lane, std::string_view name)
+    : previous_(t_lane) {
+  t_lane = lane;
+  if (TraceSink* sink = trace_sink()) {
+    TraceEvent event;
+    event.kind = EventKind::kMeta;
+    event.category = "lane";
+    event.name = "thread_name";
+    event.ts_us = trace_now_us();
+    event.lane = lane;
+    event.args.push_back(arg("name", name));
+    sink->emit(event);
+  }
+}
+
+LaneScope::~LaneScope() { t_lane = previous_; }
+
+ScopedSpan::ScopedSpan(std::string_view category, std::string_view name,
+                       std::vector<TraceArg> args)
+    : active_(trace_enabled()) {
+  if (!active_) return;
+  start_us_ = trace_now_us();
+  category_ = std::string(category);
+  name_ = std::string(name);
+  args_ = std::move(args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  emit_span(category_, name_, start_us_, std::move(args_));
+}
+
+void ScopedSpan::add_arg(TraceArg arg) {
+  if (!active_) return;
+  args_.push_back(std::move(arg));
+}
+
+}  // namespace approxit::obs

@@ -1,0 +1,226 @@
+// Structured trace events and pluggable sinks.
+//
+// Instrumented layers (session, ALU, strategies, watchdog, sweep) emit
+// TraceEvents — instants, duration spans and metadata — into the active
+// TraceSink. Three sinks ship:
+//
+//   RingSink         fixed-capacity in-memory ring, for tests and
+//                    post-mortem inspection of the most recent events;
+//   JsonlSink        one JSON object per line (machine-readable stream,
+//                    folded by tools/trace_summary);
+//   ChromeTraceSink  the Chrome trace-event format — load the file in
+//                    chrome://tracing or https://ui.perfetto.dev and
+//                    parallel sweep arms render as per-lane timelines.
+//
+// When no sink is active every emission site reduces to one relaxed
+// atomic load (trace_enabled()), so instrumentation costs nothing in
+// untraced runs and never perturbs numeric results either way.
+//
+// The active sink is process-global and NON-owning: install before a run,
+// remove (set_trace_sink(nullptr)) before destroying the sink. Sinks must
+// be thread-safe — parallel sweep arms emit concurrently, distinguished by
+// a thread-local LANE id (LaneScope) that maps to the `tid` lane of the
+// Chrome trace viewer.
+//
+// Setting APPROXIT_TRACE=<path> installs a file sink at first use:
+// *.json/*.trace selects the Chrome trace format, anything else JSONL.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace approxit::obs {
+
+/// One key/value annotation on an event. `numeric` values are serialized
+/// as bare JSON numbers, everything else as escaped strings.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// Annotation builders (numbers keep full precision via %.17g).
+TraceArg arg(std::string key, std::string_view value);
+TraceArg arg(std::string key, const char* value);
+TraceArg arg(std::string key, double value);
+TraceArg arg(std::string key, std::size_t value);
+TraceArg arg(std::string key, bool value);
+
+/// Event flavours, mapped onto Chrome trace-event phases.
+enum class EventKind : int {
+  kInstant = 0,  ///< Point event (ph "i").
+  kSpan = 1,     ///< Complete duration event (ph "X").
+  kCounter = 2,  ///< Counter sample (ph "C").
+  kMeta = 3,     ///< Metadata, e.g. lane naming (ph "M").
+};
+
+/// Kind label ("instant", "span", "counter", "meta").
+std::string_view event_kind_name(EventKind kind);
+
+/// One structured trace event.
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  std::string category;  ///< Layer: "session", "alu", "sweep", ...
+  std::string name;      ///< Event name within the category.
+  double ts_us = 0.0;    ///< Microseconds since the process trace epoch.
+  double dur_us = 0.0;   ///< Span duration (kSpan only).
+  std::uint32_t lane = 0;  ///< Sweep-arm lane (Chrome trace tid).
+  std::vector<TraceArg> args;
+};
+
+/// Sink interface. emit() must be safe to call from multiple threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Fixed-capacity in-memory ring: keeps the newest `capacity` events,
+/// counts what it had to drop.
+class RingSink final : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity = 4096);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Copy of the retained events in emission order.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+/// One JSON object per line:
+///   {"ts":..,"kind":"instant","cat":"session","name":"iteration",
+///    "lane":0,"args":{...}}   (spans add "dur").
+class JsonlSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+
+  /// Writes to a caller-owned stream (tests).
+  explicit JsonlSink(std::ostream& out);
+
+  ~JsonlSink() override;
+
+  void emit(const TraceEvent& event) override;
+  void flush() override;
+
+  std::size_t events_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  std::ostream* out_;
+  std::size_t events_ = 0;
+};
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}). The array is closed by
+/// flush()/destruction; lanes named via kMeta events render as threads.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit ChromeTraceSink(const std::string& path);
+
+  ~ChromeTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  void write_event_locked(const TraceEvent& event);
+
+  std::mutex mutex_;
+  std::ofstream file_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Serializes one event as the JSONL line payload (no trailing newline).
+std::string event_to_jsonl(const TraceEvent& event);
+
+// --- global trace state ----------------------------------------------------
+
+/// Installs the active sink (non-owning; nullptr disables tracing). Also
+/// installs the util::logging bridge so log lines >= warn become "log"
+/// category events. Swap only while no instrumented code is running.
+void set_trace_sink(TraceSink* sink);
+
+/// The active sink, after APPROXIT_TRACE env bootstrapping; nullptr when
+/// tracing is off.
+TraceSink* trace_sink();
+
+/// True when a sink is active — THE hot-path gate, one relaxed atomic
+/// load. All instrumentation must check this before building events.
+bool trace_enabled();
+
+/// Microseconds since the process trace epoch (steady clock).
+double trace_now_us();
+
+/// Emits an instant event into the active sink (no-op when disabled).
+void emit_instant(std::string_view category, std::string_view name,
+                  std::vector<TraceArg> args = {});
+
+/// Emits a span that started at `start_us` (trace_now_us() taken by the
+/// caller before the work) and ends now.
+void emit_span(std::string_view category, std::string_view name,
+               double start_us, std::vector<TraceArg> args = {});
+
+/// Current thread's lane id (0 outside any LaneScope).
+std::uint32_t current_lane();
+
+/// Scoped lane binding for one sweep arm / worker: sets the thread-local
+/// lane id, emits a lane-naming metadata event, restores the previous lane
+/// on destruction.
+class LaneScope {
+ public:
+  LaneScope(std::uint32_t lane, std::string_view name);
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+  ~LaneScope();
+
+ private:
+  std::uint32_t previous_;
+};
+
+/// RAII duration span: captures the start time at construction (when
+/// tracing is enabled) and emits a kSpan on destruction. Cheap no-op when
+/// tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view category, std::string_view name,
+             std::vector<TraceArg> args = {});
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  /// True when the span will emit (tracing was enabled at construction).
+  bool active() const { return active_; }
+
+  /// Attaches one more annotation (e.g. a result computed inside the
+  /// span). Ignored when inactive.
+  void add_arg(TraceArg arg);
+
+ private:
+  bool active_;
+  double start_us_ = 0.0;
+  std::string category_;
+  std::string name_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace approxit::obs

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -16,9 +17,16 @@ LogLevel initial_level() {
   return LogLevel::kWarn;
 }
 
-LogLevel& level_storage() {
-  static LogLevel level = initial_level();
+// Atomic: parallel sweep arms log while benches call set_log_level, so the
+// old "thread-compatible, no concurrent set/log" contract was not enough.
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
   return level;
+}
+
+std::atomic<LogHook>& hook_storage() {
+  static std::atomic<LogHook> hook{nullptr};
+  return hook;
 }
 
 }  // namespace
@@ -54,9 +62,17 @@ LogLevel parse_log_level(std::string_view name) {
   return LogLevel::kInfo;
 }
 
-void set_log_level(LogLevel level) { level_storage() = level; }
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return level_storage(); }
+LogLevel log_level() {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_hook(LogHook hook) {
+  hook_storage().store(hook, std::memory_order_release);
+}
 
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message) {
@@ -65,6 +81,11 @@ void log_message(LogLevel level, std::string_view component,
   }
   std::cerr << "[" << to_string(level) << "] " << component << ": " << message
             << '\n';
+  if (level >= LogLevel::kWarn && level < LogLevel::kOff) {
+    if (const LogHook hook = hook_storage().load(std::memory_order_acquire)) {
+      hook(level, component, message);
+    }
+  }
 }
 
 }  // namespace approxit::util

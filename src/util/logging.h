@@ -27,12 +27,24 @@ std::string_view to_string(LogLevel level);
 /// Parses a level name (case-insensitive); returns kInfo on unknown input.
 LogLevel parse_log_level(std::string_view name);
 
-/// Sets the global log level. Thread-compatible (no concurrent set/log).
+/// Sets the global log level. Thread-safe: the level is an atomic, so
+/// benches may lower verbosity while parallel sweep arms are logging.
 void set_log_level(LogLevel level);
 
 /// Returns the current global log level. The initial value is taken from the
 /// APPROXIT_LOG environment variable if set, otherwise kWarn.
 LogLevel log_level();
+
+/// Observer invoked (after the stderr write) for every emitted log line of
+/// severity >= kWarn. The observability layer installs a bridge here that
+/// turns warnings/errors into trace events, so traces capture them in
+/// context; util stays free of any obs dependency.
+using LogHook = void (*)(LogLevel level, std::string_view component,
+                         std::string_view message);
+
+/// Installs (or, with nullptr, removes) the warn-and-above observer.
+/// Thread-safe with respect to concurrent log_message calls.
+void set_log_hook(LogHook hook);
 
 /// Emits one formatted log line to stderr if `level` passes the filter.
 void log_message(LogLevel level, std::string_view component,

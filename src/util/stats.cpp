@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace approxit::util {
 
@@ -39,6 +40,71 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+BucketHistogram::BucketHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument(
+        "BucketHistogram: need hi > lo and at least one bin");
+  }
+}
+
+void BucketHistogram::add(double x) {
+  if (counts_.empty()) return;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double idx = (x - lo_) / width;
+  std::size_t b;
+  if (!(idx >= 0.0)) {  // also catches NaN -> first bucket
+    b = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<std::size_t>(idx);
+  }
+  ++counts_[b];
+  stats_.add(x);
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) {
+  if (other.count() == 0 && other.counts_.empty()) return;
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  if (!same_layout(other)) {
+    throw std::invalid_argument("BucketHistogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  stats_.merge(other.stats_);
+}
+
+double BucketHistogram::quantile(double p) const {
+  const std::size_t total = stats_.count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  // Rank in [1, total]; find the bucket whose cumulative count reaches it
+  // and interpolate within the bucket by the fraction of the rank covered.
+  const double rank =
+      std::max(1.0, p / 100.0 * static_cast<double>(total));
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double frac = (rank - before) / static_cast<double>(counts_[i]);
+      const double value =
+          lo_ + (static_cast<double>(i) + frac) * width;
+      // The edge buckets absorb clamped outliers; the exact observed range
+      // is a tighter bound than the bucket edges.
+      return std::clamp(value, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
 }
 
 double mean(std::span<const double> values) {

@@ -48,6 +48,62 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Fixed-bucket histogram accumulator over [lo, hi) with exact side
+/// moments (RunningStats) and interpolated quantile extraction — the
+/// sketch behind the observability layer's obs::Histogram metric.
+///
+/// Out-of-range observations are clamped into the first/last bucket,
+/// exactly like the free histogram() function. Two accumulators with the
+/// same layout merge bucket-wise; bucket counts and min/max merge exactly,
+/// so merging is associative up to floating-point rounding of the Welford
+/// moments (the parallel work-pool reduction relies on this).
+class BucketHistogram {
+ public:
+  /// Degenerate empty layout; add() is a no-op until assigned a real one.
+  BucketHistogram() = default;
+
+  /// Throws std::invalid_argument unless hi > lo and bins >= 1.
+  BucketHistogram(double lo, double hi, std::size_t bins);
+
+  /// Records one observation (clamped into the edge buckets).
+  void add(double x);
+
+  /// Merges another accumulator; throws std::invalid_argument when the
+  /// bucket layouts differ.
+  void merge(const BucketHistogram& other);
+
+  /// True when both layouts have the same [lo, hi) range and bin count.
+  bool same_layout(const BucketHistogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+  /// Interpolated quantile, p in [0, 100]: the crossing bucket is found by
+  /// cumulative count and the position inside it is interpolated linearly,
+  /// then clamped to the exact observed [min, max]. 0 when empty.
+  double quantile(double p) const;
+
+  /// Shorthands for the standard latency quantiles.
+  double p50() const { return quantile(50.0); }
+  double p90() const { return quantile(90.0); }
+  double p99() const { return quantile(99.0); }
+
+  std::size_t count() const { return stats_.count(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+
+  /// Exact single-pass moments (mean/variance/min/max/sum) of everything
+  /// added, unaffected by bucket clamping.
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::vector<std::size_t> counts_;
+  RunningStats stats_;
+};
+
 /// Arithmetic mean of a span; 0 when empty.
 double mean(std::span<const double> values);
 

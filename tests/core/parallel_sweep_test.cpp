@@ -2,7 +2,9 @@
 // characterization must produce identical results for any thread count —
 // arms run on fresh per-arm ALU clones and results are read back in fixed
 // arm order, so scheduling cannot leak into the output.
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "arith/alu.h"
 #include "core/characterization.h"
 #include "core/sweep.h"
+#include "obs/metrics.h"
 #include "la/matrix.h"
 #include "opt/gradient_descent.h"
 #include "opt/problem.h"
@@ -88,6 +91,33 @@ TEST(ParallelSweep, ArmLedgersMergeIntoCallerAlu) {
   ASSERT_FALSE(result.points.empty());
   // Every arm ran on a clone; the caller's ledger holds their merged ops.
   EXPECT_GT(alu.ledger().total_ops(), 0u);
+}
+
+TEST(ParallelSweep, MergedMetricsIdenticalAcrossThreadCounts) {
+  // Per-arm registries are merged into the caller's registry in fixed arm
+  // order, so the merged metrics — including floating-point counter sums —
+  // must be bit-identical for any thread count.
+  const auto metrics_with_threads = [](std::size_t threads) {
+    arith::QcsAlu alu;
+    obs::MetricsRegistry registry;
+    SweepOptions options;
+    options.include_oracle = true;
+    options.threads = threads;
+    options.metrics = &registry;
+    (void)run_configuration_sweep(quadratic_factory(), alu, state_l2_qem,
+                                  options);
+    return std::pair{registry.counter_values(), registry.gauge_values()};
+  };
+
+  const auto serial = metrics_with_threads(1);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_GT(serial.first.count("session.iterations"), 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    const auto parallel = metrics_with_threads(threads);
+    EXPECT_EQ(parallel.first, serial.first);
+    EXPECT_EQ(parallel.second, serial.second);
+  }
 }
 
 TEST(ParallelCharacterization, IdenticalAcrossThreadCounts) {

@@ -33,6 +33,10 @@ RunReport sample_report() {
     rec.grad_norm = 0.25;
     rec.rolled_back = i == 2;
     rec.reconfigured = i != 3;
+    rec.scheme = i == 2 ? "function" : "none";
+    rec.eps_estimate = 0.125 * static_cast<double>(i);
+    rec.recovery_rung = i == 3 ? 1 : 0;
+    if (i == 3) rec.trigger = WatchdogTrigger::kDivergence;
     report.trace.push_back(rec);
   }
   return report;
@@ -99,10 +103,99 @@ TEST(TraceCsv, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line,
             "iteration,mode,objective,energy,step_norm,grad_norm,"
-            "rolled_back,reconfigured,watchdog");
+            "rolled_back,reconfigured,watchdog,scheme,eps_estimate,"
+            "recovery_rung");
   std::size_t rows = 0;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, RoundTripsExactly) {
+  const RunReport report = sample_report();
+  const std::string path = ::testing::TempDir() + "/approxit_trace_rt.csv";
+  write_trace_csv(report, path);
+  const std::vector<IterationRecord> trace = read_trace_csv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(trace.size(), report.trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    SCOPED_TRACE(i);
+    const IterationRecord& expected = report.trace[i];
+    const IterationRecord& actual = trace[i];
+    EXPECT_EQ(actual.index, expected.index);
+    EXPECT_EQ(actual.mode, expected.mode);
+    // Doubles are written with 17 significant digits: exact round-trip.
+    EXPECT_EQ(actual.objective_after, expected.objective_after);
+    EXPECT_EQ(actual.energy, expected.energy);
+    EXPECT_EQ(actual.step_norm, expected.step_norm);
+    EXPECT_EQ(actual.grad_norm, expected.grad_norm);
+    EXPECT_EQ(actual.rolled_back, expected.rolled_back);
+    EXPECT_EQ(actual.reconfigured, expected.reconfigured);
+    EXPECT_EQ(actual.trigger, expected.trigger);
+    EXPECT_EQ(actual.scheme, expected.scheme);
+    EXPECT_EQ(actual.eps_estimate, expected.eps_estimate);
+    EXPECT_EQ(actual.recovery_rung, expected.recovery_rung);
+  }
+}
+
+TEST(TraceCsv, RoundTripsNonTrivialDoubles) {
+  RunReport report;
+  IterationRecord rec;
+  rec.index = 1;
+  rec.mode = arith::ApproxMode::kLevel3;
+  rec.objective_after = 1.0 / 3.0;
+  rec.energy = 1e-17;
+  rec.step_norm = 0.1 + 0.2;  // 0.30000000000000004
+  rec.eps_estimate = 6.02214076e23;
+  report.trace.push_back(rec);
+  const std::string path = ::testing::TempDir() + "/approxit_trace_fp.csv";
+  write_trace_csv(report, path);
+  const std::vector<IterationRecord> trace = read_trace_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].objective_after, 1.0 / 3.0);
+  EXPECT_EQ(trace[0].energy, 1e-17);
+  EXPECT_EQ(trace[0].step_norm, 0.1 + 0.2);
+  EXPECT_EQ(trace[0].eps_estimate, 6.02214076e23);
+}
+
+TEST(TraceCsv, ReadsOldFormatWithoutNewColumns) {
+  // A file written before the scheme/eps_estimate/recovery_rung columns
+  // existed must still load, with the new fields at their defaults.
+  const std::string path = ::testing::TempDir() + "/approxit_trace_old.csv";
+  {
+    std::ofstream out(path);
+    out << "iteration,mode,objective,energy,step_norm,grad_norm,"
+           "rolled_back,reconfigured,watchdog\n";
+    out << "1,level2,9.5,41,0.5,0.25,0,1,none\n";
+    out << "2,acc,8,42,0.25,0.125,1,0,divergence\n";
+  }
+  const std::vector<IterationRecord> trace = read_trace_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].index, 1u);
+  EXPECT_EQ(trace[0].mode, arith::ApproxMode::kLevel2);
+  EXPECT_EQ(trace[0].objective_after, 9.5);
+  EXPECT_FALSE(trace[0].rolled_back);
+  EXPECT_TRUE(trace[0].reconfigured);
+  EXPECT_EQ(trace[0].scheme, "none");       // default
+  EXPECT_EQ(trace[0].eps_estimate, 0.0);    // default
+  EXPECT_EQ(trace[0].recovery_rung, 0);     // default
+  EXPECT_EQ(trace[1].mode, arith::ApproxMode::kAccurate);
+  EXPECT_TRUE(trace[1].rolled_back);
+  EXPECT_EQ(trace[1].trigger, WatchdogTrigger::kDivergence);
+}
+
+TEST(TraceCsv, ReadThrowsOnMissingFileOrUnknownMode) {
+  EXPECT_THROW(read_trace_csv("/nonexistent_zzz/trace.csv"),
+               std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/approxit_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "iteration,mode\n1,warp9\n";
+  }
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

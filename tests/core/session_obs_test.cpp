@@ -1,0 +1,192 @@
+// Observability must be a pure observer: enabling tracing or metrics may
+// never change a single bit of the numeric results, and the emitted trace
+// must reconcile exactly with the RunReport it describes.
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "la/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+const opt::QuadraticProblem& quadratic() {
+  static const opt::QuadraticProblem problem(
+      la::Matrix{{4.0, 1.0}, {1.0, 3.0}}, {1.0, 2.0});
+  return problem;
+}
+
+std::unique_ptr<opt::GradientDescentSolver> make_method() {
+  opt::GdConfig config;
+  config.step_size = 0.2;
+  config.tolerance = 1e-12;
+  config.max_iter = 400;
+  return std::make_unique<opt::GradientDescentSolver>(
+      quadratic(), std::vector<double>{0.0, 0.0}, config);
+}
+
+/// One full incremental-strategy run on a fresh ALU; `sink`/`metrics` may
+/// be null. Returns the report; `final_state` receives the method state.
+RunReport run_session(obs::TraceSink* sink, obs::MetricsRegistry* metrics,
+                      std::vector<double>* final_state = nullptr) {
+  if (sink != nullptr) obs::set_trace_sink(sink);
+  arith::QcsAlu alu;
+  auto method = make_method();
+  IncrementalStrategy strategy;
+  ApproxItSession session(*method, strategy, alu);
+  SessionOptions options;
+  options.metrics = metrics;
+  const RunReport report = session.run(options);
+  if (final_state != nullptr) *final_state = method->state();
+  if (sink != nullptr) obs::set_trace_sink(nullptr);
+  return report;
+}
+
+const obs::TraceArg* find_arg(const obs::TraceEvent& event,
+                              const std::string& key) {
+  for (const obs::TraceArg& a : event.args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+double numeric_arg(const obs::TraceEvent& event, const std::string& key) {
+  const obs::TraceArg* a = find_arg(event, key);
+  if (a == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  return std::strtod(a->value.c_str(), nullptr);
+}
+
+TEST(SessionObservability, ResultsBitIdenticalTracingOnOrOff) {
+  std::vector<double> state_off, state_traced, state_metered;
+  const RunReport off = run_session(nullptr, nullptr, &state_off);
+
+  obs::RingSink ring(1 << 16);
+  const RunReport traced = run_session(&ring, nullptr, &state_traced);
+
+  obs::MetricsRegistry registry;
+  const RunReport metered = run_session(nullptr, &registry, &state_metered);
+
+  for (const RunReport* report : {&traced, &metered}) {
+    EXPECT_EQ(report->iterations, off.iterations);
+    EXPECT_EQ(report->total_energy, off.total_energy);
+    EXPECT_EQ(report->final_objective, off.final_objective);
+    EXPECT_EQ(report->rollbacks, off.rollbacks);
+    EXPECT_EQ(report->status, off.status);
+    EXPECT_EQ(report->steps_per_mode, off.steps_per_mode);
+  }
+  EXPECT_EQ(state_traced, state_off);
+  EXPECT_EQ(state_metered, state_off);
+}
+
+TEST(SessionObservability, TraceReconcilesExactlyWithReport) {
+  obs::RingSink ring(1 << 16);
+  const RunReport report = run_session(&ring, nullptr);
+  ASSERT_GT(report.iterations, 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  const std::vector<obs::TraceEvent> events = ring.snapshot();
+  std::vector<obs::TraceEvent> iteration_events;
+  const obs::TraceEvent* run_complete = nullptr;
+  for (const obs::TraceEvent& event : events) {
+    if (event.category != "session") continue;
+    if (event.name == "iteration") iteration_events.push_back(event);
+    if (event.name == "run_complete") run_complete = &event;
+  }
+
+  // One iteration event per executed iteration, in order.
+  ASSERT_EQ(iteration_events.size(), report.iterations);
+  std::size_t rollbacks = 0, reconfigurations = 0;
+  for (std::size_t i = 0; i < iteration_events.size(); ++i) {
+    const obs::TraceEvent& event = iteration_events[i];
+    EXPECT_EQ(numeric_arg(event, "iter"), static_cast<double>(i + 1));
+    const obs::TraceArg* rolled = find_arg(event, "rolled_back");
+    ASSERT_NE(rolled, nullptr);
+    if (rolled->value == "true") ++rollbacks;
+    const obs::TraceArg* reconf = find_arg(event, "reconfigured");
+    ASSERT_NE(reconf, nullptr);
+    if (reconf->value == "true") ++reconfigurations;
+    // Every iteration event mirrors one trace record exactly.
+    const IterationRecord& rec = report.trace[i];
+    EXPECT_EQ(find_arg(event, "mode")->value, arith::mode_name(rec.mode));
+    EXPECT_EQ(find_arg(event, "scheme")->value, rec.scheme);
+    EXPECT_EQ(numeric_arg(event, "objective"), rec.objective_after);
+    EXPECT_EQ(numeric_arg(event, "energy"), rec.energy);
+    EXPECT_EQ(numeric_arg(event, "eps_estimate"), rec.eps_estimate);
+    EXPECT_EQ(numeric_arg(event, "rung"),
+              static_cast<double>(rec.recovery_rung));
+  }
+  EXPECT_EQ(rollbacks, report.rollbacks);
+  EXPECT_EQ(reconfigurations, report.reconfigurations);
+
+  // The cumulative energy in the LAST iteration event equals the report's
+  // ledger total bit-for-bit (%.17g round-trips doubles exactly).
+  EXPECT_EQ(numeric_arg(iteration_events.back(), "energy_total"),
+            report.total_energy);
+
+  ASSERT_NE(run_complete, nullptr);
+  EXPECT_EQ(numeric_arg(*run_complete, "iterations"),
+            static_cast<double>(report.iterations));
+  EXPECT_EQ(numeric_arg(*run_complete, "energy"), report.total_energy);
+  EXPECT_EQ(numeric_arg(*run_complete, "objective"), report.final_objective);
+}
+
+TEST(SessionObservability, TraceContainsAluAndStrategyEvents) {
+  obs::RingSink ring(1 << 16);
+  (void)run_session(&ring, nullptr);
+  bool saw_alu_span = false, saw_strategy = false, saw_run_span = false;
+  for (const obs::TraceEvent& event : ring.snapshot()) {
+    if (event.category == "alu" && event.kind == obs::EventKind::kSpan) {
+      saw_alu_span = true;
+    }
+    if (event.category == "strategy") saw_strategy = true;
+    if (event.category == "session" && event.name == "run" &&
+        event.kind == obs::EventKind::kSpan) {
+      saw_run_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_alu_span);  // sampled batch spans (1 in 64)
+  EXPECT_TRUE(saw_strategy);  // decision events
+  EXPECT_TRUE(saw_run_span);  // whole-run span
+}
+
+TEST(SessionObservability, MetricsCountersMatchReport) {
+  obs::MetricsRegistry registry;
+  const RunReport report = run_session(nullptr, &registry);
+
+  const auto counters = registry.counter_values();
+  EXPECT_DOUBLE_EQ(counters.at("session.runs"), 1.0);
+  EXPECT_DOUBLE_EQ(counters.at("session.iterations"),
+                   static_cast<double>(report.iterations));
+  EXPECT_DOUBLE_EQ(counters.at("session.rollbacks"),
+                   static_cast<double>(report.rollbacks));
+  EXPECT_DOUBLE_EQ(counters.at("session.reconfigurations"),
+                   static_cast<double>(report.reconfigurations));
+  EXPECT_DOUBLE_EQ(counters.at("session.energy"), report.total_energy);
+  EXPECT_DOUBLE_EQ(registry.gauge_values().at("session.final_objective"),
+                   report.final_objective);
+
+  // Per-mode ALU op counters sum to the ledger total the report drew from.
+  double alu_ops = 0.0;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("alu.ops.", 0) == 0) alu_ops += value;
+  }
+  EXPECT_GT(alu_ops, 0.0);
+
+  // A second run accumulates rather than resets.
+  (void)run_session(nullptr, &registry);
+  EXPECT_DOUBLE_EQ(registry.counter_values().at("session.runs"), 2.0);
+}
+
+}  // namespace
+}  // namespace approxit::core

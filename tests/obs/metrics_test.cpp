@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxit::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Gauge, TracksLastValueAndSetFlag) {
+  Gauge g;
+  EXPECT_FALSE(g.has_value());
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(-4.0);
+  EXPECT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g.value(), -4.0);
+  g.reset();
+  EXPECT_FALSE(g.has_value());
+}
+
+TEST(Histogram, RecordsAndExtractsQuantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.quantile(50.0), 49.5, 1.0);
+  EXPECT_NEAR(h.quantile(99.0), 98.5, 1.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndFindOrCreate) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("alu.ops");
+  Counter& b = registry.counter("alu.ops");
+  EXPECT_EQ(&a, &b);  // same name -> same handle
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("alu.ops").value(), 3.0);
+
+  Histogram& h1 = registry.histogram("lat", 0.0, 10.0, 5);
+  Histogram& h2 = registry.histogram("lat", 0.0, 99.0, 7);  // layout ignored
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAdoptsGaugesMergesHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("ops").add(2.0);
+  b.counter("ops").add(5.0);
+  b.counter("only_b").add(1.0);
+  a.gauge("seen_by_a").set(1.0);
+  b.gauge("obj").set(7.0);
+  a.histogram("lat", 0.0, 10.0, 10).record(1.0);
+  b.histogram("lat", 0.0, 10.0, 10).record(9.0);
+
+  a.merge(b);
+  const std::map<std::string, double> counters = a.counter_values();
+  EXPECT_DOUBLE_EQ(counters.at("ops"), 7.0);
+  EXPECT_DOUBLE_EQ(counters.at("only_b"), 1.0);
+  const std::map<std::string, double> gauges = a.gauge_values();
+  EXPECT_DOUBLE_EQ(gauges.at("obj"), 7.0);
+  EXPECT_DOUBLE_EQ(gauges.at("seen_by_a"), 1.0);  // untouched: b never set it
+  const auto histograms = a.histogram_values();
+  EXPECT_EQ(histograms.at("lat").count(), 2u);
+}
+
+TEST(MetricsRegistry, MergeInFixedOrderIsThreadCountInvariant) {
+  // Simulates the sweep reduction: arms write disjoint amounts into their
+  // own registry, then merge in fixed arm order. The totals must be exact.
+  const auto fill = [](MetricsRegistry& r, double amount) {
+    r.counter("energy").add(amount);
+    r.counter("iters").add(10.0);
+  };
+  MetricsRegistry arm0, arm1, arm2, merged;
+  fill(arm0, 0.1);
+  fill(arm1, 0.2);
+  fill(arm2, 0.4);
+  merged.merge(arm0);
+  merged.merge(arm1);
+  merged.merge(arm2);
+  EXPECT_DOUBLE_EQ(merged.counter_values().at("energy"), (0.1 + 0.2) + 0.4);
+  EXPECT_DOUBLE_EQ(merged.counter_values().at("iters"), 30.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("ops");
+  Gauge& g = registry.gauge("obj");
+  c.add(4.0);
+  g.set(2.0);
+  registry.histogram("lat", 0.0, 1.0, 2).record(0.5);
+  registry.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(registry.histogram_values().at("lat").count(), 0u);
+  c.add(1.0);  // the old handle still feeds the registry
+  EXPECT_DOUBLE_EQ(registry.counter_values().at("ops"), 1.0);
+}
+
+TEST(MetricsRegistry, ConcurrentCounterAddsAreLossless) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("ops");
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Integer-valued adds stay exact in a double up to 2^53.
+  EXPECT_DOUBLE_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsRegistry, ToJsonListsAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("session.iterations").add(12.0);
+  registry.gauge("session.final_objective").set(0.5);
+  registry.histogram("alu.batch_us", 0.0, 10.0, 10).record(2.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"session.iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"session.final_objective\""), std::string::npos);
+  EXPECT_NE(json.find("\"alu.batch_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(GlobalMetrics, IsASingleton) {
+  EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace approxit::obs

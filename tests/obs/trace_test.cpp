@@ -1,0 +1,246 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace approxit::obs {
+namespace {
+
+/// Installs a sink for one test body and always removes it afterwards, so
+/// a failing expectation cannot leak tracing into the other tests.
+class SinkGuard {
+ public:
+  explicit SinkGuard(TraceSink* sink) { set_trace_sink(sink); }
+  ~SinkGuard() { set_trace_sink(nullptr); }
+};
+
+TEST(TraceArgs, NumericAndStringFlavours) {
+  EXPECT_TRUE(arg("x", 1.5).numeric);
+  EXPECT_EQ(arg("x", 1.5).value, "1.5");
+  EXPECT_TRUE(arg("n", std::size_t{42}).numeric);
+  EXPECT_EQ(arg("n", std::size_t{42}).value, "42");
+  EXPECT_TRUE(arg("b", true).numeric);
+  EXPECT_EQ(arg("b", false).value, "false");
+  EXPECT_FALSE(arg("s", "level2").numeric);
+}
+
+TEST(TraceArgs, NonFiniteDoublesBecomeStrings) {
+  // NaN/Inf are not valid JSON numbers; a poisoned statistic must not
+  // corrupt the sink output.
+  const TraceArg nan_arg = arg("v", std::nan(""));
+  EXPECT_FALSE(nan_arg.numeric);
+  const TraceArg inf_arg =
+      arg("v", std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(inf_arg.numeric);
+  TraceEvent event;
+  event.args = {nan_arg, inf_arg};
+  const std::string line = event_to_jsonl(event);
+  EXPECT_NE(line.find("\"v\":\""), std::string::npos);  // quoted, not bare
+}
+
+TEST(TraceJsonl, SerializesAllFields) {
+  TraceEvent event;
+  event.kind = EventKind::kSpan;
+  event.category = "alu";
+  event.name = "fold";
+  event.ts_us = 12.5;
+  event.dur_us = 3.25;
+  event.lane = 2;
+  event.args = {arg("mode", "level3"), arg("n", std::size_t{64})};
+  const std::string line = event_to_jsonl(event);
+  EXPECT_EQ(line,
+            "{\"ts\":12.5,\"kind\":\"span\",\"cat\":\"alu\",\"name\":\"fold\","
+            "\"lane\":2,\"dur\":3.25,"
+            "\"args\":{\"mode\":\"level3\",\"n\":64}}");
+}
+
+TEST(TraceJsonl, EscapesSpecialCharacters) {
+  TraceEvent event;
+  event.name = "a\"b\\c";
+  event.args = {arg("msg", "line\nbreak")};
+  const std::string line = event_to_jsonl(event);
+  EXPECT_NE(line.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(line.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(TraceState, DisabledByDefaultAndEmissionIsNoOp) {
+  ASSERT_EQ(trace_sink(), nullptr);
+  EXPECT_FALSE(trace_enabled());
+  emit_instant("test", "nobody_listens");  // must not crash
+}
+
+TEST(TraceState, EnableEmitDisable) {
+  RingSink ring(16);
+  {
+    SinkGuard guard(&ring);
+    EXPECT_TRUE(trace_enabled());
+    EXPECT_EQ(trace_sink(), &ring);
+    emit_instant("test", "hello", {arg("k", 1.0)});
+  }
+  EXPECT_FALSE(trace_enabled());
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kInstant);
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].name, "hello");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "k");
+}
+
+TEST(TraceRingSink, KeepsNewestAndCountsDropped) {
+  RingSink ring(3);
+  SinkGuard guard(&ring);
+  for (int i = 0; i < 5; ++i) {
+    emit_instant("test", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  EXPECT_EQ(events.front().name, "e2");
+  EXPECT_EQ(events.back().name, "e4");
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceScopedSpan, EmitsDurationWithLateArgs) {
+  RingSink ring;
+  {
+    SinkGuard guard(&ring);
+    ScopedSpan span("sweep", "arm", {arg("index", std::size_t{1})});
+    EXPECT_TRUE(span.active());
+    span.add_arg(arg("result", 0.5));
+  }
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+  EXPECT_EQ(events[0].category, "sweep");
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[1].key, "result");
+}
+
+TEST(TraceScopedSpan, InactiveWhenTracingOff) {
+  ScopedSpan span("sweep", "arm");
+  EXPECT_FALSE(span.active());
+  span.add_arg(arg("ignored", 1.0));  // must not crash
+}
+
+TEST(TraceLaneScope, NestsAndEmitsThreadName) {
+  RingSink ring;
+  SinkGuard guard(&ring);
+  EXPECT_EQ(current_lane(), 0u);
+  {
+    LaneScope outer(3, "arm:level3");
+    EXPECT_EQ(current_lane(), 3u);
+    emit_instant("test", "inner");
+    {
+      LaneScope inner(7, "nested");
+      EXPECT_EQ(current_lane(), 7u);
+    }
+    EXPECT_EQ(current_lane(), 3u);
+  }
+  EXPECT_EQ(current_lane(), 0u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);  // two lane metas + one instant
+  EXPECT_EQ(events[0].kind, EventKind::kMeta);
+  EXPECT_EQ(events[0].lane, 3u);
+  EXPECT_EQ(events[0].args[0].value, "arm:level3");
+  EXPECT_EQ(events[1].lane, 3u);
+  EXPECT_EQ(events[1].name, "inner");
+}
+
+TEST(TraceJsonlSink, WritesOneValidLinePerEvent) {
+  std::ostringstream out;
+  {
+    JsonlSink sink(out);
+    SinkGuard guard(&sink);
+    emit_instant("session", "iteration", {arg("iter", std::size_t{1})});
+    const double start = trace_now_us();
+    emit_span("alu", "fold", start, {arg("n", std::size_t{8})});
+    EXPECT_EQ(sink.events_written(), 2u);
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(out.str().find("\"kind\":\"instant\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"kind\":\"span\""), std::string::npos);
+}
+
+TEST(TraceJsonlSink, ThrowsOnBadPath) {
+  EXPECT_THROW(JsonlSink("/nonexistent_zzz/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceChromeSink, ProducesLoadableTraceEventJson) {
+  const std::string path = ::testing::TempDir() + "/approxit_chrome.json";
+  {
+    ChromeTraceSink sink(path);
+    SinkGuard guard(&sink);
+    LaneScope lane(1, "arm:acc");
+    emit_instant("session", "iteration", {arg("iter", std::size_t{1})});
+    const double start = trace_now_us();
+    emit_span("alu", "fold", start);
+  }  // destructor closes the traceEvents array
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  std::remove(path.c_str());
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);  // lane meta
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(text.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(text.find("]}"), std::string::npos);  // array closed
+}
+
+TEST(TraceChromeSink, ThrowsOnBadPath) {
+  EXPECT_THROW(ChromeTraceSink("/nonexistent_zzz/trace.json"),
+               std::runtime_error);
+}
+
+TEST(TraceLogBridge, WarnLogsBecomeTraceEvents) {
+  RingSink ring;
+  SinkGuard guard(&ring);
+  util::log_message(util::LogLevel::kWarn, "core", "watchdog fired");
+  util::log_message(util::LogLevel::kError, "core", "aborted");
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].category, "log");
+  EXPECT_EQ(events[0].name, "WARN");
+  EXPECT_EQ(events[0].args[1].value, "watchdog fired");
+  EXPECT_EQ(events[1].name, "ERROR");
+}
+
+TEST(TraceLogBridge, BelowWarnStaysOutOfTrace) {
+  RingSink ring;
+  SinkGuard guard(&ring);
+  // Info passes the stderr filter only if the level allows it, but the
+  // bridge is warn+ regardless of the active log level.
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kTrace);
+  util::log_message(util::LogLevel::kInfo, "core", "chatty");
+  util::set_log_level(saved);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+}  // namespace
+}  // namespace approxit::obs

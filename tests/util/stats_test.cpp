@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -117,6 +118,80 @@ TEST(Stats, HistogramEdgeCases) {
   EXPECT_TRUE(histogram({}, 0.0, 1.0, 0).empty());
   const auto h = histogram({{0.5}}, 1.0, 1.0, 4);  // empty range
   EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(BucketHistogram, EmptyAndInvalidLayout) {
+  BucketHistogram empty;
+  empty.add(1.0);  // no-op on the degenerate layout
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(50.0), 0.0);
+  EXPECT_THROW(BucketHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(BucketHistogram, QuantilesMatchExactPercentileOnUniformGrid) {
+  // 0..99 into 100 unit buckets: interpolation is exact, so p50/p90/p99
+  // must agree with the sorted-sample percentile helper.
+  BucketHistogram h(0.0, 100.0, 100);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i));
+    values.push_back(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.p50(), percentile(values, 50.0), 1.0);
+  EXPECT_NEAR(h.p90(), percentile(values, 90.0), 1.0);
+  EXPECT_NEAR(h.p99(), percentile(values, 99.0), 1.0);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(100.0), 99.0);
+}
+
+TEST(BucketHistogram, QuantileClampsToObservedMinMax) {
+  BucketHistogram h(0.0, 10.0, 2);  // coarse buckets, tight observations
+  h.add(4.0);
+  h.add(4.5);
+  EXPECT_GE(h.p99(), 4.0);
+  EXPECT_LE(h.p99(), 4.5);
+  EXPECT_GE(h.p50(), 4.0);
+  EXPECT_LE(h.p50(), 4.5);
+}
+
+TEST(BucketHistogram, MergeIsAssociativeOnCountsAndQuantiles) {
+  // (a⊕b)⊕c and a⊕(b⊕c) must agree exactly on bucket counts, min/max and
+  // therefore on every quantile — the parallel sweep reduction relies on
+  // this when arm registries merge in arm order.
+  const auto make = [](int seed) {
+    BucketHistogram h(0.0, 50.0, 25);
+    for (int i = 0; i < 40; ++i) {
+      h.add(static_cast<double>((seed * 17 + i * 7) % 50));
+    }
+    return h;
+  };
+  const BucketHistogram a = make(1), b = make(2), c = make(3);
+
+  BucketHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  BucketHistogram bc = b;
+  bc.merge(c);
+  BucketHistogram right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.buckets(), right.buckets());
+  EXPECT_DOUBLE_EQ(left.stats().min(), right.stats().min());
+  EXPECT_DOUBLE_EQ(left.stats().max(), right.stats().max());
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(p), right.quantile(p)) << p;
+  }
+}
+
+TEST(BucketHistogram, MergeRejectsMismatchedLayouts) {
+  BucketHistogram a(0.0, 1.0, 4);
+  BucketHistogram b(0.0, 2.0, 4);
+  EXPECT_FALSE(a.same_layout(b));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,419 @@
+// trace_summary: folds an APPROXIT_TRACE JSONL file into per-mode energy/
+// quality tables.
+//
+// The input is the flat one-object-per-line format emitted by
+// obs::JsonlSink (obs/trace.h): top-level ts/kind/cat/name/lane plus a flat
+// "args" object of numbers, strings and booleans. The tool aggregates the
+// "session"/"iteration" events into
+//   - a per-mode summary (iterations, energy, schemes fired, rollbacks),
+//   - a mode timeline (contiguous same-mode segments with the objective
+//     trajectory), and
+//   - a reconciliation line (sum of energy deltas vs the cumulative
+//     energy_total carried by the last event).
+//
+// --validate additionally checks the schema of every line (required
+// top-level keys; required args on iteration events) and exits non-zero on
+// the first violation — the CI trace-artifact check.
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.h"
+
+namespace {
+
+/// One parsed JSONL record: top-level fields plus flat args.
+struct TraceLine {
+  double ts = 0.0;
+  std::string kind;
+  std::string cat;
+  std::string name;
+  long lane = 0;
+  std::map<std::string, std::string> string_args;
+  std::map<std::string, double> number_args;
+};
+
+/// Minimal parser for the flat JSON the JsonlSink writes. Not a general
+/// JSON parser: one object per line, values are strings, numbers, booleans
+/// or the single nested flat object "args".
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& line) : text_(line) {}
+
+  /// Parses the line into `out`; returns false (with error()) on malformed
+  /// input.
+  bool parse(TraceLine& out) {
+    skip_ws();
+    if (!consume('{')) return fail("expected '{'");
+    if (!parse_members(out, /*in_args=*/false)) return false;
+    skip_ws();
+    return pos_ == text_.size() || fail("trailing characters");
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool parse_members(TraceLine& out, bool in_args) {
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      if (!parse_value(out, key, in_args)) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_value(TraceLine& out, const std::string& key, bool in_args) {
+    const char c = peek();
+    if (c == '"') {
+      std::string value;
+      if (!parse_string(value)) return false;
+      store_string(out, key, std::move(value), in_args);
+      return true;
+    }
+    if (c == '{') {
+      if (in_args || key != "args") return fail("unexpected nested object");
+      ++pos_;
+      return parse_members(out, /*in_args=*/true);
+    }
+    if (c == 't' || c == 'f') {
+      const bool value = c == 't';
+      const std::string_view word = value ? "true" : "false";
+      if (text_.compare(pos_, word.size(), word) != 0) {
+        return fail("bad literal");
+      }
+      pos_ += word.size();
+      store_number(out, key, value ? 1.0 : 0.0, in_args);
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    store_number(out, key, std::strtod(text_.c_str() + start, nullptr),
+                 in_args);
+    return true;
+  }
+
+  void store_string(TraceLine& out, const std::string& key,
+                    std::string value, bool in_args) {
+    if (in_args) {
+      out.string_args[key] = std::move(value);
+    } else if (key == "kind") {
+      out.kind = std::move(value);
+    } else if (key == "cat") {
+      out.cat = std::move(value);
+    } else if (key == "name") {
+      out.name = std::move(value);
+    }
+  }
+
+  void store_number(TraceLine& out, const std::string& key, double value,
+                    bool in_args) {
+    if (in_args) {
+      out.number_args[key] = value;
+    } else if (key == "ts") {
+      out.ts = value;
+    } else if (key == "lane") {
+      out.lane = static_cast<long>(value);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u':
+            // Only control characters are \u-escaped by the sink; keep the
+            // raw escape, summaries never need them verbatim.
+            out += "\\u";
+            break;
+          default:
+            out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+constexpr std::array<const char*, 5> kModes = {"level1", "level2", "level3",
+                                               "level4", "acc"};
+
+struct ModeBucket {
+  std::size_t iterations = 0;
+  double energy = 0.0;
+  std::size_t rollbacks = 0;
+  std::size_t reconfigurations = 0;
+  std::size_t watchdog_triggers = 0;
+  std::map<std::string, std::size_t> schemes;
+};
+
+/// One contiguous run of iterations in the same mode.
+struct Segment {
+  std::string mode;
+  std::size_t first_iter = 0;
+  std::size_t last_iter = 0;
+  double energy = 0.0;
+  double objective_start = 0.0;
+  double objective_end = 0.0;
+};
+
+int validate_line(const TraceLine& line, std::size_t line_number) {
+  const auto missing = [&](const char* what) {
+    std::fprintf(stderr, "line %zu: missing %s\n", line_number, what);
+    return 1;
+  };
+  if (line.kind.empty()) return missing("kind");
+  if (line.cat.empty()) return missing("cat");
+  if (line.name.empty()) return missing("name");
+  if (line.cat == "session" && line.name == "iteration") {
+    for (const char* key : {"iter", "objective", "energy", "energy_total",
+                            "step_norm", "rung"}) {
+      if (!line.number_args.count(key)) return missing(key);
+    }
+    for (const char* key : {"mode", "scheme", "next_mode", "watchdog"}) {
+      if (!line.string_args.count(key)) return missing(key);
+    }
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  // Flags here are pure booleans followed by the path, so argv is scanned
+  // directly (util::CliParser's "--flag value" rule would swallow the path
+  // as --validate's value).
+  bool validate = false;
+  bool timeline = true;
+  std::string path;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    if (token == "--validate") {
+      validate = true;
+    } else if (token == "--no-timeline") {
+      timeline = false;
+    } else if (token == "--help" || token == "-h") {
+      std::printf(
+          "Folds an APPROXIT_TRACE JSONL file into per-mode energy/quality "
+          "tables.\n\n"
+          "usage: trace_summary [--validate] [--no-timeline] <trace.jsonl>\n"
+          "  --validate     schema-check every line; non-zero on violations\n"
+          "  --no-timeline  skip the mode-segment timeline table\n");
+      return 0;
+    } else if (token.rfind("--", 0) == 0 || !path.empty()) {
+      usage_error = true;
+    } else {
+      path = token;
+    }
+  }
+  if (usage_error || path.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: trace_summary [--validate] [--no-timeline] <trace.jsonl>\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_summary: cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  std::map<std::string, ModeBucket> buckets;
+  std::map<std::string, std::size_t> events_by_cat;
+  std::vector<Segment> segments;
+  std::size_t iteration_events = 0;
+  std::size_t total_lines = 0;
+  double energy_delta_sum = 0.0;
+  double last_energy_total = 0.0;
+  std::string run_status;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ++total_lines;
+    TraceLine parsed;
+    FlatJsonParser parser(line);
+    if (!parser.parse(parsed)) {
+      std::fprintf(stderr, "line %zu: parse error: %s\n", line_number,
+                   parser.error().c_str());
+      if (validate) return 1;
+      continue;
+    }
+    if (validate) {
+      if (const int rc = validate_line(parsed, line_number)) return rc;
+    }
+    ++events_by_cat[parsed.cat];
+
+    if (parsed.cat == "session" && parsed.name == "run_complete") {
+      const auto status = parsed.string_args.find("status");
+      if (status != parsed.string_args.end()) run_status = status->second;
+    }
+    if (parsed.cat != "session" || parsed.name != "iteration") continue;
+
+    ++iteration_events;
+    const std::string& mode = parsed.string_args["mode"];
+    const double energy = parsed.number_args["energy"];
+    const double objective = parsed.number_args["objective"];
+    const std::size_t iter =
+        static_cast<std::size_t>(parsed.number_args["iter"]);
+    energy_delta_sum += energy;
+    last_energy_total = parsed.number_args["energy_total"];
+
+    ModeBucket& bucket = buckets[mode];
+    ++bucket.iterations;
+    bucket.energy += energy;
+    if (parsed.number_args["rolled_back"] != 0.0) ++bucket.rollbacks;
+    if (parsed.number_args["reconfigured"] != 0.0) {
+      ++bucket.reconfigurations;
+    }
+    if (parsed.string_args["watchdog"] != "none") ++bucket.watchdog_triggers;
+    ++bucket.schemes[parsed.string_args["scheme"]];
+
+    if (segments.empty() || segments.back().mode != mode) {
+      Segment segment;
+      segment.mode = mode;
+      segment.first_iter = iter;
+      segment.objective_start = objective;
+      segments.push_back(segment);
+    }
+    segments.back().last_iter = iter;
+    segments.back().energy += energy;
+    segments.back().objective_end = objective;
+  }
+
+  if (validate) {
+    std::printf("trace_summary: %zu lines OK (%zu iteration events)\n",
+                total_lines, iteration_events);
+  }
+  if (iteration_events == 0) {
+    std::printf("trace_summary: no session/iteration events in %s "
+                "(%zu lines)\n",
+                path.c_str(), total_lines);
+    return validate ? 1 : 0;
+  }
+
+  namespace util = approxit::util;
+  util::Table summary("Per-mode summary: " + path);
+  summary.set_header({"Mode", "Iters", "Energy", "Energy%", "Rollbacks",
+                      "Reconfig", "Watchdog", "Schemes"});
+  const double total_energy =
+      last_energy_total > 0.0 ? last_energy_total : energy_delta_sum;
+  for (const char* mode : kModes) {
+    const auto it = buckets.find(mode);
+    if (it == buckets.end()) continue;
+    const ModeBucket& bucket = it->second;
+    std::string schemes;
+    for (const auto& [scheme, count] : bucket.schemes) {
+      if (scheme == "none") continue;
+      if (!schemes.empty()) schemes += " ";
+      schemes += scheme + ":" + std::to_string(count);
+    }
+    summary.add_row({mode, std::to_string(bucket.iterations),
+                     util::format_sig(bucket.energy, 4),
+                     util::format_percent(total_energy > 0.0
+                                              ? bucket.energy / total_energy
+                                              : 0.0),
+                     std::to_string(bucket.rollbacks),
+                     std::to_string(bucket.reconfigurations),
+                     std::to_string(bucket.watchdog_triggers),
+                     schemes.empty() ? "-" : schemes});
+  }
+  std::cout << summary;
+
+  if (timeline) {
+    util::Table timeline_table("Mode timeline");
+    timeline_table.set_header(
+        {"Iters", "Mode", "Energy", "Objective start", "Objective end"});
+    for (const Segment& segment : segments) {
+      timeline_table.add_row({std::to_string(segment.first_iter) + "-" +
+                                  std::to_string(segment.last_iter),
+                              segment.mode,
+                              util::format_sig(segment.energy, 4),
+                              util::format_sig(segment.objective_start, 6),
+                              util::format_sig(segment.objective_end, 6)});
+    }
+    std::cout << "\n" << timeline_table;
+  }
+
+  std::printf(
+      "\n%zu iteration events; energy: sum of deltas %.17g, cumulative "
+      "total %.17g%s\n",
+      iteration_events, energy_delta_sum, last_energy_total,
+      run_status.empty() ? "" : (", status " + run_status).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_summary: %s\n", e.what());
+    return 2;
+  }
+}
