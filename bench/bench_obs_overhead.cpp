@@ -101,7 +101,7 @@ int run() {
       if (config == Config::kMetrics) registry.reset();
 
       core::SessionOptions options;
-      if (config == Config::kMetrics) options.metrics = &registry;
+      if (config == Config::kMetrics) options.hooks.metrics = &registry;
 
       core::RunReport last_report;
       const auto start = Clock::now();

@@ -1,0 +1,294 @@
+// Serving-runtime benchmark: throughput, queue latency, cold-vs-warm
+// profile-cache amortization, and thread-count determinism of
+// svc::ServiceRuntime.
+//
+// Phases:
+//   1. COLD  — fresh on-disk cache directory: every workload characterizes
+//      once (6 unique profiles for 12 jobs — two strategies share a key).
+//   2. WARM  — a NEW runtime over the same directory (simulated restart):
+//      every job must be a cache hit, reports byte-identical to cold, and
+//      total characterization compute >= 5x smaller.
+//   3. DETERMINISM — the same job set at threads 1/4/8 (memory-only
+//      cache): per-job RunReport JSON and the merged metrics registry must
+//      be identical across thread counts.
+//   4. THROUGHPUT — a warm-cache burst; jobs/sec plus queue/run latency
+//      percentiles from the jobs' own timings.
+//
+// Emits bench_artifacts/BENCH_service.json; exits non-zero when any
+// identity or cache assertion fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "svc/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+using approxit::bench::artifact_path;
+using approxit::obs::MetricsRegistry;
+using approxit::svc::JobSnapshot;
+using approxit::svc::JobSpec;
+using approxit::svc::ServiceConfig;
+using approxit::svc::ServiceRuntime;
+using approxit::svc::ServiceStats;
+namespace util = approxit::util;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The benchmark job mix: every paper workload under both reconfiguration
+/// strategies (the two strategies SHARE a characterization key, so 12 jobs
+/// need only 6 profiles).
+std::vector<JobSpec> job_mix() {
+  std::vector<JobSpec> jobs;
+  const char* gmm_datasets[] = {"3cluster", "3d3cluster", "4cluster"};
+  const char* ar_datasets[] = {"hangseng", "nasdaq", "sp500"};
+  const char* strategies[] = {"incremental", "adaptive"};
+  for (const char* strategy : strategies) {
+    for (const char* dataset : gmm_datasets) {
+      JobSpec spec;
+      spec.app = "gmm";
+      spec.dataset = dataset;
+      spec.strategy = strategy;
+      jobs.push_back(spec);
+    }
+    for (const char* dataset : ar_datasets) {
+      JobSpec spec;
+      spec.app = "ar";
+      spec.dataset = dataset;
+      spec.strategy = strategy;
+      jobs.push_back(spec);
+    }
+  }
+  return jobs;
+}
+
+struct PhaseResult {
+  std::vector<JobSnapshot> jobs;   ///< In submission order.
+  double wall_ms = 0.0;
+  double characterization_ms = 0.0;  ///< Sum of per-job compute time.
+  std::size_t cache_hits = 0;
+  ServiceStats stats;
+  std::string metrics_json;  ///< collect_metrics() (deterministic part).
+};
+
+/// Runs the given jobs through a fresh runtime and snapshots everything.
+PhaseResult run_phase(const ServiceConfig& config,
+                      const std::vector<JobSpec>& jobs) {
+  PhaseResult result;
+  ServiceRuntime runtime(config);
+  const double start = now_ms();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs.size());
+  for (const JobSpec& spec : jobs) {
+    std::string error;
+    const auto id = runtime.submit(spec, &error);
+    if (!id) {
+      std::fprintf(stderr, "submit failed: %s\n", error.c_str());
+      continue;
+    }
+    ids.push_back(*id);
+  }
+  for (const std::uint64_t id : ids) {
+    result.jobs.push_back(*runtime.result(id));
+  }
+  result.wall_ms = now_ms() - start;
+  for (const JobSnapshot& job : result.jobs) {
+    result.characterization_ms += job.characterization_ms;
+    if (job.cache_hit) ++result.cache_hits;
+  }
+  result.stats = runtime.stats();
+  MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  result.metrics_json = merged.to_json();
+  return result;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const std::vector<JobSpec> jobs = job_mix();
+
+  // --- Phase 1+2: cold vs warm over a fresh on-disk cache ---------------
+  const std::string cache_dir = artifact_path("profiles_bench");
+  std::filesystem::remove_all(cache_dir);
+  ServiceConfig disk_config;
+  disk_config.threads = 4;
+  disk_config.cache.directory = cache_dir;
+
+  const PhaseResult cold = run_phase(disk_config, jobs);
+  const PhaseResult warm = run_phase(disk_config, jobs);
+
+  bool warm_all_hits = warm.cache_hits == warm.jobs.size();
+  bool warm_identical = warm.jobs.size() == cold.jobs.size();
+  for (std::size_t i = 0; warm_identical && i < warm.jobs.size(); ++i) {
+    warm_identical = warm.jobs[i].report_json == cold.jobs[i].report_json;
+  }
+  // The warm runtime computes nothing, so the floor only guards the
+  // division; the real gate is the >= 5x reduction.
+  const double warm_char_ms = std::max(warm.characterization_ms, 1e-3);
+  const double char_speedup = cold.characterization_ms / warm_char_ms;
+  const bool amortized = cold.characterization_ms >=
+                         5.0 * warm.characterization_ms;
+  ok = ok && warm_all_hits && warm_identical && amortized;
+
+  util::Table cache_table("Profile cache: cold vs warm restart");
+  cache_table.set_header({"Phase", "Jobs", "Wall ms", "Char ms", "Hits",
+                          "Disk hits", "Stores"});
+  cache_table.add_row(
+      {"cold", std::to_string(cold.jobs.size()),
+       util::format_sig(cold.wall_ms, 4),
+       util::format_sig(cold.characterization_ms, 4),
+       std::to_string(cold.stats.cache.hits),
+       std::to_string(cold.stats.cache.disk_hits),
+       std::to_string(cold.stats.cache.stores)});
+  cache_table.add_row(
+      {"warm", std::to_string(warm.jobs.size()),
+       util::format_sig(warm.wall_ms, 4),
+       util::format_sig(warm.characterization_ms, 4),
+       std::to_string(warm.stats.cache.hits),
+       std::to_string(warm.stats.cache.disk_hits),
+       std::to_string(warm.stats.cache.stores)});
+  std::cout << cache_table << "\n";
+  std::printf("warm: all_hits=%s byte_identical=%s char_speedup=%.1fx\n\n",
+              warm_all_hits ? "yes" : "NO", warm_identical ? "yes" : "NO",
+              char_speedup);
+
+  // --- Phase 3: determinism across worker counts ------------------------
+  const std::size_t thread_counts[] = {1, 4, 8};
+  std::vector<PhaseResult> det_runs;
+  for (const std::size_t threads : thread_counts) {
+    ServiceConfig config;
+    config.threads = threads;
+    config.cache.directory.clear();  // Memory-only: no cross-run coupling.
+    det_runs.push_back(run_phase(config, jobs));
+  }
+  bool deterministic = true;
+  for (std::size_t r = 1; r < det_runs.size(); ++r) {
+    deterministic =
+        deterministic &&
+        det_runs[r].metrics_json == det_runs[0].metrics_json &&
+        det_runs[r].jobs.size() == det_runs[0].jobs.size();
+    for (std::size_t i = 0; deterministic && i < det_runs[r].jobs.size();
+         ++i) {
+      deterministic =
+          det_runs[r].jobs[i].report_json == det_runs[0].jobs[i].report_json;
+    }
+  }
+  ok = ok && deterministic;
+
+  util::Table det_table("Thread-count determinism (12 jobs, shared cache)");
+  det_table.set_header({"Threads", "Wall ms", "Cache hits", "Identical"});
+  for (std::size_t r = 0; r < det_runs.size(); ++r) {
+    det_table.add_row({std::to_string(thread_counts[r]),
+                       util::format_sig(det_runs[r].wall_ms, 4),
+                       std::to_string(det_runs[r].stats.cache.hits),
+                       deterministic ? "yes" : "NO"});
+  }
+  std::cout << det_table << "\n";
+
+  // --- Phase 4: warm-cache throughput burst -----------------------------
+  const std::size_t kBurstRepeats = 4;
+  std::vector<JobSpec> burst;
+  for (std::size_t r = 0; r < kBurstRepeats; ++r) {
+    burst.insert(burst.end(), jobs.begin(), jobs.end());
+  }
+  ServiceConfig burst_config;
+  burst_config.threads = 4;
+  burst_config.queue_capacity = burst.size();
+  burst_config.cache.directory = cache_dir;  // Warm from phase 1.
+  const PhaseResult throughput = run_phase(burst_config, burst);
+
+  std::vector<double> queue_ms;
+  std::vector<double> run_ms;
+  for (const JobSnapshot& job : throughput.jobs) {
+    queue_ms.push_back(job.queue_ms);
+    run_ms.push_back(job.run_ms);
+  }
+  const double jobs_per_sec =
+      throughput.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(throughput.jobs.size()) /
+                throughput.wall_ms
+          : 0.0;
+
+  util::Table tp_table("Warm-cache burst throughput");
+  tp_table.set_header({"Jobs", "Threads", "Wall ms", "Jobs/s", "Queue p50 ms",
+                       "Queue p99 ms", "Run p50 ms", "Run p99 ms"});
+  tp_table.add_row(
+      {std::to_string(throughput.jobs.size()), "4",
+       util::format_sig(throughput.wall_ms, 4),
+       util::format_sig(jobs_per_sec, 4),
+       util::format_sig(percentile(queue_ms, 0.50), 4),
+       util::format_sig(percentile(queue_ms, 0.99), 4),
+       util::format_sig(percentile(run_ms, 0.50), 4),
+       util::format_sig(percentile(run_ms, 0.99), 4)});
+  std::cout << tp_table << "\n";
+
+  // --- Artifact ---------------------------------------------------------
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"service\",\n"
+       << "  \"cold\": {\"jobs\": " << cold.jobs.size()
+       << ", \"wall_ms\": " << cold.wall_ms
+       << ", \"characterization_ms\": " << cold.characterization_ms
+       << ", \"cache_hits\": " << cold.stats.cache.hits
+       << ", \"cache_misses\": " << cold.stats.cache.misses
+       << ", \"stores\": " << cold.stats.cache.stores << "},\n"
+       << "  \"warm\": {\"jobs\": " << warm.jobs.size()
+       << ", \"wall_ms\": " << warm.wall_ms
+       << ", \"characterization_ms\": " << warm.characterization_ms
+       << ", \"cache_hits\": " << warm.stats.cache.hits
+       << ", \"disk_hits\": " << warm.stats.cache.disk_hits
+       << ", \"all_hits\": " << (warm_all_hits ? "true" : "false")
+       << ", \"byte_identical_reports\": "
+       << (warm_identical ? "true" : "false") << "},\n"
+       << "  \"characterization_speedup\": " << char_speedup << ",\n"
+       << "  \"determinism\": {\"thread_counts\": [1, 4, 8], \"identical\": "
+       << (deterministic ? "true" : "false") << "},\n"
+       << "  \"throughput\": {\"jobs\": " << throughput.jobs.size()
+       << ", \"threads\": 4, \"wall_ms\": " << throughput.wall_ms
+       << ", \"jobs_per_sec\": " << jobs_per_sec
+       << ", \"queue_ms_p50\": " << percentile(queue_ms, 0.50)
+       << ", \"queue_ms_p90\": " << percentile(queue_ms, 0.90)
+       << ", \"queue_ms_p99\": " << percentile(queue_ms, 0.99)
+       << ", \"run_ms_p50\": " << percentile(run_ms, 0.50)
+       << ", \"run_ms_p99\": " << percentile(run_ms, 0.99) << "}\n}\n";
+
+  const std::string path = artifact_path("BENCH_service.json");
+  std::ofstream out(path);
+  out << json.str();
+  std::printf("Wrote %s\n", path.c_str());
+
+  if (!ok) {
+    std::printf(
+        "FAIL: warm_all_hits=%d warm_identical=%d amortized=%d "
+        "deterministic=%d\n",
+        warm_all_hits ? 1 : 0, warm_identical ? 1 : 0, amortized ? 1 : 0,
+        deterministic ? 1 : 0);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -13,7 +13,7 @@
 
 #include "arith/alu.h"
 #include "core/characterization.h"
-#include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "opt/iterative_method.h"
 #include "util/table.h"
@@ -33,9 +33,12 @@ inline std::string artifact_path(const std::string& filename) {
 inline core::RunReport run_once(opt::IterativeMethod& method,
                                 core::Strategy& strategy, arith::QcsAlu& alu,
                                 const core::ModeCharacterization& c) {
-  core::ApproxItSession session(method, strategy, alu);
-  session.set_characterization(c);
-  return session.run();
+  return core::SessionBuilder()
+      .method(method)
+      .strategy(strategy)
+      .alu(alu)
+      .characterization(c)
+      .run();
 }
 
 /// Truth = fully accurate static run.

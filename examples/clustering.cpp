@@ -14,7 +14,7 @@
 #include "core/characterization.h"
 #include "core/incremental_strategy.h"
 #include "core/report_io.h"
-#include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -49,9 +49,12 @@ int main(int argc, char** argv) {
   std::printf("%s\n", characterization.to_string().c_str());
 
   auto run = [&](core::Strategy& strategy, apps::GmmEm& method) {
-    core::ApproxItSession session(method, strategy, alu);
-    session.set_characterization(characterization);
-    return session.run();
+    return core::SessionBuilder()
+        .method(method)
+        .strategy(strategy)
+        .alu(alu)
+        .characterization(characterization)
+        .run();
   };
 
   apps::GmmEm truth_method(ds);

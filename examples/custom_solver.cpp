@@ -14,7 +14,7 @@
 #include "core/adaptive_strategy.h"
 #include "core/characterization.h"
 #include "core/incremental_strategy.h"
-#include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "la/vector_ops.h"
 #include "opt/linear_stationary.h"
@@ -84,9 +84,16 @@ int main(int argc, char** argv) {
   opt::StationarySolver truth_solver(a, b, std::vector<double>(n, 0.0),
                                      config);
   core::StaticStrategy truth_strategy(arith::ApproxMode::kAccurate);
-  core::ApproxItSession truth_session(truth_solver, truth_strategy, alu);
-  truth_session.set_characterization(characterization);
-  const core::RunReport truth = truth_session.run();
+  const auto run = [&](opt::IterativeMethod& method,
+                       core::Strategy& strategy) {
+    return core::SessionBuilder()
+        .method(method)
+        .strategy(strategy)
+        .alu(alu)
+        .characterization(characterization)
+        .run();
+  };
+  const core::RunReport truth = run(truth_solver, truth_strategy);
   table.add_row({"Truth", std::to_string(truth.iterations),
                  util::format_sig(truth_solver.residual_norm(), 3),
                  util::format_sig(max_error(truth_solver), 3), "1"});
@@ -94,9 +101,7 @@ int main(int argc, char** argv) {
   opt::StationarySolver incr_solver(a, b, std::vector<double>(n, 0.0),
                                     config);
   core::IncrementalStrategy incremental;
-  core::ApproxItSession incr_session(incr_solver, incremental, alu);
-  incr_session.set_characterization(characterization);
-  const core::RunReport incr = incr_session.run();
+  const core::RunReport incr = run(incr_solver, incremental);
   table.add_row({"incremental", std::to_string(incr.iterations),
                  util::format_sig(incr_solver.residual_norm(), 3),
                  util::format_sig(max_error(incr_solver), 3),
@@ -106,9 +111,7 @@ int main(int argc, char** argv) {
   opt::StationarySolver adapt_solver(a, b, std::vector<double>(n, 0.0),
                                      config);
   core::AdaptiveAngleStrategy adaptive;
-  core::ApproxItSession adapt_session(adapt_solver, adaptive, alu);
-  adapt_session.set_characterization(characterization);
-  const core::RunReport adapt = adapt_session.run();
+  const core::RunReport adapt = run(adapt_solver, adaptive);
   table.add_row({"adaptive(f=1)", std::to_string(adapt.iterations),
                  util::format_sig(adapt_solver.residual_norm(), 3),
                  util::format_sig(max_error(adapt_solver), 3),

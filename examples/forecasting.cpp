@@ -11,7 +11,7 @@
 #include "arith/alu.h"
 #include "core/adaptive_strategy.h"
 #include "core/characterization.h"
-#include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -45,16 +45,22 @@ int main(int argc, char** argv) {
   // Truth fit.
   apps::AutoRegression truth_method(ds);
   core::StaticStrategy truth_strategy(arith::ApproxMode::kAccurate);
-  core::ApproxItSession truth_session(truth_method, truth_strategy, alu);
-  truth_session.set_characterization(characterization);
-  const core::RunReport truth = truth_session.run();
+  const core::RunReport truth = core::SessionBuilder()
+                                    .method(truth_method)
+                                    .strategy(truth_strategy)
+                                    .alu(alu)
+                                    .characterization(characterization)
+                                    .run();
 
   // ApproxIt adaptive fit.
   apps::AutoRegression method(ds);
   core::AdaptiveAngleStrategy adaptive;
-  core::ApproxItSession session(method, adaptive, alu);
-  session.set_characterization(characterization);
-  const core::RunReport report = session.run();
+  const core::RunReport report = core::SessionBuilder()
+                                     .method(method)
+                                     .strategy(adaptive)
+                                     .alu(alu)
+                                     .characterization(characterization)
+                                     .run();
 
   util::Table table("AR fit: Truth vs ApproxIt adaptive");
   table.set_header({"Run", "Iterations", "MSE", "Coef l2 vs Truth",

@@ -11,7 +11,7 @@
 
 #include "arith/alu.h"
 #include "core/incremental_strategy.h"
-#include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "la/matrix.h"
 #include "opt/gradient_descent.h"
@@ -48,17 +48,23 @@ int main() {
   opt::GradientDescentSolver solver(problem, std::vector<double>(n, 0.0),
                                     config);
 
-  // 4. Truth baseline (fully accurate mode).
+  // 4. Truth baseline (fully accurate mode), via the fluent builder.
   core::StaticStrategy accurate(arith::ApproxMode::kAccurate);
-  core::ApproxItSession truth_session(solver, accurate, alu);
-  const core::RunReport truth = truth_session.run();
+  const core::RunReport truth = core::SessionBuilder()
+                                    .method(solver)
+                                    .strategy(accurate)
+                                    .alu(alu)
+                                    .run();
   std::printf("Truth : %s\n", truth.to_string().c_str());
 
   // 5. ApproxIt: offline characterization happens automatically inside the
   //    session; online reconfiguration ramps level1 -> accurate.
   core::IncrementalStrategy incremental;
-  core::ApproxItSession session(solver, incremental, alu);
-  const core::RunReport report = session.run();
+  const core::RunReport report = core::SessionBuilder()
+                                     .method(solver)
+                                     .strategy(incremental)
+                                     .alu(alu)
+                                     .run();
   std::printf("ApproxIt: %s\n", report.to_string().c_str());
 
   std::printf("\nEnergy vs Truth: %.1f%% (savings %.1f%%)\n",

@@ -22,19 +22,31 @@
 //                 - fault_injector.h  FaultyQcsAlu: transient-fault model
 //   la/         dense linear algebra (exact + context-routed kernels)
 //   opt/        IterativeMethod interface, problems and solvers
-//   core/       ApproxIt itself: characterization, strategies, session,
-//               guarantees, watchdog + checkpointed recovery, oracle,
-//               sweep/Pareto analysis, report export
+//   core/       ApproxIt itself: characterization, strategies, session
+//               (+ SessionBuilder, RuntimeHooks), guarantees, watchdog +
+//               checkpointed recovery, oracle, sweep/Pareto analysis,
+//               report export
 //   workloads/  seeded synthetic datasets, graphs, series, classification
 //   apps/       GMM-EM, AutoRegression, K-means, PageRank
+//   svc/        serving runtime: multi-tenant job scheduler with admission
+//               control over a content-addressed characterization-profile
+//               cache (LRU + on-disk store), plus the line-JSON wire format
+//               of tools/approxit_serve
 //
-// Minimal usage:
+// Minimal usage (the fluent front door):
 //
 //   arith::QcsAlu alu;                        // 4 approx levels + accurate
 //   MyMethod method(...);                     // an opt::IterativeMethod
 //   core::IncrementalStrategy strategy;       // or AdaptiveAngleStrategy
-//   core::ApproxItSession session(method, strategy, alu);
-//   core::RunReport report = session.run();   // characterize + reconfigure
+//   core::RunReport report = core::SessionBuilder()
+//                                .method(method)
+//                                .strategy(strategy)
+//                                .alu(alu)
+//                                .run();      // characterize + reconfigure
+//
+// The `approxit::v1` alias namespace below pins today's entry points for
+// out-of-tree callers: spell `approxit::v1::core::SessionBuilder` and a
+// future incompatible redesign can land as v2 without breaking you.
 #pragma once
 
 #include "obs/metrics.h"
@@ -76,7 +88,9 @@
 #include "core/pid_strategy.h"
 #include "core/quality.h"
 #include "core/report_io.h"
+#include "core/runtime_hooks.h"
 #include "core/session.h"
+#include "core/session_builder.h"
 #include "core/static_strategy.h"
 #include "core/sweep.h"
 #include "core/watchdog.h"
@@ -88,3 +102,22 @@
 #include "apps/gmm.h"
 #include "apps/kmeans.h"
 #include "apps/pagerank.h"
+
+#include "svc/profile_cache.h"
+#include "svc/runtime.h"
+#include "svc/wire.h"
+
+// Versioned entry points. `approxit::v1` aliases the current layer
+// namespaces; code written against it keeps compiling when the unversioned
+// namespaces move on to an incompatible v2.
+namespace approxit::v1 {
+namespace util = ::approxit::util;
+namespace obs = ::approxit::obs;
+namespace arith = ::approxit::arith;
+namespace la = ::approxit::la;
+namespace opt = ::approxit::opt;
+namespace core = ::approxit::core;
+namespace workloads = ::approxit::workloads;
+namespace apps = ::approxit::apps;
+namespace svc = ::approxit::svc;
+}  // namespace approxit::v1

@@ -2,13 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace approxit::core {
+
+namespace {
+
+/// FNV-1a 64-bit over the canonical description. Deterministic across
+/// platforms and runs — the content address must not depend on process
+/// state the way std::hash may.
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Full-precision double for the canonical description (%.17g round-trips
+/// IEEE754 doubles exactly, so equal values always print equally).
+std::string key_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string CharacterizationKey::id() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+CharacterizationKey characterization_cache_key(
+    const opt::IterativeMethod& method, const arith::QcsAlu& alu,
+    const CharacterizationOptions& options, std::string_view workload_tag) {
+  std::ostringstream os;
+  os << "approxit-profile-key v1"
+     << "|method=" << method.name() << ",dim=" << method.dimension()
+     << ",max_iter=" << method.max_iterations()
+     << ",tol=" << key_double(method.tolerance())
+     << "|workload=" << workload_tag << "|alu=q" << alu.format().total_bits
+     << "." << alu.format().frac_bits;
+  for (std::size_t i = 0; i < arith::kNumModes; ++i) {
+    const arith::ApproxMode mode = arith::mode_from_index(i);
+    os << "," << arith::mode_name(mode) << "=" << alu.adder(mode).name()
+       << ":" << key_double(alu.energy_per_add(mode));
+  }
+  os << "|characterize=iters:" << options.iterations
+     << ",resync:" << (options.resynchronize ? 1 : 0);
+
+  CharacterizationKey key;
+  key.description = os.str();
+  key.hash = fnv1a64(key.description);
+  return key;
+}
 
 ModeCharacterization characterize(opt::IterativeMethod& method,
                                   arith::QcsAlu& alu,

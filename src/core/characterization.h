@@ -9,6 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "arith/alu.h"
 #include "core/quality.h"
@@ -55,5 +59,56 @@ ModeCharacterization merge_characterizations(
 ModeCharacterization characterize_many(
     const std::vector<opt::IterativeMethod*>& methods, arith::QcsAlu& alu,
     const CharacterizationOptions& options = {});
+
+/// Content address of one characterization result: a canonical description
+/// of everything the offline stage's output depends on, plus its 64-bit
+/// FNV-1a hash. Two runs produce byte-identical characterizations if and
+/// only if their keys match — the invariant the profile cache is built on.
+struct CharacterizationKey {
+  /// Canonical human-readable description (method signature, workload tag,
+  /// ALU configuration, characterization options). Stored alongside cached
+  /// profiles so a hash collision degrades to a miss, never a wrong hit.
+  std::string description;
+  /// FNV-1a 64-bit hash of `description`.
+  std::uint64_t hash = 0;
+
+  /// 16-hex-digit content id (the on-disk file stem).
+  std::string id() const;
+
+  bool operator==(const CharacterizationKey& other) const {
+    return hash == other.hash && description == other.description;
+  }
+};
+
+/// Derives the cache key for characterizing `method` on `alu`.
+///
+/// The key covers the method signature (name, dimension, iteration budget,
+/// tolerance), the caller's `workload_tag` (the dataset's seed/shape
+/// identity — the method object cannot describe its own data), the ALU
+/// configuration (Q format plus per-mode adder architecture and energy),
+/// and the CharacterizationOptions that shape the probe (iterations,
+/// resynchronize). `threads` is deliberately excluded: characterize() is a
+/// single serial trajectory and characterize_many merges in workload order,
+/// so the result is thread-invariant.
+CharacterizationKey characterization_cache_key(
+    const opt::IterativeMethod& method, const arith::QcsAlu& alu,
+    const CharacterizationOptions& options, std::string_view workload_tag);
+
+/// Cache seam the session and sweep consult before running the offline
+/// stage. Implementations (svc::ProfileCache) must be safe to call from
+/// multiple threads and must return profiles BYTE-IDENTICAL to what was
+/// stored — the determinism guarantee extends through the cache.
+class CharacterizationCache {
+ public:
+  virtual ~CharacterizationCache() = default;
+
+  /// The cached profile for `key`, or nullopt on a miss.
+  virtual std::optional<ModeCharacterization> load(
+      const CharacterizationKey& key) = 0;
+
+  /// Stores a freshly computed profile under `key`.
+  virtual void store(const CharacterizationKey& key,
+                     const ModeCharacterization& profile) = 0;
+};
 
 }  // namespace approxit::core

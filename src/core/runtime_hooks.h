@@ -1,0 +1,31 @@
+// Shared observation hooks for the run-shaped entry points.
+//
+// SessionOptions and SweepOptions used to carry their own parallel
+// metrics/trace knobs; RuntimeHooks is the one struct both embed, so a
+// caller wires observation up the same way whether it runs one session,
+// a sweep, or a service job. Hooks are pure observation: results are
+// bit-identical with or without them.
+#pragma once
+
+namespace approxit::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace approxit::obs
+
+namespace approxit::core {
+
+/// Observation endpoints threaded through session/sweep/service runs.
+struct RuntimeHooks {
+  /// When set, the run attaches this registry (sessions attach it to the
+  /// ALU for the duration and post end-of-run counters; sweeps give every
+  /// arm its own registry and merge them here in fixed arm order).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, the run installs this sink as the process trace sink for
+  /// its duration and restores the previous sink afterwards. The trace
+  /// sink is process-global: install per-run sinks from one thread at a
+  /// time only (a long-lived service installs its sink once at startup
+  /// instead). nullptr leaves the active sink untouched.
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+}  // namespace approxit::core

@@ -68,8 +68,19 @@ ApproxItSession::ApproxItSession(opt::IterativeMethod& method,
 const ModeCharacterization& ApproxItSession::ensure_characterized(
     const CharacterizationOptions& options) {
   if (!characterized_) {
+    characterization_from_cache_ = false;
+    if (cache_ != nullptr) {
+      if (std::optional<ModeCharacterization> cached =
+              cache_->load(cache_key_)) {
+        characterization_ = *std::move(cached);
+        characterized_ = true;
+        characterization_from_cache_ = true;
+        return characterization_;
+      }
+    }
     characterization_ = characterize(method_, alu_, options);
     characterized_ = true;
+    if (cache_ != nullptr) cache_->store(cache_key_, characterization_);
   }
   return characterization_;
 }
@@ -85,10 +96,25 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   report.method_name = method_.name();
   report.strategy_name = strategy_.name();
 
-  // Observation plumbing: attach the caller's registry to the ALU for the
-  // duration of the run (restored on exit), and span the whole run.
+  // Observation plumbing: install the caller's trace sink and attach the
+  // caller's registry to the ALU for the duration of the run (both
+  // restored on exit), and span the whole run. The sink restorer is
+  // declared BEFORE the run span so the span still emits into the
+  // caller's sink when it closes at function exit.
+  struct SinkRestore {
+    obs::TraceSink* previous;
+    bool active;
+    ~SinkRestore() {
+      if (active) obs::set_trace_sink(previous);
+    }
+  } sink_restore{obs::trace_sink(), options.hooks.trace_sink != nullptr};
+  if (options.hooks.trace_sink != nullptr) {
+    obs::set_trace_sink(options.hooks.trace_sink);
+  }
   obs::MetricsRegistry* const previous_metrics = alu_.metrics_registry();
-  if (options.metrics != nullptr) alu_.set_metrics(options.metrics);
+  if (options.hooks.metrics != nullptr) {
+    alu_.set_metrics(options.hooks.metrics);
+  }
   obs::ScopedSpan run_span("session", "run",
                            {obs::arg("method", report.method_name),
                             obs::arg("strategy", report.strategy_name)});
@@ -296,8 +322,8 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   report.final_objective = method_.objective();
   report.final_state = method_.state();
 
-  if (options.metrics != nullptr) {
-    obs::MetricsRegistry& metrics = *options.metrics;
+  if (options.hooks.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options.hooks.metrics;
     metrics.counter("session.runs").add(1.0);
     metrics.counter("session.iterations")
         .add(static_cast<double>(report.iterations));
@@ -320,7 +346,7 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
                        obs::arg("objective", report.final_objective),
                        obs::arg("converged", report.converged)});
   }
-  if (options.metrics != nullptr) alu_.set_metrics(previous_metrics);
+  if (options.hooks.metrics != nullptr) alu_.set_metrics(previous_metrics);
 
   APPROXIT_LOG(util::LogLevel::kInfo, "session") << report.to_string();
   return report;

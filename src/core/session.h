@@ -18,6 +18,7 @@
 
 #include "arith/alu.h"
 #include "core/characterization.h"
+#include "core/runtime_hooks.h"
 #include "core/strategy.h"
 #include "core/watchdog.h"
 #include "obs/metrics.h"
@@ -94,12 +95,14 @@ struct SessionOptions {
   /// (non-finite + divergence detection only) never fires on a healthy
   /// run, so clean results are identical with the watchdog on or off.
   WatchdogConfig watchdog;
-  /// When set, the registry is attached to the ALU for the duration of
-  /// the run (the previous attachment is restored afterwards) and the
-  /// session posts its own end-of-run counters ("session.iterations",
-  /// "session.rollbacks", ...). Pure observation: results are identical
-  /// with or without a registry.
-  obs::MetricsRegistry* metrics = nullptr;
+  /// Observation endpoints (core/runtime_hooks.h). hooks.metrics is
+  /// attached to the ALU for the duration of the run (the previous
+  /// attachment is restored afterwards) and receives the session's
+  /// end-of-run counters ("session.iterations", "session.rollbacks",
+  /// ...); hooks.trace_sink, when set, becomes the process trace sink for
+  /// the run. Pure observation: results are identical with or without
+  /// hooks.
+  RuntimeHooks hooks;
 };
 
 /// Binds a method, a strategy and a QCS ALU for one or more runs.
@@ -121,6 +124,21 @@ class ApproxItSession {
     characterized_ = true;
   }
 
+  /// Attaches a characterization cache: ensure_characterized() first asks
+  /// `cache` for `key` and only characterizes (then stores) on a miss.
+  /// The cache must outlive the session; nullptr detaches. Key derivation:
+  /// characterization_cache_key().
+  void set_characterization_cache(CharacterizationCache* cache,
+                                  CharacterizationKey key) {
+    cache_ = cache;
+    cache_key_ = std::move(key);
+  }
+
+  /// True when the last ensure_characterized() was served from the cache.
+  bool characterization_from_cache() const {
+    return characterization_from_cache_;
+  }
+
   /// Executes one full run: reset, iterate under the strategy until the
   /// method converges (unvetoed) or the iteration budget is exhausted.
   RunReport run(const SessionOptions& options = {});
@@ -134,6 +152,9 @@ class ApproxItSession {
   arith::QcsAlu& alu_;
   ModeCharacterization characterization_;
   bool characterized_ = false;
+  CharacterizationCache* cache_ = nullptr;
+  CharacterizationKey cache_key_;
+  bool characterization_from_cache_ = false;
 };
 
 }  // namespace approxit::core

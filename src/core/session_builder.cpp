@@ -1,0 +1,40 @@
+#include "core/session_builder.h"
+
+#include <stdexcept>
+
+namespace approxit::core {
+
+ApproxItSession SessionBuilder::build() const {
+  if (method_ == nullptr) {
+    throw std::logic_error("SessionBuilder: method() is required");
+  }
+  if (strategy_ == nullptr) {
+    throw std::logic_error("SessionBuilder: strategy() is required");
+  }
+  if (alu_ == nullptr) {
+    throw std::logic_error("SessionBuilder: alu() is required");
+  }
+  if (cache_ != nullptr && workload_tag_.empty() && !have_characterization_) {
+    throw std::logic_error(
+        "SessionBuilder: profile_cache() needs a non-empty workload tag");
+  }
+
+  ApproxItSession session(*method_, *strategy_, *alu_);
+  if (have_characterization_) {
+    session.set_characterization(characterization_);
+  } else if (cache_ != nullptr) {
+    session.set_characterization_cache(
+        cache_, characterization_cache_key(*method_, *alu_,
+                                           characterization_options_,
+                                           workload_tag_));
+  }
+  return session;
+}
+
+RunReport SessionBuilder::run() const {
+  ApproxItSession session = build();
+  session.ensure_characterized(characterization_options_);
+  return session.run(options_);
+}
+
+}  // namespace approxit::core

@@ -1,0 +1,137 @@
+// Fluent construction of ApproxItSession runs — the front door of the
+// public API.
+//
+//   core::RunReport report = core::SessionBuilder()
+//                                .method(solver)
+//                                .strategy(strategy)
+//                                .alu(alu)
+//                                .metrics(&registry)
+//                                .run();
+//
+// The builder names every knob the positional three-reference constructor
+// left implicit (options, hooks, a precomputed or cached characterization)
+// and validates the wiring before anything runs. The old constructor stays
+// for code that already holds the three references; build() delegates to
+// it, so builder-built and constructor-built sessions are bit-identical.
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+
+namespace approxit::core {
+
+/// Accumulates the references and options of one session, then builds it.
+/// References passed in must outlive the built session (same contract as
+/// the ApproxItSession constructor). The builder is a value: it can be
+/// copied, staged, and reused to build several identically wired sessions.
+class SessionBuilder {
+ public:
+  /// The iterative method to drive (required).
+  SessionBuilder& method(opt::IterativeMethod& method) {
+    method_ = &method;
+    return *this;
+  }
+
+  /// The reconfiguration strategy (required).
+  SessionBuilder& strategy(Strategy& strategy) {
+    strategy_ = &strategy;
+    return *this;
+  }
+
+  /// The QCS ALU the resilient arithmetic routes through (required).
+  SessionBuilder& alu(arith::QcsAlu& alu) {
+    alu_ = &alu;
+    return *this;
+  }
+
+  /// Replaces the whole option block (max iterations, trace retention,
+  /// watchdog, hooks).
+  SessionBuilder& options(const SessionOptions& options) {
+    options_ = options;
+    return *this;
+  }
+
+  /// Iteration cap; 0 (default) uses the method's max_iterations().
+  SessionBuilder& max_iterations(std::size_t cap) {
+    options_.max_iterations = cap;
+    return *this;
+  }
+
+  /// Whether run() records the full per-iteration trace.
+  SessionBuilder& keep_trace(bool keep) {
+    options_.keep_trace = keep;
+    return *this;
+  }
+
+  /// Convergence-watchdog / recovery-ladder configuration.
+  SessionBuilder& watchdog(const WatchdogConfig& config) {
+    options_.watchdog = config;
+    return *this;
+  }
+
+  /// Metrics registry hook (RuntimeHooks::metrics); nullptr detaches.
+  SessionBuilder& metrics(obs::MetricsRegistry* registry) {
+    options_.hooks.metrics = registry;
+    return *this;
+  }
+
+  /// Trace sink hook (RuntimeHooks::trace_sink); nullptr leaves the
+  /// process sink untouched.
+  SessionBuilder& trace(obs::TraceSink* sink) {
+    options_.hooks.trace_sink = sink;
+    return *this;
+  }
+
+  /// Injects a precomputed characterization (shared across sessions over
+  /// the same workload). Takes precedence over profile_cache().
+  SessionBuilder& characterization(const ModeCharacterization& profile) {
+    characterization_ = profile;
+    have_characterization_ = true;
+    return *this;
+  }
+
+  /// Options for the offline stage when the session has to characterize
+  /// itself (no precomputed profile, or a cache miss).
+  SessionBuilder& characterization_options(
+      const CharacterizationOptions& options) {
+    characterization_options_ = options;
+    return *this;
+  }
+
+  /// Serves the offline stage through `cache`: the built session looks up
+  /// the profile under a key derived from the method, ALU,
+  /// characterization options and `workload_tag` (the dataset's seed/shape
+  /// identity), and only characterizes — then stores — on a miss. The
+  /// cache must outlive the session.
+  SessionBuilder& profile_cache(CharacterizationCache* cache,
+                                std::string workload_tag) {
+    cache_ = cache;
+    workload_tag_ = std::move(workload_tag);
+    return *this;
+  }
+
+  /// The accumulated option block (what run() will pass to the session).
+  const SessionOptions& session_options() const { return options_; }
+
+  /// Builds the session. Throws std::logic_error when method, strategy or
+  /// ALU is missing, or when profile_cache() was given no workload tag.
+  ApproxItSession build() const;
+
+  /// Convenience: build(), resolve the characterization (precomputed >
+  /// cache > fresh), and run with the accumulated options.
+  RunReport run() const;
+
+ private:
+  opt::IterativeMethod* method_ = nullptr;
+  Strategy* strategy_ = nullptr;
+  arith::QcsAlu* alu_ = nullptr;
+  SessionOptions options_;
+  CharacterizationOptions characterization_options_;
+  ModeCharacterization characterization_;
+  bool have_characterization_ = false;
+  CharacterizationCache* cache_ = nullptr;
+  std::string workload_tag_;
+};
+
+}  // namespace approxit::core

@@ -43,7 +43,7 @@ void run_arm(SweepArm& arm, std::size_t index, arith::QcsAlu& alu,
   ApproxItSession session(*arm.method, *arm.strategy, alu);
   session.set_characterization(characterization);
   SessionOptions session_options;
-  session_options.metrics = metrics;
+  session_options.hooks.metrics = metrics;
   arm.report = session.run(session_options);
 }
 
@@ -55,9 +55,34 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
                                     const SweepOptions& options) {
   SweepResult result;
 
+  // Sweep-wide trace sink (restored when the sweep returns).
+  struct SinkRestore {
+    obs::TraceSink* previous;
+    bool active;
+    ~SinkRestore() {
+      if (active) obs::set_trace_sink(previous);
+    }
+  } sink_restore{obs::trace_sink(), options.hooks.trace_sink != nullptr};
+  if (options.hooks.trace_sink != nullptr) {
+    obs::set_trace_sink(options.hooks.trace_sink);
+  }
+
   const std::unique_ptr<opt::IterativeMethod> char_method = factory();
-  const ModeCharacterization characterization =
-      characterize(*char_method, alu, options.characterization);
+  const ModeCharacterization characterization = [&] {
+    if (options.characterization_cache != nullptr) {
+      const CharacterizationKey key = characterization_cache_key(
+          *char_method, alu, options.characterization, options.workload_tag);
+      if (std::optional<ModeCharacterization> cached =
+              options.characterization_cache->load(key)) {
+        return *std::move(cached);
+      }
+      ModeCharacterization fresh =
+          characterize(*char_method, alu, options.characterization);
+      options.characterization_cache->store(key, fresh);
+      return fresh;
+    }
+    return characterize(*char_method, alu, options.characterization);
+  }();
 
   // Fixed arm order: truth, single modes, incremental, adaptive, oracle.
   // The order is part of the contract — points come back in this order
@@ -95,18 +120,18 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
   }
 
   // One registry per arm on BOTH paths when metrics are requested: the
-  // arm registries are merged into options.metrics in fixed arm order, so
+  // arm registries are merged into hooks.metrics in fixed arm order, so
   // the aggregate is bit-identical for any thread count (double additions
   // do not commute).
   std::vector<std::unique_ptr<obs::MetricsRegistry>> arm_metrics;
-  if (options.metrics != nullptr) {
+  if (options.hooks.metrics != nullptr) {
     arm_metrics.resize(arms.size());
     for (auto& registry : arm_metrics) {
       registry = std::make_unique<obs::MetricsRegistry>();
     }
   }
   const auto arm_registry = [&](std::size_t i) -> obs::MetricsRegistry* {
-    return options.metrics != nullptr ? arm_metrics[i].get() : nullptr;
+    return options.hooks.metrics != nullptr ? arm_metrics[i].get() : nullptr;
   };
 
   if (options.threads <= 1) {
@@ -131,9 +156,9 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
     }
   }
 
-  if (options.metrics != nullptr) {
+  if (options.hooks.metrics != nullptr) {
     for (const auto& registry : arm_metrics) {
-      options.metrics->merge(*registry);
+      options.hooks.metrics->merge(*registry);
     }
   }
 

@@ -7,8 +7,11 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "arith/alu.h"
 #include "core/pareto.h"
+#include "core/runtime_hooks.h"
 #include "core/session.h"
 #include "obs/metrics.h"
 #include "opt/iterative_method.h"
@@ -40,11 +43,22 @@ struct SweepOptions {
   /// and every arm's trajectory is independent of scheduling — and each
   /// arm's ledger is merged into the caller's ALU afterwards.
   std::size_t threads = 1;
-  /// When set, every arm runs with its OWN MetricsRegistry (serial and
-  /// parallel paths alike) and the per-arm registries are merged into this
-  /// one in fixed arm order afterwards — the aggregate is bit-identical
-  /// for any thread count. nullptr (default) disables metrics collection.
-  obs::MetricsRegistry* metrics = nullptr;
+  /// Observation endpoints (core/runtime_hooks.h). When hooks.metrics is
+  /// set, every arm runs with its OWN MetricsRegistry (serial and parallel
+  /// paths alike) and the per-arm registries are merged into hooks.metrics
+  /// in fixed arm order afterwards — the aggregate is bit-identical for
+  /// any thread count. hooks.trace_sink, when set, becomes the process
+  /// trace sink for the whole sweep.
+  RuntimeHooks hooks;
+  /// When set, the sweep's shared characterization is looked up under a
+  /// key derived from the factory's method, the ALU and `workload_tag`
+  /// (characterization_cache_key) and only computed — then stored — on a
+  /// miss. The cached profile is byte-identical to the computed one, so
+  /// sweep results are unchanged.
+  CharacterizationCache* characterization_cache = nullptr;
+  /// Workload identity (seed/shape) for the cache key; required when
+  /// characterization_cache is set.
+  std::string workload_tag;
 };
 
 /// Result of a sweep: the Truth report plus one ParetoPoint per evaluated

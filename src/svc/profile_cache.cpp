@@ -1,0 +1,338 @@
+#include "svc/profile_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace approxit::svc {
+
+namespace {
+
+constexpr const char* kFormatVersion = "approxit-profile v1";
+
+/// %.17g round-trips every IEEE754 double exactly — the byte-identity
+/// guarantee rests on this (same formatting core/report_io.cpp relies on).
+std::string format_full(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void write_array(std::ostringstream& os, const char* name,
+                 const std::array<double, arith::kNumModes>& values) {
+  os << name;
+  for (const double v : values) os << ' ' << format_full(v);
+  os << '\n';
+}
+
+/// Reads "<name> v0 v1 v2 v3 v4" into `values`; false on any mismatch.
+bool read_array(std::istringstream& in, const char* name,
+                std::array<double, arith::kNumModes>& values) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::istringstream fields(line);
+  std::string label;
+  if (!(fields >> label) || label != name) return false;
+  for (double& v : values) {
+    std::string token;
+    if (!(fields >> token)) return false;
+    char* end = nullptr;
+    v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) return false;
+  }
+  return true;
+}
+
+/// Reads "<name> <value-token>"; false on mismatch.
+bool read_field(std::istringstream& in, const char* name,
+                std::string& value) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos || line.substr(0, space) != name) {
+    return false;
+  }
+  value = line.substr(space + 1);
+  return true;
+}
+
+}  // namespace
+
+ProfileCache::ProfileCache(ProfileCacheConfig config,
+                           obs::MetricsRegistry* metrics)
+    : config_(std::move(config)) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (metrics != nullptr) {
+    metric_hit_ = &metrics->counter("svc.profile_cache.hit");
+    metric_miss_ = &metrics->counter("svc.profile_cache.miss");
+    metric_disk_hit_ = &metrics->counter("svc.profile_cache.disk_hit");
+    metric_store_ = &metrics->counter("svc.profile_cache.store");
+    metric_eviction_ = &metrics->counter("svc.profile_cache.eviction");
+  }
+}
+
+std::string ProfileCache::serialize(const core::CharacterizationKey& key,
+                                    const core::ModeCharacterization& p) {
+  std::ostringstream os;
+  os << kFormatVersion << '\n';
+  os << "key " << key.id() << '\n';
+  os << "desc " << key.description << '\n';
+  os << "iterations " << p.iterations_characterized << '\n';
+  os << "objective_scale " << format_full(p.objective_scale) << '\n';
+  os << "initial_improvement " << format_full(p.initial_improvement) << '\n';
+  write_array(os, "quality_error", p.quality_error);
+  write_array(os, "worst_quality_error", p.worst_quality_error);
+  write_array(os, "state_error", p.state_error);
+  write_array(os, "worst_state_error", p.worst_state_error);
+  write_array(os, "abs_state_error", p.abs_state_error);
+  write_array(os, "energy_per_op", p.energy_per_op);
+  os << "angle_samples " << p.angle_samples.size() << '\n';
+  for (const double a : p.angle_samples) os << format_full(a) << '\n';
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<core::ModeCharacterization> ProfileCache::deserialize(
+    const std::string& text, const core::CharacterizationKey& key) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kFormatVersion) return std::nullopt;
+
+  std::string value;
+  if (!read_field(in, "key", value) || value != key.id()) return std::nullopt;
+  // The collision guard: the full description must match, not just the
+  // 64-bit content id.
+  if (!read_field(in, "desc", value) || value != key.description) {
+    return std::nullopt;
+  }
+
+  core::ModeCharacterization p;
+  if (!read_field(in, "iterations", value)) return std::nullopt;
+  p.iterations_characterized =
+      static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  if (!read_field(in, "objective_scale", value)) return std::nullopt;
+  p.objective_scale = std::strtod(value.c_str(), nullptr);
+  if (!read_field(in, "initial_improvement", value)) return std::nullopt;
+  p.initial_improvement = std::strtod(value.c_str(), nullptr);
+
+  if (!read_array(in, "quality_error", p.quality_error) ||
+      !read_array(in, "worst_quality_error", p.worst_quality_error) ||
+      !read_array(in, "state_error", p.state_error) ||
+      !read_array(in, "worst_state_error", p.worst_state_error) ||
+      !read_array(in, "abs_state_error", p.abs_state_error) ||
+      !read_array(in, "energy_per_op", p.energy_per_op)) {
+    return std::nullopt;
+  }
+
+  if (!read_field(in, "angle_samples", value)) return std::nullopt;
+  const std::size_t count =
+      static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  p.angle_samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return std::nullopt;
+    char* end = nullptr;
+    const double a = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) return std::nullopt;
+    p.angle_samples.push_back(a);
+  }
+  if (!std::getline(in, line) || line != "end") return std::nullopt;
+  return p;
+}
+
+std::string ProfileCache::disk_path(
+    const core::CharacterizationKey& key) const {
+  if (config_.directory.empty()) return {};
+  return (std::filesystem::path(config_.directory) / (key.id() + ".profile"))
+      .string();
+}
+
+std::optional<core::ModeCharacterization> ProfileCache::lookup_locked(
+    const core::CharacterizationKey& key, bool* from_disk) {
+  *from_disk = false;
+  const auto it = index_.find(key.hash);
+  if (it != index_.end()) {
+    if (it->second->key.description == key.description) {
+      // Refresh recency: splice the entry to the front.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->profile;
+    }
+    // 64-bit collision between distinct descriptions: treat as a miss.
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << "hash collision on " << key.id() << "; treating as miss";
+    return std::nullopt;
+  }
+
+  const std::string path = disk_path(key);
+  if (path.empty()) return std::nullopt;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  std::optional<core::ModeCharacterization> profile =
+      deserialize(contents.str(), key);
+  if (!profile) {
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << path << ": unreadable or stale profile; treating as miss";
+    return std::nullopt;
+  }
+  *from_disk = true;
+  admit_locked(key, *profile);
+  return profile;
+}
+
+void ProfileCache::admit_locked(const core::CharacterizationKey& key,
+                                const core::ModeCharacterization& profile) {
+  const auto it = index_.find(key.hash);
+  if (it != index_.end()) {
+    it->second->profile = profile;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, profile});
+  index_[key.hash] = lru_.begin();
+  while (lru_.size() > config_.capacity) {
+    // Evicted entries stay on disk; only the memory tier is bounded.
+    index_.erase(lru_.back().key.hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (metric_eviction_ != nullptr) metric_eviction_->add(1.0);
+  }
+}
+
+void ProfileCache::count(std::size_t ProfileCacheStats::*field,
+                         obs::Counter* counter) {
+  ++(stats_.*field);
+  if (counter != nullptr) counter->add(1.0);
+}
+
+std::optional<core::ModeCharacterization> ProfileCache::load(
+    const core::CharacterizationKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool from_disk = false;
+  std::optional<core::ModeCharacterization> profile =
+      lookup_locked(key, &from_disk);
+  if (profile) {
+    count(&ProfileCacheStats::hits, metric_hit_);
+    if (from_disk) count(&ProfileCacheStats::disk_hits, metric_disk_hit_);
+  } else {
+    count(&ProfileCacheStats::misses, metric_miss_);
+  }
+  return profile;
+}
+
+void ProfileCache::store(const core::CharacterizationKey& key,
+                         const core::ModeCharacterization& profile) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admit_locked(key, profile);
+    count(&ProfileCacheStats::stores, metric_store_);
+  }
+  persist(key, profile);
+}
+
+void ProfileCache::persist(const core::CharacterizationKey& key,
+                           const core::ModeCharacterization& profile) const {
+  const std::string path = disk_path(key);
+  if (path.empty()) return;
+  try {
+    const std::filesystem::path target(path);
+    std::filesystem::create_directories(target.parent_path());
+    // Write-then-rename so a concurrent reader never sees a torn file.
+    const std::filesystem::path tmp(path + ".tmp");
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+            << "cannot write " << tmp.string() << "; profile not persisted";
+        return;
+      }
+      out << serialize(key, profile);
+    }
+    std::filesystem::rename(tmp, target);
+  } catch (const std::filesystem::filesystem_error& error) {
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << "persist failed for " << path << ": " << error.what();
+  }
+}
+
+core::ModeCharacterization ProfileCache::get_or_compute(
+    const core::CharacterizationKey& key,
+    const std::function<core::ModeCharacterization()>& compute,
+    bool* cache_hit) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool from_disk = false;
+    if (std::optional<core::ModeCharacterization> profile =
+            lookup_locked(key, &from_disk)) {
+      count(&ProfileCacheStats::hits, metric_hit_);
+      if (from_disk) count(&ProfileCacheStats::disk_hits, metric_disk_hit_);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *std::move(profile);
+    }
+
+    const auto it = inflight_.find(key.hash);
+    if (it != inflight_.end()) {
+      // Another thread is characterizing this key right now: wait for it.
+      // Waiters count as hits — the work was amortized.
+      flight = it->second;
+      count(&ProfileCacheStats::hits, metric_hit_);
+      ++stats_.single_flight_waits;
+      lock.unlock();
+      std::unique_lock<std::mutex> flight_lock(flight->mutex);
+      flight->cv.wait(flight_lock, [&] { return flight->done; });
+      if (flight->error) std::rethrow_exception(flight->error);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return flight->profile;
+    }
+
+    count(&ProfileCacheStats::misses, metric_miss_);
+    flight = std::make_shared<InFlight>();
+    inflight_[key.hash] = flight;
+  }
+
+  if (cache_hit != nullptr) *cache_hit = false;
+  core::ModeCharacterization profile;
+  try {
+    profile = compute();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->mutex);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key.hash);
+    throw;
+  }
+
+  store(key, profile);
+  {
+    std::lock_guard<std::mutex> flight_lock(flight->mutex);
+    flight->profile = profile;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key.hash);
+  }
+  return profile;
+}
+
+ProfileCacheStats ProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace approxit::svc

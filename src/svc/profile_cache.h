@@ -1,0 +1,152 @@
+// ProfileCache: the content-addressed store that amortizes ApproxIt's
+// offline stage across sessions, processes and restarts.
+//
+// The offline characterization (PAPER.md Definition 1 / Stage 1) is by far
+// the most expensive part of a run, yet its result depends only on the
+// (method signature, workload identity, ALU configuration, characterization
+// options) tuple — exactly what core::characterization_cache_key hashes.
+// The cache keeps ModeCharacterization profiles in a bounded in-memory LRU
+// backed by a versioned on-disk store, so a warm process — or a freshly
+// restarted one — skips re-characterization entirely.
+//
+// Invariants:
+//  - Profiles round-trip BYTE-IDENTICALLY (doubles serialized as %.17g,
+//    which reproduces every IEEE754 double exactly), so a RunReport
+//    produced from a cached profile is byte-identical to the cold run's.
+//  - A hash collision degrades to a miss, never a wrong hit: the full key
+//    description is stored with every entry and compared on lookup.
+//  - get_or_compute is single-flight: N concurrent requests for the same
+//    key run ONE characterization; the others wait and share the result.
+//  - The LRU bounds memory only. Evicted entries stay on disk and reload
+//    on the next request (a disk hit re-admits them).
+//
+// Thread-safe. Counting (when a metrics registry is attached):
+// svc.profile_cache.{hit,miss,disk_hit,store,eviction} — a disk hit also
+// counts as a hit, and a single-flight waiter counts as a hit (the work
+// was amortized even though the waiter arrived before it finished).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/characterization.h"
+#include "core/quality.h"
+#include "obs/metrics.h"
+
+namespace approxit::svc {
+
+/// Construction parameters for ProfileCache.
+struct ProfileCacheConfig {
+  /// In-memory LRU capacity in entries (clamped to >= 1).
+  std::size_t capacity = 64;
+  /// On-disk store directory; one `<key-id>.profile` file per entry,
+  /// created on demand. Empty disables persistence (memory-only cache).
+  std::string directory = "bench_artifacts/profiles";
+};
+
+/// Monotonic cache tallies (see header comment for the counting rules).
+struct ProfileCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t disk_hits = 0;
+  std::size_t stores = 0;
+  std::size_t evictions = 0;
+  std::size_t single_flight_waits = 0;
+};
+
+/// Bounded LRU + versioned disk store of ModeCharacterization profiles.
+class ProfileCache final : public core::CharacterizationCache {
+ public:
+  explicit ProfileCache(ProfileCacheConfig config = {},
+                        obs::MetricsRegistry* metrics = nullptr);
+
+  /// Looks `key` up in the LRU, then on disk. A disk hit re-admits the
+  /// profile into the LRU. Counts one hit or one miss.
+  std::optional<core::ModeCharacterization> load(
+      const core::CharacterizationKey& key) override;
+
+  /// Inserts into the LRU (evicting the least-recent entry past capacity)
+  /// and persists to disk when a directory is configured.
+  void store(const core::CharacterizationKey& key,
+             const core::ModeCharacterization& profile) override;
+
+  /// The cached profile for `key`, computing (and storing) it on a miss.
+  /// Single-flight: concurrent calls for the same key run `compute` once.
+  /// `cache_hit`, when non-null, receives whether the profile came from
+  /// the cache (or a concurrent computation) rather than this call's own
+  /// compute. If `compute` throws, the exception propagates to the caller
+  /// that ran it AND to every waiter.
+  core::ModeCharacterization get_or_compute(
+      const core::CharacterizationKey& key,
+      const std::function<core::ModeCharacterization()>& compute,
+      bool* cache_hit = nullptr);
+
+  /// Current tallies (consistent snapshot).
+  ProfileCacheStats stats() const;
+
+  /// Entries currently resident in the LRU.
+  std::size_t size() const;
+
+  /// Serializes a profile (with its key) into the versioned text format.
+  static std::string serialize(const core::CharacterizationKey& key,
+                               const core::ModeCharacterization& profile);
+
+  /// Parses a serialized profile, verifying the format version AND that
+  /// the embedded key description matches `key` (collision guard).
+  /// Returns nullopt on any mismatch or malformed input.
+  static std::optional<core::ModeCharacterization> deserialize(
+      const std::string& text, const core::CharacterizationKey& key);
+
+  /// The on-disk path a key persists to (empty when persistence is off).
+  std::string disk_path(const core::CharacterizationKey& key) const;
+
+ private:
+  struct Entry {
+    core::CharacterizationKey key;
+    core::ModeCharacterization profile;
+  };
+
+  /// One in-progress computation; waiters block on cv until done.
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    core::ModeCharacterization profile;
+    std::exception_ptr error;
+  };
+
+  /// LRU/disk lookup without stats counting; `from_disk` reports the tier.
+  /// Caller must hold mutex_.
+  std::optional<core::ModeCharacterization> lookup_locked(
+      const core::CharacterizationKey& key, bool* from_disk);
+
+  /// LRU insert + eviction without stats counting. Caller must hold mutex_.
+  void admit_locked(const core::CharacterizationKey& key,
+                    const core::ModeCharacterization& profile);
+
+  void persist(const core::CharacterizationKey& key,
+               const core::ModeCharacterization& profile) const;
+
+  void count(std::size_t ProfileCacheStats::*field, obs::Counter* counter);
+
+  ProfileCacheConfig config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  ProfileCacheStats stats_;
+  obs::Counter* metric_hit_ = nullptr;
+  obs::Counter* metric_miss_ = nullptr;
+  obs::Counter* metric_disk_hit_ = nullptr;
+  obs::Counter* metric_store_ = nullptr;
+  obs::Counter* metric_eviction_ = nullptr;
+};
+
+}  // namespace approxit::svc

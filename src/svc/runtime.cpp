@@ -1,0 +1,378 @@
+#include "svc/runtime.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "arith/mode.h"
+#include "core/adaptive_strategy.h"
+#include "core/incremental_strategy.h"
+#include "core/report_io.h"
+#include "core/session_builder.h"
+#include "core/static_strategy.h"
+#include "obs/trace.h"
+#include "workloads/datasets.h"
+
+namespace approxit::svc {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::optional<workloads::GmmDatasetId> gmm_dataset_id(
+    const std::string& name) {
+  if (name == "3cluster") return workloads::GmmDatasetId::k3cluster;
+  if (name == "3d3cluster") return workloads::GmmDatasetId::k3d3cluster;
+  if (name == "4cluster") return workloads::GmmDatasetId::k4cluster;
+  return std::nullopt;
+}
+
+std::optional<workloads::SeriesId> series_id(const std::string& name) {
+  if (name == "hangseng") return workloads::SeriesId::kHangSeng;
+  if (name == "nasdaq") return workloads::SeriesId::kNasdaq;
+  if (name == "sp500") return workloads::SeriesId::kSp500;
+  return std::nullopt;
+}
+
+std::unique_ptr<core::Strategy> make_strategy(const std::string& name) {
+  if (name == "incremental") {
+    return std::make_unique<core::IncrementalStrategy>();
+  }
+  if (name == "adaptive") {
+    return std::make_unique<core::AdaptiveAngleStrategy>();
+  }
+  if (const std::optional<arith::ApproxMode> mode = arith::parse_mode(name)) {
+    return std::make_unique<core::StaticStrategy>(*mode);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ServiceRuntime::ServiceRuntime(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache, &cache_metrics_),
+      gmm_alu_(arith::QcsConfig{}),
+      ar_alu_(apps::ar_qcs_config()) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  paused_ = config_.start_paused;
+  workers_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ServiceRuntime::~ServiceRuntime() { shutdown(); }
+
+bool ServiceRuntime::validate(const JobSpec& spec, std::string* error) {
+  const auto fail = [error](const char* message) {
+    if (error != nullptr) *error = std::string("bad_request: ") + message;
+    return false;
+  };
+  if (spec.tenant.empty()) return fail("tenant must be non-empty");
+  if (spec.app == "gmm") {
+    if (!gmm_dataset_id(spec.dataset)) {
+      return fail("unknown gmm dataset (3cluster|3d3cluster|4cluster)");
+    }
+  } else if (spec.app == "ar") {
+    if (!series_id(spec.dataset)) {
+      return fail("unknown ar dataset (hangseng|nasdaq|sp500)");
+    }
+  } else {
+    return fail("unknown app (gmm|ar)");
+  }
+  if (make_strategy(spec.strategy) == nullptr) {
+    return fail("unknown strategy (incremental|adaptive|accurate|level1..4)");
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
+                                                    std::string* error) {
+  if (!validate(spec, error)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tallies_.rejected_bad_request;
+    return std::nullopt;
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      if (error != nullptr) *error = "shutting_down";
+      return std::nullopt;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++tallies_.rejected_queue_full;
+      if (error != nullptr) *error = "queue_full";
+      return std::nullopt;
+    }
+    if (config_.per_tenant_cap > 0) {
+      const auto it = tenant_active_.find(spec.tenant);
+      const std::size_t active = it == tenant_active_.end() ? 0 : it->second;
+      if (active >= config_.per_tenant_cap) {
+        ++tallies_.rejected_tenant_cap;
+        if (error != nullptr) *error = "tenant_cap";
+        return std::nullopt;
+      }
+    }
+
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->spec = spec;
+    job->enqueue_us = obs::trace_now_us();
+    jobs_[id] = std::move(job);
+    queue_.push_back(id);
+    ++tenant_active_[spec.tenant];
+    ++tallies_.submitted;
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant("svc", "submit",
+                      {obs::arg("job", static_cast<std::size_t>(id)),
+                       obs::arg("tenant", spec.tenant),
+                       obs::arg("app", spec.app),
+                       obs::arg("dataset", spec.dataset),
+                       obs::arg("strategy", spec.strategy)});
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+void ServiceRuntime::worker_loop(std::size_t worker_index) {
+  obs::LaneScope lane(static_cast<std::uint32_t>(worker_index + 1),
+                      "svc-worker-" + std::to_string(worker_index));
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty() || paused_) {
+        // stopping_ drains the queue first: exit only once it is empty
+        // (a paused runtime being shut down resumes implicitly).
+        if (stopping_ && queue_.empty()) return;
+        if (stopping_ && paused_) paused_ = false;
+        continue;
+      }
+      const std::uint64_t id = queue_.front();
+      queue_.pop_front();
+      job = jobs_.at(id).get();
+      job->state = JobState::kRunning;
+      job->queue_ms = (obs::trace_now_us() - job->enqueue_us) / 1000.0;
+      ++running_;
+    }
+
+    const double start_us = obs::trace_now_us();
+    const double start_ms = now_ms();
+    execute(*job);
+    const double run_ms = now_ms() - start_ms;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->run_ms = run_ms;
+      job->state = job->error.empty() ? JobState::kDone : JobState::kFailed;
+      if (job->state == JobState::kDone) {
+        ++tallies_.completed;
+      } else {
+        ++tallies_.failed;
+      }
+      --running_;
+      const auto it = tenant_active_.find(job->spec.tenant);
+      if (it != tenant_active_.end() && --it->second == 0) {
+        tenant_active_.erase(it);
+      }
+      timing_metrics_.histogram("svc.queue_ms", 0.0, 10000.0, 64)
+          .record(job->queue_ms);
+      timing_metrics_.histogram("svc.run_ms", 0.0, 60000.0, 64)
+          .record(job->run_ms);
+      if (!job->cache_hit) {
+        timing_metrics_.histogram("svc.characterization_ms", 0.0, 60000.0, 64)
+            .record(job->characterization_ms);
+      }
+    }
+    if (obs::trace_enabled()) {
+      obs::emit_span(
+          "svc", "job", start_us,
+          {obs::arg("job", static_cast<std::size_t>(job->id)),
+           obs::arg("tenant", job->spec.tenant),
+           obs::arg("app", job->spec.app),
+           obs::arg("dataset", job->spec.dataset),
+           obs::arg("state", job_state_name(job->state)),
+           obs::arg("cache_hit", job->cache_hit)});
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ServiceRuntime::execute(Job& job) {
+  try {
+    core::CharacterizationOptions char_options;
+    if (job.spec.characterization_iterations > 0) {
+      char_options.iterations = job.spec.characterization_iterations;
+    }
+
+    // Everything a job touches is built from its spec alone: dataset and
+    // method on this worker's stack, ALU as a fresh clone of the app
+    // prototype. That isolation is what makes per-job reports
+    // thread-count-invariant.
+    const auto run_with = [&](opt::IterativeMethod& method,
+                              const arith::QcsAlu& prototype,
+                              const std::string& workload_tag) {
+      const std::unique_ptr<arith::QcsAlu> alu = prototype.clone_fresh();
+      const std::unique_ptr<core::Strategy> strategy =
+          make_strategy(job.spec.strategy);
+
+      const core::CharacterizationKey key = core::characterization_cache_key(
+          method, *alu, char_options, workload_tag);
+      const core::ModeCharacterization profile = cache_.get_or_compute(
+          key,
+          [&] {
+            const double t0 = now_ms();
+            core::ModeCharacterization computed =
+                core::characterize(method, *alu, char_options);
+            job.characterization_ms = now_ms() - t0;
+            return computed;
+          },
+          &job.cache_hit);
+
+      job.report = core::SessionBuilder()
+                       .method(method)
+                       .strategy(*strategy)
+                       .alu(*alu)
+                       .max_iterations(job.spec.max_iterations)
+                       .keep_trace(job.spec.keep_trace)
+                       .metrics(&job.metrics)
+                       .characterization(profile)
+                       .run();
+      job.report_json = core::report_to_json(job.report);
+    };
+
+    if (job.spec.app == "gmm") {
+      const workloads::GmmDataset dataset =
+          workloads::make_gmm_dataset(*gmm_dataset_id(job.spec.dataset));
+      apps::GmmEm method(dataset);
+      run_with(method, gmm_alu_, dataset.name);
+    } else {
+      const workloads::TimeSeriesDataset dataset =
+          workloads::make_series_dataset(*series_id(job.spec.dataset));
+      apps::AutoRegression method(dataset);
+      run_with(method, ar_alu_, dataset.name);
+    }
+  } catch (const std::exception& error) {
+    job.error = error.what();
+  } catch (...) {
+    job.error = "unknown error";
+  }
+}
+
+JobSnapshot ServiceRuntime::snapshot_locked(const Job& job) const {
+  JobSnapshot snapshot;
+  snapshot.id = job.id;
+  snapshot.state = job.state;
+  snapshot.spec = job.spec;
+  snapshot.cache_hit = job.cache_hit;
+  snapshot.error = job.error;
+  snapshot.report_json = job.report_json;
+  snapshot.report = job.report;
+  snapshot.queue_ms = job.queue_ms;
+  snapshot.run_ms = job.run_ms;
+  snapshot.characterization_ms = job.characterization_ms;
+  return snapshot;
+}
+
+std::optional<JobSnapshot> ServiceRuntime::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(*it->second);
+}
+
+bool ServiceRuntime::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job* job = it->second.get();
+  done_cv_.wait(lock, [&] {
+    return job->state == JobState::kDone || job->state == JobState::kFailed;
+  });
+  return true;
+}
+
+std::optional<JobSnapshot> ServiceRuntime::result(std::uint64_t id) {
+  if (!wait(id)) return std::nullopt;
+  return status(id);
+}
+
+void ServiceRuntime::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+ServiceStats ServiceRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats = tallies_;
+  stats.queued = queue_.size();
+  stats.running = running_;
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // jobs_ is id-ordered (std::map); merging terminal jobs in that fixed
+  // order makes the aggregate thread-count-invariant.
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kDone || job->state == JobState::kFailed) {
+      out.merge(job->metrics);
+    }
+  }
+  out.merge(cache_metrics_);
+}
+
+void ServiceRuntime::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void ServiceRuntime::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void ServiceRuntime::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace approxit::svc

@@ -1,0 +1,220 @@
+// ServiceRuntime: the multi-tenant serving loop over ApproxIt sessions.
+//
+// Jobs name a workload (app + dataset), a reconfiguration strategy and an
+// iteration budget; the runtime admits them into a bounded queue, runs them
+// on a fixed pool of worker threads — each job on its own
+// QcsAlu::clone_fresh() instance — and amortizes the offline
+// characterization stage through a shared ProfileCache. The three
+// load-bearing pieces:
+//
+//  - Scheduler: FIFO queue drained by `threads` workers. Every job builds
+//    its method, strategy and ALU clone from its spec alone, so per-job
+//    RunReports are bit-identical for any worker count.
+//  - Admission control: submit() rejects (never blocks) when the queue is
+//    at capacity ("queue_full") or a tenant already holds
+//    `per_tenant_cap` queued+running jobs ("tenant_cap"). Malformed specs
+//    are rejected up front ("bad_request: ...").
+//  - ProfileCache: characterization is resolved with get_or_compute under
+//    a key from core::characterization_cache_key, so N jobs over the same
+//    (method, workload, ALU, options) tuple characterize ONCE per process
+//    — or zero times after a warm restart, via the cache's disk tier.
+//
+// Metrics determinism: each job writes into its own MetricsRegistry;
+// collect_metrics() merges them in job-id order plus the cache counters,
+// so the merged registry is identical for any thread count (single-flight
+// waiters count as cache hits, which keeps even the hit/miss tallies
+// thread-invariant). Wall-clock service metrics (svc.queue_ms, svc.run_ms,
+// svc.characterization_ms) live in a SEPARATE timing registry that makes
+// no determinism claim.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arith/alu.h"
+#include "core/session.h"
+#include "obs/metrics.h"
+#include "svc/profile_cache.h"
+
+namespace approxit::svc {
+
+/// Construction parameters for ServiceRuntime.
+struct ServiceConfig {
+  /// Worker threads draining the job queue (clamped to >= 1).
+  std::size_t threads = 4;
+  /// Queued (not yet running) job capacity; submissions beyond it are
+  /// rejected with "queue_full" (clamped to >= 1).
+  std::size_t queue_capacity = 64;
+  /// Max queued+running jobs per tenant; 0 disables the cap. Beyond it
+  /// submissions are rejected with "tenant_cap".
+  std::size_t per_tenant_cap = 0;
+  /// Shared characterization-profile cache configuration.
+  ProfileCacheConfig cache;
+  /// Start with the workers paused (admission still open) — lets tests
+  /// fill the queue deterministically before anything runs.
+  bool start_paused = false;
+};
+
+/// Lifecycle of one job.
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+/// Lowercase state label ("queued", "running", "done", "failed").
+std::string_view job_state_name(JobState state);
+
+/// One job request. `app` and `dataset` name the workload, `strategy` the
+/// reconfiguration policy:
+///   app "gmm": datasets 3cluster | 3d3cluster | 4cluster
+///   app "ar":  datasets hangseng | nasdaq | sp500
+///   strategy:  incremental | adaptive | accurate | level1..level4
+struct JobSpec {
+  std::string tenant = "default";
+  std::string app;
+  std::string dataset;
+  std::string strategy = "incremental";
+  /// Iteration budget; 0 uses the dataset's MAX_ITER.
+  std::size_t max_iterations = 0;
+  /// Offline-stage probe iterations; 0 uses the characterization default.
+  std::size_t characterization_iterations = 0;
+  /// Keep the per-iteration trace in the RunReport (off by default — a
+  /// serving runtime returns aggregates, not traces).
+  bool keep_trace = false;
+};
+
+/// Point-in-time view of one job. Terminal snapshots (done/failed) are
+/// immutable.
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  JobSpec spec;
+  /// True when the characterization came from the cache (memory, disk, or
+  /// a concurrent computation) rather than this job's own compute.
+  bool cache_hit = false;
+  std::string error;        ///< Failure reason (failed jobs only).
+  std::string report_json;  ///< core::report_to_json of the result.
+  core::RunReport report;   ///< The result (done jobs only).
+  double queue_ms = 0.0;    ///< Admission -> first scheduled.
+  double run_ms = 0.0;      ///< Scheduled -> terminal (includes offline stage).
+  /// This job's own characterization compute time (0 on cache hits).
+  double characterization_ms = 0.0;
+};
+
+/// Service-level tallies.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_tenant_cap = 0;
+  std::size_t rejected_bad_request = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  ProfileCacheStats cache;
+};
+
+/// The serving runtime. Thread-safe; owns its workers, jobs and cache.
+class ServiceRuntime {
+ public:
+  explicit ServiceRuntime(ServiceConfig config = {});
+  ~ServiceRuntime();
+
+  ServiceRuntime(const ServiceRuntime&) = delete;
+  ServiceRuntime& operator=(const ServiceRuntime&) = delete;
+
+  /// Validates `spec` without running anything. Returns false (with
+  /// `error` set when non-null) on unknown app/dataset/strategy.
+  static bool validate(const JobSpec& spec, std::string* error = nullptr);
+
+  /// Admits a job. Returns its id, or nullopt with `error` set to
+  /// "bad_request: ...", "queue_full" or "tenant_cap". Never blocks.
+  std::optional<std::uint64_t> submit(const JobSpec& spec,
+                                      std::string* error = nullptr);
+
+  /// Current snapshot of a job; nullopt for unknown ids.
+  std::optional<JobSnapshot> status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal, then returns its snapshot; nullopt
+  /// for unknown ids.
+  std::optional<JobSnapshot> result(std::uint64_t id);
+
+  /// Blocks until the job is terminal. False for unknown ids.
+  bool wait(std::uint64_t id);
+
+  /// Blocks until the queue is empty and no job is running.
+  void wait_idle();
+
+  ServiceStats stats() const;
+
+  /// Merges the DETERMINISTIC metrics — per-job registries in job-id order
+  /// (terminal jobs only), then the profile-cache counters — into `out`.
+  /// Identical for any worker count over the same job sequence.
+  void collect_metrics(obs::MetricsRegistry& out) const;
+
+  /// Wall-clock service metrics (svc.queue_ms / svc.run_ms /
+  /// svc.characterization_ms histograms). Not deterministic.
+  const obs::MetricsRegistry& timing_metrics() const {
+    return timing_metrics_;
+  }
+
+  ProfileCache& profile_cache() { return cache_; }
+
+  /// Stops/resumes the workers' queue drain; admission stays open.
+  void pause();
+  void resume();
+
+  /// Drains the queue, waits for running jobs and joins the workers.
+  /// Subsequent submits are rejected ("shutting_down"). Idempotent.
+  void shutdown();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;
+    std::string error;
+    std::string report_json;
+    core::RunReport report;
+    double enqueue_us = 0.0;
+    double queue_ms = 0.0;
+    double run_ms = 0.0;
+    double characterization_ms = 0.0;
+    obs::MetricsRegistry metrics;  ///< Written only while running.
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  /// Builds everything from the spec and runs the session. Fills the
+  /// job's result fields; never throws (failures land in job.error).
+  void execute(Job& job);
+
+  JobSnapshot snapshot_locked(const Job& job) const;
+
+  ServiceConfig config_;
+  obs::MetricsRegistry cache_metrics_;   ///< svc.profile_cache.* counters.
+  obs::MetricsRegistry timing_metrics_;  ///< Wall-clock histograms.
+  ProfileCache cache_;
+  arith::QcsAlu gmm_alu_;  ///< Prototype; jobs run on clone_fresh() copies.
+  arith::QcsAlu ar_alu_;   ///< Prototype for the AR datapath Q format.
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Queue/pause/stop changes.
+  std::condition_variable done_cv_;  ///< Job completions.
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> queue_;
+  std::map<std::string, std::size_t> tenant_active_;
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  ServiceStats tallies_;  ///< submitted/rejected/completed/failed only.
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace approxit::svc

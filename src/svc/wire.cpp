@@ -1,0 +1,242 @@
+#include "svc/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report_io.h"
+
+namespace approxit::svc {
+
+namespace {
+
+void set_error(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+void skip_ws(std::string_view line, std::size_t& pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+}
+
+/// Parses a JSON string literal starting at the opening quote; advances
+/// `pos` past the closing quote.
+bool parse_string(std::string_view line, std::size_t& pos,
+                  std::string& out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') {
+      ++pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (pos + 1 >= line.size()) return false;
+      const char esc = line[pos + 1];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          // Only the escapes json_escape emits for control bytes are
+          // accepted: \u00XX.
+          if (pos + 5 >= line.size()) return false;
+          const std::string hex(line.substr(pos + 2, 4));
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code > 0xFF) return false;
+          out.push_back(static_cast<char>(code));
+          pos += 4;
+          break;
+        }
+        default: return false;
+      }
+      pos += 2;
+      continue;
+    }
+    out.push_back(c);
+    ++pos;
+  }
+  return false;  // Unterminated string.
+}
+
+/// Parses an unquoted scalar (number / true / false) up to , or }.
+bool parse_bare(std::string_view line, std::size_t& pos, std::string& out) {
+  out.clear();
+  while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
+    out.push_back(line[pos]);
+    ++pos;
+  }
+  while (!out.empty() &&
+         std::isspace(static_cast<unsigned char>(out.back()))) {
+    out.pop_back();
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::string WireObject::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second.text;
+}
+
+std::int64_t WireObject::get_int(const std::string& key,
+                                 std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.text.c_str(), &end, 10);
+  return end == it->second.text.c_str() ? fallback
+                                        : static_cast<std::int64_t>(value);
+}
+
+double WireObject::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.text.c_str(), &end);
+  return end == it->second.text.c_str() ? fallback : value;
+}
+
+bool WireObject::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.text == "true") return true;
+  if (it->second.text == "false") return false;
+  return fallback;
+}
+
+std::optional<WireObject> parse_wire_object(std::string_view line,
+                                            std::string* error) {
+  std::size_t pos = 0;
+  skip_ws(line, pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    set_error(error, "expected '{'");
+    return std::nullopt;
+  }
+  ++pos;
+
+  WireObject object;
+  skip_ws(line, pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      skip_ws(line, pos);
+      std::string key;
+      if (!parse_string(line, pos, key)) {
+        set_error(error, "expected string key");
+        return std::nullopt;
+      }
+      skip_ws(line, pos);
+      if (pos >= line.size() || line[pos] != ':') {
+        set_error(error, "expected ':' after key");
+        return std::nullopt;
+      }
+      ++pos;
+      skip_ws(line, pos);
+
+      WireValue value;
+      if (pos < line.size() && line[pos] == '"') {
+        value.quoted = true;
+        if (!parse_string(line, pos, value.text)) {
+          set_error(error, "malformed string value");
+          return std::nullopt;
+        }
+      } else if (pos < line.size() &&
+                 (line[pos] == '{' || line[pos] == '[')) {
+        set_error(error, "nested values are not supported");
+        return std::nullopt;
+      } else if (!parse_bare(line, pos, value.text)) {
+        set_error(error, "expected value");
+        return std::nullopt;
+      }
+      object.values()[key] = std::move(value);
+
+      skip_ws(line, pos);
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      set_error(error, "expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  skip_ws(line, pos);
+  if (pos != line.size()) {
+    set_error(error, "trailing characters after object");
+    return std::nullopt;
+  }
+  return object;
+}
+
+void WireWriter::begin_field(std::string_view key) {
+  body_ += body_.empty() ? "" : ",";
+  body_ += '"';
+  body_ += core::json_escape(std::string(key));
+  body_ += "\":";
+}
+
+WireWriter& WireWriter::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  body_ += '"';
+  body_ += core::json_escape(std::string(value));
+  body_ += '"';
+  return *this;
+}
+
+WireWriter& WireWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+WireWriter& WireWriter::field(std::string_view key, std::int64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+WireWriter& WireWriter::field(std::string_view key, std::size_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+WireWriter& WireWriter::field(std::string_view key, double value) {
+  begin_field(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  body_ += buffer;
+  return *this;
+}
+
+WireWriter& WireWriter::field(std::string_view key, bool value) {
+  begin_field(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+WireWriter& WireWriter::raw(std::string_view key, std::string_view json) {
+  begin_field(key);
+  body_ += json;
+  return *this;
+}
+
+std::string WireWriter::str() const { return "{" + body_ + "}"; }
+
+}  // namespace approxit::svc

@@ -1,0 +1,75 @@
+// Minimal line-delimited JSON wire format for the serving CLI.
+//
+// Requests to approxit_serve are FLAT JSON objects — string keys mapping
+// to strings, numbers or booleans, one object per line:
+//
+//   {"op":"submit","tenant":"t1","app":"gmm","dataset":"gmm_3cluster"}
+//
+// parse_wire_object handles exactly that shape (escapes included) and
+// nothing more: no nesting, no arrays, no null. Responses are assembled
+// with WireWriter, which reuses core::json_escape so output lines are
+// valid JSON consumable by any client. RunReport payloads embed
+// core::report_to_json verbatim as a raw nested object.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace approxit::svc {
+
+/// One parsed value: the raw text plus whether it was a JSON string
+/// (quoted) — "42" and 42 are distinguishable.
+struct WireValue {
+  std::string text;
+  bool quoted = false;
+};
+
+/// A parsed flat JSON object with typed, defaulted accessors.
+class WireObject {
+ public:
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = {}) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::map<std::string, WireValue>& values() { return values_; }
+  const std::map<std::string, WireValue>& values() const { return values_; }
+
+ private:
+  std::map<std::string, WireValue> values_;
+};
+
+/// Parses one flat JSON object line. Returns nullopt (with `error` set when
+/// non-null) on malformed input.
+std::optional<WireObject> parse_wire_object(std::string_view line,
+                                            std::string* error = nullptr);
+
+/// Assembles one flat-ish JSON object line: scalar fields plus raw
+/// (pre-serialized) nested values.
+class WireWriter {
+ public:
+  WireWriter& field(std::string_view key, std::string_view value);
+  WireWriter& field(std::string_view key, const char* value);
+  WireWriter& field(std::string_view key, std::int64_t value);
+  WireWriter& field(std::string_view key, std::size_t value);
+  WireWriter& field(std::string_view key, double value);
+  WireWriter& field(std::string_view key, bool value);
+  /// Embeds `json` verbatim (must already be valid JSON).
+  WireWriter& raw(std::string_view key, std::string_view json);
+
+  /// The finished "{...}" line (no trailing newline).
+  std::string str() const;
+
+ private:
+  void begin_field(std::string_view key);
+
+  std::string body_;
+};
+
+}  // namespace approxit::svc

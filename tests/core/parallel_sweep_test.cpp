@@ -103,7 +103,7 @@ TEST(ParallelSweep, MergedMetricsIdenticalAcrossThreadCounts) {
     SweepOptions options;
     options.include_oracle = true;
     options.threads = threads;
-    options.metrics = &registry;
+    options.hooks.metrics = &registry;
     (void)run_configuration_sweep(quadratic_factory(), alu, state_l2_qem,
                                   options);
     return std::pair{registry.counter_values(), registry.gauge_values()};

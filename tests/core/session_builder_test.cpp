@@ -1,0 +1,202 @@
+// SessionBuilder must be a pure re-skin of the three-reference
+// constructor: builder-built runs are bit-identical to constructor-built
+// ones, wiring errors fail fast, and the characterization precedence
+// (precomputed > cache > fresh) holds.
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/alu.h"
+#include "core/incremental_strategy.h"
+#include "core/report_io.h"
+#include "core/session.h"
+#include "core/session_builder.h"
+#include "la/matrix.h"
+#include "obs/metrics.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+const opt::QuadraticProblem& quadratic() {
+  static const opt::QuadraticProblem problem(
+      la::Matrix{{4.0, 1.0}, {1.0, 3.0}}, {1.0, 2.0});
+  return problem;
+}
+
+std::unique_ptr<opt::GradientDescentSolver> make_method() {
+  opt::GdConfig config;
+  config.step_size = 0.2;
+  config.tolerance = 1e-12;
+  config.max_iter = 400;
+  return std::make_unique<opt::GradientDescentSolver>(
+      quadratic(), std::vector<double>{0.0, 0.0}, config);
+}
+
+/// Minimal in-memory CharacterizationCache for precedence tests.
+class MapCache final : public CharacterizationCache {
+ public:
+  std::optional<ModeCharacterization> load(
+      const CharacterizationKey& key) override {
+    ++loads;
+    const auto it = entries.find(key.description);
+    if (it == entries.end()) return std::nullopt;
+    ++hits;
+    return it->second;
+  }
+
+  void store(const CharacterizationKey& key,
+             const ModeCharacterization& profile) override {
+    ++stores;
+    entries[key.description] = profile;
+  }
+
+  std::map<std::string, ModeCharacterization> entries;
+  int loads = 0;
+  int hits = 0;
+  int stores = 0;
+};
+
+TEST(SessionBuilder, BitIdenticalToConstructorPath) {
+  CharacterizationOptions char_options;
+  char_options.iterations = 8;
+
+  // Constructor path.
+  arith::QcsAlu ctor_alu;
+  auto ctor_method = make_method();
+  IncrementalStrategy ctor_strategy;
+  ApproxItSession session(*ctor_method, ctor_strategy, ctor_alu);
+  session.ensure_characterized(char_options);
+  const RunReport via_ctor = session.run();
+
+  // Builder path, identically wired.
+  arith::QcsAlu built_alu;
+  auto built_method = make_method();
+  IncrementalStrategy built_strategy;
+  const RunReport via_builder = SessionBuilder()
+                                    .method(*built_method)
+                                    .strategy(built_strategy)
+                                    .alu(built_alu)
+                                    .characterization_options(char_options)
+                                    .run();
+
+  EXPECT_EQ(report_to_json(via_builder), report_to_json(via_ctor));
+  EXPECT_EQ(built_method->state(), ctor_method->state());
+}
+
+TEST(SessionBuilder, MissingReferencesThrow) {
+  arith::QcsAlu alu;
+  auto method = make_method();
+  IncrementalStrategy strategy;
+
+  EXPECT_THROW(SessionBuilder().run(), std::logic_error);
+  EXPECT_THROW(SessionBuilder().method(*method).run(), std::logic_error);
+  EXPECT_THROW(SessionBuilder().method(*method).strategy(strategy).run(),
+               std::logic_error);
+  EXPECT_NO_THROW(
+      SessionBuilder().method(*method).strategy(strategy).alu(alu).build());
+}
+
+TEST(SessionBuilder, ProfileCacheRequiresWorkloadTag) {
+  arith::QcsAlu alu;
+  auto method = make_method();
+  IncrementalStrategy strategy;
+  MapCache cache;
+
+  EXPECT_THROW(SessionBuilder()
+                   .method(*method)
+                   .strategy(strategy)
+                   .alu(alu)
+                   .profile_cache(&cache, "")
+                   .build(),
+               std::logic_error);
+  EXPECT_NO_THROW(SessionBuilder()
+                      .method(*method)
+                      .strategy(strategy)
+                      .alu(alu)
+                      .profile_cache(&cache, "quadratic")
+                      .build());
+}
+
+TEST(SessionBuilder, CacheMissCharacterizesThenStoresThenHits) {
+  CharacterizationOptions char_options;
+  char_options.iterations = 8;
+  MapCache cache;
+
+  SessionBuilder builder;
+  arith::QcsAlu alu;
+  auto method = make_method();
+  IncrementalStrategy strategy;
+  builder.method(*method)
+      .strategy(strategy)
+      .alu(alu)
+      .characterization_options(char_options)
+      .profile_cache(&cache, "quadratic");
+
+  const RunReport cold = builder.run();
+  EXPECT_EQ(cache.loads, 1);
+  EXPECT_EQ(cache.hits, 0);
+  EXPECT_EQ(cache.stores, 1);
+
+  // Second run (fresh session off the same builder): served from cache.
+  const RunReport warm = builder.run();
+  EXPECT_EQ(cache.loads, 2);
+  EXPECT_EQ(cache.hits, 1);
+  EXPECT_EQ(cache.stores, 1);
+  EXPECT_EQ(report_to_json(warm), report_to_json(cold));
+}
+
+TEST(SessionBuilder, PrecomputedCharacterizationBeatsCache) {
+  CharacterizationOptions char_options;
+  char_options.iterations = 8;
+
+  arith::QcsAlu alu;
+  auto method = make_method();
+  const ModeCharacterization profile =
+      characterize(*method, alu, char_options);
+
+  MapCache cache;
+  IncrementalStrategy strategy;
+  const RunReport report = SessionBuilder()
+                               .method(*method)
+                               .strategy(strategy)
+                               .alu(alu)
+                               .characterization(profile)
+                               .profile_cache(&cache, "quadratic")
+                               .run();
+  EXPECT_GT(report.iterations, 0u);
+  EXPECT_EQ(cache.loads, 0);  // Never consulted.
+  EXPECT_EQ(cache.stores, 0);
+}
+
+TEST(SessionBuilder, HooksAndOptionsFlowThrough) {
+  CharacterizationOptions char_options;
+  char_options.iterations = 8;
+
+  arith::QcsAlu alu;
+  auto method = make_method();
+  IncrementalStrategy strategy;
+  obs::MetricsRegistry registry;
+  const RunReport report = SessionBuilder()
+                               .method(*method)
+                               .strategy(strategy)
+                               .alu(alu)
+                               .characterization_options(char_options)
+                               .metrics(&registry)
+                               .max_iterations(5)
+                               .keep_trace(false)
+                               .run();
+
+  EXPECT_EQ(report.iterations, 5u);
+  EXPECT_TRUE(report.trace.empty());
+  const auto counters = registry.counter_values();
+  EXPECT_EQ(counters.at("session.iterations"), 5.0);
+}
+
+}  // namespace
+}  // namespace approxit::core

@@ -46,7 +46,7 @@ RunReport run_session(obs::TraceSink* sink, obs::MetricsRegistry* metrics,
   IncrementalStrategy strategy;
   ApproxItSession session(*method, strategy, alu);
   SessionOptions options;
-  options.metrics = metrics;
+  options.hooks.metrics = metrics;
   const RunReport report = session.run(options);
   if (final_state != nullptr) *final_state = method->state();
   if (sink != nullptr) obs::set_trace_sink(nullptr);

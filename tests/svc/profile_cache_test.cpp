@@ -1,0 +1,317 @@
+// ProfileCache invariants: byte-identical round-trips, key sensitivity,
+// LRU bounds with a durable disk tier, collision safety, and single-flight
+// get_or_compute under contention.
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/autoregression.h"
+#include "arith/alu.h"
+#include "core/characterization.h"
+#include "la/matrix.h"
+#include "obs/metrics.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+#include "svc/profile_cache.h"
+
+namespace approxit::svc {
+namespace {
+
+const opt::QuadraticProblem& quadratic() {
+  static const opt::QuadraticProblem problem(
+      la::Matrix{{4.0, 1.0}, {1.0, 3.0}}, {1.0, 2.0});
+  return problem;
+}
+
+std::unique_ptr<opt::GradientDescentSolver> make_method(
+    std::size_t max_iter = 200) {
+  opt::GdConfig config;
+  config.step_size = 0.2;
+  config.tolerance = 1e-12;
+  config.max_iter = max_iter;
+  return std::make_unique<opt::GradientDescentSolver>(
+      quadratic(), std::vector<double>{0.0, 0.0}, config);
+}
+
+core::CharacterizationOptions fast_options() {
+  core::CharacterizationOptions options;
+  options.iterations = 6;
+  return options;
+}
+
+/// A real (small) profile so serialization sees realistic values.
+core::ModeCharacterization sample_profile(arith::QcsAlu& alu) {
+  auto method = make_method();
+  return core::characterize(*method, alu, fast_options());
+}
+
+core::CharacterizationKey key_for(const arith::QcsAlu& alu,
+                                  const std::string& tag) {
+  auto method = make_method();
+  return core::characterization_cache_key(*method, alu, fast_options(), tag);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("profile_cache_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ProfileCacheSerialization, RoundTripIsByteIdentical) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "quadratic");
+
+  const std::string text = ProfileCache::serialize(key, profile);
+  const auto restored = ProfileCache::deserialize(text, key);
+  ASSERT_TRUE(restored.has_value());
+
+  // Field-exact (EXPECT_EQ on doubles is bitwise for non-NaN values)...
+  EXPECT_EQ(restored->iterations_characterized,
+            profile.iterations_characterized);
+  EXPECT_EQ(restored->objective_scale, profile.objective_scale);
+  EXPECT_EQ(restored->initial_improvement, profile.initial_improvement);
+  EXPECT_EQ(restored->quality_error, profile.quality_error);
+  EXPECT_EQ(restored->worst_quality_error, profile.worst_quality_error);
+  EXPECT_EQ(restored->state_error, profile.state_error);
+  EXPECT_EQ(restored->worst_state_error, profile.worst_state_error);
+  EXPECT_EQ(restored->abs_state_error, profile.abs_state_error);
+  EXPECT_EQ(restored->energy_per_op, profile.energy_per_op);
+  EXPECT_EQ(restored->angle_samples, profile.angle_samples);
+  // ...and the re-serialization is byte-identical.
+  EXPECT_EQ(ProfileCache::serialize(key, *restored), text);
+}
+
+TEST(ProfileCacheSerialization, RejectsMalformedAndForeignText) {
+  arith::QcsAlu alu;
+  const core::CharacterizationKey key = key_for(alu, "quadratic");
+  EXPECT_FALSE(ProfileCache::deserialize("", key).has_value());
+  EXPECT_FALSE(ProfileCache::deserialize("not a profile\n", key).has_value());
+
+  const core::ModeCharacterization profile = sample_profile(alu);
+  std::string text = ProfileCache::serialize(key, profile);
+  // A profile stored under a DIFFERENT key must not deserialize under ours.
+  const core::CharacterizationKey other = key_for(alu, "other-workload");
+  EXPECT_FALSE(ProfileCache::deserialize(text, other).has_value());
+  // Truncation is rejected.
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(ProfileCache::deserialize(text, key).has_value());
+}
+
+TEST(ProfileCacheKey, SensitiveToEveryInput) {
+  arith::QcsAlu alu;
+  arith::QcsAlu ar_alu(apps::ar_qcs_config());
+  auto method = make_method();
+  auto longer_method = make_method(500);
+  const core::CharacterizationOptions options = fast_options();
+
+  const core::CharacterizationKey base =
+      core::characterization_cache_key(*method, alu, options, "tag");
+
+  // Deterministic: same inputs, same key.
+  EXPECT_EQ(core::characterization_cache_key(*method, alu, options, "tag"),
+            base);
+
+  // Each input perturbs the key.
+  EXPECT_NE(
+      core::characterization_cache_key(*method, alu, options, "other"),
+      base);
+  EXPECT_NE(
+      core::characterization_cache_key(*longer_method, alu, options, "tag"),
+      base);
+  EXPECT_NE(
+      core::characterization_cache_key(*method, ar_alu, options, "tag"),
+      base);
+  core::CharacterizationOptions more = options;
+  more.iterations = options.iterations + 1;
+  EXPECT_NE(core::characterization_cache_key(*method, alu, more, "tag"),
+            base);
+  core::CharacterizationOptions drift = options;
+  drift.resynchronize = false;
+  EXPECT_NE(core::characterization_cache_key(*method, alu, drift, "tag"),
+            base);
+
+  // threads is excluded: the result is thread-invariant.
+  core::CharacterizationOptions threaded = options;
+  threaded.threads = 8;
+  EXPECT_EQ(core::characterization_cache_key(*method, alu, threaded, "tag"),
+            base);
+}
+
+TEST(ProfileCacheLru, EvictsLeastRecentAtCapacity) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  ProfileCacheConfig config;
+  config.capacity = 2;
+  config.directory.clear();  // Memory-only: evictions are real losses.
+  ProfileCache cache(config);
+
+  const core::CharacterizationKey a = key_for(alu, "a");
+  const core::CharacterizationKey b = key_for(alu, "b");
+  const core::CharacterizationKey c = key_for(alu, "c");
+  cache.store(a, profile);
+  cache.store(b, profile);
+  // Touch `a` so `b` becomes least-recent.
+  EXPECT_TRUE(cache.load(a).has_value());
+  cache.store(c, profile);
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.load(a).has_value());
+  EXPECT_TRUE(cache.load(c).has_value());
+  EXPECT_FALSE(cache.load(b).has_value());
+}
+
+TEST(ProfileCacheLru, EvictedEntriesReloadFromDisk) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  ProfileCacheConfig config;
+  config.capacity = 1;
+  config.directory = fresh_dir("reload");
+  ProfileCache cache(config);
+
+  const core::CharacterizationKey a = key_for(alu, "a");
+  const core::CharacterizationKey b = key_for(alu, "b");
+  cache.store(a, profile);
+  cache.store(b, profile);  // Evicts a from memory; disk copy remains.
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto reloaded = cache.load(a);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(ProfileCache::serialize(a, *reloaded),
+            ProfileCache::serialize(a, profile));
+}
+
+TEST(ProfileCacheDisk, WarmRestartServesFromDisk) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "restart");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("restart");
+
+  {
+    ProfileCache cold(config);
+    cold.store(key, profile);
+    ASSERT_TRUE(std::filesystem::exists(cold.disk_path(key)));
+  }
+
+  ProfileCache warm(config);  // Simulated process restart.
+  const auto loaded = warm.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(warm.stats().disk_hits, 1u);
+  EXPECT_EQ(ProfileCache::serialize(key, *loaded),
+            ProfileCache::serialize(key, profile));
+}
+
+TEST(ProfileCacheDisk, HashCollisionDegradesToMiss) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "victim");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("collision");
+  ProfileCache cache(config);
+  cache.store(key, profile);
+
+  // Same 64-bit hash, different description — what a real collision
+  // looks like to the cache. Memory and disk must both refuse.
+  core::CharacterizationKey forged;
+  forged.hash = key.hash;
+  forged.description = key.description + "|forged";
+  EXPECT_FALSE(cache.load(forged).has_value());
+
+  ProfileCache fresh(config);  // Disk tier alone.
+  EXPECT_FALSE(fresh.load(forged).has_value());
+}
+
+TEST(ProfileCacheSingleFlight, ConcurrentRequestsComputeOnce) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "contended");
+  ProfileCacheConfig config;
+  config.directory.clear();
+  ProfileCache cache(config);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> computations{0};
+  std::vector<std::string> serialized(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const core::ModeCharacterization result = cache.get_or_compute(
+          key, [&] {
+            ++computations;
+            // Hold the in-flight window open so peers actually wait.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return profile;
+          });
+      serialized[i] = ProfileCache::serialize(key, result);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(computations.load(), 1);
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::size_t>(kThreads - 1));
+  for (const std::string& text : serialized) {
+    EXPECT_EQ(text, serialized[0]);
+  }
+}
+
+TEST(ProfileCacheSingleFlight, ComputeFailurePropagatesAndClears) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "flaky");
+  ProfileCacheConfig config;
+  config.directory.clear();
+  ProfileCache cache(config);
+
+  EXPECT_THROW(
+      cache.get_or_compute(
+          key,
+          [&]() -> core::ModeCharacterization {
+            throw std::runtime_error("characterization failed");
+          }),
+      std::runtime_error);
+
+  // The in-flight slot is released: the next call computes normally.
+  bool hit = true;
+  const core::ModeCharacterization result =
+      cache.get_or_compute(key, [&] { return profile; }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(ProfileCache::serialize(key, result),
+            ProfileCache::serialize(key, profile));
+}
+
+TEST(ProfileCacheMetrics, CountersMirrorStats) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  obs::MetricsRegistry registry;
+  ProfileCacheConfig config;
+  config.directory.clear();
+  ProfileCache cache(config, &registry);
+
+  const core::CharacterizationKey key = key_for(alu, "metered");
+  EXPECT_FALSE(cache.load(key).has_value());
+  cache.store(key, profile);
+  EXPECT_TRUE(cache.load(key).has_value());
+
+  const auto counters = registry.counter_values();
+  EXPECT_EQ(counters.at("svc.profile_cache.miss"), 1.0);
+  EXPECT_EQ(counters.at("svc.profile_cache.store"), 1.0);
+  EXPECT_EQ(counters.at("svc.profile_cache.hit"), 1.0);
+}
+
+}  // namespace
+}  // namespace approxit::svc

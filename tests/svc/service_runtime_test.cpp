@@ -1,0 +1,222 @@
+// ServiceRuntime semantics: admission control (bounded queue, tenant
+// caps, validation), cache amortization across jobs, and determinism of
+// per-job reports and merged metrics for any worker count.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+namespace {
+
+/// A small fast job: few characterization probes, tight iteration cap.
+JobSpec quick_job(const std::string& dataset = "3cluster",
+                  const std::string& strategy = "incremental") {
+  JobSpec spec;
+  spec.app = "gmm";
+  spec.dataset = dataset;
+  spec.strategy = strategy;
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+ServiceConfig memory_only(std::size_t threads) {
+  ServiceConfig config;
+  config.threads = threads;
+  config.cache.directory.clear();
+  return config;
+}
+
+TEST(ServiceRuntime, RunsAJobEndToEnd) {
+  ServiceRuntime runtime(memory_only(2));
+  std::string error;
+  const auto id = runtime.submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kDone);
+  EXPECT_EQ(snapshot->report.method_name, "gmm_em");
+  EXPECT_EQ(snapshot->report.strategy_name, "incremental");
+  EXPECT_FALSE(snapshot->report_json.empty());
+  EXPECT_FALSE(snapshot->cache_hit);  // First job characterizes.
+  EXPECT_GT(snapshot->report.iterations, 0u);
+
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServiceRuntime, ValidatesSpecsUpFront) {
+  ServiceRuntime runtime(memory_only(1));
+  std::string error;
+
+  JobSpec bad_app = quick_job();
+  bad_app.app = "fft";
+  EXPECT_FALSE(runtime.submit(bad_app, &error).has_value());
+  EXPECT_EQ(error.rfind("bad_request:", 0), 0u) << error;
+
+  JobSpec bad_dataset = quick_job("5cluster");
+  EXPECT_FALSE(runtime.submit(bad_dataset, &error).has_value());
+
+  JobSpec bad_strategy = quick_job("3cluster", "oracle-magic");
+  EXPECT_FALSE(runtime.submit(bad_strategy, &error).has_value());
+
+  JobSpec ar_dataset_on_gmm = quick_job("hangseng");
+  EXPECT_FALSE(runtime.submit(ar_dataset_on_gmm, &error).has_value());
+
+  EXPECT_EQ(runtime.stats().rejected_bad_request, 4u);
+  EXPECT_EQ(runtime.stats().submitted, 0u);
+
+  // The static modes and both apps are accepted by validation.
+  for (const char* strategy :
+       {"incremental", "adaptive", "accurate", "level1", "level4"}) {
+    EXPECT_TRUE(ServiceRuntime::validate(quick_job("3cluster", strategy)))
+        << strategy;
+  }
+  JobSpec ar;
+  ar.app = "ar";
+  ar.dataset = "sp500";
+  EXPECT_TRUE(ServiceRuntime::validate(ar));
+}
+
+TEST(ServiceRuntime, BoundedQueueRejectsWhenFull) {
+  ServiceConfig config = memory_only(1);
+  config.queue_capacity = 2;
+  config.start_paused = true;  // Nothing drains: admission is deterministic.
+  ServiceRuntime runtime(config);
+
+  std::string error;
+  const auto first = runtime.submit(quick_job(), &error);
+  const auto second = runtime.submit(quick_job(), &error);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+
+  EXPECT_FALSE(runtime.submit(quick_job(), &error).has_value());
+  EXPECT_EQ(error, "queue_full");
+  EXPECT_EQ(runtime.stats().rejected_queue_full, 1u);
+  EXPECT_EQ(runtime.stats().queued, 2u);
+
+  runtime.resume();
+  EXPECT_TRUE(runtime.wait(*first));
+  EXPECT_TRUE(runtime.wait(*second));
+  // Capacity freed: admission works again.
+  EXPECT_TRUE(runtime.submit(quick_job(), &error).has_value());
+  runtime.wait_idle();
+}
+
+TEST(ServiceRuntime, PerTenantCapLimitsOnlyThatTenant) {
+  ServiceConfig config = memory_only(1);
+  config.per_tenant_cap = 1;
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  JobSpec tenant_a = quick_job();
+  tenant_a.tenant = "alice";
+  JobSpec tenant_b = quick_job();
+  tenant_b.tenant = "bob";
+
+  std::string error;
+  const auto first = runtime.submit(tenant_a, &error);
+  ASSERT_TRUE(first.has_value());
+
+  // alice is at her cap (1 queued); bob is unaffected.
+  EXPECT_FALSE(runtime.submit(tenant_a, &error).has_value());
+  EXPECT_EQ(error, "tenant_cap");
+  EXPECT_TRUE(runtime.submit(tenant_b, &error).has_value());
+  EXPECT_EQ(runtime.stats().rejected_tenant_cap, 1u);
+
+  runtime.resume();
+  runtime.wait_idle();
+  // Terminal jobs release the cap.
+  EXPECT_TRUE(runtime.submit(tenant_a, &error).has_value());
+  runtime.wait_idle();
+}
+
+TEST(ServiceRuntime, CacheAmortizesAcrossJobsAndStrategies) {
+  ServiceRuntime runtime(memory_only(1));
+  std::string error;
+  // Same workload under two strategies: the characterization key ignores
+  // the strategy, so the second job must hit.
+  const auto first = runtime.submit(quick_job("3cluster", "incremental"));
+  const auto second = runtime.submit(quick_job("3cluster", "adaptive"));
+  ASSERT_TRUE(first && second);
+
+  const auto cold = runtime.result(*first);
+  const auto warm = runtime.result(*second);
+  ASSERT_TRUE(cold && warm);
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->characterization_ms, 0.0);
+
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.stores, 1u);
+}
+
+TEST(ServiceRuntime, ReportsAndMetricsInvariantAcrossWorkerCounts) {
+  const std::vector<JobSpec> jobs = {
+      quick_job("3cluster", "incremental"),
+      quick_job("3cluster", "adaptive"),
+      quick_job("3d3cluster", "incremental"),
+      quick_job("3cluster", "accurate"),
+  };
+
+  std::vector<std::string> reports_per_run[2];
+  std::string metrics_per_run[2];
+  const std::size_t worker_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    ServiceRuntime runtime(memory_only(worker_counts[run]));
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : jobs) {
+      const auto id = runtime.submit(spec);
+      ASSERT_TRUE(id.has_value());
+      ids.push_back(*id);
+    }
+    for (const std::uint64_t id : ids) {
+      const auto snapshot = runtime.result(id);
+      ASSERT_TRUE(snapshot.has_value());
+      EXPECT_EQ(snapshot->state, JobState::kDone);
+      reports_per_run[run].push_back(snapshot->report_json);
+    }
+    obs::MetricsRegistry merged;
+    runtime.collect_metrics(merged);
+    metrics_per_run[run] = merged.to_json();
+  }
+
+  EXPECT_EQ(reports_per_run[0], reports_per_run[1]);
+  EXPECT_EQ(metrics_per_run[0], metrics_per_run[1]);
+}
+
+TEST(ServiceRuntime, ShutdownDrainsQueuedJobs) {
+  ServiceConfig config = memory_only(2);
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = runtime.submit(quick_job());
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  runtime.shutdown();  // Must run the queued jobs, not drop them.
+
+  for (const std::uint64_t id : ids) {
+    const auto snapshot = runtime.status(id);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+  }
+  std::string error;
+  EXPECT_FALSE(runtime.submit(quick_job(), &error).has_value());
+  EXPECT_EQ(error, "shutting_down");
+}
+
+}  // namespace
+}  // namespace approxit::svc

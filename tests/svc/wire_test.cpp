@@ -1,0 +1,94 @@
+// Wire-format coverage: the flat JSON parser accepts exactly what the
+// serving CLI documents (including escapes) and rejects everything else;
+// WireWriter output parses back to the same values.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/wire.h"
+
+namespace approxit::svc {
+namespace {
+
+TEST(WireParse, FlatObjectWithAllValueKinds) {
+  const auto object = parse_wire_object(
+      R"({"op":"submit","tenant":"t 1","max_iterations":40,)"
+      R"("budget":0.25,"keep_trace":true,"negative":-7})");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->get_string("op"), "submit");
+  EXPECT_EQ(object->get_string("tenant"), "t 1");
+  EXPECT_EQ(object->get_int("max_iterations", 0), 40);
+  EXPECT_EQ(object->get_double("budget", 0.0), 0.25);
+  EXPECT_TRUE(object->get_bool("keep_trace", false));
+  EXPECT_EQ(object->get_int("negative", 0), -7);
+  // Defaults for absent keys.
+  EXPECT_EQ(object->get_string("missing", "fallback"), "fallback");
+  EXPECT_EQ(object->get_int("missing", 9), 9);
+  EXPECT_FALSE(object->has("missing"));
+}
+
+TEST(WireParse, EscapesAndWhitespace) {
+  const auto object = parse_wire_object(
+      "  { \"a\" : \"line\\nbreak \\\"quoted\\\" back\\\\slash\" , "
+      "\"b\" : 2 }  ");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->get_string("a"), "line\nbreak \"quoted\" back\\slash");
+  EXPECT_EQ(object->get_int("b", 0), 2);
+
+  const auto empty = parse_wire_object("{}");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->values().empty());
+}
+
+TEST(WireParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_wire_object("", &error).has_value());
+  EXPECT_FALSE(parse_wire_object("not json", &error).has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a":1)", &error).has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a" 1})", &error).has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a":"unterminated})", &error)
+                   .has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a":1} trailing)", &error).has_value());
+  // Nested values are out of contract, by design.
+  EXPECT_FALSE(parse_wire_object(R"({"a":{"b":1}})", &error).has_value());
+  EXPECT_EQ(error, "nested values are not supported");
+  EXPECT_FALSE(parse_wire_object(R"({"a":[1,2]})", &error).has_value());
+}
+
+TEST(WireParse, QuotedNumbersStayStrings) {
+  const auto object = parse_wire_object(R"({"a":"42","b":42})");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_TRUE(object->values().at("a").quoted);
+  EXPECT_FALSE(object->values().at("b").quoted);
+  // get_int parses either representation.
+  EXPECT_EQ(object->get_int("a", 0), 42);
+  EXPECT_EQ(object->get_int("b", 0), 42);
+}
+
+TEST(WireWrite, RoundTripsThroughTheParser) {
+  const std::string line = WireWriter()
+                               .field("op", "status")
+                               .field("id", static_cast<std::int64_t>(17))
+                               .field("ratio", 0.5)
+                               .field("ok", true)
+                               .field("note", "a \"quoted\"\nvalue")
+                               .str();
+  const auto object = parse_wire_object(line);
+  ASSERT_TRUE(object.has_value()) << line;
+  EXPECT_EQ(object->get_string("op"), "status");
+  EXPECT_EQ(object->get_int("id", 0), 17);
+  EXPECT_EQ(object->get_double("ratio", 0.0), 0.5);
+  EXPECT_TRUE(object->get_bool("ok", false));
+  EXPECT_EQ(object->get_string("note"), "a \"quoted\"\nvalue");
+}
+
+TEST(WireWrite, RawEmbedsNestedJsonVerbatim) {
+  const std::string line = WireWriter()
+                               .field("ok", true)
+                               .raw("report", R"({"iterations":12})")
+                               .str();
+  EXPECT_EQ(line, R"({"ok":true,"report":{"iterations":12}})");
+}
+
+}  // namespace
+}  // namespace approxit::svc

@@ -1,0 +1,195 @@
+// approxit_serve: line-delimited JSON front end for svc::ServiceRuntime.
+//
+// Reads one request object per line from stdin, writes one response object
+// per line to stdout (stderr stays free for logs). Operations:
+//
+//   {"op":"submit","app":"gmm","dataset":"3cluster"[,"tenant":...,
+//    "strategy":...,"max_iterations":N,"characterization_iterations":N]}
+//     -> {"ok":true,"op":"submit","id":N} | {"ok":false,"error":"..."}
+//   {"op":"status","id":N}
+//     -> {"ok":true,"op":"status","id":N,"state":"queued|running|done|failed",...}
+//   {"op":"result","id":N}           # blocks until the job is terminal
+//     -> {"ok":true,"op":"result","id":N,"state":...,"cache_hit":...,
+//         "report":{...}}            # report = core::report_to_json
+//   {"op":"stats"}
+//     -> {"ok":true,"op":"stats",...,"metrics":{...}}
+//   {"op":"shutdown"}                # drain, respond, exit 0
+//
+// Flags: --threads N --queue N --tenant-cap N --cache-dir DIR
+//        --cache-capacity N --no-disk-cache
+//
+// Tracing: set APPROXIT_TRACE=path.jsonl as with every other binary; the
+// service emits "svc" submit/job events alongside the session events.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/runtime.h"
+#include "svc/wire.h"
+
+namespace {
+
+using approxit::svc::JobSnapshot;
+using approxit::svc::JobSpec;
+using approxit::svc::ServiceConfig;
+using approxit::svc::ServiceRuntime;
+using approxit::svc::ServiceStats;
+using approxit::svc::WireObject;
+using approxit::svc::WireWriter;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--queue N] [--tenant-cap N]\n"
+               "          [--cache-dir DIR] [--cache-capacity N] "
+               "[--no-disk-cache]\n",
+               argv0);
+  return 2;
+}
+
+JobSpec spec_from_request(const WireObject& request) {
+  JobSpec spec;
+  spec.tenant = request.get_string("tenant", "default");
+  spec.app = request.get_string("app");
+  spec.dataset = request.get_string("dataset");
+  spec.strategy = request.get_string("strategy", "incremental");
+  spec.max_iterations =
+      static_cast<std::size_t>(request.get_int("max_iterations", 0));
+  spec.characterization_iterations = static_cast<std::size_t>(
+      request.get_int("characterization_iterations", 0));
+  spec.keep_trace = request.get_bool("keep_trace", false);
+  return spec;
+}
+
+void append_snapshot(WireWriter& response, const JobSnapshot& snapshot,
+                     bool include_report) {
+  response.field("id", static_cast<std::int64_t>(snapshot.id));
+  response.field("state", approxit::svc::job_state_name(snapshot.state));
+  if (snapshot.state == approxit::svc::JobState::kFailed) {
+    response.field("job_error", snapshot.error);
+  }
+  if (snapshot.state == approxit::svc::JobState::kDone ||
+      snapshot.state == approxit::svc::JobState::kFailed) {
+    response.field("cache_hit", snapshot.cache_hit);
+    response.field("queue_ms", snapshot.queue_ms);
+    response.field("run_ms", snapshot.run_ms);
+    response.field("characterization_ms", snapshot.characterization_ms);
+  }
+  if (include_report &&
+      snapshot.state == approxit::svc::JobState::kDone) {
+    response.raw("report", snapshot.report_json);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--threads") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.threads = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--queue") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.queue_capacity =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--tenant-cap") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.per_tenant_cap =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--cache-dir") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.cache.directory = value;
+    } else if (flag == "--cache-capacity") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.cache.capacity =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--no-disk-cache") {
+      config.cache.directory.clear();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  ServiceRuntime runtime(config);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    WireWriter response;
+    std::string parse_error;
+    const auto request = approxit::svc::parse_wire_object(line, &parse_error);
+    if (!request) {
+      response.field("ok", false).field("error",
+                                        "parse_error: " + parse_error);
+      std::cout << response.str() << '\n' << std::flush;
+      continue;
+    }
+
+    const std::string op = request->get_string("op");
+    if (op == "submit") {
+      std::string error;
+      const auto id = runtime.submit(spec_from_request(*request), &error);
+      if (id) {
+        response.field("ok", true).field("op", op).field(
+            "id", static_cast<std::int64_t>(*id));
+      } else {
+        response.field("ok", false).field("op", op).field("error", error);
+      }
+    } else if (op == "status" || op == "result") {
+      const auto id =
+          static_cast<std::uint64_t>(request->get_int("id", 0));
+      const auto snapshot =
+          op == "result" ? runtime.result(id) : runtime.status(id);
+      if (snapshot) {
+        response.field("ok", true).field("op", op);
+        append_snapshot(response, *snapshot, /*include_report=*/op == "result");
+      } else {
+        response.field("ok", false).field("op", op).field("error",
+                                                          "unknown_job");
+      }
+    } else if (op == "stats") {
+      const ServiceStats stats = runtime.stats();
+      approxit::obs::MetricsRegistry merged;
+      runtime.collect_metrics(merged);
+      response.field("ok", true)
+          .field("op", op)
+          .field("submitted", stats.submitted)
+          .field("completed", stats.completed)
+          .field("failed", stats.failed)
+          .field("queued", stats.queued)
+          .field("running", stats.running)
+          .field("rejected_queue_full", stats.rejected_queue_full)
+          .field("rejected_tenant_cap", stats.rejected_tenant_cap)
+          .field("rejected_bad_request", stats.rejected_bad_request)
+          .field("cache_hits", stats.cache.hits)
+          .field("cache_misses", stats.cache.misses)
+          .field("cache_disk_hits", stats.cache.disk_hits)
+          .field("cache_stores", stats.cache.stores)
+          .field("cache_evictions", stats.cache.evictions)
+          .raw("metrics", merged.to_json());
+    } else if (op == "shutdown") {
+      runtime.shutdown();
+      response.field("ok", true).field("op", op);
+      std::cout << response.str() << '\n' << std::flush;
+      return 0;
+    } else {
+      response.field("ok", false).field("error", "unknown_op: " + op);
+    }
+    std::cout << response.str() << '\n' << std::flush;
+  }
+
+  runtime.shutdown();
+  return 0;
+}
