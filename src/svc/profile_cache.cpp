@@ -131,6 +131,11 @@ std::optional<core::ModeCharacterization> ProfileCache::deserialize(
   if (!read_field(in, "angle_samples", value)) return std::nullopt;
   const std::size_t count =
       static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  // Every sample occupies at least two input bytes ("0\n"); a count beyond
+  // the input size can only come from a corrupted file. Reject it instead
+  // of reserving unbounded memory (malformed input must degrade to a
+  // miss, not throw).
+  if (count > text.size()) return std::nullopt;
   p.angle_samples.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) return std::nullopt;
@@ -188,6 +193,16 @@ void ProfileCache::admit_locked(const core::CharacterizationKey& key,
                                 const core::ModeCharacterization& profile) {
   const auto it = index_.find(key.hash);
   if (it != index_.end()) {
+    if (it->second->key.description != key.description) {
+      // 64-bit collision between distinct descriptions: the slot adopts
+      // the NEW key wholesale. The displaced description then misses on
+      // its next lookup (the stored description no longer matches) —
+      // a collision degrades to a miss, never a wrong hit.
+      APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+          << "hash collision on " << key.id()
+          << "; displacing resident entry";
+      it->second->key = key;
+    }
     it->second->profile = profile;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
@@ -275,7 +290,7 @@ core::ModeCharacterization ProfileCache::get_or_compute(
       return *std::move(profile);
     }
 
-    const auto it = inflight_.find(key.hash);
+    const auto it = inflight_.find(key.description);
     if (it != inflight_.end()) {
       // Another thread is characterizing this key right now: wait for it.
       // Waiters count as hits — the work was amortized.
@@ -292,7 +307,7 @@ core::ModeCharacterization ProfileCache::get_or_compute(
 
     count(&ProfileCacheStats::misses, metric_miss_);
     flight = std::make_shared<InFlight>();
-    inflight_[key.hash] = flight;
+    inflight_[key.description] = flight;
   }
 
   if (cache_hit != nullptr) *cache_hit = false;
@@ -307,7 +322,7 @@ core::ModeCharacterization ProfileCache::get_or_compute(
     }
     flight->cv.notify_all();
     std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(key.hash);
+    inflight_.erase(key.description);
     throw;
   }
 
@@ -320,7 +335,7 @@ core::ModeCharacterization ProfileCache::get_or_compute(
   flight->cv.notify_all();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(key.hash);
+    inflight_.erase(key.description);
   }
   return profile;
 }

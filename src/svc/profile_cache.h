@@ -140,7 +140,9 @@ class ProfileCache final : public core::CharacterizationCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  /// Keyed by the FULL description (not the 64-bit hash) so colliding
+  /// keys never share a flight — a waiter must receive its own profile.
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   ProfileCacheStats stats_;
   obs::Counter* metric_hit_ = nullptr;
   obs::Counter* metric_miss_ = nullptr;

@@ -160,7 +160,9 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
   obs::LaneScope lane(static_cast<std::uint32_t>(worker_index + 1),
                       "svc-worker-" + std::to_string(worker_index));
   while (true) {
-    Job* job = nullptr;
+    std::uint64_t id = 0;
+    JobSpec spec;
+    double queue_ms = 0.0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -173,61 +175,80 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
         if (stopping_ && paused_) paused_ = false;
         continue;
       }
-      const std::uint64_t id = queue_.front();
+      id = queue_.front();
       queue_.pop_front();
-      job = jobs_.at(id).get();
-      job->state = JobState::kRunning;
-      job->queue_ms = (obs::trace_now_us() - job->enqueue_us) / 1000.0;
+      Job& job = *jobs_.at(id);
+      job.state = JobState::kRunning;
+      job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
+      spec = job.spec;
+      queue_ms = job.queue_ms;
       ++running_;
     }
 
     const double start_us = obs::trace_now_us();
     const double start_ms = now_ms();
-    execute(*job);
+    // Runs unlocked, staging everything into locals: a concurrent
+    // status() of this kRunning job only ever sees fields written under
+    // mutex_ (the kRunning transition above, the commit below).
+    ExecResult result = execute(spec);
     const double run_ms = now_ms() - start_ms;
+    const JobState final_state =
+        result.error.empty() ? JobState::kDone : JobState::kFailed;
+    const bool cache_hit = result.cache_hit;
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      job->run_ms = run_ms;
-      job->state = job->error.empty() ? JobState::kDone : JobState::kFailed;
-      if (job->state == JobState::kDone) {
+      Job& job = *jobs_.at(id);
+      job.cache_hit = result.cache_hit;
+      job.error = std::move(result.error);
+      job.report_json = std::move(result.report_json);
+      job.report = std::move(result.report);
+      job.characterization_ms = result.characterization_ms;
+      job.metrics = std::move(result.metrics);
+      job.run_ms = run_ms;
+      job.state = final_state;
+      if (final_state == JobState::kDone) {
         ++tallies_.completed;
       } else {
         ++tallies_.failed;
       }
       --running_;
-      const auto it = tenant_active_.find(job->spec.tenant);
+      const auto it = tenant_active_.find(spec.tenant);
       if (it != tenant_active_.end() && --it->second == 0) {
         tenant_active_.erase(it);
       }
       timing_metrics_.histogram("svc.queue_ms", 0.0, 10000.0, 64)
-          .record(job->queue_ms);
+          .record(queue_ms);
       timing_metrics_.histogram("svc.run_ms", 0.0, 60000.0, 64)
-          .record(job->run_ms);
-      if (!job->cache_hit) {
+          .record(run_ms);
+      if (!cache_hit) {
         timing_metrics_.histogram("svc.characterization_ms", 0.0, 60000.0, 64)
-            .record(job->characterization_ms);
+            .record(job.characterization_ms);
       }
+      ++terminal_retained_;
+      retire_excess_locked();
+      // The Job may have just been retired — only locals below this line.
     }
     if (obs::trace_enabled()) {
-      obs::emit_span(
-          "svc", "job", start_us,
-          {obs::arg("job", static_cast<std::size_t>(job->id)),
-           obs::arg("tenant", job->spec.tenant),
-           obs::arg("app", job->spec.app),
-           obs::arg("dataset", job->spec.dataset),
-           obs::arg("state", job_state_name(job->state)),
-           obs::arg("cache_hit", job->cache_hit)});
+      obs::emit_span("svc", "job", start_us,
+                     {obs::arg("job", static_cast<std::size_t>(id)),
+                      obs::arg("tenant", spec.tenant),
+                      obs::arg("app", spec.app),
+                      obs::arg("dataset", spec.dataset),
+                      obs::arg("state", job_state_name(final_state)),
+                      obs::arg("cache_hit", cache_hit)});
     }
     done_cv_.notify_all();
   }
 }
 
-void ServiceRuntime::execute(Job& job) {
+ServiceRuntime::ExecResult ServiceRuntime::execute(const JobSpec& spec) {
+  ExecResult result;
+  result.metrics = std::make_unique<obs::MetricsRegistry>();
   try {
     core::CharacterizationOptions char_options;
-    if (job.spec.characterization_iterations > 0) {
-      char_options.iterations = job.spec.characterization_iterations;
+    if (spec.characterization_iterations > 0) {
+      char_options.iterations = spec.characterization_iterations;
     }
 
     // Everything a job touches is built from its spec alone: dataset and
@@ -239,7 +260,7 @@ void ServiceRuntime::execute(Job& job) {
                               const std::string& workload_tag) {
       const std::unique_ptr<arith::QcsAlu> alu = prototype.clone_fresh();
       const std::unique_ptr<core::Strategy> strategy =
-          make_strategy(job.spec.strategy);
+          make_strategy(spec.strategy);
 
       const core::CharacterizationKey key = core::characterization_cache_key(
           method, *alu, char_options, workload_tag);
@@ -249,39 +270,40 @@ void ServiceRuntime::execute(Job& job) {
             const double t0 = now_ms();
             core::ModeCharacterization computed =
                 core::characterize(method, *alu, char_options);
-            job.characterization_ms = now_ms() - t0;
+            result.characterization_ms = now_ms() - t0;
             return computed;
           },
-          &job.cache_hit);
+          &result.cache_hit);
 
-      job.report = core::SessionBuilder()
-                       .method(method)
-                       .strategy(*strategy)
-                       .alu(*alu)
-                       .max_iterations(job.spec.max_iterations)
-                       .keep_trace(job.spec.keep_trace)
-                       .metrics(&job.metrics)
-                       .characterization(profile)
-                       .run();
-      job.report_json = core::report_to_json(job.report);
+      result.report = core::SessionBuilder()
+                          .method(method)
+                          .strategy(*strategy)
+                          .alu(*alu)
+                          .max_iterations(spec.max_iterations)
+                          .keep_trace(spec.keep_trace)
+                          .metrics(result.metrics.get())
+                          .characterization(profile)
+                          .run();
+      result.report_json = core::report_to_json(result.report);
     };
 
-    if (job.spec.app == "gmm") {
+    if (spec.app == "gmm") {
       const workloads::GmmDataset dataset =
-          workloads::make_gmm_dataset(*gmm_dataset_id(job.spec.dataset));
+          workloads::make_gmm_dataset(*gmm_dataset_id(spec.dataset));
       apps::GmmEm method(dataset);
       run_with(method, gmm_alu_, dataset.name);
     } else {
       const workloads::TimeSeriesDataset dataset =
-          workloads::make_series_dataset(*series_id(job.spec.dataset));
+          workloads::make_series_dataset(*series_id(spec.dataset));
       apps::AutoRegression method(dataset);
       run_with(method, ar_alu_, dataset.name);
     }
   } catch (const std::exception& error) {
-    job.error = error.what();
+    result.error = error.what();
   } catch (...) {
-    job.error = "unknown error";
+    result.error = "unknown error";
   }
+  return result;
 }
 
 JobSnapshot ServiceRuntime::snapshot_locked(const Job& job) const {
@@ -308,13 +330,51 @@ std::optional<JobSnapshot> ServiceRuntime::status(std::uint64_t id) const {
 
 bool ServiceRuntime::wait(std::uint64_t id) {
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
-  Job* job = it->second.get();
+  if (jobs_.find(id) == jobs_.end()) return false;
+  // Re-find on every wake: the job can be retired (erased) while we wait,
+  // which itself proves it reached a terminal state.
   done_cv_.wait(lock, [&] {
-    return job->state == JobState::kDone || job->state == JobState::kFailed;
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return true;
+    const JobState state = it->second->state;
+    return state == JobState::kDone || state == JobState::kFailed;
   });
   return true;
+}
+
+bool ServiceRuntime::forget(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const JobState state = it->second->state;
+  if (state != JobState::kDone && state != JobState::kFailed) return false;
+  retire_locked(it);
+  return true;
+}
+
+std::map<std::uint64_t, std::unique_ptr<ServiceRuntime::Job>>::iterator
+ServiceRuntime::retire_locked(
+    std::map<std::uint64_t, std::unique_ptr<Job>>::iterator it) {
+  if (it->second->metrics != nullptr) {
+    retired_metrics_.merge(*it->second->metrics);
+  }
+  --terminal_retained_;
+  return jobs_.erase(it);
+}
+
+void ServiceRuntime::retire_excess_locked() {
+  if (config_.retain_terminal == 0) return;
+  // jobs_ is id-ordered, so this retires the lowest-id terminal jobs;
+  // the (bounded) queued/running prefix is skipped, never erased.
+  auto it = jobs_.begin();
+  while (terminal_retained_ > config_.retain_terminal && it != jobs_.end()) {
+    const JobState state = it->second->state;
+    if (state == JobState::kDone || state == JobState::kFailed) {
+      it = retire_locked(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::optional<JobSnapshot> ServiceRuntime::result(std::uint64_t id) {
@@ -338,11 +398,15 @@ ServiceStats ServiceRuntime::stats() const {
 
 void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // jobs_ is id-ordered (std::map); merging terminal jobs in that fixed
-  // order makes the aggregate thread-count-invariant.
+  // Retired jobs first, then jobs_ in id order (std::map); merging in that
+  // fixed order makes the counter/histogram aggregate
+  // thread-count-invariant (see the collect_metrics declaration for the
+  // gauge caveat under retirement).
+  out.merge(retired_metrics_);
   for (const auto& [id, job] : jobs_) {
-    if (job->state == JobState::kDone || job->state == JobState::kFailed) {
-      out.merge(job->metrics);
+    if (job->metrics != nullptr &&
+        (job->state == JobState::kDone || job->state == JobState::kFailed)) {
+      out.merge(*job->metrics);
     }
   }
   out.merge(cache_metrics_);

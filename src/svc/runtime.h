@@ -19,6 +19,12 @@
 //    (method, workload, ALU, options) tuple characterize ONCE per process
 //    — or zero times after a warm restart, via the cache's disk tier.
 //
+// Retention: terminal jobs stay queryable via status()/result() until the
+// retain_terminal bound is hit; beyond it the lowest-id terminal jobs are
+// retired — snapshot dropped, metrics folded into a persistent aggregate —
+// so memory is bounded for arbitrarily long job streams. forget() retires
+// a terminal job eagerly.
+//
 // Metrics determinism: each job writes into its own MetricsRegistry;
 // collect_metrics() merges them in job-id order plus the cache counters,
 // so the merged registry is identical for any thread count (single-flight
@@ -54,6 +60,11 @@ struct ServiceConfig {
   /// Max queued+running jobs per tenant; 0 disables the cap. Beyond it
   /// submissions are rejected with "tenant_cap".
   std::size_t per_tenant_cap = 0;
+  /// Max terminal (done/failed) jobs retained for status()/result();
+  /// beyond it the lowest-id terminal job is retired — its metrics fold
+  /// into a persistent aggregate (collect_metrics stays complete) and its
+  /// snapshot is forgotten. 0 retains every job forever.
+  std::size_t retain_terminal = 1024;
   /// Shared characterization-profile cache configuration.
   ProfileCacheConfig cache;
   /// Start with the workers paused (admission still open) — lets tests
@@ -139,20 +150,29 @@ class ServiceRuntime {
   std::optional<JobSnapshot> status(std::uint64_t id) const;
 
   /// Blocks until the job is terminal, then returns its snapshot; nullopt
-  /// for unknown ids.
+  /// for unknown (or already-retired) ids.
   std::optional<JobSnapshot> result(std::uint64_t id);
 
-  /// Blocks until the job is terminal. False for unknown ids.
+  /// Blocks until the job is terminal. False for unknown ids; true if the
+  /// job is retired while being waited on (it was terminal to be retired).
   bool wait(std::uint64_t id);
+
+  /// Retires a terminal job now: folds its metrics into the persistent
+  /// aggregate and drops its snapshot. False for unknown or still
+  /// queued/running ids.
+  bool forget(std::uint64_t id);
 
   /// Blocks until the queue is empty and no job is running.
   void wait_idle();
 
   ServiceStats stats() const;
 
-  /// Merges the DETERMINISTIC metrics — per-job registries in job-id order
-  /// (terminal jobs only), then the profile-cache counters — into `out`.
-  /// Identical for any worker count over the same job sequence.
+  /// Merges the DETERMINISTIC metrics — the retired-job aggregate, then
+  /// per-job registries in job-id order (terminal jobs only), then the
+  /// profile-cache counters — into `out`. Counters and histograms are
+  /// identical for any worker count over the same job sequence; gauges are
+  /// too as long as at least one RETAINED job wrote them (retirement folds
+  /// gauges in completion order, but any retained writer overrides).
   void collect_metrics(obs::MetricsRegistry& out) const;
 
   /// Wall-clock service metrics (svc.queue_ms / svc.run_ms /
@@ -174,7 +194,7 @@ class ServiceRuntime {
  private:
   struct Job {
     std::uint64_t id = 0;
-    JobSpec spec;
+    JobSpec spec;  ///< Immutable after submit().
     JobState state = JobState::kQueued;
     bool cache_hit = false;
     std::string error;
@@ -184,16 +204,38 @@ class ServiceRuntime {
     double queue_ms = 0.0;
     double run_ms = 0.0;
     double characterization_ms = 0.0;
-    obs::MetricsRegistry metrics;  ///< Written only while running.
+    /// Set (moved in) at the terminal transition; null before.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+  };
+
+  /// execute()'s staging area. The worker runs the whole session into
+  /// these locals and commits them to the Job under mutex_ alongside the
+  /// terminal state transition, so status()/result() never observe a
+  /// half-written running job.
+  struct ExecResult {
+    bool cache_hit = false;
+    std::string error;
+    std::string report_json;
+    core::RunReport report;
+    double characterization_ms = 0.0;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
   };
 
   void worker_loop(std::size_t worker_index);
 
-  /// Builds everything from the spec and runs the session. Fills the
-  /// job's result fields; never throws (failures land in job.error).
-  void execute(Job& job);
+  /// Builds everything from the spec and runs the session. Never throws
+  /// (failures land in the result's error). Touches no Job state.
+  ExecResult execute(const JobSpec& spec);
 
   JobSnapshot snapshot_locked(const Job& job) const;
+
+  /// Folds the job's metrics into retired_metrics_ and erases it.
+  /// Caller must hold mutex_; the job must be terminal.
+  std::map<std::uint64_t, std::unique_ptr<Job>>::iterator retire_locked(
+      std::map<std::uint64_t, std::unique_ptr<Job>>::iterator it);
+
+  /// Retires lowest-id terminal jobs until at most retain_terminal remain.
+  void retire_excess_locked();
 
   ServiceConfig config_;
   obs::MetricsRegistry cache_metrics_;   ///< svc.profile_cache.* counters.
@@ -206,6 +248,8 @@ class ServiceRuntime {
   std::condition_variable work_cv_;  ///< Queue/pause/stop changes.
   std::condition_variable done_cv_;  ///< Job completions.
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  obs::MetricsRegistry retired_metrics_;  ///< Aggregate of retired jobs.
+  std::size_t terminal_retained_ = 0;     ///< Terminal jobs still in jobs_.
   std::deque<std::uint64_t> queue_;
   std::map<std::string, std::size_t> tenant_active_;
   std::uint64_t next_id_ = 1;

@@ -51,9 +51,13 @@ bool parse_string(std::string_view line, std::size_t& pos,
           // accepted: \u00XX.
           if (pos + 5 >= line.size()) return false;
           const std::string hex(line.substr(pos + 2, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4 || code > 0xFF) return false;
+          // All four characters must be hex digits — strtol on the slice
+          // would also accept a leading sign or whitespace.
+          for (const char h : hex) {
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+          }
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          if (code > 0xFF) return false;
           out.push_back(static_cast<char>(code));
           pos += 4;
           break;

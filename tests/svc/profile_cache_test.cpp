@@ -233,6 +233,49 @@ TEST(ProfileCacheDisk, HashCollisionDegradesToMiss) {
   EXPECT_FALSE(fresh.load(forged).has_value());
 }
 
+TEST(ProfileCacheLru, CollisionAdmitDisplacesInsteadOfCorrupting) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "victim");
+  ProfileCacheConfig config;
+  config.directory.clear();  // Memory-only: the displaced key must MISS.
+  ProfileCache cache(config);
+  cache.store(key, profile);
+
+  core::CharacterizationKey forged;
+  forged.hash = key.hash;
+  forged.description = key.description + "|forged";
+  core::ModeCharacterization other = profile;
+  other.objective_scale += 1.0;
+  cache.store(forged, other);
+
+  // The colliding store adopts the slot wholesale: the forged key reads
+  // back its own profile...
+  const auto hit = cache.load(forged);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->objective_scale, other.objective_scale);
+  // ...and the displaced key degrades to a miss — never the other key's
+  // profile under the stale description.
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(ProfileCacheSerialization, RejectsOversizedAngleSampleCount) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "oversized");
+  std::string text = ProfileCache::serialize(key, profile);
+
+  // Corrupt the sample count to a value that cannot fit in the input;
+  // deserialize must degrade to nullopt, not reserve/throw.
+  const std::string needle = "angle_samples ";
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos + needle.size(), eol - (pos + needle.size()),
+               "18446744073709551615");
+  EXPECT_FALSE(ProfileCache::deserialize(text, key).has_value());
+}
+
 TEST(ProfileCacheSingleFlight, ConcurrentRequestsComputeOnce) {
   arith::QcsAlu alu;
   const core::ModeCharacterization profile = sample_profile(alu);
@@ -267,6 +310,40 @@ TEST(ProfileCacheSingleFlight, ConcurrentRequestsComputeOnce) {
   for (const std::string& text : serialized) {
     EXPECT_EQ(text, serialized[0]);
   }
+}
+
+TEST(ProfileCacheSingleFlight, CollidingKeysDoNotShareAFlight) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "inflight-victim");
+  core::CharacterizationKey forged;
+  forged.hash = key.hash;
+  forged.description = key.description + "|forged";
+  core::ModeCharacterization other = profile;
+  other.objective_scale += 1.0;
+
+  ProfileCacheConfig config;
+  config.directory.clear();
+  ProfileCache cache(config);
+
+  // Hold a flight open for `key`; a concurrent request for the COLLIDING
+  // key must run its own compute, not wait and adopt the wrong profile.
+  std::atomic<bool> started{false};
+  std::thread slow([&] {
+    cache.get_or_compute(key, [&] {
+      started = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      return profile;
+    });
+  });
+  while (!started) std::this_thread::yield();
+
+  bool hit = true;
+  const core::ModeCharacterization result =
+      cache.get_or_compute(forged, [&] { return other; }, &hit);
+  slow.join();
+  EXPECT_FALSE(hit);  // Own compute, not a single-flight wait.
+  EXPECT_EQ(result.objective_scale, other.objective_scale);
 }
 
 TEST(ProfileCacheSingleFlight, ComputeFailurePropagatesAndClears) {

@@ -195,6 +195,83 @@ TEST(ServiceRuntime, ReportsAndMetricsInvariantAcrossWorkerCounts) {
   EXPECT_EQ(metrics_per_run[0], metrics_per_run[1]);
 }
 
+TEST(ServiceRuntime, StatusWhileRunningSeesOnlyCommittedStates) {
+  // Regression for a data race: execute() used to write result fields
+  // into the live Job unlocked while status() copied them. Poll hard
+  // while the job runs — every snapshot must be internally consistent.
+  ServiceRuntime runtime(memory_only(1));
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+
+  while (true) {
+    const auto snapshot = runtime.status(*id);
+    ASSERT_TRUE(snapshot.has_value());
+    if (snapshot->state == JobState::kQueued ||
+        snapshot->state == JobState::kRunning) {
+      // Result fields commit atomically with the terminal transition:
+      // a non-terminal snapshot never exposes partial results.
+      EXPECT_TRUE(snapshot->report_json.empty());
+      EXPECT_TRUE(snapshot->error.empty());
+      continue;
+    }
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+    EXPECT_FALSE(snapshot->report_json.empty());
+    break;
+  }
+  runtime.wait_idle();
+}
+
+TEST(ServiceRuntime, RetiresTerminalJobsBeyondRetentionBound) {
+  ServiceConfig config = memory_only(2);
+  config.retain_terminal = 2;
+  ServiceRuntime runtime(config);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    const auto id = runtime.submit(quick_job());
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  runtime.wait_idle();
+
+  // Lowest ids retire first; the newest retain_terminal survive.
+  EXPECT_FALSE(runtime.status(ids[0]).has_value());
+  EXPECT_FALSE(runtime.status(ids[1]).has_value());
+  EXPECT_FALSE(runtime.status(ids[2]).has_value());
+  ASSERT_TRUE(runtime.status(ids[3]).has_value());
+  ASSERT_TRUE(runtime.status(ids[4]).has_value());
+  EXPECT_EQ(runtime.status(ids[4])->state, JobState::kDone);
+
+  // Retired jobs' metrics fold into the aggregate: nothing is lost.
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  EXPECT_EQ(merged.counter_values().at("session.runs"), 5.0);
+  // Tallies are unaffected by retirement.
+  EXPECT_EQ(runtime.stats().completed, 5u);
+}
+
+TEST(ServiceRuntime, ForgetRetiresOnlyTerminalJobs) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(runtime.forget(*id));  // Still queued.
+  EXPECT_FALSE(runtime.forget(*id + 99));  // Unknown.
+
+  runtime.resume();
+  ASSERT_TRUE(runtime.wait(*id));
+  EXPECT_TRUE(runtime.forget(*id));
+  EXPECT_FALSE(runtime.status(*id).has_value());
+  EXPECT_FALSE(runtime.forget(*id));  // Already retired.
+
+  // The forgotten job's metrics survive in the aggregate.
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  EXPECT_EQ(merged.counter_values().at("session.runs"), 1.0);
+}
+
 TEST(ServiceRuntime, ShutdownDrainsQueuedJobs) {
   ServiceConfig config = memory_only(2);
   config.start_paused = true;

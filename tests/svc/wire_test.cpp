@@ -40,6 +40,24 @@ TEST(WireParse, EscapesAndWhitespace) {
   EXPECT_TRUE(empty->values().empty());
 }
 
+TEST(WireParse, UnicodeEscapesAreControlByteOnly) {
+  // json_escape only ever emits \u00XX for control bytes; the parser
+  // accepts exactly that.
+  const auto object = parse_wire_object(R"({"a":"tab\u0009end"})");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->get_string("a"), "tab\tend");
+
+  std::string error;
+  // Beyond one byte.
+  EXPECT_FALSE(parse_wire_object(R"({"a":"\u0100"})", &error).has_value());
+  // Non-hex digits — including a sign, which strtol would swallow.
+  EXPECT_FALSE(parse_wire_object(R"({"a":"\u-012"})", &error).has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a":"\u 041"})", &error).has_value());
+  EXPECT_FALSE(parse_wire_object(R"({"a":"\u00gh"})", &error).has_value());
+  // Truncated escape.
+  EXPECT_FALSE(parse_wire_object(R"({"a":"\u00"})", &error).has_value());
+}
+
 TEST(WireParse, RejectsMalformedInput) {
   std::string error;
   EXPECT_FALSE(parse_wire_object("", &error).has_value());

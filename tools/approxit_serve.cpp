@@ -13,10 +13,16 @@
 //         "report":{...}}            # report = core::report_to_json
 //   {"op":"stats"}
 //     -> {"ok":true,"op":"stats",...,"metrics":{...}}
+//   {"op":"forget","id":N}           # drop a terminal job's snapshot
+//     -> {"ok":true,"op":"forget","id":N} | {"ok":false,"error":"..."}
 //   {"op":"shutdown"}                # drain, respond, exit 0
 //
-// Flags: --threads N --queue N --tenant-cap N --cache-dir DIR
+// Flags: --threads N --queue N --tenant-cap N --retain N --cache-dir DIR
 //        --cache-capacity N --no-disk-cache
+//
+// --retain bounds how many terminal job snapshots stay queryable (oldest
+// retire first, their metrics folded into the stats aggregate); 0 retains
+// everything.
 //
 // Tracing: set APPROXIT_TRACE=path.jsonl as with every other binary; the
 // service emits "svc" submit/job events alongside the session events.
@@ -43,8 +49,8 @@ using approxit::svc::WireWriter;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--queue N] [--tenant-cap N]\n"
-               "          [--cache-dir DIR] [--cache-capacity N] "
-               "[--no-disk-cache]\n",
+               "          [--retain N] [--cache-dir DIR] "
+               "[--cache-capacity N] [--no-disk-cache]\n",
                argv0);
   return 2;
 }
@@ -105,6 +111,11 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
       config.per_tenant_cap =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--retain") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.retain_terminal =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else if (flag == "--cache-dir") {
       const char* value = next();
@@ -179,6 +190,16 @@ int main(int argc, char** argv) {
           .field("cache_stores", stats.cache.stores)
           .field("cache_evictions", stats.cache.evictions)
           .raw("metrics", merged.to_json());
+    } else if (op == "forget") {
+      const auto id =
+          static_cast<std::uint64_t>(request->get_int("id", 0));
+      if (runtime.forget(id)) {
+        response.field("ok", true).field("op", op).field(
+            "id", static_cast<std::int64_t>(id));
+      } else {
+        response.field("ok", false).field("op", op).field(
+            "error", "unknown_or_active_job");
+      }
     } else if (op == "shutdown") {
       runtime.shutdown();
       response.field("ok", true).field("op", op);
