@@ -1,23 +1,31 @@
 // Throughput bench: the repo's perf-trajectory anchor. Measures
-//   (1) adds/sec through QcsAlu::accumulate, scalar fold vs batched
-//       word-parallel kernels, per approximation mode;
-//   (2) end-to-end wall time of the GMM and AutoRegression sessions with
+//   (1) adds/sec through QcsAlu::accumulate per approximation mode and
+//       per datapath tier: scalar fold, word-parallel kernels on the
+//       portable backend, and the runtime-dispatched SIMD backend;
+//   (2) fused-chain throughput: the dot→sub and accumulate→add shapes via
+//       plain chained context calls vs the word-resident BatchWorkspace;
+//   (3) end-to-end wall time of the GMM and AutoRegression sessions with
 //       batching off vs on;
-//   (3) the GMM configuration sweep, serial vs thread-pool parallel.
+//   (4) the GMM configuration sweep, serial vs thread-pool parallel.
 // Every speed comparison also checks that the fast path reproduces the
 // slow path bit-for-bit — a perf number from a wrong answer is worthless.
-// Emits bench_artifacts/BENCH_throughput.json for CI archiving, so
+// Emits bench_artifacts/BENCH_throughput.json for CI archiving (the
+// release job gates on its bit_identical flags and the GMM speedup), so
 // regressions show up as artifact diffs across commits.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/autoregression.h"
 #include "apps/gmm.h"
+#include "arith/simd_kernels.h"
+#include "arith/workspace.h"
 #include "bench/common.h"
 #include "core/static_strategy.h"
 #include "core/sweep.h"
@@ -39,7 +47,9 @@ double elapsed_ms(Clock::time_point start) {
 struct ModeThroughput {
   std::string mode;
   double scalar_adds_per_sec = 0.0;
-  double batched_adds_per_sec = 0.0;
+  double portable_adds_per_sec = 0.0;  ///< word kernels, portable tier
+  double simd_adds_per_sec = 0.0;      ///< word kernels, dispatched tier
+  double batched_adds_per_sec = 0.0;   ///< == simd tier (baseline key)
   bool bit_identical = false;
 };
 
@@ -63,16 +73,23 @@ ModeThroughput measure_mode(arith::ApproxMode mode,
   ModeThroughput out;
   out.mode = std::string(arith::mode_name(mode));
 
-  // Identity first: the batched fold must reproduce the scalar fold
-  // bit-for-bit (and the ledger must count the same ops) before either
-  // path's speed means anything.
+  // Identity first: every tier must reproduce the scalar fold bit-for-bit
+  // (and the ledger must count the same ops) before any path's speed
+  // means anything.
   alu.set_batching(false);
   const double scalar_value = alu.accumulate(values);
   const std::size_t scalar_ops = alu.ledger().total_ops();
   alu.reset_ledger();
   alu.set_batching(true);
-  const double batched_value = alu.accumulate(values);
-  out.bit_identical = scalar_value == batched_value &&
+  arith::simd::set_tier_override(arith::simd::Tier::kPortable);
+  const double portable_value = alu.accumulate(values);
+  const std::size_t portable_ops = alu.ledger().total_ops();
+  alu.reset_ledger();
+  arith::simd::set_tier_override(std::nullopt);
+  const double simd_value = alu.accumulate(values);
+  out.bit_identical = scalar_value == portable_value &&
+                      scalar_value == simd_value &&
+                      scalar_ops == portable_ops &&
                       alu.ledger().total_ops() == scalar_ops;
   alu.reset_ledger();
 
@@ -81,8 +98,59 @@ ModeThroughput measure_mode(arith::ApproxMode mode,
   out.scalar_adds_per_sec = adds_per_sec(alu, values, 24, sink);
   alu.reset_ledger();
   alu.set_batching(true);
-  out.batched_adds_per_sec = adds_per_sec(alu, values, 384, sink);
+  arith::simd::set_tier_override(arith::simd::Tier::kPortable);
+  out.portable_adds_per_sec = adds_per_sec(alu, values, 384, sink);
+  alu.reset_ledger();
+  arith::simd::set_tier_override(std::nullopt);
+  out.simd_adds_per_sec = adds_per_sec(alu, values, 384, sink);
+  out.batched_adds_per_sec = out.simd_adds_per_sec;
   if (sink == 0.125) std::printf(" ");  // keep `sink` observable
+  return out;
+}
+
+struct FusedTiming {
+  std::string mode;
+  double unfused_chains_per_sec = 0.0;  ///< chained context calls
+  double fused_chains_per_sec = 0.0;    ///< word-resident BatchWorkspace
+  bool bit_identical = false;
+};
+
+/// Times the two application chain shapes — residual (dot then subtract)
+/// and gradient reduction (accumulate then add) — as plain chained
+/// context calls vs one fused word-resident chain.
+FusedTiming measure_fused(arith::ApproxMode mode,
+                          const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  arith::QcsAlu alu;
+  alu.set_mode(mode);
+  arith::BatchWorkspace ws(alu);
+  FusedTiming out;
+  out.mode = std::string(arith::mode_name(mode));
+
+  const double unfused_resid = alu.sub(alu.dot(x, y), 1.25);
+  const double unfused_grad = alu.add(alu.accumulate(x), -3.5);
+  out.bit_identical = ws.dot_sub(x, y, 1.25) == unfused_resid &&
+                      ws.accumulate_add(x, -3.5) == unfused_grad;
+
+  constexpr std::size_t kReps = 1 << 16;
+  double sink = 0.0;
+  auto start = Clock::now();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    sink += alu.sub(alu.dot(x, y), 1.25);
+    sink += alu.add(alu.accumulate(x), -3.5);
+  }
+  const double unfused_ms = elapsed_ms(start);
+  start = Clock::now();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    sink += ws.dot_sub(x, y, 1.25);
+    sink += ws.accumulate_add(x, -3.5);
+  }
+  const double fused_ms = elapsed_ms(start);
+  const double chains = static_cast<double>(2 * kReps);
+  out.unfused_chains_per_sec =
+      unfused_ms > 0.0 ? chains / (unfused_ms / 1e3) : 0.0;
+  out.fused_chains_per_sec = fused_ms > 0.0 ? chains / (fused_ms / 1e3) : 0.0;
+  if (sink == 0.125) std::printf(" ");
   return out;
 }
 
@@ -143,7 +211,10 @@ SweepTiming measure_sweep() {
   };
 
   SweepTiming out;
-  out.threads = util::default_thread_count();
+  // Default the parallel arm to the hardware thread count (at least 2 so
+  // the pool is actually exercised on single-core CI runners); the JSON
+  // records the count actually used.
+  out.threads = std::max<std::size_t>(2, util::default_thread_count());
   core::SweepOptions options;
 
   arith::QcsAlu serial_alu;
@@ -181,9 +252,15 @@ int run() {
   std::vector<double> values(1 << 14);
   for (double& v : values) v = rng.uniform(-4.0, 4.0);
 
-  util::Table mode_table("accumulate() throughput (adds/sec)");
+  const char* detected_tier =
+      arith::simd::tier_name(arith::simd::detected_tier());
+  const char* active_tier = arith::simd::tier_name(arith::simd::active_tier());
+  std::printf("SIMD dispatch: detected=%s active=%s\n\n", detected_tier,
+              active_tier);
+
+  util::Table mode_table("accumulate() throughput (adds/sec) by tier");
   mode_table.set_header(
-      {"Mode", "Scalar", "Batched", "Speedup", "Bit-identical"});
+      {"Mode", "Scalar", "Word", "SIMD", "Speedup", "Bit-identical"});
   mode_table.set_align(0, util::Align::kLeft);
   std::vector<ModeThroughput> modes;
   for (arith::ApproxMode mode : arith::kAllModes) {
@@ -191,11 +268,37 @@ int run() {
     const ModeThroughput& m = modes.back();
     mode_table.add_row(
         {m.mode, util::format_sig(m.scalar_adds_per_sec, 3),
-         util::format_sig(m.batched_adds_per_sec, 3),
-         util::format_sig(m.batched_adds_per_sec / m.scalar_adds_per_sec, 3),
+         util::format_sig(m.portable_adds_per_sec, 3),
+         util::format_sig(m.simd_adds_per_sec, 3),
+         util::format_sig(m.simd_adds_per_sec / m.scalar_adds_per_sec, 3),
          m.bit_identical ? "yes" : "NO"});
   }
   std::cout << mode_table << "\n";
+
+  util::Table fused_table("Fused chain throughput (chains/sec)");
+  fused_table.set_header(
+      {"Mode", "Chained calls", "Fused", "Speedup", "Bit-identical"});
+  fused_table.set_align(0, util::Align::kLeft);
+  std::vector<FusedTiming> fused;
+  {
+    // Short spans matching the application chain shapes (the AR residual
+    // is a dot over ~10 lags): here the per-link conversions the fusion
+    // removes are a large fraction of the chain.
+    std::vector<double> fx(16), fy(16);
+    for (double& v : fx) v = rng.uniform(-4.0, 4.0);
+    for (double& v : fy) v = rng.uniform(-4.0, 4.0);
+    for (arith::ApproxMode mode : arith::kAllModes) {
+      fused.push_back(measure_fused(mode, fx, fy));
+      const FusedTiming& f = fused.back();
+      fused_table.add_row(
+          {f.mode, util::format_sig(f.unfused_chains_per_sec, 3),
+           util::format_sig(f.fused_chains_per_sec, 3),
+           util::format_sig(
+               f.fused_chains_per_sec / f.unfused_chains_per_sec, 3),
+           f.bit_identical ? "yes" : "NO"});
+    }
+  }
+  std::cout << fused_table << "\n";
 
   util::Table app_table("End-to-end session wall time (level2 static)");
   app_table.set_header(
@@ -237,15 +340,31 @@ int run() {
   std::cout << sweep_table << "\n";
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"throughput\",\n  \"modes\": [\n";
+  json << "{\n  \"bench\": \"throughput\",\n  \"simd\": {\"detected_tier\": \""
+       << detected_tier << "\", \"active_tier\": \"" << active_tier
+       << "\", \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "},\n  \"modes\": [\n";
   for (std::size_t i = 0; i < modes.size(); ++i) {
     const ModeThroughput& m = modes[i];
     json << "    {\"mode\": \"" << m.mode << "\", \"scalar_adds_per_sec\": "
-         << m.scalar_adds_per_sec << ", \"batched_adds_per_sec\": "
+         << m.scalar_adds_per_sec << ", \"portable_adds_per_sec\": "
+         << m.portable_adds_per_sec << ", \"simd_adds_per_sec\": "
+         << m.simd_adds_per_sec << ", \"batched_adds_per_sec\": "
          << m.batched_adds_per_sec << ", \"speedup\": "
          << m.batched_adds_per_sec / m.scalar_adds_per_sec
          << ", \"bit_identical\": " << (m.bit_identical ? "true" : "false")
          << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"fused_chains\": [\n";
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    const FusedTiming& f = fused[i];
+    json << "    {\"mode\": \"" << f.mode
+         << "\", \"unfused_chains_per_sec\": " << f.unfused_chains_per_sec
+         << ", \"fused_chains_per_sec\": " << f.fused_chains_per_sec
+         << ", \"speedup\": "
+         << f.fused_chains_per_sec / f.unfused_chains_per_sec
+         << ", \"bit_identical\": " << (f.bit_identical ? "true" : "false")
+         << "}" << (i + 1 < fused.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"end_to_end\": [\n";
   for (std::size_t i = 0; i < apps_timing.size(); ++i) {
@@ -269,6 +388,7 @@ int run() {
 
   bool ok = sweep.identical;
   for (const ModeThroughput& m : modes) ok = ok && m.bit_identical;
+  for (const FusedTiming& f : fused) ok = ok && f.bit_identical;
   for (const EndToEnd& a : apps_timing) ok = ok && a.identical;
   if (!ok) {
     std::printf("FAIL: fast path diverged from reference path\n");

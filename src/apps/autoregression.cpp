@@ -83,16 +83,32 @@ AutoRegression::AutoRegression(const workloads::TimeSeriesDataset& dataset,
 }
 
 void AutoRegression::reset() {
+  const std::size_t m = targets_.size();
+  const std::size_t p = coefficients_.size();
+  // Size every iteration arena up front so iterate() never allocates.
+  pred_.assign(m, 0.0);
+  w_prev_.assign(p, 0.0);
+  monitor_grad_.assign(p, 0.0);
+  exact_resid_.assign(m, 0.0);
+  abs_resid_.assign(m, 0.0);
+  sorted_.assign(m, 0.0);
+  resid_.assign(m, 0.0);
+  grad_.assign(p, 0.0);
+  resilient_terms_.clear();
+  resilient_terms_.reserve(m);
+  scaled_grad_.assign(p, 0.0);
+  step_vec_.assign(p, 0.0);
+
   std::fill(coefficients_.begin(), coefficients_.end(), 0.0);
   current_objective_ = objective_at(coefficients_);
   iteration_ = 0;
 }
 
-double AutoRegression::objective_at(std::span<const double> w) const {
-  const std::vector<double> pred = design_.matvec(w);
+double AutoRegression::objective_at(std::span<const double> w) {
+  design_.matvec(w, pred_);
   double s = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double r = pred[i] - targets_[i];
+  for (std::size_t i = 0; i < pred_.size(); ++i) {
+    const double r = pred_[i] - targets_[i];
     s += r * r;
   }
   return 0.5 * s / static_cast<double>(targets_.size());
@@ -102,51 +118,44 @@ double AutoRegression::mean_squared_error() const {
   return 2.0 * current_objective_;
 }
 
-std::vector<double> AutoRegression::exact_gradient(
-    std::span<const double> w) const {
-  const std::size_t m = targets_.size();
-  const std::size_t p = coefficients_.size();
-  std::vector<double> pred = design_.matvec(w);
-  for (std::size_t i = 0; i < m; ++i) pred[i] -= targets_[i];
-  std::vector<double> grad = design_.matvec_transposed(pred);
-  for (std::size_t j = 0; j < p; ++j) grad[j] /= static_cast<double>(m);
-  return grad;
-}
-
 opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
   const std::size_t m = targets_.size();
   const std::size_t p = coefficients_.size();
-  const std::vector<double> w_prev = coefficients_;
+  w_prev_ = coefficients_;
   const double f_prev = current_objective_;
+  ws_.bind(ctx);
 
-  // Exact monitor gradient (framework part).
-  const std::vector<double> monitor_grad = exact_gradient(w_prev);
-
-  // Residuals through the context for resilient samples; the per-iteration
-  // 80% confidence threshold comes from the exact residual magnitudes.
-  std::vector<double> exact_resid = design_.matvec(w_prev);
-  for (std::size_t i = 0; i < m; ++i) exact_resid[i] -= targets_[i];
-  std::vector<double> abs_resid(m);
-  for (std::size_t i = 0; i < m; ++i) abs_resid[i] = std::abs(exact_resid[i]);
+  // Exact residuals, shared by the monitor gradient (framework part) and
+  // the per-iteration 80% confidence threshold.
+  design_.matvec(w_prev_, exact_resid_);
+  for (std::size_t i = 0; i < m; ++i) exact_resid_[i] -= targets_[i];
+  design_.matvec_transposed(exact_resid_, monitor_grad_);
+  for (std::size_t j = 0; j < p; ++j) {
+    monitor_grad_[j] /= static_cast<double>(m);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    abs_resid_[i] = std::abs(exact_resid_[i]);
+  }
   double threshold = -1.0;  // resilient_fraction == 0: nothing qualifies
   if (resilient_fraction_ > 0.0) {
-    std::vector<double> sorted = abs_resid;
+    sorted_ = abs_resid_;
     const std::size_t cut = std::min(
         m - 1, static_cast<std::size_t>(resilient_fraction_ *
                                         static_cast<double>(m)));
-    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(cut),
-                     sorted.end());
-    threshold = sorted[cut];
+    std::nth_element(sorted_.begin(), sorted_.begin() + static_cast<long>(cut),
+                     sorted_.end());
+    threshold = sorted_[cut];
   }
 
-  // Gradient: context-routed for in-confidence samples, exact for tails.
-  std::vector<double> grad(p, 0.0);
-  std::vector<double> resid(m, 0.0);
+  // Residuals through the context for resilient samples. The dot-then-
+  // subtract chain stays word-resident on the QCS fast path (one quantize
+  // of the running sum instead of one per link); on any other context it
+  // degrades to exactly ctx.sub(ctx.dot(...), ...).
   for (std::size_t i = 0; i < m; ++i) {
-    if (abs_resid[i] <= threshold) {
-      resid[i] = ctx.sub(ctx.dot(design_.row(i), coefficients_), targets_[i]);
+    if (abs_resid_[i] <= threshold) {
+      resid_[i] = ws_.dot_sub(design_.row(i), coefficients_, targets_[i]);
     } else {
-      resid[i] = exact_resid[i];
+      resid_[i] = exact_resid_[i];
     }
   }
   // Raw terms accumulate through the context (the AR benches configure a
@@ -154,38 +163,38 @@ opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
   // sums); the final 1/m normalization is an exact scalar divide. The
   // in-confidence terms are gathered (in sample order) into one batched
   // reduction per coefficient; the exact tail is summed in plain floating
-  // point and joined with a single context add when both parts exist.
-  std::vector<double> resilient_terms;
-  resilient_terms.reserve(m);
+  // point and joined with a single context add when both parts exist —
+  // chained word-resident via the workspace on the QCS fast path.
   for (std::size_t j = 0; j < p; ++j) {
-    resilient_terms.clear();
+    resilient_terms_.clear();
     double exact_tail = 0.0;
     bool has_exact = false;
     for (std::size_t i = 0; i < m; ++i) {
-      const double term = design_(i, j) * resid[i];
-      if (abs_resid[i] <= threshold) {
-        resilient_terms.push_back(term);
+      const double term = design_(i, j) * resid_[i];
+      if (abs_resid_[i] <= threshold) {
+        resilient_terms_.push_back(term);
       } else {
         exact_tail += term;
         has_exact = true;
       }
     }
     double acc = 0.0;
-    if (resilient_terms.empty()) {
+    if (resilient_terms_.empty()) {
       acc = exact_tail;
     } else if (!has_exact) {
-      acc = ctx.accumulate(resilient_terms);
+      ws_.begin();
+      ws_.accumulate(resilient_terms_);
+      acc = ws_.finish();
     } else {
-      acc = ctx.add(ctx.accumulate(resilient_terms), exact_tail);
+      acc = ws_.accumulate_add(resilient_terms_, exact_tail);
     }
-    grad[j] = acc / static_cast<double>(m);
+    grad_[j] = acc / static_cast<double>(m);
   }
 
   // Update through the context: w <- w - step * grad (elementwise batched
   // subtraction, identical to per-coefficient ctx.sub).
-  std::vector<double> scaled_grad(p);
-  for (std::size_t j = 0; j < p; ++j) scaled_grad[j] = step_ * grad[j];
-  ctx.sub_vec(coefficients_, scaled_grad, coefficients_);
+  for (std::size_t j = 0; j < p; ++j) scaled_grad_[j] = step_ * grad_[j];
+  ctx.sub_vec(coefficients_, scaled_grad_, coefficients_);
 
   current_objective_ = objective_at(coefficients_);
   ++iteration_;
@@ -194,11 +203,11 @@ opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
   stats.iteration = iteration_;
   stats.objective_before = f_prev;
   stats.objective_after = current_objective_;
-  stats.step_norm = la::distance2(coefficients_, w_prev);
+  stats.step_norm = la::distance2(coefficients_, w_prev_);
   stats.state_norm = la::norm2(coefficients_);
-  const std::vector<double> step_vec = la::subtract(coefficients_, w_prev);
-  stats.grad_dot_step = la::dot(monitor_grad, step_vec);
-  stats.grad_norm = la::norm2(monitor_grad);
+  la::subtract(coefficients_, w_prev_, step_vec_);
+  stats.grad_dot_step = la::dot(monitor_grad_, step_vec_);
+  stats.grad_norm = la::norm2(monitor_grad_);
   // Signed convergence check (see gmm.cpp): approximation noise can trip
   // this early — the paper's false stops.
   stats.converged =

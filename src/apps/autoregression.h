@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arith/alu.h"
+#include "arith/workspace.h"
 #include "la/matrix.h"
 #include "opt/iterative_method.h"
 #include "workloads/datasets.h"
@@ -74,8 +75,7 @@ class AutoRegression final : public opt::IterativeMethod {
   double step_size() const { return step_; }
 
  private:
-  double objective_at(std::span<const double> w) const;
-  std::vector<double> exact_gradient(std::span<const double> w) const;
+  double objective_at(std::span<const double> w);
 
   la::Matrix design_;             ///< m x p normalized lag matrix.
   std::vector<double> targets_;   ///< m normalized targets.
@@ -87,6 +87,24 @@ class AutoRegression final : public opt::IterativeMethod {
   std::vector<double> coefficients_;
   double current_objective_ = 0.0;
   std::size_t iteration_ = 0;
+
+  // Iteration scratch arenas: sized once in reset(), reused every
+  // iteration so the steady-state hot path performs no heap allocation
+  // (asserted by zero_alloc_test.cpp). The BatchWorkspace runs the two
+  // chained shapes (residual dot-sub, gradient accumulate-plus-tail)
+  // word-resident when the bound context supports it.
+  arith::BatchWorkspace ws_;
+  std::vector<double> pred_;         ///< m, objective/residual scratch.
+  std::vector<double> w_prev_;       ///< p, previous iterate.
+  std::vector<double> monitor_grad_; ///< p, exact monitor gradient.
+  std::vector<double> exact_resid_;  ///< m, exact residuals.
+  std::vector<double> abs_resid_;    ///< m, residual magnitudes.
+  std::vector<double> sorted_;       ///< m, nth_element scratch.
+  std::vector<double> resid_;        ///< m, context-routed residuals.
+  std::vector<double> grad_;         ///< p, context-routed gradient.
+  std::vector<double> resilient_terms_;  ///< <= m, gathered terms.
+  std::vector<double> scaled_grad_;  ///< p, step * gradient.
+  std::vector<double> step_vec_;     ///< p, iterate delta.
 };
 
 /// The paper's AR QEM: l2 distance between two coefficient vectors.

@@ -13,41 +13,19 @@
 namespace approxit::apps {
 namespace {
 
-/// Precomputed per-component Gaussian evaluation data (exact path).
-struct GaussianCache {
-  la::Matrix inverse;
-  double log_norm = 0.0;  ///< -0.5 (d log 2pi + log det)
-  bool valid = false;
-};
-
-GaussianCache make_cache(const la::Matrix& covariance) {
-  GaussianCache cache;
-  const auto inv = la::inverse(covariance);
-  const double det = la::determinant(covariance);
-  if (!inv || det <= 0.0) {
-    return cache;
-  }
-  cache.inverse = *inv;
-  cache.log_norm = -0.5 * (static_cast<double>(covariance.rows()) *
-                               std::log(2.0 * std::numbers::pi) +
-                           std::log(det));
-  cache.valid = true;
-  return cache;
-}
-
-/// log N(x | mean, cache) for one sample.
+/// log N(x | mean, ...) for one sample given the cached inverse/log-norm.
 double log_gaussian(std::span<const double> x, std::span<const double> mean,
-                    const GaussianCache& cache) {
+                    const la::Matrix& inverse, double log_norm) {
   const std::size_t d = x.size();
   double quad = 0.0;
   for (std::size_t r = 0; r < d; ++r) {
     double acc = 0.0;
     for (std::size_t c = 0; c < d; ++c) {
-      acc += cache.inverse(r, c) * (x[c] - mean[c]);
+      acc += inverse(r, c) * (x[c] - mean[c]);
     }
     quad += (x[r] - mean[r]) * acc;
   }
-  return cache.log_norm - 0.5 * quad;
+  return log_norm - 0.5 * quad;
 }
 
 }  // namespace
@@ -107,10 +85,50 @@ void GmmEm::initialize_model() {
 
 void GmmEm::reset() {
   initialize_model();
-  responsibilities_.assign(dataset_.size() * dataset_.num_clusters, 0.0);
+  const std::size_t d = dataset_.dim;
+  const std::size_t k = dataset_.num_clusters;
+  responsibilities_.assign(dataset_.size() * k, 0.0);
+  // Size every iteration arena once; the hot loop only reuses them.
+  caches_.resize(k);
+  for (GaussianCache& cache : caches_) {
+    if (cache.inverse.rows() != d) cache.inverse = la::Matrix(d, d, 0.0);
+  }
+  logp_.assign(k, 0.0);
+  gathered_.assign(dataset_.size(), 0.0);
+  numer_.assign(d, 0.0);
+  if (cov_scratch_.rows() != d) cov_scratch_ = la::Matrix(d, d, 0.0);
+  means_prev_.assign(k * d, 0.0);
+  monitor_grad_.assign(k * d, 0.0);
+  step_.assign(k * d, 0.0);
   e_step();
   current_objective_ = average_negative_log_likelihood();
   iteration_ = 0;
+}
+
+void GmmEm::refresh_caches() {
+  // One LU factorization per component, shared by the determinant and the
+  // inverse — the pre-cache code factored each covariance three times per
+  // iteration (e_step, likelihood, monitor gradient) through
+  // la::inverse/la::determinant; the arithmetic per factorization is
+  // unchanged, so the cached values are bit-identical to theirs.
+  const std::size_t d = dataset_.dim;
+  for (std::size_t c = 0; c < caches_.size(); ++c) {
+    GaussianCache& cache = caches_[c];
+    if (!lu_ws_.factor(model_.covariances[c])) {
+      cache.has_inverse = false;
+      cache.valid = false;
+      continue;
+    }
+    cache.has_inverse = true;
+    lu_ws_.inverse_into(cache.inverse);
+    const double det = lu_ws_.determinant();
+    cache.valid = det > 0.0;
+    cache.log_norm =
+        cache.valid
+            ? -0.5 * (static_cast<double>(d) * std::log(2.0 * std::numbers::pi) +
+                      std::log(det))
+            : 0.0;
+  }
 }
 
 void GmmEm::e_step() {
@@ -118,21 +136,22 @@ void GmmEm::e_step() {
   const std::size_t d = dataset_.dim;
   const std::size_t k = dataset_.num_clusters;
 
-  std::vector<GaussianCache> caches(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    caches[c] = make_cache(model_.covariances[c]);
-  }
+  refresh_caches();
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<const double> x(dataset_.points.data() + i * d, d);
     // Log-sum-exp over components for numerical stability.
-    std::vector<double> logp(k, -std::numeric_limits<double>::infinity());
+    for (std::size_t c = 0; c < k; ++c) {
+      logp_[c] = -std::numeric_limits<double>::infinity();
+    }
     double max_logp = -std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < k; ++c) {
-      if (!caches[c].valid || model_.weights[c] <= 0.0) continue;
+      if (!caches_[c].valid || model_.weights[c] <= 0.0) continue;
       const std::span<const double> mean(model_.means.data() + c * d, d);
-      logp[c] = std::log(model_.weights[c]) + log_gaussian(x, mean, caches[c]);
-      max_logp = std::max(max_logp, logp[c]);
+      logp_[c] = std::log(model_.weights[c]) +
+                 log_gaussian(x, mean, caches_[c].inverse,
+                              caches_[c].log_norm);
+      max_logp = std::max(max_logp, logp_[c]);
     }
     if (!std::isfinite(max_logp)) {
       // All components degenerate: fall back to uniform responsibilities.
@@ -143,10 +162,10 @@ void GmmEm::e_step() {
     }
     double denom = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
-      denom += std::exp(logp[c] - max_logp);
+      denom += std::exp(logp_[c] - max_logp);
     }
     for (std::size_t c = 0; c < k; ++c) {
-      responsibilities_[i * k + c] = std::exp(logp[c] - max_logp) / denom;
+      responsibilities_[i * k + c] = std::exp(logp_[c] - max_logp) / denom;
     }
   }
 }
@@ -156,7 +175,6 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
   const std::size_t d = dataset_.dim;
   const std::size_t k = dataset_.num_clusters;
 
-  std::vector<double> gathered(n);
   for (std::size_t c = 0; c < k; ++c) {
     // Responsibility mass and mean numerators accumulate through the
     // context — THE error-resilient kernel of this application. Each
@@ -164,16 +182,15 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
     // can run it as one batch; the per-chain fold order (samples in
     // ascending i) is unchanged, so the results are too.
     for (std::size_t i = 0; i < n; ++i) {
-      gathered[i] = responsibilities_[i * k + c];
+      gathered_[i] = responsibilities_[i * k + c];
     }
-    const double mass = ctx.accumulate(gathered);
-    std::vector<double> numer(d, 0.0);
+    const double mass = ctx.accumulate(gathered_);
     for (std::size_t j = 0; j < d; ++j) {
       for (std::size_t i = 0; i < n; ++i) {
-        gathered[i] =
+        gathered_[i] =
             responsibilities_[i * k + c] * dataset_.points[i * d + j];
       }
-      numer[j] = ctx.accumulate(gathered);
+      numer_[j] = ctx.accumulate(gathered_);
     }
 
     if (mass <= 1e-8) {
@@ -181,12 +198,15 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
       continue;
     }
     for (std::size_t j = 0; j < d; ++j) {
-      model_.means[c * d + j] = numer[j] / mass;
+      model_.means[c * d + j] = numer_[j] / mass;
     }
 
     // Weights and covariances are error-sensitive: exact arithmetic.
     double exact_mass = 0.0;
-    la::Matrix cov(d, d, 0.0);
+    la::Matrix& cov = cov_scratch_;
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t q = 0; q < d; ++q) cov(r, q) = 0.0;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const double g = responsibilities_[i * k + c];
       exact_mass += g;
@@ -207,7 +227,7 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
       }
       cov(r, r) += options_.covariance_ridge;
     }
-    model_.covariances[c] = cov;
+    model_.covariances[c] = cov;  // same-shape copy: capacity reused
     model_.weights[c] = exact_mass / static_cast<double>(n);
   }
 
@@ -219,25 +239,28 @@ void GmmEm::m_step(arith::ArithContext& ctx) {
   }
 }
 
-double GmmEm::average_negative_log_likelihood() const {
+double GmmEm::average_negative_log_likelihood() {
   const std::size_t n = dataset_.size();
   const std::size_t d = dataset_.dim;
   const std::size_t k = dataset_.num_clusters;
 
-  std::vector<GaussianCache> caches(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    caches[c] = make_cache(model_.covariances[c]);
-  }
+  // The caches are fresh: every call site runs right after e_step() with
+  // the covariances unchanged in between, so the e_step refresh serves
+  // the likelihood too (the pre-cache code refactored here redundantly).
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<const double> x(dataset_.points.data() + i * d, d);
     double max_logp = -std::numeric_limits<double>::infinity();
-    std::vector<double> logp(k, -std::numeric_limits<double>::infinity());
     for (std::size_t c = 0; c < k; ++c) {
-      if (!caches[c].valid || model_.weights[c] <= 0.0) continue;
+      logp_[c] = -std::numeric_limits<double>::infinity();
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!caches_[c].valid || model_.weights[c] <= 0.0) continue;
       const std::span<const double> mean(model_.means.data() + c * d, d);
-      logp[c] = std::log(model_.weights[c]) + log_gaussian(x, mean, caches[c]);
-      max_logp = std::max(max_logp, logp[c]);
+      logp_[c] = std::log(model_.weights[c]) +
+                 log_gaussian(x, mean, caches_[c].inverse,
+                              caches_[c].log_norm);
+      max_logp = std::max(max_logp, logp_[c]);
     }
     if (!std::isfinite(max_logp)) {
       // Degenerate model: clamp the sample's log-likelihood instead of
@@ -246,29 +269,31 @@ double GmmEm::average_negative_log_likelihood() const {
       continue;
     }
     double s = 0.0;
-    for (std::size_t c = 0; c < k; ++c) s += std::exp(logp[c] - max_logp);
+    for (std::size_t c = 0; c < k; ++c) s += std::exp(logp_[c] - max_logp);
     total += max_logp + std::log(s);
   }
   return -total / static_cast<double>(n);
 }
 
-std::vector<double> GmmEm::mean_gradient() const {
+void GmmEm::mean_gradient_into(std::span<double> grad) const {
   // d/d mu_c of the average negative log-likelihood:
   //   -(1/n) sum_i gamma_ic Sigma_c^{-1} (x_i - mu_c).
   const std::size_t n = dataset_.size();
   const std::size_t d = dataset_.dim;
   const std::size_t k = dataset_.num_clusters;
-  std::vector<double> grad(k * d, 0.0);
+  for (std::size_t j = 0; j < k * d; ++j) grad[j] = 0.0;
   for (std::size_t c = 0; c < k; ++c) {
-    const auto inv = la::inverse(model_.covariances[c]);
-    if (!inv) continue;
+    // has_inverse mirrors la::inverse() succeeding (no det > 0 filter):
+    // the monitor keeps its gradient even for non-SPD covariances.
+    if (!caches_[c].has_inverse) continue;
+    const la::Matrix& inv = caches_[c].inverse;
     for (std::size_t i = 0; i < n; ++i) {
       const double g = responsibilities_[i * k + c];
       if (g == 0.0) continue;
       for (std::size_t r = 0; r < d; ++r) {
         double acc = 0.0;
         for (std::size_t q = 0; q < d; ++q) {
-          acc += (*inv)(r, q) *
+          acc += inv(r, q) *
                  (dataset_.points[i * d + q] - model_.means[c * d + q]);
         }
         grad[c * d + r] -= g * acc;
@@ -276,16 +301,15 @@ std::vector<double> GmmEm::mean_gradient() const {
     }
   }
   const double inv_n = 1.0 / static_cast<double>(n);
-  for (double& v : grad) v *= inv_n;
-  return grad;
+  for (std::size_t j = 0; j < k * d; ++j) grad[j] *= inv_n;
 }
 
 opt::IterationStats GmmEm::iterate(arith::ArithContext& ctx) {
   const double f_prev = current_objective_;
-  const std::vector<double> means_prev = model_.means;
-  // Monitor gradient at the pre-step state (responsibilities_ is fresh
-  // from the previous e_step).
-  const std::vector<double> monitor_grad = mean_gradient();
+  means_prev_ = model_.means;  // same-size copy: capacity reused
+  // Monitor gradient at the pre-step state (responsibilities_ and the
+  // Gaussian caches are fresh from the previous e_step).
+  mean_gradient_into(monitor_grad_);
 
   m_step(ctx);
   e_step();
@@ -296,11 +320,11 @@ opt::IterationStats GmmEm::iterate(arith::ArithContext& ctx) {
   stats.iteration = iteration_;
   stats.objective_before = f_prev;
   stats.objective_after = current_objective_;
-  stats.step_norm = la::distance2(model_.means, means_prev);
+  stats.step_norm = la::distance2(model_.means, means_prev_);
   stats.state_norm = la::norm2(model_.means);
-  const std::vector<double> step = la::subtract(model_.means, means_prev);
-  stats.grad_dot_step = la::dot(monitor_grad, step);
-  stats.grad_norm = la::norm2(monitor_grad);
+  la::subtract(model_.means, means_prev_, step_);
+  stats.grad_dot_step = la::dot(monitor_grad_, step_);
+  stats.grad_norm = la::norm2(monitor_grad_);
   // Signed convergence check, as in typical EM implementations: stop when
   // the objective no longer decreases. Under approximation the noisy
   // objective can tick upward early, producing the paper's FALSE STOPS;

@@ -11,8 +11,10 @@
 // assignments of an approximate run and the Truth run (Table 1).
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "la/decomp.h"
 #include "la/matrix.h"
 #include "opt/iterative_method.h"
 #include "workloads/datasets.h"
@@ -70,14 +72,34 @@ class GmmEm final : public opt::IterativeMethod {
   double mean_centroid_distance() const;
 
  private:
+  /// Precomputed per-component Gaussian evaluation data, refreshed by
+  /// refresh_caches() whenever the covariances change. `has_inverse`
+  /// mirrors la::inverse() succeeding (the mean-gradient criterion);
+  /// `valid` additionally requires det > 0 (the E-step / likelihood
+  /// criterion) — keeping both preserves the exact pre-cache semantics
+  /// for non-SPD but invertible covariances.
+  struct GaussianCache {
+    la::Matrix inverse;
+    double log_norm = 0.0;  ///< -0.5 (d log 2pi + log det); valid only.
+    bool has_inverse = false;
+    bool valid = false;
+  };
+
   void initialize_model();
-  double average_negative_log_likelihood() const;
-  /// E-step: fills responsibilities_ (n x k, row-major); exact.
+  double average_negative_log_likelihood();
+  /// Refactors every covariance once (one LU per component, shared by the
+  /// E-step, the likelihood, and the monitor gradient).
+  void refresh_caches();
+  /// E-step: fills responsibilities_ (n x k, row-major); exact. Refreshes
+  /// the Gaussian caches from the current covariances first.
   void e_step();
   /// M-step: weights/covariances exact, mean accumulations through ctx.
   void m_step(arith::ArithContext& ctx);
-  /// Exact gradient of the objective w.r.t. the means (monitor quantity).
-  std::vector<double> mean_gradient() const;
+  /// Exact gradient of the objective w.r.t. the means (monitor quantity)
+  /// into `grad` (k * dim, caller-owned). Uses the cached inverses, which
+  /// are fresh: the caches are rebuilt with the responsibilities they
+  /// condition on.
+  void mean_gradient_into(std::span<double> grad) const;
 
   const workloads::GmmDataset& dataset_;
   GmmOptions options_;
@@ -88,6 +110,19 @@ class GmmEm final : public opt::IterativeMethod {
   std::vector<double> responsibilities_;  ///< n x k, refreshed by e_step().
   double current_objective_ = 0.0;
   std::size_t iteration_ = 0;
+
+  // Iteration scratch arenas: sized once in reset(), reused every
+  // iteration so the steady-state hot path performs no heap allocation
+  // (asserted by zero_alloc_test.cpp).
+  std::vector<GaussianCache> caches_;   ///< k caches, e_step-fresh.
+  la::LuWorkspace lu_ws_;               ///< shared LU factor arena.
+  std::vector<double> logp_;            ///< k, log-sum-exp scratch.
+  std::vector<double> gathered_;        ///< n, M-step reduction gather.
+  std::vector<double> numer_;           ///< dim, M-step mean numerators.
+  la::Matrix cov_scratch_;              ///< dim x dim, M-step covariance.
+  std::vector<double> means_prev_;      ///< k * dim, step monitoring.
+  std::vector<double> monitor_grad_;    ///< k * dim, monitor gradient.
+  std::vector<double> step_;            ///< k * dim, step vector.
 };
 
 /// Hamming distance between two assignment vectors (must be equal length):

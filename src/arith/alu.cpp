@@ -6,11 +6,17 @@
 
 #include "arith/approx_adders.h"
 #include "arith/batch_kernels.h"
+#include "arith/simd_kernels.h"
 #include "obs/trace.h"
 
 namespace approxit::arith {
 
 namespace {
+
+/// Stack-chunk size for the SIMD span loops: big enough to amortize the
+/// per-chunk dispatch, small enough that the Word/double scratch stays in
+/// L1 and on the stack (no allocation on the hot path).
+constexpr std::size_t kSimdChunk = 256;
 
 /// Invokes `fn` with a callable `(Word a, Word b, bool cin) -> Word`
 /// computing one addition of the closed-form family `spec` — the
@@ -113,6 +119,8 @@ void QcsAlu::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metric_ops_ = {};
     metric_energy_ = {};
+    metric_fused_chains_ = nullptr;
+    metric_fused_ops_ = nullptr;
     metric_batch_us_ = nullptr;
     return;
   }
@@ -121,6 +129,10 @@ void QcsAlu::set_metrics(obs::MetricsRegistry* registry) {
     metric_ops_[i] = &registry->counter("alu.ops." + mode);
     metric_energy_[i] = &registry->counter("alu.energy." + mode);
   }
+  metric_fused_chains_ = &registry->counter("alu.fused.chains");
+  metric_fused_ops_ = &registry->counter("alu.fused.ops");
+  registry->gauge("alu.simd_tier")
+      .set(static_cast<double>(simd::active_tier()));
   metric_batch_us_ = &registry->histogram("alu.batch_us", 0.0, 250.0, 50);
 }
 
@@ -188,19 +200,29 @@ double QcsAlu::fold_chunk(double acc, const double* addends, std::size_t n) {
   const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
-  double dynamic_total = 0.0;
   Word wacc = quant_.quantize(acc);
-  with_kernel(spec, format_.total_bits, [&](auto kernel) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word w = quant_.quantize(addends[i]);
-      if (toggle) dynamic_total += toggle->operation_energy(wacc, w);
-      wacc = kernel(wacc, w, false);
-    }
-  });
   if (toggle) {
+    // The toggle model needs every intermediate accumulator, so the fold
+    // stays serial under the dynamic energy model.
+    double dynamic_total = 0.0;
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word w = quant_.quantize(addends[i]);
+        dynamic_total += toggle->operation_energy(wacc, w);
+        wacc = kernel(wacc, w, false);
+      }
+    });
     ledger_.record_total(mode_, dynamic_total, n);
     post_metrics(idx, dynamic_total, n);
   } else {
+    // SIMD path: bulk-quantize a chunk, then reduce it with the
+    // associative word-domain fold (bit-identical to the serial fold).
+    Word wbuf[kSimdChunk];
+    for (std::size_t i = 0; i < n; i += kSimdChunk) {
+      const std::size_t m = std::min(kSimdChunk, n - i);
+      simd::quantize_span(quant_, addends + i, m, wbuf);
+      wacc = simd::fold_words(spec, format_.total_bits, wacc, wbuf, m);
+    }
     ledger_.record(mode_, energy_per_add_[idx], n);
     post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
@@ -247,19 +269,30 @@ void QcsAlu::axpy(double alpha, std::span<const double> x,
   const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
-  double dynamic_total = 0.0;
-  with_kernel(spec, format_.total_bits, [&](auto kernel) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word wa = quant_.quantize(y[i]);
-      const Word wb = quant_.quantize(alpha * x[i]);
-      if (toggle) dynamic_total += toggle->operation_energy(wa, wb);
-      y[i] = quant_.dequantize(kernel(wa, wb, false));
-    }
-  });
   if (toggle) {
+    double dynamic_total = 0.0;
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word wa = quant_.quantize(y[i]);
+        const Word wb = quant_.quantize(alpha * x[i]);
+        dynamic_total += toggle->operation_energy(wa, wb);
+        y[i] = quant_.dequantize(kernel(wa, wb, false));
+      }
+    });
     ledger_.record_total(mode_, dynamic_total, n);
     post_metrics(idx, dynamic_total, n);
   } else {
+    double prod[kSimdChunk];
+    Word wy[kSimdChunk];
+    Word wx[kSimdChunk];
+    for (std::size_t i = 0; i < n; i += kSimdChunk) {
+      const std::size_t m = std::min(kSimdChunk, n - i);
+      for (std::size_t j = 0; j < m; ++j) prod[j] = alpha * x[i + j];
+      simd::quantize_span(quant_, y.data() + i, m, wy);
+      simd::quantize_span(quant_, prod, m, wx);
+      simd::kernel_add_span(spec, format_.total_bits, wy, wx, false, m, wy);
+      simd::dequantize_span(quant_, wy, m, y.data() + i);
+    }
     ledger_.record(mode_, energy_per_add_[idx], n);
     post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
@@ -283,19 +316,28 @@ void QcsAlu::add_vec(std::span<const double> x, std::span<const double> y,
   const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
-  double dynamic_total = 0.0;
-  with_kernel(spec, format_.total_bits, [&](auto kernel) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word wa = quant_.quantize(x[i]);
-      const Word wb = quant_.quantize(y[i]);
-      if (toggle) dynamic_total += toggle->operation_energy(wa, wb);
-      out[i] = quant_.dequantize(kernel(wa, wb, false));
-    }
-  });
   if (toggle) {
+    double dynamic_total = 0.0;
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word wa = quant_.quantize(x[i]);
+        const Word wb = quant_.quantize(y[i]);
+        dynamic_total += toggle->operation_energy(wa, wb);
+        out[i] = quant_.dequantize(kernel(wa, wb, false));
+      }
+    });
     ledger_.record_total(mode_, dynamic_total, n);
     post_metrics(idx, dynamic_total, n);
   } else {
+    Word wa[kSimdChunk];
+    Word wb[kSimdChunk];
+    for (std::size_t i = 0; i < n; i += kSimdChunk) {
+      const std::size_t m = std::min(kSimdChunk, n - i);
+      simd::quantize_span(quant_, x.data() + i, m, wa);
+      simd::quantize_span(quant_, y.data() + i, m, wb);
+      simd::kernel_add_span(spec, format_.total_bits, wa, wb, false, m, wa);
+      simd::dequantize_span(quant_, wa, m, out.data() + i);
+    }
     ledger_.record(mode_, energy_per_add_[idx], n);
     post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
@@ -319,26 +361,92 @@ void QcsAlu::sub_vec(std::span<const double> x, std::span<const double> y,
   const double start_us = sampled ? obs::trace_now_us() : 0.0;
   ToggleEnergyModel* toggle =
       dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
-  double dynamic_total = 0.0;
-  const Word mask = word_mask(format_.total_bits);
-  with_kernel(spec, format_.total_bits, [&](auto kernel) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word wa = quant_.quantize(x[i]);
-      // Two's-complement subtraction: a + ~b + 1, exactly as
-      // Adder::subtract feeds the hardware (and the toggle model).
-      const Word wb_effective = ~quant_.quantize(y[i]) & mask;
-      if (toggle) dynamic_total += toggle->operation_energy(wa, wb_effective);
-      out[i] = quant_.dequantize(kernel(wa, wb_effective, true));
-    }
-  });
   if (toggle) {
+    double dynamic_total = 0.0;
+    const Word mask = word_mask(format_.total_bits);
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word wa = quant_.quantize(x[i]);
+        // Two's-complement subtraction: a + ~b + 1, exactly as
+        // Adder::subtract feeds the hardware (and the toggle model).
+        const Word wb_effective = ~quant_.quantize(y[i]) & mask;
+        dynamic_total += toggle->operation_energy(wa, wb_effective);
+        out[i] = quant_.dequantize(kernel(wa, wb_effective, true));
+      }
+    });
     ledger_.record_total(mode_, dynamic_total, n);
     post_metrics(idx, dynamic_total, n);
   } else {
+    // kernel_sub_span complements b internally (a + ~b + 1), matching
+    // Adder::subtract.
+    Word wa[kSimdChunk];
+    Word wb[kSimdChunk];
+    for (std::size_t i = 0; i < n; i += kSimdChunk) {
+      const std::size_t m = std::min(kSimdChunk, n - i);
+      simd::quantize_span(quant_, x.data() + i, m, wa);
+      simd::quantize_span(quant_, y.data() + i, m, wb);
+      simd::kernel_sub_span(spec, format_.total_bits, wa, wb, m, wa);
+      simd::dequantize_span(quant_, wa, m, out.data() + i);
+    }
     ledger_.record(mode_, energy_per_add_[idx], n);
     post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
   }
   if (sampled) finish_span("sub_vec", start_us, n);
+}
+
+Word QcsAlu::fused_begin(double seed) {
+  if (metric_fused_chains_ != nullptr) metric_fused_chains_->add(1.0);
+  return quant_.quantize(seed);
+}
+
+Word QcsAlu::fused_fold(Word acc, const double* addends, std::size_t n) {
+  if (n == 0) return acc;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  if (toggle) {
+    double dynamic_total = 0.0;
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word w = quant_.quantize(addends[i]);
+        dynamic_total += toggle->operation_energy(acc, w);
+        acc = kernel(acc, w, false);
+      }
+    });
+    ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
+  } else {
+    Word wbuf[kSimdChunk];
+    for (std::size_t i = 0; i < n; i += kSimdChunk) {
+      const std::size_t m = std::min(kSimdChunk, n - i);
+      simd::quantize_span(quant_, addends + i, m, wbuf);
+      acc = simd::fold_words(spec, format_.total_bits, acc, wbuf, m);
+    }
+    ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
+  }
+  if (metric_fused_ops_ != nullptr) {
+    metric_fused_ops_->add(static_cast<double>(n));
+  }
+  return acc;
+}
+
+Word QcsAlu::fused_apply(Word acc, double operand, bool subtract) {
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  const Word mask = word_mask(format_.total_bits);
+  const Word wb = quant_.quantize(operand);
+  const Word wb_effective = subtract ? (~wb & mask) : wb;
+  const double energy =
+      dynamic_energy_
+          ? toggle_models_[idx]->operation_energy(acc, wb_effective)
+          : energy_per_add_[idx];
+  ledger_.record(mode_, energy);
+  post_metrics(idx, energy, 1);
+  if (metric_fused_ops_ != nullptr) metric_fused_ops_->add(1.0);
+  return kernel_word_add(spec, format_.total_bits, acc, wb_effective,
+                         subtract);
 }
 
 std::unique_ptr<QcsAlu> QcsAlu::clone_fresh() const {

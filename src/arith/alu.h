@@ -173,6 +173,39 @@ class QcsAlu : public ArithContext {
   /// false so span kernels keep routing through the virtual scalar ops.
   virtual bool batching_supported() const { return true; }
 
+  // --- Fused word-resident chains (workspace.h drives these) ------------
+  //
+  // A fused chain quantizes its seed once, folds every subsequent span or
+  // scalar operand in the Word domain, and dequantizes once at the end.
+  // Because quantize(dequantize(w)) == w whenever total_bits <= 53 (the
+  // same invariant behind fast_path), the chain is bit-identical to the
+  // unfused sequence of accumulate()/add()/sub() calls that dequantize and
+  // requantize between ops — only the redundant conversions are gone.
+  // Energy/ledger accounting is op-for-op identical to the unfused calls.
+
+  /// True when the fused chain API may be used for the active mode: same
+  /// condition as the batched span kernels (closed-form kernel, batching
+  /// enabled and supported, total_bits <= 53).
+  bool fused_eligible() const {
+    return fast_path(kernel_specs_[mode_index(mode_)]);
+  }
+
+  /// Opens a chain: quantizes the seed. Counts one fused chain in the
+  /// metrics; no ledger ops (quantization is free, as in route_add).
+  Word fused_begin(double seed);
+
+  /// Folds `n` addends into the word accumulator through the active
+  /// kernel; ledgers n operations (bit- and ledger-identical to
+  /// accumulate() seeded with dequantize(acc)).
+  Word fused_fold(Word acc, const double* addends, std::size_t n);
+
+  /// One scalar add (or two's-complement subtract) into the word
+  /// accumulator; ledgers 1 operation (identical to add()/sub()).
+  Word fused_apply(Word acc, double operand, bool subtract);
+
+  /// Closes a chain: dequantizes the accumulator.
+  double fused_finish(Word acc) const { return quant_.dequantize(acc); }
+
   /// A fresh ALU sharing this one's (immutable) adder bank, format, energy
   /// parameters, mode, and flags — with a zeroed ledger and toggle state.
   /// This is what parallel sweep arms own: one clone per worker, merged
@@ -233,6 +266,8 @@ class QcsAlu : public ArithContext {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::array<obs::Counter*, kNumModes> metric_ops_{};
   std::array<obs::Counter*, kNumModes> metric_energy_{};
+  obs::Counter* metric_fused_chains_ = nullptr;
+  obs::Counter* metric_fused_ops_ = nullptr;
   obs::Histogram* metric_batch_us_ = nullptr;
   std::uint32_t span_sample_ = 0;
 };

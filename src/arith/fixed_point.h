@@ -78,7 +78,8 @@ class QuantSpec {
         mask_(word_mask(format.total_bits)),
         sign_bit_(format.total_bits == 0
                       ? 0
-                      : Word{1} << (format.total_bits - 1)) {}
+                      : Word{1} << (format.total_bits - 1)),
+        total_bits_(format.total_bits) {}
 
   /// Same result as quantize(value, format) for every input.
   Word quantize(double value) const {
@@ -98,6 +99,16 @@ class QuantSpec {
     return static_cast<double>(raw) * inv_scale_;
   }
 
+  // Precomputed constants, exposed so the SIMD span conversions
+  // (simd_kernels.h) can broadcast them into vector registers.
+  double scale() const { return scale_; }
+  double inv_scale() const { return inv_scale_; }
+  double max_int() const { return max_int_; }
+  double min_int() const { return min_int_; }
+  Word mask() const { return mask_; }
+  Word sign_bit() const { return sign_bit_; }
+  unsigned total_bits() const { return total_bits_; }
+
  private:
   double scale_;
   double inv_scale_;
@@ -105,6 +116,7 @@ class QuantSpec {
   double min_int_;
   Word mask_;
   Word sign_bit_;
+  unsigned total_bits_;
 };
 
 }  // namespace approxit::arith

@@ -1,0 +1,274 @@
+#include "arith/simd_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "arith/batch_kernels.h"
+
+namespace approxit::arith::simd {
+
+namespace {
+
+Tier detect() {
+  if (const char* env = std::getenv("APPROXIT_NO_SIMD")) {
+    if (env[0] != '\0') return Tier::kPortable;
+  }
+#if defined(APPROXIT_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+  return Tier::kPortable;
+}
+
+// -1 encodes "no override"; otherwise the Tier value. Relaxed atomics: the
+// override is only flipped by tests/benches between measurement sections.
+std::atomic<int> g_override{-1};
+
+/// True when the AVX2 conversion routines can represent every clamped
+/// integer exactly through the double<->int64 magic-constant trick
+/// (|value| <= 2^51, i.e. total_bits <= 52).
+bool avx2_convertible(const QuantSpec& spec) {
+  return spec.total_bits() <= 52;
+}
+
+[[noreturn]] void reject_generic(const char* who) {
+  throw std::logic_error(std::string(who) +
+                         ": kGeneric has no closed-form kernel");
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kPortable:
+      return "portable";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Tier detected_tier() {
+  static const Tier tier = detect();
+  return tier;
+}
+
+Tier active_tier() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced < 0) return detected_tier();
+  const Tier requested = static_cast<Tier>(forced);
+  // Never exceed what the host supports: the override can demote, not
+  // enable an instruction set cpuid says is absent.
+  return static_cast<int>(requested) <= static_cast<int>(detected_tier())
+             ? requested
+             : detected_tier();
+}
+
+void set_tier_override(std::optional<Tier> tier) {
+  g_override.store(tier ? static_cast<int>(*tier) : -1,
+                   std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Portable backend.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void portable_quantize_span(const QuantSpec& spec, const double* in,
+                            std::size_t n, Word* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = spec.quantize(in[i]);
+}
+
+void portable_dequantize_span(const QuantSpec& spec, const Word* in,
+                              std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = spec.dequantize(in[i]);
+}
+
+void portable_kernel_add_span(const KernelSpec& spec, unsigned width,
+                              const Word* a, const Word* b, bool carry_in,
+                              std::size_t n, Word* out) {
+  switch (spec.kind) {
+    case AdderKernel::kExact:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = exact_word_add(width, a[i], b[i], carry_in);
+      return;
+    case AdderKernel::kLowerOr:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = lower_or_word_add(width, spec.param, a[i], b[i], carry_in);
+      return;
+    case AdderKernel::kTruncated:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = truncated_word_add(width, spec.param, a[i], b[i], carry_in);
+      return;
+    case AdderKernel::kEtaI:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = etai_word_add(width, spec.param, a[i], b[i], carry_in);
+      return;
+    case AdderKernel::kEtaII:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = etaii_word_add(width, spec.param, a[i], b[i], carry_in);
+      return;
+    case AdderKernel::kGeneric:
+      break;
+  }
+  reject_generic("kernel_add_span");
+}
+
+void portable_kernel_sub_span(const KernelSpec& spec, unsigned width,
+                              const Word* a, const Word* b, std::size_t n,
+                              Word* out) {
+  const Word mask = word_mask(width);
+  switch (spec.kind) {
+    case AdderKernel::kExact:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = exact_word_add(width, a[i], ~b[i] & mask, true);
+      return;
+    case AdderKernel::kLowerOr:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = lower_or_word_add(width, spec.param, a[i], ~b[i] & mask,
+                                   true);
+      return;
+    case AdderKernel::kTruncated:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = truncated_word_add(width, spec.param, a[i], ~b[i] & mask,
+                                    true);
+      return;
+    case AdderKernel::kEtaI:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = etai_word_add(width, spec.param, a[i], ~b[i] & mask, true);
+      return;
+    case AdderKernel::kEtaII:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = etaii_word_add(width, spec.param, a[i], ~b[i] & mask, true);
+      return;
+    case AdderKernel::kGeneric:
+      break;
+  }
+  reject_generic("kernel_sub_span");
+}
+
+Word portable_fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                         const Word* w, std::size_t n) {
+  if (n == 0) return acc;
+  const Word mask = word_mask(width);
+  const unsigned k = spec.param;
+  switch (spec.kind) {
+    case AdderKernel::kExact: {
+      // Modular addition is associative: acc_n = (acc_0 + sum w) mod 2^w.
+      Word sum = acc;
+      for (std::size_t i = 0; i < n; ++i) sum += w[i];
+      return sum & mask;
+    }
+    case AdderKernel::kLowerOr: {
+      if (k == 0) return portable_fold_words({AdderKernel::kExact, 0}, width,
+                                             acc, w, n);
+      if (k >= width) {
+        // Pure OR region: the fold is a running OR.
+        Word low = acc & mask;
+        for (std::size_t i = 0; i < n; ++i) low |= w[i] & mask;
+        return low & word_mask(k);
+      }
+      // See the derivation in simd_kernels.h: running OR low part, modular
+      // high-part sum, and a closed-form bridge count from the monotone
+      // bit-(k-1) prefix.
+      Word or_low = acc;
+      Word hi_sum = acc >> k;
+      Word ones = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word wi = w[i] & mask;
+        or_low |= wi;
+        hi_sum += wi >> k;
+        ones += (wi >> (k - 1)) & Word{1};
+      }
+      const bool p0 = ((acc >> (k - 1)) & Word{1}) != 0;
+      const Word bridges = p0 ? ones : (ones > 0 ? ones - 1 : 0);
+      const Word ah = (hi_sum + bridges) & word_mask(width - k);
+      return ((or_low & word_mask(k)) | (ah << k)) & mask;
+    }
+    case AdderKernel::kTruncated: {
+      if (k == 0) return portable_fold_words({AdderKernel::kExact, 0}, width,
+                                             acc, w, n);
+      if (k >= width) return 0;
+      // The low k bits never produce or receive carries, so the fold is a
+      // modular sum of high parts (the initial low bits are dropped by the
+      // first operation, as in the serial fold).
+      Word hi_sum = acc >> k;
+      for (std::size_t i = 0; i < n; ++i) hi_sum += (w[i] & mask) >> k;
+      return (hi_sum & word_mask(width - k)) << k;
+    }
+    case AdderKernel::kEtaI:
+      for (std::size_t i = 0; i < n; ++i)
+        acc = etai_word_add(width, k, acc, w[i], false);
+      return acc;
+    case AdderKernel::kEtaII:
+      for (std::size_t i = 0; i < n; ++i)
+        acc = etaii_word_add(width, k, acc, w[i], false);
+      return acc;
+    case AdderKernel::kGeneric:
+      break;
+  }
+  reject_generic("fold_words");
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void quantize_span(const QuantSpec& spec, const double* in, std::size_t n,
+                   Word* out) {
+#ifdef APPROXIT_HAVE_AVX2
+  if (active_tier() == Tier::kAvx2 && avx2_convertible(spec)) {
+    detail::avx2_quantize_span(spec, in, n, out);
+    return;
+  }
+#endif
+  detail::portable_quantize_span(spec, in, n, out);
+}
+
+void dequantize_span(const QuantSpec& spec, const Word* in, std::size_t n,
+                     double* out) {
+#ifdef APPROXIT_HAVE_AVX2
+  if (active_tier() == Tier::kAvx2 && avx2_convertible(spec)) {
+    detail::avx2_dequantize_span(spec, in, n, out);
+    return;
+  }
+#endif
+  detail::portable_dequantize_span(spec, in, n, out);
+}
+
+void kernel_add_span(const KernelSpec& spec, unsigned width, const Word* a,
+                     const Word* b, bool carry_in, std::size_t n, Word* out) {
+#ifdef APPROXIT_HAVE_AVX2
+  if (active_tier() == Tier::kAvx2) {
+    detail::avx2_kernel_add_span(spec, width, a, b, carry_in, n, out);
+    return;
+  }
+#endif
+  detail::portable_kernel_add_span(spec, width, a, b, carry_in, n, out);
+}
+
+void kernel_sub_span(const KernelSpec& spec, unsigned width, const Word* a,
+                     const Word* b, std::size_t n, Word* out) {
+#ifdef APPROXIT_HAVE_AVX2
+  if (active_tier() == Tier::kAvx2) {
+    detail::avx2_kernel_sub_span(spec, width, a, b, n, out);
+    return;
+  }
+#endif
+  detail::portable_kernel_sub_span(spec, width, a, b, n, out);
+}
+
+Word fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                const Word* w, std::size_t n) {
+#ifdef APPROXIT_HAVE_AVX2
+  if (active_tier() == Tier::kAvx2) {
+    return detail::avx2_fold_words(spec, width, acc, w, n);
+  }
+#endif
+  return detail::portable_fold_words(spec, width, acc, w, n);
+}
+
+}  // namespace approxit::arith::simd

@@ -1,0 +1,132 @@
+// SIMD backends for the batched QCS datapath.
+//
+// Three groups of span primitives, each bit-identical lane-by-lane to its
+// scalar definition:
+//   - bulk QuantSpec conversions (quantize_span / dequantize_span),
+//   - elementwise closed-form kernel application (kernel_add_span /
+//     kernel_sub_span) for the families in batch_kernels.h,
+//   - word-domain left folds (fold_words) with family-specific ASSOCIATIVE
+//     decompositions for the exact, LOA/GDA and truncated families.
+//
+// Every entry point dispatches on a runtime CPU tier: an AVX2 backend
+// (simd_kernels_avx2.cpp, compiled with -mavx2 and only ever called after a
+// cpuid check) and a portable scalar backend that works everywhere. The
+// APPROXIT_NO_SIMD environment variable (any non-empty value) pins the
+// portable tier; set_tier_override() lets tests and benches flip tiers
+// programmatically. Both tiers produce the same bits, so the choice is
+// invisible except in the throughput numbers.
+//
+// Why the folds can be parallel at all: the serial fold
+// acc <- kernel(acc, w_i) looks inherently sequential, but three families
+// decompose associatively —
+//   - kExact:     acc_n = (acc_0 + sum w_i) mod 2^width.
+//   - kTruncated: the low k result bits are always zero and no carry leaves
+//     them, so the fold reduces to a modular sum of the high parts:
+//     acc_n = ((acc_0 >> k) + sum (w_i >> k)) mod 2^(width-k), shifted back.
+//   - kLowerOr:   the low k bits are a running OR (associative); the high
+//     part is a modular sum of high parts plus the bridge carries, and the
+//     bridge bit of step i is b_i AND (p_0 OR b_0 OR ... OR b_{i-1}) with
+//     b_j = bit k-1 of w_j and p_0 = bit k-1 of acc_0 — a monotone prefix,
+//     so the bridge total is popcount(b) when p_0 is set and
+//     max(popcount(b) - 1, 0) otherwise.
+// ETA-I and ETA-II keep a serial word loop (their lower parts feed the
+// accumulator back nonlinearly); they still benefit from bulk quantization.
+// simd_kernels_test.cpp proves every path against the structural adders.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "arith/adder.h"
+#include "arith/fixed_point.h"
+
+namespace approxit::arith::simd {
+
+/// Dispatch tiers, ordered by capability.
+enum class Tier : int {
+  kPortable = 0,  ///< Plain scalar loops; always available.
+  kAvx2 = 1,      ///< 4 x 64-bit lanes (AVX2), runtime-detected.
+};
+
+/// Short tier label ("portable" / "avx2") for logs, metrics and the bench.
+const char* tier_name(Tier tier);
+
+/// The tier the host supports (cpuid), demoted to kPortable when the
+/// APPROXIT_NO_SIMD environment variable is set (read once per process).
+Tier detected_tier();
+
+/// The tier span primitives actually run: the override when one is set
+/// (clamped to detected_tier — requesting AVX2 on a non-AVX2 host yields
+/// the portable tier), detected_tier() otherwise.
+Tier active_tier();
+
+/// Forces a tier (tests, per-tier bench timings); nullopt restores the
+/// detected tier. Not thread-safe against concurrent span calls.
+void set_tier_override(std::optional<Tier> tier);
+
+/// out[i] = spec.quantize(in[i]). Bit-identical to the scalar loop,
+/// including the NaN->0, round-to-nearest-even and saturation paths.
+void quantize_span(const QuantSpec& spec, const double* in, std::size_t n,
+                   Word* out);
+
+/// out[i] = spec.dequantize(in[i]). Bit-identical to the scalar loop.
+void dequantize_span(const QuantSpec& spec, const Word* in, std::size_t n,
+                     double* out);
+
+/// out[i] = <family>_word_add(width, a[i], b[i], carry_in) for the closed
+/// form named by `spec` (batch_kernels.h). spec.kind must not be kGeneric.
+void kernel_add_span(const KernelSpec& spec, unsigned width, const Word* a,
+                     const Word* b, bool carry_in, std::size_t n, Word* out);
+
+/// Two's-complement subtraction feed: out[i] = kernel(a[i], ~b[i] & mask,
+/// carry_in = true), exactly as Adder::subtract presents operands to the
+/// hardware. spec.kind must not be kGeneric.
+void kernel_sub_span(const KernelSpec& spec, unsigned width, const Word* a,
+                     const Word* b, std::size_t n, Word* out);
+
+/// Left fold acc <- kernel(acc, w[i], false) over the span, returning the
+/// final accumulator. Uses the associative decompositions above for the
+/// exact / lower-or / truncated families and a serial word loop otherwise;
+/// bit-identical to the serial fold in every case. spec.kind must not be
+/// kGeneric.
+Word fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                const Word* w, std::size_t n);
+
+namespace detail {
+
+// Portable backend (always compiled; also the differential reference the
+// AVX2 backend is tested against).
+void portable_quantize_span(const QuantSpec& spec, const double* in,
+                            std::size_t n, Word* out);
+void portable_dequantize_span(const QuantSpec& spec, const Word* in,
+                              std::size_t n, double* out);
+void portable_kernel_add_span(const KernelSpec& spec, unsigned width,
+                              const Word* a, const Word* b, bool carry_in,
+                              std::size_t n, Word* out);
+void portable_kernel_sub_span(const KernelSpec& spec, unsigned width,
+                              const Word* a, const Word* b, std::size_t n,
+                              Word* out);
+Word portable_fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                         const Word* w, std::size_t n);
+
+// AVX2 backend; only defined when the build has an AVX2-capable compiler
+// (APPROXIT_HAVE_AVX2) and only called when cpuid reports AVX2. The
+// conversion routines additionally require total_bits <= 52 (the
+// double<->int64 magic-constant trick needs |value| <= 2^51); wider
+// formats fall back to the portable loops inside the dispatcher.
+void avx2_quantize_span(const QuantSpec& spec, const double* in,
+                        std::size_t n, Word* out);
+void avx2_dequantize_span(const QuantSpec& spec, const Word* in,
+                          std::size_t n, double* out);
+void avx2_kernel_add_span(const KernelSpec& spec, unsigned width,
+                          const Word* a, const Word* b, bool carry_in,
+                          std::size_t n, Word* out);
+void avx2_kernel_sub_span(const KernelSpec& spec, unsigned width,
+                          const Word* a, const Word* b, std::size_t n,
+                          Word* out);
+Word avx2_fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                     const Word* w, std::size_t n);
+
+}  // namespace detail
+
+}  // namespace approxit::arith::simd

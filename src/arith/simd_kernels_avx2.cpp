@@ -1,0 +1,362 @@
+// AVX2 backend for the span primitives in simd_kernels.h.
+//
+// Compiled with -mavx2 and only ever entered after the dispatcher's cpuid
+// check, so the intrinsics here never execute on a host without AVX2.
+// Every routine is bit-identical to its portable counterpart; the
+// differential sweep in simd_kernels_test.cpp runs both tiers against the
+// structural adders.
+//
+// double<->int64 conversions use the magic-constant trick (adding
+// 1.5 * 2^52 places an integer's two's-complement representation in the
+// low mantissa bits). It is exact for |value| <= 2^51, which the
+// dispatcher guarantees by gating these conversion paths on
+// total_bits <= 52.
+#include "arith/simd_kernels.h"
+
+#ifdef APPROXIT_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "arith/batch_kernels.h"
+
+namespace approxit::arith::simd::detail {
+
+namespace {
+
+// 1.5 * 2^52: the exponent that pins an integer |x| <= 2^51 into the low
+// mantissa bits with a constant bias.
+constexpr double kMagic = 6755399441055744.0;
+
+inline __m256i bcast(Word w) {
+  return _mm256_set1_epi64x(static_cast<long long>(w));
+}
+
+inline __m256i srl(__m256i v, unsigned k) {
+  return _mm256_srl_epi64(v, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+
+inline __m256i sll(__m256i v, unsigned k) {
+  return _mm256_sll_epi64(v, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+
+inline __m256i load4(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store4(Word* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// All result bits at or below the highest set bit of each lane:
+/// smear(g) == word_mask(bit_width(g)) lane-wise (0 when g == 0).
+inline __m256i smear_down(__m256i g) {
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 1));
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 2));
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 4));
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 8));
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 16));
+  g = _mm256_or_si256(g, _mm256_srli_epi64(g, 32));
+  return g;
+}
+
+/// Four lanes of the closed-form kernel named by `spec`. `b` arrives
+/// already complemented for subtraction (the caller feeds ~b & mask), so
+/// this routine is oblivious to add-vs-sub.
+template <AdderKernel kKind>
+inline __m256i kernel4(unsigned k, __m256i a, __m256i b, __m256i cin,
+                       __m256i mask) {
+  if constexpr (kKind == AdderKernel::kExact) {
+    return _mm256_and_si256(
+        _mm256_add_epi64(_mm256_add_epi64(a, b), cin), mask);
+  } else if constexpr (kKind == AdderKernel::kLowerOr) {
+    // k in (0, width): handled by the caller's edge-case routing.
+    a = _mm256_and_si256(a, mask);
+    b = _mm256_and_si256(b, mask);
+    const __m256i low =
+        _mm256_and_si256(_mm256_or_si256(a, b), bcast(word_mask(k)));
+    const __m256i bridge = _mm256_and_si256(
+        _mm256_and_si256(srl(a, k - 1), srl(b, k - 1)), bcast(1));
+    const __m256i upper = sll(
+        _mm256_add_epi64(_mm256_add_epi64(srl(a, k), srl(b, k)), bridge), k);
+    return _mm256_and_si256(_mm256_or_si256(low, upper), mask);
+  } else if constexpr (kKind == AdderKernel::kTruncated) {
+    // k in (0, width): carry-in dropped below the cut.
+    a = _mm256_and_si256(a, mask);
+    b = _mm256_and_si256(b, mask);
+    return _mm256_and_si256(
+        sll(_mm256_add_epi64(srl(a, k), srl(b, k)), k), mask);
+  } else {
+    static_assert(kKind == AdderKernel::kEtaI);
+    // k in (0, width): XOR low part saturating below the first 1+1 pair.
+    a = _mm256_and_si256(a, mask);
+    b = _mm256_and_si256(b, mask);
+    const __m256i low_mask = bcast(word_mask(k));
+    const __m256i generate =
+        _mm256_and_si256(_mm256_and_si256(a, b), low_mask);
+    __m256i low = _mm256_and_si256(_mm256_xor_si256(a, b), low_mask);
+    low = _mm256_or_si256(low, smear_down(generate));
+    const __m256i upper =
+        sll(_mm256_add_epi64(srl(a, k), srl(b, k)), k);
+    return _mm256_and_si256(_mm256_or_si256(low, upper), mask);
+  }
+}
+
+/// ETA-II: same block schedule as etaii_word_add, with the speculated
+/// inter-block carry as a vector lane.
+inline __m256i etaii4(unsigned width, unsigned segment, __m256i a, __m256i b,
+                      __m256i cin, __m256i mask) {
+  a = _mm256_and_si256(a, mask);
+  b = _mm256_and_si256(b, mask);
+  __m256i sum = _mm256_setzero_si256();
+  __m256i speculated = cin;
+  const __m256i one = bcast(1);
+  for (unsigned base = 0; base < width; base += segment) {
+    const unsigned end = base + segment < width ? base + segment : width;
+    const unsigned span = end - base;
+    const __m256i span_mask = bcast(word_mask(span));
+    const __m256i va = _mm256_and_si256(srl(a, base), span_mask);
+    const __m256i vb = _mm256_and_si256(srl(b, base), span_mask);
+    const __m256i t = _mm256_add_epi64(va, vb);
+    sum = _mm256_or_si256(
+        sum,
+        sll(_mm256_and_si256(_mm256_add_epi64(t, speculated), span_mask),
+            base));
+    speculated = _mm256_and_si256(srl(t, span), one);
+  }
+  return _mm256_and_si256(sum, mask);
+}
+
+/// Shared elementwise driver: vector body over groups of four, portable
+/// scalar loop for the tail, optional operand-b complement (subtraction).
+void elementwise(const KernelSpec& spec, unsigned width, const Word* a,
+                 const Word* b, bool carry_in, bool complement_b,
+                 std::size_t n, Word* out) {
+  const Word maskw = word_mask(width);
+  const __m256i mask = bcast(maskw);
+  const __m256i cin = bcast(carry_in ? 1 : 0);
+  const unsigned k = spec.param;
+  const std::size_t n4 = n & ~std::size_t{3};
+
+  // Edge parameters collapse to simpler families; route them before the
+  // lane loop so kernel4 only sees the general case.
+  AdderKernel kind = spec.kind;
+  if ((kind == AdderKernel::kLowerOr || kind == AdderKernel::kEtaI) &&
+      k == 0) {
+    kind = AdderKernel::kExact;
+  }
+  if (kind == AdderKernel::kTruncated && k == 0) kind = AdderKernel::kExact;
+
+  auto load_b = [&](std::size_t i) {
+    const __m256i vb = load4(b + i);
+    // ~b & mask: exactly the operand Adder::subtract feeds the hardware.
+    return complement_b ? _mm256_andnot_si256(vb, mask) : vb;
+  };
+
+  switch (kind) {
+    case AdderKernel::kExact:
+      for (std::size_t i = 0; i < n4; i += 4) {
+        store4(out + i, kernel4<AdderKernel::kExact>(k, load4(a + i),
+                                                     load_b(i), cin, mask));
+      }
+      break;
+    case AdderKernel::kLowerOr:
+      if (k >= width) {
+        // Pure OR region: result is (a | b) & mask (carry-in swallowed).
+        for (std::size_t i = 0; i < n4; i += 4) {
+          store4(out + i, _mm256_and_si256(
+                              _mm256_or_si256(load4(a + i), load_b(i)),
+                              mask));
+        }
+        break;
+      }
+      for (std::size_t i = 0; i < n4; i += 4) {
+        store4(out + i, kernel4<AdderKernel::kLowerOr>(k, load4(a + i), load_b(i), cin, mask));
+      }
+      break;
+    case AdderKernel::kTruncated:
+      if (k >= width) {
+        for (std::size_t i = 0; i < n4; i += 4) {
+          store4(out + i, _mm256_setzero_si256());
+        }
+        break;
+      }
+      for (std::size_t i = 0; i < n4; i += 4) {
+        store4(out + i, kernel4<AdderKernel::kTruncated>(k, load4(a + i), load_b(i), cin, mask));
+      }
+      break;
+    case AdderKernel::kEtaI:
+      if (k >= width) {
+        // Low part only: XOR saturating below the first 1+1 pair.
+        const __m256i low_mask = bcast(word_mask(k));
+        for (std::size_t i = 0; i < n4; i += 4) {
+          const __m256i va = _mm256_and_si256(load4(a + i), mask);
+          const __m256i vb = _mm256_and_si256(load_b(i), mask);
+          const __m256i generate =
+              _mm256_and_si256(_mm256_and_si256(va, vb), low_mask);
+          __m256i low =
+              _mm256_and_si256(_mm256_xor_si256(va, vb), low_mask);
+          store4(out + i, _mm256_or_si256(low, smear_down(generate)));
+        }
+        break;
+      }
+      for (std::size_t i = 0; i < n4; i += 4) {
+        store4(out + i, kernel4<AdderKernel::kEtaI>(k, load4(a + i), load_b(i), cin, mask));
+      }
+      break;
+    case AdderKernel::kEtaII:
+      for (std::size_t i = 0; i < n4; i += 4) {
+        store4(out + i,
+               etaii4(width, k, load4(a + i), load_b(i), cin, mask));
+      }
+      break;
+    case AdderKernel::kGeneric:
+      break;  // portable tail below throws with the canonical message
+  }
+
+  if (n4 < n || kind == AdderKernel::kGeneric) {
+    const std::size_t off = kind == AdderKernel::kGeneric ? 0 : n4;
+    if (complement_b) {
+      portable_kernel_sub_span(spec, width, a + off, b + off, n - off,
+                               out + off);
+    } else {
+      portable_kernel_add_span(spec, width, a + off, b + off, carry_in,
+                               n - off, out + off);
+    }
+  }
+}
+
+}  // namespace
+
+void avx2_quantize_span(const QuantSpec& spec, const double* in,
+                        std::size_t n, Word* out) {
+  const __m256d scale = _mm256_set1_pd(spec.scale());
+  const __m256d max_int = _mm256_set1_pd(spec.max_int());
+  const __m256d min_int = _mm256_set1_pd(spec.min_int());
+  const __m256d magic = _mm256_set1_pd(kMagic);
+  const __m256i mask = bcast(spec.mask());
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    __m256d v = _mm256_loadu_pd(in + i);
+    // NaN -> +0.0 (quantizes to word 0, matching the scalar NaN path).
+    v = _mm256_and_pd(v, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
+    // nearbyint: round in the current MXCSR mode, same as the scalar op.
+    __m256d scaled =
+        _mm256_round_pd(_mm256_mul_pd(v, scale), _MM_FROUND_CUR_DIRECTION);
+    scaled = _mm256_min_pd(scaled, max_int);
+    scaled = _mm256_max_pd(scaled, min_int);
+    const __m256i ints =
+        _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(scaled, magic)),
+                         _mm256_castpd_si256(magic));
+    store4(out + i, _mm256_and_si256(ints, mask));
+  }
+  portable_quantize_span(spec, in + n4, n - n4, out + n4);
+}
+
+void avx2_dequantize_span(const QuantSpec& spec, const Word* in,
+                          std::size_t n, double* out) {
+  const __m256i mask = bcast(spec.mask());
+  const __m256i sign = bcast(spec.sign_bit());
+  const __m256d inv_scale = _mm256_set1_pd(spec.inv_scale());
+  const __m256d magic = _mm256_set1_pd(kMagic);
+  const __m256i magic_bits = _mm256_castpd_si256(magic);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256i w = _mm256_and_si256(load4(in + i), mask);
+    // Sign-extend the width-bit word: (w ^ s) - s.
+    const __m256i raw =
+        _mm256_sub_epi64(_mm256_xor_si256(w, sign), sign);
+    const __m256d d = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_add_epi64(raw, magic_bits)), magic);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, inv_scale));
+  }
+  portable_dequantize_span(spec, in + n4, n - n4, out + n4);
+}
+
+void avx2_kernel_add_span(const KernelSpec& spec, unsigned width,
+                          const Word* a, const Word* b, bool carry_in,
+                          std::size_t n, Word* out) {
+  elementwise(spec, width, a, b, carry_in, /*complement_b=*/false, n, out);
+}
+
+void avx2_kernel_sub_span(const KernelSpec& spec, unsigned width,
+                          const Word* a, const Word* b, std::size_t n,
+                          Word* out) {
+  elementwise(spec, width, a, b, /*carry_in=*/true, /*complement_b=*/true, n,
+              out);
+}
+
+Word avx2_fold_words(const KernelSpec& spec, unsigned width, Word acc,
+                     const Word* w, std::size_t n) {
+  const Word maskw = word_mask(width);
+  const unsigned k = spec.param;
+  const std::size_t n4 = n & ~std::size_t{3};
+  alignas(32) Word lanes[4];
+
+  switch (spec.kind) {
+    case AdderKernel::kExact: {
+      __m256i sum = _mm256_setzero_si256();
+      for (std::size_t i = 0; i < n4; i += 4) {
+        sum = _mm256_add_epi64(sum, load4(w + i));
+      }
+      store4(lanes, sum);
+      Word total = acc + lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      for (std::size_t i = n4; i < n; ++i) total += w[i];
+      return total & maskw;
+    }
+    case AdderKernel::kLowerOr: {
+      if (k == 0 || k >= width || n == 0) break;  // portable handles edges
+      const __m256i mask = bcast(maskw);
+      const __m256i one = bcast(1);
+      __m256i vor = _mm256_setzero_si256();
+      __m256i vhi = _mm256_setzero_si256();
+      __m256i vones = _mm256_setzero_si256();
+      for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256i wi = _mm256_and_si256(load4(w + i), mask);
+        vor = _mm256_or_si256(vor, wi);
+        vhi = _mm256_add_epi64(vhi, srl(wi, k));
+        vones = _mm256_add_epi64(vones, _mm256_and_si256(srl(wi, k - 1), one));
+      }
+      acc &= maskw;
+      Word or_low = acc;
+      Word hi_sum = acc >> k;
+      Word ones = 0;
+      store4(lanes, vor);
+      or_low |= lanes[0] | lanes[1] | lanes[2] | lanes[3];
+      store4(lanes, vhi);
+      hi_sum += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      store4(lanes, vones);
+      ones += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      for (std::size_t i = n4; i < n; ++i) {
+        const Word wi = w[i] & maskw;
+        or_low |= wi;
+        hi_sum += wi >> k;
+        ones += (wi >> (k - 1)) & Word{1};
+      }
+      const bool p0 = ((acc >> (k - 1)) & Word{1}) != 0;
+      const Word bridges = p0 ? ones : (ones > 0 ? ones - 1 : 0);
+      const Word ah = (hi_sum + bridges) & word_mask(width - k);
+      return ((or_low & word_mask(k)) | (ah << k)) & maskw;
+    }
+    case AdderKernel::kTruncated: {
+      if (k == 0 || k >= width || n == 0) break;
+      const __m256i mask = bcast(maskw);
+      __m256i vhi = _mm256_setzero_si256();
+      for (std::size_t i = 0; i < n4; i += 4) {
+        vhi = _mm256_add_epi64(vhi, srl(_mm256_and_si256(load4(w + i), mask),
+                                        k));
+      }
+      store4(lanes, vhi);
+      Word hi_sum =
+          ((acc & maskw) >> k) + lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      for (std::size_t i = n4; i < n; ++i) hi_sum += (w[i] & maskw) >> k;
+      return (hi_sum & word_mask(width - k)) << k;
+    }
+    default:
+      break;  // ETA-I/II feed the accumulator back nonlinearly: serial.
+  }
+  return portable_fold_words(spec, width, acc, w, n);
+}
+
+}  // namespace approxit::arith::simd::detail
+
+#endif  // APPROXIT_HAVE_AVX2

@@ -1,0 +1,109 @@
+#include "arith/workspace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace approxit::arith {
+
+namespace {
+constexpr std::size_t kChunk = 256;  ///< Stack scratch for dot products.
+}
+
+void BatchWorkspace::bind(ArithContext& ctx) {
+  ctx_ = &ctx;
+  alu_ = dynamic_cast<QcsAlu*>(&ctx);
+}
+
+void BatchWorkspace::begin(double seed) {
+  if (ctx_ == nullptr) {
+    throw std::logic_error("BatchWorkspace::begin: no context bound");
+  }
+  use_fused_ = fused();
+  fresh_ = seed == 0.0;
+  if (use_fused_) {
+    wacc_ = alu_->fused_begin(seed);
+  } else {
+    value_ = seed;
+  }
+}
+
+void BatchWorkspace::accumulate(std::span<const double> values) {
+  if (values.empty()) return;
+  if (use_fused_) {
+    wacc_ = alu_->fused_fold(wacc_, values.data(), values.size());
+  } else if (fresh_) {
+    // First op of a zero-seeded chain: exactly the call the application
+    // would have written (preserves ExactContext's plain sum and the
+    // decorator fallbacks inside ctx->accumulate).
+    value_ = ctx_->accumulate(values);
+  } else {
+    for (double v : values) value_ = ctx_->add(value_, v);
+  }
+  fresh_ = false;
+}
+
+void BatchWorkspace::dot(std::span<const double> x,
+                         std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("BatchWorkspace::dot: size mismatch");
+  }
+  if (!fresh_) {
+    throw std::logic_error(
+        "BatchWorkspace::dot: only valid as the first op of a zero-seeded "
+        "chain");
+  }
+  if (use_fused_) {
+    // Products materialized chunkwise on the stack; the accumulator never
+    // leaves the word domain (same chunking as QcsAlu::dot).
+    double prod[kChunk];
+    for (std::size_t i = 0; i < x.size(); i += kChunk) {
+      const std::size_t m = std::min(kChunk, x.size() - i);
+      for (std::size_t j = 0; j < m; ++j) prod[j] = x[i + j] * y[i + j];
+      wacc_ = alu_->fused_fold(wacc_, prod, m);
+    }
+  } else {
+    value_ = ctx_->dot(x, y);
+  }
+  fresh_ = false;
+}
+
+void BatchWorkspace::add_term(double value) {
+  if (use_fused_) {
+    wacc_ = alu_->fused_apply(wacc_, value, /*subtract=*/false);
+  } else {
+    value_ = ctx_->add(value_, value);
+  }
+  fresh_ = false;
+}
+
+void BatchWorkspace::sub_term(double value) {
+  if (use_fused_) {
+    wacc_ = alu_->fused_apply(wacc_, value, /*subtract=*/true);
+  } else {
+    value_ = ctx_->sub(value_, value);
+  }
+  fresh_ = false;
+}
+
+double BatchWorkspace::finish() {
+  return use_fused_ ? alu_->fused_finish(wacc_) : value_;
+}
+
+double BatchWorkspace::dot_sub(std::span<const double> x,
+                               std::span<const double> y,
+                               double subtrahend) {
+  begin(0.0);
+  dot(x, y);
+  sub_term(subtrahend);
+  return finish();
+}
+
+double BatchWorkspace::accumulate_add(std::span<const double> values,
+                                      double tail) {
+  begin(0.0);
+  accumulate(values);
+  add_term(tail);
+  return finish();
+}
+
+}  // namespace approxit::arith

@@ -1,0 +1,95 @@
+// Fixed-point-resident fused operation chains.
+//
+// Application hot loops chain context ops — dot then subtract (residuals),
+// accumulate then add (gradient reductions with an exact tail). Routed
+// through the plain ArithContext interface, every link of the chain
+// dequantizes its result and the next link re-quantizes it. Those paired
+// conversions are the identity whenever total_bits <= 53 (the fast-path
+// invariant, property-tested in fixed_point_test.cpp), so a chain can stay
+// resident in the Word domain: quantize the seed once, fold every span and
+// scalar operand through QcsAlu's fused kernels, dequantize once at the
+// end. Bit-identical to the unfused call sequence, op-for-op identical in
+// the energy ledger — only the redundant conversions disappear.
+//
+// A BatchWorkspace binds to an ArithContext once (hoisting the
+// QcsAlu-detection dynamic_cast and eligibility check out of the loop) and
+// then runs chains. When the context is not an eligible QcsAlu — an
+// ExactContext, a fault-injecting decorator, a generic-kernel adder bank —
+// the chain transparently degrades to exactly the ArithContext call
+// sequence the application would have written by hand, preserving every
+// behavioural contract (fault streams, op counts, exact arithmetic).
+#pragma once
+
+#include <span>
+
+#include "arith/alu.h"
+#include "arith/context.h"
+
+namespace approxit::arith {
+
+/// Reusable fused-chain driver; not thread-safe (one per worker, like the
+/// ALU it binds). Rebind after switching contexts; chains re-check fused
+/// eligibility at begin() so mode switches between chains are safe.
+class BatchWorkspace {
+ public:
+  BatchWorkspace() = default;
+  explicit BatchWorkspace(ArithContext& ctx) { bind(ctx); }
+
+  /// Binds the workspace to a context. Detects (once) whether the context
+  /// is a QcsAlu that may run fused word-resident chains.
+  void bind(ArithContext& ctx);
+
+  /// The bound context (nullptr before the first bind()).
+  ArithContext* context() const { return ctx_; }
+
+  /// True when chains currently run fused (word-resident) rather than
+  /// through the plain context calls.
+  bool fused() const { return alu_ != nullptr && alu_->fused_eligible(); }
+
+  // --- Chain API --------------------------------------------------------
+  // begin(seed) -> { accumulate | dot | add_term | sub_term }* -> finish().
+  // dot() is only valid as the first operation of a zero-seeded chain
+  // (both paths then reduce to ctx.dot, keeping fused/unfused parity
+  // trivially auditable).
+
+  /// Opens a chain with the given seed value.
+  void begin(double seed = 0.0);
+
+  /// Folds `values` into the chain accumulator (ctx.accumulate semantics:
+  /// one adder op per element).
+  void accumulate(std::span<const double> values);
+
+  /// Dot product folded into the (fresh, zero-seeded) chain: exact
+  /// multiplies, context-routed accumulation — ctx.dot semantics.
+  void dot(std::span<const double> x, std::span<const double> y);
+
+  /// One adder op: accumulator <- accumulator + value.
+  void add_term(double value);
+
+  /// One adder op: accumulator <- accumulator - value (two's-complement
+  /// subtraction on the fused path, ctx.sub on the fallback).
+  void sub_term(double value);
+
+  /// Closes the chain and returns the accumulated value.
+  double finish();
+
+  // --- One-shot chains for the common application shapes ----------------
+
+  /// ctx.sub(ctx.dot(x, y), subtrahend) — the residual shape.
+  double dot_sub(std::span<const double> x, std::span<const double> y,
+                 double subtrahend);
+
+  /// ctx.add(ctx.accumulate(values), tail) — the resilient-reduction-plus-
+  /// exact-tail shape.
+  double accumulate_add(std::span<const double> values, double tail);
+
+ private:
+  ArithContext* ctx_ = nullptr;
+  QcsAlu* alu_ = nullptr;   ///< Non-null iff the bound context is a QcsAlu.
+  bool use_fused_ = false;  ///< Current chain runs word-resident.
+  bool fresh_ = false;      ///< Zero-seeded chain with no ops yet.
+  Word wacc_ = 0;           ///< Word accumulator (fused path).
+  double value_ = 0.0;      ///< Double accumulator (fallback path).
+};
+
+}  // namespace approxit::arith

@@ -160,6 +160,89 @@ std::optional<Matrix> inverse(const Matrix& a) {
   return inv;
 }
 
+bool LuWorkspace::factor(const Matrix& a) {
+  check_square(a, "LuWorkspace::factor");
+  n_ = a.rows();
+  lu_ = a;  // vector copy-assign: reuses capacity for same-sized refactors
+  perm_.resize(n_);
+  y_.resize(n_);
+  e_.assign(n_, 0.0);
+  col_.resize(n_);
+  sign_ = 1;
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  // Identical elimination to lu_decompose (same pivot choice, same update
+  // order, same tolerance) so the factors — and everything derived from
+  // them — match bit-for-bit.
+  for (std::size_t col = 0; col < n_; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= kSingularTolerance) {
+      return false;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(lu_(pivot, c), lu_(col, c));
+      }
+      std::swap(perm_[pivot], perm_[col]);
+      sign_ = -sign_;
+    }
+    const double diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n_; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+double LuWorkspace::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+void LuWorkspace::solve(std::span<const double> b,
+                        std::span<double> out) const {
+  if (b.size() != n_ || out.size() != n_) {
+    throw std::invalid_argument("LuWorkspace::solve: dimension mismatch");
+  }
+  // Same forward/backward substitution as LuDecomposition::solve.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) sum -= lu_(i, k) * y_[k];
+    y_[i] = sum;
+  }
+  for (std::size_t i = n_; i-- > 0;) {
+    double sum = y_[i];
+    for (std::size_t k = i + 1; k < n_; ++k) sum -= lu_(i, k) * out[k];
+    out[i] = sum / lu_(i, i);
+  }
+}
+
+void LuWorkspace::inverse_into(Matrix& out) const {
+  if (out.rows() != n_ || out.cols() != n_) {
+    throw std::invalid_argument(
+        "LuWorkspace::inverse_into: output must be n x n");
+  }
+  for (std::size_t c = 0; c < n_; ++c) {
+    e_[c] = 1.0;
+    solve(e_, col_);
+    e_[c] = 0.0;
+    for (std::size_t r = 0; r < n_; ++r) out(r, c) = col_[r];
+  }
+}
+
 Matrix covariance(std::span<const double> rows, std::size_t dim,
                   std::span<const double> mean, double ridge) {
   if (dim == 0 || rows.size() % dim != 0) {

@@ -54,4 +54,43 @@ std::optional<Matrix> inverse(const Matrix& a);
 Matrix covariance(std::span<const double> rows, std::size_t dim,
                   std::span<const double> mean, double ridge = 0.0);
 
+/// Reusable LU factorization arena for iteration hot paths that factor a
+/// same-sized matrix every pass (GMM covariances): all storage is retained
+/// between factor() calls, so steady-state refactorization, solves, and
+/// inversion allocate nothing. Arithmetic (pivoting, elimination order,
+/// singularity tolerance) is exactly that of lu_decompose /
+/// LuDecomposition::solve / inverse — results are bit-identical.
+class LuWorkspace {
+ public:
+  /// Factors `a` in place of the previous factorization. Returns false
+  /// when `a` is singular (within the shared tolerance); the workspace is
+  /// then unusable until the next successful factor().
+  bool factor(const Matrix& a);
+
+  /// Determinant of the last factored matrix.
+  double determinant() const;
+
+  /// Solves A x = b into `out` (b.size() == out.size() == n). `b` and
+  /// `out` may alias only if identical.
+  void solve(std::span<const double> b, std::span<double> out) const;
+
+  /// Writes A^{-1} into `out` (resized/reshaped as needed by the caller:
+  /// out must already be n x n).
+  void inverse_into(Matrix& out) const;
+
+  /// Dimension of the last factored matrix.
+  std::size_t size() const { return n_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+  std::size_t n_ = 0;
+  // Scratch for solve()/inverse_into(); mutable so the const solves can
+  // reuse it (single-threaded use, like the apps that own the workspace).
+  mutable std::vector<double> y_;
+  mutable std::vector<double> e_;
+  mutable std::vector<double> col_;
+};
+
 }  // namespace approxit::la

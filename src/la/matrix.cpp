@@ -52,10 +52,24 @@ std::span<const double> Matrix::row(std::size_t r) const {
 }
 
 std::vector<double> Matrix::matvec(std::span<const double> x) const {
+  std::vector<double> y(rows_, 0.0);
+  matvec(x, y);
+  return y;
+}
+
+std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
+  std::vector<double> y(cols_, 0.0);
+  matvec_transposed(x, y);
+  return y;
+}
+
+void Matrix::matvec(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_) {
     throw std::invalid_argument("Matrix::matvec: dimension mismatch");
   }
-  std::vector<double> y(rows_, 0.0);
+  if (y.size() != rows_) {
+    throw std::invalid_argument("Matrix::matvec: output dimension mismatch");
+  }
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const double* row_ptr = data_.data() + r * cols_;
@@ -64,15 +78,19 @@ std::vector<double> Matrix::matvec(std::span<const double> x) const {
     }
     y[r] = acc;
   }
-  return y;
 }
 
-std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
+void Matrix::matvec_transposed(std::span<const double> x,
+                               std::span<double> y) const {
   if (x.size() != rows_) {
     throw std::invalid_argument(
         "Matrix::matvec_transposed: dimension mismatch");
   }
-  std::vector<double> y(cols_, 0.0);
+  if (y.size() != cols_) {
+    throw std::invalid_argument(
+        "Matrix::matvec_transposed: output dimension mismatch");
+  }
+  for (std::size_t c = 0; c < cols_; ++c) y[c] = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row_ptr = data_.data() + r * cols_;
     const double xr = x[r];
@@ -80,7 +98,6 @@ std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
       y[c] += row_ptr[c] * xr;
     }
   }
-  return y;
 }
 
 Matrix Matrix::multiply(const Matrix& other) const {

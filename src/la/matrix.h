@@ -58,6 +58,14 @@ class Matrix {
   /// y = this^T * x; x.size() must equal rows().
   std::vector<double> matvec_transposed(std::span<const double> x) const;
 
+  /// y = this * x into a caller-owned buffer of rows() doubles (no
+  /// allocation); same arithmetic as the allocating overload.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = this^T * x into a caller-owned buffer of cols() doubles.
+  void matvec_transposed(std::span<const double> x,
+                         std::span<double> y) const;
+
   /// this * other; inner dimensions must agree.
   Matrix multiply(const Matrix& other) const;
 

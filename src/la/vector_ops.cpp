@@ -70,6 +70,20 @@ std::vector<double> add(std::span<const double> x, std::span<const double> y) {
   return out;
 }
 
+void subtract(std::span<const double> x, std::span<const double> y,
+              std::span<double> out) {
+  check_sizes(x, y, "subtract");
+  check_sizes(x, out, "subtract");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+void add(std::span<const double> x, std::span<const double> y,
+         std::span<double> out) {
+  check_sizes(x, y, "add");
+  check_sizes(x, out, "add");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+}
+
 double dot(arith::ArithContext& ctx, std::span<const double> x,
            std::span<const double> y) {
   check_sizes(x, y, "dot(ctx)");

@@ -38,6 +38,15 @@ std::vector<double> subtract(std::span<const double> x,
 /// out = x + y element-wise.
 std::vector<double> add(std::span<const double> x, std::span<const double> y);
 
+/// out = x - y element-wise into a caller-owned buffer (no allocation;
+/// the iteration hot paths reuse scratch arenas through these).
+void subtract(std::span<const double> x, std::span<const double> y,
+              std::span<double> out);
+
+/// out = x + y element-wise into a caller-owned buffer (no allocation).
+void add(std::span<const double> x, std::span<const double> y,
+         std::span<double> out);
+
 /// Context-routed dot product: multiplications exact, accumulation through
 /// `ctx` (resilient-region reduction).
 double dot(arith::ArithContext& ctx, std::span<const double> x,

@@ -1,0 +1,126 @@
+// Asserts the zero-allocation contract of the application iteration hot
+// paths: after warm-up, steady-state GmmEm and AutoRegression iterations
+// perform no heap allocation — every temporary lives in a member arena
+// (sized in reset()) or on the stack (the ALU's span chunks).
+//
+// The check uses a replacement global operator new that counts allocations
+// while a flag is armed. This file must be its own test binary: the
+// replacement is program-wide.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/autoregression.h"
+#include "apps/gmm.h"
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "workloads/datasets.h"
+
+namespace {
+
+std::atomic<long long> g_allocations{0};
+std::atomic<bool> g_armed{false};
+
+void* counted_alloc(std::size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace approxit::apps {
+namespace {
+
+/// Counts heap allocations performed by `body`.
+template <typename Body>
+long long count_allocations(Body&& body) {
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+  body();
+  g_armed.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(ZeroAlloc, GmmIterationsAreAllocationFree) {
+  const auto dataset = workloads::make_gaussian_blobs(3, 300, 2, 8.0, 0.8, 7);
+  GmmEm gmm(dataset);
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel2);
+
+  // Warm-up: first iterations may still grow arenas to their steady size.
+  for (int i = 0; i < 3; ++i) (void)gmm.iterate(alu);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)gmm.iterate(alu);
+  });
+  EXPECT_EQ(allocs, 0) << "GMM steady-state iterate() allocated";
+}
+
+TEST(ZeroAlloc, GmmIterationsAreAllocationFreeExactContext) {
+  const auto dataset = workloads::make_gaussian_blobs(3, 300, 2, 8.0, 0.8, 7);
+  GmmEm gmm(dataset);
+  arith::ExactContext exact;
+  for (int i = 0; i < 3; ++i) (void)gmm.iterate(exact);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)gmm.iterate(exact);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(ZeroAlloc, AutoRegressionIterationsAreAllocationFree) {
+  auto dataset = workloads::make_financial_series(800, 100.0, 2e-4, 0.01, 21,
+                                                  /*return_autocorr=*/0.6);
+  dataset.ar_order = 4;
+  AutoRegression ar(dataset);
+  arith::QcsAlu alu(ar_qcs_config());
+  alu.set_mode(arith::ApproxMode::kLevel2);
+
+  for (int i = 0; i < 3; ++i) (void)ar.iterate(alu);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)ar.iterate(alu);
+  });
+  EXPECT_EQ(allocs, 0) << "AR steady-state iterate() allocated";
+}
+
+TEST(ZeroAlloc, AutoRegressionIterationsAreAllocationFreeExactContext) {
+  auto dataset = workloads::make_financial_series(800, 100.0, 2e-4, 0.01, 21,
+                                                  /*return_autocorr=*/0.6);
+  dataset.ar_order = 4;
+  AutoRegression ar(dataset);
+  arith::ExactContext exact;
+  for (int i = 0; i < 3; ++i) (void)ar.iterate(exact);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)ar.iterate(exact);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(ZeroAlloc, HookIsLive) {
+  // Sanity-check the counting hook itself so a silent miscompile cannot
+  // turn the suite vacuous.
+  const long long allocs = count_allocations([] {
+    std::vector<double>* v = new std::vector<double>(100, 1.0);
+    delete v;
+  });
+  EXPECT_GE(allocs, 1);
+}
+
+}  // namespace
+}  // namespace approxit::apps

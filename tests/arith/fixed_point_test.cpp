@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -81,6 +82,60 @@ TEST(SignedConversion, SignExtension) {
 TEST(SignedConversion, TruncatesHighBits) {
   EXPECT_EQ(from_signed(-1, 8), Word{0xFF});
   EXPECT_EQ(from_signed(256, 8), Word{0});
+}
+
+TEST(QuantSpec, WordRoundTripIsIdentityUpTo53Bits) {
+  // The fused-chain residency argument (arith/workspace.h) rests on this:
+  // for total_bits <= 53 every representable word survives a dequantize/
+  // re-quantize pair bit-exactly, so staying in the word domain and
+  // converting at every link are the same function.
+  util::Rng rng(0x9e);
+  for (const QFormat q : {QFormat{8, 4}, QFormat{12, 6}, QFormat{16, 8},
+                          QFormat{24, 12}, QFormat{32, 16}, QFormat{48, 32},
+                          QFormat{53, 26}}) {
+    const QuantSpec spec(q);
+    const Word mask = spec.mask();
+    const Word sign = spec.sign_bit();
+    std::vector<Word> words = {0,        1,        2,        mask,
+                               mask - 1, sign,     sign - 1,  // max positive
+                               sign | 1, sign >> 1};
+    for (int i = 0; i < 500; ++i) words.push_back(rng.next_u64() & mask);
+    for (const Word w : words) {
+      EXPECT_EQ(spec.quantize(spec.dequantize(w)), w)
+          << q.to_string() << " w=" << w;
+      EXPECT_EQ(quantize(dequantize(w, q), q), w)
+          << q.to_string() << " w=" << w;
+    }
+  }
+}
+
+TEST(QuantSpec, MatchesFreeFunctionsOnCorners) {
+  for (const QFormat q :
+       {QFormat{8, 4}, QFormat{16, 8}, QFormat{32, 16}, QFormat{48, 32}}) {
+    const QuantSpec spec(q);
+    // Corner inputs: NaN -> 0, +/-inf and out-of-range clamp to the
+    // format bounds, ties round to even.
+    const double corners[] = {0.0,
+                              -0.0,
+                              q.ulp() / 2.0,
+                              -q.ulp() / 2.0,
+                              q.max_value(),
+                              q.min_value(),
+                              q.max_value() + 1.0,
+                              q.min_value() - 1.0,
+                              1e300,
+                              -1e300,
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity(),
+                              std::numeric_limits<double>::quiet_NaN()};
+    for (const double v : corners) {
+      EXPECT_EQ(spec.quantize(v), quantize(v, q)) << q.to_string() << " " << v;
+    }
+    EXPECT_EQ(spec.quantize(std::numeric_limits<double>::quiet_NaN()),
+              Word{0});
+    EXPECT_EQ(spec.dequantize(spec.quantize(1e300)), q.max_value());
+    EXPECT_EQ(spec.dequantize(spec.quantize(-1e300)), q.min_value());
+  }
 }
 
 TEST(Quantize, NegativeValuesTwosComplement) {

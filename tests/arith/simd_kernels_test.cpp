@@ -1,0 +1,257 @@
+// Differential sweep for the SIMD span backends (simd_kernels.h).
+//
+// Every tier the host can execute (portable always, AVX2 when detected)
+// must be bit-identical to the structural adder models and to the scalar
+// QuantSpec conversions: widths 8..53, all five closed-form families,
+// random AND adversarial operands (carry bridges at the k cut, all-ones
+// lower parts), both carry-ins, subtraction feeds, and span folds. The
+// portable tier is also the reference the CI APPROXIT_NO_SIMD=1 job pins.
+#include "arith/simd_kernels.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/batch_kernels.h"
+#include "arith/exact_adders.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+using simd::Tier;
+
+/// Runs `body` once per executable tier (portable, plus the detected tier
+/// when it is higher), restoring the default dispatch afterwards.
+void for_each_tier(const std::function<void()>& body) {
+  std::vector<Tier> tiers = {Tier::kPortable};
+  if (simd::detected_tier() != Tier::kPortable) {
+    tiers.push_back(simd::detected_tier());
+  }
+  for (const Tier tier : tiers) {
+    simd::set_tier_override(tier);
+    SCOPED_TRACE(simd::tier_name(tier));
+    body();
+  }
+  simd::set_tier_override(std::nullopt);
+}
+
+/// Adversarial operand pool for a family parameterized at cut `k`: clamp
+/// corners, the carry-bridge bit at k-1, all-ones lower parts (maximum OR
+/// and maximum carry propagation into the cut), and random fill.
+std::vector<Word> operand_pool(unsigned width, unsigned k, util::Rng& rng) {
+  const Word mask = word_mask(width);
+  std::vector<Word> pool = {0, 1, mask, mask - 1, Word{1} << (width - 1)};
+  const unsigned kc = std::min(k, width);
+  if (kc > 0) {
+    const Word low = word_mask(kc);
+    pool.push_back(low);                  // all-ones lower part
+    pool.push_back(Word{1} << (kc - 1));  // the bridge bit alone
+    pool.push_back(mask & ~low);          // all-ones upper, zero lower
+    pool.push_back(mask ^ (Word{1} << (kc - 1)));
+    if (kc < width) pool.push_back(low | (Word{1} << kc));
+  }
+  for (int i = 0; i < 6; ++i) pool.push_back(rng.next_u64() & mask);
+  return pool;
+}
+
+/// Checks the elementwise spans and the fold against the structural adder
+/// under the currently active tier.
+void expect_spans_match_structural(const Adder& adder, util::Rng& rng) {
+  const KernelSpec spec = adder.kernel_spec();
+  ASSERT_NE(spec.kind, AdderKernel::kGeneric) << adder.name();
+  const unsigned width = adder.width();
+  const std::vector<Word> pool = operand_pool(width, spec.param, rng);
+
+  // Cross product of the pool against itself; the length is deliberately
+  // not a multiple of 4 so both the vector body and the scalar tail run.
+  std::vector<Word> a, b;
+  for (const Word va : pool) {
+    for (const Word vb : pool) {
+      a.push_back(va);
+      b.push_back(vb);
+    }
+  }
+  a.push_back(rng.next_u64() & adder.mask());
+  b.push_back(rng.next_u64() & adder.mask());
+  const std::size_t n = a.size();
+  ASSERT_NE(n % 4, 0u);
+
+  std::vector<Word> out(n);
+  for (const bool cin : {false, true}) {
+    simd::kernel_add_span(spec, width, a.data(), b.data(), cin, n,
+                          out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], adder.add(a[i], b[i], cin).sum)
+          << adder.name() << " a=" << a[i] << " b=" << b[i]
+          << " cin=" << cin;
+    }
+  }
+  simd::kernel_sub_span(spec, width, a.data(), b.data(), n, out.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], adder.subtract(a[i], b[i]).sum)
+        << adder.name() << " subtract a=" << a[i] << " b=" << b[i];
+  }
+
+  // Folds: prefix lengths that exercise the empty, scalar-tail and
+  // vector-body cases, under seeds covering both bridge phases (p_0 set
+  // and clear at the cut).
+  const std::vector<Word> seeds = {0, adder.mask(), pool[4],
+                                   spec.param > 0 && spec.param <= width
+                                       ? Word{1} << (spec.param - 1)
+                                       : Word{1}};
+  for (const Word seed : seeds) {
+    Word ref = seed & adder.mask();
+    std::size_t folded = 0;
+    for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{5},
+                                  std::size_t{17}, n}) {
+      for (; folded < len && folded < n; ++folded) {
+        ref = adder.add(ref, a[folded], false).sum;
+      }
+      ASSERT_EQ(simd::fold_words(spec, width, seed, a.data(),
+                                 std::min(len, n)),
+                ref)
+          << adder.name() << " fold len=" << len << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SimdKernels, AllFamiliesAllWidthsMatchStructural) {
+  util::Rng rng(0x51d0);
+  for_each_tier([&] {
+    for (unsigned width = 8; width <= 53; ++width) {
+      for (const unsigned k : {width / 2, width - 1}) {
+        expect_spans_match_structural(LowerOrAdder(width, k), rng);
+        expect_spans_match_structural(TruncatedAdder(width, k), rng);
+        expect_spans_match_structural(EtaIAdder(width, k), rng);
+      }
+      expect_spans_match_structural(EtaIIAdder(width, width / 3 + 1), rng);
+      expect_spans_match_structural(RippleCarryAdder(width), rng);
+    }
+  });
+}
+
+TEST(SimdKernels, ParameterEdgesMatchStructural) {
+  util::Rng rng(0x51d1);
+  for_each_tier([&] {
+    for (const unsigned width : {8u, 16u, 32u, 48u, 53u}) {
+      // k == 0 collapses to exact; k == width consumes the whole word
+      // (full OR region / zero result); GDA clamps to width - 1.
+      for (const unsigned k : {0u, 1u, width - 1, width}) {
+        expect_spans_match_structural(LowerOrAdder(width, k), rng);
+        expect_spans_match_structural(TruncatedAdder(width, k), rng);
+        expect_spans_match_structural(EtaIAdder(width, k), rng);
+        expect_spans_match_structural(GdaAdder(width, k), rng);
+      }
+      for (const unsigned segment : {1u, width - 1, width, width + 5}) {
+        expect_spans_match_structural(EtaIIAdder(width, segment), rng);
+      }
+    }
+  });
+}
+
+TEST(SimdKernels, QuantizeSpanMatchesScalarCorners) {
+  util::Rng rng(0x9ca1);
+  for (const QFormat format :
+       {QFormat{8, 4}, QFormat{16, 8}, QFormat{32, 16}, QFormat{48, 32},
+        QFormat{53, 26}, QFormat{64, 32}}) {
+    const QuantSpec spec(format);
+    SCOPED_TRACE(format.to_string());
+    std::vector<double> in = {
+        0.0,
+        -0.0,
+        format.ulp(),
+        -format.ulp(),
+        0.5 * format.ulp(),  // round-to-even tie
+        1.5 * format.ulp(),
+        -0.5 * format.ulp(),
+        0.3 * format.ulp(),
+        format.max_value(),
+        format.max_value() + format.ulp(),  // saturates high
+        format.min_value(),
+        format.min_value() - format.ulp(),  // saturates low
+        1e300,
+        -1e300,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::denorm_min(),
+    };
+    for (int i = 0; i < 101; ++i) {
+      in.push_back(rng.uniform(2.0 * format.min_value(),
+                               2.0 * format.max_value()));
+    }
+    ASSERT_NE(in.size() % 4, 0u);
+
+    std::vector<Word> out(in.size());
+    for_each_tier([&] {
+      simd::quantize_span(spec, in.data(), in.size(), out.data());
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        ASSERT_EQ(out[i], spec.quantize(in[i])) << "in=" << in[i];
+      }
+    });
+  }
+}
+
+TEST(SimdKernels, DequantizeSpanMatchesScalarCorners) {
+  util::Rng rng(0x9ca2);
+  for (const QFormat format :
+       {QFormat{8, 4}, QFormat{16, 8}, QFormat{32, 16}, QFormat{48, 32},
+        QFormat{53, 26}, QFormat{64, 32}}) {
+    const QuantSpec spec(format);
+    SCOPED_TRACE(format.to_string());
+    std::vector<Word> in = {0,
+                            1,
+                            spec.mask(),
+                            spec.mask() - 1,
+                            spec.sign_bit(),
+                            spec.sign_bit() - 1,
+                            spec.sign_bit() | 1,
+                            ~Word{0}};  // garbage above total_bits: masked
+    for (int i = 0; i < 97; ++i) in.push_back(rng.next_u64());
+    ASSERT_NE(in.size() % 4, 0u);
+
+    std::vector<double> out(in.size());
+    for_each_tier([&] {
+      simd::dequantize_span(spec, in.data(), in.size(), out.data());
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        ASSERT_EQ(out[i], spec.dequantize(in[i])) << "in=" << in[i];
+      }
+    });
+  }
+}
+
+TEST(SimdKernels, GenericKernelThrows) {
+  const KernelSpec generic{AdderKernel::kGeneric, 0};
+  const Word a[4] = {1, 2, 3, 4};
+  Word out[4];
+  EXPECT_THROW(simd::kernel_add_span(generic, 32, a, a, false, 4, out),
+               std::logic_error);
+  EXPECT_THROW(simd::kernel_sub_span(generic, 32, a, a, 4, out),
+               std::logic_error);
+  EXPECT_THROW(simd::fold_words(generic, 32, 0, a, 4), std::logic_error);
+}
+
+TEST(SimdDispatch, OverrideClampsToDetectedTier) {
+  // Requesting a tier the host lacks must demote, never promote.
+  simd::set_tier_override(Tier::kAvx2);
+  EXPECT_LE(static_cast<int>(simd::active_tier()),
+            static_cast<int>(simd::detected_tier()));
+  simd::set_tier_override(Tier::kPortable);
+  EXPECT_EQ(simd::active_tier(), Tier::kPortable);
+  simd::set_tier_override(std::nullopt);
+  EXPECT_EQ(simd::active_tier(), simd::detected_tier());
+}
+
+TEST(SimdDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(simd::tier_name(Tier::kPortable), "portable");
+  EXPECT_STREQ(simd::tier_name(Tier::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace approxit::arith

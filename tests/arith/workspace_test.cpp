@@ -1,0 +1,244 @@
+// Tests for the fused fixed-point-resident chains (arith/workspace.h).
+//
+// The contract under test: a BatchWorkspace chain is bit-identical to the
+// plain ArithContext call sequence it replaces — against the scalar
+// (set_batching(false)) QcsAlu reference, against ExactContext, and
+// against the fault-injecting decorator — and op-for-op identical in the
+// energy ledger.
+#include "arith/workspace.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/context.h"
+#include "arith/exact_adders.h"
+#include "arith/fault_injector.h"
+#include "arith/simd_kernels.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace approxit::arith {
+namespace {
+
+std::vector<double> random_values(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& e : v) e = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(BatchWorkspace, OneShotChainsMatchUnfusedSequences) {
+  // The length is odd so the fused fold exercises its scalar tail.
+  const std::vector<double> x = random_values(129, -30.0, 30.0, 0xa1);
+  const std::vector<double> y = random_values(129, -30.0, 30.0, 0xa2);
+  const std::vector<double> terms = random_values(201, -8.0, 8.0, 0xa3);
+
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    alu.set_mode(mode_from_index(m));
+    SCOPED_TRACE(mode_name(alu.mode()));
+
+    // Reference: the hand-written call sequence on the scalar path.
+    alu.set_batching(false);
+    alu.reset_ledger();
+    const double ref_resid = alu.sub(alu.dot(x, y), 3.25);
+    const double ref_grad = alu.add(alu.accumulate(terms), -7.5);
+    const std::size_t ref_ops = alu.ledger().total_ops();
+    const double ref_energy = alu.ledger().total_energy();
+
+    alu.set_batching(true);
+    alu.reset_ledger();
+    EXPECT_TRUE(ws.fused());
+    EXPECT_EQ(ws.dot_sub(x, y, 3.25), ref_resid);
+    EXPECT_EQ(ws.accumulate_add(terms, -7.5), ref_grad);
+    EXPECT_EQ(alu.ledger().total_ops(), ref_ops);
+    EXPECT_NEAR(alu.ledger().total_energy(), ref_energy,
+                1e-9 * std::abs(ref_energy));
+  }
+}
+
+TEST(BatchWorkspace, MixedChainMatchesUnfusedSequence) {
+  const std::vector<double> a = random_values(63, -5.0, 5.0, 0xb1);
+  const std::vector<double> b = random_values(300, -5.0, 5.0, 0xb2);
+
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    alu.set_mode(mode_from_index(m));
+    SCOPED_TRACE(mode_name(alu.mode()));
+
+    alu.set_batching(false);
+    alu.reset_ledger();
+    double ref = 2.125;  // non-zero seed: every element folds via add()
+    for (const double v : a) ref = alu.add(ref, v);
+    ref = alu.add(ref, 0.625);
+    ref = alu.sub(ref, -4.75);
+    for (const double v : b) ref = alu.add(ref, v);
+    const std::size_t ref_ops = alu.ledger().total_ops();
+
+    alu.set_batching(true);
+    alu.reset_ledger();
+    ws.begin(2.125);
+    ws.accumulate(a);
+    ws.add_term(0.625);
+    ws.sub_term(-4.75);
+    ws.accumulate(b);
+    EXPECT_EQ(ws.finish(), ref);
+    EXPECT_EQ(alu.ledger().total_ops(), ref_ops);
+  }
+}
+
+TEST(BatchWorkspace, DynamicEnergyChainsMatch) {
+  const std::vector<double> x = random_values(80, -10.0, 10.0, 0xc1);
+  const std::vector<double> y = random_values(80, -10.0, 10.0, 0xc2);
+
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  alu.set_mode(ApproxMode::kLevel2);
+
+  // The toggle model is stateful; re-enable before each run so both start
+  // from the same state.
+  alu.set_dynamic_energy(true);
+  alu.set_batching(false);
+  alu.reset_ledger();
+  const double ref = alu.sub(alu.dot(x, y), 1.5);
+  const std::size_t ref_ops = alu.ledger().total_ops();
+  const double ref_energy = alu.ledger().total_energy();
+
+  alu.set_dynamic_energy(true);
+  alu.set_batching(true);
+  alu.reset_ledger();
+  EXPECT_EQ(ws.dot_sub(x, y, 1.5), ref);
+  EXPECT_EQ(alu.ledger().total_ops(), ref_ops);
+  EXPECT_NEAR(alu.ledger().total_energy(), ref_energy,
+              1e-9 * std::abs(ref_energy));
+}
+
+TEST(BatchWorkspace, ExactContextFallbackMatchesPlainCalls) {
+  const std::vector<double> x = random_values(40, -2.0, 2.0, 0xd1);
+  const std::vector<double> y = random_values(40, -2.0, 2.0, 0xd2);
+
+  ExactContext exact;
+  BatchWorkspace ws(exact);
+  EXPECT_FALSE(ws.fused());
+  EXPECT_EQ(ws.dot_sub(x, y, 0.75),
+            exact.sub(exact.dot(x, y), 0.75));
+  EXPECT_EQ(ws.accumulate_add(x, -1.5),
+            exact.add(exact.accumulate(x), -1.5));
+}
+
+TEST(BatchWorkspace, GenericBankFallsBackAndMatches) {
+  // ACA advertises no closed-form kernel, so chains must not fuse; they
+  // run the plain context sequence (which itself folds through the
+  // virtual add()).
+  QcsAlu alu(QFormat{32, 16},
+             {std::make_shared<AcaAdder>(32, 6),
+              std::make_shared<AcaAdder>(32, 10),
+              std::make_shared<AcaAdder>(32, 14),
+              std::make_shared<AcaAdder>(32, 18),
+              std::make_shared<RippleCarryAdder>(32)});
+  alu.set_mode(ApproxMode::kLevel1);
+  BatchWorkspace ws(alu);
+  EXPECT_FALSE(ws.fused());
+
+  const std::vector<double> x = random_values(50, -4.0, 4.0, 0xe1);
+  const std::vector<double> y = random_values(50, -4.0, 4.0, 0xe2);
+  const double chained = ws.dot_sub(x, y, 2.0);
+  EXPECT_EQ(chained, alu.sub(alu.dot(x, y), 2.0));
+}
+
+TEST(BatchWorkspace, FaultyDecoratorKeepsPerOpInjection) {
+  // Same config/seed, chained vs hand-written: the decorator must see the
+  // identical op stream, so values AND injected-fault counts match.
+  const FaultConfig fault = FaultConfig::uniform_approximate(0.05, 0x5eed);
+  const std::vector<double> x = random_values(150, -6.0, 6.0, 0xf1);
+  const std::vector<double> y = random_values(150, -6.0, 6.0, 0xf2);
+
+  FaultyQcsAlu plain(fault);
+  plain.set_mode(ApproxMode::kLevel2);
+  const double ref_resid = plain.sub(plain.dot(x, y), 0.5);
+  const double ref_grad = plain.add(plain.accumulate(x), 9.0);
+
+  FaultyQcsAlu chained(fault);
+  chained.set_mode(ApproxMode::kLevel2);
+  BatchWorkspace ws(chained);
+  EXPECT_FALSE(ws.fused());
+  EXPECT_EQ(ws.dot_sub(x, y, 0.5), ref_resid);
+  EXPECT_EQ(ws.accumulate_add(x, 9.0), ref_grad);
+  EXPECT_EQ(chained.fault_ledger().injected(), plain.fault_ledger().injected());
+  EXPECT_GT(chained.fault_ledger().injected(), 0u);
+}
+
+TEST(BatchWorkspace, ModeSwitchBetweenChainsIsSafe) {
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  const std::vector<double> x = random_values(30, -3.0, 3.0, 0x101);
+
+  alu.set_mode(ApproxMode::kLevel1);
+  const double l1 = ws.accumulate_add(x, 1.0);
+  alu.set_mode(ApproxMode::kAccurate);
+  const double acc = ws.accumulate_add(x, 1.0);
+
+  alu.set_batching(false);
+  alu.set_mode(ApproxMode::kLevel1);
+  EXPECT_EQ(l1, alu.add(alu.accumulate(x), 1.0));
+  alu.set_mode(ApproxMode::kAccurate);
+  EXPECT_EQ(acc, alu.add(alu.accumulate(x), 1.0));
+}
+
+TEST(BatchWorkspace, DotRequiresFreshZeroSeededChain) {
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  const std::vector<double> x = {1.0, 2.0};
+
+  ws.begin(1.0);  // non-zero seed
+  EXPECT_THROW(ws.dot(x, x), std::logic_error);
+
+  ws.begin(0.0);
+  ws.add_term(1.0);  // no longer fresh
+  EXPECT_THROW(ws.dot(x, x), std::logic_error);
+
+  ws.begin(0.0);
+  EXPECT_NO_THROW(ws.dot(x, x));
+  const std::vector<double> longer = {1.0, 2.0, 3.0};
+  ws.begin(0.0);
+  EXPECT_THROW(ws.dot(x, longer), std::invalid_argument);
+}
+
+TEST(BatchWorkspace, BeginWithoutBindThrows) {
+  BatchWorkspace ws;
+  EXPECT_THROW(ws.begin(), std::logic_error);
+  EXPECT_EQ(ws.context(), nullptr);
+}
+
+TEST(BatchWorkspace, FusedMetricsAndTierGauge) {
+  obs::MetricsRegistry registry;
+  QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel1);
+  alu.set_metrics(&registry);
+  EXPECT_EQ(registry.gauge("alu.simd_tier").value(),
+            static_cast<double>(simd::active_tier()));
+
+  BatchWorkspace ws(alu);
+  const std::vector<double> x = random_values(64, -2.0, 2.0, 0x111);
+  (void)ws.dot_sub(x, x, 0.25);  // 64 fold ops + 1 apply op
+  EXPECT_EQ(registry.counter("alu.fused.chains").value(), 1.0);
+  EXPECT_EQ(registry.counter("alu.fused.ops").value(), 65.0);
+
+  (void)ws.accumulate_add(x, 3.0);
+  EXPECT_EQ(registry.counter("alu.fused.chains").value(), 2.0);
+  EXPECT_EQ(registry.counter("alu.fused.ops").value(), 130.0);
+
+  // Detaching stops fused posting without breaking chains.
+  alu.set_metrics(nullptr);
+  (void)ws.dot_sub(x, x, 0.25);
+  EXPECT_EQ(registry.counter("alu.fused.chains").value(), 2.0);
+}
+
+}  // namespace
+}  // namespace approxit::arith
