@@ -1,0 +1,307 @@
+// Serving-resilience benchmark: SLO tail latency under overload with and
+// without quality-degrading load shedding, plus a seeded chaos smoke run
+// exercising the retry/recovery machinery.
+//
+// Phases:
+//   1. BASELINE — one warm job measures the per-job service time L; the
+//      SLO for phase 2 is derived from it (6x L, floored at 50 ms) so the
+//      pass/fail contrast holds on fast and slow machines alike.
+//   2. OVERLOAD — a 60-job burst into 2 workers, twice:
+//        shed ON : degrade watermark 4, shed watermark 10 — overflow jobs
+//                  run the coarser static level with a capped budget or
+//                  are rejected, so the queue (and the tail) stays short.
+//        shed OFF: every job is admitted verbatim and waits its turn.
+//      The artifact records p50/p99 latency and SLO violations for both;
+//      the bench FAILS unless shedding keeps p99 under the SLO while the
+//      unprotected run violates it.
+//   3. CHAOS — 18 jobs under seeded fault injection (crashes, stalls, ALU
+//      faults) with retries enabled, run TWICE: outcome sequences and
+//      merged metrics must be byte-identical (determinism smoke).
+//
+// Emits bench_artifacts/BENCH_resilience.json; exits non-zero when the
+// shedding contrast or chaos determinism fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "svc/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+using approxit::bench::artifact_path;
+using approxit::obs::MetricsRegistry;
+using approxit::svc::JobSnapshot;
+using approxit::svc::JobSpec;
+using approxit::svc::JobState;
+using approxit::svc::ServiceConfig;
+using approxit::svc::ServiceRuntime;
+using approxit::svc::ServiceStats;
+namespace util = approxit::util;
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+JobSpec overload_job(const char* dataset) {
+  JobSpec spec;
+  spec.app = "gmm";
+  spec.dataset = dataset;
+  spec.strategy = "incremental";
+  spec.max_iterations = 150;
+  spec.characterization_iterations = 6;
+  return spec;
+}
+
+/// One overload arm: submit the burst, wait everything out, aggregate.
+struct OverloadResult {
+  std::vector<double> latency_ms;  ///< queue + run, completed jobs only.
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::size_t violations = 0;  ///< Completed jobs over the SLO.
+  ServiceStats stats;
+};
+
+OverloadResult run_overload(const ServiceConfig& config,
+                            const std::vector<JobSpec>& burst,
+                            double slo_ms) {
+  OverloadResult result;
+  ServiceRuntime runtime(config);
+  // Warm the runtime's profile cache first: characterization is a one-off
+  // offline cost per workload, not part of the steady-state latency the
+  // SLO governs.
+  const char* warmup_datasets[] = {"3cluster", "3d3cluster", "4cluster"};
+  for (const char* dataset : warmup_datasets) {
+    const auto id = runtime.submit(overload_job(dataset));
+    if (id) (void)runtime.result(*id);
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(burst.size());
+  for (const JobSpec& spec : burst) {
+    std::string error;
+    const auto id = runtime.submit(spec, &error);
+    if (!id) {
+      ++result.shed;
+      continue;
+    }
+    ++result.admitted;
+    ids.push_back(*id);
+  }
+  for (const std::uint64_t id : ids) {
+    const JobSnapshot job = *runtime.result(id);
+    if (job.state != JobState::kDone) continue;
+    const double latency = job.queue_ms + job.run_ms;
+    result.latency_ms.push_back(latency);
+    if (latency > slo_ms) ++result.violations;
+  }
+  result.stats = runtime.stats();
+  return result;
+}
+
+/// One chaos fleet pass: returns the per-job outcome lines (state, error,
+/// attempts, report JSON, in submission order) plus the merged metrics —
+/// everything that must be identical between two same-seed passes.
+struct ChaosResult {
+  std::vector<std::string> outcomes;
+  std::string metrics_json;
+  ServiceStats stats;
+};
+
+ChaosResult run_chaos_fleet() {
+  ServiceConfig config;
+  config.threads = 4;
+  config.cache.directory.clear();  // Memory-only: no cross-run coupling.
+  config.chaos.enabled = true;
+  config.chaos.seed = 0xfeed;
+  config.chaos.crash_probability = 0.25;
+  config.chaos.stall_probability = 0.25;
+  config.chaos.stall_ms = 0.5;
+  config.chaos.alu_fault_probability = 0.3;
+  config.chaos.alu_fault_rate = 0.02;
+  config.qos.max_retries = 2;
+  config.qos.retry_base_ms = 0.1;
+  config.qos.retry_max_ms = 0.3;
+
+  std::vector<JobSpec> jobs;
+  const char* datasets[] = {"3cluster", "3d3cluster", "4cluster"};
+  const char* strategies[] = {"incremental", "adaptive", "level1"};
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const char* dataset : datasets) {
+      for (const char* strategy : strategies) {
+        JobSpec spec;
+        spec.app = "gmm";
+        spec.dataset = dataset;
+        spec.strategy = strategy;
+        spec.max_iterations = 40;
+        spec.characterization_iterations = 4;
+        jobs.push_back(spec);
+      }
+    }
+  }
+
+  ChaosResult result;
+  ServiceRuntime runtime(config);
+  std::vector<std::uint64_t> ids;
+  for (const JobSpec& spec : jobs) {
+    const auto id = runtime.submit(spec);
+    if (id) ids.push_back(*id);
+  }
+  for (const std::uint64_t id : ids) {
+    const JobSnapshot job = *runtime.result(id);
+    std::ostringstream line;
+    line << job_state_name(job.state) << '|' << job.error << '|'
+         << job.attempts << '|' << job.report_json;
+    result.outcomes.push_back(line.str());
+  }
+  result.stats = runtime.stats();
+  MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  result.metrics_json = merged.to_json();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // --- Phase 1: baseline service time -> derived SLO --------------------
+  ServiceConfig baseline_config;
+  baseline_config.threads = 1;
+  baseline_config.cache.directory.clear();
+  double baseline_ms = 0.0;
+  {
+    ServiceRuntime runtime(baseline_config);
+    const auto warm = runtime.submit(overload_job("3cluster"));
+    (void)runtime.result(*warm);  // Characterization paid here.
+    const auto id = runtime.submit(overload_job("3cluster"));
+    const JobSnapshot job = *runtime.result(*id);
+    baseline_ms = job.queue_ms + job.run_ms;
+  }
+  const double slo_ms = std::max(50.0, 8.0 * baseline_ms);
+  std::printf("baseline job %.2f ms -> SLO %.2f ms\n\n", baseline_ms, slo_ms);
+
+  // --- Phase 2: overload burst, shedding on vs off -----------------------
+  std::vector<JobSpec> burst;
+  const char* datasets[] = {"3cluster", "3d3cluster", "4cluster"};
+  for (std::size_t i = 0; i < 60; ++i) {
+    burst.push_back(overload_job(datasets[i % 3]));
+  }
+
+  ServiceConfig shed_on;
+  shed_on.threads = 2;
+  shed_on.cache.directory.clear();
+  shed_on.queue_capacity = burst.size();
+  shed_on.qos.degrade_watermark = 3;
+  shed_on.qos.shed_watermark = 6;
+  shed_on.qos.degraded_strategy = "level2";
+  shed_on.qos.degraded_max_iterations = 20;
+
+  ServiceConfig shed_off = shed_on;
+  shed_off.qos.degrade_watermark = 0;
+  shed_off.qos.shed_watermark = 0;
+
+  const OverloadResult with_shed = run_overload(shed_on, burst, slo_ms);
+  const OverloadResult without_shed = run_overload(shed_off, burst, slo_ms);
+
+  const double on_p50 = percentile(with_shed.latency_ms, 0.50);
+  const double on_p99 = percentile(with_shed.latency_ms, 0.99);
+  const double off_p50 = percentile(without_shed.latency_ms, 0.50);
+  const double off_p99 = percentile(without_shed.latency_ms, 0.99);
+  const bool shed_meets_slo = on_p99 <= slo_ms;
+  const bool unprotected_violates = off_p99 > slo_ms;
+
+  util::Table overload_table("Overload burst (60 jobs, 2 workers)");
+  overload_table.set_header({"Shedding", "Done", "Shed", "Degraded",
+                             "p50 ms", "p99 ms", "SLO violations"});
+  overload_table.add_row(
+      {"on", std::to_string(with_shed.latency_ms.size()),
+       std::to_string(with_shed.stats.shed),
+       std::to_string(with_shed.stats.degraded), util::format_sig(on_p50, 4),
+       util::format_sig(on_p99, 4), std::to_string(with_shed.violations)});
+  overload_table.add_row(
+      {"off", std::to_string(without_shed.latency_ms.size()),
+       std::to_string(without_shed.stats.shed),
+       std::to_string(without_shed.stats.degraded),
+       util::format_sig(off_p50, 4), util::format_sig(off_p99, 4),
+       std::to_string(without_shed.violations)});
+  std::cout << overload_table << "\n";
+  std::printf("shed-on p99 %s SLO, shed-off p99 %s SLO\n\n",
+              shed_meets_slo ? "meets" : "VIOLATES",
+              unprotected_violates ? "violates (expected)" : "MEETS");
+
+  // --- Phase 3: seeded chaos, twice ---------------------------------------
+  const ChaosResult chaos_a = run_chaos_fleet();
+  const ChaosResult chaos_b = run_chaos_fleet();
+  const bool chaos_deterministic =
+      chaos_a.outcomes == chaos_b.outcomes &&
+      chaos_a.metrics_json == chaos_b.metrics_json;
+  std::size_t chaos_failed = chaos_a.stats.failed;
+
+  util::Table chaos_table("Seeded chaos fleet (18 jobs, 4 workers, 2 runs)");
+  chaos_table.set_header(
+      {"Jobs", "Retries", "Failed", "Completed", "Deterministic"});
+  chaos_table.add_row({std::to_string(chaos_a.outcomes.size()),
+                       std::to_string(chaos_a.stats.retries),
+                       std::to_string(chaos_failed),
+                       std::to_string(chaos_a.stats.completed),
+                       chaos_deterministic ? "yes" : "NO"});
+  std::cout << chaos_table << "\n";
+
+  // --- Artifact -----------------------------------------------------------
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"resilience\",\n"
+       << "  \"slo_ms\": " << slo_ms << ",\n"
+       << "  \"baseline_job_ms\": " << baseline_ms << ",\n"
+       << "  \"overload\": {\n"
+       << "    \"jobs\": " << burst.size() << ", \"threads\": 2,\n"
+       << "    \"shed_on\": {\"done\": " << with_shed.latency_ms.size()
+       << ", \"shed\": " << with_shed.stats.shed
+       << ", \"degraded\": " << with_shed.stats.degraded
+       << ", \"latency_ms_p50\": " << on_p50
+       << ", \"latency_ms_p99\": " << on_p99
+       << ", \"slo_violations\": " << with_shed.violations
+       << ", \"p99_meets_slo\": " << (shed_meets_slo ? "true" : "false")
+       << "},\n"
+       << "    \"shed_off\": {\"done\": " << without_shed.latency_ms.size()
+       << ", \"shed\": " << without_shed.stats.shed
+       << ", \"degraded\": " << without_shed.stats.degraded
+       << ", \"latency_ms_p50\": " << off_p50
+       << ", \"latency_ms_p99\": " << off_p99
+       << ", \"slo_violations\": " << without_shed.violations
+       << ", \"p99_meets_slo\": "
+       << (unprotected_violates ? "false" : "true") << "}\n  },\n"
+       << "  \"chaos\": {\"jobs\": " << chaos_a.outcomes.size()
+       << ", \"retries\": " << chaos_a.stats.retries
+       << ", \"failed\": " << chaos_failed
+       << ", \"completed\": " << chaos_a.stats.completed
+       << ", \"deterministic\": "
+       << (chaos_deterministic ? "true" : "false") << "}\n}\n";
+
+  const std::string path = artifact_path("BENCH_resilience.json");
+  std::ofstream out(path);
+  out << json.str();
+  std::printf("Wrote %s\n", path.c_str());
+
+  if (!shed_meets_slo || !unprotected_violates || !chaos_deterministic) {
+    std::printf(
+        "FAIL: shed_meets_slo=%d unprotected_violates=%d "
+        "chaos_deterministic=%d\n",
+        shed_meets_slo ? 1 : 0, unprotected_violates ? 1 : 0,
+        chaos_deterministic ? 1 : 0);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "core/cancel.h"
+
+#include <chrono>
+
+namespace approxit::core {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CancelSource::CancelSource(std::function<double()> clock)
+    : state_(std::make_shared<detail::CancelState>()) {
+  state_->clock = clock != nullptr ? std::move(clock) : steady_now_ms;
+}
+
+}  // namespace approxit::core

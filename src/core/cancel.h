@@ -1,0 +1,161 @@
+// Cooperative cancellation and deadlines for iterative runs.
+//
+// A CancelSource owns one cancellation state; the CancelTokens it hands
+// out are cheap shared views that the session's iteration loop and the
+// offline characterization poll BETWEEN iterations. Cancellation is
+// therefore cooperative and bounded: a cancelled or deadline-expired run
+// stops within one iteration, with a well-defined partial result (the
+// RunReport carries the state, objective and iteration count reached so
+// far under RunStatus::kCancelled / kDeadlineExceeded).
+//
+// Design constraints, in order:
+//  - A default-constructed (inert) token must cost one null-pointer test
+//    per iteration and nothing else: runs without deadlines stay
+//    bit-identical and allocation-free.
+//  - Deadlines are evaluated against a PLUGGABLE clock (milliseconds,
+//    monotonic by contract). The serving runtime injects its own clock so
+//    chaos tests can skew time deterministically; core code never reads
+//    the wall clock directly.
+//  - check() latches: the first observed reason (explicit cancel beats a
+//    concurrently expiring deadline) is the one every subsequent check()
+//    and every other token of the same source reports.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace approxit::core {
+
+/// Why a run was asked to stop.
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,         ///< Explicit CancelSource::cancel().
+  kDeadlineExceeded = 2,  ///< The deadline passed.
+};
+
+/// Reason label ("none", "cancelled", "deadline_exceeded").
+constexpr std::string_view cancel_reason_name(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kCancelled:
+      return "cancelled";
+    case CancelReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+/// Thrown by cooperative stages that cannot return a partial result (the
+/// offline characterization: a half-measured profile must never be
+/// computed into the cache). Callers map it back onto the structured
+/// kCancelled / kDeadlineExceeded outcome.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(std::string("run cancelled: ") +
+                           std::string(cancel_reason_name(reason))),
+        reason_(reason) {}
+
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+namespace detail {
+
+/// Shared cancellation cell. `reason` latches the first non-none value;
+/// `deadline_ms` is an absolute timestamp on `clock`'s axis (<= 0 = none).
+struct CancelState {
+  std::atomic<int> reason{0};
+  double deadline_ms = 0.0;
+  std::function<double()> clock;  ///< Monotonic milliseconds.
+};
+
+}  // namespace detail
+
+/// Cheap shared view of a CancelSource. Default-constructed tokens are
+/// inert: check() is a single null test and always returns kNone.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when this token is connected to a source (even if not yet
+  /// cancelled) — the inverse of "inert".
+  bool valid() const { return state_ != nullptr; }
+
+  /// Polls the cancellation state: returns the latched reason, latching
+  /// kDeadlineExceeded first if the deadline has passed. kNone otherwise.
+  CancelReason check() const {
+    if (state_ == nullptr) return CancelReason::kNone;
+    int reason = state_->reason.load(std::memory_order_acquire);
+    if (reason == 0 && state_->deadline_ms > 0.0 &&
+        state_->clock() >= state_->deadline_ms) {
+      int expected = 0;
+      state_->reason.compare_exchange_strong(
+          expected, static_cast<int>(CancelReason::kDeadlineExceeded),
+          std::memory_order_acq_rel);
+      reason = state_->reason.load(std::memory_order_acquire);
+    }
+    return static_cast<CancelReason>(reason);
+  }
+
+  /// check() != kNone, without naming the reason.
+  bool stop_requested() const { return check() != CancelReason::kNone; }
+
+  /// check(), throwing CancelledError instead of returning a reason.
+  void throw_if_cancelled() const {
+    const CancelReason reason = check();
+    if (reason != CancelReason::kNone) throw CancelledError(reason);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owns one cancellation state and hands out tokens over it.
+class CancelSource {
+ public:
+  /// `clock` supplies monotonic milliseconds for deadline evaluation;
+  /// null uses std::chrono::steady_clock.
+  explicit CancelSource(std::function<double()> clock = nullptr);
+
+  /// Arms an absolute deadline (on the source's clock axis). Call before
+  /// handing tokens to workers; <= 0 disarms.
+  void set_deadline_ms(double absolute_ms) {
+    state_->deadline_ms = absolute_ms;
+  }
+
+  /// The source's clock reading right now (for deriving absolute
+  /// deadlines from relative ones).
+  double now_ms() const { return state_->clock(); }
+
+  /// Latches kCancelled (unless a reason is already latched).
+  void cancel() {
+    int expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(CancelReason::kCancelled),
+        std::memory_order_acq_rel);
+  }
+
+  /// A token observing this source.
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// The latched reason (kNone while running).
+  CancelReason reason() const { return token().check(); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace approxit::core

@@ -12,8 +12,6 @@
 
 namespace approxit::core {
 
-namespace {
-
 /// FNV-1a 64-bit over the canonical description. Deterministic across
 /// platforms and runs — the content address must not depend on process
 /// state the way std::hash may.
@@ -25,6 +23,8 @@ std::uint64_t fnv1a64(std::string_view text) {
   }
   return hash;
 }
+
+namespace {
 
 /// Full-precision double for the canonical description (%.17g round-trips
 /// IEEE754 doubles exactly, so equal values always print equally).
@@ -67,9 +67,11 @@ CharacterizationKey characterization_cache_key(
   return key;
 }
 
-ModeCharacterization characterize(opt::IterativeMethod& method,
-                                  arith::QcsAlu& alu,
-                                  const CharacterizationOptions& options) {
+namespace {
+
+ModeCharacterization characterize_impl(opt::IterativeMethod& method,
+                                       arith::QcsAlu& alu,
+                                       const CharacterizationOptions& options) {
   ModeCharacterization out;
   out.iterations_characterized = options.iterations;
   for (std::size_t i = 0; i < arith::kNumModes; ++i) {
@@ -89,6 +91,7 @@ ModeCharacterization characterize(opt::IterativeMethod& method,
   method.reset();
   out.objective_scale = std::max(std::abs(method.objective()), 1e-12);
   for (std::size_t k = 0; k < options.iterations; ++k) {
+    options.cancel.throw_if_cancelled();
     const opt::IterationStats stats = iterate_accurately(method);
     out.angle_samples.push_back(steepness_angle(stats.grad_norm));
     if (k == 0) {
@@ -112,6 +115,7 @@ ModeCharacterization characterize(opt::IterativeMethod& method,
     double sum_abs_state = 0.0;
     std::size_t measured = 0;
     for (std::size_t k = 0; k < options.iterations; ++k) {
+      options.cancel.throw_if_cancelled();
       const std::vector<double> snapshot = method.state();
 
       const opt::IterationStats exact_stats = iterate_accurately(method);
@@ -178,6 +182,23 @@ ModeCharacterization characterize(opt::IterativeMethod& method,
   APPROXIT_LOG(util::LogLevel::kDebug, "characterize")
       << method.name() << ": " << out.to_string();
   return out;
+}
+
+}  // namespace
+
+ModeCharacterization characterize(opt::IterativeMethod& method,
+                                  arith::QcsAlu& alu,
+                                  const CharacterizationOptions& options) {
+  try {
+    return characterize_impl(method, alu, options);
+  } catch (const CancelledError&) {
+    // Keep the documented exit contract (method reset, accurate mode,
+    // clean ledger) even when the probe stops mid-trajectory.
+    method.reset();
+    alu.set_mode(arith::ApproxMode::kAccurate);
+    alu.reset_ledger();
+    throw;
+  }
 }
 
 ModeCharacterization merge_characterizations(

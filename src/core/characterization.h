@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "arith/alu.h"
+#include "core/cancel.h"
 #include "core/quality.h"
 #include "opt/iterative_method.h"
 
@@ -35,6 +36,12 @@ struct CharacterizationOptions {
   /// in workload order, so the result is identical for any thread count.
   /// characterize() itself is always a single serial trajectory.
   std::size_t threads = 1;
+  /// Cooperative cancellation: checked between probe iterations. A
+  /// cancelled characterization throws CancelledError — a partial profile
+  /// must never escape into a cache. Excluded from the cache key (like
+  /// `threads`): an inert or armed token cannot change the result, only
+  /// whether one is produced.
+  CancelToken cancel;
 };
 
 /// Runs the offline characterization of `method` on `alu`.
@@ -59,6 +66,10 @@ ModeCharacterization merge_characterizations(
 ModeCharacterization characterize_many(
     const std::vector<opt::IterativeMethod*>& methods, arith::QcsAlu& alu,
     const CharacterizationOptions& options = {});
+
+/// FNV-1a 64-bit hash of `text`: the content-address hash behind
+/// CharacterizationKey, also reused as the profile store's file checksum.
+std::uint64_t fnv1a64(std::string_view text);
 
 /// Content address of one characterization result: a canonical description
 /// of everything the offline stage's output depends on, plus its 64-bit

@@ -134,8 +134,22 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   std::size_t iterations_since_checkpoint = 0;
   bool aborted = false;
   WatchdogTrigger abort_trigger = WatchdogTrigger::kNone;
+  CancelReason cancel_reason = CancelReason::kNone;
 
   while (report.iterations < budget) {
+    // Cooperative stop point: a cancelled/deadline-expired run releases
+    // its thread before starting another iteration and reports the
+    // partial result it holds. Inert tokens reduce this to one null test.
+    cancel_reason = options.cancel.check();
+    if (cancel_reason != CancelReason::kNone) {
+      if (obs::trace_enabled()) {
+        obs::emit_instant(
+            "session", "cancelled",
+            {obs::arg("iter", report.iterations),
+             obs::arg("reason", cancel_reason_name(cancel_reason))});
+      }
+      break;
+    }
     if (report.safe_mode) mode = arith::ApproxMode::kAccurate;
     alu_.set_mode(mode);
     const std::vector<double> snapshot = method_.state();
@@ -307,7 +321,11 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
     }
   }
 
-  if (report.converged) {
+  if (cancel_reason != CancelReason::kNone) {
+    report.status = cancel_reason == CancelReason::kCancelled
+                        ? RunStatus::kCancelled
+                        : RunStatus::kDeadlineExceeded;
+  } else if (report.converged) {
     report.status =
         recoveries > 0 ? RunStatus::kRecovered : RunStatus::kConverged;
   } else if (aborted) {

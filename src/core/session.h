@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arith/alu.h"
+#include "core/cancel.h"
 #include "core/characterization.h"
 #include "core/runtime_hooks.h"
 #include "core/strategy.h"
@@ -103,6 +104,13 @@ struct SessionOptions {
   /// the run. Pure observation: results are identical with or without
   /// hooks.
   RuntimeHooks hooks;
+  /// Cooperative cancellation/deadline token, polled before every
+  /// iteration: a cancelled or deadline-expired run stops within ONE
+  /// iteration and reports RunStatus::kCancelled / kDeadlineExceeded with
+  /// the partial result (iterations, objective, state) reached so far.
+  /// The default inert token costs one null test per iteration, so runs
+  /// without it are bit-identical to the pre-cancellation session.
+  CancelToken cancel;
 };
 
 /// Binds a method, a strategy and a QCS ALU for one or more runs.

@@ -83,6 +83,15 @@ class SessionBuilder {
     return *this;
   }
 
+  /// Cooperative cancellation/deadline token (SessionOptions::cancel).
+  /// Also threaded into the offline stage when the session has to
+  /// characterize itself, so a deadline can stop a run in either stage.
+  SessionBuilder& cancel(CancelToken token) {
+    options_.cancel = token;
+    characterization_options_.cancel = std::move(token);
+    return *this;
+  }
+
   /// Injects a precomputed characterization (shared across sessions over
   /// the same workload). Takes precedence over profile_cache().
   SessionBuilder& characterization(const ModeCharacterization& profile) {

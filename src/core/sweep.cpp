@@ -25,7 +25,7 @@ struct SweepArm {
 
 void run_arm(SweepArm& arm, std::size_t index, arith::QcsAlu& alu,
              const ModeCharacterization& characterization,
-             obs::MetricsRegistry* metrics) {
+             obs::MetricsRegistry* metrics, const CancelToken& cancel) {
   // Lane 0 is the caller's thread; arms render as lanes 1..N in the trace
   // viewer regardless of which worker thread executes them.
   obs::LaneScope lane(static_cast<std::uint32_t>(index + 1),
@@ -44,6 +44,7 @@ void run_arm(SweepArm& arm, std::size_t index, arith::QcsAlu& alu,
   session.set_characterization(characterization);
   SessionOptions session_options;
   session_options.hooks.metrics = metrics;
+  session_options.cancel = cancel;
   arm.report = session.run(session_options);
 }
 
@@ -68,20 +69,24 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
   }
 
   const std::unique_ptr<opt::IterativeMethod> char_method = factory();
+  // The sweep's cancel token rides along in the probe options (the cache
+  // key only hashes the explicit iteration/resync fields, so an armed
+  // token cannot change the key).
+  CharacterizationOptions char_options = options.characterization;
+  char_options.cancel = options.cancel;
   const ModeCharacterization characterization = [&] {
     if (options.characterization_cache != nullptr) {
       const CharacterizationKey key = characterization_cache_key(
-          *char_method, alu, options.characterization, options.workload_tag);
+          *char_method, alu, char_options, options.workload_tag);
       if (std::optional<ModeCharacterization> cached =
               options.characterization_cache->load(key)) {
         return *std::move(cached);
       }
-      ModeCharacterization fresh =
-          characterize(*char_method, alu, options.characterization);
+      ModeCharacterization fresh = characterize(*char_method, alu, char_options);
       options.characterization_cache->store(key, fresh);
       return fresh;
     }
-    return characterize(*char_method, alu, options.characterization);
+    return characterize(*char_method, alu, char_options);
   }();
 
   // Fixed arm order: truth, single modes, incremental, adaptive, oracle.
@@ -138,7 +143,8 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
     // Serial path: every arm shares the caller's ALU (each session resets
     // the ledger on entry), exactly as the original implementation did.
     for (std::size_t i = 0; i < arms.size(); ++i) {
-      run_arm(arms[i], i, alu, characterization, arm_registry(i));
+      run_arm(arms[i], i, alu, characterization, arm_registry(i),
+              options.cancel);
     }
   } else {
     // Parallel path: one fresh ALU per arm (thread-compatible, not
@@ -149,7 +155,8 @@ SweepResult run_configuration_sweep(const MethodFactory& factory,
       arm_alus[i] = alu.clone_fresh();
     }
     util::parallel_for(arms.size(), options.threads, [&](std::size_t i) {
-      run_arm(arms[i], i, *arm_alus[i], characterization, arm_registry(i));
+      run_arm(arms[i], i, *arm_alus[i], characterization, arm_registry(i),
+              options.cancel);
     });
     for (const std::unique_ptr<arith::QcsAlu>& arm_alu : arm_alus) {
       alu.merge_ledger(arm_alu->ledger());

@@ -59,6 +59,11 @@ struct SweepOptions {
   /// Workload identity (seed/shape) for the cache key; required when
   /// characterization_cache is set.
   std::string workload_tag;
+  /// Cooperative cancellation: threaded into the shared characterization
+  /// (which throws CancelledError when stopped — a partial profile never
+  /// reaches the cache) and into every arm's session, so each running arm
+  /// stops within one iteration and reports kCancelled/kDeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Result of a sweep: the Truth report plus one ParetoPoint per evaluated

@@ -19,6 +19,10 @@ std::string_view run_status_name(RunStatus status) {
       return "numerical_fault";
     case RunStatus::kRecovered:
       return "recovered";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }

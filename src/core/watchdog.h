@@ -45,10 +45,12 @@ enum class RunStatus : int {
   kDiverged = 2,         ///< Aborted: divergence/stall beyond recovery.
   kNumericalFault = 3,   ///< Aborted: non-finite state beyond recovery.
   kRecovered = 4,        ///< Converged after >= 1 watchdog recovery.
+  kCancelled = 5,        ///< Stopped cooperatively (CancelToken).
+  kDeadlineExceeded = 6, ///< Stopped cooperatively (deadline passed).
 };
 
 /// Status label ("converged", "budget_exhausted", "diverged",
-/// "numerical_fault", "recovered").
+/// "numerical_fault", "recovered", "cancelled", "deadline_exceeded").
 std::string_view run_status_name(RunStatus status);
 
 /// What the watchdog detected on one iteration.

@@ -1,0 +1,77 @@
+#include "svc/chaos.h"
+
+#include <fstream>
+
+#include "core/characterization.h"
+#include "util/rng.h"
+
+namespace approxit::svc {
+
+namespace {
+
+/// Distinct decision streams; each chaos question draws from its own
+/// stream so e.g. enabling stalls cannot change which jobs crash.
+enum Stream : std::uint64_t {
+  kStall = 0x57a11,
+  kCrash = 0xc7a54,
+  kAluFault = 0xa10f,
+  kCorrupt = 0xc0ff,
+};
+
+}  // namespace
+
+double ChaosEngine::draw(std::uint64_t stream, std::uint64_t job_id,
+                         std::size_t attempt) const {
+  util::Rng rng(config_.seed ^ (stream * 0x2545f4914f6cdd1dULL) ^
+                (job_id * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<std::uint64_t>(attempt) << 48));
+  return rng.uniform();
+}
+
+bool ChaosEngine::stall(std::uint64_t job_id, std::size_t attempt) const {
+  return config_.enabled && config_.stall_probability > 0.0 &&
+         draw(kStall, job_id, attempt) < config_.stall_probability;
+}
+
+bool ChaosEngine::crash(std::uint64_t job_id, std::size_t attempt) const {
+  return config_.enabled && config_.crash_probability > 0.0 &&
+         draw(kCrash, job_id, attempt) < config_.crash_probability;
+}
+
+bool ChaosEngine::alu_fault(std::uint64_t job_id, std::size_t attempt) const {
+  return config_.enabled && config_.alu_fault_probability > 0.0 &&
+         draw(kAluFault, job_id, attempt) < config_.alu_fault_probability;
+}
+
+std::uint64_t ChaosEngine::alu_fault_seed(std::uint64_t job_id,
+                                          std::size_t attempt) const {
+  return config_.seed ^ (job_id * 0xd1342543de82ef95ULL) ^
+         (static_cast<std::uint64_t>(attempt) + 1);
+}
+
+bool ChaosEngine::corrupt_profile(const std::string& path) const {
+  if (!config_.enabled || config_.cache_corruption_probability <= 0.0) {
+    return false;
+  }
+  // Keyed on the path: whichever job persists this file, same verdict.
+  return draw(kCorrupt, core::fnv1a64(path), 0) <
+         config_.cache_corruption_probability;
+}
+
+void corrupt_file_byte(const std::string& path) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return;
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  if (size <= 0) return;
+  const std::streamoff offset = size / 2;
+  file.seekg(offset);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(offset);
+  file.write(&byte, 1);
+}
+
+}  // namespace approxit::svc

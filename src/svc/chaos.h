@@ -1,0 +1,91 @@
+// Seeded chaos harness for the serving runtime.
+//
+// Resilience code that is only exercised by real failures is untested
+// code. ChaosConfig injects the failures on purpose — worker stalls, job
+// crashes, faulty ALUs, profile-cache corruption, clock skew — and does it
+// DETERMINISTICALLY: every decision is a pure function of (seed, job id,
+// attempt), never of RNG draw order, thread scheduling or wall clock. The
+// same seed therefore produces the identical set of injected failures —
+// and, because job execution is already thread-count-invariant, the
+// identical per-job outcomes — whether the runtime runs 1 worker or 8.
+//
+// With `enabled == false` (the default) the engine is never consulted and
+// the runtime is bit-identical to a chaos-free build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace approxit::svc {
+
+/// Fault-injection policy of one ServiceRuntime. All probabilities are
+/// per job ATTEMPT (a retry redraws with its new attempt number).
+struct ChaosConfig {
+  /// Master switch; false leaves every seam untouched.
+  bool enabled = false;
+  /// Seed of every injection decision.
+  std::uint64_t seed = 0xc4a05;
+  /// Probability a worker stalls for `stall_ms` before executing the
+  /// attempt (models a descheduled / IO-blocked worker; the job still
+  /// runs afterwards, eating into its deadline).
+  double stall_probability = 0.0;
+  double stall_ms = 0.0;
+  /// Probability the attempt crashes outright ("chaos: injected crash",
+  /// transient — the retry ladder applies).
+  double crash_probability = 0.0;
+  /// Probability the attempt's ONLINE stage runs on a FaultyQcsAlu
+  /// (arith/fault_injector.h) with per-op fault rate `alu_fault_rate`.
+  /// Characterization always runs on a clean ALU — a faulted profile in
+  /// the shared cache would poison every other job.
+  double alu_fault_probability = 0.0;
+  double alu_fault_rate = 0.0;
+  /// Also fault the ACCURATE mode at `alu_fault_rate` (normally it stays
+  /// clean — nominal voltage). This models a datapath whose safe mode is
+  /// itself failing: the watchdog's recovery ladder cannot help, so the
+  /// run must surface a structured abort ("aborted: ...") instead of
+  /// recovering — exactly the path a resilience test wants to force.
+  bool alu_fault_accurate = false;
+  /// Probability a freshly persisted profile file is corrupted on disk
+  /// (keyed on the FILE path, not the writing job — whichever job wins
+  /// the single-flight race, the same file gets the same verdict).
+  double cache_corruption_probability = 0.0;
+  /// Constant skew added to the runtime's millisecond clock — deadlines,
+  /// token buckets and retry timers all see the skewed axis, so a test
+  /// can age a deadline without sleeping.
+  double clock_skew_ms = 0.0;
+};
+
+/// Stateless decision oracle over a ChaosConfig (see header comment).
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(const ChaosConfig& config) : config_(config) {}
+
+  const ChaosConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  bool stall(std::uint64_t job_id, std::size_t attempt) const;
+  bool crash(std::uint64_t job_id, std::size_t attempt) const;
+  bool alu_fault(std::uint64_t job_id, std::size_t attempt) const;
+
+  /// Seed for the attempt's FaultyQcsAlu: differs per attempt, so a retry
+  /// sees a fresh fault stream (clone_fresh alone would replay the same
+  /// faults and retry forever).
+  std::uint64_t alu_fault_seed(std::uint64_t job_id,
+                               std::size_t attempt) const;
+
+  /// Whether the profile file at `path` should be corrupted after persist.
+  bool corrupt_profile(const std::string& path) const;
+
+ private:
+  /// Uniform [0,1) draw keyed on (seed, stream, job, attempt).
+  double draw(std::uint64_t stream, std::uint64_t job_id,
+              std::size_t attempt) const;
+
+  ChaosConfig config_;
+};
+
+/// Flips one byte near the middle of the file at `path` (the corruption
+/// the cache-corruption chaos injects; exposed for tests).
+void corrupt_file_byte(const std::string& path);
+
+}  // namespace approxit::svc

@@ -1,10 +1,14 @@
 #include "svc/profile_cache.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -12,7 +16,11 @@ namespace approxit::svc {
 
 namespace {
 
-constexpr const char* kFormatVersion = "approxit-profile v1";
+/// v2 adds a `checksum <16-hex FNV-1a>` trailer line before `end`.
+constexpr const char* kFormatVersion = "approxit-profile v2";
+/// v1 files (no checksum) are still accepted so a warm disk store written
+/// by an older build keeps serving across the upgrade.
+constexpr const char* kLegacyFormatVersion = "approxit-profile v1";
 
 /// %.17g round-trips every IEEE754 double exactly — the byte-identity
 /// guarantee rests on this (same formatting core/report_io.cpp relies on).
@@ -22,6 +30,24 @@ std::string format_full(double value) {
   return buffer;
 }
 
+/// Strict full-token parses: the ENTIRE token must be numeric. A partial
+/// parse ("12garbage") means a corrupt file and must read as a failure,
+/// not as 12.
+bool parse_u64(const std::string& token, std::uint64_t& out, int base = 10) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(token.c_str(), &end, base);
+  return end == token.c_str() + token.size() && errno == 0;
+}
+
+bool parse_double(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
 void write_array(std::ostringstream& os, const char* name,
                  const std::array<double, arith::kNumModes>& values) {
   os << name;
@@ -29,7 +55,8 @@ void write_array(std::ostringstream& os, const char* name,
   os << '\n';
 }
 
-/// Reads "<name> v0 v1 v2 v3 v4" into `values`; false on any mismatch.
+/// Reads "<name> v0 v1 v2 v3 v4" into `values`; false on any mismatch,
+/// partial token, or extra trailing token.
 bool read_array(std::istringstream& in, const char* name,
                 std::array<double, arith::kNumModes>& values) {
   std::string line;
@@ -40,10 +67,10 @@ bool read_array(std::istringstream& in, const char* name,
   for (double& v : values) {
     std::string token;
     if (!(fields >> token)) return false;
-    char* end = nullptr;
-    v = std::strtod(token.c_str(), &end);
-    if (end == token.c_str()) return false;
+    if (!parse_double(token, v)) return false;
   }
+  std::string extra;
+  if (fields >> extra) return false;
   return true;
 }
 
@@ -60,6 +87,15 @@ bool read_field(std::istringstream& in, const char* name,
   return true;
 }
 
+/// Bytes left unread in `in` over `text` (0 when the stream position is
+/// unavailable — forces count bounds to fail closed).
+std::size_t remaining_bytes(std::istringstream& in, const std::string& text) {
+  const std::streampos pos = in.tellg();
+  if (pos < 0) return 0;
+  const auto offset = static_cast<std::size_t>(pos);
+  return offset <= text.size() ? text.size() - offset : 0;
+}
+
 }  // namespace
 
 ProfileCache::ProfileCache(ProfileCacheConfig config,
@@ -72,6 +108,10 @@ ProfileCache::ProfileCache(ProfileCacheConfig config,
     metric_disk_hit_ = &metrics->counter("svc.profile_cache.disk_hit");
     metric_store_ = &metrics->counter("svc.profile_cache.store");
     metric_eviction_ = &metrics->counter("svc.profile_cache.eviction");
+    metric_quarantine_ = &metrics->counter("svc.profile_cache.quarantine");
+  }
+  if (!config_.directory.empty() && config_.scrub_on_start) {
+    scrub();
   }
 }
 
@@ -92,32 +132,55 @@ std::string ProfileCache::serialize(const core::CharacterizationKey& key,
   write_array(os, "energy_per_op", p.energy_per_op);
   os << "angle_samples " << p.angle_samples.size() << '\n';
   for (const double a : p.angle_samples) os << format_full(a) << '\n';
-  os << "end\n";
+  // FNV-1a over everything serialized so far — the reader recomputes it
+  // over the same prefix, so a torn tail or bit flip anywhere before the
+  // trailer is caught even when the damaged bytes still parse.
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "checksum %016llx\n",
+                static_cast<unsigned long long>(core::fnv1a64(os.str())));
+  os << checksum << "end\n";
   return os.str();
 }
 
-std::optional<core::ModeCharacterization> ProfileCache::deserialize(
-    const std::string& text, const core::CharacterizationKey& key) {
+namespace {
+
+/// Shared parsing core. `key`, when non-null, is compared against the
+/// embedded key id + description (the collision guard); a null key makes
+/// this a pure structure+checksum validation (what scrub uses — it must
+/// accept any well-formed profile regardless of whose it is).
+std::optional<core::ModeCharacterization> deserialize_impl(
+    const std::string& text, const core::CharacterizationKey* key) {
+  // A complete entry always ends in a newline; a file cut mid-final-line
+  // (torn write of the very last byte) must not pass for whole.
+  if (text.empty() || text.back() != '\n') return std::nullopt;
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kFormatVersion) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  const bool legacy = line == kLegacyFormatVersion;
+  if (!legacy && line != kFormatVersion) return std::nullopt;
 
   std::string value;
-  if (!read_field(in, "key", value) || value != key.id()) return std::nullopt;
+  if (!read_field(in, "key", value)) return std::nullopt;
+  if (key != nullptr && value != key->id()) return std::nullopt;
   // The collision guard: the full description must match, not just the
   // 64-bit content id.
-  if (!read_field(in, "desc", value) || value != key.description) {
-    return std::nullopt;
-  }
+  if (!read_field(in, "desc", value)) return std::nullopt;
+  if (key != nullptr && value != key->description) return std::nullopt;
 
   core::ModeCharacterization p;
-  if (!read_field(in, "iterations", value)) return std::nullopt;
-  p.iterations_characterized =
-      static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
-  if (!read_field(in, "objective_scale", value)) return std::nullopt;
-  p.objective_scale = std::strtod(value.c_str(), nullptr);
-  if (!read_field(in, "initial_improvement", value)) return std::nullopt;
-  p.initial_improvement = std::strtod(value.c_str(), nullptr);
+  std::uint64_t parsed = 0;
+  if (!read_field(in, "iterations", value) || !parse_u64(value, parsed)) {
+    return std::nullopt;
+  }
+  p.iterations_characterized = static_cast<std::size_t>(parsed);
+  if (!read_field(in, "objective_scale", value) ||
+      !parse_double(value, p.objective_scale)) {
+    return std::nullopt;
+  }
+  if (!read_field(in, "initial_improvement", value) ||
+      !parse_double(value, p.initial_improvement)) {
+    return std::nullopt;
+  }
 
   if (!read_array(in, "quality_error", p.quality_error) ||
       !read_array(in, "worst_quality_error", p.worst_quality_error) ||
@@ -129,23 +192,53 @@ std::optional<core::ModeCharacterization> ProfileCache::deserialize(
   }
 
   if (!read_field(in, "angle_samples", value)) return std::nullopt;
-  const std::size_t count =
-      static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  std::uint64_t count = 0;
+  if (!parse_u64(value, count)) return std::nullopt;
   // Every sample occupies at least two input bytes ("0\n"); a count beyond
-  // the input size can only come from a corrupted file. Reject it instead
-  // of reserving unbounded memory (malformed input must degrade to a
-  // miss, not throw).
-  if (count > text.size()) return std::nullopt;
-  p.angle_samples.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // what the REMAINING input could possibly hold can only come from a
+  // corrupted file. Reject it BEFORE reserving, so hostile bytes degrade
+  // to a miss instead of ballooning memory or throwing bad_alloc.
+  const std::size_t remaining = remaining_bytes(in, text);
+  if (count > remaining / 2) return std::nullopt;
+  p.angle_samples.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) return std::nullopt;
-    char* end = nullptr;
-    const double a = std::strtod(line.c_str(), &end);
-    if (end == line.c_str()) return std::nullopt;
+    double a = 0.0;
+    if (!parse_double(line, a)) return std::nullopt;
     p.angle_samples.push_back(a);
   }
+
+  if (!legacy) {
+    // The trailer covers every byte before it: recompute and compare.
+    const std::streampos checksum_offset = in.tellg();
+    if (checksum_offset < 0) return std::nullopt;
+    if (!read_field(in, "checksum", value)) return std::nullopt;
+    std::uint64_t stored = 0;
+    if (value.size() != 16 || !parse_u64(value, stored, 16)) {
+      return std::nullopt;
+    }
+    const std::uint64_t actual = core::fnv1a64(std::string_view(
+        text.data(), static_cast<std::size_t>(checksum_offset)));
+    if (stored != actual) return std::nullopt;
+  }
+
   if (!std::getline(in, line) || line != "end") return std::nullopt;
+  // Nothing may follow the terminator: trailing garbage means the file
+  // was appended to or two writes interleaved — quarantine-worthy, not
+  // silently ignorable.
+  if (std::getline(in, line)) return std::nullopt;
   return p;
+}
+
+}  // namespace
+
+std::optional<core::ModeCharacterization> ProfileCache::deserialize(
+    const std::string& text, const core::CharacterizationKey& key) {
+  return deserialize_impl(text, &key);
+}
+
+bool ProfileCache::validate(const std::string& text) {
+  return deserialize_impl(text, nullptr).has_value();
 }
 
 std::string ProfileCache::disk_path(
@@ -153,6 +246,79 @@ std::string ProfileCache::disk_path(
   if (config_.directory.empty()) return {};
   return (std::filesystem::path(config_.directory) / (key.id() + ".profile"))
       .string();
+}
+
+std::string ProfileCache::quarantine_dir() const {
+  if (config_.directory.empty()) return {};
+  return (std::filesystem::path(config_.directory) / "quarantine").string();
+}
+
+void ProfileCache::quarantine_locked(const std::string& path) {
+  try {
+    const std::filesystem::path source(path);
+    const std::filesystem::path dir(quarantine_dir());
+    std::filesystem::create_directories(dir);
+    // rename() replaces an existing quarantine file of the same name —
+    // the newest corruption is the interesting evidence.
+    std::filesystem::rename(source, dir / source.filename());
+  } catch (const std::filesystem::filesystem_error& error) {
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << "quarantine failed for " << path << ": " << error.what();
+    // Last resort: remove it so the corrupt bytes cannot be re-read.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  count(&ProfileCacheStats::quarantines, metric_quarantine_);
+}
+
+ScrubReport ProfileCache::scrub() {
+  ScrubReport report;
+  if (config_.directory.empty()) return report;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::filesystem::path> profiles;
+  std::vector<std::filesystem::path> torn;
+  try {
+    if (!std::filesystem::exists(config_.directory)) return report;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(config_.directory)) {
+      if (!entry.is_regular_file()) continue;  // Skips quarantine/ itself.
+      const std::filesystem::path& p = entry.path();
+      if (p.extension() == ".profile") {
+        profiles.push_back(p);
+      } else if (p.extension() == ".tmp") {
+        torn.push_back(p);
+      }
+    }
+  } catch (const std::filesystem::filesystem_error& error) {
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << "scrub cannot list " << config_.directory << ": " << error.what();
+    return report;
+  }
+
+  for (const std::filesystem::path& p : torn) {
+    // A .tmp file IS a torn write: the rename never happened. Preserve it
+    // as evidence rather than deleting.
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << p.string() << ": torn write left behind; quarantining";
+    quarantine_locked(p.string());
+    ++report.stale_tmp;
+  }
+  for (const std::filesystem::path& p : profiles) {
+    ++report.scanned;
+    std::ifstream file(p, std::ios::binary);
+    std::ostringstream contents;
+    if (file) contents << file.rdbuf();
+    if (file && validate(contents.str())) {
+      ++report.ok;
+      continue;
+    }
+    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+        << p.string() << ": failed scrub (corrupt or unreadable); "
+        << "quarantining";
+    quarantine_locked(p.string());
+    ++report.quarantined;
+  }
+  return report;
 }
 
 std::optional<core::ModeCharacterization> ProfileCache::lookup_locked(
@@ -177,11 +343,20 @@ std::optional<core::ModeCharacterization> ProfileCache::lookup_locked(
   if (!file) return std::nullopt;
   std::ostringstream contents;
   contents << file.rdbuf();
-  std::optional<core::ModeCharacterization> profile =
-      deserialize(contents.str(), key);
+  const std::string text = contents.str();
+  std::optional<core::ModeCharacterization> profile = deserialize(text, key);
   if (!profile) {
-    APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
-        << path << ": unreadable or stale profile; treating as miss";
+    // Triage before acting: a structurally broken file is CORRUPTION and
+    // gets quarantined; a well-formed file whose key doesn't match is
+    // merely stale/foreign (e.g. a hash collision) and must be left alone.
+    if (!validate(text)) {
+      APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+          << path << ": corrupt profile detected on read; quarantining";
+      quarantine_locked(path);
+    } else {
+      APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
+          << path << ": stale profile (key mismatch); treating as miss";
+    }
     return std::nullopt;
   }
   *from_disk = true;
@@ -253,6 +428,7 @@ void ProfileCache::persist(const core::CharacterizationKey& key,
                            const core::ModeCharacterization& profile) const {
   const std::string path = disk_path(key);
   if (path.empty()) return;
+  bool persisted = false;
   try {
     const std::filesystem::path target(path);
     std::filesystem::create_directories(target.parent_path());
@@ -268,9 +444,13 @@ void ProfileCache::persist(const core::CharacterizationKey& key,
       out << serialize(key, profile);
     }
     std::filesystem::rename(tmp, target);
+    persisted = true;
   } catch (const std::filesystem::filesystem_error& error) {
     APPROXIT_LOG(util::LogLevel::kWarn, "profile_cache")
         << "persist failed for " << path << ": " << error.what();
+  }
+  if (persisted && config_.after_persist) {
+    config_.after_persist(path);
   }
 }
 

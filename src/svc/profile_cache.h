@@ -19,11 +19,18 @@
 //    key run ONE characterization; the others wait and share the result.
 //  - The LRU bounds memory only. Evicted entries stay on disk and reload
 //    on the next request (a disk hit re-admits them).
+//  - The disk tier NEVER trusts its own bytes: every entry carries an
+//    FNV-1a checksum trailer, files are written tmp+rename, and a file
+//    that fails the version/checksum/structure check is QUARANTINED to
+//    `<directory>/quarantine/` (never deleted — post-mortem evidence) and
+//    treated as a miss. A startup scrub pass sweeps the whole directory
+//    so torn writes from a crashed process are cleared before serving.
 //
 // Thread-safe. Counting (when a metrics registry is attached):
-// svc.profile_cache.{hit,miss,disk_hit,store,eviction} — a disk hit also
-// counts as a hit, and a single-flight waiter counts as a hit (the work
-// was amortized even though the waiter arrived before it finished).
+// svc.profile_cache.{hit,miss,disk_hit,store,eviction,quarantine} — a disk
+// hit also counts as a hit, and a single-flight waiter counts as a hit
+// (the work was amortized even though the waiter arrived before it
+// finished).
 #pragma once
 
 #include <condition_variable>
@@ -49,6 +56,14 @@ struct ProfileCacheConfig {
   /// On-disk store directory; one `<key-id>.profile` file per entry,
   /// created on demand. Empty disables persistence (memory-only cache).
   std::string directory = "bench_artifacts/profiles";
+  /// Sweep the disk store once at construction: quarantine files that fail
+  /// the version/checksum/structure check and stray `.tmp` files left by a
+  /// crashed writer, so a restarted process never serves a torn profile.
+  bool scrub_on_start = true;
+  /// Called with the final on-disk path after every successful persist.
+  /// Fault-injection seam: the chaos harness uses it to corrupt freshly
+  /// written files and prove the read path quarantines them.
+  std::function<void(const std::string& path)> after_persist;
 };
 
 /// Monotonic cache tallies (see header comment for the counting rules).
@@ -59,6 +74,17 @@ struct ProfileCacheStats {
   std::size_t stores = 0;
   std::size_t evictions = 0;
   std::size_t single_flight_waits = 0;
+  /// Corrupt disk entries moved to `<directory>/quarantine/` (lookup-time
+  /// detections and scrub sweeps both count here).
+  std::size_t quarantines = 0;
+};
+
+/// What one scrub() sweep of the disk store found.
+struct ScrubReport {
+  std::size_t scanned = 0;      ///< `.profile` files examined.
+  std::size_t ok = 0;           ///< Passed version+checksum+structure.
+  std::size_t quarantined = 0;  ///< Corrupt files moved aside.
+  std::size_t stale_tmp = 0;    ///< Torn `.tmp` writes moved aside.
 };
 
 /// Bounded LRU + versioned disk store of ModeCharacterization profiles.
@@ -94,18 +120,37 @@ class ProfileCache final : public core::CharacterizationCache {
   /// Entries currently resident in the LRU.
   std::size_t size() const;
 
+  /// Sweeps the disk store now: every `.profile` file that fails the
+  /// version/checksum/structure check — and every stray `.tmp` file — is
+  /// moved to `<directory>/quarantine/`. Valid files are left untouched
+  /// (scrub never parses keys, so it cannot mistake a foreign-but-valid
+  /// profile for corruption). No-op when persistence is off.
+  ScrubReport scrub();
+
   /// Serializes a profile (with its key) into the versioned text format.
+  /// v2 appends a `checksum <16-hex-FNV-1a>` trailer over everything that
+  /// precedes it, so torn or bit-flipped files are detectable offline.
   static std::string serialize(const core::CharacterizationKey& key,
                                const core::ModeCharacterization& profile);
 
-  /// Parses a serialized profile, verifying the format version AND that
-  /// the embedded key description matches `key` (collision guard).
-  /// Returns nullopt on any mismatch or malformed input.
+  /// Parses a serialized profile, verifying the format version, the
+  /// checksum trailer (v2; legacy v1 files have none and are accepted),
+  /// AND that the embedded key description matches `key` (collision
+  /// guard). Returns nullopt on any mismatch or malformed input; every
+  /// count field is bounded against the remaining input before any
+  /// allocation, so hostile bytes cannot balloon memory.
   static std::optional<core::ModeCharacterization> deserialize(
       const std::string& text, const core::CharacterizationKey& key);
 
+  /// Structure+checksum validation only (no key to compare against) —
+  /// what scrub() and the corrupt-vs-stale triage in lookup use.
+  static bool validate(const std::string& text);
+
   /// The on-disk path a key persists to (empty when persistence is off).
   std::string disk_path(const core::CharacterizationKey& key) const;
+
+  /// Where corrupt files are moved (empty when persistence is off).
+  std::string quarantine_dir() const;
 
  private:
   struct Entry {
@@ -131,6 +176,10 @@ class ProfileCache final : public core::CharacterizationCache {
   void admit_locked(const core::CharacterizationKey& key,
                     const core::ModeCharacterization& profile);
 
+  /// Moves `path` into the quarantine directory and counts it. Caller must
+  /// hold mutex_.
+  void quarantine_locked(const std::string& path);
+
   void persist(const core::CharacterizationKey& key,
                const core::ModeCharacterization& profile) const;
 
@@ -149,6 +198,7 @@ class ProfileCache final : public core::CharacterizationCache {
   obs::Counter* metric_disk_hit_ = nullptr;
   obs::Counter* metric_store_ = nullptr;
   obs::Counter* metric_eviction_ = nullptr;
+  obs::Counter* metric_quarantine_ = nullptr;
 };
 
 }  // namespace approxit::svc

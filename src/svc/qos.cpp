@@ -1,0 +1,48 @@
+#include "svc/qos.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace approxit::svc {
+
+TokenBucket::TokenBucket(double rate, double burst, double now_ms)
+    : rate_(std::max(rate, 0.0)),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_ms_(now_ms) {}
+
+void TokenBucket::refill(double now_ms) {
+  if (now_ms > last_ms_) {
+    tokens_ = std::min(burst_, tokens_ + rate_ * (now_ms - last_ms_) / 1000.0);
+    last_ms_ = now_ms;
+  }
+}
+
+bool TokenBucket::try_take(double cost, double now_ms) {
+  refill(now_ms);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::available(double now_ms) {
+  refill(now_ms);
+  return tokens_;
+}
+
+double retry_backoff_ms(const QosConfig& qos, std::uint64_t job_id,
+                        std::size_t attempt) {
+  double backoff = qos.retry_base_ms;
+  for (std::size_t i = 0; i < attempt && backoff < qos.retry_max_ms; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, qos.retry_max_ms);
+  // Jitter keyed on (seed, job, attempt) — NOT on draw order — so the
+  // schedule is identical for any worker count and interleaving.
+  util::Rng rng(qos.retry_seed ^ (job_id * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<std::uint64_t>(attempt) << 32));
+  return backoff * (0.5 + rng.uniform() / 2.0);
+}
+
+}  // namespace approxit::svc

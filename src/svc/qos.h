@@ -1,0 +1,101 @@
+// Per-tenant quality of service for the serving runtime: latency SLOs,
+// token-bucket admission, and graceful degradation under overload.
+//
+// ApproxIt's central trade — energy/latency against solution quality — is
+// exactly the knob a loaded service wants to turn BEFORE it starts
+// rejecting work. The QoS layer therefore degrades before it sheds:
+//
+//  - Token bucket, per tenant: each submission charges a COST SURROGATE
+//    (iteration budget x problem dimension — the work a job buys, not just
+//    a request count), refilled at `tenant_rate` units/second up to
+//    `tenant_burst`. An empty bucket rejects with "rate_limited".
+//  - Two watermarks on queue depth: past `degrade_watermark` jobs are
+//    admitted DEGRADED — a coarser static QCS level (the paper's own
+//    accuracy knob) and a capped iteration budget — trading quality for
+//    latency exactly as the paper trades it for energy. Past
+//    `shed_watermark` jobs are rejected with "shed_overload", except
+//    priority >= 1 jobs, which degrade instead of shedding.
+//  - SLO deadline: `slo_ms` is the default relative deadline applied to
+//    jobs that do not carry their own; the runtime turns it into a
+//    cooperative CancelToken deadline, so an over-budget job releases its
+//    worker within one iteration.
+//  - Retry policy: transiently-failed jobs (injected crashes, ALU-fault
+//    aborts, single-flight peers' cancellations) are re-enqueued up to
+//    `max_retries` times with deterministic jittered exponential backoff
+//    (seeded per job id and attempt — identical schedules for any worker
+//    count).
+//
+// All knobs default OFF: a default-constructed QosConfig reproduces the
+// pre-QoS runtime exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace approxit::svc {
+
+/// QoS policy of one ServiceRuntime (see header comment).
+struct QosConfig {
+  /// Default relative deadline in milliseconds for jobs that do not set
+  /// JobSpec::deadline_ms. 0 = no default deadline.
+  double slo_ms = 0.0;
+  /// Queue depth at or past which new jobs are admitted degraded.
+  /// 0 disables degradation.
+  std::size_t degrade_watermark = 0;
+  /// Queue depth at or past which new jobs are shed ("shed_overload");
+  /// priority >= 1 jobs degrade instead. 0 disables shedding.
+  std::size_t shed_watermark = 0;
+  /// Strategy a degraded job runs with (a coarser static level is the
+  /// paper-faithful choice; any valid strategy name is accepted).
+  std::string degraded_strategy = "level2";
+  /// Iteration cap for degraded jobs (applied as min with the job's own
+  /// budget). 0 = no extra cap.
+  std::size_t degraded_max_iterations = 0;
+  /// Token-bucket refill rate in cost units per second; 0 disables the
+  /// bucket. Cost of a job = iteration budget x problem dimension
+  /// (job_cost).
+  double tenant_rate = 0.0;
+  /// Bucket capacity in cost units (clamped to >= one default job cost
+  /// when the bucket is enabled).
+  double tenant_burst = 0.0;
+  /// Max re-executions of a transiently-failed job (0 = fail fast).
+  std::size_t max_retries = 0;
+  /// Backoff before retry k (0-based): min(retry_max_ms, retry_base_ms *
+  /// 2^k) scaled by a deterministic jitter in [0.5, 1.0).
+  double retry_base_ms = 10.0;
+  double retry_max_ms = 1000.0;
+  /// Seed of the jitter stream; the backoff of (job, attempt) depends only
+  /// on this seed and those two numbers.
+  std::uint64_t retry_seed = 0x51a0;
+};
+
+/// Classic token bucket over a caller-supplied millisecond clock (the
+/// runtime feeds its own — possibly chaos-skewed — clock, so tests control
+/// time). Not thread-safe; the runtime serializes access under its mutex.
+class TokenBucket {
+ public:
+  /// `rate` in units/second, `burst` = capacity; starts full.
+  TokenBucket(double rate, double burst, double now_ms);
+
+  /// Takes `cost` units if available after refilling to `now_ms`.
+  bool try_take(double cost, double now_ms);
+
+  /// Units available after refilling to `now_ms` (observation only).
+  double available(double now_ms);
+
+ private:
+  void refill(double now_ms);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ms_;
+};
+
+/// Deterministic jittered exponential backoff in milliseconds for retry
+/// `attempt` (0-based) of job `job_id`.
+double retry_backoff_ms(const QosConfig& qos, std::uint64_t job_id,
+                        std::size_t attempt);
+
+}  // namespace approxit::svc

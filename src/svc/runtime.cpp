@@ -1,17 +1,22 @@
 #include "svc/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "apps/autoregression.h"
 #include "apps/gmm.h"
+#include "arith/fault_injector.h"
 #include "arith/mode.h"
 #include "core/adaptive_strategy.h"
 #include "core/incremental_strategy.h"
 #include "core/report_io.h"
 #include "core/session_builder.h"
 #include "core/static_strategy.h"
+#include "core/watchdog.h"
 #include "obs/trace.h"
 #include "workloads/datasets.h"
 
@@ -61,13 +66,38 @@ std::string_view job_state_name(JobState state) {
     case JobState::kRunning: return "running";
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
 }
 
+bool job_state_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled ||
+         state == JobState::kDeadlineExceeded;
+}
+
 ServiceRuntime::ServiceRuntime(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache, &cache_metrics_),
+      chaos_(config_.chaos),
+      cache_([this] {
+        // The chaos corruption seam: flip a byte in a freshly persisted
+        // profile so the read path's checksum/quarantine machinery gets
+        // exercised end to end.
+        ProfileCacheConfig cache_config = config_.cache;
+        if (config_.chaos.enabled &&
+            config_.chaos.cache_corruption_probability > 0.0) {
+          const std::function<void(const std::string&)> previous =
+              cache_config.after_persist;
+          cache_config.after_persist = [this,
+                                        previous](const std::string& path) {
+            if (chaos_.corrupt_profile(path)) corrupt_file_byte(path);
+            if (previous) previous(path);
+          };
+        }
+        return cache_config;
+      }(), &cache_metrics_),
       gmm_alu_(arith::QcsConfig{}),
       ar_alu_(apps::ar_qcs_config()) {
   if (config_.threads == 0) config_.threads = 1;
@@ -104,6 +134,23 @@ bool ServiceRuntime::validate(const JobSpec& spec, std::string* error) {
   return true;
 }
 
+double ServiceRuntime::clock_now_ms() const {
+  return now_ms() + config_.chaos.clock_skew_ms;
+}
+
+double ServiceRuntime::job_cost(const JobSpec& spec) {
+  // Iteration budget x problem dimension: the work a job buys, as a cheap
+  // deterministic surrogate computable from the spec alone. 100 stands in
+  // for "the dataset's MAX_ITER" when the budget is defaulted.
+  const double iterations =
+      spec.max_iterations > 0 ? static_cast<double>(spec.max_iterations)
+                              : 100.0;
+  double dimension = 2.0;  // 2-D GMM datasets.
+  if (spec.app == "gmm" && spec.dataset == "3d3cluster") dimension = 3.0;
+  if (spec.app == "ar") dimension = 4.0;  // AR model order.
+  return iterations * dimension;
+}
+
 std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
                                                     std::string* error) {
   if (!validate(spec, error)) {
@@ -113,16 +160,52 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
   }
 
   std::uint64_t id = 0;
+  bool degraded = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       if (error != nullptr) *error = "shutting_down";
       return std::nullopt;
     }
+    const double now = clock_now_ms();
+    // Admission chain: rate limit -> capacity -> watermarks -> tenant cap.
+    // The token bucket charges COST (iterations x dimension), so one huge
+    // job and many small ones draw down a tenant's budget alike.
+    if (config_.qos.tenant_rate > 0.0) {
+      auto [it, inserted] = tenant_buckets_.try_emplace(
+          spec.tenant, config_.qos.tenant_rate,
+          std::max(config_.qos.tenant_burst, job_cost(JobSpec{})), now);
+      if (!it->second.try_take(job_cost(spec), now)) {
+        ++tallies_.rejected_rate_limited;
+        qos_metrics_.counter("svc.shed.rate_limited").add(1.0);
+        if (error != nullptr) *error = "rate_limited";
+        return std::nullopt;
+      }
+    }
     if (queue_.size() >= config_.queue_capacity) {
       ++tallies_.rejected_queue_full;
+      qos_metrics_.counter("svc.shed.queue_full").add(1.0);
       if (error != nullptr) *error = "queue_full";
       return std::nullopt;
+    }
+    // Graceful degradation before shedding: between the watermarks a job
+    // trades quality for latency (coarser static level, capped budget) —
+    // the paper's energy/quality knob repurposed for overload. At the
+    // shed watermark only priority >= 1 jobs still get that trade.
+    const std::size_t depth = queue_.size();
+    if (config_.qos.shed_watermark > 0 &&
+        depth >= config_.qos.shed_watermark) {
+      if (spec.priority >= 1) {
+        degraded = true;
+      } else {
+        ++tallies_.shed;
+        qos_metrics_.counter("svc.shed.overload").add(1.0);
+        if (error != nullptr) *error = "shed_overload";
+        return std::nullopt;
+      }
+    } else if (config_.qos.degrade_watermark > 0 &&
+               depth >= config_.qos.degrade_watermark) {
+      degraded = true;
     }
     if (config_.per_tenant_cap > 0) {
       const auto it = tenant_active_.find(spec.tenant);
@@ -138,7 +221,24 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = spec;
+    job->degraded = degraded;
     job->enqueue_us = obs::trace_now_us();
+    job->not_before_ms = now;  // Eligible immediately (clock is monotonic).
+    // Deadlines live on the runtime clock (chaos skew included), so a
+    // skewed clock ages real deadlines — exactly what the chaos harness
+    // wants to prove the runtime survives.
+    const double skew = config_.chaos.clock_skew_ms;
+    job->cancel = core::CancelSource(
+        [skew] { return now_ms() + skew; });
+    const double deadline_rel =
+        spec.deadline_ms > 0.0 ? spec.deadline_ms : config_.qos.slo_ms;
+    if (deadline_rel > 0.0) {
+      job->cancel.set_deadline_ms(now + deadline_rel);
+    }
+    if (degraded) {
+      ++tallies_.degraded;
+      qos_metrics_.counter("svc.degraded.jobs").add(1.0);
+    }
     jobs_[id] = std::move(job);
     queue_.push_back(id);
     ++tenant_active_[spec.tenant];
@@ -150,10 +250,33 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
                        obs::arg("tenant", spec.tenant),
                        obs::arg("app", spec.app),
                        obs::arg("dataset", spec.dataset),
-                       obs::arg("strategy", spec.strategy)});
+                       obs::arg("strategy", spec.strategy),
+                       obs::arg("degraded", degraded)});
   }
   work_cv_.notify_one();
   return id;
+}
+
+void ServiceRuntime::finalize_terminal_locked(Job& job) {
+  switch (job.state) {
+    case JobState::kDone: ++tallies_.completed; break;
+    case JobState::kFailed: ++tallies_.failed; break;
+    case JobState::kCancelled:
+      ++tallies_.cancelled;
+      qos_metrics_.counter("svc.cancelled.jobs").add(1.0);
+      break;
+    case JobState::kDeadlineExceeded:
+      ++tallies_.deadline_exceeded;
+      qos_metrics_.counter("svc.deadline_exceeded.jobs").add(1.0);
+      break;
+    default: break;
+  }
+  const auto it = tenant_active_.find(job.spec.tenant);
+  if (it != tenant_active_.end() && --it->second == 0) {
+    tenant_active_.erase(it);
+  }
+  ++terminal_retained_;
+  retire_excess_locked();
 }
 
 void ServiceRuntime::worker_loop(std::size_t worker_index) {
@@ -163,26 +286,78 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
     std::uint64_t id = 0;
     JobSpec spec;
     double queue_ms = 0.0;
+    bool degraded = false;
+    std::size_t attempt = 0;
+    core::CancelToken token;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ || (!paused_ && !queue_.empty());
-      });
-      if (queue_.empty() || paused_) {
-        // stopping_ drains the queue first: exit only once it is empty
-        // (a paused runtime being shut down resumes implicitly).
-        if (stopping_ && queue_.empty()) return;
+      for (;;) {
         if (stopping_ && paused_) paused_ = false;
-        continue;
+        if (stopping_ && queue_.empty()) return;
+        if (!paused_ && !queue_.empty()) {
+          // Pick the schedulable job: highest priority among those whose
+          // retry backoff has elapsed, FIFO within a priority. The queue
+          // is bounded (queue_capacity), so the scan is cheap.
+          const double now = clock_now_ms();
+          auto best = queue_.end();
+          double earliest = std::numeric_limits<double>::infinity();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            Job& candidate = *jobs_.at(*it);
+            if (candidate.not_before_ms > now) {
+              earliest = std::min(earliest, candidate.not_before_ms);
+              continue;
+            }
+            if (best == queue_.end() ||
+                candidate.spec.priority > jobs_.at(*best)->spec.priority) {
+              best = it;
+            }
+          }
+          if (best != queue_.end()) {
+            id = *best;
+            queue_.erase(best);
+            Job& job = *jobs_.at(id);
+            // A deadline can expire — or a cancel land — while the job is
+            // still queued: go terminal right here, never spending a
+            // worker on a job whose budget is already gone.
+            const core::CancelReason queued_reason = job.cancel.reason();
+            if (queued_reason != core::CancelReason::kNone) {
+              job.state = queued_reason == core::CancelReason::kCancelled
+                              ? JobState::kCancelled
+                              : JobState::kDeadlineExceeded;
+              if (job.attempt == 0) {
+                job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
+              }
+              finalize_terminal_locked(job);
+              done_cv_.notify_all();
+              continue;
+            }
+            job.state = JobState::kRunning;
+            if (job.attempt == 0) {
+              job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
+            }
+            spec = job.spec;
+            queue_ms = job.queue_ms;
+            degraded = job.degraded;
+            attempt = job.attempt;
+            token = job.cancel.token();
+            ++running_;
+            break;
+          }
+          // Queue non-empty but everything is waiting out a backoff:
+          // sleep until the earliest one becomes eligible (or a state
+          // change wakes us).
+          work_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                      earliest - now));
+          continue;
+        }
+        work_cv_.wait(lock);
       }
-      id = queue_.front();
-      queue_.pop_front();
-      Job& job = *jobs_.at(id);
-      job.state = JobState::kRunning;
-      job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
-      spec = job.spec;
-      queue_ms = job.queue_ms;
-      ++running_;
+    }
+
+    if (chaos_.stall(id, attempt)) {
+      // Injected worker stall: the job's deadline keeps ticking.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.chaos.stall_ms));
     }
 
     const double start_us = obs::trace_now_us();
@@ -190,44 +365,75 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
     // Runs unlocked, staging everything into locals: a concurrent
     // status() of this kRunning job only ever sees fields written under
     // mutex_ (the kRunning transition above, the commit below).
-    ExecResult result = execute(spec);
+    ExecResult result = execute(spec, id, attempt, degraded, token);
     const double run_ms = now_ms() - start_ms;
-    const JobState final_state =
-        result.error.empty() ? JobState::kDone : JobState::kFailed;
+    JobState final_state;
+    if (result.cancel_reason == core::CancelReason::kCancelled) {
+      final_state = JobState::kCancelled;
+    } else if (result.cancel_reason == core::CancelReason::kDeadlineExceeded) {
+      final_state = JobState::kDeadlineExceeded;
+    } else if (!result.error.empty()) {
+      final_state = JobState::kFailed;
+    } else {
+      final_state = JobState::kDone;
+    }
     const bool cache_hit = result.cache_hit;
 
+    bool retried = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       Job& job = *jobs_.at(id);
-      job.cache_hit = result.cache_hit;
-      job.error = std::move(result.error);
-      job.report_json = std::move(result.report_json);
-      job.report = std::move(result.report);
-      job.characterization_ms = result.characterization_ms;
-      job.metrics = std::move(result.metrics);
-      job.run_ms = run_ms;
-      job.state = final_state;
-      if (final_state == JobState::kDone) {
-        ++tallies_.completed;
+      // Transient failures re-enqueue with jittered backoff instead of
+      // going terminal — unless the retry budget is spent or the job's
+      // own deadline/cancel has already latched.
+      if (final_state == JobState::kFailed && result.transient &&
+          job.attempt < config_.qos.max_retries &&
+          job.cancel.reason() == core::CancelReason::kNone) {
+        const double backoff =
+            retry_backoff_ms(config_.qos, id, job.attempt);
+        ++job.attempt;
+        job.not_before_ms = clock_now_ms() + backoff;
+        job.state = JobState::kQueued;
+        job.error.clear();
+        queue_.push_back(id);
+        ++tallies_.retries;
+        qos_metrics_.counter("svc.retry.count").add(1.0);
+        --running_;
+        retried = true;
+        if (obs::trace_enabled()) {
+          obs::emit_instant(
+              "svc", "retry",
+              {obs::arg("job", static_cast<std::size_t>(id)),
+               obs::arg("attempt", job.attempt),
+               obs::arg("backoff_ms", backoff),
+               obs::arg("error", result.error)});
+        }
       } else {
-        ++tallies_.failed;
+        job.cache_hit = result.cache_hit;
+        job.error = std::move(result.error);
+        job.report_json = std::move(result.report_json);
+        job.report = std::move(result.report);
+        job.characterization_ms = result.characterization_ms;
+        job.metrics = std::move(result.metrics);
+        job.run_ms = run_ms;
+        job.state = final_state;
+        --running_;
+        finalize_terminal_locked(job);
+        timing_metrics_.histogram("svc.queue_ms", 0.0, 10000.0, 64)
+            .record(queue_ms);
+        timing_metrics_.histogram("svc.run_ms", 0.0, 60000.0, 64)
+            .record(run_ms);
+        if (!cache_hit) {
+          timing_metrics_.histogram("svc.characterization_ms", 0.0, 60000.0,
+                                    64)
+              .record(result.characterization_ms);
+        }
+        // The Job may have just been retired — only locals below this line.
       }
-      --running_;
-      const auto it = tenant_active_.find(spec.tenant);
-      if (it != tenant_active_.end() && --it->second == 0) {
-        tenant_active_.erase(it);
-      }
-      timing_metrics_.histogram("svc.queue_ms", 0.0, 10000.0, 64)
-          .record(queue_ms);
-      timing_metrics_.histogram("svc.run_ms", 0.0, 60000.0, 64)
-          .record(run_ms);
-      if (!cache_hit) {
-        timing_metrics_.histogram("svc.characterization_ms", 0.0, 60000.0, 64)
-            .record(job.characterization_ms);
-      }
-      ++terminal_retained_;
-      retire_excess_locked();
-      // The Job may have just been retired — only locals below this line.
+    }
+    if (retried) {
+      work_cv_.notify_all();
+      continue;
     }
     if (obs::trace_enabled()) {
       obs::emit_span("svc", "job", start_us,
@@ -242,13 +448,41 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
   }
 }
 
-ServiceRuntime::ExecResult ServiceRuntime::execute(const JobSpec& spec) {
+ServiceRuntime::ExecResult ServiceRuntime::execute(
+    const JobSpec& spec, std::uint64_t id, std::size_t attempt,
+    bool degraded, const core::CancelToken& cancel) {
   ExecResult result;
   result.metrics = std::make_unique<obs::MetricsRegistry>();
   try {
+    if (chaos_.crash(id, attempt)) {
+      // Injected hard failure of this attempt — transient by definition,
+      // so the retry ladder gets exercised.
+      result.error = "chaos: injected crash";
+      result.transient = true;
+      return result;
+    }
+
     core::CharacterizationOptions char_options;
     if (spec.characterization_iterations > 0) {
       char_options.iterations = spec.characterization_iterations;
+    }
+    char_options.cancel = cancel;
+
+    // Degradation trades quality for latency with the paper's own knob:
+    // a coarser static QCS level and a tighter iteration budget.
+    std::string strategy_name = spec.strategy;
+    std::size_t max_iterations = spec.max_iterations;
+    if (degraded) {
+      if (!config_.qos.degraded_strategy.empty() &&
+          make_strategy(config_.qos.degraded_strategy) != nullptr) {
+        strategy_name = config_.qos.degraded_strategy;
+      }
+      if (config_.qos.degraded_max_iterations > 0) {
+        max_iterations = max_iterations == 0
+                             ? config_.qos.degraded_max_iterations
+                             : std::min(max_iterations,
+                                        config_.qos.degraded_max_iterations);
+      }
     }
 
     // Everything a job touches is built from its spec alone: dataset and
@@ -257,11 +491,15 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(const JobSpec& spec) {
     // thread-count-invariant.
     const auto run_with = [&](opt::IterativeMethod& method,
                               const arith::QcsAlu& prototype,
+                              const arith::QcsConfig& qcs_config,
                               const std::string& workload_tag) {
       const std::unique_ptr<arith::QcsAlu> alu = prototype.clone_fresh();
       const std::unique_ptr<core::Strategy> strategy =
-          make_strategy(spec.strategy);
+          make_strategy(strategy_name);
 
+      // The cache key and the characterization both use the CLEAN ALU —
+      // a chaos-faulted profile must never poison the shared cache; only
+      // this attempt's ONLINE stage runs on the faulty datapath.
       const core::CharacterizationKey key = core::characterization_cache_key(
           method, *alu, char_options, workload_tag);
       const core::ModeCharacterization profile = cache_.get_or_compute(
@@ -275,28 +513,78 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(const JobSpec& spec) {
           },
           &result.cache_hit);
 
+      std::unique_ptr<arith::QcsAlu> faulty;
+      if (chaos_.alu_fault(id, attempt)) {
+        // Per-attempt seed: a retry sees a FRESH fault stream (a straight
+        // clone would replay the identical faults and never recover).
+        arith::FaultConfig fault = arith::FaultConfig::uniform_approximate(
+            config_.chaos.alu_fault_rate,
+            chaos_.alu_fault_seed(id, attempt));
+        if (config_.chaos.alu_fault_accurate) {
+          // Unsurvivable regime: the watchdog's safe mode (accurate) is
+          // just as faulty, so the recovery ladder must end in an abort.
+          fault.rate_per_op[arith::mode_index(arith::ApproxMode::kAccurate)] =
+              config_.chaos.alu_fault_rate;
+        }
+        faulty = std::make_unique<arith::FaultyQcsAlu>(fault, qcs_config);
+      }
+      arith::QcsAlu& session_alu = faulty ? *faulty : *alu;
+
       result.report = core::SessionBuilder()
                           .method(method)
                           .strategy(*strategy)
-                          .alu(*alu)
-                          .max_iterations(spec.max_iterations)
+                          .alu(session_alu)
+                          .max_iterations(max_iterations)
+                          .watchdog(config_.watchdog)
                           .keep_trace(spec.keep_trace)
                           .metrics(result.metrics.get())
                           .characterization(profile)
+                          .cancel(cancel)
                           .run();
       result.report_json = core::report_to_json(result.report);
+
+      switch (result.report.status) {
+        case core::RunStatus::kCancelled:
+          result.cancel_reason = core::CancelReason::kCancelled;
+          break;
+        case core::RunStatus::kDeadlineExceeded:
+          result.cancel_reason = core::CancelReason::kDeadlineExceeded;
+          break;
+        case core::RunStatus::kDiverged:
+        case core::RunStatus::kNumericalFault:
+          // The watchdog exhausted its recovery ladder. Under injected
+          // ALU faults that is a transient outcome: a retry on a fresh
+          // fault stream may well converge.
+          result.error = std::string("aborted: ") +
+                         std::string(core::run_status_name(
+                             result.report.status));
+          result.transient = true;
+          break;
+        default:
+          break;
+      }
     };
 
     if (spec.app == "gmm") {
       const workloads::GmmDataset dataset =
           workloads::make_gmm_dataset(*gmm_dataset_id(spec.dataset));
       apps::GmmEm method(dataset);
-      run_with(method, gmm_alu_, dataset.name);
+      run_with(method, gmm_alu_, arith::QcsConfig{}, dataset.name);
     } else {
       const workloads::TimeSeriesDataset dataset =
           workloads::make_series_dataset(*series_id(spec.dataset));
       apps::AutoRegression method(dataset);
-      run_with(method, ar_alu_, dataset.name);
+      run_with(method, ar_alu_, apps::ar_qcs_config(), dataset.name);
+    }
+  } catch (const core::CancelledError& error) {
+    if (cancel.check() != core::CancelReason::kNone) {
+      // Our own token stopped the offline stage.
+      result.cancel_reason = cancel.check();
+    } else {
+      // A single-flight PEER's cancellation aborted the characterization
+      // we were waiting on — nothing wrong with THIS job; retry-eligible.
+      result.error = std::string("transient: ") + error.what();
+      result.transient = true;
     }
   } catch (const std::exception& error) {
     result.error = error.what();
@@ -318,6 +606,8 @@ JobSnapshot ServiceRuntime::snapshot_locked(const Job& job) const {
   snapshot.queue_ms = job.queue_ms;
   snapshot.run_ms = job.run_ms;
   snapshot.characterization_ms = job.characterization_ms;
+  snapshot.degraded = job.degraded;
+  snapshot.attempts = job.attempt + 1;
   return snapshot;
 }
 
@@ -336,9 +626,40 @@ bool ServiceRuntime::wait(std::uint64_t id) {
   done_cv_.wait(lock, [&] {
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return true;
-    const JobState state = it->second->state;
-    return state == JobState::kDone || state == JobState::kFailed;
+    return job_state_terminal(it->second->state);
   });
+  return true;
+}
+
+bool ServiceRuntime::cancel(std::uint64_t id) {
+  bool went_terminal = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    if (job_state_terminal(job.state)) return false;
+    job.cancel.cancel();
+    if (job.state == JobState::kQueued) {
+      // Still waiting: no worker to release, go terminal on the spot.
+      const auto queued =
+          std::find(queue_.begin(), queue_.end(), id);
+      if (queued != queue_.end()) queue_.erase(queued);
+      job.state = JobState::kCancelled;
+      if (job.attempt == 0) {
+        job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
+      }
+      finalize_terminal_locked(job);
+      went_terminal = true;
+    }
+    // kRunning: the latched token stops the session within one
+    // iteration; the worker commits kCancelled with the partial result.
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant("svc", "cancel",
+                      {obs::arg("job", static_cast<std::size_t>(id))});
+  }
+  if (went_terminal) done_cv_.notify_all();
   return true;
 }
 
@@ -346,8 +667,7 @@ bool ServiceRuntime::forget(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
-  const JobState state = it->second->state;
-  if (state != JobState::kDone && state != JobState::kFailed) return false;
+  if (!job_state_terminal(it->second->state)) return false;
   retire_locked(it);
   return true;
 }
@@ -368,8 +688,7 @@ void ServiceRuntime::retire_excess_locked() {
   // the (bounded) queued/running prefix is skipped, never erased.
   auto it = jobs_.begin();
   while (terminal_retained_ > config_.retain_terminal && it != jobs_.end()) {
-    const JobState state = it->second->state;
-    if (state == JobState::kDone || state == JobState::kFailed) {
+    if (job_state_terminal(it->second->state)) {
       it = retire_locked(it);
     } else {
       ++it;
@@ -404,12 +723,12 @@ void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
   // gauge caveat under retirement).
   out.merge(retired_metrics_);
   for (const auto& [id, job] : jobs_) {
-    if (job->metrics != nullptr &&
-        (job->state == JobState::kDone || job->state == JobState::kFailed)) {
+    if (job->metrics != nullptr && job_state_terminal(job->state)) {
       out.merge(*job->metrics);
     }
   }
   out.merge(cache_metrics_);
+  out.merge(qos_metrics_);
 }
 
 void ServiceRuntime::pause() {

@@ -7,17 +7,34 @@
 // characterization stage through a shared ProfileCache. The three
 // load-bearing pieces:
 //
-//  - Scheduler: FIFO queue drained by `threads` workers. Every job builds
-//    its method, strategy and ALU clone from its spec alone, so per-job
+//  - Scheduler: priority-aware queue drained by `threads` workers (higher
+//    JobSpec::priority first, FIFO within a priority; retried jobs wait
+//    out their backoff before becoming eligible). Every job builds its
+//    method, strategy and ALU clone from its spec alone, so per-job
 //    RunReports are bit-identical for any worker count.
-//  - Admission control: submit() rejects (never blocks) when the queue is
-//    at capacity ("queue_full") or a tenant already holds
+//  - Admission control: submit() rejects (never blocks) when a tenant's
+//    token bucket is empty ("rate_limited"), the queue is at capacity
+//    ("queue_full"), the shed watermark is hit ("shed_overload" — unless
+//    priority >= 1, which degrades instead) or a tenant already holds
 //    `per_tenant_cap` queued+running jobs ("tenant_cap"). Malformed specs
-//    are rejected up front ("bad_request: ...").
+//    are rejected up front ("bad_request: ..."). Between the degrade and
+//    shed watermarks, jobs are admitted DEGRADED: a coarser static QCS
+//    level and a capped iteration budget (svc/qos.h).
 //  - ProfileCache: characterization is resolved with get_or_compute under
 //    a key from core::characterization_cache_key, so N jobs over the same
 //    (method, workload, ALU, options) tuple characterize ONCE per process
 //    — or zero times after a warm restart, via the cache's disk tier.
+//
+// Resilience: jobs carry an optional deadline (their own deadline_ms, or
+// the service SLO); it is enforced with a cooperative core::CancelToken,
+// so an expired or cancel()led job releases its worker within ONE
+// iteration and surfaces kDeadlineExceeded / kCancelled with the partial
+// result reached so far. Transient failures — injected crashes, ALU-fault
+// watchdog aborts, a single-flight peer's cancellation — are retried with
+// deterministic jittered backoff up to qos.max_retries. A seeded
+// ChaosConfig (svc/chaos.h) injects stalls, crashes, faulty ALUs, cache
+// corruption and clock skew, all keyed on (seed, job, attempt) so chaos
+// runs are reproducible for any worker count.
 //
 // Retention: terminal jobs stay queryable via status()/result() until the
 // retain_terminal bound is hit; beyond it the lowest-id terminal jobs are
@@ -44,9 +61,13 @@
 #include <vector>
 
 #include "arith/alu.h"
+#include "core/cancel.h"
 #include "core/session.h"
+#include "core/watchdog.h"
 #include "obs/metrics.h"
+#include "svc/chaos.h"
 #include "svc/profile_cache.h"
+#include "svc/qos.h"
 
 namespace approxit::svc {
 
@@ -67,16 +88,38 @@ struct ServiceConfig {
   std::size_t retain_terminal = 1024;
   /// Shared characterization-profile cache configuration.
   ProfileCacheConfig cache;
+  /// Per-tenant QoS: SLO deadline, token bucket, degrade/shed watermarks,
+  /// retry policy. Defaults are all-off (pre-QoS behavior).
+  QosConfig qos;
+  /// Watchdog / recovery-ladder configuration applied to every job's
+  /// session. The default (non-finite + divergence detection) never fires
+  /// on a healthy run; a service expecting faulty datapaths can arm the
+  /// stall/oscillation detectors and tighten the recovery budget here.
+  core::WatchdogConfig watchdog;
+  /// Seeded fault injection (svc/chaos.h). Default off.
+  ChaosConfig chaos;
   /// Start with the workers paused (admission still open) — lets tests
   /// fill the queue deterministically before anything runs.
   bool start_paused = false;
 };
 
-/// Lifecycle of one job.
-enum class JobState { kQueued, kRunning, kDone, kFailed };
+/// Lifecycle of one job. kDone, kFailed, kCancelled and kDeadlineExceeded
+/// are terminal.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,          ///< cancel()led before finishing.
+  kDeadlineExceeded,   ///< Deadline/SLO expired (queued or mid-run).
+};
 
-/// Lowercase state label ("queued", "running", "done", "failed").
+/// Lowercase state label ("queued", "running", "done", "failed",
+/// "cancelled", "deadline_exceeded").
 std::string_view job_state_name(JobState state);
+
+/// True for the four terminal states.
+bool job_state_terminal(JobState state);
 
 /// One job request. `app` and `dataset` name the workload, `strategy` the
 /// reconfiguration policy:
@@ -95,6 +138,14 @@ struct JobSpec {
   /// Keep the per-iteration trace in the RunReport (off by default — a
   /// serving runtime returns aggregates, not traces).
   bool keep_trace = false;
+  /// Relative deadline in milliseconds from admission; 0 falls back to the
+  /// service SLO (QosConfig::slo_ms), and 0 there means no deadline. An
+  /// expired job stops within one iteration (kDeadlineExceeded, partial
+  /// result attached).
+  double deadline_ms = 0.0;
+  /// Scheduling priority: higher runs first; priority >= 1 jobs degrade
+  /// instead of being shed at the shed watermark.
+  int priority = 0;
 };
 
 /// Point-in-time view of one job. Terminal snapshots (done/failed) are
@@ -108,11 +159,18 @@ struct JobSnapshot {
   bool cache_hit = false;
   std::string error;        ///< Failure reason (failed jobs only).
   std::string report_json;  ///< core::report_to_json of the result.
-  core::RunReport report;   ///< The result (done jobs only).
+  /// The result. Done jobs carry the full report; cancelled/expired jobs
+  /// carry the PARTIAL result (iterations, objective, state) reached when
+  /// they stopped; failed aborts carry the report up to the abort.
+  core::RunReport report;
   double queue_ms = 0.0;    ///< Admission -> first scheduled.
   double run_ms = 0.0;      ///< Scheduled -> terminal (includes offline stage).
   /// This job's own characterization compute time (0 on cache hits).
   double characterization_ms = 0.0;
+  /// Admitted under overload: ran the degraded strategy/budget (svc/qos.h).
+  bool degraded = false;
+  /// Executions (1 + retries taken).
+  std::size_t attempts = 1;
 };
 
 /// Service-level tallies.
@@ -121,10 +179,16 @@ struct ServiceStats {
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_tenant_cap = 0;
   std::size_t rejected_bad_request = 0;
+  std::size_t rejected_rate_limited = 0;  ///< Token bucket empty.
+  std::size_t shed = 0;                   ///< Rejected at the shed watermark.
+  std::size_t degraded = 0;               ///< Admitted degraded.
+  std::size_t retries = 0;                ///< Re-executions scheduled.
   std::size_t queued = 0;
   std::size_t running = 0;
   std::size_t completed = 0;
   std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t deadline_exceeded = 0;
   ProfileCacheStats cache;
 };
 
@@ -156,6 +220,20 @@ class ServiceRuntime {
   /// Blocks until the job is terminal. False for unknown ids; true if the
   /// job is retired while being waited on (it was terminal to be retired).
   bool wait(std::uint64_t id);
+
+  /// Requests cancellation. A queued job goes terminal (kCancelled)
+  /// immediately; a running job's CancelToken is latched and the worker
+  /// commits kCancelled within one iteration. False for unknown or
+  /// already-terminal ids.
+  bool cancel(std::uint64_t id);
+
+  /// The runtime's millisecond clock (monotonic, plus the chaos clock
+  /// skew) — the axis deadlines, token buckets and retry timers live on.
+  double clock_now_ms() const;
+
+  /// The admission cost surrogate of a job: iteration budget x problem
+  /// dimension (what a tenant's token bucket is charged).
+  static double job_cost(const JobSpec& spec);
 
   /// Retires a terminal job now: folds its metrics into the persistent
   /// aggregate and drops its snapshot. False for unknown or still
@@ -197,6 +275,8 @@ class ServiceRuntime {
     JobSpec spec;  ///< Immutable after submit().
     JobState state = JobState::kQueued;
     bool cache_hit = false;
+    bool degraded = false;    ///< Admitted past the degrade watermark.
+    std::size_t attempt = 0;  ///< 0-based execution attempt.
     std::string error;
     std::string report_json;
     core::RunReport report;
@@ -204,6 +284,13 @@ class ServiceRuntime {
     double queue_ms = 0.0;
     double run_ms = 0.0;
     double characterization_ms = 0.0;
+    /// Earliest runtime-clock time this job may be scheduled: admission
+    /// time, or the retry backoff. An absolute stamp, never a sentinel —
+    /// the runtime clock may sit anywhere on its axis under chaos skew.
+    double not_before_ms = 0.0;
+    /// Deadline + explicit-cancel state; its token threads through the
+    /// session and characterization of every attempt.
+    core::CancelSource cancel;
     /// Set (moved in) at the terminal transition; null before.
     std::unique_ptr<obs::MetricsRegistry> metrics;
   };
@@ -218,6 +305,11 @@ class ServiceRuntime {
     std::string report_json;
     core::RunReport report;
     double characterization_ms = 0.0;
+    /// Why the run stopped cooperatively (kNone when it ran to the end).
+    core::CancelReason cancel_reason = core::CancelReason::kNone;
+    /// Failure is transient (injected crash, watchdog abort under faults,
+    /// a single-flight peer's cancellation): eligible for retry.
+    bool transient = false;
     std::unique_ptr<obs::MetricsRegistry> metrics;
   };
 
@@ -225,7 +317,14 @@ class ServiceRuntime {
 
   /// Builds everything from the spec and runs the session. Never throws
   /// (failures land in the result's error). Touches no Job state.
-  ExecResult execute(const JobSpec& spec);
+  ExecResult execute(const JobSpec& spec, std::uint64_t id,
+                     std::size_t attempt, bool degraded,
+                     const core::CancelToken& cancel);
+
+  /// Terminal bookkeeping shared by worker commit, queue-expiry and
+  /// queued-cancel: tallies, tenant release, retention. Caller must hold
+  /// mutex_; `job` must already be in its terminal state.
+  void finalize_terminal_locked(Job& job);
 
   JobSnapshot snapshot_locked(const Job& job) const;
 
@@ -238,6 +337,7 @@ class ServiceRuntime {
   void retire_excess_locked();
 
   ServiceConfig config_;
+  ChaosEngine chaos_;
   obs::MetricsRegistry cache_metrics_;   ///< svc.profile_cache.* counters.
   obs::MetricsRegistry timing_metrics_;  ///< Wall-clock histograms.
   ProfileCache cache_;
@@ -252,6 +352,8 @@ class ServiceRuntime {
   std::size_t terminal_retained_ = 0;     ///< Terminal jobs still in jobs_.
   std::deque<std::uint64_t> queue_;
   std::map<std::string, std::size_t> tenant_active_;
+  std::map<std::string, TokenBucket> tenant_buckets_;
+  obs::MetricsRegistry qos_metrics_;  ///< svc.shed/degraded/retry/... counters.
   std::uint64_t next_id_ = 1;
   std::size_t running_ = 0;
   bool paused_ = false;

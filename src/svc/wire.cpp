@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <istream>
 
 #include "core/report_io.h"
 
@@ -89,6 +90,28 @@ bool parse_bare(std::string_view line, std::size_t& pos, std::string& out) {
 
 }  // namespace
 
+bool read_wire_line(std::istream& in, std::string& line, bool* overflow,
+                    std::size_t max_length) {
+  line.clear();
+  if (overflow != nullptr) *overflow = false;
+  bool read_anything = false;
+  char c = 0;
+  while (in.get(c)) {
+    read_anything = true;
+    if (c == '\n') return true;
+    if (line.size() >= max_length) {
+      // Over budget: stop buffering and drain the rest of the line so the
+      // stream stays aligned on the next request.
+      if (overflow != nullptr) *overflow = true;
+      while (in.get(c) && c != '\n') {
+      }
+      return true;
+    }
+    line.push_back(c);
+  }
+  return read_anything;
+}
+
 std::string WireObject::get_string(const std::string& key,
                                    const std::string& fallback) const {
   const auto it = values_.find(key);
@@ -123,6 +146,10 @@ bool WireObject::get_bool(const std::string& key, bool fallback) const {
 
 std::optional<WireObject> parse_wire_object(std::string_view line,
                                             std::string* error) {
+  if (line.size() > kMaxWireLine) {
+    set_error(error, "line too long");
+    return std::nullopt;
+  }
   std::size_t pos = 0;
   skip_ws(line, pos);
   if (pos >= line.size() || line[pos] != '{') {

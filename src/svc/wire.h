@@ -10,15 +10,36 @@
 // with WireWriter, which reuses core::json_escape so output lines are
 // valid JSON consumable by any client. RunReport payloads embed
 // core::report_to_json verbatim as a raw nested object.
+// Robustness: requests come from untrusted clients, so the parser is
+// strict and bounded — lines longer than kMaxWireLine are rejected (and
+// read_wire_line drains them WITHOUT buffering, so a hostile client
+// cannot balloon the server's memory with one endless line), trailing
+// characters after the closing '}' are an error, and malformed escapes or
+// nesting fail the whole line.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace approxit::svc {
+
+/// Upper bound on one request line (1 MiB). A legitimate flat request is
+/// a few hundred bytes; anything past this is malformed by definition.
+inline constexpr std::size_t kMaxWireLine = std::size_t{1} << 20;
+
+/// getline with the kMaxWireLine cap. Returns false at EOF with nothing
+/// read. When the line exceeds `max_length`, the rest of the line is
+/// DRAINED (discarded, never buffered), `*overflow` is set when non-null,
+/// and true is returned with the truncated prefix — the caller can reply
+/// with an error and keep serving the connection.
+bool read_wire_line(std::istream& in, std::string& line,
+                    bool* overflow = nullptr,
+                    std::size_t max_length = kMaxWireLine);
 
 /// One parsed value: the raw text plus whether it was a JSON string
 /// (quoted) — "42" and 42 are distinguishable.
@@ -46,7 +67,8 @@ class WireObject {
 };
 
 /// Parses one flat JSON object line. Returns nullopt (with `error` set when
-/// non-null) on malformed input.
+/// non-null) on malformed input, lines over kMaxWireLine, or trailing
+/// characters after the object.
 std::optional<WireObject> parse_wire_object(std::string_view line,
                                             std::string* error = nullptr);
 

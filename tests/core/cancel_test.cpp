@@ -1,0 +1,208 @@
+// Cooperative cancellation: token/source semantics, deadline evaluation
+// on an injected clock, the session's within-one-iteration stop guarantee
+// with a partial result, and the characterization's throw-and-reset
+// contract. Also proves an inert or never-cancelled token leaves runs
+// bit-identical.
+#include <gtest/gtest.h>
+
+#include "core/cancel.h"
+#include "core/characterization.h"
+#include "core/incremental_strategy.h"
+#include "core/session.h"
+#include "core/session_builder.h"
+#include "core/static_strategy.h"
+#include "opt/gradient_descent.h"
+#include "opt/problem.h"
+
+namespace approxit::core {
+namespace {
+
+using arith::ApproxMode;
+
+class CancelTest : public ::testing::Test {
+ protected:
+  CancelTest()
+      : problem_(la::Matrix{{4.0, 1.0}, {1.0, 3.0}},
+                 std::vector<double>{1.0, 2.0}),
+        solver_(problem_, {5.0, -4.0},
+                {.step_size = 0.2, .max_iter = 400, .tolerance = 1e-12}) {}
+
+  opt::QuadraticProblem problem_;
+  opt::GradientDescentSolver solver_;
+  arith::QcsAlu alu_;
+};
+
+TEST(CancelToken, InertTokenIsKNoneForever) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_EQ(token.check(), CancelReason::kNone);
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST(CancelToken, CancelLatchesAndSharesAcrossTokens) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token();
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.check(), CancelReason::kNone);
+
+  source.cancel();
+  EXPECT_EQ(a.check(), CancelReason::kCancelled);
+  EXPECT_EQ(b.check(), CancelReason::kCancelled);
+  EXPECT_EQ(source.reason(), CancelReason::kCancelled);
+
+  // An already-latched reason wins over a later-expiring deadline.
+  source.set_deadline_ms(-1.0e9);
+  source.set_deadline_ms(1.0e-9);
+  EXPECT_EQ(a.check(), CancelReason::kCancelled);
+}
+
+TEST(CancelToken, DeadlineEvaluatesOnInjectedClock) {
+  double now = 100.0;
+  CancelSource source([&now] { return now; });
+  EXPECT_DOUBLE_EQ(source.now_ms(), 100.0);
+  source.set_deadline_ms(150.0);
+
+  const CancelToken token = source.token();
+  EXPECT_EQ(token.check(), CancelReason::kNone);
+  now = 149.0;
+  EXPECT_EQ(token.check(), CancelReason::kNone);
+  now = 150.0;  // Deadline is inclusive: clock >= deadline expires.
+  EXPECT_EQ(token.check(), CancelReason::kDeadlineExceeded);
+
+  // Latched: rewinding the clock or cancelling cannot change the reason.
+  now = 0.0;
+  EXPECT_EQ(token.check(), CancelReason::kDeadlineExceeded);
+  source.cancel();
+  EXPECT_EQ(token.check(), CancelReason::kDeadlineExceeded);
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancelToken, CancelledErrorCarriesTheReason) {
+  CancelSource source;
+  source.cancel();
+  try {
+    source.token().throw_if_cancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& error) {
+    EXPECT_EQ(error.reason(), CancelReason::kCancelled);
+    EXPECT_NE(std::string(error.what()).find("cancelled"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CancelTest, PreCancelledSessionStopsBeforeTheFirstIteration) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+  CancelSource source;
+  source.cancel();
+
+  SessionOptions options;
+  options.cancel = source.token();
+  const RunReport report = session.run(options);
+  EXPECT_EQ(report.status, RunStatus::kCancelled);
+  EXPECT_EQ(report.iterations, 0u);
+  EXPECT_FALSE(report.converged);
+  // The partial result is still well-formed: the (initial) state and its
+  // objective are reported.
+  EXPECT_FALSE(report.final_state.empty());
+}
+
+TEST_F(CancelTest, DeadlineStopsTheSessionWithinOneIteration) {
+  StaticStrategy strategy(ApproxMode::kAccurate);
+  ApproxItSession session(solver_, strategy, alu_);
+
+  // Fake clock that advances 1 ms per deadline poll; the session polls
+  // once per iteration, so a deadline of start + 3.5 must stop the run
+  // after at most 4 iterations — deterministically, no sleeping.
+  double now = 0.0;
+  CancelSource source([&now] {
+    const double current = now;
+    now += 1.0;
+    return current;
+  });
+  source.set_deadline_ms(3.5);
+
+  SessionOptions options;
+  options.cancel = source.token();
+  const RunReport report = session.run(options);
+  EXPECT_EQ(report.status, RunStatus::kDeadlineExceeded);
+  EXPECT_GE(report.iterations, 1u);
+  EXPECT_LE(report.iterations, 4u);
+  EXPECT_FALSE(report.converged);
+  EXPECT_FALSE(report.final_state.empty());
+}
+
+TEST_F(CancelTest, NeverCancelledTokenIsBitIdenticalToNoToken) {
+  StaticStrategy strategy(ApproxMode::kLevel2);
+  const ModeCharacterization profile = characterize(solver_, alu_);
+
+  ApproxItSession plain(solver_, strategy, alu_);
+  plain.set_characterization(profile);
+  const RunReport baseline = plain.run();
+
+  CancelSource source;  // Armed but never cancelled, no deadline.
+  SessionOptions options;
+  options.cancel = source.token();
+  ApproxItSession tokened(solver_, strategy, alu_);
+  tokened.set_characterization(profile);
+  const RunReport report = tokened.run(options);
+
+  EXPECT_EQ(report.status, baseline.status);
+  EXPECT_EQ(report.iterations, baseline.iterations);
+  EXPECT_DOUBLE_EQ(report.final_objective, baseline.final_objective);
+  EXPECT_DOUBLE_EQ(report.total_energy, baseline.total_energy);
+  ASSERT_EQ(report.final_state.size(), baseline.final_state.size());
+  for (std::size_t i = 0; i < report.final_state.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.final_state[i], baseline.final_state[i]);
+  }
+}
+
+TEST_F(CancelTest, CancelledCharacterizationThrowsAndLeavesMethodReset) {
+  CancelSource source;
+  source.cancel();
+  CharacterizationOptions options;
+  options.cancel = source.token();
+
+  const double f0 = solver_.objective();
+  EXPECT_THROW(characterize(solver_, alu_, options), CancelledError);
+  // The throw-and-reset contract: no half-measured profile escapes, and
+  // the method/ALU are usable as if nothing ran.
+  EXPECT_DOUBLE_EQ(solver_.objective(), f0);
+  EXPECT_EQ(alu_.ledger().total_ops(), 0u);
+  EXPECT_EQ(alu_.mode(), ApproxMode::kAccurate);
+
+  const ModeCharacterization profile = characterize(solver_, alu_);
+  EXPECT_FALSE(profile.angle_samples.empty());
+}
+
+TEST_F(CancelTest, SessionBuilderThreadsTheTokenIntoBothStages) {
+  IncrementalStrategy strategy;
+  CancelSource source;
+  source.cancel();
+
+  // Online stage: with a precomputed profile the run itself stops.
+  const ModeCharacterization profile = characterize(solver_, alu_);
+  const RunReport report = SessionBuilder()
+                               .method(solver_)
+                               .strategy(strategy)
+                               .alu(alu_)
+                               .characterization(profile)
+                               .cancel(source.token())
+                               .run();
+  EXPECT_EQ(report.status, RunStatus::kCancelled);
+  EXPECT_EQ(report.iterations, 0u);
+
+  // Offline stage: without a profile the characterization throws.
+  EXPECT_THROW(SessionBuilder()
+                   .method(solver_)
+                   .strategy(strategy)
+                   .alu(alu_)
+                   .cancel(source.token())
+                   .run(),
+               CancelledError);
+}
+
+}  // namespace
+}  // namespace approxit::core

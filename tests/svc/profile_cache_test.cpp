@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -19,7 +20,9 @@
 #include "obs/metrics.h"
 #include "opt/gradient_descent.h"
 #include "opt/problem.h"
+#include "svc/chaos.h"
 #include "svc/profile_cache.h"
+#include "util/rng.h"
 
 namespace approxit::svc {
 namespace {
@@ -369,6 +372,207 @@ TEST(ProfileCacheSingleFlight, ComputeFailurePropagatesAndClears) {
   EXPECT_FALSE(hit);
   EXPECT_EQ(ProfileCache::serialize(key, result),
             ProfileCache::serialize(key, profile));
+}
+
+TEST(ProfileCacheSerialization, ChecksumTrailerValidatesTheWholeEntry) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "checksummed");
+  const std::string text = ProfileCache::serialize(key, profile);
+
+  EXPECT_EQ(text.rfind("approxit-profile v2\n", 0), 0u);
+  EXPECT_NE(text.find("\nchecksum "), std::string::npos);
+  EXPECT_TRUE(ProfileCache::validate(text));
+
+  // Trailing garbage after the terminator is rejected.
+  EXPECT_FALSE(ProfileCache::validate(text + "extra\n"));
+  EXPECT_FALSE(ProfileCache::deserialize(text + "extra\n", key).has_value());
+}
+
+TEST(ProfileCacheSerialization, EveryTruncationIsRejected) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "truncated");
+  const std::string text = ProfileCache::serialize(key, profile);
+
+  // A torn write can stop at ANY byte: every strict prefix must fail both
+  // the full deserialize and the structural validate.
+  for (std::size_t length = 0; length < text.size(); ++length) {
+    const std::string prefix = text.substr(0, length);
+    EXPECT_FALSE(ProfileCache::deserialize(prefix, key).has_value())
+        << "prefix length " << length;
+    EXPECT_FALSE(ProfileCache::validate(prefix))
+        << "prefix length " << length;
+  }
+}
+
+TEST(ProfileCacheSerialization, EverySingleBitFlipIsRejected) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "bitflipped");
+  const std::string text = ProfileCache::serialize(key, profile);
+
+  // Seeded corpus of single-bit corruptions. The checksum trailer covers
+  // every byte before it, and a flip INSIDE the trailer breaks the stored
+  // value itself, so no flip anywhere may survive validation.
+  util::Rng rng(0xb17f11b5);
+  for (int trial = 0; trial < 256; ++trial) {
+    const std::size_t byte =
+        static_cast<std::size_t>(rng.uniform() * text.size()) % text.size();
+    const int bit = static_cast<int>(rng.uniform() * 8.0) % 8;
+    std::string corrupt = text;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+    EXPECT_FALSE(ProfileCache::validate(corrupt))
+        << "byte " << byte << " bit " << bit;
+    EXPECT_FALSE(ProfileCache::deserialize(corrupt, key).has_value())
+        << "byte " << byte << " bit " << bit;
+  }
+}
+
+TEST(ProfileCacheDisk, CorruptFileIsQuarantinedOnLookup) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "quarantine");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("quarantine");
+  {
+    ProfileCache writer(config);
+    writer.store(key, profile);
+  }
+
+  ProfileCache cache(config);  // Fresh LRU: the next load goes to disk.
+  const std::string path = cache.disk_path(key);
+  corrupt_file_byte(path);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().quarantines, 1u);
+  // Moved aside, not deleted: post-mortem evidence survives.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::is_empty(cache.quarantine_dir()));
+  // The slot is now a plain miss, not a repeat quarantine.
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().quarantines, 1u);
+}
+
+TEST(ProfileCacheDisk, StaleButValidFileIsAMissNotAQuarantine) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "stale");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("stale");
+  ProfileCache cache(config);
+  cache.store(key, profile);
+
+  // A colliding key finds a VALID file with a foreign description: that
+  // is corrupt-vs-stale triage — miss, file untouched, no quarantine.
+  core::CharacterizationKey forged;
+  forged.hash = key.hash;
+  forged.description = key.description + "|forged";
+  ProfileCache fresh(config);
+  EXPECT_FALSE(fresh.load(forged).has_value());
+  EXPECT_EQ(fresh.stats().quarantines, 0u);
+  EXPECT_TRUE(std::filesystem::exists(fresh.disk_path(key)));
+}
+
+TEST(ProfileCacheDisk, ScrubSweepsCorruptAndTornFiles) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "scrub");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("scrub");
+  config.scrub_on_start = false;  // Scrub explicitly, observe the report.
+  ProfileCache cache(config);
+  cache.store(key, profile);
+
+  const auto write_file = [](const std::filesystem::path& path,
+                             const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  };
+  const std::filesystem::path dir(config.directory);
+  write_file(dir / "junk.profile", "not a profile at all\n");
+  // A torn tmp file is what a writer crash between write and rename
+  // leaves behind.
+  write_file(dir / "torn.profile.tmp",
+             ProfileCache::serialize(key, profile).substr(0, 40));
+
+  const ScrubReport report = cache.scrub();
+  EXPECT_EQ(report.scanned, 2u);  // The valid entry and the junk.
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.stale_tmp, 1u);
+
+  EXPECT_TRUE(std::filesystem::exists(cache.disk_path(key)));
+  EXPECT_FALSE(std::filesystem::exists(dir / "junk.profile"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "torn.profile.tmp"));
+  EXPECT_EQ(cache.stats().quarantines, 2u);
+}
+
+TEST(ProfileCacheDisk, StartupScrubClearsTornWritesBeforeServing) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "startup");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("startup");
+  std::string path;
+  {
+    ProfileCache writer(config);
+    writer.store(key, profile);
+    path = writer.disk_path(key);
+  }
+  // Crash simulation: the entry's bytes were half-written.
+  const std::string full = ProfileCache::serialize(key, profile);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+
+  ProfileCache restarted(config);  // scrub_on_start is the default.
+  EXPECT_EQ(restarted.stats().quarantines, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(restarted.load(key).has_value());  // Clean miss.
+  // The slot is reusable: a fresh store round-trips again.
+  restarted.store(key, profile);
+  EXPECT_TRUE(ProfileCache(config).load(key).has_value());
+}
+
+TEST(ProfileCacheSerialization, LegacyV1FilesAreStillAccepted) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "legacy");
+  const std::string v2 = ProfileCache::serialize(key, profile);
+
+  // A v1 file is the v2 layout minus the checksum trailer.
+  std::string v1 = v2;
+  const std::size_t version_end = v1.find('\n');
+  ASSERT_NE(version_end, std::string::npos);
+  v1.replace(0, version_end, "approxit-profile v1");
+  const std::size_t checksum = v1.find("checksum ");
+  ASSERT_NE(checksum, std::string::npos);
+  v1.erase(checksum, v1.find('\n', checksum) - checksum + 1);
+
+  EXPECT_TRUE(ProfileCache::validate(v1));
+  const auto restored = ProfileCache::deserialize(v1, key);
+  ASSERT_TRUE(restored.has_value());
+  // Upgrading re-serializes to checksummed v2, byte-identically.
+  EXPECT_EQ(ProfileCache::serialize(key, *restored), v2);
+}
+
+TEST(ProfileCacheDisk, AfterPersistHookSeesTheFinalPath) {
+  arith::QcsAlu alu;
+  const core::ModeCharacterization profile = sample_profile(alu);
+  const core::CharacterizationKey key = key_for(alu, "hooked");
+  ProfileCacheConfig config;
+  config.directory = fresh_dir("hooked");
+  std::vector<std::string> persisted;
+  config.after_persist = [&persisted](const std::string& path) {
+    persisted.push_back(path);
+  };
+  ProfileCache cache(config);
+  cache.store(key, profile);
+  ASSERT_EQ(persisted.size(), 1u);
+  EXPECT_EQ(persisted[0], cache.disk_path(key));
+  EXPECT_TRUE(std::filesystem::exists(persisted[0]));
 }
 
 TEST(ProfileCacheMetrics, CountersMirrorStats) {

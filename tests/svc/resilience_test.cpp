@@ -1,0 +1,517 @@
+// Service-layer resilience: deadlines and cancellation through the
+// runtime, token-bucket admission, degrade-before-shed watermarks, the
+// retry ladder over injected chaos failures, recovery-ladder exhaustion
+// surfacing structured aborts, and the determinism of seeded chaos runs
+// across repeats and worker counts.
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "svc/chaos.h"
+#include "svc/qos.h"
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+namespace {
+
+/// A small fast job: few characterization probes, tight iteration cap.
+JobSpec quick_job(const std::string& dataset = "3cluster",
+                  const std::string& strategy = "incremental") {
+  JobSpec spec;
+  spec.app = "gmm";
+  spec.dataset = dataset;
+  spec.strategy = strategy;
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+ServiceConfig memory_only(std::size_t threads) {
+  ServiceConfig config;
+  config.threads = threads;
+  config.cache.directory.clear();
+  return config;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Polls until the job leaves kQueued (running or terminal).
+void wait_until_scheduled(ServiceRuntime& runtime, std::uint64_t id) {
+  for (int i = 0; i < 5000; ++i) {
+    const auto snapshot = runtime.status(id);
+    ASSERT_TRUE(snapshot.has_value());
+    if (snapshot->state != JobState::kQueued) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "job " << id << " never left the queue";
+}
+
+// ---------------------------------------------------------------------------
+// QoS primitives (pure, fake clock — fully deterministic).
+
+TEST(TokenBucket, ChargesRefillsAndCapsAtBurst) {
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/100.0, /*now_ms=*/0.0);
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 100.0);  // Starts full.
+
+  EXPECT_TRUE(bucket.try_take(60.0, 0.0));
+  EXPECT_FALSE(bucket.try_take(60.0, 0.0));  // Only 40 left.
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 40.0);
+
+  // 20 ms at 1000 units/s refills 20 units.
+  EXPECT_TRUE(bucket.try_take(60.0, 20.0));
+  EXPECT_DOUBLE_EQ(bucket.available(20.0), 0.0);
+
+  // Refill never exceeds the burst capacity.
+  EXPECT_DOUBLE_EQ(bucket.available(1.0e9), 100.0);
+}
+
+TEST(RetryBackoff, DeterministicJitteredExponentialWithCap) {
+  QosConfig qos;  // base 10 ms, cap 1000 ms.
+  const double first = retry_backoff_ms(qos, 7, 0);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(qos, 7, 0), first);  // Pure function.
+  EXPECT_GE(first, 5.0);   // >= 0.5 * base.
+  EXPECT_LT(first, 10.0);  // < 1.0 * base.
+
+  for (std::size_t attempt = 0; attempt < 20; ++attempt) {
+    const double backoff = retry_backoff_ms(qos, 7, attempt);
+    EXPECT_GE(backoff, 5.0);
+    EXPECT_LE(backoff, 1000.0);  // Cap holds for huge attempt counts.
+  }
+  // Jitter streams differ across jobs (with overwhelming probability).
+  EXPECT_NE(retry_backoff_ms(qos, 7, 0), retry_backoff_ms(qos, 8, 0));
+}
+
+TEST(ServiceRuntimeQos, JobCostScalesWithBudgetAndDimension) {
+  EXPECT_DOUBLE_EQ(ServiceRuntime::job_cost(quick_job()), 30.0 * 2.0);
+  EXPECT_DOUBLE_EQ(ServiceRuntime::job_cost(quick_job("3d3cluster")),
+                   30.0 * 3.0);
+  JobSpec ar;
+  ar.app = "ar";
+  ar.dataset = "sp500";
+  ar.max_iterations = 10;
+  EXPECT_DOUBLE_EQ(ServiceRuntime::job_cost(ar), 10.0 * 4.0);
+  JobSpec defaulted = quick_job();
+  defaulted.max_iterations = 0;  // Stands in for the dataset MAX_ITER.
+  EXPECT_DOUBLE_EQ(ServiceRuntime::job_cost(defaulted), 100.0 * 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation.
+
+TEST(ServiceRuntimeResilience, ExpiredDeadlineGoesTerminalWithoutAWorker) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  JobSpec spec = quick_job();
+  spec.deadline_ms = 1.0e-9;  // Expires effectively immediately.
+  std::string error;
+  const auto id = runtime.submit(spec, &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  runtime.resume();
+
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(snapshot->attempts, 1u);
+  EXPECT_TRUE(snapshot->report_json.empty());  // Never ran: no partial.
+
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServiceRuntimeResilience, SloIsTheDefaultDeadlineAndSpecOverridesIt) {
+  ServiceConfig config = memory_only(1);
+  config.qos.slo_ms = 1.0e-9;
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  const auto expired = runtime.submit(quick_job());
+  JobSpec generous = quick_job();
+  generous.deadline_ms = 1.0e9;  // Own deadline beats the tight SLO.
+  const auto fine = runtime.submit(generous);
+  ASSERT_TRUE(expired.has_value());
+  ASSERT_TRUE(fine.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  runtime.resume();
+
+  EXPECT_EQ(runtime.result(*expired)->state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(runtime.result(*fine)->state, JobState::kDone);
+}
+
+TEST(ServiceRuntimeResilience, CancelQueuedJobIsImmediate) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;
+  ServiceRuntime runtime(config);
+
+  const auto keep = runtime.submit(quick_job());
+  const auto drop = runtime.submit(quick_job());
+  ASSERT_TRUE(keep.has_value());
+  ASSERT_TRUE(drop.has_value());
+
+  EXPECT_TRUE(runtime.cancel(*drop));
+  const auto snapshot = runtime.status(*drop);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kCancelled);  // No worker involved.
+  EXPECT_FALSE(runtime.cancel(*drop));   // Already terminal.
+  EXPECT_FALSE(runtime.cancel(999999));  // Unknown.
+
+  runtime.resume();
+  EXPECT_EQ(runtime.result(*keep)->state, JobState::kDone);
+  EXPECT_EQ(runtime.stats().cancelled, 1u);
+  EXPECT_EQ(runtime.stats().completed, 1u);
+}
+
+TEST(ServiceRuntimeResilience, CancelRunningJobReleasesTheWorker) {
+  ServiceConfig config = memory_only(1);
+  // A certain 50 ms stall before execution gives the test a wide window
+  // in which the job is kRunning but has not finished.
+  config.chaos.enabled = true;
+  config.chaos.stall_probability = 1.0;
+  config.chaos.stall_ms = 50.0;
+  ServiceRuntime runtime(config);
+
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  wait_until_scheduled(runtime, *id);
+  EXPECT_TRUE(runtime.cancel(*id));
+
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kCancelled);
+
+  // The worker is free again: a follow-up job completes.
+  const auto next = runtime.submit(quick_job());
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(runtime.result(*next)->state, JobState::kDone);
+}
+
+TEST(ServiceRuntimeResilience, ClockSkewDoesNotBreakDeadlinesOnItsOwnAxis) {
+  // Deadlines are armed and evaluated on the same (skewed) clock, so a
+  // huge constant skew — forwards or backwards — changes nothing.
+  for (const double skew : {1.0e12, -1.0e12}) {
+    ServiceConfig config = memory_only(1);
+    config.qos.slo_ms = 1.0e9;
+    config.chaos.enabled = true;
+    config.chaos.clock_skew_ms = skew;
+    ServiceRuntime runtime(config);
+    const auto id = runtime.submit(quick_job());
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(runtime.result(*id)->state, JobState::kDone) << skew;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission: token bucket, degrade-before-shed watermarks.
+
+TEST(ServiceRuntimeResilience, TokenBucketRateLimitsPerTenantByCost) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;
+  config.qos.tenant_rate = 1.0e-6;  // Effectively no refill mid-test.
+  config.qos.tenant_burst = 100.0;  // Clamped up to one default job (200).
+  ServiceRuntime runtime(config);
+
+  JobSpec big = quick_job();
+  big.max_iterations = 100;  // Cost 200: drains the whole bucket.
+  std::string error;
+  ASSERT_TRUE(runtime.submit(big, &error).has_value()) << error;
+  EXPECT_FALSE(runtime.submit(big, &error).has_value());
+  EXPECT_EQ(error, "rate_limited");
+
+  // Another tenant has its own bucket.
+  JobSpec other = big;
+  other.tenant = "other";
+  EXPECT_TRUE(runtime.submit(other, &error).has_value()) << error;
+
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.rejected_rate_limited, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  runtime.resume();
+  runtime.wait_idle();
+}
+
+TEST(ServiceRuntimeResilience, DegradesBetweenWatermarksAndShedsPastThem) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;  // Queue depth is exactly what we submitted.
+  config.queue_capacity = 16;
+  config.qos.degrade_watermark = 1;
+  config.qos.shed_watermark = 2;
+  config.qos.degraded_strategy = "level2";
+  config.qos.degraded_max_iterations = 5;
+  ServiceRuntime runtime(config);
+
+  std::string error;
+  const auto normal = runtime.submit(quick_job(), &error);    // Depth 0.
+  const auto degraded = runtime.submit(quick_job(), &error);  // Depth 1.
+  ASSERT_TRUE(normal.has_value());
+  ASSERT_TRUE(degraded.has_value());
+
+  // Depth 2 = shed watermark: a normal job is rejected...
+  EXPECT_FALSE(runtime.submit(quick_job(), &error).has_value());
+  EXPECT_EQ(error, "shed_overload");
+  // ...but a priority job still gets the degraded trade.
+  JobSpec urgent = quick_job();
+  urgent.priority = 1;
+  const auto prioritized = runtime.submit(urgent, &error);
+  ASSERT_TRUE(prioritized.has_value()) << error;
+
+  ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.degraded, 2u);
+  EXPECT_EQ(stats.submitted, 3u);
+
+  runtime.resume();
+  const auto normal_snapshot = runtime.result(*normal);
+  const auto degraded_snapshot = runtime.result(*degraded);
+  const auto prioritized_snapshot = runtime.result(*prioritized);
+  ASSERT_TRUE(normal_snapshot.has_value());
+  ASSERT_TRUE(degraded_snapshot.has_value());
+  ASSERT_TRUE(prioritized_snapshot.has_value());
+
+  // The normal job ran its requested strategy and budget.
+  EXPECT_FALSE(normal_snapshot->degraded);
+  EXPECT_EQ(normal_snapshot->report.strategy_name, "incremental");
+
+  // Degraded jobs ran the coarser static level under the capped budget;
+  // the SPEC is untouched (the client's request is what it was).
+  for (const auto* snapshot : {&*degraded_snapshot, &*prioritized_snapshot}) {
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+    EXPECT_TRUE(snapshot->degraded);
+    EXPECT_EQ(snapshot->spec.strategy, "incremental");
+    EXPECT_EQ(snapshot->report.strategy_name, "static(level2)");
+    EXPECT_LE(snapshot->report.iterations, 5u);
+  }
+
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  EXPECT_EQ(merged.counter("svc.degraded.jobs").value(), 2.0);
+  EXPECT_EQ(merged.counter("svc.shed.overload").value(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Retry ladder over injected failures.
+
+TEST(ServiceRuntimeResilience, ExhaustedRetriesSurfaceTheTransientError) {
+  ServiceConfig config = memory_only(1);
+  config.chaos.enabled = true;
+  config.chaos.crash_probability = 1.0;  // Every attempt crashes.
+  config.qos.max_retries = 2;
+  config.qos.retry_base_ms = 0.1;
+  config.qos.retry_max_ms = 0.3;
+  ServiceRuntime runtime(config);
+
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kFailed);
+  EXPECT_EQ(snapshot->error, "chaos: injected crash");
+  EXPECT_EQ(snapshot->attempts, 3u);  // 1 + max_retries.
+
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(ServiceRuntimeResilience, RetryAfterCrashIsBitIdenticalToACleanRun) {
+  // Find a seed whose first attempt of job 1 crashes and whose retry does
+  // not — the engine is a pure function, so the test can probe it.
+  ChaosConfig chaos;
+  chaos.enabled = true;
+  chaos.crash_probability = 0.5;
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate < 10000; ++candidate) {
+    chaos.seed = candidate;
+    const ChaosEngine engine(chaos);
+    if (engine.crash(1, 0) && !engine.crash(1, 1)) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no suitable chaos seed in range";
+
+  ServiceConfig config = memory_only(1);
+  config.chaos = chaos;
+  config.chaos.seed = seed;
+  config.qos.max_retries = 3;
+  config.qos.retry_base_ms = 0.1;
+  config.qos.retry_max_ms = 0.3;
+  ServiceRuntime chaotic(config);
+  const auto id = chaotic.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  const auto snapshot = chaotic.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kDone);
+  EXPECT_EQ(snapshot->attempts, 2u);
+  EXPECT_EQ(chaotic.stats().retries, 1u);
+
+  // The retry ran on a fresh clone with no faults injected, so its result
+  // is bit-identical to the same job on a chaos-free runtime.
+  ServiceRuntime clean(memory_only(1));
+  const auto clean_id = clean.submit(quick_job());
+  ASSERT_TRUE(clean_id.has_value());
+  const auto clean_snapshot = clean.result(*clean_id);
+  ASSERT_TRUE(clean_snapshot.has_value());
+  EXPECT_EQ(clean_snapshot->state, JobState::kDone);
+  EXPECT_EQ(snapshot->report_json, clean_snapshot->report_json);
+}
+
+TEST(ServiceRuntimeResilience, ExhaustedRecoveryLadderSurfacesTheAbort) {
+  // Fault the accurate mode too: the watchdog's safe mode cannot help, so
+  // the recovery ladder must end in a structured abort, and with retries
+  // off that abort is the job's terminal error. Bounded fixed-point bit
+  // flips never go non-finite, so the service arms the stall detector —
+  // the ServiceConfig watchdog knob — to catch the no-progress jitter.
+  ServiceConfig config = memory_only(1);
+  config.chaos.enabled = true;
+  config.chaos.alu_fault_probability = 1.0;
+  config.chaos.alu_fault_rate = 0.4;
+  config.chaos.alu_fault_accurate = true;
+  config.qos.max_retries = 0;
+  // An impossible progress demand: every iteration counts as a stall, so
+  // the ladder (recover, safe-mode, abort) runs to its end deterministically.
+  config.watchdog.stall_window = 1;
+  config.watchdog.stall_tolerance = 1e300;
+  config.watchdog.safe_mode_after = 2;
+  config.watchdog.max_recoveries = 3;
+  ServiceRuntime runtime(config);
+
+  JobSpec spec = quick_job();
+  spec.max_iterations = 200;  // Room for the ladder to run out.
+  const auto id = runtime.submit(spec);
+  ASSERT_TRUE(id.has_value());
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kFailed);
+  EXPECT_EQ(snapshot->error.rfind("aborted: ", 0), 0u) << snapshot->error;
+  // The report up to the abort is attached (status names the abort kind).
+  EXPECT_TRUE(snapshot->report.status == core::RunStatus::kDiverged ||
+              snapshot->report.status == core::RunStatus::kNumericalFault)
+      << snapshot->report_json;
+  EXPECT_EQ(runtime.stats().failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos determinism: same seed => same outcomes, any worker count.
+
+struct Outcome {
+  JobState state;
+  std::string error;
+  std::size_t attempts;
+  std::string report_json;
+
+  bool operator==(const Outcome& other) const {
+    return state == other.state && error == other.error &&
+           attempts == other.attempts && report_json == other.report_json;
+  }
+};
+
+std::pair<std::vector<Outcome>, std::string> run_chaos_fleet(
+    std::size_t threads) {
+  ServiceConfig config = memory_only(threads);
+  config.chaos.enabled = true;
+  config.chaos.seed = 0xfeed;
+  config.chaos.crash_probability = 0.25;
+  config.chaos.stall_probability = 0.25;
+  config.chaos.stall_ms = 0.5;
+  config.chaos.alu_fault_probability = 0.3;
+  config.chaos.alu_fault_rate = 0.02;
+  config.qos.max_retries = 2;
+  config.qos.retry_base_ms = 0.1;
+  config.qos.retry_max_ms = 0.3;
+  ServiceRuntime runtime(config);
+
+  std::vector<std::uint64_t> ids;
+  for (const char* dataset : {"3cluster", "3d3cluster", "4cluster"}) {
+    for (const char* strategy : {"incremental", "adaptive", "level1"}) {
+      const auto id = runtime.submit(quick_job(dataset, strategy));
+      EXPECT_TRUE(id.has_value());
+      if (id) ids.push_back(*id);
+    }
+  }
+  runtime.wait_idle();
+
+  std::vector<Outcome> outcomes;
+  for (const std::uint64_t id : ids) {
+    const auto snapshot = runtime.status(id);
+    EXPECT_TRUE(snapshot.has_value());
+    outcomes.push_back(Outcome{snapshot->state, snapshot->error,
+                               snapshot->attempts, snapshot->report_json});
+  }
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  return {outcomes, merged.to_json()};
+}
+
+TEST(ServiceRuntimeResilience, ChaosIsDeterministicAcrossRunsAndWorkers) {
+  const auto reference = run_chaos_fleet(1);
+  ASSERT_EQ(reference.first.size(), 9u);
+  // Chaos actually fired: at least one job crashed at least once.
+  std::size_t total_attempts = 0;
+  for (const Outcome& outcome : reference.first) {
+    total_attempts += outcome.attempts;
+  }
+  EXPECT_GT(total_attempts, 9u);
+
+  const auto repeat = run_chaos_fleet(1);
+  EXPECT_EQ(repeat.first, reference.first);
+  EXPECT_EQ(repeat.second, reference.second);
+
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    const auto parallel = run_chaos_fleet(threads);
+    EXPECT_EQ(parallel.first, reference.first) << threads << " workers";
+    EXPECT_EQ(parallel.second, reference.second) << threads << " workers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-corruption chaos end to end: corrupt on persist, quarantine on
+// the next start, recompute, carry on.
+
+TEST(ServiceRuntimeResilience, CorruptedProfileIsQuarantinedOnRestart) {
+  const std::string dir = fresh_dir("svc_chaos_corrupt");
+  {
+    ServiceConfig config;
+    config.threads = 1;
+    config.cache.directory = dir;
+    config.chaos.enabled = true;
+    config.chaos.cache_corruption_probability = 1.0;
+    ServiceRuntime runtime(config);
+    const auto id = runtime.submit(quick_job());
+    ASSERT_TRUE(id.has_value());
+    // The in-memory tier is unaffected; only the disk copy is corrupted.
+    EXPECT_EQ(runtime.result(*id)->state, JobState::kDone);
+  }
+
+  // A fresh runtime scrubs the corrupted file into quarantine at startup
+  // and the job recomputes its characterization as a clean miss.
+  ServiceConfig config;
+  config.threads = 1;
+  config.cache.directory = dir;
+  ServiceRuntime runtime(config);
+  EXPECT_GE(runtime.stats().cache.quarantines, 1u);
+  EXPECT_FALSE(std::filesystem::is_empty(
+      runtime.profile_cache().quarantine_dir()));
+
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  const auto snapshot = runtime.result(*id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, JobState::kDone);
+  EXPECT_FALSE(snapshot->cache_hit);  // The poisoned copy never served.
+}
+
+}  // namespace
+}  // namespace approxit::svc

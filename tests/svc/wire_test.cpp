@@ -1,6 +1,8 @@
 // Wire-format coverage: the flat JSON parser accepts exactly what the
 // serving CLI documents (including escapes) and rejects everything else;
-// WireWriter output parses back to the same values.
+// WireWriter output parses back to the same values. Robustness: the line
+// cap and the drain-without-buffering reader keep hostile input bounded.
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -98,6 +100,69 @@ TEST(WireWrite, RoundTripsThroughTheParser) {
   EXPECT_EQ(object->get_double("ratio", 0.0), 0.5);
   EXPECT_TRUE(object->get_bool("ok", false));
   EXPECT_EQ(object->get_string("note"), "a \"quoted\"\nvalue");
+}
+
+TEST(WireParse, RejectsTrailingGarbageAfterTheObject) {
+  std::string error;
+  EXPECT_FALSE(parse_wire_object(R"({"a":1} x)", &error).has_value());
+  EXPECT_EQ(error, "trailing characters after object");
+  EXPECT_FALSE(parse_wire_object(R"({"a":1}{"b":2})", &error).has_value());
+  // Trailing whitespace alone is fine.
+  EXPECT_TRUE(parse_wire_object("{\"a\":1}  \t", &error).has_value());
+}
+
+TEST(WireParse, RejectsLinesOverTheCap) {
+  // A syntactically VALID object that is simply too large must still be
+  // rejected — the cap is a resource bound, not a syntax rule.
+  std::string line = R"({"k":")";
+  line.append(kMaxWireLine, 'a');
+  line += "\"}";
+  ASSERT_GT(line.size(), kMaxWireLine);
+  std::string error;
+  EXPECT_FALSE(parse_wire_object(line, &error).has_value());
+  EXPECT_EQ(error, "line too long");
+}
+
+TEST(WireRead, ReadsLinesAndSignalsEof) {
+  std::istringstream in("{\"a\":1}\nsecond\n");
+  std::string line;
+  bool overflow = true;
+  EXPECT_TRUE(read_wire_line(in, line, &overflow));
+  EXPECT_EQ(line, "{\"a\":1}");
+  EXPECT_FALSE(overflow);
+  EXPECT_TRUE(read_wire_line(in, line, &overflow));
+  EXPECT_EQ(line, "second");
+  EXPECT_FALSE(read_wire_line(in, line, &overflow));  // EOF, nothing read.
+}
+
+TEST(WireRead, FinalLineWithoutNewlineIsDelivered) {
+  std::istringstream in("tail");
+  std::string line;
+  EXPECT_TRUE(read_wire_line(in, line));
+  EXPECT_EQ(line, "tail");
+  EXPECT_FALSE(read_wire_line(in, line));
+}
+
+TEST(WireRead, OversizedLineIsDrainedWithoutBuffering) {
+  // One hostile 3x-over-cap line followed by a legitimate request: the
+  // reader must cap what it buffers, flag the overflow, and stay aligned
+  // so the NEXT line parses normally.
+  constexpr std::size_t kCap = 16;
+  std::string hostile(3 * kCap, 'x');
+  std::istringstream in(hostile + "\n{\"op\":\"stats\"}\n");
+  std::string line;
+  bool overflow = false;
+  EXPECT_TRUE(read_wire_line(in, line, &overflow, kCap));
+  EXPECT_TRUE(overflow);
+  EXPECT_LE(line.size(), kCap);  // Never ballooned past the cap.
+
+  EXPECT_TRUE(read_wire_line(in, line, &overflow, kCap));
+  EXPECT_FALSE(overflow);
+  EXPECT_EQ(line, "{\"op\":\"stats\"}");
+  const auto object = parse_wire_object(line);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->get_string("op"), "stats");
+  EXPECT_FALSE(read_wire_line(in, line, &overflow, kCap));
 }
 
 TEST(WireWrite, RawEmbedsNestedJsonVerbatim) {

@@ -4,13 +4,17 @@
 // per line to stdout (stderr stays free for logs). Operations:
 //
 //   {"op":"submit","app":"gmm","dataset":"3cluster"[,"tenant":...,
-//    "strategy":...,"max_iterations":N,"characterization_iterations":N]}
+//    "strategy":...,"max_iterations":N,"characterization_iterations":N,
+//    "deadline_ms":D,"priority":P]}
 //     -> {"ok":true,"op":"submit","id":N} | {"ok":false,"error":"..."}
 //   {"op":"status","id":N}
-//     -> {"ok":true,"op":"status","id":N,"state":"queued|running|done|failed",...}
+//     -> {"ok":true,"op":"status","id":N,
+//         "state":"queued|running|done|failed|cancelled|deadline_exceeded",...}
 //   {"op":"result","id":N}           # blocks until the job is terminal
 //     -> {"ok":true,"op":"result","id":N,"state":...,"cache_hit":...,
 //         "report":{...}}            # report = core::report_to_json
+//   {"op":"cancel","id":N}           # queued: immediate; running: within
+//     -> {"ok":true,...}             #   one iteration (cooperative token)
 //   {"op":"stats"}
 //     -> {"ok":true,"op":"stats",...,"metrics":{...}}
 //   {"op":"forget","id":N}           # drop a terminal job's snapshot
@@ -19,10 +23,18 @@
 //
 // Flags: --threads N --queue N --tenant-cap N --retain N --cache-dir DIR
 //        --cache-capacity N --no-disk-cache
+//        --slo-ms D --degrade-watermark N --shed-watermark N
+//        --tenant-rate R --tenant-burst B --retries N
 //
 // --retain bounds how many terminal job snapshots stay queryable (oldest
 // retire first, their metrics folded into the stats aggregate); 0 retains
-// everything.
+// everything. --slo-ms puts a default deadline on every job; the
+// watermark/rate/burst/retries flags configure svc::QosConfig (degrade
+// before shed, token-bucket admission, transient-failure retries).
+//
+// Request lines are capped at svc::kMaxWireLine; longer lines are drained
+// without buffering and answered with an error, so a malformed client
+// cannot balloon the server's memory.
 //
 // Tracing: set APPROXIT_TRACE=path.jsonl as with every other binary; the
 // service emits "svc" submit/job events alongside the session events.
@@ -50,7 +62,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--queue N] [--tenant-cap N]\n"
                "          [--retain N] [--cache-dir DIR] "
-               "[--cache-capacity N] [--no-disk-cache]\n",
+               "[--cache-capacity N] [--no-disk-cache]\n"
+               "          [--slo-ms D] [--degrade-watermark N] "
+               "[--shed-watermark N]\n"
+               "          [--tenant-rate R] [--tenant-burst B] "
+               "[--retries N]\n",
                argv0);
   return 2;
 }
@@ -66,6 +82,8 @@ JobSpec spec_from_request(const WireObject& request) {
   spec.characterization_iterations = static_cast<std::size_t>(
       request.get_int("characterization_iterations", 0));
   spec.keep_trace = request.get_bool("keep_trace", false);
+  spec.deadline_ms = request.get_double("deadline_ms", 0.0);
+  spec.priority = static_cast<int>(request.get_int("priority", 0));
   return spec;
 }
 
@@ -76,15 +94,21 @@ void append_snapshot(WireWriter& response, const JobSnapshot& snapshot,
   if (snapshot.state == approxit::svc::JobState::kFailed) {
     response.field("job_error", snapshot.error);
   }
-  if (snapshot.state == approxit::svc::JobState::kDone ||
-      snapshot.state == approxit::svc::JobState::kFailed) {
+  if (approxit::svc::job_state_terminal(snapshot.state)) {
     response.field("cache_hit", snapshot.cache_hit);
     response.field("queue_ms", snapshot.queue_ms);
     response.field("run_ms", snapshot.run_ms);
     response.field("characterization_ms", snapshot.characterization_ms);
+    response.field("degraded", snapshot.degraded);
+    response.field("attempts", snapshot.attempts);
   }
-  if (include_report &&
-      snapshot.state == approxit::svc::JobState::kDone) {
+  // Done jobs return the full report; cancelled / deadline-expired jobs
+  // return the PARTIAL result their run reached (iterations, objective,
+  // state) — the structured outcome the cooperative stop guarantees.
+  if (include_report && !snapshot.report_json.empty() &&
+      (snapshot.state == approxit::svc::JobState::kDone ||
+       snapshot.state == approxit::svc::JobState::kCancelled ||
+       snapshot.state == approxit::svc::JobState::kDeadlineExceeded)) {
     response.raw("report", snapshot.report_json);
   }
 }
@@ -128,6 +152,33 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else if (flag == "--no-disk-cache") {
       config.cache.directory.clear();
+    } else if (flag == "--slo-ms") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.slo_ms = std::strtod(value, nullptr);
+    } else if (flag == "--degrade-watermark") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.degrade_watermark =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--shed-watermark") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.shed_watermark =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--tenant-rate") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.tenant_rate = std::strtod(value, nullptr);
+    } else if (flag == "--tenant-burst") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.tenant_burst = std::strtod(value, nullptr);
+    } else if (flag == "--retries") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.qos.max_retries =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -136,7 +187,14 @@ int main(int argc, char** argv) {
   ServiceRuntime runtime(config);
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  bool overflow = false;
+  while (approxit::svc::read_wire_line(std::cin, line, &overflow)) {
+    if (overflow) {
+      WireWriter response;
+      response.field("ok", false).field("error", "parse_error: line too long");
+      std::cout << response.str() << '\n' << std::flush;
+      continue;
+    }
     if (line.empty()) continue;
     WireWriter response;
     std::string parse_error;
@@ -170,6 +228,16 @@ int main(int argc, char** argv) {
         response.field("ok", false).field("op", op).field("error",
                                                           "unknown_job");
       }
+    } else if (op == "cancel") {
+      const auto id =
+          static_cast<std::uint64_t>(request->get_int("id", 0));
+      if (runtime.cancel(id)) {
+        response.field("ok", true).field("op", op).field(
+            "id", static_cast<std::int64_t>(id));
+      } else {
+        response.field("ok", false).field("op", op).field(
+            "error", "unknown_or_terminal_job");
+      }
     } else if (op == "stats") {
       const ServiceStats stats = runtime.stats();
       approxit::obs::MetricsRegistry merged;
@@ -179,16 +247,23 @@ int main(int argc, char** argv) {
           .field("submitted", stats.submitted)
           .field("completed", stats.completed)
           .field("failed", stats.failed)
+          .field("cancelled", stats.cancelled)
+          .field("deadline_exceeded", stats.deadline_exceeded)
           .field("queued", stats.queued)
           .field("running", stats.running)
           .field("rejected_queue_full", stats.rejected_queue_full)
           .field("rejected_tenant_cap", stats.rejected_tenant_cap)
           .field("rejected_bad_request", stats.rejected_bad_request)
+          .field("rejected_rate_limited", stats.rejected_rate_limited)
+          .field("shed", stats.shed)
+          .field("degraded", stats.degraded)
+          .field("retries", stats.retries)
           .field("cache_hits", stats.cache.hits)
           .field("cache_misses", stats.cache.misses)
           .field("cache_disk_hits", stats.cache.disk_hits)
           .field("cache_stores", stats.cache.stores)
           .field("cache_evictions", stats.cache.evictions)
+          .field("cache_quarantines", stats.cache.quarantines)
           .raw("metrics", merged.to_json());
     } else if (op == "forget") {
       const auto id =
