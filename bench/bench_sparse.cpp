@@ -1,0 +1,443 @@
+// Sparse datapath bench: scales PageRank and CG to millions of nodes on
+// the CSR SpMV kernel and proves the fast paths honest. Measures
+//   (1) routed SpMV throughput (nnz/sec) per datapath tier — scalar fold,
+//       portable word kernels, dispatched SIMD — per approximation mode,
+//       gating each row on bit-identity with the scalar fold;
+//   (2) shard-count determinism: the sharded SpMV output is byte-identical
+//       for 1/4/8 shards;
+//   (3) the shard scaling curve: fixed shard plan, worker threads 1/2/4/8,
+//       byte-identical output at every point;
+//   (4) PageRank quality-vs-energy per QCS level at --nodes scale (L1
+//       distance and top-100 overlap against the accurate-mode run);
+//   (5) CG on the 5-point stencil Laplacian at --grid^2 unknowns,
+//       residual-vs-energy per QCS level;
+//   (6) a small traced PageRank session (session/iteration events for the
+//       trace_summary reconciliation check when APPROXIT_TRACE is set).
+// Emits bench_artifacts/BENCH_sparse.json; exits non-zero when any fast
+// path diverges from its reference — a perf number from a wrong answer is
+// worthless.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "arith/simd_kernels.h"
+#include "bench/common.h"
+#include "la/sparse.h"
+#include "opt/conjugate_gradient.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workloads/graphs.h"
+
+namespace {
+
+using namespace approxit;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+bool same_bytes(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Times `reps` routed SpMVs and returns nnz/sec.
+double spmv_nnz_per_sec(const la::CsrMatrix& m, arith::ArithContext& ctx,
+                        la::SpmvWorkspace& ws, const std::vector<double>& x,
+                        std::vector<double>& y, std::size_t reps) {
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) m.spmv_into(ctx, ws, x, y);
+  const double ms = elapsed_ms(start);
+  const double nnz = static_cast<double>(reps * m.nnz());
+  return ms > 0.0 ? nnz / (ms / 1e3) : 0.0;
+}
+
+struct TierRow {
+  std::string mode;
+  double scalar_nnz_per_sec = 0.0;
+  double portable_nnz_per_sec = 0.0;
+  double simd_nnz_per_sec = 0.0;
+  bool bit_identical = false;
+};
+
+/// Scalar fold vs portable word kernels vs dispatched SIMD, one mode.
+TierRow measure_tiers(const la::CsrMatrix& m, const arith::QcsConfig& qcs,
+                      arith::ApproxMode mode, const std::vector<double>& x) {
+  arith::QcsAlu alu(qcs);
+  alu.set_mode(mode);
+  la::SpmvWorkspace ws;
+  std::vector<double> y_scalar(m.rows()), y_portable(m.rows()),
+      y_simd(m.rows());
+
+  TierRow row;
+  row.mode = std::string(arith::mode_name(mode));
+
+  alu.set_batching(false);
+  m.spmv_into(alu, ws, x, y_scalar);
+  const std::size_t scalar_ops = alu.ledger().total_ops();
+  alu.reset_ledger();
+  alu.set_batching(true);
+  arith::simd::set_tier_override(arith::simd::Tier::kPortable);
+  m.spmv_into(alu, ws, x, y_portable);
+  const std::size_t portable_ops = alu.ledger().total_ops();
+  alu.reset_ledger();
+  arith::simd::set_tier_override(std::nullopt);
+  m.spmv_into(alu, ws, x, y_simd);
+  row.bit_identical = same_bytes(y_scalar, y_portable) &&
+                      same_bytes(y_scalar, y_simd) &&
+                      scalar_ops == portable_ops &&
+                      alu.ledger().total_ops() == scalar_ops;
+  alu.reset_ledger();
+
+  // The scalar fold is ~an order of magnitude slower; fewer reps suffice.
+  const std::size_t reps =
+      std::max<std::size_t>(1, (std::size_t{1} << 24) / std::max<std::size_t>(
+                                                            m.nnz(), 1));
+  alu.set_batching(false);
+  row.scalar_nnz_per_sec =
+      spmv_nnz_per_sec(m, alu, ws, x, y_scalar, std::max<std::size_t>(1, reps / 8));
+  alu.set_batching(true);
+  arith::simd::set_tier_override(arith::simd::Tier::kPortable);
+  row.portable_nnz_per_sec = spmv_nnz_per_sec(m, alu, ws, x, y_portable, reps);
+  arith::simd::set_tier_override(std::nullopt);
+  row.simd_nnz_per_sec = spmv_nnz_per_sec(m, alu, ws, x, y_simd, reps);
+  return row;
+}
+
+struct ShardIdentityRow {
+  std::size_t shards = 1;
+  bool bit_identical = false;
+};
+
+struct ScalingRow {
+  std::size_t threads = 1;
+  double nnz_per_sec = 0.0;
+  double speedup = 1.0;
+  bool bit_identical = false;
+};
+
+struct QualityRow {
+  std::string mode;
+  std::size_t iterations = 0;
+  double energy = 0.0;
+  double quality = 0.0;  ///< L1 distance (PageRank) / residual norm (CG).
+  double aux = 0.0;      ///< top-100 overlap (PageRank) / rel. residual (CG).
+};
+
+/// QCS format sized to the CG reductions on an O(1)-solution stencil
+/// system: r.r and p.Ap reach ~64 n, so the integer part needs
+/// log2(n) + ~7 bits or the accurate mode itself saturates; the rest of
+/// the 52-bit budget (the fused-path ceiling) buys fractional resolution.
+arith::QcsConfig cg_qcs_config(std::size_t unknowns) {
+  unsigned log2n = 0;
+  while ((std::size_t{1} << log2n) < unknowns && log2n < 34) ++log2n;
+  const unsigned int_bits = log2n + 8;
+  const unsigned frac = 52 - int_bits;
+  arith::QcsConfig config;
+  config.format = arith::QFormat{52, frac};
+  // Per-add error 2^(bits - frac - 1): level1 perturbs the recurrences
+  // visibly, level4 is near-exact.
+  config.level_approx_bits = {frac - 3, frac - 5, frac - 7, frac - 9};
+  return config;
+}
+
+int run(int argc, char** argv) {
+  util::CliParser cli(
+      "Sparse CSR datapath benchmark: SpMV tiers, shard determinism and "
+      "scaling, PageRank and CG quality-vs-energy at scale.");
+  cli.add_flag("nodes", "1000000", "web-graph node count for PageRank");
+  cli.add_flag("links", "8", "out-links per node");
+  cli.add_flag("grid", "1024", "stencil grid side (unknowns = grid^2)");
+  cli.add_flag("shards", "8", "shard count for the scaling curve");
+  cli.add_flag("pr-iters", "10", "PageRank iterations per mode");
+  cli.add_flag("cg-iters", "25", "CG iterations per mode");
+  cli.add_flag("seed", "42", "graph generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t nodes = static_cast<std::size_t>(cli.get_int("nodes"));
+  const std::size_t links = static_cast<std::size_t>(cli.get_int("links"));
+  const std::size_t grid = static_cast<std::size_t>(cli.get_int("grid"));
+  const std::size_t shards = static_cast<std::size_t>(cli.get_int("shards"));
+  const std::size_t pr_iters =
+      static_cast<std::size_t>(cli.get_int("pr-iters"));
+  const std::size_t cg_iters =
+      static_cast<std::size_t>(cli.get_int("cg-iters"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("=== bench_sparse: CSR SpMV datapath at scale ===\n\n");
+  std::printf("building web graph: %zu nodes, %zu links/node, seed %llu\n",
+              nodes, links, static_cast<unsigned long long>(seed));
+  const workloads::WebGraph graph = workloads::make_web_graph(nodes, links,
+                                                              seed);
+  const la::CsrMatrix transition = workloads::pagerank_transition(graph);
+  std::printf("transition matrix: %zu x %zu, %zu nnz\n\n", transition.rows(),
+              transition.cols(), transition.nnz());
+
+  const arith::QcsConfig qcs = apps::pagerank_qcs_config(nodes);
+  std::vector<double> x(nodes, 1.0 / static_cast<double>(nodes));
+
+  const char* detected = arith::simd::tier_name(arith::simd::detected_tier());
+  std::printf("SIMD dispatch: detected=%s\n\n", detected);
+
+  // (1) nnz/sec per tier, per mode.
+  util::Table tier_table("routed SpMV throughput (nnz/sec) by tier");
+  tier_table.set_header(
+      {"Mode", "Scalar", "Word", "SIMD", "Speedup", "Bit-identical"});
+  tier_table.set_align(0, util::Align::kLeft);
+  std::vector<TierRow> tiers;
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    tiers.push_back(measure_tiers(transition, qcs, mode, x));
+    const TierRow& t = tiers.back();
+    tier_table.add_row(
+        {t.mode, util::format_sig(t.scalar_nnz_per_sec, 3),
+         util::format_sig(t.portable_nnz_per_sec, 3),
+         util::format_sig(t.simd_nnz_per_sec, 3),
+         util::format_sig(t.simd_nnz_per_sec / t.scalar_nnz_per_sec, 3),
+         t.bit_identical ? "yes" : "NO"});
+  }
+  std::cout << tier_table << "\n";
+
+  // (2) shard-count determinism (threads fixed at 1: plan changes only).
+  std::vector<ShardIdentityRow> identity;
+  std::vector<double> y_one_shard(nodes);
+  {
+    arith::QcsAlu alu(qcs);
+    alu.set_mode(arith::ApproxMode::kLevel2);
+    la::SpmvWorkspace ws;
+    transition.spmv_into(alu, ws, x, y_one_shard);
+  }
+  for (const std::size_t s : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    arith::QcsAlu alu(qcs);
+    alu.set_mode(arith::ApproxMode::kLevel2);
+    la::SpmvWorkspace ws(la::SpmvOptions{.shards = s, .threads = 1});
+    std::vector<double> y(nodes);
+    transition.spmv_into(alu, ws, x, y);
+    identity.push_back({s, same_bytes(y, y_one_shard)});
+    std::printf("shard identity: %zu shard(s) -> %s\n", s,
+                identity.back().bit_identical ? "byte-identical" : "DIVERGED");
+  }
+  std::printf("\n");
+
+  // (3) shard scaling curve: fixed plan, growing worker pool.
+  util::Table scale_table("shard scaling (level2, fixed shard plan)");
+  scale_table.set_header({"Threads", "nnz/sec", "Speedup", "Bit-identical"});
+  std::vector<ScalingRow> scaling;
+  std::vector<double> y_serial;
+  const std::size_t scale_reps = std::max<std::size_t>(
+      2, (std::size_t{1} << 25) / std::max<std::size_t>(transition.nnz(), 1));
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    arith::QcsAlu alu(qcs);
+    alu.set_mode(arith::ApproxMode::kLevel2);
+    la::SpmvWorkspace ws(la::SpmvOptions{.shards = shards,
+                                         .threads = threads});
+    std::vector<double> y(nodes);
+    transition.spmv_into(alu, ws, x, y);  // warm-up: plan + clone prepare
+    ScalingRow row;
+    row.threads = threads;
+    row.nnz_per_sec = spmv_nnz_per_sec(transition, alu, ws, x, y, scale_reps);
+    if (threads == 1) y_serial = y;
+    row.bit_identical = same_bytes(y, y_serial);
+    row.speedup = scaling.empty() ? 1.0
+                                  : row.nnz_per_sec / scaling[0].nnz_per_sec;
+    scaling.push_back(row);
+    scale_table.add_row({std::to_string(threads),
+                         util::format_sig(row.nnz_per_sec, 3),
+                         util::format_sig(row.speedup, 3),
+                         row.bit_identical ? "yes" : "NO"});
+  }
+  std::cout << scale_table << "\n";
+
+  // (4) PageRank quality-vs-energy per mode at --nodes scale.
+  apps::PageRankOptions pr_options;
+  pr_options.spmv = {.shards = shards, .threads = 4};
+  apps::PageRank pagerank(graph, pr_options);
+  arith::QcsAlu pr_alu(qcs);
+
+  pr_alu.set_mode(arith::ApproxMode::kAccurate);
+  for (std::size_t k = 0; k < pr_iters; ++k) pagerank.iterate(pr_alu);
+  const std::vector<double> truth_ranks(pagerank.ranks().begin(),
+                                        pagerank.ranks().end());
+  const std::vector<std::size_t> truth_top = pagerank.top_pages(100);
+  const double truth_energy = pr_alu.ledger().total_energy();
+
+  util::Table pr_table("PageRank quality vs energy (vs accurate mode)");
+  pr_table.set_header(
+      {"Mode", "Iters", "Energy/accurate", "L1 distance", "Top-100 overlap"});
+  pr_table.set_align(0, util::Align::kLeft);
+  std::vector<QualityRow> pr_rows;
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    pagerank.reset();
+    pr_alu.reset_ledger();
+    pr_alu.set_mode(mode);
+    for (std::size_t k = 0; k < pr_iters; ++k) pagerank.iterate(pr_alu);
+    QualityRow row;
+    row.mode = std::string(arith::mode_name(mode));
+    row.iterations = pr_iters;
+    row.energy = pr_alu.ledger().total_energy();
+    row.quality = apps::rank_l1_distance(truth_ranks, pagerank.ranks());
+    row.aux = static_cast<double>(
+        apps::top_k_overlap(truth_top, pagerank.top_pages(100)));
+    pr_rows.push_back(row);
+    pr_table.add_row({row.mode, std::to_string(row.iterations),
+                      util::format_sig(row.energy / truth_energy, 3),
+                      util::format_sig(row.quality, 3),
+                      util::format_sig(row.aux, 3)});
+  }
+  std::cout << pr_table << "\n";
+
+  // (5) CG on the stencil Laplacian at grid^2 unknowns.
+  std::printf("building %zux%zu stencil Laplacian (%zu unknowns)\n", grid,
+              grid, grid * grid);
+  la::CsrMatrix laplacian = workloads::make_stencil_laplacian(grid, grid);
+  const std::size_t unknowns = laplacian.rows();
+  std::printf("laplacian: %zu nnz\n\n", laplacian.nnz());
+  // Known O(1) solution keeps every routed value inside the fixed-point
+  // format; b = A x_true gives a meaningful relative residual.
+  std::vector<double> x_true(unknowns), rhs(unknowns, 0.0);
+  for (std::size_t i = 0; i < unknowns; ++i) {
+    x_true[i] = std::sin(0.01 * static_cast<double>(i % 1000));
+  }
+  laplacian.matvec(x_true, rhs);
+  double b_norm = 0.0;
+  for (const double v : rhs) b_norm += v * v;
+  b_norm = std::sqrt(b_norm);
+  opt::CgConfig cg_config;
+  cg_config.max_iter = cg_iters;
+  cg_config.spmv = {.shards = shards, .threads = 4};
+  opt::ConjugateGradientSolver cg(std::move(laplacian), std::move(rhs),
+                                  std::vector<double>(unknowns, 0.0),
+                                  cg_config);
+  arith::QcsAlu cg_alu(cg_qcs_config(unknowns));
+
+  util::Table cg_table("CG residual vs energy (5-point stencil)");
+  cg_table.set_header(
+      {"Mode", "Iters", "Energy", "||Ax-b||", "Relative residual"});
+  cg_table.set_align(0, util::Align::kLeft);
+  std::vector<QualityRow> cg_rows;
+  for (arith::ApproxMode mode : arith::kAllModes) {
+    cg.reset();
+    cg_alu.reset_ledger();
+    cg_alu.set_mode(mode);
+    for (std::size_t k = 0; k < cg_iters; ++k) {
+      if (cg.iterate(cg_alu).converged) break;
+    }
+    QualityRow row;
+    row.mode = std::string(arith::mode_name(mode));
+    row.iterations = cg_iters;
+    row.energy = cg_alu.ledger().total_energy();
+    row.quality = cg.residual_norm();
+    row.aux = row.quality / b_norm;
+    cg_rows.push_back(row);
+    cg_table.add_row({row.mode, std::to_string(row.iterations),
+                      util::format_sig(row.energy, 3),
+                      util::format_sig(row.quality, 3),
+                      util::format_sig(row.aux, 3)});
+  }
+  std::cout << cg_table << "\n";
+
+  // (6) Small traced PageRank session: emits session/iteration events for
+  // the trace_summary reconciliation check when APPROXIT_TRACE is set.
+  {
+    const workloads::WebGraph small = workloads::make_web_graph(2000, 5, seed);
+    apps::PageRankOptions options;
+    options.spmv = {.shards = 4, .threads = 2};
+    apps::PageRank method(small, options);
+    arith::QcsAlu alu(apps::pagerank_qcs_config());
+    apps::PageRank char_method(small, options);
+    const core::ModeCharacterization characterization =
+        core::characterize(char_method, alu);
+    core::StaticStrategy strategy(arith::ApproxMode::kLevel2);
+    const core::RunReport report =
+        bench::run_once(method, strategy, alu, characterization);
+    std::printf("traced session: %s in %zu iterations\n\n",
+                report.converged ? "converged" : "MAX_ITER",
+                report.iterations);
+  }
+
+  // JSON artifact.
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"sparse\",\n  \"config\": {\"nodes\": " << nodes
+       << ", \"links\": " << links << ", \"edges\": " << graph.edges()
+       << ", \"grid\": " << grid << ", \"unknowns\": " << unknowns
+       << ", \"shards\": " << shards << ", \"seed\": " << seed
+       << ", \"detected_tier\": \"" << detected
+       << "\", \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "},\n"
+       << "  \"spmv_tiers\": [\n";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TierRow& t = tiers[i];
+    json << "    {\"mode\": \"" << t.mode << "\", \"scalar_nnz_per_sec\": "
+         << t.scalar_nnz_per_sec << ", \"portable_nnz_per_sec\": "
+         << t.portable_nnz_per_sec << ", \"simd_nnz_per_sec\": "
+         << t.simd_nnz_per_sec << ", \"speedup\": "
+         << t.simd_nnz_per_sec / t.scalar_nnz_per_sec
+         << ", \"bit_identical\": " << (t.bit_identical ? "true" : "false")
+         << "}" << (i + 1 < tiers.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"shard_identity\": [\n";
+  for (std::size_t i = 0; i < identity.size(); ++i) {
+    json << "    {\"shards\": " << identity[i].shards
+         << ", \"bit_identical\": "
+         << (identity[i].bit_identical ? "true" : "false") << "}"
+         << (i + 1 < identity.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"shard_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& s = scaling[i];
+    json << "    {\"threads\": " << s.threads << ", \"nnz_per_sec\": "
+         << s.nnz_per_sec << ", \"speedup\": " << s.speedup
+         << ", \"bit_identical\": " << (s.bit_identical ? "true" : "false")
+         << "}" << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"pagerank\": [\n";
+  for (std::size_t i = 0; i < pr_rows.size(); ++i) {
+    const QualityRow& r = pr_rows[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"iterations\": "
+         << r.iterations << ", \"energy\": " << r.energy
+         << ", \"relative_energy\": " << r.energy / truth_energy
+         << ", \"l1_vs_truth\": " << r.quality << ", \"top100_overlap\": "
+         << r.aux << "}" << (i + 1 < pr_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"cg\": [\n";
+  for (std::size_t i = 0; i < cg_rows.size(); ++i) {
+    const QualityRow& r = cg_rows[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"iterations\": "
+         << r.iterations << ", \"energy\": " << r.energy
+         << ", \"residual_norm\": " << r.quality
+         << ", \"relative_residual\": " << r.aux << "}"
+         << (i + 1 < cg_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  const std::string path = bench::artifact_path("BENCH_sparse.json");
+  std::ofstream out(path);
+  out << json.str();
+  std::printf("Wrote %s\n", path.c_str());
+
+  bool ok = true;
+  for (const TierRow& t : tiers) ok = ok && t.bit_identical;
+  for (const ShardIdentityRow& s : identity) ok = ok && s.bit_identical;
+  for (const ScalingRow& s : scaling) ok = ok && s.bit_identical;
+  if (!ok) {
+    std::printf("FAIL: sparse fast path diverged from reference path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

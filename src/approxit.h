@@ -20,7 +20,8 @@
 //                 - wce_analysis.h    analytic worst-case error bounds
 //                 - energy.h          structural + toggle energy models
 //                 - fault_injector.h  FaultyQcsAlu: transient-fault model
-//   la/         dense linear algebra (exact + context-routed kernels)
+//   la/         dense + sparse CSR linear algebra (exact and
+//               context-routed kernels; deterministic sharded SpMV)
 //   opt/        IterativeMethod interface, problems and solvers
 //   core/       ApproxIt itself: characterization, strategies, session
 //               (+ SessionBuilder, RuntimeHooks), guarantees, watchdog +
@@ -66,6 +67,7 @@
 
 #include "la/decomp.h"
 #include "la/matrix.h"
+#include "la/sparse.h"
 #include "la/vector_ops.h"
 
 #include "opt/conjugate_gradient.h"

@@ -19,94 +19,101 @@ arith::QcsConfig pagerank_qcs_config() {
   return config;
 }
 
+arith::QcsConfig pagerank_qcs_config(std::size_t nodes) {
+  unsigned log2n = 0;
+  while ((std::size_t{1} << log2n) < nodes && log2n < 40) ++log2n;
+  // frac tracks log2(n) so a typical entry 1/n keeps ~26 fractional bits;
+  // total stays <= 52 (the AVX2 conversion ceiling) with 2^4 of integer
+  // headroom over the unit rank mass.
+  const unsigned frac = std::min(47u, 26u + log2n);
+  // Per-add error scale is 2^(bits - frac - 1); bits = frac - log2n - 1
+  // pins level1 at ~2^-2 of a typical entry for any n.
+  const unsigned b1 =
+      frac > log2n + 11 ? std::max(10u, frac - log2n - 1) : 10u;
+  arith::QcsConfig config;
+  config.format = arith::QFormat{frac + 5, frac};
+  config.level_approx_bits = {b1, b1 - 2, b1 - 4, b1 - 6};
+  return config;
+}
+
 PageRank::PageRank(const workloads::WebGraph& graph, PageRankOptions options)
-    : graph_(graph), options_(options) {
-  if (graph_.nodes == 0) {
+    : options_(options) {
+  if (graph.nodes == 0) {
     throw std::invalid_argument("PageRank: empty graph");
   }
   if (options_.damping <= 0.0 || options_.damping >= 1.0) {
     throw std::invalid_argument("PageRank: damping must be in (0, 1)");
   }
+  matrix_ = workloads::pagerank_transition(graph);
+  dangling_ = workloads::dangling_nodes(graph);
+  ws_.set_options(options_.spmv);
   reset();
 }
 
 void PageRank::reset() {
-  ranks_.assign(graph_.nodes, 1.0 / static_cast<double>(graph_.nodes));
+  const std::size_t n = matrix_.rows();
+  ranks_.assign(n, 1.0 / static_cast<double>(n));
+  prev_.assign(n, 0.0);
+  next_.assign(n, 0.0);
+  exact_next_.assign(n, 0.0);
+  residual_.assign(n, 0.0);
+  step_.assign(n, 0.0);
+  dangling_gather_.assign(dangling_.size(), 0.0);
   current_objective_ = residual_l1(ranks_);
   iteration_ = 0;
 }
 
-std::vector<double> PageRank::exact_step(
-    const std::vector<double>& x) const {
-  const std::size_t n = graph_.nodes;
+void PageRank::exact_step_into(std::span<const double> x,
+                               std::span<double> out) {
+  const std::size_t n = matrix_.rows();
   const double teleport = (1.0 - options_.damping) / static_cast<double>(n);
-  std::vector<double> next(n, 0.0);
+  matrix_.matvec(x, out);
   double dangling_mass = 0.0;
-  for (std::size_t u = 0; u < n; ++u) {
-    const auto& links = graph_.out_links[u];
-    if (links.empty()) {
-      dangling_mass += x[u];
-      continue;
-    }
-    const double share = x[u] / static_cast<double>(links.size());
-    for (std::uint32_t v : links) {
-      next[v] += share;
-    }
-  }
+  for (const std::uint32_t u : dangling_) dangling_mass += x[u];
   const double dangling_share =
       options_.damping * dangling_mass / static_cast<double>(n);
   for (std::size_t v = 0; v < n; ++v) {
-    next[v] = options_.damping * next[v] + teleport + dangling_share;
+    out[v] = options_.damping * out[v] + teleport + dangling_share;
   }
-  return next;
 }
 
-double PageRank::residual_l1(const std::vector<double>& x) const {
-  const std::vector<double> next = exact_step(x);
+double PageRank::residual_l1(std::span<const double> x) {
+  exact_step_into(x, exact_next_);
   double l1 = 0.0;
-  for (std::size_t v = 0; v < graph_.nodes; ++v) {
-    l1 += std::abs(next[v] - x[v]);
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    l1 += std::abs(exact_next_[v] - x[v]);
   }
   return l1;
 }
 
 opt::IterationStats PageRank::iterate(arith::ArithContext& ctx) {
-  const std::size_t n = graph_.nodes;
-  const std::vector<double> prev = ranks_;
+  const std::size_t n = matrix_.rows();
+  std::copy(ranks_.begin(), ranks_.end(), prev_.begin());
   const double f_prev = current_objective_;
 
   // Monitor direction: the exact one-step residual at the previous iterate.
-  const std::vector<double> exact_next = exact_step(prev);
-  std::vector<double> residual(n);
-  for (std::size_t v = 0; v < n; ++v) residual[v] = exact_next[v] - prev[v];
-
-  // Resilient kernel: the per-node rank accumulation runs through the
-  // context (one add per edge, plus the dangling-mass accumulation).
-  const double teleport = (1.0 - options_.damping) / static_cast<double>(n);
-  std::vector<double> next(n, 0.0);
-  std::vector<double> dangling_ranks;
-  for (std::size_t u = 0; u < n; ++u) {
-    const auto& links = graph_.out_links[u];
-    if (links.empty()) {
-      dangling_ranks.push_back(ranks_[u]);
-      continue;
-    }
-    const double share = ranks_[u] / static_cast<double>(links.size());
-    // The edge scatter stays per-op: each target's chain interleaves with
-    // the others in edge-visit order, so there is no contiguous batch.
-    for (std::uint32_t v : links) {
-      next[v] = ctx.add(next[v], share);
-    }
+  exact_step_into(prev_, exact_next_);
+  for (std::size_t v = 0; v < n; ++v) {
+    residual_[v] = exact_next_[v] - prev_[v];
   }
+
+  // Resilient kernel: the pull-form rank accumulation y = P x runs through
+  // the context — one fused chain per node, one adder op per in-link
+  // (edges() ops total), sharded per options_.spmv.
+  const double teleport = (1.0 - options_.damping) / static_cast<double>(n);
+  matrix_.spmv_into(ctx, ws_, ranks_, next_);
   // The dangling-mass reduction is contiguous in node order: one batch.
-  const double dangling_mass = ctx.accumulate(dangling_ranks);
+  for (std::size_t i = 0; i < dangling_.size(); ++i) {
+    dangling_gather_[i] = ranks_[dangling_[i]];
+  }
+  const double dangling_mass = ctx.accumulate(dangling_gather_);
   const double dangling_share =
       options_.damping * dangling_mass / static_cast<double>(n);
   // Scaling and teleport assembly are error-sensitive: exact.
   for (std::size_t v = 0; v < n; ++v) {
-    next[v] = options_.damping * next[v] + teleport + dangling_share;
+    next_[v] = options_.damping * next_[v] + teleport + dangling_share;
   }
-  ranks_ = std::move(next);
+  std::swap(ranks_, next_);
 
   current_objective_ = residual_l1(ranks_);
   ++iteration_;
@@ -115,15 +122,14 @@ opt::IterationStats PageRank::iterate(arith::ArithContext& ctx) {
   stats.iteration = iteration_;
   stats.objective_before = f_prev;
   stats.objective_after = current_objective_;
-  stats.step_norm = la::distance2(ranks_, prev);
+  stats.step_norm = la::distance2(ranks_, prev_);
   stats.state_norm = la::norm2(ranks_);
   // Power iteration moves along the residual: the "gradient" of the L1
   // residual objective is (approximately) its negation.
-  const std::vector<double> step = la::subtract(ranks_, prev);
-  std::vector<double> neg_residual = residual;
-  for (double& r : neg_residual) r = -r;
-  stats.grad_dot_step = la::dot(neg_residual, step);
-  stats.grad_norm = la::norm2(residual);
+  for (std::size_t v = 0; v < n; ++v) step_[v] = ranks_[v] - prev_[v];
+  stats.grad_norm = la::norm2(residual_);
+  for (std::size_t v = 0; v < n; ++v) residual_[v] = -residual_[v];
+  stats.grad_dot_step = la::dot(residual_, step_);
   stats.converged =
       stats.improvement() < tolerance() || stats.step_norm == 0.0;
   return stats;
@@ -133,12 +139,12 @@ void PageRank::restore(const std::vector<double>& snapshot) {
   if (snapshot.size() != ranks_.size()) {
     throw std::invalid_argument("PageRank::restore: bad snapshot size");
   }
-  ranks_ = snapshot;
+  std::copy(snapshot.begin(), snapshot.end(), ranks_.begin());
   current_objective_ = residual_l1(ranks_);
 }
 
 std::vector<std::size_t> PageRank::top_pages(std::size_t k) const {
-  std::vector<std::size_t> order(graph_.nodes);
+  std::vector<std::size_t> order(ranks_.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [this](std::size_t a, std::size_t b) {

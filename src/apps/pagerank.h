@@ -1,9 +1,19 @@
 // PageRank by power iteration, exposed as an IterativeMethod — a third
 // application class (graph mining) under the ApproxIt framework.
 //
-// Resilience partitioning: the per-edge rank accumulation (the bulk of the
-// work) runs through the ArithContext; damping/teleport assembly and the
-// residual objective are exact.
+// Sparse-native: the constructor builds the in-link transition matrix
+// P (CSR, P[v][u] = 1/outdeg(u)) once — no dense matrix is ever
+// materialized — and each iteration is one context-routed SpMV
+// (la::CsrMatrix::spmv_into, fused row chains, optional deterministic
+// sharding via PageRankOptions::spmv) plus the dangling-mass reduction.
+//
+// Resilience partitioning: the per-edge rank accumulation (the bulk of
+// the work) runs through the ArithContext; damping/teleport assembly and
+// the residual objective are exact.
+//
+// Zero-alloc: every per-iteration temporary lives in a member arena sized
+// in reset(); steady-state iterate() performs no heap allocation (the
+// zero_alloc_test contract, like GmmEm and AutoRegression).
 //
 // Objective: the exact L1 one-step residual ||P x - x||_1 (zero exactly at
 // the stationary distribution). QEM: L1 distance between rank vectors, plus
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "arith/alu.h"
+#include "la/sparse.h"
 #include "opt/iterative_method.h"
 #include "workloads/graphs.h"
 
@@ -23,17 +34,27 @@ namespace approxit::apps {
 /// QCS configuration matched to rank-vector magnitudes (O(1/n) entries).
 arith::QcsConfig pagerank_qcs_config();
 
+/// Size-aware variant: deepens the fixed-point fraction with the node
+/// count so a typical rank entry (1/n) keeps ~26 bits of resolution, and
+/// pins the approximation ladder at per-add errors of roughly 25% / 6% /
+/// 1.5% / 0.4% of a typical entry — the paper's quality spread stays
+/// meaningful from 400-node tests to 1M-node benches.
+arith::QcsConfig pagerank_qcs_config(std::size_t nodes);
+
 /// Options for PageRank.
 struct PageRankOptions {
   double damping = 0.85;      ///< Teleport damping factor d.
   std::size_t max_iter = 300;
   double tolerance = 1e-12;   ///< On the improvement of the L1 residual.
+  /// Shard/thread plan for the context-routed SpMV (defaults serial).
+  la::SpmvOptions spmv;
 };
 
 /// Damped power iteration over a WebGraph.
 class PageRank final : public opt::IterativeMethod {
  public:
-  /// The graph must outlive the method.
+  /// Builds the sparse transition matrix from the graph (the graph itself
+  /// is not retained).
   explicit PageRank(const workloads::WebGraph& graph,
                     PageRankOptions options = {});
 
@@ -53,15 +74,29 @@ class PageRank final : public opt::IterativeMethod {
   /// Indices of the k highest-ranked nodes, in rank order.
   std::vector<std::size_t> top_pages(std::size_t k) const;
 
- private:
-  std::vector<double> exact_step(const std::vector<double>& x) const;
-  double residual_l1(const std::vector<double>& x) const;
+  /// The in-link transition matrix (nnz == graph edge count).
+  const la::CsrMatrix& transition() const { return matrix_; }
 
-  const workloads::WebGraph& graph_;
+ private:
+  /// out <- damped exact step: P x, dangling redistribution, teleport.
+  void exact_step_into(std::span<const double> x, std::span<double> out);
+  double residual_l1(std::span<const double> x);
+
+  la::CsrMatrix matrix_;                  ///< In-link transition CSR.
+  std::vector<std::uint32_t> dangling_;   ///< Nodes with no out-links.
   PageRankOptions options_;
   std::vector<double> ranks_;
   double current_objective_ = 0.0;
   std::size_t iteration_ = 0;
+
+  // Iteration arenas (sized in reset(); no allocation in iterate()).
+  la::SpmvWorkspace ws_;             ///< Context-routed SpMV state.
+  std::vector<double> prev_;         ///< Ranks at iteration start.
+  std::vector<double> next_;         ///< Routed SpMV output / new ranks.
+  std::vector<double> exact_next_;   ///< Exact-step output (monitor).
+  std::vector<double> residual_;     ///< exact_next - prev (monitor).
+  std::vector<double> step_;         ///< ranks - prev.
+  std::vector<double> dangling_gather_;  ///< ranks at dangling nodes.
 };
 
 /// L1 distance between two rank vectors (the PageRank QEM).

@@ -1,0 +1,350 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "la/matrix.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace approxit::la {
+
+namespace {
+
+/// Validates shared shape limits (col_idx is 32-bit storage).
+void check_shape(std::size_t rows, std::size_t cols) {
+  if (cols > std::size_t{1} << 32) {
+    throw std::invalid_argument("CsrMatrix: cols exceed 32-bit col_idx");
+  }
+  (void)rows;
+}
+
+}  // namespace
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  check_shape(rows, cols);
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::invalid_argument("CsrMatrix::from_triplets: index out of "
+                                  "range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t last_row = rows;  // sentinel: no entry emitted yet
+  for (const Triplet& t : triplets) {
+    if (!m.values_.empty() && t.row == last_row &&
+        t.col == m.col_idx_.back()) {
+      m.values_.back() += t.value;  // duplicate: sum
+      continue;
+    }
+    m.col_idx_.push_back(static_cast<std::uint32_t>(t.col));
+    m.values_.push_back(t.value);
+    last_row = t.row;
+    ++m.row_ptr_[t.row + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  m.finish_build();
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::size_t> row_ptr,
+                                std::vector<std::uint32_t> col_idx,
+                                std::vector<double> values) {
+  check_shape(rows, cols);
+  if (row_ptr.size() != rows + 1 || row_ptr.front() != 0 ||
+      row_ptr.back() != values.size() || col_idx.size() != values.size()) {
+    throw std::invalid_argument("CsrMatrix::from_parts: malformed arrays");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      throw std::invalid_argument("CsrMatrix::from_parts: row_ptr not "
+                                  "non-decreasing");
+    }
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      if (col_idx[i] >= cols ||
+          (i > row_ptr[r] && col_idx[i] <= col_idx[i - 1])) {
+        throw std::invalid_argument("CsrMatrix::from_parts: columns must be "
+                                    "strictly increasing and in range");
+      }
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  m.finish_build();
+  return m;
+}
+
+void CsrMatrix::finish_build() {
+  max_row_nnz_ = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    max_row_nnz_ = std::max(max_row_nnz_, row_ptr_[r + 1] - row_ptr_[r]);
+  }
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix dense(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      dense(r, col_idx_[i]) += values_[i];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  // Counting sort by column. Walking source rows in increasing order
+  // makes each transposed row's columns strictly increasing.
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  for (const std::uint32_t c : col_idx_) ++t.row_ptr_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c) {
+    t.row_ptr_[c + 1] += t.row_ptr_[c];
+  }
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  std::vector<std::size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const std::size_t slot = cursor[col_idx_[i]]++;
+      t.col_idx_[slot] = static_cast<std::uint32_t>(r);
+      t.values_[slot] = values_[i];
+    }
+  }
+  t.finish_build();
+  return t;
+}
+
+void CsrMatrix::build_transpose() {
+  if (transpose_ == nullptr) {
+    transpose_ = std::make_shared<CsrMatrix>(transposed());
+  }
+}
+
+const CsrMatrix& CsrMatrix::transpose_view() const {
+  if (transpose_ == nullptr) {
+    throw std::logic_error("CsrMatrix: call build_transpose() before using "
+                           "the transposed kernels");
+  }
+  return *transpose_;
+}
+
+void CsrMatrix::validate_spmv(std::span<const double> x,
+                              std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix: spmv operand size mismatch");
+  }
+}
+
+void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  validate_spmv(x, y);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += values_[i] * x[col_idx_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::matvec_transposed(std::span<const double> x,
+                                  std::span<double> y) const {
+  transpose_view().matvec(x, y);
+}
+
+void CsrMatrix::spmv_into(arith::ArithContext& ctx, SpmvWorkspace& ws,
+                          std::span<const double> x,
+                          std::span<double> y) const {
+  validate_spmv(x, y);
+  ws.run(*this, ctx, x, y);
+}
+
+void CsrMatrix::spmv_transposed_into(arith::ArithContext& ctx,
+                                     SpmvWorkspace& ws,
+                                     std::span<const double> x,
+                                     std::span<double> y) const {
+  transpose_view().spmv_into(ctx, ws, x, y);
+}
+
+// --- SpmvWorkspace ---------------------------------------------------------
+
+void SpmvWorkspace::set_options(SpmvOptions options) {
+  if (options.shards == 0) options.shards = 1;
+  if (options.threads == 0) options.threads = 1;
+  options_ = options;
+  matrix_ = nullptr;  // force prepare() to rebuild the plan
+}
+
+void SpmvWorkspace::prepare(const CsrMatrix& m, arith::ArithContext& ctx) {
+  if (matrix_ == &m && ctx_ == &ctx) return;
+
+  matrix_ = &m;
+  ctx_ = &ctx;
+  alu_ = dynamic_cast<arith::QcsAlu*>(&ctx);
+  const bool exact = dynamic_cast<arith::ExactContext*>(&ctx) != nullptr;
+  // Shards may leave the caller's context only when per-op interception is
+  // not in play: QcsAlu clones carry the full datapath; ExactContext is
+  // stateless and shared. Anything else (fault decorators, custom
+  // contexts) runs serially on the caller's context in row order.
+  const std::size_t want =
+      std::min(options_.shards, std::max<std::size_t>(m.rows(), 1));
+  sharded_ = want > 1 && ((alu_ != nullptr && alu_->batching_supported()) ||
+                          (alu_ == nullptr && exact));
+
+  // Fixed nnz-balanced contiguous row shards: shard s covers the smallest
+  // row prefix reaching s/want of the total nnz. Pure function of
+  // (matrix, shard count) — independent of thread count and context.
+  const auto row_ptr = m.row_ptr();
+  bounds_.assign(want + 1, 0);
+  bounds_.back() = m.rows();
+  for (std::size_t s = 1; s < want; ++s) {
+    const std::size_t target = s * m.nnz() / want;
+    const auto it = std::lower_bound(row_ptr.begin(), row_ptr.end(), target);
+    std::size_t row = static_cast<std::size_t>(it - row_ptr.begin());
+    row = std::clamp(row, bounds_[s - 1], m.rows());
+    bounds_[s] = row;
+  }
+
+  shards_.clear();
+  shards_.resize(want);
+  for (std::size_t s = 0; s < want; ++s) {
+    Shard& shard = shards_[s];
+    shard.begin = bounds_[s];
+    shard.end = bounds_[s + 1];
+    shard.gather.resize(kBlock);
+    shard.products.resize(kBlock);
+    shard.lane_name = "spmv shard " + std::to_string(s);
+    if (sharded_ && alu_ != nullptr) {
+      shard.alu = alu_->clone_fresh();
+      shard.metrics = std::make_unique<obs::MetricsRegistry>();
+      shard.chain.bind(*shard.alu);
+    } else {
+      shard.chain.bind(ctx);
+    }
+  }
+  counter_registry_ = nullptr;
+  rows_counter_ = nullptr;
+  nnz_counter_ = nullptr;
+}
+
+void SpmvWorkspace::sync_clones() {
+  const bool want_metrics = alu_->metrics_registry() != nullptr;
+  for (Shard& shard : shards_) {
+    arith::QcsAlu& clone = *shard.alu;
+    if (clone.mode() != alu_->mode()) clone.set_mode(alu_->mode());
+    if (clone.batching() != alu_->batching()) {
+      clone.set_batching(alu_->batching());
+    }
+    if (clone.dynamic_energy() != alu_->dynamic_energy()) {
+      clone.set_dynamic_energy(alu_->dynamic_energy());
+    }
+    if (want_metrics != (clone.metrics_registry() != nullptr)) {
+      clone.set_metrics(want_metrics ? shard.metrics.get() : nullptr);
+    }
+  }
+}
+
+void SpmvWorkspace::run_rows(const CsrMatrix& m, Shard& shard,
+                             std::span<const double> x,
+                             std::span<double> y) {
+  const std::size_t* rp = m.row_ptr().data();
+  const std::uint32_t* ci = m.col_idx().data();
+  const double* values = m.values().data();
+  double* gather = shard.gather.data();
+  double* products = shard.products.data();
+  arith::BatchWorkspace& chain = shard.chain;
+  for (std::size_t r = shard.begin; r < shard.end; ++r) {
+    const std::size_t row_begin = rp[r];
+    const std::size_t row_end = rp[r + 1];
+    if (row_begin == row_end) {
+      y[r] = 0.0;  // empty row: no stored entries, no ops
+      continue;
+    }
+    // One fused chain per row: zero seed, exact multiplies into the block
+    // buffer, routed accumulation (ctx.dot semantics over stored entries).
+    chain.begin(0.0);
+    for (std::size_t i = row_begin; i < row_end; i += kBlock) {
+      const std::size_t n = std::min(kBlock, row_end - i);
+      for (std::size_t j = 0; j < n; ++j) gather[j] = x[ci[i + j]];
+      for (std::size_t j = 0; j < n; ++j) {
+        products[j] = values[i + j] * gather[j];
+      }
+      chain.accumulate({products, n});
+    }
+    y[r] = chain.finish();
+  }
+}
+
+void SpmvWorkspace::run(const CsrMatrix& m, arith::ArithContext& ctx,
+                        std::span<const double> x, std::span<double> y) {
+  prepare(m, ctx);
+  const bool cloned = sharded_ && alu_ != nullptr;
+  if (cloned) sync_clones();
+
+  // alu.sparse.* counters post to the caller ALU's registry; handles are
+  // re-resolved only when the attached registry changes.
+  obs::MetricsRegistry* registry =
+      alu_ != nullptr ? alu_->metrics_registry() : nullptr;
+  if (registry != counter_registry_) {
+    counter_registry_ = registry;
+    rows_counter_ = registry ? &registry->counter("alu.sparse.rows") : nullptr;
+    nnz_counter_ = registry ? &registry->counter("alu.sparse.nnz") : nullptr;
+  }
+  if (rows_counter_ != nullptr) {
+    rows_counter_->add(static_cast<double>(m.rows()));
+    nnz_counter_->add(static_cast<double>(m.nnz()));
+  }
+
+  const auto run_shard = [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    if (obs::trace_enabled()) {
+      obs::LaneScope lane(static_cast<std::uint32_t>(s + 1),
+                          shard.lane_name);
+      const double start = obs::trace_now_us();
+      run_rows(m, shard, x, y);
+      const std::size_t* rp = m.row_ptr().data();
+      obs::emit_span("spmv", "shard", start,
+                     {obs::arg("rows", shard.end - shard.begin),
+                      obs::arg("nnz", rp[shard.end] - rp[shard.begin])});
+    } else {
+      run_rows(m, shard, x, y);
+    }
+  };
+  if (sharded_ && options_.threads > 1) {
+    util::parallel_for(shards_.size(), options_.threads, run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+  }
+
+  if (cloned) {
+    // Shard-id-order merge: aggregates are byte-identical for any thread
+    // count (the core/sweep.cpp determinism argument).
+    for (Shard& shard : shards_) {
+      alu_->merge_ledger(shard.alu->ledger());
+      shard.alu->reset_ledger();
+      if (registry != nullptr && shard.alu->metrics_registry() != nullptr) {
+        registry->merge(*shard.metrics);
+        shard.metrics->reset();
+      }
+    }
+  }
+}
+
+}  // namespace approxit::la

@@ -1,0 +1,233 @@
+// Sparse CSR datapath: context-routed SpMV with fused row chains and
+// deterministic intra-solver sharding.
+//
+// CsrMatrix stores a compressed-sparse-row matrix (row_ptr / col_idx /
+// values, columns strictly increasing within each row) plus an optional
+// cached CSC view (the transpose stored as a CSR matrix of its own) so
+// y = A^T x runs as a row-major SpMV too — no scatter, no per-call
+// allocation.
+//
+// The approximate kernel is spmv_into(ctx, ws, x, y): each row is one
+// fused arith::BatchWorkspace chain — gather x into a stack-sized block,
+// multiply exactly (the QCS approximates adders only), fold the products
+// word-resident through the active mode's closed-form kernel. One
+// quantize in, one dequantize out per chunk stream; ledger op counts and
+// energies identical to the scalar fold (the BatchWorkspace contract).
+// When the context is not an eligible QcsAlu — ExactContext, a
+// fault-injecting decorator, a generic-kernel bank — the chain degrades
+// to exactly the ArithContext call sequence (ctx.accumulate + per-op
+// adds), preserving fault streams and op counts, like the dense span ops.
+//
+// Sharding (SpmvOptions{shards, threads}) partitions rows into FIXED
+// contiguous, nnz-balanced shards — a pure function of (matrix, shard
+// count), never of the thread count. Each shard owns a clone_fresh() ALU
+// and a MetricsRegistry; after the parallel section, shard ledgers and
+// registries merge into the caller's ALU in shard-id order. Result
+// vectors are byte-identical for ANY thread count (each y[r] is written
+// by exactly one shard from inputs that do not depend on scheduling),
+// and ledger/metrics aggregates are byte-identical too (fixed-order
+// merge, the core/sweep.cpp argument). Fault-injecting decorators
+// (batching_supported() == false) run serially on the caller's context
+// so every operation stays intercepted in deterministic row order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arith/alu.h"
+#include "arith/context.h"
+#include "arith/workspace.h"
+#include "obs/metrics.h"
+
+namespace approxit::la {
+
+class Matrix;
+class SpmvWorkspace;
+
+/// One coordinate-form entry for CsrMatrix::from_triplets.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix with an optional cached transpose view.
+///
+/// Invariants: row_ptr().size() == rows() + 1, row_ptr() is
+/// non-decreasing, and within each row column indices are strictly
+/// increasing. Explicit zeros are kept (they cost an op in the routed
+/// kernels, like a zero addend in a dense span).
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets: sorts by (row, col) and sums
+  /// duplicates. cols must fit col_idx's 32-bit storage.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  /// Adopts pre-built CSR arrays; validates the invariants above.
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::size_t> row_ptr,
+                              std::vector<std::uint32_t> col_idx,
+                              std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Stored entries of row r.
+  std::span<const double> row_values(std::size_t r) const {
+    return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+  }
+  std::span<const std::uint32_t> row_cols(std::size_t r) const {
+    return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+  }
+
+  /// Largest stored-entry count of any row.
+  std::size_t max_row_nnz() const { return max_row_nnz_; }
+
+  /// Dense copy (tests and small problems only).
+  Matrix to_dense() const;
+
+  /// Transposed copy (CSC of this matrix, stored as CSR).
+  CsrMatrix transposed() const;
+
+  /// Builds and caches the transpose view used by the *_transposed_into
+  /// kernels. Idempotent. Call once at setup time — the transposed
+  /// kernels throw if the view is missing rather than allocating one
+  /// mid-iteration (the zero-alloc contract).
+  void build_transpose();
+
+  /// True once build_transpose() has run.
+  bool has_transpose() const { return transpose_ != nullptr; }
+
+  /// The cached transpose (throws std::logic_error when absent).
+  const CsrMatrix& transpose_view() const;
+
+  // --- Exact kernels (no context, plain floating point) -----------------
+
+  /// y = A x, exact: per row, acc starts at 0.0 and adds entries in
+  /// column order — bit-identical to Matrix::matvec on to_dense() (adding
+  /// 0.0 addends is the identity in exact arithmetic; both start at +0.0).
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x, exact, via the cached transpose view (build_transpose()
+  /// first). Entry order per output row is increasing source row —
+  /// the same order Matrix::matvec_transposed accumulates in.
+  void matvec_transposed(std::span<const double> x,
+                         std::span<double> y) const;
+
+  // --- Context-routed kernels -------------------------------------------
+
+  /// y = A x with each row folded through `ctx` as one chain (ctx.dot
+  /// semantics over the stored entries: exact multiplies, routed
+  /// accumulation from a zero seed; empty rows write 0.0 with no ops).
+  /// Sharding/threading and buffer reuse come from `ws`; steady-state
+  /// calls with an unchanged (matrix, ctx, options) triple do not
+  /// allocate.
+  void spmv_into(arith::ArithContext& ctx, SpmvWorkspace& ws,
+                 std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x through the cached transpose view, same contract.
+  void spmv_transposed_into(arith::ArithContext& ctx, SpmvWorkspace& ws,
+                            std::span<const double> x,
+                            std::span<double> y) const;
+
+ private:
+  void validate_spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Recomputes derived fields (max_row_nnz_) after the arrays are set.
+  void finish_build();
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+  std::size_t max_row_nnz_ = 0;
+  std::shared_ptr<CsrMatrix> transpose_;
+};
+
+/// Execution parameters for SpmvWorkspace.
+struct SpmvOptions {
+  /// Fixed contiguous row shards. The shard plan is a pure function of
+  /// (matrix, shards) — results are byte-identical for any `threads`.
+  std::size_t shards = 1;
+  /// Workers executing the shards (util::parallel_for). threads <= 1 runs
+  /// the shards inline in shard order with no thread machinery.
+  std::size_t threads = 1;
+};
+
+/// Reusable execution state for the context-routed SpMV kernels: the
+/// shard plan, per-shard clone ALUs / metrics registries / fused chains,
+/// and the gather/product blocks. One workspace per (matrix, context)
+/// pair in a solver; rebinding to a different matrix or context rebuilds
+/// the plan (allocates), steady-state reuse does not. Not thread-safe —
+/// it IS the thread coordinator.
+class SpmvWorkspace {
+ public:
+  SpmvWorkspace() = default;
+  explicit SpmvWorkspace(SpmvOptions options) : options_(options) {}
+
+  void set_options(SpmvOptions options);
+  const SpmvOptions& options() const { return options_; }
+
+  /// Shard boundaries of the current plan (empty before first use).
+  std::span<const std::size_t> shard_bounds() const { return bounds_; }
+
+ private:
+  friend class CsrMatrix;
+
+  static constexpr std::size_t kBlock = 256;  ///< Gather/product block.
+
+  struct Shard {
+    std::size_t begin = 0;  ///< First row.
+    std::size_t end = 0;    ///< One past the last row.
+    std::unique_ptr<arith::QcsAlu> alu;  ///< Clone (sharded QCS path only).
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    arith::BatchWorkspace chain;
+    std::vector<double> gather;    ///< x values of one row block.
+    std::vector<double> products;  ///< value * gather of one row block.
+    std::string lane_name;         ///< Trace lane label.
+  };
+
+  /// Rebuilds the plan when (matrix, ctx, options) changed.
+  void prepare(const CsrMatrix& m, arith::ArithContext& ctx);
+
+  /// Copies the caller ALU's current mode/flags onto the shard clones and
+  /// (de)tattaches per-shard registries to mirror the caller's.
+  void sync_clones();
+
+  /// Runs rows [shard.begin, shard.end) through `chain` (bound to either
+  /// the shard clone or the shared context).
+  void run_rows(const CsrMatrix& m, Shard& shard, std::span<const double> x,
+                std::span<double> y);
+
+  /// Executes the routed SpMV (called by CsrMatrix::spmv_into).
+  void run(const CsrMatrix& m, arith::ArithContext& ctx,
+           std::span<const double> x, std::span<double> y);
+
+  SpmvOptions options_;
+  const CsrMatrix* matrix_ = nullptr;
+  arith::ArithContext* ctx_ = nullptr;
+  arith::QcsAlu* alu_ = nullptr;  ///< Non-null iff ctx is a QcsAlu.
+  bool sharded_ = false;  ///< Shards may run on workers (clones or exact).
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> bounds_;  ///< shards_.size() + 1 row bounds.
+  obs::MetricsRegistry* counter_registry_ = nullptr;
+  obs::Counter* rows_counter_ = nullptr;
+  obs::Counter* nnz_counter_ = nullptr;
+};
+
+}  // namespace approxit::la

@@ -1,5 +1,6 @@
 #include "opt/conjugate_gradient.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,25 +23,82 @@ ConjugateGradientSolver::ConjugateGradientSolver(la::Matrix a,
   reset();
 }
 
+ConjugateGradientSolver::ConjugateGradientSolver(la::CsrMatrix a,
+                                                 std::vector<double> b,
+                                                 std::vector<double> x0,
+                                                 CgConfig config)
+    : sa_(std::move(a)),
+      sparse_(true),
+      b_(std::move(b)),
+      x0_(std::move(x0)),
+      config_(config) {
+  if (sa_.rows() != sa_.cols() || sa_.rows() != b_.size() ||
+      b_.size() != x0_.size()) {
+    throw std::invalid_argument("ConjugateGradientSolver: dimension mismatch");
+  }
+  sa_.build_transpose();
+  ws_.set_options(config_.spmv);
+  reset();
+}
+
 void ConjugateGradientSolver::reset() {
+  const std::size_t n = x0_.size();
   x_ = x0_;
+  r_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  x_prev_.assign(n, 0.0);
+  ap_.assign(n, 0.0);
+  true_residual_.assign(n, 0.0);
+  monitor_grad_.assign(n, 0.0);
+  scaled_p_.assign(n, 0.0);
+  step_.assign(n, 0.0);
+  obj_ax_.assign(n, 0.0);
   restart_direction();
   current_objective_ = objective_at(x_);
   iteration_ = 0;
 }
 
+void ConjugateGradientSolver::apply_exact(std::span<const double> x,
+                                          std::span<double> out) const {
+  if (sparse_) {
+    sa_.matvec(x, out);
+  } else {
+    a_.matvec(x, out);
+  }
+}
+
+void ConjugateGradientSolver::apply_transposed_exact(
+    std::span<const double> x, std::span<double> out) const {
+  if (sparse_) {
+    sa_.matvec_transposed(x, out);
+  } else {
+    a_.matvec_transposed(x, out);
+  }
+}
+
+void ConjugateGradientSolver::apply_direction() {
+  if (sparse_) {
+    // Exact arithmetic through the sharded SpMV datapath: the chain
+    // fallback under ExactContext is the plain left fold, bit-identical
+    // to matvec for any shard/thread count.
+    sa_.spmv_into(exact_, ws_, p_, ap_);
+  } else {
+    a_.matvec(p_, ap_);
+  }
+}
+
 void ConjugateGradientSolver::restart_direction() {
   // r = b - A x (exact restart; recurrences drift under approximation).
-  r_ = a_.matvec(x_);
-  for (std::size_t i = 0; i < r_.size(); ++i) r_[i] = b_[i] - r_[i];
-  p_ = r_;
+  apply_exact(x_, ap_);
+  for (std::size_t i = 0; i < r_.size(); ++i) r_[i] = b_[i] - ap_[i];
+  std::copy(r_.begin(), r_.end(), p_.begin());
 }
 
 double ConjugateGradientSolver::objective_at(std::span<const double> x) const {
-  const std::vector<double> ax = a_.matvec(x);
+  apply_exact(x, obj_ax_);
   double s = 0.0;
-  for (std::size_t i = 0; i < ax.size(); ++i) {
-    const double r = ax[i] - b_[i];
+  for (std::size_t i = 0; i < obj_ax_.size(); ++i) {
+    const double r = obj_ax_[i] - b_[i];
     s += r * r;
   }
   return 0.5 * s;
@@ -50,20 +108,34 @@ double ConjugateGradientSolver::residual_norm() const {
   return std::sqrt(2.0 * objective_at(x_));
 }
 
+double ConjugateGradientSolver::chain_dot(arith::ArithContext& ctx,
+                                          std::span<const double> a,
+                                          std::span<const double> b) {
+  if (bound_ctx_ != &ctx) {
+    chain_.bind(ctx);
+    bound_ctx_ = &ctx;
+  }
+  // Zero-seeded dot chain: fused when eligible, ctx.dot otherwise —
+  // bit- and ledger-identical either way (the BatchWorkspace contract).
+  chain_.begin(0.0);
+  chain_.dot(a, b);
+  return chain_.finish();
+}
+
 IterationStats ConjugateGradientSolver::iterate(arith::ArithContext& ctx) {
   const std::size_t n = x_.size();
-  const std::vector<double> x_prev = x_;
+  std::copy(x_.begin(), x_.end(), x_prev_.begin());
   const double f_prev = current_objective_;
 
   // Exact monitor gradient A^T(Ax - b) == A(Ax - b) for symmetric A.
-  std::vector<double> true_residual = a_.matvec(x_prev);
-  for (std::size_t i = 0; i < n; ++i) true_residual[i] -= b_[i];
-  const std::vector<double> monitor_grad = a_.matvec_transposed(true_residual);
+  apply_exact(x_prev_, true_residual_);
+  for (std::size_t i = 0; i < n; ++i) true_residual_[i] -= b_[i];
+  apply_transposed_exact(true_residual_, monitor_grad_);
 
   // One CG step with context-routed reductions and updates.
-  const std::vector<double> ap = a_.matvec(p_);
-  const double rr = ctx.dot(r_, r_);
-  const double pap = ctx.dot(p_, ap);
+  apply_direction();
+  const double rr = chain_dot(ctx, r_, r_);
+  const double pap = chain_dot(ctx, p_, ap_);
   if (pap <= 0.0 || rr == 0.0) {
     // Approximation broke conjugacy (or we are converged): restart from the
     // exact residual to keep the method well-defined.
@@ -71,13 +143,12 @@ IterationStats ConjugateGradientSolver::iterate(arith::ArithContext& ctx) {
   } else {
     const double alpha = rr / pap;
     la::axpy(ctx, alpha, p_, x_);
-    la::axpy(ctx, -alpha, ap, r_);
-    const double rr_new = ctx.dot(r_, r_);
+    la::axpy(ctx, -alpha, ap_, r_);
+    const double rr_new = chain_dot(ctx, r_, r_);
     const double beta = rr_new / rr;
     // p <- r + beta p, batched (the scale is exact, the add routed).
-    std::vector<double> scaled_p(n);
-    for (std::size_t i = 0; i < n; ++i) scaled_p[i] = beta * p_[i];
-    ctx.add_vec(r_, scaled_p, p_);
+    for (std::size_t i = 0; i < n; ++i) scaled_p_[i] = beta * p_[i];
+    ctx.add_vec(r_, scaled_p_, p_);
   }
 
   current_objective_ = objective_at(x_);
@@ -87,11 +158,11 @@ IterationStats ConjugateGradientSolver::iterate(arith::ArithContext& ctx) {
   stats.iteration = iteration_;
   stats.objective_before = f_prev;
   stats.objective_after = current_objective_;
-  stats.step_norm = la::distance2(x_, x_prev);
+  stats.step_norm = la::distance2(x_, x_prev_);
   stats.state_norm = la::norm2(x_);
-  const std::vector<double> step = la::subtract(x_, x_prev);
-  stats.grad_dot_step = la::dot(monitor_grad, step);
-  stats.grad_norm = la::norm2(monitor_grad);
+  for (std::size_t i = 0; i < n; ++i) step_[i] = x_[i] - x_prev_[i];
+  stats.grad_dot_step = la::dot(monitor_grad_, step_);
+  stats.grad_norm = la::norm2(monitor_grad_);
   stats.converged = residual_norm() < config_.tolerance;
   return stats;
 }
@@ -111,11 +182,11 @@ void ConjugateGradientSolver::restore(const std::vector<double>& snapshot) {
         "ConjugateGradientSolver::restore: bad snapshot size");
   }
   auto it = snapshot.begin();
-  x_.assign(it, it + static_cast<long>(n));
+  std::copy(it, it + static_cast<long>(n), x_.begin());
   it += static_cast<long>(n);
-  r_.assign(it, it + static_cast<long>(n));
+  std::copy(it, it + static_cast<long>(n), r_.begin());
   it += static_cast<long>(n);
-  p_.assign(it, it + static_cast<long>(n));
+  std::copy(it, it + static_cast<long>(n), p_.begin());
   current_objective_ = objective_at(x_);
 }
 

@@ -4,11 +4,22 @@
 // ArithContext; CG's sensitivity to inexact arithmetic makes it a stress
 // case for the reconfiguration strategies (approximation perturbs the
 // conjugacy recurrences, so low-accuracy modes stall progress).
+//
+// The operator is either a dense la::Matrix or a sparse la::CsrMatrix —
+// the sparse form scales the same solver to 1M+ unknown stencil systems:
+// A p runs through the sharded SpMV datapath (exact arithmetic, like the
+// dense matvec — the resilience partitioning keeps the operator exact
+// and routes the reductions/updates), and the rr/pap reductions use
+// fused arith::BatchWorkspace chains (bit- and ledger-identical to
+// ctx.dot). Steady-state iterate() performs no heap allocation; every
+// temporary lives in a member arena sized in reset().
 #pragma once
 
 #include <vector>
 
+#include "arith/workspace.h"
 #include "la/matrix.h"
+#include "la/sparse.h"
 #include "opt/iterative_method.h"
 
 namespace approxit::opt {
@@ -17,12 +28,21 @@ namespace approxit::opt {
 struct CgConfig {
   std::size_t max_iter = 1000;
   double tolerance = 1e-10;  ///< Converged when ||A x - b||_2 < tolerance.
+  /// Shard/thread plan for the sparse operator (defaults serial; ignored
+  /// by the dense constructor).
+  la::SpmvOptions spmv;
 };
 
 /// CG over an SPD system, exposed as an IterativeMethod.
 class ConjugateGradientSolver final : public IterativeMethod {
  public:
+  /// Dense operator.
   ConjugateGradientSolver(la::Matrix a, std::vector<double> b,
+                          std::vector<double> x0, CgConfig config);
+
+  /// Sparse operator; builds the transpose view for the exact monitor
+  /// gradient A^T (A x - b) once at construction.
+  ConjugateGradientSolver(la::CsrMatrix a, std::vector<double> b,
                           std::vector<double> x0, CgConfig config);
 
   std::string name() const override { return "conjugate_gradient"; }
@@ -41,11 +61,26 @@ class ConjugateGradientSolver final : public IterativeMethod {
   /// Exact current residual norm ||A x - b||_2.
   double residual_norm() const;
 
+  /// True when the operator is the sparse form.
+  bool sparse() const { return sparse_; }
+
  private:
+  /// out <- A x, exact (dense matvec or serial sparse CSR walk).
+  void apply_exact(std::span<const double> x, std::span<double> out) const;
+  /// out <- A^T x, exact.
+  void apply_transposed_exact(std::span<const double> x,
+                              std::span<double> out) const;
+  /// ap_ <- A p_ for the CG step (sharded SpMV on the sparse path).
+  void apply_direction();
   double objective_at(std::span<const double> x) const;
+  /// ctx.dot(a, b) through the fused chain (bit/ledger-identical).
+  double chain_dot(arith::ArithContext& ctx, std::span<const double> a,
+                   std::span<const double> b);
   void restart_direction();
 
-  la::Matrix a_;
+  la::Matrix a_;       ///< Dense operator (dense constructor).
+  la::CsrMatrix sa_;   ///< Sparse operator (sparse constructor).
+  bool sparse_ = false;
   std::vector<double> b_;
   std::vector<double> x0_;
   CgConfig config_;
@@ -55,6 +90,19 @@ class ConjugateGradientSolver final : public IterativeMethod {
   std::vector<double> p_;  ///< search direction
   double current_objective_ = 0.0;
   std::size_t iteration_ = 0;
+
+  // Iteration arenas (sized in reset(); no allocation in iterate()).
+  arith::ExactContext exact_;        ///< Exact routing for the sparse A p.
+  la::SpmvWorkspace ws_;             ///< Sparse operator execution state.
+  arith::BatchWorkspace chain_;      ///< Fused rr/pap reduction chains.
+  arith::ArithContext* bound_ctx_ = nullptr;  ///< chain_'s current bind.
+  std::vector<double> x_prev_;
+  std::vector<double> ap_;            ///< A p (and restart scratch).
+  std::vector<double> true_residual_;
+  std::vector<double> monitor_grad_;
+  std::vector<double> scaled_p_;
+  std::vector<double> step_;
+  mutable std::vector<double> obj_ax_;  ///< objective_at scratch.
 };
 
 }  // namespace approxit::opt

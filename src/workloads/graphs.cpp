@@ -50,6 +50,77 @@ WebGraph make_web_graph(std::size_t nodes, std::size_t links_per_node,
   return graph;
 }
 
+la::CsrMatrix pagerank_transition(const WebGraph& graph) {
+  const std::size_t n = graph.nodes;
+  // Pass 1: in-degree histogram -> row_ptr prefix sums.
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  for (const auto& links : graph.out_links) {
+    for (const std::uint32_t v : links) ++row_ptr[v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) row_ptr[v + 1] += row_ptr[v];
+  const std::size_t nnz = row_ptr[n];
+
+  // Pass 2: place each edge. Walking sources u in ascending order makes
+  // the columns of every row strictly increasing (out_links are sorted
+  // and deduplicated, so a row sees each u at most once).
+  std::vector<std::uint32_t> col_idx(nnz);
+  std::vector<double> values(nnz);
+  std::vector<std::size_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto& links = graph.out_links[u];
+    if (links.empty()) continue;
+    const double share = 1.0 / static_cast<double>(links.size());
+    for (const std::uint32_t v : links) {
+      const std::size_t slot = cursor[v]++;
+      col_idx[slot] = static_cast<std::uint32_t>(u);
+      values[slot] = share;
+    }
+  }
+  return la::CsrMatrix::from_parts(n, n, std::move(row_ptr),
+                                   std::move(col_idx), std::move(values));
+}
+
+std::vector<std::uint32_t> dangling_nodes(const WebGraph& graph) {
+  std::vector<std::uint32_t> dangling;
+  for (std::size_t u = 0; u < graph.nodes; ++u) {
+    if (graph.out_links[u].empty()) {
+      dangling.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  return dangling;
+}
+
+la::CsrMatrix make_stencil_laplacian(std::size_t nx, std::size_t ny) {
+  if (nx == 0 || ny == 0) {
+    throw std::invalid_argument("make_stencil_laplacian: empty grid");
+  }
+  const std::size_t n = nx * ny;
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(n + 1);
+  col_idx.reserve(5 * n);
+  values.reserve(5 * n);
+  row_ptr.push_back(0);
+  for (std::size_t gy = 0; gy < ny; ++gy) {
+    for (std::size_t gx = 0; gx < nx; ++gx) {
+      const std::size_t idx = gy * nx + gx;
+      const auto entry = [&](std::size_t col, double value) {
+        col_idx.push_back(static_cast<std::uint32_t>(col));
+        values.push_back(value);
+      };
+      if (gy > 0) entry(idx - nx, -1.0);
+      if (gx > 0) entry(idx - 1, -1.0);
+      entry(idx, 4.0);
+      if (gx + 1 < nx) entry(idx + 1, -1.0);
+      if (gy + 1 < ny) entry(idx + nx, -1.0);
+      row_ptr.push_back(col_idx.size());
+    }
+  }
+  return la::CsrMatrix::from_parts(n, n, std::move(row_ptr),
+                                   std::move(col_idx), std::move(values));
+}
+
 ClassificationDataset make_classification(std::size_t total, std::size_t dim,
                                           double separation,
                                           std::uint64_t seed,

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "la/sparse.h"
+
 namespace approxit::workloads {
 
 /// Directed graph in adjacency-list form (out-links per node).
@@ -30,6 +32,24 @@ struct WebGraph {
 /// out-links) to exercise PageRank's dangling-mass handling.
 WebGraph make_web_graph(std::size_t nodes, std::size_t links_per_node,
                         std::uint64_t seed, double dangling_fraction = 0.02);
+
+/// The in-link PageRank transition matrix P of a graph as sparse CSR:
+/// P[v][u] = 1/outdeg(u) for each edge u -> v, so one SpMV computes the
+/// pull-form rank update y = P x. Built directly in CSR form (two-pass
+/// counting sort over the out-link lists) — no dense matrix, no triplet
+/// buffer. nnz == graph.edges().
+la::CsrMatrix pagerank_transition(const WebGraph& graph);
+
+/// Nodes with no out-links, ascending (their rank mass is redistributed
+/// uniformly by PageRank's dangling-mass term).
+std::vector<std::uint32_t> dangling_nodes(const WebGraph& graph);
+
+/// The 5-point finite-difference Laplacian on an nx x ny grid (Dirichlet
+/// boundary): diagonal 4, off-diagonals -1 to the four grid neighbours.
+/// Symmetric positive definite — the standard CG stress operator at
+/// nx*ny unknowns with nnz < 5*nx*ny. Row/column order is row-major over
+/// the grid, columns strictly increasing within each row.
+la::CsrMatrix make_stencil_laplacian(std::size_t nx, std::size_t ny);
 
 /// Binary classification workload: two Gaussian classes in `dim`
 /// dimensions.

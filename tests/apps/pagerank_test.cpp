@@ -126,6 +126,71 @@ TEST(PageRank, UnderApproxItMatchesTruthRanking) {
   EXPECT_LT(rank_l1_distance(truth_ranks, method.ranks()), 1e-4);
 }
 
+TEST(PageRank, ShardAndThreadPlansAreByteIdentical) {
+  const auto g = small_graph();
+  arith::QcsAlu base(pagerank_qcs_config());
+  base.set_mode(arith::ApproxMode::kLevel2);
+
+  PageRank serial(g);
+  for (int k = 0; k < 10; ++k) serial.iterate(base);
+  const std::vector<double> ref(serial.ranks().begin(), serial.ranks().end());
+
+  for (const std::size_t shards : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      PageRankOptions options;
+      options.spmv = {.shards = shards, .threads = threads};
+      PageRank pr(g, options);
+      arith::QcsAlu alu(pagerank_qcs_config());
+      alu.set_mode(arith::ApproxMode::kLevel2);
+      for (int k = 0; k < 10; ++k) pr.iterate(alu);
+      ASSERT_EQ(pr.ranks().size(), ref.size());
+      for (std::size_t v = 0; v < ref.size(); ++v) {
+        ASSERT_EQ(pr.ranks()[v], ref[v])
+            << "node " << v << " with " << shards << " shards, " << threads
+            << " threads";
+      }
+      EXPECT_EQ(alu.ledger().total_ops(), base.ledger().total_ops());
+    }
+  }
+}
+
+TEST(PageRank, TransitionIsColumnStochasticForNonDangling) {
+  const auto g = small_graph();
+  PageRank pr(g);
+  const la::CsrMatrix& p = pr.transition();
+  EXPECT_EQ(p.rows(), g.nodes);
+  EXPECT_EQ(p.nnz(), g.edges());
+  std::vector<double> col_sums(g.nodes, 0.0);
+  for (std::size_t v = 0; v < p.rows(); ++v) {
+    const auto cols = p.row_cols(v);
+    const auto vals = p.row_values(v);
+    for (std::size_t i = 0; i < cols.size(); ++i) col_sums[cols[i]] += vals[i];
+  }
+  for (std::size_t u = 0; u < g.nodes; ++u) {
+    if (g.out_links[u].empty()) {
+      EXPECT_EQ(col_sums[u], 0.0) << "dangling node " << u;
+    } else {
+      EXPECT_NEAR(col_sums[u], 1.0, 1e-12) << "node " << u;
+    }
+  }
+}
+
+TEST(PageRankConfig, SizeAwareConfigScalesWithNodeCount) {
+  // The size-aware ladder must stay inside the fused-path width ceiling
+  // and deepen its fraction as the graph grows.
+  for (const std::size_t n :
+       {std::size_t{400}, std::size_t{100000}, std::size_t{1000000}}) {
+    const arith::QcsConfig config = pagerank_qcs_config(n);
+    EXPECT_LE(config.format.total_bits, 52u) << n;
+    EXPECT_GT(config.format.frac_bits, 20u) << n;
+    for (std::size_t i = 1; i < config.level_approx_bits.size(); ++i) {
+      EXPECT_LT(config.level_approx_bits[i], config.level_approx_bits[i - 1]);
+    }
+  }
+  EXPECT_GT(pagerank_qcs_config(1000000).format.frac_bits,
+            pagerank_qcs_config(400).format.frac_bits);
+}
+
 TEST(RankMetrics, Helpers) {
   EXPECT_DOUBLE_EQ(rank_l1_distance(std::vector<double>{0.5, 0.5},
                                     std::vector<double>{0.25, 0.75}),

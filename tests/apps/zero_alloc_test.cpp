@@ -1,7 +1,8 @@
 // Asserts the zero-allocation contract of the application iteration hot
-// paths: after warm-up, steady-state GmmEm and AutoRegression iterations
-// perform no heap allocation — every temporary lives in a member arena
-// (sized in reset()) or on the stack (the ALU's span chunks).
+// paths: after warm-up, steady-state GmmEm, AutoRegression, PageRank and
+// sparse ConjugateGradientSolver iterations perform no heap allocation —
+// every temporary lives in a member arena (sized in reset()) or on the
+// stack (the ALU's span chunks).
 //
 // The check uses a replacement global operator new that counts allocations
 // while a flag is armed. This file must be its own test binary: the
@@ -15,9 +16,12 @@
 
 #include "apps/autoregression.h"
 #include "apps/gmm.h"
+#include "apps/pagerank.h"
 #include "arith/alu.h"
 #include "arith/context.h"
+#include "opt/conjugate_gradient.h"
 #include "workloads/datasets.h"
+#include "workloads/graphs.h"
 
 namespace {
 
@@ -110,6 +114,56 @@ TEST(ZeroAlloc, AutoRegressionIterationsAreAllocationFreeExactContext) {
     for (int i = 0; i < 5; ++i) (void)ar.iterate(exact);
   });
   EXPECT_EQ(allocs, 0);
+}
+
+TEST(ZeroAlloc, PageRankIterationsAreAllocationFree) {
+  const auto graph = workloads::make_web_graph(600, 6, 31);
+  PageRankOptions options;
+  // Sharded but single-threaded: the shard loop runs inline (the
+  // threaded path's std::function dispatch is outside this contract).
+  options.spmv = {.shards = 4, .threads = 1};
+  PageRank pr(graph, options);
+  arith::QcsAlu alu(pagerank_qcs_config());
+  alu.set_mode(arith::ApproxMode::kLevel2);
+
+  // Warm-up also covers the SpmvWorkspace's lazy first-use prepare().
+  for (int i = 0; i < 3; ++i) (void)pr.iterate(alu);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)pr.iterate(alu);
+  });
+  EXPECT_EQ(allocs, 0) << "PageRank steady-state iterate() allocated";
+}
+
+TEST(ZeroAlloc, PageRankIterationsAreAllocationFreeExactContext) {
+  const auto graph = workloads::make_web_graph(600, 6, 31);
+  PageRank pr(graph);
+  arith::ExactContext exact;
+  for (int i = 0; i < 3; ++i) (void)pr.iterate(exact);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)pr.iterate(exact);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(ZeroAlloc, SparseCgIterationsAreAllocationFree) {
+  const std::size_t grid = 24;
+  la::CsrMatrix a = workloads::make_stencil_laplacian(grid, grid);
+  const std::size_t n = a.rows();
+  opt::CgConfig config;
+  config.spmv = {.shards = 4, .threads = 1};
+  opt::ConjugateGradientSolver cg(std::move(a), std::vector<double>(n, 1.0),
+                                  std::vector<double>(n, 0.0), config);
+  arith::QcsAlu alu;
+  alu.set_mode(arith::ApproxMode::kLevel3);
+
+  for (int i = 0; i < 3; ++i) (void)cg.iterate(alu);
+
+  const long long allocs = count_allocations([&] {
+    for (int i = 0; i < 5; ++i) (void)cg.iterate(alu);
+  });
+  EXPECT_EQ(allocs, 0) << "sparse CG steady-state iterate() allocated";
 }
 
 TEST(ZeroAlloc, HookIsLive) {

@@ -1,0 +1,497 @@
+// Differential suite for the sparse CSR datapath (la/sparse.h).
+//
+// The routed SpMV must be bit-identical to the per-row ctx.dot reference
+// across all five adder families and widths 8..53, to the scalar fold
+// (batching off), across SIMD tiers, and across shard AND thread counts;
+// fault-injecting decorators must see the exact per-op stream of the
+// serial reference. Construction edge cases (empty rows, dangling
+// columns, single-element rows, duplicate triplets, transpose views) ride
+// along.
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/approx_adders.h"
+#include "arith/exact_adders.h"
+#include "arith/fault_injector.h"
+#include "arith/simd_kernels.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace approxit::la {
+namespace {
+
+using arith::ApproxMode;
+
+/// Raw IEEE bits (EXPECT_EQ on doubles treats -0.0 == 0.0; we test bytes).
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void expect_bitwise_equal(std::span<const double> a,
+                          std::span<const double> b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(bits(a[i]), bits(b[i])) << label << " row " << i << ": "
+                                      << a[i] << " vs " << b[i];
+  }
+}
+
+/// Test matrix with deliberate edge shapes: every 7th row empty, every
+/// 5th row a single entry, the last column never referenced (dangling),
+/// one row longer than the 256-entry chain block.
+CsrMatrix make_test_csr(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r % 7 == 3) continue;  // empty row
+    const std::size_t want = r == 1 ? 300  // spills past one chain block
+                             : r % 5 == 0 ? 1
+                                          : 2 + rng.uniform_u64(6);
+    for (std::size_t k = 0; k < want; ++k) {
+      const std::size_t c = rng.uniform_u64(cols - 1);  // col cols-1 dangling
+      triplets.push_back(
+          {r, c, scale * (0.125 + rng.uniform(0.0, 1.0))});
+    }
+  }
+  return CsrMatrix::from_triplets(rows, cols, std::move(triplets));
+}
+
+std::vector<double> make_x(std::size_t cols, std::uint64_t seed,
+                           double scale = 1.0) {
+  util::Rng rng(seed);
+  std::vector<double> x(cols);
+  for (double& v : x) v = scale * (0.0625 + rng.uniform(0.0, 1.0));
+  return x;
+}
+
+/// A QcsAlu whose four approximate levels use one family at decreasing
+/// cuts, accurate slot exact. family: 0 gda, 1 loa, 2 trunc, 3 etaI,
+/// 4 etaII.
+arith::QcsAlu make_family_alu(int family, unsigned width) {
+  const arith::QFormat format{width, width / 2};
+  const auto cut = [&](unsigned div) -> unsigned {
+    return std::max(1u, width / div);
+  };
+  const std::array<unsigned, 4> cuts = {cut(2), cut(3), cut(4), cut(6)};
+  std::array<arith::AdderPtr, arith::kNumModes> bank;
+  for (std::size_t level = 0; level < 4; ++level) {
+    const unsigned k = cuts[level];
+    switch (family) {
+      case 0:
+        bank[level] = std::make_shared<arith::GdaAdder>(width, k);
+        break;
+      case 1:
+        bank[level] = std::make_shared<arith::LowerOrAdder>(width, k);
+        break;
+      case 2:
+        bank[level] = std::make_shared<arith::TruncatedAdder>(width, k);
+        break;
+      case 3:
+        bank[level] = std::make_shared<arith::EtaIAdder>(width, k);
+        break;
+      default:
+        bank[level] = std::make_shared<arith::EtaIIAdder>(width, k + 1);
+        break;
+    }
+  }
+  bank[4] = std::make_shared<arith::RippleCarryAdder>(width);
+  return arith::QcsAlu(format, bank);
+}
+
+/// Reference: per row, gather x at the stored columns and fold through
+/// ctx.dot — the semantics spmv_into promises.
+void reference_spmv(const CsrMatrix& m, arith::ArithContext& ctx,
+                    std::span<const double> x, std::span<double> y) {
+  std::vector<double> gathered;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    if (cols.empty()) {
+      y[r] = 0.0;
+      continue;
+    }
+    gathered.resize(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) gathered[i] = x[cols[i]];
+    y[r] = ctx.dot(m.row_values(r), gathered);
+  }
+}
+
+// --- construction ----------------------------------------------------------
+
+TEST(CsrMatrix, FromTripletsSortsAndMergesDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 4,
+      {{2, 1, 5.0}, {0, 3, 1.0}, {0, 0, 2.0}, {2, 1, 0.5}, {1, 2, -1.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 4u);  // the (2,1) duplicate merged
+  EXPECT_EQ(m.max_row_nnz(), 2u);
+  const Matrix dense = m.to_dense();
+  EXPECT_EQ(dense(0, 0), 2.0);
+  EXPECT_EQ(dense(0, 3), 1.0);
+  EXPECT_EQ(dense(1, 2), -1.0);
+  EXPECT_EQ(dense(2, 1), 5.5);
+  // Columns strictly increasing within each row.
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      EXPECT_LT(cols[i - 1], cols[i]);
+    }
+  }
+}
+
+TEST(CsrMatrix, FromTripletsRejectsOutOfRange) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, 2, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, FromPartsValidates) {
+  // Well-formed.
+  EXPECT_NO_THROW(CsrMatrix::from_parts(2, 3, {0, 2, 3}, {0, 2, 1},
+                                        {1.0, 2.0, 3.0}));
+  // row_ptr must start at 0, end at nnz, be non-decreasing.
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 3, {1, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 3, {0, 3, 2}, {0, 2, 1}, {1.0, 2.0, 3.0}),
+      std::invalid_argument);
+  // Columns strictly increasing within a row and in range.
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 3, {0, 2, 3}, {2, 0, 1}, {1.0, 2.0, 3.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 3, {0, 2, 3}, {0, 3, 1}, {1.0, 2.0, 3.0}),
+      std::invalid_argument);
+}
+
+TEST(CsrMatrix, TransposedMatchesDenseTranspose) {
+  const CsrMatrix m = make_test_csr(23, 17, 0xabc1);
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), m.cols());
+  EXPECT_EQ(t.cols(), m.rows());
+  EXPECT_EQ(t.nnz(), m.nnz());
+  const Matrix td = t.to_dense();
+  const Matrix md = m.to_dense();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(md(r, c), td(c, r));
+    }
+  }
+}
+
+TEST(CsrMatrix, TransposeViewRequiresBuild) {
+  CsrMatrix m = make_test_csr(12, 9, 0xabc2);
+  arith::ExactContext exact;
+  SpmvWorkspace ws;
+  std::vector<double> x(m.rows(), 1.0), y(m.cols(), 0.0);
+  EXPECT_THROW(m.spmv_transposed_into(exact, ws, x, y), std::logic_error);
+  EXPECT_THROW(m.matvec_transposed(x, y), std::logic_error);
+  m.build_transpose();
+  EXPECT_TRUE(m.has_transpose());
+  EXPECT_NO_THROW(m.spmv_transposed_into(exact, ws, x, y));
+}
+
+// --- exact kernels ---------------------------------------------------------
+
+TEST(CsrMatrix, ExactMatvecMatchesDenseBitwise) {
+  // Positive entries and operands keep every partial sum away from the
+  // -0.0 + 0.0 corner, so skipping the dense zeros is the bitwise
+  // identity.
+  const CsrMatrix m = make_test_csr(41, 29, 0xd1ff);
+  const Matrix dense = m.to_dense();
+  const std::vector<double> x = make_x(29, 0xd1fe);
+  std::vector<double> ys(m.rows(), -1.0), yd(m.rows(), -2.0);
+  m.matvec(x, ys);
+  dense.matvec(x, yd);
+  expect_bitwise_equal(ys, yd, "sparse vs dense matvec");
+}
+
+TEST(CsrMatrix, ExactSpmvIntoMatchesMatvec) {
+  CsrMatrix m = make_test_csr(37, 31, 0xd2ff);
+  const std::vector<double> x = make_x(31, 0xd2fe);
+  std::vector<double> y_ref(m.rows(), 0.0);
+  m.matvec(x, y_ref);
+  arith::ExactContext exact;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    SpmvWorkspace ws(SpmvOptions{.shards = shards, .threads = 1});
+    std::vector<double> y(m.rows(), -1.0);
+    m.spmv_into(exact, ws, x, y);
+    expect_bitwise_equal(y, y_ref, "exact spmv_into vs matvec");
+  }
+}
+
+// --- routed SpMV differential ----------------------------------------------
+
+TEST(SparseSpmv, AllFamiliesAllWidthsMatchPerRowDot) {
+  const CsrMatrix m = make_test_csr(40, 32, 0x5fa1, /*scale=*/0.25);
+  const std::vector<double> x = make_x(32, 0x5fa2, /*scale=*/0.25);
+  std::vector<double> y(m.rows(), 0.0), y_ref(m.rows(), 0.0);
+  SpmvWorkspace ws;
+  for (unsigned width = 8; width <= 53; ++width) {
+    for (int family = 0; family < 5; ++family) {
+      arith::QcsAlu alu = make_family_alu(family, width);
+      for (const ApproxMode mode : arith::kAllModes) {
+        alu.set_mode(mode);
+        alu.reset_ledger();
+        m.spmv_into(alu, ws, x, y);
+        EXPECT_EQ(alu.ledger().total_ops(), m.nnz());
+
+        const std::unique_ptr<arith::QcsAlu> ref = alu.clone_fresh();
+        reference_spmv(m, *ref, x, y_ref);
+        ASSERT_NO_FATAL_FAILURE(expect_bitwise_equal(
+            y, y_ref, "routed spmv vs per-row ctx.dot"))
+            << "family " << family << " width " << width << " mode "
+            << static_cast<int>(mode);
+        EXPECT_EQ(ref->ledger().total_ops(), m.nnz());
+      }
+    }
+  }
+}
+
+TEST(SparseSpmv, FusedMatchesScalarFoldAndLedger) {
+  const CsrMatrix m = make_test_csr(50, 40, 0x5fb1, 0.25);
+  const std::vector<double> x = make_x(40, 0x5fb2, 0.25);
+  arith::QcsAlu fused_alu;
+  fused_alu.set_mode(ApproxMode::kLevel2);
+  const std::unique_ptr<arith::QcsAlu> scalar_alu = fused_alu.clone_fresh();
+  scalar_alu->set_batching(false);
+
+  SpmvWorkspace ws_fused, ws_scalar;
+  std::vector<double> y_fused(m.rows()), y_scalar(m.rows());
+  m.spmv_into(fused_alu, ws_fused, x, y_fused);
+  m.spmv_into(*scalar_alu, ws_scalar, x, y_scalar);
+  expect_bitwise_equal(y_fused, y_scalar, "fused vs scalar fold");
+  EXPECT_EQ(fused_alu.ledger().total_ops(),
+            scalar_alu->ledger().total_ops());
+  // Energy totals agree up to FP summation grouping (the fused path
+  // records one batched total per chain, the scalar path one per op).
+  EXPECT_NEAR(fused_alu.ledger().total_energy(),
+              scalar_alu->ledger().total_energy(),
+              1e-12 * scalar_alu->ledger().total_energy());
+}
+
+TEST(SparseSpmv, EmptyRowsWriteZeroWithNoOps) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      4, 4, {{1, 2, 0.5}, {3, 0, 0.25}, {3, 1, 0.125}});
+  arith::QcsAlu alu;
+  alu.set_mode(ApproxMode::kLevel1);
+  SpmvWorkspace ws;
+  std::vector<double> x = {0.5, 0.25, 0.75, 1.0};
+  std::vector<double> y(4, -7.0);
+  m.spmv_into(alu, ws, x, y);
+  EXPECT_EQ(bits(y[0]), bits(0.0));  // empty row overwrites stale output
+  EXPECT_EQ(bits(y[2]), bits(0.0));
+  EXPECT_EQ(alu.ledger().total_ops(), 3u);  // one per stored entry only
+}
+
+TEST(SparseSpmv, ShardCountInvariance) {
+  const CsrMatrix m = make_test_csr(120, 90, 0x5fc1, 0.25);
+  const std::vector<double> x = make_x(90, 0x5fc2, 0.25);
+  arith::QcsAlu base;
+  base.set_mode(ApproxMode::kLevel3);
+  SpmvWorkspace ws1;
+  std::vector<double> y1(m.rows());
+  m.spmv_into(base, ws1, x, y1);
+  const std::size_t ops1 = base.ledger().total_ops();
+
+  for (const std::size_t shards :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    arith::QcsAlu alu;
+    alu.set_mode(ApproxMode::kLevel3);
+    SpmvWorkspace ws(SpmvOptions{.shards = shards, .threads = 1});
+    std::vector<double> y(m.rows());
+    m.spmv_into(alu, ws, x, y);
+    ASSERT_NO_FATAL_FAILURE(
+        expect_bitwise_equal(y, y1, "shard-count invariance"))
+        << shards << " shards";
+    EXPECT_EQ(alu.ledger().total_ops(), ops1) << shards << " shards";
+    EXPECT_NEAR(alu.ledger().total_energy(), base.ledger().total_energy(),
+                1e-9 * base.ledger().total_energy());
+  }
+}
+
+TEST(SparseSpmv, ThreadCountInvarianceIsByteIdentical) {
+  const CsrMatrix m = make_test_csr(160, 120, 0x5fd1, 0.25);
+  const std::vector<double> x = make_x(120, 0x5fd2, 0.25);
+
+  // Reference: 8 shards on 1 thread.
+  std::vector<double> y_ref;
+  double energy_ref = 0.0;
+  std::size_t ops_ref = 0;
+  std::map<std::string, double> counters_ref;
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    arith::QcsAlu alu;
+    alu.set_mode(ApproxMode::kLevel2);
+    obs::MetricsRegistry registry;
+    alu.set_metrics(&registry);
+    SpmvWorkspace ws(SpmvOptions{.shards = 8, .threads = threads});
+    std::vector<double> y(m.rows());
+    m.spmv_into(alu, ws, x, y);
+    if (threads == 1) {
+      y_ref = y;
+      energy_ref = alu.ledger().total_energy();
+      ops_ref = alu.ledger().total_ops();
+      counters_ref = registry.counter_values();
+      continue;
+    }
+    ASSERT_NO_FATAL_FAILURE(
+        expect_bitwise_equal(y, y_ref, "thread-count invariance"))
+        << threads << " threads";
+    // Fixed shard plan + shard-id-order merges: the LEDGER and METRICS
+    // aggregates are bit-identical too, not merely close.
+    EXPECT_EQ(bits(alu.ledger().total_energy()), bits(energy_ref))
+        << threads << " threads";
+    EXPECT_EQ(alu.ledger().total_ops(), ops_ref);
+    EXPECT_EQ(registry.counter_values(), counters_ref)
+        << threads << " threads";
+  }
+}
+
+TEST(SparseSpmv, TransposedViewMatchesTransposedCopy) {
+  CsrMatrix m = make_test_csr(30, 44, 0x5fe1, 0.25);
+  m.build_transpose();
+  const CsrMatrix t = m.transposed();
+  const std::vector<double> x = make_x(30, 0x5fe2, 0.25);
+
+  arith::QcsAlu alu_view, alu_copy;
+  alu_view.set_mode(ApproxMode::kLevel2);
+  alu_copy.set_mode(ApproxMode::kLevel2);
+  SpmvWorkspace ws_view, ws_copy;
+  std::vector<double> y_view(m.cols()), y_copy(t.rows());
+  m.spmv_transposed_into(alu_view, ws_view, x, y_view);
+  t.spmv_into(alu_copy, ws_copy, x, y_copy);
+  expect_bitwise_equal(y_view, y_copy, "transpose view vs copy");
+  EXPECT_EQ(alu_view.ledger().total_ops(), alu_copy.ledger().total_ops());
+}
+
+TEST(SparseSpmv, FaultDecoratorFallsBackToSerialPerOpStream) {
+  const CsrMatrix m = make_test_csr(25, 20, 0x5ff1, 0.25);
+  const std::vector<double> x = make_x(20, 0x5ff2, 0.25);
+  const arith::FaultConfig fault =
+      arith::FaultConfig::uniform_approximate(0.2, 0x7357);
+
+  arith::FaultyQcsAlu alu(fault);
+  alu.set_mode(ApproxMode::kLevel1);
+  // Sharding must be refused: per-op interception requires the caller's
+  // context, serially, in row order.
+  SpmvWorkspace ws(SpmvOptions{.shards = 4, .threads = 4});
+  std::vector<double> y(m.rows());
+  m.spmv_into(alu, ws, x, y);
+
+  // Reference: identical fault stream on a fresh identically-seeded
+  // decorator, rows in order, one accumulate per row (every test row is
+  // shorter than the 256-entry chain block).
+  ASSERT_LE(m.max_row_nnz(), 256u);
+  arith::FaultyQcsAlu ref(fault);
+  ref.set_mode(ApproxMode::kLevel1);
+  std::vector<double> y_ref(m.rows());
+  std::vector<double> products;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_values(r);
+    if (cols.empty()) {
+      y_ref[r] = 0.0;
+      continue;
+    }
+    products.resize(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      products[i] = vals[i] * x[cols[i]];
+    }
+    y_ref[r] = ref.accumulate(products);
+  }
+  expect_bitwise_equal(y, y_ref, "faulty spmv vs serial reference");
+  EXPECT_EQ(alu.fault_ledger().total_ops, ref.fault_ledger().total_ops);
+  EXPECT_EQ(alu.fault_ledger().injected(), ref.fault_ledger().injected());
+}
+
+TEST(SparseSpmv, SparseCountersPosted) {
+  const CsrMatrix m = make_test_csr(60, 45, 0x6fa1, 0.25);
+  const std::vector<double> x = make_x(45, 0x6fa2, 0.25);
+
+  arith::QcsAlu serial;
+  serial.set_mode(ApproxMode::kLevel2);
+  obs::MetricsRegistry serial_registry;
+  serial.set_metrics(&serial_registry);
+  SpmvWorkspace ws_serial;
+  std::vector<double> y(m.rows());
+  m.spmv_into(serial, ws_serial, x, y);
+  m.spmv_into(serial, ws_serial, x, y);
+  const auto serial_counters = serial_registry.counter_values();
+  EXPECT_EQ(serial_counters.at("alu.sparse.rows"), 2.0 * m.rows());
+  EXPECT_EQ(serial_counters.at("alu.sparse.nnz"), 2.0 * m.nnz());
+
+  // Sharded: per-shard registries merge in shard order; the per-mode op
+  // counters must equal the serial run's.
+  arith::QcsAlu sharded;
+  sharded.set_mode(ApproxMode::kLevel2);
+  obs::MetricsRegistry sharded_registry;
+  sharded.set_metrics(&sharded_registry);
+  SpmvWorkspace ws_sharded(SpmvOptions{.shards = 4, .threads = 2});
+  m.spmv_into(sharded, ws_sharded, x, y);
+  m.spmv_into(sharded, ws_sharded, x, y);
+  const auto sharded_counters = sharded_registry.counter_values();
+  EXPECT_EQ(sharded_counters.at("alu.sparse.rows"), 2.0 * m.rows());
+  EXPECT_EQ(sharded_counters.at("alu.sparse.nnz"), 2.0 * m.nnz());
+  EXPECT_EQ(sharded_counters.at("alu.ops.level2"),
+            serial_counters.at("alu.ops.level2"));
+}
+
+TEST(SparseSpmv, TierInvariance) {
+  const CsrMatrix m = make_test_csr(35, 28, 0x6fb1, 0.25);
+  const std::vector<double> x = make_x(28, 0x6fb2, 0.25);
+  std::vector<std::vector<double>> results;
+  std::vector<arith::simd::Tier> tiers = {arith::simd::Tier::kPortable};
+  if (arith::simd::detected_tier() != arith::simd::Tier::kPortable) {
+    tiers.push_back(arith::simd::detected_tier());
+  }
+  for (const auto tier : tiers) {
+    arith::simd::set_tier_override(tier);
+    arith::QcsAlu alu;
+    alu.set_mode(ApproxMode::kLevel1);
+    SpmvWorkspace ws;
+    std::vector<double> y(m.rows());
+    m.spmv_into(alu, ws, x, y);
+    results.push_back(std::move(y));
+  }
+  arith::simd::set_tier_override(std::nullopt);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_bitwise_equal(results[i], results[0], "tier invariance");
+  }
+}
+
+TEST(SpmvWorkspace, ShardPlanIsNnzBalancedAndFixed) {
+  const CsrMatrix m = make_test_csr(200, 64, 0x6fc1);
+  arith::ExactContext exact;
+  SpmvWorkspace ws(SpmvOptions{.shards = 4, .threads = 1});
+  std::vector<double> x(m.cols(), 1.0), y(m.rows());
+  m.spmv_into(exact, ws, x, y);
+  const auto bounds = ws.shard_bounds();
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), m.rows());
+  // Contiguous, non-decreasing, and roughly nnz-balanced.
+  const auto row_ptr = m.row_ptr();
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_LE(bounds[s], bounds[s + 1]);
+    const std::size_t shard_nnz = row_ptr[bounds[s + 1]] - row_ptr[bounds[s]];
+    EXPECT_LE(shard_nnz, m.nnz() / 2) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace approxit::la
