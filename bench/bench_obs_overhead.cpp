@@ -2,20 +2,27 @@
 // enough to leave on and free when off.
 //
 // Runs the GMM incremental-reconfiguration session (the ISSUE's reference
-// workload) under four observability configurations:
-//   baseline  instrumentation compiled in, no registry, no sink (the
-//             "disabled" path every production run takes),
-//   metrics   a MetricsRegistry attached through SessionOptions,
-//   ring      an in-memory RingSink receiving every event,
-//   jsonl     a JsonlSink writing the full trace to bench_artifacts/.
+// workload) under five observability configurations:
+//   baseline   instrumentation compiled in, no registry, no sink (the
+//              "disabled" path every production run takes),
+//   metrics    a MetricsRegistry attached through SessionOptions,
+//   telemetry  the full service telemetry plane: metrics registry plus a
+//              per-run JobScope (causal job context on every event) plus a
+//              MetricsExporter delta scrape after every run — the exact
+//              per-job cost approxit_serve pays with stats_export polling,
+//   ring       an in-memory RingSink receiving every event,
+//   jsonl      a JsonlSink writing the full trace to bench_artifacts/.
 // Samples are interleaved across configurations (so drift hits all of them
 // equally) and the median sample is reported. Every configuration must
 // leave the method in the BIT-IDENTICAL final state with the identical
 // energy total — observation must never perturb the computation.
 //
-// Emits bench_artifacts/BENCH_obs_overhead.json. Exit is non-zero only on
-// a correctness violation (non-identical results) or a gross slowdown;
-// the <2% attached-overhead target is reported against the median.
+// Emits bench_artifacts/BENCH_obs_overhead.json. Exit is non-zero on a
+// correctness violation (non-identical results), a gross slowdown, or a
+// telemetry-plane overhead above the 2% budget. The telemetry gate is
+// jitter-robust: it fails only when BOTH the min-vs-min and the
+// median-vs-median overhead exceed 2% — a loaded CI box inflates the
+// median, but the minimum sample approximates the true cost.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -33,6 +40,7 @@
 #include "core/incremental_strategy.h"
 #include "core/session.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/table.h"
 #include "workloads/datasets.h"
@@ -45,9 +53,10 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kSamples = 9;      ///< Median over this many samples.
 constexpr std::size_t kRunsPerSample = 3;  ///< Sessions per timed sample.
 
-enum class Config { kBaseline = 0, kMetrics, kRing, kJsonl };
-constexpr std::array<const char*, 4> kConfigNames = {"baseline", "metrics",
-                                                     "ring", "jsonl"};
+enum class Config { kBaseline = 0, kMetrics, kTelemetry, kRing, kJsonl };
+constexpr std::array<const char*, 5> kConfigNames = {
+    "baseline", "metrics", "telemetry", "ring", "jsonl"};
+constexpr std::size_t kJsonlIndex = static_cast<std::size_t>(Config::kJsonl);
 
 struct ConfigResult {
   std::vector<double> samples_ms;
@@ -60,6 +69,10 @@ struct ConfigResult {
     std::vector<double> sorted = samples_ms;
     std::sort(sorted.begin(), sorted.end());
     return sorted[sorted.size() / 2];
+  }
+
+  double min_ms() const {
+    return *std::min_element(samples_ms.begin(), samples_ms.end());
   }
 };
 
@@ -81,8 +94,10 @@ int run() {
   const std::string trace_path =
       bench::artifact_path("obs_overhead_trace.jsonl");
 
-  std::array<ConfigResult, 4> results;
+  std::array<ConfigResult, 5> results;
   obs::MetricsRegistry registry;
+  obs::MetricsExporter exporter;
+  std::size_t exporter_bytes = 0;
 
   // Interleaved sampling: one sample of every configuration per round, so
   // thermal/scheduler drift is spread evenly instead of biasing whichever
@@ -98,10 +113,13 @@ int run() {
         sink = std::make_unique<obs::JsonlSink>(trace_path);
       }
       if (sink) obs::set_trace_sink(sink.get());
-      if (config == Config::kMetrics) registry.reset();
+      const bool wants_metrics =
+          config == Config::kMetrics || config == Config::kTelemetry;
+      if (wants_metrics) registry.reset();
+      if (config == Config::kTelemetry) exporter.reset_baseline();
 
       core::SessionOptions options;
-      if (config == Config::kMetrics) options.hooks.metrics = &registry;
+      if (wants_metrics) options.hooks.metrics = &registry;
 
       core::RunReport last_report;
       const auto start = Clock::now();
@@ -110,7 +128,26 @@ int run() {
         core::IncrementalStrategy strategy;
         core::ApproxItSession session(method, strategy, alu);
         session.set_characterization(characterization);
-        last_report = session.run(options);
+        if (config == Config::kTelemetry) {
+          // What approxit_serve pays per job: a causal job context (every
+          // event tags job/tenant/attempt) and a delta scrape after the
+          // run, as approxit_top's stats_export polling would trigger.
+          obs::JobContext context;
+          context.job_id = sample * kRunsPerSample + r + 1;
+          context.tenant = "bench";
+          context.attempt = 1;
+          obs::JobScope job_scope(context, 1000, "bench-job");
+          last_report = session.run(options);
+        } else {
+          last_report = session.run(options);
+        }
+        if (config == Config::kTelemetry) {
+          exporter_bytes +=
+              exporter
+                  .export_delta(registry,
+                                obs::MetricsExporter::Format::kJsonLines)
+                  .size();
+        }
         if (sample == 0 && r == 0) {
           results[c].final_state = method.state();
         }
@@ -119,7 +156,7 @@ int run() {
 
       if (sink) obs::set_trace_sink(nullptr);
       if (config == Config::kJsonl && sample == 0) {
-        results[c].events_written =
+        results[kJsonlIndex].events_written =
             static_cast<obs::JsonlSink*>(sink.get())->events_written();
       }
       if (sample == 0) {
@@ -144,7 +181,7 @@ int run() {
   table.set_header({"Config", "Median ms", "Overhead", "Identical"});
   table.set_align(0, util::Align::kLeft);
   const double base_ms = baseline.median_ms();
-  std::array<double, 4> overhead{};
+  std::array<double, 5> overhead{};
   for (std::size_t c = 0; c < results.size(); ++c) {
     const double ms = results[c].median_ms();
     overhead[c] = base_ms > 0.0 ? (ms - base_ms) / base_ms : 0.0;
@@ -158,8 +195,8 @@ int run() {
   std::cout << table << "\n";
   std::printf("baseline = instrumentation compiled in, observability off\n");
   std::printf("jsonl trace: %zu events for %zu iterations -> %s\n",
-              results[3].events_written, results[3].iterations,
-              trace_path.c_str());
+              results[kJsonlIndex].events_written,
+              results[kJsonlIndex].iterations, trace_path.c_str());
 
   const double worst_overhead =
       *std::max_element(overhead.begin(), overhead.end());
@@ -167,6 +204,26 @@ int run() {
   std::printf("worst attached overhead: %s (<2%% target %s)\n",
               util::format_percent(worst_overhead).c_str(),
               meets_target ? "met" : "MISSED");
+
+  // Telemetry-plane budget: compare both median-vs-median and min-vs-min
+  // against the baseline. The min pair is the jitter-robust estimate (the
+  // quietest round of each interleaved schedule); the gate below requires
+  // BOTH to blow the 2% budget before failing.
+  const ConfigResult& telemetry =
+      results[static_cast<std::size_t>(Config::kTelemetry)];
+  const double telemetry_median_overhead =
+      overhead[static_cast<std::size_t>(Config::kTelemetry)];
+  const double base_min = baseline.min_ms();
+  const double telemetry_min_overhead =
+      base_min > 0.0 ? (telemetry.min_ms() - base_min) / base_min : 0.0;
+  const bool telemetry_within_budget =
+      telemetry_median_overhead < 0.02 || telemetry_min_overhead < 0.02;
+  std::printf(
+      "telemetry plane: median overhead %s, min overhead %s, scrape bytes "
+      "%zu (<2%% budget %s)\n",
+      util::format_percent(telemetry_median_overhead).c_str(),
+      util::format_percent(telemetry_min_overhead).c_str(), exporter_bytes,
+      telemetry_within_budget ? "met" : "MISSED");
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"obs_overhead\",\n"
@@ -181,10 +238,14 @@ int run() {
          << (c + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"iterations\": " << baseline.iterations
-       << ",\n  \"trace_events\": " << results[3].events_written
+       << ",\n  \"trace_events\": " << results[kJsonlIndex].events_written
+       << ",\n  \"telemetry_overhead_median\": " << telemetry_median_overhead
+       << ",\n  \"telemetry_overhead_min\": " << telemetry_min_overhead
+       << ",\n  \"telemetry_scrape_bytes\": " << exporter_bytes
        << ",\n  \"identical\": " << (identical ? "true" : "false")
        << ",\n  \"meets_2pct_target\": " << (meets_target ? "true" : "false")
-       << "\n}\n";
+       << ",\n  \"telemetry_within_budget\": "
+       << (telemetry_within_budget ? "true" : "false") << "\n}\n";
 
   const std::string path = bench::artifact_path("BENCH_obs_overhead.json");
   std::ofstream out(path);
@@ -200,6 +261,13 @@ int run() {
   // sits far from the target.
   if (worst_overhead > 0.25) {
     std::printf("FAIL: attached overhead above 25%%\n");
+    return 1;
+  }
+  // The telemetry plane has a hard 2% budget (ISSUE invariant). Both the
+  // median and the min estimate must exceed it before the gate trips, so a
+  // single noisy round on a loaded CI box cannot fail the build.
+  if (!telemetry_within_budget) {
+    std::printf("FAIL: telemetry-plane overhead above the 2%% budget\n");
     return 1;
   }
   return 0;

@@ -135,6 +135,7 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   bool aborted = false;
   WatchdogTrigger abort_trigger = WatchdogTrigger::kNone;
   CancelReason cancel_reason = CancelReason::kNone;
+  double final_step_norm = 0.0;
 
   while (report.iterations < budget) {
     // Cooperative stop point: a cancelled/deadline-expired run releases
@@ -157,6 +158,7 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
     const opt::IterationStats stats = method_.iterate(alu_);
     ++report.iterations;
     ++report.steps_per_mode[arith::mode_index(mode)];
+    final_step_norm = stats.step_norm;
 
     const double energy_after = alu_.ledger().total_energy();
     const double iteration_energy = energy_after - energy_before;
@@ -352,7 +354,9 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
     metrics.counter("session.watchdog_triggers")
         .add(static_cast<double>(report.watchdog.total()));
     metrics.counter("session.energy").add(report.total_energy);
+    if (report.converged) metrics.counter("session.converged").add(1.0);
     metrics.gauge("session.final_objective").set(report.final_objective);
+    metrics.gauge("session.final_step_norm").set(final_step_norm);
   }
   if (obs::trace_enabled()) {
     obs::emit_instant("session", "run_complete",

@@ -312,9 +312,14 @@ void SpmvWorkspace::run(const CsrMatrix& m, arith::ArithContext& ctx,
     nnz_counter_->add(static_cast<double>(m.nnz()));
   }
 
+  // Shards run on pool threads that don't inherit this thread's job
+  // context: capture it here and re-bind inside each shard, so a serving
+  // job's sparse lanes still carry its job/tenant/attempt identity.
+  const obs::JobContext job_context = obs::current_job();
   const auto run_shard = [&](std::size_t s) {
     Shard& shard = shards_[s];
     if (obs::trace_enabled()) {
+      const obs::JobScope job_scope(job_context);
       obs::LaneScope lane(static_cast<std::uint32_t>(s + 1),
                           shard.lane_name);
       const double start = obs::trace_now_us();

@@ -1,0 +1,428 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace approxit::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 4);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` rendering of a label map, with an optional extra label
+/// appended LAST (Prometheus convention places `le` after user labels).
+std::string label_block(const std::map<std::string, std::string>& labels,
+                        std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + std::string(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string labels_json(const std::map<std::string, std::string>& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  if (labels.size() == 0) return std::string(base);
+  // Canonicalize through a sorted map so equal label sets always render
+  // the same name regardless of call-site ordering.
+  std::map<std::string, std::string> sorted;
+  for (const auto& [key, value] : labels) {
+    sorted[std::string(key)] = std::string(value);
+  }
+  return std::string(base) + label_block(sorted);
+}
+
+ParsedMetricName parse_metric_name(std::string_view name) {
+  ParsedMetricName parsed;
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    parsed.base = std::string(name);
+    return parsed;
+  }
+  parsed.base = std::string(name.substr(0, brace));
+  std::string_view body = name.substr(brace + 1, name.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string_view::npos || eq + 1 >= body.size() ||
+        body[eq + 1] != '"') {
+      break;  // Not our canonical encoding: treat the rest as opaque.
+    }
+    const std::string key(body.substr(pos, eq - pos));
+    std::string value;
+    std::size_t i = eq + 2;
+    bool closed = false;
+    for (; i < body.size(); ++i) {
+      if (body[i] == '\\' && i + 1 < body.size()) {
+        value += body[++i];
+      } else if (body[i] == '"') {
+        closed = true;
+        ++i;
+        break;
+      } else {
+        value += body[i];
+      }
+    }
+    if (!closed) break;
+    parsed.labels[key] = std::move(value);
+    if (i < body.size() && body[i] == ',') ++i;
+    pos = i;
+  }
+  return parsed;
+}
+
+MetricsExporter::MetricsExporter(std::string prefix)
+    : prefix_(std::move(prefix)) {}
+
+std::string MetricsExporter::family_name(std::string_view base) const {
+  std::string out = prefix_.empty() ? "" : prefix_ + "_";
+  for (char c : base) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string MetricsExporter::export_full(const MetricsRegistry& registry,
+                                         Format format) const {
+  std::vector<Sample> counters, gauges, histograms;
+  for (const auto& [name, value] : registry.counter_values()) {
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.value = value;
+    counters.push_back(std::move(sample));
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.value = value;
+    gauges.push_back(std::move(sample));
+  }
+  for (const auto& [name, sketch] : registry.histogram_values()) {
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.count = sketch.count();
+    sample.sum = sketch.stats().sum();
+    sample.buckets = sketch.buckets();
+    sample.lo = sketch.lo();
+    sample.hi = sketch.hi();
+    sample.sketch = sketch;
+    sample.has_sketch = true;
+    histograms.push_back(std::move(sample));
+  }
+  return render(counters, gauges, histograms, format);
+}
+
+std::string MetricsExporter::export_delta(const MetricsRegistry& registry,
+                                          Format format) {
+  std::vector<Sample> counters, gauges, histograms;
+  for (const auto& [name, value] : registry.counter_values()) {
+    const auto it = counter_baseline_.find(name);
+    const double last = it == counter_baseline_.end() ? 0.0 : it->second;
+    // A counter below its baseline means the registry was reset: report
+    // the full current value so nothing is silently lost.
+    const double delta = value >= last ? value - last : value;
+    counter_baseline_[name] = value;
+    if (delta == 0.0) continue;
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.value = delta;
+    counters.push_back(std::move(sample));
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const auto it = gauge_baseline_.find(name);
+    const bool changed = it == gauge_baseline_.end() || it->second != value;
+    gauge_baseline_[name] = value;
+    if (!changed) continue;
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.value = value;
+    gauges.push_back(std::move(sample));
+  }
+  for (const auto& [name, sketch] : registry.histogram_values()) {
+    HistogramBaseline& base = histogram_baseline_[name];
+    const std::size_t count = sketch.count();
+    const double sum = sketch.stats().sum();
+    if (base.buckets.size() != sketch.buckets().size() ||
+        count < base.count) {
+      base.buckets.assign(sketch.buckets().size(), 0);
+      base.count = 0;
+      base.sum = 0.0;
+    }
+    if (count == base.count) continue;
+    Sample sample;
+    sample.name = parse_metric_name(name);
+    sample.count = count - base.count;
+    sample.sum = sum - base.sum;
+    sample.lo = sketch.lo();
+    sample.hi = sketch.hi();
+    sample.buckets.resize(sketch.buckets().size());
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      sample.buckets[i] = sketch.buckets()[i] - base.buckets[i];
+    }
+    base.count = count;
+    base.sum = sum;
+    base.buckets = sketch.buckets();
+    histograms.push_back(std::move(sample));
+  }
+  if (counters.empty() && gauges.empty() && histograms.empty()) return "";
+  return render(counters, gauges, histograms, format);
+}
+
+void MetricsExporter::reset_baseline() {
+  counter_baseline_.clear();
+  gauge_baseline_.clear();
+  histogram_baseline_.clear();
+}
+
+std::string MetricsExporter::render(const std::vector<Sample>& counters,
+                                    const std::vector<Sample>& gauges,
+                                    const std::vector<Sample>& histograms,
+                                    Format format) const {
+  std::string out;
+  if (format == Format::kJsonLines) {
+    const auto emit_scalar = [&](const Sample& sample, const char* type) {
+      out += "{\"metric\":\"" + json_escape(sample.name.base) +
+             "\",\"labels\":" + labels_json(sample.name.labels) +
+             ",\"type\":\"" + type +
+             "\",\"value\":" + format_double(sample.value) + "}\n";
+    };
+    for (const Sample& sample : counters) emit_scalar(sample, "counter");
+    for (const Sample& sample : gauges) emit_scalar(sample, "gauge");
+    for (const Sample& sample : histograms) {
+      out += "{\"metric\":\"" + json_escape(sample.name.base) +
+             "\",\"labels\":" + labels_json(sample.name.labels) +
+             ",\"type\":\"histogram\"";
+      out += ",\"count\":" + std::to_string(sample.count);
+      out += ",\"sum\":" + format_double(sample.sum);
+      if (sample.has_sketch) {
+        out += ",\"mean\":" + format_double(sample.sketch.stats().mean());
+        out += ",\"p50\":" + format_double(sample.sketch.p50());
+        out += ",\"p90\":" + format_double(sample.sketch.p90());
+        out += ",\"p99\":" + format_double(sample.sketch.p99());
+      } else {
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          out += std::to_string(sample.buckets[i]);
+        }
+        out += "]";
+      }
+      out += "}\n";
+    }
+    return out;
+  }
+
+  // Prometheus text exposition: families sorted by exported name, one
+  // # TYPE line per family, then its samples in registry (sorted) order.
+  const auto emit_family =
+      [&](const std::vector<Sample>& samples, const char* type,
+          const auto& emit_sample) {
+        std::string last_family;
+        for (const Sample& sample : samples) {
+          const std::string family = family_name(sample.name.base);
+          if (family != last_family) {
+            out += "# TYPE " + family + " " + type + "\n";
+            last_family = family;
+          }
+          emit_sample(sample, family);
+        }
+      };
+  emit_family(counters, "counter", [&](const Sample& s, const std::string& f) {
+    out += f + label_block(s.name.labels) + " " + format_double(s.value) +
+           "\n";
+  });
+  emit_family(gauges, "gauge", [&](const Sample& s, const std::string& f) {
+    out += f + label_block(s.name.labels) + " " + format_double(s.value) +
+           "\n";
+  });
+  emit_family(
+      histograms, "histogram", [&](const Sample& s, const std::string& f) {
+        std::size_t cumulative = 0;
+        const std::size_t bins = s.buckets.size();
+        for (std::size_t i = 0; i < bins; ++i) {
+          cumulative += s.buckets[i];
+          const double edge = s.lo + (s.hi - s.lo) *
+                                         static_cast<double>(i + 1) /
+                                         static_cast<double>(bins);
+          out += f + "_bucket" +
+                 label_block(s.name.labels, "le", format_double(edge)) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += f + "_bucket" + label_block(s.name.labels, "le", "+Inf") +
+               " " + std::to_string(s.count) + "\n";
+        out += f + "_sum" + label_block(s.name.labels) + " " +
+               format_double(s.sum) + "\n";
+        out += f + "_count" + label_block(s.name.labels) + " " +
+               std::to_string(s.count) + "\n";
+      });
+  return out;
+}
+
+// --- quality scorecard -----------------------------------------------------
+
+double TenantScore::rolling_quality() const {
+  if (rolling.empty()) return 0.0;
+  double sum = 0.0;
+  for (double q : rolling) sum += q;
+  return sum / static_cast<double>(rolling.size());
+}
+
+QualityScorecard::QualityScorecard(ScorecardConfig config)
+    : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+}
+
+bool QualityScorecard::record(const JobOutcome& outcome) {
+  TenantScore& score = tenants_[outcome.tenant];
+  ++score.jobs;
+  if (outcome.converged) ++score.converged;
+  if (outcome.degraded_admission) ++score.degraded_admissions;
+  if (outcome.terminal == "deadline_exceeded") ++score.deadline_exceeded;
+  if (outcome.terminal == "cancelled") ++score.cancelled;
+  if (outcome.terminal == "failed") ++score.failed;
+  score.quality.add(outcome.quality_error);
+  score.energy_ratio.add(outcome.energy_ratio);
+  score.latency_ms.add(outcome.latency_ms);
+  score.rolling.push_back(outcome.quality_error);
+  while (score.rolling.size() > config_.window) score.rolling.pop_front();
+
+  if (config_.quality_threshold <= 0.0) return false;
+  const bool above = score.rolling_quality() >= config_.quality_threshold;
+  const bool crossed = above && !score.above_threshold;
+  score.above_threshold = above;
+  if (crossed) {
+    ++score.threshold_crossings;
+    ++crossings_;
+  }
+  return crossed;
+}
+
+void QualityScorecard::export_to(MetricsRegistry& registry) const {
+  // Gauges throughout (set semantics): re-exporting into a long-lived
+  // registry overwrites instead of double-counting.
+  for (const auto& [tenant, score] : tenants_) {
+    const auto set = [&](std::string_view base, double value) {
+      registry.gauge(labeled(base, {{"tenant", tenant}})).set(value);
+    };
+    set("svc.scorecard.jobs", static_cast<double>(score.jobs));
+    set("svc.scorecard.converged", static_cast<double>(score.converged));
+    set("svc.scorecard.failed", static_cast<double>(score.failed));
+    set("svc.scorecard.cancelled", static_cast<double>(score.cancelled));
+    set("svc.scorecard.deadline_exceeded",
+        static_cast<double>(score.deadline_exceeded));
+    set("svc.scorecard.degraded_admissions",
+        static_cast<double>(score.degraded_admissions));
+    set("svc.scorecard.quality_mean", score.quality.mean());
+    set("svc.scorecard.quality_max",
+        score.quality.count() > 0 ? score.quality.max() : 0.0);
+    set("svc.scorecard.quality_rolling", score.rolling_quality());
+    set("svc.scorecard.energy_ratio_mean", score.energy_ratio.mean());
+    set("svc.scorecard.latency_ms_mean", score.latency_ms.mean());
+    set("svc.scorecard.threshold_crossings",
+        static_cast<double>(score.threshold_crossings));
+  }
+  registry.gauge("svc.scorecard.total_threshold_crossings")
+      .set(static_cast<double>(crossings_));
+}
+
+std::string QualityScorecard::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, score] : tenants_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(tenant) << "\":{"
+       << "\"jobs\":" << score.jobs
+       << ",\"converged\":" << score.converged
+       << ",\"failed\":" << score.failed
+       << ",\"cancelled\":" << score.cancelled
+       << ",\"deadline_exceeded\":" << score.deadline_exceeded
+       << ",\"degraded_admissions\":" << score.degraded_admissions
+       << ",\"quality_mean\":" << score.quality.mean()
+       << ",\"quality_max\":"
+       << (score.quality.count() > 0 ? score.quality.max() : 0.0)
+       << ",\"quality_rolling\":" << score.rolling_quality()
+       << ",\"energy_ratio_mean\":" << score.energy_ratio.mean()
+       << ",\"latency_ms_mean\":" << score.latency_ms.mean()
+       << ",\"latency_ms_max\":"
+       << (score.latency_ms.count() > 0 ? score.latency_ms.max() : 0.0)
+       << ",\"threshold_crossings\":" << score.threshold_crossings << "}";
+  }
+  os << "},\"threshold_crossings\":" << crossings_ << "}";
+  return os.str();
+}
+
+}  // namespace approxit::obs

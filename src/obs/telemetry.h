@@ -1,0 +1,211 @@
+// Telemetry plane: metric export and per-tenant quality scorecards.
+//
+// The MetricsRegistry (obs/metrics.h) is deliberately dumb in-process
+// state; this header is what turns it into a fleet-grade signal:
+//
+//   labeled()         canonical label encoding INSIDE a metric name —
+//                     `svc.tenant.jobs{tenant="t1"}` — so the existing
+//                     registry (sorted names, fixed merge order) carries
+//                     per-tenant series without a schema change;
+//   MetricsExporter   snapshots any registry into the Prometheus text
+//                     exposition format or line-JSON. Output ordering is
+//                     total (sorted families, sorted label sets, %.17g
+//                     values), so two registries with equal contents export
+//                     BYTE-IDENTICAL documents — the property the serving
+//                     determinism tests gate on. export_delta() returns
+//                     only what changed since the previous delta scrape
+//                     (monotonic counter deltas, histogram bucket deltas),
+//                     and an idle registry exports the empty string;
+//   QualityScorecard  per-tenant rolling quality aggregation with an
+//                     edge-triggered threshold-crossing signal — the
+//                     paper's quality metric (QEM surrogate) promoted to a
+//                     first-class exported, alertable series.
+//
+// Everything here is pure observation: exporters and scorecards read
+// snapshots, never mutate the registry, and never touch the numeric path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/stats.h"
+
+namespace approxit::obs {
+
+// --- labeled metric names --------------------------------------------------
+
+/// Canonical labeled metric name: `base{k1="v1",k2="v2"}` with keys sorted
+/// and `\` / `"` escaped in values. Equal (base, labels) pairs always
+/// produce the same string, so labeled series merge correctly across
+/// registries. An empty label list returns `base` unchanged.
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Parsed form of a (possibly labeled) registry metric name.
+struct ParsedMetricName {
+  std::string base;  ///< Name with any trailing `{...}` stripped.
+  std::map<std::string, std::string> labels;
+};
+
+/// Inverse of labeled(). A name without a well-formed `{k="v",...}` suffix
+/// parses as an unlabeled base.
+ParsedMetricName parse_metric_name(std::string_view name);
+
+// --- exporter --------------------------------------------------------------
+
+/// Snapshots MetricsRegistry contents into interchange formats.
+///
+/// A default-constructed exporter is stateless for export_full(); the
+/// delta baseline (what export_delta() diffs against) accumulates inside
+/// the exporter, so one long-lived exporter per scrape endpoint gives
+/// monotonic delta snapshots: every counter increment is reported exactly
+/// once across the scrape sequence, and a scrape with no traffic since the
+/// last one returns the empty string.
+class MetricsExporter {
+ public:
+  enum class Format {
+    kPrometheus,  ///< Prometheus text exposition (# TYPE + samples).
+    kJsonLines,   ///< One JSON object per metric per line.
+  };
+
+  /// `prefix` is prepended to every Prometheus family name (dots and other
+  /// invalid characters in metric names become '_').
+  explicit MetricsExporter(std::string prefix = "approxit");
+
+  /// Full cumulative snapshot. Deterministic: equal registry contents
+  /// yield byte-identical output.
+  std::string export_full(const MetricsRegistry& registry,
+                          Format format) const;
+
+  /// Changes since the previous export_delta() call (or since
+  /// construction / reset_baseline()): counters report their increment,
+  /// gauges their new value when it changed, histograms their bucket and
+  /// sum increments. Metrics with no change are omitted entirely; a fully
+  /// idle registry exports "".
+  std::string export_delta(const MetricsRegistry& registry, Format format);
+
+  /// Forgets the delta baseline: the next export_delta() reports
+  /// everything as new.
+  void reset_baseline();
+
+  /// Prometheus-legal family name for a registry base name
+  /// (prefix + '_' + base with invalid characters replaced by '_').
+  std::string family_name(std::string_view base) const;
+
+ private:
+  struct HistogramBaseline {
+    std::size_t count = 0;
+    double sum = 0.0;
+    std::vector<std::size_t> buckets;
+  };
+
+  /// One exportable sample, pre-parsed and pre-diffed.
+  struct Sample {
+    ParsedMetricName name;
+    double value = 0.0;                ///< Counters/gauges.
+    std::size_t count = 0;             ///< Histograms.
+    double sum = 0.0;                  ///< Histograms.
+    std::vector<std::size_t> buckets;  ///< Histograms (per-bin counts).
+    double lo = 0.0, hi = 0.0;         ///< Histogram layout.
+    util::BucketHistogram sketch;      ///< Full snapshot (quantiles).
+    bool has_sketch = false;           ///< False for delta histograms.
+  };
+
+  std::string render(const std::vector<Sample>& counters,
+                     const std::vector<Sample>& gauges,
+                     const std::vector<Sample>& histograms,
+                     Format format) const;
+
+  std::string prefix_;
+  std::map<std::string, double> counter_baseline_;
+  std::map<std::string, double> gauge_baseline_;
+  std::map<std::string, HistogramBaseline> histogram_baseline_;
+};
+
+// --- quality scorecard -----------------------------------------------------
+
+/// Scorecard policy knobs.
+struct ScorecardConfig {
+  /// Rolling-window length (jobs) of the per-tenant quality mean.
+  std::size_t window = 32;
+  /// Rolling mean quality error at or above which a tenant is flagged as
+  /// degraded (edge-triggered: one crossing event per excursion).
+  /// 0 disables the threshold signal.
+  double quality_threshold = 0.0;
+};
+
+/// Per-tenant aggregate of one scorecard.
+struct TenantScore {
+  std::size_t jobs = 0;
+  std::size_t converged = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t degraded_admissions = 0;
+  util::RunningStats quality;       ///< QEM quality error per job.
+  util::RunningStats energy_ratio;  ///< Approx/accurate energy per job.
+  util::RunningStats latency_ms;    ///< Admission -> terminal.
+  std::deque<double> rolling;       ///< Newest-last quality window.
+  bool above_threshold = false;     ///< Crossing latch.
+  std::size_t threshold_crossings = 0;
+
+  /// Mean of the rolling window (0 when empty).
+  double rolling_quality() const;
+};
+
+/// Outcome fed into QualityScorecard::record for one terminal job.
+struct JobOutcome {
+  std::string tenant;
+  double quality_error = 0.0;  ///< QEM surrogate (steps-weighted epsilon).
+  double energy_ratio = 1.0;   ///< Spent energy / accurate-equivalent.
+  double latency_ms = 0.0;
+  bool converged = false;
+  bool degraded_admission = false;
+  /// Terminal state name ("done", "failed", "cancelled",
+  /// "deadline_exceeded").
+  std::string terminal = "done";
+};
+
+/// Aggregates terminal-job outcomes into per-tenant quality/SLO
+/// distributions. NOT thread-safe (the serving runtime records under its
+/// own mutex). Record order follows job completion, so rolling-window
+/// state is an operational signal, not a determinism-gated one.
+class QualityScorecard {
+ public:
+  explicit QualityScorecard(ScorecardConfig config = {});
+
+  /// Folds one job in. Returns true when this record pushed the tenant's
+  /// rolling quality mean ACROSS the threshold (rising edge only).
+  bool record(const JobOutcome& outcome);
+
+  const std::map<std::string, TenantScore>& tenants() const {
+    return tenants_;
+  }
+
+  std::size_t threshold_crossings() const { return crossings_; }
+
+  /// Writes the scorecard into a registry as labeled gauges/counters
+  /// (svc.scorecard.* families with tenant labels).
+  void export_to(MetricsRegistry& registry) const;
+
+  /// The scorecard JSON document the CI job uploads:
+  /// {"tenants":{"t1":{...}},"threshold_crossings":N}.
+  std::string to_json() const;
+
+ private:
+  ScorecardConfig config_;
+  std::map<std::string, TenantScore> tenants_;
+  std::size_t crossings_ = 0;
+};
+
+}  // namespace approxit::obs

@@ -338,9 +338,37 @@ double trace_now_us() {
 
 namespace {
 thread_local std::uint32_t t_lane = 0;
+thread_local JobContext t_job;
+
+/// Appends the active job identity to an event's args — the causal stamp
+/// that lets one grep follow a job through every instrumented layer.
+void append_job_context(std::vector<TraceArg>& args) {
+  if (!t_job.active) return;
+  args.push_back(arg("job", static_cast<std::size_t>(t_job.job_id)));
+  args.push_back(arg("tenant", t_job.tenant));
+  args.push_back(arg("attempt", t_job.attempt));
+}
 }  // namespace
 
 std::uint32_t current_lane() { return t_lane; }
+
+const JobContext& current_job() { return t_job; }
+
+JobScope::JobScope(const JobContext& context) : previous_(t_job) {
+  // Verbatim copy: propagating an INACTIVE context (current_job() outside
+  // any job) into a pool thread must stay inactive, not invent job 0.
+  t_job = context;
+}
+
+JobScope::JobScope(const JobContext& context, std::uint32_t lane,
+                   std::string_view lane_name)
+    : previous_(t_job),
+      lane_(std::make_unique<LaneScope>(lane, lane_name)) {
+  t_job = context;
+  t_job.active = true;
+}
+
+JobScope::~JobScope() { t_job = previous_; }
 
 void emit_instant(std::string_view category, std::string_view name,
                   std::vector<TraceArg> args) {
@@ -353,6 +381,7 @@ void emit_instant(std::string_view category, std::string_view name,
   event.ts_us = trace_now_us();
   event.lane = t_lane;
   event.args = std::move(args);
+  append_job_context(event.args);
   sink->emit(event);
 }
 
@@ -368,6 +397,7 @@ void emit_span(std::string_view category, std::string_view name,
   event.dur_us = trace_now_us() - start_us;
   event.lane = t_lane;
   event.args = std::move(args);
+  append_job_context(event.args);
   sink->emit(event);
 }
 

@@ -183,6 +183,52 @@ void emit_span(std::string_view category, std::string_view name,
 /// Current thread's lane id (0 outside any LaneScope).
 std::uint32_t current_lane();
 
+// --- causal job context ----------------------------------------------------
+
+class LaneScope;
+
+/// The causal identity of one serving job: everything emitted while a
+/// JobScope is active — admission decisions, cache lookups, session
+/// iterations, watchdog rungs — carries these three fields as "job",
+/// "tenant" and "attempt" args, so one grep (or one Chrome-trace lane)
+/// reconstructs a job's whole life across layers that never heard of the
+/// serving runtime.
+struct JobContext {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::size_t attempt = 0;
+  /// False for the empty context outside any JobScope.
+  bool active = false;
+};
+
+/// This thread's job context (inactive outside any JobScope).
+const JobContext& current_job();
+
+/// Scoped job-context binding: sets the thread-local JobContext (and
+/// optionally a per-job trace lane) for the duration of one job execution;
+/// restores the previous context on destruction. Pure observation — when
+/// tracing is off the only cost is the thread-local save/restore.
+class JobScope {
+ public:
+  /// Binds `context` verbatim without touching the lane — the propagation
+  /// form (e.g. re-binding current_job() inside a worker-pool shard; an
+  /// inactive context stays inactive).
+  explicit JobScope(const JobContext& context);
+
+  /// Binds `context` as ACTIVE plus a dedicated trace lane named
+  /// `lane_name`, so the job's events render as one Chrome-trace lane.
+  JobScope(const JobContext& context, std::uint32_t lane,
+           std::string_view lane_name);
+
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+  ~JobScope();
+
+ private:
+  JobContext previous_;
+  std::unique_ptr<LaneScope> lane_;
+};
+
 /// Scoped lane binding for one sweep arm / worker: sets the thread-local
 /// lane id, emits a lane-naming metadata event, restores the previous lane
 /// on destruction.

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace approxit::svc {
@@ -467,6 +468,11 @@ core::ModeCharacterization ProfileCache::get_or_compute(
       count(&ProfileCacheStats::hits, metric_hit_);
       if (from_disk) count(&ProfileCacheStats::disk_hits, metric_disk_hit_);
       if (cache_hit != nullptr) *cache_hit = true;
+      if (obs::trace_enabled()) {
+        obs::emit_instant("svc", "cache_hit",
+                          {obs::arg("key", key.description),
+                           obs::arg("source", from_disk ? "disk" : "memory")});
+      }
       return *std::move(profile);
     }
 
@@ -477,6 +483,11 @@ core::ModeCharacterization ProfileCache::get_or_compute(
       flight = it->second;
       count(&ProfileCacheStats::hits, metric_hit_);
       ++stats_.single_flight_waits;
+      if (obs::trace_enabled()) {
+        obs::emit_instant("svc", "cache_hit",
+                          {obs::arg("key", key.description),
+                           obs::arg("source", "wait")});
+      }
       lock.unlock();
       std::unique_lock<std::mutex> flight_lock(flight->mutex);
       flight->cv.wait(flight_lock, [&] { return flight->done; });
@@ -488,6 +499,10 @@ core::ModeCharacterization ProfileCache::get_or_compute(
     count(&ProfileCacheStats::misses, metric_miss_);
     flight = std::make_shared<InFlight>();
     inflight_[key.description] = flight;
+  }
+  if (obs::trace_enabled()) {
+    obs::emit_instant("svc", "cache_miss",
+                      {obs::arg("key", key.description)});
   }
 
   if (cache_hit != nullptr) *cache_hit = false;

@@ -102,6 +102,7 @@ ServiceRuntime::ServiceRuntime(ServiceConfig config)
       ar_alu_(apps::ar_qcs_config()) {
   if (config_.threads == 0) config_.threads = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  scorecard_ = obs::QualityScorecard(config_.telemetry);
   paused_ = config_.start_paused;
   workers_.reserve(config_.threads);
   for (std::size_t i = 0; i < config_.threads; ++i) {
@@ -153,14 +154,25 @@ double ServiceRuntime::job_cost(const JobSpec& spec) {
 
 std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
                                                     std::string* error) {
+  const auto trace_reject = [&spec](std::string_view reason) {
+    if (obs::trace_enabled()) {
+      obs::emit_instant("svc", "reject",
+                        {obs::arg("tenant", spec.tenant),
+                         obs::arg("reason", reason)});
+    }
+  };
   if (!validate(spec, error)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++tallies_.rejected_bad_request;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++tallies_.rejected_bad_request;
+    }
+    trace_reject("bad_request");
     return std::nullopt;
   }
 
   std::uint64_t id = 0;
   bool degraded = false;
+  double deadline_rel = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -179,6 +191,7 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
         ++tallies_.rejected_rate_limited;
         qos_metrics_.counter("svc.shed.rate_limited").add(1.0);
         if (error != nullptr) *error = "rate_limited";
+        trace_reject("rate_limited");
         return std::nullopt;
       }
     }
@@ -186,6 +199,7 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
       ++tallies_.rejected_queue_full;
       qos_metrics_.counter("svc.shed.queue_full").add(1.0);
       if (error != nullptr) *error = "queue_full";
+      trace_reject("queue_full");
       return std::nullopt;
     }
     // Graceful degradation before shedding: between the watermarks a job
@@ -201,6 +215,7 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
         ++tallies_.shed;
         qos_metrics_.counter("svc.shed.overload").add(1.0);
         if (error != nullptr) *error = "shed_overload";
+        trace_reject("shed_overload");
         return std::nullopt;
       }
     } else if (config_.qos.degrade_watermark > 0 &&
@@ -213,6 +228,7 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
       if (active >= config_.per_tenant_cap) {
         ++tallies_.rejected_tenant_cap;
         if (error != nullptr) *error = "tenant_cap";
+        trace_reject("tenant_cap");
         return std::nullopt;
       }
     }
@@ -230,11 +246,12 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
     const double skew = config_.chaos.clock_skew_ms;
     job->cancel = core::CancelSource(
         [skew] { return now_ms() + skew; });
-    const double deadline_rel =
+    deadline_rel =
         spec.deadline_ms > 0.0 ? spec.deadline_ms : config_.qos.slo_ms;
     if (deadline_rel > 0.0) {
       job->cancel.set_deadline_ms(now + deadline_rel);
     }
+    job->deadline_rel_ms = deadline_rel;
     if (degraded) {
       ++tallies_.degraded;
       qos_metrics_.counter("svc.degraded.jobs").add(1.0);
@@ -243,15 +260,26 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
     queue_.push_back(id);
     ++tenant_active_[spec.tenant];
     ++tallies_.submitted;
+    timing_metrics_.gauge("svc.queue.depth")
+        .set(static_cast<double>(queue_.size()));
   }
   if (obs::trace_enabled()) {
+    // The admission event opens the job's own causal lane: everything this
+    // job does from here on (cache lookups, iterations, terminal cause)
+    // renders in lane job_lane(id) with job/tenant/attempt args attached.
+    obs::JobContext context;
+    context.job_id = id;
+    context.tenant = spec.tenant;
+    obs::JobScope scope(context, job_lane(id),
+                        "job-" + std::to_string(id));
     obs::emit_instant("svc", "submit",
-                      {obs::arg("job", static_cast<std::size_t>(id)),
-                       obs::arg("tenant", spec.tenant),
-                       obs::arg("app", spec.app),
+                      {obs::arg("app", spec.app),
                        obs::arg("dataset", spec.dataset),
                        obs::arg("strategy", spec.strategy),
-                       obs::arg("degraded", degraded)});
+                       obs::arg("degraded", degraded),
+                       obs::arg("priority",
+                                static_cast<double>(spec.priority)),
+                       obs::arg("deadline_ms", deadline_rel)});
   }
   work_cv_.notify_one();
   return id;
@@ -275,6 +303,76 @@ void ServiceRuntime::finalize_terminal_locked(Job& job) {
   if (it != tenant_active_.end() && --it->second == 0) {
     tenant_active_.erase(it);
   }
+
+  // Per-tenant DETERMINISTIC aggregates, written into the job's own
+  // registry so collect_metrics' fixed job-id merge order keeps them
+  // identical for any worker count. Every value below is a function of
+  // the job's spec and its (thread-invariant) RunReport alone. Jobs that
+  // die while still queued get a registry created here, so the tenant
+  // tallies reconcile exactly with the full job stream.
+  const std::string& tenant = job.spec.tenant;
+  const std::string_view state = job_state_name(job.state);
+  if (job.metrics == nullptr) {
+    job.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& metrics = *job.metrics;
+  const auto tenant_counter = [&](std::string_view base) -> obs::Counter& {
+    return metrics.counter(obs::labeled(base, {{"tenant", tenant}}));
+  };
+  tenant_counter("svc.tenant.jobs").add(1.0);
+  tenant_counter("svc.tenant.iterations")
+      .add(static_cast<double>(job.report.iterations));
+  tenant_counter("svc.tenant.energy").add(job.report.total_energy);
+  tenant_counter("svc.tenant.quality_error").add(job.quality_error);
+  tenant_counter("svc.tenant.energy_ratio").add(job.energy_ratio);
+  metrics
+      .counter(obs::labeled("svc.tenant.terminal",
+                            {{"state", state}, {"tenant", tenant}}))
+      .add(1.0);
+  if (job.degraded) tenant_counter("svc.tenant.degraded").add(1.0);
+  if (job.report.converged) tenant_counter("svc.tenant.converged").add(1.0);
+
+  // Operational (completion-order) SLO signals: latency distribution,
+  // deadline burn and the rolling quality scorecard. These live with the
+  // wall-clock registry, outside the determinism claim.
+  const double latency_ms = job.queue_ms + job.run_ms;
+  timing_metrics_
+      .histogram(obs::labeled("svc.tenant.latency_ms", {{"tenant", tenant}}),
+                 0.0, 60000.0, 64)
+      .record(latency_ms);
+  if (job.deadline_rel_ms > 0.0) {
+    timing_metrics_
+        .histogram(
+            obs::labeled("svc.tenant.deadline_burn", {{"tenant", tenant}}),
+            0.0, 2.0, 40)
+        .record(latency_ms / job.deadline_rel_ms);
+  }
+  obs::JobOutcome outcome;
+  outcome.tenant = tenant;
+  outcome.quality_error = job.quality_error;
+  outcome.energy_ratio = job.energy_ratio;
+  outcome.latency_ms = latency_ms;
+  outcome.converged = job.report.converged;
+  outcome.degraded_admission = job.degraded;
+  outcome.terminal = std::string(state);
+  if (scorecard_.record(outcome)) {
+    timing_metrics_
+        .counter(obs::labeled("svc.scorecard.threshold_crossings",
+                              {{"tenant", tenant}}))
+        .add(1.0);
+    if (obs::trace_enabled()) {
+      const auto score = scorecard_.tenants().find(tenant);
+      obs::emit_instant(
+          "svc", "quality_threshold",
+          {obs::arg("tenant", tenant),
+           obs::arg("rolling_quality",
+                    score != scorecard_.tenants().end()
+                        ? score->second.rolling_quality()
+                        : 0.0),
+           obs::arg("threshold", config_.telemetry.quality_threshold)});
+    }
+  }
+
   ++terminal_retained_;
   retire_excess_locked();
 }
@@ -315,6 +413,8 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
           if (best != queue_.end()) {
             id = *best;
             queue_.erase(best);
+            timing_metrics_.gauge("svc.queue.depth")
+                .set(static_cast<double>(queue_.size()));
             Job& job = *jobs_.at(id);
             // A deadline can expire — or a cancel land — while the job is
             // still queued: go terminal right here, never spending a
@@ -326,6 +426,18 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
                               : JobState::kDeadlineExceeded;
               if (job.attempt == 0) {
                 job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
+              }
+              if (obs::trace_enabled()) {
+                obs::JobContext context;
+                context.job_id = id;
+                context.tenant = job.spec.tenant;
+                context.attempt = job.attempt;
+                obs::JobScope scope(context, job_lane(id),
+                                    "job-" + std::to_string(id));
+                obs::emit_instant(
+                    "svc", "terminal",
+                    {obs::arg("state", job_state_name(job.state)),
+                     obs::arg("cause", "expired_in_queue")});
               }
               finalize_terminal_locked(job);
               done_cv_.notify_all();
@@ -364,8 +476,20 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
     const double start_ms = now_ms();
     // Runs unlocked, staging everything into locals: a concurrent
     // status() of this kRunning job only ever sees fields written under
-    // mutex_ (the kRunning transition above, the commit below).
-    ExecResult result = execute(spec, id, attempt, degraded, token);
+    // mutex_ (the kRunning transition above, the commit below). The
+    // JobScope binds this job's causal identity for the whole execution:
+    // cache lookups, session iterations, watchdog rungs and sparse shard
+    // lanes all inherit job/tenant/attempt args and the job's trace lane.
+    ExecResult result;
+    {
+      obs::JobContext context;
+      context.job_id = id;
+      context.tenant = spec.tenant;
+      context.attempt = attempt;
+      obs::JobScope job_scope(context, job_lane(id),
+                              "job-" + std::to_string(id));
+      result = execute(spec, id, attempt, degraded, token);
+    }
     const double run_ms = now_ms() - start_ms;
     JobState final_state;
     if (result.cancel_reason == core::CancelReason::kCancelled) {
@@ -378,6 +502,7 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
       final_state = JobState::kDone;
     }
     const bool cache_hit = result.cache_hit;
+    const std::string error_brief = result.error;
 
     bool retried = false;
     {
@@ -396,6 +521,8 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
         job.state = JobState::kQueued;
         job.error.clear();
         queue_.push_back(id);
+        timing_metrics_.gauge("svc.queue.depth")
+            .set(static_cast<double>(queue_.size()));
         ++tallies_.retries;
         qos_metrics_.counter("svc.retry.count").add(1.0);
         --running_;
@@ -414,6 +541,8 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
         job.report_json = std::move(result.report_json);
         job.report = std::move(result.report);
         job.characterization_ms = result.characterization_ms;
+        job.quality_error = result.quality_error;
+        job.energy_ratio = result.energy_ratio;
         job.metrics = std::move(result.metrics);
         job.run_ms = run_ms;
         job.state = final_state;
@@ -436,13 +565,26 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
       continue;
     }
     if (obs::trace_enabled()) {
+      // Both the job span and its terminal cause render in the job's own
+      // lane (job/tenant/attempt attached by the JobScope).
+      obs::JobContext context;
+      context.job_id = id;
+      context.tenant = spec.tenant;
+      context.attempt = attempt;
+      obs::JobScope scope(context, job_lane(id),
+                          "job-" + std::to_string(id));
       obs::emit_span("svc", "job", start_us,
-                     {obs::arg("job", static_cast<std::size_t>(id)),
-                      obs::arg("tenant", spec.tenant),
-                      obs::arg("app", spec.app),
+                     {obs::arg("app", spec.app),
                       obs::arg("dataset", spec.dataset),
                       obs::arg("state", job_state_name(final_state)),
                       obs::arg("cache_hit", cache_hit)});
+      obs::emit_instant("svc", "terminal",
+                        {obs::arg("state", job_state_name(final_state)),
+                         obs::arg("cause", error_brief.empty()
+                                               ? std::string(job_state_name(
+                                                     final_state))
+                                               : error_brief),
+                         obs::arg("cache_hit", cache_hit)});
     }
     done_cv_.notify_all();
   }
@@ -543,6 +685,32 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(
                           .run();
       result.report_json = core::report_to_json(result.report);
 
+      // Per-job convergence telemetry, deterministic from (report,
+      // profile) alone: the QEM quality surrogate is the steps-weighted
+      // characterized quality error of the modes the run actually used,
+      // and the energy ratio compares spent energy against an
+      // all-accurate run of the same length — the paper's quality/energy
+      // tradeoff as one exported pair per job.
+      const std::size_t iterations =
+          std::max<std::size_t>(result.report.iterations, 1);
+      double quality_sum = 0.0;
+      double energy_sum = 0.0;
+      for (std::size_t m = 0; m < arith::kNumModes; ++m) {
+        const double steps =
+            static_cast<double>(result.report.steps_per_mode[m]);
+        quality_sum += steps * profile.quality_error[m];
+        energy_sum += steps * profile.energy_per_op[m];
+      }
+      const double accurate =
+          profile.energy_per_op[arith::mode_index(
+              arith::ApproxMode::kAccurate)];
+      result.quality_error =
+          quality_sum / static_cast<double>(iterations);
+      result.energy_ratio =
+          accurate > 0.0
+              ? energy_sum / (static_cast<double>(iterations) * accurate)
+              : 1.0;
+
       switch (result.report.status) {
         case core::RunStatus::kCancelled:
           result.cancel_reason = core::CancelReason::kCancelled;
@@ -633,6 +801,8 @@ bool ServiceRuntime::wait(std::uint64_t id) {
 
 bool ServiceRuntime::cancel(std::uint64_t id) {
   bool went_terminal = false;
+  std::string tenant;
+  std::size_t attempt = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
@@ -640,11 +810,15 @@ bool ServiceRuntime::cancel(std::uint64_t id) {
     Job& job = *it->second;
     if (job_state_terminal(job.state)) return false;
     job.cancel.cancel();
+    tenant = job.spec.tenant;
+    attempt = job.attempt;
     if (job.state == JobState::kQueued) {
       // Still waiting: no worker to release, go terminal on the spot.
       const auto queued =
           std::find(queue_.begin(), queue_.end(), id);
       if (queued != queue_.end()) queue_.erase(queued);
+      timing_metrics_.gauge("svc.queue.depth")
+          .set(static_cast<double>(queue_.size()));
       job.state = JobState::kCancelled;
       if (job.attempt == 0) {
         job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
@@ -656,8 +830,17 @@ bool ServiceRuntime::cancel(std::uint64_t id) {
     // iteration; the worker commits kCancelled with the partial result.
   }
   if (obs::trace_enabled()) {
-    obs::emit_instant("svc", "cancel",
-                      {obs::arg("job", static_cast<std::size_t>(id))});
+    obs::JobContext context;
+    context.job_id = id;
+    context.tenant = tenant;
+    context.attempt = attempt;
+    obs::JobScope scope(context, job_lane(id), "job-" + std::to_string(id));
+    obs::emit_instant("svc", "cancel", {});
+    if (went_terminal) {
+      obs::emit_instant("svc", "terminal",
+                        {obs::arg("state", "cancelled"),
+                         obs::arg("cause", "cancelled_in_queue")});
+    }
   }
   if (went_terminal) done_cv_.notify_all();
   return true;
@@ -676,7 +859,12 @@ std::map<std::uint64_t, std::unique_ptr<ServiceRuntime::Job>>::iterator
 ServiceRuntime::retire_locked(
     std::map<std::uint64_t, std::unique_ptr<Job>>::iterator it) {
   if (it->second->metrics != nullptr) {
-    retired_metrics_.merge(*it->second->metrics);
+    // Per-tenant aggregates: retention eviction must not collapse tenant
+    // attribution, or exported tenant labels would drift as jobs age out.
+    std::unique_ptr<obs::MetricsRegistry>& slot =
+        retired_metrics_[it->second->spec.tenant];
+    if (slot == nullptr) slot = std::make_unique<obs::MetricsRegistry>();
+    slot->merge(*it->second->metrics);
   }
   --terminal_retained_;
   return jobs_.erase(it);
@@ -717,11 +905,13 @@ ServiceStats ServiceRuntime::stats() const {
 
 void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // Retired jobs first, then jobs_ in id order (std::map); merging in that
-  // fixed order makes the counter/histogram aggregate
-  // thread-count-invariant (see the collect_metrics declaration for the
-  // gauge caveat under retirement).
-  out.merge(retired_metrics_);
+  // Retired per-tenant aggregates first (tenant order), then jobs_ in id
+  // order (std::map); merging in that fixed order makes the
+  // counter/histogram aggregate thread-count-invariant (see the
+  // collect_metrics declaration for the gauge caveat under retirement).
+  for (const auto& [tenant, registry] : retired_metrics_) {
+    out.merge(*registry);
+  }
   for (const auto& [id, job] : jobs_) {
     if (job->metrics != nullptr && job_state_terminal(job->state)) {
       out.merge(*job->metrics);
@@ -729,6 +919,16 @@ void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
   }
   out.merge(cache_metrics_);
   out.merge(qos_metrics_);
+}
+
+obs::QualityScorecard ServiceRuntime::scorecard() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scorecard_;
+}
+
+std::string ServiceRuntime::scorecard_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scorecard_.to_json();
 }
 
 void ServiceRuntime::pause() {

@@ -65,6 +65,7 @@
 #include "core/session.h"
 #include "core/watchdog.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "svc/chaos.h"
 #include "svc/profile_cache.h"
 #include "svc/qos.h"
@@ -98,6 +99,10 @@ struct ServiceConfig {
   core::WatchdogConfig watchdog;
   /// Seeded fault injection (svc/chaos.h). Default off.
   ChaosConfig chaos;
+  /// Per-tenant quality scorecard policy (rolling window, degradation
+  /// threshold). The scorecard itself always runs; the threshold signal is
+  /// off unless quality_threshold > 0.
+  obs::ScorecardConfig telemetry;
   /// Start with the workers paused (admission still open) — lets tests
   /// fill the queue deterministically before anything runs.
   bool start_paused = false;
@@ -235,6 +240,13 @@ class ServiceRuntime {
   /// dimension (what a tenant's token bucket is charged).
   static double job_cost(const JobSpec& spec);
 
+  /// The Chrome-trace lane a job's causal events render in. Lanes 1..N are
+  /// the worker threads; job lanes start above them so the two families
+  /// never collide.
+  static constexpr std::uint32_t job_lane(std::uint64_t id) {
+    return static_cast<std::uint32_t>(1000 + id);
+  }
+
   /// Retires a terminal job now: folds its metrics into the persistent
   /// aggregate and drops its snapshot. False for unknown or still
   /// queued/running ids.
@@ -254,10 +266,19 @@ class ServiceRuntime {
   void collect_metrics(obs::MetricsRegistry& out) const;
 
   /// Wall-clock service metrics (svc.queue_ms / svc.run_ms /
-  /// svc.characterization_ms histograms). Not deterministic.
+  /// svc.characterization_ms plus per-tenant latency/deadline-burn
+  /// histograms and the queue-depth gauge). Not deterministic.
   const obs::MetricsRegistry& timing_metrics() const {
     return timing_metrics_;
   }
+
+  /// Copy of the per-tenant SLO/quality scorecard (rolling windows follow
+  /// job COMPLETION order, so scorecard state is operational — the
+  /// deterministic per-tenant aggregates live in collect_metrics()).
+  obs::QualityScorecard scorecard() const;
+
+  /// QualityScorecard::to_json() of the live scorecard.
+  std::string scorecard_json() const;
 
   ProfileCache& profile_cache() { return cache_; }
 
@@ -291,7 +312,15 @@ class ServiceRuntime {
     /// Deadline + explicit-cancel state; its token threads through the
     /// session and characterization of every attempt.
     core::CancelSource cancel;
-    /// Set (moved in) at the terminal transition; null before.
+    /// The relative deadline applied at admission (spec or SLO fallback);
+    /// 0 when the job has none. Denominator of the deadline-burn ratio.
+    double deadline_rel_ms = 0.0;
+    /// QEM quality surrogate of the final attempt (steps-weighted epsilon).
+    double quality_error = 0.0;
+    /// Spent energy relative to an all-accurate run of the same length.
+    double energy_ratio = 1.0;
+    /// Set at the terminal transition (moved in from the execution, or
+    /// created by finalize for jobs that die in the queue); null before.
     std::unique_ptr<obs::MetricsRegistry> metrics;
   };
 
@@ -310,6 +339,8 @@ class ServiceRuntime {
     /// Failure is transient (injected crash, watchdog abort under faults,
     /// a single-flight peer's cancellation): eligible for retry.
     bool transient = false;
+    double quality_error = 0.0;
+    double energy_ratio = 1.0;
     std::unique_ptr<obs::MetricsRegistry> metrics;
   };
 
@@ -328,8 +359,8 @@ class ServiceRuntime {
 
   JobSnapshot snapshot_locked(const Job& job) const;
 
-  /// Folds the job's metrics into retired_metrics_ and erases it.
-  /// Caller must hold mutex_; the job must be terminal.
+  /// Folds the job's metrics into its tenant's retired aggregate and
+  /// erases it. Caller must hold mutex_; the job must be terminal.
   std::map<std::uint64_t, std::unique_ptr<Job>>::iterator retire_locked(
       std::map<std::uint64_t, std::unique_ptr<Job>>::iterator it);
 
@@ -348,8 +379,13 @@ class ServiceRuntime {
   std::condition_variable work_cv_;  ///< Queue/pause/stop changes.
   std::condition_variable done_cv_;  ///< Job completions.
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-  obs::MetricsRegistry retired_metrics_;  ///< Aggregate of retired jobs.
-  std::size_t terminal_retained_ = 0;     ///< Terminal jobs still in jobs_.
+  /// Retired-job aggregates keyed by tenant, so exported tenant labels
+  /// stay complete after retention eviction (merged in tenant order, which
+  /// is deterministic for any worker count).
+  std::map<std::string, std::unique_ptr<obs::MetricsRegistry>>
+      retired_metrics_;
+  std::size_t terminal_retained_ = 0;  ///< Terminal jobs still in jobs_.
+  obs::QualityScorecard scorecard_;    ///< Guarded by mutex_.
   std::deque<std::uint64_t> queue_;
   std::map<std::string, std::size_t> tenant_active_;
   std::map<std::string, TokenBucket> tenant_buckets_;

@@ -1,0 +1,400 @@
+#include "obs/telemetry.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace approxit::obs {
+namespace {
+
+// --- labeled names ---------------------------------------------------------
+
+TEST(LabeledNames, EmptyLabelListReturnsBaseUnchanged) {
+  EXPECT_EQ(labeled("svc.jobs", {}), "svc.jobs");
+}
+
+TEST(LabeledNames, KeysAreSortedIntoCanonicalForm) {
+  const std::string a = labeled("svc.jobs", {{"tenant", "t1"}, {"app", "x"}});
+  const std::string b = labeled("svc.jobs", {{"app", "x"}, {"tenant", "t1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "svc.jobs{app=\"x\",tenant=\"t1\"}");
+}
+
+TEST(LabeledNames, ValuesAreEscaped) {
+  const std::string name = labeled("m", {{"k", "a\"b\\c"}});
+  EXPECT_EQ(name, "m{k=\"a\\\"b\\\\c\"}");
+  const ParsedMetricName parsed = parse_metric_name(name);
+  EXPECT_EQ(parsed.base, "m");
+  EXPECT_EQ(parsed.labels.at("k"), "a\"b\\c");
+}
+
+TEST(LabeledNames, ParseRoundTripsAndRejectsMalformedSuffix) {
+  const std::string name =
+      labeled("svc.tenant.jobs", {{"tenant", "acme"}, {"tier", "gold"}});
+  const ParsedMetricName parsed = parse_metric_name(name);
+  EXPECT_EQ(parsed.base, "svc.tenant.jobs");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(parsed.labels.at("tenant"), "acme");
+  EXPECT_EQ(parsed.labels.at("tier"), "gold");
+
+  const ParsedMetricName plain = parse_metric_name("svc.jobs");
+  EXPECT_EQ(plain.base, "svc.jobs");
+  EXPECT_TRUE(plain.labels.empty());
+
+  // A brace suffix that is not well-formed labels stays part of the base.
+  const ParsedMetricName odd = parse_metric_name("svc.jobs{oops");
+  EXPECT_EQ(odd.base, "svc.jobs{oops");
+  EXPECT_TRUE(odd.labels.empty());
+}
+
+// --- exporter: full snapshots ----------------------------------------------
+
+TEST(MetricsExporterTest, FamilyNameSanitizesForPrometheus) {
+  MetricsExporter exporter;
+  EXPECT_EQ(exporter.family_name("svc.run_ms"), "approxit_svc_run_ms");
+  EXPECT_EQ(exporter.family_name("weird-name.1x"), "approxit_weird_name_1x");
+}
+
+TEST(MetricsExporterTest, FullPrometheusSnapshotHasFamiliesAndLabels) {
+  MetricsRegistry registry;
+  registry.counter(labeled("svc.tenant.jobs", {{"tenant", "t1"}})).add(3.0);
+  registry.counter(labeled("svc.tenant.jobs", {{"tenant", "t2"}})).add(1.0);
+  registry.gauge("svc.queue.depth").set(4.0);
+  registry.histogram("svc.run_ms", 0.0, 10.0, 2).record(1.0);
+
+  MetricsExporter exporter;
+  const std::string text =
+      exporter.export_full(registry, MetricsExporter::Format::kPrometheus);
+  EXPECT_NE(text.find("# TYPE approxit_svc_tenant_jobs counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("approxit_svc_tenant_jobs{tenant=\"t1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("approxit_svc_tenant_jobs{tenant=\"t2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE approxit_svc_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE approxit_svc_run_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("approxit_svc_run_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("approxit_svc_run_ms_count 1"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, EqualRegistriesExportByteIdenticalDocuments) {
+  const auto fill = [](MetricsRegistry& registry) {
+    registry.counter(labeled("svc.tenant.jobs", {{"tenant", "a"}})).add(2.0);
+    registry.counter("alu.ops").add(100.0);
+    registry.gauge("session.final_step_norm").set(1e-9);
+    registry.histogram("svc.run_ms", 0.0, 100.0, 8).record(12.0);
+  };
+  MetricsRegistry first;
+  MetricsRegistry second;
+  // Insertion order differs; the snapshot maps sort, so the export must
+  // not care.
+  fill(first);
+  second.histogram("svc.run_ms", 0.0, 100.0, 8).record(12.0);
+  second.gauge("session.final_step_norm").set(1e-9);
+  second.counter("alu.ops").add(100.0);
+  second.counter(labeled("svc.tenant.jobs", {{"tenant", "a"}})).add(2.0);
+
+  MetricsExporter exporter;
+  for (const auto format : {MetricsExporter::Format::kPrometheus,
+                            MetricsExporter::Format::kJsonLines}) {
+    EXPECT_EQ(exporter.export_full(first, format),
+              exporter.export_full(second, format));
+  }
+}
+
+TEST(MetricsExporterTest, JsonLinesSnapshotIsOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.counter("svc.jobs").add(2.0);
+  registry.histogram("svc.run_ms", 0.0, 10.0, 4).record(3.0);
+
+  MetricsExporter exporter;
+  const std::string text =
+      exporter.export_full(registry, MetricsExporter::Format::kJsonLines);
+  EXPECT_NE(text.find("\"metric\":\"svc.jobs\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  // Every line parses as an object: starts '{', ends '}'.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ASSERT_GT(end, start);
+    EXPECT_EQ(text[start], '{');
+    EXPECT_EQ(text[end - 1], '}');
+    start = end + 1;
+  }
+}
+
+// --- exporter: delta snapshots ---------------------------------------------
+
+TEST(MetricsExporterTest, DeltaReportsEachIncrementExactlyOnce) {
+  MetricsRegistry registry;
+  MetricsExporter exporter;
+  registry.counter("svc.jobs").add(5.0);
+
+  const std::string first =
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines);
+  EXPECT_NE(first.find("\"value\":5"), std::string::npos);
+
+  // Idle registry -> empty delta, repeatedly.
+  EXPECT_EQ(
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines),
+      "");
+  EXPECT_EQ(
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines),
+      "");
+
+  registry.counter("svc.jobs").add(2.0);
+  const std::string second =
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines);
+  EXPECT_NE(second.find("\"value\":2"), std::string::npos);
+  EXPECT_EQ(second.find("\"value\":7"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, DeltaGaugesReportOnlyChanges) {
+  MetricsRegistry registry;
+  MetricsExporter exporter;
+  registry.gauge("svc.queue.depth").set(3.0);
+  EXPECT_NE(
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines)
+          .find("svc.queue.depth"),
+      std::string::npos);
+  // Unchanged gauge -> omitted.
+  EXPECT_EQ(
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines),
+      "");
+  registry.gauge("svc.queue.depth").set(1.0);
+  EXPECT_NE(
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines)
+          .find("svc.queue.depth"),
+      std::string::npos);
+}
+
+TEST(MetricsExporterTest, DeltaHandlesCounterResetAndBaselineReset) {
+  MetricsRegistry registry;
+  MetricsExporter exporter;
+  registry.counter("svc.jobs").add(10.0);
+  exporter.export_delta(registry, MetricsExporter::Format::kJsonLines);
+
+  // Counter went backwards (process restart semantics): report the current
+  // value, not a negative delta.
+  registry.reset();
+  registry.counter("svc.jobs").add(4.0);
+  const std::string after_reset =
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines);
+  EXPECT_NE(after_reset.find("\"value\":4"), std::string::npos);
+
+  // reset_baseline(): the next delta reports everything as new again.
+  exporter.reset_baseline();
+  const std::string fresh =
+      exporter.export_delta(registry, MetricsExporter::Format::kJsonLines);
+  EXPECT_NE(fresh.find("\"value\":4"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, DeltaHistogramReportsBucketIncrements) {
+  MetricsRegistry registry;
+  MetricsExporter exporter;
+  registry.histogram("svc.run_ms", 0.0, 10.0, 2).record(1.0);
+  exporter.export_delta(registry, MetricsExporter::Format::kPrometheus);
+
+  registry.histogram("svc.run_ms", 0.0, 10.0, 2).record(9.0);
+  const std::string delta =
+      exporter.export_delta(registry, MetricsExporter::Format::kPrometheus);
+  // Only the one new observation appears in the delta's count.
+  EXPECT_NE(delta.find("approxit_svc_run_ms_count 1"), std::string::npos);
+  EXPECT_EQ(delta.find("approxit_svc_run_ms_count 2"), std::string::npos);
+}
+
+// --- quality scorecard -----------------------------------------------------
+
+JobOutcome make_outcome(const std::string& tenant, double quality) {
+  JobOutcome outcome;
+  outcome.tenant = tenant;
+  outcome.quality_error = quality;
+  outcome.energy_ratio = 0.5;
+  outcome.latency_ms = 10.0;
+  outcome.converged = true;
+  outcome.terminal = "done";
+  return outcome;
+}
+
+TEST(QualityScorecardTest, AggregatesPerTenant) {
+  QualityScorecard scorecard;
+  scorecard.record(make_outcome("a", 0.1));
+  scorecard.record(make_outcome("a", 0.3));
+  scorecard.record(make_outcome("b", 0.2));
+  JobOutcome failed = make_outcome("a", 0.0);
+  failed.converged = false;
+  failed.terminal = "failed";
+  scorecard.record(failed);
+
+  const auto& tenants = scorecard.tenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  const TenantScore& a = tenants.at("a");
+  EXPECT_EQ(a.jobs, 3u);
+  EXPECT_EQ(a.converged, 2u);
+  EXPECT_EQ(a.failed, 1u);
+  EXPECT_NEAR(a.quality.mean(), (0.1 + 0.3 + 0.0) / 3.0, 1e-12);
+  EXPECT_EQ(tenants.at("b").jobs, 1u);
+}
+
+TEST(QualityScorecardTest, ThresholdCrossingIsEdgeTriggered) {
+  ScorecardConfig config;
+  config.window = 2;
+  config.quality_threshold = 0.5;
+  QualityScorecard scorecard(config);
+
+  EXPECT_FALSE(scorecard.record(make_outcome("t", 0.1)));  // mean 0.1
+  EXPECT_TRUE(scorecard.record(make_outcome("t", 1.5)));   // mean 0.8: edge
+  EXPECT_FALSE(scorecard.record(make_outcome("t", 1.5)));  // still above
+  EXPECT_FALSE(scorecard.record(make_outcome("t", 0.0)));  // mean 0.75 above
+  EXPECT_FALSE(scorecard.record(make_outcome("t", 0.0)));  // mean 0: below
+  EXPECT_TRUE(scorecard.record(make_outcome("t", 2.0)));   // re-crossing
+  EXPECT_EQ(scorecard.threshold_crossings(), 2u);
+  EXPECT_EQ(scorecard.tenants().at("t").threshold_crossings, 2u);
+}
+
+TEST(QualityScorecardTest, ZeroThresholdDisablesSignal) {
+  QualityScorecard scorecard;  // default threshold 0 = disabled
+  EXPECT_FALSE(scorecard.record(make_outcome("t", 100.0)));
+  EXPECT_EQ(scorecard.threshold_crossings(), 0u);
+}
+
+TEST(QualityScorecardTest, ExportToWritesLabeledSeries) {
+  QualityScorecard scorecard;
+  scorecard.record(make_outcome("acme", 0.25));
+
+  MetricsRegistry registry;
+  scorecard.export_to(registry);
+  const auto gauges = registry.gauge_values();
+  EXPECT_DOUBLE_EQ(
+      gauges.at(labeled("svc.scorecard.jobs", {{"tenant", "acme"}})), 1.0);
+  EXPECT_DOUBLE_EQ(
+      gauges.at(labeled("svc.scorecard.quality_mean", {{"tenant", "acme"}})),
+      0.25);
+
+  // Idempotent: re-export into the same registry must not double-count.
+  scorecard.export_to(registry);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge_values().at(
+          labeled("svc.scorecard.jobs", {{"tenant", "acme"}})),
+      1.0);
+}
+
+TEST(QualityScorecardTest, JsonDocumentNamesTenants) {
+  QualityScorecard scorecard;
+  scorecard.record(make_outcome("acme", 0.25));
+  const std::string json = scorecard.to_json();
+  EXPECT_NE(json.find("\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"threshold_crossings\""), std::string::npos);
+}
+
+// --- job context propagation -----------------------------------------------
+
+class SinkGuard {
+ public:
+  explicit SinkGuard(TraceSink* sink) { set_trace_sink(sink); }
+  ~SinkGuard() { set_trace_sink(nullptr); }
+};
+
+const TraceArg* find_arg(const TraceEvent& event, const std::string& key) {
+  for (const TraceArg& a : event.args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+TEST(JobContextTest, LanefulScopeAttachesJobArgsToEveryEvent) {
+  RingSink ring;
+  SinkGuard guard(&ring);
+
+  JobContext context;
+  context.job_id = 42;
+  context.tenant = "acme";
+  context.attempt = 2;
+  {
+    JobScope scope(context, 1042, "job-42");
+    emit_instant("test", "inside");
+  }
+  emit_instant("test", "outside");
+
+  const std::vector<TraceEvent> events = ring.snapshot();
+  const TraceEvent* inside = nullptr;
+  const TraceEvent* outside = nullptr;
+  for (const TraceEvent& event : events) {
+    if (event.name == "inside") inside = &event;
+    if (event.name == "outside") outside = &event;
+  }
+  ASSERT_NE(inside, nullptr);
+  ASSERT_NE(outside, nullptr);
+  ASSERT_NE(find_arg(*inside, "job"), nullptr);
+  EXPECT_EQ(find_arg(*inside, "job")->value, "42");
+  EXPECT_EQ(find_arg(*inside, "tenant")->value, "acme");
+  EXPECT_EQ(find_arg(*inside, "attempt")->value, "2");
+  EXPECT_EQ(inside->lane, 1042u);
+  EXPECT_EQ(find_arg(*outside, "job"), nullptr);
+}
+
+TEST(JobContextTest, ContextOnlyScopeCopiesVerbatim) {
+  // Propagating the (inactive) ambient context into a pool thread must not
+  // invent job 0 args.
+  RingSink ring;
+  SinkGuard guard(&ring);
+
+  const JobContext ambient = current_job();
+  EXPECT_FALSE(ambient.active);
+  {
+    JobScope scope(ambient);
+    emit_instant("test", "propagated_inactive");
+  }
+
+  // An ACTIVE context propagates with its args but without a new lane.
+  JobContext active;
+  active.job_id = 7;
+  active.tenant = "t";
+  active.attempt = 1;
+  active.active = true;
+  {
+    JobScope scope(active);
+    emit_instant("test", "propagated_active");
+  }
+
+  for (const TraceEvent& event : ring.snapshot()) {
+    if (event.name == "propagated_inactive") {
+      EXPECT_EQ(find_arg(event, "job"), nullptr);
+    }
+    if (event.name == "propagated_active") {
+      ASSERT_NE(find_arg(event, "job"), nullptr);
+      EXPECT_EQ(find_arg(event, "job")->value, "7");
+    }
+  }
+}
+
+TEST(JobContextTest, ScopeRestoresPreviousContext) {
+  JobContext outer;
+  outer.job_id = 1;
+  outer.tenant = "outer";
+  outer.active = true;
+  JobScope outer_scope(outer);
+  {
+    JobContext inner;
+    inner.job_id = 2;
+    inner.tenant = "inner";
+    inner.active = true;
+    JobScope inner_scope(inner);
+    EXPECT_EQ(current_job().job_id, 2u);
+  }
+  EXPECT_EQ(current_job().job_id, 1u);
+  EXPECT_EQ(current_job().tenant, "outer");
+}
+
+}  // namespace
+}  // namespace approxit::obs

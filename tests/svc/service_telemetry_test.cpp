@@ -1,0 +1,376 @@
+// Telemetry-plane semantics of the serving runtime: byte-identical metric
+// exports for any worker count, empty idle deltas, exact reconciliation of
+// per-tenant counters against per-job reports under a chaos-seeded burst,
+// one causal trace lane per job, and tenant aggregates that survive
+// retention eviction.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+namespace {
+
+JobSpec quick_job(const std::string& tenant = "default",
+                  const std::string& dataset = "3cluster",
+                  const std::string& strategy = "incremental") {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.app = "gmm";
+  spec.dataset = dataset;
+  spec.strategy = strategy;
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+ServiceConfig memory_only(std::size_t threads) {
+  ServiceConfig config;
+  config.threads = threads;
+  config.cache.directory.clear();
+  return config;
+}
+
+TEST(ServiceTelemetry, ExportFullByteIdenticalAcrossWorkerCounts) {
+  // The ISSUE's exporter-determinism invariant: the same job set exported
+  // from a 1-, 4- and 8-worker runtime must produce byte-identical
+  // documents in both formats — collect_metrics() merges in a fixed order
+  // regardless of completion order.
+  const std::vector<JobSpec> jobs = {
+      quick_job("alice", "3cluster", "incremental"),
+      quick_job("alice", "3cluster", "adaptive"),
+      quick_job("bob", "3d3cluster", "incremental"),
+      quick_job("bob", "3cluster", "accurate"),
+      quick_job("carol", "3cluster", "level1"),
+  };
+
+  std::vector<std::string> prometheus_docs;
+  std::vector<std::string> jsonl_docs;
+  for (const std::size_t workers : {1u, 4u, 8u}) {
+    ServiceRuntime runtime(memory_only(workers));
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : jobs) {
+      const auto id = runtime.submit(spec);
+      ASSERT_TRUE(id.has_value());
+      ids.push_back(*id);
+    }
+    for (const std::uint64_t id : ids) ASSERT_TRUE(runtime.wait(id));
+
+    obs::MetricsRegistry merged;
+    runtime.collect_metrics(merged);
+    obs::MetricsExporter exporter;
+    prometheus_docs.push_back(exporter.export_full(
+        merged, obs::MetricsExporter::Format::kPrometheus));
+    jsonl_docs.push_back(exporter.export_full(
+        merged, obs::MetricsExporter::Format::kJsonLines));
+  }
+  EXPECT_EQ(prometheus_docs[0], prometheus_docs[1]);
+  EXPECT_EQ(prometheus_docs[0], prometheus_docs[2]);
+  EXPECT_EQ(jsonl_docs[0], jsonl_docs[1]);
+  EXPECT_EQ(jsonl_docs[0], jsonl_docs[2]);
+  // The documents actually carry the per-tenant series.
+  EXPECT_NE(
+      prometheus_docs[0].find("approxit_svc_tenant_jobs{tenant=\"alice\"}"),
+      std::string::npos);
+}
+
+TEST(ServiceTelemetry, IdleDeltaScrapeIsEmpty) {
+  ServiceRuntime runtime(memory_only(2));
+  const auto id = runtime.submit(quick_job());
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(runtime.wait(*id));
+
+  obs::MetricsExporter exporter;
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  const std::string first =
+      exporter.export_delta(merged, obs::MetricsExporter::Format::kJsonLines);
+  EXPECT_FALSE(first.empty());
+
+  // No traffic since the last scrape: the delta must be the empty string,
+  // scrape after scrape.
+  for (int i = 0; i < 3; ++i) {
+    obs::MetricsRegistry again;
+    runtime.collect_metrics(again);
+    EXPECT_EQ(exporter.export_delta(again,
+                                    obs::MetricsExporter::Format::kJsonLines),
+              "");
+  }
+}
+
+/// Shared burst driver: submits `total` jobs round-robin across three
+/// tenants (some with tight deadlines), waits for all of them, and returns
+/// the terminal snapshots keyed by id.
+std::map<std::uint64_t, JobSnapshot> run_burst(ServiceRuntime& runtime,
+                                               int total) {
+  const char* tenants[3] = {"alice", "bob", "carol"};
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < total; ++i) {
+    JobSpec spec = quick_job(tenants[i % 3]);
+    if (i % 7 == 3) spec.deadline_ms = 0.5;  // Practically instant expiry.
+    if (i % 5 == 0) spec.priority = 1;
+    std::string error;
+    const auto id = runtime.submit(spec, &error);
+    EXPECT_TRUE(id.has_value()) << error;
+    if (id.has_value()) ids.push_back(*id);
+  }
+  std::map<std::uint64_t, JobSnapshot> snapshots;
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(runtime.wait(id));
+    const auto snapshot = runtime.result(id);
+    EXPECT_TRUE(snapshot.has_value());
+    if (snapshot.has_value()) snapshots[id] = *snapshot;
+  }
+  return snapshots;
+}
+
+TEST(ServiceTelemetry, ChaosBurstTenantCountersReconcileWithReports) {
+  // 48-job chaos-seeded burst: whatever mixture of done / failed /
+  // deadline_exceeded the chaos engine produces, the exported per-tenant
+  // counters must reconcile EXACTLY (zero drift) with the per-job
+  // RunReports.
+  ServiceConfig config = memory_only(4);
+  config.qos.max_retries = 2;
+  config.qos.degrade_watermark = 4;  // Burst depth exceeds this: some
+                                     // jobs admit degraded.
+  config.chaos.enabled = true;
+  config.chaos.seed = 0xbeef;
+  config.chaos.crash_probability = 0.15;
+  config.chaos.stall_probability = 0.2;
+  config.chaos.stall_ms = 1.0;
+  ServiceRuntime runtime(config);
+
+  const auto snapshots = run_burst(runtime, 48);
+  ASSERT_EQ(snapshots.size(), 48u);
+
+  // Ground truth from the job stream itself.
+  std::map<std::string, double> jobs_per_tenant;
+  std::map<std::string, double> iterations_per_tenant;
+  std::map<std::string, double> converged_per_tenant;
+  std::map<std::string, double> degraded_per_tenant;
+  std::map<std::string, std::map<std::string, double>> terminal_per_tenant;
+  double degraded_total = 0.0;
+  for (const auto& [id, snapshot] : snapshots) {
+    const std::string& tenant = snapshot.spec.tenant;
+    jobs_per_tenant[tenant] += 1.0;
+    iterations_per_tenant[tenant] +=
+        static_cast<double>(snapshot.report.iterations);
+    if (snapshot.report.converged) converged_per_tenant[tenant] += 1.0;
+    if (snapshot.degraded) {
+      degraded_per_tenant[tenant] += 1.0;
+      degraded_total += 1.0;
+    }
+    terminal_per_tenant[tenant]
+                       [std::string(job_state_name(snapshot.state))] += 1.0;
+  }
+  EXPECT_GT(degraded_total, 0.0) << "watermark never tripped";
+
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  const std::map<std::string, double> counters = merged.counter_values();
+  const auto counter_or_zero = [&](const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  };
+
+  for (const auto& [tenant, expected_jobs] : jobs_per_tenant) {
+    EXPECT_EQ(counter_or_zero(
+                  obs::labeled("svc.tenant.jobs", {{"tenant", tenant}})),
+              expected_jobs)
+        << tenant;
+    EXPECT_EQ(counter_or_zero(obs::labeled("svc.tenant.iterations",
+                                           {{"tenant", tenant}})),
+              iterations_per_tenant[tenant])
+        << tenant;
+    EXPECT_EQ(counter_or_zero(obs::labeled("svc.tenant.converged",
+                                           {{"tenant", tenant}})),
+              converged_per_tenant[tenant])
+        << tenant;
+    EXPECT_EQ(counter_or_zero(obs::labeled("svc.tenant.degraded",
+                                           {{"tenant", tenant}})),
+              degraded_per_tenant[tenant])
+        << tenant;
+    for (const auto& [state, count] : terminal_per_tenant[tenant]) {
+      EXPECT_EQ(counter_or_zero(obs::labeled(
+                    "svc.tenant.terminal",
+                    {{"state", state}, {"tenant", tenant}})),
+                count)
+          << tenant << "/" << state;
+    }
+  }
+  // The service-level QoS counters agree with the same ground truth.
+  EXPECT_EQ(counter_or_zero("svc.degraded.jobs"), degraded_total);
+  EXPECT_EQ(counter_or_zero("svc.shed.overload"), 0.0);  // No shed mark.
+
+  // The scorecard saw every terminal job exactly once. (scorecard()
+  // returns a copy: bind it before iterating.)
+  const obs::QualityScorecard scorecard = runtime.scorecard();
+  std::size_t scored = 0;
+  for (const auto& [tenant, score] : scorecard.tenants()) {
+    scored += score.jobs;
+    EXPECT_EQ(static_cast<double>(score.jobs), jobs_per_tenant[tenant])
+        << tenant;
+  }
+  EXPECT_EQ(scored, 48u);
+  EXPECT_NE(runtime.scorecard_json().find("\"alice\""), std::string::npos);
+}
+
+TEST(ServiceTelemetry, ShedCounterReconcilesWithRejections) {
+  ServiceConfig config = memory_only(1);
+  config.start_paused = true;  // Nothing drains: admission deterministic.
+  config.qos.shed_watermark = 3;
+  ServiceRuntime runtime(config);
+
+  double shed = 0.0;
+  std::vector<std::uint64_t> admitted;
+  for (int i = 0; i < 8; ++i) {
+    std::string error;
+    const auto id = runtime.submit(quick_job("alice"), &error);
+    if (id.has_value()) {
+      admitted.push_back(*id);
+    } else {
+      EXPECT_EQ(error, "shed_overload");
+      shed += 1.0;
+    }
+  }
+  EXPECT_GT(shed, 0.0);
+
+  runtime.resume();
+  for (const std::uint64_t id : admitted) EXPECT_TRUE(runtime.wait(id));
+
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  const auto counters = merged.counter_values();
+  EXPECT_EQ(counters.at("svc.shed.overload"), shed);
+  EXPECT_EQ(counters.at(obs::labeled("svc.tenant.jobs", {{"tenant",
+                                                          "alice"}})),
+            static_cast<double>(admitted.size()));
+}
+
+TEST(ServiceTelemetry, EveryJobGetsACompleteCausalTraceLane) {
+  // One Chrome-trace lane per job: submit -> cache event -> (iterations
+  // when it ran) -> terminal cause, all on lane job_lane(id), all tagged
+  // with the job id.
+  obs::RingSink ring(1 << 20);
+  obs::set_trace_sink(&ring);
+
+  ServiceConfig config = memory_only(4);
+  config.chaos.enabled = true;
+  config.chaos.seed = 0xf00d;
+  config.chaos.crash_probability = 0.1;
+  config.qos.max_retries = 2;
+  ServiceRuntime runtime(config);
+  const auto snapshots = run_burst(runtime, 48);
+  obs::set_trace_sink(nullptr);
+  ASSERT_EQ(snapshots.size(), 48u);
+
+  struct LaneSummary {
+    bool submit = false;
+    bool cache_event = false;
+    bool iteration = false;
+    bool terminal = false;
+    std::string terminal_state;
+  };
+  std::map<std::uint32_t, LaneSummary> lanes;
+  for (const obs::TraceEvent& event : ring.snapshot()) {
+    LaneSummary& lane = lanes[event.lane];
+    if (event.category == "svc" && event.name == "submit") {
+      lane.submit = true;
+    } else if (event.category == "svc" && (event.name == "cache_hit" ||
+                                           event.name == "cache_miss")) {
+      lane.cache_event = true;
+    } else if (event.category == "session" && event.name == "iteration") {
+      lane.iteration = true;
+    } else if (event.category == "svc" && event.name == "terminal") {
+      lane.terminal = true;
+      for (const obs::TraceArg& a : event.args) {
+        if (a.key == "state") lane.terminal_state = a.value;
+      }
+    }
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  for (const auto& [id, snapshot] : snapshots) {
+    const std::uint32_t lane_id = ServiceRuntime::job_lane(id);
+    ASSERT_TRUE(lanes.count(lane_id)) << "no lane for job " << id;
+    const LaneSummary& lane = lanes.at(lane_id);
+    EXPECT_TRUE(lane.submit) << id;
+    EXPECT_TRUE(lane.terminal) << id;
+    EXPECT_EQ(lane.terminal_state, job_state_name(snapshot.state)) << id;
+    // A job that actually ran (reached the online stage) has both a cache
+    // resolution and iterations on its lane; a queued death (expired
+    // before scheduling) legitimately has neither.
+    if (snapshot.report.iterations > 0) {
+      EXPECT_TRUE(lane.cache_event) << id;
+      EXPECT_TRUE(lane.iteration) << id;
+    }
+  }
+}
+
+TEST(ServiceTelemetry, TenantAggregatesSurviveRetentionAndForget) {
+  ServiceConfig config = memory_only(2);
+  config.retain_terminal = 2;
+  ServiceRuntime runtime(config);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = runtime.submit(quick_job(i % 2 == 0 ? "even" : "odd"));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  runtime.wait_idle();
+  // Retention already evicted the oldest jobs; their tenant series must
+  // still be complete in the export.
+  EXPECT_FALSE(runtime.status(ids[0]).has_value());
+  runtime.forget(ids.back());
+
+  obs::MetricsRegistry merged;
+  runtime.collect_metrics(merged);
+  const auto counters = merged.counter_values();
+  EXPECT_EQ(counters.at(obs::labeled("svc.tenant.jobs", {{"tenant", "even"}})),
+            3.0);
+  EXPECT_EQ(counters.at(obs::labeled("svc.tenant.jobs", {{"tenant", "odd"}})),
+            3.0);
+
+  // And the exported document still names both tenants.
+  obs::MetricsExporter exporter;
+  const std::string text = exporter.export_full(
+      merged, obs::MetricsExporter::Format::kPrometheus);
+  EXPECT_NE(text.find("tenant=\"even\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"odd\""), std::string::npos);
+}
+
+TEST(ServiceTelemetry, QueueDepthGaugeAndLatencyHistogramsExported) {
+  ServiceRuntime runtime(memory_only(2));
+  const auto snapshots = run_burst(runtime, 6);
+  ASSERT_EQ(snapshots.size(), 6u);
+
+  obs::MetricsRegistry operational;
+  operational.merge(runtime.timing_metrics());
+  const auto gauges = operational.gauge_values();
+  ASSERT_TRUE(gauges.count("svc.queue.depth"));
+  EXPECT_EQ(gauges.at("svc.queue.depth"), 0.0);  // Drained.
+
+  const auto histograms = operational.histogram_values();
+  double latency_count = 0.0;
+  for (const auto& [name, histogram] : histograms) {
+    const obs::ParsedMetricName parsed = obs::parse_metric_name(name);
+    if (parsed.base == "svc.tenant.latency_ms") {
+      latency_count += static_cast<double>(histogram.count());
+      EXPECT_TRUE(parsed.labels.count("tenant")) << name;
+    }
+  }
+  EXPECT_EQ(latency_count, 6.0);
+}
+
+}  // namespace
+}  // namespace approxit::svc

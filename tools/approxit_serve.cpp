@@ -17,6 +17,16 @@
 //     -> {"ok":true,...}             #   one iteration (cooperative token)
 //   {"op":"stats"}
 //     -> {"ok":true,"op":"stats",...,"metrics":{...}}
+//   {"op":"stats_export"[,"format":"prometheus|jsonl|scorecard",
+//    "mode":"full|delta","deterministic":true]}
+//     -> {"ok":true,"op":"stats_export","format":...,"content":"..."}
+//        format prometheus/jsonl returns the MetricsExporter snapshot of
+//        collect_metrics + timing metrics + scorecard gauges ("content");
+//        "deterministic":true restricts it to the thread-count-invariant
+//        collect_metrics aggregate. mode "delta" reports only changes
+//        since the previous delta scrape of the same format (an idle
+//        service exports ""). format "scorecard" returns the per-tenant
+//        SLO/quality scorecard as a raw JSON object ("scorecard").
 //   {"op":"forget","id":N}           # drop a terminal job's snapshot
 //     -> {"ok":true,"op":"forget","id":N} | {"ok":false,"error":"..."}
 //   {"op":"shutdown"}                # drain, respond, exit 0
@@ -45,6 +55,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "svc/runtime.h"
 #include "svc/wire.h"
 
@@ -186,6 +197,13 @@ int main(int argc, char** argv) {
 
   ServiceRuntime runtime(config);
 
+  // One exporter per format so each format's delta-scrape sequence keeps
+  // its own monotonic baseline (approxit_top polls jsonl while a
+  // Prometheus scraper can poll text, without stealing each other's
+  // deltas).
+  approxit::obs::MetricsExporter prometheus_exporter;
+  approxit::obs::MetricsExporter jsonl_exporter;
+
   std::string line;
   bool overflow = false;
   while (approxit::svc::read_wire_line(std::cin, line, &overflow)) {
@@ -265,6 +283,42 @@ int main(int argc, char** argv) {
           .field("cache_evictions", stats.cache.evictions)
           .field("cache_quarantines", stats.cache.quarantines)
           .raw("metrics", merged.to_json());
+    } else if (op == "stats_export") {
+      const std::string format = request->get_string("format", "prometheus");
+      const std::string mode = request->get_string("mode", "full");
+      if (format == "scorecard") {
+        response.field("ok", true)
+            .field("op", op)
+            .field("format", format)
+            .raw("scorecard", runtime.scorecard_json());
+      } else if (format != "prometheus" && format != "jsonl") {
+        response.field("ok", false).field("op", op).field(
+            "error", "unknown_format: " + format);
+      } else if (mode != "full" && mode != "delta") {
+        response.field("ok", false).field("op", op).field(
+            "error", "unknown_mode: " + mode);
+      } else {
+        approxit::obs::MetricsRegistry merged;
+        runtime.collect_metrics(merged);
+        if (!request->get_bool("deterministic", false)) {
+          merged.merge(runtime.timing_metrics());
+          runtime.scorecard().export_to(merged);
+        }
+        const auto wire_format =
+            format == "prometheus"
+                ? approxit::obs::MetricsExporter::Format::kPrometheus
+                : approxit::obs::MetricsExporter::Format::kJsonLines;
+        approxit::obs::MetricsExporter& exporter =
+            format == "prometheus" ? prometheus_exporter : jsonl_exporter;
+        const std::string content =
+            mode == "delta" ? exporter.export_delta(merged, wire_format)
+                            : exporter.export_full(merged, wire_format);
+        response.field("ok", true)
+            .field("op", op)
+            .field("format", format)
+            .field("mode", mode)
+            .field("content", content);
+      }
     } else if (op == "forget") {
       const auto id =
           static_cast<std::uint64_t>(request->get_int("id", 0));

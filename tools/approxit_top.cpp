@@ -1,0 +1,362 @@
+// approxit_top: live terminal dashboard over a running approxit_serve.
+//
+// Spawns the serve binary named after `--` with a pipe pair, then polls it
+// through the wire protocol ({"op":"stats"} + {"op":"stats_export",
+// "format":"jsonl"} + the scorecard document) and renders a top(1)-style
+// screen: service throughput and rejection rates, queue depth, cache
+// effectiveness, latency quantiles and a per-tenant SLO/quality table.
+//
+//   approxit_top [--interval MS] [--frames N] [--once] [--ascii]
+//                -- <approxit_serve> [serve flags...]
+//
+//   --interval MS   refresh period (default 1000)
+//   --frames N      stop after N frames (default: until the serve exits)
+//   --once          render a single frame without clearing the screen
+//   --ascii         no ANSI escapes (plain text frames, e.g. for logs)
+//
+// Rates (jobs/s) come from successive counter deltas over the actual
+// inter-frame interval. The dashboard is an OBSERVER: it submits nothing
+// and only ever issues read-only ops, so pointing it at a serving process
+// changes no result bits.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/wire.h"
+
+namespace {
+
+using approxit::svc::WireWriter;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--interval MS] [--frames N] [--once] [--ascii]"
+               " -- <approxit_serve> [flags...]\n",
+               argv0);
+  return 2;
+}
+
+/// One line of the jsonl metric export, recovered with targeted string
+/// scans — the exporter's output is canonical (our own code wrote it), so
+/// a dashboard does not need a general JSON parser.
+struct MetricLine {
+  std::string metric;
+  std::map<std::string, std::string> labels;
+  std::string type;
+  double value = 0.0;    // counter/gauge
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, mean = 0.0;  // histogram
+  std::size_t count = 0;
+};
+
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::string value;
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value += line[++i];
+    } else if (line[i] == '"') {
+      *out = std::move(value);
+      return true;
+    } else {
+      value += line[i];
+    }
+  }
+  return false;
+}
+
+bool extract_number(const std::string& line, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+bool parse_metric_line(const std::string& line, MetricLine* out) {
+  if (!extract_string(line, "metric", &out->metric)) return false;
+  extract_string(line, "type", &out->type);
+  // labels:{...} — k:"v" pairs between the braces.
+  const std::size_t open = line.find("\"labels\":{");
+  if (open != std::string::npos) {
+    std::size_t i = open + 10;
+    while (i < line.size() && line[i] != '}') {
+      if (line[i] != '"') { ++i; continue; }
+      std::string key, value;
+      ++i;
+      while (i < line.size() && line[i] != '"') key += line[i++];
+      i += 2;  // skip closing quote + ':'
+      if (i < line.size() && line[i] == '"') {
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) ++i;
+          value += line[i++];
+        }
+        ++i;
+      }
+      out->labels[key] = value;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+  }
+  extract_number(line, "value", &out->value);
+  extract_number(line, "p50", &out->p50);
+  extract_number(line, "p90", &out->p90);
+  extract_number(line, "p99", &out->p99);
+  extract_number(line, "mean", &out->mean);
+  double count = 0.0;
+  if (extract_number(line, "count", &count)) {
+    out->count = static_cast<std::size_t>(count);
+  }
+  return true;
+}
+
+/// The serve child process behind a stdin/stdout pipe pair.
+class ServeClient {
+ public:
+  bool spawn(std::vector<char*> argv) {
+    int to_child[2], from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      argv.push_back(nullptr);
+      execvp(argv[0], argv.data());
+      std::perror("approxit_top: exec");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    request_ = fdopen(to_child[1], "w");
+    response_ = fdopen(from_child[0], "r");
+    return request_ != nullptr && response_ != nullptr;
+  }
+
+  /// One request line out, one response line back; empty on EOF.
+  std::string round_trip(const std::string& request) {
+    if (request_ == nullptr || response_ == nullptr) return "";
+    std::fprintf(request_, "%s\n", request.c_str());
+    std::fflush(request_);
+    std::string line;
+    int c = 0;
+    while ((c = std::fgetc(response_)) != EOF && c != '\n') {
+      line += static_cast<char>(c);
+    }
+    return line;
+  }
+
+  bool alive() const {
+    if (pid_ <= 0) return false;
+    return waitpid(pid_, nullptr, WNOHANG) == 0;
+  }
+
+  void shutdown() {
+    if (request_ != nullptr) {
+      round_trip("{\"op\":\"shutdown\"}");
+      std::fclose(request_);
+      request_ = nullptr;
+    }
+    if (response_ != nullptr) {
+      std::fclose(response_);
+      response_ = nullptr;
+    }
+    if (pid_ > 0) {
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+  }
+
+  ~ServeClient() { shutdown(); }
+
+ private:
+  pid_t pid_ = -1;
+  std::FILE* request_ = nullptr;
+  std::FILE* response_ = nullptr;
+};
+
+double stat_of(const std::string& stats_line, const char* key) {
+  double value = 0.0;
+  extract_number(stats_line, key, &value);
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double interval_ms = 1000.0;
+  std::size_t frames = 0;  // 0 = until the serve exits.
+  bool once = false;
+  bool ascii = false;
+  int serve_at = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--" && i + 1 < argc) {
+      serve_at = i + 1;
+      break;
+    } else if (flag == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtod(argv[++i], nullptr);
+    } else if (flag == "--frames" && i + 1 < argc) {
+      frames = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (flag == "--once") {
+      once = true;
+      frames = 1;
+    } else if (flag == "--ascii") {
+      ascii = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (serve_at < 0) return usage(argv[0]);
+
+  ServeClient serve;
+  std::vector<char*> child_argv;
+  for (int i = serve_at; i < argc; ++i) child_argv.push_back(argv[i]);
+  if (!serve.spawn(std::move(child_argv))) {
+    std::fprintf(stderr, "approxit_top: failed to spawn serve\n");
+    return 1;
+  }
+
+  std::map<std::string, double> previous_counters;
+  auto previous_time = std::chrono::steady_clock::now();
+  bool first_frame = true;
+
+  for (std::size_t frame = 0; frames == 0 || frame < frames; ++frame) {
+    if (!first_frame) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+    if (!serve.alive() && !first_frame) break;
+
+    const std::string stats = serve.round_trip("{\"op\":\"stats\"}");
+    const std::string exported = serve.round_trip(
+        "{\"op\":\"stats_export\",\"format\":\"jsonl\",\"mode\":\"full\"}");
+    if (stats.empty() || exported.empty()) break;
+
+    std::string content;
+    extract_string(exported, "content", &content);
+
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - previous_time).count();
+    previous_time = now;
+
+    // Fold the export into lookup maps; the rate of a counter is its
+    // delta against the previous frame over the measured interval.
+    std::map<std::string, MetricLine> metrics;
+    std::map<std::string, double> counters;
+    std::size_t start = 0;
+    while (start < content.size()) {
+      std::size_t end = content.find('\n', start);
+      if (end == std::string::npos) end = content.size();
+      const std::string line = content.substr(start, end - start);
+      start = end + 1;
+      MetricLine metric;
+      if (!parse_metric_line(line, &metric)) continue;
+      std::string key = metric.metric;
+      for (const auto& [label, value] : metric.labels) {
+        key += "|" + label + "=" + value;
+      }
+      if (metric.type == "counter") counters[key] = metric.value;
+      metrics[key] = std::move(metric);
+    }
+    const auto rate = [&](const std::string& key) {
+      if (first_frame || dt <= 0.0) return 0.0;
+      const auto cur = counters.find(key);
+      const auto prev = previous_counters.find(key);
+      if (cur == counters.end()) return 0.0;
+      const double before = prev == previous_counters.end() ? 0.0
+                                                            : prev->second;
+      return (cur->second - before) / dt;
+    };
+
+    std::string screen;
+    char buffer[256];
+    const auto line = [&](const char* format, auto... args) {
+      std::snprintf(buffer, sizeof(buffer), format, args...);
+      screen += buffer;
+      screen += '\n';
+    };
+    line("approxit_top — frame %zu, interval %.0f ms", frame + 1,
+         interval_ms);
+    line("service   queued %.0f  running %.0f  submitted %.0f  "
+         "completed %.0f (%.1f/s)",
+         stat_of(stats, "queued"), stat_of(stats, "running"),
+         stat_of(stats, "submitted"), stat_of(stats, "completed"),
+         rate("svc.tenant.jobs"));
+    line("outcomes  failed %.0f  cancelled %.0f  deadline %.0f  "
+         "shed %.0f  degraded %.0f  retries %.0f",
+         stat_of(stats, "failed"), stat_of(stats, "cancelled"),
+         stat_of(stats, "deadline_exceeded"), stat_of(stats, "shed"),
+         stat_of(stats, "degraded"), stat_of(stats, "retries"));
+    line("rejects   queue_full %.0f  tenant_cap %.0f  rate_limited %.0f  "
+         "bad_request %.0f",
+         stat_of(stats, "rejected_queue_full"),
+         stat_of(stats, "rejected_tenant_cap"),
+         stat_of(stats, "rejected_rate_limited"),
+         stat_of(stats, "rejected_bad_request"));
+    line("cache     hits %.0f  misses %.0f  disk %.0f  stores %.0f",
+         stat_of(stats, "cache_hits"), stat_of(stats, "cache_misses"),
+         stat_of(stats, "cache_disk_hits"), stat_of(stats, "cache_stores"));
+    const auto run_ms = metrics.find("svc.run_ms");
+    if (run_ms != metrics.end() && run_ms->second.count > 0) {
+      line("latency   run_ms p50 %.2f  p90 %.2f  p99 %.2f  (n=%zu)",
+           run_ms->second.p50, run_ms->second.p90, run_ms->second.p99,
+           run_ms->second.count);
+    }
+
+    // Per-tenant table from the scorecard gauges in the same export.
+    std::map<std::string, std::map<std::string, double>> tenants;
+    for (const auto& [key, metric] : metrics) {
+      const auto tenant = metric.labels.find("tenant");
+      if (tenant == metric.labels.end()) continue;
+      if (metric.metric.rfind("svc.scorecard.", 0) == 0) {
+        tenants[tenant->second][metric.metric.substr(14)] = metric.value;
+      }
+    }
+    if (!tenants.empty()) {
+      screen += '\n';
+      line("%-12s %6s %6s %6s %6s %9s %8s %8s", "tenant", "jobs", "conv",
+           "dline", "canc", "quality", "energy", "lat_ms");
+      for (const auto& [tenant, fields] : tenants) {
+        const auto get = [&](const char* name) {
+          const auto it = fields.find(name);
+          return it == fields.end() ? 0.0 : it->second;
+        };
+        line("%-12s %6.0f %6.0f %6.0f %6.0f %9.2e %8.3f %8.1f",
+             tenant.c_str(), get("jobs"), get("converged"),
+             get("deadline_exceeded"), get("cancelled"),
+             get("quality_rolling"), get("energy_ratio_mean"),
+             get("latency_ms_mean"));
+      }
+    }
+
+    if (!once && !ascii) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(screen.c_str(), stdout);
+    if (ascii && !once) std::fputs("---\n", stdout);
+    std::fflush(stdout);
+
+    previous_counters = std::move(counters);
+    first_frame = false;
+  }
+
+  serve.shutdown();
+  return 0;
+}

@@ -1,0 +1,349 @@
+// bench_diff: compares two BENCH_*.json artifacts and flags regressions.
+//
+//   bench_diff [--threshold F] [--gate] [--all] BASELINE.json CURRENT.json
+//
+//   --threshold F   relative change below which a numeric delta is noise
+//                   (default 0.05 = 5%)
+//   --gate          exit 1 when any regression is flagged (CI mode)
+//   --all           also print unchanged/unclassified metrics
+//
+// Artifacts are flattened to path -> leaf (objects dot-joined, arrays
+// indexed), then matched by path. Whether a delta is a regression follows
+// the metric's name: throughput-like leaves (per_sec, speedup, hits,
+// scaling, jobs) regress when they DROP; cost-like leaves (_ms, overhead,
+// misses, energy, evictions) regress when they RISE; invariant booleans
+// (identical, deterministic, bit_identical, converged, all_hits) regress
+// on a true -> false flip. Leaves matching neither family are reported as
+// informational changes only — bench_diff never guesses a direction.
+//
+// Exit codes: 0 ok (or regressions found without --gate), 1 regressions
+// under --gate, 2 usage/IO/parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One flattened leaf: a number, a boolean or a string.
+struct Leaf {
+  enum class Kind { kNumber, kBool, kString } kind = Kind::kNumber;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;
+};
+
+/// Minimal recursive-descent JSON reader, just enough for the bench
+/// artifacts this repo writes (objects, arrays, numbers, strings, bools,
+/// null). Flattens into `out` with dot/index paths.
+class FlattenParser {
+ public:
+  FlattenParser(const std::string& text, std::map<std::string, Leaf>* out)
+      : text_(text), out_(out) {}
+
+  bool run() {
+    skip_space();
+    if (!parse_value("")) return false;
+    skip_space();
+    return at_ >= text_.size();
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(at_);
+    }
+    return false;
+  }
+
+  void skip_space() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (at_ >= text_.size() || text_[at_] != '"') return fail("expected '\"'");
+    ++at_;
+    while (at_ < text_.size() && text_[at_] != '"') {
+      if (text_[at_] == '\\' && at_ + 1 < text_.size()) {
+        ++at_;
+        switch (text_[at_]) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u':
+            // Bench artifacts only escape control bytes; keep the raw
+            // sequence, the diff only needs equality.
+            *out += "\\u";
+            break;
+          default: *out += text_[at_];
+        }
+      } else {
+        *out += text_[at_];
+      }
+      ++at_;
+    }
+    if (at_ >= text_.size()) return fail("unterminated string");
+    ++at_;
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_space();
+    if (at_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[at_];
+    if (c == '{') {
+      ++at_;
+      skip_space();
+      if (at_ < text_.size() && text_[at_] == '}') { ++at_; return true; }
+      for (;;) {
+        skip_space();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_space();
+        if (at_ >= text_.size() || text_[at_] != ':') {
+          return fail("expected ':'");
+        }
+        ++at_;
+        if (!parse_value(path.empty() ? key : path + "." + key)) {
+          return false;
+        }
+        skip_space();
+        if (at_ < text_.size() && text_[at_] == ',') { ++at_; continue; }
+        break;
+      }
+      if (at_ >= text_.size() || text_[at_] != '}') return fail("expected '}'");
+      ++at_;
+      return true;
+    }
+    if (c == '[') {
+      ++at_;
+      skip_space();
+      if (at_ < text_.size() && text_[at_] == ']') { ++at_; return true; }
+      std::size_t index = 0;
+      for (;;) {
+        if (!parse_value(path + "[" + std::to_string(index++) + "]")) {
+          return false;
+        }
+        skip_space();
+        if (at_ < text_.size() && text_[at_] == ',') { ++at_; continue; }
+        break;
+      }
+      if (at_ >= text_.size() || text_[at_] != ']') return fail("expected ']'");
+      ++at_;
+      return true;
+    }
+    if (c == '"') {
+      Leaf leaf;
+      leaf.kind = Leaf::Kind::kString;
+      if (!parse_string(&leaf.text)) return false;
+      (*out_)[path] = std::move(leaf);
+      return true;
+    }
+    if (text_.compare(at_, 4, "true") == 0) {
+      at_ += 4;
+      (*out_)[path] = Leaf{Leaf::Kind::kBool, 0.0, true, ""};
+      return true;
+    }
+    if (text_.compare(at_, 5, "false") == 0) {
+      at_ += 5;
+      (*out_)[path] = Leaf{Leaf::Kind::kBool, 0.0, false, ""};
+      return true;
+    }
+    if (text_.compare(at_, 4, "null") == 0) {
+      at_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double number = std::strtod(text_.c_str() + at_, &end);
+    if (end == text_.c_str() + at_) return fail("unparseable value");
+    at_ = static_cast<std::size_t>(end - text_.c_str());
+    (*out_)[path] = Leaf{Leaf::Kind::kNumber, number, false, ""};
+    return true;
+  }
+
+  const std::string& text_;
+  std::map<std::string, Leaf>* out_;
+  std::size_t at_ = 0;
+  std::string error_;
+};
+
+bool load(const char* path, std::map<std::string, Leaf>* out,
+          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = std::string("cannot open ") + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  FlattenParser parser(text, out);
+  if (!parser.run()) {
+    *error = std::string(path) + ": " + parser.error();
+    return false;
+  }
+  return true;
+}
+
+bool contains_token(const std::string& path, const char* token) {
+  return path.find(token) != std::string::npos;
+}
+
+/// The leaf (not the enclosing path) names the quantity: classify on the
+/// final path segment.
+std::string leaf_name(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kInvariantBool,
+                       kUnclassified };
+
+Direction classify(const std::string& path, const Leaf& leaf) {
+  const std::string name = leaf_name(path);
+  if (leaf.kind == Leaf::Kind::kBool) {
+    for (const char* token :
+         {"identical", "deterministic", "bit_", "all_hits", "converged",
+          "reconcile", "ok", "passed"}) {
+      if (contains_token(name, token)) return Direction::kInvariantBool;
+    }
+    return Direction::kUnclassified;
+  }
+  if (leaf.kind != Leaf::Kind::kNumber) return Direction::kUnclassified;
+  for (const char* token :
+       {"per_sec", "speedup", "hits", "scaling", "throughput", "recovered",
+        "converged"}) {
+    if (contains_token(name, token)) return Direction::kHigherBetter;
+  }
+  for (const char* token :
+       {"_ms", "overhead", "misses", "wall", "energy", "evictions",
+        "quarantines", "dropped", "failed", "retries"}) {
+    if (contains_token(name, token)) return Direction::kLowerBetter;
+  }
+  return Direction::kUnclassified;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.05;
+  bool gate = false;
+  bool show_all = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      show_all = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold F] [--gate] [--all] "
+                 "BASELINE.json CURRENT.json\n");
+    return 2;
+  }
+
+  std::map<std::string, Leaf> baseline, current;
+  std::string error;
+  if (!load(files[0], &baseline, &error) ||
+      !load(files[1], &current, &error)) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t compared = 0;
+  std::printf("bench_diff: %s -> %s (threshold %.1f%%)\n", files[0],
+              files[1], threshold * 100.0);
+  for (const auto& [path, before] : baseline) {
+    const auto it = current.find(path);
+    if (it == current.end()) {
+      std::printf("  MISSING    %-48s (dropped from current)\n",
+                  path.c_str());
+      continue;
+    }
+    const Leaf& after = it->second;
+    if (after.kind != before.kind) {
+      std::printf("  TYPE       %-48s changed kind\n", path.c_str());
+      continue;
+    }
+    ++compared;
+    const Direction direction = classify(path, before);
+    if (before.kind == Leaf::Kind::kBool) {
+      if (before.boolean == after.boolean) continue;
+      const bool regressed = direction == Direction::kInvariantBool &&
+                             before.boolean && !after.boolean;
+      if (regressed) ++regressions;
+      std::printf("  %s %-48s %s -> %s\n",
+                  regressed ? "REGRESSION" : "CHANGE    ", path.c_str(),
+                  before.boolean ? "true" : "false",
+                  after.boolean ? "true" : "false");
+      continue;
+    }
+    if (before.kind == Leaf::Kind::kString) {
+      if (before.text != after.text && show_all) {
+        std::printf("  CHANGE     %-48s \"%s\" -> \"%s\"\n", path.c_str(),
+                    before.text.c_str(), after.text.c_str());
+      }
+      continue;
+    }
+    const double denom = std::abs(before.number);
+    const double relative =
+        denom > 0.0 ? (after.number - before.number) / denom
+                    : (after.number == before.number ? 0.0 : 1.0);
+    const bool significant = std::abs(relative) >= threshold;
+    if (!significant) {
+      if (show_all) {
+        std::printf("  ok         %-48s %.6g -> %.6g\n", path.c_str(),
+                    before.number, after.number);
+      }
+      continue;
+    }
+    bool regressed = false;
+    if (direction == Direction::kHigherBetter) regressed = relative < 0.0;
+    if (direction == Direction::kLowerBetter) regressed = relative > 0.0;
+    if (direction == Direction::kUnclassified) {
+      if (show_all) {
+        std::printf("  CHANGE     %-48s %.6g -> %.6g (%+.1f%%)\n",
+                    path.c_str(), before.number, after.number,
+                    relative * 100.0);
+      }
+      continue;
+    }
+    if (regressed) {
+      ++regressions;
+    } else {
+      ++improvements;
+    }
+    std::printf("  %s %-48s %.6g -> %.6g (%+.1f%%)\n",
+                regressed ? "REGRESSION" : "IMPROVED  ", path.c_str(),
+                before.number, after.number, relative * 100.0);
+  }
+  for (const auto& [path, leaf] : current) {
+    (void)leaf;
+    if (baseline.find(path) == baseline.end() && show_all) {
+      std::printf("  NEW        %-48s\n", path.c_str());
+    }
+  }
+  std::printf(
+      "bench_diff: %zu compared, %zu regression(s), %zu improvement(s)\n",
+      compared, regressions, improvements);
+  if (gate && regressions > 0) return 1;
+  return 0;
+}

@@ -12,8 +12,14 @@
 //     energy_total carried by the last event).
 //
 // --validate additionally checks the schema of every line (required
-// top-level keys; required args on iteration events) and exits non-zero on
-// the first violation — the CI trace-artifact check.
+// top-level keys; required args on iteration and service events) and exits
+// non-zero on the first violation — the CI trace-artifact check. Event
+// kinds are reconciled against the registry of everything the
+// instrumented layers emit (session/watchdog/strategy/svc/spmv plus the
+// dynamic-name alu/sweep/log/lane categories); an UNKNOWN (cat, name)
+// pair is not silently skipped — it is counted and reported as a
+// validation warning (exit stays 0: a new event kind should show up
+// loudly in CI output without breaking the build the day it lands).
 #include <array>
 #include <cctype>
 #include <cstdio>
@@ -219,7 +225,45 @@ struct Segment {
   double objective_end = 0.0;
 };
 
-int validate_line(const TraceLine& line, std::size_t line_number) {
+/// Fixed-name event kinds every instrumented layer emits. Categories with
+/// caller-chosen names (alu ops, sweep arm labels, log levels, lane
+/// naming metadata) are matched by category alone.
+constexpr std::array<std::pair<const char*, const char*>, 16> kKnownEvents =
+    {{{"session", "run"},
+      {"session", "iteration"},
+      {"session", "run_complete"},
+      {"session", "cancelled"},
+      {"watchdog", "recovery"},
+      {"watchdog", "trigger"},
+      {"spmv", "shard"},
+      {"svc", "submit"},
+      {"svc", "reject"},
+      {"svc", "retry"},
+      {"svc", "cancel"},
+      {"svc", "job"},
+      {"svc", "terminal"},
+      {"svc", "cache_hit"},
+      {"svc", "cache_miss"},
+      {"svc", "quality_threshold"}}};
+
+// `strategy` events are named after the strategy that decided
+// (`incremental`, `adaptive`, ..., plus `lut_rebuild`) — caller-chosen,
+// like alu op names, sweep arm labels, log levels and lane metadata.
+constexpr std::array<const char*, 5> kDynamicNameCategories = {
+    "alu", "sweep", "log", "lane", "strategy"};
+
+bool known_event(const TraceLine& line) {
+  for (const char* category : kDynamicNameCategories) {
+    if (line.cat == category) return true;
+  }
+  for (const auto& [category, name] : kKnownEvents) {
+    if (line.cat == category && line.name == name) return true;
+  }
+  return false;
+}
+
+int validate_line(const TraceLine& line, std::size_t line_number,
+                  std::map<std::string, std::size_t>& unknown_kinds) {
   const auto missing = [&](const char* what) {
     std::fprintf(stderr, "line %zu: missing %s\n", line_number, what);
     return 1;
@@ -227,6 +271,10 @@ int validate_line(const TraceLine& line, std::size_t line_number) {
   if (line.kind.empty()) return missing("kind");
   if (line.cat.empty()) return missing("cat");
   if (line.name.empty()) return missing("name");
+  if (!known_event(line)) {
+    ++unknown_kinds[line.cat + "/" + line.name];
+    return 0;
+  }
   if (line.cat == "session" && line.name == "iteration") {
     for (const char* key : {"iter", "objective", "energy", "energy_total",
                             "step_norm", "rung"}) {
@@ -234,6 +282,43 @@ int validate_line(const TraceLine& line, std::size_t line_number) {
     }
     for (const char* key : {"mode", "scheme", "next_mode", "watchdog"}) {
       if (!line.string_args.count(key)) return missing(key);
+    }
+  }
+  if (line.cat == "svc") {
+    // The QoS/telemetry events each carry a minimal causal schema; a job
+    // id is attached by the JobScope on every per-job event.
+    if (line.name == "submit") {
+      for (const char* key : {"app", "dataset", "strategy", "tenant"}) {
+        if (!line.string_args.count(key)) return missing(key);
+      }
+      if (!line.number_args.count("job")) return missing("job");
+    } else if (line.name == "reject") {
+      for (const char* key : {"reason", "tenant"}) {
+        if (!line.string_args.count(key)) return missing(key);
+      }
+    } else if (line.name == "retry") {
+      for (const char* key : {"job", "attempt", "backoff_ms"}) {
+        if (!line.number_args.count(key)) return missing(key);
+      }
+    } else if (line.name == "terminal") {
+      if (!line.string_args.count("state")) return missing("state");
+      if (!line.number_args.count("job")) return missing("job");
+    } else if (line.name == "job") {
+      if (!line.string_args.count("state")) return missing("state");
+      if (!line.number_args.count("job")) return missing("job");
+    } else if (line.name == "cancel") {
+      if (!line.number_args.count("job")) return missing("job");
+    } else if (line.name == "cache_hit") {
+      for (const char* key : {"key", "source"}) {
+        if (!line.string_args.count(key)) return missing(key);
+      }
+    } else if (line.name == "cache_miss") {
+      if (!line.string_args.count("key")) return missing("key");
+    } else if (line.name == "quality_threshold") {
+      if (!line.string_args.count("tenant")) return missing("tenant");
+      for (const char* key : {"rolling_quality", "threshold"}) {
+        if (!line.number_args.count(key)) return missing(key);
+      }
     }
   }
   return 0;
@@ -283,6 +368,7 @@ int run(int argc, char** argv) {
   std::map<std::string, ModeBucket> buckets;
   std::map<std::string, std::size_t> events_by_cat;
   std::vector<Segment> segments;
+  std::map<std::string, std::size_t> unknown_kinds;
   std::size_t iteration_events = 0;
   std::size_t total_lines = 0;
   double energy_delta_sum = 0.0;
@@ -304,7 +390,9 @@ int run(int argc, char** argv) {
       continue;
     }
     if (validate) {
-      if (const int rc = validate_line(parsed, line_number)) return rc;
+      if (const int rc = validate_line(parsed, line_number, unknown_kinds)) {
+        return rc;
+      }
     }
     ++events_by_cat[parsed.cat];
 
@@ -346,8 +434,19 @@ int run(int argc, char** argv) {
   }
 
   if (validate) {
-    std::printf("trace_summary: %zu lines OK (%zu iteration events)\n",
-                total_lines, iteration_events);
+    // Unknown event kinds are warnings, not failures: a freshly added
+    // emitter should surface here (with a count) so its schema gets added
+    // to kKnownEvents, without turning every new event into a CI outage.
+    for (const auto& [kind, count] : unknown_kinds) {
+      std::fprintf(stderr,
+                   "warning: unknown event kind %s (%zu occurrence%s) — "
+                   "not schema-checked; add it to trace_summary's registry\n",
+                   kind.c_str(), count, count == 1 ? "" : "s");
+    }
+    std::printf("trace_summary: %zu lines OK (%zu iteration events, "
+                "%zu unknown kind%s)\n",
+                total_lines, iteration_events, unknown_kinds.size(),
+                unknown_kinds.size() == 1 ? "" : "s");
   }
   if (iteration_events == 0) {
     std::printf("trace_summary: no session/iteration events in %s "
