@@ -13,21 +13,33 @@
 //      be identical across thread counts.
 //   4. THROUGHPUT — a warm-cache burst; jobs/sec plus queue/run latency
 //      percentiles from the jobs' own timings.
+//   5. NET BURST — the socket front end under load: 64 concurrent
+//      loopback connections streaming jobs through ONE event loop;
+//      client-observed latency percentiles, jobs/sec, and a byte-identity
+//      gate (every terminal report must equal the in-process read).
 //
 // Emits bench_artifacts/BENCH_service.json; exits non-zero when any
 // identity or cache assertion fails.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
+#include "svc/client.h"
 #include "svc/runtime.h"
 #include "util/table.h"
 
@@ -247,6 +259,95 @@ int main() {
        util::format_sig(percentile(run_ms, 0.99), 4)});
   std::cout << tp_table << "\n";
 
+  // --- Phase 5: socket loopback burst -----------------------------------
+  // Every connection is a REAL socket client of one NetServer (one epoll
+  // loop, one runtime, warm cache): submit with a stream subscription,
+  // drain the lifecycle to the terminal event, then check the report
+  // against an in-process read of the same job.
+  const std::size_t kNetConnections = 64;
+  ServiceConfig net_service;
+  net_service.threads = 4;
+  net_service.queue_capacity = kNetConnections + 8;
+  net_service.cache.directory = cache_dir;  // Warm from phase 1.
+  approxit::svc::InProcessClient net_client(std::move(net_service));
+  approxit::net::NetServerConfig net_config;
+  net_config.address =
+      "unix:/tmp/approxit_bench_" + std::to_string(getpid()) + ".sock";
+  approxit::net::NetServer net_server(net_client, net_config);
+  std::string net_error;
+  const bool net_started = net_server.start(&net_error);
+  if (!net_started) {
+    std::fprintf(stderr, "net burst: %s\n", net_error.c_str());
+  }
+  std::thread net_loop;
+  if (net_started) net_loop = std::thread([&] { net_server.run(); });
+
+  std::vector<double> net_latency_ms(kNetConnections, 0.0);
+  std::vector<char> net_identical(kNetConnections, 0);
+  std::atomic<std::size_t> net_failures{0};
+  double net_wall_ms = 0.0;
+  if (net_started) {
+    const double start = now_ms();
+    std::vector<std::thread> workers;
+    workers.reserve(kNetConnections);
+    for (std::size_t i = 0; i < kNetConnections; ++i) {
+      workers.emplace_back([&, i] {
+        std::string error;
+        const auto client = approxit::net::connect_client(
+            net_server.listen_address(), &error);
+        if (client == nullptr) {
+          net_failures.fetch_add(1);
+          return;
+        }
+        const double t0 = now_ms();
+        const auto stream =
+            client->submit_stream(jobs[i % jobs.size()], &error);
+        if (stream == nullptr) {
+          net_failures.fetch_add(1);
+          return;
+        }
+        std::optional<approxit::svc::StreamEvent> terminal;
+        while (const auto event = stream->next()) terminal = *event;
+        net_latency_ms[i] = now_ms() - t0;
+        if (!terminal || !terminal->terminal() || !terminal->status) {
+          net_failures.fetch_add(1);
+          return;
+        }
+        const auto direct = net_client.result(stream->id());
+        net_identical[i] =
+            direct && !direct->report_json.empty() &&
+            direct->report_json == terminal->status->report_json;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    net_wall_ms = now_ms() - start;
+    net_server.stop();
+    net_loop.join();
+  }
+
+  const bool net_all_identical =
+      net_started && net_failures.load() == 0 &&
+      std::all_of(net_identical.begin(), net_identical.end(),
+                  [](char identical) { return identical != 0; });
+  const double net_jobs_per_sec =
+      net_wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(kNetConnections) / net_wall_ms
+          : 0.0;
+  std::vector<double> net_latencies(net_latency_ms.begin(),
+                                    net_latency_ms.end());
+  ok = ok && net_all_identical;
+
+  util::Table net_table("Socket loopback burst (one event loop)");
+  net_table.set_header({"Conns", "Wall ms", "Jobs/s", "Lat p50 ms",
+                        "Lat p99 ms", "Identical"});
+  net_table.add_row({std::to_string(kNetConnections),
+                     util::format_sig(net_wall_ms, 4),
+                     util::format_sig(net_jobs_per_sec, 4),
+                     util::format_sig(percentile(net_latencies, 0.50), 4),
+                     util::format_sig(percentile(net_latencies, 0.99), 4),
+                     net_all_identical ? "yes" : "NO"});
+  std::cout << net_table << "\n";
+
   // --- Artifact ---------------------------------------------------------
   std::ostringstream json;
   json << "{\n  \"bench\": \"service\",\n"
@@ -274,7 +375,15 @@ int main() {
        << ", \"queue_ms_p90\": " << percentile(queue_ms, 0.90)
        << ", \"queue_ms_p99\": " << percentile(queue_ms, 0.99)
        << ", \"run_ms_p50\": " << percentile(run_ms, 0.50)
-       << ", \"run_ms_p99\": " << percentile(run_ms, 0.99) << "}\n}\n";
+       << ", \"run_ms_p99\": " << percentile(run_ms, 0.99) << "},\n"
+       << "  \"net_burst\": {\"connections\": " << kNetConnections
+       << ", \"wall_ms\": " << net_wall_ms
+       << ", \"jobs_per_sec\": " << net_jobs_per_sec
+       << ", \"latency_ms_p50\": " << percentile(net_latencies, 0.50)
+       << ", \"latency_ms_p90\": " << percentile(net_latencies, 0.90)
+       << ", \"latency_ms_p99\": " << percentile(net_latencies, 0.99)
+       << ", \"byte_identical_reports\": "
+       << (net_all_identical ? "true" : "false") << "}\n}\n";
 
   const std::string path = artifact_path("BENCH_service.json");
   std::ofstream out(path);
@@ -284,9 +393,9 @@ int main() {
   if (!ok) {
     std::printf(
         "FAIL: warm_all_hits=%d warm_identical=%d amortized=%d "
-        "deterministic=%d\n",
+        "deterministic=%d net_identical=%d\n",
         warm_all_hits ? 1 : 0, warm_identical ? 1 : 0, amortized ? 1 : 0,
-        deterministic ? 1 : 0);
+        deterministic ? 1 : 0, net_all_identical ? 1 : 0);
     return 1;
   }
   std::printf("OK\n");

@@ -128,6 +128,22 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
   CheckpointRing checkpoints(options.watchdog.checkpoint_capacity);
   watchdog.reset(method_.objective());
 
+  // Streaming-progress seam: one copy-only notification per executed
+  // iteration (healthy or watchdog-recovered), after its trace event.
+  const auto notify_progress = [&options](std::size_t iter,
+                                          arith::ApproxMode iter_mode,
+                                          const opt::IterationStats& stats,
+                                          double energy_total) {
+    if (!options.on_progress) return;
+    SessionProgress progress;
+    progress.iteration = iter;
+    progress.mode = iter_mode;
+    progress.objective = stats.objective_after;
+    progress.step_norm = stats.step_norm;
+    progress.energy_total = energy_total;
+    options.on_progress(progress);
+  };
+
   arith::ApproxMode mode = strategy_.initial_mode();
   double energy_before = 0.0;
   std::size_t recoveries = 0;
@@ -249,6 +265,7 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
                            obs::arg("recoveries", recoveries),
                            obs::arg("safe_mode", report.safe_mode)});
       }
+      notify_progress(report.iterations, mode, stats, energy_after);
 
       if (abort_now) {
         // Rung 4: nothing healthy left to restore (or the recovery budget
@@ -314,6 +331,7 @@ RunReport ApproxItSession::run(const SessionOptions& options) {
                     eps_estimate, iteration_energy, energy_after,
                     decision.rollback, reconfigured, next_mode,
                     WatchdogTrigger::kNone, /*rung=*/0);
+    notify_progress(report.iterations, mode, stats, energy_after);
 
     mode = next_mode;
 

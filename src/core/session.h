@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,19 @@ struct RunReport {
   std::string to_string() const;
 };
 
+/// Running totals handed to SessionOptions::on_progress after each
+/// executed iteration — the streaming-status seam: a serving front end
+/// forwards (a sampled subset of) these to subscribed clients while the
+/// run is still in flight.
+struct SessionProgress {
+  std::size_t iteration = 0;  ///< Executed iterations so far (1-based).
+  /// Mode this iteration ran in.
+  arith::ApproxMode mode = arith::ApproxMode::kAccurate;
+  double objective = 0.0;     ///< f(x) after this iteration.
+  double step_norm = 0.0;     ///< ||x^k - x^{k-1}|| of this iteration.
+  double energy_total = 0.0;  ///< Cumulative ledger energy so far.
+};
+
 /// Options for ApproxItSession::run.
 struct SessionOptions {
   /// Cap on executed iterations; 0 uses the method's max_iterations().
@@ -111,6 +125,13 @@ struct SessionOptions {
   /// The default inert token costs one null test per iteration, so runs
   /// without it are bit-identical to the pre-cancellation session.
   CancelToken cancel;
+  /// Invoked after EVERY executed iteration (watchdog-recovered ones
+  /// included) with the running totals. Pure observation: the callback
+  /// sees copies, never the method state, so results are bit-identical
+  /// with or without it; unset costs one null test per iteration. Callers
+  /// wanting a coarser stride (e.g. every N iterations) subsample inside
+  /// the callback.
+  std::function<void(const SessionProgress&)> on_progress;
 };
 
 /// Binds a method, a strategy and a QCS ALU for one or more runs.

@@ -92,6 +92,15 @@ class SessionBuilder {
     return *this;
   }
 
+  /// Per-iteration progress callback (SessionOptions::on_progress); an
+  /// empty function detaches. Pure observation — results are
+  /// bit-identical with or without it.
+  SessionBuilder& on_progress(
+      std::function<void(const SessionProgress&)> callback) {
+    options_.on_progress = std::move(callback);
+    return *this;
+  }
+
   /// Injects a precomputed characterization (shared across sessions over
   /// the same workload). Takes precedence over profile_cache().
   SessionBuilder& characterization(const ModeCharacterization& profile) {

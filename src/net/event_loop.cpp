@@ -1,0 +1,228 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define APPROXIT_NET_HAVE_EPOLL 1
+#else
+#define APPROXIT_NET_HAVE_EPOLL 0
+#endif
+
+namespace approxit::net {
+
+namespace {
+
+void make_nonblocking_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int fd_flags = ::fcntl(fd, F_GETFD, 0);
+  if (fd_flags >= 0) ::fcntl(fd, F_SETFD, fd_flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+EventLoop::Backend EventLoop::default_backend() {
+#if APPROXIT_NET_HAVE_EPOLL
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if APPROXIT_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) backend_ = Backend::kPoll;
+  }
+#else
+  backend_ = Backend::kPoll;
+#endif
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) == 0) {
+    wakeup_read_ = pipe_fds[0];
+    wakeup_write_ = pipe_fds[1];
+    make_nonblocking_cloexec(wakeup_read_);
+    make_nonblocking_cloexec(wakeup_write_);
+    add(wakeup_read_, /*want_read=*/true, /*want_write=*/false,
+        [this](std::uint32_t) { drain_wakeup(); });
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_read_ >= 0) ::close(wakeup_read_);
+  if (wakeup_write_ >= 0) ::close(wakeup_write_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::update_backend(int fd, const FdState& state, bool adding) {
+#if APPROXIT_NET_HAVE_EPOLL
+  if (backend_ != Backend::kEpoll) return;
+  epoll_event event{};
+  event.data.fd = fd;
+  if (state.want_read) event.events |= EPOLLIN;
+  if (state.want_write) event.events |= EPOLLOUT;
+  ::epoll_ctl(epoll_fd_, adding ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &event);
+#else
+  (void)fd;
+  (void)state;
+  (void)adding;
+#endif
+}
+
+void EventLoop::add(int fd, bool want_read, bool want_write,
+                    FdCallback callback) {
+  FdState state;
+  state.generation = next_generation_++;
+  state.want_read = want_read;
+  state.want_write = want_write;
+  state.callback = std::move(callback);
+  update_backend(fd, state, /*adding=*/true);
+  fds_[fd] = std::move(state);
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  update_backend(fd, it->second, /*adding=*/false);
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+#if APPROXIT_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  fds_.erase(it);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  if (wakeup_write_ >= 0) {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup; ignore the result.
+    [[maybe_unused]] const ssize_t n = ::write(wakeup_write_, &byte, 1);
+  }
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_ = true;
+  }
+  if (wakeup_write_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakeup_write_, &byte, 1);
+  }
+}
+
+void EventLoop::drain_wakeup() {
+  char sink[256];
+  while (::read(wakeup_read_, sink, sizeof(sink)) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  // Swap out the current batch; tasks posted DURING the batch run next
+  // round (prevents a self-posting task from starving the fds).
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+int EventLoop::wait_and_collect(
+    int timeout_ms, std::vector<std::pair<int, std::uint32_t>>& ready) {
+  ready.clear();
+#if APPROXIT_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t mask = 0;
+      if (events[i].events & (EPOLLIN | EPOLLHUP)) mask |= kEventRead;
+      if (events[i].events & EPOLLOUT) mask |= kEventWrite;
+      if (events[i].events & EPOLLERR) mask |= kEventError;
+      const int fd = events[i].data.fd;
+      ready.emplace_back(fd, mask);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> polled;
+  polled.reserve(fds_.size());
+  for (const auto& [fd, state] : fds_) {
+    pollfd p{};
+    p.fd = fd;
+    if (state.want_read) p.events |= POLLIN;
+    if (state.want_write) p.events |= POLLOUT;
+    polled.push_back(p);
+  }
+  const int n = ::poll(polled.data(), polled.size(), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  for (const pollfd& p : polled) {
+    if (p.revents == 0) continue;
+    std::uint32_t mask = 0;
+    if (p.revents & (POLLIN | POLLHUP)) mask |= kEventRead;
+    if (p.revents & POLLOUT) mask |= kEventWrite;
+    if (p.revents & (POLLERR | POLLNVAL)) mask |= kEventError;
+    ready.emplace_back(p.fd, mask);
+  }
+  return n;
+}
+
+bool EventLoop::run_once(int timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    if (stop_) return false;
+    // Pending tasks must not sit behind an indefinite wait.
+    if (!tasks_.empty()) timeout_ms = 0;
+  }
+  std::vector<std::pair<int, std::uint32_t>> ready;
+  if (wait_and_collect(timeout_ms, ready) < 0) return false;
+  // Stamp each ready fd with its registration generation NOW, before any
+  // callback runs: a callback that removes a neighbour (or closes it and
+  // accepts a new connection onto the same fd number) must not have the
+  // stale readiness delivered to the new registration.
+  std::vector<std::uint64_t> generations(ready.size(), 0);
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const auto it = fds_.find(ready[i].first);
+    if (it != fds_.end()) generations[i] = it->second.generation;
+  }
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const auto [fd, mask] = ready[i];
+    const auto it = fds_.find(fd);
+    if (it == fds_.end() || it->second.generation != generations[i]) {
+      continue;
+    }
+    // The callback may remove this very fd; copy the handler first.
+    const FdCallback callback = it->second.callback;
+    callback(mask);
+  }
+  run_posted();
+  std::lock_guard<std::mutex> lock(post_mutex_);
+  return !stop_;
+}
+
+void EventLoop::run() {
+  while (run_once(-1)) {
+  }
+}
+
+}  // namespace approxit::net

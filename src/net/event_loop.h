@@ -1,0 +1,124 @@
+// Single-threaded readiness event loop: the scheduling core of the
+// socket front end (net/server.h).
+//
+// One loop thread multiplexes every connection: file descriptors are
+// registered with a callback and a read/write interest mask, run()
+// blocks in the OS readiness call and dispatches callbacks on the loop
+// thread, and post() injects work from OTHER threads (a self-pipe wakes
+// the blocked loop). Everything the serving path does with connection
+// state therefore happens on one thread — the server needs no
+// per-connection locks, and per-job event order is the loop's task
+// order.
+//
+// Two backends behind one interface:
+//
+//   kEpoll  epoll(7), level-triggered — O(ready) dispatch, the Linux
+//           production path;
+//   kPoll   poll(2) over a rebuilt pollfd vector — portable fallback,
+//           O(fds) per wait, used where epoll is missing (and in tests,
+//           which run the same suite against both).
+//
+// Re-entrancy: callbacks may add(), modify() or remove() any fd —
+// including their own — during dispatch. Dispatch works off a snapshot
+// and re-checks each entry's registration GENERATION before invoking,
+// so a callback that removes a neighbour (or closes a connection whose
+// fd number is immediately reused) never sees a stale event.
+//
+// Thread-safety: post() and stop() may be called from any thread; all
+// other methods are loop-thread-only (add() before run() is also fine).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace approxit::net {
+
+/// Readiness bits delivered to fd callbacks.
+enum : std::uint32_t {
+  kEventRead = 1u << 0,   ///< fd readable (or peer closed).
+  kEventWrite = 1u << 1,  ///< fd writable.
+  kEventError = 1u << 2,  ///< Error/hangup condition on the fd.
+};
+
+/// The loop. See the header comment for the threading contract.
+class EventLoop {
+ public:
+  enum class Backend {
+    kEpoll,  ///< epoll(7) (Linux).
+    kPoll,   ///< poll(2) fallback (portable).
+  };
+
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  /// The platform's preferred backend (kEpoll on Linux, else kPoll).
+  static Backend default_backend();
+
+  /// Builds the loop (wakeup self-pipe included). Falls back to kPoll if
+  /// an epoll instance cannot be created.
+  explicit EventLoop(Backend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Backend backend() const { return backend_; }
+
+  /// Registers `fd` with the given interest set. The fd must be
+  /// non-blocking; the callback runs on the loop thread.
+  void add(int fd, bool want_read, bool want_write, FdCallback callback);
+
+  /// Updates an fd's interest set (no-op for unregistered fds).
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Deregisters an fd (the caller closes it). Safe to call from the
+  /// fd's own callback; no-op for unregistered fds.
+  void remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread (FIFO). Thread-safe;
+  /// wakes a blocked run(). Tasks posted from the loop thread run after
+  /// the current dispatch round.
+  void post(std::function<void()> task);
+
+  /// Dispatches until stop(). Runs pending posted tasks between waits.
+  void run();
+
+  /// One wait-and-dispatch round with the given wait bound
+  /// (-1 = indefinitely). Returns false once stop() has been requested.
+  bool run_once(int timeout_ms);
+
+  /// Requests run() to return after the current round. Thread-safe.
+  void stop();
+
+  std::size_t fd_count() const { return fds_.size(); }
+
+ private:
+  struct FdState {
+    std::uint64_t generation = 0;
+    bool want_read = false;
+    bool want_write = false;
+    FdCallback callback;
+  };
+
+  void update_backend(int fd, const FdState& state, bool adding);
+  void drain_wakeup();
+  void run_posted();
+  int wait_and_collect(int timeout_ms,
+                       std::vector<std::pair<int, std::uint32_t>>& ready);
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  int wakeup_read_ = -1;
+  int wakeup_write_ = -1;
+  std::uint64_t next_generation_ = 1;
+  std::map<int, FdState> fds_;
+
+  std::mutex post_mutex_;  ///< Guards tasks_ and stop_ (cross-thread).
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace approxit::net

@@ -1,0 +1,527 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.h"
+#include "svc/protocol.h"
+
+namespace approxit::net {
+
+namespace {
+
+std::string stream_final_response(std::uint64_t id) {
+  svc::WireWriter response;
+  response.field("ok", true).field("op", "stream").field(
+      "id", static_cast<std::int64_t>(id));
+  return response.str();
+}
+
+}  // namespace
+
+NetServer::NetServer(svc::InProcessClient& client, NetServerConfig config)
+    : client_(client), config_(std::move(config)), loop_(config_.backend) {}
+
+NetServer::~NetServer() {
+  // Sink removal synchronizes with the client's fan-out lock: after it
+  // returns no runtime thread can be inside (or enter) our sink closure,
+  // so posting into the loop can no longer race its destruction.
+  if (sink_token_) client_.remove_event_sink(*sink_token_);
+  for (auto& [id, connection] : connections_) ::close(connection.fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (bound_ && bound_->is_unix) ::unlink(bound_->path.c_str());
+}
+
+bool NetServer::start(std::string* error) {
+  bound_ = parse_address(config_.address, error);
+  if (!bound_) return false;
+  listen_fd_ = listen_socket(*bound_, error);
+  if (listen_fd_ < 0) return false;
+  if (!bound_->is_unix) {
+    // Resolve an ephemeral port to the address clients actually dial.
+    if (const std::optional<Address> resolved = local_address(listen_fd_)) {
+      bound_->port = resolved->port;
+    }
+  }
+  listen_address_ = address_to_string(*bound_);
+  loop_.add(listen_fd_, /*want_read=*/true, /*want_write=*/false,
+            [this](std::uint32_t) { on_acceptable(); });
+  // Runtime threads hand every JobEvent to the loop; post order IS
+  // per-job causal order because the runtime emits causally and the
+  // task queue is FIFO.
+  sink_token_ = client_.add_event_sink([this](const svc::JobEvent& event) {
+    loop_.post([this, event] { handle_job_event(event); });
+  });
+  return true;
+}
+
+void NetServer::run() { loop_.run(); }
+
+void NetServer::stop() { loop_.stop(); }
+
+// ---------------------------------------------------------------------------
+// Accept / connection lifecycle
+
+void NetServer::on_acceptable() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN — drained.
+    }
+    if (connections_.size() >= config_.max_connections) {
+      metrics_.counter("net.connections.rejected").add();
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    if (!bound_->is_unix) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const std::uint64_t conn_id = next_conn_id_++;
+    Connection& connection = connections_[conn_id];
+    connection.id = conn_id;
+    connection.fd = fd;
+    fd_to_conn_[fd] = conn_id;
+    loop_.add(fd, /*want_read=*/true, /*want_write=*/false,
+              [this, conn_id](std::uint32_t events) {
+                on_connection_event(conn_id, events);
+              });
+    metrics_.counter("net.connections.accepted").add();
+    metrics_.gauge("net.connections.open")
+        .set(static_cast<double>(connections_.size()));
+    obs::emit_instant("net", "accept",
+                      {obs::arg("conn", static_cast<std::size_t>(conn_id))});
+    if (!enqueue_line(connection, svc::encode_hello_event())) {
+      close_connection(conn_id, "backpressure");
+    }
+  }
+}
+
+void NetServer::close_connection(std::uint64_t conn_id, const char* reason) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  loop_.remove(it->second.fd);
+  ::close(it->second.fd);
+  fd_to_conn_.erase(it->second.fd);
+  connections_.erase(it);
+  metrics_.counter("net.connections.closed").add();
+  if (std::strcmp(reason, "backpressure") == 0) {
+    metrics_.counter("net.backpressure.disconnects").add();
+  }
+  metrics_.gauge("net.connections.open")
+      .set(static_cast<double>(connections_.size()));
+  obs::emit_instant("net", "disconnect",
+                    {obs::arg("conn", static_cast<std::size_t>(conn_id)),
+                     obs::arg("reason", reason)});
+}
+
+void NetServer::on_connection_event(std::uint64_t conn_id,
+                                    std::uint32_t events) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  if (events & kEventError) {
+    close_connection(conn_id, "error");
+    return;
+  }
+  if (events & kEventWrite) {
+    if (!flush_writes(it->second)) {
+      close_connection(conn_id, "write_error");
+      return;
+    }
+    update_interest(it->second);
+  }
+  if (events & kEventRead) on_readable(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Reads and the request pipeline
+
+void NetServer::on_readable(Connection& connection) {
+  const std::uint64_t conn_id = connection.id;
+  while (true) {
+    char chunk[65536];
+    const ssize_t n = ::read(connection.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn_id, "read_error");
+      return;
+    }
+    if (n == 0) {
+      close_connection(conn_id, "eof");
+      return;
+    }
+    metrics_.counter("net.bytes.in").add(static_cast<double>(n));
+    connection.inbuf.append(chunk, static_cast<std::size_t>(n));
+  }
+  extract_lines(connection);
+  process_pending(conn_id);
+}
+
+void NetServer::extract_lines(Connection& connection) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t newline = connection.inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    const std::size_t length = newline - start;
+    if (connection.discarding) {
+      // The tail of an over-budget request; its error response already
+      // holds the pipeline slot.
+      connection.discarding = false;
+    } else if (length > config_.max_line) {
+      PendingLine oversize;
+      oversize.oversize = true;
+      connection.pending.push_back(std::move(oversize));
+    } else if (length > 0) {
+      PendingLine line;
+      line.line = connection.inbuf.substr(start, length);
+      connection.pending.push_back(std::move(line));
+      metrics_.counter("net.lines.in").add();
+    }
+    start = newline + 1;
+  }
+  connection.inbuf.erase(0, start);
+  // A headless partial line over budget: stop buffering it, answer when
+  // its newline finally arrives (the stdin front end's drain rule).
+  if (!connection.discarding &&
+      connection.inbuf.size() > config_.max_line) {
+    connection.inbuf.clear();
+    connection.discarding = true;
+    PendingLine oversize;
+    oversize.oversize = true;
+    connection.pending.push_back(std::move(oversize));
+  }
+}
+
+void NetServer::process_pending(std::uint64_t conn_id) {
+  while (true) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    Connection& connection = it->second;
+    if (connection.park != ParkKind::kNone || connection.pending.empty()) {
+      update_interest(connection);
+      return;
+    }
+    const PendingLine line = std::move(connection.pending.front());
+    connection.pending.pop_front();
+    if (!handle_line(connection, line)) return;  // Connection died.
+  }
+}
+
+bool NetServer::handle_line(Connection& connection, const PendingLine& line) {
+  const std::uint64_t conn_id = connection.id;
+  if (line.oversize) {
+    if (!enqueue_line(connection, svc::encode_parse_error("line too long"))) {
+      close_connection(conn_id, "backpressure");
+      return false;
+    }
+    return true;
+  }
+  std::string parse_error;
+  const std::optional<svc::WireObject> request =
+      svc::parse_wire_object(line.line, &parse_error);
+  if (!request) {
+    if (!enqueue_line(connection, svc::encode_parse_error(parse_error))) {
+      close_connection(conn_id, "backpressure");
+      return false;
+    }
+    return true;
+  }
+  // The shared synchronous path — identical answers to the stdin front
+  // end by construction (it calls the same function).
+  if (const std::optional<std::string> response =
+          svc::dispatch_sync(client_, *request)) {
+    if (!enqueue_line(connection, *response)) {
+      close_connection(conn_id, "backpressure");
+      return false;
+    }
+    return true;
+  }
+  switch (svc::classify_op(*request)) {
+    case svc::OpKind::kResult:
+      handle_result_op(connection, *request);
+      break;
+    case svc::OpKind::kStream:
+      handle_stream_op(connection, *request);
+      break;
+    case svc::OpKind::kSubmitStream:
+      handle_submit_stream(connection, *request);
+      break;
+    case svc::OpKind::kShutdown:
+      handle_shutdown(connection);
+      break;
+    default:
+      break;  // Unreachable: dispatch_sync answers everything else.
+  }
+  return connections_.count(conn_id) > 0;
+}
+
+void NetServer::handle_result_op(Connection& connection,
+                                 const svc::WireObject& request) {
+  const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
+  const std::optional<svc::JobSnapshot> snapshot =
+      client_.runtime().status(id);
+  if (!snapshot) {
+    if (!enqueue_line(connection, svc::encode_error("result", "unknown_job"))) {
+      close_connection(connection.id, "backpressure");
+    }
+    return;
+  }
+  if (svc::job_state_terminal(snapshot->state)) {
+    const std::string response = svc::encode_status_response(
+        "result", svc::job_status_from_snapshot(*snapshot),
+        /*include_report=*/true);
+    if (!enqueue_line(connection, response)) {
+      close_connection(connection.id, "backpressure");
+    }
+    return;
+  }
+  // Live job: the pipeline parks until its terminal event unparks it —
+  // result() semantics without blocking the loop thread.
+  park(connection, ParkKind::kResult, id);
+}
+
+void NetServer::handle_stream_op(Connection& connection,
+                                 const svc::WireObject& request) {
+  const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
+  const std::optional<svc::JobSnapshot> snapshot =
+      client_.runtime().status(id);
+  if (!snapshot) {
+    if (!enqueue_line(connection, svc::encode_error("stream", "unknown_job"))) {
+      close_connection(connection.id, "backpressure");
+    }
+    return;
+  }
+  // Replay the current state as the first event (subscription semantics
+  // identical to InProcessClient::stream — at-least-once, no regression).
+  svc::JobEvent replay;
+  replay.id = id;
+  replay.tenant = snapshot->spec.tenant;
+  replay.state = snapshot->state;
+  replay.attempt = snapshot->attempts - 1;
+  if (svc::job_state_terminal(snapshot->state)) {
+    replay.kind = svc::JobEvent::Kind::kTerminal;
+    const std::string terminal = svc::encode_terminal_event(
+        replay, svc::job_status_from_snapshot(*snapshot));
+    if (!enqueue_line(connection, terminal) ||
+        !enqueue_line(connection, stream_final_response(id))) {
+      close_connection(connection.id, "backpressure");
+    }
+    return;
+  }
+  replay.kind = snapshot->state == svc::JobState::kRunning
+                    ? svc::JobEvent::Kind::kRunning
+                    : svc::JobEvent::Kind::kQueued;
+  if (!enqueue_line(connection, svc::encode_job_event(replay))) {
+    close_connection(connection.id, "backpressure");
+    return;
+  }
+  connection.streams.push_back({id, /*parks=*/true});
+  park(connection, ParkKind::kStream, id);
+}
+
+void NetServer::handle_submit_stream(Connection& connection,
+                                     const svc::WireObject& request) {
+  std::string error;
+  const std::optional<std::uint64_t> id =
+      client_.submit(svc::job_spec_from_wire(request), &error);
+  if (!id) {
+    if (!enqueue_line(connection, svc::encode_error("submit", error))) {
+      close_connection(connection.id, "backpressure");
+    }
+    return;
+  }
+  // The admission-time queued event is already POSTED (the sink fired
+  // inside submit) but not yet dispatched — posted tasks run after this
+  // callback — so registering now still catches it, after the response.
+  svc::WireWriter response;
+  response.field("ok", true).field("op", "submit").field(
+      "id", static_cast<std::int64_t>(*id));
+  if (!enqueue_line(connection, response.str())) {
+    close_connection(connection.id, "backpressure");
+    return;
+  }
+  connection.streams.push_back({*id, /*parks=*/false});
+}
+
+void NetServer::handle_shutdown(Connection& connection) {
+  svc::WireWriter response;
+  response.field("ok", true).field("op", "shutdown");
+  enqueue_line(connection, response.str());
+  stopping_ = true;
+  // Push the acknowledgement out before the drain: the loop will not
+  // spin again, so give each connection one bounded blocking flush.
+  for (auto& [id, open_connection] : connections_) {
+    const double deadline_us = obs::trace_now_us() + 2e6;
+    while (!open_connection.outbuf.empty() &&
+           obs::trace_now_us() < deadline_us) {
+      pollfd p{};
+      p.fd = open_connection.fd;
+      p.events = POLLOUT;
+      if (::poll(&p, 1, 100) <= 0) continue;
+      if (!flush_writes(open_connection)) break;
+    }
+  }
+  client_.shutdown();
+  loop_.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming fan-in (loop thread, posted by the event sink)
+
+svc::JobStatus NetServer::terminal_status(const svc::JobEvent& event) {
+  // The job is terminal (state committed before the event fired), so
+  // result() returns immediately; a job retired in between falls back to
+  // the event's own fields.
+  if (std::optional<svc::JobStatus> status = client_.result(event.id)) {
+    return *std::move(status);
+  }
+  svc::JobStatus status;
+  status.id = event.id;
+  status.state = event.state;
+  status.attempts = event.attempt + 1;
+  return status;
+}
+
+void NetServer::handle_job_event(const svc::JobEvent& event) {
+  if (stopping_) return;
+  const bool terminal = event.kind == svc::JobEvent::Kind::kTerminal;
+  // Encodings and the terminal status are shared across subscribers.
+  std::optional<std::string> event_line;
+  std::optional<svc::JobStatus> status;
+  std::vector<std::uint64_t> conn_ids;
+  conn_ids.reserve(connections_.size());
+  for (const auto& [id, connection] : connections_) conn_ids.push_back(id);
+  for (const std::uint64_t conn_id : conn_ids) {
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end()) continue;  // Closed earlier this round.
+    Connection& connection = it->second;
+
+    bool subscribed = false;
+    bool parks = false;
+    for (auto stream = connection.streams.begin();
+         stream != connection.streams.end();) {
+      if (stream->job != event.id) {
+        ++stream;
+        continue;
+      }
+      subscribed = true;
+      if (terminal) {
+        parks = stream->parks;
+        stream = connection.streams.erase(stream);
+      } else {
+        ++stream;
+      }
+    }
+    const bool result_waiting = terminal &&
+                                connection.park == ParkKind::kResult &&
+                                connection.park_job == event.id;
+    if (!subscribed && !result_waiting) continue;
+
+    if (terminal && !status) status = terminal_status(event);
+    bool alive = true;
+    if (subscribed) {
+      if (!event_line) {
+        event_line = terminal ? svc::encode_terminal_event(event, *status)
+                              : svc::encode_job_event(event);
+      }
+      alive = enqueue_line(connection, *event_line);
+      metrics_.counter("net.events.out").add();
+      if (alive && terminal && parks) {
+        alive = enqueue_line(connection, stream_final_response(event.id));
+        if (alive) unpark(connection);
+      }
+    }
+    if (alive && result_waiting) {
+      alive = enqueue_line(connection,
+                           svc::encode_status_response(
+                               "result", *status, /*include_report=*/true));
+      if (alive) unpark(connection);
+    }
+    if (!alive) {
+      close_connection(conn_id, "backpressure");
+      continue;
+    }
+    // Unparking may release buffered pipelined requests.
+    process_pending(conn_id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writes, parking, interest
+
+bool NetServer::enqueue_line(Connection& connection,
+                             const std::string& line) {
+  connection.outbuf += line;
+  connection.outbuf.push_back('\n');
+  metrics_.counter("net.lines.out").add();
+  if (!flush_writes(connection)) return false;
+  if (connection.outbuf.size() > config_.max_write_buffer) {
+    obs::emit_instant(
+        "net", "backpressure",
+        {obs::arg("conn", static_cast<std::size_t>(connection.id)),
+         obs::arg("buffered", connection.outbuf.size())});
+    return false;
+  }
+  update_interest(connection);
+  return true;
+}
+
+bool NetServer::flush_writes(Connection& connection) {
+  std::size_t sent = 0;
+  while (sent < connection.outbuf.size()) {
+    const ssize_t n =
+        ::send(connection.fd, connection.outbuf.data() + sent,
+               connection.outbuf.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      connection.outbuf.erase(0, sent);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (sent > 0) {
+    metrics_.counter("net.bytes.out").add(static_cast<double>(sent));
+    connection.outbuf.erase(0, sent);
+  }
+  return true;
+}
+
+void NetServer::update_interest(Connection& connection) {
+  const bool want_read = connection.park == ParkKind::kNone && !stopping_;
+  const bool want_write = !connection.outbuf.empty();
+  if (want_write != connection.want_write) {
+    connection.want_write = want_write;
+  }
+  loop_.modify(connection.fd, want_read, want_write);
+}
+
+void NetServer::park(Connection& connection, ParkKind kind,
+                     std::uint64_t job) {
+  connection.park = kind;
+  connection.park_job = job;
+  // Flow control, not buffering: a parked pipeline stops reading.
+  update_interest(connection);
+}
+
+void NetServer::unpark(Connection& connection) {
+  connection.park = ParkKind::kNone;
+  connection.park_job = 0;
+  update_interest(connection);
+}
+
+}  // namespace approxit::net

@@ -1,0 +1,178 @@
+// NetServer: the networked serving front end.
+//
+// One EventLoop thread multiplexes every TCP / Unix-domain connection
+// onto one in-process ServiceRuntime, through the SAME dispatch path the
+// stdin front end uses (svc::dispatch_sync + svc/protocol.h), so the two
+// modes answer byte-identically. What the loop adds over stdin serving:
+//
+//   Pipelining    each connection is a strictly ordered request ->
+//                 response pipeline. Ops that must wait for a job
+//                 (result on a live job, the stream op) PARK the
+//                 pipeline — later requests stay buffered (and the
+//                 connection's read interest drops: flow control, not
+//                 buffering) until the job's terminal event unparks it.
+//                 The loop thread itself never blocks on a job.
+//   Streaming     submit+stream / stream subscriptions are fed by the
+//                 InProcessClient event-sink fan-out: runtime threads
+//                 hand each JobEvent to loop_.post(), the loop routes it
+//                 to subscribed connections in post order — which is
+//                 per-job causal order (queued -> running -> progress*
+//                 -> terminal), because the runtime emits in causal
+//                 order and post() is FIFO.
+//   Backpressure  writes are buffered per connection and flushed on
+//                 writability. A peer that reads slower than its
+//                 subscriptions produce — outbuf beyond
+//                 max_write_buffer — is DISCONNECTED (counted in
+//                 net.backpressure.disconnects): one slow consumer must
+//                 not grow unbounded state inside the server.
+//
+// Telemetry: net.* counters (accepted/closed/rejected/backpressure,
+// bytes and lines in/out) plus an open-connections gauge live in the
+// server's own registry — operational, not determinism-gated — and
+// accept/disconnect/backpressure instants are traced under the "net"
+// category with the connection id as the causal key.
+//
+// Threading: construct anywhere; start() binds; run() turns the calling
+// thread into the loop thread until stop() (any thread) or a client's
+// shutdown op. The shutdown op answers ok, drains the runtime, then
+// stops the loop — socket parity with the stdin front end's shutdown.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "svc/client.h"
+
+namespace approxit::net {
+
+struct NetServerConfig {
+  /// Listen address ("unix:PATH", "tcp:HOST:PORT", ":PORT").
+  std::string address = "unix:/tmp/approxit.sock";
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 1024;
+  /// Request-line cap; longer lines answer "parse_error: line too long"
+  /// (the stdin front end's rule).
+  std::size_t max_line = svc::kMaxWireLine;
+  /// Buffered-write bound per connection; beyond it the peer is
+  /// disconnected (slow-client backpressure). Must comfortably exceed
+  /// the largest single response (reports run to megabytes).
+  std::size_t max_write_buffer = std::size_t{16} << 20;
+  /// Readiness backend (tests pin kPoll to cover the fallback).
+  EventLoop::Backend backend = EventLoop::default_backend();
+};
+
+/// The front end. One instance per listen address.
+class NetServer {
+ public:
+  /// `client` must outlive the server (it owns the runtime; the server
+  /// registers an event sink on it for the streaming fan-out).
+  NetServer(svc::InProcessClient& client, NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens and registers the event sink. False with `error`
+  /// set on bad address / bind failure.
+  bool start(std::string* error = nullptr);
+
+  /// Serves on the calling thread until stop() / a shutdown op.
+  void run();
+
+  /// Requests run() to return (thread-safe, idempotent).
+  void stop();
+
+  /// Canonical bound address (ephemeral TCP ports resolved) — what
+  /// clients connect to. Valid after start().
+  const std::string& listen_address() const { return listen_address_; }
+
+  EventLoop& loop() { return loop_; }
+
+  /// net.* counters/gauges (operational; see the header comment).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  /// A stream subscription on one connection. `parks` distinguishes the
+  /// stream op (holds the pipeline, final response at terminal) from
+  /// submit+stream (events interleave, no final response).
+  struct StreamSub {
+    std::uint64_t job = 0;
+    bool parks = false;
+  };
+
+  /// What a parked pipeline is waiting for.
+  enum class ParkKind { kNone, kResult, kStream };
+
+  /// One buffered request line ("oversize" lines answer the parse error
+  /// in their pipeline slot instead of being dispatched).
+  struct PendingLine {
+    std::string line;
+    bool oversize = false;
+  };
+
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    bool want_write = false;
+    bool discarding = false;  ///< Draining an oversize request line.
+    std::deque<PendingLine> pending;
+    ParkKind park = ParkKind::kNone;
+    std::uint64_t park_job = 0;
+    std::vector<StreamSub> streams;
+  };
+
+  void on_acceptable();
+  void on_connection_event(std::uint64_t conn_id, std::uint32_t events);
+  void on_readable(Connection& connection);
+  void extract_lines(Connection& connection);
+  void process_pending(std::uint64_t conn_id);
+  /// Handles one request line; returns false when the connection died.
+  bool handle_line(Connection& connection, const PendingLine& line);
+  void handle_result_op(Connection& connection,
+                        const svc::WireObject& request);
+  void handle_stream_op(Connection& connection,
+                        const svc::WireObject& request);
+  void handle_submit_stream(Connection& connection,
+                            const svc::WireObject& request);
+  void handle_shutdown(Connection& connection);
+  /// Routes one runtime JobEvent (loop thread) to subscriptions and
+  /// parked pipelines.
+  void handle_job_event(const svc::JobEvent& event);
+  /// Terminal status for an event, report attached; falls back to the
+  /// event's own fields when the job was already retired.
+  svc::JobStatus terminal_status(const svc::JobEvent& event);
+
+  /// Appends + flushes; false when the write buffer crossed the
+  /// backpressure bound or the write failed (caller closes).
+  bool enqueue_line(Connection& connection, const std::string& line);
+  /// Writes what the socket accepts; false on a hard write error.
+  bool flush_writes(Connection& connection);
+  void update_interest(Connection& connection);
+  void park(Connection& connection, ParkKind kind, std::uint64_t job);
+  void unpark(Connection& connection);
+  void close_connection(std::uint64_t conn_id, const char* reason);
+
+  svc::InProcessClient& client_;
+  NetServerConfig config_;
+  EventLoop loop_;
+  obs::MetricsRegistry metrics_;
+  int listen_fd_ = -1;
+  std::optional<Address> bound_;  ///< Parsed + resolved listen address.
+  std::string listen_address_;
+  std::optional<std::uint64_t> sink_token_;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Connection> connections_;
+  std::map<int, std::uint64_t> fd_to_conn_;
+  bool stopping_ = false;
+};
+
+}  // namespace approxit::net

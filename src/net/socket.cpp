@@ -1,0 +1,221 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace approxit::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_port(std::string_view text, std::uint16_t& port) {
+  if (text.empty() || text.size() > 5) return false;
+  unsigned value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// Fills a sockaddr_in from the parsed (host, port); false on a host
+/// that is not an accepted literal.
+bool fill_inet(const Address& address, sockaddr_in& inet) {
+  std::memset(&inet, 0, sizeof(inet));
+  inet.sin_family = AF_INET;
+  inet.sin_port = htons(address.port);
+  return ::inet_pton(AF_INET, address.host.c_str(), &inet.sin_addr) == 1;
+}
+
+bool fill_unix(const Address& address, sockaddr_un& un,
+               std::string* error) {
+  std::memset(&un, 0, sizeof(un));
+  un.sun_family = AF_UNIX;
+  if (address.path.size() >= sizeof(un.sun_path)) {
+    set_error(error, "unix socket path too long: " + address.path);
+    return false;
+  }
+  std::memcpy(un.sun_path, address.path.c_str(), address.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Address> parse_address(std::string_view text,
+                                     std::string* error) {
+  Address address;
+  if (text.rfind("unix:", 0) == 0) {
+    address.is_unix = true;
+    address.path = std::string(text.substr(5));
+    if (address.path.empty()) {
+      set_error(error, "empty unix socket path");
+      return std::nullopt;
+    }
+    return address;
+  }
+  std::string_view rest = text;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  std::string_view host = colon == std::string_view::npos
+                              ? std::string_view()
+                              : rest.substr(0, colon);
+  const std::string_view port_text =
+      colon == std::string_view::npos ? rest : rest.substr(colon + 1);
+  if (!parse_port(port_text, address.port)) {
+    set_error(error, "bad address (want unix:PATH, tcp:HOST:PORT or "
+                     ":PORT): " + std::string(text));
+    return std::nullopt;
+  }
+  if (host.empty() || host == "localhost") {
+    address.host = "127.0.0.1";
+  } else if (host == "*") {
+    address.host = "0.0.0.0";
+  } else {
+    address.host = std::string(host);
+  }
+  sockaddr_in probe;
+  if (!fill_inet(address, probe)) {
+    set_error(error, "bad IPv4 host literal: " + address.host);
+    return std::nullopt;
+  }
+  return address;
+}
+
+std::string address_to_string(const Address& address) {
+  if (address.is_unix) return "unix:" + address.path;
+  return "tcp:" + address.host + ":" + std::to_string(address.port);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return false;
+  }
+  const int fd_flags = ::fcntl(fd, F_GETFD, 0);
+  if (fd_flags >= 0) ::fcntl(fd, F_SETFD, fd_flags | FD_CLOEXEC);
+  return true;
+}
+
+int listen_socket(const Address& address, std::string* error) {
+  const int fd =
+      ::socket(address.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, errno_string("socket"));
+    return -1;
+  }
+  bool bound = false;
+  if (address.is_unix) {
+    sockaddr_un un;
+    if (fill_unix(address, un, error)) {
+      // A stale socket file from a dead server would fail the bind.
+      ::unlink(address.path.c_str());
+      bound = ::bind(fd, reinterpret_cast<sockaddr*>(&un), sizeof(un)) == 0;
+      if (!bound) set_error(error, errno_string("bind"));
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in inet;
+    fill_inet(address, inet);
+    bound =
+        ::bind(fd, reinterpret_cast<sockaddr*>(&inet), sizeof(inet)) == 0;
+    if (!bound) set_error(error, errno_string("bind"));
+  }
+  if (!bound || ::listen(fd, 128) != 0 || !set_nonblocking(fd)) {
+    if (bound) set_error(error, errno_string("listen"));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_socket(const Address& address, std::string* error) {
+  const int fd =
+      ::socket(address.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, errno_string("socket"));
+    return -1;
+  }
+  int rc = -1;
+  if (address.is_unix) {
+    sockaddr_un un;
+    if (!fill_unix(address, un, error)) {
+      ::close(fd);
+      return -1;
+    }
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&un), sizeof(un));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    sockaddr_in inet;
+    fill_inet(address, inet);
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&inet), sizeof(inet));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+  }
+  if (rc != 0) {
+    set_error(error,
+              errno_string("connect") + " (" + address_to_string(address) +
+                  ")");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::optional<Address> local_address(int fd) {
+  sockaddr_storage storage{};
+  socklen_t length = sizeof(storage);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &length) !=
+      0) {
+    return std::nullopt;
+  }
+  Address address;
+  if (storage.ss_family == AF_UNIX) {
+    const auto* un = reinterpret_cast<const sockaddr_un*>(&storage);
+    address.is_unix = true;
+    address.path = un->sun_path;
+    return address;
+  }
+  if (storage.ss_family == AF_INET) {
+    const auto* inet = reinterpret_cast<const sockaddr_in*>(&storage);
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &inet->sin_addr, host, sizeof(host));
+    address.host = host;
+    address.port = ntohs(inet->sin_port);
+    return address;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<svc::LineClient> connect_client(const std::string& address,
+                                                std::string* error) {
+  const std::optional<Address> parsed = parse_address(address, error);
+  if (!parsed) return nullptr;
+  const int fd = connect_socket(*parsed, error);
+  if (fd < 0) return nullptr;
+  return std::make_unique<svc::LineClient>(fd, fd, /*owns_fds=*/true);
+}
+
+}  // namespace approxit::net

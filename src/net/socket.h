@@ -1,0 +1,68 @@
+// Listen/connect address plumbing for the socket front end.
+//
+// One textual address grammar serves approxit_serve --listen,
+// approxit_client --connect, the benches and the tests:
+//
+//   unix:PATH         Unix-domain stream socket at PATH
+//   tcp:HOST:PORT     TCP; HOST is a dotted-quad IPv4 literal, or the
+//                     aliases "localhost" (127.0.0.1) and "*" (0.0.0.0)
+//   :PORT             shorthand for tcp:127.0.0.1:PORT
+//
+// Name resolution is deliberately NOT performed — a serving control
+// plane should not block on DNS; callers pass literals. TCP port 0
+// binds an ephemeral port; local_address() recovers the bound address
+// (the form tests use to connect to an ephemeral listener).
+//
+// All helpers return -1 / nullopt with `error` set instead of throwing;
+// listener fds come back non-blocking + CLOEXEC (with SO_REUSEADDR on
+// TCP, and a stale socket file unlinked for Unix paths), connect fds
+// come back blocking (LineClient reads blockingly) with TCP_NODELAY on
+// TCP (one request line per write must not wait out Nagle).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "svc/client.h"
+
+namespace approxit::net {
+
+/// A parsed listen/connect address.
+struct Address {
+  bool is_unix = false;
+  std::string path;  ///< Unix socket path.
+  std::string host;  ///< IPv4 literal (aliases resolved).
+  std::uint16_t port = 0;
+};
+
+/// Parses the textual grammar above; nullopt with `error` on bad input.
+std::optional<Address> parse_address(std::string_view text,
+                                     std::string* error = nullptr);
+
+/// The canonical textual form ("unix:/p" / "tcp:1.2.3.4:5").
+std::string address_to_string(const Address& address);
+
+/// Binds + listens. Returns the listener fd (non-blocking, CLOEXEC), or
+/// -1 with `error` set.
+int listen_socket(const Address& address, std::string* error = nullptr);
+
+/// Connects (blocking). Returns the fd, or -1 with `error` set.
+int connect_socket(const Address& address, std::string* error = nullptr);
+
+/// The locally bound address of a listener/connected fd — what to
+/// connect to after binding TCP port 0. nullopt for non-socket fds.
+std::optional<Address> local_address(int fd);
+
+/// Sets O_NONBLOCK (and FD_CLOEXEC). Returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// Connects and wraps the fd in the unified client API. nullptr with
+/// `error` set on parse/connect failure. (Lives here, not in svc:
+/// transports stack on net, never the reverse.)
+std::unique_ptr<svc::LineClient> connect_client(const std::string& address,
+                                                std::string* error = nullptr);
+
+}  // namespace approxit::net

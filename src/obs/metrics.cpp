@@ -1,8 +1,39 @@
 #include "obs/metrics.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace approxit::obs {
+
+namespace {
+
+// Labeled metric names (telemetry.h labeled()) embed quoted label values,
+// so names must be escaped before they can serve as JSON object keys.
+std::string json_escape_name(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 4);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -111,21 +142,21 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, value] : counters) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << value;
+    os << '"' << json_escape_name(name) << "\":" << value;
   }
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : gauges) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << value;
+    os << '"' << json_escape_name(name) << "\":" << value;
   }
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, sketch] : histograms) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":{\"count\":" << sketch.count()
+    os << '"' << json_escape_name(name) << "\":{\"count\":" << sketch.count()
        << ",\"mean\":" << sketch.stats().mean()
        << ",\"p50\":" << sketch.p50() << ",\"p90\":" << sketch.p90()
        << ",\"p99\":" << sketch.p99() << "}";

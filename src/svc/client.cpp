@@ -1,0 +1,709 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace approxit::svc {
+
+// ---------------------------------------------------------------------------
+// InProcessClient
+
+namespace {
+
+/// Lifts a runtime JobEvent into the wire-facing StreamEvent shape
+/// (terminal status attached by the caller, which can reach the runtime).
+StreamEvent lift_event(const JobEvent& event) {
+  StreamEvent out;
+  out.event = std::string(job_event_kind_name(event.kind));
+  out.id = event.id;
+  out.tenant = event.tenant;
+  out.state = std::string(job_state_name(event.state));
+  out.attempt = event.attempt;
+  out.iteration = event.iteration;
+  out.objective = event.objective;
+  return out;
+}
+
+}  // namespace
+
+/// Pull side of one in-process subscription. next() converts buffered
+/// JobEvents on the CALLER's thread, so fetching the terminal status from
+/// the runtime here is safe (the hook itself never re-enters the runtime).
+class InProcessStream : public JobStream {
+ public:
+  InProcessStream(InProcessClient& client,
+                  std::shared_ptr<InProcessClient::Subscription> subscription,
+                  std::optional<StreamEvent> replay)
+      : JobStream(subscription->id),
+        client_(client),
+        subscription_(std::move(subscription)),
+        replay_(std::move(replay)) {}
+
+  ~InProcessStream() override { client_.unsubscribe(subscription_.get()); }
+
+  std::optional<StreamEvent> next() override {
+    if (finished_) return std::nullopt;
+    if (replay_) {
+      StreamEvent event = std::move(*replay_);
+      replay_.reset();
+      if (event.terminal()) finished_ = true;
+      return event;
+    }
+    JobEvent raw;
+    {
+      std::unique_lock<std::mutex> lock(client_.mutex_);
+      client_.events_cv_.wait(
+          lock, [&] { return !subscription_->events.empty(); });
+      raw = std::move(subscription_->events.front());
+      subscription_->events.pop_front();
+    }
+    StreamEvent event = lift_event(raw);
+    if (raw.kind == JobEvent::Kind::kTerminal) {
+      finished_ = true;
+      // Full payload (report included) for the terminal event; jobs
+      // retired between the event and this fetch fall back to the
+      // event's own fields.
+      if (const auto snapshot = client_.runtime_->status(raw.id)) {
+        event.status = job_status_from_snapshot(*snapshot);
+      } else {
+        JobStatus status;
+        status.id = raw.id;
+        status.state = raw.state;
+        status.attempts = raw.attempt + 1;
+        event.status = std::move(status);
+      }
+    }
+    return event;
+  }
+
+ private:
+  InProcessClient& client_;
+  std::shared_ptr<InProcessClient::Subscription> subscription_;
+  std::optional<StreamEvent> replay_;
+  bool finished_ = false;
+};
+
+InProcessClient::InProcessClient(ServiceConfig config) {
+  // Chain, never replace: a caller-provided hook keeps firing after ours.
+  const std::function<void(const JobEvent&)> previous = config.on_job_event;
+  config.on_job_event = [this, previous](const JobEvent& event) {
+    route_event(event);
+    if (previous) previous(event);
+  };
+  runtime_ = std::make_unique<ServiceRuntime>(std::move(config));
+}
+
+InProcessClient::~InProcessClient() {
+  // Joins the workers; no route_event can be in flight afterwards.
+  runtime_.reset();
+}
+
+void InProcessClient::route_event(const JobEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool delivered = false;
+  for (const auto& subscription : subscriptions_) {
+    if (subscription->match_all || subscription->id == event.id) {
+      subscription->events.push_back(event);
+      delivered = true;
+    }
+  }
+  if (delivered) events_cv_.notify_all();
+  for (const auto& [token, sink] : sinks_) sink(event);
+}
+
+std::shared_ptr<InProcessClient::Subscription>
+InProcessClient::subscribe_locked_id(std::uint64_t id) {
+  auto subscription = std::make_shared<Subscription>();
+  subscription->id = id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscriptions_.push_back(subscription);
+  return subscription;
+}
+
+std::shared_ptr<InProcessClient::Subscription>
+InProcessClient::subscribe_all() {
+  auto subscription = std::make_shared<Subscription>();
+  subscription->match_all = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscriptions_.push_back(subscription);
+  return subscription;
+}
+
+void InProcessClient::bind_subscription(
+    const std::shared_ptr<Subscription>& subscription, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscription->id = id;
+  subscription->match_all = false;
+  // Drop the other jobs' events buffered during the match-all window.
+  auto& events = subscription->events;
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [id](const JobEvent& event) {
+                                return event.id != id;
+                              }),
+               events.end());
+}
+
+void InProcessClient::unsubscribe(const Subscription* subscription) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [subscription](const auto& entry) {
+                       return entry.get() == subscription;
+                     }),
+      subscriptions_.end());
+}
+
+std::uint64_t InProcessClient::add_event_sink(EventSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_sink_token_++;
+  sinks_[token] = std::move(sink);
+  return token;
+}
+
+void InProcessClient::remove_event_sink(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.erase(token);
+}
+
+std::optional<std::uint64_t> InProcessClient::submit(const JobSpec& spec,
+                                                     std::string* error) {
+  return runtime_->submit(spec, error);
+}
+
+std::unique_ptr<JobStream> InProcessClient::submit_stream(
+    const JobSpec& spec, std::string* error) {
+  // Subscribe BEFORE admission (match-all window), so the queued event —
+  // fired inside submit() — is already being captured.
+  auto subscription = subscribe_all();
+  const std::optional<std::uint64_t> id = runtime_->submit(spec, error);
+  if (!id) {
+    unsubscribe(subscription.get());
+    return nullptr;
+  }
+  bind_subscription(subscription, *id);
+  return std::make_unique<InProcessStream>(*this, std::move(subscription),
+                                           std::nullopt);
+}
+
+std::unique_ptr<JobStream> InProcessClient::stream(std::uint64_t id) {
+  // Subscribe first, then snapshot: any event between the two shows up in
+  // the queue as a (harmless) duplicate of the replayed state; an event
+  // can never be LOST to the gap.
+  auto subscription = subscribe_locked_id(id);
+  const std::optional<JobSnapshot> snapshot = runtime_->status(id);
+  if (!snapshot) {
+    unsubscribe(subscription.get());
+    return nullptr;
+  }
+  StreamEvent replay;
+  replay.id = id;
+  replay.tenant = snapshot->spec.tenant;
+  replay.state = std::string(job_state_name(snapshot->state));
+  replay.attempt = snapshot->attempts - 1;
+  if (job_state_terminal(snapshot->state)) {
+    replay.event = "terminal";
+    replay.status = job_status_from_snapshot(*snapshot);
+  } else {
+    replay.event = snapshot->state == JobState::kRunning ? "running"
+                                                         : "queued";
+  }
+  return std::make_unique<InProcessStream>(*this, std::move(subscription),
+                                           std::move(replay));
+}
+
+std::optional<JobStatus> InProcessClient::status(std::uint64_t id) {
+  const std::optional<JobSnapshot> snapshot = runtime_->status(id);
+  if (!snapshot) return std::nullopt;
+  JobStatus status = job_status_from_snapshot(*snapshot);
+  // The status surface never carries the report (transport parity with
+  // the wire's status op); result() does.
+  status.report_json.clear();
+  return status;
+}
+
+std::optional<JobStatus> InProcessClient::result(std::uint64_t id) {
+  const std::optional<JobSnapshot> snapshot = runtime_->result(id);
+  if (!snapshot) return std::nullopt;
+  return job_status_from_snapshot(*snapshot);
+}
+
+bool InProcessClient::cancel(std::uint64_t id) { return runtime_->cancel(id); }
+
+bool InProcessClient::forget(std::uint64_t id) { return runtime_->forget(id); }
+
+std::optional<StatsSummary> InProcessClient::stats() {
+  obs::MetricsRegistry merged;
+  runtime_->collect_metrics(merged);
+  return stats_summary_from(runtime_->stats(), merged.to_json());
+}
+
+std::optional<std::string> InProcessClient::stats_export(
+    const StatsExportRequest& request, std::string* error) {
+  if (request.format == "scorecard") {
+    return runtime_->scorecard_json();
+  }
+  if (request.format != "prometheus" && request.format != "jsonl") {
+    if (error != nullptr) *error = "unknown_format: " + request.format;
+    return std::nullopt;
+  }
+  if (request.mode != "full" && request.mode != "delta") {
+    if (error != nullptr) *error = "unknown_mode: " + request.mode;
+    return std::nullopt;
+  }
+  obs::MetricsRegistry merged;
+  runtime_->collect_metrics(merged);
+  if (!request.deterministic) {
+    merged.merge(runtime_->timing_metrics());
+    runtime_->scorecard().export_to(merged);
+  }
+  const auto wire_format =
+      request.format == "prometheus"
+          ? obs::MetricsExporter::Format::kPrometheus
+          : obs::MetricsExporter::Format::kJsonLines;
+  // One exporter per format keeps each format's delta-scrape sequence on
+  // its own monotonic baseline.
+  obs::MetricsExporter& exporter = request.format == "prometheus"
+                                       ? prometheus_exporter_
+                                       : jsonl_exporter_;
+  return request.mode == "delta" ? exporter.export_delta(merged, wire_format)
+                                 : exporter.export_full(merged, wire_format);
+}
+
+bool InProcessClient::shutdown() {
+  runtime_->shutdown();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LineClient
+
+/// Pull side of one wire stream: decodes pushed event lines until (and
+/// including) the terminal event, then — for the explicit stream op —
+/// consumes the trailing {"ok":true,"op":"stream",...} response that
+/// keeps the request->response pipeline aligned.
+class LineStream : public JobStream {
+ public:
+  LineStream(LineClient& client, std::uint64_t id, bool expect_final,
+             std::optional<StreamEvent> pending)
+      : JobStream(id),
+        client_(client),
+        expect_final_(expect_final),
+        pending_(std::move(pending)) {}
+
+  /// Destroying an undrained stream DRAINS it (blocking until the job's
+  /// terminal event) so the connection stays request-aligned — cancel the
+  /// job first to abandon a long run early.
+  ~LineStream() override {
+    while (next()) {
+    }
+  }
+
+  std::optional<StreamEvent> next() override {
+    if (finished_) return std::nullopt;
+    if (terminal_delivered_) {
+      // Consume the final stream response (events, in theory, skipped).
+      while (expect_final_) {
+        const std::optional<WireObject> object = client_.next_object();
+        if (!object || !is_event_line(*object)) break;
+      }
+      finished_ = true;
+      return std::nullopt;
+    }
+    if (pending_) {
+      StreamEvent event = std::move(*pending_);
+      pending_.reset();
+      if (event.terminal()) terminal_delivered_ = true;
+      return event;
+    }
+    while (true) {
+      const std::optional<WireObject> object = client_.next_object();
+      if (!object) {
+        finished_ = true;
+        return std::nullopt;
+      }
+      if (!is_event_line(*object)) {
+        // A response before the terminal event: the server ended the
+        // stream early (e.g. it is shutting down).
+        finished_ = true;
+        return std::nullopt;
+      }
+      std::optional<StreamEvent> event = stream_event_from_wire(*object);
+      if (!event) continue;  // Tolerate unknown future event shapes.
+      if (event->event == "hello") {
+        client_.server_proto_ = event->proto;
+        continue;
+      }
+      if (event->terminal()) terminal_delivered_ = true;
+      return event;
+    }
+  }
+
+ private:
+  LineClient& client_;
+  bool expect_final_;
+  std::optional<StreamEvent> pending_;
+  bool terminal_delivered_ = false;
+  bool finished_ = false;
+};
+
+LineClient::LineClient(int read_fd, int write_fd, bool owns_fds)
+    : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+
+LineClient::~LineClient() {
+  if (owns_fds_) {
+    ::close(read_fd_);
+    if (write_fd_ != read_fd_) ::close(write_fd_);
+  }
+}
+
+void LineClient::fail_transport(const std::string& reason) {
+  broken_ = true;
+  if (transport_error_.empty()) transport_error_ = reason;
+}
+
+bool LineClient::send_line(const std::string& line) {
+  if (broken_) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL suppresses SIGPIPE on sockets; pipes (ENOTSOCK) fall
+    // back to write(), where the caller process ignores SIGPIPE.
+    ssize_t n = ::send(write_fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0 && (errno == ENOTSOCK || errno == EOPNOTSUPP)) {
+      n = ::write(write_fd_, framed.data() + sent, framed.size() - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_transport(std::string("write: ") + std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::read_line() {
+  if (broken_) return std::nullopt;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (buffer_.size() > kMaxResponseLine) {
+      fail_transport("oversize line from server");
+      return std::nullopt;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_transport(std::string("read: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    if (n == 0) {
+      fail_transport("server closed the connection");
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<WireObject> LineClient::next_object() {
+  while (true) {
+    const std::optional<std::string> line = read_line();
+    if (!line) return std::nullopt;
+    if (line->empty()) continue;
+    std::string parse_error;
+    std::optional<WireObject> object =
+        parse_wire_object(*line, &parse_error, /*allow_raw_nested=*/true);
+    if (!object) {
+      fail_transport("malformed line from server: " + parse_error);
+      return std::nullopt;
+    }
+    return object;
+  }
+}
+
+std::optional<WireObject> LineClient::round_trip(const std::string& request) {
+  if (!send_line(request)) return std::nullopt;
+  while (true) {
+    std::optional<WireObject> object = next_object();
+    if (!object) return std::nullopt;
+    if (is_event_line(*object)) {
+      // Unsolicited push (the accept-time hello, or a stale stream tail).
+      if (object->get_string("event") == "hello") {
+        server_proto_ = static_cast<int>(object->get_int("proto", 1));
+      }
+      continue;
+    }
+    return object;
+  }
+}
+
+std::optional<std::string> LineClient::round_trip_raw(
+    const std::string& line) {
+  // Same skip-events discipline as round_trip, but the raw line comes
+  // back unparsed (the parse only locates the response).
+  if (!send_line(line)) return std::nullopt;
+  while (true) {
+    const std::optional<std::string> received = read_line();
+    if (!received) return std::nullopt;
+    if (received->empty()) continue;
+    const std::optional<WireObject> object =
+        parse_wire_object(*received, nullptr, /*allow_raw_nested=*/true);
+    if (object && is_event_line(*object)) {
+      if (object->get_string("event") == "hello") {
+        server_proto_ = static_cast<int>(object->get_int("proto", 1));
+      }
+      continue;
+    }
+    return received;
+  }
+}
+
+std::optional<std::uint64_t> LineClient::submit(const JobSpec& spec,
+                                                std::string* error) {
+  WireWriter request;
+  request.field("op", "submit")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion));
+  job_spec_to_wire(spec, request);
+  const std::optional<WireObject> response = round_trip(request.str());
+  if (!response) {
+    if (error != nullptr) *error = transport_error_;
+    return std::nullopt;
+  }
+  if (!response->get_bool("ok", false)) {
+    if (error != nullptr) *error = response->get_string("error");
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(response->get_int("id", 0));
+}
+
+std::unique_ptr<JobStream> LineClient::submit_stream(const JobSpec& spec,
+                                                     std::string* error) {
+  WireWriter request;
+  request.field("op", "submit")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion))
+      .field("stream", true);
+  job_spec_to_wire(spec, request);
+  const std::optional<WireObject> response = round_trip(request.str());
+  if (!response) {
+    if (error != nullptr) *error = transport_error_;
+    return nullptr;
+  }
+  if (!response->get_bool("ok", false)) {
+    if (error != nullptr) *error = response->get_string("error");
+    return nullptr;
+  }
+  const auto id = static_cast<std::uint64_t>(response->get_int("id", 0));
+  return std::make_unique<LineStream>(*this, id, /*expect_final=*/false,
+                                      std::nullopt);
+}
+
+std::unique_ptr<JobStream> LineClient::stream(std::uint64_t id) {
+  WireWriter request;
+  request.field("op", "stream")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion))
+      .field("id", static_cast<std::int64_t>(id));
+  if (!send_line(request.str())) return nullptr;
+  // First line decides: an event opens the stream (the replayed current
+  // state), a response is the unknown-job rejection.
+  while (true) {
+    std::optional<WireObject> object = next_object();
+    if (!object) return nullptr;
+    if (!is_event_line(*object)) return nullptr;  // {"ok":false,...}
+    std::optional<StreamEvent> event = stream_event_from_wire(*object);
+    if (!event) continue;
+    if (event->event == "hello") {
+      server_proto_ = event->proto;
+      continue;
+    }
+    return std::make_unique<LineStream>(*this, id, /*expect_final=*/true,
+                                        std::move(event));
+  }
+}
+
+namespace {
+
+std::string id_request(std::string_view op, std::uint64_t id) {
+  WireWriter request;
+  request.field("op", op)
+      .field("proto", static_cast<std::int64_t>(kProtoVersion))
+      .field("id", static_cast<std::int64_t>(id));
+  return request.str();
+}
+
+}  // namespace
+
+std::optional<JobStatus> LineClient::status(std::uint64_t id) {
+  const std::optional<WireObject> response =
+      round_trip(id_request("status", id));
+  if (!response || !response->get_bool("ok", false)) return std::nullopt;
+  return job_status_from_wire(*response);
+}
+
+std::optional<JobStatus> LineClient::result(std::uint64_t id) {
+  const std::optional<WireObject> response =
+      round_trip(id_request("result", id));
+  if (!response || !response->get_bool("ok", false)) return std::nullopt;
+  return job_status_from_wire(*response);
+}
+
+bool LineClient::cancel(std::uint64_t id) {
+  const std::optional<WireObject> response =
+      round_trip(id_request("cancel", id));
+  return response && response->get_bool("ok", false);
+}
+
+bool LineClient::forget(std::uint64_t id) {
+  const std::optional<WireObject> response =
+      round_trip(id_request("forget", id));
+  return response && response->get_bool("ok", false);
+}
+
+std::optional<StatsSummary> LineClient::stats() {
+  WireWriter request;
+  request.field("op", "stats")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion));
+  const std::optional<WireObject> response = round_trip(request.str());
+  if (!response || !response->get_bool("ok", false)) return std::nullopt;
+  return stats_summary_from_wire(*response);
+}
+
+std::optional<std::string> LineClient::stats_export(
+    const StatsExportRequest& request, std::string* error) {
+  WireWriter wire;
+  wire.field("op", "stats")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion))
+      .field("format", request.format)
+      .field("mode", request.mode);
+  if (request.deterministic) wire.field("deterministic", true);
+  const std::optional<WireObject> response = round_trip(wire.str());
+  if (!response) {
+    if (error != nullptr) *error = transport_error_;
+    return std::nullopt;
+  }
+  if (!response->get_bool("ok", false)) {
+    if (error != nullptr) *error = response->get_string("error");
+    return std::nullopt;
+  }
+  return response->get_string(request.format == "scorecard" ? "scorecard"
+                                                            : "content");
+}
+
+bool LineClient::shutdown() {
+  WireWriter request;
+  request.field("op", "shutdown")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion));
+  const std::optional<WireObject> response = round_trip(request.str());
+  return response && response->get_bool("ok", false);
+}
+
+// ---------------------------------------------------------------------------
+// Shared synchronous dispatch
+
+std::optional<std::string> dispatch_sync(Client& client,
+                                         const WireObject& request) {
+  const std::string op = request.get_string("op");
+  if (const std::optional<std::string> proto_error = check_proto(request)) {
+    return encode_error(op, *proto_error);
+  }
+  switch (classify_op(request)) {
+    case OpKind::kHello: {
+      WireWriter response;
+      response.field("ok", true)
+          .field("op", op)
+          .field("proto", static_cast<std::int64_t>(kProtoVersion))
+          .field("service", "approxit");
+      return response.str();
+    }
+    case OpKind::kSubmit: {
+      std::string error;
+      const std::optional<std::uint64_t> id =
+          client.submit(job_spec_from_wire(request), &error);
+      if (!id) return encode_error(op, error);
+      WireWriter response;
+      response.field("ok", true).field("op", op).field(
+          "id", static_cast<std::int64_t>(*id));
+      return response.str();
+    }
+    case OpKind::kStatus: {
+      const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
+      const std::optional<JobStatus> status = client.status(id);
+      if (!status) return encode_error(op, "unknown_job");
+      return encode_status_response(op, *status, /*include_report=*/false);
+    }
+    case OpKind::kCancel: {
+      const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
+      if (!client.cancel(id)) {
+        return encode_error(op, "unknown_or_terminal_job");
+      }
+      WireWriter response;
+      response.field("ok", true).field("op", op).field(
+          "id", static_cast<std::int64_t>(id));
+      return response.str();
+    }
+    case OpKind::kForget: {
+      const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
+      if (!client.forget(id)) {
+        return encode_error(op, "unknown_or_active_job");
+      }
+      WireWriter response;
+      response.field("ok", true).field("op", op).field(
+          "id", static_cast<std::int64_t>(id));
+      return response.str();
+    }
+    case OpKind::kStats: {
+      // The format fold (DESIGN §12): plain "stats" without a format is
+      // the summary; with one it is the export the legacy "stats_export"
+      // op produced (that op name survives as an alias whose format
+      // defaults to prometheus).
+      if (op == "stats" && !request.has("format")) {
+        const std::optional<StatsSummary> summary = client.stats();
+        if (!summary) return encode_error(op, "stats_unavailable");
+        WireWriter response;
+        response.field("ok", true).field("op", op);
+        stats_summary_to_wire(*summary, response);
+        return response.str();
+      }
+      StatsExportRequest export_request;
+      export_request.format = request.get_string("format", "prometheus");
+      export_request.mode = request.get_string("mode", "full");
+      export_request.deterministic =
+          request.get_bool("deterministic", false);
+      std::string error;
+      const std::optional<std::string> content =
+          client.stats_export(export_request, &error);
+      if (!content) return encode_error(op, error);
+      WireWriter response;
+      response.field("ok", true).field("op", op).field("format",
+                                                       export_request.format);
+      if (export_request.format == "scorecard") {
+        response.raw("scorecard", *content);
+      } else {
+        response.field("mode", export_request.mode)
+            .field("content", *content);
+      }
+      return response.str();
+    }
+    case OpKind::kUnknown:
+      return encode_error("", "unknown_op: " + op);
+    case OpKind::kSubmitStream:
+    case OpKind::kResult:
+    case OpKind::kStream:
+    case OpKind::kShutdown:
+      return std::nullopt;  // The front end runs these itself.
+  }
+  return encode_error(op, "internal: unhandled op");
+}
+
+}  // namespace approxit::svc

@@ -1,0 +1,244 @@
+// svc::Client — ONE client API over two transports.
+//
+// Everything that talks to a ServiceRuntime (the stdin front end, the
+// socket front end, approxit_top, the service benches, user code) goes
+// through this interface, so submit/status/result/stream/stats have
+// exactly one encode/decode path (svc/protocol.h) regardless of whether
+// the runtime is in this process or behind a socket:
+//
+//  - InProcessClient owns a ServiceRuntime and calls it directly. It also
+//    owns the runtime's job-event hook and fans events out to stream
+//    subscriptions (and, for the socket server, to global event sinks) —
+//    the single owner of ServiceConfig::on_job_event.
+//  - LineClient speaks wire v2 over a pair of file descriptors (a
+//    connected socket, or pipes to an approxit_serve child). One
+//    outstanding request at a time; responses are matched by request
+//    order, pushed event lines in between are routed to the active
+//    stream (a stream must be drained or destroyed before the next
+//    request on the same connection).
+//
+// Streaming is pull-based: submit_stream()/stream() return a JobStream
+// whose next() blocks for the job's next lifecycle event and returns
+// nullopt once the terminal event has been delivered. submit_stream
+// subscribes AT ADMISSION, so the queued event is never missed; stream()
+// on an existing job replays the job's current state as a synthetic
+// first event and then tails live events (non-terminal events are
+// at-least-once: a replayed state can duplicate a live event, states
+// never regress).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "svc/protocol.h"
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+
+/// Parameters of a stats export (the "stats" op's format fold; see
+/// DESIGN §12 — "stats_export" survives only as a wire alias).
+struct StatsExportRequest {
+  std::string format = "prometheus";  ///< prometheus | jsonl | scorecard.
+  std::string mode = "full";          ///< full | delta (delta per format).
+  /// Restrict to the thread-count-invariant collect_metrics aggregate
+  /// (drop wall-clock timings and scorecard gauges).
+  bool deterministic = false;
+};
+
+/// A live event stream of one job (see the header comment). next() blocks;
+/// nullopt after the terminal event (or on transport failure).
+class JobStream {
+ public:
+  virtual ~JobStream() = default;
+  virtual std::optional<StreamEvent> next() = 0;
+  std::uint64_t id() const { return id_; }
+
+ protected:
+  explicit JobStream(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_;
+};
+
+/// The unified client interface. All blocking calls (result, stream
+/// drains) block the calling thread only.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Admits a job; nullopt with `error` set on rejection.
+  virtual std::optional<std::uint64_t> submit(const JobSpec& spec,
+                                              std::string* error = nullptr) = 0;
+  /// Admits a job with a stream subscription attached at admission (the
+  /// queued event is guaranteed). nullptr with `error` set on rejection.
+  virtual std::unique_ptr<JobStream> submit_stream(
+      const JobSpec& spec, std::string* error = nullptr) = 0;
+  /// Subscribes to an existing job. nullptr for unknown ids.
+  virtual std::unique_ptr<JobStream> stream(std::uint64_t id) = 0;
+
+  /// Point-in-time status; nullopt for unknown ids. Never carries the
+  /// report (ask result()).
+  virtual std::optional<JobStatus> status(std::uint64_t id) = 0;
+  /// Blocks until terminal, report attached; nullopt for unknown ids.
+  virtual std::optional<JobStatus> result(std::uint64_t id) = 0;
+
+  virtual bool cancel(std::uint64_t id) = 0;
+  virtual bool forget(std::uint64_t id) = 0;
+
+  /// The service tallies plus the deterministic merged metrics.
+  virtual std::optional<StatsSummary> stats() = 0;
+  /// A formatted metrics/scorecard export; nullopt with `error` set on
+  /// unknown format/mode. Delta scrapes keep one baseline per format per
+  /// server (LineClient) or per client (InProcessClient).
+  virtual std::optional<std::string> stats_export(
+      const StatsExportRequest& request, std::string* error = nullptr) = 0;
+
+  /// Drains and stops the service. True when acknowledged.
+  virtual bool shutdown() = 0;
+};
+
+/// In-process transport: owns the runtime, the job-event hook and the
+/// stats exporters (one delta baseline per format).
+class InProcessClient : public Client {
+ public:
+  explicit InProcessClient(ServiceConfig config = {});
+  ~InProcessClient() override;
+
+  InProcessClient(const InProcessClient&) = delete;
+  InProcessClient& operator=(const InProcessClient&) = delete;
+
+  /// The owned runtime — for callers that need collect_metrics,
+  /// wait_idle or the profile cache directly (the Client surface stays
+  /// the only WIRE path).
+  ServiceRuntime& runtime() { return *runtime_; }
+
+  /// Global event fan-out for the socket front end: `sink` sees EVERY
+  /// job's lifecycle events, under the same contract as
+  /// ServiceConfig::on_job_event (cheap, no calls back into the runtime
+  /// or this client). Returns a token for remove_event_sink.
+  using EventSink = std::function<void(const JobEvent&)>;
+  std::uint64_t add_event_sink(EventSink sink);
+  void remove_event_sink(std::uint64_t token);
+
+  std::optional<std::uint64_t> submit(const JobSpec& spec,
+                                      std::string* error) override;
+  std::unique_ptr<JobStream> submit_stream(const JobSpec& spec,
+                                           std::string* error) override;
+  std::unique_ptr<JobStream> stream(std::uint64_t id) override;
+  std::optional<JobStatus> status(std::uint64_t id) override;
+  std::optional<JobStatus> result(std::uint64_t id) override;
+  bool cancel(std::uint64_t id) override;
+  bool forget(std::uint64_t id) override;
+  std::optional<StatsSummary> stats() override;
+  std::optional<std::string> stats_export(const StatsExportRequest& request,
+                                          std::string* error) override;
+  bool shutdown() override;
+
+ private:
+  friend class InProcessStream;
+
+  /// One stream subscription. match_all buffers every event until the
+  /// submit returns and bind_subscription() pins the id (that window is
+  /// how submit_stream never misses its queued event).
+  struct Subscription {
+    std::uint64_t id = 0;
+    bool match_all = false;
+    std::deque<JobEvent> events;
+  };
+
+  void route_event(const JobEvent& event);
+  std::shared_ptr<Subscription> subscribe_locked_id(std::uint64_t id);
+  std::shared_ptr<Subscription> subscribe_all();
+  void bind_subscription(const std::shared_ptr<Subscription>& subscription,
+                         std::uint64_t id);
+  void unsubscribe(const Subscription* subscription);
+
+  std::mutex mutex_;  ///< Guards subscriptions_/sinks_ (not the runtime).
+  std::condition_variable events_cv_;
+  std::vector<std::shared_ptr<Subscription>> subscriptions_;
+  std::map<std::uint64_t, EventSink> sinks_;
+  std::uint64_t next_sink_token_ = 1;
+  obs::MetricsExporter prometheus_exporter_;
+  obs::MetricsExporter jsonl_exporter_;
+  /// Declared LAST: destroyed first, which joins the workers and
+  /// guarantees route_event never runs on a dead client.
+  std::unique_ptr<ServiceRuntime> runtime_;
+};
+
+/// Socket/pipe transport: wire v2 over a read fd + write fd pair.
+class LineClient : public Client {
+ public:
+  /// `read_fd`/`write_fd` may be the same fd (a connected socket) or
+  /// distinct (pipes). Closed on destruction when `owns_fds`.
+  LineClient(int read_fd, int write_fd, bool owns_fds = true);
+  ~LineClient() override;
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// False after a transport failure (peer closed, oversize line, write
+  /// error); every subsequent call fails fast.
+  bool ok() const { return !broken_; }
+  const std::string& transport_error() const { return transport_error_; }
+  /// The proto the server announced in its hello event, once seen.
+  std::optional<int> server_proto() const { return server_proto_; }
+
+  std::optional<std::uint64_t> submit(const JobSpec& spec,
+                                      std::string* error) override;
+  std::unique_ptr<JobStream> submit_stream(const JobSpec& spec,
+                                           std::string* error) override;
+  std::unique_ptr<JobStream> stream(std::uint64_t id) override;
+  std::optional<JobStatus> status(std::uint64_t id) override;
+  std::optional<JobStatus> result(std::uint64_t id) override;
+  bool cancel(std::uint64_t id) override;
+  bool forget(std::uint64_t id) override;
+  std::optional<StatsSummary> stats() override;
+  std::optional<std::string> stats_export(const StatsExportRequest& request,
+                                          std::string* error) override;
+  bool shutdown() override;
+
+  /// Sends a raw request line and returns the raw response line —
+  /// the escape hatch approxit_client's raw mode uses. Pushed events
+  /// before the response are skipped (hello recorded).
+  std::optional<std::string> round_trip_raw(const std::string& line);
+
+ private:
+  friend class LineStream;
+
+  bool send_line(const std::string& line);
+  /// Next full line from the fd (blocking); nullopt on EOF/error.
+  std::optional<std::string> read_line();
+  /// Reads until a RESPONSE line (skipping events), parses it with
+  /// allow_raw_nested.
+  std::optional<WireObject> round_trip(const std::string& request);
+  /// Reads the next line and parses it (event or response).
+  std::optional<WireObject> next_object();
+  void fail_transport(const std::string& reason);
+
+  int read_fd_;
+  int write_fd_;
+  bool owns_fds_;
+  bool broken_ = false;
+  std::string transport_error_;
+  std::optional<int> server_proto_;
+  std::string buffer_;  ///< Bytes read but not yet consumed as lines.
+};
+
+/// Executes one SYNCHRONOUS wire op against `client` and returns the
+/// encoded response line: hello, plain submit, status, cancel, forget,
+/// stats (+ the stats_export alias), unknown ops, and proto errors.
+/// Returns nullopt for the ops a front end must run itself because they
+/// block or change connection state: result, stream, submit+stream,
+/// shutdown. Both the stdin and the socket front ends route through this,
+/// so the two modes cannot drift apart.
+std::optional<std::string> dispatch_sync(Client& client,
+                                         const WireObject& request);
+
+}  // namespace approxit::svc

@@ -1,0 +1,357 @@
+#include "svc/protocol.h"
+
+#include <utility>
+
+namespace approxit::svc {
+
+std::optional<std::string> check_proto(const WireObject& request) {
+  if (!request.has("proto")) return std::nullopt;  // v1 dialect.
+  const std::int64_t proto = request.get_int("proto", 0);
+  if (proto >= 1 && proto <= kProtoVersion) return std::nullopt;
+  return "unsupported_proto: server speaks 1.." +
+         std::to_string(kProtoVersion);
+}
+
+OpKind classify_op(const WireObject& request) {
+  const std::string op = request.get_string("op");
+  if (op == "hello") return OpKind::kHello;
+  if (op == "submit") {
+    return request.get_bool("stream", false) ? OpKind::kSubmitStream
+                                             : OpKind::kSubmit;
+  }
+  if (op == "status") return OpKind::kStatus;
+  if (op == "result") return OpKind::kResult;
+  if (op == "cancel") return OpKind::kCancel;
+  if (op == "forget") return OpKind::kForget;
+  if (op == "stats" || op == "stats_export") return OpKind::kStats;
+  if (op == "stream") return OpKind::kStream;
+  if (op == "shutdown") return OpKind::kShutdown;
+  return OpKind::kUnknown;
+}
+
+JobSpec job_spec_from_wire(const WireObject& request) {
+  JobSpec spec;
+  spec.tenant = request.get_string("tenant", "default");
+  spec.app = request.get_string("app");
+  spec.dataset = request.get_string("dataset");
+  spec.strategy = request.get_string("strategy", "incremental");
+  spec.max_iterations =
+      static_cast<std::size_t>(request.get_int("max_iterations", 0));
+  spec.characterization_iterations = static_cast<std::size_t>(
+      request.get_int("characterization_iterations", 0));
+  spec.keep_trace = request.get_bool("keep_trace", false);
+  spec.deadline_ms = request.get_double("deadline_ms", 0.0);
+  spec.priority = static_cast<int>(request.get_int("priority", 0));
+  return spec;
+}
+
+void job_spec_to_wire(const JobSpec& spec, WireWriter& out) {
+  out.field("tenant", spec.tenant)
+      .field("app", spec.app)
+      .field("dataset", spec.dataset)
+      .field("strategy", spec.strategy);
+  if (spec.max_iterations > 0) {
+    out.field("max_iterations", spec.max_iterations);
+  }
+  if (spec.characterization_iterations > 0) {
+    out.field("characterization_iterations",
+              spec.characterization_iterations);
+  }
+  if (spec.keep_trace) out.field("keep_trace", true);
+  if (spec.deadline_ms > 0.0) out.field("deadline_ms", spec.deadline_ms);
+  if (spec.priority != 0) {
+    out.field("priority", static_cast<std::int64_t>(spec.priority));
+  }
+}
+
+std::optional<JobState> job_state_from_name(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "deadline_exceeded") return JobState::kDeadlineExceeded;
+  return std::nullopt;
+}
+
+JobStatus job_status_from_snapshot(const JobSnapshot& snapshot) {
+  JobStatus status;
+  status.id = snapshot.id;
+  status.state = snapshot.state;
+  status.error = snapshot.error;
+  status.cache_hit = snapshot.cache_hit;
+  status.queue_ms = snapshot.queue_ms;
+  status.run_ms = snapshot.run_ms;
+  status.characterization_ms = snapshot.characterization_ms;
+  status.degraded = snapshot.degraded;
+  status.attempts = snapshot.attempts;
+  status.report_json = snapshot.report_json;
+  return status;
+}
+
+namespace {
+
+/// The v1 rule, kept in v2: the report rides along only for jobs whose
+/// payload is meaningful as a (possibly partial) RESULT — done runs, and
+/// cancelled / deadline-expired runs with the partial state they reached.
+bool report_applies(const JobStatus& status) {
+  return !status.report_json.empty() &&
+         (status.state == JobState::kDone ||
+          status.state == JobState::kCancelled ||
+          status.state == JobState::kDeadlineExceeded);
+}
+
+}  // namespace
+
+void job_status_to_wire(const JobStatus& status, bool include_report,
+                        WireWriter& out) {
+  out.field("id", static_cast<std::int64_t>(status.id));
+  out.field("state", job_state_name(status.state));
+  if (status.state == JobState::kFailed) {
+    out.field("job_error", status.error);
+  }
+  if (status.terminal()) {
+    out.field("cache_hit", status.cache_hit);
+    out.field("queue_ms", status.queue_ms);
+    out.field("run_ms", status.run_ms);
+    out.field("characterization_ms", status.characterization_ms);
+    out.field("degraded", status.degraded);
+    out.field("attempts", status.attempts);
+  }
+  if (include_report && report_applies(status)) {
+    out.raw("report", status.report_json);
+  }
+}
+
+std::optional<JobStatus> job_status_from_wire(const WireObject& object,
+                                              std::string* error) {
+  const auto fail = [error](const char* message) -> std::optional<JobStatus> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!object.has("id")) return fail("missing id");
+  const std::optional<JobState> state =
+      job_state_from_name(object.get_string("state"));
+  if (!state) return fail("missing or unknown state");
+  JobStatus status;
+  status.id = static_cast<std::uint64_t>(object.get_int("id", 0));
+  status.state = *state;
+  status.error = object.get_string("job_error");
+  status.cache_hit = object.get_bool("cache_hit", false);
+  status.queue_ms = object.get_double("queue_ms", 0.0);
+  status.run_ms = object.get_double("run_ms", 0.0);
+  status.characterization_ms =
+      object.get_double("characterization_ms", 0.0);
+  status.degraded = object.get_bool("degraded", false);
+  status.attempts =
+      static_cast<std::size_t>(object.get_int("attempts", 1));
+  status.report_json = object.get_string("report");
+  return status;
+}
+
+StatsSummary stats_summary_from(const ServiceStats& stats,
+                                std::string metrics_json) {
+  StatsSummary summary;
+  summary.submitted = stats.submitted;
+  summary.completed = stats.completed;
+  summary.failed = stats.failed;
+  summary.cancelled = stats.cancelled;
+  summary.deadline_exceeded = stats.deadline_exceeded;
+  summary.queued = stats.queued;
+  summary.running = stats.running;
+  summary.rejected_queue_full = stats.rejected_queue_full;
+  summary.rejected_tenant_cap = stats.rejected_tenant_cap;
+  summary.rejected_bad_request = stats.rejected_bad_request;
+  summary.rejected_rate_limited = stats.rejected_rate_limited;
+  summary.shed = stats.shed;
+  summary.degraded = stats.degraded;
+  summary.retries = stats.retries;
+  summary.cache_hits = stats.cache.hits;
+  summary.cache_misses = stats.cache.misses;
+  summary.cache_disk_hits = stats.cache.disk_hits;
+  summary.cache_stores = stats.cache.stores;
+  summary.cache_evictions = stats.cache.evictions;
+  summary.cache_quarantines = stats.cache.quarantines;
+  summary.metrics_json = std::move(metrics_json);
+  return summary;
+}
+
+void stats_summary_to_wire(const StatsSummary& summary, WireWriter& out) {
+  out.field("submitted", summary.submitted)
+      .field("completed", summary.completed)
+      .field("failed", summary.failed)
+      .field("cancelled", summary.cancelled)
+      .field("deadline_exceeded", summary.deadline_exceeded)
+      .field("queued", summary.queued)
+      .field("running", summary.running)
+      .field("rejected_queue_full", summary.rejected_queue_full)
+      .field("rejected_tenant_cap", summary.rejected_tenant_cap)
+      .field("rejected_bad_request", summary.rejected_bad_request)
+      .field("rejected_rate_limited", summary.rejected_rate_limited)
+      .field("shed", summary.shed)
+      .field("degraded", summary.degraded)
+      .field("retries", summary.retries)
+      .field("cache_hits", summary.cache_hits)
+      .field("cache_misses", summary.cache_misses)
+      .field("cache_disk_hits", summary.cache_disk_hits)
+      .field("cache_stores", summary.cache_stores)
+      .field("cache_evictions", summary.cache_evictions)
+      .field("cache_quarantines", summary.cache_quarantines);
+  if (!summary.metrics_json.empty()) {
+    out.raw("metrics", summary.metrics_json);
+  }
+}
+
+StatsSummary stats_summary_from_wire(const WireObject& object) {
+  const auto count = [&object](const char* key) {
+    return static_cast<std::size_t>(object.get_int(key, 0));
+  };
+  StatsSummary summary;
+  summary.submitted = count("submitted");
+  summary.completed = count("completed");
+  summary.failed = count("failed");
+  summary.cancelled = count("cancelled");
+  summary.deadline_exceeded = count("deadline_exceeded");
+  summary.queued = count("queued");
+  summary.running = count("running");
+  summary.rejected_queue_full = count("rejected_queue_full");
+  summary.rejected_tenant_cap = count("rejected_tenant_cap");
+  summary.rejected_bad_request = count("rejected_bad_request");
+  summary.rejected_rate_limited = count("rejected_rate_limited");
+  summary.shed = count("shed");
+  summary.degraded = count("degraded");
+  summary.retries = count("retries");
+  summary.cache_hits = count("cache_hits");
+  summary.cache_misses = count("cache_misses");
+  summary.cache_disk_hits = count("cache_disk_hits");
+  summary.cache_stores = count("cache_stores");
+  summary.cache_evictions = count("cache_evictions");
+  summary.cache_quarantines = count("cache_quarantines");
+  summary.metrics_json = object.get_string("metrics");
+  return summary;
+}
+
+bool is_event_line(const WireObject& object) { return object.has("event"); }
+
+std::string encode_hello_event() {
+  WireWriter event;
+  event.field("event", "hello")
+      .field("proto", static_cast<std::int64_t>(kProtoVersion))
+      .field("service", "approxit");
+  return event.str();
+}
+
+namespace {
+
+void append_event_header(const JobEvent& event, WireWriter& out) {
+  out.field("event", job_event_kind_name(event.kind))
+      .field("id", static_cast<std::int64_t>(event.id))
+      .field("tenant", event.tenant)
+      .field("state", job_state_name(event.state))
+      .field("attempt", event.attempt);
+}
+
+}  // namespace
+
+std::string encode_job_event(const JobEvent& event) {
+  WireWriter out;
+  append_event_header(event, out);
+  if (event.kind == JobEvent::Kind::kProgress) {
+    out.field("iteration", event.iteration)
+        .field("objective", event.objective);
+  }
+  return out.str();
+}
+
+std::string encode_terminal_event(const JobEvent& event,
+                                  const JobStatus& status) {
+  WireWriter out;
+  out.field("event", job_event_kind_name(JobEvent::Kind::kTerminal))
+      .field("tenant", event.tenant)
+      .field("attempt", event.attempt);
+  // The status payload carries id/state (and the report, when it
+  // applies) — the same encoder result responses use.
+  job_status_to_wire(status, /*include_report=*/true, out);
+  return out.str();
+}
+
+std::optional<StreamEvent> stream_event_from_wire(const WireObject& object,
+                                                  std::string* error) {
+  const auto fail = [error](const char* message) -> std::optional<StreamEvent> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!is_event_line(object)) return fail("not an event line");
+  StreamEvent event;
+  event.event = object.get_string("event");
+  if (event.event == "hello") {
+    event.proto = static_cast<int>(object.get_int("proto", 1));
+    return event;
+  }
+  event.id = static_cast<std::uint64_t>(object.get_int("id", 0));
+  event.tenant = object.get_string("tenant");
+  event.state = object.get_string("state");
+  event.attempt = static_cast<std::size_t>(object.get_int("attempt", 0));
+  event.iteration = static_cast<std::size_t>(object.get_int("iteration", 0));
+  event.objective = object.get_double("objective", 0.0);
+  if (event.event == "terminal") {
+    std::string status_error;
+    const std::optional<JobStatus> status =
+        job_status_from_wire(object, &status_error);
+    if (!status) {
+      return fail("malformed terminal event");
+    }
+    event.status = *status;
+  }
+  return event;
+}
+
+std::string encode_stream_event(const StreamEvent& event) {
+  if (event.event == "hello") return encode_hello_event();
+  JobEvent raw;
+  raw.id = event.id;
+  raw.tenant = event.tenant;
+  raw.state = job_state_from_name(event.state).value_or(JobState::kQueued);
+  raw.attempt = event.attempt;
+  raw.iteration = event.iteration;
+  raw.objective = event.objective;
+  if (event.event == "terminal") {
+    raw.kind = JobEvent::Kind::kTerminal;
+    if (event.status) return encode_terminal_event(raw, *event.status);
+    JobStatus fallback;
+    fallback.id = event.id;
+    fallback.state = raw.state;
+    fallback.attempts = event.attempt + 1;
+    return encode_terminal_event(raw, fallback);
+  }
+  raw.kind = event.event == "running"    ? JobEvent::Kind::kRunning
+             : event.event == "progress" ? JobEvent::Kind::kProgress
+                                         : JobEvent::Kind::kQueued;
+  return encode_job_event(raw);
+}
+
+std::string encode_status_response(std::string_view op,
+                                   const JobStatus& status,
+                                   bool include_report) {
+  WireWriter response;
+  response.field("ok", true).field("op", op);
+  job_status_to_wire(status, include_report, response);
+  return response.str();
+}
+
+std::string encode_error(std::string_view op, std::string_view error) {
+  WireWriter response;
+  response.field("ok", false);
+  if (!op.empty()) response.field("op", op);
+  response.field("error", error);
+  return response.str();
+}
+
+std::string encode_parse_error(std::string_view detail) {
+  WireWriter response;
+  response.field("ok", false)
+      .field("error", "parse_error: " + std::string(detail));
+  return response.str();
+}
+
+}  // namespace approxit::svc

@@ -1,0 +1,227 @@
+// Wire protocol v2: the TYPED request/response/event schema over the flat
+// line-JSON framing of svc/wire.h.
+//
+// PR 4's approxit_serve plucked fields ad hoc out of each request and
+// hand-assembled each response; every new front end (the socket server,
+// approxit_top, the benches) would have re-implemented that by hand. This
+// header is the single encode/decode path instead: JobSpec / JobStatus /
+// StatsSummary convert to and from WireObjects here, job lifecycle events
+// (svc/runtime.h JobEvent) encode here, and both the stdin and the socket
+// front ends — plus every Client transport — call these functions and
+// nothing else.
+//
+// Versioning: requests MAY carry "proto":N. Absent means v1 (the PR 4
+// dialect — accepted forever; compat-tested), 1 and 2 are accepted, and
+// anything newer is refused with "unsupported_proto" so an old server
+// fails a new client's hello loudly instead of mis-parsing it. v2 adds
+// the hello op, pushed events, streamed subscriptions and the stats
+// format fold; every v1 line keeps its exact meaning and response shape.
+//
+// Response vs. event discrimination on a connection: responses carry
+// "ok" (and answer requests strictly in request order); pushed stream
+// events carry "event" and may interleave between responses. A line
+// never carries both keys.
+//
+// Layering: wire.h stays dependency-light framing (strings in, strings
+// out); this header sits above it and below the runtime-owning Client
+// (svc/client.h). RunReport payloads embed core::report_to_json verbatim
+// as raw nested JSON, which clients re-parse with
+// parse_wire_object(..., allow_raw_nested=true).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "svc/runtime.h"
+#include "svc/wire.h"
+
+namespace approxit::svc {
+
+/// The protocol generation this build speaks. Servers accept 1..kProtoVersion.
+inline constexpr int kProtoVersion = 2;
+
+/// Upper bound on one RESPONSE/event line a client will buffer (8 MiB).
+/// Responses embed whole RunReports and metric registries, so they run
+/// larger than the kMaxWireLine request cap.
+inline constexpr std::size_t kMaxResponseLine = std::size_t{8} << 20;
+
+/// Validates the request's "proto" field: nullopt when acceptable (absent
+/// = v1), else the "unsupported_proto: ..." error text.
+std::optional<std::string> check_proto(const WireObject& request);
+
+/// The request operations a server dispatches on. kStats covers both
+/// "stats" and its legacy "stats_export" alias (see classify_op).
+enum class OpKind {
+  kHello,
+  kSubmit,         ///< Plain submit ("stream" absent or false).
+  kSubmitStream,   ///< Submit with "stream":true — subscribe at admission.
+  kStatus,
+  kResult,
+  kCancel,
+  kForget,
+  kStats,
+  kStream,
+  kShutdown,
+  kUnknown,
+};
+
+/// Maps the request's "op" field to its kind (kUnknown for anything else).
+OpKind classify_op(const WireObject& request);
+
+// ---------------------------------------------------------------------------
+// JobSpec
+
+/// Decodes a submit request's spec fields (absent fields keep JobSpec
+/// defaults — the v1 rule, unchanged in v2).
+JobSpec job_spec_from_wire(const WireObject& request);
+
+/// Appends the spec's fields to a request under assembly (defaults are
+/// emitted too; the decoder treats them identically either way).
+void job_spec_to_wire(const JobSpec& spec, WireWriter& out);
+
+// ---------------------------------------------------------------------------
+// JobStatus
+
+/// Typed mirror of the wire's job status/result payload — what status(),
+/// result() and terminal stream events carry.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string error;        ///< "job_error" (failed jobs only).
+  bool cache_hit = false;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+  double characterization_ms = 0.0;
+  bool degraded = false;
+  std::size_t attempts = 1;
+  /// Raw core::report_to_json payload; empty when the wire line carried
+  /// none (non-terminal states, failed jobs, status-op responses).
+  std::string report_json;
+
+  bool terminal() const { return job_state_terminal(state); }
+};
+
+/// Reverse of job_state_name; nullopt for unknown labels.
+std::optional<JobState> job_state_from_name(std::string_view name);
+
+/// Converts a runtime snapshot (report carried verbatim).
+JobStatus job_status_from_snapshot(const JobSnapshot& snapshot);
+
+/// Appends the status payload. `include_report` controls the raw report
+/// field: result responses and terminal events carry it for
+/// done/cancelled/deadline_exceeded jobs; status responses never do (the
+/// v1 shape, kept in v2).
+void job_status_to_wire(const JobStatus& status, bool include_report,
+                        WireWriter& out);
+
+/// Decodes a status payload from a response/event parsed with
+/// allow_raw_nested. nullopt (with `error`) when "id" or a valid "state"
+/// is missing.
+std::optional<JobStatus> job_status_from_wire(const WireObject& object,
+                                              std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// StatsSummary
+
+/// Typed mirror of the plain "stats" response (the service tallies plus
+/// the deterministic merged metrics as raw JSON).
+struct StatsSummary {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_tenant_cap = 0;
+  std::size_t rejected_bad_request = 0;
+  std::size_t rejected_rate_limited = 0;
+  std::size_t shed = 0;
+  std::size_t degraded = 0;
+  std::size_t retries = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_disk_hits = 0;
+  std::size_t cache_stores = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_quarantines = 0;
+  std::string metrics_json;  ///< MetricsRegistry::to_json (raw nested).
+};
+
+/// Builds the summary from the runtime's tallies plus the merged metrics.
+StatsSummary stats_summary_from(const ServiceStats& stats,
+                                std::string metrics_json);
+
+/// Appends the summary's fields (the exact v1 "stats" response shape).
+void stats_summary_to_wire(const StatsSummary& summary, WireWriter& out);
+
+/// Decodes a stats response parsed with allow_raw_nested.
+StatsSummary stats_summary_from_wire(const WireObject& object);
+
+// ---------------------------------------------------------------------------
+// Events
+
+/// True when the line is a pushed event (has "event"), false for
+/// request-ordered responses (which carry "ok" instead).
+bool is_event_line(const WireObject& object);
+
+/// The greeting a socket connection receives on accept (and the response
+/// payload of an explicit hello op): proto + service identity.
+std::string encode_hello_event();
+
+/// Encodes a queued/running/progress lifecycle event.
+std::string encode_job_event(const JobEvent& event);
+
+/// Encodes the terminal event: lifecycle fields plus the FULL status
+/// payload (report included for done/cancelled/deadline_exceeded).
+std::string encode_terminal_event(const JobEvent& event,
+                                  const JobStatus& status);
+
+/// One decoded pushed event, any kind.
+struct StreamEvent {
+  std::string event;   ///< "hello"|"queued"|"running"|"progress"|"terminal".
+  int proto = 0;       ///< hello only.
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string state;   ///< job_state_name as of the event.
+  std::size_t attempt = 0;
+  std::size_t iteration = 0;  ///< progress only.
+  double objective = 0.0;     ///< progress only.
+  /// Terminal events: the full status payload.
+  std::optional<JobStatus> status;
+
+  bool terminal() const { return event == "terminal"; }
+};
+
+/// Decodes a pushed event line parsed with allow_raw_nested. nullopt
+/// (with `error`) when "event" is missing or a terminal payload is
+/// malformed.
+std::optional<StreamEvent> stream_event_from_wire(const WireObject& object,
+                                                  std::string* error = nullptr);
+
+/// Re-encodes a decoded/lifted event (what a front end draining a
+/// JobStream prints). Inverse of stream_event_from_wire for every event
+/// kind; a terminal event missing its status falls back to the event's
+/// own lifecycle fields.
+std::string encode_stream_event(const StreamEvent& event);
+
+// ---------------------------------------------------------------------------
+// Response helpers
+
+/// {"ok":true,"op":op,<status payload>} — the status/result response (and
+/// the body the stream op's terminal handling reuses). include_report as
+/// in job_status_to_wire.
+std::string encode_status_response(std::string_view op,
+                                   const JobStatus& status,
+                                   bool include_report);
+
+/// {"ok":false,"op":...,"error":...} (op omitted when empty).
+std::string encode_error(std::string_view op, std::string_view error);
+
+/// The parse-failure response ({"ok":false,"error":"parse_error: ..."}).
+std::string encode_parse_error(std::string_view detail);
+
+}  // namespace approxit::svc

@@ -78,6 +78,32 @@ bool job_state_terminal(JobState state) {
          state == JobState::kDeadlineExceeded;
 }
 
+std::string_view job_event_kind_name(JobEvent::Kind kind) {
+  switch (kind) {
+    case JobEvent::Kind::kQueued: return "queued";
+    case JobEvent::Kind::kRunning: return "running";
+    case JobEvent::Kind::kProgress: return "progress";
+    case JobEvent::Kind::kTerminal: return "terminal";
+  }
+  return "?";
+}
+
+void ServiceRuntime::emit_job_event(JobEvent::Kind kind, std::uint64_t id,
+                                    const std::string& tenant, JobState state,
+                                    std::size_t attempt, std::size_t iteration,
+                                    double objective) const {
+  if (!config_.on_job_event) return;
+  JobEvent event;
+  event.kind = kind;
+  event.id = id;
+  event.tenant = tenant;
+  event.state = state;
+  event.attempt = attempt;
+  event.iteration = iteration;
+  event.objective = objective;
+  config_.on_job_event(event);
+}
+
 ServiceRuntime::ServiceRuntime(ServiceConfig config)
     : config_(std::move(config)),
       chaos_(config_.chaos),
@@ -262,6 +288,11 @@ std::optional<std::uint64_t> ServiceRuntime::submit(const JobSpec& spec,
     ++tallies_.submitted;
     timing_metrics_.gauge("svc.queue.depth")
         .set(static_cast<double>(queue_.size()));
+    // Under mutex_ on purpose: a worker cannot transition this job to
+    // kRunning until the lock is released, so a subscriber always sees
+    // queued strictly before running.
+    emit_job_event(JobEvent::Kind::kQueued, id, spec.tenant,
+                   JobState::kQueued, 0);
   }
   if (obs::trace_enabled()) {
     // The admission event opens the job's own causal lane: everything this
@@ -440,6 +471,8 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
                      obs::arg("cause", "expired_in_queue")});
               }
               finalize_terminal_locked(job);
+              emit_job_event(JobEvent::Kind::kTerminal, id,
+                             job.spec.tenant, job.state, job.attempt);
               done_cv_.notify_all();
               continue;
             }
@@ -465,6 +498,9 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
         work_cv_.wait(lock);
       }
     }
+
+    emit_job_event(JobEvent::Kind::kRunning, id, spec.tenant,
+                   JobState::kRunning, attempt);
 
     if (chaos_.stall(id, attempt)) {
       // Injected worker stall: the job's deadline keeps ticking.
@@ -535,6 +571,10 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
                obs::arg("backoff_ms", backoff),
                obs::arg("error", result.error)});
         }
+        // Under mutex_ so the retry's queued event lands before another
+        // worker can emit the next attempt's running event.
+        emit_job_event(JobEvent::Kind::kQueued, id, job.spec.tenant,
+                       JobState::kQueued, job.attempt);
       } else {
         job.cache_hit = result.cache_hit;
         job.error = std::move(result.error);
@@ -586,6 +626,8 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
                                                : error_brief),
                          obs::arg("cache_hit", cache_hit)});
     }
+    emit_job_event(JobEvent::Kind::kTerminal, id, spec.tenant, final_state,
+                   attempt);
     done_cv_.notify_all();
   }
 }
@@ -672,17 +714,31 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(
       }
       arith::QcsAlu& session_alu = faulty ? *faulty : *alu;
 
-      result.report = core::SessionBuilder()
-                          .method(method)
-                          .strategy(*strategy)
-                          .alu(session_alu)
-                          .max_iterations(max_iterations)
-                          .watchdog(config_.watchdog)
-                          .keep_trace(spec.keep_trace)
-                          .metrics(result.metrics.get())
-                          .characterization(profile)
-                          .cancel(cancel)
-                          .run();
+      core::SessionBuilder builder;
+      builder.method(method)
+          .strategy(*strategy)
+          .alu(session_alu)
+          .max_iterations(max_iterations)
+          .watchdog(config_.watchdog)
+          .keep_trace(spec.keep_trace)
+          .metrics(result.metrics.get())
+          .characterization(profile)
+          .cancel(cancel);
+      if (config_.on_job_event && config_.progress_every > 0) {
+        // The streaming seam: subsample the session's per-iteration
+        // callback down to every `progress_every`-th iteration and
+        // forward it as a kProgress event.
+        const std::size_t stride = config_.progress_every;
+        builder.on_progress(
+            [this, id, attempt, &spec, stride](
+                const core::SessionProgress& progress) {
+              if (progress.iteration % stride != 0) return;
+              emit_job_event(JobEvent::Kind::kProgress, id, spec.tenant,
+                             JobState::kRunning, attempt, progress.iteration,
+                             progress.objective);
+            });
+      }
+      result.report = builder.run();
       result.report_json = core::report_to_json(result.report);
 
       // Per-job convergence telemetry, deterministic from (report,
@@ -824,6 +880,8 @@ bool ServiceRuntime::cancel(std::uint64_t id) {
         job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
       }
       finalize_terminal_locked(job);
+      emit_job_event(JobEvent::Kind::kTerminal, id, job.spec.tenant,
+                     JobState::kCancelled, job.attempt);
       went_terminal = true;
     }
     // kRunning: the latched token stops the session within one

@@ -53,6 +53,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -71,6 +72,46 @@
 #include "svc/qos.h"
 
 namespace approxit::svc {
+
+/// Lifecycle of one job. kDone, kFailed, kCancelled and kDeadlineExceeded
+/// are terminal.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,          ///< cancel()led before finishing.
+  kDeadlineExceeded,   ///< Deadline/SLO expired (queued or mid-run).
+};
+
+/// Lowercase state label ("queued", "running", "done", "failed",
+/// "cancelled", "deadline_exceeded").
+std::string_view job_state_name(JobState state);
+
+/// True for the four terminal states.
+bool job_state_terminal(JobState state);
+
+/// One lifecycle event of a job, pushed through
+/// ServiceConfig::on_job_event: queued -> running -> (progress)* ->
+/// terminal, with a fresh queued event per retry attempt. The streaming
+/// seam the networked front end subscribes on.
+struct JobEvent {
+  enum class Kind { kQueued, kRunning, kProgress, kTerminal };
+  Kind kind = Kind::kQueued;
+  std::uint64_t id = 0;
+  std::string tenant;
+  /// State the job holds as of this event (kTerminal events carry the
+  /// terminal state: done/failed/cancelled/deadline_exceeded).
+  JobState state = JobState::kQueued;
+  std::size_t attempt = 0;    ///< 0-based execution attempt.
+  /// kProgress only: executed iterations and objective so far.
+  std::size_t iteration = 0;
+  double objective = 0.0;
+};
+
+/// Lowercase event-kind label ("queued", "running", "progress",
+/// "terminal").
+std::string_view job_event_kind_name(JobEvent::Kind kind);
 
 /// Construction parameters for ServiceRuntime.
 struct ServiceConfig {
@@ -106,25 +147,22 @@ struct ServiceConfig {
   /// Start with the workers paused (admission still open) — lets tests
   /// fill the queue deterministically before anything runs.
   bool start_paused = false;
+  /// Job lifecycle hook, fixed at construction (never mutated afterwards,
+  /// so it is invoked without synchronization of its own). Called from
+  /// submit()'s caller thread, from cancel()'s caller thread and from
+  /// worker threads — concurrently across jobs, but in causal order per
+  /// job (queued before running before progress before terminal; the
+  /// queued/queue-death events fire while the runtime lock is HELD to
+  /// pin that order). The hook must therefore be cheap and must NOT call
+  /// back into the runtime: hand the event off (e.g. post it into an
+  /// event loop) and return. No events fire after shutdown() returns.
+  std::function<void(const JobEvent&)> on_job_event;
+  /// kProgress event stride: with on_job_event set, every
+  /// `progress_every`-th executed iteration of a running job emits a
+  /// progress event. 0 (default) disables progress events; queued/
+  /// running/terminal events only depend on on_job_event being set.
+  std::size_t progress_every = 0;
 };
-
-/// Lifecycle of one job. kDone, kFailed, kCancelled and kDeadlineExceeded
-/// are terminal.
-enum class JobState {
-  kQueued,
-  kRunning,
-  kDone,
-  kFailed,
-  kCancelled,          ///< cancel()led before finishing.
-  kDeadlineExceeded,   ///< Deadline/SLO expired (queued or mid-run).
-};
-
-/// Lowercase state label ("queued", "running", "done", "failed",
-/// "cancelled", "deadline_exceeded").
-std::string_view job_state_name(JobState state);
-
-/// True for the four terminal states.
-bool job_state_terminal(JobState state);
 
 /// One job request. `app` and `dataset` name the workload, `strategy` the
 /// reconfiguration policy:
@@ -356,6 +394,14 @@ class ServiceRuntime {
   /// queued-cancel: tallies, tenant release, retention. Caller must hold
   /// mutex_; `job` must already be in its terminal state.
   void finalize_terminal_locked(Job& job);
+
+  /// Fires config_.on_job_event when set. See ServiceConfig::on_job_event
+  /// for the per-site locking contract (kQueued and queue-death kTerminal
+  /// events fire under mutex_; worker-side events fire unlocked).
+  void emit_job_event(JobEvent::Kind kind, std::uint64_t id,
+                      const std::string& tenant, JobState state,
+                      std::size_t attempt, std::size_t iteration = 0,
+                      double objective = 0.0) const;
 
   JobSnapshot snapshot_locked(const Job& job) const;
 

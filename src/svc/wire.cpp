@@ -74,6 +74,39 @@ bool parse_string(std::string_view line, std::size_t& pos,
   return false;  // Unterminated string.
 }
 
+/// Captures a nested object/array verbatim: scans balanced {}/[] with
+/// string/escape awareness and copies the whole slice, content unparsed.
+bool parse_raw_nested(std::string_view line, std::size_t& pos,
+                      std::string& out) {
+  const std::size_t start = pos;
+  std::size_t depth = 0;
+  bool in_string = false;
+  for (; pos < line.size(); ++pos) {
+    const char c = line[pos];
+    if (in_string) {
+      if (c == '\\') {
+        ++pos;  // Skip the escaped character (quote included).
+        continue;
+      }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) return false;
+      if (--depth == 0) {
+        ++pos;
+        out.assign(line.substr(start, pos - start));
+        return true;
+      }
+    }
+  }
+  return false;  // Unbalanced.
+}
+
 /// Parses an unquoted scalar (number / true / false) up to , or }.
 bool parse_bare(std::string_view line, std::size_t& pos, std::string& out) {
   out.clear();
@@ -145,8 +178,11 @@ bool WireObject::get_bool(const std::string& key, bool fallback) const {
 }
 
 std::optional<WireObject> parse_wire_object(std::string_view line,
-                                            std::string* error) {
-  if (line.size() > kMaxWireLine) {
+                                            std::string* error,
+                                            bool allow_raw_nested) {
+  // Requests are capped here; response parsing (allow_raw_nested) embeds
+  // whole reports/registries and is capped by the reader instead.
+  if (!allow_raw_nested && line.size() > kMaxWireLine) {
     set_error(error, "line too long");
     return std::nullopt;
   }
@@ -187,8 +223,15 @@ std::optional<WireObject> parse_wire_object(std::string_view line,
         }
       } else if (pos < line.size() &&
                  (line[pos] == '{' || line[pos] == '[')) {
-        set_error(error, "nested values are not supported");
-        return std::nullopt;
+        if (!allow_raw_nested) {
+          set_error(error, "nested values are not supported");
+          return std::nullopt;
+        }
+        value.raw = true;
+        if (!parse_raw_nested(line, pos, value.text)) {
+          set_error(error, "malformed nested value");
+          return std::nullopt;
+        }
       } else if (!parse_bare(line, pos, value.text)) {
         set_error(error, "expected value");
         return std::nullopt;

@@ -42,10 +42,12 @@ bool read_wire_line(std::istream& in, std::string& line,
                     std::size_t max_length = kMaxWireLine);
 
 /// One parsed value: the raw text plus whether it was a JSON string
-/// (quoted) — "42" and 42 are distinguishable.
+/// (quoted) — "42" and 42 are distinguishable. `raw` marks a nested
+/// object/array captured verbatim (allow_raw_nested parses only).
 struct WireValue {
   std::string text;
   bool quoted = false;
+  bool raw = false;
 };
 
 /// A parsed flat JSON object with typed, defaulted accessors.
@@ -68,9 +70,14 @@ class WireObject {
 
 /// Parses one flat JSON object line. Returns nullopt (with `error` set when
 /// non-null) on malformed input, lines over kMaxWireLine, or trailing
-/// characters after the object.
+/// characters after the object. With `allow_raw_nested` a top-level nested
+/// object/array value is captured VERBATIM (balanced braces, string-aware)
+/// as a raw WireValue instead of being rejected — the client-side mode for
+/// responses that embed a RunReport or metrics object; requests stay
+/// strictly flat.
 std::optional<WireObject> parse_wire_object(std::string_view line,
-                                            std::string* error = nullptr);
+                                            std::string* error = nullptr,
+                                            bool allow_raw_nested = false);
 
 /// Assembles one flat-ish JSON object line: scalar fields plus raw
 /// (pre-serialized) nested values.

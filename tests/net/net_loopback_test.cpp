@@ -1,0 +1,493 @@
+// Loopback integration for the socket front end: a real NetServer on a
+// real Unix-domain (and TCP) socket, exercised by real LineClients over
+// concurrent connections. Covered here because only the full stack shows
+// it: per-job causal event order across the sink -> post -> drain path,
+// byte-identical terminal reports between the socket and the in-process
+// transport, pipelined request/response order across parking, v1 line
+// compatibility on a socket, and the slow-reader backpressure disconnect.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/server.h"
+#include "net/socket.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace approxit::net {
+namespace {
+
+using svc::JobSpec;
+using svc::LineClient;
+using svc::StreamEvent;
+
+JobSpec quick_job(const std::string& tenant = "default") {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.app = "gmm";
+  spec.dataset = "3cluster";
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+/// A live server on its own loop thread, torn down on destruction.
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(NetServerConfig net_config = {},
+                          svc::ServiceConfig service_config = {}) {
+    static std::atomic<int> sequence{0};
+    if (net_config.address == NetServerConfig{}.address) {
+      net_config.address =
+          "unix:/tmp/approxit_lo_" + std::to_string(getpid()) + "_" +
+          std::to_string(sequence.fetch_add(1)) + ".sock";
+    }
+    service_config.threads = std::max<std::size_t>(service_config.threads, 2);
+    service_config.cache.directory.clear();
+    client_ = std::make_unique<svc::InProcessClient>(
+        std::move(service_config));
+    server_ = std::make_unique<NetServer>(*client_, net_config);
+    std::string error;
+    started_ = server_->start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~LoopbackServer() {
+    if (started_) server_->stop();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+    client_.reset();
+  }
+
+  const std::string& address() const { return server_->listen_address(); }
+  svc::InProcessClient& in_process() { return *client_; }
+  NetServer& server() { return *server_; }
+  /// Joins the loop thread (for shutdown-op tests where the SERVER ends
+  /// the run, not the test).
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::unique_ptr<LineClient> connect() {
+    std::string error;
+    auto client = connect_client(address(), &error);
+    EXPECT_NE(client, nullptr) << error;
+    return client;
+  }
+
+ private:
+  std::unique_ptr<svc::InProcessClient> client_;
+  std::unique_ptr<NetServer> server_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+/// A raw line-speaking connection for byte-level protocol assertions
+/// (pipelining, v1 shapes) that the typed client would paper over.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& address) {
+    std::string error;
+    const auto parsed = parse_address(address, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    if (parsed) fd_ = connect_socket(*parsed, &error);
+    EXPECT_GE(fd_, 0) << error;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool send_all(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next full line, or nullopt on EOF/timeout.
+  std::optional<std::string> read_line(int timeout_ms = 20000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return std::nullopt;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) {
+        return std::nullopt;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True once the peer has closed (recv sees EOF/reset).
+  bool closed_by_peer(int timeout_ms = 20000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    char chunk[65536];
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (poll(&pfd, 1, 100) <= 0) continue;
+      const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return true;  // EOF or reset: server dropped us.
+    }
+    return false;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+svc::WireObject parsed(const std::string& line) {
+  const auto object =
+      svc::parse_wire_object(line, nullptr, /*allow_raw_nested=*/true);
+  EXPECT_TRUE(object.has_value()) << line;
+  return object.value_or(svc::WireObject{});
+}
+
+TEST(NetLoopback, HelloRoundTripAndTypedOps) {
+  LoopbackServer server;
+  const auto client = server.connect();
+  ASSERT_NE(client, nullptr);
+
+  std::string error;
+  const auto id = client->submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  // The greeting was consumed en route to the first response.
+  ASSERT_TRUE(client->server_proto().has_value());
+  EXPECT_EQ(*client->server_proto(), svc::kProtoVersion);
+
+  const auto result = client->result(*id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->terminal());
+  EXPECT_FALSE(result->report_json.empty());
+
+  const auto status = client->status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->report_json.empty());  // status never carries it.
+
+  const auto stats = client->stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->submitted, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  EXPECT_TRUE(client->ok());
+}
+
+TEST(NetLoopback, TerminalReportsByteIdenticalToInProcessClient) {
+  LoopbackServer server;
+  const auto client = server.connect();
+  ASSERT_NE(client, nullptr);
+
+  std::string error;
+  const auto stream = client->submit_stream(quick_job(), &error);
+  ASSERT_NE(stream, nullptr) << error;
+  std::optional<StreamEvent> terminal;
+  while (const auto event = stream->next()) terminal = *event;
+  ASSERT_TRUE(terminal.has_value());
+  ASSERT_TRUE(terminal->terminal());
+  ASSERT_TRUE(terminal->status.has_value());
+
+  // Same job, read through the IN-PROCESS transport: the report payload
+  // must match byte for byte (it travels verbatim as raw nested JSON).
+  const auto direct = server.in_process().result(stream->id());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_FALSE(direct->report_json.empty());
+  EXPECT_EQ(terminal->status->report_json, direct->report_json);
+
+  // And through a second socket op on the same connection.
+  const auto socket_result = client->result(stream->id());
+  ASSERT_TRUE(socket_result.has_value());
+  EXPECT_EQ(socket_result->report_json, direct->report_json);
+}
+
+TEST(NetLoopback, ConcurrentStreamsKeepPerJobCausalOrder) {
+  constexpr std::size_t kConnections = 8;
+  svc::ServiceConfig service;
+  service.threads = 4;
+  service.progress_every = 8;
+  LoopbackServer server({}, std::move(service));
+
+  struct Tail {
+    std::vector<StreamEvent> events;
+    std::uint64_t id = 0;
+    bool ok = false;
+  };
+  std::vector<Tail> tails(kConnections);
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    threads.emplace_back([&server, &tail = tails[i], i] {
+      std::string error;
+      const auto client = connect_client(server.address(), &error);
+      if (client == nullptr) return;
+      const auto stream =
+          client->submit_stream(quick_job("tenant-" + std::to_string(i)),
+                                &error);
+      if (stream == nullptr) return;
+      tail.id = stream->id();
+      while (const auto event = stream->next()) {
+        tail.events.push_back(*event);
+      }
+      tail.ok = true;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<std::uint64_t> ids;
+  for (const Tail& tail : tails) {
+    ASSERT_TRUE(tail.ok);
+    ids.push_back(tail.id);
+    ASSERT_GE(tail.events.size(), 3u);
+    // Per-job causal order survives the runtime-thread -> post -> drain
+    // relay: queued first, running second, monotone progress, terminal
+    // last — and every event belongs to THIS connection's job.
+    EXPECT_EQ(tail.events.front().event, "queued");
+    EXPECT_EQ(tail.events[1].event, "running");
+    EXPECT_EQ(tail.events.back().event, "terminal");
+    std::size_t last_iteration = 0;
+    for (std::size_t i = 2; i + 1 < tail.events.size(); ++i) {
+      EXPECT_EQ(tail.events[i].event, "progress");
+      EXPECT_GT(tail.events[i].iteration, last_iteration);
+      last_iteration = tail.events[i].iteration;
+    }
+    for (const StreamEvent& event : tail.events) {
+      EXPECT_EQ(event.id, tail.id);
+    }
+    ASSERT_TRUE(tail.events.back().status.has_value());
+    EXPECT_FALSE(tail.events.back().status->report_json.empty());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(NetLoopback, PipelinedRequestsAnswerInOrderAcrossParking) {
+  LoopbackServer server;
+  RawConn conn(server.address());
+  const auto greeting = conn.read_line();
+  ASSERT_TRUE(greeting.has_value());
+  EXPECT_EQ(parsed(*greeting).get_string("event"), "hello");
+
+  // submit, then IN THE SAME WRITE: result (parks until the job ends),
+  // hello, status. Responses must come back strictly in request order.
+  ASSERT_TRUE(conn.send_all(
+      R"({"op":"submit","app":"gmm","dataset":"3cluster",)"
+      R"("max_iterations":30,"characterization_iterations":4})"
+      "\n"));
+  const auto submit = conn.read_line();
+  ASSERT_TRUE(submit.has_value());
+  const auto id = parsed(*submit).get_int("id", 0);
+  ASSERT_GT(id, 0);
+
+  const std::string id_text = std::to_string(id);
+  ASSERT_TRUE(conn.send_all(R"({"op":"result","id":)" + id_text + "}\n" +
+                            R"({"op":"hello","proto":2})" + "\n" +
+                            R"({"op":"status","id":)" + id_text + "}\n"));
+  const auto result = conn.read_line();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(parsed(*result).get_string("op"), "result");
+  EXPECT_TRUE(parsed(*result).has("report"));
+  const auto hello = conn.read_line();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(parsed(*hello).get_string("op"), "hello");
+  const auto status = conn.read_line();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(parsed(*status).get_string("op"), "status");
+  EXPECT_EQ(parsed(*status).get_string("state"), "done");
+}
+
+TEST(NetLoopback, V1LinesKeepTheirShapesOverSockets) {
+  NetServerConfig net_config;
+  net_config.max_line = 4096;  // Small cap so the oversize probe is cheap.
+  LoopbackServer server(net_config);
+  RawConn conn(server.address());
+  ASSERT_TRUE(conn.read_line().has_value());  // Greeting.
+
+  // v1 submit (no proto field) answers the v1 shape.
+  ASSERT_TRUE(conn.send_all(
+      R"({"op":"submit","app":"gmm","dataset":"3cluster",)"
+      R"("max_iterations":30,"characterization_iterations":4})"
+      "\n"));
+  const auto submit = conn.read_line();
+  ASSERT_TRUE(submit.has_value());
+  EXPECT_TRUE(parsed(*submit).get_bool("ok", false)) << *submit;
+
+  // Unknown op: error WITHOUT an op echo (frozen v1 shape).
+  ASSERT_TRUE(conn.send_all(R"({"op":"frobnicate"})" "\n"));
+  const auto unknown = conn.read_line();
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_FALSE(parsed(*unknown).get_bool("ok", true));
+  EXPECT_FALSE(parsed(*unknown).has("op"));
+
+  // Empty lines are skipped, not answered.
+  ASSERT_TRUE(conn.send_all("\n" R"({"op":"hello"})" "\n"));
+  const auto hello = conn.read_line();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(parsed(*hello).get_string("op"), "hello");
+
+  // The v1 stats_export alias still answers with content.
+  ASSERT_TRUE(conn.send_all(
+      R"({"op":"stats_export","format":"prometheus"})" "\n"));
+  const auto exported = conn.read_line();
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_TRUE(parsed(*exported).get_bool("ok", false));
+  EXPECT_TRUE(parsed(*exported).has("content"));
+
+  // Malformed JSON and oversize lines answer the exact v1 parse errors.
+  ASSERT_TRUE(conn.send_all("not json\n"));
+  const auto malformed = conn.read_line();
+  ASSERT_TRUE(malformed.has_value());
+  EXPECT_NE(malformed->find("parse_error"), std::string::npos);
+
+  const std::string oversize(net_config.max_line + 16, 'x');
+  ASSERT_TRUE(conn.send_all(oversize + "\n"));
+  const auto too_long = conn.read_line();
+  ASSERT_TRUE(too_long.has_value());
+  EXPECT_EQ(*too_long,
+            R"({"ok":false,"error":"parse_error: line too long"})");
+
+  // The connection survived all of it.
+  ASSERT_TRUE(conn.send_all(R"({"op":"stats"})" "\n"));
+  EXPECT_TRUE(conn.read_line().has_value());
+}
+
+TEST(NetLoopback, SlowReaderIsDisconnectedByBackpressure) {
+  NetServerConfig net_config;
+  net_config.max_write_buffer = 64 * 1024;
+  LoopbackServer server(net_config);
+
+  // Seed one completed job so result responses carry a fat report.
+  {
+    const auto client = server.connect();
+    ASSERT_NE(client, nullptr);
+    std::string error;
+    const auto id = client->submit(quick_job(), &error);
+    ASSERT_TRUE(id.has_value()) << error;
+    ASSERT_TRUE(client->result(*id).has_value());
+  }
+
+  RawConn conn(server.address());
+  // Pipeline several hundred result requests and NEVER read: the kernel
+  // buffers fill, the server's outbuf crosses max_write_buffer, and the
+  // server must disconnect us rather than buffer without bound.
+  std::string burst;
+  for (int i = 0; i < 2000; ++i) {
+    burst += R"({"op":"result","id":1})" "\n";
+  }
+  // The send may ITSELF fail once the server drops us mid-burst — that
+  // is the disconnect arriving early, not a test failure.
+  (void)conn.send_all(burst);
+
+  // Wait for the server to record the disconnect WITHOUT reading from the
+  // socket: draining here would relieve the very pressure the test needs
+  // a slow server (e.g. under TSan) to accumulate.
+  double disconnects = 0.0;
+  for (int i = 0; i < 600 && disconnects < 1.0; ++i) {
+    const auto counters = server.server().metrics().counter_values();
+    const auto it = counters.find("net.backpressure.disconnects");
+    if (it != counters.end()) disconnects = it->second;
+    if (disconnects < 1.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  EXPECT_GE(disconnects, 1.0);
+  EXPECT_TRUE(conn.closed_by_peer());
+}
+
+TEST(NetLoopback, StreamOpReplaysTerminalForLateSubscribers) {
+  LoopbackServer server;
+  const auto client = server.connect();
+  ASSERT_NE(client, nullptr);
+
+  std::string error;
+  const auto id = client->submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  ASSERT_TRUE(client->result(*id).has_value());
+
+  const auto stream = client->stream(*id);
+  ASSERT_NE(stream, nullptr);
+  const auto replay = stream->next();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->terminal());
+  ASSERT_TRUE(replay->status.has_value());
+  EXPECT_FALSE(replay->status->report_json.empty());
+  EXPECT_FALSE(stream->next().has_value());
+
+  EXPECT_EQ(client->stream(99999), nullptr);
+  EXPECT_TRUE(client->ok());  // The error came as a response, not a break.
+}
+
+TEST(NetLoopback, TcpLoopbackAndEphemeralPortResolution) {
+  NetServerConfig net_config;
+  net_config.address = ":0";
+  LoopbackServer server(net_config);
+  // The resolved address carries a concrete port.
+  const std::string& address = server.address();
+  const std::size_t colon = address.rfind(':');
+  ASSERT_NE(colon, std::string::npos);
+  const std::string port = address.substr(colon + 1);
+  EXPECT_NE(port, "0");
+
+  std::string error;
+  const auto client =
+      connect_client("tcp:127.0.0.1:" + port, &error);
+  ASSERT_NE(client, nullptr) << error;
+  const auto id = client->submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  const auto result = client->result(*id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->terminal());
+}
+
+TEST(NetLoopback, ShutdownOpDrainsAndStopsTheServer) {
+  LoopbackServer server;
+  const auto client = server.connect();
+  ASSERT_NE(client, nullptr);
+  std::string error;
+  const auto id = client->submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+
+  EXPECT_TRUE(client->shutdown());
+  server.join();  // run() returns because the OP stopped the loop.
+
+  // The runtime drained before the stop: the job is terminal.
+  const auto result = server.in_process().status(*id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->terminal());
+}
+
+}  // namespace
+}  // namespace approxit::net

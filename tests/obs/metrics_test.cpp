@@ -136,6 +136,22 @@ TEST(MetricsRegistry, ToJsonListsAllMetricKinds) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+// Labeled metric names carry literal quotes (telemetry.h labeled());
+// to_json must escape them or the stats wire response is not JSON.
+TEST(MetricsRegistry, ToJsonEscapesLabeledMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("svc.tenant.converged{tenant=\"ci\"}").add(2.0);
+  registry.gauge("svc.scorecard.quality{tenant=\"a\\b\"}").set(0.25);
+  const std::string json = registry.to_json();
+  EXPECT_NE(
+      json.find("\"svc.tenant.converged{tenant=\\\"ci\\\"}\":2"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{tenant=\\\"a\\\\b\\\"}"), std::string::npos) << json;
+  // No raw embedded quote may survive (it would truncate the JSON key).
+  EXPECT_EQ(json.find("\"ci\""), std::string::npos) << json;
+}
+
 TEST(GlobalMetrics, IsASingleton) {
   EXPECT_EQ(&global_metrics(), &global_metrics());
 }

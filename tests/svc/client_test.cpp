@@ -1,0 +1,276 @@
+// svc::Client coverage, in-process transport: streams deliver the full
+// causal lifecycle (queued -> running -> [progress] -> terminal, then
+// end), stream() replays current state for late subscribers, the global
+// event-sink fan-out feeds the socket server, and dispatch_sync — the
+// single sync-op path both front ends share — produces the frozen v1
+// response shapes plus the v2 additions.
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/wire.h"
+
+namespace approxit::svc {
+namespace {
+
+JobSpec quick_job(const std::string& tenant = "default") {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.app = "gmm";
+  spec.dataset = "3cluster";
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+ServiceConfig memory_only(std::size_t threads,
+                          std::size_t progress_every = 0) {
+  ServiceConfig config;
+  config.threads = threads;
+  config.cache.directory.clear();
+  config.progress_every = progress_every;
+  return config;
+}
+
+WireObject parsed(const std::string& line) {
+  const auto object =
+      parse_wire_object(line, nullptr, /*allow_raw_nested=*/true);
+  EXPECT_TRUE(object.has_value()) << line;
+  return object.value_or(WireObject{});
+}
+
+TEST(InProcess, SubmitStreamDeliversCausalLifecycle) {
+  InProcessClient client(memory_only(2, /*progress_every=*/8));
+  std::string error;
+  const auto stream = client.submit_stream(quick_job(), &error);
+  ASSERT_NE(stream, nullptr) << error;
+
+  std::vector<StreamEvent> events;
+  while (const auto event = stream->next()) events.push_back(*event);
+  // After the terminal event the stream stays ended.
+  EXPECT_FALSE(stream->next().has_value());
+
+  ASSERT_GE(events.size(), 3u);  // queued, running, terminal at minimum.
+  EXPECT_EQ(events.front().event, "queued");
+  EXPECT_EQ(events[1].event, "running");
+  EXPECT_EQ(events.back().event, "terminal");
+  std::size_t last_iteration = 0;
+  for (std::size_t i = 2; i + 1 < events.size(); ++i) {
+    EXPECT_EQ(events[i].event, "progress");
+    EXPECT_GT(events[i].iteration, last_iteration);  // Monotone progress.
+    last_iteration = events[i].iteration;
+  }
+  for (const StreamEvent& event : events) {
+    EXPECT_EQ(event.id, stream->id());
+    EXPECT_EQ(event.tenant, "default");
+  }
+
+  // The terminal event's payload is the job's result, report included —
+  // byte-identical to what result() returns.
+  ASSERT_TRUE(events.back().status.has_value());
+  const auto result = client.result(stream->id());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(events.back().status->state, result->state);
+  EXPECT_EQ(events.back().status->report_json, result->report_json);
+  EXPECT_FALSE(result->report_json.empty());
+}
+
+TEST(InProcess, StreamReplaysTerminalStateForLateSubscribers) {
+  InProcessClient client(memory_only(2));
+  std::string error;
+  const auto id = client.submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  ASSERT_TRUE(client.result(*id).has_value());  // Wait until terminal.
+
+  const auto stream = client.stream(*id);
+  ASSERT_NE(stream, nullptr);
+  const auto replay = stream->next();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->terminal());
+  ASSERT_TRUE(replay->status.has_value());
+  EXPECT_EQ(replay->status->id, *id);
+  EXPECT_FALSE(stream->next().has_value());
+
+  EXPECT_EQ(client.stream(/*id=*/9999), nullptr);
+}
+
+TEST(InProcess, EventSinksSeeEveryJobsLifecycle) {
+  InProcessClient client(memory_only(2));
+  std::mutex mutex;
+  std::vector<JobEvent> seen;
+  const std::uint64_t token =
+      client.add_event_sink([&](const JobEvent& event) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(event);
+      });
+
+  std::string error;
+  const auto id = client.submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  ASSERT_TRUE(client.result(*id).has_value());
+  client.runtime().wait_idle();
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_GE(seen.size(), 3u);
+    EXPECT_EQ(seen.front().kind, JobEvent::Kind::kQueued);
+    EXPECT_EQ(seen.back().kind, JobEvent::Kind::kTerminal);
+    for (const JobEvent& event : seen) EXPECT_EQ(event.id, *id);
+  }
+
+  // After removal (which synchronizes with in-flight callbacks) a new
+  // job's events stay unseen.
+  client.remove_event_sink(token);
+  const std::size_t count_after_remove = [&] {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return seen.size();
+  }();
+  const auto second = client.submit(quick_job(), &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  ASSERT_TRUE(client.result(*second).has_value());
+  client.runtime().wait_idle();
+  const std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(seen.size(), count_after_remove);
+}
+
+TEST(DispatchSync, HelloSubmitStatusStats) {
+  InProcessClient client(memory_only(2));
+
+  const auto hello =
+      dispatch_sync(client, parsed(R"({"op":"hello","proto":2})"));
+  ASSERT_TRUE(hello.has_value());
+  const WireObject hello_object = parsed(*hello);
+  EXPECT_TRUE(hello_object.get_bool("ok", false));
+  EXPECT_EQ(hello_object.get_int("proto", 0), kProtoVersion);
+  EXPECT_EQ(hello_object.get_string("service"), "approxit");
+
+  const auto submit = dispatch_sync(
+      client,
+      parsed(R"({"op":"submit","app":"gmm","dataset":"3cluster",)"
+             R"("max_iterations":30,"characterization_iterations":4})"));
+  ASSERT_TRUE(submit.has_value());
+  const WireObject submit_object = parsed(*submit);
+  ASSERT_TRUE(submit_object.get_bool("ok", false)) << *submit;
+  const auto id = submit_object.get_int("id", 0);
+  EXPECT_GT(id, 0);
+
+  // status is sync (point-in-time, never blocks, never carries a report).
+  const auto status = dispatch_sync(
+      client,
+      parsed(R"({"op":"status","id":)" + std::to_string(id) + "}"));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_FALSE(parsed(*status).has("report"));
+
+  ASSERT_TRUE(client.result(static_cast<std::uint64_t>(id)).has_value());
+  const auto stats = dispatch_sync(client, parsed(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  const StatsSummary summary = stats_summary_from_wire(parsed(*stats));
+  EXPECT_EQ(summary.submitted, 1u);
+  EXPECT_EQ(summary.completed, 1u);
+}
+
+TEST(DispatchSync, StatsFormatFoldAndLegacyAlias) {
+  InProcessClient client(memory_only(1));
+  std::string error;
+  const auto id = client.submit(quick_job(), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  ASSERT_TRUE(client.result(*id).has_value());
+  client.runtime().wait_idle();
+
+  // v2: stats with a format argument returns the export.
+  const auto folded = dispatch_sync(
+      client,
+      parsed(R"({"op":"stats","proto":2,"format":"jsonl",)"
+             R"("deterministic":true})"));
+  ASSERT_TRUE(folded.has_value());
+  const WireObject folded_object = parsed(*folded);
+  ASSERT_TRUE(folded_object.get_bool("ok", false)) << *folded;
+  EXPECT_TRUE(folded_object.has("content"));
+
+  // v1 alias: stats_export keeps working, same content shape.
+  const auto legacy = dispatch_sync(
+      client,
+      parsed(R"({"op":"stats_export","format":"jsonl",)"
+             R"("deterministic":true})"));
+  ASSERT_TRUE(legacy.has_value());
+  const WireObject legacy_object = parsed(*legacy);
+  ASSERT_TRUE(legacy_object.get_bool("ok", false)) << *legacy;
+  EXPECT_EQ(legacy_object.get_string("content"),
+            folded_object.get_string("content"));
+
+  const auto bad_format = dispatch_sync(
+      client, parsed(R"({"op":"stats","format":"xml"})"));
+  ASSERT_TRUE(bad_format.has_value());
+  EXPECT_FALSE(parsed(*bad_format).get_bool("ok", true));
+}
+
+TEST(DispatchSync, AsyncOpsFallThroughSyncOpsDoNot) {
+  InProcessClient client(memory_only(1));
+  // The four ops a front end must run itself.
+  EXPECT_FALSE(dispatch_sync(client, parsed(R"({"op":"result","id":1})"))
+                   .has_value());
+  EXPECT_FALSE(dispatch_sync(client, parsed(R"({"op":"stream","id":1})"))
+                   .has_value());
+  EXPECT_FALSE(dispatch_sync(
+                   client,
+                   parsed(R"({"op":"submit","stream":true,"app":"gmm",)"
+                          R"("dataset":"3cluster"})"))
+                   .has_value());
+  EXPECT_FALSE(dispatch_sync(client, parsed(R"({"op":"shutdown"})"))
+                   .has_value());
+}
+
+TEST(DispatchSync, ProtoErrorsAnswerEveryOpIncludingAsync) {
+  InProcessClient client(memory_only(1));
+  // Even ops that normally fall through answer proto errors HERE, so a
+  // future-proto client is refused before any state changes.
+  for (const char* line :
+       {R"({"op":"result","id":1,"proto":9})",
+        R"({"op":"submit","stream":true,"proto":9})",
+        R"({"op":"shutdown","proto":9})", R"({"op":"stats","proto":9})"}) {
+    const auto response = dispatch_sync(client, parsed(line));
+    ASSERT_TRUE(response.has_value()) << line;
+    const WireObject object = parsed(*response);
+    EXPECT_FALSE(object.get_bool("ok", true));
+    EXPECT_NE(object.get_string("error").find("unsupported_proto"),
+              std::string::npos);
+  }
+}
+
+TEST(DispatchSync, V1ErrorShapesAreFrozen) {
+  InProcessClient client(memory_only(1));
+
+  // Unknown op: error without an op echo (the v1 shape).
+  const auto unknown =
+      dispatch_sync(client, parsed(R"({"op":"frobnicate"})"));
+  ASSERT_TRUE(unknown.has_value());
+  const WireObject unknown_object = parsed(*unknown);
+  EXPECT_FALSE(unknown_object.get_bool("ok", true));
+  EXPECT_FALSE(unknown_object.has("op"));
+
+  // Bad submit: rejection echoes the op.
+  const auto rejected = dispatch_sync(
+      client, parsed(R"({"op":"submit","app":"fft","dataset":"x"})"));
+  ASSERT_TRUE(rejected.has_value());
+  const WireObject rejected_object = parsed(*rejected);
+  EXPECT_FALSE(rejected_object.get_bool("ok", true));
+  EXPECT_EQ(rejected_object.get_string("op"), "submit");
+
+  // Unknown ids on sync ops.
+  const auto status =
+      dispatch_sync(client, parsed(R"({"op":"status","id":42})"));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(parsed(*status).get_string("error"), "unknown_job");
+  const auto cancel =
+      dispatch_sync(client, parsed(R"({"op":"cancel","id":42})"));
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_FALSE(parsed(*cancel).get_bool("ok", true));
+}
+
+}  // namespace
+}  // namespace approxit::svc

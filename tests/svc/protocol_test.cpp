@@ -1,0 +1,335 @@
+// Wire protocol v2 coverage: proto negotiation accepts 1..kProtoVersion
+// and refuses the future loudly, op classification (including the v1
+// stats_export alias and the submit stream split), and every typed
+// payload (JobSpec / JobStatus / StatsSummary / events) survives a
+// to_wire -> parse -> from_wire round trip byte-compatibly. Robustness:
+// truncated and malformed lines fail decode instead of mis-parsing.
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/protocol.h"
+#include "svc/wire.h"
+
+namespace approxit::svc {
+namespace {
+
+WireObject parsed(const std::string& line) {
+  std::string error;
+  const auto object = parse_wire_object(line, &error,
+                                        /*allow_raw_nested=*/true);
+  EXPECT_TRUE(object.has_value()) << error << " <- " << line;
+  return object.value_or(WireObject{});
+}
+
+TEST(Proto, AcceptsV1AndV2RejectsFuture) {
+  EXPECT_FALSE(check_proto(parsed(R"({"op":"status"})")).has_value());
+  EXPECT_FALSE(check_proto(parsed(R"({"op":"status","proto":1})"))
+                   .has_value());
+  EXPECT_FALSE(check_proto(parsed(R"({"op":"status","proto":2})"))
+                   .has_value());
+
+  const auto future = check_proto(parsed(R"({"op":"status","proto":3})"));
+  ASSERT_TRUE(future.has_value());
+  EXPECT_NE(future->find("unsupported_proto"), std::string::npos);
+  EXPECT_TRUE(check_proto(parsed(R"({"op":"status","proto":0})"))
+                  .has_value());
+  EXPECT_TRUE(check_proto(parsed(R"({"op":"status","proto":-1})"))
+                  .has_value());
+}
+
+TEST(Proto, ClassifiesEveryOp) {
+  EXPECT_EQ(classify_op(parsed(R"({"op":"hello"})")), OpKind::kHello);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"submit"})")), OpKind::kSubmit);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"submit","stream":true})")),
+            OpKind::kSubmitStream);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"submit","stream":false})")),
+            OpKind::kSubmit);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"status"})")), OpKind::kStatus);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"result"})")), OpKind::kResult);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"cancel"})")), OpKind::kCancel);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"forget"})")), OpKind::kForget);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"stats"})")), OpKind::kStats);
+  // The v1 alias folds into the same op (format fold; DESIGN §12).
+  EXPECT_EQ(classify_op(parsed(R"({"op":"stats_export"})")),
+            OpKind::kStats);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"stream"})")), OpKind::kStream);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"shutdown"})")),
+            OpKind::kShutdown);
+  EXPECT_EQ(classify_op(parsed(R"({"op":"frobnicate"})")),
+            OpKind::kUnknown);
+  EXPECT_EQ(classify_op(parsed(R"({"id":4})")), OpKind::kUnknown);
+}
+
+TEST(Proto, JobSpecRoundTrip) {
+  JobSpec spec;
+  spec.tenant = "tenant-a";
+  spec.app = "gmm";
+  spec.dataset = "3cluster";
+  spec.strategy = "aggressive";
+  spec.max_iterations = 40;
+  spec.characterization_iterations = 6;
+  spec.deadline_ms = 125.5;
+  spec.priority = 2;
+
+  WireWriter writer;
+  writer.field("op", "submit");
+  job_spec_to_wire(spec, writer);
+  const JobSpec decoded = job_spec_from_wire(parsed(writer.str()));
+  EXPECT_EQ(decoded.tenant, spec.tenant);
+  EXPECT_EQ(decoded.app, spec.app);
+  EXPECT_EQ(decoded.dataset, spec.dataset);
+  EXPECT_EQ(decoded.strategy, spec.strategy);
+  EXPECT_EQ(decoded.max_iterations, spec.max_iterations);
+  EXPECT_EQ(decoded.characterization_iterations,
+            spec.characterization_iterations);
+  EXPECT_EQ(decoded.deadline_ms, spec.deadline_ms);
+  EXPECT_EQ(decoded.priority, spec.priority);
+}
+
+TEST(Proto, JobSpecAbsentFieldsKeepDefaults) {
+  // The v1 rule: a minimal submit line decodes to JobSpec defaults.
+  const JobSpec decoded = job_spec_from_wire(
+      parsed(R"({"op":"submit","app":"gmm","dataset":"3cluster"})"));
+  const JobSpec defaults;
+  EXPECT_EQ(decoded.tenant, defaults.tenant);
+  EXPECT_EQ(decoded.strategy, defaults.strategy);
+  EXPECT_EQ(decoded.max_iterations, defaults.max_iterations);
+  EXPECT_EQ(decoded.deadline_ms, defaults.deadline_ms);
+  EXPECT_EQ(decoded.priority, defaults.priority);
+}
+
+JobStatus sample_status(bool with_report) {
+  JobStatus status;
+  status.id = 17;
+  status.state = JobState::kDone;
+  status.cache_hit = true;
+  status.queue_ms = 1.25;
+  status.run_ms = 33.5;
+  status.characterization_ms = 4.75;
+  status.degraded = true;
+  status.attempts = 2;
+  if (with_report) {
+    status.report_json =
+        R"({"method":"gmm_em","iterations":30,"trace":[1,2,3]})";
+  }
+  return status;
+}
+
+TEST(Proto, JobStatusRoundTripWithRawReport) {
+  const JobStatus status = sample_status(/*with_report=*/true);
+  WireWriter writer;
+  writer.field("ok", true).field("op", "result");
+  job_status_to_wire(status, /*include_report=*/true, writer);
+
+  std::string error;
+  const auto decoded = job_status_from_wire(parsed(writer.str()), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->id, status.id);
+  EXPECT_EQ(decoded->state, status.state);
+  EXPECT_EQ(decoded->cache_hit, status.cache_hit);
+  EXPECT_EQ(decoded->queue_ms, status.queue_ms);
+  EXPECT_EQ(decoded->run_ms, status.run_ms);
+  EXPECT_EQ(decoded->characterization_ms, status.characterization_ms);
+  EXPECT_EQ(decoded->degraded, status.degraded);
+  EXPECT_EQ(decoded->attempts, status.attempts);
+  // The nested report payload travels VERBATIM — byte identity is what
+  // the socket/stdin equivalence checks build on.
+  EXPECT_EQ(decoded->report_json, status.report_json);
+  EXPECT_TRUE(decoded->terminal());
+}
+
+TEST(Proto, JobStatusWithoutReportAndFailedError) {
+  JobStatus status = sample_status(/*with_report=*/false);
+  status.state = JobState::kFailed;
+  status.error = "solver diverged";
+  WireWriter writer;
+  writer.field("ok", true).field("op", "status");
+  job_status_to_wire(status, /*include_report=*/false, writer);
+
+  const auto decoded = job_status_from_wire(parsed(writer.str()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->state, JobState::kFailed);
+  EXPECT_EQ(decoded->error, "solver diverged");
+  EXPECT_TRUE(decoded->report_json.empty());
+}
+
+TEST(Proto, JobStatusDecodeRejectsMissingFields) {
+  std::string error;
+  EXPECT_FALSE(job_status_from_wire(parsed(R"({"ok":true,"op":"status"})"),
+                                    &error)
+                   .has_value());
+  EXPECT_FALSE(
+      job_status_from_wire(
+          parsed(R"({"ok":true,"id":3,"state":"no_such_state"})"), &error)
+          .has_value());
+}
+
+TEST(Proto, JobStateNamesRoundTrip) {
+  for (const JobState state :
+       {JobState::kQueued, JobState::kRunning, JobState::kDone,
+        JobState::kFailed, JobState::kCancelled,
+        JobState::kDeadlineExceeded}) {
+    const auto back = job_state_from_name(job_state_name(state));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, state);
+  }
+  EXPECT_FALSE(job_state_from_name("bogus").has_value());
+}
+
+TEST(Proto, StatsSummaryRoundTrip) {
+  StatsSummary summary;
+  summary.submitted = 10;
+  summary.completed = 7;
+  summary.failed = 1;
+  summary.cancelled = 1;
+  summary.deadline_exceeded = 1;
+  summary.queued = 2;
+  summary.running = 3;
+  summary.rejected_queue_full = 4;
+  summary.rejected_tenant_cap = 5;
+  summary.rejected_bad_request = 6;
+  summary.rejected_rate_limited = 7;
+  summary.shed = 8;
+  summary.degraded = 9;
+  summary.retries = 10;
+  summary.cache_hits = 11;
+  summary.cache_misses = 12;
+  summary.cache_disk_hits = 13;
+  summary.cache_stores = 14;
+  summary.cache_evictions = 15;
+  summary.cache_quarantines = 16;
+  summary.metrics_json = R"({"counters":{"svc.jobs":7}})";
+
+  WireWriter writer;
+  writer.field("ok", true).field("op", "stats");
+  stats_summary_to_wire(summary, writer);
+  const StatsSummary decoded = stats_summary_from_wire(parsed(writer.str()));
+  EXPECT_EQ(decoded.submitted, summary.submitted);
+  EXPECT_EQ(decoded.completed, summary.completed);
+  EXPECT_EQ(decoded.failed, summary.failed);
+  EXPECT_EQ(decoded.deadline_exceeded, summary.deadline_exceeded);
+  EXPECT_EQ(decoded.rejected_rate_limited, summary.rejected_rate_limited);
+  EXPECT_EQ(decoded.shed, summary.shed);
+  EXPECT_EQ(decoded.retries, summary.retries);
+  EXPECT_EQ(decoded.cache_quarantines, summary.cache_quarantines);
+  EXPECT_EQ(decoded.metrics_json, summary.metrics_json);
+}
+
+TEST(Proto, HelloEventShape) {
+  const std::string line = encode_hello_event();
+  const WireObject object = parsed(line);
+  EXPECT_TRUE(is_event_line(object));
+  EXPECT_EQ(object.get_string("event"), "hello");
+  EXPECT_EQ(object.get_int("proto", 0), kProtoVersion);
+  EXPECT_EQ(object.get_string("service"), "approxit");
+
+  const auto event = stream_event_from_wire(object);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->event, "hello");
+  EXPECT_EQ(event->proto, kProtoVersion);
+  EXPECT_FALSE(event->terminal());
+  // Re-encoding a decoded hello reproduces the greeting byte-for-byte.
+  EXPECT_EQ(encode_stream_event(*event), line);
+}
+
+TEST(Proto, LifecycleEventRoundTrip) {
+  JobEvent progress;
+  progress.kind = JobEvent::Kind::kProgress;
+  progress.id = 9;
+  progress.tenant = "t";
+  progress.state = JobState::kRunning;
+  progress.attempt = 1;
+  progress.iteration = 24;
+  progress.objective = 0.125;
+
+  const std::string line = encode_job_event(progress);
+  const WireObject object = parsed(line);
+  EXPECT_TRUE(is_event_line(object));
+  EXPECT_FALSE(object.has("ok"));  // Events and responses never mix keys.
+
+  const auto event = stream_event_from_wire(object);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->event, "progress");
+  EXPECT_EQ(event->id, 9u);
+  EXPECT_EQ(event->tenant, "t");
+  EXPECT_EQ(event->state, "running");
+  EXPECT_EQ(event->attempt, 1u);
+  EXPECT_EQ(event->iteration, 24u);
+  EXPECT_EQ(event->objective, 0.125);
+  EXPECT_EQ(encode_stream_event(*event), line);
+}
+
+TEST(Proto, TerminalEventCarriesFullStatus) {
+  JobEvent terminal;
+  terminal.kind = JobEvent::Kind::kTerminal;
+  terminal.id = 17;
+  terminal.tenant = "tenant-a";
+  terminal.state = JobState::kDone;
+  terminal.attempt = 1;
+  const JobStatus status = sample_status(/*with_report=*/true);
+
+  const std::string line = encode_terminal_event(terminal, status);
+  const auto event = stream_event_from_wire(parsed(line));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(event->terminal());
+  ASSERT_TRUE(event->status.has_value());
+  EXPECT_EQ(event->status->id, status.id);
+  EXPECT_EQ(event->status->state, JobState::kDone);
+  EXPECT_EQ(event->status->report_json, status.report_json);
+  EXPECT_EQ(encode_stream_event(*event), line);
+}
+
+TEST(Proto, EventDecodeRejectsMalformedLines) {
+  std::string error;
+  // No "event" key: a response, not an event.
+  EXPECT_FALSE(
+      stream_event_from_wire(parsed(R"({"ok":true,"op":"status"})"), &error)
+          .has_value());
+  // Terminal without a decodable status payload.
+  EXPECT_FALSE(
+      stream_event_from_wire(parsed(R"({"event":"terminal","id":1})"),
+                             &error)
+          .has_value());
+}
+
+TEST(Proto, TruncatedLinesFailParseNotMisparse) {
+  const std::string whole = encode_terminal_event(
+      JobEvent{JobEvent::Kind::kTerminal, 3, "t", JobState::kDone, 0, 0,
+               0.0},
+      sample_status(/*with_report=*/true));
+  // Every strict prefix must fail to parse — truncation can never decode
+  // to a DIFFERENT valid message.
+  for (const std::size_t cut : {std::size_t{1}, whole.size() / 4,
+                                whole.size() / 2, whole.size() - 1}) {
+    std::string error;
+    EXPECT_FALSE(parse_wire_object(whole.substr(0, cut), &error,
+                                   /*allow_raw_nested=*/true)
+                     .has_value())
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Proto, ResponseHelpersShapes) {
+  const std::string error_line = encode_error("submit", "queue_full");
+  const WireObject error_object = parsed(error_line);
+  EXPECT_FALSE(error_object.get_bool("ok", true));
+  EXPECT_EQ(error_object.get_string("op"), "submit");
+  EXPECT_EQ(error_object.get_string("error"), "queue_full");
+  EXPECT_FALSE(is_event_line(error_object));
+
+  // The v1 parse-error shape, byte-exact (compat-frozen).
+  EXPECT_EQ(encode_parse_error("line too long"),
+            R"({"ok":false,"error":"parse_error: line too long"})");
+
+  const std::string status_line = encode_status_response(
+      "result", sample_status(/*with_report=*/true), /*include_report=*/true);
+  const WireObject status_object = parsed(status_line);
+  EXPECT_TRUE(status_object.get_bool("ok", false));
+  EXPECT_EQ(status_object.get_string("op"), "result");
+  EXPECT_TRUE(status_object.has("report"));
+}
+
+}  // namespace
+}  // namespace approxit::svc

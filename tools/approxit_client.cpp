@@ -1,0 +1,243 @@
+// approxit_client: command-line client for a networked approxit_serve.
+//
+// Dials the server (Unix-domain or TCP), speaks wire v2 through
+// svc::LineClient — the same transport the benches and tests use — and
+// prints one response line per command:
+//
+//   approxit_client --connect unix:/tmp/approxit.sock submit
+//       --app gmm --dataset 3cluster [--tenant T] [--strategy S]
+//       [--max-iterations N] [--deadline-ms D] [--priority P]
+//       [--await | --stream]
+//   approxit_client --connect ADDR status --id N
+//   approxit_client --connect ADDR result --id N      # blocks
+//   approxit_client --connect ADDR cancel --id N
+//   approxit_client --connect ADDR forget --id N
+//   approxit_client --connect ADDR stream --id N      # tails events
+//   approxit_client --connect ADDR stats [--format prometheus|jsonl|
+//       scorecard] [--mode full|delta] [--deterministic]
+//   approxit_client --connect ADDR hello
+//   approxit_client --connect ADDR shutdown
+//   approxit_client --connect ADDR raw '{"op":"submit",...}'
+//
+// Synchronous commands print the server's response line VERBATIM (raw
+// bytes, no re-encode) — which is what makes this tool usable for the
+// stdin-vs-socket identity checks in CI. Streaming commands (submit
+// --stream, stream) print each pushed event re-encoded through
+// svc/protocol.h as it arrives. submit --await submits, then blocks on
+// the result and prints it as a result response.
+//
+// Exit status: 0 on an ok:true response (every streamed event delivered
+// for streams), 1 on an ok:false response or transport failure, 2 on
+// usage errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/socket.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace {
+
+using approxit::svc::JobSpec;
+using approxit::svc::LineClient;
+using approxit::svc::WireObject;
+using approxit::svc::WireWriter;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: approxit_client --connect ADDR COMMAND [args]\n"
+      "  ADDR: unix:PATH | tcp:HOST:PORT | :PORT\n"
+      "  commands: submit status result cancel forget stream stats hello\n"
+      "            shutdown raw\n");
+  return 2;
+}
+
+/// Prints the raw response line; exit code follows its ok field.
+int finish(LineClient& client, const std::optional<std::string>& response) {
+  if (!response) {
+    std::fprintf(stderr, "approxit_client: %s\n",
+                 client.transport_error().c_str());
+    return 1;
+  }
+  std::cout << *response << '\n' << std::flush;
+  const auto object =
+      approxit::svc::parse_wire_object(*response, nullptr, true);
+  return object && object->get_bool("ok", false) ? 0 : 1;
+}
+
+/// Drains a stream to stdout; 0 when the terminal event arrived.
+int drain_stream(approxit::svc::JobStream& stream) {
+  bool terminal_seen = false;
+  while (const auto event = stream.next()) {
+    std::cout << approxit::svc::encode_stream_event(*event) << '\n'
+              << std::flush;
+    terminal_seen = event->terminal();
+  }
+  return terminal_seen ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string address;
+  int i = 1;
+  if (i + 1 < argc && std::strcmp(argv[i], "--connect") == 0) {
+    address = argv[i + 1];
+    i += 2;
+  }
+  if (address.empty() || i >= argc) return usage();
+  const std::string command = argv[i++];
+
+  // Command arguments (flag parsing shared across commands).
+  JobSpec spec;
+  std::uint64_t id = 0;
+  bool await_result = false;
+  bool stream_job = false;
+  bool deterministic = false;
+  std::string format;
+  std::string mode = "full";
+  std::string raw_line;
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--app") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.app = value;
+    } else if (flag == "--dataset") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.dataset = value;
+    } else if (flag == "--tenant") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.tenant = value;
+    } else if (flag == "--strategy") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.strategy = value;
+    } else if (flag == "--max-iterations") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.max_iterations =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--deadline-ms") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.deadline_ms = std::strtod(value, nullptr);
+    } else if (flag == "--priority") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      spec.priority = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (flag == "--id") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      id = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--await") {
+      await_result = true;
+    } else if (flag == "--stream") {
+      stream_job = true;
+    } else if (flag == "--format") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      format = value;
+    } else if (flag == "--mode") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      mode = value;
+    } else if (flag == "--deterministic") {
+      deterministic = true;
+    } else if (command == "raw" && raw_line.empty() && flag[0] == '{') {
+      raw_line = flag;
+    } else {
+      return usage();
+    }
+  }
+
+  std::string error;
+  const auto client = approxit::net::connect_client(address, &error);
+  if (!client) {
+    std::fprintf(stderr, "approxit_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (command == "submit") {
+    if (stream_job) {
+      const auto stream = client->submit_stream(spec, &error);
+      if (!stream) {
+        std::fprintf(stderr, "approxit_client: submit: %s\n", error.c_str());
+        return 1;
+      }
+      WireWriter response;
+      response.field("ok", true).field("op", "submit").field(
+          "id", static_cast<std::int64_t>(stream->id()));
+      std::cout << response.str() << '\n' << std::flush;
+      return drain_stream(*stream);
+    }
+    WireWriter request;
+    request.field("op", "submit")
+        .field("proto",
+               static_cast<std::int64_t>(approxit::svc::kProtoVersion));
+    approxit::svc::job_spec_to_wire(spec, request);
+    if (!await_result) {
+      return finish(*client, client->round_trip_raw(request.str()));
+    }
+    const auto submitted = client->submit(spec, &error);
+    if (!submitted) {
+      std::fprintf(stderr, "approxit_client: submit: %s\n", error.c_str());
+      return 1;
+    }
+    WireWriter result_request;
+    result_request.field("op", "result")
+        .field("proto",
+               static_cast<std::int64_t>(approxit::svc::kProtoVersion))
+        .field("id", static_cast<std::int64_t>(*submitted));
+    return finish(*client, client->round_trip_raw(result_request.str()));
+  }
+  if (command == "status" || command == "result" || command == "cancel" ||
+      command == "forget") {
+    WireWriter request;
+    request.field("op", command)
+        .field("proto",
+               static_cast<std::int64_t>(approxit::svc::kProtoVersion))
+        .field("id", static_cast<std::int64_t>(id));
+    return finish(*client, client->round_trip_raw(request.str()));
+  }
+  if (command == "stream") {
+    const auto stream = client->stream(id);
+    if (!stream) {
+      std::fprintf(stderr, "approxit_client: stream: unknown job %llu\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+    return drain_stream(*stream);
+  }
+  if (command == "stats") {
+    WireWriter request;
+    request.field("op", "stats")
+        .field("proto",
+               static_cast<std::int64_t>(approxit::svc::kProtoVersion));
+    if (!format.empty()) {
+      request.field("format", format).field("mode", mode);
+      if (deterministic) request.field("deterministic", true);
+    }
+    return finish(*client, client->round_trip_raw(request.str()));
+  }
+  if (command == "hello" || command == "shutdown") {
+    WireWriter request;
+    request.field("op", command)
+        .field("proto",
+               static_cast<std::int64_t>(approxit::svc::kProtoVersion));
+    return finish(*client, client->round_trip_raw(request.str()));
+  }
+  if (command == "raw") {
+    if (raw_line.empty()) return usage();
+    return finish(*client, client->round_trip_raw(raw_line));
+  }
+  return usage();
+}

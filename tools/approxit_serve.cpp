@@ -1,71 +1,80 @@
-// approxit_serve: line-delimited JSON front end for svc::ServiceRuntime.
+// approxit_serve: the serving front end — stdin/stdout lines, or a
+// network listener.
 //
-// Reads one request object per line from stdin, writes one response object
-// per line to stdout (stderr stays free for logs). Operations:
+// Both modes answer the same wire protocol (svc/protocol.h, v2 with the
+// v1 dialect accepted forever) through the same svc::Client dispatch
+// path, so a request gets byte-identical answers whichever transport
+// carried it.
+//
+//   approxit_serve [flags]                 # stdin/stdout, one op per line
+//   approxit_serve --listen unix:/p [flags]  # epoll front end (net/server.h)
+//   approxit_serve --listen :0 [flags]       # TCP; prints the bound address
+//
+// In --listen mode the resolved listen address is printed to stdout as
+// the first line (ephemeral TCP ports made concrete), then the process
+// serves until a client's shutdown op or SIGTERM. Connect with
+// tools/approxit_client or any line-JSON speaker.
+//
+// Operations (v1 set, unchanged shapes):
 //
 //   {"op":"submit","app":"gmm","dataset":"3cluster"[,"tenant":...,
 //    "strategy":...,"max_iterations":N,"characterization_iterations":N,
 //    "deadline_ms":D,"priority":P]}
 //     -> {"ok":true,"op":"submit","id":N} | {"ok":false,"error":"..."}
-//   {"op":"status","id":N}
-//     -> {"ok":true,"op":"status","id":N,
-//         "state":"queued|running|done|failed|cancelled|deadline_exceeded",...}
-//   {"op":"result","id":N}           # blocks until the job is terminal
-//     -> {"ok":true,"op":"result","id":N,"state":...,"cache_hit":...,
-//         "report":{...}}            # report = core::report_to_json
-//   {"op":"cancel","id":N}           # queued: immediate; running: within
-//     -> {"ok":true,...}             #   one iteration (cooperative token)
-//   {"op":"stats"}
-//     -> {"ok":true,"op":"stats",...,"metrics":{...}}
-//   {"op":"stats_export"[,"format":"prometheus|jsonl|scorecard",
-//    "mode":"full|delta","deterministic":true]}
-//     -> {"ok":true,"op":"stats_export","format":...,"content":"..."}
-//        format prometheus/jsonl returns the MetricsExporter snapshot of
-//        collect_metrics + timing metrics + scorecard gauges ("content");
-//        "deterministic":true restricts it to the thread-count-invariant
-//        collect_metrics aggregate. mode "delta" reports only changes
-//        since the previous delta scrape of the same format (an idle
-//        service exports ""). format "scorecard" returns the per-tenant
-//        SLO/quality scorecard as a raw JSON object ("scorecard").
-//   {"op":"forget","id":N}           # drop a terminal job's snapshot
-//     -> {"ok":true,"op":"forget","id":N} | {"ok":false,"error":"..."}
-//   {"op":"shutdown"}                # drain, respond, exit 0
+//   {"op":"status","id":N}   -> point-in-time state (never the report)
+//   {"op":"result","id":N}   -> blocks until terminal; report attached
+//   {"op":"cancel","id":N}, {"op":"forget","id":N}
+//   {"op":"stats"}           -> service tallies + merged metrics
+//   {"op":"shutdown"}        -> drain, respond, exit 0
+//
+// v2 additions (send "proto":2; v1 lines keep parsing):
+//
+//   {"op":"hello","proto":2}
+//     -> {"ok":true,"op":"hello","proto":2,"service":"approxit"}
+//   {"op":"submit","stream":true,...}
+//     -> the submit response, then pushed {"event":...} lines
+//        (queued/running/progress*/terminal) as the job advances
+//   {"op":"stream","id":N}
+//     -> replays the job's current state as an event, tails live events
+//        through the terminal one, then a final {"ok":true,"op":"stream"}
+//   {"op":"stats","format":"prometheus|jsonl|scorecard"[,"mode":...,
+//    "deterministic":true]}
+//     -> the metrics/scorecard export that op "stats_export" produced in
+//        v1 (that name survives as an alias; see DESIGN §12)
 //
 // Flags: --threads N --queue N --tenant-cap N --retain N --cache-dir DIR
 //        --cache-capacity N --no-disk-cache
 //        --slo-ms D --degrade-watermark N --shed-watermark N
 //        --tenant-rate R --tenant-burst B --retries N
+//        --listen ADDR --backend epoll|poll --progress-every N
 //
-// --retain bounds how many terminal job snapshots stay queryable (oldest
-// retire first, their metrics folded into the stats aggregate); 0 retains
-// everything. --slo-ms puts a default deadline on every job; the
-// watermark/rate/burst/retries flags configure svc::QosConfig (degrade
-// before shed, token-bucket admission, transient-failure retries).
+// --progress-every N emits a progress event every N executed iterations
+// of each running job to its stream subscribers (0 = off).
 //
 // Request lines are capped at svc::kMaxWireLine; longer lines are drained
 // without buffering and answered with an error, so a malformed client
 // cannot balloon the server's memory.
 //
 // Tracing: set APPROXIT_TRACE=path.jsonl as with every other binary; the
-// service emits "svc" submit/job events alongside the session events.
+// service emits "svc" submit/job events alongside the session events, and
+// --listen mode adds "net" accept/disconnect/backpressure instants.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "obs/metrics.h"
-#include "obs/telemetry.h"
-#include "svc/runtime.h"
+#include "net/server.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
 #include "svc/wire.h"
 
 namespace {
 
-using approxit::svc::JobSnapshot;
-using approxit::svc::JobSpec;
+using approxit::svc::InProcessClient;
+using approxit::svc::JobStatus;
+using approxit::svc::OpKind;
 using approxit::svc::ServiceConfig;
-using approxit::svc::ServiceRuntime;
-using approxit::svc::ServiceStats;
 using approxit::svc::WireObject;
 using approxit::svc::WireWriter;
 
@@ -77,57 +86,109 @@ int usage(const char* argv0) {
                "          [--slo-ms D] [--degrade-watermark N] "
                "[--shed-watermark N]\n"
                "          [--tenant-rate R] [--tenant-burst B] "
-               "[--retries N]\n",
+               "[--retries N]\n"
+               "          [--listen ADDR] [--backend epoll|poll] "
+               "[--progress-every N]\n",
                argv0);
   return 2;
 }
 
-JobSpec spec_from_request(const WireObject& request) {
-  JobSpec spec;
-  spec.tenant = request.get_string("tenant", "default");
-  spec.app = request.get_string("app");
-  spec.dataset = request.get_string("dataset");
-  spec.strategy = request.get_string("strategy", "incremental");
-  spec.max_iterations =
-      static_cast<std::size_t>(request.get_int("max_iterations", 0));
-  spec.characterization_iterations = static_cast<std::size_t>(
-      request.get_int("characterization_iterations", 0));
-  spec.keep_trace = request.get_bool("keep_trace", false);
-  spec.deadline_ms = request.get_double("deadline_ms", 0.0);
-  spec.priority = static_cast<int>(request.get_int("priority", 0));
-  return spec;
+void print_line(const std::string& line) {
+  std::cout << line << '\n' << std::flush;
 }
 
-void append_snapshot(WireWriter& response, const JobSnapshot& snapshot,
-                     bool include_report) {
-  response.field("id", static_cast<std::int64_t>(snapshot.id));
-  response.field("state", approxit::svc::job_state_name(snapshot.state));
-  if (snapshot.state == approxit::svc::JobState::kFailed) {
-    response.field("job_error", snapshot.error);
+/// The ops dispatch_sync hands back to the front end, stdin flavour:
+/// result blocks the (single-request) stdin pipeline, streams drain
+/// inline, shutdown ends the process.
+int run_stdin_front_end(InProcessClient& client) {
+  std::string line;
+  bool overflow = false;
+  while (approxit::svc::read_wire_line(std::cin, line, &overflow)) {
+    if (overflow) {
+      print_line(approxit::svc::encode_parse_error("line too long"));
+      continue;
+    }
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto request = approxit::svc::parse_wire_object(line, &parse_error);
+    if (!request) {
+      print_line(approxit::svc::encode_parse_error(parse_error));
+      continue;
+    }
+    if (const auto response = approxit::svc::dispatch_sync(client, *request)) {
+      print_line(*response);
+      continue;
+    }
+    switch (approxit::svc::classify_op(*request)) {
+      case OpKind::kResult: {
+        const auto id =
+            static_cast<std::uint64_t>(request->get_int("id", 0));
+        const std::optional<JobStatus> status = client.result(id);
+        if (!status) {
+          print_line(approxit::svc::encode_error("result", "unknown_job"));
+        } else {
+          print_line(approxit::svc::encode_status_response(
+              "result", *status, /*include_report=*/true));
+        }
+        break;
+      }
+      case OpKind::kSubmitStream: {
+        std::string error;
+        const auto stream = client.submit_stream(
+            approxit::svc::job_spec_from_wire(*request), &error);
+        if (!stream) {
+          print_line(approxit::svc::encode_error("submit", error));
+          break;
+        }
+        WireWriter response;
+        response.field("ok", true).field("op", "submit").field(
+            "id", static_cast<std::int64_t>(stream->id()));
+        print_line(response.str());
+        while (const auto event = stream->next()) {
+          print_line(approxit::svc::encode_stream_event(*event));
+        }
+        break;
+      }
+      case OpKind::kStream: {
+        const auto id =
+            static_cast<std::uint64_t>(request->get_int("id", 0));
+        const auto stream = client.stream(id);
+        if (!stream) {
+          print_line(approxit::svc::encode_error("stream", "unknown_job"));
+          break;
+        }
+        while (const auto event = stream->next()) {
+          print_line(approxit::svc::encode_stream_event(*event));
+        }
+        WireWriter final_response;
+        final_response.field("ok", true).field("op", "stream").field(
+            "id", static_cast<std::int64_t>(id));
+        print_line(final_response.str());
+        break;
+      }
+      case OpKind::kShutdown: {
+        client.shutdown();
+        WireWriter response;
+        response.field("ok", true).field("op", "shutdown");
+        print_line(response.str());
+        return 0;
+      }
+      default:
+        print_line(approxit::svc::encode_error(
+            request->get_string("op"), "internal: unhandled op"));
+        break;
+    }
   }
-  if (approxit::svc::job_state_terminal(snapshot.state)) {
-    response.field("cache_hit", snapshot.cache_hit);
-    response.field("queue_ms", snapshot.queue_ms);
-    response.field("run_ms", snapshot.run_ms);
-    response.field("characterization_ms", snapshot.characterization_ms);
-    response.field("degraded", snapshot.degraded);
-    response.field("attempts", snapshot.attempts);
-  }
-  // Done jobs return the full report; cancelled / deadline-expired jobs
-  // return the PARTIAL result their run reached (iterations, objective,
-  // state) — the structured outcome the cooperative stop guarantees.
-  if (include_report && !snapshot.report_json.empty() &&
-      (snapshot.state == approxit::svc::JobState::kDone ||
-       snapshot.state == approxit::svc::JobState::kCancelled ||
-       snapshot.state == approxit::svc::JobState::kDeadlineExceeded)) {
-    response.raw("report", snapshot.report_json);
-  }
+  client.shutdown();
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ServiceConfig config;
+  approxit::net::NetServerConfig net_config;
+  std::string listen_address;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
@@ -190,156 +251,46 @@ int main(int argc, char** argv) {
       if (value == nullptr) return usage(argv[0]);
       config.qos.max_retries =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--listen") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      listen_address = value;
+    } else if (flag == "--backend") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      if (std::strcmp(value, "epoll") == 0) {
+        net_config.backend = approxit::net::EventLoop::Backend::kEpoll;
+      } else if (std::strcmp(value, "poll") == 0) {
+        net_config.backend = approxit::net::EventLoop::Backend::kPoll;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (flag == "--progress-every") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.progress_every =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else {
       return usage(argv[0]);
     }
   }
 
-  ServiceRuntime runtime(config);
+  InProcessClient client(std::move(config));
 
-  // One exporter per format so each format's delta-scrape sequence keeps
-  // its own monotonic baseline (approxit_top polls jsonl while a
-  // Prometheus scraper can poll text, without stealing each other's
-  // deltas).
-  approxit::obs::MetricsExporter prometheus_exporter;
-  approxit::obs::MetricsExporter jsonl_exporter;
+  if (listen_address.empty()) return run_stdin_front_end(client);
 
-  std::string line;
-  bool overflow = false;
-  while (approxit::svc::read_wire_line(std::cin, line, &overflow)) {
-    if (overflow) {
-      WireWriter response;
-      response.field("ok", false).field("error", "parse_error: line too long");
-      std::cout << response.str() << '\n' << std::flush;
-      continue;
-    }
-    if (line.empty()) continue;
-    WireWriter response;
-    std::string parse_error;
-    const auto request = approxit::svc::parse_wire_object(line, &parse_error);
-    if (!request) {
-      response.field("ok", false).field("error",
-                                        "parse_error: " + parse_error);
-      std::cout << response.str() << '\n' << std::flush;
-      continue;
-    }
-
-    const std::string op = request->get_string("op");
-    if (op == "submit") {
-      std::string error;
-      const auto id = runtime.submit(spec_from_request(*request), &error);
-      if (id) {
-        response.field("ok", true).field("op", op).field(
-            "id", static_cast<std::int64_t>(*id));
-      } else {
-        response.field("ok", false).field("op", op).field("error", error);
-      }
-    } else if (op == "status" || op == "result") {
-      const auto id =
-          static_cast<std::uint64_t>(request->get_int("id", 0));
-      const auto snapshot =
-          op == "result" ? runtime.result(id) : runtime.status(id);
-      if (snapshot) {
-        response.field("ok", true).field("op", op);
-        append_snapshot(response, *snapshot, /*include_report=*/op == "result");
-      } else {
-        response.field("ok", false).field("op", op).field("error",
-                                                          "unknown_job");
-      }
-    } else if (op == "cancel") {
-      const auto id =
-          static_cast<std::uint64_t>(request->get_int("id", 0));
-      if (runtime.cancel(id)) {
-        response.field("ok", true).field("op", op).field(
-            "id", static_cast<std::int64_t>(id));
-      } else {
-        response.field("ok", false).field("op", op).field(
-            "error", "unknown_or_terminal_job");
-      }
-    } else if (op == "stats") {
-      const ServiceStats stats = runtime.stats();
-      approxit::obs::MetricsRegistry merged;
-      runtime.collect_metrics(merged);
-      response.field("ok", true)
-          .field("op", op)
-          .field("submitted", stats.submitted)
-          .field("completed", stats.completed)
-          .field("failed", stats.failed)
-          .field("cancelled", stats.cancelled)
-          .field("deadline_exceeded", stats.deadline_exceeded)
-          .field("queued", stats.queued)
-          .field("running", stats.running)
-          .field("rejected_queue_full", stats.rejected_queue_full)
-          .field("rejected_tenant_cap", stats.rejected_tenant_cap)
-          .field("rejected_bad_request", stats.rejected_bad_request)
-          .field("rejected_rate_limited", stats.rejected_rate_limited)
-          .field("shed", stats.shed)
-          .field("degraded", stats.degraded)
-          .field("retries", stats.retries)
-          .field("cache_hits", stats.cache.hits)
-          .field("cache_misses", stats.cache.misses)
-          .field("cache_disk_hits", stats.cache.disk_hits)
-          .field("cache_stores", stats.cache.stores)
-          .field("cache_evictions", stats.cache.evictions)
-          .field("cache_quarantines", stats.cache.quarantines)
-          .raw("metrics", merged.to_json());
-    } else if (op == "stats_export") {
-      const std::string format = request->get_string("format", "prometheus");
-      const std::string mode = request->get_string("mode", "full");
-      if (format == "scorecard") {
-        response.field("ok", true)
-            .field("op", op)
-            .field("format", format)
-            .raw("scorecard", runtime.scorecard_json());
-      } else if (format != "prometheus" && format != "jsonl") {
-        response.field("ok", false).field("op", op).field(
-            "error", "unknown_format: " + format);
-      } else if (mode != "full" && mode != "delta") {
-        response.field("ok", false).field("op", op).field(
-            "error", "unknown_mode: " + mode);
-      } else {
-        approxit::obs::MetricsRegistry merged;
-        runtime.collect_metrics(merged);
-        if (!request->get_bool("deterministic", false)) {
-          merged.merge(runtime.timing_metrics());
-          runtime.scorecard().export_to(merged);
-        }
-        const auto wire_format =
-            format == "prometheus"
-                ? approxit::obs::MetricsExporter::Format::kPrometheus
-                : approxit::obs::MetricsExporter::Format::kJsonLines;
-        approxit::obs::MetricsExporter& exporter =
-            format == "prometheus" ? prometheus_exporter : jsonl_exporter;
-        const std::string content =
-            mode == "delta" ? exporter.export_delta(merged, wire_format)
-                            : exporter.export_full(merged, wire_format);
-        response.field("ok", true)
-            .field("op", op)
-            .field("format", format)
-            .field("mode", mode)
-            .field("content", content);
-      }
-    } else if (op == "forget") {
-      const auto id =
-          static_cast<std::uint64_t>(request->get_int("id", 0));
-      if (runtime.forget(id)) {
-        response.field("ok", true).field("op", op).field(
-            "id", static_cast<std::int64_t>(id));
-      } else {
-        response.field("ok", false).field("op", op).field(
-            "error", "unknown_or_active_job");
-      }
-    } else if (op == "shutdown") {
-      runtime.shutdown();
-      response.field("ok", true).field("op", op);
-      std::cout << response.str() << '\n' << std::flush;
-      return 0;
-    } else {
-      response.field("ok", false).field("error", "unknown_op: " + op);
-    }
-    std::cout << response.str() << '\n' << std::flush;
+  net_config.address = listen_address;
+  approxit::net::NetServer server(client, net_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "approxit_serve: %s\n", error.c_str());
+    return 1;
   }
-
-  runtime.shutdown();
+  // First stdout line: the concrete address (":0" resolved) — scripts
+  // read it to find an ephemeral port.
+  print_line(server.listen_address());
+  std::fprintf(stderr, "approxit_serve: listening on %s\n",
+               server.listen_address().c_str());
+  server.run();
   return 0;
 }

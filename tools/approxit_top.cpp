@@ -1,13 +1,18 @@
 // approxit_top: live terminal dashboard over a running approxit_serve.
 //
-// Spawns the serve binary named after `--` with a pipe pair, then polls it
-// through the wire protocol ({"op":"stats"} + {"op":"stats_export",
-// "format":"jsonl"} + the scorecard document) and renders a top(1)-style
-// screen: service throughput and rejection rates, queue depth, cache
-// effectiveness, latency quantiles and a per-tenant SLO/quality table.
+// Two attachment modes, one client API (svc::Client / svc::LineClient —
+// the same encode/decode path every front end uses):
 //
-//   approxit_top [--interval MS] [--frames N] [--once] [--ascii]
-//                -- <approxit_serve> [serve flags...]
+//   approxit_top [opts] -- <approxit_serve> [serve flags...]
+//     spawns the serve binary behind a stdin/stdout pipe pair;
+//   approxit_top [opts] --connect ADDR
+//     dials a NETWORKED serve (unix:PATH / tcp:HOST:PORT) and observes
+//     it without owning it (no shutdown on exit).
+//
+// Each frame polls stats() + stats_export(jsonl) and renders a
+// top(1)-style screen: service throughput and rejection rates, queue
+// depth, cache effectiveness, latency quantiles and a per-tenant
+// SLO/quality table.
 //
 //   --interval MS   refresh period (default 1000)
 //   --frames N      stop after N frames (default: until the serve exits)
@@ -28,20 +33,24 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "svc/wire.h"
+#include "net/socket.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
 
 namespace {
 
-using approxit::svc::WireWriter;
+using approxit::svc::LineClient;
+using approxit::svc::StatsSummary;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--interval MS] [--frames N] [--once] [--ascii]"
-               " -- <approxit_serve> [flags...]\n",
+               " (--connect ADDR | -- <approxit_serve> [flags...])\n",
                argv0);
   return 2;
 }
@@ -123,8 +132,8 @@ bool parse_metric_line(const std::string& line, MetricLine* out) {
   return true;
 }
 
-/// The serve child process behind a stdin/stdout pipe pair.
-class ServeClient {
+/// A spawned serve child behind a pipe pair, wrapped in the wire client.
+class ServeChild {
  public:
   bool spawn(std::vector<char*> argv) {
     int to_child[2], from_child[2];
@@ -145,23 +154,12 @@ class ServeClient {
     }
     close(to_child[0]);
     close(from_child[1]);
-    request_ = fdopen(to_child[1], "w");
-    response_ = fdopen(from_child[0], "r");
-    return request_ != nullptr && response_ != nullptr;
+    client_ = std::make_unique<LineClient>(from_child[0], to_child[1],
+                                           /*owns_fds=*/true);
+    return true;
   }
 
-  /// One request line out, one response line back; empty on EOF.
-  std::string round_trip(const std::string& request) {
-    if (request_ == nullptr || response_ == nullptr) return "";
-    std::fprintf(request_, "%s\n", request.c_str());
-    std::fflush(request_);
-    std::string line;
-    int c = 0;
-    while ((c = std::fgetc(response_)) != EOF && c != '\n') {
-      line += static_cast<char>(c);
-    }
-    return line;
-  }
+  LineClient* client() { return client_.get(); }
 
   bool alive() const {
     if (pid_ <= 0) return false;
@@ -169,14 +167,9 @@ class ServeClient {
   }
 
   void shutdown() {
-    if (request_ != nullptr) {
-      round_trip("{\"op\":\"shutdown\"}");
-      std::fclose(request_);
-      request_ = nullptr;
-    }
-    if (response_ != nullptr) {
-      std::fclose(response_);
-      response_ = nullptr;
+    if (client_ != nullptr) {
+      client_->shutdown();
+      client_.reset();  // Closes the pipes.
     }
     if (pid_ > 0) {
       waitpid(pid_, nullptr, 0);
@@ -184,19 +177,12 @@ class ServeClient {
     }
   }
 
-  ~ServeClient() { shutdown(); }
+  ~ServeChild() { shutdown(); }
 
  private:
   pid_t pid_ = -1;
-  std::FILE* request_ = nullptr;
-  std::FILE* response_ = nullptr;
+  std::unique_ptr<LineClient> client_;
 };
-
-double stat_of(const std::string& stats_line, const char* key) {
-  double value = 0.0;
-  extract_number(stats_line, key, &value);
-  return value;
-}
 
 }  // namespace
 
@@ -206,6 +192,7 @@ int main(int argc, char** argv) {
   bool once = false;
   bool ascii = false;
   int serve_at = -1;
+  std::string connect_address;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--" && i + 1 < argc) {
@@ -215,6 +202,8 @@ int main(int argc, char** argv) {
       interval_ms = std::strtod(argv[++i], nullptr);
     } else if (flag == "--frames" && i + 1 < argc) {
       frames = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (flag == "--connect" && i + 1 < argc) {
+      connect_address = argv[++i];
     } else if (flag == "--once") {
       once = true;
       frames = 1;
@@ -224,17 +213,30 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (serve_at < 0) return usage(argv[0]);
+  if (serve_at < 0 && connect_address.empty()) return usage(argv[0]);
 
-  ServeClient serve;
-  std::vector<char*> child_argv;
-  for (int i = serve_at; i < argc; ++i) child_argv.push_back(argv[i]);
-  if (!serve.spawn(std::move(child_argv))) {
-    std::fprintf(stderr, "approxit_top: failed to spawn serve\n");
-    return 1;
+  ServeChild serve;
+  std::unique_ptr<LineClient> remote;
+  LineClient* client = nullptr;
+  if (!connect_address.empty()) {
+    std::string error;
+    remote = approxit::net::connect_client(connect_address, &error);
+    if (!remote) {
+      std::fprintf(stderr, "approxit_top: %s\n", error.c_str());
+      return 1;
+    }
+    client = remote.get();
+  } else {
+    std::vector<char*> child_argv;
+    for (int i = serve_at; i < argc; ++i) child_argv.push_back(argv[i]);
+    if (!serve.spawn(std::move(child_argv))) {
+      std::fprintf(stderr, "approxit_top: failed to spawn serve\n");
+      return 1;
+    }
+    client = serve.client();
   }
 
-  std::map<std::string, double> previous_counters;
+  double previous_completed = 0.0;
   auto previous_time = std::chrono::steady_clock::now();
   bool first_frame = true;
 
@@ -243,30 +245,29 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(interval_ms));
     }
-    if (!serve.alive() && !first_frame) break;
+    if (connect_address.empty() && !serve.alive() && !first_frame) break;
 
-    const std::string stats = serve.round_trip("{\"op\":\"stats\"}");
-    const std::string exported = serve.round_trip(
-        "{\"op\":\"stats_export\",\"format\":\"jsonl\",\"mode\":\"full\"}");
-    if (stats.empty() || exported.empty()) break;
-
-    std::string content;
-    extract_string(exported, "content", &content);
+    const std::optional<StatsSummary> stats = client->stats();
+    approxit::svc::StatsExportRequest export_request;
+    export_request.format = "jsonl";
+    const std::optional<std::string> content =
+        client->stats_export(export_request, nullptr);
+    if (!stats || !content) break;
 
     const auto now = std::chrono::steady_clock::now();
     const double dt =
         std::chrono::duration<double>(now - previous_time).count();
     previous_time = now;
 
-    // Fold the export into lookup maps; the rate of a counter is its
-    // delta against the previous frame over the measured interval.
+    // Fold the export into a lookup map keyed by metric name + labels;
+    // jobs/s comes from the completed-tally delta over the measured
+    // interval.
     std::map<std::string, MetricLine> metrics;
-    std::map<std::string, double> counters;
     std::size_t start = 0;
-    while (start < content.size()) {
-      std::size_t end = content.find('\n', start);
-      if (end == std::string::npos) end = content.size();
-      const std::string line = content.substr(start, end - start);
+    while (start < content->size()) {
+      std::size_t end = content->find('\n', start);
+      if (end == std::string::npos) end = content->size();
+      const std::string line = content->substr(start, end - start);
       start = end + 1;
       MetricLine metric;
       if (!parse_metric_line(line, &metric)) continue;
@@ -274,18 +275,8 @@ int main(int argc, char** argv) {
       for (const auto& [label, value] : metric.labels) {
         key += "|" + label + "=" + value;
       }
-      if (metric.type == "counter") counters[key] = metric.value;
       metrics[key] = std::move(metric);
     }
-    const auto rate = [&](const std::string& key) {
-      if (first_frame || dt <= 0.0) return 0.0;
-      const auto cur = counters.find(key);
-      const auto prev = previous_counters.find(key);
-      if (cur == counters.end()) return 0.0;
-      const double before = prev == previous_counters.end() ? 0.0
-                                                            : prev->second;
-      return (cur->second - before) / dt;
-    };
 
     std::string screen;
     char buffer[256];
@@ -296,25 +287,26 @@ int main(int argc, char** argv) {
     };
     line("approxit_top — frame %zu, interval %.0f ms", frame + 1,
          interval_ms);
-    line("service   queued %.0f  running %.0f  submitted %.0f  "
-         "completed %.0f (%.1f/s)",
-         stat_of(stats, "queued"), stat_of(stats, "running"),
-         stat_of(stats, "submitted"), stat_of(stats, "completed"),
-         rate("svc.tenant.jobs"));
-    line("outcomes  failed %.0f  cancelled %.0f  deadline %.0f  "
-         "shed %.0f  degraded %.0f  retries %.0f",
-         stat_of(stats, "failed"), stat_of(stats, "cancelled"),
-         stat_of(stats, "deadline_exceeded"), stat_of(stats, "shed"),
-         stat_of(stats, "degraded"), stat_of(stats, "retries"));
-    line("rejects   queue_full %.0f  tenant_cap %.0f  rate_limited %.0f  "
-         "bad_request %.0f",
-         stat_of(stats, "rejected_queue_full"),
-         stat_of(stats, "rejected_tenant_cap"),
-         stat_of(stats, "rejected_rate_limited"),
-         stat_of(stats, "rejected_bad_request"));
-    line("cache     hits %.0f  misses %.0f  disk %.0f  stores %.0f",
-         stat_of(stats, "cache_hits"), stat_of(stats, "cache_misses"),
-         stat_of(stats, "cache_disk_hits"), stat_of(stats, "cache_stores"));
+    const double completed_rate =
+        first_frame || dt <= 0.0
+            ? 0.0
+            : (static_cast<double>(stats->completed) - previous_completed) /
+                  dt;
+    line("service   queued %zu  running %zu  submitted %zu  "
+         "completed %zu (%.1f/s)",
+         stats->queued, stats->running, stats->submitted, stats->completed,
+         completed_rate);
+    line("outcomes  failed %zu  cancelled %zu  deadline %zu  "
+         "shed %zu  degraded %zu  retries %zu",
+         stats->failed, stats->cancelled, stats->deadline_exceeded,
+         stats->shed, stats->degraded, stats->retries);
+    line("rejects   queue_full %zu  tenant_cap %zu  rate_limited %zu  "
+         "bad_request %zu",
+         stats->rejected_queue_full, stats->rejected_tenant_cap,
+         stats->rejected_rate_limited, stats->rejected_bad_request);
+    line("cache     hits %zu  misses %zu  disk %zu  stores %zu",
+         stats->cache_hits, stats->cache_misses, stats->cache_disk_hits,
+         stats->cache_stores);
     const auto run_ms = metrics.find("svc.run_ms");
     if (run_ms != metrics.end() && run_ms->second.count > 0) {
       line("latency   run_ms p50 %.2f  p90 %.2f  p99 %.2f  (n=%zu)",
@@ -353,7 +345,7 @@ int main(int argc, char** argv) {
     if (ascii && !once) std::fputs("---\n", stdout);
     std::fflush(stdout);
 
-    previous_counters = std::move(counters);
+    previous_completed = static_cast<double>(stats->completed);
     first_frame = false;
   }
 

@@ -228,7 +228,7 @@ struct Segment {
 /// Fixed-name event kinds every instrumented layer emits. Categories with
 /// caller-chosen names (alu ops, sweep arm labels, log levels, lane
 /// naming metadata) are matched by category alone.
-constexpr std::array<std::pair<const char*, const char*>, 16> kKnownEvents =
+constexpr std::array<std::pair<const char*, const char*>, 19> kKnownEvents =
     {{{"session", "run"},
       {"session", "iteration"},
       {"session", "run_complete"},
@@ -244,7 +244,10 @@ constexpr std::array<std::pair<const char*, const char*>, 16> kKnownEvents =
       {"svc", "terminal"},
       {"svc", "cache_hit"},
       {"svc", "cache_miss"},
-      {"svc", "quality_threshold"}}};
+      {"svc", "quality_threshold"},
+      {"net", "accept"},
+      {"net", "disconnect"},
+      {"net", "backpressure"}}};
 
 // `strategy` events are named after the strategy that decided
 // (`incremental`, `adaptive`, ..., plus `lut_rebuild`) — caller-chosen,
