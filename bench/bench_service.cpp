@@ -14,12 +14,24 @@
 //   4. THROUGHPUT — a warm-cache burst; jobs/sec plus queue/run latency
 //      percentiles from the jobs' own timings.
 //   5. NET BURST — the socket front end under load: 64 concurrent
-//      loopback connections streaming jobs through ONE event loop;
-//      client-observed latency percentiles, jobs/sec, and a byte-identity
-//      gate (every terminal report must equal the in-process read).
+//      loopback connections streaming jobs through ONE event loop and ONE
+//      runtime; client-observed submit->terminal wall time per connection
+//      (percentiles + mean/min/max), jobs/sec, and a byte-identity gate
+//      (every terminal report must equal the in-process read). This is
+//      the single-runtime baseline the sharded burst is gated against.
+//   6. SHARD DETERMINISM — the same job set through a ShardRouter with
+//      1/2/4 shards (memory-only cache): the merged stats document must
+//      be byte-identical across shard counts.
+//   7. SHARDED NET BURST — 512 connections against a 4-shard router with
+//      cross-job micro-batching on (warm shared cache): per-connection
+//      submit->terminal wall times, queue-vs-run latency split from the
+//      terminal payloads, batching occupancy (batch_jobs/batch_groups),
+//      a byte-identity gate (every wire report must equal the solo
+//      in-process reference), and a throughput gate (>= 3x the phase-5
+//      single-runtime jobs/sec).
 //
 // Emits bench_artifacts/BENCH_service.json; exits non-zero when any
-// identity or cache assertion fails.
+// identity, cache, occupancy or throughput assertion fails.
 #include <unistd.h>
 
 #include <algorithm>
@@ -41,6 +53,7 @@
 #include "obs/metrics.h"
 #include "svc/client.h"
 #include "svc/runtime.h"
+#include "svc/shard.h"
 #include "util/table.h"
 
 namespace {
@@ -136,6 +149,28 @@ double percentile(std::vector<double> values, double p) {
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Per-connection submit->terminal wall-time aggregates (satellite to the
+/// percentiles: bench_diff compares these across runs too).
+struct WallAggregate {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+WallAggregate wall_aggregate(const std::vector<double>& values) {
+  WallAggregate agg;
+  if (values.empty()) return agg;
+  agg.min = values.front();
+  agg.max = values.front();
+  for (const double v : values) {
+    agg.mean += v;
+    agg.min = std::min(agg.min, v);
+    agg.max = std::max(agg.max, v);
+  }
+  agg.mean /= static_cast<double>(values.size());
+  return agg;
 }
 
 }  // namespace
@@ -337,16 +372,181 @@ int main() {
                                     net_latency_ms.end());
   ok = ok && net_all_identical;
 
+  const WallAggregate net_wall_agg = wall_aggregate(net_latencies);
+
   util::Table net_table("Socket loopback burst (one event loop)");
   net_table.set_header({"Conns", "Wall ms", "Jobs/s", "Lat p50 ms",
-                        "Lat p99 ms", "Identical"});
+                        "Lat p99 ms", "Lat max ms", "Identical"});
   net_table.add_row({std::to_string(kNetConnections),
                      util::format_sig(net_wall_ms, 4),
                      util::format_sig(net_jobs_per_sec, 4),
                      util::format_sig(percentile(net_latencies, 0.50), 4),
                      util::format_sig(percentile(net_latencies, 0.99), 4),
+                     util::format_sig(net_wall_agg.max, 4),
                      net_all_identical ? "yes" : "NO"});
   std::cout << net_table << "\n";
+
+  // --- Phase 6: merged-stats determinism across shard counts ------------
+  // The same job set through routers of 1/2/4 shards (memory-only cache):
+  // route keys colocate same-spec jobs, the merge orders parts by
+  // (route_key, local id), so the stats document is topology-invariant.
+  const std::size_t shard_counts[] = {1, 2, 4};
+  std::vector<std::string> shard_metrics;
+  std::vector<double> shard_walls;
+  for (const std::size_t shards : shard_counts) {
+    approxit::svc::ShardRouterConfig router_config;
+    router_config.shards = shards;
+    router_config.shard.threads = 2;
+    router_config.shard.cache.directory.clear();
+    approxit::svc::ShardRouter router(std::move(router_config));
+    const double start = now_ms();
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : jobs) {
+      std::string error;
+      const auto id = router.submit(spec, &error);
+      if (id) ids.push_back(*id);
+    }
+    for (const std::uint64_t id : ids) router.result(id);
+    router.wait_idle();
+    shard_walls.push_back(now_ms() - start);
+    const auto stats = router.stats();
+    shard_metrics.push_back(stats ? stats->metrics_json : "");
+  }
+  bool shard_identical = !shard_metrics.empty();
+  for (const std::string& metrics : shard_metrics) {
+    shard_identical =
+        shard_identical && !metrics.empty() && metrics == shard_metrics[0];
+  }
+  ok = ok && shard_identical;
+
+  util::Table shard_table("Shard-count determinism (merged stats)");
+  shard_table.set_header({"Shards", "Wall ms", "Identical"});
+  for (std::size_t r = 0; r < shard_metrics.size(); ++r) {
+    shard_table.add_row({std::to_string(shard_counts[r]),
+                         util::format_sig(shard_walls[r], 4),
+                         shard_identical ? "yes" : "NO"});
+  }
+  std::cout << shard_table << "\n";
+
+  // --- Phase 7: sharded + batched 512-connection net burst --------------
+  // The tentpole gate: 512 loopback connections against a 4-shard router
+  // with micro-batching on. Every terminal wire report must be
+  // byte-identical to the solo in-process reference (det_runs[0], the
+  // threads=1 differential), occupancy must show real coalescing, and
+  // jobs/sec must beat the phase-5 single-runtime baseline >= 3x.
+  const std::size_t kShardConnections = 512;
+  const std::size_t kShardCount = 4;
+  approxit::svc::ShardRouterConfig burst_router_config;
+  burst_router_config.shards = kShardCount;
+  burst_router_config.shard.threads = 2;
+  burst_router_config.shard.queue_capacity = kShardConnections + 32;
+  burst_router_config.shard.cache.directory = cache_dir;  // Warm tier.
+  burst_router_config.shard.batch.enabled = true;
+  burst_router_config.shard.batch.max_batch = 16;
+  burst_router_config.shard.batch.window_ms = 2.0;
+  approxit::svc::ShardRouter shard_router(std::move(burst_router_config));
+  approxit::net::NetServerConfig shard_net_config;
+  shard_net_config.address = "unix:/tmp/approxit_bench_shard_" +
+                             std::to_string(getpid()) + ".sock";
+  approxit::net::NetServer shard_server(shard_router, shard_net_config);
+  std::string shard_error;
+  const bool shard_started = shard_server.start(&shard_error);
+  if (!shard_started) {
+    std::fprintf(stderr, "sharded burst: %s\n", shard_error.c_str());
+  }
+  std::thread shard_loop;
+  if (shard_started) shard_loop = std::thread([&] { shard_server.run(); });
+
+  std::vector<double> shard_latency_ms(kShardConnections, 0.0);
+  std::vector<double> shard_queue_ms(kShardConnections, 0.0);
+  std::vector<double> shard_run_ms(kShardConnections, 0.0);
+  std::vector<char> shard_report_ok(kShardConnections, 0);
+  std::atomic<std::size_t> shard_failures{0};
+  double shard_wall_ms = 0.0;
+  if (shard_started) {
+    const double start = now_ms();
+    std::vector<std::thread> workers;
+    workers.reserve(kShardConnections);
+    for (std::size_t i = 0; i < kShardConnections; ++i) {
+      workers.emplace_back([&, i] {
+        std::string error;
+        const auto client = approxit::net::connect_client(
+            shard_server.listen_address(), &error);
+        if (client == nullptr) {
+          shard_failures.fetch_add(1);
+          return;
+        }
+        const double t0 = now_ms();
+        const auto stream =
+            client->submit_stream(jobs[i % jobs.size()], &error);
+        if (stream == nullptr) {
+          shard_failures.fetch_add(1);
+          return;
+        }
+        std::optional<approxit::svc::StreamEvent> terminal;
+        while (const auto event = stream->next()) terminal = *event;
+        shard_latency_ms[i] = now_ms() - t0;
+        if (!terminal || !terminal->terminal() || !terminal->status) {
+          shard_failures.fetch_add(1);
+          return;
+        }
+        shard_queue_ms[i] = terminal->status->queue_ms;
+        shard_run_ms[i] = terminal->status->run_ms;
+        // Solo differential: the threads=1 unbatched in-process run of
+        // the same spec (det_runs[0] preserves job_mix order).
+        shard_report_ok[i] =
+            !terminal->status->report_json.empty() &&
+            terminal->status->report_json ==
+                det_runs[0].jobs[i % jobs.size()].report_json;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    shard_wall_ms = now_ms() - start;
+    shard_server.stop();
+    shard_loop.join();
+  }
+
+  const bool shard_all_identical =
+      shard_started && shard_failures.load() == 0 &&
+      std::all_of(shard_report_ok.begin(), shard_report_ok.end(),
+                  [](char identical) { return identical != 0; });
+  const double shard_jobs_per_sec =
+      shard_wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(kShardConnections) / shard_wall_ms
+          : 0.0;
+  const ServiceStats shard_stats = shard_router.service_stats();
+  const double occupancy =
+      shard_stats.batch_groups > 0
+          ? static_cast<double>(shard_stats.batch_jobs) /
+                static_cast<double>(shard_stats.batch_groups)
+          : 0.0;
+  const double speedup_vs_single =
+      net_jobs_per_sec > 0.0 ? shard_jobs_per_sec / net_jobs_per_sec : 0.0;
+  const bool occupancy_gate = occupancy > 1.0;
+  const bool throughput_gate = speedup_vs_single >= 3.0;
+  const WallAggregate shard_wall_agg = wall_aggregate(shard_latency_ms);
+  ok = ok && shard_all_identical && occupancy_gate && throughput_gate;
+
+  util::Table shard_net_table("Sharded + batched loopback burst");
+  shard_net_table.set_header({"Conns", "Shards", "Wall ms", "Jobs/s",
+                              "Lat p50 ms", "Lat p99 ms", "Occupancy",
+                              "Speedup", "Identical"});
+  shard_net_table.add_row(
+      {std::to_string(kShardConnections), std::to_string(kShardCount),
+       util::format_sig(shard_wall_ms, 4),
+       util::format_sig(shard_jobs_per_sec, 4),
+       util::format_sig(percentile(shard_latency_ms, 0.50), 4),
+       util::format_sig(percentile(shard_latency_ms, 0.99), 4),
+       util::format_sig(occupancy, 3),
+       util::format_sig(speedup_vs_single, 3),
+       shard_all_identical ? "yes" : "NO"});
+  std::cout << shard_net_table << "\n";
+  std::printf(
+      "sharded burst: queue p50=%.2fms p99=%.2fms run p50=%.2fms "
+      "p99=%.2fms groups=%zu jobs=%zu\n\n",
+      percentile(shard_queue_ms, 0.50), percentile(shard_queue_ms, 0.99),
+      percentile(shard_run_ms, 0.50), percentile(shard_run_ms, 0.99),
+      shard_stats.batch_groups, shard_stats.batch_jobs);
 
   // --- Artifact ---------------------------------------------------------
   std::ostringstream json;
@@ -382,8 +582,35 @@ int main() {
        << ", \"latency_ms_p50\": " << percentile(net_latencies, 0.50)
        << ", \"latency_ms_p90\": " << percentile(net_latencies, 0.90)
        << ", \"latency_ms_p99\": " << percentile(net_latencies, 0.99)
+       << ", \"latency_ms_mean\": " << net_wall_agg.mean
+       << ", \"latency_ms_min\": " << net_wall_agg.min
+       << ", \"latency_ms_max\": " << net_wall_agg.max
        << ", \"byte_identical_reports\": "
-       << (net_all_identical ? "true" : "false") << "}\n}\n";
+       << (net_all_identical ? "true" : "false") << "},\n"
+       << "  \"shard_determinism\": {\"shard_counts\": [1, 2, 4], "
+       << "\"identical\": " << (shard_identical ? "true" : "false") << "},\n"
+       << "  \"sharded_net_burst\": {\"connections\": " << kShardConnections
+       << ", \"shards\": " << kShardCount
+       << ", \"wall_ms\": " << shard_wall_ms
+       << ", \"jobs_per_sec\": " << shard_jobs_per_sec
+       << ", \"latency_ms_p50\": " << percentile(shard_latency_ms, 0.50)
+       << ", \"latency_ms_p90\": " << percentile(shard_latency_ms, 0.90)
+       << ", \"latency_ms_p99\": " << percentile(shard_latency_ms, 0.99)
+       << ", \"latency_ms_mean\": " << shard_wall_agg.mean
+       << ", \"latency_ms_min\": " << shard_wall_agg.min
+       << ", \"latency_ms_max\": " << shard_wall_agg.max
+       << ", \"queue_ms_p50\": " << percentile(shard_queue_ms, 0.50)
+       << ", \"queue_ms_p90\": " << percentile(shard_queue_ms, 0.90)
+       << ", \"queue_ms_p99\": " << percentile(shard_queue_ms, 0.99)
+       << ", \"run_ms_p50\": " << percentile(shard_run_ms, 0.50)
+       << ", \"run_ms_p90\": " << percentile(shard_run_ms, 0.90)
+       << ", \"run_ms_p99\": " << percentile(shard_run_ms, 0.99)
+       << ", \"batch_groups\": " << shard_stats.batch_groups
+       << ", \"batch_jobs\": " << shard_stats.batch_jobs
+       << ", \"occupancy\": " << occupancy
+       << ", \"speedup_vs_single_runtime\": " << speedup_vs_single
+       << ", \"byte_identical_reports\": "
+       << (shard_all_identical ? "true" : "false") << "}\n}\n";
 
   const std::string path = artifact_path("BENCH_service.json");
   std::ofstream out(path);
@@ -393,9 +620,12 @@ int main() {
   if (!ok) {
     std::printf(
         "FAIL: warm_all_hits=%d warm_identical=%d amortized=%d "
-        "deterministic=%d net_identical=%d\n",
+        "deterministic=%d net_identical=%d shard_identical=%d "
+        "sharded_net_identical=%d occupancy_gate=%d throughput_gate=%d\n",
         warm_all_hits ? 1 : 0, warm_identical ? 1 : 0, amortized ? 1 : 0,
-        deterministic ? 1 : 0, net_all_identical ? 1 : 0);
+        deterministic ? 1 : 0, net_all_identical ? 1 : 0,
+        shard_identical ? 1 : 0, shard_all_identical ? 1 : 0,
+        occupancy_gate ? 1 : 0, throughput_gate ? 1 : 0);
     return 1;
   }
   std::printf("OK\n");

@@ -94,10 +94,16 @@ void AutoRegression::reset() {
   sorted_.assign(m, 0.0);
   resid_.assign(m, 0.0);
   grad_.assign(p, 0.0);
-  resilient_terms_.clear();
-  resilient_terms_.reserve(m);
+  grad_terms_.assign(m * p, 0.0);
   scaled_grad_.assign(p, 0.0);
   step_vec_.assign(p, 0.0);
+  chains_.clear();
+  chains_.reserve(std::max(m, p));
+  chain_results_.assign(std::max(m, p), 0.0);
+  resilient_rows_.clear();
+  resilient_rows_.reserve(m);
+  // Upper bound on grouped-chain operands: every design row, both loops.
+  ws_.reserve_group(m * p);
 
   std::fill(coefficients_.begin(), coefficients_.end(), 0.0);
   current_objective_ = objective_at(coefficients_);
@@ -147,48 +153,65 @@ opt::IterationStats AutoRegression::iterate(arith::ArithContext& ctx) {
     threshold = sorted_[cut];
   }
 
-  // Residuals through the context for resilient samples. The dot-then-
-  // subtract chain stays word-resident on the QCS fast path (one quantize
-  // of the running sum instead of one per link); on any other context it
-  // degrades to exactly ctx.sub(ctx.dot(...), ...).
+  // Residuals through the context for resilient samples: one dot-then-
+  // subtract chain per in-confidence row, run as a grouped pass so the QCS
+  // fast path quantizes all rows' products in a single SIMD sweep (one
+  // quantize of the running sum per chain instead of one per link). On any
+  // other context the group degrades to exactly ctx.sub(ctx.dot(...), ...)
+  // per row, in row order.
+  chains_.clear();
+  resilient_rows_.clear();
   for (std::size_t i = 0; i < m; ++i) {
     if (abs_resid_[i] <= threshold) {
-      resid_[i] = ws_.dot_sub(design_.row(i), coefficients_, targets_[i]);
+      arith::ChainSpec chain;
+      chain.kind = arith::ChainSpec::Kind::kDotSub;
+      chain.x = design_.row(i);
+      chain.y = coefficients_;
+      chain.scalar = targets_[i];
+      chains_.push_back(chain);
+      resilient_rows_.push_back(i);
     } else {
       resid_[i] = exact_resid_[i];
     }
+  }
+  ws_.run_chains(chains_, chain_results_.data());
+  for (std::size_t k = 0; k < resilient_rows_.size(); ++k) {
+    resid_[resilient_rows_[k]] = chain_results_[k];
   }
   // Raw terms accumulate through the context (the AR benches configure a
   // wide Q16.32 datapath whose range covers the random-walk growth of these
   // sums); the final 1/m normalization is an exact scalar divide. The
   // in-confidence terms are gathered (in sample order) into one batched
   // reduction per coefficient; the exact tail is summed in plain floating
-  // point and joined with a single context add when both parts exist —
-  // chained word-resident via the workspace on the QCS fast path.
+  // point and joined with a single context add when both parts exist. All
+  // p reductions run as one grouped pass — word-resident with a shared
+  // bulk quantize on the QCS fast path, per-coefficient context calls
+  // (accumulate, then the tail add) everywhere else.
+  chains_.clear();
   for (std::size_t j = 0; j < p; ++j) {
-    resilient_terms_.clear();
+    double* terms = grad_terms_.data() + j * m;
+    std::size_t count = 0;
     double exact_tail = 0.0;
     bool has_exact = false;
     for (std::size_t i = 0; i < m; ++i) {
       const double term = design_(i, j) * resid_[i];
       if (abs_resid_[i] <= threshold) {
-        resilient_terms_.push_back(term);
+        terms[count++] = term;
       } else {
         exact_tail += term;
         has_exact = true;
       }
     }
-    double acc = 0.0;
-    if (resilient_terms_.empty()) {
-      acc = exact_tail;
-    } else if (!has_exact) {
-      ws_.begin();
-      ws_.accumulate(resilient_terms_);
-      acc = ws_.finish();
-    } else {
-      acc = ws_.accumulate_add(resilient_terms_, exact_tail);
-    }
-    grad_[j] = acc / static_cast<double>(m);
+    arith::ChainSpec chain;
+    chain.kind = arith::ChainSpec::Kind::kAccumulate;
+    chain.x = std::span<const double>(terms, count);
+    chain.scalar = exact_tail;
+    chain.has_scalar = has_exact;
+    chains_.push_back(chain);
+  }
+  ws_.run_chains(chains_, chain_results_.data());
+  for (std::size_t j = 0; j < p; ++j) {
+    grad_[j] = chain_results_[j] / static_cast<double>(m);
   }
 
   // Update through the context: w <- w - step * grad (elementwise batched

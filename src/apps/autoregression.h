@@ -102,9 +102,12 @@ class AutoRegression final : public opt::IterativeMethod {
   std::vector<double> sorted_;       ///< m, nth_element scratch.
   std::vector<double> resid_;        ///< m, context-routed residuals.
   std::vector<double> grad_;         ///< p, context-routed gradient.
-  std::vector<double> resilient_terms_;  ///< <= m, gathered terms.
+  std::vector<double> grad_terms_;   ///< m*p, gathered resilient terms.
   std::vector<double> scaled_grad_;  ///< p, step * gradient.
   std::vector<double> step_vec_;     ///< p, iterate delta.
+  std::vector<arith::ChainSpec> chains_;     ///< <= m, grouped-chain specs.
+  std::vector<double> chain_results_;        ///< <= m, grouped results.
+  std::vector<std::size_t> resilient_rows_;  ///< <= m, residual scatter map.
 };
 
 /// The paper's AR QEM: l2 distance between two coefficient vectors.

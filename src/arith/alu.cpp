@@ -432,6 +432,38 @@ Word QcsAlu::fused_fold(Word acc, const double* addends, std::size_t n) {
   return acc;
 }
 
+void QcsAlu::fused_quantize(const double* values, std::size_t n,
+                            Word* out) const {
+  simd::quantize_span(quant_, values, n, out);
+}
+
+Word QcsAlu::fused_fold_words(Word acc, const Word* words, std::size_t n) {
+  if (n == 0) return acc;
+  const std::size_t idx = mode_index(mode_);
+  const KernelSpec spec = kernel_specs_[idx];
+  ToggleEnergyModel* toggle =
+      dynamic_energy_ ? &*toggle_models_[idx] : nullptr;
+  if (toggle) {
+    double dynamic_total = 0.0;
+    with_kernel(spec, format_.total_bits, [&](auto kernel) {
+      for (std::size_t i = 0; i < n; ++i) {
+        dynamic_total += toggle->operation_energy(acc, words[i]);
+        acc = kernel(acc, words[i], false);
+      }
+    });
+    ledger_.record_total(mode_, dynamic_total, n);
+    post_metrics(idx, dynamic_total, n);
+  } else {
+    acc = simd::fold_words(spec, format_.total_bits, acc, words, n);
+    ledger_.record(mode_, energy_per_add_[idx], n);
+    post_metrics(idx, energy_per_add_[idx] * static_cast<double>(n), n);
+  }
+  if (metric_fused_ops_ != nullptr) {
+    metric_fused_ops_->add(static_cast<double>(n));
+  }
+  return acc;
+}
+
 Word QcsAlu::fused_apply(Word acc, double operand, bool subtract) {
   const std::size_t idx = mode_index(mode_);
   const KernelSpec spec = kernel_specs_[idx];

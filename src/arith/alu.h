@@ -203,6 +203,17 @@ class QcsAlu : public ArithContext {
   /// accumulator; ledgers 1 operation (identical to add()/sub()).
   Word fused_apply(Word acc, double operand, bool subtract);
 
+  /// Bulk-quantizes `n` doubles into `out` — the identical conversion
+  /// fused_fold performs internally. Quantization is free (no ledger ops),
+  /// so grouped chains may hoist one big quantize pass over many chains'
+  /// operands and then fold each chain from the pre-quantized words.
+  void fused_quantize(const double* values, std::size_t n, Word* out) const;
+
+  /// Folds `n` pre-quantized words into the word accumulator through the
+  /// active kernel; ledgers n operations. Bit- and ledger-identical to
+  /// fused_fold over the doubles the words were quantized from.
+  Word fused_fold_words(Word acc, const Word* words, std::size_t n);
+
   /// Closes a chain: dequantizes the accumulator.
   double fused_finish(Word acc) const { return quant_.dequantize(acc); }
 

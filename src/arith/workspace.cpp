@@ -106,4 +106,82 @@ double BatchWorkspace::accumulate_add(std::span<const double> values,
   return finish();
 }
 
+void BatchWorkspace::run_chains(std::span<const ChainSpec> chains,
+                                double* results) {
+  if (ctx_ == nullptr) {
+    throw std::logic_error("BatchWorkspace::run_chains: no context bound");
+  }
+  if (!fused()) {
+    // Exactly the per-chain call sequence — preserves fault streams and op
+    // accounting of decorated/exact contexts chain for chain.
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      const ChainSpec& chain = chains[c];
+      if (chain.kind == ChainSpec::Kind::kDotSub) {
+        results[c] = dot_sub(chain.x, chain.y, chain.scalar);
+      } else if (chain.x.empty()) {
+        results[c] = chain.has_scalar ? chain.scalar : 0.0;
+      } else if (chain.has_scalar) {
+        results[c] = accumulate_add(chain.x, chain.scalar);
+      } else {
+        begin(0.0);
+        accumulate(chain.x);
+        results[c] = finish();
+      }
+    }
+    return;
+  }
+  // Fused group pass: materialize every chain's fold operands (products for
+  // kDotSub, the terms themselves for kAccumulate) contiguously, quantize
+  // the whole group once, then fold each chain's segment. Quantization is
+  // stateless and the per-chain fold/apply/ledger sequence below matches
+  // the one-shot helpers op for op, so the group run is bit-identical.
+  std::size_t total = 0;
+  for (const ChainSpec& chain : chains) total += chain.x.size();
+  group_values_.resize(total);
+  group_words_.resize(total);
+  std::size_t offset = 0;
+  for (const ChainSpec& chain : chains) {
+    if (chain.kind == ChainSpec::Kind::kDotSub) {
+      if (chain.x.size() != chain.y.size()) {
+        throw std::invalid_argument(
+            "BatchWorkspace::run_chains: dot size mismatch");
+      }
+      for (std::size_t j = 0; j < chain.x.size(); ++j) {
+        group_values_[offset + j] = chain.x[j] * chain.y[j];
+      }
+    } else {
+      std::copy(chain.x.begin(), chain.x.end(),
+                group_values_.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+    offset += chain.x.size();
+  }
+  alu_->fused_quantize(group_values_.data(), total, group_words_.data());
+  offset = 0;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const ChainSpec& chain = chains[c];
+    const Word* words = group_words_.data() + offset;
+    const std::size_t n = chain.x.size();
+    offset += n;
+    if (chain.kind == ChainSpec::Kind::kDotSub) {
+      Word acc = alu_->fused_begin(0.0);
+      // Same kChunk granularity as dot(): one ledger post per chunk, so
+      // the ledger's record sequence matches the per-chain path exactly.
+      for (std::size_t i = 0; i < n; i += kChunk) {
+        acc = alu_->fused_fold_words(acc, words + i, std::min(kChunk, n - i));
+      }
+      acc = alu_->fused_apply(acc, chain.scalar, /*subtract=*/true);
+      results[c] = alu_->fused_finish(acc);
+    } else if (n == 0) {
+      results[c] = chain.has_scalar ? chain.scalar : 0.0;
+    } else {
+      Word acc = alu_->fused_begin(0.0);
+      acc = alu_->fused_fold_words(acc, words, n);
+      if (chain.has_scalar) {
+        acc = alu_->fused_apply(acc, chain.scalar, /*subtract=*/false);
+      }
+      results[c] = alu_->fused_finish(acc);
+    }
+  }
+}
+
 }  // namespace approxit::arith

@@ -21,11 +21,26 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "arith/alu.h"
 #include "arith/context.h"
 
 namespace approxit::arith {
+
+/// One chain of a grouped run (BatchWorkspace::run_chains). The referenced
+/// spans must stay valid for the duration of the call.
+struct ChainSpec {
+  enum class Kind {
+    kDotSub,      ///< dot(x, y) then subtract `scalar` (the residual shape).
+    kAccumulate,  ///< accumulate(x), optionally add `scalar` as an exact tail.
+  };
+  Kind kind = Kind::kAccumulate;
+  std::span<const double> x;  ///< kDotSub lhs / kAccumulate terms.
+  std::span<const double> y;  ///< kDotSub rhs (same length as x).
+  double scalar = 0.0;        ///< kDotSub subtrahend / kAccumulate tail.
+  bool has_scalar = false;    ///< kAccumulate only: apply the tail add.
+};
 
 /// Reusable fused-chain driver; not thread-safe (one per worker, like the
 /// ALU it binds). Rebind after switching contexts; chains re-check fused
@@ -83,6 +98,34 @@ class BatchWorkspace {
   /// exact-tail shape.
   double accumulate_add(std::span<const double> values, double tail);
 
+  // --- Grouped chains ---------------------------------------------------
+
+  /// Runs every chain and writes chains.size() results to `results`.
+  ///
+  /// Per-chain semantics (and the fallback call sequence on non-fused
+  /// contexts) are exactly the one-shot helpers above:
+  ///   kDotSub              -> dot_sub(x, y, scalar)
+  ///   kAccumulate, tail    -> accumulate_add(x, scalar)
+  ///   kAccumulate, no tail -> begin(0); accumulate(x); finish()
+  /// except that an empty kAccumulate chain performs no context operation
+  /// at all and yields `scalar` (or 0.0 without a tail) — the shape
+  /// application loops use when a row has no resilient terms.
+  ///
+  /// On the fused path the whole group shares one bulk quantize pass
+  /// (operands for every chain are materialized contiguously, converted to
+  /// words once, then folded per chain), amortizing conversion overhead
+  /// across many short chains. Results, the energy ledger, and the op
+  /// metrics are bit-identical to running the chains one at a time.
+  void run_chains(std::span<const ChainSpec> chains, double* results);
+
+  /// Pre-sizes the grouped-chain scratch for a known bound on the total
+  /// operand count, so steady-state run_chains calls never allocate (the
+  /// zero-alloc contract of the application hot loops).
+  void reserve_group(std::size_t total_operands) {
+    group_values_.reserve(total_operands);
+    group_words_.reserve(total_operands);
+  }
+
  private:
   ArithContext* ctx_ = nullptr;
   QcsAlu* alu_ = nullptr;   ///< Non-null iff the bound context is a QcsAlu.
@@ -90,6 +133,8 @@ class BatchWorkspace {
   bool fresh_ = false;      ///< Zero-seeded chain with no ops yet.
   Word wacc_ = 0;           ///< Word accumulator (fused path).
   double value_ = 0.0;      ///< Double accumulator (fallback path).
+  std::vector<double> group_values_;  ///< run_chains operand scratch.
+  std::vector<Word> group_words_;     ///< run_chains quantized scratch.
 };
 
 }  // namespace approxit::arith

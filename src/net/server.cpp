@@ -26,7 +26,7 @@ std::string stream_final_response(std::uint64_t id) {
 
 }  // namespace
 
-NetServer::NetServer(svc::InProcessClient& client, NetServerConfig config)
+NetServer::NetServer(svc::ServingClient& client, NetServerConfig config)
     : client_(client), config_(std::move(config)), loop_(config_.backend) {}
 
 NetServer::~NetServer() {
@@ -273,7 +273,7 @@ void NetServer::handle_result_op(Connection& connection,
                                  const svc::WireObject& request) {
   const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
   const std::optional<svc::JobSnapshot> snapshot =
-      client_.runtime().status(id);
+      client_.snapshot(id);
   if (!snapshot) {
     if (!enqueue_line(connection, svc::encode_error("result", "unknown_job"))) {
       close_connection(connection.id, "backpressure");
@@ -298,7 +298,7 @@ void NetServer::handle_stream_op(Connection& connection,
                                  const svc::WireObject& request) {
   const auto id = static_cast<std::uint64_t>(request.get_int("id", 0));
   const std::optional<svc::JobSnapshot> snapshot =
-      client_.runtime().status(id);
+      client_.snapshot(id);
   if (!snapshot) {
     if (!enqueue_line(connection, svc::encode_error("stream", "unknown_job"))) {
       close_connection(connection.id, "backpressure");

@@ -71,9 +71,10 @@ struct NetServerConfig {
 /// The front end. One instance per listen address.
 class NetServer {
  public:
-  /// `client` must outlive the server (it owns the runtime; the server
+  /// `client` must outlive the server (it owns the runtime tier — a
+  /// single InProcessClient or a sharded ShardRouter; the server
   /// registers an event sink on it for the streaming fan-out).
-  NetServer(svc::InProcessClient& client, NetServerConfig config = {});
+  NetServer(svc::ServingClient& client, NetServerConfig config = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -161,7 +162,7 @@ class NetServer {
   void unpark(Connection& connection);
   void close_connection(std::uint64_t conn_id, const char* reason);
 
-  svc::InProcessClient& client_;
+  svc::ServingClient& client_;
   NetServerConfig config_;
   EventLoop loop_;
   obs::MetricsRegistry metrics_;

@@ -368,6 +368,26 @@ bool QualityScorecard::record(const JobOutcome& outcome) {
   return crossed;
 }
 
+void QualityScorecard::merge(const QualityScorecard& other) {
+  for (const auto& [tenant, theirs] : other.tenants_) {
+    TenantScore& score = tenants_[tenant];
+    score.jobs += theirs.jobs;
+    score.converged += theirs.converged;
+    score.deadline_exceeded += theirs.deadline_exceeded;
+    score.cancelled += theirs.cancelled;
+    score.failed += theirs.failed;
+    score.degraded_admissions += theirs.degraded_admissions;
+    score.quality.merge(theirs.quality);
+    score.energy_ratio.merge(theirs.energy_ratio);
+    score.latency_ms.merge(theirs.latency_ms);
+    for (double q : theirs.rolling) score.rolling.push_back(q);
+    while (score.rolling.size() > config_.window) score.rolling.pop_front();
+    score.above_threshold = score.above_threshold || theirs.above_threshold;
+    score.threshold_crossings += theirs.threshold_crossings;
+  }
+  crossings_ += other.crossings_;
+}
+
 void QualityScorecard::export_to(MetricsRegistry& registry) const {
   // Gauges throughout (set semantics): re-exporting into a long-lived
   // registry overwrites instead of double-counting.

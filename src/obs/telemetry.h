@@ -188,6 +188,14 @@ class QualityScorecard {
   /// rolling quality mean ACROSS the threshold (rising edge only).
   bool record(const JobOutcome& outcome);
 
+  /// Folds another scorecard in (the ShardRouter's fleet view): per-tenant
+  /// counts sum, the quality/energy/latency accumulators do a Welford
+  /// merge, and crossing counts add. Rolling windows concatenate
+  /// this-then-other (trimmed to the window) and the threshold latch ORs —
+  /// both are operational signals, not deterministic ones, matching the
+  /// class contract.
+  void merge(const QualityScorecard& other);
+
   const std::map<std::string, TenantScore>& tenants() const {
     return tenants_;
   }

@@ -216,6 +216,10 @@ std::unique_ptr<JobStream> InProcessClient::stream(std::uint64_t id) {
                                            std::move(replay));
 }
 
+std::optional<JobSnapshot> InProcessClient::snapshot(std::uint64_t id) {
+  return runtime_->status(id);
+}
+
 std::optional<JobStatus> InProcessClient::status(std::uint64_t id) {
   const std::optional<JobSnapshot> snapshot = runtime_->status(id);
   if (!snapshot) return std::nullopt;

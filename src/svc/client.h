@@ -104,9 +104,30 @@ class Client {
   virtual bool shutdown() = 0;
 };
 
+/// What the socket front end (NetServer) needs beyond Client: the global
+/// event fan-out it feeds its subscriptions from, and non-blocking
+/// point-in-time snapshots (full report attached) for result/stream
+/// parking. Both in-process serving tiers — the single InProcessClient
+/// and the sharded ShardRouter — implement this, so the networked front
+/// end serves either without knowing the topology behind it.
+class ServingClient : public Client {
+ public:
+  /// `sink` sees EVERY job's lifecycle events, under the same contract as
+  /// ServiceConfig::on_job_event (cheap, no calls back into the runtime
+  /// or this client). Returns a token for remove_event_sink.
+  using EventSink = std::function<void(const JobEvent&)>;
+  virtual std::uint64_t add_event_sink(EventSink sink) = 0;
+  virtual void remove_event_sink(std::uint64_t token) = 0;
+
+  /// Point-in-time snapshot WITH the report — status() for front ends
+  /// that render terminal results without blocking. Nullopt for unknown
+  /// (or retired) ids.
+  virtual std::optional<JobSnapshot> snapshot(std::uint64_t id) = 0;
+};
+
 /// In-process transport: owns the runtime, the job-event hook and the
 /// stats exporters (one delta baseline per format).
-class InProcessClient : public Client {
+class InProcessClient : public ServingClient {
  public:
   explicit InProcessClient(ServiceConfig config = {});
   ~InProcessClient() override;
@@ -119,13 +140,9 @@ class InProcessClient : public Client {
   /// the only WIRE path).
   ServiceRuntime& runtime() { return *runtime_; }
 
-  /// Global event fan-out for the socket front end: `sink` sees EVERY
-  /// job's lifecycle events, under the same contract as
-  /// ServiceConfig::on_job_event (cheap, no calls back into the runtime
-  /// or this client). Returns a token for remove_event_sink.
-  using EventSink = std::function<void(const JobEvent&)>;
-  std::uint64_t add_event_sink(EventSink sink);
-  void remove_event_sink(std::uint64_t token);
+  std::uint64_t add_event_sink(EventSink sink) override;
+  void remove_event_sink(std::uint64_t token) override;
+  std::optional<JobSnapshot> snapshot(std::uint64_t id) override;
 
   std::optional<std::uint64_t> submit(const JobSpec& spec,
                                       std::string* error) override;

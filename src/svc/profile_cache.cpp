@@ -535,6 +535,11 @@ core::ModeCharacterization ProfileCache::get_or_compute(
   return profile;
 }
 
+void ProfileCache::record_batched_hit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count(&ProfileCacheStats::hits, metric_hit_);
+}
+
 ProfileCacheStats ProfileCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

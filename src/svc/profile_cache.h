@@ -114,6 +114,12 @@ class ProfileCache final : public core::CharacterizationCache {
       const std::function<core::ModeCharacterization()>& compute,
       bool* cache_hit = nullptr);
 
+  /// Counts one hit without performing a lookup: a batched job that shared
+  /// its leader's in-flight profile resolved exactly as its own
+  /// single-flight wait would have, so the hit/miss tallies stay invariant
+  /// between batched and solo execution.
+  void record_batched_hit();
+
   /// Current tallies (consistent snapshot).
   ProfileCacheStats stats() const;
 

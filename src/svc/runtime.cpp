@@ -108,6 +108,14 @@ ServiceRuntime::ServiceRuntime(ServiceConfig config)
     : config_(std::move(config)),
       chaos_(config_.chaos),
       cache_([this] {
+        if (config_.shared_cache != nullptr) {
+          // An external tier is shared across shards: the local cache is a
+          // dormant stand-in (no disk directory to scrub, no counters).
+          ProfileCacheConfig inert;
+          inert.directory.clear();
+          inert.scrub_on_start = false;
+          return inert;
+        }
         // The chaos corruption seam: flip a byte in a freshly persisted
         // profile so the read path's checksum/quarantine machinery gets
         // exercised end to end.
@@ -128,6 +136,7 @@ ServiceRuntime::ServiceRuntime(ServiceConfig config)
       ar_alu_(apps::ar_qcs_config()) {
   if (config_.threads == 0) config_.threads = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.batch.max_batch == 0) config_.batch.max_batch = 1;
   scorecard_ = obs::QualityScorecard(config_.telemetry);
   paused_ = config_.start_paused;
   workers_.reserve(config_.threads);
@@ -363,10 +372,19 @@ void ServiceRuntime::finalize_terminal_locked(Job& job) {
   if (job.degraded) tenant_counter("svc.tenant.degraded").add(1.0);
   if (job.report.converged) tenant_counter("svc.tenant.converged").add(1.0);
 
-  // Operational (completion-order) SLO signals: latency distribution,
-  // deadline burn and the rolling quality scorecard. These live with the
-  // wall-clock registry, outside the determinism claim.
+  // Operational (completion-order) SLO signals: the queue-vs-run latency
+  // split, deadline burn and the rolling quality scorecard. These live
+  // with the wall-clock registry, outside the determinism claim. Every
+  // terminal job records its queue time (including jobs that died in the
+  // queue); run time is recorded only for jobs that actually executed, so
+  // queue deaths don't drag the run distribution toward zero.
   const double latency_ms = job.queue_ms + job.run_ms;
+  timing_metrics_.histogram("svc.job.queue_ms", 0.0, 10000.0, 64)
+      .record(job.queue_ms);
+  if (job.run_ms > 0.0) {
+    timing_metrics_.histogram("svc.job.run_ms", 0.0, 60000.0, 64)
+        .record(job.run_ms);
+  }
   timing_metrics_
       .histogram(obs::labeled("svc.tenant.latency_ms", {{"tenant", tenant}}),
                  0.0, 60000.0, 64)
@@ -408,16 +426,71 @@ void ServiceRuntime::finalize_terminal_locked(Job& job) {
   retire_excess_locked();
 }
 
+bool ServiceRuntime::batch_eligible_locked(const Job& job) const {
+  // Chaos jobs keep per-attempt fault streams, deadline jobs keep their
+  // one-iteration cancellation latency: both run solo.
+  return config_.batch.enabled && !config_.chaos.enabled &&
+         job.deadline_rel_ms == 0.0 &&
+         job.cancel.reason() == core::CancelReason::kNone;
+}
+
+namespace {
+
+/// The batching compatibility predicate: two specs coalesce iff every
+/// execution-relevant field matches (tenant and priority are scheduling
+/// concerns; the report is a pure function of the fields below plus the
+/// degraded flag, which gather_batch_locked compares on the Job).
+bool same_batch_key(const JobSpec& a, const JobSpec& b) {
+  return a.app == b.app && a.dataset == b.dataset &&
+         a.strategy == b.strategy && a.max_iterations == b.max_iterations &&
+         a.characterization_iterations == b.characterization_iterations &&
+         a.keep_trace == b.keep_trace;
+}
+
+}  // namespace
+
+void ServiceRuntime::gather_batch_locked(const Job& leader,
+                                         std::vector<BatchPeer>& peers) {
+  const double now = clock_now_ms();
+  bool claimed = false;
+  for (auto it = queue_.begin();
+       it != queue_.end() && peers.size() + 1 < config_.batch.max_batch;) {
+    Job& candidate = *jobs_.at(*it);
+    const bool joinable =
+        candidate.not_before_ms <= now && batch_eligible_locked(candidate) &&
+        candidate.degraded == leader.degraded &&
+        same_batch_key(candidate.spec, leader.spec);
+    if (!joinable) {
+      ++it;
+      continue;
+    }
+    it = queue_.erase(it);
+    candidate.state = JobState::kRunning;
+    if (candidate.attempt == 0) {
+      candidate.queue_ms =
+          (obs::trace_now_us() - candidate.enqueue_us) / 1000.0;
+    }
+    ++running_;
+    claimed = true;
+    peers.push_back(
+        BatchPeer{candidate.id, candidate.attempt, candidate.spec.tenant});
+  }
+  if (claimed) {
+    timing_metrics_.gauge("svc.queue.depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+}
+
 void ServiceRuntime::worker_loop(std::size_t worker_index) {
   obs::LaneScope lane(static_cast<std::uint32_t>(worker_index + 1),
                       "svc-worker-" + std::to_string(worker_index));
   while (true) {
     std::uint64_t id = 0;
     JobSpec spec;
-    double queue_ms = 0.0;
     bool degraded = false;
     std::size_t attempt = 0;
     core::CancelToken token;
+    std::vector<BatchPeer> peers;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
@@ -481,11 +554,22 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
               job.queue_ms = (obs::trace_now_us() - job.enqueue_us) / 1000.0;
             }
             spec = job.spec;
-            queue_ms = job.queue_ms;
             degraded = job.degraded;
             attempt = job.attempt;
             token = job.cancel.token();
             ++running_;
+            if (batch_eligible_locked(job)) {
+              gather_batch_locked(job, peers);
+              if (config_.batch.window_ms > 0.0 && !stopping_ &&
+                  peers.size() + 1 < config_.batch.max_batch) {
+                // Bounded straggler window: one timed wait for more
+                // compatible arrivals, then run with whatever is there.
+                work_cv_.wait_for(lock,
+                                  std::chrono::duration<double, std::milli>(
+                                      config_.batch.window_ms));
+                gather_batch_locked(job, peers);
+              }
+            }
             break;
           }
           // Queue non-empty but everything is waiting out a backoff:
@@ -501,6 +585,10 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
 
     emit_job_event(JobEvent::Kind::kRunning, id, spec.tenant,
                    JobState::kRunning, attempt);
+    for (const BatchPeer& peer : peers) {
+      emit_job_event(JobEvent::Kind::kRunning, peer.id, peer.tenant,
+                     JobState::kRunning, peer.attempt);
+    }
 
     if (chaos_.stall(id, attempt)) {
       // Injected worker stall: the job's deadline keeps ticking.
@@ -524,7 +612,14 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
       context.attempt = attempt;
       obs::JobScope job_scope(context, job_lane(id),
                               "job-" + std::to_string(id));
-      result = execute(spec, id, attempt, degraded, token);
+      // A batched execution runs on a neutral (never-latched) token: one
+      // member's explicit cancel must not kill its batch peers. Members'
+      // own latched cancels are honored at commit, and batch eligibility
+      // already excludes deadline jobs.
+      const core::CancelToken exec_token =
+          peers.empty() ? token : core::CancelToken();
+      result = execute(spec, id, attempt, degraded, exec_token,
+                       peers.empty() ? nullptr : &peers);
     }
     const double run_ms = now_ms() - start_ms;
     JobState final_state;
@@ -540,71 +635,112 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
     const bool cache_hit = result.cache_hit;
     const std::string error_brief = result.error;
 
-    bool retried = false;
+    bool leader_retried = false;
+    bool any_retried = false;
+    struct TerminalNote {
+      std::uint64_t id = 0;
+      std::string tenant;
+      JobState state = JobState::kDone;
+      std::size_t attempt = 0;
+    };
+    std::vector<TerminalNote> terminals;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      Job& job = *jobs_.at(id);
-      // Transient failures re-enqueue with jittered backoff instead of
-      // going terminal — unless the retry budget is spent or the job's
-      // own deadline/cancel has already latched.
-      if (final_state == JobState::kFailed && result.transient &&
-          job.attempt < config_.qos.max_retries &&
-          job.cancel.reason() == core::CancelReason::kNone) {
-        const double backoff =
-            retry_backoff_ms(config_.qos, id, job.attempt);
-        ++job.attempt;
-        job.not_before_ms = clock_now_ms() + backoff;
-        job.state = JobState::kQueued;
-        job.error.clear();
-        queue_.push_back(id);
-        timing_metrics_.gauge("svc.queue.depth")
-            .set(static_cast<double>(queue_.size()));
-        ++tallies_.retries;
-        qos_metrics_.counter("svc.retry.count").add(1.0);
-        --running_;
-        retried = true;
-        if (obs::trace_enabled()) {
-          obs::emit_instant(
-              "svc", "retry",
-              {obs::arg("job", static_cast<std::size_t>(id)),
-               obs::arg("attempt", job.attempt),
-               obs::arg("backoff_ms", backoff),
-               obs::arg("error", result.error)});
+      // One commit routine for the leader and every batch peer. Transient
+      // failures re-enqueue with jittered backoff instead of going
+      // terminal — unless the retry budget is spent or the job's own
+      // deadline/cancel has already latched. Peers committing a shared
+      // result copy it (reports are a pure function of the spec, so the
+      // copy is bit-identical to what their solo run would have produced)
+      // and count as cache hits, like their solo single-flight wait would
+      // have.
+      const auto commit_one = [&](Job& job, bool is_leader) {
+        JobState state = final_state;
+        if (!peers.empty() &&
+            job.cancel.reason() == core::CancelReason::kCancelled) {
+          // An explicit cancel latched while the batched execution ran on
+          // the neutral token: honor it. The full result stays attached,
+          // like a cancel racing completion.
+          state = JobState::kCancelled;
         }
-        // Under mutex_ so the retry's queued event lands before another
-        // worker can emit the next attempt's running event.
-        emit_job_event(JobEvent::Kind::kQueued, id, job.spec.tenant,
-                       JobState::kQueued, job.attempt);
-      } else {
-        job.cache_hit = result.cache_hit;
-        job.error = std::move(result.error);
-        job.report_json = std::move(result.report_json);
-        job.report = std::move(result.report);
-        job.characterization_ms = result.characterization_ms;
+        if (state == JobState::kFailed && result.transient &&
+            job.attempt < config_.qos.max_retries &&
+            job.cancel.reason() == core::CancelReason::kNone) {
+          const double backoff =
+              retry_backoff_ms(config_.qos, job.id, job.attempt);
+          ++job.attempt;
+          job.not_before_ms = clock_now_ms() + backoff;
+          job.state = JobState::kQueued;
+          job.error.clear();
+          queue_.push_back(job.id);
+          timing_metrics_.gauge("svc.queue.depth")
+              .set(static_cast<double>(queue_.size()));
+          ++tallies_.retries;
+          qos_metrics_.counter("svc.retry.count").add(1.0);
+          --running_;
+          any_retried = true;
+          if (is_leader) leader_retried = true;
+          if (obs::trace_enabled()) {
+            obs::emit_instant(
+                "svc", "retry",
+                {obs::arg("job", static_cast<std::size_t>(job.id)),
+                 obs::arg("attempt", job.attempt),
+                 obs::arg("backoff_ms", backoff),
+                 obs::arg("error", result.error)});
+          }
+          // Under mutex_ so the retry's queued event lands before another
+          // worker can emit the next attempt's running event.
+          emit_job_event(JobEvent::Kind::kQueued, job.id, job.spec.tenant,
+                         JobState::kQueued, job.attempt);
+          return;
+        }
+        job.cache_hit = is_leader ? result.cache_hit : true;
+        job.error = result.error;
+        job.report_json = result.report_json;
+        job.report = result.report;
+        job.characterization_ms = is_leader ? result.characterization_ms : 0.0;
         job.quality_error = result.quality_error;
         job.energy_ratio = result.energy_ratio;
-        job.metrics = std::move(result.metrics);
+        if (is_leader) {
+          job.metrics = std::move(result.metrics);
+        } else {
+          // Deep copy: the peer's registry is what its own execution would
+          // have written (session metrics are deterministic per spec).
+          job.metrics = std::make_unique<obs::MetricsRegistry>();
+          job.metrics->merge(*result.metrics);
+          cache().record_batched_hit();
+        }
         job.run_ms = run_ms;
-        job.state = final_state;
+        job.state = state;
         --running_;
+        const TerminalNote note{job.id, job.spec.tenant, state, job.attempt};
         finalize_terminal_locked(job);
-        timing_metrics_.histogram("svc.queue_ms", 0.0, 10000.0, 64)
-            .record(queue_ms);
-        timing_metrics_.histogram("svc.run_ms", 0.0, 60000.0, 64)
-            .record(run_ms);
-        if (!cache_hit) {
+        if (is_leader && !cache_hit) {
           timing_metrics_.histogram("svc.characterization_ms", 0.0, 60000.0,
                                     64)
               .record(result.characterization_ms);
         }
         // The Job may have just been retired — only locals below this line.
+        terminals.push_back(note);
+      };
+      // Peers first (they copy result.metrics), leader last (it moves it).
+      for (const BatchPeer& peer : peers) {
+        commit_one(*jobs_.at(peer.id), /*is_leader=*/false);
+      }
+      commit_one(*jobs_.at(id), /*is_leader=*/true);
+      if (config_.batch.enabled) {
+        ++tallies_.batch_groups;
+        tallies_.batch_jobs += 1 + peers.size();
+        timing_metrics_.counter("svc.batch.groups").add(1.0);
+        timing_metrics_.counter("svc.batch.jobs")
+            .add(1.0 + static_cast<double>(peers.size()));
+        timing_metrics_.histogram("svc.batch.size", 0.0, 64.0, 32)
+            .record(1.0 + static_cast<double>(peers.size()));
       }
     }
-    if (retried) {
-      work_cv_.notify_all();
-      continue;
-    }
-    if (obs::trace_enabled()) {
+    if (any_retried) work_cv_.notify_all();
+    if (terminals.empty()) continue;  // every batch member retried
+    if (!leader_retried && obs::trace_enabled()) {
       // Both the job span and its terminal cause render in the job's own
       // lane (job/tenant/attempt attached by the JobScope).
       obs::JobContext context;
@@ -626,15 +762,18 @@ void ServiceRuntime::worker_loop(std::size_t worker_index) {
                                                : error_brief),
                          obs::arg("cache_hit", cache_hit)});
     }
-    emit_job_event(JobEvent::Kind::kTerminal, id, spec.tenant, final_state,
-                   attempt);
+    for (const TerminalNote& note : terminals) {
+      emit_job_event(JobEvent::Kind::kTerminal, note.id, note.tenant,
+                     note.state, note.attempt);
+    }
     done_cv_.notify_all();
   }
 }
 
 ServiceRuntime::ExecResult ServiceRuntime::execute(
     const JobSpec& spec, std::uint64_t id, std::size_t attempt,
-    bool degraded, const core::CancelToken& cancel) {
+    bool degraded, const core::CancelToken& cancel,
+    const std::vector<BatchPeer>* peers) {
   ExecResult result;
   result.metrics = std::make_unique<obs::MetricsRegistry>();
   try {
@@ -686,7 +825,7 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(
       // this attempt's ONLINE stage runs on the faulty datapath.
       const core::CharacterizationKey key = core::characterization_cache_key(
           method, *alu, char_options, workload_tag);
-      const core::ModeCharacterization profile = cache_.get_or_compute(
+      const core::ModeCharacterization profile = cache().get_or_compute(
           key,
           [&] {
             const double t0 = now_ms();
@@ -730,12 +869,21 @@ ServiceRuntime::ExecResult ServiceRuntime::execute(
         // forward it as a kProgress event.
         const std::size_t stride = config_.progress_every;
         builder.on_progress(
-            [this, id, attempt, &spec, stride](
+            [this, id, attempt, &spec, stride, peers](
                 const core::SessionProgress& progress) {
               if (progress.iteration % stride != 0) return;
               emit_job_event(JobEvent::Kind::kProgress, id, spec.tenant,
                              JobState::kRunning, attempt, progress.iteration,
                              progress.objective);
+              if (peers != nullptr) {
+                // The shared execution IS each batch member's execution:
+                // fan the same iteration marks out to every peer's stream.
+                for (const BatchPeer& peer : *peers) {
+                  emit_job_event(JobEvent::Kind::kProgress, peer.id,
+                                 peer.tenant, JobState::kRunning, peer.attempt,
+                                 progress.iteration, progress.objective);
+                }
+              }
             });
       }
       result.report = builder.run();
@@ -957,7 +1105,7 @@ ServiceStats ServiceRuntime::stats() const {
   ServiceStats stats = tallies_;
   stats.queued = queue_.size();
   stats.running = running_;
-  stats.cache = cache_.stats();
+  stats.cache = cache().stats();
   return stats;
 }
 
@@ -977,6 +1125,25 @@ void ServiceRuntime::collect_metrics(obs::MetricsRegistry& out) const {
   }
   out.merge(cache_metrics_);
   out.merge(qos_metrics_);
+}
+
+void ServiceRuntime::export_metric_parts(std::vector<MetricsPart>& jobs,
+                                         obs::MetricsRegistry& retired,
+                                         obs::MetricsRegistry& qos) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, job] : jobs_) {
+    if (job->metrics == nullptr || !job_state_terminal(job->state)) continue;
+    MetricsPart part;
+    part.id = id;
+    part.spec = job->spec;
+    part.metrics = std::make_unique<obs::MetricsRegistry>();
+    part.metrics->merge(*job->metrics);
+    jobs.push_back(std::move(part));
+  }
+  for (const auto& [tenant, registry] : retired_metrics_) {
+    retired.merge(*registry);
+  }
+  qos.merge(qos_metrics_);
 }
 
 obs::QualityScorecard ServiceRuntime::scorecard() const {

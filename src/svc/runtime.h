@@ -46,9 +46,23 @@
 // collect_metrics() merges them in job-id order plus the cache counters,
 // so the merged registry is identical for any thread count (single-flight
 // waiters count as cache hits, which keeps even the hit/miss tallies
-// thread-invariant). Wall-clock service metrics (svc.queue_ms, svc.run_ms,
-// svc.characterization_ms) live in a SEPARATE timing registry that makes
-// no determinism claim.
+// thread-invariant). Wall-clock service metrics (svc.job.queue_ms,
+// svc.job.run_ms, svc.characterization_ms) live in a SEPARATE timing
+// registry that makes no determinism claim.
+//
+// Cross-job batching (BatchConfig): when enabled, a worker that claims a
+// job also claims every queued job with the SAME execution-relevant spec
+// (app, dataset, strategy, budgets, keep_trace, degraded admission) up to
+// batch.max_batch, executes the session ONCE, and commits a deep copy of
+// the result to every member. Because execute() builds everything from the
+// spec alone and reports are a pure function of (spec, degraded, runtime
+// config), the members' reports are bit-identical to what their own solo
+// executions would have produced — batching off is the differential
+// reference. Jobs with a deadline, a latched cancel, or under chaos
+// injection never batch (solo execution preserves their cancellation
+// latency and per-attempt fault streams). Batched members count as
+// profile-cache hits, exactly as their solo runs would have resolved
+// against the leader's single-flight characterization.
 #pragma once
 
 #include <cstdint>
@@ -113,6 +127,20 @@ struct JobEvent {
 /// "terminal").
 std::string_view job_event_kind_name(JobEvent::Kind kind);
 
+/// Cross-job micro-batching policy. See the file comment: batching is a
+/// pure scheduling optimization — per-job reports, ledgers and energies
+/// stay bit-identical to solo execution.
+struct BatchConfig {
+  /// Coalesce compatible queued jobs into one execution. Default off.
+  bool enabled = false;
+  /// Max jobs per batch, leader included (clamped to >= 1).
+  std::size_t max_batch = 8;
+  /// After claiming a leader with room to spare, wait up to this long for
+  /// more compatible jobs to arrive before executing. 0 (default) batches
+  /// only what is already queued.
+  double window_ms = 0.0;
+};
+
 /// Construction parameters for ServiceRuntime.
 struct ServiceConfig {
   /// Worker threads draining the job queue (clamped to >= 1).
@@ -128,8 +156,17 @@ struct ServiceConfig {
   /// into a persistent aggregate (collect_metrics stays complete) and its
   /// snapshot is forgotten. 0 retains every job forever.
   std::size_t retain_terminal = 1024;
-  /// Shared characterization-profile cache configuration.
+  /// Shared characterization-profile cache configuration. Ignored when
+  /// `shared_cache` is set.
   ProfileCacheConfig cache;
+  /// When non-null, this runtime resolves characterizations through the
+  /// given externally-owned cache instead of constructing its own — the
+  /// sharding seam: every shard behind a ShardRouter hits one cache, so a
+  /// profile warmed by any shard is warm for all of them. The cache must
+  /// outlive the runtime (ProfileCache is thread-safe).
+  ProfileCache* shared_cache = nullptr;
+  /// Cross-job micro-batching (off by default).
+  BatchConfig batch;
   /// Per-tenant QoS: SLO deadline, token bucket, degrade/shed watermarks,
   /// retry policy. Defaults are all-off (pre-QoS behavior).
   QosConfig qos;
@@ -232,6 +269,13 @@ struct ServiceStats {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t deadline_exceeded = 0;
+  /// Worker executions with batching enabled (solo runs count as groups of
+  /// one) and the jobs they committed; batch_jobs / batch_groups is the
+  /// batching occupancy. In-process telemetry only — batch formation is
+  /// timing-dependent, so these are NOT part of the wire StatsSummary or
+  /// any byte-identity claim.
+  std::size_t batch_groups = 0;
+  std::size_t batch_jobs = 0;
   ProfileCacheStats cache;
 };
 
@@ -303,9 +347,30 @@ class ServiceRuntime {
   /// gauges in completion order, but any retained writer overrides).
   void collect_metrics(obs::MetricsRegistry& out) const;
 
-  /// Wall-clock service metrics (svc.queue_ms / svc.run_ms /
+  /// One terminal job's deterministic metrics, exported for an external
+  /// merge (ShardRouter). `metrics` is a fresh copy — mutating it does not
+  /// touch the job.
+  struct MetricsPart {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+  };
+
+  /// Snapshot of the deterministic metric sources, un-merged: per-job
+  /// registries (terminal retained jobs, id order, spec attached so the
+  /// caller can order the global merge by a shard-count-invariant key),
+  /// the retired-job aggregate (tenant order; empty until retention has
+  /// evicted), and the qos counters (integer-valued, so any merge order is
+  /// exact). Cache counters are NOT included — a shared-cache deployment
+  /// owns those externally.
+  void export_metric_parts(std::vector<MetricsPart>& jobs,
+                           obs::MetricsRegistry& retired,
+                           obs::MetricsRegistry& qos) const;
+
+  /// Wall-clock service metrics (svc.job.queue_ms / svc.job.run_ms /
   /// svc.characterization_ms plus per-tenant latency/deadline-burn
-  /// histograms and the queue-depth gauge). Not deterministic.
+  /// histograms, batch-size counters and the queue-depth gauge). Not
+  /// deterministic.
   const obs::MetricsRegistry& timing_metrics() const {
     return timing_metrics_;
   }
@@ -318,7 +383,7 @@ class ServiceRuntime {
   /// QualityScorecard::to_json() of the live scorecard.
   std::string scorecard_json() const;
 
-  ProfileCache& profile_cache() { return cache_; }
+  ProfileCache& profile_cache() { return cache(); }
 
   /// Stops/resumes the workers' queue drain; admission stays open.
   void pause();
@@ -382,13 +447,33 @@ class ServiceRuntime {
     std::unique_ptr<obs::MetricsRegistry> metrics;
   };
 
+  /// A job riding along on a leader's execution (worker-local copy of the
+  /// fields needed outside the lock).
+  struct BatchPeer {
+    std::uint64_t id = 0;
+    std::size_t attempt = 0;
+    std::string tenant;
+  };
+
   void worker_loop(std::size_t worker_index);
 
   /// Builds everything from the spec and runs the session. Never throws
-  /// (failures land in the result's error). Touches no Job state.
+  /// (failures land in the result's error). Touches no Job state. When
+  /// `peers` is non-null, progress events fan out to every peer id as well
+  /// as the leader's.
   ExecResult execute(const JobSpec& spec, std::uint64_t id,
                      std::size_t attempt, bool degraded,
-                     const core::CancelToken& cancel);
+                     const core::CancelToken& cancel,
+                     const std::vector<BatchPeer>* peers = nullptr);
+
+  /// True when `job` may join a batch: batching on, no chaos injection, no
+  /// deadline, no latched cancel. Caller must hold mutex_.
+  bool batch_eligible_locked(const Job& job) const;
+
+  /// Claims queued jobs whose execution-relevant spec matches the
+  /// (already-claimed, kRunning) leader, up to max_batch total, appending
+  /// them to `peers` in queue order. Caller must hold mutex_.
+  void gather_batch_locked(const Job& leader, std::vector<BatchPeer>& peers);
 
   /// Terminal bookkeeping shared by worker commit, queue-expiry and
   /// queued-cancel: tallies, tenant release, retention. Caller must hold
@@ -413,11 +498,20 @@ class ServiceRuntime {
   /// Retires lowest-id terminal jobs until at most retain_terminal remain.
   void retire_excess_locked();
 
+  /// The cache this runtime resolves against: the external shared tier
+  /// when configured, its own otherwise.
+  ProfileCache& cache() {
+    return config_.shared_cache != nullptr ? *config_.shared_cache : cache_;
+  }
+  const ProfileCache& cache() const {
+    return config_.shared_cache != nullptr ? *config_.shared_cache : cache_;
+  }
+
   ServiceConfig config_;
   ChaosEngine chaos_;
   obs::MetricsRegistry cache_metrics_;   ///< svc.profile_cache.* counters.
   obs::MetricsRegistry timing_metrics_;  ///< Wall-clock histograms.
-  ProfileCache cache_;
+  ProfileCache cache_;  ///< Unused (inert config) under shared_cache.
   arith::QcsAlu gmm_alu_;  ///< Prototype; jobs run on clone_fresh() copies.
   arith::QcsAlu ar_alu_;   ///< Prototype for the AR datapath Q format.
 

@@ -1,0 +1,352 @@
+#include "svc/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace approxit::svc {
+
+std::string route_key(const JobSpec& spec) {
+  std::string key;
+  key.reserve(spec.tenant.size() + spec.app.size() + spec.dataset.size() +
+              spec.strategy.size() + 16);
+  key += spec.tenant;
+  key += '\x1f';
+  key += spec.app;
+  key += '\x1f';
+  key += spec.dataset;
+  key += '\x1f';
+  key += spec.strategy;
+  key += '\x1f';
+  key += std::to_string(spec.max_iterations);
+  key += '\x1f';
+  key += std::to_string(spec.characterization_iterations);
+  key += '\x1f';
+  key += spec.keep_trace ? '1' : '0';
+  return key;
+}
+
+std::uint64_t HashRing::hash(std::string_view key) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // FNV-1a mixes the LOW bits well but barely touches the high ones, and
+  // the ring's lower_bound ordering lives in the high bits — without a
+  // finalizer, near-identical vnode names cluster and shard arcs go badly
+  // uneven. Murmur3's fmix64 restores full-width avalanche.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (vnodes == 0) vnodes = 1;
+  ring_.reserve(shards_ * vnodes);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Point names are shard-local, so growing the shard count only adds
+      // points (existing ones keep their positions): the consistent-hash
+      // stability property.
+      ring_.emplace_back(
+          hash("shard-" + std::to_string(s) + "#" + std::to_string(v)), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::lookup(std::string_view key) const {
+  const std::uint64_t h = hash(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+namespace {
+
+/// Translates one shard stream's local job ids into the router's global
+/// ids (events and terminal status payloads both).
+class ShardStream : public JobStream {
+ public:
+  ShardStream(std::unique_ptr<JobStream> inner, std::uint64_t global_id,
+              std::size_t scale, std::size_t shard)
+      : JobStream(global_id),
+        inner_(std::move(inner)),
+        scale_(scale),
+        shard_(shard) {}
+
+  std::optional<StreamEvent> next() override {
+    std::optional<StreamEvent> event = inner_->next();
+    if (!event) return std::nullopt;
+    event->id = event->id * scale_ + shard_;
+    if (event->status) {
+      event->status->id = event->status->id * scale_ + shard_;
+    }
+    return event;
+  }
+
+ private:
+  std::unique_ptr<JobStream> inner_;
+  std::size_t scale_;
+  std::size_t shard_;
+};
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterConfig config)
+    : config_(std::move(config)),
+      shared_cache_(config_.shard.cache, &cache_metrics_),
+      ring_(config_.shards == 0 ? 1 : config_.shards, config_.vnodes) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    ServiceConfig shard_config = config_.shard;
+    shard_config.shared_cache = &shared_cache_;
+    shards_.push_back(
+        std::make_unique<InProcessClient>(std::move(shard_config)));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->add_event_sink([this, i](const JobEvent& event) {
+      JobEvent global = event;
+      global.id = encode(i, event.id);
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [token, sink] : sinks_) sink(global);
+    });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  // Shard clients join their runtimes' workers on destruction; no sink
+  // callback can be in flight after shards_ clears.
+  shards_.clear();
+}
+
+std::uint64_t ShardRouter::encode(std::size_t shard,
+                                  std::uint64_t local) const {
+  return local * shards_.size() + shard;
+}
+
+std::optional<ShardRouter::Route> ShardRouter::decode(
+    std::uint64_t global) const {
+  Route route;
+  route.shard = static_cast<std::size_t>(global % shards_.size());
+  route.local = global / shards_.size();
+  if (route.local == 0) return std::nullopt;  // Locals start at 1.
+  return route;
+}
+
+std::size_t ShardRouter::shard_of(const JobSpec& spec) const {
+  return ring_.lookup(route_key(spec));
+}
+
+std::uint64_t ShardRouter::add_event_sink(EventSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_sink_token_++;
+  sinks_[token] = std::move(sink);
+  return token;
+}
+
+void ShardRouter::remove_event_sink(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.erase(token);
+}
+
+std::optional<JobSnapshot> ShardRouter::snapshot(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return std::nullopt;
+  std::optional<JobSnapshot> snapshot =
+      shards_[route->shard]->snapshot(route->local);
+  if (snapshot) snapshot->id = id;
+  return snapshot;
+}
+
+std::optional<std::uint64_t> ShardRouter::submit(const JobSpec& spec,
+                                                 std::string* error) {
+  const std::size_t shard = shard_of(spec);
+  const std::optional<std::uint64_t> local =
+      shards_[shard]->submit(spec, error);
+  if (!local) return std::nullopt;
+  return encode(shard, *local);
+}
+
+std::unique_ptr<JobStream> ShardRouter::submit_stream(const JobSpec& spec,
+                                                      std::string* error) {
+  const std::size_t shard = shard_of(spec);
+  std::unique_ptr<JobStream> inner =
+      shards_[shard]->submit_stream(spec, error);
+  if (inner == nullptr) return nullptr;
+  const std::uint64_t global = encode(shard, inner->id());
+  return std::make_unique<ShardStream>(std::move(inner), global,
+                                       shards_.size(), shard);
+}
+
+std::unique_ptr<JobStream> ShardRouter::stream(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return nullptr;
+  std::unique_ptr<JobStream> inner =
+      shards_[route->shard]->stream(route->local);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<ShardStream>(std::move(inner), id, shards_.size(),
+                                       route->shard);
+}
+
+std::optional<JobStatus> ShardRouter::status(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return std::nullopt;
+  std::optional<JobStatus> status = shards_[route->shard]->status(route->local);
+  if (status) status->id = id;
+  return status;
+}
+
+std::optional<JobStatus> ShardRouter::result(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return std::nullopt;
+  std::optional<JobStatus> status = shards_[route->shard]->result(route->local);
+  if (status) status->id = id;
+  return status;
+}
+
+bool ShardRouter::cancel(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return false;
+  return shards_[route->shard]->cancel(route->local);
+}
+
+bool ShardRouter::forget(std::uint64_t id) {
+  const std::optional<Route> route = decode(id);
+  if (!route) return false;
+  return shards_[route->shard]->forget(route->local);
+}
+
+ServiceStats ShardRouter::service_stats() const {
+  ServiceStats total;
+  for (const auto& shard : shards_) {
+    const ServiceStats stats = shard->runtime().stats();
+    total.submitted += stats.submitted;
+    total.rejected_queue_full += stats.rejected_queue_full;
+    total.rejected_tenant_cap += stats.rejected_tenant_cap;
+    total.rejected_bad_request += stats.rejected_bad_request;
+    total.rejected_rate_limited += stats.rejected_rate_limited;
+    total.shed += stats.shed;
+    total.degraded += stats.degraded;
+    total.retries += stats.retries;
+    total.queued += stats.queued;
+    total.running += stats.running;
+    total.completed += stats.completed;
+    total.failed += stats.failed;
+    total.cancelled += stats.cancelled;
+    total.deadline_exceeded += stats.deadline_exceeded;
+    total.batch_groups += stats.batch_groups;
+    total.batch_jobs += stats.batch_jobs;
+  }
+  // Every shard's ServiceStats::cache reads the SAME shared tier; take it
+  // once instead of summing N copies.
+  total.cache = shared_cache_.stats();
+  return total;
+}
+
+void ShardRouter::collect_metrics(obs::MetricsRegistry& out) const {
+  std::vector<ServiceRuntime::MetricsPart> parts;
+  obs::MetricsRegistry retired;
+  obs::MetricsRegistry qos;
+  for (const auto& shard : shards_) {
+    shard->runtime().export_metric_parts(parts, retired, qos);
+  }
+  // (route_key, local id) is a topology-invariant total order: one key's
+  // jobs live wholly on one shard with local ids in submission order, so
+  // the FP fold sequence of every per-tenant series is identical for any
+  // shard count. Same macro order as ServiceRuntime::collect_metrics:
+  // retired aggregate, per-job registries, cache counters, qos counters.
+  std::vector<std::pair<std::string, std::size_t>> order;
+  order.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    order.emplace_back(route_key(parts[i].spec), i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return parts[a.second].id < parts[b.second].id;
+            });
+  out.merge(retired);
+  for (const auto& [key, index] : order) {
+    out.merge(*parts[index].metrics);
+  }
+  out.merge(cache_metrics_);
+  out.merge(qos);
+}
+
+obs::QualityScorecard ShardRouter::scorecard() const {
+  obs::QualityScorecard merged(config_.shard.telemetry);
+  for (const auto& shard : shards_) {
+    merged.merge(shard->runtime().scorecard());
+  }
+  return merged;
+}
+
+void ShardRouter::wait_idle() {
+  for (const auto& shard : shards_) shard->runtime().wait_idle();
+}
+
+std::optional<StatsSummary> ShardRouter::stats() {
+  obs::MetricsRegistry merged;
+  collect_metrics(merged);
+  return stats_summary_from(service_stats(), merged.to_json());
+}
+
+std::optional<std::string> ShardRouter::stats_export(
+    const StatsExportRequest& request, std::string* error) {
+  if (request.format == "scorecard") {
+    return scorecard().to_json();
+  }
+  if (request.format != "prometheus" && request.format != "jsonl") {
+    if (error != nullptr) *error = "unknown_format: " + request.format;
+    return std::nullopt;
+  }
+  if (request.mode != "full" && request.mode != "delta") {
+    if (error != nullptr) *error = "unknown_mode: " + request.mode;
+    return std::nullopt;
+  }
+  obs::MetricsRegistry merged;
+  collect_metrics(merged);
+  if (!request.deterministic) {
+    merged.gauge("svc.shard.count")
+        .set(static_cast<double>(shards_.size()));
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      merged.merge(shards_[i]->runtime().timing_metrics());
+      // Per-shard placement/occupancy gauges, labeled by shard index —
+      // how approxit_top and Prometheus see routing balance.
+      const ServiceStats stats = shards_[i]->runtime().stats();
+      const std::string label = std::to_string(i);
+      const auto set = [&](std::string_view base, double value) {
+        merged.gauge(obs::labeled(base, {{"shard", label}})).set(value);
+      };
+      set("svc.shard.submitted", static_cast<double>(stats.submitted));
+      set("svc.shard.completed", static_cast<double>(stats.completed));
+      set("svc.shard.queued", static_cast<double>(stats.queued));
+      set("svc.shard.running", static_cast<double>(stats.running));
+      set("svc.shard.batch_groups", static_cast<double>(stats.batch_groups));
+      set("svc.shard.batch_jobs", static_cast<double>(stats.batch_jobs));
+    }
+    scorecard().export_to(merged);
+  }
+  const auto wire_format = request.format == "prometheus"
+                               ? obs::MetricsExporter::Format::kPrometheus
+                               : obs::MetricsExporter::Format::kJsonLines;
+  obs::MetricsExporter& exporter = request.format == "prometheus"
+                                       ? prometheus_exporter_
+                                       : jsonl_exporter_;
+  return request.mode == "delta" ? exporter.export_delta(merged, wire_format)
+                                 : exporter.export_full(merged, wire_format);
+}
+
+bool ShardRouter::shutdown() {
+  for (const auto& shard : shards_) shard->shutdown();
+  return true;
+}
+
+}  // namespace approxit::svc

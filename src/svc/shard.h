@@ -1,0 +1,175 @@
+// ShardRouter: horizontal scale-out of the serving runtime behind the
+// svc::Client seam.
+//
+// One router owns N independent ServiceRuntime shards (each wrapped in
+// its InProcessClient) plus ONE shared on-disk ProfileCache tier, and
+// implements ServingClient — so the stdin front end, the socket front end
+// (NetServer), approxit_top and the benches serve against a sharded tier
+// without knowing the topology. The three load-bearing properties:
+//
+//   Routing       jobs consistent-hash on route_key(spec) — the tenant
+//                 plus every execution-relevant spec field — over an
+//                 FNV-1a vnode ring (HashRing). All jobs of one routing
+//                 key land on ONE shard in submission order, which is
+//                 what makes the merged deterministic metrics
+//                 shard-count-invariant (see collect_metrics) and keeps
+//                 batch-compatible jobs co-located for the micro-batcher.
+//                 Consistent hashing keeps reassignment under a
+//                 shard-count change to ~1/N of the keyspace.
+//   Identity      global job id = local_id * N + shard_index — a
+//                 stateless bijection (N=1 is the identity map), decoded
+//                 on every by-id call and re-encoded on every event, so
+//                 ids are stable for the whole client surface including
+//                 streams and event sinks.
+//   Determinism   stats()/collect_metrics() merge per-job registries in
+//                 (route_key, local id) order — a topology-invariant
+//                 total order, because one key's jobs live wholly on one
+//                 shard — then the shared-cache counters, then the
+//                 integer-valued qos counters. The merged document is
+//                 byte-identical across shard counts for the same job
+//                 set (caveat: retired-job aggregates fold in completion
+//                 order once retention evicts; keep retention ≥ the job
+//                 count when gating on byte-identity).
+//
+// Shard runtimes run with ServiceConfig::shared_cache pointed at the
+// router's tier, so a profile characterized on any shard is a warm hit
+// from every other shard (single-flight dedupes concurrent computes
+// across shards too).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "svc/client.h"
+#include "svc/profile_cache.h"
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+
+/// The consistent-hash routing key: tenant + every execution-relevant
+/// spec field (the report-determinism tuple — deadline and priority are
+/// scheduling-only and excluded). Equal keys always route to the same
+/// shard, and batch-compatible jobs of a tenant share a key.
+std::string route_key(const JobSpec& spec);
+
+/// FNV-1a consistent-hash ring: `vnodes` points per shard, sorted by
+/// hash; a key maps to the first ring point at or after its hash
+/// (wrapping). Deterministic for a (shards, vnodes) pair.
+class HashRing {
+ public:
+  HashRing(std::size_t shards, std::size_t vnodes);
+
+  /// The shard index `key` routes to.
+  std::size_t lookup(std::string_view key) const;
+
+  std::size_t shards() const { return shards_; }
+
+  /// 64-bit FNV-1a.
+  static std::uint64_t hash(std::string_view key);
+
+ private:
+  std::size_t shards_;
+  /// (point hash, shard index), sorted ascending by hash.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+struct ShardRouterConfig {
+  /// Shard count (clamped to >= 1).
+  std::size_t shards = 2;
+  /// Ring points per shard. More vnodes = flatter key distribution.
+  std::size_t vnodes = 64;
+  /// Template every shard runtime is built from. `cache` configures the
+  /// SHARED tier (the shards themselves run inert local caches);
+  /// `threads` is per shard; `on_job_event` fires per shard with LOCAL
+  /// ids — use add_event_sink for globally-identified events.
+  ServiceConfig shard;
+};
+
+/// N serving shards + 1 shared profile-cache tier behind ServingClient.
+class ShardRouter : public ServingClient {
+ public:
+  explicit ShardRouter(ShardRouterConfig config = {});
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// The shard index `spec` routes to (ring lookup on route_key).
+  std::size_t shard_of(const JobSpec& spec) const;
+  /// Direct shard access (tests, wait_idle-style plumbing).
+  InProcessClient& shard(std::size_t index) { return *shards_[index]; }
+
+  /// The shared characterization tier.
+  ProfileCache& profile_cache() { return shared_cache_; }
+
+  /// Summed shard tallies; `cache` read once from the shared tier (the
+  /// shards' own inert caches never count).
+  ServiceStats service_stats() const;
+
+  /// Merges the deterministic metrics of every shard in (route_key,
+  /// local id) order — byte-identical across shard counts (see the file
+  /// comment for the retention caveat).
+  void collect_metrics(obs::MetricsRegistry& out) const;
+
+  /// Per-tenant scorecards merged across shards in shard order.
+  obs::QualityScorecard scorecard() const;
+
+  /// Blocks until every shard's queue is empty and nothing is running.
+  void wait_idle();
+
+  // ServingClient.
+  std::uint64_t add_event_sink(EventSink sink) override;
+  void remove_event_sink(std::uint64_t token) override;
+  std::optional<JobSnapshot> snapshot(std::uint64_t id) override;
+
+  // Client.
+  std::optional<std::uint64_t> submit(const JobSpec& spec,
+                                      std::string* error) override;
+  std::unique_ptr<JobStream> submit_stream(const JobSpec& spec,
+                                           std::string* error) override;
+  std::unique_ptr<JobStream> stream(std::uint64_t id) override;
+  std::optional<JobStatus> status(std::uint64_t id) override;
+  std::optional<JobStatus> result(std::uint64_t id) override;
+  bool cancel(std::uint64_t id) override;
+  bool forget(std::uint64_t id) override;
+  std::optional<StatsSummary> stats() override;
+  std::optional<std::string> stats_export(const StatsExportRequest& request,
+                                          std::string* error) override;
+  bool shutdown() override;
+
+ private:
+  struct Route {
+    std::size_t shard = 0;
+    std::uint64_t local = 0;
+  };
+
+  std::uint64_t encode(std::size_t shard, std::uint64_t local) const;
+  /// Nullopt for ids no shard could have issued (local id 0).
+  std::optional<Route> decode(std::uint64_t global) const;
+
+  ShardRouterConfig config_;
+  obs::MetricsRegistry cache_metrics_;  ///< svc.profile_cache.* (shared tier).
+  ProfileCache shared_cache_;
+  HashRing ring_;
+  std::mutex mutex_;  ///< Guards sinks_ (shard clients have their own).
+  std::map<std::uint64_t, EventSink> sinks_;
+  std::uint64_t next_sink_token_ = 1;
+  obs::MetricsExporter prometheus_exporter_;
+  obs::MetricsExporter jsonl_exporter_;
+  /// Declared LAST: shard runtimes join their workers before anything the
+  /// per-shard event sinks capture is destroyed.
+  std::vector<std::unique_ptr<InProcessClient>> shards_;
+};
+
+}  // namespace approxit::svc

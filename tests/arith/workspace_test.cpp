@@ -240,5 +240,135 @@ TEST(BatchWorkspace, FusedMetricsAndTierGauge) {
   EXPECT_EQ(registry.counter("alu.fused.chains").value(), 2.0);
 }
 
+/// The grouped-run shape the AR iteration builds: dot-sub rows, tailed
+/// and untailed accumulations, and an empty chain in the middle.
+std::vector<ChainSpec> mixed_chains(const std::vector<double>& x,
+                                    const std::vector<double>& y,
+                                    const std::vector<double>& terms) {
+  std::vector<ChainSpec> chains;
+  ChainSpec dotsub;
+  dotsub.kind = ChainSpec::Kind::kDotSub;
+  dotsub.x = x;
+  dotsub.y = y;
+  dotsub.scalar = 3.25;
+  chains.push_back(dotsub);
+
+  ChainSpec tailed;
+  tailed.kind = ChainSpec::Kind::kAccumulate;
+  tailed.x = terms;
+  tailed.scalar = -7.5;
+  tailed.has_scalar = true;
+  chains.push_back(tailed);
+
+  ChainSpec empty_tailed;
+  empty_tailed.kind = ChainSpec::Kind::kAccumulate;
+  empty_tailed.scalar = 1.625;
+  empty_tailed.has_scalar = true;
+  chains.push_back(empty_tailed);
+
+  ChainSpec empty_plain;
+  empty_plain.kind = ChainSpec::Kind::kAccumulate;
+  chains.push_back(empty_plain);
+
+  ChainSpec untailed;
+  untailed.kind = ChainSpec::Kind::kAccumulate;
+  untailed.x = x;
+  chains.push_back(untailed);
+  return chains;
+}
+
+TEST(BatchWorkspace, GroupedChainsMatchOneShotHelpers) {
+  // 300 dot elements: the grouped kDotSub fold must chunk its ledger
+  // records exactly like dot() (per-256 chunk), or energy sums drift.
+  const std::vector<double> x = random_values(300, -6.0, 6.0, 0x121);
+  const std::vector<double> y = random_values(300, -6.0, 6.0, 0x122);
+  const std::vector<double> terms = random_values(129, -4.0, 4.0, 0x123);
+
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  const std::vector<ChainSpec> chains = mixed_chains(x, y, terms);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    alu.set_mode(mode_from_index(m));
+    SCOPED_TRACE(mode_name(alu.mode()));
+
+    alu.reset_ledger();
+    std::vector<double> ref(chains.size(), 0.0);
+    ref[0] = ws.dot_sub(x, y, 3.25);
+    ref[1] = ws.accumulate_add(terms, -7.5);
+    ref[2] = 1.625;  // Empty chains perform no ops.
+    ref[3] = 0.0;
+    ws.begin(0.0);
+    ws.accumulate(x);
+    ref[4] = ws.finish();
+    const std::size_t ref_ops = alu.ledger().total_ops();
+    const double ref_energy = alu.ledger().total_energy();
+
+    alu.reset_ledger();
+    std::vector<double> got(chains.size(), -1.0);
+    ws.run_chains(chains, got.data());
+    EXPECT_EQ(got, ref);
+    EXPECT_EQ(alu.ledger().total_ops(), ref_ops);
+    EXPECT_EQ(alu.ledger().total_energy(), ref_energy);
+  }
+}
+
+TEST(BatchWorkspace, GroupedChainsDynamicEnergyMatch) {
+  const std::vector<double> x = random_values(90, -8.0, 8.0, 0x131);
+  const std::vector<double> y = random_values(90, -8.0, 8.0, 0x132);
+  const std::vector<double> terms = random_values(40, -3.0, 3.0, 0x133);
+
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  alu.set_mode(ApproxMode::kLevel2);
+  const std::vector<ChainSpec> chains = mixed_chains(x, y, terms);
+
+  alu.set_dynamic_energy(true);
+  alu.reset_ledger();
+  std::vector<double> ref(chains.size(), 0.0);
+  ref[0] = ws.dot_sub(x, y, 3.25);
+  ref[1] = ws.accumulate_add(terms, -7.5);
+  ref[2] = 1.625;
+  ref[3] = 0.0;
+  ws.begin(0.0);
+  ws.accumulate(x);
+  ref[4] = ws.finish();
+  const std::size_t ref_ops = alu.ledger().total_ops();
+  const double ref_energy = alu.ledger().total_energy();
+
+  alu.set_dynamic_energy(true);
+  alu.reset_ledger();
+  std::vector<double> got(chains.size(), -1.0);
+  ws.run_chains(chains, got.data());
+  EXPECT_EQ(got, ref);
+  EXPECT_EQ(alu.ledger().total_ops(), ref_ops);
+  EXPECT_NEAR(alu.ledger().total_energy(), ref_energy,
+              1e-9 * std::abs(ref_energy));
+}
+
+TEST(BatchWorkspace, GroupedChainsFallbackMatchesPlainCalls) {
+  const std::vector<double> x = random_values(50, -2.0, 2.0, 0x141);
+  const std::vector<double> y = random_values(50, -2.0, 2.0, 0x142);
+  const std::vector<double> terms = random_values(20, -1.0, 1.0, 0x143);
+
+  ExactContext exact;
+  BatchWorkspace ws(exact);
+  EXPECT_FALSE(ws.fused());
+  const std::vector<ChainSpec> chains = mixed_chains(x, y, terms);
+  std::vector<double> got(chains.size(), -1.0);
+  ws.run_chains(chains, got.data());
+  EXPECT_EQ(got[0], exact.sub(exact.dot(x, y), 3.25));
+  EXPECT_EQ(got[1], exact.add(exact.accumulate(terms), -7.5));
+  EXPECT_EQ(got[2], 1.625);
+  EXPECT_EQ(got[3], 0.0);
+  EXPECT_EQ(got[4], exact.accumulate(x));
+}
+
+TEST(BatchWorkspace, GroupedChainsZeroChainsIsANoOp) {
+  QcsAlu alu;
+  BatchWorkspace ws(alu);
+  ws.run_chains({}, nullptr);
+  EXPECT_EQ(alu.ledger().total_ops(), 0u);
+}
+
 }  // namespace
 }  // namespace approxit::arith

@@ -1,0 +1,209 @@
+// Cross-job micro-batching: bit-identity of batched reports vs solo
+// execution (the differential reference), batch tallies/occupancy,
+// profile-cache accounting parity, and the solo fallbacks (deadline
+// jobs, incompatible specs).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/runtime.h"
+
+namespace approxit::svc {
+namespace {
+
+JobSpec quick_job(const std::string& tenant) {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.app = "gmm";
+  spec.dataset = "3cluster";
+  spec.max_iterations = 30;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+/// One worker, paused, memory-only cache — the deterministic batching
+/// harness: fill the queue, resume, and the single worker claims the
+/// whole compatible prefix as one group.
+ServiceConfig batching_config(std::size_t max_batch = 8) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.cache.directory.clear();
+  config.start_paused = true;
+  config.batch.enabled = true;
+  config.batch.max_batch = max_batch;
+  config.batch.window_ms = 0.0;
+  return config;
+}
+
+TEST(ServiceBatching, BatchedReportsBitIdenticalToSolo) {
+  // Reference: the same spec through a runtime with batching OFF.
+  ServiceConfig solo_config;
+  solo_config.threads = 1;
+  solo_config.cache.directory.clear();
+  ServiceRuntime solo(solo_config);
+  const auto solo_id = solo.submit(quick_job("tenant-a"));
+  ASSERT_TRUE(solo_id.has_value());
+  const auto solo_snapshot = solo.result(*solo_id);
+  ASSERT_TRUE(solo_snapshot.has_value());
+  ASSERT_EQ(solo_snapshot->state, JobState::kDone);
+  ASSERT_FALSE(solo_snapshot->report_json.empty());
+
+  constexpr std::size_t kJobs = 5;
+  ServiceRuntime batched(batching_config());
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const auto id = batched.submit(quick_job("tenant-a"));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  batched.resume();
+  for (const std::uint64_t id : ids) {
+    const auto snapshot = batched.result(id);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+    // The acceptance gate: every member's report is byte-identical to
+    // the solo run — batching is invisible in the results.
+    EXPECT_EQ(snapshot->report_json, solo_snapshot->report_json);
+    EXPECT_EQ(snapshot->report.total_energy, solo_snapshot->report.total_energy);
+    EXPECT_EQ(snapshot->report.final_objective, solo_snapshot->report.final_objective);
+  }
+  batched.wait_idle();
+
+  const ServiceStats stats = batched.stats();
+  EXPECT_EQ(stats.completed, kJobs);
+  EXPECT_EQ(stats.batch_groups, 1u);
+  EXPECT_EQ(stats.batch_jobs, kJobs);
+  // Cache accounting parity with solo execution: one characterization
+  // miss; every peer counts as a hit (exactly what K solo jobs racing the
+  // single-flight path would record).
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, kJobs - 1);
+}
+
+TEST(ServiceBatching, MaxBatchSplitsTheQueue) {
+  constexpr std::size_t kJobs = 6;
+  ServiceRuntime runtime(batching_config(/*max_batch=*/3));
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const auto id = runtime.submit(quick_job("tenant-b"));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  runtime.resume();
+  for (const std::uint64_t id : ids) ASSERT_TRUE(runtime.wait(id));
+  runtime.wait_idle();
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.completed, kJobs);
+  EXPECT_EQ(stats.batch_groups, 2u);
+  EXPECT_EQ(stats.batch_jobs, kJobs);
+}
+
+TEST(ServiceBatching, IncompatibleSpecsDoNotCoalesce) {
+  // Different max_iterations => different batch key: the single worker
+  // must run them as separate groups, and each report must match its own
+  // solo reference.
+  ServiceRuntime runtime(batching_config());
+  JobSpec a = quick_job("tenant-c");
+  JobSpec b = quick_job("tenant-c");
+  b.max_iterations = 12;
+  const auto id_a = runtime.submit(a);
+  const auto id_b = runtime.submit(b);
+  ASSERT_TRUE(id_a.has_value());
+  ASSERT_TRUE(id_b.has_value());
+  runtime.resume();
+  const auto snap_a = runtime.result(*id_a);
+  const auto snap_b = runtime.result(*id_b);
+  ASSERT_TRUE(snap_a.has_value());
+  ASSERT_TRUE(snap_b.has_value());
+  EXPECT_NE(snap_a->report_json, snap_b->report_json);
+  runtime.wait_idle();
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.batch_groups, 2u);
+  EXPECT_EQ(stats.batch_jobs, 2u);
+}
+
+TEST(ServiceBatching, DeadlineJobsRunSolo) {
+  // Deadline-carrying jobs are excluded from batching (their pacing is
+  // their own); with batching enabled each still commits as a group of
+  // one, so occupancy stays exactly 1.0.
+  ServiceConfig config = batching_config();
+  ServiceRuntime runtime(config);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec = quick_job("tenant-d");
+    spec.deadline_ms = 60000.0;
+    const auto id = runtime.submit(spec);
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  runtime.resume();
+  for (const std::uint64_t id : ids) {
+    const auto snapshot = runtime.result(id);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+  }
+  runtime.wait_idle();
+  const ServiceStats stats = runtime.stats();
+  EXPECT_EQ(stats.batch_groups, 3u);
+  EXPECT_EQ(stats.batch_jobs, 3u);
+}
+
+TEST(ServiceBatching, CancelledMemberCommitsCancelledOthersUnaffected) {
+  // Cancel one queued member before resume: a queued cancel goes terminal
+  // immediately, so the group forms without it and the survivors' reports
+  // are still bit-identical to solo.
+  ServiceRuntime reference(batching_config());
+  const auto ref_id = reference.submit(quick_job("tenant-e"));
+  ASSERT_TRUE(ref_id.has_value());
+  reference.resume();
+  const auto ref_snapshot = reference.result(*ref_id);
+  ASSERT_TRUE(ref_snapshot.has_value());
+
+  ServiceRuntime runtime(batching_config());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = runtime.submit(quick_job("tenant-e"));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(runtime.cancel(ids[1]));
+  runtime.resume();
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const auto snapshot = runtime.result(ids[i]);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(snapshot->state, JobState::kDone);
+    EXPECT_EQ(snapshot->report_json, ref_snapshot->report_json);
+  }
+  const auto cancelled = runtime.result(ids[1]);
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+}
+
+TEST(ServiceBatching, MetricsByteIdenticalBatchedVsSolo) {
+  // The deterministic metrics merge must not see batching either.
+  const auto metrics_for = [](bool batching) {
+    ServiceConfig config = batching_config();
+    config.batch.enabled = batching;
+    ServiceRuntime runtime(config);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+      const auto id = runtime.submit(quick_job("tenant-f"));
+      EXPECT_TRUE(id.has_value());
+      if (id) ids.push_back(*id);
+    }
+    runtime.resume();
+    for (const std::uint64_t id : ids) EXPECT_TRUE(runtime.wait(id));
+    runtime.wait_idle();
+    obs::MetricsRegistry merged;
+    runtime.collect_metrics(merged);
+    return merged.to_json();
+  };
+  const std::string batched = metrics_for(true);
+  const std::string solo = metrics_for(false);
+  EXPECT_FALSE(batched.empty());
+  EXPECT_EQ(batched, solo);
+}
+
+}  // namespace
+}  // namespace approxit::svc

@@ -1,0 +1,261 @@
+// ShardRouter semantics: consistent-hash routing (balance, stability
+// under shard-count change), global-id translation across the whole
+// client surface, the shared profile-cache tier, and byte-identity of
+// the merged deterministic stats across shard counts.
+#include "svc/shard.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/client.h"
+
+namespace approxit::svc {
+namespace {
+
+JobSpec quick_job(const std::string& tenant,
+                  const std::string& dataset = "3cluster") {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.app = "gmm";
+  spec.dataset = dataset;
+  spec.max_iterations = 25;
+  spec.characterization_iterations = 4;
+  return spec;
+}
+
+ShardRouterConfig memory_only_router(std::size_t shards,
+                                     std::size_t threads = 2) {
+  ShardRouterConfig config;
+  config.shards = shards;
+  config.shard.threads = threads;
+  config.shard.cache.directory.clear();
+  return config;
+}
+
+TEST(HashRing, SpreadsKeysAcrossEveryShard) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    HashRing ring(shards, 64);
+    std::vector<std::size_t> counts(shards, 0);
+    for (int i = 0; i < 8000; ++i) {
+      ++counts[ring.lookup("tenant-" + std::to_string(i) + "/gmm/3cluster")];
+    }
+    const double fair = 8000.0 / static_cast<double>(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      // Loose bounds: FNV + 64 vnodes is not perfectly flat, but no shard
+      // may be starved or hot by more than ~2x.
+      EXPECT_GT(counts[s], fair * 0.45) << "shards=" << shards << " s=" << s;
+      EXPECT_LT(counts[s], fair * 2.0) << "shards=" << shards << " s=" << s;
+    }
+  }
+}
+
+TEST(HashRing, LookupIsDeterministic) {
+  HashRing a(4, 64);
+  HashRing b(4, 64);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.lookup(key), b.lookup(key));
+  }
+}
+
+TEST(HashRing, GrowingTheRingOnlyMovesKeysToTheNewShard) {
+  // Consistent-hash stability: adding shard N+1 adds ring points without
+  // moving the existing ones, so a key either keeps its shard or moves to
+  // the NEW one — and only ~1/(N+1) of the keyspace moves at all.
+  HashRing before(4, 64);
+  HashRing after(5, 64);
+  int moved = 0;
+  const int keys = 4000;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = "stable-key-" + std::to_string(i);
+    const std::size_t old_shard = before.lookup(key);
+    const std::size_t new_shard = after.lookup(key);
+    if (new_shard != old_shard) {
+      ++moved;
+      EXPECT_EQ(new_shard, 4u) << key;  // Only ever to the added shard.
+    }
+  }
+  EXPECT_GT(moved, 0);
+  // Expected fraction 1/5; generous ceiling for hash variance.
+  EXPECT_LT(moved, keys * 2 / 5);
+}
+
+TEST(ShardRouter, RoutesRunsAndTranslatesIds) {
+  ShardRouter router(memory_only_router(3));
+  std::string error;
+  std::vector<std::uint64_t> ids;
+  for (const char* tenant : {"alpha", "beta", "gamma", "delta"}) {
+    const JobSpec spec = quick_job(tenant);
+    const auto id = router.submit(spec, &error);
+    ASSERT_TRUE(id.has_value()) << error;
+    // The global id encodes the ring's shard choice.
+    EXPECT_EQ(*id % router.shard_count(), router.shard_of(spec));
+    ids.push_back(*id);
+  }
+  // Global ids are unique even though shard-local ids overlap.
+  EXPECT_EQ(std::set<std::uint64_t>(ids.begin(), ids.end()).size(),
+            ids.size());
+  for (const std::uint64_t id : ids) {
+    const auto status = router.result(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->id, id);
+    EXPECT_EQ(status->state, JobState::kDone);
+    EXPECT_FALSE(status->report_json.empty());
+    const auto snapshot = router.snapshot(id);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(snapshot->id, id);
+  }
+  const ServiceStats stats = router.service_stats();
+  EXPECT_EQ(stats.submitted, ids.size());
+  EXPECT_EQ(stats.completed, ids.size());
+  // Unknown and undecodable ids answer like unknown jobs.
+  EXPECT_FALSE(router.status(0).has_value());
+  EXPECT_FALSE(router.cancel(1));  // local id 0 on every shard count > 1
+}
+
+TEST(ShardRouter, StreamsCarryGlobalIds) {
+  ShardRouter router(memory_only_router(2));
+  std::string error;
+  const auto stream = router.submit_stream(quick_job("stream-tenant"), &error);
+  ASSERT_NE(stream, nullptr) << error;
+  const std::uint64_t id = stream->id();
+  EXPECT_GE(id, router.shard_count());  // Encoded: local>=1 scaled up.
+  bool saw_terminal = false;
+  while (const auto event = stream->next()) {
+    EXPECT_EQ(event->id, id);
+    if (event->terminal()) {
+      saw_terminal = true;
+      ASSERT_TRUE(event->status.has_value());
+      EXPECT_EQ(event->status->id, id);
+      EXPECT_EQ(event->status->state, JobState::kDone);
+    }
+  }
+  EXPECT_TRUE(saw_terminal);
+}
+
+TEST(ShardRouter, EventSinksSeeGlobalIds) {
+  ShardRouter router(memory_only_router(2));
+  std::mutex mutex;
+  std::vector<std::uint64_t> seen;
+  const std::uint64_t token =
+      router.add_event_sink([&](const JobEvent& event) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(event.id);
+      });
+  std::string error;
+  const auto id = router.submit(quick_job("sink-tenant"), &error);
+  ASSERT_TRUE(id.has_value()) << error;
+  ASSERT_TRUE(router.result(*id).has_value());
+  router.wait_idle();
+  router.remove_event_sink(token);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_FALSE(seen.empty());
+    for (const std::uint64_t event_id : seen) EXPECT_EQ(event_id, *id);
+  }
+}
+
+TEST(ShardRouter, SharedCacheServesEveryShard) {
+  // Two tenants that route to DIFFERENT shards but share a
+  // characterization key (tenant is not part of it): the second job must
+  // hit the shared tier, wherever it ran.
+  ShardRouter router(memory_only_router(4));
+  std::string second_tenant;
+  const std::size_t first_shard = router.shard_of(quick_job("cache-a"));
+  for (int i = 0; i < 64; ++i) {
+    const std::string candidate = "cache-b" + std::to_string(i);
+    if (router.shard_of(quick_job(candidate)) != first_shard) {
+      second_tenant = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(second_tenant.empty()) << "no tenant routed elsewhere";
+
+  std::string error;
+  const auto first = router.submit(quick_job("cache-a"), &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  ASSERT_TRUE(router.result(*first).has_value());
+  const auto second = router.submit(quick_job(second_tenant), &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  const auto status = router.result(*second);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->cache_hit);
+
+  const ProfileCacheStats cache = router.profile_cache().stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_GE(cache.hits, 1u);
+}
+
+/// Runs the same job set through a router and returns the stats summary.
+StatsSummary run_job_set(std::size_t shards) {
+  ShardRouter router(memory_only_router(shards));
+  std::string error;
+  std::vector<std::uint64_t> ids;
+  for (const char* tenant : {"t1", "t2", "t3"}) {
+    for (const char* dataset : {"3cluster", "4cluster"}) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        const auto id = router.submit(quick_job(tenant, dataset), &error);
+        EXPECT_TRUE(id.has_value()) << error;
+        if (id) ids.push_back(*id);
+      }
+    }
+  }
+  for (const std::uint64_t id : ids) EXPECT_TRUE(router.result(id));
+  router.wait_idle();
+  const auto stats = router.stats();
+  EXPECT_TRUE(stats.has_value());
+  return stats.value_or(StatsSummary{});
+}
+
+TEST(ShardRouter, MergedStatsByteIdenticalAcrossShardCounts) {
+  const StatsSummary one = run_job_set(1);
+  const StatsSummary two = run_job_set(2);
+  const StatsSummary four = run_job_set(4);
+
+  EXPECT_EQ(one.submitted, two.submitted);
+  EXPECT_EQ(one.completed, two.completed);
+  EXPECT_EQ(one.cache_misses, two.cache_misses);
+  EXPECT_EQ(one.cache_hits, two.cache_hits);
+  EXPECT_EQ(two.submitted, four.submitted);
+  EXPECT_EQ(two.completed, four.completed);
+
+  // The merged deterministic metrics document — the real gate: the
+  // (route_key, local id) merge order makes the FP fold sequence of every
+  // per-tenant series independent of the topology.
+  EXPECT_EQ(one.metrics_json, two.metrics_json);
+  EXPECT_EQ(two.metrics_json, four.metrics_json);
+}
+
+TEST(ShardRouter, DeterministicExportByteIdenticalAcrossShardCounts) {
+  const auto export_for = [](std::size_t shards) {
+    ShardRouter router(memory_only_router(shards));
+    std::string error;
+    std::vector<std::uint64_t> ids;
+    for (const char* tenant : {"e1", "e2"}) {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        const auto id = router.submit(quick_job(tenant), &error);
+        EXPECT_TRUE(id.has_value()) << error;
+        if (id) ids.push_back(*id);
+      }
+    }
+    for (const std::uint64_t id : ids) EXPECT_TRUE(router.result(id));
+    router.wait_idle();
+    StatsExportRequest request;
+    request.format = "prometheus";
+    request.deterministic = true;
+    const auto text = router.stats_export(request, &error);
+    EXPECT_TRUE(text.has_value()) << error;
+    return text.value_or("");
+  };
+  const std::string one = export_for(1);
+  const std::string three = export_for(3);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, three);
+}
+
+}  // namespace
+}  // namespace approxit::svc

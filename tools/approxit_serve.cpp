@@ -47,9 +47,19 @@
 //        --slo-ms D --degrade-watermark N --shed-watermark N
 //        --tenant-rate R --tenant-burst B --retries N
 //        --listen ADDR --backend epoll|poll --progress-every N
+//        --shards N --batch-max N --batch-window-ms D
 //
 // --progress-every N emits a progress event every N executed iterations
 // of each running job to its stream subscribers (0 = off).
+//
+// --shards N serves through a svc::ShardRouter: N runtimes (each with
+// --threads workers) behind a consistent-hash router and ONE shared
+// profile-cache tier. Job ids, events, stats and exports keep the exact
+// wire shapes; stats merges are byte-identical across shard counts.
+// Without the flag a single runtime serves directly (ids differ from
+// --shards 1 only in the global-id encoding). --batch-max/--batch-window-ms
+// enable cross-job micro-batching inside each runtime (reports stay
+// bit-identical to unbatched execution; see DESIGN §13).
 //
 // Request lines are capped at svc::kMaxWireLine; longer lines are drained
 // without buffering and answered with an error, so a malformed client
@@ -64,9 +74,12 @@
 #include <iostream>
 #include <string>
 
+#include <memory>
+
 #include "net/server.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
+#include "svc/shard.h"
 #include "svc/wire.h"
 
 namespace {
@@ -75,6 +88,9 @@ using approxit::svc::InProcessClient;
 using approxit::svc::JobStatus;
 using approxit::svc::OpKind;
 using approxit::svc::ServiceConfig;
+using approxit::svc::ServingClient;
+using approxit::svc::ShardRouter;
+using approxit::svc::ShardRouterConfig;
 using approxit::svc::WireObject;
 using approxit::svc::WireWriter;
 
@@ -88,7 +104,9 @@ int usage(const char* argv0) {
                "          [--tenant-rate R] [--tenant-burst B] "
                "[--retries N]\n"
                "          [--listen ADDR] [--backend epoll|poll] "
-               "[--progress-every N]\n",
+               "[--progress-every N]\n"
+               "          [--shards N] [--batch-max N] "
+               "[--batch-window-ms D]\n",
                argv0);
   return 2;
 }
@@ -100,7 +118,7 @@ void print_line(const std::string& line) {
 /// The ops dispatch_sync hands back to the front end, stdin flavour:
 /// result blocks the (single-request) stdin pipeline, streams drain
 /// inline, shutdown ends the process.
-int run_stdin_front_end(InProcessClient& client) {
+int run_stdin_front_end(ServingClient& client) {
   std::string line;
   bool overflow = false;
   while (approxit::svc::read_wire_line(std::cin, line, &overflow)) {
@@ -189,6 +207,7 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   approxit::net::NetServerConfig net_config;
   std::string listen_address;
+  std::size_t shards = 0;  // 0 = no router (direct single runtime).
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
@@ -270,12 +289,40 @@ int main(int argc, char** argv) {
       if (value == nullptr) return usage(argv[0]);
       config.progress_every =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--shards") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      shards = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+      if (shards == 0) shards = 1;
+    } else if (flag == "--batch-max") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.batch.enabled = true;
+      config.batch.max_batch =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--batch-window-ms") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.batch.enabled = true;
+      config.batch.window_ms = std::strtod(value, nullptr);
     } else {
       return usage(argv[0]);
     }
   }
 
-  InProcessClient client(std::move(config));
+  // --shards N (even N=1) serves through the router so sharded and
+  // single-shard deployments share the global-id scheme and merge order;
+  // no flag keeps the original direct single-runtime path.
+  std::unique_ptr<ServingClient> tier;
+  if (shards > 0) {
+    ShardRouterConfig router_config;
+    router_config.shards = shards;
+    router_config.shard = std::move(config);
+    tier = std::make_unique<ShardRouter>(std::move(router_config));
+  } else {
+    tier = std::make_unique<InProcessClient>(std::move(config));
+  }
+  ServingClient& client = *tier;
 
   if (listen_address.empty()) return run_stdin_front_end(client);
 

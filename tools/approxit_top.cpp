@@ -307,9 +307,18 @@ int main(int argc, char** argv) {
     line("cache     hits %zu  misses %zu  disk %zu  stores %zu",
          stats->cache_hits, stats->cache_misses, stats->cache_disk_hits,
          stats->cache_stores);
-    const auto run_ms = metrics.find("svc.run_ms");
+    // Queue wait and execution time as separate rows: a deep-queue burst
+    // shows up as queue_ms inflation with run_ms flat, a slow workload as
+    // the reverse — the split makes the two diagnosable at a glance.
+    const auto queue_ms = metrics.find("svc.job.queue_ms");
+    if (queue_ms != metrics.end() && queue_ms->second.count > 0) {
+      line("latency   queue_ms p50 %.2f  p90 %.2f  p99 %.2f  (n=%zu)",
+           queue_ms->second.p50, queue_ms->second.p90, queue_ms->second.p99,
+           queue_ms->second.count);
+    }
+    const auto run_ms = metrics.find("svc.job.run_ms");
     if (run_ms != metrics.end() && run_ms->second.count > 0) {
-      line("latency   run_ms p50 %.2f  p90 %.2f  p99 %.2f  (n=%zu)",
+      line("latency   run_ms   p50 %.2f  p90 %.2f  p99 %.2f  (n=%zu)",
            run_ms->second.p50, run_ms->second.p90, run_ms->second.p99,
            run_ms->second.count);
     }

@@ -10,7 +10,7 @@
 // Artifacts are flattened to path -> leaf (objects dot-joined, arrays
 // indexed), then matched by path. Whether a delta is a regression follows
 // the metric's name: throughput-like leaves (per_sec, speedup, hits,
-// scaling, jobs) regress when they DROP; cost-like leaves (_ms, overhead,
+// scaling, occupancy) regress when they DROP; cost-like leaves (_ms, overhead,
 // misses, energy, evictions) regress when they RISE; invariant booleans
 // (identical, deterministic, bit_identical, converged, all_hits) regress
 // on a true -> false flip. Leaves matching neither family are reported as
@@ -222,7 +222,7 @@ Direction classify(const std::string& path, const Leaf& leaf) {
   if (leaf.kind != Leaf::Kind::kNumber) return Direction::kUnclassified;
   for (const char* token :
        {"per_sec", "speedup", "hits", "scaling", "throughput", "recovered",
-        "converged"}) {
+        "converged", "occupancy"}) {
     if (contains_token(name, token)) return Direction::kHigherBetter;
   }
   for (const char* token :
